@@ -1,0 +1,51 @@
+//! Ablation: MiniLang frontend and interpreter costs — parse/check/execute
+//! per surface syntax, plus interpreter scaling with loop size (the fuel
+//! counter's overhead is inherent in these numbers).
+
+use askit_json::{json, Map};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minilang::{check_program, parse_py, parse_ts, Interp};
+
+const TS_SRC: &str = "export function work({n}: {n: number}): number {\n  let acc = 0;\n  for (let i = 1; i <= n; i++) {\n    if (i % 3 === 0) {\n      acc += i * 2;\n    } else {\n      acc += 1;\n    }\n  }\n  return acc;\n}";
+
+const PY_SRC: &str = "def work(n):\n    acc = 0\n    for i in range(1, n + 1):\n        if i % 3 == 0:\n            acc += i * 2\n        else:\n            acc += 1\n    return acc\n";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interp");
+
+    group.bench_function("parse_ts", |b| b.iter(|| parse_ts(TS_SRC).expect("parses")));
+    group.bench_function("parse_py", |b| b.iter(|| parse_py(PY_SRC).expect("parses")));
+
+    let ts = parse_ts(TS_SRC).unwrap();
+    let py = parse_py(PY_SRC).unwrap();
+    group.bench_function("static_check", |b| {
+        b.iter(|| {
+            let findings = check_program(&ts);
+            assert!(findings.is_empty());
+        })
+    });
+
+    for &n in &[10i64, 100, 1000] {
+        let mut args = Map::new();
+        args.insert("n", json!(n));
+        group.bench_with_input(BenchmarkId::new("exec_ts_source", n), &args, |b, args| {
+            b.iter(|| Interp::new(&ts).call_json("work", args).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("exec_py_source", n), &args, |b, args| {
+            b.iter(|| Interp::new(&py).call_json("work", args).expect("runs"));
+        });
+    }
+
+    // Pretty-printing (the mock model's code-emission backend).
+    group.bench_function("print_both_syntaxes", |b| {
+        b.iter(|| {
+            minilang::print_program(&ts, minilang::Syntax::Ts).len()
+                + minilang::print_program(&ts, minilang::Syntax::Py).len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the answer-extraction path — fence extraction + JSON parse +
+//! type validation — by answer size. This is the per-call tax of type-guided
+//! output control.
+
+use askit_json::{extract, Json};
+use askit_types::{dict, int, list, string, Type};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn response_with(n_books: usize) -> (String, Type) {
+    let mut books = Vec::new();
+    for i in 0..n_books {
+        books.push(format!(
+            "{{\"title\": \"Book number {i}\", \"author\": \"Author {i}\", \"year\": {}}}",
+            1950 + (i % 70)
+        ));
+    }
+    let text = format!(
+        "Here you go!\n```json\n{{\"reason\": \"compiled a standard list\", \"answer\": [{}]}}\n```",
+        books.join(", ")
+    );
+    let ty = dict([
+        ("reason", string()),
+        (
+            "answer",
+            list(dict([("title", string()), ("author", string()), ("year", int())])),
+        ),
+    ]);
+    (text, ty)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_json");
+    for &n in &[1usize, 10, 100] {
+        let (text, ty) = response_with(n);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("extract_parse_validate", n), &n, |b, _| {
+            b.iter(|| {
+                let v = extract::extract_json(&text).expect("fenced JSON");
+                ty.validate(&v).expect("typed");
+                v.node_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parse_only", n), &n, |b, _| {
+            let inner = extract::code_block(&text, "json").unwrap().to_owned();
+            b.iter(|| Json::parse(&inner).expect("valid").node_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: the cost of the §III-E feedback loop as the model's fault rate
+//! grows. At rate 0 the loop is pure overhead; at high rates it is what
+//! keeps answers typed at all.
+
+use askit_bench::faulty_askit;
+use askit_core::args;
+use askit_llm::FaultConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_retry");
+    group.sample_size(30);
+    for &rate in &[0.0f64, 0.15, 0.3, 0.5] {
+        let askit = faulty_askit(
+            FaultConfig { direct_fault_rate: rate, code_bug_rate: 0.0, decay: 0.35 },
+            |_| {},
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_ask", format!("fault{:02}", (rate * 100.0) as u32)),
+            &askit,
+            |b, askit| {
+                b.iter(|| {
+                    askit
+                        .ask(
+                            askit_types::int(),
+                            "What is {{x}} plus {{y}}?",
+                            args! { x: 31, y: 11 },
+                        )
+                        .expect("retries converge")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

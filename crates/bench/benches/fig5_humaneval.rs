@@ -1,0 +1,40 @@
+//! Figure 5 bench: codegen + example validation throughput on
+//! HumanEval-style tasks (one representative per family size class).
+
+use askit_bench::quiet_askit;
+use askit_datasets::humaneval;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minilang::Syntax;
+
+fn bench(c: &mut Criterion) {
+    let askit = quiet_askit(humaneval::register_oracle);
+    let tasks = humaneval::tasks();
+    let mut group = c.benchmark_group("fig5_humaneval");
+    group.sample_size(20);
+    // The first easy task of each of three families (skip hard ids).
+    for &id in &[0usize, 1, 8] {
+        let task = &tasks[id];
+        assert!(!task.hard, "benchmark tasks must be solvable");
+        group.bench_with_input(BenchmarkId::new("compile", id), task, |b, task| {
+            b.iter(|| {
+                askit
+                    .define(task.return_type.clone(), &task.prompt)
+                    .unwrap()
+                    .with_param_types(task.param_types.clone())
+                    .with_examples(task.few_shot.clone())
+                    .with_tests(task.tests.clone())
+                    .compile(Syntax::Ts)
+                    .expect("solvable task compiles")
+            });
+        });
+    }
+    // The LOC metric itself.
+    group.bench_function("count_loc", |b| {
+        let src = &tasks[0].reference_source;
+        b.iter(|| minilang::loc::count_loc(src));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

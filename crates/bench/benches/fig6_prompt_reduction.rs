@@ -1,0 +1,42 @@
+//! Figure 6 bench: runtime prompt synthesis vs hand-written prompts —
+//! the cost of the machinery that makes the 16% reduction free.
+
+use askit_core::prompt::direct_prompt;
+use askit_datasets::evals;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let benchmarks = evals::benchmarks();
+    let mut group = c.benchmark_group("fig6_prompt_reduction");
+
+    // Building the typed AskIt prompt for every benchmark.
+    group.bench_function("direct_prompt_x50", |b| {
+        let parsed: Vec<_> = benchmarks
+            .iter()
+            .map(|bm| (askit_template::Template::parse(bm.task).unwrap(), bm))
+            .collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for (template, bm) in &parsed {
+                let p = direct_prompt(template, &bm.args, &bm.answer_type, &[]).unwrap();
+                total += p.len();
+            }
+            total
+        });
+    });
+
+    // The measurement itself: reductions over the catalogue.
+    group.bench_function("reductions_x50", |b| {
+        b.iter(|| benchmarks.iter().map(evals::EvalBenchmark::reduction).sum::<usize>());
+    });
+
+    // Baseline: assembling the hand-written prompt by string concatenation.
+    group.bench_function("manual_prompt_x50", |b| {
+        b.iter(|| benchmarks.iter().map(|bm| bm.original_prompt().len()).sum::<usize>());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 bench: the type-usage statistics pass, plus the type printer
+//! and parser it leans on.
+
+use askit_datasets::evals;
+use askit_types::{stats::TypeStats, Type};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let benchmarks = evals::benchmarks();
+    let types: Vec<Type> = benchmarks.iter().map(|b| b.answer_type.clone()).collect();
+    let mut group = c.benchmark_group("fig7_type_stats");
+
+    group.bench_function("collect_x50", |b| {
+        b.iter(|| TypeStats::collect(types.iter()));
+    });
+
+    let printed: Vec<String> = types.iter().map(Type::to_typescript).collect();
+    group.bench_function("print_x50", |b| {
+        b.iter(|| types.iter().map(Type::to_typescript).map(|s| s.len()).sum::<usize>());
+    });
+
+    group.bench_function("parse_x50", |b| {
+        b.iter(|| {
+            printed
+                .iter()
+                .map(|s| Type::parse(s).expect("printed types parse").node_count())
+                .sum::<usize>()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

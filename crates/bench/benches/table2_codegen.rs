@@ -1,0 +1,40 @@
+//! Table II bench: the full `define → compile` pipeline per task class,
+//! in both surface syntaxes.
+
+use askit_bench::quiet_askit;
+use askit_datasets::top50;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minilang::Syntax;
+
+fn bench(c: &mut Criterion) {
+    let askit = quiet_askit(top50::register_oracle);
+    let tasks = top50::tasks();
+    let mut group = c.benchmark_group("table2_codegen");
+    group.sample_size(20);
+    // One cheap task (one-liner) and one loop-heavy task, per syntax.
+    // (Not a py-ambiguous task: the Python pipeline legitimately fails
+    // those, as Table II reports.)
+    for &id in &[1usize, 2] {
+        let task = tasks.iter().find(|t| t.id == id).expect("task exists");
+        for syntax in [Syntax::Ts, Syntax::Py] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("task{id:02}"), syntax.display_name()),
+                &syntax,
+                |b, &syntax| {
+                    b.iter(|| {
+                        let defined = askit
+                            .define(task.return_type.clone(), task.template)
+                            .unwrap()
+                            .with_param_types(task.param_types.clone())
+                            .with_tests(task.tests.clone());
+                        defined.compile(syntax).expect("fault-free compile succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table III bench: the machinery cost of the two execution modes.
+//!
+//! Criterion measures wall time, so the "direct" series here is the real
+//! cost of the AskIt runtime machinery (prompt synthesis + mock inference +
+//! extraction + validation) — the simulated *network* latency that dominates
+//! the paper's 13–23 s is reported by `askit-eval table3`, not here. The
+//! "compiled" series is the genuine article: executing generated MiniLang.
+
+use askit_bench::quiet_askit;
+use askit_core::Example;
+use askit_datasets::gsm8k;
+use criterion::{criterion_group, criterion_main, Criterion};
+use minilang::Syntax;
+
+fn bench(c: &mut Criterion) {
+    let problems = gsm8k::problems(16, 7);
+    let askit = quiet_askit(|oracle| gsm8k::register_oracle(oracle, &problems, 1));
+    // Pick a problem the run-seed gates as solvable.
+    let problem = problems
+        .iter()
+        .find(|p| p.is_codable(1))
+        .expect("some problem is solvable");
+    let task = askit
+        .define(askit_types::int(), &problem.template)
+        .unwrap()
+        .with_tests([Example { input: problem.args.clone(), output: problem.answer.clone() }]);
+
+    let mut group = c.benchmark_group("table3_gsm8k");
+    group.sample_size(20);
+
+    group.bench_function("direct_mode_machinery", |b| {
+        b.iter(|| task.call(problem.args.clone()).expect("solvable"));
+    });
+
+    let compiled = task.compile(Syntax::Ts).expect("codable");
+    group.bench_function("compiled_mode_execution", |b| {
+        b.iter(|| compiled.call(problem.args.clone()).expect("runs"));
+    });
+
+    group.bench_function("compilation_pipeline", |b| {
+        b.iter(|| task.compile(Syntax::Ts).expect("codable"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # askit-bench
+//!
+//! Shared helpers for the Criterion benches. The bench targets live in
+//! `benches/`; each regenerates (a fast slice of) one table or figure of the
+//! paper, or ablates a design choice called out in DESIGN.md §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use askit_core::{Askit, AskitConfig};
+use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+
+/// An AskIt stack over a fault-free mock with the given extra knowledge.
+pub fn quiet_askit(register: impl FnOnce(&mut Oracle)) -> Askit<MockLlm> {
+    let mut oracle = Oracle::standard();
+    register(&mut oracle);
+    let llm = MockLlm::new(MockLlmConfig::gpt35().with_faults(FaultConfig::none()), oracle);
+    Askit::new(llm).with_config(AskitConfig::default())
+}
+
+/// An AskIt stack over a mock with the given fault configuration.
+pub fn faulty_askit(faults: FaultConfig, register: impl FnOnce(&mut Oracle)) -> Askit<MockLlm> {
+    let mut oracle = Oracle::standard();
+    register(&mut oracle);
+    let llm = MockLlm::new(MockLlmConfig::gpt35().with_faults(faults), oracle);
+    Askit::new(llm).with_config(AskitConfig::default())
+}

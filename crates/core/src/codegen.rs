@@ -1,0 +1,329 @@
+//! Code generation for codable tasks (paper §III-D).
+//!
+//! Step 1 builds the Figure 4 one-shot prompt, Step 2 calls the model,
+//! Step 3 extracts the code from the markdown fence and validates it —
+//! syntactically (parse + best-effort static check) and semantically (run
+//! against the caller's test examples). Steps 2–3 repeat until code passes,
+//! up to the retry budget (the paper's experiments use 9 retries).
+
+use std::time::{Duration, Instant};
+
+use askit_json::extract;
+use askit_llm::{CompletionRequest, LanguageModel, TokenUsage};
+use minilang::pretty::Syntax;
+use minilang::{check_program, loc::count_loc, Interp, Program};
+
+use crate::config::AskitConfig;
+use crate::error::AskItError;
+use crate::examples::Example;
+use crate::prompt::{codegen_prompt, FunctionSpec};
+
+/// A function generated and validated by the pipeline.
+#[derive(Debug, Clone)]
+pub struct GeneratedFunction {
+    /// The function name (matches the spec).
+    pub name: String,
+    /// The exact source text extracted from the model reply.
+    pub source: String,
+    /// The parsed program (one function).
+    pub program: Program,
+    /// The surface syntax of `source`.
+    pub syntax: Syntax,
+    /// Attempts used (1 = first try passed).
+    pub attempts: usize,
+    /// Substantive lines of code in `source` — the Table II metric.
+    pub loc: usize,
+    /// Aggregate token usage across attempts.
+    pub usage: TokenUsage,
+    /// Total compilation time: simulated model latency plus real validation
+    /// time. This is Table III's "Compilation Time".
+    pub compile_time: Duration,
+}
+
+impl GeneratedFunction {
+    /// Runs the generated function with named JSON arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MiniLang runtime errors.
+    pub fn call(&self, args: &askit_json::Map) -> Result<askit_json::Json, AskItError> {
+        Ok(Interp::new(&self.program).call_json(&self.name, args)?)
+    }
+}
+
+/// Runs the §III-D pipeline for one function specification.
+///
+/// `tests` are the validation examples; with an empty slice only the
+/// syntactic check gates acceptance (as in the paper when no examples are
+/// supplied).
+///
+/// # Errors
+///
+/// [`AskItError::CodegenFailed`] when no attempt validates.
+pub fn generate<L: LanguageModel>(
+    llm: &L,
+    spec: &FunctionSpec,
+    tests: &[Example],
+    config: &AskitConfig,
+) -> Result<GeneratedFunction, AskItError> {
+    let prompt = codegen_prompt(spec);
+    let mut usage = TokenUsage::default();
+    let mut compile_time = Duration::ZERO;
+    let mut last_problem = String::new();
+
+    for attempt in 1..=config.max_retries + 1 {
+        // The prompt is identical across retries; temperature-1.0 sampling
+        // makes each response unique (paper §III-D Step 2).
+        let request = CompletionRequest {
+            messages: vec![askit_llm::ChatMessage::user(prompt.clone())],
+            temperature: config.temperature,
+        };
+        let completion = llm.complete(&request)?;
+        usage.prompt_tokens += completion.usage.prompt_tokens;
+        usage.completion_tokens += completion.usage.completion_tokens;
+        compile_time += completion.latency;
+
+        let validation_started = Instant::now();
+        let outcome = validate_reply(&completion.text, spec, tests);
+        compile_time += validation_started.elapsed();
+
+        match outcome {
+            Ok((source, program)) => {
+                let loc = count_loc(&source);
+                return Ok(GeneratedFunction {
+                    name: spec.name.clone(),
+                    source,
+                    program,
+                    syntax: spec.syntax,
+                    attempts: attempt,
+                    loc,
+                    usage,
+                    compile_time,
+                });
+            }
+            Err(problem) => last_problem = problem,
+        }
+    }
+    Err(AskItError::CodegenFailed { attempts: config.max_retries + 1, last_problem })
+}
+
+/// Step 3: extract, parse, statically check, and example-test one reply.
+pub fn validate_reply(
+    reply: &str,
+    spec: &FunctionSpec,
+    tests: &[Example],
+) -> Result<(String, Program), String> {
+    // Extraction: the reply must carry a fenced code block.
+    let Some(code) = extract::code_block(reply, spec.syntax.fence_tag()) else {
+        return Err("the reply contains no fenced code block".to_owned());
+    };
+    let source = code.to_owned();
+
+    // Syntactic check.
+    let program = minilang::parse(&source, spec.syntax)
+        .map_err(|e| format!("the code does not parse: {e}"))?;
+    let Some(decl) = program.function(&spec.name) else {
+        return Err(format!("the code does not define '{}'", spec.name));
+    };
+    if decl.params.len() != spec.params.len() {
+        return Err(format!(
+            "'{}' has {} parameter(s), expected {}",
+            spec.name,
+            decl.params.len(),
+            spec.params.len()
+        ));
+    }
+    let findings = check_program(&program);
+    if let Some(first) = findings.first() {
+        return Err(format!("static check failed: {first}"));
+    }
+
+    // Semantic check: run the validation examples.
+    for (i, example) in tests.iter().enumerate() {
+        let mut interp = Interp::new(&program);
+        match interp.call_json(&spec.name, &example.input) {
+            Ok(actual) => {
+                if !actual.loosely_equals(&example.output) {
+                    return Err(format!(
+                        "test {i} failed: expected {}, got {actual}",
+                        example.output
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("test {i} crashed: {e}")),
+        }
+    }
+    Ok((source, program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example;
+    use askit_json::{json, Json, Map};
+    use askit_llm::ScriptedLlm;
+    use minilang::ast::Param;
+
+    fn factorial_spec(syntax: Syntax) -> FunctionSpec {
+        FunctionSpec {
+            name: "calculateFactorial".into(),
+            params: vec![Param { name: "n".into(), ty: askit_types::int() }],
+            ret: askit_types::int(),
+            instruction: "Calculate the factorial of 'n'".into(),
+            syntax,
+        }
+    }
+
+    fn good_ts_reply() -> &'static str {
+        "A:\n```typescript\nexport function calculateFactorial({n}: {n: number}): number {\n  let acc = 1;\n  for (let i = 2; i <= n; i++) {\n    acc *= i;\n  }\n  return acc;\n}\n```"
+    }
+
+    #[test]
+    fn accepts_a_correct_reply_first_try() {
+        let llm = ScriptedLlm::new([good_ts_reply()]);
+        let tests = vec![example(&[("n", 5i64)], 120i64), example(&[("n", 0i64)], 1i64)];
+        let g = generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
+            .unwrap();
+        assert_eq!(g.attempts, 1);
+        assert_eq!(g.loc, 7);
+        let mut args = Map::new();
+        args.insert("n", json!(6i64));
+        assert_eq!(g.call(&args).unwrap(), Json::Int(720));
+    }
+
+    #[test]
+    fn rejects_then_accepts_across_retries() {
+        let llm = ScriptedLlm::new([
+            // no fence
+            "function calculateFactorial() {}".to_owned(),
+            // parse error
+            "```typescript\nexport function calculateFactorial({n}: {n: number}): number { retur\n```".to_owned(),
+            // wrong function name
+            "```typescript\nexport function somethingElse({n}: {n: number}): number {\n  return 1;\n}\n```".to_owned(),
+            // wrong behaviour (fails the example test)
+            "```typescript\nexport function calculateFactorial({n}: {n: number}): number {\n  return n;\n}\n```".to_owned(),
+            good_ts_reply().to_owned(),
+        ]);
+        let tests = vec![example(&[("n", 5i64)], 120i64)];
+        let g = generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
+            .unwrap();
+        assert_eq!(g.attempts, 5);
+        assert_eq!(llm.served(), 5);
+    }
+
+    #[test]
+    fn static_check_gates_nonsense() {
+        let reply = "```typescript\nexport function calculateFactorial({n}: {n: number}): number {\n  return undefinedVariable;\n}\n```";
+        let err = validate_reply(reply, &factorial_spec(Syntax::Ts), &[]).unwrap_err();
+        assert!(err.contains("static check failed"), "{err}");
+    }
+
+    #[test]
+    fn runtime_crash_in_tests_is_reported() {
+        let reply = "```typescript\nexport function calculateFactorial({n}: {n: number}): number {\n  let xs = [1];\n  return xs[99];\n}\n```";
+        let tests = vec![example(&[("n", 1i64)], 1i64)];
+        let err = validate_reply(reply, &factorial_spec(Syntax::Ts), &tests).unwrap_err();
+        assert!(err.contains("crashed"), "{err}");
+    }
+
+    #[test]
+    fn exhaustion_reports_last_problem() {
+        let responses: Vec<String> = (0..10).map(|_| "no code, sorry".to_owned()).collect();
+        let llm = ScriptedLlm::new(responses);
+        let err = generate(&llm, &factorial_spec(Syntax::Ts), &[], &AskitConfig::default())
+            .unwrap_err();
+        match err {
+            AskItError::CodegenFailed { attempts, last_problem } => {
+                assert_eq!(attempts, 10);
+                assert!(last_problem.contains("no fenced code block"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn python_pipeline_end_to_end_with_mock() {
+        let mut oracle = askit_llm::Oracle::standard();
+        oracle.add_code_fn("factorial", |task| {
+            if !task.instruction.to_lowercase().contains("factorial") {
+                return None;
+            }
+            use minilang::build::*;
+            let n = task.params.first().map(|p| p.name.clone()).unwrap_or_else(|| "n".into());
+            Some(func(
+                "f",
+                [],
+                askit_types::int(),
+                vec![
+                    let_("acc", num(1.0)),
+                    for_range_incl("i", num(2.0), var(n), vec![assign_op(
+                        "acc",
+                        minilang::BinOp::Mul,
+                        var("i"),
+                    )]),
+                    ret(var("acc")),
+                ],
+            ))
+        });
+        let llm = askit_llm::MockLlm::new(
+            askit_llm::MockLlmConfig::gpt35().with_faults(askit_llm::FaultConfig::none()),
+            oracle,
+        );
+        let tests = vec![example(&[("n", 4i64)], 24i64)];
+        let g = generate(&llm, &factorial_spec(Syntax::Py), &tests, &AskitConfig::default())
+            .unwrap();
+        assert!(g.source.starts_with("def calculateFactorial(n):"), "{}", g.source);
+        let mut args = Map::new();
+        args.insert("n", json!(5i64));
+        assert_eq!(g.call(&args).unwrap(), Json::Int(120));
+        assert!(g.compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn mock_with_bugs_converges_through_retries() {
+        let mut oracle = askit_llm::Oracle::standard();
+        oracle.add_code_fn("factorial", |task| {
+            if !task.instruction.to_lowercase().contains("factorial") {
+                return None;
+            }
+            use minilang::build::*;
+            Some(func(
+                "f",
+                [],
+                askit_types::int(),
+                vec![
+                    let_("acc", num(1.0)),
+                    for_range_incl("i", num(2.0), var("n"), vec![assign_op(
+                        "acc",
+                        minilang::BinOp::Mul,
+                        var("i"),
+                    )]),
+                    ret(var("acc")),
+                ],
+            ))
+        });
+        let cfg = askit_llm::MockLlmConfig::gpt35()
+            .with_seed(1234)
+            .with_faults(askit_llm::FaultConfig {
+                direct_fault_rate: 0.0,
+                // Codegen retries resend the identical prompt (§III-D), so
+                // the mock sees attempt 0 each time: a constant rate < 1
+                // converges geometrically, like real temperature sampling.
+                code_bug_rate: 0.7,
+                decay: 1.0,
+            });
+        let llm = askit_llm::MockLlm::new(cfg, oracle);
+        let tests = vec![example(&[("n", 5i64)], 120i64), example(&[("n", 3i64)], 6i64)];
+        let mut any_retry = false;
+        for _ in 0..6 {
+            let g =
+                generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
+                    .unwrap();
+            any_retry |= g.attempts > 1;
+            let mut args = Map::new();
+            args.insert("n", json!(5i64));
+            assert_eq!(g.call(&args).unwrap(), Json::Int(120));
+        }
+        assert!(any_retry, "70% bug rate must force at least one retry in six runs");
+    }
+}

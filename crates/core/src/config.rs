@@ -1,0 +1,54 @@
+//! Runtime/compiler configuration.
+
+/// Configuration shared by the direct runtime and the codegen pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AskitConfig {
+    /// Maximum retries after the first attempt. The paper's experiments use
+    /// 9 ("If a test failed, AskIt would attempt code regeneration up to a
+    /// predefined maximum retry limit, which was set to 9", §IV-A1).
+    pub max_retries: usize,
+    /// Sampling temperature passed to the model. The paper uses the default
+    /// 1.0 so retries resample fresh responses (§III-D).
+    pub temperature: f64,
+}
+
+impl Default for AskitConfig {
+    fn default() -> Self {
+        AskitConfig { max_retries: 9, temperature: 1.0 }
+    }
+}
+
+impl AskitConfig {
+    /// Overrides the retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the temperature.
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: f64) -> Self {
+        self.temperature = temperature;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = AskitConfig::default();
+        assert_eq!(c.max_retries, 9);
+        assert_eq!(c.temperature, 1.0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = AskitConfig::default().with_max_retries(2).with_temperature(0.0);
+        assert_eq!(c.max_retries, 2);
+        assert_eq!(c.temperature, 0.0);
+    }
+}

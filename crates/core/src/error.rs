@@ -1,0 +1,134 @@
+//! The unified error type of the AskIt core.
+
+use std::error::Error;
+use std::fmt;
+
+use askit_json::FromJsonError;
+use askit_llm::LlmError;
+use askit_template::TemplateError;
+use askit_types::TypeError;
+use minilang::{RuntimeError, SyntaxError};
+
+/// Any failure surfaced by the AskIt APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AskItError {
+    /// The prompt template was malformed or mis-called.
+    Template(TemplateError),
+    /// The language-model backend failed.
+    Llm(LlmError),
+    /// The §III-E retry loop ran out of attempts without a type-correct
+    /// answer.
+    AnswerRetriesExhausted {
+        /// Attempts made (1 + retries).
+        attempts: usize,
+        /// The most recent criterion violation.
+        last_problem: String,
+    },
+    /// The §III-D code-generation loop ran out of attempts without code
+    /// passing validation.
+    CodegenFailed {
+        /// Attempts made (1 + retries).
+        attempts: usize,
+        /// The most recent validation failure.
+        last_problem: String,
+    },
+    /// A validated answer failed typed extraction into a Rust value.
+    Extraction(FromJsonError),
+    /// A type error escaped validation (coercion bug or misuse).
+    Type(TypeError),
+    /// A compiled function failed at runtime.
+    Execution(RuntimeError),
+    /// Generated source failed to parse (only surfaced by the store when a
+    /// cached artifact is corrupt).
+    Syntax(SyntaxError),
+    /// Filesystem trouble in the function store.
+    Store(String),
+}
+
+impl fmt::Display for AskItError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AskItError::Template(e) => write!(f, "template error: {e}"),
+            AskItError::Llm(e) => write!(f, "language model error: {e}"),
+            AskItError::AnswerRetriesExhausted { attempts, last_problem } => write!(
+                f,
+                "no acceptable answer after {attempts} attempt(s): {last_problem}"
+            ),
+            AskItError::CodegenFailed { attempts, last_problem } => {
+                write!(f, "code generation failed after {attempts} attempt(s): {last_problem}")
+            }
+            AskItError::Extraction(e) => write!(f, "typed extraction failed: {e}"),
+            AskItError::Type(e) => write!(f, "type error: {e}"),
+            AskItError::Execution(e) => write!(f, "generated code failed: {e}"),
+            AskItError::Syntax(e) => write!(f, "generated code does not parse: {e}"),
+            AskItError::Store(m) => write!(f, "function store error: {m}"),
+        }
+    }
+}
+
+impl Error for AskItError {}
+
+impl From<TemplateError> for AskItError {
+    fn from(e: TemplateError) -> Self {
+        AskItError::Template(e)
+    }
+}
+
+impl From<LlmError> for AskItError {
+    fn from(e: LlmError) -> Self {
+        AskItError::Llm(e)
+    }
+}
+
+impl From<FromJsonError> for AskItError {
+    fn from(e: FromJsonError) -> Self {
+        AskItError::Extraction(e)
+    }
+}
+
+impl From<TypeError> for AskItError {
+    fn from(e: TypeError) -> Self {
+        AskItError::Type(e)
+    }
+}
+
+impl From<RuntimeError> for AskItError {
+    fn from(e: RuntimeError) -> Self {
+        AskItError::Execution(e)
+    }
+}
+
+impl From<SyntaxError> for AskItError {
+    fn from(e: SyntaxError) -> Self {
+        AskItError::Syntax(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AskItError::AnswerRetriesExhausted {
+            attempts: 10,
+            last_problem: "answer had the wrong type".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("10 attempt(s)"), "{s}");
+        assert!(s.contains("wrong type"), "{s}");
+    }
+
+    #[test]
+    fn conversions_compose_with_question_mark() {
+        fn inner() -> Result<(), AskItError> {
+            let t = askit_template::Template::parse("{{bad")
+                .map(|_| ())
+                .map_err(AskItError::from);
+            t?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(AskItError::Template(_))));
+    }
+}

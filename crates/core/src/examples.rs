@@ -1,0 +1,79 @@
+//! Input/output examples (paper §III-B, Listing 1, lines 6–8).
+//!
+//! `ask` and `define` accept examples for **few-shot learning**, and
+//! `define` accepts a second set used to **validate generated code**
+//! (§III-D Step 3: "executes the generated function with the input and
+//! compares the output with the expected output").
+
+use askit_json::{Json, Map, ToJson};
+
+/// One input/output example: a named-argument map and the expected result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Named inputs, keyed by template parameter name.
+    pub input: Map,
+    /// The expected output.
+    pub output: Json,
+}
+
+impl Example {
+    /// Creates an example.
+    pub fn new(input: Map, output: impl ToJson) -> Self {
+        Example { input, output: output.to_json() }
+    }
+
+    /// Renders as a prompt line: `- input: {…} output: …`.
+    pub fn to_prompt_line(&self) -> String {
+        format!(
+            "- input: {} output: {}",
+            Json::Object(self.input.clone()).to_compact_string(),
+            self.output.to_compact_string()
+        )
+    }
+}
+
+/// Renders a few-shot example block for the direct prompt, or an empty
+/// string when there are no examples.
+pub fn examples_section(examples: &[Example]) -> String {
+    if examples.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nExamples:\n");
+    for e in examples {
+        out.push_str(&e.to_prompt_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds an [`Example`] tersely: `example(&[("n", 5)], 120)`.
+pub fn example<V: ToJson>(input: &[(&str, V)], output: impl ToJson) -> Example {
+    let map: Map = input.iter().map(|(k, v)| ((*k).to_owned(), v.to_json())).collect();
+    Example::new(map, output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_lines() {
+        let e = example(&[("n", 3i64)], 6i64);
+        assert_eq!(e.to_prompt_line(), r#"- input: {"n":3} output: 6"#);
+    }
+
+    #[test]
+    fn section_formatting() {
+        assert_eq!(examples_section(&[]), "");
+        let es = vec![example(&[("x", 1i64)], 2i64), example(&[("x", 2i64)], 4i64)];
+        let s = examples_section(&es);
+        assert!(s.starts_with("\nExamples:\n"));
+        assert_eq!(s.lines().filter(|l| l.starts_with("- input:")).count(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_inputs_via_json() {
+        let e = example(&[("a", Json::Int(1)), ("b", Json::from("s"))], Json::Bool(true));
+        assert_eq!(e.input.get("b"), Some(&Json::from("s")));
+    }
+}

@@ -1,0 +1,534 @@
+//! The public AskIt API: [`Askit`], [`TaskFunction`], [`CompiledFunction`].
+//!
+//! This is the unified interface of the paper's §III: `ask` for one-shot
+//! tasks, `define` for reusable task functions, and — the crux — `compile`
+//! on a defined function to switch it from "call the LLM every time" to
+//! "run LLM-generated code", *without touching the prompt template*.
+
+use askit_json::{Json, Map};
+use askit_llm::LanguageModel;
+use askit_template::Template;
+use askit_types::Type;
+use minilang::ast::Param;
+use minilang::pretty::Syntax;
+
+use crate::codegen::{generate, GeneratedFunction};
+use crate::config::AskitConfig;
+use crate::error::AskItError;
+use crate::examples::Example;
+use crate::prompt::{derive_function_name, FunctionSpec};
+use crate::runtime::{run_direct, DirectOutcome};
+use crate::store::FunctionStore;
+use crate::typed::AskType;
+
+/// The AskIt front object: owns the model handle and configuration.
+///
+/// # Examples
+///
+/// ```
+/// use askit_core::{args, Askit};
+/// use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+///
+/// let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), Oracle::standard());
+/// let askit = Askit::new(llm);
+/// let answer: i64 = askit.ask_as("What is {{x}} times {{y}}?", args! { x: 7, y: 8 })?;
+/// assert_eq!(answer, 56);
+/// # Ok::<(), askit_core::AskItError>(())
+/// ```
+#[derive(Debug)]
+pub struct Askit<L> {
+    llm: L,
+    config: AskitConfig,
+}
+
+impl<L: LanguageModel> Askit<L> {
+    /// Creates an AskIt instance with default configuration.
+    pub fn new(llm: L) -> Self {
+        Askit { llm, config: AskitConfig::default() }
+    }
+
+    /// Overrides the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: AskitConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AskitConfig {
+        &self.config
+    }
+
+    /// The underlying model handle.
+    pub fn llm(&self) -> &L {
+        &self.llm
+    }
+
+    /// `ask`: performs a directly answerable task once (paper §III-A).
+    ///
+    /// The `answer_type` plays the role of the TS type parameter
+    /// (`ask<'positive' | 'negative'>(…)`).
+    ///
+    /// # Errors
+    ///
+    /// See [`AskItError`].
+    pub fn ask(
+        &self,
+        answer_type: Type,
+        template: &str,
+        args: Map,
+    ) -> Result<Json, AskItError> {
+        self.define(answer_type, template)?.call(args)
+    }
+
+    /// `ask` with full outcome details (attempts, usage, latency).
+    pub fn ask_detailed(
+        &self,
+        answer_type: Type,
+        template: &str,
+        args: Map,
+    ) -> Result<DirectOutcome, AskItError> {
+        self.define(answer_type, template)?.call_detailed(args)
+    }
+
+    /// Typed `ask`: the answer type comes from the Rust result type.
+    ///
+    /// # Errors
+    ///
+    /// See [`AskItError`].
+    pub fn ask_as<T: AskType>(&self, template: &str, args: Map) -> Result<T, AskItError> {
+        let value = self.ask(T::askit_type(), template, args)?;
+        Ok(T::from_json(&value)?)
+    }
+
+    /// `define`: builds a reusable task function from a prompt template
+    /// (paper §III-A, "Template-based Function Definitions").
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Template`] if the template is malformed.
+    pub fn define(
+        &self,
+        answer_type: Type,
+        template: &str,
+    ) -> Result<TaskFunction<'_, L>, AskItError> {
+        let parsed = Template::parse(template)?;
+        let name = derive_function_name(template);
+        Ok(TaskFunction {
+            askit: self,
+            template: parsed,
+            answer_type,
+            param_types: Vec::new(),
+            few_shot: Vec::new(),
+            tests: Vec::new(),
+            name,
+        })
+    }
+
+    /// Typed `define`.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Template`] if the template is malformed.
+    pub fn define_as<T: AskType>(&self, template: &str) -> Result<TaskFunction<'_, L>, AskItError> {
+        self.define(T::askit_type(), template)
+    }
+}
+
+/// A function defined by a prompt template (the result of `define`).
+///
+/// Calling it executes the task **directly** with the LLM; compiling it
+/// turns it into a [`CompiledFunction`] that runs generated code. Both share
+/// this one template — the paper's headline property.
+#[derive(Debug)]
+pub struct TaskFunction<'a, L> {
+    askit: &'a Askit<L>,
+    template: Template,
+    answer_type: Type,
+    param_types: Vec<(String, Type)>,
+    few_shot: Vec<Example>,
+    tests: Vec<Example>,
+    name: String,
+}
+
+impl<'a, L: LanguageModel> TaskFunction<'a, L> {
+    /// Declares parameter types (the TS pipeline's
+    /// `define<R, {n: number}>`). Without this, codegen emits untyped
+    /// signatures — the Python pipeline's behaviour, and the cause of its
+    /// Table II failures.
+    #[must_use]
+    pub fn with_param_types<K: Into<String>>(
+        mut self,
+        types: impl IntoIterator<Item = (K, Type)>,
+    ) -> Self {
+        self.param_types = types.into_iter().map(|(k, t)| (k.into(), t)).collect();
+        self
+    }
+
+    /// Adds few-shot examples (the first example set of Listing 1).
+    #[must_use]
+    pub fn with_examples(mut self, examples: impl IntoIterator<Item = Example>) -> Self {
+        self.few_shot.extend(examples);
+        self
+    }
+
+    /// Adds validation examples used to test generated code (the second
+    /// example set of Listing 1).
+    #[must_use]
+    pub fn with_tests(mut self, tests: impl IntoIterator<Item = Example>) -> Self {
+        self.tests.extend(tests);
+        self
+    }
+
+    /// Overrides the generated function's name (defaults to a camelCase
+    /// derivation of the template).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The function name used for codegen.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The template's parameter names, in order.
+    pub fn params(&self) -> Vec<&str> {
+        self.template.params()
+    }
+
+    /// The template.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The declared answer type.
+    pub fn answer_type(&self) -> &Type {
+        &self.answer_type
+    }
+
+    /// Calls the task **directly** on the LLM (paper §III-E).
+    ///
+    /// # Errors
+    ///
+    /// See [`AskItError`].
+    pub fn call(&self, args: Map) -> Result<Json, AskItError> {
+        Ok(self.call_detailed(args)?.value)
+    }
+
+    /// Like [`TaskFunction::call`] but returns attempts/usage/latency too.
+    pub fn call_detailed(&self, args: Map) -> Result<DirectOutcome, AskItError> {
+        run_direct(
+            &self.askit.llm,
+            &self.template,
+            &args,
+            &self.answer_type,
+            &self.few_shot,
+            &self.askit.config,
+        )
+    }
+
+    /// Calls directly and extracts a typed result.
+    pub fn call_as<T: AskType>(&self, args: Map) -> Result<T, AskItError> {
+        let value = self.call(args)?;
+        Ok(T::from_json(&value)?)
+    }
+
+    /// The function specification the codegen prompt is built from.
+    pub fn spec(&self, syntax: Syntax) -> FunctionSpec {
+        let params = self
+            .template
+            .params()
+            .into_iter()
+            .map(|p| Param {
+                name: p.to_owned(),
+                ty: self
+                    .param_types
+                    .iter()
+                    .find(|(k, _)| k == p)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_else(askit_types::any),
+            })
+            .collect();
+        FunctionSpec {
+            name: self.name.clone(),
+            params,
+            ret: self.answer_type.clone(),
+            instruction: self.template.render_quoted(),
+            syntax,
+        }
+    }
+
+    /// **Compiles** the task: asks the LLM to implement it as code, validates
+    /// the code against the test examples, and returns an executable function
+    /// (paper §III-D; the Python API's `.compile()`).
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::CodegenFailed`] when no attempt validates.
+    pub fn compile(&self, syntax: Syntax) -> Result<CompiledFunction, AskItError> {
+        let spec = self.spec(syntax);
+        let generated = generate(&self.askit.llm, &spec, &self.tests, &self.askit.config)?;
+        Ok(CompiledFunction { generated, answer_type: self.answer_type.clone() })
+    }
+
+    /// Like [`TaskFunction::compile`], but consults/fills an on-disk cache
+    /// so generation happens once per template (paper §III-F).
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskFunction::compile`] and [`FunctionStore`].
+    pub fn compile_with_store(
+        &self,
+        syntax: Syntax,
+        store: &FunctionStore,
+    ) -> Result<CompiledFunction, AskItError> {
+        if let Some(cached) = store.load(self.template.source(), &self.name, syntax)? {
+            return Ok(CompiledFunction { generated: cached, answer_type: self.answer_type.clone() });
+        }
+        let compiled = self.compile(syntax)?;
+        store.save(self.template.source(), &compiled.generated)?;
+        Ok(compiled)
+    }
+}
+
+/// An executable compiled task function: calls run generated MiniLang code,
+/// no LLM round trip.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    generated: GeneratedFunction,
+    answer_type: Type,
+}
+
+impl CompiledFunction {
+    /// Invokes the generated code with named arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Execution`] on runtime failure;
+    /// [`AskItError::Type`] if the result does not inhabit the declared
+    /// answer type.
+    pub fn call(&self, args: Map) -> Result<Json, AskItError> {
+        let raw = self.generated.call(&args)?;
+        Ok(self.answer_type.coerce(&raw)?)
+    }
+
+    /// Invokes and extracts a typed result.
+    pub fn call_as<T: AskType>(&self, args: Map) -> Result<T, AskItError> {
+        let value = self.call(args)?;
+        Ok(T::from_json(&value)?)
+    }
+
+    /// The generated source text.
+    pub fn source(&self) -> &str {
+        &self.generated.source
+    }
+
+    /// Substantive lines of generated code (Table II metric).
+    pub fn loc(&self) -> usize {
+        self.generated.loc
+    }
+
+    /// Attempts the generation took (0 = loaded from cache).
+    pub fn attempts(&self) -> usize {
+        self.generated.attempts
+    }
+
+    /// Total compile time (simulated LLM latency + validation).
+    pub fn compile_time(&self) -> std::time::Duration {
+        self.generated.compile_time
+    }
+
+    /// The surface syntax of the generated code.
+    pub fn syntax(&self) -> Syntax {
+        self.generated.syntax
+    }
+
+    /// Access to the raw generation record.
+    pub fn generated(&self) -> &GeneratedFunction {
+        &self.generated
+    }
+}
+
+/// Builds the named-argument [`Map`] for AskIt calls.
+///
+/// ```
+/// use askit_core::args;
+/// let m = args! { n: 5, subject: "computer science" };
+/// assert_eq!(m.get("n"), Some(&askit_json::Json::Int(5)));
+/// ```
+#[macro_export]
+macro_rules! args {
+    () => { ::askit_json::Map::new() };
+    ( $( $name:ident : $value:expr ),+ $(,)? ) => {{
+        let mut map = ::askit_json::Map::new();
+        $( map.insert(stringify!($name), ::askit_json::ToJson::to_json(&$value)); )+
+        map
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example;
+    use crate::{args, json_enum};
+    use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle, ScriptedLlm};
+
+    fn quiet_mock() -> MockLlm {
+        MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), Oracle::standard())
+    }
+
+    #[test]
+    fn ask_and_ask_as() {
+        let askit = Askit::new(quiet_mock());
+        let v = askit
+            .ask(askit_types::int(), "What is {{x}} plus {{y}}?", args! { x: 40, y: 2 })
+            .unwrap();
+        assert_eq!(v, Json::Int(42));
+        let typed: i64 = askit
+            .ask_as("What is {{x}} plus {{y}}?", args! { x: 1, y: 2 })
+            .unwrap();
+        assert_eq!(typed, 3);
+    }
+
+    #[test]
+    fn sentiment_with_json_enum() {
+        json_enum! {
+            enum Sentiment {
+                Positive = "positive",
+                Negative = "negative",
+            }
+        }
+        let askit = Askit::new(quiet_mock());
+        let getter = askit
+            .define_as::<Sentiment>("What is the sentiment of {{review}}?")
+            .unwrap();
+        let s: Sentiment = getter
+            .call_as(args! { review: "The product is fantastic. It exceeds all my expectations." })
+            .unwrap();
+        assert_eq!(s, Sentiment::Positive);
+        let s: Sentiment = getter
+            .call_as(args! { review: "Terrible quality, broke immediately. What a waste." })
+            .unwrap();
+        assert_eq!(s, Sentiment::Negative);
+    }
+
+    #[test]
+    fn define_reuses_the_template_across_calls() {
+        let askit = Askit::new(quiet_mock());
+        let mul = askit
+            .define(askit_types::int(), "What is {{x}} times {{y}}?")
+            .unwrap();
+        for (x, y) in [(2i64, 3i64), (4, 5), (6, 7)] {
+            assert_eq!(mul.call(args! { x: x, y: y }).unwrap(), Json::Int(x * y));
+        }
+    }
+
+    #[test]
+    fn compile_switches_modes_without_changing_the_template() {
+        let mut oracle = Oracle::standard();
+        oracle.add_code_fn("multiply", |task| {
+            if !task.instruction.contains("times") {
+                return None;
+            }
+            use minilang::build::*;
+            let names: Vec<String> = task.params.iter().map(|p| p.name.clone()).collect();
+            Some(func(
+                "m",
+                [],
+                askit_types::int(),
+                vec![ret(mul(var(names[0].clone()), var(names[1].clone())))],
+            ))
+        });
+        let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+        let askit = Askit::new(llm);
+        let template = "What is {{x}} times {{y}}?";
+        let task = askit
+            .define(askit_types::int(), template)
+            .unwrap()
+            .with_param_types([("x", askit_types::int()), ("y", askit_types::int())])
+            .with_tests([example(&[("x", 3i64), ("y", 4i64)], 12i64)]);
+
+        // Direct mode.
+        let direct = task.call(args! { x: 6, y: 7 }).unwrap();
+        // Compiled mode — same template object.
+        let compiled = task.compile(Syntax::Ts).unwrap();
+        let fast = compiled.call(args! { x: 6, y: 7 }).unwrap();
+        assert_eq!(direct, fast);
+        assert_eq!(direct, Json::Int(42));
+        assert!(compiled.source().contains("function"));
+        assert!(compiled.loc() >= 2);
+    }
+
+    #[test]
+    fn compile_with_store_caches() {
+        let mut oracle = Oracle::standard();
+        oracle.add_code_fn("inc", |task| {
+            task.instruction.contains("one more than").then(|| {
+                use minilang::build::*;
+                let n = task.params[0].name.clone();
+                func("i", [], askit_types::int(), vec![ret(add(var(n), num(1.0)))])
+            })
+        });
+        let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+        let askit = Askit::new(llm);
+        let dir = std::env::temp_dir().join(format!("askit-fn-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FunctionStore::open(&dir).unwrap();
+
+        let task = askit
+            .define(askit_types::int(), "What number is one more than {{n}}?")
+            .unwrap()
+            .with_tests([example(&[("n", 1i64)], 2i64)]);
+        let first = task.compile_with_store(Syntax::Ts, &store).unwrap();
+        assert_eq!(first.attempts(), 1);
+        let calls_after_first = askit.llm().calls();
+        let second = task.compile_with_store(Syntax::Ts, &store).unwrap();
+        assert_eq!(second.attempts(), 0, "second compile is a cache hit");
+        assert_eq!(askit.llm().calls(), calls_after_first, "no new LLM calls");
+        assert_eq!(second.call(args! { n: 9 }).unwrap(), Json::Int(10));
+    }
+
+    #[test]
+    fn untyped_params_flow_to_spec_as_any() {
+        let askit = Askit::new(quiet_mock());
+        let task = askit.define(askit_types::int(), "Combine {{a}} and {{b}}").unwrap();
+        let spec = task.spec(Syntax::Py);
+        assert!(spec.params.iter().all(|p| p.ty == askit_types::any()));
+        let typed = askit
+            .define(askit_types::int(), "Combine {{a}} and {{b}}")
+            .unwrap()
+            .with_param_types([("a", askit_types::int())]);
+        let spec = typed.spec(Syntax::Ts);
+        assert_eq!(spec.params[0].ty, askit_types::int());
+        assert_eq!(spec.params[1].ty, askit_types::any(), "undeclared param stays any");
+    }
+
+    #[test]
+    fn compiled_function_result_is_type_checked() {
+        // A scripted "model" that returns a function with the wrong result
+        // type; with no tests the code passes validation (check allows the
+        // any-typed return) — but the call-site coercion still catches it.
+        let llm = ScriptedLlm::new([
+            "```typescript\nexport function whatIsTheMagicWord({w}: {w: any}): any {\n  return 5;\n}\n```",
+        ]);
+        let askit = Askit::new(llm);
+        let task = askit
+            .define(askit_types::string(), "What is the magic word {{w}}?")
+            .unwrap()
+            .named("whatIsTheMagicWord");
+        let compiled = task.compile(Syntax::Ts).unwrap();
+        let err = compiled.call(args! { w: "please" }).unwrap_err();
+        assert!(matches!(err, AskItError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn args_macro_shapes() {
+        let empty = args! {};
+        assert!(empty.is_empty());
+        let m = args! { a: 1i64, b: "two", c: vec![3i64], };
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("c"), Some(&Json::parse("[3]").unwrap()));
+    }
+}

@@ -1,0 +1,81 @@
+//! # askit-core
+//!
+//! The Rust implementation of **AskIt** (Okuda & Amarasinghe, CGO 2024):
+//! a unified programming interface for programming with large language
+//! models.
+//!
+//! One prompt template drives both of AskIt's execution modes:
+//!
+//! * **direct** — [`Askit::ask`] / [`TaskFunction::call`] send the task to
+//!   the model at runtime, with *type-guided output control*: the expected
+//!   answer type is printed (in TypeScript syntax) into the prompt, and the
+//!   response is extracted, validated and coerced against it, retrying with
+//!   targeted feedback when any of the paper's three criteria fail;
+//! * **compiled** — [`TaskFunction::compile`] asks the model to *implement*
+//!   the task as code (the Figure 4 one-shot prompt), validates the code
+//!   syntactically and against test examples, caches it, and returns a
+//!   [`CompiledFunction`] whose calls never touch the model again.
+//!
+//! Switching between the modes changes one method call and zero prompts —
+//! the paper's central claim.
+//!
+//! # Quick start
+//!
+//! ```
+//! use askit_core::{args, example, Askit};
+//! use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+//! use minilang::Syntax;
+//!
+//! let llm = MockLlm::new(
+//!     MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+//!     Oracle::standard(),
+//! );
+//! let askit = Askit::new(llm);
+//!
+//! // Directly answerable task, typed by the Rust result type.
+//! let product: i64 = askit.ask_as("What is {{x}} times {{y}}?", args! { x: 6, y: 9 })?;
+//! assert_eq!(product, 54);
+//! # Ok::<(), askit_core::AskItError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod config;
+mod error;
+mod examples;
+mod function;
+pub mod prompt;
+pub mod runtime;
+mod store;
+mod typed;
+
+pub use codegen::GeneratedFunction;
+pub use config::AskitConfig;
+pub use error::AskItError;
+pub use examples::{example, examples_section, Example};
+pub use function::{Askit, CompiledFunction, TaskFunction};
+pub use prompt::{codegen_prompt, derive_function_name, direct_prompt, FunctionSpec};
+pub use runtime::{evaluate_response, run_direct, DirectOutcome};
+pub use store::FunctionStore;
+pub use typed::{extract, AskType};
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+
+    #[test]
+    fn crate_front_door_compiles_and_runs() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        );
+        let askit = Askit::new(llm).with_config(AskitConfig::default().with_max_retries(3));
+        let v = askit
+            .ask(askit_types::int(), "What is {{a}} minus {{b}}?", args! { a: 10, b: 4 })
+            .unwrap();
+        assert_eq!(v, askit_json::Json::Int(6));
+    }
+}

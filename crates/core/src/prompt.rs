@@ -1,0 +1,291 @@
+//! Prompt synthesis — the heart of type-guided output control.
+//!
+//! Two prompt shapes, straight from the paper:
+//!
+//! * [`direct_prompt`] builds the runtime prompt of **Listing 2**: a fixed
+//!   JSON-format header, the expected response type printed in TypeScript
+//!   inside a ```` ```ts ```` fence, the chain-of-thought instruction, then
+//!   the task section rendered from the template (`{{x}}` → `'x'`, plus the
+//!   `where 'x' = value` bindings);
+//! * [`codegen_prompt`] builds the one-shot prompt of **Figure 4**: a fixed
+//!   Q/A example (implementing `add x and y`), then the task's empty
+//!   function skeleton with the instruction planted as a body comment.
+
+use askit_json::Map;
+use askit_template::Template;
+use askit_types::Type;
+use minilang::ast::{FuncDecl, Param};
+use minilang::pretty::{print_function, Syntax};
+
+use crate::error::AskItError;
+use crate::examples::{examples_section, Example};
+
+/// The fixed header of the direct prompt (Listing 2, lines 1–4). The phrase
+/// `generates responses in JSON format` doubles as the routing marker the
+/// mock model keys on ([`askit_llm::DIRECT_MARKER`]).
+const DIRECT_HEADER: &str = "You are a helpful assistant that generates responses in JSON format enclosed with ```json and ``` like:\n```json\n{ \"reason\": \"Step-by-step reason for the answer\", \"answer\": \"Final answer or result\" }\n```\n";
+
+/// Builds the Listing 2 runtime prompt for a directly answerable task.
+///
+/// # Errors
+///
+/// Propagates [`askit_template::TemplateError`] for missing/unknown
+/// arguments.
+///
+/// ```
+/// use askit_core::prompt::direct_prompt;
+/// use askit_template::Template;
+/// use askit_json::{json, Map};
+///
+/// let t = Template::parse("List {{n}} classic books on {{subject}}.").unwrap();
+/// let mut args = Map::new();
+/// args.insert("n", json!(5i64));
+/// args.insert("subject", json!("computer science"));
+/// let ty = askit_types::list(askit_types::dict([
+///     ("title", askit_types::string()),
+///     ("author", askit_types::string()),
+///     ("year", askit_types::int()),
+/// ]));
+/// let p = direct_prompt(&t, &args, &ty, &[]).unwrap();
+/// assert!(p.contains("{ reason: string, answer: { title: string, author: string, year: number }[] }"));
+/// assert!(p.ends_with("List 'n' classic books on 'subject'.\nwhere 'n' = 5, 'subject' = \"computer science\""));
+/// ```
+pub fn direct_prompt(
+    template: &Template,
+    args: &Map,
+    answer_type: &Type,
+    few_shot: &[Example],
+) -> Result<String, AskItError> {
+    let envelope = askit_types::dict([
+        ("reason", askit_types::string()),
+        ("answer", answer_type.clone()),
+    ]);
+    let task = template.render_task(args)?;
+    let mut prompt = String::with_capacity(512);
+    prompt.push_str(DIRECT_HEADER);
+    prompt.push_str("The response in the JSON code block should match the type defined as follows:\n```ts\n");
+    prompt.push_str(&envelope.to_typescript());
+    prompt.push_str("\n```\nExplain your answer step-by-step in the 'reason' field.\n\n");
+    prompt.push_str(&task);
+    prompt.push_str(&examples_section(few_shot));
+    Ok(prompt)
+}
+
+/// The feedback message appended when a response violates one of the three
+/// §III-E criteria. The text names the violated criterion so the model can
+/// repair precisely.
+pub fn feedback_message(problem: &str) -> String {
+    format!(
+        "Your previous response was not acceptable: {problem}. Respond again with a single ```json code block whose object contains 'reason' and 'answer', and make 'answer' match the required type exactly."
+    )
+}
+
+/// Specification of a function to generate (paper §III-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// The unique function name chosen by the compiler.
+    pub name: String,
+    /// Named parameters with their types (untyped = `any`, the Python
+    /// pipeline's information loss).
+    pub params: Vec<Param>,
+    /// Declared return type.
+    pub ret: Type,
+    /// The instruction comment (the template with quoted parameter names).
+    pub instruction: String,
+    /// The surface syntax to generate.
+    pub syntax: Syntax,
+}
+
+impl FunctionSpec {
+    /// Renders the empty function skeleton that goes in the prompt.
+    pub fn skeleton(&self) -> String {
+        let decl = FuncDecl {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            ret: self.ret.clone(),
+            body: vec![],
+            exported: true,
+            doc: vec![self.instruction.clone()],
+        };
+        print_function(&decl, self.syntax)
+    }
+}
+
+/// Builds the Figure 4 one-shot code-generation prompt.
+///
+/// ```
+/// use askit_core::prompt::{codegen_prompt, FunctionSpec};
+/// use minilang::{ast::Param, Syntax};
+///
+/// let spec = FunctionSpec {
+///     name: "calculateFactorial".into(),
+///     params: vec![Param { name: "n".into(), ty: askit_types::int() }],
+///     ret: askit_types::int(),
+///     instruction: "Calculate the factorial of 'n'".into(),
+///     syntax: Syntax::Ts,
+/// };
+/// let p = codegen_prompt(&spec);
+/// assert!(p.contains("Q: Implement the following function:"));
+/// assert!(p.contains("// Calculate the factorial of 'n'"));
+/// assert!(p.trim_end().ends_with("```"));
+/// ```
+pub fn codegen_prompt(spec: &FunctionSpec) -> String {
+    let tag = spec.syntax.fence_tag();
+    let (example_empty, example_full) = one_shot_example(spec.syntax);
+    format!(
+        "Q: Implement the following function:\n```{tag}\n{example_empty}```\n\nA:\n```{tag}\n{example_full}```\n\nQ: Implement the following function:\n```{tag}\n{skeleton}```\n",
+        skeleton = spec.skeleton(),
+    )
+}
+
+/// The fixed one-shot example (Figure 4, first two segments): `add 'x' and
+/// 'y'`, shown empty and then implemented.
+fn one_shot_example(syntax: Syntax) -> (String, String) {
+    use minilang::build::{add, func, ret, var};
+    let params = [
+        ("x", askit_types::float()),
+        ("y", askit_types::float()),
+    ];
+    let mut empty = func("func", params.clone(), askit_types::float(), vec![]);
+    empty.doc = vec!["add 'x' and 'y'".to_owned()];
+    let mut full = func(
+        "func",
+        params,
+        askit_types::float(),
+        vec![ret(add(var("x"), var("y")))],
+    );
+    full.doc = vec!["add 'x' and 'y'".to_owned()];
+    (print_function(&empty, syntax), print_function(&full, syntax))
+}
+
+/// Derives a readable camelCase function name from a template, mirroring
+/// how the paper names generated functions after their defining variable.
+///
+/// ```
+/// use askit_core::prompt::derive_function_name;
+/// assert_eq!(
+///     derive_function_name("Calculate the factorial of {{n}}."),
+///     "calculateTheFactorialOfN"
+/// );
+/// ```
+pub fn derive_function_name(template_source: &str) -> String {
+    let mut words: Vec<String> = Vec::new();
+    let mut current = String::new();
+    for c in template_source.chars() {
+        if c.is_ascii_alphanumeric() {
+            current.push(c.to_ascii_lowercase());
+        } else if !current.is_empty() {
+            words.push(std::mem::take(&mut current));
+        }
+        if words.len() >= 5 {
+            break;
+        }
+    }
+    if !current.is_empty() && words.len() < 5 {
+        words.push(current);
+    }
+    if words.is_empty() {
+        return "generatedFunction".to_owned();
+    }
+    let mut name = String::new();
+    for (i, w) in words.iter().enumerate() {
+        if i == 0 {
+            name.push_str(w);
+        } else {
+            let mut chars = w.chars();
+            if let Some(first) = chars.next() {
+                name.push(first.to_ascii_uppercase());
+                name.extend(chars);
+            }
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::json;
+    use askit_template::Template;
+
+    #[test]
+    fn direct_prompt_matches_listing_2_shape() {
+        let t = Template::parse("What is the sentiment of {{review}}?").unwrap();
+        let mut args = Map::new();
+        args.insert("review", json!("Great product"));
+        let ty = askit_types::union([
+            askit_types::literal("positive"),
+            askit_types::literal("negative"),
+        ]);
+        let p = direct_prompt(&t, &args, &ty, &[]).unwrap();
+        assert!(p.contains("```json"), "JSON example fence present");
+        assert!(
+            p.contains("{ reason: string, answer: 'positive' | 'negative' }"),
+            "{p}"
+        );
+        assert!(p.contains("step-by-step"), "CoT instruction present (paper line 9)");
+        assert!(p.contains("What is the sentiment of 'review'?"), "quoted template");
+        assert!(p.contains("where 'review' = \"Great product\""), "bindings");
+    }
+
+    #[test]
+    fn direct_prompt_appends_examples() {
+        let t = Template::parse("Double {{n}}").unwrap();
+        let mut args = Map::new();
+        args.insert("n", json!(4i64));
+        let few = vec![crate::examples::example(&[("n", 2i64)], 4i64)];
+        let p = direct_prompt(&t, &args, &askit_types::int(), &few).unwrap();
+        assert!(p.contains("\nExamples:\n- input: {\"n\":2} output: 4"), "{p}");
+    }
+
+    #[test]
+    fn codegen_prompt_has_both_segments_in_both_syntaxes() {
+        for syntax in [Syntax::Ts, Syntax::Py] {
+            let spec = FunctionSpec {
+                name: "f".into(),
+                params: vec![Param { name: "n".into(), ty: askit_types::any() }],
+                ret: askit_types::any(),
+                instruction: "Do the thing with 'n'".into(),
+                syntax,
+            };
+            let p = codegen_prompt(&spec);
+            assert_eq!(p.matches("Q: Implement the following function:").count(), 2);
+            assert_eq!(p.matches("A:").count(), 1);
+            // The skeleton must parse in its own syntax (the mock requires it).
+            let blocks = askit_json::extract::code_blocks(&p);
+            assert_eq!(blocks.len(), 3);
+            for b in &blocks {
+                assert!(minilang::parse(b.content, syntax).is_ok(), "{}", b.content);
+            }
+        }
+    }
+
+    #[test]
+    fn python_skeleton_carries_pass() {
+        let spec = FunctionSpec {
+            name: "g".into(),
+            params: vec![],
+            ret: askit_types::void(),
+            instruction: "Log something".into(),
+            syntax: Syntax::Py,
+        };
+        assert_eq!(spec.skeleton(), "def g():\n    # Log something\n    pass\n");
+    }
+
+    #[test]
+    fn feedback_names_the_problem() {
+        let m = feedback_message("the JSON object has no 'answer' field");
+        assert!(m.contains("no 'answer' field"));
+        assert!(m.contains("not acceptable"));
+    }
+
+    #[test]
+    fn name_derivation() {
+        assert_eq!(derive_function_name("Reverse the string {{s}}."), "reverseTheStringS");
+        assert_eq!(derive_function_name(""), "generatedFunction");
+        assert_eq!(
+            derive_function_name("Sort the numbers {{ns}} in ascending order."),
+            "sortTheNumbersNsIn"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The AskIt runtime for directly answerable tasks (paper §III-E).
+//!
+//! Step 1 builds the Listing 2 prompt, Step 2 calls the model, Step 3
+//! extracts and validates the answer; Steps 2–3 repeat with feedback until
+//! an answer of the right type is available or the retry budget runs out.
+//! Each iteration appends the model's failed response plus an instruction
+//! naming the violated criterion — the paper's "feedback mechanism".
+
+use std::time::Duration;
+
+use askit_json::{extract, Json, Map};
+use askit_llm::{ChatMessage, CompletionRequest, LanguageModel, TokenUsage};
+use askit_template::Template;
+use askit_types::Type;
+
+use crate::config::AskitConfig;
+use crate::error::AskItError;
+use crate::examples::Example;
+use crate::prompt::{direct_prompt, feedback_message};
+
+/// The result of a successful direct interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectOutcome {
+    /// The validated, coerced answer.
+    pub value: Json,
+    /// The model's chain-of-thought, when present.
+    pub reason: Option<String>,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: usize,
+    /// Aggregate token usage across attempts.
+    pub usage: TokenUsage,
+    /// Aggregate (simulated) model latency across attempts. This is the
+    /// number Table III calls "Latency".
+    pub latency: Duration,
+}
+
+/// Runs the §III-E loop for one task.
+///
+/// # Errors
+///
+/// [`AskItError::AnswerRetriesExhausted`] after `1 + max_retries` bad
+/// responses; [`AskItError::Llm`]/[`AskItError::Template`] as encountered.
+pub fn run_direct<L: LanguageModel>(
+    llm: &L,
+    template: &Template,
+    args: &Map,
+    answer_type: &Type,
+    few_shot: &[Example],
+    config: &AskitConfig,
+) -> Result<DirectOutcome, AskItError> {
+    let prompt = direct_prompt(template, args, answer_type, few_shot)?;
+    let mut messages = vec![ChatMessage::user(prompt)];
+    let mut usage = TokenUsage::default();
+    let mut latency = Duration::ZERO;
+    let mut last_problem = String::new();
+
+    for attempt in 1..=config.max_retries + 1 {
+        let request = CompletionRequest {
+            messages: messages.clone(),
+            temperature: config.temperature,
+        };
+        let completion = llm.complete(&request)?;
+        usage.prompt_tokens += completion.usage.prompt_tokens;
+        usage.completion_tokens += completion.usage.completion_tokens;
+        latency += completion.latency;
+
+        match evaluate_response(&completion.text, answer_type) {
+            Ok((value, reason)) => {
+                return Ok(DirectOutcome { value, reason, attempts: attempt, usage, latency });
+            }
+            Err(problem) => {
+                // Criteria unmet: append the response and the corrective
+                // instruction, then retry (paper: "adding the LLM's response
+                // and a new instruction to the original prompt").
+                messages.push(ChatMessage::assistant(completion.text));
+                messages.push(ChatMessage::user(feedback_message(&problem)));
+                last_problem = problem;
+            }
+        }
+    }
+    Err(AskItError::AnswerRetriesExhausted {
+        attempts: config.max_retries + 1,
+        last_problem,
+    })
+}
+
+/// Checks one response against the three §III-E criteria. On success returns
+/// the coerced answer and the reason text.
+pub fn evaluate_response(
+    text: &str,
+    answer_type: &Type,
+) -> Result<(Json, Option<String>), String> {
+    // Criterion 1: the response contains a JSON object.
+    let Some(json) = extract::extract_json(text) else {
+        return Err("the response does not contain a JSON code block".to_owned());
+    };
+    // Criterion 2: the JSON object includes the `answer` field.
+    let Some(obj) = json.as_object() else {
+        return Err(format!("the JSON value is a {}, not an object", json.kind()));
+    };
+    let Some(answer) = obj.get("answer") else {
+        return Err("the JSON object has no 'answer' field".to_owned());
+    };
+    // Criterion 3: the answer matches the expected type.
+    let coerced = answer_type
+        .coerce(answer)
+        .map_err(|e| format!("the 'answer' field does not match the expected type: {e}"))?;
+    let reason = obj.get("reason").and_then(Json::as_str).map(str::to_owned);
+    Ok((coerced, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::json;
+    use askit_llm::ScriptedLlm;
+
+    fn template(src: &str) -> Template {
+        Template::parse(src).unwrap()
+    }
+
+    fn args(pairs: &[(&str, Json)]) -> Map {
+        pairs.iter().cloned().collect()
+    }
+
+    #[test]
+    fn first_try_success() {
+        let llm = ScriptedLlm::new([
+            "```json\n{\"reason\": \"easy\", \"answer\": 56}\n```",
+        ]);
+        let out = run_direct(
+            &llm,
+            &template("What is {{x}} times {{y}}?"),
+            &args(&[("x", json!(7i64)), ("y", json!(8i64))]),
+            &askit_types::int(),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(56));
+        assert_eq!(out.reason.as_deref(), Some("easy"));
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn walks_all_three_criteria_then_succeeds() {
+        let llm = ScriptedLlm::new([
+            // 1: no JSON at all
+            "I think the answer is fifty-six.",
+            // 2: JSON but no `answer`
+            "```json\n{\"reason\": \"r\", \"result\": 56}\n```",
+            // 3: wrong type
+            "```json\n{\"reason\": \"r\", \"answer\": \"56\"}\n```",
+            // clean
+            "```json\n{\"reason\": \"r\", \"answer\": 56}\n```",
+        ]);
+        let out = run_direct(
+            &llm,
+            &template("What is 7 times 8?"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(56));
+        assert_eq!(out.attempts, 4);
+        assert_eq!(llm.served(), 4);
+    }
+
+    #[test]
+    fn feedback_messages_name_each_criterion() {
+        assert!(evaluate_response("no json here", &askit_types::int())
+            .unwrap_err()
+            .contains("JSON code block"));
+        assert!(evaluate_response("```json\n[1]\n```", &askit_types::int())
+            .unwrap_err()
+            .contains("not an object"));
+        assert!(evaluate_response("```json\n{\"a\": 1}\n```", &askit_types::int())
+            .unwrap_err()
+            .contains("no 'answer' field"));
+        assert!(evaluate_response(
+            "```json\n{\"answer\": \"x\"}\n```",
+            &askit_types::int()
+        )
+        .unwrap_err()
+        .contains("expected type"));
+    }
+
+    #[test]
+    fn retries_exhaust_into_an_error() {
+        let responses: Vec<String> =
+            (0..10).map(|_| "still not json".to_owned()).collect();
+        let llm = ScriptedLlm::new(responses);
+        let err = run_direct(
+            &llm,
+            &template("Hard question"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &AskitConfig::default(), // max_retries = 9 → 10 attempts
+        )
+        .unwrap_err();
+        match err {
+            AskItError::AnswerRetriesExhausted { attempts, last_problem } => {
+                assert_eq!(attempts, 10);
+                assert!(last_problem.contains("JSON"));
+            }
+            other => panic!("expected retries-exhausted, got {other}"),
+        }
+        assert_eq!(llm.served(), 10);
+    }
+
+    #[test]
+    fn conversation_grows_with_feedback() {
+        use askit_llm::RecordingLlm;
+        let llm = RecordingLlm::new(ScriptedLlm::new([
+            "garbage",
+            "```json\n{\"reason\": \"r\", \"answer\": true}\n```",
+        ]));
+        run_direct(
+            &llm,
+            &template("Is water wet?"),
+            &Map::new(),
+            &askit_types::boolean(),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        let log = llm.exchanges();
+        assert_eq!(log[0].request.messages.len(), 1);
+        assert_eq!(log[1].request.messages.len(), 3, "prompt + bad answer + feedback");
+        assert!(log[1].request.messages[2].content.contains("not acceptable"));
+    }
+
+    #[test]
+    fn answers_are_coerced() {
+        let llm = ScriptedLlm::new([
+            "```json\n{\"reason\": \"r\", \"answer\": 42.0}\n```",
+        ]);
+        let out = run_direct(
+            &llm,
+            &template("Answer?"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(42), "float 42.0 coerces to int under Int");
+    }
+
+    #[test]
+    fn mock_end_to_end_arithmetic() {
+        let llm = askit_llm::MockLlm::new(
+            askit_llm::MockLlmConfig::gpt4().with_faults(askit_llm::FaultConfig::none()),
+            askit_llm::Oracle::standard(),
+        );
+        let out = run_direct(
+            &llm,
+            &template("What is {{x}} times {{y}}?"),
+            &args(&[("x", json!(6i64)), ("y", json!(7i64))]),
+            &askit_types::int(),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(42));
+        assert!(out.latency > Duration::ZERO);
+        assert!(out.usage.total() > 0);
+    }
+
+    #[test]
+    fn mock_with_heavy_faults_converges_via_retries() {
+        let cfg = askit_llm::MockLlmConfig::gpt4().with_faults(askit_llm::FaultConfig {
+            direct_fault_rate: 0.9,
+            code_bug_rate: 0.0,
+            decay: 0.3,
+        });
+        let llm = askit_llm::MockLlm::new(cfg, askit_llm::Oracle::standard());
+        let mut attempts_seen = Vec::new();
+        for i in 0..12 {
+            let out = run_direct(
+                &llm,
+                &template("What is {{x}} plus {{y}}?"),
+                &args(&[("x", json!(i))]).into_iter().chain(args(&[("y", json!(1i64))])).collect(),
+                &askit_types::int(),
+                &[],
+                &AskitConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(out.value, Json::Int(i + 1));
+            attempts_seen.push(out.attempts);
+        }
+        assert!(
+            attempts_seen.iter().any(|&a| a > 1),
+            "with a 90% fault rate some tasks must need retries: {attempts_seen:?}"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The on-disk function store (paper §III-D: "the DSL compiler stores it in
+//! a file within the directory named `askit` … named after the template
+//! prompt"; §III-F: "The generated code is cached in a file upon its initial
+//! creation, ensuring that code generation happens only once").
+
+use std::path::{Path, PathBuf};
+
+use minilang::loc::count_loc;
+use minilang::pretty::Syntax;
+use minilang::Program;
+
+use crate::codegen::GeneratedFunction;
+use crate::error::AskItError;
+
+/// A directory of cached generated functions.
+#[derive(Debug, Clone)]
+pub struct FunctionStore {
+    dir: PathBuf,
+}
+
+impl FunctionStore {
+    /// Opens (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Store`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, AskItError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| AskItError::Store(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(FunctionStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache file path for a template prompt and syntax.
+    pub fn path_for(&self, template_source: &str, syntax: Syntax) -> PathBuf {
+        let ext = match syntax {
+            Syntax::Ts => "ts",
+            Syntax::Py => "py",
+        };
+        let slug = slugify(template_source);
+        let hash = fnv1a(template_source.as_bytes());
+        self.dir.join(format!("{slug}-{hash:08x}.{ext}"))
+    }
+
+    /// Saves a generated function under its template prompt.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Store`] on I/O failure.
+    pub fn save(
+        &self,
+        template_source: &str,
+        generated: &GeneratedFunction,
+    ) -> Result<PathBuf, AskItError> {
+        let path = self.path_for(template_source, generated.syntax);
+        std::fs::write(&path, &generated.source)
+            .map_err(|e| AskItError::Store(format!("cannot write {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Loads a cached function if present.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Syntax`] when the cached artifact no longer parses
+    /// (manual edits), [`AskItError::Store`] on I/O failure.
+    pub fn load(
+        &self,
+        template_source: &str,
+        name: &str,
+        syntax: Syntax,
+    ) -> Result<Option<GeneratedFunction>, AskItError> {
+        let path = self.path_for(template_source, syntax);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(AskItError::Store(format!("cannot read {}: {e}", path.display())))
+            }
+        };
+        let program: Program = minilang::parse(&source, syntax)?;
+        if program.function(name).is_none() {
+            return Err(AskItError::Store(format!(
+                "cached file {} does not define '{name}'",
+                path.display()
+            )));
+        }
+        let loc = count_loc(&source);
+        Ok(Some(GeneratedFunction {
+            name: name.to_owned(),
+            source,
+            program,
+            syntax,
+            attempts: 0, // cache hit: no generation happened
+            loc,
+            usage: askit_llm::TokenUsage::default(),
+            compile_time: std::time::Duration::ZERO,
+        }))
+    }
+}
+
+/// A filesystem-safe slug of the template prompt (first 40 chars).
+fn slugify(text: &str) -> String {
+    let mut slug = String::new();
+    let mut last_dash = false;
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash && !slug.is_empty() {
+            slug.push('-');
+            last_dash = true;
+        }
+        if slug.len() >= 40 {
+            break;
+        }
+    }
+    let slug = slug.trim_end_matches('-').to_owned();
+    if slug.is_empty() {
+        "prompt".to_owned()
+    } else {
+        slug
+    }
+}
+
+/// FNV-1a, the classic tiny stable hash — fine for cache file naming.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> FunctionStore {
+        let dir = std::env::temp_dir().join(format!(
+            "askit-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        FunctionStore::open(dir).unwrap()
+    }
+
+    fn generated() -> GeneratedFunction {
+        let source = "export function f({n}: {n: number}): number {\n  return n + 1;\n}\n";
+        GeneratedFunction {
+            name: "f".into(),
+            source: source.into(),
+            program: minilang::parse_ts(source).unwrap(),
+            syntax: Syntax::Ts,
+            attempts: 1,
+            loc: 3,
+            usage: askit_llm::TokenUsage::default(),
+            compile_time: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn save_then_load_roundtrip() {
+        let store = tmp_store("roundtrip");
+        let template = "Increment {{n}}.";
+        assert!(store.load(template, "f", Syntax::Ts).unwrap().is_none());
+        let path = store.save(template, &generated()).unwrap();
+        assert!(path.exists());
+        let loaded = store.load(template, "f", Syntax::Ts).unwrap().unwrap();
+        assert_eq!(loaded.source, generated().source);
+        assert_eq!(loaded.attempts, 0, "cache hits report zero attempts");
+        assert_eq!(loaded.loc, 3);
+    }
+
+    #[test]
+    fn paths_are_named_after_the_template() {
+        let store = tmp_store("naming");
+        let p = store.path_for("Calculate the factorial of {{n}}.", Syntax::Ts);
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("calculate-the-factorial-of-n"), "{name}");
+        assert!(name.ends_with(".ts"));
+        let q = store.path_for("Calculate the factorial of {{n}}.", Syntax::Py);
+        assert!(q.to_string_lossy().ends_with(".py"));
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn different_templates_do_not_collide() {
+        let store = tmp_store("collide");
+        let a = store.path_for("Sort {{xs}} ascending", Syntax::Ts);
+        let b = store.path_for("Sort {{xs}} descending", Syntax::Ts);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corrupted_cache_is_an_error_not_a_panic() {
+        let store = tmp_store("corrupt");
+        let template = "Do a thing with {{x}}";
+        let path = store.path_for(template, Syntax::Ts);
+        std::fs::write(&path, "this is not minits").unwrap();
+        assert!(matches!(
+            store.load(template, "f", Syntax::Ts),
+            Err(AskItError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn missing_function_in_cache_is_reported() {
+        let store = tmp_store("wrongname");
+        let template = "Another {{x}}";
+        store.save(template, &generated()).unwrap();
+        assert!(matches!(
+            store.load(template, "other", Syntax::Ts),
+            Err(AskItError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn slug_handles_awkward_input() {
+        assert_eq!(slugify(""), "prompt");
+        assert_eq!(slugify("???"), "prompt");
+        assert_eq!(slugify("Reverse the string {{s}}."), "reverse-the-string-s");
+    }
+}

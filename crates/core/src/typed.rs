@@ -1,0 +1,328 @@
+//! Rust types as AskIt types: the [`AskType`] trait and the
+//! [`json_struct!`]/[`json_enum!`] macros.
+//!
+//! TypeScript AskIt writes `ask<'positive' | 'negative'>(…)` and
+//! `define<Book[]>(…)`; the host type *is* the output constraint. Rust has
+//! no structural literal unions, so this module provides the equivalent
+//! bridge: any `T: AskType` knows its AskIt [`Type`] and how to build itself
+//! from validated JSON. `json_struct!` plays the role of a TS object type,
+//! `json_enum!` the role of a string-literal union (Table I's
+//! `union(literal('yes'), literal('no'))`).
+
+use askit_json::{FromJson, FromJsonError, Json};
+use askit_types::Type;
+
+/// A Rust type with an AskIt type-language description.
+///
+/// Implemented for the primitives, `Vec<T>`, `Option<T>`, [`Json`] (as
+/// `any`), `()` (as `void`), and everything declared through
+/// [`json_struct!`] / [`json_enum!`].
+pub trait AskType: FromJson {
+    /// The AskIt type that values of `Self` inhabit.
+    fn askit_type() -> Type;
+}
+
+impl AskType for i64 {
+    fn askit_type() -> Type {
+        askit_types::int()
+    }
+}
+
+impl AskType for i32 {
+    fn askit_type() -> Type {
+        askit_types::int()
+    }
+}
+
+impl AskType for usize {
+    fn askit_type() -> Type {
+        askit_types::int()
+    }
+}
+
+impl AskType for f64 {
+    fn askit_type() -> Type {
+        askit_types::float()
+    }
+}
+
+impl AskType for bool {
+    fn askit_type() -> Type {
+        askit_types::boolean()
+    }
+}
+
+impl AskType for String {
+    fn askit_type() -> Type {
+        askit_types::string()
+    }
+}
+
+impl AskType for Json {
+    fn askit_type() -> Type {
+        askit_types::any()
+    }
+}
+
+impl<T: AskType> AskType for Vec<T> {
+    fn askit_type() -> Type {
+        askit_types::list(T::askit_type())
+    }
+}
+
+impl<T: AskType> AskType for Option<T> {
+    fn askit_type() -> Type {
+        askit_types::union([T::askit_type(), askit_types::void()])
+    }
+}
+
+/// Declares a struct that maps to an AskIt object type.
+///
+/// Generates the struct (plus `Debug/Clone/PartialEq`), [`ToJson`],
+/// [`FromJson`] and [`AskType`] implementations.
+///
+/// # Examples
+///
+/// ```
+/// use askit_core::{json_struct, AskType};
+///
+/// json_struct! {
+///     /// A classic book.
+///     pub struct Book {
+///         title: String,
+///         author: String,
+///         year: i64,
+///     }
+/// }
+///
+/// assert_eq!(
+///     Book::askit_type().to_typescript(),
+///     "{ title: string, author: string, year: number }"
+/// );
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $fname:ident : $fty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq)]
+        $vis struct $name {
+            $(
+                #[allow(missing_docs)]
+                pub $fname: $fty,
+            )+
+        }
+
+        impl $crate::AskType for $name {
+            fn askit_type() -> ::askit_types::Type {
+                ::askit_types::dict([
+                    $( (stringify!($fname), <$fty as $crate::AskType>::askit_type()), )+
+                ])
+            }
+        }
+
+        impl ::askit_json::ToJson for $name {
+            fn to_json(&self) -> ::askit_json::Json {
+                let mut map = ::askit_json::Map::new();
+                $( map.insert(stringify!($fname), ::askit_json::ToJson::to_json(&self.$fname)); )+
+                ::askit_json::Json::Object(map)
+            }
+        }
+
+        impl ::askit_json::FromJson for $name {
+            fn from_json(v: &::askit_json::Json) -> ::std::result::Result<Self, ::askit_json::FromJsonError> {
+                let obj = v
+                    .as_object()
+                    .ok_or_else(|| ::askit_json::FromJsonError::mismatch("object", v))?;
+                Ok($name {
+                    $(
+                        $fname: {
+                            let field = obj.get(stringify!($fname)).ok_or_else(|| {
+                                ::askit_json::FromJsonError::mismatch(
+                                    concat!("object with field '", stringify!($fname), "'"),
+                                    v,
+                                )
+                            })?;
+                            ::askit_json::FromJson::from_json(field)
+                                .map_err(|e| e.nested(stringify!($fname)))?
+                        },
+                    )+
+                })
+            }
+        }
+    };
+}
+
+/// Declares an enum that maps to an AskIt union of string literals.
+///
+/// The Rust equivalent of TypeScript's `'positive' | 'negative'` (paper
+/// §III) and of the Python API's `union(literal(…), …)` (Table I).
+///
+/// # Examples
+///
+/// ```
+/// use askit_core::{json_enum, AskType};
+///
+/// json_enum! {
+///     /// Review polarity.
+///     pub enum Sentiment {
+///         Positive = "positive",
+///         Negative = "negative",
+///     }
+/// }
+///
+/// assert_eq!(Sentiment::askit_type().to_typescript(), "'positive' | 'negative'");
+/// assert_eq!(Sentiment::Positive.as_str(), "positive");
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident {
+            $( $variant:ident = $text:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        $vis enum $name {
+            $(
+                #[allow(missing_docs)]
+                $variant,
+            )+
+        }
+
+        impl $name {
+            /// The literal text of this variant.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $( $name::$variant => $text, )+
+                }
+            }
+
+            /// All variants in declaration order.
+            pub fn all() -> &'static [$name] {
+                &[ $( $name::$variant, )+ ]
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl $crate::AskType for $name {
+            fn askit_type() -> ::askit_types::Type {
+                ::askit_types::union([
+                    $( ::askit_types::literal($text), )+
+                ])
+            }
+        }
+
+        impl ::askit_json::ToJson for $name {
+            fn to_json(&self) -> ::askit_json::Json {
+                ::askit_json::Json::Str(self.as_str().to_owned())
+            }
+        }
+
+        impl ::askit_json::FromJson for $name {
+            fn from_json(v: &::askit_json::Json) -> ::std::result::Result<Self, ::askit_json::FromJsonError> {
+                match v.as_str() {
+                    $( Some($text) => Ok($name::$variant), )+
+                    _ => Err(::askit_json::FromJsonError::mismatch(
+                        concat!("one of the literals of ", stringify!($name)),
+                        v,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+/// Extracts a `T` from a JSON value that already passed type validation.
+pub fn extract<T: AskType>(value: &Json) -> Result<T, FromJsonError> {
+    T::from_json(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate as askit_core;
+    use askit_json::ToJson;
+
+    json_struct! {
+        /// A point.
+        pub struct Point {
+            x: i64,
+            y: f64,
+        }
+    }
+
+    json_struct! {
+        struct Nested {
+            name: String,
+            points: Vec<Point>,
+            comment: Option<String>,
+        }
+    }
+
+    json_enum! {
+        enum YesNo {
+            Yes = "yes",
+            No = "no",
+        }
+    }
+
+    #[test]
+    fn primitive_types() {
+        assert_eq!(i64::askit_type(), askit_types::int());
+        assert_eq!(f64::askit_type(), askit_types::float());
+        assert_eq!(String::askit_type(), askit_types::string());
+        assert_eq!(<Vec<bool>>::askit_type(), askit_types::list(askit_types::boolean()));
+        assert_eq!(Json::askit_type(), askit_types::any());
+        assert_eq!(
+            <Option<i64>>::askit_type().to_typescript(),
+            "number | void"
+        );
+    }
+
+    #[test]
+    fn struct_roundtrip_and_type() {
+        let p = Point { x: 1, y: 2.5 };
+        let v = p.to_json();
+        assert_eq!(v.to_compact_string(), r#"{"x":1,"y":2.5}"#);
+        assert_eq!(Point::from_json(&v).unwrap(), p);
+        assert_eq!(Point::askit_type().to_typescript(), "{ x: number, y: number }");
+    }
+
+    #[test]
+    fn nested_struct_errors_carry_paths() {
+        let v = Json::parse(r#"{"name": "n", "points": [{"x": 1, "y": "bad"}], "comment": null}"#)
+            .unwrap();
+        let err = Nested::from_json(&v).unwrap_err();
+        assert_eq!(err.path(), "points.[0].y");
+    }
+
+    #[test]
+    fn enum_maps_literals() {
+        assert_eq!(YesNo::from_json(&Json::from("yes")).unwrap(), YesNo::Yes);
+        assert!(YesNo::from_json(&Json::from("maybe")).is_err());
+        assert_eq!(YesNo::No.to_json(), Json::from("no"));
+        assert_eq!(YesNo::all().len(), 2);
+        assert_eq!(YesNo::Yes.to_string(), "yes");
+        let ty = YesNo::askit_type();
+        assert!(ty.validate(&Json::from("no")).is_ok());
+        assert!(ty.validate(&Json::from("nope")).is_err());
+    }
+
+    #[test]
+    fn extract_helper() {
+        let v = Json::parse("[1, 2, 3]").unwrap();
+        let xs: Vec<i64> = extract(&v).unwrap();
+        assert_eq!(xs, [1, 2, 3]);
+    }
+}

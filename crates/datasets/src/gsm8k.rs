@@ -1,0 +1,446 @@
+//! A GSM8K-like workload: grade-school math word problems (Table III).
+//!
+//! The paper "converted numerical values surrounded by spaces in the problem
+//! description into variables since the generated programs are often reused
+//! with different values" — i.e. every GSM8K problem became a template with
+//! numeric `{{parameters}}`. This generator produces such problems directly:
+//! each one is a story template over parameters `a..d`, a sampled binding,
+//! and a hidden arithmetic expression that both defines the ground truth and
+//! serves as the oracle's "knowledge" of the problem.
+//!
+//! Solve rates are gated per `(problem, run)` by a deterministic hash so the
+//! TS and Python runs disagree slightly — as the paper's did (1,138 vs 1,159
+//! of 1,319 solved) purely from sampling randomness.
+
+use askit_json::{Json, Map};
+use askit_llm::{AnswerOutcome, Oracle};
+use askit_types::int;
+use minilang::build::{add, div, mul, num, ret, sub, var};
+use minilang::{Expr, FuncDecl, Interp, Param, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The number of problems in the GSM8K test split.
+pub const TEST_SET_SIZE: usize = 1319;
+
+/// Fraction of problems the simulated GPT-4 answers correctly in direct
+/// mode (the paper: 1,138/1,319 ≈ 0.863 TS run, 1,159/1,319 ≈ 0.879 Py run).
+pub const DIRECT_SOLVE_RATE: f64 = 0.871;
+
+/// Fraction of directly-solved problems whose code generation also succeeds
+/// (the paper: 1,114/1,138 ≈ 0.979 and 1,134/1,159 ≈ 0.978).
+pub const CODE_SOLVE_RATE: f64 = 0.979;
+
+/// One generated word problem.
+#[derive(Debug, Clone)]
+pub struct Gsm8kProblem {
+    /// 0-based problem id.
+    pub id: usize,
+    /// The story text with `{{a}}`-style numeric parameters.
+    pub template: String,
+    /// The original numeric values (used as the test example, as in the
+    /// paper: "We used the original values as test examples").
+    pub args: Map,
+    /// Ground-truth answer.
+    pub answer: Json,
+    /// Parameter names in order.
+    pub params: Vec<&'static str>,
+    /// The hidden arithmetic over the parameters.
+    pub expr: Expr,
+}
+
+impl Gsm8kProblem {
+    /// Evaluates the hidden arithmetic under a binding.
+    pub fn evaluate(&self, args: &Map) -> Option<Json> {
+        let decl = solution_decl(self, "solve");
+        let program = Program { functions: vec![decl] };
+        Interp::new(&program).call_json("solve", args).ok()
+    }
+
+    /// Whether the simulated model solves this problem directly in the
+    /// given run (see [`gate`]).
+    pub fn is_direct_solvable(&self, run_seed: u64) -> bool {
+        gate(&self.instruction_key(), run_seed, DIRECT_SOLVE_RATE)
+    }
+
+    /// Whether code generation also succeeds for this problem in the given
+    /// run (conditional on direct solvability, see [`gate`]).
+    pub fn is_codable(&self, run_seed: u64) -> bool {
+        self.is_direct_solvable(run_seed)
+            && gate(&self.instruction_key(), run_seed.wrapping_add(1), CODE_SOLVE_RATE)
+    }
+
+    /// The oracle key: the template with quoted parameter names.
+    pub fn instruction_key(&self) -> String {
+        askit_template::Template::parse(&self.template)
+            .expect("generated templates are valid")
+            .render_quoted()
+    }
+}
+
+/// Builds a one-function solution program for a problem.
+pub fn solution_decl(problem: &Gsm8kProblem, name: &str) -> FuncDecl {
+    FuncDecl {
+        name: name.to_owned(),
+        params: problem
+            .params
+            .iter()
+            .map(|p| Param { name: (*p).to_owned(), ty: int() })
+            .collect(),
+        ret: int(),
+        body: vec![ret(problem.expr.clone())],
+        exported: true,
+        doc: vec![],
+    }
+}
+
+struct Shape {
+    text: &'static str,
+    params: &'static [&'static str],
+    /// Extra surface-variation slots: TOKEN → pool of spellings. Together
+    /// with the NAME pool these keep problem statements (mostly) distinct,
+    /// like real GSM8K; the solve gate is keyed on the statement text.
+    slots: &'static [(&'static str, &'static [&'static str])],
+    sample: fn(&mut StdRng) -> Vec<i64>,
+    build: fn() -> Expr,
+}
+
+/// The story shapes. Parameter samplers keep every answer a non-negative
+/// integer, like real GSM8K answers.
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            text: "NAME has {{a}} ITEM. NAME buys {{b}} bags with {{c}} ITEM in each bag. How many ITEM does NAME have now?",
+            params: &["a", "b", "c"],
+            slots: &[("ITEM", &["apples", "oranges", "marbles", "stickers", "coins", "seashells"])],
+            sample: |r| vec![r.gen_range(2..60), r.gen_range(2..10), r.gen_range(2..12)],
+            build: || add(var("a"), mul(var("b"), var("c"))),
+        },
+        Shape {
+            text: "NAME baked {{a}} ITEM and gave {{b}} of them to friends. NAME sold the rest for {{c}} dollars each. How many dollars did NAME make?",
+            params: &["a", "b", "c"],
+            slots: &[("ITEM", &["cookies", "muffins", "brownies", "cupcakes", "pies", "tarts"])],
+            sample: |r| {
+                let a = r.gen_range(12..80);
+                vec![a, r.gen_range(1..a), r.gen_range(2..6)]
+            },
+            build: || mul(sub(var("a"), var("b")), var("c")),
+        },
+        Shape {
+            text: "NAME earns {{a}} dollars per hour and works {{b}} hours this week. After spending {{c}} dollars on ITEM, how many dollars does NAME have left?",
+            params: &["a", "b", "c"],
+            slots: &[("ITEM", &["groceries", "books", "art supplies", "bus tickets", "snacks", "plants"])],
+            sample: |r| {
+                let a = r.gen_range(8..30);
+                let b = r.gen_range(10..40);
+                vec![a, b, r.gen_range(1..a * b)]
+            },
+            build: || sub(mul(var("a"), var("b")), var("c")),
+        },
+        Shape {
+            text: "NAME and {{a}} friends share {{b}} ITEM equally. How many ITEM does each person get?",
+            params: &["a", "b"],
+            slots: &[("ITEM", &["candies", "grapes", "crayons", "baseball cards", "beads", "buttons"])],
+            sample: |r| {
+                let a = r.gen_range(1..7);
+                let per = r.gen_range(2..15);
+                vec![a, (a + 1) * per]
+            },
+            build: || div(var("b"), add(var("a"), num(1.0))),
+        },
+        Shape {
+            text: "ORG buys {{a}} boxes of ITEM1 with {{b}} ITEM1 in each box and {{c}} boxes of ITEM2 with {{d}} ITEM2 in each box. How many items are bought in total?",
+            params: &["a", "b", "c", "d"],
+            slots: &[("ORG", &["A school", "The library", "A club", "The office", "A studio", "The lab"]), ("ITEM1", &["pencils", "markers", "crayons", "erasers"]), ("ITEM2", &["pens", "notebooks", "folders", "rulers"])],
+            sample: |r| {
+                vec![r.gen_range(2..15), r.gen_range(5..30), r.gen_range(2..15), r.gen_range(5..30)]
+            },
+            build: || add(mul(var("a"), var("b")), mul(var("c"), var("d"))),
+        },
+        Shape {
+            text: "NAME has {{a}} dollars. NAME spends {{b}} dollars on ITEM1 and {{c}} dollars on ITEM2. How many dollars remain?",
+            params: &["a", "b", "c"],
+            slots: &[("ITEM1", &["lunch", "a movie ticket", "a puzzle", "a scarf"]), ("ITEM2", &["a book", "a poster", "a plant", "a game"])],
+            sample: |r| {
+                let b = r.gen_range(3..20);
+                let c = r.gen_range(3..20);
+                vec![b + c + r.gen_range(1..50), b, c]
+            },
+            build: || sub(sub(var("a"), var("b")), var("c")),
+        },
+        Shape {
+            text: "Each of the {{a}} shelves in ORG holds {{b}} ITEM1 books and {{c}} ITEM2 books. How many books are there in total?",
+            params: &["a", "b", "c"],
+            slots: &[("ORG", &["a library", "a bookshop", "the archive", "a study hall", "the lab", "a classroom"]), ("ITEM1", &["red", "new", "hardcover", "large"]), ("ITEM2", &["blue", "old", "paperback", "small"])],
+            sample: |r| vec![r.gen_range(2..12), r.gen_range(3..25), r.gen_range(3..25)],
+            build: || mul(var("a"), add(var("b"), var("c"))),
+        },
+        Shape {
+            text: "ORG plants {{a}} rows of {{b}} ITEM. Unfortunately {{c}} ITEM do not survive. How many ITEM are left?",
+            params: &["a", "b", "c"],
+            slots: &[("ORG", &["A farmer", "A gardener", "An orchardist", "A volunteer", "A ranger", "A neighbor"]), ("ITEM", &["trees", "saplings", "bushes", "vines"])],
+            sample: |r| {
+                let a = r.gen_range(3..20);
+                let b = r.gen_range(4..25);
+                vec![a, b, r.gen_range(1..a * b)]
+            },
+            build: || sub(mul(var("a"), var("b")), var("c")),
+        },
+        Shape {
+            text: "NAME reads {{a}} pages per day for {{b}} days, then {{c}} pages per day for {{d}} days. How many pages does NAME read altogether?",
+            params: &["a", "b", "c", "d"],
+            slots: &[],
+            sample: |r| {
+                vec![r.gen_range(5..40), r.gen_range(2..10), r.gen_range(5..40), r.gen_range(2..10)]
+            },
+            build: || add(mul(var("a"), var("b")), mul(var("c"), var("d"))),
+        },
+        Shape {
+            text: "ORG holds {{a}} liters. A pump fills it at {{b}} liters per minute. How many minutes does it take to fill it from empty?",
+            params: &["a", "b"],
+            slots: &[("ORG", &["A water tank", "A pool", "A barrel", "A cistern", "An aquarium", "A reservoir"])],
+            sample: |r| {
+                let b = r.gen_range(2..20);
+                vec![b * r.gen_range(3..40), b]
+            },
+            build: || div(var("a"), var("b")),
+        },
+        Shape {
+            text: "NAME buys {{a}} packs of ITEM with {{b}} cards in each pack and gives away {{c}} cards. How many cards does NAME keep?",
+            params: &["a", "b", "c"],
+            slots: &[("ITEM", &["trading cards", "sports cards", "game cards", "collector cards"])],
+            sample: |r| {
+                let a = r.gen_range(2..15);
+                let b = r.gen_range(5..20);
+                vec![a, b, r.gen_range(1..a * b)]
+            },
+            build: || sub(mul(var("a"), var("b")), var("c")),
+        },
+        Shape {
+            text: "Tickets cost {{a}} dollars for adults and {{b}} dollars for children. A group of {{c}} adults and {{d}} children visits ORG. How many dollars does the group pay?",
+            params: &["a", "b", "c", "d"],
+            slots: &[("ORG", &["the museum", "the zoo", "the aquarium", "the theater", "the fair", "the planetarium"])],
+            sample: |r| {
+                vec![r.gen_range(8..30), r.gen_range(3..15), r.gen_range(1..10), r.gen_range(1..15)]
+            },
+            build: || add(mul(var("a"), var("c")), mul(var("b"), var("d"))),
+        },
+    ]
+}
+
+const NAMES: &[&str] = &[
+    "Natalia", "James", "Ken", "Weng", "Betty", "Julie", "Mark", "Sam", "Olivia", "Leah",
+    "Toula", "Carlos",
+];
+
+/// Generates `count` problems deterministically from `seed`.
+pub fn problems(count: usize, seed: u64) -> Vec<Gsm8kProblem> {
+    let shapes = shapes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|id| {
+            let shape = &shapes[id % shapes.len()];
+            let name = NAMES[rng.gen_range(0..NAMES.len())];
+            let mut template = shape.text.replace("NAME", name);
+            for (token, pool) in shape.slots {
+                let choice = pool[rng.gen_range(0..pool.len())];
+                template = template.replace(token, choice);
+            }
+            let values = (shape.sample)(&mut rng);
+            let args: Map = shape
+                .params
+                .iter()
+                .zip(&values)
+                .map(|(p, v)| ((*p).to_owned(), Json::Int(*v)))
+                .collect();
+            let expr = (shape.build)();
+            let problem = Gsm8kProblem {
+                id,
+                template,
+                args: args.clone(),
+                answer: Json::Null,
+                params: shape.params.to_vec(),
+                expr,
+            };
+            let answer = problem.evaluate(&args).expect("shapes are total on their samples");
+            Gsm8kProblem { answer, ..problem }
+        })
+        .collect()
+}
+
+/// Deterministic per-(task, run) gate used to model "GPT fails this one".
+///
+/// Keyed on the *template text*, not the problem id: several generated
+/// problems can share a template verbatim (shapes without a name slot), and
+/// a model either understands a problem statement or it does not —
+/// identical statements must share their fate.
+pub fn gate(template_key: &str, run_seed: u64, rate: f64) -> bool {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in template_key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    ((h >> 16) % 10_000) as f64 / 10_000.0 < rate
+}
+
+/// Registers GSM8K knowledge with the oracle for one run.
+///
+/// * The **answer skill** recognizes a problem by its quoted template and
+///   evaluates the hidden arithmetic on the prompt's bindings — gated by
+///   [`DIRECT_SOLVE_RATE`].
+/// * The **code skill** serves the one-line solution function — gated, among
+///   directly solvable problems, by [`CODE_SOLVE_RATE`].
+pub fn register_oracle(oracle: &mut Oracle, problems: &[Gsm8kProblem], run_seed: u64) {
+    let answer_index: std::collections::HashMap<String, Gsm8kProblem> = problems
+        .iter()
+        .map(|p| (p.instruction_key(), p.clone()))
+        .collect();
+    let code_index = answer_index.clone();
+
+    oracle.add_answer_fn("gsm8k", move |task| {
+        let problem = answer_index.get(task.template)?;
+        if !gate(task.template, run_seed, DIRECT_SOLVE_RATE) {
+            return None; // the model "can't solve this one"
+        }
+        let answer = problem.evaluate(task.bindings)?;
+        Some(AnswerOutcome::new(
+            answer,
+            "Working through the quantities step by step.".to_owned(),
+        ))
+    });
+
+    oracle.add_code_fn("gsm8k-code", move |task| {
+        let problem = code_index.get(task.instruction)?;
+        if !gate(task.instruction, run_seed, DIRECT_SOLVE_RATE) {
+            return None;
+        }
+        if !gate(task.instruction, run_seed.wrapping_add(1), CODE_SOLVE_RATE) {
+            return None;
+        }
+        Some(solution_decl(problem, "solve"))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_sized() {
+        let a = problems(50, 7);
+        let b = problems(50, 7);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[10].template, b[10].template);
+        assert_eq!(a[10].answer, b[10].answer);
+        let c = problems(50, 8);
+        assert!(
+            (0..50).any(|i| a[i].args != c[i].args),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn answers_are_nonnegative_integers() {
+        for p in problems(200, 42) {
+            let Json::Int(v) = p.answer else {
+                panic!("problem {} answer {} is not an integer", p.id, p.answer)
+            };
+            assert!(v >= 0, "problem {}: negative answer {v}", p.id);
+        }
+    }
+
+    #[test]
+    fn templates_parse_and_quote() {
+        for p in problems(24, 1) {
+            let key = p.instruction_key();
+            assert!(!key.contains("{{"), "{key}");
+            for param in &p.params {
+                assert!(key.contains(&format!("'{param}'")), "{key}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_reparametrization() {
+        // The generated solution must be reusable with different values —
+        // the paper's reason for templating.
+        let p = &problems(12, 3)[0]; // shape 1: a + b*c
+        let mut args = Map::new();
+        args.insert("a", Json::Int(10));
+        args.insert("b", Json::Int(2));
+        args.insert("c", Json::Int(5));
+        assert_eq!(p.evaluate(&args), Some(Json::Int(20)));
+    }
+
+    #[test]
+    fn gate_is_deterministic_and_near_rate() {
+        let ps = problems(TEST_SET_SIZE, 99);
+        let hits = ps.iter().filter(|p| p.is_direct_solvable(99)).count();
+        let rate = hits as f64 / TEST_SET_SIZE as f64;
+        assert!((rate - DIRECT_SOLVE_RATE).abs() < 0.06, "observed {rate}");
+        assert_eq!(gate("k", 99, 0.5), gate("k", 99, 0.5));
+        assert!(gate("k", 1, 1.0));
+        assert!(!gate("k", 1, 0.0));
+        // Identical templates share their fate within a run.
+        let a = &ps[4];
+        let twin = ps.iter().skip(5).find(|q| q.template == a.template);
+        if let Some(twin) = twin {
+            assert_eq!(a.is_direct_solvable(7), twin.is_direct_solvable(7));
+        }
+    }
+
+    #[test]
+    fn oracle_solves_gated_problems_only() {
+        let ps = problems(40, 11);
+        let mut oracle = Oracle::empty();
+        register_oracle(&mut oracle, &ps, 1234);
+        let mut solved = 0;
+        for p in &ps {
+            let task = askit_llm::AnswerTask {
+                template: &p.instruction_key(),
+                bindings: &p.args,
+                answer_type: &int(),
+            };
+            match oracle.answer(&task) {
+                Some(out) => {
+                    assert_eq!(out.answer, p.answer, "problem {}", p.id);
+                    solved += 1;
+                }
+                None => {}
+            }
+        }
+        assert!(solved >= 30, "most problems should be solvable, got {solved}/40");
+        assert!(solved < 40, "some problems should fail the gate");
+    }
+
+    #[test]
+    fn code_skill_produces_runnable_solutions() {
+        let ps = problems(12, 5);
+        let mut oracle = Oracle::empty();
+        register_oracle(&mut oracle, &ps, 77);
+        let mut served = 0;
+        for p in &ps {
+            let key = p.instruction_key();
+            let params: Vec<Param> = p
+                .params
+                .iter()
+                .map(|n| Param { name: (*n).to_owned(), ty: int() })
+                .collect();
+            let ret_ty = int();
+            let task = askit_llm::CodeTask {
+                instruction: &key,
+                name: "solve",
+                params: &params,
+                ret: &ret_ty,
+                syntax: minilang::Syntax::Ts,
+            };
+            if let Some(decl) = oracle.implement(&task) {
+                let program = Program { functions: vec![decl] };
+                let out = Interp::new(&program).call_json("solve", &p.args).unwrap();
+                assert_eq!(out, p.answer, "problem {}", p.id);
+                served += 1;
+            }
+        }
+        assert!(served >= 8, "most problems should be codable, got {served}/12");
+    }
+}

@@ -1,0 +1,21 @@
+//! # askit-datasets
+//!
+//! The workloads behind every table and figure of the AskIt paper, rebuilt
+//! as deterministic generators plus the oracle knowledge that stands in for
+//! GPT's abilities (see DESIGN.md §1 for the substitution argument):
+//!
+//! * [`top50`] — the 50 common coding tasks of **Table II**;
+//! * [`humaneval`] — 164 programming tasks with hand-written reference
+//!   solutions, standing in for HumanEval (**Figure 5**);
+//! * [`evals`] — 50 prompt-pair benchmarks standing in for OpenAI Evals
+//!   (**Figures 6 and 7**);
+//! * [`gsm8k`] — a seeded generator of 1,319 grade-school math word
+//!   problems (**Table III**).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evals;
+pub mod gsm8k;
+pub mod humaneval;
+pub mod top50;

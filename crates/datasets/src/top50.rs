@@ -1,0 +1,814 @@
+//! The 50 common coding tasks of the paper's Table II.
+//!
+//! The paper asked ChatGPT for the 50 most commonly requested TypeScript
+//! coding tasks and implemented each as a one-line `define`. This module
+//! carries the same catalogue: template prompt, return/parameter types,
+//! example tests, and — standing in for GPT's coding ability — a reference
+//! implementation the oracle serves when the compiler asks for code.
+//!
+//! Five tasks are **Python-ambiguous** (the paper's #11 and #21–#24): their
+//! reference implementation depends on knowing the parameter types, which
+//! the Python pipeline does not put in the prompt. For those the oracle
+//! returns a wrong-assumption implementation when the signature arrives
+//! untyped — mechanically reproducing the paper's Python failures.
+
+use askit_core::{example, Example};
+use askit_json::Json;
+use askit_llm::{CodeTask, Oracle};
+use askit_template::Template;
+use askit_types::{any, boolean, float, int, list, string, Type};
+use minilang::FuncDecl;
+
+/// One Table II task.
+#[derive(Debug, Clone)]
+pub struct CodingTask {
+    /// 1-based task number.
+    pub id: usize,
+    /// The `define` template prompt.
+    pub template: &'static str,
+    /// The declared return type.
+    pub return_type: Type,
+    /// Parameter types (used by the TS pipeline only, as in the paper).
+    pub param_types: Vec<(&'static str, Type)>,
+    /// Example tests supplied to `define` for validation.
+    pub tests: Vec<Example>,
+    /// Whether the Python pipeline generates a wrong-assumption body.
+    pub py_ambiguous: bool,
+    /// Reference implementation (MiniTS source).
+    reference: &'static str,
+    /// Wrong-assumption implementation served to untyped signatures.
+    wrong_when_untyped: Option<&'static str>,
+}
+
+impl CodingTask {
+    /// The oracle lookup key: the template with quoted parameter names.
+    pub fn instruction_key(&self) -> String {
+        Template::parse(self.template)
+            .expect("catalogue templates are valid")
+            .render_quoted()
+    }
+
+    /// The reference implementation parsed to an AST.
+    pub fn reference_decl(&self) -> FuncDecl {
+        minilang::parse_ts(self.reference).expect("catalogue reference parses").functions
+            [0]
+        .clone()
+    }
+
+    /// The wrong-assumption implementation, if this task has one.
+    pub fn wrong_decl(&self) -> Option<FuncDecl> {
+        self.wrong_when_untyped
+            .map(|src| minilang::parse_ts(src).expect("catalogue wrong variant parses").functions[0].clone())
+    }
+}
+
+/// Registers the whole catalogue's coding knowledge with an oracle.
+///
+/// The skill keys on the instruction comment; when the requesting signature
+/// is untyped (`any` parameters — the Python pipeline) and the task is
+/// ambiguous, the wrong-assumption body is served instead.
+pub fn register_oracle(oracle: &mut Oracle) {
+    let entries: Vec<(String, FuncDecl, Option<FuncDecl>)> = tasks()
+        .iter()
+        .map(|t| (t.instruction_key().to_lowercase(), t.reference_decl(), t.wrong_decl()))
+        .collect();
+    oracle.add_code_fn("top50", move |task: &CodeTask<'_>| {
+        let key = task.instruction.to_lowercase();
+        let (_, reference, wrong) = entries.iter().find(|(k, _, _)| *k == key)?;
+        // The paper's Python failures come from "the Python variant of AskIt
+        // not leveraging parameter types for prompt generation": the wrong
+        // assumption is only made when the *Python* pipeline omits the types.
+        // (A deliberate `any` in the TypeScript pipeline, like task #21's
+        // `{o: any}`, still reads as "a JSON value" to the model.)
+        let blind = task.syntax == minilang::Syntax::Py
+            && task.params.iter().all(|p| p.ty == askit_types::any());
+        match (blind, wrong) {
+            (true, Some(w)) => Some(w.clone()),
+            _ => Some(reference.clone()),
+        }
+    });
+}
+
+/// Builds the 50-task catalogue.
+pub fn tasks() -> Vec<CodingTask> {
+    let mut tasks = vec![
+        CodingTask {
+            id: 1,
+            template: "Reverse the string {{s}}.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "hello")], "olleh"), example(&[("s", "")], "")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  return s.split('').reverse().join('');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 2,
+            template: "Calculate the factorial of {{n}}.",
+            return_type: int(),
+            param_types: vec![("n", int())],
+            tests: vec![example(&[("n", 5i64)], 120i64), example(&[("n", 0i64)], 1i64)],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): number {\n  let acc = 1;\n  for (let i = 2; i <= n; i++) {\n    acc *= i;\n  }\n  return acc;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 3,
+            template: "Concatenate the strings {{ss}}.",
+            return_type: string(),
+            param_types: vec![("ss", list(string()))],
+            tests: vec![example(
+                &[("ss", Json::parse(r#"["a","b","c"]"#).unwrap())],
+                Json::from("abc"),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({ss}: {ss: string[]}): string {\n  return ss.join('');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 4,
+            template: "Sort the numbers {{ns}} in ascending order.",
+            return_type: list(int()),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(
+                &[("ns", Json::parse("[3,1,2]").unwrap())],
+                Json::parse("[1,2,3]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number[] {\n  let copy = ns.slice();\n  copy.sort();\n  return copy;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 5,
+            template: "Find the largest number in {{ns}}.",
+            return_type: int(),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(&[("ns", Json::parse("[4,9,2]").unwrap())], Json::Int(9))],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let best = ns[0];\n  for (const v of ns) {\n    if (v > best) {\n      best = v;\n    }\n  }\n  return best;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 6,
+            template: "Check if {{n}} is a palindrome.",
+            return_type: boolean(),
+            param_types: vec![("n", int())],
+            tests: vec![
+                example(&[("n", 121i64)], true),
+                example(&[("n", 123i64)], false),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): boolean {\n  let t = String(n);\n  return t === t.split('').reverse().join('');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 7,
+            template: "Calculate the sum of all numbers in {{ns}}.",
+            return_type: int(),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(&[("ns", Json::parse("[1,2,3]").unwrap())], Json::Int(6))],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let total = 0;\n  for (const v of ns) {\n    total += v;\n  }\n  return total;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 8,
+            template: "Calculate the average of all numbers in {{ns}}.",
+            return_type: float(),
+            param_types: vec![("ns", list(float()))],
+            tests: vec![example(&[("ns", Json::parse("[1,2,3,4]").unwrap())], Json::Float(2.5))],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let total = 0;\n  for (const v of ns) {\n    total += v;\n  }\n  return total / ns.length;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 9,
+            template: "Count the number of occurrences of {{x}} in {{xs}}.",
+            return_type: int(),
+            param_types: vec![("xs", list(int())), ("x", int())],
+            tests: vec![example(
+                &[("xs", Json::parse("[1,2,1,1]").unwrap()), ("x", Json::Int(1))],
+                Json::Int(3),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({xs, x}: {xs: number[], x: number}): number {\n  let c = 0;\n  for (const v of xs) {\n    if (v === x) {\n      c += 1;\n    }\n  }\n  return c;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 10,
+            template: "Remove all instances of {{x}} from {{xs}}.",
+            return_type: list(int()),
+            param_types: vec![("xs", list(int())), ("x", int())],
+            tests: vec![example(
+                &[("xs", Json::parse("[1,2,1,3]").unwrap()), ("x", Json::Int(1))],
+                Json::parse("[2,3]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({xs, x}: {xs: number[], x: number}): number[] {\n  let out = [];\n  for (const v of xs) {\n    if (v !== x) {\n      out.push(v);\n    }\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 11,
+            template: "Return the unique elements in {{xs}}.",
+            return_type: list(int()),
+            param_types: vec![("xs", list(int()))],
+            tests: vec![example(
+                &[("xs", Json::parse("[3,1,3,2]").unwrap())],
+                Json::parse("[3,1,2]").unwrap(),
+            )],
+            py_ambiguous: true,
+            reference: "export function f({xs}: {xs: number[]}): number[] {\n  let out = [];\n  for (const v of xs) {\n    if (!out.includes(v)) {\n      out.push(v);\n    }\n  }\n  return out;\n}",
+            // The paper: "we presumed the parameter type for xs was Array.
+            // Contrarily, the generated code assumed it was set" — a set
+            // loses the original order.
+            wrong_when_untyped: Some(
+                "export function f({xs}: {xs: any}): any {\n  let out = [];\n  for (const v of xs) {\n    if (!out.includes(v)) {\n      out.push(v);\n    }\n  }\n  out.sort();\n  return out;\n}",
+            ),
+        },
+        CodingTask {
+            id: 12,
+            template: "Find the factorial of {{n}}.",
+            return_type: int(),
+            param_types: vec![("n", int())],
+            tests: vec![example(&[("n", 6i64)], 720i64)],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): number {\n  if (n <= 1) {\n    return 1;\n  }\n  let acc = 1;\n  for (let i = 2; i <= n; i++) {\n    acc *= i;\n  }\n  return acc;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 13,
+            template: "Check if the string {{s}} is a palindrome.",
+            return_type: boolean(),
+            param_types: vec![("s", string())],
+            tests: vec![
+                example(&[("s", "racecar")], true),
+                example(&[("s", "rust")], false),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): boolean {\n  return s === s.split('').reverse().join('');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 14,
+            template: "Generate the Fibonacci sequence up to {{n}}.",
+            return_type: list(int()),
+            param_types: vec![("n", int())],
+            tests: vec![example(
+                &[("n", 7i64)],
+                Json::parse("[0,1,1,2,3,5,8]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): number[] {\n  let seq = [];\n  let a = 0;\n  let b = 1;\n  for (let i = 0; i < n; i++) {\n    seq.push(a);\n    let t = a + b;\n    a = b;\n    b = t;\n  }\n  return seq;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 15,
+            template: "Find the minimum number in {{ns}}.",
+            return_type: int(),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(&[("ns", Json::parse("[4,9,2]").unwrap())], Json::Int(2))],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let best = ns[0];\n  for (const v of ns) {\n    if (v < best) {\n      best = v;\n    }\n  }\n  return best;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 16,
+            template: "Convert the string {{s}} to uppercase.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "abc")], "ABC")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  return s.toUpperCase();\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 17,
+            template: "Convert the string {{s}} to lowercase.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "AbC")], "abc")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  return s.toLowerCase();\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 18,
+            template: "Count the vowels in {{s}}.",
+            return_type: int(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "Education")], 5i64)],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): number {\n  let c = 0;\n  for (const ch of s) {\n    if ('aeiou'.includes(ch.toLowerCase())) {\n      c += 1;\n    }\n  }\n  return c;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 19,
+            template: "Check if {{s}} contains the substring {{sub}}.",
+            return_type: boolean(),
+            param_types: vec![("s", string()), ("sub", string())],
+            tests: vec![
+                example(&[("s", "hello world"), ("sub", "o w")], Json::Bool(true)),
+                example(&[("s", "hello"), ("sub", "z")], Json::Bool(false)),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({s, sub}: {s: string, sub: string}): boolean {\n  return s.includes(sub);\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 20,
+            template: "Split the string {{s}} by the delimiter {{d}}.",
+            return_type: list(string()),
+            param_types: vec![("s", string()), ("d", string())],
+            tests: vec![example(
+                &[("s", "a,b,c"), ("d", ",")],
+                Json::parse(r#"["a","b","c"]"#).unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({s, d}: {s: string, d: string}): string[] {\n  return s.split(d);\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 21,
+            template: "Convert the JSON object {{o}} into a string.",
+            return_type: string(),
+            param_types: vec![("o", any())],
+            tests: vec![example(
+                &[("o", Json::parse(r#"{"a":1}"#).unwrap())],
+                Json::from(r#"{"a":1}"#),
+            )],
+            py_ambiguous: true,
+            reference: "export function f({o}: {o: any}): string {\n  return JSON.stringify(o);\n}",
+            // Without a type, the model assumed `o` was already a string.
+            wrong_when_untyped: Some(
+                "export function f({o}: {o: any}): any {\n  return o;\n}",
+            ),
+        },
+        CodingTask {
+            id: 22,
+            template: "Merge the objects {{a}} and {{b}}.",
+            return_type: any(),
+            param_types: vec![("a", any()), ("b", any())],
+            tests: vec![example(
+                &[
+                    ("a", Json::parse(r#"{"x":1}"#).unwrap()),
+                    ("b", Json::parse(r#"{"y":2}"#).unwrap()),
+                ],
+                Json::parse(r#"{"x":1,"y":2}"#).unwrap(),
+            )],
+            py_ambiguous: true,
+            reference: "export function f({a, b}: {a: any, b: any}): any {\n  let out = {};\n  for (const k of Object.keys(a)) {\n    out[k] = a[k];\n  }\n  for (const k of Object.keys(b)) {\n    out[k] = b[k];\n  }\n  return out;\n}",
+            // Without types, the model assumed lists and concatenated.
+            wrong_when_untyped: Some(
+                "export function f({a, b}: {a: any, b: any}): any {\n  return a.concat(b);\n}",
+            ),
+        },
+        CodingTask {
+            id: 23,
+            template: "Get the keys of the object {{o}}.",
+            return_type: list(string()),
+            param_types: vec![("o", any())],
+            tests: vec![example(
+                &[("o", Json::parse(r#"{"alpha":1,"beta":2}"#).unwrap())],
+                Json::parse(r#"["alpha","beta"]"#).unwrap(),
+            )],
+            py_ambiguous: true,
+            reference: "export function f({o}: {o: any}): string[] {\n  return Object.keys(o);\n}",
+            // Without types, the model assumed a list of pairs.
+            wrong_when_untyped: Some(
+                "export function f({o}: {o: any}): any {\n  let out = [];\n  for (const p of o) {\n    out.push(p[0]);\n  }\n  return out;\n}",
+            ),
+        },
+        CodingTask {
+            id: 24,
+            template: "Find the difference in days between the dates {{d1}} and {{d2}}.",
+            return_type: int(),
+            param_types: vec![("d1", string()), ("d2", string())],
+            tests: vec![
+                example(&[("d1", "2021-01-01"), ("d2", "2021-01-31")], Json::Int(30)),
+                example(&[("d1", "2020-02-28"), ("d2", "2020-03-01")], Json::Int(2)),
+            ],
+            py_ambiguous: true,
+            reference: "export function f({d1, d2}: {d1: string, d2: string}): number {\n  let totals = [];\n  for (const ds of [d1, d2]) {\n    let parts = ds.split('-');\n    let y = parseInt(parts[0]);\n    let m = parseInt(parts[1]);\n    let day = parseInt(parts[2]);\n    let mdays = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];\n    let total = (y - 1970) * 365 + Math.floor((y - 1969) / 4) + mdays[m - 1] + (day - 1);\n    if (m > 2 && y % 4 === 0) {\n      total += 1;\n    }\n    totals.push(total);\n  }\n  return abs(totals[0] - totals[1]);\n}",
+            // Without types, the model assumed Date objects and subtracted.
+            wrong_when_untyped: Some(
+                "export function f({d1, d2}: {d1: any, d2: any}): any {\n  return d2 - d1;\n}",
+            ),
+        },
+        CodingTask {
+            id: 25,
+            template: "Check if {{n}} is a prime number.",
+            return_type: boolean(),
+            param_types: vec![("n", int())],
+            tests: vec![
+                example(&[("n", 13i64)], true),
+                example(&[("n", 12i64)], false),
+                example(&[("n", 1i64)], false),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): boolean {\n  if (n < 2) {\n    return false;\n  }\n  let i = 2;\n  while (i * i <= n) {\n    if (n % i === 0) {\n      return false;\n    }\n    i += 1;\n  }\n  return true;\n}",
+            wrong_when_untyped: None,
+        },
+    ];
+    tasks.extend(tasks_26_to_50());
+    debug_assert_eq!(tasks.len(), 50);
+    tasks
+}
+
+fn tasks_26_to_50() -> Vec<CodingTask> {
+    vec![
+        CodingTask {
+            id: 26,
+            template: "Compute the greatest common divisor of {{a}} and {{b}}.",
+            return_type: int(),
+            param_types: vec![("a", int()), ("b", int())],
+            tests: vec![example(&[("a", 12i64), ("b", 18i64)], 6i64)],
+            py_ambiguous: false,
+            reference: "export function f({a, b}: {a: number, b: number}): number {\n  let x = abs(a);\n  let y = abs(b);\n  while (y !== 0) {\n    let t = y;\n    y = x % y;\n    x = t;\n  }\n  return x;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 27,
+            template: "Compute the least common multiple of {{a}} and {{b}}.",
+            return_type: int(),
+            param_types: vec![("a", int()), ("b", int())],
+            tests: vec![example(&[("a", 4i64), ("b", 6i64)], 12i64)],
+            py_ambiguous: false,
+            reference: "export function f({a, b}: {a: number, b: number}): number {\n  let x = abs(a);\n  let y = abs(b);\n  while (y !== 0) {\n    let t = y;\n    y = x % y;\n    x = t;\n  }\n  return abs(a * b) / x;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 28,
+            template: "Convert {{c}} degrees Celsius to Fahrenheit.",
+            return_type: float(),
+            param_types: vec![("c", float())],
+            tests: vec![example(&[("c", 100i64)], 212i64), example(&[("c", 0i64)], 32i64)],
+            py_ambiguous: false,
+            reference: "export function f({c}: {c: number}): number {\n  return c * 9 / 5 + 32;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 29,
+            template: "Find the index of {{x}} in {{xs}}.",
+            return_type: int(),
+            param_types: vec![("xs", list(int())), ("x", int())],
+            tests: vec![
+                example(&[("xs", Json::parse("[5,6,7]").unwrap()), ("x", Json::Int(6))], Json::Int(1)),
+                example(&[("xs", Json::parse("[5]").unwrap()), ("x", Json::Int(9))], Json::Int(-1)),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({xs, x}: {xs: number[], x: number}): number {\n  return xs.indexOf(x);\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 30,
+            template: "Check if the list {{xs}} is sorted in ascending order.",
+            return_type: boolean(),
+            param_types: vec![("xs", list(int()))],
+            tests: vec![
+                example(&[("xs", Json::parse("[1,2,2,4]").unwrap())], Json::Bool(true)),
+                example(&[("xs", Json::parse("[2,1]").unwrap())], Json::Bool(false)),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({xs}: {xs: number[]}): boolean {\n  for (let i = 1; i < xs.length; i++) {\n    if (xs[i - 1] > xs[i]) {\n      return false;\n    }\n  }\n  return true;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 31,
+            template: "Capitalize the first letter of each word in {{s}}.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "hello brave world")], "Hello Brave World")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  let out = [];\n  for (const w of s.split(' ')) {\n    if (w.length > 0) {\n      out.push(w.slice(0, 1).toUpperCase() + w.slice(1));\n    } else {\n      out.push(w);\n    }\n  }\n  return out.join(' ');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 32,
+            template: "Trim the whitespace from the string {{s}}.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "  hi  ")], "hi")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  return s.trim();\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 33,
+            template: "Repeat the string {{s}} {{n}} times.",
+            return_type: string(),
+            param_types: vec![("s", string()), ("n", int())],
+            tests: vec![example(&[("s", Json::from("ab")), ("n", Json::Int(3))], Json::from("ababab"))],
+            py_ambiguous: false,
+            reference: "export function f({s, n}: {s: string, n: number}): string {\n  return s.repeat(n);\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 34,
+            template: "Find the longest word in the sentence {{s}}.",
+            return_type: string(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "the quick brown foxes")], "quick")],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): string {\n  let best = '';\n  for (const w of s.split(' ')) {\n    if (w.length > best.length) {\n      best = w;\n    }\n  }\n  return best;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 35,
+            template: "Count the words in the sentence {{s}}.",
+            return_type: int(),
+            param_types: vec![("s", string())],
+            tests: vec![example(&[("s", "one two  three")], 3i64)],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): number {\n  let c = 0;\n  for (const w of s.split(' ')) {\n    if (w.length > 0) {\n      c += 1;\n    }\n  }\n  return c;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 36,
+            template: "Compute the absolute value of {{n}}.",
+            return_type: float(),
+            param_types: vec![("n", float())],
+            tests: vec![example(&[("n", Json::Int(-4))], Json::Int(4))],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): number {\n  if (n < 0) {\n    return -n;\n  }\n  return n;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 37,
+            template: "Round {{x}} to {{d}} decimal places.",
+            return_type: float(),
+            param_types: vec![("x", float()), ("d", int())],
+            tests: vec![example(&[("x", Json::Float(3.14159)), ("d", Json::Int(2))], Json::Float(3.14))],
+            py_ambiguous: false,
+            reference: "export function f({x, d}: {x: number, d: number}): number {\n  let factor = 10 ** d;\n  return round(x * factor) / factor;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 38,
+            template: "Convert the binary string {{b}} to a number.",
+            return_type: int(),
+            param_types: vec![("b", string())],
+            tests: vec![example(&[("b", "1011")], 11i64)],
+            py_ambiguous: false,
+            reference: "export function f({b}: {b: string}): number {\n  let v = 0;\n  for (const ch of b) {\n    v = v * 2 + parseInt(ch);\n  }\n  return v;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 39,
+            template: "Convert the number {{n}} to a binary string.",
+            return_type: string(),
+            param_types: vec![("n", int())],
+            tests: vec![example(&[("n", 11i64)], "1011"), example(&[("n", 0i64)], "0")],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): string {\n  if (n === 0) {\n    return '0';\n  }\n  let v = n;\n  let out = '';\n  while (v > 0) {\n    out = String(v % 2) + out;\n    v = Math.floor(v / 2);\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 40,
+            template: "Find the second largest number in {{ns}}.",
+            return_type: int(),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(&[("ns", Json::parse("[4,9,2,7]").unwrap())], Json::Int(7))],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let copy = ns.slice();\n  copy.sort();\n  return copy[copy.length - 2];\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 41,
+            template: "Interleave the lists {{a}} and {{b}}.",
+            return_type: list(int()),
+            param_types: vec![("a", list(int())), ("b", list(int()))],
+            tests: vec![example(
+                &[("a", Json::parse("[1,3]").unwrap()), ("b", Json::parse("[2,4]").unwrap())],
+                Json::parse("[1,2,3,4]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({a, b}: {a: number[], b: number[]}): number[] {\n  let out = [];\n  for (let i = 0; i < a.length; i++) {\n    out.push(a[i]);\n    out.push(b[i]);\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 42,
+            template: "Flatten the nested list {{xs}} by one level.",
+            return_type: list(int()),
+            param_types: vec![("xs", list(list(int())))],
+            tests: vec![example(
+                &[("xs", Json::parse("[[1,2],[3]]").unwrap())],
+                Json::parse("[1,2,3]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({xs}: {xs: number[][]}): number[] {\n  let out = [];\n  for (const inner of xs) {\n    for (const v of inner) {\n      out.push(v);\n    }\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 43,
+            template: "Compute the dot product of {{a}} and {{b}}.",
+            return_type: int(),
+            param_types: vec![("a", list(int())), ("b", list(int()))],
+            tests: vec![example(
+                &[("a", Json::parse("[1,2,3]").unwrap()), ("b", Json::parse("[4,5,6]").unwrap())],
+                Json::Int(32),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({a, b}: {a: number[], b: number[]}): number {\n  let total = 0;\n  for (let i = 0; i < a.length; i++) {\n    total += a[i] * b[i];\n  }\n  return total;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 44,
+            template: "Find all numbers in {{ns}} greater than {{t}}.",
+            return_type: list(int()),
+            param_types: vec![("ns", list(int())), ("t", int())],
+            tests: vec![example(
+                &[("ns", Json::parse("[1,5,3,8]").unwrap()), ("t", Json::Int(3))],
+                Json::parse("[5,8]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({ns, t}: {ns: number[], t: number}): number[] {\n  let out = [];\n  for (const v of ns) {\n    if (v > t) {\n      out.push(v);\n    }\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 45,
+            template: "Compute the running sum of {{ns}}.",
+            return_type: list(int()),
+            param_types: vec![("ns", list(int()))],
+            tests: vec![example(
+                &[("ns", Json::parse("[1,2,3]").unwrap())],
+                Json::parse("[1,3,6]").unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number[] {\n  let out = [];\n  let total = 0;\n  for (const v of ns) {\n    total += v;\n    out.push(total);\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 46,
+            template: "Check if {{s}} is a valid email address.",
+            return_type: boolean(),
+            param_types: vec![("s", string())],
+            tests: vec![
+                example(&[("s", "a@b.co")], true),
+                example(&[("s", "nope")], false),
+                example(&[("s", "@b.co")], false),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({s}: {s: string}): boolean {\n  let at = s.indexOf('@');\n  if (at <= 0) {\n    return false;\n  }\n  let rest = s.slice(at + 1);\n  return rest.includes('.') && !rest.includes('@') && rest.length > 2;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 47,
+            template: "Pad the number {{n}} with zeros to width {{w}}.",
+            return_type: string(),
+            param_types: vec![("n", int()), ("w", int())],
+            tests: vec![example(&[("n", Json::Int(7)), ("w", Json::Int(3))], Json::from("007"))],
+            py_ambiguous: false,
+            reference: "export function f({n, w}: {n: number, w: number}): string {\n  return String(n).padStart(w, '0');\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 48,
+            template: "Swap the keys and values of the object {{o}}.",
+            return_type: any(),
+            param_types: vec![("o", any())],
+            tests: vec![example(
+                &[("o", Json::parse(r#"{"a":"x","b":"y"}"#).unwrap())],
+                Json::parse(r#"{"x":"a","y":"b"}"#).unwrap(),
+            )],
+            py_ambiguous: false,
+            reference: "export function f({o}: {o: any}): any {\n  let out = {};\n  for (const k of Object.keys(o)) {\n    out[o[k]] = k;\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 49,
+            template: "Compute the median of {{ns}}.",
+            return_type: float(),
+            param_types: vec![("ns", list(float()))],
+            tests: vec![
+                example(&[("ns", Json::parse("[3,1,2]").unwrap())], Json::Int(2)),
+                example(&[("ns", Json::parse("[4,1,2,3]").unwrap())], Json::Float(2.5)),
+            ],
+            py_ambiguous: false,
+            reference: "export function f({ns}: {ns: number[]}): number {\n  let copy = ns.slice();\n  copy.sort();\n  let mid = Math.floor(copy.length / 2);\n  if (copy.length % 2 === 1) {\n    return copy[mid];\n  }\n  return (copy[mid - 1] + copy[mid]) / 2;\n}",
+            wrong_when_untyped: None,
+        },
+        CodingTask {
+            id: 50,
+            template: "Generate a list of the first {{n}} square numbers.",
+            return_type: list(int()),
+            param_types: vec![("n", int())],
+            tests: vec![example(&[("n", 4i64)], Json::parse("[1,4,9,16]").unwrap())],
+            py_ambiguous: false,
+            reference: "export function f({n}: {n: number}): number[] {\n  let out = [];\n  for (let i = 1; i <= n; i++) {\n    out.push(i * i);\n  }\n  return out;\n}",
+            wrong_when_untyped: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::pretty::Syntax;
+    use minilang::Interp;
+
+    #[test]
+    fn catalogue_has_50_distinct_tasks() {
+        let all = tasks();
+        assert_eq!(all.len(), 50);
+        let mut keys: Vec<String> = all.iter().map(CodingTask::instruction_key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 50, "instruction keys must be unique");
+        let ambiguous: Vec<usize> =
+            all.iter().filter(|t| t.py_ambiguous).map(|t| t.id).collect();
+        assert_eq!(ambiguous, [11, 21, 22, 23, 24], "the paper's failing tasks");
+    }
+
+    #[test]
+    fn every_reference_passes_its_own_tests() {
+        for task in tasks() {
+            let decl = task.reference_decl();
+            let program = minilang::ast::Program { functions: vec![decl] };
+            for (i, t) in task.tests.iter().enumerate() {
+                let out = Interp::new(&program)
+                    .call_json("f", &t.input)
+                    .unwrap_or_else(|e| panic!("task {} test {i}: {e}", task.id));
+                assert!(
+                    out.loosely_equals(&t.output),
+                    "task {} test {i}: expected {}, got {out}",
+                    task.id,
+                    t.output
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_reference_survives_python_printing() {
+        // The oracle prints these ASTs as MiniPy for the Python pipeline;
+        // the printed form must re-parse and still pass the tests.
+        for task in tasks() {
+            let decl = task.reference_decl();
+            let py = minilang::print_function(&decl, Syntax::Py);
+            let program = minilang::parse_py(&py)
+                .unwrap_or_else(|e| panic!("task {}: printed Py does not parse: {e}\n{py}", task.id));
+            for (i, t) in task.tests.iter().enumerate() {
+                let out = Interp::new(&program)
+                    .call_json("f", &t.input)
+                    .unwrap_or_else(|e| panic!("task {} (py) test {i}: {e}\n{py}", task.id));
+                assert!(
+                    out.loosely_equals(&t.output),
+                    "task {} (py) test {i}: expected {}, got {out}",
+                    task.id,
+                    t.output
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_variants_fail_at_least_one_test() {
+        for task in tasks().iter().filter(|t| t.py_ambiguous) {
+            let decl = task.wrong_decl().expect("ambiguous tasks carry a wrong variant");
+            let program = minilang::ast::Program { functions: vec![decl] };
+            let all_pass = task.tests.iter().all(|t| {
+                Interp::new(&program)
+                    .call_json("f", &t.input)
+                    .map(|out| out.loosely_equals(&t.output))
+                    .unwrap_or(false)
+            });
+            assert!(!all_pass, "task {}: wrong variant passes all tests", task.id);
+        }
+    }
+
+    #[test]
+    fn oracle_serves_reference_or_wrong_by_typedness() {
+        let mut oracle = Oracle::empty();
+        register_oracle(&mut oracle);
+        let unique = tasks().into_iter().find(|t| t.id == 11).unwrap();
+        let key = unique.instruction_key();
+        let typed_params = vec![minilang::ast::Param {
+            name: "xs".into(),
+            ty: list(int()),
+        }];
+        let untyped_params = vec![minilang::ast::Param {
+            name: "xs".into(),
+            ty: any(),
+        }];
+        let ret = list(int());
+        let typed = oracle
+            .implement(&CodeTask {
+                instruction: &key,
+                name: "u",
+                params: &typed_params,
+                ret: &ret,
+                syntax: Syntax::Ts,
+            })
+            .unwrap();
+        let untyped = oracle
+            .implement(&CodeTask {
+                instruction: &key,
+                name: "u",
+                params: &untyped_params,
+                ret: &ret,
+                syntax: Syntax::Py,
+            })
+            .unwrap();
+        assert_ne!(typed.body, untyped.body, "typedness must select the variant");
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 7: how often each type constructor is used across the evals
+//! benchmarks (top-level vs anywhere).
+
+use askit_types::stats::{TypeStats, TypeTag};
+
+use crate::report::bar_chart;
+
+/// The experiment output: the two count series of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Report {
+    /// The collected statistics.
+    pub stats: TypeStats,
+}
+
+/// Runs the Figure 7 analysis (purely static — no model involved).
+pub fn run() -> Fig7Report {
+    let benchmarks = askit_datasets::evals::benchmarks();
+    let stats = TypeStats::collect(benchmarks.iter().map(|b| &b.answer_type));
+    Fig7Report { stats }
+}
+
+/// Renders both bar series in the paper's tag order.
+pub fn render(report: &Fig7Report) -> String {
+    let all: Vec<(String, usize)> = TypeTag::ALL
+        .iter()
+        .map(|t| (t.to_string(), report.stats.count(*t, true)))
+        .collect();
+    let top: Vec<(String, usize)> = TypeTag::ALL
+        .iter()
+        .map(|t| (t.to_string(), report.stats.count(*t, false)))
+        .collect();
+    format!(
+        "Figure 7 — type usage across the 50 benchmarks (paper: string most frequent top-level; literal frequent among all types)\n\n{}\n{}",
+        bar_chart(&all, "All types"),
+        bar_chart(&top, "Top-level types"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_matches_the_paper_shape() {
+        let report = run();
+        let s = &report.stats;
+        assert_eq!(s.total_top_level(), 50);
+        // Paper ordering: string > number > boolean at top level.
+        assert!(s.count(TypeTag::String, false) > s.count(TypeTag::Number, false));
+        assert!(s.count(TypeTag::Number, false) > s.count(TypeTag::Boolean, false));
+        // Literals appear only nested (inside unions).
+        assert_eq!(s.count(TypeTag::Literal, false), 0);
+        assert!(s.count(TypeTag::Literal, true) > s.count(TypeTag::Union, true));
+        let rendered = render(&report);
+        assert!(rendered.contains("All types"));
+        assert!(rendered.contains("Top-level types"));
+    }
+}

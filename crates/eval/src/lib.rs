@@ -1,0 +1,27 @@
+//! # askit-eval
+//!
+//! The experiment harness: one module per table/figure of the AskIt paper's
+//! evaluation (§IV), each with a `run` function returning a typed report and
+//! a `render` function producing the text artifact. The `askit-eval` binary
+//! drives them and writes results under `reports/`.
+//!
+//! | module | reproduces | paper result |
+//! |---|---|---|
+//! | [`table2`] | Table II | 50 tasks, avg 7.56/6.52 LOC, Py fails #11, #21–24 |
+//! | [`fig5`] | Figure 5 | 139/164 success, 8.05 vs 7.57 LOC |
+//! | [`fig6`] | Figure 6 | 16.14% mean prompt reduction |
+//! | [`fig7`] | Figure 7 | type-usage counts |
+//! | [`table3`] | Table III | 275,092× / 6,969,904× speedups |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod report;
+pub mod table2;
+pub mod table3;
+
+/// The default seed experiments run with (fixed for reproducibility).
+pub const DEFAULT_SEED: u64 = 20240302; // CGO 2024's opening day

@@ -1,0 +1,78 @@
+//! The `askit-eval` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S]
+//! ```
+//!
+//! Reports are printed and also written under `reports/` (override with
+//! `ASKIT_REPORTS_DIR`).
+
+use askit_eval::{fig5, fig6, fig7, report, table2, table3, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut count = askit_datasets::gsm8k::TEST_SET_SIZE;
+    let mut seed = DEFAULT_SEED;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => {
+                count = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--count needs a number"));
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" => {
+                which = arg.clone();
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let run_table2 = || emit("table2.txt", &table2::render(&table2::run(seed)));
+    let run_fig5 = || emit("fig5.txt", &fig5::render(&fig5::run(seed)));
+    let run_fig6 = || emit("fig6.txt", &fig6::render(&fig6::run(seed)));
+    let run_fig7 = || emit("fig7.txt", &fig7::render(&fig7::run()));
+    let run_table3 = || {
+        eprintln!("running table3 over {count} problems (use --count to shrink)...");
+        emit("table3.txt", &table3::render(&table3::run(count, seed)));
+    };
+
+    match which.as_str() {
+        "table2" => run_table2(),
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(),
+        "table3" => run_table3(),
+        _ => {
+            run_table2();
+            run_fig5();
+            run_fig6();
+            run_fig7();
+            run_table3();
+        }
+    }
+}
+
+fn emit(name: &str, content: &str) {
+    println!("{content}");
+    match report::write_report(name, content) {
+        Ok(path) => eprintln!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[could not write report: {e}]"),
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "askit-eval: {problem}\nusage: askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,187 @@
+//! Report rendering: ASCII tables, text histograms, file output.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<width$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a text histogram over bucketed values.
+///
+/// `bucket` is the bucket width; values ≥ `max` land in the last bucket.
+pub fn histogram(values: &[f64], bucket: f64, max: f64, label: &str) -> String {
+    let buckets = (max / bucket).ceil() as usize;
+    let mut counts = vec![0usize; buckets.max(1)];
+    for &v in values {
+        let idx = ((v / bucket) as usize).min(counts.len() - 1);
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("{label}\n");
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = i as f64 * bucket;
+        let hi = lo + bucket;
+        let bar_len = (c * 50).div_ceil(peak);
+        let _ = writeln!(
+            out,
+            "{lo:>6.0}-{hi:<6.0} | {:<50} {c}",
+            "#".repeat(if c == 0 { 0 } else { bar_len.max(1) })
+        );
+    }
+    out
+}
+
+/// Renders a labelled bar chart (for Figure 7's grouped counts).
+pub fn bar_chart(entries: &[(String, usize)], label: &str) -> String {
+    let peak = entries.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let name_width = entries.iter().map(|(n, _)| n.chars().count()).max().unwrap_or(4);
+    let mut out = format!("{label}\n");
+    for (name, count) in entries {
+        let bar_len = (count * 40).div_ceil(peak);
+        let _ = writeln!(
+            out,
+            "{name:<name_width$} | {:<40} {count}",
+            "#".repeat(if *count == 0 { 0 } else { bar_len.max(1) })
+        );
+    }
+    out
+}
+
+/// The directory reports are written to (override with `ASKIT_REPORTS_DIR`).
+pub fn reports_dir() -> PathBuf {
+    std::env::var_os("ASKIT_REPORTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("reports"))
+}
+
+/// Writes a report file and returns its path.
+///
+/// # Errors
+///
+/// Propagates I/O errors as a string (the harness prints and continues).
+pub fn write_report(name: &str, content: &str) -> Result<PathBuf, String> {
+    let dir = reports_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    std::fs::write(&path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["#", "name", "loc"]);
+        t.row(["1", "reverse", "5"]);
+        t.row(["20", "x", "10"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("#   name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("reverse"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let h = histogram(&[5.0, 10.0, 55.0, 1000.0], 50.0, 100.0, "test");
+        assert!(h.contains("test"));
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3, "{h}");
+        assert!(lines[1].trim_end().ends_with('2'), "{h}"); // 5 and 10
+        assert!(lines[2].trim_end().ends_with('2'), "{h}"); // 55 and clamped 1000
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let c = bar_chart(&[("string".into(), 20), ("number".into(), 5)], "types");
+        assert!(c.contains("string"));
+        assert!(c.lines().nth(1).unwrap().matches('#').count() > c.lines().nth(2).unwrap().matches('#').count());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

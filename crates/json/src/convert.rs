@@ -1,0 +1,355 @@
+//! [`ToJson`] / [`FromJson`]: conversions between Rust values and [`Json`].
+//!
+//! These traits are the Rust analog of the typed extraction AskIt performs on
+//! model answers: once the runtime has validated a [`Json`] value against an
+//! AskIt type, `FromJson` moves it into a plain Rust value.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::value::{Json, JsonKind, Map};
+
+/// Conversion of a Rust value into [`Json`].
+///
+/// ```
+/// use askit_json::{Json, ToJson};
+/// assert_eq!(vec![1i64, 2].to_json(), Json::parse("[1,2]").unwrap());
+/// ```
+pub trait ToJson {
+    /// Converts `self` to a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion of a [`Json`] value into a Rust value.
+///
+/// ```
+/// use askit_json::{FromJson, Json};
+/// let v = Json::parse("[1, 2, 3]").unwrap();
+/// let xs: Vec<i64> = FromJson::from_json(&v)?;
+/// assert_eq!(xs, [1, 2, 3]);
+/// # Ok::<(), askit_json::FromJsonError>(())
+/// ```
+pub trait FromJson: Sized {
+    /// Converts a [`Json`] value to `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FromJsonError`] when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, FromJsonError>;
+}
+
+/// Error for a failed [`FromJson`] conversion, carrying the path into the
+/// value where the mismatch occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromJsonError {
+    path: String,
+    expected: String,
+    found: JsonKind,
+}
+
+impl FromJsonError {
+    /// Creates a mismatch error at the value root.
+    pub fn mismatch(expected: impl Into<String>, found: &Json) -> Self {
+        FromJsonError { path: String::new(), expected: expected.into(), found: found.kind() }
+    }
+
+    /// Returns this error re-rooted under `segment` (e.g. an array index or
+    /// object key), used when conversions recurse.
+    #[must_use]
+    pub fn nested(mut self, segment: &str) -> Self {
+        if self.path.is_empty() {
+            self.path = segment.to_owned();
+        } else {
+            self.path = format!("{segment}.{}", self.path);
+        }
+        self
+    }
+
+    /// The dotted path from the root to the mismatched value (empty = root).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl fmt::Display for FromJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "expected {}, found {}", self.expected, self.found)
+        } else {
+            write!(f, "at {}: expected {}, found {}", self.path, self.expected, self.found)
+        }
+    }
+}
+
+impl Error for FromJsonError {}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        v.as_bool().ok_or_else(|| FromJsonError::mismatch("boolean", v))
+    }
+}
+
+macro_rules! int_conversions {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+                let i = v.as_i64().ok_or_else(|| FromJsonError::mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| FromJsonError::mismatch(
+                    concat!("integer in range of ", stringify!($t)), v))
+            }
+        }
+    )*};
+}
+
+int_conversions!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        v.as_f64().ok_or_else(|| FromJsonError::mismatch("number", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| FromJsonError::mismatch("string", v))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.nested(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for BTreeMap<String, T> {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        let obj = v.as_object().ok_or_else(|| FromJsonError::mismatch("object", v))?;
+        obj.iter()
+            .map(|(k, val)| {
+                T::from_json(val).map(|t| (k.to_owned(), t)).map_err(|e| e.nested(k))
+            })
+            .collect()
+    }
+}
+
+impl ToJson for Map {
+    fn to_json(&self) -> Json {
+        Json::Object(self.clone())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("2-element array", v))?;
+        if items.len() != 2 {
+            return Err(FromJsonError::mismatch("2-element array", v));
+        }
+        Ok((
+            A::from_json(&items[0]).map_err(|e| e.nested("[0]"))?,
+            B::from_json(&items[1]).map_err(|e| e.nested("[1]"))?,
+        ))
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, FromJsonError> {
+        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("3-element array", v))?;
+        if items.len() != 3 {
+            return Err(FromJsonError::mismatch("3-element array", v));
+        }
+        Ok((
+            A::from_json(&items[0]).map_err(|e| e.nested("[0]"))?,
+            B::from_json(&items[1]).map_err(|e| e.nested("[1]"))?,
+            C::from_json(&items[2]).map_err(|e| e.nested("[2]"))?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+        assert_eq!(i64::from_json(&(-9i64).to_json()).unwrap(), -9);
+        assert_eq!(u8::from_json(&Json::Int(200)).unwrap(), 200);
+        assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn int_range_checking() {
+        assert!(u8::from_json(&Json::Int(300)).is_err());
+        assert!(u32::from_json(&Json::Int(-1)).is_err());
+        assert!(i64::from_json(&Json::Float(1.5)).is_err());
+        assert_eq!(i64::from_json(&Json::Float(3.0)).unwrap(), 3);
+    }
+
+    #[test]
+    fn f64_accepts_ints() {
+        assert_eq!(f64::from_json(&Json::Int(4)).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn vec_roundtrip_and_error_path() {
+        let v = vec![1i64, 2, 3].to_json();
+        let back: Vec<i64> = FromJson::from_json(&v).unwrap();
+        assert_eq!(back, [1, 2, 3]);
+
+        let bad = Json::parse(r#"[1, "x", 3]"#).unwrap();
+        let err = <Vec<i64>>::from_json(&bad).unwrap_err();
+        assert_eq!(err.path(), "[1]");
+        assert!(err.to_string().contains("at [1]"), "{err}");
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(<Option<i64>>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(<Option<i64>>::from_json(&Json::Int(1)).unwrap(), Some(1));
+        assert_eq!(None::<i64>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn btreemap_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1i64);
+        m.insert("b".to_owned(), 2);
+        let v = m.to_json();
+        let back: BTreeMap<String, i64> = FromJson::from_json(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_error_paths_compose() {
+        let bad = Json::parse(r#"{"xs": [true, "no"]}"#).unwrap();
+        let err = <BTreeMap<String, Vec<bool>>>::from_json(&bad).unwrap_err();
+        assert_eq!(err.path(), "xs.[1]");
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let v = (1i64, "x".to_owned()).to_json();
+        let back: (i64, String) = FromJson::from_json(&v).unwrap();
+        assert_eq!(back, (1, "x".to_owned()));
+        assert!(<(i64, String)>::from_json(&Json::parse("[1]").unwrap()).is_err());
+
+        let t3 = (1i64, 2.0f64, true).to_json();
+        let back3: (i64, f64, bool) = FromJson::from_json(&t3).unwrap();
+        assert_eq!(back3, (1, 2.0, true));
+    }
+
+    #[test]
+    fn slices_serialize() {
+        let xs = [1i64, 2];
+        assert_eq!(xs[..].to_json(), Json::parse("[1,2]").unwrap());
+    }
+}

@@ -1,0 +1,240 @@
+//! Extraction of fenced code blocks and embedded JSON from model prose.
+//!
+//! Step 3 of both AskIt interaction loops (paper §III-D and §III-E) begins by
+//! pulling a payload out of a natural-language response: a ```` ```json ````
+//! fence for directly answerable tasks, a ```` ```typescript ```` /
+//! ```` ```python ```` fence for generated code. Models do not always oblige,
+//! so [`extract_json`] falls back to scanning for the first parsable value —
+//! exactly the leniency that makes the retry loop rarely needed.
+
+use crate::value::Json;
+
+/// One fenced code block found in a markdown-ish document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeBlock<'a> {
+    /// The info string after the opening fence (e.g. `"json"`), possibly empty.
+    pub lang: &'a str,
+    /// The raw content between the fences, without the fence lines.
+    pub content: &'a str,
+}
+
+/// Finds every triple-backtick code block in `text`, in order.
+///
+/// A fence opens at a line starting with ```` ``` ```` (leading whitespace
+/// allowed) and closes at the next such line. An unclosed fence yields a block
+/// running to the end of the text, which matches how chat UIs render it.
+///
+/// ```
+/// use askit_json::extract::code_blocks;
+/// let doc = "intro\n```json\n{\"a\": 1}\n```\ntail";
+/// let blocks = code_blocks(doc);
+/// assert_eq!(blocks.len(), 1);
+/// assert_eq!(blocks[0].lang, "json");
+/// assert_eq!(blocks[0].content.trim(), "{\"a\": 1}");
+/// ```
+pub fn code_blocks(text: &str) -> Vec<CodeBlock<'_>> {
+    let mut blocks = Vec::new();
+    let mut lines = LineSpans::new(text);
+    while let Some((start, end)) = lines.next() {
+        let line = &text[start..end];
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("```") {
+            let lang = rest.trim();
+            // Content starts right after this line's newline.
+            let content_start = (end + 1).min(text.len());
+            let mut content_end = text.len();
+            for (s2, e2) in lines.by_ref() {
+                if text[s2..e2].trim_start().starts_with("```") {
+                    content_end = s2;
+                    break;
+                }
+                content_end = text.len();
+            }
+            // Trim a single trailing newline that belongs to the fence line.
+            let content = &text[content_start.min(content_end)..content_end];
+            let content = content.strip_suffix('\n').unwrap_or(content);
+            blocks.push(CodeBlock { lang, content });
+        }
+    }
+    blocks
+}
+
+/// Returns the first code block whose info string equals `lang`
+/// (case-insensitive), or whose info string is empty if none matches exactly.
+///
+/// ```
+/// use askit_json::extract::code_block;
+/// let doc = "```text\nx\n```\n```TypeScript\nlet a = 1;\n```";
+/// assert_eq!(code_block(doc, "typescript").unwrap(), "let a = 1;");
+/// ```
+pub fn code_block<'a>(text: &'a str, lang: &str) -> Option<&'a str> {
+    let blocks = code_blocks(text);
+    if let Some(b) = blocks.iter().find(|b| b.lang.eq_ignore_ascii_case(lang)) {
+        return Some(b.content);
+    }
+    blocks.iter().find(|b| b.lang.is_empty()).map(|b| b.content)
+}
+
+/// Extracts a JSON value from a model response.
+///
+/// Tries, in order:
+/// 1. a ```` ```json ```` fence (or an unlabeled fence) parsed as JSON;
+/// 2. the first `{` or `[` in the text from which a complete value parses.
+///
+/// Returns `None` when no strategy yields valid JSON — the condition that
+/// trips criterion 1 of the runtime's retry loop (paper §III-E).
+///
+/// ```
+/// use askit_json::{extract::extract_json, Json};
+/// let v = extract_json("Sure! Here you go: {\"answer\": 7} — enjoy").unwrap();
+/// assert_eq!(v.get_key("answer"), Some(&Json::Int(7)));
+/// ```
+pub fn extract_json(text: &str) -> Option<Json> {
+    for block in code_blocks(text) {
+        if block.lang.eq_ignore_ascii_case("json") || block.lang.is_empty() {
+            if let Ok(v) = Json::parse(block.content.trim()) {
+                return Some(v);
+            }
+            // A fence that fails to parse may still hold a value plus noise.
+            if let Ok((v, _)) = Json::parse_prefix(block.content.trim_start()) {
+                return Some(v);
+            }
+        }
+    }
+    scan_for_json(text)
+}
+
+/// Scans raw text for the first position where a JSON object or array parses.
+fn scan_for_json(text: &str) -> Option<Json> {
+    for (idx, ch) in text.char_indices() {
+        if ch == '{' || ch == '[' {
+            if let Ok((v, _)) = Json::parse_prefix(&text[idx..]) {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Iterator over `(start, end)` byte spans of lines (excluding the `\n`).
+struct LineSpans<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> LineSpans<'a> {
+    fn new(text: &'a str) -> Self {
+        LineSpans { text, pos: 0 }
+    }
+}
+
+impl Iterator for LineSpans<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos > self.text.len() {
+            return None;
+        }
+        if self.pos == self.text.len() && self.pos != 0 {
+            return None;
+        }
+        let start = self.pos;
+        let end = self.text[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(self.text.len());
+        self.pos = end + 1;
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_multiple_blocks_in_order() {
+        let doc = "a\n```json\n1\n```\nmid\n```python\nx = 2\n```\n";
+        let blocks = code_blocks(doc);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].lang, "json");
+        assert_eq!(blocks[0].content, "1");
+        assert_eq!(blocks[1].lang, "python");
+        assert_eq!(blocks[1].content, "x = 2");
+    }
+
+    #[test]
+    fn unclosed_fence_runs_to_end() {
+        let doc = "```ts\nlet a = 1;\nlet b = 2;";
+        let blocks = code_blocks(doc);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].content, "let a = 1;\nlet b = 2;");
+    }
+
+    #[test]
+    fn indented_fences_are_recognized() {
+        let doc = "  ```json\n  {\"a\": 1}\n  ```";
+        let blocks = code_blocks(doc);
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].content.contains("\"a\""));
+    }
+
+    #[test]
+    fn block_lookup_is_case_insensitive_with_unlabeled_fallback() {
+        let doc = "```\nplain\n```";
+        assert_eq!(code_block(doc, "typescript"), Some("plain"));
+        let doc2 = "```TypeScript\ncode\n```";
+        assert_eq!(code_block(doc2, "typescript"), Some("code"));
+        assert_eq!(code_block("no fences here", "json"), None);
+    }
+
+    #[test]
+    fn empty_block_is_empty() {
+        let doc = "```json\n```";
+        let blocks = code_blocks(doc);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].content, "");
+    }
+
+    #[test]
+    fn extract_json_prefers_the_fence() {
+        let doc = "noise {\"decoy\": 0}\n```json\n{\"answer\": 1}\n```";
+        let v = extract_json(doc).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Int(1)));
+    }
+
+    #[test]
+    fn extract_json_falls_back_to_prose_scan() {
+        let doc = "The result is {\"answer\": [1, 2]} as requested.";
+        let v = extract_json(doc).unwrap();
+        assert_eq!(v.get_key("answer").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn extract_json_skips_unparsable_braces() {
+        let doc = "set {x} then see [not json] then [3,4] done";
+        let v = extract_json(doc).unwrap();
+        assert_eq!(v, Json::parse("[3,4]").unwrap());
+    }
+
+    #[test]
+    fn extract_json_handles_fence_with_trailing_prose() {
+        let doc = "```json\n{\"answer\": true} // inline comment\n```";
+        let v = extract_json(doc).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn extract_json_returns_none_when_hopeless() {
+        assert_eq!(extract_json("nothing to see here"), None);
+        assert_eq!(extract_json("{ broken"), None);
+    }
+
+    #[test]
+    fn line_spans_handles_trailing_newline() {
+        let spans: Vec<_> = LineSpans::new("a\nb\n").collect();
+        assert_eq!(spans, vec![(0, 1), (2, 3)]);
+        let spans2: Vec<_> = LineSpans::new("a\nb").collect();
+        assert_eq!(spans2, vec![(0, 1), (2, 3)]);
+    }
+}

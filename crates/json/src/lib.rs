@@ -1,0 +1,54 @@
+//! # askit-json
+//!
+//! A self-contained JSON substrate for the AskIt workspace.
+//!
+//! The AskIt runtime constrains large-language-model answers to JSON and then
+//! parses, validates and extracts them (paper §III-E). This crate owns that
+//! entire layer so the rest of the workspace never touches a third-party JSON
+//! implementation:
+//!
+//! * [`Json`] — the value model, with an insertion-ordered object [`Map`];
+//! * [`Json::parse`] — a recursive-descent parser with line/column error
+//!   reporting and a recursion-depth limit;
+//! * serialization — [`Json::to_compact_string`] and [`Json::to_pretty_string`];
+//! * [`extract`] — helpers that pull fenced code blocks and embedded JSON
+//!   values out of free-form model prose;
+//! * [`ToJson`]/[`FromJson`] — conversions between Rust values and [`Json`].
+//!
+//! # Examples
+//!
+//! ```
+//! use askit_json::Json;
+//!
+//! let v = Json::parse(r#"{"answer": [1, 2, 3], "reason": "counted"}"#)?;
+//! assert_eq!(v.get_key("answer").and_then(|a| a.get_idx(1)), Some(&Json::Int(2)));
+//! assert_eq!(v.to_compact_string(), r#"{"answer":[1,2,3],"reason":"counted"}"#);
+//! # Ok::<(), askit_json::ParseJsonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+pub mod extract;
+mod macros;
+mod parse;
+mod ser;
+mod value;
+
+pub use convert::{FromJson, FromJsonError, ToJson};
+pub use parse::{ParseJsonError, ParseJsonErrorKind};
+pub use value::{Json, JsonKind, Map};
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_roundtrip() {
+        let text = r#"{"b": [true, null, -2.5e1], "a": "x\ny"}"#;
+        let v = Json::parse(text).unwrap();
+        let back = Json::parse(&v.to_compact_string()).unwrap();
+        assert_eq!(v, back);
+    }
+}

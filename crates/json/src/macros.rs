@@ -1,0 +1,102 @@
+//! The [`json!`] construction macro.
+
+/// Builds a [`Json`](crate::Json) value with JSON-like syntax.
+///
+/// Object keys may be string literals or identifiers; values may be `null`,
+/// booleans, literals, nested arrays/objects, or any expression implementing
+/// [`ToJson`](crate::ToJson). Compound expressions (including unary minus)
+/// must be parenthesized: `json!({"x": (-1)})`.
+///
+/// # Examples
+///
+/// ```
+/// use askit_json::{json, Json};
+///
+/// let n = 5i64;
+/// let v = json!({
+///     "reason": "small cases",
+///     answer: [1, (n), true, null],
+/// });
+/// assert_eq!(v.pointer("/answer/1"), Some(&Json::Int(5)));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Json::Null };
+    (true) => { $crate::Json::Bool(true) };
+    (false) => { $crate::Json::Bool(false) };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Json::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $value:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($crate::json_key!($key), $crate::json!($value)); )*
+        $crate::Json::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Internal helper for [`json!`]: turns a key token into a `String`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        ::std::string::String::from($key)
+    };
+    ($key:ident) => {
+        ::std::string::String::from(stringify!($key))
+    };
+    ($key:expr) => {
+        ::std::string::String::from($key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Json, Map};
+
+    #[test]
+    fn literals() {
+        assert_eq!(json!(null), Json::Null);
+        assert_eq!(json!(true), Json::Bool(true));
+        assert_eq!(json!(false), Json::Bool(false));
+        assert_eq!(json!(3i64), Json::Int(3));
+        assert_eq!(json!("s"), Json::Str("s".into()));
+        assert_eq!(json!(2.5f64), Json::Float(2.5));
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let v = json!({
+            "a": [1i64, [2i64], {"b": null}],
+            c: "text",
+        });
+        assert_eq!(v.pointer("/a/1/0"), Some(&Json::Int(2)));
+        assert_eq!(v.pointer("/a/2/b"), Some(&Json::Null));
+        assert_eq!(v.get_key("c"), Some(&Json::Str("text".into())));
+    }
+
+    #[test]
+    fn expressions_need_parens() {
+        let n = 10i64;
+        let v = json!([(n), (n * 2), (-3i64)]);
+        assert_eq!(
+            v,
+            Json::Array(vec![Json::Int(10), Json::Int(20), Json::Int(-3)])
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(json!([]), Json::Array(vec![]));
+        assert_eq!(json!({}), Json::Object(Map::new()));
+    }
+
+    #[test]
+    fn trailing_commas_allowed() {
+        let v = json!({ "a": 1i64, });
+        assert_eq!(v.get_key("a"), Some(&Json::Int(1)));
+        let a = json!([1i64, 2i64,]);
+        assert_eq!(a.as_array().unwrap().len(), 2);
+    }
+}

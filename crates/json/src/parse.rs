@@ -1,0 +1,591 @@
+//! A recursive-descent JSON parser with positioned errors.
+//!
+//! The parser is strict RFC 8259 JSON with two deliberate extensions used by
+//! the AskIt runtime when reading model output:
+//!
+//! * [`Json::parse_prefix`] parses a value from the *front* of a string and
+//!   reports how many bytes it consumed, which the fence-less extractor in
+//!   [`crate::extract`] uses to pull a JSON object out of surrounding prose;
+//! * duplicate object keys are tolerated (the last one wins), because models
+//!   occasionally repeat a field.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::{Json, Map};
+
+/// Maximum nesting depth accepted by the parser.
+///
+/// Model output is adversarially weird; a depth limit keeps a pathological
+/// `[[[[…]]]]` from overflowing the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Why a parse failed; see [`ParseJsonError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseJsonErrorKind {
+    /// Input ended while a value was still open.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected construct.
+    UnexpectedChar,
+    /// A malformed number literal.
+    BadNumber,
+    /// A malformed string literal or escape sequence.
+    BadString,
+    /// A `\uXXXX` escape that is not a valid scalar value / surrogate pair.
+    BadUnicodeEscape,
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// `Json::parse` found bytes after the first complete value.
+    TrailingData,
+}
+
+/// An error produced by [`Json::parse`] or [`Json::parse_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    kind: ParseJsonErrorKind,
+    line: usize,
+    col: usize,
+    detail: String,
+}
+
+impl ParseJsonError {
+    /// The category of failure.
+    pub fn kind(&self) -> ParseJsonErrorKind {
+        self.kind
+    }
+
+    /// 1-based line of the offending byte.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the offending byte.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.detail, self.line, self.col)
+    }
+}
+
+impl Error for ParseJsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseJsonError`] (with line/column) on malformed input or
+    /// if non-whitespace bytes follow the first value.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// let v = Json::parse("[1, 2.5, \"x\"]")?;
+    /// assert_eq!(v.get_idx(0), Some(&Json::Int(1)));
+    /// assert!(Json::parse("[1] trailing").is_err());
+    /// # Ok::<(), askit_json::ParseJsonError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, ParseJsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err(ParseJsonErrorKind::TrailingData, "unexpected trailing data"));
+        }
+        Ok(v)
+    }
+
+    /// Parses one JSON value from the front of `text`, returning the value
+    /// and the number of bytes consumed (including leading whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseJsonError`] if no valid value starts at the front.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// let (v, used) = Json::parse_prefix("{\"a\":1} and then prose")?;
+    /// assert_eq!(v.get_key("a"), Some(&Json::Int(1)));
+    /// assert_eq!(&" and then prose"[..], &"{\"a\":1} and then prose"[used..]);
+    /// # Ok::<(), askit_json::ParseJsonError>(())
+    /// ```
+    pub fn parse_prefix(text: &str) -> Result<(Json, usize), ParseJsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        Ok((v, p.pos))
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ParseJsonErrorKind, detail: impl Into<String>) -> ParseJsonError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseJsonError { kind, line, col, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseJsonError> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => Err(self.err(
+                ParseJsonErrorKind::UnexpectedChar,
+                format!("expected '{}', found '{}'", b as char, got as char),
+            )),
+            None => Err(self.err(ParseJsonErrorKind::UnexpectedEof, "unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(
+                ParseJsonErrorKind::UnexpectedChar,
+                format!("invalid literal, expected '{word}'"),
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(ParseJsonErrorKind::TooDeep, "value nested too deeply"));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseJsonErrorKind::UnexpectedEof, "unexpected end of input")),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(
+                ParseJsonErrorKind::UnexpectedChar,
+                format!("unexpected character '{}'", c as char),
+            )),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(
+                        ParseJsonErrorKind::UnexpectedChar,
+                        format!("expected ',' or ']' in array, found '{}'", c as char),
+                    ));
+                }
+                None => {
+                    return Err(self
+                        .err(ParseJsonErrorKind::UnexpectedEof, "unterminated array"))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(map)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(
+                        ParseJsonErrorKind::UnexpectedChar,
+                        format!("expected ',' or '}}' in object, found '{}'", c as char),
+                    ));
+                }
+                None => {
+                    return Err(self
+                        .err(ParseJsonErrorKind::UnexpectedEof, "unterminated object"))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err(ParseJsonErrorKind::BadNumber, "leading zero in number"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                return Err(self.err(ParseJsonErrorKind::BadNumber, "invalid number"));
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseJsonErrorKind::BadNumber, "missing digits after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseJsonErrorKind::BadNumber, "missing exponent digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            // Overflowing integer literals degrade to float, like JS.
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(ParseJsonErrorKind::BadNumber, "number out of range"))
+    }
+
+    fn string(&mut self) -> Result<String, ParseJsonError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err(ParseJsonErrorKind::BadString, "expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.err(ParseJsonErrorKind::UnexpectedEof, "unterminated string"));
+            };
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.bump() else {
+                        return Err(
+                            self.err(ParseJsonErrorKind::UnexpectedEof, "unterminated escape")
+                        );
+                    };
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a following \uXXXX low surrogate.
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.err(
+                                        ParseJsonErrorKind::BadUnicodeEscape,
+                                        "unpaired high surrogate",
+                                    ));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err(
+                                        ParseJsonErrorKind::BadUnicodeEscape,
+                                        "invalid low surrogate",
+                                    ));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                None
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(self.err(
+                                        ParseJsonErrorKind::BadUnicodeEscape,
+                                        "invalid unicode escape",
+                                    ))
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(self.err(
+                                ParseJsonErrorKind::BadString,
+                                format!("invalid escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                0x00..=0x1F => {
+                    return Err(self.err(
+                        ParseJsonErrorKind::BadString,
+                        "unescaped control character in string",
+                    ))
+                }
+                _ => {
+                    // Re-sync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(
+                            self.err(ParseJsonErrorKind::BadString, "truncated utf-8 sequence")
+                        );
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => {
+                            return Err(
+                                self.err(ParseJsonErrorKind::BadString, "invalid utf-8 in string")
+                            )
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.bump() else {
+                return Err(self.err(ParseJsonErrorKind::UnexpectedEof, "truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => {
+                    return Err(
+                        self.err(ParseJsonErrorKind::BadUnicodeEscape, "invalid hex digit")
+                    )
+                }
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null"), Json::Null);
+        assert_eq!(parse("true"), Json::Bool(true));
+        assert_eq!(parse("false"), Json::Bool(false));
+        assert_eq!(parse("0"), Json::Int(0));
+        assert_eq!(parse("-42"), Json::Int(-42));
+        assert_eq!(parse("3.5"), Json::Float(3.5));
+        assert_eq!(parse("-2.5e2"), Json::Float(-250.0));
+        assert_eq!(parse("1E+2"), Json::Float(100.0));
+        assert_eq!(parse("\"hi\""), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn int_float_distinction_is_preserved() {
+        assert_eq!(parse("5"), Json::Int(5));
+        assert_eq!(parse("5.0"), Json::Float(5.0));
+        assert_ne!(parse("5"), parse("5.0"));
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        let v = parse("123456789012345678901234567890");
+        assert!(matches!(v, Json::Float(_)));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        for s in ["01", "1.", ".5", "1e", "--1", "+1", "1e+"] {
+            assert!(Json::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures_and_whitespace() {
+        let v = parse(" { \"a\" : [ 1 , { \"b\" : [ ] } ] , \"c\" : { } } ");
+        assert_eq!(v.pointer("/a/0"), Some(&Json::Int(1)));
+        assert!(v.pointer("/a/1/b").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"a": 1, "a": 2}"#);
+        assert_eq!(v.get_key("a"), Some(&Json::Int(2)));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse(r#""a\"b\\c\/d\b\f\n\r\t""#);
+        assert_eq!(v, Json::Str("a\"b\\c/d\u{8}\u{c}\n\r\t".into()));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(parse(r#""é""#), Json::Str("é".into()));
+        assert_eq!(parse(r#""😀""#), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\uD83D""#).is_err(), "unpaired high surrogate");
+        assert!(Json::parse(r#""\uDE00""#).is_err(), "lone low surrogate");
+        assert!(Json::parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn raw_multibyte_utf8_in_strings() {
+        assert_eq!(parse("\"héllo 😀\""), Json::Str("héllo 😀".into()));
+    }
+
+    #[test]
+    fn rejects_control_chars_in_strings() {
+        assert!(Json::parse("\"a\nb\"").is_err());
+    }
+
+    #[test]
+    fn trailing_data_is_an_error_with_position() {
+        let err = Json::parse("[1, 2]\nrest").unwrap_err();
+        assert_eq!(err.kind(), ParseJsonErrorKind::TrailingData);
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.col(), 1);
+    }
+
+    #[test]
+    fn parse_prefix_reports_consumed_bytes() {
+        let (v, used) = Json::parse_prefix("  [1,2] tail").unwrap();
+        assert_eq!(v, parse("[1,2]"));
+        assert_eq!(&"  [1,2] tail"[used..], " tail");
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = Json::parse(&deep).unwrap_err();
+        assert_eq!(err.kind(), ParseJsonErrorKind::TooDeep);
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = Json::parse("{\"a\": tru}").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert_eq!(err.col(), 7);
+        assert_eq!(err.kind(), ParseJsonErrorKind::UnexpectedChar);
+    }
+
+    #[test]
+    fn eof_inside_value_is_reported() {
+        for s in ["{\"a\": 1", "[1, 2", "\"abc", "{\"a\""] {
+            let err = Json::parse(s).unwrap_err();
+            assert_eq!(err.kind(), ParseJsonErrorKind::UnexpectedEof, "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn display_of_error_mentions_position() {
+        let msg = Json::parse("nul").unwrap_err().to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

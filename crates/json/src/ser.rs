@@ -1,0 +1,195 @@
+//! Compact and pretty serialization for [`Json`].
+
+use crate::value::Json;
+
+impl Json {
+    /// Serializes without any insignificant whitespace.
+    ///
+    /// Non-finite floats have no JSON representation and serialize as `null`;
+    /// integral floats keep a trailing `.0` so the int/float distinction
+    /// survives a round trip.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// let v = Json::parse(r#"{ "a": [1, 2.0] }"#).unwrap();
+    /// assert_eq!(v.to_compact_string(), r#"{"a":[1,2.0]}"#);
+    /// ```
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation, one element per line.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// let v = Json::parse(r#"{"a":[1]}"#).unwrap();
+    /// assert_eq!(v.to_pretty_string(), "{\n  \"a\": [\n    1\n  ]\n}");
+    /// ```
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => write_float(out, *f),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; null is the least-bad stand-in.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    // Keep the float-ness visible: "5" would re-parse as Int(5).
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes) into `out`.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Map;
+
+    #[test]
+    fn compact_scalars() {
+        assert_eq!(Json::Null.to_compact_string(), "null");
+        assert_eq!(Json::Bool(true).to_compact_string(), "true");
+        assert_eq!(Json::Int(-7).to_compact_string(), "-7");
+        assert_eq!(Json::Float(2.5).to_compact_string(), "2.5");
+        assert_eq!(Json::Str("a\"b".into()).to_compact_string(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(5.0).to_compact_string(), "5.0");
+        let back = Json::parse(&Json::Float(5.0).to_compact_string()).unwrap();
+        assert_eq!(back, Json::Float(5.0));
+    }
+
+    #[test]
+    fn scientific_formatting_still_parses() {
+        let v = Json::Float(1.0e300);
+        let back = Json::parse(&v.to_compact_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_compact_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        assert_eq!(Json::Str("\u{1}".into()).to_compact_string(), "\"\\u0001\"");
+        assert_eq!(Json::Str("\n\t".into()).to_compact_string(), r#""\n\t""#);
+    }
+
+    #[test]
+    fn empty_containers_are_compact_even_in_pretty_mode() {
+        let v = Json::parse(r#"{"a": [], "b": {}}"#).unwrap();
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z", Json::Int(1));
+        m.insert("a", Json::Int(2));
+        assert_eq!(Json::Object(m).to_compact_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn display_matches_compact() {
+        let v = Json::parse(r#"[1,{"k":null}]"#).unwrap();
+        assert_eq!(v.to_string(), v.to_compact_string());
+    }
+
+    #[test]
+    fn pretty_nested() {
+        let v = Json::parse(r#"{"a":{"b":[true]}}"#).unwrap();
+        let expected = "{\n  \"a\": {\n    \"b\": [\n      true\n    ]\n  }\n}";
+        assert_eq!(v.to_pretty_string(), expected);
+    }
+}

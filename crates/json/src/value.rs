@@ -1,0 +1,588 @@
+//! The [`Json`] value model and the insertion-ordered object [`Map`].
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Integers and floating-point numbers are kept distinct ([`Json::Int`] vs
+/// [`Json::Float`]) because the AskIt type language distinguishes `int` from
+/// `float` (paper Table I); validation needs to know whether `3` arrived as an
+/// integer literal.
+///
+/// # Examples
+///
+/// ```
+/// use askit_json::Json;
+///
+/// let v = Json::from(vec![1i64, 2, 3]);
+/// assert!(v.is_array());
+/// assert_eq!(v.get_idx(2), Some(&Json::Int(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Json {
+    /// The JSON `null` literal.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (no fractional part or exponent in the source text).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array of values.
+    Array(Vec<Json>),
+    /// An object; see [`Map`].
+    Object(Map),
+}
+
+/// The coarse kind of a [`Json`] value, used in error messages and the
+/// type-usage statistics behind the paper's Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JsonKind {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool,
+    /// integer number
+    Int,
+    /// floating-point number
+    Float,
+    /// string
+    Str,
+    /// array
+    Array,
+    /// object
+    Object,
+}
+
+impl fmt::Display for JsonKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            JsonKind::Null => "null",
+            JsonKind::Bool => "boolean",
+            JsonKind::Int => "integer",
+            JsonKind::Float => "float",
+            JsonKind::Str => "string",
+            JsonKind::Array => "array",
+            JsonKind::Object => "object",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Json {
+    /// Returns the [`JsonKind`] of this value.
+    ///
+    /// ```
+    /// use askit_json::{Json, JsonKind};
+    /// assert_eq!(Json::Int(3).kind(), JsonKind::Int);
+    /// ```
+    pub fn kind(&self) -> JsonKind {
+        match self {
+            Json::Null => JsonKind::Null,
+            Json::Bool(_) => JsonKind::Bool,
+            Json::Int(_) => JsonKind::Int,
+            Json::Float(_) => JsonKind::Float,
+            Json::Str(_) => JsonKind::Str,
+            Json::Array(_) => JsonKind::Array,
+            Json::Object(_) => JsonKind::Object,
+        }
+    }
+
+    /// Returns `true` for [`Json::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Returns `true` for [`Json::Bool`].
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Json::Bool(_))
+    }
+
+    /// Returns `true` for [`Json::Int`] or [`Json::Float`].
+    pub fn is_number(&self) -> bool {
+        matches!(self, Json::Int(_) | Json::Float(_))
+    }
+
+    /// Returns `true` for [`Json::Str`].
+    pub fn is_string(&self) -> bool {
+        matches!(self, Json::Str(_))
+    }
+
+    /// Returns `true` for [`Json::Array`].
+    pub fn is_array(&self) -> bool {
+        matches!(self, Json::Array(_))
+    }
+
+    /// Returns `true` for [`Json::Object`].
+    pub fn is_object(&self) -> bool {
+        matches!(self, Json::Object(_))
+    }
+
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// [`Json::Float`] values are accepted when they are finite and integral,
+    /// mirroring the lenient int coercion the AskIt runtime applies to model
+    /// output.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// assert_eq!(Json::Float(4.0).as_i64(), Some(4));
+    /// assert_eq!(Json::Float(4.5).as_i64(), None);
+    /// ```
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.is_finite() && f.fract() == 0.0 && f.abs() < 9.0e15 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` ([`Json::Int`] widens losslessly for |i| < 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is a [`Json::Array`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array payload, if this is a [`Json::Array`].
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Json>> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is a [`Json::Object`].
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object payload, if this is a [`Json::Object`].
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object; `None` for other kinds or missing keys.
+    pub fn get_key(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Element lookup on an array; `None` for other kinds or out of range.
+    pub fn get_idx(&self, idx: usize) -> Option<&Json> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Resolves an RFC 6901 JSON Pointer (`""`, `"/a/0/b"`, …).
+    ///
+    /// `~0` decodes to `~` and `~1` to `/` as the RFC requires.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// let v = Json::parse(r#"{"a": [10, {"b": true}]}"#).unwrap();
+    /// assert_eq!(v.pointer("/a/1/b"), Some(&Json::Bool(true)));
+    /// assert_eq!(v.pointer("/missing"), None);
+    /// ```
+    pub fn pointer(&self, pointer: &str) -> Option<&Json> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        let mut cur = self;
+        for raw in pointer[1..].split('/') {
+            let token = raw.replace("~1", "/").replace("~0", "~");
+            cur = match cur {
+                Json::Object(m) => m.get(&token)?,
+                Json::Array(a) => a.get(token.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Structural equality that treats `Int(n)` and `Float(n.0)` as equal.
+    ///
+    /// The semantic validation of generated code (paper §III-D, Step 3)
+    /// compares interpreter output against expected values; MiniLang numbers
+    /// are doubles, so `6` must match `6.0`.
+    pub fn loosely_equals(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Int(_) | Json::Float(_), Json::Int(_) | Json::Float(_)) => {
+                match (self.as_f64(), other.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        if a == b {
+                            true
+                        } else {
+                            // Tolerate tiny float error from arithmetic re-association.
+                            let scale = a.abs().max(b.abs()).max(1.0);
+                            (a - b).abs() <= 1e-9 * scale
+                        }
+                    }
+                    _ => false,
+                }
+            }
+            (Json::Array(a), Json::Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.loosely_equals(y))
+            }
+            (Json::Object(a), Json::Object(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.get(k).is_some_and(|w| v.loosely_equals(w))
+                    })
+            }
+            _ => self == other,
+        }
+    }
+
+    /// Total number of nodes in the value tree (the value itself counts as 1).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Json::Array(a) => 1 + a.iter().map(Json::node_count).sum::<usize>(),
+            Json::Object(m) => 1 + m.values().map(Json::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Formats as compact JSON, identical to [`Json::to_compact_string`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Self {
+        Json::Int(i)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(i: i32) -> Self {
+        Json::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Self {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Self {
+        Json::Float(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<Map> for Json {
+    fn from(m: Map) -> Self {
+        Json::Object(m)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Json::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An insertion-ordered string-keyed map used for [`Json::Object`].
+///
+/// JSON objects produced by AskIt keep the order fields were written in —
+/// important because prompts show `{"reason": ..., "answer": ...}` in a fixed
+/// order (paper Listing 2) and the cached artifacts should be byte-stable.
+/// Lookup is linear; AskIt objects are small (a handful of fields).
+///
+/// Equality is order-insensitive, matching JSON object semantics.
+///
+/// # Examples
+///
+/// ```
+/// use askit_json::{Json, Map};
+///
+/// let mut m = Map::new();
+/// m.insert("reason", Json::from("thought about it"));
+/// m.insert("answer", Json::Int(42));
+/// assert_eq!(m.keys().collect::<Vec<_>>(), ["reason", "answer"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Json)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Creates an empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Map { entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` under `key`, replacing (in place, keeping the original
+    /// position) any existing entry. Returns the previous value if present.
+    pub fn insert(&mut self, key: impl Into<String>, value: Json) -> Option<Json> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup of `key`.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the entry for `key`, preserving the order of the
+    /// remaining entries.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Json> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.iter().all(|(k, v)| other.get(k).is_some_and(|w| w == v))
+    }
+}
+
+impl<K: Into<String>> FromIterator<(K, Json)> for Map {
+    fn from_iter<I: IntoIterator<Item = (K, Json)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Into<String>> Extend<(K, Json)> for Map {
+    fn extend<I: IntoIterator<Item = (K, Json)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Json);
+    type IntoIter = std::vec::IntoIter<(String, Json)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_reports_every_variant() {
+        assert_eq!(Json::Null.kind(), JsonKind::Null);
+        assert_eq!(Json::Bool(true).kind(), JsonKind::Bool);
+        assert_eq!(Json::Int(1).kind(), JsonKind::Int);
+        assert_eq!(Json::Float(1.5).kind(), JsonKind::Float);
+        assert_eq!(Json::Str("s".into()).kind(), JsonKind::Str);
+        assert_eq!(Json::Array(vec![]).kind(), JsonKind::Array);
+        assert_eq!(Json::Object(Map::new()).kind(), JsonKind::Object);
+    }
+
+    #[test]
+    fn as_i64_accepts_integral_floats_only() {
+        assert_eq!(Json::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Json::Float(7.0).as_i64(), Some(7));
+        assert_eq!(Json::Float(7.25).as_i64(), None);
+        assert_eq!(Json::Float(f64::NAN).as_i64(), None);
+        assert_eq!(Json::Str("7".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Json::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Json::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Json::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a", Json::Int(1));
+        m.insert("b", Json::Int(2));
+        let old = m.insert("a", Json::Int(10));
+        assert_eq!(old, Some(Json::Int(1)));
+        assert_eq!(m.keys().collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(m.get("a"), Some(&Json::Int(10)));
+    }
+
+    #[test]
+    fn map_remove_preserves_order() {
+        let mut m: Map = [("x", Json::Int(1)), ("y", Json::Int(2)), ("z", Json::Int(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(m.remove("y"), Some(Json::Int(2)));
+        assert_eq!(m.keys().collect::<Vec<_>>(), ["x", "z"]);
+        assert_eq!(m.remove("y"), None);
+    }
+
+    #[test]
+    fn map_equality_is_order_insensitive() {
+        let a: Map = [("x", Json::Int(1)), ("y", Json::Int(2))].into_iter().collect();
+        let b: Map = [("y", Json::Int(2)), ("x", Json::Int(1))].into_iter().collect();
+        assert_eq!(a, b);
+        let c: Map = [("x", Json::Int(1))].into_iter().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pointer_walks_nested_structures() {
+        let v = Json::parse(r#"{"a~b": {"c/d": [null, 5]}}"#).unwrap();
+        assert_eq!(v.pointer("/a~0b/c~1d/1"), Some(&Json::Int(5)));
+        assert_eq!(v.pointer(""), Some(&v));
+        assert_eq!(v.pointer("/nope"), None);
+        assert_eq!(v.pointer("no-slash"), None);
+    }
+
+    #[test]
+    fn loose_equality_bridges_int_and_float() {
+        assert!(Json::Int(6).loosely_equals(&Json::Float(6.0)));
+        assert!(!Json::Int(6).loosely_equals(&Json::Float(6.5)));
+        let a = Json::parse(r#"[1, {"n": 2}]"#).unwrap();
+        let b = Json::parse(r#"[1.0, {"n": 2.0}]"#).unwrap();
+        assert!(a.loosely_equals(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn loose_equality_tolerates_float_noise() {
+        let a = Json::Float(0.1 + 0.2);
+        let b = Json::Float(0.3);
+        assert!(a.loosely_equals(&b));
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        let v = Json::parse(r#"{"a": [1, 2], "b": null}"#).unwrap();
+        // object + array + 1 + 2 + null
+        assert_eq!(v.node_count(), 5);
+    }
+
+    #[test]
+    fn from_impls_build_expected_variants() {
+        assert_eq!(Json::from(3i32), Json::Int(3));
+        assert_eq!(Json::from(3usize), Json::Int(3));
+        assert_eq!(Json::from("hi"), Json::Str("hi".into()));
+        assert_eq!(
+            Json::from(vec![1i64, 2]),
+            Json::Array(vec![Json::Int(1), Json::Int(2)])
+        );
+        let collected: Json = (0i64..3).collect();
+        assert_eq!(collected.as_array().unwrap().len(), 3);
+    }
+}

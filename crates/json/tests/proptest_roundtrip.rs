@@ -1,0 +1,91 @@
+//! Property tests: serialization and parsing are inverse operations.
+
+use askit_json::{Json, Map};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values with finite floats (NaN/Inf have
+/// no JSON representation) and modest size.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        prop::num::f64::NORMAL.prop_map(Json::Float),
+        Just(Json::Float(0.0)),
+        "[a-zA-Z0-9 _\\-\\\\\"\n\t\u{e9}\u{1F600}]{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|pairs| {
+                let mut m = Map::new();
+                for (k, v) in pairs {
+                    m.insert(k, v);
+                }
+                Json::Object(m)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// compact-serialize → parse is the identity.
+    #[test]
+    fn compact_roundtrip(v in arb_json()) {
+        let text = v.to_compact_string();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// pretty-serialize → parse is the identity.
+    #[test]
+    fn pretty_roundtrip(v in arb_json()) {
+        let text = v.to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Both serializations parse to the same value.
+    #[test]
+    fn compact_and_pretty_agree(v in arb_json()) {
+        let a = Json::parse(&v.to_compact_string()).unwrap();
+        let b = Json::parse(&v.to_pretty_string()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Values survive being embedded in a markdown fence and re-extracted —
+    /// the exact path the AskIt runtime takes on every model response.
+    #[test]
+    fn fence_extraction_roundtrip(v in arb_json()) {
+        let doc = format!(
+            "Here is my answer.\n```json\n{}\n```\nHope that helps!",
+            v.to_pretty_string()
+        );
+        let got = askit_json::extract::extract_json(&doc).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    /// `parse_prefix` consumes exactly the serialized value.
+    #[test]
+    fn parse_prefix_consumes_exactly(v in arb_json(), tail in "( [a-z]{0,8})?") {
+        // A tail that could extend the value (digits etc.) is excluded by the regex.
+        let text = format!("{}{}", v.to_compact_string(), tail);
+        let (got, used) = Json::parse_prefix(&text).unwrap();
+        prop_assert_eq!(got, v.clone());
+        prop_assert_eq!(used, v.to_compact_string().len());
+    }
+
+    /// loose equality is reflexive.
+    #[test]
+    fn loose_equality_reflexive(v in arb_json()) {
+        prop_assert!(v.loosely_equals(&v));
+    }
+
+    /// parsing never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(s in "\\PC{0,64}") {
+        let _ = Json::parse(&s);
+    }
+}

@@ -1,0 +1,213 @@
+//! The language-model interface: chat messages, requests, completions.
+//!
+//! This is the "low-level API provided by the LLM" the paper's Step 2 calls
+//! into (§III-D, §III-E) — the shape mirrors a chat-completion API, minus the
+//! network.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Who authored a chat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The system preamble.
+    System,
+    /// The application (AskIt compiler/runtime).
+    User,
+    /// The model.
+    Assistant,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::System => "system",
+            Role::User => "user",
+            Role::Assistant => "assistant",
+        })
+    }
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatMessage {
+    /// Message author.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::User, content: content.into() }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::Assistant, content: content.into() }
+    }
+
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::System, content: content.into() }
+    }
+}
+
+/// A completion request.
+///
+/// `temperature` matters to the mock the way it matters to the paper's
+/// pipeline: "We use the default value of 1.0 … as we seek a certain level of
+/// randomness in the responses to ensure a unique response for each retry"
+/// (§III-D). At 0.0 the mock answers deterministically per conversation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionRequest {
+    /// The conversation so far; the last message must be from the user.
+    pub messages: Vec<ChatMessage>,
+    /// Sampling temperature in `[0.0, 2.0]`.
+    pub temperature: f64,
+}
+
+impl CompletionRequest {
+    /// A single-turn request at the paper's default temperature (1.0).
+    pub fn from_prompt(prompt: impl Into<String>) -> Self {
+        CompletionRequest { messages: vec![ChatMessage::user(prompt)], temperature: 1.0 }
+    }
+
+    /// Total characters of prompt content (for token accounting).
+    pub fn prompt_chars(&self) -> usize {
+        self.messages.iter().map(|m| m.content.len()).sum()
+    }
+
+    /// The most recent user message, if any.
+    pub fn last_user(&self) -> Option<&str> {
+        self.messages
+            .iter()
+            .rev()
+            .find(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
+    }
+
+    /// The first user message (the original task prompt in a feedback
+    /// conversation).
+    pub fn first_user(&self) -> Option<&str> {
+        self.messages.iter().find(|m| m.role == Role::User).map(|m| m.content.as_str())
+    }
+
+    /// How many assistant turns are already in the conversation — i.e. how
+    /// many failed attempts preceded this request.
+    pub fn attempt(&self) -> usize {
+        self.messages.iter().filter(|m| m.role == Role::Assistant).count()
+    }
+}
+
+/// Token accounting for one completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenUsage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+}
+
+impl TokenUsage {
+    /// Prompt + completion tokens.
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// A model response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The response text.
+    pub text: String,
+    /// Token accounting.
+    pub usage: TokenUsage,
+    /// The (simulated) wall-clock latency of the round trip. The Table III
+    /// experiment reads this instead of sleeping.
+    pub latency: Duration,
+}
+
+/// An error from a language-model backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LlmError {
+    /// The backend has no response for this request (scripted backends).
+    Exhausted,
+    /// The request was malformed (e.g. empty conversation).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::Exhausted => f.write_str("no scripted response left"),
+            LlmError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl Error for LlmError {}
+
+/// A language model backend.
+///
+/// Implementations in this workspace: [`crate::MockLlm`] (the simulated
+/// GPT), [`crate::ScriptedLlm`] (canned responses for unit tests), and
+/// [`crate::RecordingLlm`] (a logging wrapper).
+pub trait LanguageModel: Send + Sync {
+    /// Produces a completion for the conversation.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`LlmError`].
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError>;
+
+    /// The model identifier (e.g. `sim-gpt-4`).
+    fn model_name(&self) -> &str;
+}
+
+impl<L: LanguageModel + ?Sized> LanguageModel for &L {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        (**self).complete(request)
+    }
+
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+}
+
+impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        (**self).complete(request)
+    }
+
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_helpers() {
+        let mut req = CompletionRequest::from_prompt("solve this");
+        assert_eq!(req.attempt(), 0);
+        assert_eq!(req.last_user(), Some("solve this"));
+        req.messages.push(ChatMessage::assistant("bad answer"));
+        req.messages.push(ChatMessage::user("try again"));
+        assert_eq!(req.attempt(), 1);
+        assert_eq!(req.first_user(), Some("solve this"));
+        assert_eq!(req.last_user(), Some("try again"));
+        assert_eq!(req.prompt_chars(), "solve this".len() + "bad answer".len() + "try again".len());
+    }
+
+    #[test]
+    fn usage_totals() {
+        let u = TokenUsage { prompt_tokens: 10, completion_tokens: 5 };
+        assert_eq!(u.total(), 15);
+    }
+}

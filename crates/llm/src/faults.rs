@@ -1,0 +1,463 @@
+//! Fault injection: how the mock model misbehaves.
+//!
+//! The paper's machinery exists *because* models misbehave: the runtime
+//! retry loop (§III-E) exists for malformed JSON and type mismatches, and
+//! code validation with retries (§III-D) exists because "the LLM can
+//! occasionally produce erroneous code" (the paper saw up to 7 retries on
+//! Table II). This module makes those misbehaviours reproducible: seeded,
+//! rate-configurable, and decaying across retries (temperature-1.0
+//! resampling eventually yields a clean response).
+
+use minilang::ast::{BinOp, Block, Expr, FuncDecl, Stmt};
+use rand::Rng;
+
+/// Fault rates for a mock model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a *first* direct answer is malformed.
+    pub direct_fault_rate: f64,
+    /// Probability that a *first* generated implementation is wrong.
+    pub code_bug_rate: f64,
+    /// Per-retry multiplier on both rates (resampling converges).
+    pub decay: f64,
+}
+
+impl Default for FaultConfig {
+    /// Rates calibrated to land retry counts in the paper's observed 0–7
+    /// range with most tasks needing none.
+    fn default() -> Self {
+        FaultConfig { direct_fault_rate: 0.08, code_bug_rate: 0.22, decay: 0.35 }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration that never misbehaves (for focused tests).
+    pub fn none() -> Self {
+        FaultConfig { direct_fault_rate: 0.0, code_bug_rate: 0.0, decay: 0.0 }
+    }
+
+    /// The direct-answer fault probability on the given attempt (0-based).
+    pub fn direct_rate_at(&self, attempt: usize) -> f64 {
+        self.direct_fault_rate * self.decay.powi(attempt as i32)
+    }
+
+    /// The code-bug probability on the given attempt (0-based).
+    pub fn code_rate_at(&self, attempt: usize) -> f64 {
+        self.code_bug_rate * self.decay.powi(attempt as i32)
+    }
+}
+
+/// Ways a direct (JSON) answer can be malformed, one per §III-E retry
+/// criterion plus a benign one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectFault {
+    /// Criterion 1: the response contains no parsable JSON.
+    MalformedJson,
+    /// Criterion 2: the JSON object lacks the `answer` field.
+    MissingAnswerField,
+    /// Criterion 3: the `answer` field has the wrong type.
+    WrongAnswerType,
+    /// Harmless: extra chatter around a correct fenced answer (the lenient
+    /// extractor must cope without a retry).
+    ExtraProse,
+}
+
+/// Samples a direct-answer fault for the given attempt.
+pub fn sample_direct_fault<R: Rng + ?Sized>(
+    cfg: &FaultConfig,
+    attempt: usize,
+    rng: &mut R,
+) -> Option<DirectFault> {
+    if !rng.gen_bool(cfg.direct_rate_at(attempt).clamp(0.0, 1.0)) {
+        return None;
+    }
+    Some(match rng.gen_range(0..4) {
+        0 => DirectFault::MalformedJson,
+        1 => DirectFault::MissingAnswerField,
+        2 => DirectFault::WrongAnswerType,
+        _ => DirectFault::ExtraProse,
+    })
+}
+
+/// Whether to plant a bug in generated code on the given attempt.
+pub fn sample_code_bug<R: Rng + ?Sized>(
+    cfg: &FaultConfig,
+    attempt: usize,
+    rng: &mut R,
+) -> bool {
+    rng.gen_bool(cfg.code_rate_at(attempt).clamp(0.0, 1.0))
+}
+
+/// Applies a post-formatting fault to a finished response (the
+/// [`DirectFault::WrongAnswerType`] variant is applied earlier, at answer
+/// construction).
+pub fn corrupt_response(text: &str, fault: DirectFault) -> String {
+    match fault {
+        DirectFault::MalformedJson => {
+            // Drop the last closing brace inside the fence: classic
+            // truncated-output failure.
+            match text.rfind('}') {
+                Some(idx) => {
+                    let mut s = text.to_owned();
+                    s.replace_range(idx..=idx, "");
+                    s
+                }
+                None => format!("{text} <truncated"),
+            }
+        }
+        DirectFault::MissingAnswerField => text.replacen("\"answer\"", "\"result\"", 1),
+        DirectFault::WrongAnswerType => text.to_owned(),
+        DirectFault::ExtraProse => format!(
+            "Certainly! Let me think about this carefully.\n\n{text}\n\nI hope that helps — let me know if you need anything else!"
+        ),
+    }
+}
+
+/// The bug classes planted in generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeBug {
+    /// A `<=` became `<` or vice versa (the paper's Fibonacci `n + 1` bug
+    /// is this family).
+    OffByOneBound,
+    /// An arithmetic operator was swapped.
+    WrongOperator,
+    /// A numeric literal drifted by one.
+    LiteralDrift,
+    /// The reply's code fence is broken (exercises the syntactic check).
+    BrokenSyntax,
+}
+
+/// Plants a bug in `decl`, returning what was done. [`CodeBug::BrokenSyntax`]
+/// is returned without modifying the AST — the caller corrupts the printed
+/// text instead.
+pub fn plant_bug<R: Rng + ?Sized>(decl: &mut FuncDecl, rng: &mut R) -> CodeBug {
+    if rng.gen_bool(0.15) {
+        return CodeBug::BrokenSyntax;
+    }
+    let sites = count_sites(&decl.body);
+    if sites == 0 {
+        return CodeBug::BrokenSyntax;
+    }
+    let target = rng.gen_range(0..sites);
+    let mut counter = 0;
+    let bug = mutate_block(&mut decl.body, target, &mut counter);
+    bug.unwrap_or(CodeBug::BrokenSyntax)
+}
+
+/// Breaks printed source so it no longer parses (in either syntax): the
+/// last non-empty line is truncated mid-way and ends in a byte neither
+/// lexer accepts — the textual shape of a cut-off streaming response.
+pub fn break_syntax(source: &str) -> String {
+    for line in source.lines().rev() {
+        if !line.trim().is_empty() {
+            let cut = (line.len() / 2).max(1);
+            let half = format!("{}@", &line[..cut]);
+            return source.replacen(line, &half, 1);
+        }
+    }
+    format!("{source}@")
+}
+
+fn count_sites(block: &Block) -> usize {
+    let mut n = 0;
+    for stmt in block {
+        count_stmt(stmt, &mut n);
+    }
+    n
+}
+
+fn count_stmt(stmt: &Stmt, n: &mut usize) {
+    match stmt {
+        Stmt::Let { init, .. } => count_expr(init, n),
+        Stmt::Assign { value, .. } => count_expr(value, n),
+        Stmt::If { cond, then_block, else_block } => {
+            count_expr(cond, n);
+            for s in then_block {
+                count_stmt(s, n);
+            }
+            for s in else_block {
+                count_stmt(s, n);
+            }
+        }
+        Stmt::While { cond, body } => {
+            count_expr(cond, n);
+            for s in body {
+                count_stmt(s, n);
+            }
+        }
+        Stmt::ForRange { start, end, body, .. } => {
+            *n += 1; // the inclusive/exclusive bound itself
+            count_expr(start, n);
+            count_expr(end, n);
+            for s in body {
+                count_stmt(s, n);
+            }
+        }
+        Stmt::ForOf { iter, body, .. } => {
+            count_expr(iter, n);
+            for s in body {
+                count_stmt(s, n);
+            }
+        }
+        Stmt::Return(Some(e)) => count_expr(e, n),
+        _ => {}
+    }
+}
+
+fn count_expr(e: &Expr, n: &mut usize) {
+    match e {
+        Expr::Num(_) => *n += 1,
+        Expr::Binary(op, a, b) => {
+            if swap_op(*op).is_some() {
+                *n += 1;
+            }
+            count_expr(a, n);
+            count_expr(b, n);
+        }
+        Expr::Unary(_, a) => count_expr(a, n),
+        Expr::Cond(c, a, b) => {
+            count_expr(c, n);
+            count_expr(a, n);
+            count_expr(b, n);
+        }
+        Expr::Array(items) => items.iter().for_each(|i| count_expr(i, n)),
+        Expr::Object(fields) => fields.iter().for_each(|(_, v)| count_expr(v, n)),
+        Expr::Call { args, .. } => args.iter().for_each(|a| count_expr(a, n)),
+        Expr::Method { recv, args, .. } => {
+            count_expr(recv, n);
+            args.iter().for_each(|a| count_expr(a, n));
+        }
+        Expr::Prop(a, _) => count_expr(a, n),
+        Expr::Index(a, b) => {
+            count_expr(a, n);
+            count_expr(b, n);
+        }
+        Expr::Lambda { body, .. } => count_expr(body, n),
+        _ => {}
+    }
+}
+
+fn swap_op(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Add => BinOp::Sub,
+        BinOp::Sub => BinOp::Add,
+        BinOp::Mul => BinOp::Add,
+        BinOp::Lt => BinOp::Le,
+        BinOp::Le => BinOp::Lt,
+        BinOp::Gt => BinOp::Ge,
+        BinOp::Ge => BinOp::Gt,
+        _ => return None,
+    })
+}
+
+fn mutate_block(block: &mut Block, target: usize, counter: &mut usize) -> Option<CodeBug> {
+    for stmt in block {
+        if let Some(bug) = mutate_stmt(stmt, target, counter) {
+            return Some(bug);
+        }
+    }
+    None
+}
+
+fn mutate_stmt(stmt: &mut Stmt, target: usize, counter: &mut usize) -> Option<CodeBug> {
+    match stmt {
+        Stmt::Let { init, .. } => mutate_expr(init, target, counter),
+        Stmt::Assign { value, .. } => mutate_expr(value, target, counter),
+        Stmt::If { cond, then_block, else_block } => mutate_expr(cond, target, counter)
+            .or_else(|| mutate_block(then_block, target, counter))
+            .or_else(|| mutate_block(else_block, target, counter)),
+        Stmt::While { cond, body } => mutate_expr(cond, target, counter)
+            .or_else(|| mutate_block(body, target, counter)),
+        Stmt::ForRange { start, end, inclusive, body, .. } => {
+            if *counter == target {
+                *inclusive = !*inclusive;
+                *counter += 1;
+                return Some(CodeBug::OffByOneBound);
+            }
+            *counter += 1;
+            mutate_expr(start, target, counter)
+                .or_else(|| mutate_expr(end, target, counter))
+                .or_else(|| mutate_block(body, target, counter))
+        }
+        Stmt::ForOf { iter, body, .. } => mutate_expr(iter, target, counter)
+            .or_else(|| mutate_block(body, target, counter)),
+        Stmt::Return(Some(e)) => mutate_expr(e, target, counter),
+        _ => None,
+    }
+}
+
+fn mutate_expr(e: &mut Expr, target: usize, counter: &mut usize) -> Option<CodeBug> {
+    match e {
+        Expr::Num(n) => {
+            if *counter == target {
+                *n += 1.0;
+                *counter += 1;
+                return Some(CodeBug::LiteralDrift);
+            }
+            *counter += 1;
+            None
+        }
+        Expr::Binary(op, a, b) => {
+            if let Some(swapped) = swap_op(*op) {
+                if *counter == target {
+                    let bug = if matches!(
+                        op,
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                    ) {
+                        CodeBug::OffByOneBound
+                    } else {
+                        CodeBug::WrongOperator
+                    };
+                    *op = swapped;
+                    *counter += 1;
+                    return Some(bug);
+                }
+                *counter += 1;
+            }
+            mutate_expr(a, target, counter).or_else(|| mutate_expr(b, target, counter))
+        }
+        Expr::Unary(_, a) => mutate_expr(a, target, counter),
+        Expr::Cond(c, a, b) => mutate_expr(c, target, counter)
+            .or_else(|| mutate_expr(a, target, counter))
+            .or_else(|| mutate_expr(b, target, counter)),
+        Expr::Array(items) => {
+            for i in items {
+                if let Some(bug) = mutate_expr(i, target, counter) {
+                    return Some(bug);
+                }
+            }
+            None
+        }
+        Expr::Object(fields) => {
+            for (_, v) in fields {
+                if let Some(bug) = mutate_expr(v, target, counter) {
+                    return Some(bug);
+                }
+            }
+            None
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                if let Some(bug) = mutate_expr(a, target, counter) {
+                    return Some(bug);
+                }
+            }
+            None
+        }
+        Expr::Method { recv, args, .. } => {
+            if let Some(bug) = mutate_expr(recv, target, counter) {
+                return Some(bug);
+            }
+            for a in args {
+                if let Some(bug) = mutate_expr(a, target, counter) {
+                    return Some(bug);
+                }
+            }
+            None
+        }
+        Expr::Prop(a, _) => mutate_expr(a, target, counter),
+        Expr::Index(a, b) => mutate_expr(a, target, counter)
+            .or_else(|| mutate_expr(b, target, counter)),
+        Expr::Lambda { body, .. } => mutate_expr(body, target, counter),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::build::{self, num, var};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn factorial_fn() -> FuncDecl {
+        build::func(
+            "fact",
+            [("n", askit_types::int())],
+            askit_types::int(),
+            vec![
+                build::let_("acc", num(1.0)),
+                build::for_range_incl("i", num(2.0), var("n"), vec![build::assign_op(
+                    "acc",
+                    minilang::BinOp::Mul,
+                    var("i"),
+                )]),
+                build::ret(var("acc")),
+            ],
+        )
+    }
+
+    #[test]
+    fn rates_decay_per_attempt() {
+        let cfg = FaultConfig::default();
+        assert!(cfg.direct_rate_at(0) > cfg.direct_rate_at(1));
+        assert!(cfg.code_rate_at(3) < 0.02);
+        assert_eq!(FaultConfig::none().direct_rate_at(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_rates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = FaultConfig { direct_fault_rate: 1.0, code_bug_rate: 1.0, decay: 0.0 };
+        assert!(sample_direct_fault(&cfg, 0, &mut rng).is_some());
+        assert!(sample_direct_fault(&cfg, 1, &mut rng).is_none(), "decayed to zero");
+        assert!(sample_code_bug(&cfg, 0, &mut rng));
+        assert!(!sample_code_bug(&cfg, 2, &mut rng));
+    }
+
+    #[test]
+    fn corruption_forms() {
+        let clean = "```json\n{\"reason\": \"r\", \"answer\": 42}\n```";
+        let broken = corrupt_response(clean, DirectFault::MalformedJson);
+        assert!(askit_json::extract::extract_json(&broken).is_none(), "{broken}");
+        let renamed = corrupt_response(clean, DirectFault::MissingAnswerField);
+        assert!(renamed.contains("\"result\""));
+        assert!(!renamed.contains("\"answer\""));
+        let prose = corrupt_response(clean, DirectFault::ExtraProse);
+        let v = askit_json::extract::extract_json(&prose).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&askit_json::Json::Int(42)));
+    }
+
+    #[test]
+    fn planted_bugs_change_behaviour() {
+        // Across seeds, a planted (non-syntax) bug must change factorial's
+        // output or crash it — never silently preserve semantics.
+        let mut changed = 0;
+        let mut syntax = 0;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut decl = factorial_fn();
+            let bug = plant_bug(&mut decl, &mut rng);
+            if bug == CodeBug::BrokenSyntax {
+                syntax += 1;
+                continue;
+            }
+            let program = minilang::ast::Program { functions: vec![decl] };
+            let mut args = askit_json::Map::new();
+            args.insert("n", askit_json::Json::Int(5));
+            let out = minilang::Interp::new(&program).call_json("fact", &args);
+            match out {
+                Ok(v) if v == askit_json::Json::Int(120) => {
+                    // A bound flip on an already-tight loop can coincide; a
+                    // literal drift cannot. Allow rare coincidences only for
+                    // bound flips.
+                    assert_eq!(bug, CodeBug::OffByOneBound, "seed {seed}: bug {bug:?} was a no-op");
+                }
+                _ => changed += 1,
+            }
+        }
+        assert!(changed >= 25, "only {changed} of 40 seeds changed behaviour");
+        assert!(syntax >= 1, "syntax faults should occur sometimes");
+    }
+
+    #[test]
+    fn break_syntax_breaks_both_frontends() {
+        let decl = factorial_fn();
+        let ts = minilang::print_function(&decl, minilang::Syntax::Ts);
+        let broken = break_syntax(&ts);
+        assert!(minilang::parse_ts(&broken).is_err());
+        let py = minilang::print_function(&decl, minilang::Syntax::Py);
+        let broken = break_syntax(&py);
+        assert!(minilang::parse_py(&broken).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The token-based latency model for simulated LLM calls.
+//!
+//! Table III's headline numbers compare the *latency of a model round trip*
+//! (13.28 s for TS / 22.97 s for Py on GPT-4 in the paper) against the
+//! *execution time of generated code* (tens of microseconds). The substrate
+//! here reproduces the first half: latency = `base + prompt·a + completion·b
+//! (± jitter)`, the standard first-order model of autoregressive serving —
+//! prompt tokens are cheap (parallel prefill), completion tokens are
+//! expensive (serial decode).
+
+use std::time::Duration;
+
+use rand::Rng;
+
+use crate::api::TokenUsage;
+
+/// A latency profile for a simulated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed overhead per request (network + queueing).
+    pub base: Duration,
+    /// Cost per prompt token (prefill).
+    pub per_prompt_token: Duration,
+    /// Cost per completion token (decode).
+    pub per_completion_token: Duration,
+    /// Multiplicative jitter: the result is scaled by a uniform factor in
+    /// `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// Profile approximating GPT-4-class serving (slow decode).
+    ///
+    /// Calibrated so that the paper's GSM8K prompts (~500 prompt tokens,
+    /// ~250 completion tokens with chain-of-thought) land in the 13–23 s
+    /// band Table III reports.
+    pub fn gpt4() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(900),
+            per_prompt_token: Duration::from_micros(900),
+            per_completion_token: Duration::from_millis(55),
+            jitter: 0.25,
+        }
+    }
+
+    /// Profile approximating GPT-3.5-turbo-class serving (fast decode).
+    pub fn gpt35() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(500),
+            per_prompt_token: Duration::from_micros(400),
+            per_completion_token: Duration::from_millis(18),
+            jitter: 0.25,
+        }
+    }
+
+    /// Computes the simulated latency for a request with the given usage.
+    pub fn sample<R: Rng + ?Sized>(&self, usage: TokenUsage, rng: &mut R) -> Duration {
+        let raw = self.base
+            + self.per_prompt_token * usage.prompt_tokens as u32
+            + self.per_completion_token * usage.completion_tokens as u32;
+        if self.jitter == 0.0 {
+            return raw;
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+        raw.mul_f64(factor.max(0.05))
+    }
+
+    /// The deterministic (jitter-free) expectation, used by benches.
+    pub fn expected(&self, usage: TokenUsage) -> Duration {
+        self.base
+            + self.per_prompt_token * usage.prompt_tokens as u32
+            + self.per_completion_token * usage.completion_tokens as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn usage(p: usize, c: usize) -> TokenUsage {
+        TokenUsage { prompt_tokens: p, completion_tokens: c }
+    }
+
+    #[test]
+    fn decode_dominates_prefill() {
+        let m = LatencyModel::gpt4();
+        let many_prompt = m.expected(usage(1000, 10));
+        let many_completion = m.expected(usage(10, 1000));
+        assert!(many_completion > many_prompt * 5);
+    }
+
+    #[test]
+    fn gsm8k_style_request_lands_in_the_paper_band() {
+        // ~500 prompt tokens, ~250 reasoning tokens → Table III reports
+        // 13.28 s (TS) and 22.97 s (Py) means for GPT-4.
+        let m = LatencyModel::gpt4();
+        let d = m.expected(usage(500, 250));
+        assert!(d > Duration::from_secs(5), "{d:?}");
+        assert!(d < Duration::from_secs(40), "{d:?}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let m = LatencyModel::gpt4();
+        let e = m.expected(usage(100, 100));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = m.sample(usage(100, 100), &mut rng);
+            assert!(d >= e.mul_f64(0.74), "{d:?} vs {e:?}");
+            assert!(d <= e.mul_f64(1.26), "{d:?} vs {e:?}");
+        }
+        let a = m.sample(usage(10, 10), &mut StdRng::seed_from_u64(7));
+        let b = m.sample(usage(10, 10), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gpt35_is_faster_than_gpt4() {
+        let u = usage(400, 200);
+        assert!(LatencyModel::gpt35().expected(u) < LatencyModel::gpt4().expected(u));
+    }
+}

@@ -1,0 +1,39 @@
+//! # askit-llm
+//!
+//! The language-model substrate for the AskIt reproduction.
+//!
+//! The paper's experiments call OpenAI GPT-3.5/GPT-4 over the network; this
+//! crate provides the offline stand-in, engineered so that the *AskIt
+//! machinery under test is identical* — prompt synthesis, JSON extraction,
+//! retry loops, code validation all run unmodified against:
+//!
+//! * [`MockLlm`] — a deterministic simulated model that reads prompts with
+//!   real parsers (types, code skeletons), answers from an explicit
+//!   knowledge registry ([`Oracle`]), misbehaves at seeded, configurable
+//!   rates ([`FaultConfig`]), and reports latency from a token-based serving
+//!   model ([`LatencyModel`]);
+//! * [`ScriptedLlm`] — canned responses for unit tests;
+//! * [`RecordingLlm`] — a logging wrapper.
+//!
+//! See DESIGN.md §1 for why this substitution preserves the paper's
+//! measured behaviours.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+pub mod faults;
+pub mod latency;
+pub mod mock;
+pub mod oracle;
+mod scripted;
+pub mod tokenizer;
+
+pub use api::{
+    ChatMessage, Completion, CompletionRequest, LanguageModel, LlmError, Role, TokenUsage,
+};
+pub use faults::FaultConfig;
+pub use latency::LatencyModel;
+pub use mock::{MockLlm, MockLlmConfig, CODEGEN_MARKER, DIRECT_MARKER, FEEDBACK_MARKER};
+pub use oracle::{AnswerOutcome, AnswerSkill, AnswerTask, CodeSkill, CodeTask, Oracle};
+pub use scripted::{Exchange, RecordingLlm, ScriptedLlm};

@@ -1,0 +1,604 @@
+//! `MockLlm`: the deterministic simulated language model.
+//!
+//! The mock plays GPT's role in both AskIt pipelines by actually *reading
+//! the prompt*, using the same machinery a GPT-class model is claimed to
+//! possess in the paper:
+//!
+//! * it "can grasp the semantics of types in programming languages"
+//!   (§III-E) — implemented by parsing the TypeScript type fence out of the
+//!   runtime prompt with [`askit_types::Type::parse`];
+//! * it understands the one-shot Figure 4 code prompt — implemented by
+//!   parsing the empty function skeleton with the MiniLang frontends and
+//!   reading the instruction comment;
+//! * its knowledge is the [`Oracle`]; what the oracle doesn't know, the mock
+//!   answers with a type-conforming guess (directly answerable tasks) or a
+//!   plausible-but-wrong implementation (codable tasks) — mirroring how the
+//!   paper's evals benchmarks were format-correct but unsolvable, and how
+//!   HumanEval tasks sometimes never validate;
+//! * it misbehaves at configurable, seeded rates ([`FaultConfig`]), decaying
+//!   across retries like temperature-1.0 resampling does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use askit_json::{extract, Json, Map};
+use askit_types::{sample::sample, Type};
+use minilang::pretty::{print_function, Syntax};
+use minilang::{build, FuncDecl};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::api::{Completion, CompletionRequest, LanguageModel, LlmError, TokenUsage};
+use crate::faults::{
+    break_syntax, corrupt_response, plant_bug, sample_code_bug, sample_direct_fault, CodeBug,
+    DirectFault, FaultConfig,
+};
+use crate::latency::LatencyModel;
+use crate::oracle::{AnswerTask, CodeTask, Oracle};
+use crate::tokenizer::count_tokens;
+
+/// Marker the codegen prompt carries (paper Figure 4, "Q: Implement the
+/// following function:").
+pub const CODEGEN_MARKER: &str = "Implement the following function";
+
+/// Marker the direct-task prompt carries (paper Listing 2, line 1).
+pub const DIRECT_MARKER: &str = "generates responses in JSON format";
+
+/// Marker introducing the §III-E feedback line on retries.
+pub const FEEDBACK_MARKER: &str = "Your previous response was not acceptable";
+
+/// Configuration of a [`MockLlm`].
+#[derive(Debug, Clone)]
+pub struct MockLlmConfig {
+    /// Reported model name.
+    pub model_name: String,
+    /// Latency profile.
+    pub latency: LatencyModel,
+    /// Misbehaviour rates.
+    pub faults: FaultConfig,
+    /// RNG seed (all mock behaviour is deterministic given the seed and the
+    /// request sequence).
+    pub seed: u64,
+}
+
+impl MockLlmConfig {
+    /// A GPT-4-like profile (slow, accurate): the model Table III uses.
+    pub fn gpt4() -> Self {
+        MockLlmConfig {
+            model_name: "sim-gpt-4".to_owned(),
+            latency: LatencyModel::gpt4(),
+            faults: FaultConfig { code_bug_rate: 0.12, ..FaultConfig::default() },
+            seed: 0xA5C1_0001,
+        }
+    }
+
+    /// A GPT-3.5-turbo-16k-like profile (fast, sloppier): the model the
+    /// Table II experiment uses.
+    pub fn gpt35() -> Self {
+        MockLlmConfig {
+            model_name: "sim-gpt-3.5-turbo-16k".to_owned(),
+            latency: LatencyModel::gpt35(),
+            faults: FaultConfig::default(),
+            seed: 0xA5C1_0002,
+        }
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the fault configuration.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// The simulated language model. See the [module docs](self).
+pub struct MockLlm {
+    config: MockLlmConfig,
+    oracle: Oracle,
+    rng: Mutex<StdRng>,
+    calls: AtomicUsize,
+}
+
+impl std::fmt::Debug for MockLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MockLlm")
+            .field("model", &self.config.model_name)
+            .field("oracle", &self.oracle)
+            .field("calls", &self.calls.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl MockLlm {
+    /// Creates a mock model over an oracle.
+    pub fn new(config: MockLlmConfig, oracle: Oracle) -> Self {
+        let seed = config.seed;
+        MockLlm { config, oracle, rng: Mutex::new(StdRng::seed_from_u64(seed)), calls: AtomicUsize::new(0) }
+    }
+
+    /// A GPT-4-like mock with the standard oracle.
+    pub fn gpt4() -> Self {
+        MockLlm::new(MockLlmConfig::gpt4(), Oracle::standard())
+    }
+
+    /// A GPT-3.5-like mock with the standard oracle.
+    pub fn gpt35() -> Self {
+        MockLlm::new(MockLlmConfig::gpt35(), Oracle::standard())
+    }
+
+    /// Number of completions served so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Read access to the oracle (diagnostics).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    fn respond(&self, request: &CompletionRequest) -> Result<String, LlmError> {
+        let prompt = request
+            .first_user()
+            .ok_or_else(|| LlmError::InvalidRequest("no user message".to_owned()))?;
+        let attempt = request.attempt();
+        if prompt.contains(CODEGEN_MARKER) {
+            return Ok(self.respond_codegen(prompt, attempt));
+        }
+        if prompt.contains(DIRECT_MARKER) {
+            return Ok(self.respond_direct(prompt, attempt, request.temperature));
+        }
+        Ok(format!(
+            "I'm {}, a simulated assistant. You said: {}",
+            self.config.model_name,
+            prompt.lines().next().unwrap_or("")
+        ))
+    }
+
+    // --- directly answerable tasks (paper §III-E) -------------------------
+
+    fn respond_direct(&self, prompt: &str, attempt: usize, temperature: f64) -> String {
+        let mut rng = self.rng.lock();
+        // The prompt constrains the response with a TypeScript type in a
+        // ```ts fence (Listing 2 lines 5–8): read it like GPT would.
+        let envelope = read_expected_type(prompt).unwrap_or_else(|| {
+            askit_types::dict([
+                ("reason", askit_types::string()),
+                ("answer", askit_types::any()),
+            ])
+        });
+        let answer_type = match &envelope {
+            Type::Dict(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "answer")
+                .map(|(_, t)| t.clone())
+                .unwrap_or(Type::Any),
+            other => other.clone(),
+        };
+        let (template, bindings) = read_task_section(prompt);
+        let outcome = self.oracle.answer(&AnswerTask {
+            template: &template,
+            bindings: &bindings,
+            answer_type: &answer_type,
+        });
+        let (mut answer, reason) = match outcome {
+            Some(o) => (o.answer, o.reason),
+            None => (
+                sample(&answer_type, &mut *rng),
+                "Answering from general knowledge.".to_owned(),
+            ),
+        };
+
+        let fault = if temperature > 0.0 {
+            sample_direct_fault(&self.config.faults, attempt, &mut *rng)
+        } else {
+            None
+        };
+        if fault == Some(DirectFault::WrongAnswerType) {
+            answer = wrong_typed(&answer, &answer_type);
+        }
+        let mut body = Map::new();
+        body.insert("reason", Json::Str(reason));
+        body.insert("answer", answer);
+        let text = format!("```json\n{}\n```", Json::Object(body).to_compact_string());
+        match fault {
+            Some(f) => corrupt_response(&text, f),
+            None => text,
+        }
+    }
+
+    // --- codable tasks (paper §III-D, Figure 4) ---------------------------
+
+    fn respond_codegen(&self, prompt: &str, attempt: usize) -> String {
+        let mut rng = self.rng.lock();
+        let Some((skeleton_src, syntax)) = last_code_fence(prompt) else {
+            return "I could not find a function to implement.".to_owned();
+        };
+        let instruction = read_instruction_comment(&skeleton_src);
+        let parsed = minilang::parse(&skeleton_src, syntax);
+        let Ok(skeleton) = parsed else {
+            return "The function skeleton does not parse.".to_owned();
+        };
+        let Some(decl) = skeleton.functions.first() else {
+            return "The prompt contained no function.".to_owned();
+        };
+
+        let task = CodeTask {
+            instruction: &instruction,
+            name: &decl.name,
+            params: &decl.params,
+            ret: &decl.ret,
+            syntax,
+        };
+        let mut implementation = match self.oracle.implement(&task) {
+            Some(mut body_decl) => {
+                // The oracle provides a body; the signature is the prompt's.
+                body_decl.name = decl.name.clone();
+                body_decl.params = decl.params.clone();
+                body_decl.ret = decl.ret.clone();
+                body_decl
+            }
+            None => hallucinated_implementation(decl, &mut *rng),
+        };
+        implementation.doc = vec![instruction.clone()];
+        implementation.exported = true;
+
+        let mut broken_syntax = false;
+        if sample_code_bug(&self.config.faults, attempt, &mut *rng) {
+            match plant_bug(&mut implementation, &mut *rng) {
+                CodeBug::BrokenSyntax => broken_syntax = true,
+                _ => {}
+            }
+        }
+        let mut code = print_function(&implementation, syntax);
+        if broken_syntax {
+            code = break_syntax(&code);
+        }
+        format!("A:\n```{}\n{}```", syntax.fence_tag(), code)
+    }
+}
+
+impl LanguageModel for MockLlm {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let text = self.respond(request)?;
+        let usage = TokenUsage {
+            prompt_tokens: request
+                .messages
+                .iter()
+                .map(|m| count_tokens(&m.content))
+                .sum(),
+            completion_tokens: count_tokens(&text)
+                // Direct tasks narrate hidden chain-of-thought before the
+                // final JSON; charge for it like a real reasoning reply.
+                + if text.contains("```json") { 180 } else { 40 },
+        };
+        let latency = self.config.latency.sample(usage, &mut *self.rng.lock());
+        Ok(Completion { text, usage, latency })
+    }
+
+    fn model_name(&self) -> &str {
+        &self.config.model_name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prompt comprehension helpers
+// ---------------------------------------------------------------------------
+
+/// Reads the expected response type out of the prompt's `ts` fence.
+fn read_expected_type(prompt: &str) -> Option<Type> {
+    for block in extract::code_blocks(prompt) {
+        if block.lang.eq_ignore_ascii_case("ts") || block.lang.eq_ignore_ascii_case("typescript")
+        {
+            if let Ok(t) = Type::parse(block.content.trim()) {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// Splits the task section (after the fixed header) into the quoted template
+/// and the `where` bindings (paper Listing 2, lines 11–12).
+fn read_task_section(prompt: &str) -> (String, Map) {
+    const HEADER_END: &str = "in the 'reason' field.";
+    let section = match prompt.rfind(HEADER_END) {
+        Some(idx) => &prompt[idx + HEADER_END.len()..],
+        None => prompt,
+    };
+    // Few-shot examples, if present, follow the task section.
+    let section = match section.find("\nExamples:") {
+        Some(idx) => &section[..idx],
+        None => section,
+    };
+    let section = section.trim();
+    match section.rfind("\nwhere ") {
+        Some(idx) => {
+            let template = section[..idx].trim().to_owned();
+            let bindings = parse_bindings(&section[idx + "\nwhere ".len()..]);
+            (template, bindings)
+        }
+        None => (section.to_owned(), Map::new()),
+    }
+}
+
+/// Parses `'a' = 1, 'b' = "x"` binding lists. Values are compact JSON, so
+/// each one is consumed with `parse_prefix` (robust to commas inside).
+fn parse_bindings(text: &str) -> Map {
+    let mut bindings = Map::new();
+    let mut rest = text.trim();
+    loop {
+        let Some(after_quote) = rest.strip_prefix('\'') else { break };
+        let Some(name_end) = after_quote.find('\'') else { break };
+        let name = &after_quote[..name_end];
+        let after_name = &after_quote[name_end + 1..];
+        let Some(after_eq) = after_name.trim_start().strip_prefix('=') else { break };
+        let value_text = after_eq.trim_start();
+        let Ok((value, used)) = Json::parse_prefix(value_text) else { break };
+        bindings.insert(name, value);
+        rest = value_text[used..].trim_start();
+        rest = rest.strip_prefix(',').map(str::trim_start).unwrap_or("");
+        if rest.is_empty() {
+            break;
+        }
+    }
+    bindings
+}
+
+/// Finds the last fenced code block and its surface syntax.
+fn last_code_fence(prompt: &str) -> Option<(String, Syntax)> {
+    let blocks = extract::code_blocks(prompt);
+    let block = blocks.last()?;
+    let syntax = if block.lang.eq_ignore_ascii_case("python") {
+        Syntax::Py
+    } else {
+        Syntax::Ts
+    };
+    Some((block.content.to_owned(), syntax))
+}
+
+/// Extracts the instruction comment from a function skeleton.
+fn read_instruction_comment(skeleton: &str) -> String {
+    let mut lines = Vec::new();
+    for line in skeleton.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("//") {
+            lines.push(rest.trim().to_owned());
+        } else if let Some(rest) = t.strip_prefix('#') {
+            lines.push(rest.trim().to_owned());
+        }
+    }
+    lines.join(" ")
+}
+
+/// A type-conforming but wrong-typed variant of `answer` (for the
+/// [`DirectFault::WrongAnswerType`] fault).
+fn wrong_typed(answer: &Json, ty: &Type) -> Json {
+    match ty {
+        Type::Str => Json::Array(vec![answer.clone()]),
+        _ => Json::Str(answer.to_compact_string()),
+    }
+}
+
+/// An implementation invented without knowledge: correct signature, wrong
+/// behaviour (returns a constant of the right shape).
+fn hallucinated_implementation<R: Rng + ?Sized>(decl: &FuncDecl, rng: &mut R) -> FuncDecl {
+    let default_value = sample(&decl.ret, rng);
+    let body = vec![build::ret(build::expr_of_json(&default_value))];
+    FuncDecl {
+        name: decl.name.clone(),
+        params: decl.params.clone(),
+        ret: decl.ret.clone(),
+        body,
+        exported: true,
+        doc: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::json;
+
+    fn direct_prompt(answer_ty: &str, task: &str) -> String {
+        format!(
+            "You are a helpful assistant that {DIRECT_MARKER} enclosed with ```json and ``` like:\n```json\n{{ \"reason\": \"Step-by-step reason for the answer\", \"answer\": \"Final answer or result\" }}\n```\nThe response in the JSON code block should match the type defined as follows:\n```ts\n{{ reason: string, answer: {answer_ty} }}\n```\nExplain your answer step-by-step in the 'reason' field.\n\n{task}"
+        )
+    }
+
+    #[test]
+    fn bindings_parse_including_commas() {
+        let b = parse_bindings("'n' = 5, 'xs' = [1,2,3], 's' = \"a, b\"");
+        assert_eq!(b.get("n"), Some(&Json::Int(5)));
+        assert_eq!(b.get("xs"), Some(&Json::parse("[1,2,3]").unwrap()));
+        assert_eq!(b.get("s"), Some(&Json::from("a, b")));
+    }
+
+    #[test]
+    fn task_section_is_isolated_from_header() {
+        let p = direct_prompt("number", "What is 'x' times 'y'?\nwhere 'x' = 6, 'y' = 7");
+        let (template, bindings) = read_task_section(&p);
+        assert_eq!(template, "What is 'x' times 'y'?");
+        assert_eq!(bindings.get("x"), Some(&Json::Int(6)));
+        let ty = read_expected_type(&p).unwrap();
+        assert_eq!(
+            ty,
+            askit_types::dict([
+                ("reason", askit_types::string()),
+                ("answer", askit_types::float())
+            ])
+        );
+    }
+
+    #[test]
+    fn direct_arithmetic_round_trip() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        );
+        let p = direct_prompt("number", "What is 'x' times 'y'?\nwhere 'x' = 6, 'y' = 7");
+        let out = llm.complete(&CompletionRequest::from_prompt(p)).unwrap();
+        let v = extract::extract_json(&out.text).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Int(42)));
+        assert!(v.get_key("reason").is_some());
+        assert!(out.latency.as_millis() > 0);
+    }
+
+    #[test]
+    fn unknown_tasks_get_type_conforming_guesses() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        );
+        let p = direct_prompt(
+            "{ x: number, y: number }",
+            "Give the coordinates of the treasure.",
+        );
+        let out = llm.complete(&CompletionRequest::from_prompt(p)).unwrap();
+        let v = extract::extract_json(&out.text).unwrap();
+        let answer = v.get_key("answer").unwrap();
+        let ty = askit_types::dict([("x", askit_types::float()), ("y", askit_types::float())]);
+        assert!(ty.validate(answer).is_ok(), "guess {answer} should conform");
+    }
+
+    #[test]
+    fn faults_fire_at_rate_one_and_decay() {
+        let cfg = MockLlmConfig::gpt4().with_faults(FaultConfig {
+            direct_fault_rate: 1.0,
+            code_bug_rate: 1.0,
+            decay: 0.0,
+        });
+        let llm = MockLlm::new(cfg, Oracle::standard());
+        let p = direct_prompt("number", "What is 2 plus 2?");
+        // Attempt 0 always faulty (rate 1.0).
+        let first = llm.complete(&CompletionRequest::from_prompt(p.clone())).unwrap();
+        let parsed = extract::extract_json(&first.text);
+        let is_clean = parsed
+            .as_ref()
+            .and_then(|v| v.get_key("answer"))
+            .is_some_and(|a| *a == Json::Int(4));
+        // Any of the four fault kinds must have disturbed something —
+        // except ExtraProse, which is benign by design. Accept either a
+        // corrupted response or benign prose.
+        if is_clean {
+            assert!(
+                first.text.contains("Certainly!"),
+                "rate-1.0 fault produced a clean bare answer: {}",
+                first.text
+            );
+        }
+        // A retry conversation (attempt 1, decay 0) is always clean.
+        let retry = CompletionRequest {
+            messages: vec![
+                crate::api::ChatMessage::user(p),
+                crate::api::ChatMessage::assistant(first.text),
+                crate::api::ChatMessage::user(format!("{FEEDBACK_MARKER}: fix it")),
+            ],
+            temperature: 1.0,
+        };
+        let second = llm.complete(&retry).unwrap();
+        let v = extract::extract_json(&second.text).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Int(4)));
+    }
+
+    fn codegen_prompt(syntax: Syntax) -> String {
+        let skeleton = match syntax {
+            Syntax::Ts => "export function calcFact({n}: {n: number}): number {\n  // Calculate the factorial of 'n'\n}",
+            Syntax::Py => "def calcFact(n):\n    # Calculate the factorial of 'n'\n    pass",
+        };
+        format!(
+            "Q: {CODEGEN_MARKER}:\n```{tag}\nexport function func({{x, y}}: {{x: number, y: number}}): number {{\n  // add 'x' and 'y'\n}}\n```\n\nA:\n```{tag}\nexport function func({{x, y}}: {{x: number, y: number}}): number {{\n  // add 'x' and 'y'\n  return x + y;\n}}\n```\n\nQ: {CODEGEN_MARKER}:\n```{tag}\n{skeleton}\n```\n",
+            tag = syntax.fence_tag(),
+        )
+    }
+
+    #[test]
+    fn codegen_uses_the_oracle() {
+        let mut oracle = Oracle::standard();
+        oracle.add_code_fn("factorial", |task| {
+            if !task.instruction.to_lowercase().contains("factorial") {
+                return None;
+            }
+            let n = task.params.first().map(|p| p.name.clone()).unwrap_or("n".into());
+            Some(build::func(
+                "fact",
+                [],
+                askit_types::int(),
+                vec![
+                    build::let_("acc", build::num(1.0)),
+                    build::for_range_incl(
+                        "i",
+                        build::num(2.0),
+                        build::var(n),
+                        vec![build::assign_op("acc", minilang::BinOp::Mul, build::var("i"))],
+                    ),
+                    build::ret(build::var("acc")),
+                ],
+            ))
+        });
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt35().with_faults(FaultConfig::none()),
+            oracle,
+        );
+        for syntax in [Syntax::Ts, Syntax::Py] {
+            let out = llm
+                .complete(&CompletionRequest::from_prompt(codegen_prompt(syntax)))
+                .unwrap();
+            let code = extract::code_block(&out.text, syntax.fence_tag()).unwrap();
+            let program = minilang::parse(code, syntax).unwrap();
+            let mut args = Map::new();
+            args.insert("n", json!(5i64));
+            let result = minilang::Interp::new(&program).call_json("calcFact", &args).unwrap();
+            assert_eq!(result, Json::Int(120), "{syntax:?}");
+        }
+    }
+
+    #[test]
+    fn codegen_without_knowledge_returns_wrong_but_wellformed_code() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt35().with_faults(FaultConfig::none()),
+            Oracle::empty(),
+        );
+        let out = llm
+            .complete(&CompletionRequest::from_prompt(codegen_prompt(Syntax::Ts)))
+            .unwrap();
+        let code = extract::code_block(&out.text, "typescript").unwrap();
+        let program = minilang::parse_ts(code).unwrap();
+        assert_eq!(program.functions[0].name, "calcFact");
+        // It runs, but almost surely computes the wrong thing.
+        let mut args = Map::new();
+        args.insert("n", json!(5i64));
+        let _ = minilang::Interp::new(&program).call_json("calcFact", &args);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let make = || {
+            MockLlm::new(MockLlmConfig::gpt4().with_seed(77), Oracle::standard())
+        };
+        let p = direct_prompt("number", "What is 3 plus 4?");
+        let a = make().complete(&CompletionRequest::from_prompt(p.clone())).unwrap();
+        let b = make().complete(&CompletionRequest::from_prompt(p)).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn call_counting_and_generic_fallback() {
+        let llm = MockLlm::gpt4();
+        assert_eq!(llm.calls(), 0);
+        let out = llm
+            .complete(&CompletionRequest::from_prompt("Hello there!"))
+            .unwrap();
+        assert!(out.text.contains("simulated assistant"));
+        assert_eq!(llm.calls(), 1);
+        assert_eq!(llm.model_name(), "sim-gpt-4");
+    }
+}

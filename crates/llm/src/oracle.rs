@@ -1,0 +1,389 @@
+//! The oracle: the mock model's stand-in for pretraining knowledge.
+//!
+//! A real LLM answers tasks because it has absorbed the world; the simulated
+//! one answers because datasets *register* knowledge here. That makes the
+//! knowledge boundary explicit and auditable: everything the mock can do is
+//! an [`AnswerSkill`] or a [`CodeSkill`] in this registry, plus the two
+//! generic skills every GPT-class model clearly has (small arithmetic and
+//! sentiment words).
+
+use askit_json::{Json, Map};
+use askit_types::Type;
+use minilang::pretty::Syntax;
+use minilang::{FuncDecl, Param};
+
+/// A directly answerable task, as the mock model understands it after
+/// reading the runtime prompt (paper Listing 2).
+#[derive(Debug)]
+pub struct AnswerTask<'a> {
+    /// The task template with quoted parameter names (Listing 2 line 11),
+    /// e.g. `List 'n' classic books on 'subject'.`
+    pub template: &'a str,
+    /// The parameter bindings (Listing 2 line 12).
+    pub bindings: &'a Map,
+    /// The expected type of the `answer` field.
+    pub answer_type: &'a Type,
+}
+
+/// What a skill produces for a direct task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerOutcome {
+    /// The answer value (should conform to the requested type).
+    pub answer: Json,
+    /// The chain-of-thought the model narrates in the `reason` field.
+    pub reason: String,
+}
+
+impl AnswerOutcome {
+    /// Convenience constructor.
+    pub fn new(answer: Json, reason: impl Into<String>) -> Self {
+        AnswerOutcome { answer, reason: reason.into() }
+    }
+}
+
+/// Knowledge for directly answerable tasks.
+pub trait AnswerSkill: Send + Sync {
+    /// Skill name (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// Attempts the task; `None` means "this skill doesn't know".
+    fn try_answer(&self, task: &AnswerTask<'_>) -> Option<AnswerOutcome>;
+}
+
+/// A codable task, as the mock model understands it after reading the
+/// Figure 4 prompt: the empty function's signature plus the instruction
+/// comment in its body.
+#[derive(Debug)]
+pub struct CodeTask<'a> {
+    /// The instruction comment, e.g. `Calculate the factorial of 'n'`.
+    pub instruction: &'a str,
+    /// The function name the compiler chose.
+    pub name: &'a str,
+    /// The declared parameters. In the Python pipeline these arrive untyped
+    /// (`any`), which is exactly the information loss behind the paper's
+    /// Python failures on Table II tasks #11 and #21–24.
+    pub params: &'a [Param],
+    /// The declared return type.
+    pub ret: &'a Type,
+    /// The surface syntax the reply must be written in.
+    pub syntax: Syntax,
+}
+
+/// Knowledge for codable tasks.
+pub trait CodeSkill: Send + Sync {
+    /// Skill name (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// Attempts an implementation; `None` means "this skill doesn't know".
+    /// The returned declaration's name/params/ret are overwritten with the
+    /// requested signature by the mock before printing.
+    fn try_implement(&self, task: &CodeTask<'_>) -> Option<FuncDecl>;
+}
+
+/// The registry of everything the mock model knows.
+pub struct Oracle {
+    answers: Vec<Box<dyn AnswerSkill>>,
+    code: Vec<Box<dyn CodeSkill>>,
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle")
+            .field("answer_skills", &self.answers.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field("code_skills", &self.code.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle::standard()
+    }
+}
+
+impl Oracle {
+    /// An oracle with no knowledge at all.
+    pub fn empty() -> Self {
+        Oracle { answers: Vec::new(), code: Vec::new() }
+    }
+
+    /// An oracle with the generic skills: small arithmetic and sentiment.
+    pub fn standard() -> Self {
+        let mut o = Oracle::empty();
+        o.add_answer(ArithmeticSkill);
+        o.add_answer(SentimentSkill);
+        o
+    }
+
+    /// Registers an answer skill (later registrations are consulted first,
+    /// so datasets can override the generic skills).
+    pub fn add_answer(&mut self, skill: impl AnswerSkill + 'static) {
+        self.answers.insert(0, Box::new(skill));
+    }
+
+    /// Registers a code skill (later registrations are consulted first).
+    pub fn add_code(&mut self, skill: impl CodeSkill + 'static) {
+        self.code.insert(0, Box::new(skill));
+    }
+
+    /// Registers an answer skill from a closure.
+    pub fn add_answer_fn<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&AnswerTask<'_>) -> Option<AnswerOutcome> + Send + Sync + 'static,
+    {
+        self.add_answer(FnAnswerSkill { name: name.to_owned(), f });
+    }
+
+    /// Registers a code skill from a closure.
+    pub fn add_code_fn<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&CodeTask<'_>) -> Option<FuncDecl> + Send + Sync + 'static,
+    {
+        self.add_code(FnCodeSkill { name: name.to_owned(), f });
+    }
+
+    /// Consults the answer skills in order.
+    pub fn answer(&self, task: &AnswerTask<'_>) -> Option<AnswerOutcome> {
+        self.answers.iter().find_map(|s| s.try_answer(task))
+    }
+
+    /// Consults the code skills in order.
+    pub fn implement(&self, task: &CodeTask<'_>) -> Option<FuncDecl> {
+        self.code.iter().find_map(|s| s.try_implement(task))
+    }
+
+    /// Number of registered skills `(answer, code)`.
+    pub fn skill_counts(&self) -> (usize, usize) {
+        (self.answers.len(), self.code.len())
+    }
+}
+
+struct FnAnswerSkill<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> AnswerSkill for FnAnswerSkill<F>
+where
+    F: Fn(&AnswerTask<'_>) -> Option<AnswerOutcome> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_answer(&self, task: &AnswerTask<'_>) -> Option<AnswerOutcome> {
+        (self.f)(task)
+    }
+}
+
+struct FnCodeSkill<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> CodeSkill for FnCodeSkill<F>
+where
+    F: Fn(&CodeTask<'_>) -> Option<FuncDecl> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_implement(&self, task: &CodeTask<'_>) -> Option<FuncDecl> {
+        (self.f)(task)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic skills
+// ---------------------------------------------------------------------------
+
+/// Small natural-language arithmetic: "What is 7 times 8?",
+/// "What is 'x' plus 'y'?" with bound variables.
+struct ArithmeticSkill;
+
+impl AnswerSkill for ArithmeticSkill {
+    fn name(&self) -> &str {
+        "arithmetic"
+    }
+
+    fn try_answer(&self, task: &AnswerTask<'_>) -> Option<AnswerOutcome> {
+        let text = task.template.to_lowercase();
+        let rest = text.strip_prefix("what is ")?;
+        let rest = rest.trim_end_matches(['?', '.', ' ']);
+        let ops: [(&str, fn(f64, f64) -> f64); 5] = [
+            (" times ", |a, b| a * b),
+            (" multiplied by ", |a, b| a * b),
+            (" plus ", |a, b| a + b),
+            (" minus ", |a, b| a - b),
+            (" divided by ", |a, b| a / b),
+        ];
+        for (word, op) in ops {
+            if let Some((lhs, rhs)) = rest.split_once(word) {
+                let a = resolve_operand(lhs, task.bindings)?;
+                let b = resolve_operand(rhs, task.bindings)?;
+                let result = op(a, b);
+                let answer = if result.fract() == 0.0 && result.abs() < 9.0e15 {
+                    Json::Int(result as i64)
+                } else {
+                    Json::Float(result)
+                };
+                return Some(AnswerOutcome::new(
+                    answer,
+                    format!("Computing {lhs}{word}{rhs} step by step gives {result}."),
+                ));
+            }
+        }
+        None
+    }
+}
+
+fn resolve_operand(text: &str, bindings: &Map) -> Option<f64> {
+    let t = text.trim();
+    if let Some(name) = t.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+        return bindings.get(name).and_then(Json::as_f64);
+    }
+    t.parse::<f64>().ok()
+}
+
+/// Word-count sentiment over the bound review text.
+struct SentimentSkill;
+
+const POSITIVE_WORDS: &[&str] = &[
+    "fantastic", "great", "good", "love", "loved", "excellent", "amazing", "exceeds",
+    "wonderful", "perfect", "happy", "best", "awesome", "nice", "enjoy", "delightful",
+    "impressive", "recommend", "reliable", "outstanding",
+];
+
+const NEGATIVE_WORDS: &[&str] = &[
+    "bad", "terrible", "awful", "poor", "disappointing", "disappointed", "broke", "broken",
+    "hate", "hated", "worst", "refund", "waste", "defective", "useless", "slow", "cheap",
+    "regret", "fails", "failed",
+];
+
+impl AnswerSkill for SentimentSkill {
+    fn name(&self) -> &str {
+        "sentiment"
+    }
+
+    fn try_answer(&self, task: &AnswerTask<'_>) -> Option<AnswerOutcome> {
+        if !task.template.to_lowercase().contains("sentiment") {
+            return None;
+        }
+        // The review is either a bound string or inline in the template.
+        let mut text = String::new();
+        for (_, v) in task.bindings.iter() {
+            if let Json::Str(s) = v {
+                text.push_str(s);
+                text.push(' ');
+            }
+        }
+        text.push_str(task.template);
+        let lower = text.to_lowercase();
+        let pos = POSITIVE_WORDS.iter().filter(|w| lower.contains(*w)).count();
+        let neg = NEGATIVE_WORDS.iter().filter(|w| lower.contains(*w)).count();
+        let label = if pos >= neg { "positive" } else { "negative" };
+        Some(AnswerOutcome::new(
+            Json::from(label),
+            format!("Found {pos} positive and {neg} negative cue(s), so the sentiment is {label}."),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::json;
+
+    fn task<'a>(template: &'a str, bindings: &'a Map, ty: &'a Type) -> AnswerTask<'a> {
+        AnswerTask { template, bindings, answer_type: ty }
+    }
+
+    #[test]
+    fn arithmetic_literal_operands() {
+        let o = Oracle::standard();
+        let b = Map::new();
+        let ty = askit_types::int();
+        let out = o.answer(&task("What is 7 times 8?", &b, &ty)).unwrap();
+        assert_eq!(out.answer, Json::Int(56));
+        let out = o.answer(&task("What is 10 divided by 4?", &b, &ty)).unwrap();
+        assert_eq!(out.answer, Json::Float(2.5));
+    }
+
+    #[test]
+    fn arithmetic_bound_operands() {
+        let o = Oracle::standard();
+        let mut b = Map::new();
+        b.insert("x", json!(21i64));
+        b.insert("y", json!(2i64));
+        let ty = askit_types::int();
+        let out = o.answer(&task("What is 'x' times 'y'?", &b, &ty)).unwrap();
+        assert_eq!(out.answer, Json::Int(42));
+    }
+
+    #[test]
+    fn sentiment_uses_bound_review() {
+        let o = Oracle::standard();
+        let mut b = Map::new();
+        b.insert("review", json!("The product is fantastic. It exceeds all my expectations."));
+        let ty = askit_types::union([askit_types::literal("positive"), askit_types::literal("negative")]);
+        let out = o.answer(&task("What is the sentiment of 'review'?", &b, &ty)).unwrap();
+        assert_eq!(out.answer, Json::from("positive"));
+
+        let mut b2 = Map::new();
+        b2.insert("review", json!("Terrible. It broke after a day, total waste."));
+        let out = o.answer(&task("What is the sentiment of 'review'?", &b2, &ty)).unwrap();
+        assert_eq!(out.answer, Json::from("negative"));
+    }
+
+    #[test]
+    fn unknown_tasks_return_none() {
+        let o = Oracle::standard();
+        let b = Map::new();
+        let ty = askit_types::string();
+        assert!(o.answer(&task("Translate 'hello' to French.", &b, &ty)).is_none());
+    }
+
+    #[test]
+    fn registered_skills_take_priority() {
+        let mut o = Oracle::standard();
+        o.add_answer_fn("override", |t| {
+            t.template.contains("times").then(|| AnswerOutcome::new(Json::Int(0), "nope"))
+        });
+        let b = Map::new();
+        let ty = askit_types::int();
+        let out = o.answer(&task("What is 7 times 8?", &b, &ty)).unwrap();
+        assert_eq!(out.answer, Json::Int(0), "later registration wins");
+        assert_eq!(o.skill_counts().0, 3);
+    }
+
+    #[test]
+    fn code_skills_dispatch() {
+        let mut o = Oracle::empty();
+        o.add_code_fn("fact", |t| {
+            t.instruction.contains("factorial").then(|| {
+                minilang::build::func("f", [], askit_types::int(), vec![minilang::build::ret(
+                    minilang::build::num(1.0),
+                )])
+            })
+        });
+        let params: Vec<Param> = vec![];
+        let ty = askit_types::int();
+        let found = o.implement(&CodeTask {
+            instruction: "Calculate the factorial of 'n'",
+            name: "calculateFactorial",
+            params: &params,
+            ret: &ty,
+            syntax: Syntax::Ts,
+        });
+        assert!(found.is_some());
+        let missing = o.implement(&CodeTask {
+            instruction: "Sort the numbers",
+            name: "sortNumbers",
+            params: &params,
+            ret: &ty,
+            syntax: Syntax::Ts,
+        });
+        assert!(missing.is_none());
+    }
+}

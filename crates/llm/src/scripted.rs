@@ -1,0 +1,174 @@
+//! Test backends: scripted responses and a recording wrapper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::api::{Completion, CompletionRequest, LanguageModel, LlmError, TokenUsage};
+use crate::tokenizer::count_tokens;
+
+/// A backend that plays back canned responses in order.
+///
+/// Used by unit tests that need to poke the AskIt runtime with precisely
+/// malformed replies (e.g. to walk the retry loop through each criterion).
+///
+/// # Examples
+///
+/// ```
+/// use askit_llm::{CompletionRequest, LanguageModel, ScriptedLlm};
+///
+/// let llm = ScriptedLlm::new(["first", "second"]);
+/// let req = CompletionRequest::from_prompt("anything");
+/// assert_eq!(llm.complete(&req)?.text, "first");
+/// assert_eq!(llm.complete(&req)?.text, "second");
+/// assert!(llm.complete(&req).is_err());
+/// # Ok::<(), askit_llm::LlmError>(())
+/// ```
+pub struct ScriptedLlm {
+    responses: Mutex<std::collections::VecDeque<String>>,
+    served: AtomicUsize,
+}
+
+impl std::fmt::Debug for ScriptedLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedLlm")
+            .field("remaining", &self.responses.lock().len())
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ScriptedLlm {
+    /// Creates a scripted backend from a response sequence.
+    pub fn new<S: Into<String>>(responses: impl IntoIterator<Item = S>) -> Self {
+        ScriptedLlm {
+            responses: Mutex::new(responses.into_iter().map(Into::into).collect()),
+            served: AtomicUsize::new(0),
+        }
+    }
+
+    /// How many responses have been served.
+    pub fn served(&self) -> usize {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// How many responses remain.
+    pub fn remaining(&self) -> usize {
+        self.responses.lock().len()
+    }
+}
+
+impl LanguageModel for ScriptedLlm {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        let text = self.responses.lock().pop_front().ok_or(LlmError::Exhausted)?;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let usage = TokenUsage {
+            prompt_tokens: request.messages.iter().map(|m| count_tokens(&m.content)).sum(),
+            completion_tokens: count_tokens(&text),
+        };
+        Ok(Completion { text, usage, latency: Duration::from_millis(1) })
+    }
+
+    fn model_name(&self) -> &str {
+        "scripted"
+    }
+}
+
+/// One logged request/response pair.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// The full request.
+    pub request: CompletionRequest,
+    /// The response text (or the error's display form).
+    pub response: Result<String, String>,
+}
+
+/// A wrapper that logs every exchange through an inner backend.
+pub struct RecordingLlm<L> {
+    inner: L,
+    log: Mutex<Vec<Exchange>>,
+}
+
+impl<L: LanguageModel> RecordingLlm<L> {
+    /// Wraps a backend.
+    pub fn new(inner: L) -> Self {
+        RecordingLlm { inner, log: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot of the exchanges so far.
+    pub fn exchanges(&self) -> Vec<Exchange> {
+        self.log.lock().clone()
+    }
+
+    /// Number of exchanges so far.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Whether no exchanges were logged.
+    pub fn is_empty(&self) -> bool {
+        self.log.lock().is_empty()
+    }
+
+    /// Unwraps the inner backend.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: LanguageModel> std::fmt::Debug for RecordingLlm<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingLlm")
+            .field("model", &self.inner.model_name())
+            .field("exchanges", &self.len())
+            .finish()
+    }
+}
+
+impl<L: LanguageModel> LanguageModel for RecordingLlm<L> {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        let result = self.inner.complete(request);
+        self.log.lock().push(Exchange {
+            request: request.clone(),
+            response: result
+                .as_ref()
+                .map(|c| c.text.clone())
+                .map_err(ToString::to_string),
+        });
+        result
+    }
+
+    fn model_name(&self) -> &str {
+        self.inner.model_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_serves_in_order_then_exhausts() {
+        let llm = ScriptedLlm::new(["a", "b"]);
+        let req = CompletionRequest::from_prompt("x");
+        assert_eq!(llm.complete(&req).unwrap().text, "a");
+        assert_eq!(llm.remaining(), 1);
+        assert_eq!(llm.complete(&req).unwrap().text, "b");
+        assert_eq!(llm.complete(&req).unwrap_err(), LlmError::Exhausted);
+        assert_eq!(llm.served(), 2);
+    }
+
+    #[test]
+    fn recording_logs_both_outcomes() {
+        let llm = RecordingLlm::new(ScriptedLlm::new(["only"]));
+        let req = CompletionRequest::from_prompt("q");
+        assert!(llm.complete(&req).is_ok());
+        assert!(llm.complete(&req).is_err());
+        let log = llm.exchanges();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].response.as_deref(), Ok("only"));
+        assert!(log[1].response.is_err());
+        assert!(!llm.is_empty());
+    }
+}

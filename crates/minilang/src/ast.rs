@@ -1,0 +1,363 @@
+//! The MiniLang abstract syntax tree.
+//!
+//! One AST serves both surface syntaxes (MiniTS and MiniPy): the frontends
+//! normalize surface differences (method spellings, `x in xs` vs
+//! `xs.includes(x)`, `for … of` vs `for … in`) into the canonical forms
+//! here, and [`crate::pretty`] re-renders them per syntax.
+
+use askit_types::Type;
+
+/// A whole compilation unit: one or more function declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The declared functions, in source order.
+    pub functions: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function declaration.
+///
+/// Parameters are *named*: the TS surface syntax is the paper's destructured
+/// object style (`function f({x, y}: {x: number, y: number}): number`), the
+/// Python surface is a plain `def f(x, y):`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Named, typed parameters.
+    pub params: Vec<Param>,
+    /// Declared return type.
+    pub ret: Type,
+    /// Body statements.
+    pub body: Block,
+    /// Whether the TS form carries `export`.
+    pub exported: bool,
+    /// Leading comment lines (without comment markers), e.g. the task
+    /// instruction that AskIt plants in the empty function (paper Fig. 4).
+    pub doc: Vec<String>,
+}
+
+/// A typed parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;` / `x = e` (first binding). `mutable` distinguishes
+    /// `let` from `const` in the TS rendering.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+        /// `let` vs `const` (Python renders both the same).
+        mutable: bool,
+    },
+    /// Assignment to an existing variable or element: `x = e`, `x += e`,
+    /// `a[i] = e`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Compound operator (`None` for plain `=`).
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if cond { … } else { … }`.
+    If {
+        /// Condition (must evaluate to a boolean).
+        cond: Expr,
+        /// Then-branch.
+        then_block: Block,
+        /// Else-branch (possibly empty).
+        else_block: Block,
+    },
+    /// `while cond { … }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// A counted loop: TS `for (let i = start; i < end; i++)`,
+    /// Python `for i in range(start, end)`.
+    ForRange {
+        /// Loop variable.
+        var: String,
+        /// Start (inclusive).
+        start: Expr,
+        /// End (exclusive, or inclusive when `inclusive`).
+        end: Expr,
+        /// Whether the end bound is inclusive (TS `<=`).
+        inclusive: bool,
+        /// Loop body.
+        body: Block,
+    },
+    /// Iteration over a sequence: TS `for (const x of xs)`,
+    /// Python `for x in xs`.
+    ForOf {
+        /// Loop variable.
+        var: String,
+        /// The iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return e;` / bare `return`.
+    Return(Option<Expr>),
+    /// An expression evaluated for effect (e.g. `xs.push(v)`).
+    Expr(Expr),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// An assignable place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A variable.
+    Var(String),
+    /// An indexed element `base[index]` (array element or object key).
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `null` / `None`.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Numeric literal (MiniLang numbers are IEEE doubles, like JS).
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal with string keys.
+    Object(Vec<(String, Expr)>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: TS `c ? a : b`, Python `a if c else b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Call of a free function (stdlib builtin or another program function).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call on a receiver, with canonical method names
+    /// (see [`crate::builtins`]).
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Canonical method name (e.g. `to_upper`, `includes`).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Property read (`xs.length`); canonical property names.
+    Prop(Box<Expr>, String),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// A one-expression lambda: TS `x => e`, Python `lambda x: e`.
+    Lambda {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not (`!` / `not`).
+    Not,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (numbers add, strings concatenate).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division).
+    Div,
+    /// Floor division (Python `//`; TS renders `Math.floor(a / b)`).
+    FloorDiv,
+    /// `%` (remainder, sign of the dividend).
+    Mod,
+    /// `**`
+    Pow,
+    /// `==` (structural).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical and (short-circuiting).
+    And,
+    /// Logical or (short-circuiting).
+    Or,
+}
+
+impl BinOp {
+    /// Binding strength for the pretty-printer (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => 6,
+            BinOp::Pow => 7,
+        }
+    }
+
+    /// Whether the operator is right-associative (only `**`).
+    pub fn right_assoc(self) -> bool {
+        matches!(self, BinOp::Pow)
+    }
+}
+
+impl Expr {
+    /// Convenience: an integer literal.
+    pub fn int(n: i64) -> Expr {
+        Expr::Num(n as f64)
+    }
+
+    /// Convenience: a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: a string literal.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Str(s.into())
+    }
+
+    /// Convenience: a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: a method call.
+    pub fn method(recv: Expr, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Method { recv: Box::new(recv), name: name.into(), args }
+    }
+
+    /// Convenience: a free-function call.
+    pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { callee: callee.into(), args }
+    }
+
+    /// Convenience: a property read.
+    pub fn prop(recv: Expr, name: impl Into<String>) -> Expr {
+        Expr::Prop(Box::new(recv), name.into())
+    }
+
+    /// Convenience: indexing.
+    pub fn index(base: Expr, idx: Expr) -> Expr {
+        Expr::Index(Box::new(base), Box::new(idx))
+    }
+
+    /// Number of AST nodes in this expression (used by fault injection to
+    /// pick mutation sites deterministically).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Null | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) | Expr::Var(_) => 1,
+            Expr::Array(items) => 1 + items.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Object(fields) => {
+                1 + fields.iter().map(|(_, e)| e.node_count()).sum::<usize>()
+            }
+            Expr::Unary(_, e) => 1 + e.node_count(),
+            Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Cond(c, a, b) => 1 + c.node_count() + a.node_count() + b.node_count(),
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Method { recv, args, .. } => {
+                1 + recv.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
+            }
+            Expr::Prop(e, _) => 1 + e.node_count(),
+            Expr::Index(a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Lambda { body, .. } => 1 + body.node_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering_matches_convention() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+        assert!(BinOp::Pow.precedence() > BinOp::Mul.precedence());
+        assert!(BinOp::Pow.right_assoc());
+        assert!(!BinOp::Add.right_assoc());
+    }
+
+    #[test]
+    fn node_count_recurses() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::int(1),
+            Expr::method(Expr::var("xs"), "includes", vec![Expr::int(2)]),
+        );
+        // bin + 1 + method + xs + 2
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let p = Program {
+            functions: vec![FuncDecl {
+                name: "f".into(),
+                params: vec![],
+                ret: askit_types::void(),
+                body: vec![],
+                exported: true,
+                doc: vec![],
+            }],
+        };
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+    }
+}

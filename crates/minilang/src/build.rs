@@ -1,0 +1,302 @@
+//! Fluent AST construction helpers.
+//!
+//! The mock model's code synthesizer and the dataset reference solutions
+//! build MiniLang ASTs programmatically; these helpers keep that code
+//! readable. Everything here is a thin constructor around [`crate::ast`].
+
+use askit_types::Type;
+
+use crate::ast::{BinOp, Block, Expr, FuncDecl, LValue, Param, Program, Stmt, UnOp};
+
+/// Builds a function declaration.
+pub fn func(
+    name: impl Into<String>,
+    params: impl IntoIterator<Item = (&'static str, Type)>,
+    ret: Type,
+    body: Block,
+) -> FuncDecl {
+    FuncDecl {
+        name: name.into(),
+        params: params
+            .into_iter()
+            .map(|(n, ty)| Param { name: n.to_owned(), ty })
+            .collect(),
+        ret,
+        body,
+        exported: true,
+        doc: vec![],
+    }
+}
+
+/// Wraps a single function into a [`Program`].
+pub fn program(f: FuncDecl) -> Program {
+    Program { functions: vec![f] }
+}
+
+/// `let name = init;`
+pub fn let_(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Let { name: name.into(), init, mutable: true }
+}
+
+/// `const name = init;`
+pub fn const_(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Let { name: name.into(), init, mutable: false }
+}
+
+/// `name = value;`
+pub fn assign(name: impl Into<String>, value: Expr) -> Stmt {
+    Stmt::Assign { target: LValue::Var(name.into()), op: None, value }
+}
+
+/// `name <op>= value;`
+pub fn assign_op(name: impl Into<String>, op: BinOp, value: Expr) -> Stmt {
+    Stmt::Assign { target: LValue::Var(name.into()), op: Some(op), value }
+}
+
+/// `base[idx] = value;`
+pub fn assign_index(base: Expr, idx: Expr, value: Expr) -> Stmt {
+    Stmt::Assign {
+        target: LValue::Index(Box::new(base), Box::new(idx)),
+        op: None,
+        value,
+    }
+}
+
+/// `return value;`
+pub fn ret(value: Expr) -> Stmt {
+    Stmt::Return(Some(value))
+}
+
+/// `return;`
+pub fn ret_void() -> Stmt {
+    Stmt::Return(None)
+}
+
+/// `if cond { then_block }`
+pub fn if_(cond: Expr, then_block: Block) -> Stmt {
+    Stmt::If { cond, then_block, else_block: vec![] }
+}
+
+/// `if cond { then_block } else { else_block }`
+pub fn if_else(cond: Expr, then_block: Block, else_block: Block) -> Stmt {
+    Stmt::If { cond, then_block, else_block }
+}
+
+/// `while cond { body }`
+pub fn while_(cond: Expr, body: Block) -> Stmt {
+    Stmt::While { cond, body }
+}
+
+/// `for (let var = start; var < end; var++) { body }`
+pub fn for_range(var: impl Into<String>, start: Expr, end: Expr, body: Block) -> Stmt {
+    Stmt::ForRange { var: var.into(), start, end, inclusive: false, body }
+}
+
+/// `for (let var = start; var <= end; var++) { body }`
+pub fn for_range_incl(var: impl Into<String>, start: Expr, end: Expr, body: Block) -> Stmt {
+    Stmt::ForRange { var: var.into(), start, end, inclusive: true, body }
+}
+
+/// `for (const var of iter) { body }`
+pub fn for_of(var: impl Into<String>, iter: Expr, body: Block) -> Stmt {
+    Stmt::ForOf { var: var.into(), iter, body }
+}
+
+/// An expression statement.
+pub fn expr_stmt(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+/// Numeric literal.
+pub fn num(n: f64) -> Expr {
+    Expr::Num(n)
+}
+
+/// Variable reference (re-export of [`Expr::var`] for symmetry).
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::var(name)
+}
+
+/// String literal.
+pub fn s(text: impl Into<String>) -> Expr {
+    Expr::str(text)
+}
+
+/// `a + b`
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Add, a, b)
+}
+
+/// `a - b`
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Sub, a, b)
+}
+
+/// `a * b`
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Mul, a, b)
+}
+
+/// `a / b`
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Div, a, b)
+}
+
+/// `a % b`
+pub fn modulo(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Mod, a, b)
+}
+
+/// `a == b`
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Eq, a, b)
+}
+
+/// `a != b`
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Ne, a, b)
+}
+
+/// `a < b`
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Lt, a, b)
+}
+
+/// `a <= b`
+pub fn le(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Le, a, b)
+}
+
+/// `a > b`
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Gt, a, b)
+}
+
+/// `a >= b`
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Ge, a, b)
+}
+
+/// `a && b`
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::And, a, b)
+}
+
+/// `a || b`
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Or, a, b)
+}
+
+/// `!a`
+pub fn not(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Not, Box::new(a))
+}
+
+/// `-a`
+pub fn neg(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Neg, Box::new(a))
+}
+
+/// `cond ? a : b`
+pub fn cond(c: Expr, a: Expr, b: Expr) -> Expr {
+    Expr::Cond(Box::new(c), Box::new(a), Box::new(b))
+}
+
+/// `x.length` / `len(x)`
+pub fn len(x: Expr) -> Expr {
+    Expr::prop(x, "len")
+}
+
+/// A one-parameter lambda.
+pub fn lambda1(p: &str, body: Expr) -> Expr {
+    Expr::Lambda { params: vec![p.to_owned()], body: Box::new(body) }
+}
+
+/// A two-parameter lambda.
+pub fn lambda2(p1: &str, p2: &str, body: Expr) -> Expr {
+    Expr::Lambda { params: vec![p1.to_owned(), p2.to_owned()], body: Box::new(body) }
+}
+
+/// An array literal.
+pub fn array(items: Vec<Expr>) -> Expr {
+    Expr::Array(items)
+}
+
+/// An object literal.
+pub fn object(fields: Vec<(&str, Expr)>) -> Expr {
+    Expr::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Lifts a JSON value into a literal expression (used when the mock model
+/// "hallucinates" a default return value for an unknown task).
+pub fn expr_of_json(value: &askit_json::Json) -> Expr {
+    use askit_json::Json;
+    match value {
+        Json::Null => Expr::Null,
+        Json::Bool(b) => Expr::Bool(*b),
+        Json::Int(i) => Expr::Num(*i as f64),
+        Json::Float(f) => Expr::Num(*f),
+        Json::Str(s) => Expr::Str(s.clone()),
+        Json::Array(items) => Expr::Array(items.iter().map(expr_of_json).collect()),
+        Json::Object(map) => Expr::Object(
+            map.iter().map(|(k, v)| (k.to_owned(), expr_of_json(v))).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::pretty::{print_function, Syntax};
+    use askit_json::{Json, Map};
+    use askit_types::{float, int, list};
+
+    /// Build factorial with the helpers, print it, run it.
+    #[test]
+    fn build_print_run_factorial() {
+        let f = func(
+            "calculateFactorial",
+            [("n", int())],
+            int(),
+            vec![
+                let_("acc", num(1.0)),
+                for_range_incl("i", num(2.0), var("n"), vec![assign_op(
+                    "acc",
+                    BinOp::Mul,
+                    var("i"),
+                )]),
+                ret(var("acc")),
+            ],
+        );
+        let ts = print_function(&f, Syntax::Ts);
+        assert!(ts.contains("for (let i = 2; i <= n; i++)"), "{ts}");
+        let py = print_function(&f, Syntax::Py);
+        assert!(py.contains("for i in range(2, n + 1):"), "{py}");
+
+        let p = program(f);
+        let mut args = Map::new();
+        args.insert("n", Json::Int(5));
+        let out = Interp::new(&p).call_json("calculateFactorial", &args).unwrap();
+        assert_eq!(out, Json::Int(120));
+    }
+
+    #[test]
+    fn build_sum_with_for_of() {
+        let f = func(
+            "sumAll",
+            [("ns", list(float()))],
+            float(),
+            vec![
+                let_("total", num(0.0)),
+                for_of("v", var("ns"), vec![assign_op("total", BinOp::Add, var("v"))]),
+                ret(var("total")),
+            ],
+        );
+        let p = program(f);
+        let mut args = Map::new();
+        args.insert("ns", Json::parse("[1, 2, 3.5]").unwrap());
+        let out = Interp::new(&p).call_json("sumAll", &args).unwrap();
+        assert_eq!(out, Json::Float(6.5));
+    }
+}

@@ -1,0 +1,962 @@
+//! The MiniLang standard library and surface-name canonicalization.
+//!
+//! MiniLang has one canonical set of builtin names; each frontend maps its
+//! surface spellings onto them at parse time and each printer maps back:
+//!
+//! | canonical | MiniTS surface | MiniPy surface |
+//! |---|---|---|
+//! | `to_upper` | `.toUpperCase()` | `.upper()` |
+//! | `index_of` | `.indexOf(x)` | `.find(x)` |
+//! | `push` | `.push(x)` | `.append(x)` |
+//! | `len` (property) | `.length` | `len(x)` |
+//! | `includes` | `.includes(x)` | `x in recv` |
+//! | `join` | `xs.join(sep)` | `sep.join(xs)` |
+//! | `floor` | `Math.floor(x)` | `math.floor(x)` |
+//! | `to_string` | `String(x)` | `str(x)` |
+//!
+//! Methods that only one surface spells natively (e.g. `count`, `map` in
+//! MiniPy) are still accepted and printed verbatim — MiniTS/MiniPy are
+//! dialects, not the real languages.
+
+use askit_json::Json;
+
+use crate::interp::{Interp, RuntimeError};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Canonicalization tables
+// ---------------------------------------------------------------------------
+
+/// Maps a MiniTS method spelling to the canonical name.
+pub fn canonical_method_ts(name: &str) -> &str {
+    match name {
+        "toUpperCase" => "to_upper",
+        "toLowerCase" => "to_lower",
+        "trim" => "trim",
+        "indexOf" => "index_of",
+        "charAt" => "char_at",
+        "replaceAll" | "replace" => "replace",
+        "startsWith" => "starts_with",
+        "endsWith" => "ends_with",
+        "padStart" => "pad_start",
+        "padEnd" => "pad_end",
+        "toString" => "to_string",
+        "toFixed" => "to_fixed",
+        other => other,
+    }
+}
+
+/// Maps a canonical method name to its MiniTS spelling.
+pub fn ts_method_surface(canonical: &str) -> &str {
+    match canonical {
+        "to_upper" => "toUpperCase",
+        "to_lower" => "toLowerCase",
+        "index_of" => "indexOf",
+        "char_at" => "charAt",
+        "replace" => "replaceAll",
+        "starts_with" => "startsWith",
+        "ends_with" => "endsWith",
+        "pad_start" => "padStart",
+        "pad_end" => "padEnd",
+        "to_string" => "toString",
+        "to_fixed" => "toFixed",
+        other => other,
+    }
+}
+
+/// Maps a MiniPy method spelling to the canonical name.
+pub fn canonical_method_py(name: &str) -> &str {
+    match name {
+        "upper" => "to_upper",
+        "lower" => "to_lower",
+        "strip" => "trim",
+        "find" | "index" => "index_of",
+        "startswith" => "starts_with",
+        "endswith" => "ends_with",
+        "rjust" => "pad_start",
+        "ljust" => "pad_end",
+        "append" => "push",
+        other => other,
+    }
+}
+
+/// Maps a canonical method name to its MiniPy spelling.
+pub fn py_method_surface(canonical: &str) -> &str {
+    match canonical {
+        "to_upper" => "upper",
+        "to_lower" => "lower",
+        "trim" => "strip",
+        "index_of" => "find",
+        "starts_with" => "startswith",
+        "ends_with" => "endswith",
+        "pad_start" => "rjust",
+        "pad_end" => "ljust",
+        "push" => "append",
+        other => other,
+    }
+}
+
+/// Canonical free-function names reachable through `Math.` / `math.` member
+/// calls (and `JSON.` / `json.`).
+pub fn canonical_namespace_call(namespace: &str, member: &str) -> Option<&'static str> {
+    match (namespace, member) {
+        ("Math" | "math", "abs") => Some("abs"),
+        ("Math" | "math", "floor") => Some("floor"),
+        ("Math" | "math", "ceil") => Some("ceil"),
+        ("Math" | "math", "round") => Some("round"),
+        ("Math" | "math", "sqrt") => Some("sqrt"),
+        ("Math" | "math", "pow") => Some("pow"),
+        ("Math" | "math", "min") => Some("min"),
+        ("Math" | "math", "max") => Some("max"),
+        ("Math" | "math", "trunc") => Some("trunc"),
+        ("JSON", "stringify") | ("json", "dumps") => Some("json_stringify"),
+        ("JSON", "parse") | ("json", "loads") => Some("json_parse"),
+        ("Object", "keys") => Some("keys"),
+        ("Object", "values") => Some("values"),
+        _ => None,
+    }
+}
+
+/// Maps a MiniTS free-function spelling to the canonical name.
+pub fn canonical_free_ts(name: &str) -> &str {
+    match name {
+        "parseInt" => "parse_int",
+        "parseFloat" => "parse_float",
+        "String" => "to_string",
+        "Number" => "to_float",
+        "Boolean" => "to_bool",
+        other => other,
+    }
+}
+
+/// Maps a MiniPy free-function spelling to the canonical name.
+pub fn canonical_free_py(name: &str) -> &str {
+    match name {
+        "str" => "to_string",
+        "int" => "to_int",
+        "float" => "to_float",
+        "bool" => "to_bool",
+        other => other,
+    }
+}
+
+/// How a canonical free function prints in MiniTS. `None` = print verbatim.
+pub fn ts_free_surface(canonical: &str) -> Option<&'static str> {
+    match canonical {
+        "parse_int" => Some("parseInt"),
+        "parse_float" => Some("parseFloat"),
+        "to_string" => Some("String"),
+        "to_float" => Some("Number"),
+        "to_int" | "trunc" => Some("Math.trunc"),
+        "abs" => Some("Math.abs"),
+        "floor" => Some("Math.floor"),
+        "ceil" => Some("Math.ceil"),
+        "round" => Some("Math.round"),
+        "sqrt" => Some("Math.sqrt"),
+        "pow" => Some("Math.pow"),
+        "min" => Some("Math.min"),
+        "max" => Some("Math.max"),
+        "json_stringify" => Some("JSON.stringify"),
+        "json_parse" => Some("JSON.parse"),
+        "keys" => Some("Object.keys"),
+        "values" => Some("Object.values"),
+        _ => None,
+    }
+}
+
+/// How a canonical free function prints in MiniPy. `None` = print verbatim.
+pub fn py_free_surface(canonical: &str) -> Option<&'static str> {
+    match canonical {
+        "parse_int" | "to_int" | "trunc" => Some("int"),
+        "parse_float" | "to_float" => Some("float"),
+        "to_string" => Some("str"),
+        "floor" => Some("math.floor"),
+        "ceil" => Some("math.ceil"),
+        "sqrt" => Some("math.sqrt"),
+        "json_stringify" => Some("json.dumps"),
+        "json_parse" => Some("json.loads"),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch
+// ---------------------------------------------------------------------------
+
+/// Evaluates a canonical free function. Returns `None` when the name is not
+/// a builtin (the interpreter then tries user-defined functions).
+pub(crate) fn eval_free(
+    interp: &mut Interp<'_>,
+    name: &str,
+    args: &mut Vec<Value>,
+) -> Option<Result<Value, RuntimeError>> {
+    let result = match name {
+        "abs" => num1(args, "abs", f64::abs),
+        "floor" => num1(args, "floor", f64::floor),
+        "ceil" => num1(args, "ceil", f64::ceil),
+        "round" => match args.len() {
+            1 => num1(args, "round", round_half_away),
+            2 => num2(args, "round", |x, digits| {
+                let factor = 10f64.powi(digits as i32);
+                round_half_away(x * factor) / factor
+            }),
+            n => Err(arity("round", 1, n)),
+        },
+        "sqrt" => num1(args, "sqrt", f64::sqrt),
+        "trunc" => num1(args, "trunc", f64::trunc),
+        "pow" => num2(args, "pow", f64::powf),
+        "min" => fold_extremum(args, "min", false),
+        "max" => fold_extremum(args, "max", true),
+        "sum" => sum(args),
+        "len" => match args.len() {
+            1 => eval_prop(args[0].clone(), "len"),
+            n => Err(arity("len", 1, n)),
+        },
+        "sorted" => match args.len() {
+            1 => sorted_copy(&args[0]),
+            n => Err(arity("sorted", 1, n)),
+        },
+        "range" => range(args),
+        "list" => match args.len() {
+            1 => to_list(&args[0]),
+            n => Err(arity("list", 1, n)),
+        },
+        "keys" => match args.len() {
+            1 => object_keys(&args[0]),
+            n => Err(arity("keys", 1, n)),
+        },
+        "values" => match args.len() {
+            1 => object_values(&args[0]),
+            n => Err(arity("values", 1, n)),
+        },
+        "to_string" => match args.len() {
+            1 => Ok(Value::Str(args[0].display_string())),
+            n => Err(arity("to_string", 1, n)),
+        },
+        "to_int" | "parse_int" => match args.len() {
+            1 => to_int(&args[0]),
+            n => Err(arity("to_int", 1, n)),
+        },
+        "to_float" | "parse_float" => match args.len() {
+            1 => to_float(&args[0]),
+            n => Err(arity("to_float", 1, n)),
+        },
+        "to_bool" => match args.len() {
+            1 => Ok(Value::Bool(truthy(&args[0]))),
+            n => Err(arity("to_bool", 1, n)),
+        },
+        "json_stringify" => match args.len() {
+            1 => args[0]
+                .to_json()
+                .map(|j| Value::Str(j.to_compact_string()))
+                .ok_or_else(|| RuntimeError::TypeMismatch("cannot stringify a function".into())),
+            n => Err(arity("json_stringify", 1, n)),
+        },
+        "json_parse" => match (args.len(), args.first()) {
+            (1, Some(Value::Str(s))) => Json::parse(s)
+                .map(|j| Value::from_json(&j))
+                .map_err(|e| RuntimeError::Other(format!("json_parse: {e}"))),
+            (1, Some(other)) => Err(RuntimeError::TypeMismatch(format!(
+                "json_parse needs a string, got {}",
+                other.type_name()
+            ))),
+            (n, _) => Err(arity("json_parse", 1, n)),
+        },
+        "print" => {
+            // Benign no-op: generated code sometimes logs.
+            Ok(Value::Null)
+        }
+        _ => return None,
+    };
+    let _ = interp; // free builtins never re-enter the interpreter today
+    Some(result)
+}
+
+/// Evaluates a property read (canonical property names; today only `len`,
+/// plus object field access).
+pub(crate) fn eval_prop(recv: Value, name: &str) -> Result<Value, RuntimeError> {
+    match name {
+        "len" => match &recv {
+            Value::Str(s) => Ok(Value::Num(s.chars().count() as f64)),
+            Value::Array(items) => Ok(Value::Num(items.borrow().len() as f64)),
+            Value::Object(fields) => Ok(Value::Num(fields.borrow().len() as f64)),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "{} has no length",
+                other.type_name()
+            ))),
+        },
+        field => match &recv {
+            Value::Object(fields) => fields
+                .borrow()
+                .iter()
+                .find(|(k, _)| k == field)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| RuntimeError::MissingKey(field.to_owned())),
+            other => Err(RuntimeError::UndefinedMethod {
+                recv: other.type_name(),
+                name: field.to_owned(),
+            }),
+        },
+    }
+}
+
+/// Evaluates a canonical method call.
+pub(crate) fn eval_method(
+    interp: &mut Interp<'_>,
+    recv: Value,
+    name: &str,
+    args: Vec<Value>,
+) -> Result<Value, RuntimeError> {
+    match &recv {
+        Value::Str(s) => string_method(s, name, &args),
+        Value::Array(_) => array_method(interp, &recv, name, args),
+        Value::Object(fields) => match name {
+            "includes" | "has" => match args.as_slice() {
+                [Value::Str(k)] => {
+                    Ok(Value::Bool(fields.borrow().iter().any(|(key, _)| key == k)))
+                }
+                _ => Err(RuntimeError::TypeMismatch("object key must be a string".into())),
+            },
+            "keys" => object_keys(&recv),
+            "values" => object_values(&recv),
+            "get" => match args.as_slice() {
+                [Value::Str(k)] => Ok(fields
+                    .borrow()
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(Value::Null)),
+                [Value::Str(k), default] => Ok(fields
+                    .borrow()
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| default.clone())),
+                _ => Err(RuntimeError::TypeMismatch("object key must be a string".into())),
+            },
+            other => Err(RuntimeError::UndefinedMethod { recv: "object", name: other.into() }),
+        },
+        Value::Num(n) => match name {
+            "to_string" => Ok(Value::Str(recv.display_string())),
+            "to_fixed" => match args.as_slice() {
+                [Value::Num(d)] => Ok(Value::Str(format!("{:.*}", *d as usize, n))),
+                _ => Err(RuntimeError::TypeMismatch("toFixed needs a digit count".into())),
+            },
+            other => Err(RuntimeError::UndefinedMethod { recv: "number", name: other.into() }),
+        },
+        other => Err(RuntimeError::UndefinedMethod {
+            recv: other.type_name(),
+            name: name.to_owned(),
+        }),
+    }
+}
+
+fn string_method(s: &str, name: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+    let chars: Vec<char> = s.chars().collect();
+    match (name, args) {
+        ("to_upper", []) => Ok(Value::Str(s.to_uppercase())),
+        ("to_lower", []) => Ok(Value::Str(s.to_lowercase())),
+        ("trim", []) => Ok(Value::Str(s.trim().to_owned())),
+        ("to_string", []) => Ok(Value::Str(s.to_owned())),
+        ("split", [Value::Str(sep)]) => {
+            let parts: Vec<Value> = if sep.is_empty() {
+                chars.iter().map(|c| Value::Str(c.to_string())).collect()
+            } else {
+                s.split(sep.as_str()).map(|p| Value::Str(p.to_owned())).collect()
+            };
+            Ok(Value::array(parts))
+        }
+        ("includes", [Value::Str(sub)]) => Ok(Value::Bool(s.contains(sub.as_str()))),
+        ("index_of", [Value::Str(sub)]) => Ok(Value::Num(match s.find(sub.as_str()) {
+            Some(byte_pos) => s[..byte_pos].chars().count() as f64,
+            None => -1.0,
+        })),
+        ("char_at", [Value::Num(i)]) => {
+            let idx = *i as usize;
+            Ok(Value::Str(chars.get(idx).map(|c| c.to_string()).unwrap_or_default()))
+        }
+        ("slice", rest) => {
+            let (start, end) = slice_bounds(rest, chars.len())?;
+            Ok(Value::Str(chars[start..end].iter().collect()))
+        }
+        ("repeat", [Value::Num(n)]) => {
+            if *n < 0.0 || n.fract() != 0.0 || *n > 100_000.0 {
+                return Err(RuntimeError::TypeMismatch(format!("invalid repeat count {n}")));
+            }
+            Ok(Value::Str(s.repeat(*n as usize)))
+        }
+        ("replace", [Value::Str(from), Value::Str(to)]) => {
+            Ok(Value::Str(s.replace(from.as_str(), to)))
+        }
+        ("starts_with", [Value::Str(p)]) => Ok(Value::Bool(s.starts_with(p.as_str()))),
+        ("ends_with", [Value::Str(p)]) => Ok(Value::Bool(s.ends_with(p.as_str()))),
+        ("pad_start", [Value::Num(w), Value::Str(fill)]) => pad(s, &chars, *w, fill, true),
+        ("pad_end", [Value::Num(w), Value::Str(fill)]) => pad(s, &chars, *w, fill, false),
+        ("count", [Value::Str(sub)]) => {
+            if sub.is_empty() {
+                return Ok(Value::Num(0.0));
+            }
+            Ok(Value::Num(s.matches(sub.as_str()).count() as f64))
+        }
+        _ => Err(RuntimeError::UndefinedMethod { recv: "string", name: name.to_owned() }),
+    }
+}
+
+fn pad(
+    s: &str,
+    chars: &[char],
+    width: f64,
+    fill: &str,
+    at_start: bool,
+) -> Result<Value, RuntimeError> {
+    let width = width as usize;
+    if chars.len() >= width || fill.is_empty() {
+        return Ok(Value::Str(s.to_owned()));
+    }
+    let mut padding = String::new();
+    while padding.chars().count() < width - chars.len() {
+        padding.push_str(fill);
+    }
+    let padding: String = padding.chars().take(width - chars.len()).collect();
+    Ok(Value::Str(if at_start {
+        format!("{padding}{s}")
+    } else {
+        format!("{s}{padding}")
+    }))
+}
+
+fn array_method(
+    interp: &mut Interp<'_>,
+    recv: &Value,
+    name: &str,
+    args: Vec<Value>,
+) -> Result<Value, RuntimeError> {
+    let Value::Array(cells) = recv else { unreachable!("caller checked") };
+    match (name, args.as_slice()) {
+        ("push", _) => {
+            let mut items = cells.borrow_mut();
+            for a in args.iter() {
+                items.push(a.clone());
+            }
+            Ok(Value::Num(items.len() as f64))
+        }
+        ("pop", []) => cells
+            .borrow_mut()
+            .pop()
+            .ok_or_else(|| RuntimeError::Other("pop from empty array".into())),
+        ("join", [Value::Str(sep)]) => {
+            let items = cells.borrow();
+            let parts: Vec<String> = items.iter().map(Value::display_string).collect();
+            Ok(Value::Str(parts.join(sep)))
+        }
+        ("includes", [v]) => Ok(Value::Bool(cells.borrow().iter().any(|x| x.equals(v)))),
+        ("index_of", [v]) => Ok(Value::Num(
+            cells
+                .borrow()
+                .iter()
+                .position(|x| x.equals(v))
+                .map(|i| i as f64)
+                .unwrap_or(-1.0),
+        )),
+        ("count", [v]) => {
+            Ok(Value::Num(cells.borrow().iter().filter(|x| x.equals(v)).count() as f64))
+        }
+        ("slice", rest) => {
+            let items = cells.borrow();
+            let (start, end) = slice_bounds(rest, items.len())?;
+            Ok(Value::array(items[start..end].to_vec()))
+        }
+        ("concat", [other]) => match other {
+            Value::Array(b) => {
+                let mut out = cells.borrow().clone();
+                out.extend(b.borrow().iter().cloned());
+                Ok(Value::array(out))
+            }
+            v => {
+                let mut out = cells.borrow().clone();
+                out.push(v.clone());
+                Ok(Value::array(out))
+            }
+        },
+        ("reverse", []) => {
+            cells.borrow_mut().reverse();
+            Ok(recv.clone())
+        }
+        ("sort", []) => {
+            let mut items = cells.borrow().clone();
+            sort_values(&mut items)?;
+            *cells.borrow_mut() = items;
+            Ok(recv.clone())
+        }
+        ("sort", [cmp @ Value::Closure(_)]) => {
+            let mut items = cells.borrow().clone();
+            // Insertion sort via the comparator; O(n²) but deterministic and
+            // re-entrant-safe for the interpreter callback.
+            for i in 1..items.len() {
+                let mut j = i;
+                while j > 0 {
+                    let ord = interp
+                        .call_callable(cmp, vec![items[j - 1].clone(), items[j].clone()])?;
+                    let Value::Num(n) = ord else {
+                        return Err(RuntimeError::TypeMismatch(
+                            "comparator must return a number".into(),
+                        ));
+                    };
+                    if n > 0.0 {
+                        items.swap(j - 1, j);
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            *cells.borrow_mut() = items;
+            Ok(recv.clone())
+        }
+        ("map", [f]) => {
+            let items = cells.borrow().clone();
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(interp.call_callable(f, vec![item])?);
+            }
+            Ok(Value::array(out))
+        }
+        ("filter", [f]) => {
+            let items = cells.borrow().clone();
+            let mut out = Vec::new();
+            for item in items {
+                match interp.call_callable(f, vec![item.clone()])? {
+                    Value::Bool(true) => out.push(item),
+                    Value::Bool(false) => {}
+                    other => {
+                        return Err(RuntimeError::TypeMismatch(format!(
+                            "filter predicate must return a boolean, got {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(Value::array(out))
+        }
+        ("reduce", [f, init]) => {
+            let items = cells.borrow().clone();
+            let mut acc = init.clone();
+            for item in items {
+                acc = interp.call_callable(f, vec![acc, item])?;
+            }
+            Ok(acc)
+        }
+        ("every", [f]) => {
+            let items = cells.borrow().clone();
+            for item in items {
+                if !matches!(interp.call_callable(f, vec![item])?, Value::Bool(true)) {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        ("some", [f]) => {
+            let items = cells.borrow().clone();
+            for item in items {
+                if matches!(interp.call_callable(f, vec![item])?, Value::Bool(true)) {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        _ => Err(RuntimeError::UndefinedMethod { recv: "array", name: name.to_owned() }),
+    }
+}
+
+/// Interprets slice arguments with Python/JS negative-index semantics.
+fn slice_bounds(args: &[Value], len: usize) -> Result<(usize, usize), RuntimeError> {
+    let resolve = |v: &Value| -> Result<i64, RuntimeError> {
+        match v {
+            Value::Num(n) if n.fract() == 0.0 => Ok(*n as i64),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "slice bound must be an integer, got {}",
+                other.type_name()
+            ))),
+        }
+    };
+    let clamp = |i: i64| -> usize {
+        let i = if i < 0 { i + len as i64 } else { i };
+        i.clamp(0, len as i64) as usize
+    };
+    let (start, end) = match args {
+        [] => (0, len),
+        [s] => (clamp(resolve(s)?), len),
+        [s, e] => (clamp(resolve(s)?), clamp(resolve(e)?)),
+        _ => return Err(RuntimeError::TypeMismatch("slice takes at most 2 bounds".into())),
+    };
+    Ok((start, end.max(start)))
+}
+
+fn sort_values(items: &mut [Value]) -> Result<(), RuntimeError> {
+    // Validate homogeneity first so sort_by can be total.
+    let all_nums = items.iter().all(|v| matches!(v, Value::Num(_)));
+    let all_strs = items.iter().all(|v| matches!(v, Value::Str(_)));
+    if !(all_nums || all_strs) && !items.is_empty() {
+        return Err(RuntimeError::TypeMismatch(
+            "sort needs all numbers or all strings".into(),
+        ));
+    }
+    items.sort_by(|a, b| match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => std::cmp::Ordering::Equal,
+    });
+    Ok(())
+}
+
+fn num1(
+    args: &[Value],
+    name: &str,
+    f: impl Fn(f64) -> f64,
+) -> Result<Value, RuntimeError> {
+    match args {
+        [Value::Num(n)] => Ok(Value::Num(f(*n))),
+        [other] => Err(RuntimeError::TypeMismatch(format!(
+            "{name} needs a number, got {}",
+            other.type_name()
+        ))),
+        _ => Err(arity(name, 1, args.len())),
+    }
+}
+
+fn num2(
+    args: &[Value],
+    name: &str,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value, RuntimeError> {
+    match args {
+        [Value::Num(a), Value::Num(b)] => Ok(Value::Num(f(*a, *b))),
+        [_, _] => Err(RuntimeError::TypeMismatch(format!("{name} needs two numbers"))),
+        _ => Err(arity(name, 2, args.len())),
+    }
+}
+
+fn round_half_away(x: f64) -> f64 {
+    x.round()
+}
+
+fn fold_extremum(args: &[Value], name: &str, want_max: bool) -> Result<Value, RuntimeError> {
+    let items: Vec<Value> = match args {
+        [Value::Array(cells)] => cells.borrow().clone(),
+        _ => args.to_vec(),
+    };
+    if items.is_empty() {
+        return Err(RuntimeError::Other(format!("{name} of empty sequence")));
+    }
+    let mut best = items[0].clone();
+    for v in &items[1..] {
+        let replace = match (&best, v) {
+            (Value::Num(a), Value::Num(b)) => {
+                if want_max {
+                    b > a
+                } else {
+                    b < a
+                }
+            }
+            (Value::Str(a), Value::Str(b)) => {
+                if want_max {
+                    b > a
+                } else {
+                    b < a
+                }
+            }
+            _ => {
+                return Err(RuntimeError::TypeMismatch(format!(
+                    "{name} needs all numbers or all strings"
+                )))
+            }
+        };
+        if replace {
+            best = v.clone();
+        }
+    }
+    Ok(best)
+}
+
+fn sum(args: &[Value]) -> Result<Value, RuntimeError> {
+    let items: Vec<Value> = match args {
+        [Value::Array(cells)] => cells.borrow().clone(),
+        _ => args.to_vec(),
+    };
+    let mut total = 0.0;
+    for v in &items {
+        match v {
+            Value::Num(n) => total += n,
+            other => {
+                return Err(RuntimeError::TypeMismatch(format!(
+                    "sum needs numbers, got {}",
+                    other.type_name()
+                )))
+            }
+        }
+    }
+    Ok(Value::Num(total))
+}
+
+fn sorted_copy(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Array(cells) => {
+            let mut items = cells.borrow().clone();
+            sort_values(&mut items)?;
+            Ok(Value::array(items))
+        }
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "sorted needs an array, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn range(args: &[Value]) -> Result<Value, RuntimeError> {
+    let bounds: Vec<f64> = args
+        .iter()
+        .map(|v| match v {
+            Value::Num(n) => Ok(*n),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "range needs numbers, got {}",
+                other.type_name()
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+    let (start, end, step) = match bounds.as_slice() {
+        [end] => (0.0, *end, 1.0),
+        [start, end] => (*start, *end, 1.0),
+        [start, end, step] if *step != 0.0 => (*start, *end, *step),
+        _ => return Err(RuntimeError::TypeMismatch("invalid range arguments".into())),
+    };
+    let mut out = Vec::new();
+    let mut i = start;
+    while (step > 0.0 && i < end) || (step < 0.0 && i > end) {
+        out.push(Value::Num(i));
+        i += step;
+        if out.len() > 1_000_000 {
+            return Err(RuntimeError::Other("range too large".into()));
+        }
+    }
+    Ok(Value::array(out))
+}
+
+fn to_list(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Array(cells) => Ok(Value::array(cells.borrow().clone())),
+        Value::Str(s) => Ok(Value::array(s.chars().map(|c| Value::Str(c.to_string())).collect())),
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "list needs an array or string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn object_keys(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Object(fields) => Ok(Value::array(
+            fields.borrow().iter().map(|(k, _)| Value::Str(k.clone())).collect(),
+        )),
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "keys needs an object, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn object_values(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Object(fields) => Ok(Value::array(
+            fields.borrow().iter().map(|(_, v)| v.clone()).collect(),
+        )),
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "values needs an object, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_int(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Num(n) => Ok(Value::Num(n.trunc())),
+        Value::Bool(b) => Ok(Value::Num(if *b { 1.0 } else { 0.0 })),
+        Value::Str(s) => {
+            let t = s.trim();
+            // parseInt semantics: consume a leading integer prefix.
+            let mut end = 0;
+            let bytes = t.as_bytes();
+            if end < bytes.len() && (bytes[end] == b'-' || bytes[end] == b'+') {
+                end += 1;
+            }
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            t[..end]
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| RuntimeError::Other(format!("cannot parse integer from {t:?}")))
+        }
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "cannot convert {} to integer",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_float(v: &Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Num(n) => Ok(Value::Num(*n)),
+        Value::Bool(b) => Ok(Value::Num(if *b { 1.0 } else { 0.0 })),
+        Value::Str(s) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| RuntimeError::Other(format!("cannot parse number from {s:?}"))),
+        other => Err(RuntimeError::TypeMismatch(format!(
+            "cannot convert {} to number",
+            other.type_name()
+        ))),
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Num(n) => *n != 0.0,
+        Value::Str(s) => !s.is_empty(),
+        Value::Array(items) => !items.borrow().is_empty(),
+        Value::Object(fields) => !fields.borrow().is_empty(),
+        Value::Closure(_) => true,
+    }
+}
+
+fn arity(name: &str, expected: usize, found: usize) -> RuntimeError {
+    RuntimeError::ArityMismatch { name: name.to_owned(), expected, found }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_is_inverse_per_surface() {
+        for canonical in [
+            "to_upper", "to_lower", "trim", "index_of", "replace", "starts_with", "ends_with",
+            "push", "pop", "join", "sort", "map",
+        ] {
+            assert_eq!(canonical_method_ts(ts_method_surface(canonical)), canonical);
+            assert_eq!(canonical_method_py(py_method_surface(canonical)), canonical);
+        }
+    }
+
+    #[test]
+    fn namespace_calls_resolve() {
+        assert_eq!(canonical_namespace_call("Math", "floor"), Some("floor"));
+        assert_eq!(canonical_namespace_call("math", "floor"), Some("floor"));
+        assert_eq!(canonical_namespace_call("JSON", "stringify"), Some("json_stringify"));
+        assert_eq!(canonical_namespace_call("json", "dumps"), Some("json_stringify"));
+        assert_eq!(canonical_namespace_call("Foo", "bar"), None);
+    }
+
+    #[test]
+    fn string_methods() {
+        let s = "hello world";
+        let ok = |m: &str, args: &[Value]| string_method(s, m, args).unwrap();
+        assert!(matches!(ok("to_upper", &[]), Value::Str(u) if u == "HELLO WORLD"));
+        assert!(matches!(
+            ok("split", &[Value::Str(" ".into())]),
+            Value::Array(a) if a.borrow().len() == 2
+        ));
+        assert!(matches!(
+            ok("index_of", &[Value::Str("world".into())]),
+            Value::Num(n) if n == 6.0
+        ));
+        assert!(matches!(
+            ok("index_of", &[Value::Str("zzz".into())]),
+            Value::Num(n) if n == -1.0
+        ));
+        assert!(matches!(
+            ok("slice", &[Value::Num(-5.0)]),
+            Value::Str(t) if t == "world"
+        ));
+        assert!(matches!(
+            ok("replace", &[Value::Str("l".into()), Value::Str("L".into())]),
+            Value::Str(t) if t == "heLLo worLd"
+        ));
+        assert!(matches!(
+            ok("count", &[Value::Str("l".into())]),
+            Value::Num(n) if n == 3.0
+        ));
+        assert!(string_method(s, "nonsense", &[]).is_err());
+    }
+
+    #[test]
+    fn unicode_string_ops_count_chars() {
+        assert!(matches!(
+            eval_prop(Value::Str("héllo".into()), "len").unwrap(),
+            Value::Num(n) if n == 5.0
+        ));
+        assert!(matches!(
+            string_method("héllo", "index_of", &[Value::Str("llo".into())]).unwrap(),
+            Value::Num(n) if n == 2.0
+        ));
+    }
+
+    #[test]
+    fn pad_start_cycles_fill() {
+        let v = string_method("7", "pad_start", &[Value::Num(3.0), Value::Str("0".into())])
+            .unwrap();
+        assert!(matches!(v, Value::Str(s) if s == "007"));
+    }
+
+    #[test]
+    fn extremum_accepts_variadic_or_array() {
+        let a = fold_extremum(&[Value::Num(3.0), Value::Num(9.0)], "max", true).unwrap();
+        assert!(matches!(a, Value::Num(n) if n == 9.0));
+        let arr = Value::array(vec![Value::Num(3.0), Value::Num(-1.0)]);
+        let b = fold_extremum(&[arr], "min", false).unwrap();
+        assert!(matches!(b, Value::Num(n) if n == -1.0));
+        assert!(fold_extremum(&[], "min", false).is_err());
+    }
+
+    #[test]
+    fn to_int_has_parse_int_semantics() {
+        assert!(matches!(to_int(&Value::Str(" 42px".into())).unwrap(), Value::Num(n) if n == 42.0));
+        assert!(matches!(to_int(&Value::Num(-3.9)).unwrap(), Value::Num(n) if n == -3.0));
+        assert!(to_int(&Value::Str("px".into())).is_err());
+    }
+
+    #[test]
+    fn range_matches_python() {
+        let r = range(&[Value::Num(2.0), Value::Num(5.0)]).unwrap();
+        let Value::Array(items) = r else { panic!() };
+        let nums: Vec<f64> = items
+            .borrow()
+            .iter()
+            .map(|v| match v {
+                Value::Num(n) => *n,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(nums, [2.0, 3.0, 4.0]);
+        assert!(range(&[Value::Num(1.0), Value::Num(0.0)]).unwrap().equals(&Value::array(vec![])));
+    }
+
+    #[test]
+    fn sort_rejects_mixed_types() {
+        let mut items = vec![Value::Num(1.0), Value::Str("a".into())];
+        assert!(sort_values(&mut items).is_err());
+        let mut nums = vec![Value::Num(3.0), Value::Num(1.0), Value::Num(2.0)];
+        sort_values(&mut nums).unwrap();
+        assert!(nums[0].equals(&Value::Num(1.0)));
+    }
+
+    #[test]
+    fn slice_bounds_clamp_and_invert() {
+        assert_eq!(slice_bounds(&[], 5).unwrap(), (0, 5));
+        assert_eq!(slice_bounds(&[Value::Num(-2.0)], 5).unwrap(), (3, 5));
+        assert_eq!(slice_bounds(&[Value::Num(4.0), Value::Num(2.0)], 5).unwrap(), (4, 4));
+        assert_eq!(slice_bounds(&[Value::Num(0.0), Value::Num(99.0)], 5).unwrap(), (0, 5));
+    }
+}

@@ -1,0 +1,511 @@
+//! Best-effort static checking of MiniLang functions.
+//!
+//! The paper's Step 3 validation is "a syntactic check and a semantic check
+//! using execution with test examples" (§III-D). Parsing already gives the
+//! syntactic check; this module adds a conservative static pass that catches
+//! the kinds of nonsense code a confused model emits — unbound variables,
+//! unknown callees, obviously mistyped returns — *without* rejecting code it
+//! cannot understand (anything uncertain types as `any`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use askit_types::Type;
+
+use crate::ast::{Block, Expr, FuncDecl, LValue, Program, Stmt};
+
+/// A finding from the static checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Function in which the problem occurs.
+    pub function: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in '{}': {}", self.function, self.message)
+    }
+}
+
+/// Canonical free builtins the interpreter provides.
+const FREE_BUILTINS: &[&str] = &[
+    "abs", "floor", "ceil", "round", "sqrt", "trunc", "pow", "min", "max", "sum", "len",
+    "sorted", "range", "list", "keys", "values", "to_string", "to_int", "to_float", "to_bool",
+    "parse_int", "parse_float", "json_stringify", "json_parse", "print",
+];
+
+/// Canonical method names the interpreter provides.
+const METHODS: &[&str] = &[
+    "to_upper", "to_lower", "trim", "split", "includes", "index_of", "char_at", "slice",
+    "repeat", "replace", "starts_with", "ends_with", "pad_start", "pad_end", "count", "push",
+    "pop", "join", "reverse", "sort", "concat", "map", "filter", "reduce", "every", "some",
+    "get", "has", "keys", "values", "to_fixed", "to_string",
+];
+
+/// Checks every function of a program. Empty result = no findings.
+pub fn check_program(program: &Program) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    for f in &program.functions {
+        check_function(program, f, &mut errors);
+    }
+    errors
+}
+
+fn check_function(program: &Program, f: &FuncDecl, errors: &mut Vec<CheckError>) {
+    let mut cx = Cx {
+        program,
+        function: f.name.clone(),
+        scopes: vec![f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect()],
+        errors,
+        saw_return_value: false,
+        ret: f.ret.clone(),
+    };
+    cx.block(&f.body);
+    // A non-void function whose body never returns a value is suspicious.
+    if !matches!(f.ret, Type::Void | Type::Any) && !cx.saw_return_value {
+        cx.errors.push(CheckError {
+            function: f.name.clone(),
+            message: format!("declared to return {} but never returns a value", f.ret),
+        });
+    }
+}
+
+struct Cx<'a> {
+    program: &'a Program,
+    function: String,
+    scopes: Vec<HashMap<String, Type>>,
+    errors: &'a mut Vec<CheckError>,
+    saw_return_value: bool,
+    ret: Type,
+}
+
+impl Cx<'_> {
+    fn error(&mut self, message: impl Into<String>) {
+        self.errors.push(CheckError { function: self.function.clone(), message: message.into() });
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn block(&mut self, block: &Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in block {
+            self.stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                let ty = self.expr(init);
+                self.scopes.last_mut().expect("scope").insert(name.clone(), ty);
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.expr(value);
+                match target {
+                    LValue::Var(name) => {
+                        if self.lookup(name).is_none() {
+                            self.error(format!("assignment to undeclared variable '{name}'"));
+                        }
+                    }
+                    LValue::Index(base, idx) => {
+                        self.expr(base);
+                        self.expr(idx);
+                    }
+                }
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                self.require_bool(cond, "if condition");
+                self.block(then_block);
+                self.block(else_block);
+            }
+            Stmt::While { cond, body } => {
+                self.require_bool(cond, "while condition");
+                self.block(body);
+            }
+            Stmt::ForRange { var, start, end, body, .. } => {
+                self.require_num(start, "loop start");
+                self.require_num(end, "loop end");
+                self.scopes.push(HashMap::from([(var.clone(), Type::Int)]));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.scopes.pop();
+            }
+            Stmt::ForOf { var, iter, body } => {
+                let iter_ty = self.expr(iter);
+                let elem = match iter_ty {
+                    Type::List(t) => *t,
+                    Type::Str => Type::Str,
+                    Type::Any | Type::Dict(_) | Type::Union(_) => Type::Any,
+                    other => {
+                        self.error(format!("cannot iterate over {other}"));
+                        Type::Any
+                    }
+                };
+                self.scopes.push(HashMap::from([(var.clone(), elem)]));
+                for s in body {
+                    self.stmt(s);
+                }
+                self.scopes.pop();
+            }
+            Stmt::Return(value) => {
+                if let Some(v) = value {
+                    let ty = self.expr(v);
+                    self.saw_return_value = true;
+                    let declared = self.ret.clone();
+                    if !compatible(&declared, &ty) {
+                        self.error(format!("returns {ty} but is declared to return {declared}"));
+                    }
+                } else if !matches!(self.ret, Type::Void | Type::Any) {
+                    self.error("bare return in a function that must return a value".to_owned());
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+            }
+            Stmt::Break | Stmt::Continue => {}
+        }
+    }
+
+    fn require_bool(&mut self, e: &Expr, what: &str) {
+        let ty = self.expr(e);
+        if !matches!(ty, Type::Bool | Type::Any) {
+            self.error(format!("{what} must be boolean, found {ty}"));
+        }
+    }
+
+    fn require_num(&mut self, e: &Expr, what: &str) {
+        let ty = self.expr(e);
+        if !matches!(ty, Type::Int | Type::Float | Type::Any) {
+            self.error(format!("{what} must be a number, found {ty}"));
+        }
+    }
+
+    /// Infers an approximate type; `Any` means "unknown, don't complain".
+    fn expr(&mut self, e: &Expr) -> Type {
+        use crate::ast::BinOp::*;
+        match e {
+            Expr::Null => Type::Void,
+            Expr::Bool(_) => Type::Bool,
+            Expr::Num(n) => {
+                if n.fract() == 0.0 {
+                    Type::Int
+                } else {
+                    Type::Float
+                }
+            }
+            Expr::Str(_) => Type::Str,
+            Expr::Var(name) => match self.lookup(name) {
+                Some(t) => t.clone(),
+                None => {
+                    self.error(format!("undefined variable '{name}'"));
+                    Type::Any
+                }
+            },
+            Expr::Array(items) => {
+                let mut elem: Option<Type> = None;
+                for item in items {
+                    let t = self.expr(item);
+                    elem = Some(match elem {
+                        None => t,
+                        Some(prev) if compatible(&prev, &t) => prev,
+                        Some(_) => Type::Any,
+                    });
+                }
+                Type::List(Box::new(elem.unwrap_or(Type::Any)))
+            }
+            Expr::Object(fields) => Type::Dict(
+                fields.iter().map(|(k, v)| (k.clone(), self.expr(v))).collect(),
+            ),
+            Expr::Unary(op, inner) => {
+                let t = self.expr(inner);
+                match op {
+                    crate::ast::UnOp::Neg => {
+                        if !matches!(t, Type::Int | Type::Float | Type::Any) {
+                            self.error(format!("cannot negate {t}"));
+                        }
+                        t
+                    }
+                    crate::ast::UnOp::Not => {
+                        if !matches!(t, Type::Bool | Type::Any) {
+                            self.error(format!("'not' needs a boolean, found {t}"));
+                        }
+                        Type::Bool
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                match op {
+                    Add => {
+                        if matches!(l, Type::Str) || matches!(r, Type::Str) {
+                            Type::Str
+                        } else if is_numeric(&l) && is_numeric(&r) {
+                            numeric_join(&l, &r)
+                        } else if matches!(l, Type::List(_)) && matches!(r, Type::List(_)) {
+                            l
+                        } else if matches!(l, Type::Any) || matches!(r, Type::Any) {
+                            Type::Any
+                        } else {
+                            self.error(format!("'+' not defined for {l} and {r}"));
+                            Type::Any
+                        }
+                    }
+                    Sub | Mul | Div | FloorDiv | Mod | Pow => {
+                        if (is_numeric(&l) || matches!(l, Type::Any))
+                            && (is_numeric(&r) || matches!(r, Type::Any))
+                        {
+                            match op {
+                                Div | Pow => Type::Float,
+                                _ => numeric_join(&l, &r),
+                            }
+                        } else if *op == Mul
+                            && (matches!(l, Type::Str) && is_numeric(&r)
+                                || matches!(r, Type::Str) && is_numeric(&l))
+                        {
+                            Type::Str
+                        } else {
+                            self.error(format!("arithmetic on {l} and {r}"));
+                            Type::Any
+                        }
+                    }
+                    Eq | Ne => Type::Bool,
+                    Lt | Le | Gt | Ge => {
+                        let comparable = |t: &Type| {
+                            matches!(t, Type::Int | Type::Float | Type::Str | Type::Any)
+                        };
+                        if !comparable(&l) || !comparable(&r) {
+                            self.error(format!("cannot order {l} and {r}"));
+                        }
+                        Type::Bool
+                    }
+                    And | Or => {
+                        if !matches!(l, Type::Bool | Type::Any)
+                            || !matches!(r, Type::Bool | Type::Any)
+                        {
+                            self.error("logical operator on non-boolean".to_owned());
+                        }
+                        Type::Bool
+                    }
+                }
+            }
+            Expr::Cond(cond, a, b) => {
+                self.require_bool(cond, "conditional");
+                let ta = self.expr(a);
+                let tb = self.expr(b);
+                if compatible(&ta, &tb) {
+                    ta
+                } else {
+                    Type::Any
+                }
+            }
+            Expr::Call { callee, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                if FREE_BUILTINS.contains(&callee.as_str()) {
+                    return builtin_return_type(callee);
+                }
+                if let Some(f) = self.program.function(callee) {
+                    if f.params.len() != args.len() {
+                        self.error(format!(
+                            "'{callee}' expects {} argument(s), got {}",
+                            f.params.len(),
+                            args.len()
+                        ));
+                    }
+                    return f.ret.clone();
+                }
+                if self.lookup(callee).is_some() {
+                    return Type::Any; // calling a local closure
+                }
+                self.error(format!("call to unknown function '{callee}'"));
+                Type::Any
+            }
+            Expr::Method { recv, name, args } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                if !METHODS.contains(&name.as_str()) {
+                    self.error(format!("unknown method '{name}'"));
+                }
+                method_return_type(name)
+            }
+            Expr::Prop(recv, name) => {
+                let t = self.expr(recv);
+                if name == "len" {
+                    if !matches!(
+                        t,
+                        Type::Str | Type::List(_) | Type::Dict(_) | Type::Any
+                    ) {
+                        self.error(format!("{t} has no length"));
+                    }
+                    return Type::Int;
+                }
+                match t {
+                    Type::Dict(fields) => fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Type::Any),
+                    _ => Type::Any,
+                }
+            }
+            Expr::Index(base, idx) => {
+                let bt = self.expr(base);
+                self.expr(idx);
+                match bt {
+                    Type::List(t) => *t,
+                    Type::Str => Type::Str,
+                    _ => Type::Any,
+                }
+            }
+            Expr::Lambda { params, body } => {
+                self.scopes.push(params.iter().map(|p| (p.clone(), Type::Any)).collect());
+                self.expr(body);
+                self.scopes.pop();
+                Type::Any
+            }
+        }
+    }
+}
+
+fn is_numeric(t: &Type) -> bool {
+    matches!(t, Type::Int | Type::Float)
+}
+
+fn numeric_join(l: &Type, r: &Type) -> Type {
+    if matches!(l, Type::Float) || matches!(r, Type::Float) {
+        Type::Float
+    } else if matches!(l, Type::Any) || matches!(r, Type::Any) {
+        Type::Any
+    } else {
+        Type::Int
+    }
+}
+
+/// Loose compatibility for the checker: `Any` is compatible with everything,
+/// ints with floats, literals with their base types, unions with members.
+fn compatible(a: &Type, b: &Type) -> bool {
+    match (a, b) {
+        (Type::Any, _) | (_, Type::Any) => true,
+        _ => a.erase_ints().accepts(&b.erase_ints()) || b.erase_ints().accepts(&a.erase_ints()),
+    }
+}
+
+fn builtin_return_type(name: &str) -> Type {
+    match name {
+        "abs" | "pow" | "sqrt" | "min" | "max" | "sum" | "to_float" | "parse_float" => {
+            Type::Float
+        }
+        "floor" | "ceil" | "round" | "trunc" | "len" | "to_int" | "parse_int" => Type::Int,
+        "to_string" | "json_stringify" => Type::Str,
+        "to_bool" => Type::Bool,
+        "sorted" | "range" | "list" | "keys" | "values" => Type::List(Box::new(Type::Any)),
+        "json_parse" => Type::Any,
+        _ => Type::Any,
+    }
+}
+
+fn method_return_type(name: &str) -> Type {
+    match name {
+        "to_upper" | "to_lower" | "trim" | "char_at" | "repeat" | "replace" | "pad_start"
+        | "pad_end" | "join" | "to_fixed" | "to_string" => Type::Str,
+        "includes" | "starts_with" | "ends_with" | "every" | "some" | "has" => Type::Bool,
+        "index_of" | "push" | "count" => Type::Int,
+        "split" | "map" | "filter" | "concat" | "keys" | "values" => {
+            Type::List(Box::new(Type::Any))
+        }
+        // `slice`, `sort`, `reverse` return the receiver's type; `pop`,
+        // `reduce`, `get` return element types — unknown here.
+        _ => Type::Any,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser_ts::parse_ts;
+
+    fn errors_of(src: &str) -> Vec<String> {
+        let p = parse_ts(src).unwrap();
+        check_program(&p).into_iter().map(|e| e.message).collect()
+    }
+
+    #[test]
+    fn clean_function_has_no_findings() {
+        let src = r#"
+function f({n}: {n: number}): number {
+  let acc = 1;
+  for (let i = 2; i <= n; i++) {
+    acc *= i;
+  }
+  return acc;
+}"#;
+        assert!(errors_of(src).is_empty(), "{:?}", errors_of(src));
+    }
+
+    #[test]
+    fn undefined_variable_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): number { return y; }");
+        assert!(errs.iter().any(|m| m.contains("undefined variable 'y'")), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_function_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): number { return mystery(x); }");
+        assert!(errs.iter().any(|m| m.contains("unknown function 'mystery'")), "{errs:?}");
+    }
+
+    #[test]
+    fn wrong_return_kind_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): number { return 'nope'; }");
+        assert!(errs.iter().any(|m| m.contains("declared to return")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_return_value_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): number { let y = x; }");
+        assert!(errs.iter().any(|m| m.contains("never returns a value")), "{errs:?}");
+    }
+
+    #[test]
+    fn assignment_to_undeclared_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): void { y = x; }");
+        assert!(errs.iter().any(|m| m.contains("undeclared variable 'y'")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_boolean_condition_is_caught() {
+        let errs = errors_of("function f({x}: {x: number}): void { if (x) { } }");
+        assert!(errs.iter().any(|m| m.contains("must be boolean")), "{errs:?}");
+    }
+
+    #[test]
+    fn any_suppresses_complaints() {
+        let src = "function f({o}: {o: any}): number { return o.whatever + 1; }";
+        assert!(errors_of(src).is_empty(), "{:?}", errors_of(src));
+    }
+
+    #[test]
+    fn cross_function_calls_typecheck_arity() {
+        let src = r#"
+function helper({a}: {a: number}): number { return a; }
+function f({x}: {x: number}): number { return helper(x, x); }"#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|m| m.contains("expects 1 argument")), "{errs:?}");
+    }
+
+    #[test]
+    fn string_plus_number_is_string_concat() {
+        let src = "function f({n}: {n: number}): string { return 'v' + n; }";
+        assert!(errors_of(src).is_empty(), "{:?}", errors_of(src));
+    }
+}

@@ -1,0 +1,158 @@
+//! A token cursor shared by the MiniTS and MiniPy parsers.
+
+use crate::token::{SyntaxError, Tok, Token};
+
+/// A peekable cursor over a token stream.
+#[derive(Debug)]
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wraps a token stream (must end with [`Tok::Eof`]).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        debug_assert!(matches!(tokens.last().map(|t| &t.tok), Some(Tok::Eof)));
+        Cursor { tokens, pos: 0 }
+    }
+
+    /// The current token (never past `Eof`).
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// The token `n` ahead of the current one.
+    pub fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    /// Current position (for lookahead save/restore).
+    pub fn mark(&self) -> usize {
+        self.pos
+    }
+
+    /// Restores a position saved by [`Cursor::mark`].
+    pub fn reset(&mut self, mark: usize) {
+        self.pos = mark;
+    }
+
+    /// Consumes and returns the current token.
+    pub fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the current token if it equals `tok`.
+    pub fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current token if it is the identifier `word`.
+    pub fn eat_kw(&mut self, word: &str) -> bool {
+        if self.at_kw(word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the current token is the identifier `word`.
+    pub fn at_kw(&self, word: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == word)
+    }
+
+    /// Consumes `tok` or errors.
+    pub fn expect(&mut self, tok: &Tok) -> Result<Token, SyntaxError> {
+        if &self.peek().tok == tok {
+            Ok(self.advance())
+        } else {
+            Err(SyntaxError::at(
+                format!("expected {tok}, found {}", self.peek().tok),
+                self.peek(),
+            ))
+        }
+    }
+
+    /// Consumes the identifier `word` or errors.
+    pub fn expect_kw(&mut self, word: &str) -> Result<(), SyntaxError> {
+        if self.eat_kw(word) {
+            Ok(())
+        } else {
+            Err(SyntaxError::at(
+                format!("expected '{word}', found {}", self.peek().tok),
+                self.peek(),
+            ))
+        }
+    }
+
+    /// Consumes any identifier and returns its text.
+    pub fn expect_ident(&mut self) -> Result<String, SyntaxError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(SyntaxError::at(format!("expected identifier, found {other}"), self.peek())),
+        }
+    }
+
+    /// Builds an error at the current token.
+    pub fn error(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError::at(message, self.peek())
+    }
+
+    /// Whether the cursor is at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek().tok, Tok::Eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cur(toks: Vec<Tok>) -> Cursor {
+        let mut tokens: Vec<Token> =
+            toks.into_iter().enumerate().map(|(i, t)| Token::new(t, 1, i + 1)).collect();
+        tokens.push(Token::new(Tok::Eof, 1, 99));
+        Cursor::new(tokens)
+    }
+
+    #[test]
+    fn peek_never_walks_past_eof() {
+        let mut c = cur(vec![Tok::Comma]);
+        assert_eq!(c.advance().tok, Tok::Comma);
+        assert_eq!(c.advance().tok, Tok::Eof);
+        assert_eq!(c.advance().tok, Tok::Eof);
+        assert!(c.at_eof());
+    }
+
+    #[test]
+    fn eat_and_expect() {
+        let mut c = cur(vec![Tok::Ident("let".into()), Tok::Ident("x".into()), Tok::Assign]);
+        assert!(c.eat_kw("let"));
+        assert_eq!(c.expect_ident().unwrap(), "x");
+        assert!(c.expect(&Tok::Assign).is_ok());
+        assert!(c.expect(&Tok::Comma).is_err());
+    }
+
+    #[test]
+    fn mark_reset_backtracks() {
+        let mut c = cur(vec![Tok::LParen, Tok::Ident("x".into()), Tok::RParen]);
+        let m = c.mark();
+        c.advance();
+        c.advance();
+        c.reset(m);
+        assert_eq!(c.peek().tok, Tok::LParen);
+    }
+}

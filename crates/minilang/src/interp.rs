@@ -1,0 +1,797 @@
+//! The MiniLang tree-walking interpreter.
+//!
+//! Executes generated functions during (a) semantic validation against test
+//! examples (paper §III-D Step 3) and (b) actual calls of compiled AskIt
+//! functions — the fast path whose speedup over a model round-trip Table III
+//! measures.
+//!
+//! Execution is *fuel-limited*: generated code is untrusted, so every
+//! statement/expression costs one unit of fuel and a hung loop surfaces as
+//! [`RuntimeError::OutOfFuel`] rather than a hung harness. Call depth is
+//! bounded the same way.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use askit_json::{Json, Map};
+
+use crate::ast::{BinOp, Expr, FuncDecl, LValue, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::value::{Closure, Value};
+
+/// Default fuel budget per top-level call (~millions of AST-node visits).
+pub const DEFAULT_FUEL: u64 = 5_000_000;
+
+/// Default maximum call depth (user functions + closures).
+///
+/// Kept conservative: each MiniLang call costs several Rust stack frames in
+/// the tree-walking interpreter, and generated code never recurses deeply.
+pub const DEFAULT_CALL_DEPTH: usize = 48;
+
+/// A runtime failure inside MiniLang code.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Reference to an unbound variable.
+    UndefinedVariable(String),
+    /// Call of an unknown function.
+    UndefinedFunction(String),
+    /// Unknown method for the receiver type.
+    UndefinedMethod {
+        /// Receiver type name.
+        recv: &'static str,
+        /// Canonical method name.
+        name: String,
+    },
+    /// An operand had the wrong type.
+    TypeMismatch(String),
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: i64,
+        /// The container length.
+        len: usize,
+    },
+    /// Missing object key.
+    MissingKey(String),
+    /// Division (or modulo) by zero.
+    DivideByZero,
+    /// The fuel budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// The call-depth limit was exceeded (runaway recursion).
+    StackOverflow,
+    /// Wrong number of arguments in a call.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Provided argument count.
+        found: usize,
+    },
+    /// Anything else (builtin-specific failures).
+    Other(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UndefinedVariable(n) => write!(f, "undefined variable '{n}'"),
+            RuntimeError::UndefinedFunction(n) => write!(f, "undefined function '{n}'"),
+            RuntimeError::UndefinedMethod { recv, name } => {
+                write!(f, "no method '{name}' on {recv}")
+            }
+            RuntimeError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (length {len})")
+            }
+            RuntimeError::MissingKey(k) => write!(f, "missing key '{k}'"),
+            RuntimeError::DivideByZero => f.write_str("division by zero"),
+            RuntimeError::OutOfFuel => f.write_str("execution budget exhausted"),
+            RuntimeError::StackOverflow => f.write_str("call depth limit exceeded"),
+            RuntimeError::ArityMismatch { name, expected, found } => {
+                write!(f, "'{name}' expects {expected} argument(s), got {found}")
+            }
+            RuntimeError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Non-local control flow inside a function body.
+pub(crate) enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// An interpreter instance over one [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use minilang::{parse_ts, Interp};
+/// use askit_json::{json, Json, Map};
+///
+/// let src = "export function add({x, y}: {x: number, y: number}): number { return x + y; }";
+/// let program = parse_ts(src)?;
+/// let mut args = Map::new();
+/// args.insert("x", json!(2i64));
+/// args.insert("y", json!(40i64));
+/// let out = Interp::new(&program).call_json("add", &args)?;
+/// assert_eq!(out, Json::Int(42));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// One frame per active call; each frame is a stack of block scopes.
+    frames: Vec<Vec<HashMap<String, Value>>>,
+    fuel: u64,
+    call_depth_limit: usize,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with default fuel and depth limits.
+    pub fn new(program: &'p Program) -> Self {
+        Interp {
+            program,
+            frames: Vec::new(),
+            fuel: DEFAULT_FUEL,
+            call_depth_limit: DEFAULT_CALL_DEPTH,
+        }
+    }
+
+    /// Overrides the fuel budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Remaining fuel (useful for instrumentation/ablation benches).
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Calls a declared function with named JSON arguments and returns its
+    /// result as JSON.
+    ///
+    /// This is the boundary the AskIt runtime uses: test-example inputs and
+    /// compiled-function calls are both JSON maps keyed by parameter name.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UndefinedFunction`] for an unknown name,
+    /// [`RuntimeError::ArityMismatch`]-style errors for missing arguments,
+    /// or whatever the body raises. A function returning a closure is a
+    /// [`RuntimeError::TypeMismatch`] (closures have no JSON form).
+    pub fn call_json(&mut self, name: &str, args: &Map) -> Result<Json, RuntimeError> {
+        let decl = self
+            .program
+            .function(name)
+            .ok_or_else(|| RuntimeError::UndefinedFunction(name.to_owned()))?;
+        let mut positional = Vec::with_capacity(decl.params.len());
+        for param in &decl.params {
+            let v = args.get(&param.name).ok_or_else(|| RuntimeError::Other(format!(
+                "missing argument '{}' for '{}'",
+                param.name, name
+            )))?;
+            positional.push(Value::from_json(v));
+        }
+        let out = self.call_decl(decl, positional)?;
+        out.to_json().ok_or_else(|| {
+            RuntimeError::TypeMismatch("function returned a non-JSON value".to_owned())
+        })
+    }
+
+    /// Calls a declared function with positional values.
+    pub fn call_positional(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        let decl = self
+            .program
+            .function(name)
+            .ok_or_else(|| RuntimeError::UndefinedFunction(name.to_owned()))?;
+        self.call_decl(decl, args)
+    }
+
+    fn call_decl(&mut self, decl: &FuncDecl, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        if args.len() != decl.params.len() {
+            return Err(RuntimeError::ArityMismatch {
+                name: decl.name.clone(),
+                expected: decl.params.len(),
+                found: args.len(),
+            });
+        }
+        if self.frames.len() >= self.call_depth_limit {
+            return Err(RuntimeError::StackOverflow);
+        }
+        let mut scope = HashMap::with_capacity(decl.params.len());
+        for (param, value) in decl.params.iter().zip(args) {
+            scope.insert(param.name.clone(), value);
+        }
+        self.frames.push(vec![scope]);
+        // `decl.body` is cloned so the borrow on `self.program` does not
+        // entangle with `&mut self`; bodies are small.
+        let body = decl.body.clone();
+        let result = self.exec_block(&body);
+        self.frames.pop();
+        match result? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Null), // fell off the end: void-style return
+        }
+    }
+
+    /// Invokes a callable value (a closure) with positional arguments.
+    pub(crate) fn call_callable(
+        &mut self,
+        callee: &Value,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        match callee {
+            Value::Closure(closure) => self.call_closure(closure, args),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "cannot call a {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn call_closure(&mut self, closure: &Closure, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        if args.len() != closure.params.len() {
+            return Err(RuntimeError::ArityMismatch {
+                name: "<lambda>".to_owned(),
+                expected: closure.params.len(),
+                found: args.len(),
+            });
+        }
+        if self.frames.len() >= self.call_depth_limit {
+            return Err(RuntimeError::StackOverflow);
+        }
+        let mut scope: HashMap<String, Value> = closure.captured.iter().cloned().collect();
+        for (name, value) in closure.params.iter().zip(args) {
+            scope.insert(name.clone(), value);
+        }
+        self.frames.push(vec![scope]);
+        let body = closure.body.clone();
+        let result = self.eval_expr(&body);
+        self.frames.pop();
+        result
+    }
+
+    fn burn(&mut self) -> Result<(), RuntimeError> {
+        if self.fuel == 0 {
+            return Err(RuntimeError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn scopes_mut(&mut self) -> &mut Vec<HashMap<String, Value>> {
+        self.frames.last_mut().expect("active frame")
+    }
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        let frame = self.frames.last()?;
+        for scope in frame.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn assign_var(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
+        let frame = self.scopes_mut();
+        for scope in frame.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return Ok(());
+            }
+        }
+        Err(RuntimeError::UndefinedVariable(name.to_owned()))
+    }
+
+    /// A snapshot of all visible bindings, innermost-wins (for closures).
+    fn visible_bindings(&self) -> Vec<(String, Value)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        if let Some(frame) = self.frames.last() {
+            for scope in frame.iter().rev() {
+                for (k, v) in scope {
+                    if seen.insert(k.clone()) {
+                        out.push((k.clone(), v.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn exec_block(&mut self, block: &[Stmt]) -> Result<Flow, RuntimeError> {
+        self.scopes_mut().push(HashMap::new());
+        let result = self.exec_stmts(block);
+        self.scopes_mut().pop();
+        result
+    }
+
+    fn exec_stmts(&mut self, block: &[Stmt]) -> Result<Flow, RuntimeError> {
+        for stmt in block {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
+        self.burn()?;
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                let v = self.eval_expr(init)?;
+                // MiniLang binding semantics are Python's: `x = v` updates an
+                // existing visible `x`, otherwise declares it in the current
+                // scope. (MiniPy prints every binding as `x = v`, so a
+                // re-binding inside a loop body must reach the outer
+                // variable; TS-style block shadowing would silently fork it.)
+                if self.assign_var(name, v.clone()).is_err() {
+                    self.scopes_mut()
+                        .last_mut()
+                        .expect("block scope")
+                        .insert(name.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, op, value } => {
+                let rhs = self.eval_expr(value)?;
+                let new_value = match op {
+                    None => rhs,
+                    Some(op) => {
+                        let current = self.read_lvalue(target)?;
+                        self.binary(*op, current, rhs)?
+                    }
+                };
+                self.write_lvalue(target, new_value)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                if self.eval_bool(cond)? {
+                    self.exec_block(then_block)
+                } else {
+                    self.exec_block(else_block)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval_bool(cond)? {
+                    self.burn()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForRange { var, start, end, inclusive, body } => {
+                let start = self.eval_num(start)?;
+                let end = self.eval_num(end)?;
+                let mut i = start;
+                while (*inclusive && i <= end) || (!*inclusive && i < end) {
+                    self.burn()?;
+                    self.scopes_mut().push(HashMap::from([(var.clone(), Value::Num(i))]));
+                    let flow = self.exec_stmts(body);
+                    self.scopes_mut().pop();
+                    match flow? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    i += 1.0;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForOf { var, iter, body } => {
+                let items = self.iterable_items(iter)?;
+                for item in items {
+                    self.burn()?;
+                    self.scopes_mut().push(HashMap::from([(var.clone(), item)]));
+                    let flow = self.exec_stmts(body);
+                    self.scopes_mut().pop();
+                    match flow? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(expr) => {
+                let v = match expr {
+                    Some(e) => self.eval_expr(e)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr(e) => {
+                self.eval_expr(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn iterable_items(&mut self, iter: &Expr) -> Result<Vec<Value>, RuntimeError> {
+        match self.eval_expr(iter)? {
+            Value::Array(items) => Ok(items.borrow().clone()),
+            Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+            Value::Object(fields) => {
+                // Iterating an object yields its keys (Python dict semantics).
+                Ok(fields.borrow().iter().map(|(k, _)| Value::Str(k.clone())).collect())
+            }
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "cannot iterate over a {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn read_lvalue(&mut self, target: &LValue) -> Result<Value, RuntimeError> {
+        match target {
+            LValue::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| RuntimeError::UndefinedVariable(name.clone())),
+            LValue::Index(base, index) => {
+                let base = self.eval_expr(base)?;
+                let index = self.eval_expr(index)?;
+                self.index_read(&base, &index)
+            }
+        }
+    }
+
+    fn write_lvalue(&mut self, target: &LValue, value: Value) -> Result<(), RuntimeError> {
+        match target {
+            LValue::Var(name) => self.assign_var(name, value),
+            LValue::Index(base, index) => {
+                let base = self.eval_expr(base)?;
+                let index = self.eval_expr(index)?;
+                match (&base, &index) {
+                    (Value::Array(items), Value::Num(n)) => {
+                        let mut items = items.borrow_mut();
+                        let idx = to_index(*n, items.len() + 1)?;
+                        if idx == items.len() {
+                            items.push(value); // writing one past the end appends
+                        } else {
+                            items[idx] = value;
+                        }
+                        Ok(())
+                    }
+                    (Value::Object(fields), Value::Str(key)) => {
+                        let mut fields = fields.borrow_mut();
+                        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                            slot.1 = value;
+                        } else {
+                            fields.push((key.clone(), value));
+                        }
+                        Ok(())
+                    }
+                    (b, i) => Err(RuntimeError::TypeMismatch(format!(
+                        "cannot index-assign {}[{}]",
+                        b.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn index_read(&self, base: &Value, index: &Value) -> Result<Value, RuntimeError> {
+        match (base, index) {
+            (Value::Array(items), Value::Num(n)) => {
+                let items = items.borrow();
+                let idx = to_index_signed(*n, items.len())?;
+                Ok(items[idx].clone())
+            }
+            (Value::Str(s), Value::Num(n)) => {
+                let chars: Vec<char> = s.chars().collect();
+                let idx = to_index_signed(*n, chars.len())?;
+                Ok(Value::Str(chars[idx].to_string()))
+            }
+            (Value::Object(fields), Value::Str(key)) => fields
+                .borrow()
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| RuntimeError::MissingKey(key.clone())),
+            (b, i) => Err(RuntimeError::TypeMismatch(format!(
+                "cannot index {} with {}",
+                b.type_name(),
+                i.type_name()
+            ))),
+        }
+    }
+
+    fn eval_bool(&mut self, e: &Expr) -> Result<bool, RuntimeError> {
+        match self.eval_expr(e)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "condition must be a boolean, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn eval_num(&mut self, e: &Expr) -> Result<f64, RuntimeError> {
+        match self.eval_expr(e)? {
+            Value::Num(n) => Ok(n),
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "expected a number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub(crate) fn eval_expr(&mut self, e: &Expr) -> Result<Value, RuntimeError> {
+        self.burn()?;
+        match e {
+            Expr::Null => Ok(Value::Null),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| RuntimeError::UndefinedVariable(name.clone())),
+            Expr::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval_expr(item)?);
+                }
+                Ok(Value::array(out))
+            }
+            Expr::Object(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (k, v) in fields {
+                    out.push((k.clone(), self.eval_expr(v)?));
+                }
+                Ok(Value::object(out))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_expr(inner)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Num(n)) => Ok(Value::Num(-n)),
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, other) => Err(RuntimeError::TypeMismatch(format!(
+                        "cannot negate a {}",
+                        other.type_name()
+                    ))),
+                    (UnOp::Not, other) => Err(RuntimeError::TypeMismatch(format!(
+                        "'not' needs a boolean, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Short-circuit logical operators.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let l = self.eval_expr(lhs)?;
+                    let Value::Bool(l) = l else {
+                        return Err(RuntimeError::TypeMismatch(format!(
+                            "logical operand must be boolean, got {}",
+                            l.type_name()
+                        )));
+                    };
+                    return match (op, l) {
+                        (BinOp::And, false) => Ok(Value::Bool(false)),
+                        (BinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => {
+                            let r = self.eval_expr(rhs)?;
+                            match r {
+                                Value::Bool(b) => Ok(Value::Bool(b)),
+                                other => Err(RuntimeError::TypeMismatch(format!(
+                                    "logical operand must be boolean, got {}",
+                                    other.type_name()
+                                ))),
+                            }
+                        }
+                    };
+                }
+                let l = self.eval_expr(lhs)?;
+                let r = self.eval_expr(rhs)?;
+                self.binary(*op, l, r)
+            }
+            Expr::Cond(cond, then_e, else_e) => {
+                if self.eval_bool(cond)? {
+                    self.eval_expr(then_e)
+                } else {
+                    self.eval_expr(else_e)
+                }
+            }
+            Expr::Call { callee, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_expr(a)?);
+                }
+                // Builtins shadow user functions; local callable variables
+                // (closures in scope) shadow both.
+                if let Some(local) = self.lookup(callee) {
+                    if matches!(local, Value::Closure(_)) {
+                        return self.call_callable(&local, values);
+                    }
+                }
+                if let Some(result) = builtins::eval_free(self, callee, &mut values.clone()) {
+                    return result;
+                }
+                if self.program.function(callee).is_some() {
+                    return self.call_positional(callee, values);
+                }
+                Err(RuntimeError::UndefinedFunction(callee.clone()))
+            }
+            Expr::Method { recv, name, args } => {
+                let recv = self.eval_expr(recv)?;
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_expr(a)?);
+                }
+                builtins::eval_method(self, recv, name, values)
+            }
+            Expr::Prop(recv, name) => {
+                let recv = self.eval_expr(recv)?;
+                builtins::eval_prop(recv, name)
+            }
+            Expr::Index(base, index) => {
+                let base = self.eval_expr(base)?;
+                let index = self.eval_expr(index)?;
+                self.index_read(&base, &index)
+            }
+            Expr::Lambda { params, body } => Ok(Value::Closure(std::rc::Rc::new(Closure {
+                params: params.clone(),
+                body: (**body).clone(),
+                captured: self.visible_bindings(),
+            }))),
+        }
+    }
+
+    pub(crate) fn binary(&self, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+        use BinOp::*;
+        match op {
+            Add => match (&l, &r) {
+                (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
+                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                    Ok(Value::Str(format!("{}{}", l.display_string(), r.display_string())))
+                }
+                (Value::Array(a), Value::Array(b)) => {
+                    let mut out = a.borrow().clone();
+                    out.extend(b.borrow().iter().cloned());
+                    Ok(Value::array(out))
+                }
+                _ => Err(type_mismatch("+", &l, &r)),
+            },
+            Sub | Mul | Div | FloorDiv | Mod | Pow => {
+                // `*` also means string/array repetition (Python style).
+                if op == Mul {
+                    if let (Value::Str(s), Value::Num(n)) = (&l, &r) {
+                        return repeat_str(s, *n);
+                    }
+                    if let (Value::Num(n), Value::Str(s)) = (&l, &r) {
+                        return repeat_str(s, *n);
+                    }
+                }
+                let (Value::Num(a), Value::Num(b)) = (&l, &r) else {
+                    return Err(type_mismatch(op_symbol(op), &l, &r));
+                };
+                let (a, b) = (*a, *b);
+                match op {
+                    Sub => Ok(Value::Num(a - b)),
+                    Mul => Ok(Value::Num(a * b)),
+                    Div => {
+                        if b == 0.0 {
+                            Err(RuntimeError::DivideByZero)
+                        } else {
+                            Ok(Value::Num(a / b))
+                        }
+                    }
+                    FloorDiv => {
+                        if b == 0.0 {
+                            Err(RuntimeError::DivideByZero)
+                        } else {
+                            Ok(Value::Num((a / b).floor()))
+                        }
+                    }
+                    Mod => {
+                        if b == 0.0 {
+                            Err(RuntimeError::DivideByZero)
+                        } else {
+                            Ok(Value::Num(a % b))
+                        }
+                    }
+                    Pow => Ok(Value::Num(a.powf(b))),
+                    _ => unreachable!("arithmetic op"),
+                }
+            }
+            Eq => Ok(Value::Bool(l.equals(&r))),
+            Ne => Ok(Value::Bool(!l.equals(&r))),
+            Lt | Le | Gt | Ge => {
+                let ord = match (&l, &r) {
+                    (Value::Num(a), Value::Num(b)) => a
+                        .partial_cmp(b)
+                        .ok_or_else(|| RuntimeError::TypeMismatch("NaN comparison".into()))?,
+                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    _ => return Err(type_mismatch(op_symbol(op), &l, &r)),
+                };
+                let b = match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    Ge => ord.is_ge(),
+                    _ => unreachable!("comparison op"),
+                };
+                Ok(Value::Bool(b))
+            }
+            And | Or => unreachable!("short-circuited in eval_expr"),
+        }
+    }
+}
+
+fn repeat_str(s: &str, n: f64) -> Result<Value, RuntimeError> {
+    if n < 0.0 || n.fract() != 0.0 || n > 100_000.0 {
+        return Err(RuntimeError::TypeMismatch(format!("invalid repeat count {n}")));
+    }
+    Ok(Value::Str(s.repeat(n as usize)))
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::FloorDiv => "//",
+        BinOp::Mod => "%",
+        BinOp::Pow => "**",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn type_mismatch(op: &str, l: &Value, r: &Value) -> RuntimeError {
+    RuntimeError::TypeMismatch(format!(
+        "'{op}' not defined for {} and {}",
+        l.type_name(),
+        r.type_name()
+    ))
+}
+
+/// Converts an f64 index; `len` is the exclusive bound.
+fn to_index(n: f64, len: usize) -> Result<usize, RuntimeError> {
+    if n.fract() != 0.0 || n < 0.0 || (n as usize) >= len {
+        Err(RuntimeError::IndexOutOfBounds { index: n as i64, len: len.saturating_sub(1) })
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Like [`to_index`] but supports Python-style negative indices.
+fn to_index_signed(n: f64, len: usize) -> Result<usize, RuntimeError> {
+    if n.fract() != 0.0 {
+        return Err(RuntimeError::IndexOutOfBounds { index: n as i64, len });
+    }
+    let i = n as i64;
+    let resolved = if i < 0 { i + len as i64 } else { i };
+    if resolved < 0 || resolved as usize >= len {
+        Err(RuntimeError::IndexOutOfBounds { index: i, len })
+    } else {
+        Ok(resolved as usize)
+    }
+}

@@ -1,0 +1,487 @@
+//! Lexer for the MiniPy (Python-like) surface syntax.
+//!
+//! On top of ordinary tokenization this lexer implements Python's layout
+//! rules: [`Tok::Newline`] ends each logical line, [`Tok::Indent`] /
+//! [`Tok::Dedent`] bracket nested suites, blank and comment-only lines are
+//! invisible, and newlines inside `()`, `[]`, `{}` are implicit line joins.
+
+use crate::token::{SyntaxError, Tok, Token};
+
+/// Tokenizes MiniPy source.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] on bad indentation, unterminated strings, or
+/// stray bytes.
+pub fn lex_py(source: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut lx = PyLexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        indents: vec![0],
+        bracket_depth: 0,
+        at_line_start: true,
+        out: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+struct PyLexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    indents: Vec<usize>,
+    bracket_depth: usize,
+    at_line_start: bool,
+    out: Vec<Token>,
+}
+
+impl PyLexer {
+    fn run(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            if self.at_line_start && self.bracket_depth == 0 {
+                if !self.handle_indentation()? {
+                    break; // EOF reached
+                }
+            }
+            self.skip_inline_space();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                self.finish_at_eof(line, col);
+                break;
+            };
+            match c {
+                '\n' => {
+                    self.bump();
+                    if self.bracket_depth == 0 {
+                        self.push(Tok::Newline, line, col);
+                        self.at_line_start = true;
+                    }
+                }
+                '#' => {
+                    while let Some(ch) = self.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '(' => self.single(Tok::LParen, 1),
+                ')' => self.single(Tok::RParen, usize::MAX),
+                '[' => self.single(Tok::LBracket, 1),
+                ']' => self.single(Tok::RBracket, usize::MAX),
+                '{' => self.single(Tok::LBrace, 1),
+                '}' => self.single(Tok::RBrace, usize::MAX),
+                ',' => self.single(Tok::Comma, 0),
+                ':' => self.single(Tok::Colon, 0),
+                ';' => self.single(Tok::Semi, 0),
+                '.' => self.single(Tok::Dot, 0),
+                '%' => self.single(Tok::Percent, 0),
+                '|' => self.single(Tok::Pipe, 0),
+                '+' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::PlusAssign, line, col);
+                    } else {
+                        self.push(Tok::Plus, line, col);
+                    }
+                }
+                '-' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            self.push(Tok::MinusAssign, line, col);
+                        }
+                        Some('>') => {
+                            self.bump();
+                            self.push(Tok::ThinArrow, line, col);
+                        }
+                        _ => self.push(Tok::Minus, line, col),
+                    }
+                }
+                '*' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('*') => {
+                            self.bump();
+                            self.push(Tok::StarStar, line, col);
+                        }
+                        Some('=') => {
+                            self.bump();
+                            self.push(Tok::StarAssign, line, col);
+                        }
+                        _ => self.push(Tok::Star, line, col),
+                    }
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            self.bump();
+                            self.push(Tok::SlashSlash, line, col);
+                        }
+                        Some('=') => {
+                            self.bump();
+                            self.push(Tok::SlashAssign, line, col);
+                        }
+                        _ => self.push(Tok::Slash, line, col),
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::EqEq, line, col);
+                    } else {
+                        self.push(Tok::Assign, line, col);
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::NotEq, line, col);
+                    } else {
+                        return Err(SyntaxError::new("unexpected '!'", line, col));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Le, line, col);
+                    } else {
+                        self.push(Tok::Lt, line, col);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Ge, line, col);
+                    } else {
+                        self.push(Tok::Gt, line, col);
+                    }
+                }
+                '\'' | '"' => {
+                    let tok = self.string(c)?;
+                    self.push(tok, line, col);
+                }
+                d if d.is_ascii_digit() => {
+                    let tok = self.number()?;
+                    self.push(tok, line, col);
+                }
+                a if a.is_ascii_alphabetic() || a == '_' => {
+                    let tok = self.ident();
+                    self.push(tok, line, col);
+                }
+                other => {
+                    return Err(SyntaxError::new(
+                        format!("unexpected character '{other}'"),
+                        line,
+                        col,
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Measures the indentation of the next non-blank, non-comment line and
+    /// emits Indent/Dedent tokens. Returns `false` at end of input.
+    fn handle_indentation(&mut self) -> Result<bool, SyntaxError> {
+        loop {
+            let mut width = 0;
+            let start_line = self.line;
+            loop {
+                match self.peek() {
+                    Some(' ') => {
+                        width += 1;
+                        self.bump();
+                    }
+                    Some('\t') => {
+                        width += 4;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                None => {
+                    let (line, col) = (self.line, self.col);
+                    self.finish_at_eof(line, col);
+                    return Ok(false);
+                }
+                Some('\n') => {
+                    self.bump(); // blank line: invisible
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    let current = *self.indents.last().expect("indent stack non-empty");
+                    if width > current {
+                        self.indents.push(width);
+                        self.push(Tok::Indent, start_line, 1);
+                    } else if width < current {
+                        while *self.indents.last().expect("non-empty") > width {
+                            self.indents.pop();
+                            self.push(Tok::Dedent, start_line, 1);
+                        }
+                        if *self.indents.last().expect("non-empty") != width {
+                            return Err(SyntaxError::new(
+                                "inconsistent dedent",
+                                start_line,
+                                1,
+                            ));
+                        }
+                    }
+                    self.at_line_start = false;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn finish_at_eof(&mut self, line: usize, col: usize) {
+        // Close the last logical line and any open suites.
+        if matches!(
+            self.out.last().map(|t| &t.tok),
+            Some(Tok::Newline) | Some(Tok::Dedent) | None
+        ) {
+            // already terminated
+        } else {
+            self.push(Tok::Newline, line, col);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent, line, col);
+        }
+        self.push(Tok::Eof, line, col);
+    }
+
+    fn single(&mut self, tok: Tok, depth_delta: usize) {
+        let (line, col) = (self.line, self.col);
+        self.bump();
+        match depth_delta {
+            1 => self.bracket_depth += 1,
+            usize::MAX => self.bracket_depth = self.bracket_depth.saturating_sub(1),
+            _ => {}
+        }
+        self.push(tok, line, col);
+    }
+
+    fn push(&mut self, tok: Tok, line: usize, col: usize) {
+        self.out.push(Token::new(tok, line, col));
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_inline_space(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r')) {
+            self.bump();
+        }
+        // Backslash line continuation.
+        if self.peek() == Some('\\') && self.chars.get(self.pos + 1) == Some(&'\n') {
+            self.bump();
+            self.bump();
+            self.skip_inline_space();
+        }
+    }
+
+    fn string(&mut self, quote: char) -> Result<Tok, SyntaxError> {
+        let (line, col) = (self.line, self.col);
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(SyntaxError::new("unterminated string", line, col)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('0') => s.push('\0'),
+                    Some(c @ ('\'' | '"' | '\\')) => s.push(c),
+                    Some(other) => {
+                        return Err(SyntaxError::new(
+                            format!("invalid escape '\\{other}'"),
+                            self.line,
+                            self.col,
+                        ))
+                    }
+                    None => return Err(SyntaxError::new("unterminated string", line, col)),
+                },
+                Some(c) if c == quote => return Ok(Tok::Str(s)),
+                Some('\n') => return Err(SyntaxError::new("newline in string", line, col)),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, SyntaxError> {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("digit"));
+        }
+        if self.peek() == Some('.')
+            && matches!(self.chars.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            text.push(self.bump().expect("dot"));
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("digit"));
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            text.push(self.bump().expect("e"));
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("sign"));
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(SyntaxError::new("missing exponent digits", self.line, self.col));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("digit"));
+            }
+        }
+        text.parse::<f64>()
+            .map(Tok::Num)
+            .map_err(|_| SyntaxError::new("invalid number", line, col))
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            s.push(self.bump().expect("ident char"));
+        }
+        Tok::Ident(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex_py(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn indentation_brackets_suites() {
+        let src = "def f(x):\n    return x\n";
+        assert_eq!(
+            toks(src),
+            vec![
+                Tok::Ident("def".into()),
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Colon,
+                Tok::Newline,
+                Tok::Indent,
+                Tok::Ident("return".into()),
+                Tok::Ident("x".into()),
+                Tok::Newline,
+                Tok::Dedent,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_dedents_unwind() {
+        let src = "def f():\n    if x:\n        y = 1\n    return y\n";
+        let ts = toks(src);
+        let dedents = ts.iter().filter(|t| **t == Tok::Dedent).count();
+        let indents = ts.iter().filter(|t| **t == Tok::Indent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_invisible() {
+        let src = "def f():\n\n    # comment\n    return 1\n";
+        let ts = toks(src);
+        assert_eq!(ts.iter().filter(|t| **t == Tok::Indent).count(), 1);
+        assert_eq!(ts.iter().filter(|t| **t == Tok::Newline).count(), 2);
+    }
+
+    #[test]
+    fn brackets_join_lines() {
+        let src = "x = [1,\n     2]\n";
+        let ts = toks(src);
+        // Only one Newline: the bracketed line-break is invisible.
+        assert_eq!(ts.iter().filter(|t| **t == Tok::Newline).count(), 1);
+    }
+
+    #[test]
+    fn eof_without_trailing_newline_still_closes() {
+        let ts = toks("def f():\n    return 1");
+        assert_eq!(ts.last().map(|t| t.clone()), Some(Tok::Eof));
+        assert!(ts.contains(&Tok::Dedent));
+        // Newline was synthesized before the dedent.
+        let newline_idx = ts.iter().rposition(|t| *t == Tok::Newline).unwrap();
+        let dedent_idx = ts.iter().position(|t| *t == Tok::Dedent).unwrap();
+        assert!(newline_idx < dedent_idx);
+    }
+
+    #[test]
+    fn python_operators() {
+        assert_eq!(
+            toks("a // b ** c -> d != e\n"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::SlashSlash,
+                Tok::Ident("b".into()),
+                Tok::StarStar,
+                Tok::Ident("c".into()),
+                Tok::ThinArrow,
+                Tok::Ident("d".into()),
+                Tok::NotEq,
+                Tok::Ident("e".into()),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_an_error() {
+        let src = "def f():\n        x = 1\n    y = 2\n";
+        assert!(lex_py(src).is_err());
+    }
+
+    #[test]
+    fn backslash_continuation() {
+        let ts = toks("x = 1 + \\\n    2\n");
+        assert_eq!(ts.iter().filter(|t| **t == Tok::Newline).count(), 1);
+        assert!(!ts.contains(&Tok::Indent));
+    }
+}

@@ -1,0 +1,434 @@
+//! Lexer for the MiniTS (TypeScript-like) surface syntax.
+
+use crate::token::{SyntaxError, Tok, Token};
+
+/// Tokenizes MiniTS source. Comments (`//…` and `/*…*/`) are skipped.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] on unterminated strings/comments or stray bytes.
+pub fn lex_ts(source: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut lexer = TsLexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1 };
+    lexer.run()
+}
+
+struct TsLexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl TsLexer {
+    fn run(&mut self) -> Result<Vec<Token>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token::new(Tok::Eof, line, col));
+                return Ok(out);
+            };
+            let tok = match c {
+                '(' => self.take(Tok::LParen),
+                ')' => self.take(Tok::RParen),
+                '{' => self.take(Tok::LBrace),
+                '}' => self.take(Tok::RBrace),
+                '[' => self.take(Tok::LBracket),
+                ']' => self.take(Tok::RBracket),
+                ',' => self.take(Tok::Comma),
+                ';' => self.take(Tok::Semi),
+                ':' => self.take(Tok::Colon),
+                '.' => self.take(Tok::Dot),
+                '?' => self.take(Tok::Question),
+                '%' => self.take(Tok::Percent),
+                '|' => {
+                    self.bump();
+                    if self.peek() == Some('|') {
+                        self.bump();
+                        Tok::PipePipe
+                    } else {
+                        Tok::Pipe
+                    }
+                }
+                '&' => {
+                    self.bump();
+                    if self.peek() == Some('&') {
+                        self.bump();
+                        Tok::AmpAmp
+                    } else {
+                        return Err(SyntaxError::new("unexpected '&'", line, col));
+                    }
+                }
+                '+' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('+') => {
+                            self.bump();
+                            Tok::PlusPlus
+                        }
+                        Some('=') => {
+                            self.bump();
+                            Tok::PlusAssign
+                        }
+                        _ => Tok::Plus,
+                    }
+                }
+                '-' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('-') => {
+                            self.bump();
+                            Tok::MinusMinus
+                        }
+                        Some('=') => {
+                            self.bump();
+                            Tok::MinusAssign
+                        }
+                        _ => Tok::Minus,
+                    }
+                }
+                '*' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('*') => {
+                            self.bump();
+                            Tok::StarStar
+                        }
+                        Some('=') => {
+                            self.bump();
+                            Tok::StarAssign
+                        }
+                        _ => Tok::Star,
+                    }
+                }
+                '/' => {
+                    // Comments were consumed by skip_trivia; this is division.
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::SlashAssign
+                    } else {
+                        Tok::Slash
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            if self.peek() == Some('=') {
+                                self.bump(); // `===` means the same as `==` here
+                            }
+                            Tok::EqEq
+                        }
+                        Some('>') => {
+                            self.bump();
+                            Tok::FatArrow
+                        }
+                        _ => Tok::Assign,
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        if self.peek() == Some('=') {
+                            self.bump(); // `!==`
+                        }
+                        Tok::NotEq
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                '\'' | '"' => self.string(c)?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_ascii_alphabetic() || c == '_' || c == '$' => self.ident(),
+                other => {
+                    return Err(SyntaxError::new(
+                        format!("unexpected character '{other}'"),
+                        line,
+                        col,
+                    ))
+                }
+            };
+            out.push(Token::new(tok, line, col));
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn take(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(SyntaxError::new(
+                                    "unterminated block comment",
+                                    line,
+                                    col,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self, quote: char) -> Result<Tok, SyntaxError> {
+        let (line, col) = (self.line, self.col);
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(SyntaxError::new("unterminated string", line, col)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('0') => s.push('\0'),
+                    Some(c @ ('\'' | '"' | '\\' | '`')) => s.push(c),
+                    Some(other) => {
+                        return Err(SyntaxError::new(
+                            format!("invalid escape '\\{other}'"),
+                            self.line,
+                            self.col,
+                        ))
+                    }
+                    None => return Err(SyntaxError::new("unterminated string", line, col)),
+                },
+                Some(c) if c == quote => return Ok(Tok::Str(s)),
+                Some('\n') => return Err(SyntaxError::new("newline in string", line, col)),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, SyntaxError> {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("digit"));
+        }
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("dot"));
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("digit"));
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            text.push(self.bump().expect("e"));
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("sign"));
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(SyntaxError::new("missing exponent digits", self.line, self.col));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("digit"));
+            }
+        }
+        text.parse::<f64>()
+            .map(Tok::Num)
+            .map_err(|_| SyntaxError::new("invalid number", line, col))
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        {
+            s.push(self.bump().expect("ident char"));
+        }
+        Tok::Ident(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex_ts(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        let got = toks("export function f({x}: {x: number}): number {");
+        assert_eq!(
+            got,
+            vec![
+                Tok::Ident("export".into()),
+                Tok::Ident("function".into()),
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::LBrace,
+                Tok::Ident("x".into()),
+                Tok::RBrace,
+                Tok::Colon,
+                Tok::LBrace,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::Ident("number".into()),
+                Tok::RBrace,
+                Tok::RParen,
+                Tok::Colon,
+                Tok::Ident("number".into()),
+                Tok::LBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let got = toks("a // line\n/* block\nstill */ b");
+        assert_eq!(got, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn triple_equals_normalizes() {
+        assert_eq!(toks("a === b !== c"), vec![
+            Tok::Ident("a".into()),
+            Tok::EqEq,
+            Tok::Ident("b".into()),
+            Tok::NotEq,
+            Tok::Ident("c".into()),
+            Tok::Eof,
+        ]);
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("i++ x += 1 y ** 2 p => q a && b || !c"),
+            vec![
+                Tok::Ident("i".into()),
+                Tok::PlusPlus,
+                Tok::Ident("x".into()),
+                Tok::PlusAssign,
+                Tok::Num(1.0),
+                Tok::Ident("y".into()),
+                Tok::StarStar,
+                Tok::Num(2.0),
+                Tok::Ident("p".into()),
+                Tok::FatArrow,
+                Tok::Ident("q".into()),
+                Tok::Ident("a".into()),
+                Tok::AmpAmp,
+                Tok::Ident("b".into()),
+                Tok::PipePipe,
+                Tok::Bang,
+                Tok::Ident("c".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'a\'b' "c\n""#),
+            vec![Tok::Str("a'b".into()), Tok::Str("c\n".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 3.5 1e3 2.5e-1"),
+            vec![
+                Tok::Num(0.0),
+                Tok::Num(42.0),
+                Tok::Num(3.5),
+                Tok::Num(1000.0),
+                Tok::Num(0.25),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_vs_float() {
+        // `xs.length` must lex as ident dot ident, not a malformed number.
+        assert_eq!(
+            toks("xs.length"),
+            vec![Tok::Ident("xs".into()), Tok::Dot, Tok::Ident("length".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = lex_ts("let a = 'oops").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 9);
+        assert!(lex_ts("/* never closed").is_err());
+        assert!(lex_ts("a @ b").is_err());
+    }
+}

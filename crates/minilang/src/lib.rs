@@ -1,0 +1,212 @@
+//! # minilang
+//!
+//! MiniLang is the small, statically typed language in which this
+//! workspace's simulated LLM "generates code" — the stand-in for the
+//! TypeScript and Python that the AskIt paper's code-generation mode emits
+//! (paper §III-D).
+//!
+//! One canonical [`ast`] serves two surface syntaxes:
+//!
+//! * **MiniTS** ([`parse_ts`]) — TypeScript-like, with the paper's
+//!   destructured named-parameter signatures:
+//!   `export function f({x}: {x: number}): number { … }`;
+//! * **MiniPy** ([`parse_py`]) — Python-like, indentation-sensitive:
+//!   `def f(x): …`.
+//!
+//! On top of the AST sit a best-effort static checker ([`check`]), a
+//! fuel-limited tree-walking interpreter ([`Interp`]), a pretty-printer that
+//! re-renders ASTs in either syntax ([`pretty`]), the LOC metric used by the
+//! paper's Table II and Figure 5 ([`loc`]), and construction helpers
+//! ([`build`]).
+//!
+//! Function signature types are [`askit_types::Type`] values — the same type
+//! language that drives prompt generation and answer validation, which is
+//! what lets one `define` template serve both execution modes.
+//!
+//! # Examples
+//!
+//! ```
+//! use minilang::{parse_ts, parse_py, Interp, pretty::{print_program, Syntax}};
+//! use askit_json::{json, Json, Map};
+//!
+//! let ts = parse_ts("export function twice({n}: {n: number}): number { return n * 2; }")?;
+//! let py = parse_py("def twice(n):\n    return n * 2\n")?;
+//! // The two surfaces parse to the same body.
+//! assert_eq!(ts.functions[0].body, py.functions[0].body);
+//!
+//! let mut args = Map::new();
+//! args.insert("n", json!(21i64));
+//! assert_eq!(Interp::new(&ts).call_json("twice", &args)?, Json::Int(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod build;
+pub mod builtins;
+pub mod check;
+mod cursor;
+pub mod interp;
+mod lexer_py;
+mod lexer_ts;
+pub mod loc;
+mod parser_py;
+mod parser_ts;
+pub mod pretty;
+pub mod token;
+mod typeparse;
+pub mod value;
+
+pub use ast::{BinOp, Block, Expr, FuncDecl, LValue, Param, Program, Stmt, UnOp};
+pub use check::{check_program, CheckError};
+pub use interp::{Interp, RuntimeError, DEFAULT_FUEL};
+pub use lexer_py::lex_py;
+pub use lexer_ts::lex_ts;
+pub use parser_py::{parse_py, parse_py_expr};
+pub use parser_ts::{parse_ts, parse_ts_expr};
+pub use pretty::{print_expr, print_function, print_program, Syntax};
+pub use token::SyntaxError;
+pub use value::Value;
+
+/// Parses source in the given surface syntax.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`].
+pub fn parse(source: &str, syntax: Syntax) -> Result<Program, SyntaxError> {
+    match syntax {
+        Syntax::Ts => parse_ts(source),
+        Syntax::Py => parse_py(source),
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use askit_json::{Json, Map};
+
+    fn call(program: &Program, name: &str, args: &[(&str, Json)]) -> Result<Json, RuntimeError> {
+        let map: Map = args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        Interp::new(program).call_json(name, &map)
+    }
+
+    #[test]
+    fn end_to_end_reverse_string_both_syntaxes() {
+        let ts = parse_ts(
+            "export function reverseString({s}: {s: string}): string {\n  return s.split('').reverse().join('');\n}",
+        )
+        .unwrap();
+        let py = parse_py(
+            "def reverseString(s):\n    return ''.join(list(reversed_chars(s)))\n",
+        );
+        // The Python variant above calls an unknown helper — it should parse
+        // but fail at runtime; the realistic Python spelling uses slicing:
+        assert!(py.is_ok());
+        let py = parse_py("def reverseString(s):\n    chars = list(s)\n    chars.reverse()\n    return ''.join(chars)\n").unwrap();
+
+        for p in [&ts, &py] {
+            let out = call(p, "reverseString", &[("s", Json::from("hello"))]).unwrap();
+            assert_eq!(out, Json::from("olleh"));
+        }
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let p = parse_ts(
+            "export function spin({}: {}): number { let i = 0; while (true) { i += 1; } return i; }",
+        );
+        // Zero-parameter destructuring `({}: {})` is accepted as empty params.
+        let p = match p {
+            Ok(p) => p,
+            Err(_) => parse_ts(
+                "export function spin(): number { let i = 0; while (true) { i += 1; } return i; }",
+            )
+            .unwrap(),
+        };
+        let mut interp = Interp::new(&p).with_fuel(10_000);
+        let err = interp.call_json("spin", &Map::new()).unwrap_err();
+        assert_eq!(err, RuntimeError::OutOfFuel);
+    }
+
+    #[test]
+    fn recursion_works_and_overflows_gracefully() {
+        let p = parse_ts(
+            "export function fib({n}: {n: number}): number {\n  if (n <= 1) { return n; }\n  return fib(n - 1) + fib(n - 2);\n}",
+        );
+        // Recursive positional self-call uses the single-object convention:
+        // MiniLang user-function calls are positional.
+        let p = p.unwrap();
+        let out = call(&p, "fib", &[("n", Json::Int(10))]).unwrap();
+        assert_eq!(out, Json::Int(55));
+
+        let bomb = parse_ts(
+            "export function boom({n}: {n: number}): number { return boom(n + 1); }",
+        )
+        .unwrap();
+        let err = call(&bomb, "boom", &[("n", Json::Int(0))]).unwrap_err();
+        assert_eq!(err, RuntimeError::StackOverflow);
+    }
+
+    #[test]
+    fn higher_order_builtins() {
+        let p = parse_ts(
+            "export function evens({ns}: {ns: number[]}): number[] {\n  return ns.filter(n => n % 2 === 0).map(n => n * 10);\n}",
+        )
+        .unwrap();
+        let out = call(&p, "evens", &[("ns", Json::parse("[1,2,3,4]").unwrap())]).unwrap();
+        assert_eq!(out, Json::parse("[20,40]").unwrap());
+    }
+
+    #[test]
+    fn sort_with_comparator() {
+        let p = parse_ts(
+            "export function sortDesc({ns}: {ns: number[]}): number[] {\n  ns.sort((a, b) => b - a);\n  return ns;\n}",
+        )
+        .unwrap();
+        let out = call(&p, "sortDesc", &[("ns", Json::parse("[3,1,2]").unwrap())]).unwrap();
+        assert_eq!(out, Json::parse("[3,2,1]").unwrap());
+    }
+
+    #[test]
+    fn python_dict_counting_idiom() {
+        let src = "def countWords(words):\n    counts = {}\n    for w in words:\n        if w in counts:\n            counts[w] += 1\n        else:\n            counts[w] = 1\n    return counts\n";
+        let p = parse_py(src).unwrap();
+        let out = call(
+            &p,
+            "countWords",
+            &[("words", Json::parse(r#"["a","b","a"]"#).unwrap())],
+        )
+        .unwrap();
+        assert_eq!(out, Json::parse(r#"{"a":2,"b":1}"#).unwrap());
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        let p = parse_ts(
+            "export function bad({xs}: {xs: number[]}): number { return xs[99]; }",
+        )
+        .unwrap();
+        let err = call(&p, "bad", &[("xs", Json::parse("[1]").unwrap())]).unwrap_err();
+        assert!(matches!(err, RuntimeError::IndexOutOfBounds { .. }));
+
+        let div = parse_ts("export function d({x}: {x: number}): number { return 1 / (x - x); }")
+            .unwrap();
+        let err = call(&div, "d", &[("x", Json::Int(1))]).unwrap_err();
+        assert_eq!(err, RuntimeError::DivideByZero);
+    }
+
+    #[test]
+    fn string_building_and_interop() {
+        let src = "def describe(name, n):\n    return name + ' has ' + str(n) + ' items'\n";
+        let p = parse_py(src).unwrap();
+        let out = call(
+            &p,
+            "describe",
+            &[("name", Json::from("cart")), ("n", Json::Int(3))],
+        )
+        .unwrap();
+        assert_eq!(out, Json::from("cart has 3 items"));
+    }
+}

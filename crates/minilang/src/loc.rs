@@ -1,0 +1,104 @@
+//! Lines-of-code counting — the metric of the paper's Table II and Figure 5.
+//!
+//! "LOC counts only substantive lines, omitting empty lines or comment-only
+//! lines" (paper §IV-A1).
+
+/// Counts substantive lines in MiniTS or MiniPy source: lines that are not
+/// blank and not comment-only (`//…`, `#…`, or inside `/* … */`).
+///
+/// ```
+/// use minilang::loc::count_loc;
+/// let src = "// helper\nlet x = 1;\n\n/*\n block\n*/\nreturn x; // trailing comments don't erase a line\n";
+/// assert_eq!(count_loc(src), 2);
+/// ```
+pub fn count_loc(source: &str) -> usize {
+    let mut count = 0;
+    let mut in_block_comment = false;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if in_block_comment {
+            if let Some(idx) = trimmed.find("*/") {
+                in_block_comment = false;
+                let rest = trimmed[idx + 2..].trim();
+                if !rest.is_empty() && !is_comment_only(rest, &mut in_block_comment) {
+                    count += 1;
+                }
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        if is_comment_only(trimmed, &mut in_block_comment) {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Whether a (trimmed, non-empty) line consists only of comments. Updates the
+/// block-comment state when the line opens an unterminated `/*`.
+fn is_comment_only(trimmed: &str, in_block_comment: &mut bool) -> bool {
+    if trimmed.starts_with("//") || trimmed.starts_with('#') {
+        return true;
+    }
+    if let Some(rest) = trimmed.strip_prefix("/*") {
+        match rest.find("*/") {
+            Some(idx) => {
+                let after = rest[idx + 2..].trim();
+                if after.is_empty() {
+                    return true;
+                }
+                return is_comment_only(after, in_block_comment);
+            }
+            None => {
+                *in_block_comment = true;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_lines_do_not_count() {
+        assert_eq!(count_loc("a = 1\n\n\nb = 2\n"), 2);
+        assert_eq!(count_loc(""), 0);
+        assert_eq!(count_loc("\n\n"), 0);
+    }
+
+    #[test]
+    fn line_comments_do_not_count() {
+        assert_eq!(count_loc("// only a comment\nx = 1;\n# python comment\n"), 1);
+    }
+
+    #[test]
+    fn code_with_trailing_comment_counts() {
+        assert_eq!(count_loc("x = 1; // note\n"), 1);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n * docs\n */\nreturn 1;\n";
+        assert_eq!(count_loc(src), 1);
+    }
+
+    #[test]
+    fn code_after_block_comment_close_counts() {
+        assert_eq!(count_loc("/* c */ x = 1;\n"), 1);
+        assert_eq!(count_loc("/* a */ /* b */\n"), 0, "two comments are still only comments");
+        assert_eq!(count_loc("/* open\nstill comment */ y = 2;\n"), 1);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // A typical generated function: signature + 3 body lines.
+        let src = "export function f({n}: {n: number}): number {\n  // Calculate\n  let acc = 1;\n  return acc;\n}\n";
+        assert_eq!(count_loc(src), 4);
+    }
+}

@@ -1,0 +1,774 @@
+//! Parser for the MiniPy (Python-like) surface syntax.
+//!
+//! Accepts the paper's Python-flavoured generated code:
+//!
+//! ```text
+//! def func(x, y):
+//!     total = 0
+//!     for v in y:
+//!         total += v
+//!     return total + x
+//! ```
+//!
+//! Python spellings are canonicalized while parsing: `len(x)` becomes the
+//! `len` property, `x in xs` becomes `includes`, `sep.join(xs)` swaps its
+//! receiver into canonical `xs.join(sep)` form, `s[a:b]` becomes `slice`.
+
+use crate::ast::{BinOp, Block, Expr, FuncDecl, LValue, Param, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::cursor::Cursor;
+use crate::lexer_py::lex_py;
+use crate::token::{SyntaxError, Tok};
+use crate::typeparse::parse_type;
+
+/// Reserved words that may not be used as variable names.
+const KEYWORDS: &[&str] = &[
+    "def", "return", "if", "elif", "else", "while", "for", "in", "not", "and", "or", "lambda",
+    "True", "False", "None", "break", "continue", "pass",
+];
+
+/// Parses a MiniPy compilation unit.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered.
+pub fn parse_py(source: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex_py(source)?;
+    let mut c = Cursor::new(tokens);
+    let mut functions = Vec::new();
+    loop {
+        while c.eat(&Tok::Newline) {}
+        if c.at_eof() {
+            break;
+        }
+        functions.push(function(&mut c)?);
+    }
+    if functions.is_empty() {
+        return Err(c.error("expected at least one function definition"));
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a single MiniPy expression.
+pub fn parse_py_expr(source: &str) -> Result<Expr, SyntaxError> {
+    let tokens = lex_py(source)?;
+    let mut c = Cursor::new(tokens);
+    let e = expr(&mut c)?;
+    c.eat(&Tok::Newline);
+    if !c.at_eof() {
+        return Err(c.error("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+fn function(c: &mut Cursor) -> Result<FuncDecl, SyntaxError> {
+    c.expect_kw("def")?;
+    let name = c.expect_ident()?;
+    c.expect(&Tok::LParen)?;
+    let mut params = Vec::new();
+    if !c.eat(&Tok::RParen) {
+        loop {
+            let pname = c.expect_ident()?;
+            let ty = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+            params.push(Param { name: pname, ty });
+            if !c.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        c.expect(&Tok::RParen)?;
+    }
+    let ret = if c.eat(&Tok::ThinArrow) { parse_type(c)? } else { askit_types::any() };
+    c.expect(&Tok::Colon)?;
+    let body = suite(c)?;
+    Ok(FuncDecl { name, params, ret, body, exported: true, doc: vec![] })
+}
+
+fn suite(c: &mut Cursor) -> Result<Block, SyntaxError> {
+    c.expect(&Tok::Newline)?;
+    c.expect(&Tok::Indent)?;
+    let mut stmts = Vec::new();
+    loop {
+        while c.eat(&Tok::Newline) {}
+        if c.eat(&Tok::Dedent) {
+            break;
+        }
+        if c.at_eof() {
+            return Err(c.error("unterminated suite"));
+        }
+        stmts.push(stmt(c)?);
+    }
+    Ok(stmts)
+}
+
+fn stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    if c.at_kw("if") {
+        return if_stmt(c);
+    }
+    if c.eat_kw("while") {
+        let cond = expr(c)?;
+        c.expect(&Tok::Colon)?;
+        let body = suite(c)?;
+        return Ok(Stmt::While { cond, body });
+    }
+    if c.eat_kw("for") {
+        let var = c.expect_ident()?;
+        c.expect_kw("in")?;
+        let iter = expr(c)?;
+        c.expect(&Tok::Colon)?;
+        let body = suite(c)?;
+        // `for i in range(a, b)` is the canonical counted loop.
+        if let Expr::Call { callee, args } = &iter {
+            if callee == "range" {
+                match args.as_slice() {
+                    [end] => {
+                        return Ok(Stmt::ForRange {
+                            var,
+                            start: Expr::Num(0.0),
+                            end: end.clone(),
+                            inclusive: false,
+                            body,
+                        })
+                    }
+                    [start, end] => {
+                        return Ok(Stmt::ForRange {
+                            var,
+                            start: start.clone(),
+                            end: end.clone(),
+                            inclusive: false,
+                            body,
+                        })
+                    }
+                    _ => {} // range with a step falls through to ForOf
+                }
+            }
+        }
+        return Ok(Stmt::ForOf { var, iter, body });
+    }
+    // Simple statements (terminated by NEWLINE).
+    let s = simple_stmt(c)?;
+    if !c.eat(&Tok::Newline) && !c.at_eof() {
+        return Err(c.error(format!("expected end of line, found {}", c.peek().tok)));
+    }
+    Ok(s)
+}
+
+fn if_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    // Handles both `if` and `elif` heads (caller consumed neither).
+    if !(c.eat_kw("if") || c.eat_kw("elif")) {
+        return Err(c.error("expected 'if'"));
+    }
+    let cond = expr(c)?;
+    c.expect(&Tok::Colon)?;
+    let then_block = suite(c)?;
+    let else_block = if c.at_kw("elif") {
+        vec![if_stmt(c)?]
+    } else if c.eat_kw("else") {
+        c.expect(&Tok::Colon)?;
+        suite(c)?
+    } else {
+        vec![]
+    };
+    Ok(Stmt::If { cond, then_block, else_block })
+}
+
+fn simple_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    if c.eat_kw("return") {
+        let value = if matches!(c.peek().tok, Tok::Newline | Tok::Eof) {
+            None
+        } else {
+            Some(expr(c)?)
+        };
+        return Ok(Stmt::Return(value));
+    }
+    if c.eat_kw("break") {
+        return Ok(Stmt::Break);
+    }
+    if c.eat_kw("continue") {
+        return Ok(Stmt::Continue);
+    }
+    if c.eat_kw("pass") {
+        return Ok(Stmt::Expr(Expr::Null));
+    }
+    let e = expr(c)?;
+    let op = match c.peek().tok {
+        Tok::Assign => None,
+        Tok::PlusAssign => Some(BinOp::Add),
+        Tok::MinusAssign => Some(BinOp::Sub),
+        Tok::StarAssign => Some(BinOp::Mul),
+        Tok::SlashAssign => Some(BinOp::Div),
+        _ => return Ok(Stmt::Expr(e)),
+    };
+    c.advance();
+    let value = expr(c)?;
+    match (op, e) {
+        // Python has no `let`; a plain `name = value` both declares and
+        // assigns. We encode it as `Let`, and the interpreter's innermost
+        // scope semantics make re-assignment work through `Let` too — but to
+        // keep ASTs canonical the parser emits Let only for plain `=` on a
+        // bare name, like the TS frontend's `let`.
+        (None, Expr::Var(name)) => Ok(Stmt::Let { name, init: value, mutable: true }),
+        (op, target) => {
+            let target = to_lvalue(c, target)?;
+            Ok(Stmt::Assign { target, op, value })
+        }
+    }
+}
+
+fn to_lvalue(c: &Cursor, e: Expr) -> Result<LValue, SyntaxError> {
+    match e {
+        Expr::Var(name) => Ok(LValue::Var(name)),
+        Expr::Index(base, idx) => Ok(LValue::Index(base, idx)),
+        Expr::Prop(base, field) if field != "len" => {
+            Ok(LValue::Index(base, Box::new(Expr::Str(field))))
+        }
+        _ => Err(c.error("invalid assignment target")),
+    }
+}
+
+// --- expressions -----------------------------------------------------------
+
+pub(crate) fn expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    if c.at_kw("lambda") {
+        return lambda(c);
+    }
+    let value = or_expr(c)?;
+    // Conditional expression: `a if cond else b`.
+    if c.eat_kw("if") {
+        let cond = or_expr(c)?;
+        c.expect_kw("else")?;
+        let else_e = expr(c)?;
+        return Ok(Expr::Cond(Box::new(cond), Box::new(value), Box::new(else_e)));
+    }
+    Ok(value)
+}
+
+fn lambda(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    c.expect_kw("lambda")?;
+    let mut params = Vec::new();
+    if c.peek().tok != Tok::Colon {
+        loop {
+            params.push(c.expect_ident()?);
+            if !c.eat(&Tok::Comma) {
+                break;
+            }
+        }
+    }
+    c.expect(&Tok::Colon)?;
+    let body = expr(c)?;
+    Ok(Expr::Lambda { params, body: Box::new(body) })
+}
+
+fn or_expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut lhs = and_expr(c)?;
+    while c.eat_kw("or") {
+        let rhs = and_expr(c)?;
+        lhs = Expr::bin(BinOp::Or, lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn and_expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut lhs = not_expr(c)?;
+    while c.eat_kw("and") {
+        let rhs = not_expr(c)?;
+        lhs = Expr::bin(BinOp::And, lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn not_expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    if c.eat_kw("not") {
+        let inner = not_expr(c)?;
+        return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+    }
+    comparison(c)
+}
+
+fn comparison(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let lhs = arith(c)?;
+    // Membership: `x in xs` / `x not in xs`.
+    if c.at_kw("in") {
+        c.advance();
+        let container = arith(c)?;
+        return Ok(Expr::method(container, "includes", vec![lhs]));
+    }
+    if c.at_kw("not") && matches!(&c.peek_at(1).tok, Tok::Ident(s) if s == "in") {
+        c.advance();
+        c.advance();
+        let container = arith(c)?;
+        return Ok(Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::method(container, "includes", vec![lhs])),
+        ));
+    }
+    let op = match c.peek().tok {
+        Tok::EqEq => BinOp::Eq,
+        Tok::NotEq => BinOp::Ne,
+        Tok::Lt => BinOp::Lt,
+        Tok::Le => BinOp::Le,
+        Tok::Gt => BinOp::Gt,
+        Tok::Ge => BinOp::Ge,
+        _ => return Ok(lhs),
+    };
+    c.advance();
+    let rhs = arith(c)?;
+    Ok(Expr::bin(op, lhs, rhs))
+}
+
+fn arith(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut lhs = term(c)?;
+    loop {
+        let op = match c.peek().tok {
+            Tok::Plus => BinOp::Add,
+            Tok::Minus => BinOp::Sub,
+            _ => return Ok(lhs),
+        };
+        c.advance();
+        let rhs = term(c)?;
+        lhs = Expr::bin(op, lhs, rhs);
+    }
+}
+
+fn term(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut lhs = factor(c)?;
+    loop {
+        let op = match c.peek().tok {
+            Tok::Star => BinOp::Mul,
+            Tok::Slash => BinOp::Div,
+            Tok::SlashSlash => BinOp::FloorDiv,
+            Tok::Percent => BinOp::Mod,
+            _ => return Ok(lhs),
+        };
+        c.advance();
+        let rhs = factor(c)?;
+        lhs = Expr::bin(op, lhs, rhs);
+    }
+}
+
+fn factor(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    if c.eat(&Tok::Minus) {
+        let inner = factor(c)?;
+        return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+    }
+    power(c)
+}
+
+fn power(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let base = postfix(c)?;
+    if c.eat(&Tok::StarStar) {
+        // Right-associative, and `-x ** y` binds the `**` tighter (Python).
+        let exp = factor(c)?;
+        return Ok(Expr::bin(BinOp::Pow, base, exp));
+    }
+    Ok(base)
+}
+
+fn postfix(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut e = primary(c)?;
+    loop {
+        match c.peek().tok {
+            Tok::LParen => {
+                c.advance();
+                let args = call_args(c)?;
+                e = make_call(c, e, args)?;
+            }
+            Tok::LBracket => {
+                c.advance();
+                e = index_or_slice(c, e)?;
+            }
+            Tok::Dot => {
+                c.advance();
+                let member = c.expect_ident()?;
+                if c.peek().tok == Tok::LParen {
+                    c.advance();
+                    let args = call_args(c)?;
+                    e = make_member_call(e, &member, args);
+                } else {
+                    e = Expr::prop(e, member);
+                }
+            }
+            _ => return Ok(e),
+        }
+    }
+}
+
+fn make_call(c: &Cursor, callee: Expr, args: Vec<Expr>) -> Result<Expr, SyntaxError> {
+    match callee {
+        Expr::Var(name) => {
+            if name == "len" {
+                if args.len() != 1 {
+                    return Err(c.error("len() takes exactly one argument"));
+                }
+                let mut args = args;
+                return Ok(Expr::prop(args.remove(0), "len"));
+            }
+            Ok(Expr::Call { callee: builtins::canonical_free_py(&name).to_owned(), args })
+        }
+        Expr::Lambda { .. } => Err(c.error("immediately-invoked lambdas are not supported")),
+        _ => Err(c.error("only named functions can be called")),
+    }
+}
+
+fn make_member_call(recv: Expr, member: &str, args: Vec<Expr>) -> Expr {
+    if let Expr::Var(ns) = &recv {
+        if let Some(canonical) = builtins::canonical_namespace_call(ns, member) {
+            return Expr::Call { callee: canonical.to_owned(), args };
+        }
+    }
+    // Python's `sep.join(xs)` has the receiver and argument swapped relative
+    // to the canonical (JS-style) `xs.join(sep)`.
+    if member == "join" && args.len() == 1 {
+        let mut args = args;
+        let xs = args.remove(0);
+        return Expr::method(xs, "join", vec![recv]);
+    }
+    let canonical = builtins::canonical_method_py(member);
+    if canonical == "keys" && args.is_empty() {
+        return Expr::call("keys", vec![recv]);
+    }
+    if canonical == "values" && args.is_empty() {
+        return Expr::call("values", vec![recv]);
+    }
+    Expr::method(recv, canonical, args)
+}
+
+fn index_or_slice(c: &mut Cursor, base: Expr) -> Result<Expr, SyntaxError> {
+    // `[i]`, `[a:b]`, `[:b]`, `[a:]`, `[:]`
+    let start = if matches!(c.peek().tok, Tok::Colon) { None } else { Some(expr(c)?) };
+    if c.eat(&Tok::Colon) {
+        let end = if matches!(c.peek().tok, Tok::RBracket) { None } else { Some(expr(c)?) };
+        c.expect(&Tok::RBracket)?;
+        let mut args = Vec::new();
+        match (start, end) {
+            (Some(s), Some(e)) => {
+                args.push(s);
+                args.push(e);
+            }
+            (Some(s), None) => args.push(s),
+            (None, Some(e)) => {
+                args.push(Expr::Num(0.0));
+                args.push(e);
+            }
+            (None, None) => {}
+        }
+        return Ok(Expr::method(base, "slice", args));
+    }
+    let idx = start.ok_or_else(|| c.error("expected index expression"))?;
+    c.expect(&Tok::RBracket)?;
+    Ok(Expr::index(base, idx))
+}
+
+fn call_args(c: &mut Cursor) -> Result<Vec<Expr>, SyntaxError> {
+    let mut args = Vec::new();
+    if c.eat(&Tok::RParen) {
+        return Ok(args);
+    }
+    loop {
+        args.push(expr(c)?);
+        if !c.eat(&Tok::Comma) {
+            break;
+        }
+        if c.peek().tok == Tok::RParen {
+            break;
+        }
+    }
+    c.expect(&Tok::RParen)?;
+    Ok(args)
+}
+
+fn primary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    match c.peek().tok.clone() {
+        Tok::Num(n) => {
+            c.advance();
+            Ok(Expr::Num(n))
+        }
+        Tok::Str(s) => {
+            c.advance();
+            Ok(Expr::Str(s))
+        }
+        Tok::Ident(word) => {
+            c.advance();
+            match word.as_str() {
+                "True" => Ok(Expr::Bool(true)),
+                "False" => Ok(Expr::Bool(false)),
+                "None" => Ok(Expr::Null),
+                w if KEYWORDS.contains(&w) => {
+                    Err(c.error(format!("unexpected keyword '{w}' in expression")))
+                }
+                _ => Ok(Expr::Var(word)),
+            }
+        }
+        Tok::LParen => {
+            c.advance();
+            let e = expr(c)?;
+            c.expect(&Tok::RParen)?;
+            Ok(e)
+        }
+        Tok::LBracket => {
+            c.advance();
+            let mut items = Vec::new();
+            if c.eat(&Tok::RBracket) {
+                return Ok(Expr::Array(items));
+            }
+            loop {
+                items.push(expr(c)?);
+                if !c.eat(&Tok::Comma) {
+                    break;
+                }
+                if c.peek().tok == Tok::RBracket {
+                    break;
+                }
+            }
+            c.expect(&Tok::RBracket)?;
+            Ok(Expr::Array(items))
+        }
+        Tok::LBrace => {
+            c.advance();
+            let mut fields = Vec::new();
+            if c.eat(&Tok::RBrace) {
+                return Ok(Expr::Object(fields));
+            }
+            loop {
+                let key = match c.peek().tok.clone() {
+                    Tok::Str(k) => {
+                        c.advance();
+                        k
+                    }
+                    other => {
+                        return Err(c.error(format!(
+                            "dict keys must be string literals, found {other}"
+                        )))
+                    }
+                };
+                c.expect(&Tok::Colon)?;
+                fields.push((key, expr(c)?));
+                if !c.eat(&Tok::Comma) {
+                    break;
+                }
+                if c.peek().tok == Tok::RBrace {
+                    break;
+                }
+            }
+            c.expect(&Tok::RBrace)?;
+            Ok(Expr::Object(fields))
+        }
+        other => Err(c.error(format!("unexpected {other} in expression"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_def() {
+        let p = parse_py("def add(x, y):\n    return x + y\n").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(
+            f.body,
+            vec![Stmt::Return(Some(Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y"))))]
+        );
+    }
+
+    #[test]
+    fn typed_signature_with_arrow() {
+        let p = parse_py("def f(n: int) -> number[]:\n    return []\n").unwrap();
+        assert_eq!(p.functions[0].params[0].ty, askit_types::int());
+        assert_eq!(p.functions[0].ret, askit_types::list(askit_types::float()));
+    }
+
+    #[test]
+    fn range_loops_become_for_range() {
+        let p = parse_py(
+            "def fact(n):\n    acc = 1\n    for i in range(2, n + 1):\n        acc *= i\n    return acc\n",
+        )
+        .unwrap();
+        let Stmt::ForRange { start, inclusive, .. } = &p.functions[0].body[1] else {
+            panic!("expected ForRange, got {:?}", p.functions[0].body[1]);
+        };
+        assert_eq!(*start, Expr::Num(2.0));
+        assert!(!inclusive);
+    }
+
+    #[test]
+    fn single_arg_range_starts_at_zero() {
+        let p = parse_py("def f(n):\n    for i in range(n):\n        pass\n").unwrap();
+        let Stmt::ForRange { start, .. } = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(*start, Expr::Num(0.0));
+    }
+
+    #[test]
+    fn for_over_values_is_for_of() {
+        let p = parse_py("def f(xs):\n    for x in xs:\n        pass\n").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::ForOf { .. }));
+    }
+
+    #[test]
+    fn len_and_free_functions_canonicalize() {
+        assert_eq!(
+            parse_py_expr("len(xs)").unwrap(),
+            Expr::prop(Expr::var("xs"), "len")
+        );
+        assert_eq!(
+            parse_py_expr("str(n)").unwrap(),
+            Expr::call("to_string", vec![Expr::var("n")])
+        );
+        assert_eq!(
+            parse_py_expr("int(s)").unwrap(),
+            Expr::call("to_int", vec![Expr::var("s")])
+        );
+        assert_eq!(
+            parse_py_expr("math.floor(x)").unwrap(),
+            Expr::call("floor", vec![Expr::var("x")])
+        );
+        assert_eq!(
+            parse_py_expr("json.dumps(o)").unwrap(),
+            Expr::call("json_stringify", vec![Expr::var("o")])
+        );
+    }
+
+    #[test]
+    fn membership_and_not_in() {
+        assert_eq!(
+            parse_py_expr("x in xs").unwrap(),
+            Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")])
+        );
+        assert_eq!(
+            parse_py_expr("x not in xs").unwrap(),
+            Expr::Unary(
+                UnOp::Not,
+                Box::new(Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")]))
+            )
+        );
+    }
+
+    #[test]
+    fn join_receiver_swaps_to_canonical() {
+        assert_eq!(
+            parse_py_expr("', '.join(parts)").unwrap(),
+            Expr::method(Expr::var("parts"), "join", vec![Expr::str(", ")])
+        );
+    }
+
+    #[test]
+    fn method_spellings_canonicalize() {
+        assert_eq!(
+            parse_py_expr("s.upper().strip()").unwrap(),
+            Expr::method(Expr::method(Expr::var("s"), "to_upper", vec![]), "trim", vec![])
+        );
+        assert_eq!(
+            parse_py_expr("xs.append(1)").unwrap(),
+            Expr::method(Expr::var("xs"), "push", vec![Expr::Num(1.0)])
+        );
+    }
+
+    #[test]
+    fn slices_become_slice_method() {
+        assert_eq!(
+            parse_py_expr("s[1:3]").unwrap(),
+            Expr::method(Expr::var("s"), "slice", vec![Expr::Num(1.0), Expr::Num(3.0)])
+        );
+        assert_eq!(
+            parse_py_expr("s[2:]").unwrap(),
+            Expr::method(Expr::var("s"), "slice", vec![Expr::Num(2.0)])
+        );
+        assert_eq!(
+            parse_py_expr("s[:2]").unwrap(),
+            Expr::method(Expr::var("s"), "slice", vec![Expr::Num(0.0), Expr::Num(2.0)])
+        );
+        assert_eq!(
+            parse_py_expr("s[:]").unwrap(),
+            Expr::method(Expr::var("s"), "slice", vec![])
+        );
+        assert_eq!(
+            parse_py_expr("s[i]").unwrap(),
+            Expr::index(Expr::var("s"), Expr::var("i"))
+        );
+    }
+
+    #[test]
+    fn boolean_operators_and_conditional_expression() {
+        assert_eq!(
+            parse_py_expr("a and not b or c").unwrap(),
+            Expr::bin(
+                BinOp::Or,
+                Expr::bin(
+                    BinOp::And,
+                    Expr::var("a"),
+                    Expr::Unary(UnOp::Not, Box::new(Expr::var("b")))
+                ),
+                Expr::var("c")
+            )
+        );
+        assert_eq!(
+            parse_py_expr("'yes' if ok else 'no'").unwrap(),
+            Expr::Cond(
+                Box::new(Expr::var("ok")),
+                Box::new(Expr::str("yes")),
+                Box::new(Expr::str("no"))
+            )
+        );
+    }
+
+    #[test]
+    fn lambdas() {
+        assert_eq!(
+            parse_py_expr("lambda x: x * 2").unwrap(),
+            Expr::Lambda {
+                params: vec!["x".into()],
+                body: Box::new(Expr::bin(BinOp::Mul, Expr::var("x"), Expr::Num(2.0))),
+            }
+        );
+    }
+
+    #[test]
+    fn floor_division_and_power() {
+        assert_eq!(
+            parse_py_expr("a // b ** 2").unwrap(),
+            Expr::bin(
+                BinOp::FloorDiv,
+                Expr::var("a"),
+                Expr::bin(BinOp::Pow, Expr::var("b"), Expr::Num(2.0))
+            )
+        );
+    }
+
+    #[test]
+    fn elif_chains() {
+        let src = "def sign(x):\n    if x > 0:\n        return 'pos'\n    elif x < 0:\n        return 'neg'\n    else:\n        return 'zero'\n";
+        let p = parse_py(src).unwrap();
+        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn plain_assignment_is_let_compound_is_assign() {
+        let p = parse_py("def f(xs):\n    n = 0\n    n += 1\n    xs[0] = 5\n").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Let { .. }));
+        assert!(matches!(
+            p.functions[0].body[1],
+            Stmt::Assign { op: Some(BinOp::Add), .. }
+        ));
+        assert!(matches!(
+            p.functions[0].body[2],
+            Stmt::Assign { target: LValue::Index(..), op: None, .. }
+        ));
+    }
+
+    #[test]
+    fn dict_literals_and_membership_on_dicts() {
+        let e = parse_py_expr("{'a': 1, 'b': 2}").unwrap();
+        assert!(matches!(e, Expr::Object(ref fields) if fields.len() == 2));
+        assert!(parse_py_expr("{a: 1}").is_err(), "bare identifiers are not dict keys");
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_py("def f(:\n    pass\n").is_err());
+        assert!(parse_py("x = 1\n").is_err(), "top level must be defs");
+        let err = parse_py("def f():\n    return +\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

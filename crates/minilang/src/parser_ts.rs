@@ -1,0 +1,806 @@
+//! Parser for the MiniTS (TypeScript-like) surface syntax.
+//!
+//! Accepts the paper's generated-code shape (Figure 4):
+//!
+//! ```text
+//! export function name({x, y}: {x: number, y: number[]}): number {
+//!   let total = 0;
+//!   for (const v of y) { total += v; }
+//!   return total + x;
+//! }
+//! ```
+//!
+//! Surface spellings (`.toUpperCase()`, `Math.floor`, `parseInt`, `===`) are
+//! canonicalized during parsing; see [`crate::builtins`].
+
+use askit_types::Type;
+
+use crate::ast::{BinOp, Block, Expr, FuncDecl, LValue, Param, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::cursor::Cursor;
+use crate::lexer_ts::lex_ts;
+use crate::token::{SyntaxError, Tok};
+use crate::typeparse::parse_type;
+
+/// Parses a MiniTS compilation unit.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered.
+pub fn parse_ts(source: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex_ts(source)?;
+    let mut c = Cursor::new(tokens);
+    let mut functions = Vec::new();
+    while !c.at_eof() {
+        functions.push(function(&mut c)?);
+    }
+    if functions.is_empty() {
+        return Err(c.error("expected at least one function declaration"));
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a single MiniTS expression (used by tests and the REPL-style
+/// examples).
+pub fn parse_ts_expr(source: &str) -> Result<Expr, SyntaxError> {
+    let tokens = lex_ts(source)?;
+    let mut c = Cursor::new(tokens);
+    let e = expr(&mut c)?;
+    if !c.at_eof() {
+        return Err(c.error("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+fn function(c: &mut Cursor) -> Result<FuncDecl, SyntaxError> {
+    let exported = c.eat_kw("export");
+    c.expect_kw("function")?;
+    let name = c.expect_ident()?;
+    c.expect(&Tok::LParen)?;
+    let params = params(c)?;
+    c.expect(&Tok::RParen)?;
+    let ret = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+    let body = block(c)?;
+    Ok(FuncDecl { name, params, ret, body, exported, doc: vec![] })
+}
+
+fn params(c: &mut Cursor) -> Result<Vec<Param>, SyntaxError> {
+    if c.peek().tok == Tok::RParen {
+        return Ok(vec![]);
+    }
+    if c.peek().tok == Tok::LBrace {
+        // Destructured named parameters: `{x, y}: {x: number, y: number}`.
+        // `({}: {})` is the zero-parameter form.
+        c.advance();
+        let mut names = Vec::new();
+        if !c.eat(&Tok::RBrace) {
+            loop {
+                names.push(c.expect_ident()?);
+                if !c.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            c.expect(&Tok::RBrace)?;
+        }
+        c.expect(&Tok::Colon)?;
+        let ty = parse_type(c)?;
+        let Type::Dict(fields) = &ty else {
+            return Err(c.error("destructured parameters need an object type"));
+        };
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let field = fields.iter().find(|(k, _)| *k == name).ok_or_else(|| {
+                c.error(format!("parameter '{name}' missing from the parameter type"))
+            })?;
+            out.push(Param { name, ty: field.1.clone() });
+        }
+        return Ok(out);
+    }
+    // Plain parameters: `x: number, y` (untyped default to any).
+    let mut out = Vec::new();
+    loop {
+        let name = c.expect_ident()?;
+        let ty = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+        out.push(Param { name, ty });
+        if !c.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn block(c: &mut Cursor) -> Result<Block, SyntaxError> {
+    c.expect(&Tok::LBrace)?;
+    let mut stmts = Vec::new();
+    while !c.eat(&Tok::RBrace) {
+        if c.at_eof() {
+            return Err(c.error("unterminated block"));
+        }
+        stmts.push(stmt(c)?);
+    }
+    Ok(stmts)
+}
+
+fn stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    if c.at_kw("let") || c.at_kw("const") {
+        let mutable = c.at_kw("let");
+        c.advance();
+        let name = c.expect_ident()?;
+        if c.eat(&Tok::Colon) {
+            parse_type(c)?; // declared type accepted and erased
+        }
+        c.expect(&Tok::Assign)?;
+        let init = expr(c)?;
+        c.eat(&Tok::Semi);
+        return Ok(Stmt::Let { name, init, mutable });
+    }
+    if c.eat_kw("return") {
+        let value = if matches!(c.peek().tok, Tok::Semi | Tok::RBrace) {
+            None
+        } else {
+            Some(expr(c)?)
+        };
+        c.eat(&Tok::Semi);
+        return Ok(Stmt::Return(value));
+    }
+    if c.at_kw("if") {
+        return if_stmt(c);
+    }
+    if c.eat_kw("while") {
+        c.expect(&Tok::LParen)?;
+        let cond = expr(c)?;
+        c.expect(&Tok::RParen)?;
+        let body = block(c)?;
+        return Ok(Stmt::While { cond, body });
+    }
+    if c.eat_kw("for") {
+        return for_stmt(c);
+    }
+    if c.eat_kw("break") {
+        c.eat(&Tok::Semi);
+        return Ok(Stmt::Break);
+    }
+    if c.eat_kw("continue") {
+        c.eat(&Tok::Semi);
+        return Ok(Stmt::Continue);
+    }
+    expr_or_assign(c)
+}
+
+fn if_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    c.expect_kw("if")?;
+    c.expect(&Tok::LParen)?;
+    let cond = expr(c)?;
+    c.expect(&Tok::RParen)?;
+    let then_block = block(c)?;
+    let else_block = if c.eat_kw("else") {
+        if c.at_kw("if") {
+            vec![if_stmt(c)?]
+        } else {
+            block(c)?
+        }
+    } else {
+        vec![]
+    };
+    Ok(Stmt::If { cond, then_block, else_block })
+}
+
+fn for_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    c.expect(&Tok::LParen)?;
+    if !(c.at_kw("let") || c.at_kw("const")) {
+        return Err(c.error("for-loop must declare its variable with let/const"));
+    }
+    c.advance();
+    let var = c.expect_ident()?;
+    if c.eat_kw("of") {
+        let iter = expr(c)?;
+        c.expect(&Tok::RParen)?;
+        let body = block(c)?;
+        return Ok(Stmt::ForOf { var, iter, body });
+    }
+    // Counted loop: `let i = start; i < end; i++`.
+    c.expect(&Tok::Assign)?;
+    let start = expr(c)?;
+    c.expect(&Tok::Semi)?;
+    let cond_var = c.expect_ident()?;
+    if cond_var != var {
+        return Err(c.error(format!(
+            "for-loop condition must test '{var}', found '{cond_var}'"
+        )));
+    }
+    let inclusive = match c.advance().tok {
+        Tok::Lt => false,
+        Tok::Le => true,
+        other => return Err(c.error(format!("expected '<' or '<=' in for-loop, found {other}"))),
+    };
+    let end = expr(c)?;
+    c.expect(&Tok::Semi)?;
+    let step_var = c.expect_ident()?;
+    if step_var != var {
+        return Err(c.error(format!(
+            "for-loop step must update '{var}', found '{step_var}'"
+        )));
+    }
+    match c.advance().tok {
+        Tok::PlusPlus => {}
+        Tok::PlusAssign => match c.advance().tok {
+            Tok::Num(n) if n == 1.0 => {}
+            _ => return Err(c.error("only unit-step for-loops are supported")),
+        },
+        other => return Err(c.error(format!("expected '++' in for-loop, found {other}"))),
+    }
+    c.expect(&Tok::RParen)?;
+    let body = block(c)?;
+    Ok(Stmt::ForRange { var, start, end, inclusive, body })
+}
+
+fn expr_or_assign(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
+    let e = expr(c)?;
+    let op = match c.peek().tok {
+        Tok::Assign => None,
+        Tok::PlusAssign => Some(BinOp::Add),
+        Tok::MinusAssign => Some(BinOp::Sub),
+        Tok::StarAssign => Some(BinOp::Mul),
+        Tok::SlashAssign => Some(BinOp::Div),
+        Tok::PlusPlus | Tok::MinusMinus => {
+            let inc = matches!(c.peek().tok, Tok::PlusPlus);
+            c.advance();
+            c.eat(&Tok::Semi);
+            let target = to_lvalue(c, e)?;
+            return Ok(Stmt::Assign {
+                target,
+                op: Some(if inc { BinOp::Add } else { BinOp::Sub }),
+                value: Expr::Num(1.0),
+            });
+        }
+        _ => {
+            c.eat(&Tok::Semi);
+            return Ok(Stmt::Expr(e));
+        }
+    };
+    c.advance();
+    let value = expr(c)?;
+    c.eat(&Tok::Semi);
+    let target = to_lvalue(c, e)?;
+    Ok(Stmt::Assign { target, op, value })
+}
+
+fn to_lvalue(c: &Cursor, e: Expr) -> Result<LValue, SyntaxError> {
+    match e {
+        Expr::Var(name) => Ok(LValue::Var(name)),
+        Expr::Index(base, idx) => Ok(LValue::Index(base, idx)),
+        Expr::Prop(base, field) => {
+            // `obj.field = v` desugars to `obj["field"] = v`.
+            Ok(LValue::Index(base, Box::new(Expr::Str(field))))
+        }
+        _ => Err(c.error("invalid assignment target")),
+    }
+}
+
+// --- expressions (precedence climbing) ------------------------------------
+
+pub(crate) fn expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    ternary(c)
+}
+
+fn ternary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let cond = binary(c, 1)?;
+    if c.eat(&Tok::Question) {
+        let then_e = expr(c)?;
+        c.expect(&Tok::Colon)?;
+        let else_e = expr(c)?;
+        return Ok(Expr::Cond(Box::new(cond), Box::new(then_e), Box::new(else_e)));
+    }
+    Ok(cond)
+}
+
+fn binop_of(tok: &Tok) -> Option<BinOp> {
+    Some(match tok {
+        Tok::PipePipe => BinOp::Or,
+        Tok::AmpAmp => BinOp::And,
+        Tok::EqEq => BinOp::Eq,
+        Tok::NotEq => BinOp::Ne,
+        Tok::Lt => BinOp::Lt,
+        Tok::Le => BinOp::Le,
+        Tok::Gt => BinOp::Gt,
+        Tok::Ge => BinOp::Ge,
+        Tok::Plus => BinOp::Add,
+        Tok::Minus => BinOp::Sub,
+        Tok::Star => BinOp::Mul,
+        Tok::Slash => BinOp::Div,
+        Tok::SlashSlash => BinOp::FloorDiv,
+        Tok::Percent => BinOp::Mod,
+        Tok::StarStar => BinOp::Pow,
+        _ => return None,
+    })
+}
+
+fn binary(c: &mut Cursor, min_prec: u8) -> Result<Expr, SyntaxError> {
+    let mut lhs = unary(c)?;
+    while let Some(op) = binop_of(&c.peek().tok) {
+        let prec = op.precedence();
+        if prec < min_prec {
+            break;
+        }
+        c.advance();
+        let next_min = if op.right_assoc() { prec } else { prec + 1 };
+        let rhs = binary(c, next_min)?;
+        lhs = Expr::bin(op, lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn unary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    match c.peek().tok {
+        Tok::Bang => {
+            c.advance();
+            Ok(Expr::Unary(UnOp::Not, Box::new(unary(c)?)))
+        }
+        Tok::Minus => {
+            c.advance();
+            Ok(Expr::Unary(UnOp::Neg, Box::new(unary(c)?)))
+        }
+        _ => postfix(c),
+    }
+}
+
+fn postfix(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    let mut e = primary(c)?;
+    loop {
+        match c.peek().tok {
+            Tok::LParen => {
+                c.advance();
+                let args = call_args(c)?;
+                e = match e {
+                    Expr::Var(name) => {
+                        Expr::Call { callee: builtins::canonical_free_ts(&name).to_owned(), args }
+                    }
+                    Expr::Lambda { .. } => {
+                        return Err(c.error("immediately-invoked lambdas are not supported"))
+                    }
+                    _ => return Err(c.error("only named functions can be called")),
+                };
+            }
+            Tok::LBracket => {
+                c.advance();
+                let idx = expr(c)?;
+                c.expect(&Tok::RBracket)?;
+                e = Expr::index(e, idx);
+            }
+            Tok::Dot => {
+                c.advance();
+                let member = c.expect_ident()?;
+                if c.peek().tok == Tok::LParen {
+                    c.advance();
+                    let args = call_args(c)?;
+                    e = make_member_call(e, &member, args);
+                } else {
+                    e = match member.as_str() {
+                        "length" => Expr::prop(e, "len"),
+                        other => Expr::prop(e, other),
+                    };
+                }
+            }
+            _ => return Ok(e),
+        }
+    }
+}
+
+/// Builds a member call, resolving `Math.floor(x)`-style namespace calls and
+/// canonicalizing method spellings.
+fn make_member_call(recv: Expr, member: &str, args: Vec<Expr>) -> Expr {
+    if let Expr::Var(ns) = &recv {
+        if let Some(canonical) = builtins::canonical_namespace_call(ns, member) {
+            return Expr::Call { callee: canonical.to_owned(), args };
+        }
+    }
+    let canonical = builtins::canonical_method_ts(member);
+    if canonical == "to_string" && args.is_empty() {
+        return Expr::Call { callee: "to_string".to_owned(), args: vec![recv] };
+    }
+    Expr::method(recv, canonical, args)
+}
+
+fn call_args(c: &mut Cursor) -> Result<Vec<Expr>, SyntaxError> {
+    let mut args = Vec::new();
+    if c.eat(&Tok::RParen) {
+        return Ok(args);
+    }
+    loop {
+        args.push(expr(c)?);
+        if !c.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    c.expect(&Tok::RParen)?;
+    Ok(args)
+}
+
+fn primary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
+    match c.peek().tok.clone() {
+        Tok::Num(n) => {
+            c.advance();
+            Ok(Expr::Num(n))
+        }
+        Tok::Str(s) => {
+            c.advance();
+            Ok(Expr::Str(s))
+        }
+        Tok::Ident(word) => {
+            // Single-parameter arrow: `x => body`.
+            if c.peek_at(1).tok == Tok::FatArrow {
+                c.advance();
+                c.advance();
+                let body = expr(c)?;
+                return Ok(Expr::Lambda { params: vec![word], body: Box::new(body) });
+            }
+            c.advance();
+            match word.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" | "undefined" => Ok(Expr::Null),
+                _ => Ok(Expr::Var(word)),
+            }
+        }
+        Tok::LParen => {
+            // Either a parenthesized expression or a multi-param arrow.
+            if let Some(params) = try_arrow_params(c) {
+                let body = expr(c)?;
+                return Ok(Expr::Lambda { params, body: Box::new(body) });
+            }
+            c.advance();
+            let e = expr(c)?;
+            c.expect(&Tok::RParen)?;
+            Ok(e)
+        }
+        Tok::LBracket => {
+            c.advance();
+            let mut items = Vec::new();
+            if c.eat(&Tok::RBracket) {
+                return Ok(Expr::Array(items));
+            }
+            loop {
+                items.push(expr(c)?);
+                if !c.eat(&Tok::Comma) {
+                    break;
+                }
+                if c.peek().tok == Tok::RBracket {
+                    break; // trailing comma
+                }
+            }
+            c.expect(&Tok::RBracket)?;
+            Ok(Expr::Array(items))
+        }
+        Tok::LBrace => {
+            c.advance();
+            let mut fields = Vec::new();
+            if c.eat(&Tok::RBrace) {
+                return Ok(Expr::Object(fields));
+            }
+            loop {
+                let key = match c.peek().tok.clone() {
+                    Tok::Ident(k) => {
+                        c.advance();
+                        k
+                    }
+                    Tok::Str(k) => {
+                        c.advance();
+                        k
+                    }
+                    other => return Err(c.error(format!("expected object key, found {other}"))),
+                };
+                c.expect(&Tok::Colon)?;
+                fields.push((key, expr(c)?));
+                if !c.eat(&Tok::Comma) {
+                    break;
+                }
+                if c.peek().tok == Tok::RBrace {
+                    break; // trailing comma
+                }
+            }
+            c.expect(&Tok::RBrace)?;
+            Ok(Expr::Object(fields))
+        }
+        other => Err(c.error(format!("unexpected {other} in expression"))),
+    }
+}
+
+/// Looks ahead for `(a, b) => …`; on a match, consumes through the arrow and
+/// returns the parameter names. Otherwise leaves the cursor untouched.
+fn try_arrow_params(c: &mut Cursor) -> Option<Vec<String>> {
+    let mark = c.mark();
+    if !c.eat(&Tok::LParen) {
+        return None;
+    }
+    let mut params = Vec::new();
+    if !c.eat(&Tok::RParen) {
+        loop {
+            match c.peek().tok.clone() {
+                Tok::Ident(name) => {
+                    c.advance();
+                    params.push(name);
+                }
+                _ => {
+                    c.reset(mark);
+                    return None;
+                }
+            }
+            if c.eat(&Tok::Comma) {
+                continue;
+            }
+            if c.eat(&Tok::RParen) {
+                break;
+            }
+            c.reset(mark);
+            return None;
+        }
+    }
+    if c.eat(&Tok::FatArrow) {
+        Some(params)
+    } else {
+        c.reset(mark);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_types::{dict, float, list};
+
+    #[test]
+    fn parses_figure_4_signature() {
+        let p = parse_ts(
+            "export function func({x, y}: {x: number, y: number}): number {\n  return x + y;\n}",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.name, "func");
+        assert!(f.exported);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "x");
+        assert_eq!(f.params[0].ty, float());
+        assert_eq!(f.ret, float());
+        assert_eq!(f.body, vec![Stmt::Return(Some(Expr::bin(
+            BinOp::Add,
+            Expr::var("x"),
+            Expr::var("y"),
+        )))]);
+    }
+
+    #[test]
+    fn destructured_params_bind_by_name_not_position() {
+        let p = parse_ts("function f({b, a}: {a: number, b: string}): void {}").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params[0].name, "b");
+        assert_eq!(f.params[0].ty, askit_types::string());
+        assert_eq!(f.params[1].name, "a");
+        assert_eq!(f.params[1].ty, float());
+    }
+
+    #[test]
+    fn complex_param_types() {
+        let p = parse_ts(
+            "function f({xs}: {xs: {n: number}[]}): number[] { return []; }",
+        )
+        .unwrap();
+        assert_eq!(p.functions[0].params[0].ty, list(dict([("n", float())])));
+        assert_eq!(p.functions[0].ret, list(float()));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let src = r#"
+function f({n}: {n: number}): number {
+  let acc = 1;
+  const limit = n;
+  for (let i = 2; i <= limit; i++) {
+    acc *= i;
+  }
+  let j = 0;
+  while (j < 3) {
+    j += 1;
+    if (j == 2) { continue; } else { }
+    if (j > 10) { break; }
+  }
+  return acc;
+}"#;
+        let p = parse_ts(src).unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[2], Stmt::ForRange { inclusive: true, .. }));
+        assert!(matches!(body[4], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn for_of_and_methods_canonicalize() {
+        let src = r#"
+function f({ss}: {ss: string[]}): string {
+  let out = "";
+  for (const s of ss) {
+    out += s.toUpperCase();
+  }
+  return out.trim();
+}"#;
+        let p = parse_ts(src).unwrap();
+        let Stmt::ForOf { body, .. } = &p.functions[0].body[1] else {
+            panic!("expected for-of");
+        };
+        let Stmt::Assign { value, .. } = &body[0] else { panic!("expected +=") };
+        assert_eq!(*value, Expr::method(Expr::var("s"), "to_upper", vec![]));
+    }
+
+    #[test]
+    fn length_property_and_namespace_calls() {
+        let e = parse_ts_expr("Math.floor(xs.length / 2)").unwrap();
+        assert_eq!(
+            e,
+            Expr::call(
+                "floor",
+                vec![Expr::bin(
+                    BinOp::Div,
+                    Expr::prop(Expr::var("xs"), "len"),
+                    Expr::Num(2.0)
+                )]
+            )
+        );
+    }
+
+    #[test]
+    fn parse_int_and_to_string_canonicalize() {
+        assert_eq!(
+            parse_ts_expr("parseInt(s)").unwrap(),
+            Expr::call("parse_int", vec![Expr::var("s")])
+        );
+        assert_eq!(
+            parse_ts_expr("n.toString()").unwrap(),
+            Expr::call("to_string", vec![Expr::var("n")])
+        );
+        assert_eq!(
+            parse_ts_expr("JSON.stringify(o)").unwrap(),
+            Expr::call("json_stringify", vec![Expr::var("o")])
+        );
+    }
+
+    #[test]
+    fn arrows_single_and_multi_param() {
+        assert_eq!(
+            parse_ts_expr("xs.map(x => x * 2)").unwrap(),
+            Expr::method(
+                Expr::var("xs"),
+                "map",
+                vec![Expr::Lambda {
+                    params: vec!["x".into()],
+                    body: Box::new(Expr::bin(BinOp::Mul, Expr::var("x"), Expr::Num(2.0))),
+                }]
+            )
+        );
+        assert_eq!(
+            parse_ts_expr("xs.sort((a, b) => a - b)").unwrap(),
+            Expr::method(
+                Expr::var("xs"),
+                "sort",
+                vec![Expr::Lambda {
+                    params: vec!["a".into(), "b".into()],
+                    body: Box::new(Expr::bin(BinOp::Sub, Expr::var("a"), Expr::var("b"))),
+                }]
+            )
+        );
+        // Parenthesized expressions still parse.
+        assert_eq!(
+            parse_ts_expr("(a + b) * c").unwrap(),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+                Expr::var("c")
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(
+            parse_ts_expr("1 + 2 * 3").unwrap(),
+            Expr::bin(
+                BinOp::Add,
+                Expr::Num(1.0),
+                Expr::bin(BinOp::Mul, Expr::Num(2.0), Expr::Num(3.0))
+            )
+        );
+        // ** is right-associative.
+        assert_eq!(
+            parse_ts_expr("2 ** 3 ** 2").unwrap(),
+            Expr::bin(
+                BinOp::Pow,
+                Expr::Num(2.0),
+                Expr::bin(BinOp::Pow, Expr::Num(3.0), Expr::Num(2.0))
+            )
+        );
+        // Comparison binds tighter than &&.
+        assert_eq!(
+            parse_ts_expr("a < b && c > d").unwrap(),
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Lt, Expr::var("a"), Expr::var("b")),
+                Expr::bin(BinOp::Gt, Expr::var("c"), Expr::var("d"))
+            )
+        );
+    }
+
+    #[test]
+    fn ternary_objects_arrays_and_indexing() {
+        let e = parse_ts_expr("x > 0 ? {sign: 'pos'} : [1, 2][0]").unwrap();
+        assert!(matches!(e, Expr::Cond(..)));
+        assert_eq!(
+            parse_ts_expr("m['key']").unwrap(),
+            Expr::index(Expr::var("m"), Expr::str("key"))
+        );
+    }
+
+    #[test]
+    fn increment_statement_desugars() {
+        let p = parse_ts("function f({}: {}): void { let i = 0; i++; i -= 2; }");
+        let p = p.unwrap();
+        assert_eq!(
+            p.functions[0].body[1],
+            Stmt::Assign {
+                target: LValue::Var("i".into()),
+                op: Some(BinOp::Add),
+                value: Expr::Num(1.0)
+            }
+        );
+        assert_eq!(
+            p.functions[0].body[2],
+            Stmt::Assign {
+                target: LValue::Var("i".into()),
+                op: Some(BinOp::Sub),
+                value: Expr::Num(2.0)
+            }
+        );
+    }
+
+    #[test]
+    fn property_assignment_desugars_to_index() {
+        let p = parse_ts("function f({o}: {o: any}): void { o.count = 1; }").unwrap();
+        assert_eq!(
+            p.functions[0].body[0],
+            Stmt::Assign {
+                target: LValue::Index(
+                    Box::new(Expr::var("o")),
+                    Box::new(Expr::str("count"))
+                ),
+                op: None,
+                value: Expr::Num(1.0)
+            }
+        );
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+function sign({x}: {x: number}): string {
+  if (x > 0) { return "pos"; }
+  else if (x < 0) { return "neg"; }
+  else { return "zero"; }
+}"#;
+        let p = parse_ts(src).unwrap();
+        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_ts("function f({x}: {x: number}): number {\n  return +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_ts("").is_err());
+        assert!(parse_ts("function f( {").is_err());
+        assert!(parse_ts("function f({x}: number): void {}").is_err());
+    }
+
+    #[test]
+    fn triple_equals_is_structural_equality() {
+        assert_eq!(
+            parse_ts_expr("a === b").unwrap(),
+            Expr::bin(BinOp::Eq, Expr::var("a"), Expr::var("b"))
+        );
+    }
+}

@@ -1,0 +1,886 @@
+//! Pretty-printing MiniLang ASTs back to MiniTS or MiniPy source.
+//!
+//! The mock language model *synthesizes ASTs* and prints them here, so this
+//! printer is literally the code-generation backend of the simulated LLM; it
+//! is also what renders the empty function skeleton in the Figure 4 prompt.
+//! `parse(print(ast))` is the identity on canonical ASTs (see the crate's
+//! property tests).
+
+use askit_types::Type;
+
+use crate::ast::{BinOp, Block, Expr, FuncDecl, LValue, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::value::format_number;
+
+/// Which surface syntax to print (mirrors the paper's TS and Python AskIt
+/// implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syntax {
+    /// MiniTS — TypeScript-like.
+    Ts,
+    /// MiniPy — Python-like.
+    Py,
+}
+
+impl Syntax {
+    /// The markdown fence language tag for this syntax (paper §III-D: the
+    /// reply is expected in a ```` ```typescript ```` block).
+    pub fn fence_tag(self) -> &'static str {
+        match self {
+            Syntax::Ts => "typescript",
+            Syntax::Py => "python",
+        }
+    }
+
+    /// Display name used in prompts and reports.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Syntax::Ts => "TypeScript",
+            Syntax::Py => "Python",
+        }
+    }
+}
+
+/// Prints a whole program.
+pub fn print_program(program: &Program, syntax: Syntax) -> String {
+    let mut out = String::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f, syntax));
+    }
+    out
+}
+
+/// Prints one function declaration.
+pub fn print_function(f: &FuncDecl, syntax: Syntax) -> String {
+    let mut p = Printer { syntax, out: String::new(), indent: 0 };
+    p.function(f);
+    p.out
+}
+
+/// Prints a single expression (mostly for tests and error messages).
+pub fn print_expr(e: &Expr, syntax: Syntax) -> String {
+    let mut p = Printer { syntax, out: String::new(), indent: 0 };
+    p.expr(e, 0);
+    p.out
+}
+
+struct Printer {
+    syntax: Syntax,
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        let width = match self.syntax {
+            Syntax::Ts => 2,
+            Syntax::Py => 4,
+        };
+        for _ in 0..self.indent * width {
+            self.out.push(' ');
+        }
+    }
+
+    fn function(&mut self, f: &FuncDecl) {
+        match self.syntax {
+            Syntax::Ts => {
+                if f.exported {
+                    self.push("export ");
+                }
+                self.push("function ");
+                self.push(&f.name);
+                self.push("(");
+                if !f.params.is_empty() {
+                    self.push("{");
+                    let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+                    self.push(&names.join(", "));
+                    self.push("}: ");
+                    let dict = Type::Dict(
+                        f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                    );
+                    self.push(&dict.to_typescript());
+                }
+                self.push("): ");
+                self.push(&f.ret.to_typescript());
+                self.push(" {");
+                self.indent += 1;
+                for line in &f.doc {
+                    self.newline();
+                    self.push("// ");
+                    self.push(line);
+                }
+                self.block_body(&f.body, false);
+                self.indent -= 1;
+                self.newline();
+                self.push("}");
+            }
+            Syntax::Py => {
+                self.push("def ");
+                self.push(&f.name);
+                self.push("(");
+                let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+                self.push(&names.join(", "));
+                self.push("):");
+                self.indent += 1;
+                for line in &f.doc {
+                    self.newline();
+                    self.push("# ");
+                    self.push(line);
+                }
+                // Comments are not statements: an empty body always needs
+                // `pass`, even under a doc comment (the Figure 4 skeleton).
+                self.block_body(&f.body, true);
+                self.indent -= 1;
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// Prints the statements of an (already indented) body. For MiniPy an
+    /// empty body must still contain `pass` (when `need_pass`).
+    fn block_body(&mut self, body: &Block, need_pass: bool) {
+        if body.is_empty() {
+            if self.syntax == Syntax::Py && need_pass {
+                self.newline();
+                self.push("pass");
+            }
+            return;
+        }
+        for stmt in body {
+            self.newline();
+            self.stmt(stmt);
+        }
+    }
+
+    /// Prints a braced block (TS) or an indented suite (Py).
+    fn nested_block(&mut self, body: &Block) {
+        match self.syntax {
+            Syntax::Ts => {
+                self.push(" {");
+                self.indent += 1;
+                self.block_body(body, false);
+                self.indent -= 1;
+                self.newline();
+                self.push("}");
+            }
+            Syntax::Py => {
+                self.push(":");
+                self.indent += 1;
+                self.block_body(body, true);
+                self.indent -= 1;
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { name, init, mutable } => match self.syntax {
+                Syntax::Ts => {
+                    self.push(if *mutable { "let " } else { "const " });
+                    self.push(name);
+                    self.push(" = ");
+                    self.expr(init, 0);
+                    self.push(";");
+                }
+                Syntax::Py => {
+                    self.push(name);
+                    self.push(" = ");
+                    self.expr(init, 0);
+                }
+            },
+            Stmt::Assign { target, op, value } => {
+                match target {
+                    LValue::Var(name) => self.push(name),
+                    LValue::Index(base, idx) => {
+                        self.expr(base, 9);
+                        self.push("[");
+                        self.expr(idx, 0);
+                        self.push("]");
+                    }
+                }
+                match op {
+                    None => self.push(" = "),
+                    Some(BinOp::Add) => self.push(" += "),
+                    Some(BinOp::Sub) => self.push(" -= "),
+                    Some(BinOp::Mul) => self.push(" *= "),
+                    Some(BinOp::Div) => self.push(" /= "),
+                    Some(other) => {
+                        // No compound form: print `x = x <op> v`… conservatively.
+                        self.push(" = ");
+                        match target {
+                            LValue::Var(name) => {
+                                let var = Expr::var(name.clone());
+                                self.expr(
+                                    &Expr::bin(*other, var, value.clone()),
+                                    0,
+                                );
+                                if self.syntax == Syntax::Ts {
+                                    self.push(";");
+                                }
+                                return;
+                            }
+                            LValue::Index(..) => self.push("/* unsupported compound op */ "),
+                        }
+                    }
+                }
+                self.expr(value, 0);
+                if self.syntax == Syntax::Ts {
+                    self.push(";");
+                }
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                self.if_chain(cond, then_block, else_block, true);
+            }
+            Stmt::While { cond, body } => {
+                match self.syntax {
+                    Syntax::Ts => {
+                        self.push("while (");
+                        self.expr(cond, 0);
+                        self.push(")");
+                    }
+                    Syntax::Py => {
+                        self.push("while ");
+                        self.expr(cond, 0);
+                    }
+                }
+                self.nested_block(body);
+            }
+            Stmt::ForRange { var, start, end, inclusive, body } => {
+                match self.syntax {
+                    Syntax::Ts => {
+                        self.push("for (let ");
+                        self.push(var);
+                        self.push(" = ");
+                        self.expr(start, 0);
+                        self.push("; ");
+                        self.push(var);
+                        self.push(if *inclusive { " <= " } else { " < " });
+                        self.expr(end, 0);
+                        self.push("; ");
+                        self.push(var);
+                        self.push("++)");
+                    }
+                    Syntax::Py => {
+                        self.push("for ");
+                        self.push(var);
+                        self.push(" in range(");
+                        self.expr(start, 0);
+                        self.push(", ");
+                        if *inclusive {
+                            // Python ranges are half-open; widen the bound.
+                            self.expr(&Expr::bin(BinOp::Add, end.clone(), Expr::Num(1.0)), 5);
+                        } else {
+                            self.expr(end, 0);
+                        }
+                        self.push(")");
+                    }
+                }
+                self.nested_block(body);
+            }
+            Stmt::ForOf { var, iter, body } => {
+                match self.syntax {
+                    Syntax::Ts => {
+                        self.push("for (const ");
+                        self.push(var);
+                        self.push(" of ");
+                        self.expr(iter, 0);
+                        self.push(")");
+                    }
+                    Syntax::Py => {
+                        self.push("for ");
+                        self.push(var);
+                        self.push(" in ");
+                        self.expr(iter, 0);
+                    }
+                }
+                self.nested_block(body);
+            }
+            Stmt::Return(value) => {
+                self.push("return");
+                if let Some(v) = value {
+                    self.push(" ");
+                    self.expr(v, 0);
+                }
+                if self.syntax == Syntax::Ts {
+                    self.push(";");
+                }
+            }
+            Stmt::Expr(Expr::Null) if self.syntax == Syntax::Py => {
+                self.push("pass");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, 0);
+                if self.syntax == Syntax::Ts {
+                    self.push(";");
+                }
+            }
+            Stmt::Break => {
+                self.push(if self.syntax == Syntax::Ts { "break;" } else { "break" });
+            }
+            Stmt::Continue => {
+                self.push(if self.syntax == Syntax::Ts { "continue;" } else { "continue" });
+            }
+        }
+    }
+
+    fn if_chain(&mut self, cond: &Expr, then_block: &Block, else_block: &Block, head: bool) {
+        match self.syntax {
+            Syntax::Ts => {
+                self.push(if head { "if (" } else { " else if (" });
+                self.expr(cond, 0);
+                self.push(")");
+                self.nested_block(then_block);
+                if else_block.is_empty() {
+                    return;
+                }
+                if let [Stmt::If { cond, then_block, else_block }] = else_block.as_slice() {
+                    self.if_chain(cond, then_block, else_block, false);
+                } else {
+                    self.push(" else");
+                    self.nested_block(else_block);
+                }
+            }
+            Syntax::Py => {
+                self.push(if head { "if " } else { "elif " });
+                self.expr(cond, 0);
+                self.nested_block(then_block);
+                if else_block.is_empty() {
+                    return;
+                }
+                if let [Stmt::If { cond, then_block, else_block }] = else_block.as_slice() {
+                    self.newline();
+                    self.if_chain(cond, then_block, else_block, false);
+                } else {
+                    self.newline();
+                    self.push("else");
+                    self.nested_block(else_block);
+                }
+            }
+        }
+    }
+
+    /// Prints `e`, parenthesizing when its precedence is below `min_prec`.
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let prec = self.expr_prec(e);
+        if prec < min_prec {
+            self.push("(");
+            self.expr_inner(e);
+            self.push(")");
+        } else {
+            self.expr_inner(e);
+        }
+    }
+
+    /// The effective precedence of an expression *as printed* in the current
+    /// syntax (MiniPy prints some methods as operators).
+    fn expr_prec(&self, e: &Expr) -> u8 {
+        match e {
+            Expr::Cond(..) | Expr::Lambda { .. } => 0,
+            Expr::Binary(op, _, _) => op.precedence(),
+            // Python's `not` binds looser than comparisons; `!` binds tight.
+            Expr::Unary(UnOp::Not, _) if self.syntax == Syntax::Py => 2,
+            Expr::Unary(..) => 8,
+            Expr::Method { name, .. } if self.syntax == Syntax::Py => match name.as_str() {
+                "includes" => 3,         // printed as `x in recv`
+                "repeat" => 6,           // printed as `recv * n`
+                "concat" => 5,           // printed as `recv + other`
+                _ => 9,
+            },
+            Expr::Call { .. } | Expr::Method { .. } | Expr::Prop(..) | Expr::Index(..) => 9,
+            _ => 10,
+        }
+    }
+
+    fn expr_inner(&mut self, e: &Expr) {
+        match e {
+            Expr::Null => self.push(match self.syntax {
+                Syntax::Ts => "null",
+                Syntax::Py => "None",
+            }),
+            Expr::Bool(b) => self.push(match (self.syntax, b) {
+                (Syntax::Ts, true) => "true",
+                (Syntax::Ts, false) => "false",
+                (Syntax::Py, true) => "True",
+                (Syntax::Py, false) => "False",
+            }),
+            Expr::Num(n) => self.push(&format_number(*n)),
+            Expr::Str(s) => self.push(&quote_string(s)),
+            Expr::Var(name) => self.push(name),
+            Expr::Array(items) => {
+                self.push("[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(item, 0);
+                }
+                self.push("]");
+            }
+            Expr::Object(fields) => {
+                if fields.is_empty() {
+                    self.push("{}");
+                    return;
+                }
+                self.push("{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    match self.syntax {
+                        Syntax::Ts if is_identifier(k) => self.push(k),
+                        _ => self.push(&quote_string(k)),
+                    }
+                    self.push(": ");
+                    self.expr(v, 0);
+                }
+                self.push("}");
+            }
+            Expr::Unary(op, inner) => {
+                match (self.syntax, op) {
+                    (Syntax::Ts, UnOp::Not) => self.push("!"),
+                    (Syntax::Py, UnOp::Not) => self.push("not "),
+                    (_, UnOp::Neg) => self.push("-"),
+                }
+                // `-(-x)` must not print as `--x` (which lexes as decrement),
+                // so a negation's operand is parenthesized unless it binds
+                // tighter than prefix operators.
+                let operand_min = match op {
+                    UnOp::Neg => 9,
+                    UnOp::Not => 8,
+                };
+                self.expr(inner, operand_min);
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let prec = op.precedence();
+                let (mut lmin, mut rmin) =
+                    if op.right_assoc() { (prec + 1, prec) } else { (prec, prec + 1) };
+                if self.syntax == Syntax::Py {
+                    // Python's `**` binds tighter than a prefix minus on its
+                    // left (`-x ** y` is `-(x ** y)`), so a unary left
+                    // operand needs parentheses there.
+                    if *op == BinOp::Pow {
+                        lmin = 9;
+                    }
+                    // Python chains comparisons (`a < b < c` is a
+                    // conjunction), so comparison operands that are
+                    // themselves comparisons must be parenthesized.
+                    if matches!(
+                        op,
+                        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                    ) {
+                        lmin = 5;
+                        rmin = 5;
+                    }
+                }
+                // Special-case: MiniTS has no `//`; print floor division as
+                // Math.floor(a / b).
+                if *op == BinOp::FloorDiv && self.syntax == Syntax::Ts {
+                    self.push("Math.floor(");
+                    self.expr(lhs, BinOp::Div.precedence());
+                    self.push(" / ");
+                    self.expr(rhs, BinOp::Div.precedence() + 1);
+                    self.push(")");
+                    return;
+                }
+                self.expr(lhs, lmin);
+                self.push(" ");
+                self.push(self.op_symbol(*op));
+                self.push(" ");
+                self.expr(rhs, rmin);
+            }
+            Expr::Cond(cond, then_e, else_e) => match self.syntax {
+                Syntax::Ts => {
+                    self.expr(cond, 1);
+                    self.push(" ? ");
+                    self.expr(then_e, 1);
+                    self.push(" : ");
+                    self.expr(else_e, 0);
+                }
+                Syntax::Py => {
+                    self.expr(then_e, 1);
+                    self.push(" if ");
+                    self.expr(cond, 1);
+                    self.push(" else ");
+                    self.expr(else_e, 0);
+                }
+            },
+            Expr::Call { callee, args } => self.call(callee, args),
+            Expr::Method { recv, name, args } => self.method(recv, name, args),
+            Expr::Prop(recv, name) => match (self.syntax, name.as_str()) {
+                (Syntax::Ts, "len") => {
+                    self.expr(recv, 9);
+                    self.push(".length");
+                }
+                (Syntax::Py, "len") => {
+                    self.push("len(");
+                    self.expr(recv, 0);
+                    self.push(")");
+                }
+                (Syntax::Ts, field) => {
+                    self.expr(recv, 9);
+                    self.push(".");
+                    self.push(field);
+                }
+                (Syntax::Py, field) => {
+                    self.expr(recv, 9);
+                    self.push("[");
+                    self.push(&quote_string(field));
+                    self.push("]");
+                }
+            },
+            Expr::Index(base, idx) => {
+                self.expr(base, 9);
+                self.push("[");
+                self.expr(idx, 0);
+                self.push("]");
+            }
+            Expr::Lambda { params, body } => match self.syntax {
+                Syntax::Ts => {
+                    if params.len() == 1 {
+                        self.push(&params[0]);
+                    } else {
+                        self.push("(");
+                        self.push(&params.join(", "));
+                        self.push(")");
+                    }
+                    self.push(" => ");
+                    self.expr(body, 1);
+                }
+                Syntax::Py => {
+                    self.push("lambda ");
+                    self.push(&params.join(", "));
+                    self.push(": ");
+                    self.expr(body, 1);
+                }
+            },
+        }
+    }
+
+    fn op_symbol(&self, op: BinOp) -> &'static str {
+        match (op, self.syntax) {
+            (BinOp::And, Syntax::Ts) => "&&",
+            (BinOp::And, Syntax::Py) => "and",
+            (BinOp::Or, Syntax::Ts) => "||",
+            (BinOp::Or, Syntax::Py) => "or",
+            (BinOp::Eq, Syntax::Ts) => "===",
+            (BinOp::Eq, Syntax::Py) => "==",
+            (BinOp::Ne, Syntax::Ts) => "!==",
+            (BinOp::Ne, Syntax::Py) => "!=",
+            (BinOp::Add, _) => "+",
+            (BinOp::Sub, _) => "-",
+            (BinOp::Mul, _) => "*",
+            (BinOp::Div, _) => "/",
+            (BinOp::FloorDiv, _) => "//",
+            (BinOp::Mod, _) => "%",
+            (BinOp::Pow, _) => "**",
+            (BinOp::Lt, _) => "<",
+            (BinOp::Le, _) => "<=",
+            (BinOp::Gt, _) => ">",
+            (BinOp::Ge, _) => ">=",
+        }
+    }
+
+    fn call(&mut self, callee: &str, args: &[Expr]) {
+        let surface = match self.syntax {
+            Syntax::Ts => builtins::ts_free_surface(callee),
+            Syntax::Py => builtins::py_free_surface(callee),
+        };
+        // `keys`/`values` print as `list(x.keys())` in MiniPy.
+        if self.syntax == Syntax::Py && (callee == "keys" || callee == "values") {
+            if let [obj] = args {
+                self.push("list(");
+                self.expr(obj, 9);
+                self.push(".");
+                self.push(callee);
+                self.push("())");
+                return;
+            }
+        }
+        self.push(surface.unwrap_or(callee));
+        self.push("(");
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.expr(a, 0);
+        }
+        self.push(")");
+    }
+
+    fn method(&mut self, recv: &Expr, name: &str, args: &[Expr]) {
+        if self.syntax == Syntax::Py {
+            match (name, args) {
+                // `xs.includes(x)` prints as `x in xs`. Like the comparison
+                // operators, `in` participates in Python's chaining, so both
+                // operands print above comparison precedence.
+                ("includes", [x]) => {
+                    self.expr(x, 5);
+                    self.push(" in ");
+                    self.expr(recv, 5);
+                    return;
+                }
+                // `xs.join(sep)` prints as `sep.join(xs)`.
+                ("join", [sep]) => {
+                    self.expr(sep, 9);
+                    self.push(".join(");
+                    self.expr(recv, 0);
+                    self.push(")");
+                    return;
+                }
+                // `s.char_at(i)` prints as `s[i]`.
+                ("char_at", [i]) => {
+                    self.expr(recv, 9);
+                    self.push("[");
+                    self.expr(i, 0);
+                    self.push("]");
+                    return;
+                }
+                // `s.repeat(n)` prints as `s * n`.
+                ("repeat", [n]) => {
+                    self.expr(recv, 6);
+                    self.push(" * ");
+                    self.expr(n, 7);
+                    return;
+                }
+                // `a.concat(b)` prints as `a + b`.
+                ("concat", [b]) => {
+                    self.expr(recv, 5);
+                    self.push(" + ");
+                    self.expr(b, 6);
+                    return;
+                }
+                // `s.slice(a, b)` prints as `s[a:b]`.
+                ("slice", bounds) if bounds.len() <= 2 => {
+                    self.expr(recv, 9);
+                    self.push("[");
+                    match bounds {
+                        [] => self.push(":"),
+                        [start] => {
+                            self.expr(start, 0);
+                            self.push(":");
+                        }
+                        [start, end] => {
+                            self.expr(start, 0);
+                            self.push(":");
+                            self.expr(end, 0);
+                        }
+                        _ => unreachable!("guarded above"),
+                    }
+                    self.push("]");
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let surface = match self.syntax {
+            Syntax::Ts => builtins::ts_method_surface(name),
+            Syntax::Py => builtins::py_method_surface(name),
+        };
+        self.expr(recv, 9);
+        self.push(".");
+        self.push(surface);
+        self.push("(");
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.expr(a, 0);
+        }
+        self.push(")");
+    }
+}
+
+/// Quotes a string literal with single quotes (both surfaces accept them).
+fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser_py::parse_py;
+    use crate::parser_ts::parse_ts;
+    use askit_types::float;
+
+    fn sample_fn() -> FuncDecl {
+        FuncDecl {
+            name: "addAll".into(),
+            params: vec![
+                crate::ast::Param { name: "x".into(), ty: float() },
+                crate::ast::Param { name: "ys".into(), ty: askit_types::list(float()) },
+            ],
+            ret: float(),
+            body: vec![
+                Stmt::Let { name: "total".into(), init: Expr::var("x"), mutable: true },
+                Stmt::ForOf {
+                    var: "y".into(),
+                    iter: Expr::var("ys"),
+                    body: vec![Stmt::Assign {
+                        target: LValue::Var("total".into()),
+                        op: Some(BinOp::Add),
+                        value: Expr::var("y"),
+                    }],
+                },
+                Stmt::Return(Some(Expr::var("total"))),
+            ],
+            exported: true,
+            doc: vec!["add 'x' and every element of 'ys'".into()],
+        }
+    }
+
+    #[test]
+    fn ts_rendering_matches_figure_4_style() {
+        let text = print_function(&sample_fn(), Syntax::Ts);
+        let expected = "export function addAll({x, ys}: { x: number, ys: number[] }): number {\n  // add 'x' and every element of 'ys'\n  let total = x;\n  for (const y of ys) {\n    total += y;\n  }\n  return total;\n}\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn py_rendering() {
+        let text = print_function(&sample_fn(), Syntax::Py);
+        let expected = "def addAll(x, ys):\n    # add 'x' and every element of 'ys'\n    total = x\n    for y in ys:\n        total += y\n    return total\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn printed_ts_reparses() {
+        let mut f = sample_fn();
+        f.doc.clear();
+        let text = print_function(&f, Syntax::Ts);
+        let back = parse_ts(&text).unwrap();
+        assert_eq!(back.functions[0], f);
+    }
+
+    #[test]
+    fn printed_py_reparses() {
+        let mut f = sample_fn();
+        f.doc.clear();
+        // The Python surface erases types; compare modulo types.
+        let text = print_function(&f, Syntax::Py);
+        let back = parse_py(&text).unwrap();
+        assert_eq!(back.functions[0].body, f.body);
+        assert_eq!(back.functions[0].name, f.name);
+    }
+
+    #[test]
+    fn py_surface_idioms() {
+        let e = Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")]);
+        assert_eq!(print_expr(&e, Syntax::Py), "x in xs");
+        assert_eq!(print_expr(&e, Syntax::Ts), "xs.includes(x)");
+
+        let j = Expr::method(Expr::var("parts"), "join", vec![Expr::str(", ")]);
+        assert_eq!(print_expr(&j, Syntax::Py), "', '.join(parts)");
+        assert_eq!(print_expr(&j, Syntax::Ts), "parts.join(', ')");
+
+        let s = Expr::method(Expr::var("s"), "slice", vec![Expr::Num(1.0), Expr::Num(3.0)]);
+        assert_eq!(print_expr(&s, Syntax::Py), "s[1:3]");
+        assert_eq!(print_expr(&s, Syntax::Ts), "s.slice(1, 3)");
+
+        let l = Expr::prop(Expr::var("xs"), "len");
+        assert_eq!(print_expr(&l, Syntax::Py), "len(xs)");
+        assert_eq!(print_expr(&l, Syntax::Ts), "xs.length");
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(print_expr(&e, Syntax::Ts), "(a + b) * c");
+        let f = Expr::bin(
+            BinOp::Add,
+            Expr::var("a"),
+            Expr::bin(BinOp::Add, Expr::var("b"), Expr::var("c")),
+        );
+        // Left-assoc printing needs parens on the right child.
+        assert_eq!(print_expr(&f, Syntax::Ts), "a + (b + c)");
+    }
+
+    #[test]
+    fn not_in_python_gets_a_space() {
+        let e = Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")])),
+        );
+        assert_eq!(print_expr(&e, Syntax::Py), "not (x in xs)");
+        assert_eq!(print_expr(&e, Syntax::Ts), "!xs.includes(x)");
+    }
+
+    #[test]
+    fn floor_div_prints_per_surface() {
+        let e = Expr::bin(BinOp::FloorDiv, Expr::var("a"), Expr::var("b"));
+        assert_eq!(print_expr(&e, Syntax::Py), "a // b");
+        assert_eq!(print_expr(&e, Syntax::Ts), "Math.floor(a / b)");
+    }
+
+    #[test]
+    fn free_function_surfaces() {
+        let e = Expr::call("parse_int", vec![Expr::var("s")]);
+        assert_eq!(print_expr(&e, Syntax::Ts), "parseInt(s)");
+        assert_eq!(print_expr(&e, Syntax::Py), "int(s)");
+
+        let k = Expr::call("keys", vec![Expr::var("o")]);
+        assert_eq!(print_expr(&k, Syntax::Ts), "Object.keys(o)");
+        assert_eq!(print_expr(&k, Syntax::Py), "list(o.keys())");
+    }
+
+    #[test]
+    fn empty_python_body_prints_pass() {
+        let f = FuncDecl {
+            name: "noop".into(),
+            params: vec![],
+            ret: askit_types::void(),
+            body: vec![],
+            exported: false,
+            doc: vec![],
+        };
+        assert_eq!(print_function(&f, Syntax::Py), "def noop():\n    pass\n");
+    }
+
+    #[test]
+    fn cond_and_lambda_rendering() {
+        let e = Expr::Cond(
+            Box::new(Expr::bin(BinOp::Gt, Expr::var("x"), Expr::Num(0.0))),
+            Box::new(Expr::str("pos")),
+            Box::new(Expr::str("neg")),
+        );
+        assert_eq!(print_expr(&e, Syntax::Ts), "x > 0 ? 'pos' : 'neg'");
+        assert_eq!(print_expr(&e, Syntax::Py), "'pos' if x > 0 else 'neg'");
+
+        let l = Expr::Lambda {
+            params: vec!["a".into(), "b".into()],
+            body: Box::new(Expr::bin(BinOp::Sub, Expr::var("a"), Expr::var("b"))),
+        };
+        assert_eq!(print_expr(&l, Syntax::Ts), "(a, b) => a - b");
+        assert_eq!(print_expr(&l, Syntax::Py), "lambda a, b: a - b");
+    }
+}

@@ -1,0 +1,219 @@
+//! Tokens shared by the MiniTS and MiniPy lexers.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parsers).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (already unescaped).
+    Str(String),
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=>` (TS arrow)
+    FatArrow,
+    /// `->` (Python return-type arrow)
+    ThinArrow,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `==` (and `===` in TS)
+    EqEq,
+    /// `!=` (and `!==` in TS)
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `//` (Python floor division)
+    SlashSlash,
+    /// `%`
+    Percent,
+    /// `**`
+    StarStar,
+    /// `&&` (TS)
+    AmpAmp,
+    /// `||` (TS)
+    PipePipe,
+    /// `|` (type unions)
+    Pipe,
+    /// `!` (TS not)
+    Bang,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// End of a logical line (Python only).
+    Newline,
+    /// Increased indentation (Python only).
+    Indent,
+    /// Decreased indentation (Python only).
+    Dedent,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::LBrace => f.write_str("'{'"),
+            Tok::RBrace => f.write_str("'}'"),
+            Tok::LBracket => f.write_str("'['"),
+            Tok::RBracket => f.write_str("']'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Semi => f.write_str("';'"),
+            Tok::Colon => f.write_str("':'"),
+            Tok::Dot => f.write_str("'.'"),
+            Tok::FatArrow => f.write_str("'=>'"),
+            Tok::ThinArrow => f.write_str("'->'"),
+            Tok::Question => f.write_str("'?'"),
+            Tok::Assign => f.write_str("'='"),
+            Tok::PlusAssign => f.write_str("'+='"),
+            Tok::MinusAssign => f.write_str("'-='"),
+            Tok::StarAssign => f.write_str("'*='"),
+            Tok::SlashAssign => f.write_str("'/='"),
+            Tok::EqEq => f.write_str("'=='"),
+            Tok::NotEq => f.write_str("'!='"),
+            Tok::Lt => f.write_str("'<'"),
+            Tok::Le => f.write_str("'<='"),
+            Tok::Gt => f.write_str("'>'"),
+            Tok::Ge => f.write_str("'>='"),
+            Tok::Plus => f.write_str("'+'"),
+            Tok::Minus => f.write_str("'-'"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::Slash => f.write_str("'/'"),
+            Tok::SlashSlash => f.write_str("'//'"),
+            Tok::Percent => f.write_str("'%'"),
+            Tok::StarStar => f.write_str("'**'"),
+            Tok::AmpAmp => f.write_str("'&&'"),
+            Tok::PipePipe => f.write_str("'||'"),
+            Tok::Pipe => f.write_str("'|'"),
+            Tok::Bang => f.write_str("'!'"),
+            Tok::PlusPlus => f.write_str("'++'"),
+            Tok::MinusMinus => f.write_str("'--'"),
+            Tok::Newline => f.write_str("newline"),
+            Tok::Indent => f.write_str("indent"),
+            Tok::Dedent => f.write_str("dedent"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl Token {
+    /// Creates a token at a position.
+    pub fn new(tok: Tok, line: usize, col: usize) -> Self {
+        Token { tok, line, col }
+    }
+}
+
+/// A lexing or parsing error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl SyntaxError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        SyntaxError { message: message.into(), line, col }
+    }
+
+    /// Creates an error at a token.
+    pub fn at(message: impl Into<String>, token: &Token) -> Self {
+        SyntaxError::new(message, token.line, token.col)
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Tok::Ident("x".into()).to_string(), "identifier 'x'");
+        assert_eq!(Tok::FatArrow.to_string(), "'=>'");
+        let err = SyntaxError::new("boom", 3, 7);
+        assert_eq!(err.to_string(), "boom at line 3, column 7");
+    }
+
+    #[test]
+    fn token_carries_position() {
+        let t = Token::new(Tok::Comma, 2, 5);
+        assert_eq!(SyntaxError::at("x", &t).line, 2);
+        assert_eq!(SyntaxError::at("x", &t).col, 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Parsing AskIt types out of a MiniLang token stream.
+//!
+//! Function signatures in generated code carry TypeScript type annotations
+//! (`{x: number, y: number[]}`). [`askit_types::Type::parse`] works on raw
+//! strings; this module provides the equivalent over the parsers' token
+//! cursor so signatures parse in one pass.
+
+use askit_json::Json;
+use askit_types::Type;
+
+use crate::cursor::Cursor;
+use crate::token::{SyntaxError, Tok};
+
+/// Parses a type at the cursor.
+///
+/// Accepts the same grammar as [`askit_types::Type::parse`]: primitives,
+/// literals, `T[]`, `Array<T>`, `{ k: T, … }` objects and `A | B` unions.
+pub fn parse_type(c: &mut Cursor) -> Result<Type, SyntaxError> {
+    union_type(c)
+}
+
+fn union_type(c: &mut Cursor) -> Result<Type, SyntaxError> {
+    let mut variants = vec![postfix_type(c)?];
+    while c.eat(&Tok::Pipe) {
+        variants.push(postfix_type(c)?);
+    }
+    if variants.len() == 1 {
+        Ok(variants.pop().expect("len checked"))
+    } else {
+        Ok(Type::Union(variants))
+    }
+}
+
+fn postfix_type(c: &mut Cursor) -> Result<Type, SyntaxError> {
+    let mut t = primary_type(c)?;
+    while c.peek().tok == Tok::LBracket && c.peek_at(1).tok == Tok::RBracket {
+        c.advance();
+        c.advance();
+        t = Type::List(Box::new(t));
+    }
+    Ok(t)
+}
+
+fn primary_type(c: &mut Cursor) -> Result<Type, SyntaxError> {
+    match c.peek().tok.clone() {
+        Tok::LBrace => object_type(c),
+        Tok::LParen => {
+            c.advance();
+            let t = union_type(c)?;
+            c.expect(&Tok::RParen)?;
+            Ok(t)
+        }
+        Tok::Str(s) => {
+            c.advance();
+            Ok(Type::Literal(Json::Str(s)))
+        }
+        Tok::Num(n) => {
+            c.advance();
+            Ok(Type::Literal(number_literal(n)))
+        }
+        Tok::Minus => {
+            c.advance();
+            match c.peek().tok.clone() {
+                Tok::Num(n) => {
+                    c.advance();
+                    Ok(Type::Literal(number_literal(-n)))
+                }
+                _ => Err(c.error("expected number after '-' in literal type")),
+            }
+        }
+        Tok::Ident(word) => {
+            c.advance();
+            match word.as_str() {
+                "number" | "float" => Ok(Type::Float),
+                "int" => Ok(Type::Int),
+                "string" | "str" => Ok(Type::Str),
+                "boolean" | "bool" => Ok(Type::Bool),
+                "void" | "null" | "undefined" | "None" | "none" => Ok(Type::Void),
+                "any" | "unknown" | "object" | "Date" => Ok(Type::Any),
+                "true" | "True" => Ok(Type::Literal(Json::Bool(true))),
+                "false" | "False" => Ok(Type::Literal(Json::Bool(false))),
+                "Array" | "List" | "list" => {
+                    c.expect(&Tok::Lt)?;
+                    let inner = union_type(c)?;
+                    c.expect(&Tok::Gt)?;
+                    Ok(Type::List(Box::new(inner)))
+                }
+                other => Err(c.error(format!("unknown type name '{other}'"))),
+            }
+        }
+        other => Err(c.error(format!("expected a type, found {other}"))),
+    }
+}
+
+fn object_type(c: &mut Cursor) -> Result<Type, SyntaxError> {
+    c.expect(&Tok::LBrace)?;
+    let mut fields = Vec::new();
+    loop {
+        if c.eat(&Tok::RBrace) {
+            return Ok(Type::Dict(fields));
+        }
+        let name = match c.peek().tok.clone() {
+            Tok::Ident(s) => {
+                c.advance();
+                s
+            }
+            Tok::Str(s) => {
+                c.advance();
+                s
+            }
+            other => return Err(c.error(format!("expected field name, found {other}"))),
+        };
+        c.eat(&Tok::Question); // optional-field marker, tolerated
+        c.expect(&Tok::Colon)?;
+        let ty = union_type(c)?;
+        fields.push((name, ty));
+        if !(c.eat(&Tok::Comma) || c.eat(&Tok::Semi)) {
+            c.expect(&Tok::RBrace)?;
+            return Ok(Type::Dict(fields));
+        }
+    }
+}
+
+fn number_literal(n: f64) -> Json {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        Json::Int(n as i64)
+    } else {
+        Json::Float(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer_ts::lex_ts;
+    use askit_types::{boolean, dict, float, list, literal, string, union};
+
+    fn p(src: &str) -> Type {
+        let mut c = Cursor::new(lex_ts(src).unwrap());
+        let t = parse_type(&mut c).unwrap();
+        assert!(c.at_eof(), "trailing tokens in {src:?}");
+        t
+    }
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(p("number"), float());
+        assert_eq!(p("string[]"), list(string()));
+        assert_eq!(p("Array<boolean>"), list(boolean()));
+        assert_eq!(
+            p("{ x: number, y: string }"),
+            dict([("x", float()), ("y", string())])
+        );
+    }
+
+    #[test]
+    fn literals_and_unions() {
+        assert_eq!(p("'a' | 'b'"), union([literal("a"), literal("b")]));
+        assert_eq!(p("-3"), literal(-3i64));
+        assert_eq!(p("1.5"), literal(1.5f64));
+        assert_eq!(p("('a' | 'b')[]"), list(union([literal("a"), literal("b")])));
+    }
+
+    #[test]
+    fn agrees_with_string_parser() {
+        for src in [
+            "number",
+            "{ title: string, author: string, year: number }[]",
+            "'positive' | 'negative'",
+            "number[][]",
+        ] {
+            assert_eq!(p(src), Type::parse(src).unwrap(), "{src}");
+        }
+    }
+}

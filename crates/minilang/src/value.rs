@@ -1,0 +1,256 @@
+//! Runtime values for the MiniLang interpreter.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use askit_json::{Json, Map};
+
+use crate::ast::Expr;
+
+/// A runtime value.
+///
+/// Arrays and objects are reference values (like JS/Python): assigning one to
+/// another variable aliases it. Numbers are IEEE doubles, like JavaScript.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null` / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A mutable, shared array.
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// A mutable, shared string-keyed object (insertion-ordered).
+    Object(Rc<RefCell<Vec<(String, Value)>>>),
+    /// A lambda with its captured environment.
+    Closure(Rc<Closure>),
+}
+
+/// A lambda value: parameters, body and the captured scope snapshot.
+#[derive(Debug)]
+pub struct Closure {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expression.
+    pub body: Expr,
+    /// Captured variables (a snapshot of the defining scope).
+    pub captured: Vec<(String, Value)>,
+}
+
+impl Value {
+    /// Builds an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Builds an object value.
+    pub fn object(fields: Vec<(String, Value)>) -> Value {
+        Value::Object(Rc::new(RefCell::new(fields)))
+    }
+
+    /// The value's type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+            Value::Closure(_) => "function",
+        }
+    }
+
+    /// Structural equality (`==` in MiniLang). Closures are never equal.
+    pub fn equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let a = a.borrow();
+                let b = b.borrow();
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equals(y))
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let a = a.borrow();
+                let b = b.borrow();
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter().find(|(k2, _)| k2 == k).is_some_and(|(_, w)| v.equals(w))
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Converts from JSON (used to pass test-example inputs into generated
+    /// functions).
+    pub fn from_json(json: &Json) -> Value {
+        match json {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Int(i) => Value::Num(*i as f64),
+            Json::Float(f) => Value::Num(*f),
+            Json::Str(s) => Value::Str(s.clone()),
+            Json::Array(items) => Value::array(items.iter().map(Value::from_json).collect()),
+            Json::Object(map) => Value::object(
+                map.iter().map(|(k, v)| (k.to_owned(), Value::from_json(v))).collect(),
+            ),
+        }
+    }
+
+    /// Converts to JSON (used to compare generated-function output against
+    /// expected test outputs). Integral numbers become [`Json::Int`].
+    ///
+    /// Returns `None` for closures, which have no JSON form.
+    pub fn to_json(&self) -> Option<Json> {
+        match self {
+            Value::Null => Some(Json::Null),
+            Value::Bool(b) => Some(Json::Bool(*b)),
+            Value::Num(f) => {
+                if f.is_finite() && f.fract() == 0.0 && f.abs() < 9.0e15 {
+                    Some(Json::Int(*f as i64))
+                } else {
+                    Some(Json::Float(*f))
+                }
+            }
+            Value::Str(s) => Some(Json::Str(s.clone())),
+            Value::Array(items) => {
+                let items = items.borrow();
+                let mut out = Vec::with_capacity(items.len());
+                for v in items.iter() {
+                    out.push(v.to_json()?);
+                }
+                Some(Json::Array(out))
+            }
+            Value::Object(fields) => {
+                let fields = fields.borrow();
+                let mut map = Map::with_capacity(fields.len());
+                for (k, v) in fields.iter() {
+                    map.insert(k.clone(), v.to_json()?);
+                }
+                Some(Json::Object(map))
+            }
+            Value::Closure(_) => None,
+        }
+    }
+
+    /// The display string (`str(v)` / string concatenation), matching how
+    /// scripting languages stringify: numbers drop a trailing `.0`, strings
+    /// are bare, containers use JSON-ish notation.
+    pub fn display_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Num(f) => format_number(*f),
+            Value::Null => "null".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Closure(_) => "<function>".to_owned(),
+            other => other
+                .to_json()
+                .map(|j| j.to_compact_string())
+                .unwrap_or_else(|| "<function>".to_owned()),
+        }
+    }
+}
+
+/// Formats a MiniLang number the way JS does: integral values print without
+/// a decimal point.
+pub fn format_number(f: f64) -> String {
+    if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e21 {
+        format!("{}", f as i64)
+    } else {
+        format!("{f}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Value::array(vec![Value::Num(1.0), Value::Str("x".into())]);
+        let b = Value::array(vec![Value::Num(1.0), Value::Str("x".into())]);
+        assert!(a.equals(&b));
+        let c = Value::array(vec![Value::Num(2.0)]);
+        assert!(!a.equals(&c));
+        assert!(!Value::Num(1.0).equals(&Value::Str("1".into())));
+    }
+
+    #[test]
+    fn arrays_are_reference_values() {
+        let a = Value::array(vec![Value::Num(1.0)]);
+        let alias = a.clone();
+        if let Value::Array(cells) = &a {
+            cells.borrow_mut().push(Value::Num(2.0));
+        }
+        if let Value::Array(cells) = &alias {
+            assert_eq!(cells.borrow().len(), 2);
+        } else {
+            panic!("expected array");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let j = Json::parse(r#"{"a": [1, 2.5, "s", null, true]}"#).unwrap();
+        let v = Value::from_json(&j);
+        assert_eq!(v.to_json().unwrap(), j);
+    }
+
+    #[test]
+    fn integral_nums_become_ints_in_json() {
+        assert_eq!(Value::Num(4.0).to_json().unwrap(), Json::Int(4));
+        assert_eq!(Value::Num(4.5).to_json().unwrap(), Json::Float(4.5));
+    }
+
+    #[test]
+    fn closures_have_no_json_form() {
+        let c = Value::Closure(Rc::new(Closure {
+            params: vec!["x".into()],
+            body: Expr::var("x"),
+            captured: vec![],
+        }));
+        assert!(c.to_json().is_none());
+        let arr = Value::array(vec![c]);
+        assert!(arr.to_json().is_none());
+    }
+
+    #[test]
+    fn display_strings_match_scripting_conventions() {
+        assert_eq!(Value::Num(4.0).display_string(), "4");
+        assert_eq!(Value::Num(4.5).display_string(), "4.5");
+        assert_eq!(Value::Str("hi".into()).display_string(), "hi");
+        assert_eq!(Value::Bool(true).display_string(), "true");
+        assert_eq!(Value::Null.display_string(), "null");
+        assert_eq!(
+            Value::array(vec![Value::Num(1.0)]).display_string(),
+            "[1]"
+        );
+    }
+
+    #[test]
+    fn object_equality_is_order_insensitive() {
+        let a = Value::object(vec![("x".into(), Value::Num(1.0)), ("y".into(), Value::Num(2.0))]);
+        let b = Value::object(vec![("y".into(), Value::Num(2.0)), ("x".into(), Value::Num(1.0))]);
+        assert!(a.equals(&b));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests: printing an AST in either surface syntax and re-parsing
+//! it yields the same AST, and interpreting generated functions never
+//! panics. This is the invariant the mock LLM relies on — it synthesizes
+//! ASTs and ships them as source text.
+
+use askit_types::{float, Type};
+use minilang::ast::{Block, Expr, FuncDecl, LValue, Param, Program, Stmt, UnOp};
+use minilang::pretty::{print_function, Syntax};
+use minilang::{parse_py, parse_ts, BinOp, Interp};
+use proptest::prelude::*;
+
+const VARS: &[&str] = &["p0", "p1", "p2", "v0", "v1", "acc"];
+
+fn arb_var() -> impl Strategy<Value = String> {
+    prop::sample::select(VARS).prop_map(str::to_owned)
+}
+
+/// Binary operators that round-trip in both syntaxes. `FloorDiv` is
+/// excluded: MiniTS deliberately desugars it to `Math.floor(a / b)` (see the
+/// printer's unit test), which re-parses as that call.
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Pow,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+    ])
+}
+
+/// Method calls that round-trip in both syntaxes (arity-correct).
+fn arb_method(inner: BoxedStrategy<Expr>) -> BoxedStrategy<Expr> {
+    let arg = inner.clone();
+    prop_oneof![
+        (inner.clone(), prop::sample::select(vec!["to_upper", "to_lower", "trim", "pop", "reverse", "sort"]))
+            .prop_map(|(r, m)| Expr::method(r, m, vec![])),
+        (inner.clone(), arg.clone(), prop::sample::select(vec!["includes", "split", "index_of", "push", "starts_with", "ends_with", "join", "count"]))
+            .prop_map(|(r, a, m)| Expr::method(r, m, vec![a])),
+        (inner.clone(), arg.clone())
+            .prop_map(|(r, a)| Expr::method(r, "slice", vec![a])),
+        (inner.clone(), arg.clone(), arg)
+            .prop_map(|(r, a, b)| Expr::method(r, "slice", vec![a, b])),
+        inner.prop_map(|r| Expr::prop(r, "len")),
+    ]
+    .boxed()
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i32..1000).prop_map(|n| Expr::Num(f64::from(n))),
+        (0i32..100).prop_map(|n| Expr::Num(f64::from(n) + 0.5)),
+        any::<bool>().prop_map(Expr::Bool),
+        "[a-z A-Z0-9_,.!?-]{0,10}".prop_map(Expr::Str),
+        arb_var().prop_map(Expr::Var),
+        Just(Expr::Null),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        let boxed = inner.clone().boxed();
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| Expr::Cond(Box::new(c), Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::index(b, i)),
+            arb_method(boxed),
+            (prop::sample::select(vec!["abs", "floor", "sqrt", "to_string", "sum"]), inner)
+                .prop_map(|(f, a)| Expr::call(f, vec![a])),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (arb_var(), arb_expr()).prop_map(|(n, e)| Stmt::Let { name: n, init: e, mutable: true }),
+        (arb_var(), arb_expr(), prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]))
+            .prop_map(|(n, e, op)| Stmt::Assign {
+                target: LValue::Var(n),
+                op: Some(op),
+                value: e
+            }),
+        (arb_expr(), arb_expr(), arb_expr()).prop_map(|(b, i, v)| Stmt::Assign {
+            target: LValue::Index(Box::new(b), Box::new(i)),
+            op: None,
+            value: v
+        }),
+        arb_expr().prop_map(|e| Stmt::Return(Some(e))),
+        arb_expr().prop_map(Stmt::Expr),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let nested_block = prop::collection::vec(arb_stmt(depth - 1), 1..3);
+    prop_oneof![
+        4 => simple,
+        1 => (arb_expr(), nested_block.clone(), prop::collection::vec(arb_stmt(depth - 1), 0..2))
+            .prop_map(|(c, t, e)| Stmt::If { cond: c, then_block: t, else_block: e }),
+        1 => (arb_expr(), nested_block.clone()).prop_map(|(c, b)| Stmt::While { cond: c, body: b }),
+        1 => (arb_expr(), arb_expr(), nested_block.clone()).prop_map(|(s, e, b)| Stmt::ForRange {
+            var: "i".into(),
+            start: s,
+            end: e,
+            inclusive: false,
+            body: b
+        }),
+        1 => (arb_expr(), nested_block).prop_map(|(it, b)| Stmt::ForOf {
+            var: "x".into(),
+            iter: it,
+            body: b
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_func() -> impl Strategy<Value = FuncDecl> {
+    prop::collection::vec(arb_stmt(2), 1..6).prop_map(|body: Block| FuncDecl {
+        name: "generated".into(),
+        params: vec![
+            Param { name: "p0".into(), ty: float() },
+            Param { name: "p1".into(), ty: float() },
+        ],
+        ret: Type::Any,
+        body,
+        exported: true,
+        doc: vec![],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print-as-MiniTS → parse-as-MiniTS is the identity.
+    #[test]
+    fn ts_roundtrip(f in arb_func()) {
+        let text = print_function(&f, Syntax::Ts);
+        let parsed = parse_ts(&text)
+            .unwrap_or_else(|e| panic!("printed TS failed to parse: {e}\n{text}"));
+        prop_assert_eq!(&parsed.functions[0], &f, "\n--- printed ---\n{}", text);
+    }
+
+    /// print-as-MiniPy → parse-as-MiniPy preserves everything but the
+    /// type annotations (MiniPy prints untyped defs).
+    #[test]
+    fn py_roundtrip(f in arb_func()) {
+        let text = print_function(&f, Syntax::Py);
+        let parsed = parse_py(&text)
+            .unwrap_or_else(|e| panic!("printed Py failed to parse: {e}\n{text}"));
+        let g = &parsed.functions[0];
+        prop_assert_eq!(&g.name, &f.name);
+        prop_assert_eq!(
+            g.params.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+            f.params.iter().map(|p| p.name.clone()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(&g.body, &f.body, "\n--- printed ---\n{}", text);
+    }
+
+    /// Both re-parses agree with each other exactly.
+    #[test]
+    fn ts_and_py_agree(f in arb_func()) {
+        let ts = parse_ts(&print_function(&f, Syntax::Ts)).unwrap();
+        let py = parse_py(&print_function(&f, Syntax::Py)).unwrap();
+        prop_assert_eq!(&ts.functions[0].body, &py.functions[0].body);
+    }
+
+    /// The interpreter is total on generated functions: it returns a
+    /// Result, never panics, and always terminates (fuel).
+    #[test]
+    fn interpreter_is_total(f in arb_func(), a in -100i32..100, b in -100i32..100) {
+        let program = Program { functions: vec![f] };
+        let mut args = askit_json::Map::new();
+        args.insert("p0", askit_json::Json::Int(i64::from(a)));
+        args.insert("p1", askit_json::Json::Int(i64::from(b)));
+        let mut interp = Interp::new(&program).with_fuel(200_000);
+        let _ = interp.call_json("generated", &args);
+    }
+
+    /// Running the original AST and the TS-round-tripped AST gives identical
+    /// outcomes.
+    #[test]
+    fn roundtrip_preserves_semantics(f in arb_func(), a in 0i32..50) {
+        let original = Program { functions: vec![f.clone()] };
+        let reparsed = parse_ts(&print_function(&f, Syntax::Ts)).unwrap();
+        let mut args = askit_json::Map::new();
+        args.insert("p0", askit_json::Json::Int(i64::from(a)));
+        args.insert("p1", askit_json::Json::Int(7));
+        let r1 = Interp::new(&original).with_fuel(200_000).call_json("generated", &args);
+        let r2 = Interp::new(&reparsed).with_fuel(200_000).call_json("generated", &args);
+        match (r1, r2) {
+            (Ok(x), Ok(y)) => prop_assert!(x.loosely_equals(&y), "{x} != {y}"),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "diverged: {x:?} vs {y:?}"),
+        }
+    }
+}

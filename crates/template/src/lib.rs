@@ -1,0 +1,416 @@
+//! # askit-template
+//!
+//! Prompt templates with `{{var}}` placeholders (paper §III-B, Listing 1).
+//!
+//! A [`Template`] is the single artifact a developer writes for a task; the
+//! same template drives *both* of AskIt's modes:
+//!
+//! * for **directly answerable tasks**, the runtime renders it as the task
+//!   section of the prompt — placeholders become quoted names and the actual
+//!   arguments are appended in a `where 'x' = value` clause (paper Listing 2,
+//!   lines 11–12): see [`Template::render_task`];
+//! * for **codable tasks**, the compiler renders it as the instruction
+//!   comment in the empty function body (paper Figure 4): see
+//!   [`Template::render_quoted`] — placeholders become quoted parameter
+//!   names, since the generated function receives them as parameters.
+//!
+//! Placeholder names become the *named parameters* of `define`d functions
+//! ("Named parameters are not affected by the appearance order in a template
+//! prompt", §III-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use askit_template::Template;
+//! use askit_json::{json, Map};
+//!
+//! let t = Template::parse("List {{n}} classic books on {{subject}}.")?;
+//! assert_eq!(t.params(), ["n", "subject"]);
+//!
+//! let mut args = Map::new();
+//! args.insert("n", json!(5i64));
+//! args.insert("subject", json!("computer science"));
+//! assert_eq!(
+//!     t.render_task(&args)?,
+//!     "List 'n' classic books on 'subject'.\nwhere 'n' = 5, 'subject' = \"computer science\""
+//! );
+//! # Ok::<(), askit_template::TemplateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use askit_json::{Json, Map};
+
+/// One piece of a parsed template: literal text or a placeholder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal prompt text.
+    Text(String),
+    /// A `{{name}}` placeholder.
+    Var(String),
+}
+
+/// A parsed prompt template.
+///
+/// See the [crate docs](crate) for the role templates play in AskIt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    source: String,
+    segments: Vec<Segment>,
+    params: Vec<String>,
+}
+
+/// An error from [`Template::parse`] or the render methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TemplateError {
+    /// A `{{` with no matching `}}`.
+    UnclosedPlaceholder {
+        /// Byte offset of the `{{`.
+        at: usize,
+    },
+    /// A placeholder whose content is not a valid identifier.
+    InvalidIdentifier {
+        /// The offending placeholder content.
+        name: String,
+    },
+    /// `render_task`/`render_substituted` was not given a required argument.
+    MissingArgument {
+        /// The parameter that had no argument.
+        name: String,
+    },
+    /// An argument was supplied that no placeholder mentions.
+    UnknownArgument {
+        /// The extraneous argument name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnclosedPlaceholder { at } => {
+                write!(f, "unclosed '{{{{' placeholder at byte {at}")
+            }
+            TemplateError::InvalidIdentifier { name } => {
+                write!(f, "placeholder {name:?} is not a valid identifier")
+            }
+            TemplateError::MissingArgument { name } => {
+                write!(f, "missing argument for parameter '{name}'")
+            }
+            TemplateError::UnknownArgument { name } => {
+                write!(f, "argument '{name}' does not appear in the template")
+            }
+        }
+    }
+}
+
+impl Error for TemplateError {}
+
+impl Template {
+    /// Parses a template, extracting `{{name}}` placeholders.
+    ///
+    /// Placeholder names must be identifiers of the host language
+    /// (`[A-Za-z_][A-Za-z0-9_]*`, paper §III-B: "The variable name within
+    /// this placeholder should be a valid identifier"). Stray single braces
+    /// are literal text.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::UnclosedPlaceholder`] for a dangling `{{`,
+    /// [`TemplateError::InvalidIdentifier`] for a malformed name.
+    pub fn parse(source: &str) -> Result<Template, TemplateError> {
+        let mut segments = Vec::new();
+        let mut params: Vec<String> = Vec::new();
+        let mut text = String::new();
+        let mut rest = source;
+        let mut offset = 0;
+        while let Some(open) = rest.find("{{") {
+            text.push_str(&rest[..open]);
+            let after_open = &rest[open + 2..];
+            let Some(close) = after_open.find("}}") else {
+                return Err(TemplateError::UnclosedPlaceholder { at: offset + open });
+            };
+            let raw_name = &after_open[..close];
+            let name = raw_name.trim();
+            if !is_identifier(name) {
+                return Err(TemplateError::InvalidIdentifier { name: raw_name.to_owned() });
+            }
+            if !text.is_empty() {
+                segments.push(Segment::Text(std::mem::take(&mut text)));
+            }
+            segments.push(Segment::Var(name.to_owned()));
+            if !params.iter().any(|p| p == name) {
+                params.push(name.to_owned());
+            }
+            offset += open + 2 + close + 2;
+            rest = &after_open[close + 2..];
+        }
+        text.push_str(rest);
+        if !text.is_empty() {
+            segments.push(Segment::Text(text));
+        }
+        Ok(Template { source: source.to_owned(), segments, params })
+    }
+
+    /// The original template text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed segments, in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Unique parameter names in order of first appearance.
+    pub fn params(&self) -> Vec<&str> {
+        self.params.iter().map(String::as_str).collect()
+    }
+
+    /// Whether the template has any placeholders.
+    pub fn has_params(&self) -> bool {
+        !self.params.is_empty()
+    }
+
+    /// Renders with every `{{x}}` replaced by `'x'` (paper §III-E: "`{{` and
+    /// `}}` in the prompt template are replaced with single quotes").
+    ///
+    /// ```
+    /// use askit_template::Template;
+    /// let t = Template::parse("Reverse the string {{s}}.").unwrap();
+    /// assert_eq!(t.render_quoted(), "Reverse the string 's'.");
+    /// ```
+    pub fn render_quoted(&self) -> String {
+        let mut out = String::with_capacity(self.source.len());
+        for seg in &self.segments {
+            match seg {
+                Segment::Text(t) => out.push_str(t),
+                Segment::Var(v) => {
+                    out.push('\'');
+                    out.push_str(v);
+                    out.push('\'');
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the runtime task section (paper Listing 2, lines 11–12):
+    /// the quoted form followed by a `where` clause binding each parameter
+    /// to its argument, serialized as JSON.
+    ///
+    /// Templates without parameters render as just the text.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::MissingArgument`] if `args` lacks a parameter;
+    /// [`TemplateError::UnknownArgument`] if `args` has a key the template
+    /// never mentions (catching typos at the call site).
+    pub fn render_task(&self, args: &Map) -> Result<String, TemplateError> {
+        self.check_args(args)?;
+        let mut out = self.render_quoted();
+        if !self.params.is_empty() {
+            out.push_str("\nwhere ");
+            for (i, name) in self.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let value = args.get(name).expect("checked by check_args");
+                out.push_str(&format!("'{name}' = {}", value.to_compact_string()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders with arguments substituted inline: `{{x}}` becomes the value
+    /// itself (strings bare, other values as compact JSON). This is the
+    /// "hand-written prompt" style AskIt replaces; the evaluation harness
+    /// uses it to build baseline prompts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Template::render_task`].
+    pub fn render_substituted(&self, args: &Map) -> Result<String, TemplateError> {
+        self.check_args(args)?;
+        let mut out = String::with_capacity(self.source.len());
+        for seg in &self.segments {
+            match seg {
+                Segment::Text(t) => out.push_str(t),
+                Segment::Var(v) => {
+                    let value = args.get(v).expect("checked by check_args");
+                    match value {
+                        Json::Str(s) => out.push_str(s),
+                        other => out.push_str(&other.to_compact_string()),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_args(&self, args: &Map) -> Result<(), TemplateError> {
+        for name in &self.params {
+            if !args.contains_key(name) {
+                return Err(TemplateError::MissingArgument { name: name.clone() });
+            }
+        }
+        for (key, _) in args.iter() {
+            if !self.params.iter().any(|p| p == key) {
+                return Err(TemplateError::UnknownArgument { name: key.to_owned() });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::json;
+
+    fn args(pairs: &[(&str, Json)]) -> Map {
+        pairs.iter().cloned().collect()
+    }
+
+    #[test]
+    fn parse_splits_text_and_vars() {
+        let t = Template::parse("What is the sentiment of {{review}}?").unwrap();
+        assert_eq!(
+            t.segments(),
+            &[
+                Segment::Text("What is the sentiment of ".into()),
+                Segment::Var("review".into()),
+                Segment::Text("?".into()),
+            ]
+        );
+        assert_eq!(t.params(), ["review"]);
+    }
+
+    #[test]
+    fn params_are_unique_in_first_appearance_order() {
+        let t = Template::parse("{{b}} then {{a}} then {{b}} again").unwrap();
+        assert_eq!(t.params(), ["b", "a"]);
+    }
+
+    #[test]
+    fn no_params_is_fine() {
+        let t = Template::parse("What is 7 times 8?").unwrap();
+        assert!(!t.has_params());
+        assert_eq!(t.render_quoted(), "What is 7 times 8?");
+        assert_eq!(t.render_task(&Map::new()).unwrap(), "What is 7 times 8?");
+    }
+
+    #[test]
+    fn whitespace_inside_braces_is_trimmed() {
+        let t = Template::parse("x = {{ x }}").unwrap();
+        assert_eq!(t.params(), ["x"]);
+    }
+
+    #[test]
+    fn stray_single_braces_are_literal() {
+        let t = Template::parse("a { b } c }} d").unwrap();
+        assert_eq!(t.render_quoted(), "a { b } c }} d");
+        assert!(t.params().is_empty());
+    }
+
+    #[test]
+    fn unclosed_placeholder_errors_with_offset() {
+        let err = Template::parse("abc {{x").unwrap_err();
+        assert_eq!(err, TemplateError::UnclosedPlaceholder { at: 4 });
+    }
+
+    #[test]
+    fn invalid_identifiers_are_rejected() {
+        for bad in ["{{1x}}", "{{a b}}", "{{}}", "{{a-b}}", "{{a.b}}"] {
+            assert!(
+                matches!(
+                    Template::parse(bad),
+                    Err(TemplateError::InvalidIdentifier { .. })
+                ),
+                "{bad} should be rejected"
+            );
+        }
+        assert!(Template::parse("{{_ok}}").is_ok());
+        assert!(Template::parse("{{x2}}").is_ok());
+    }
+
+    #[test]
+    fn render_task_matches_listing_2() {
+        let t = Template::parse("List {{n}} classic books on {{subject}}.").unwrap();
+        let a = args(&[("n", json!(5i64)), ("subject", json!("computer science"))]);
+        assert_eq!(
+            t.render_task(&a).unwrap(),
+            "List 'n' classic books on 'subject'.\nwhere 'n' = 5, 'subject' = \"computer science\""
+        );
+    }
+
+    #[test]
+    fn render_task_orders_bindings_by_first_appearance() {
+        let t = Template::parse("{{y}} before {{x}}").unwrap();
+        let a = args(&[("x", json!(1i64)), ("y", json!(2i64))]);
+        assert_eq!(t.render_task(&a).unwrap(), "'y' before 'x'\nwhere 'y' = 2, 'x' = 1");
+    }
+
+    #[test]
+    fn render_substituted_inlines_values() {
+        let t = Template::parse("Determine the sentiment of this review: '{{review}}'.").unwrap();
+        let a = args(&[("review", json!("Great!"))]);
+        assert_eq!(
+            t.render_substituted(&a).unwrap(),
+            "Determine the sentiment of this review: 'Great!'."
+        );
+        let t2 = Template::parse("Sort {{ns}} ascending").unwrap();
+        let a2 = args(&[("ns", json!([3i64, 1i64]))]);
+        assert_eq!(t2.render_substituted(&a2).unwrap(), "Sort [3,1] ascending");
+    }
+
+    #[test]
+    fn missing_and_unknown_arguments_are_errors() {
+        let t = Template::parse("{{x}}").unwrap();
+        assert_eq!(
+            t.render_task(&Map::new()).unwrap_err(),
+            TemplateError::MissingArgument { name: "x".into() }
+        );
+        let a = args(&[("x", json!(1i64)), ("typo", json!(2i64))]);
+        assert_eq!(
+            t.render_task(&a).unwrap_err(),
+            TemplateError::UnknownArgument { name: "typo".into() }
+        );
+    }
+
+    #[test]
+    fn repeated_placeholder_binds_once() {
+        let t = Template::parse("{{s}} and {{s}}").unwrap();
+        let a = args(&[("s", json!("hi"))]);
+        assert_eq!(t.render_task(&a).unwrap(), "'s' and 's'\nwhere 's' = \"hi\"");
+    }
+
+    #[test]
+    fn adjacent_placeholders() {
+        let t = Template::parse("{{a}}{{b}}").unwrap();
+        assert_eq!(t.params(), ["a", "b"]);
+        assert_eq!(t.render_quoted(), "'a''b'");
+    }
+
+    #[test]
+    fn source_is_preserved_verbatim() {
+        let src = "Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}";
+        let t = Template::parse(src).unwrap();
+        assert_eq!(t.source(), src);
+        assert_eq!(t.params(), ["review", "sentiment", "filename"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # askit-types
+//!
+//! The AskIt type language (paper §III, Table I).
+//!
+//! A [`Type`] is simultaneously four things in AskIt:
+//!
+//! 1. **a prompt constraint** — printed in TypeScript syntax into the prompt
+//!    so the model knows the exact JSON shape to answer with
+//!    ([`Type::to_typescript`], paper Listing 2);
+//! 2. **a validator** — model answers are structurally checked against it
+//!    ([`Type::validate`], criterion 3 of the §III-E retry loop);
+//! 3. **a coercer** — accepted answers are normalized (ints arriving as
+//!    `4.0`, union branches, extra object fields) by [`Type::coerce`];
+//! 4. **a signature** — `define`d functions derive their parameter and return
+//!    types from it (paper §III-D).
+//!
+//! The constructor functions ([`int`], [`string`], [`list`], [`dict`],
+//! [`union`], [`literal`], …) mirror the Python AskIt API of Table I, and
+//! [`Type::parse`] reads the TypeScript syntax back — the same trick the
+//! paper's Python implementation uses ("uses TypeScript types to constrain
+//! the LLM's JSON response, even though Python is the host language").
+//!
+//! # Examples
+//!
+//! ```
+//! use askit_types::{dict, int, list, string, Type};
+//!
+//! let book = dict([("title", string()), ("author", string()), ("year", int())]);
+//! let ty = list(book);
+//! assert_eq!(ty.to_typescript(), "{ title: string, author: string, year: number }[]");
+//!
+//! let parsed = Type::parse("{ title: string, author: string, year: number }[]")?;
+//! assert!(parsed.accepts(&ty)); // ints print as `number`, so the parse widens
+//! # Ok::<(), askit_types::ParseTypeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod print;
+pub mod sample;
+pub mod stats;
+mod ty;
+mod validate;
+
+pub use parse::ParseTypeError;
+pub use ty::{any, boolean, dict, float, int, list, literal, string, union, void, Type};
+pub use validate::TypeError;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use askit_json::Json;
+
+    #[test]
+    fn the_four_roles_of_a_type() {
+        let ty = union([literal("positive"), literal("negative")]);
+        // 1. prompt constraint
+        assert_eq!(ty.to_typescript(), "'positive' | 'negative'");
+        // 2. validator
+        assert!(ty.validate(&Json::from("positive")).is_ok());
+        assert!(ty.validate(&Json::from("meh")).is_err());
+        // 3. coercer
+        assert_eq!(ty.coerce(&Json::from("negative")).unwrap(), Json::from("negative"));
+        // 4. signature printing is exercised in askit-core's codegen tests.
+    }
+}

@@ -1,0 +1,385 @@
+//! Parsing TypeScript type syntax back into [`Type`].
+//!
+//! The mock language model uses this to *read the type out of the prompt* —
+//! the same comprehension a GPT-class model exhibits when AskIt shows it a
+//! TypeScript type (paper §III-E: "LLMs can grasp the semantics of types in
+//! programming languages"). It is also handy for writing types concisely in
+//! datasets and tests.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! type    := variant ('|' variant)*
+//! variant := primary ('[' ']')*
+//! primary := 'number' | 'string' | 'boolean' | 'void' | 'any' | 'null'
+//!          | 'int' | 'float' | 'bool' | 'str'          // Python spellings
+//!          | 'true' | 'false' | NUMBER | STRING        // literal types
+//!          | 'Array' '<' type '>'
+//!          | '{' (IDENT ':' type (','|';')?)* '}'
+//!          | '(' type ')'
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use askit_json::Json;
+
+use crate::ty::Type;
+
+/// An error from [`Type::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTypeError {
+    at: usize,
+    detail: String,
+}
+
+impl ParseTypeError {
+    /// Byte offset of the failure in the input.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParseTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.detail, self.at)
+    }
+}
+
+impl Error for ParseTypeError {}
+
+impl Type {
+    /// Parses a type written in TypeScript syntax (see module docs for the
+    /// accepted grammar).
+    ///
+    /// `number` parses as [`Type::Float`]; Python spellings `int` / `float` /
+    /// `bool` / `str` are also accepted so internal artifacts can stay
+    /// precise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTypeError`] with a byte offset on malformed input.
+    ///
+    /// ```
+    /// use askit_types::{dict, float, list, string, Type};
+    /// let t = Type::parse("{ name: string, scores: number[] }")?;
+    /// assert_eq!(t, dict([("name", string()), ("scores", list(float()))]));
+    /// # Ok::<(), askit_types::ParseTypeError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Type, ParseTypeError> {
+        let mut p = TypeParser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let t = p.union_type()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("unexpected trailing input"));
+        }
+        Ok(t)
+    }
+}
+
+struct TypeParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TypeParser<'a> {
+    fn err(&self, detail: impl Into<String>) -> ParseTypeError {
+        ParseTypeError { at: self.pos, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseTypeError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn union_type(&mut self) -> Result<Type, ParseTypeError> {
+        let mut variants = vec![self.postfix_type()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b'|') {
+                self.skip_ws();
+                variants.push(self.postfix_type()?);
+            } else {
+                break;
+            }
+        }
+        if variants.len() == 1 {
+            Ok(variants.pop().expect("len checked"))
+        } else {
+            Ok(Type::Union(variants))
+        }
+    }
+
+    fn postfix_type(&mut self) -> Result<Type, ParseTypeError> {
+        let mut t = self.primary_type()?;
+        loop {
+            self.skip_ws();
+            if self.eat(b'[') {
+                self.skip_ws();
+                self.expect(b']')?;
+                t = Type::List(Box::new(t));
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    fn primary_type(&mut self) -> Result<Type, ParseTypeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object_type(),
+            Some(b'(') => {
+                self.pos += 1;
+                let t = self.union_type()?;
+                self.skip_ws();
+                self.expect(b')')?;
+                Ok(t)
+            }
+            Some(b'\'') | Some(b'"') => self.string_literal().map(|s| Type::Literal(Json::Str(s))),
+            Some(b'-' | b'0'..=b'9') => self.number_literal(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.keyword_type(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of type")),
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn keyword_type(&mut self) -> Result<Type, ParseTypeError> {
+        let start = self.pos;
+        let word = self.ident();
+        match word.as_str() {
+            "number" | "float" => Ok(Type::Float),
+            "int" => Ok(Type::Int),
+            "string" | "str" => Ok(Type::Str),
+            "boolean" | "bool" => Ok(Type::Bool),
+            "void" | "null" | "undefined" | "none" => Ok(Type::Void),
+            "any" | "unknown" | "object" => Ok(Type::Any),
+            "true" => Ok(Type::Literal(Json::Bool(true))),
+            "false" => Ok(Type::Literal(Json::Bool(false))),
+            "Array" => {
+                self.skip_ws();
+                self.expect(b'<')?;
+                let inner = self.union_type()?;
+                self.skip_ws();
+                self.expect(b'>')?;
+                Ok(Type::List(Box::new(inner)))
+            }
+            "Date" => Ok(Type::Any),
+            other => {
+                self.pos = start;
+                Err(self.err(format!("unknown type name '{other}'")))
+            }
+        }
+    }
+
+    fn object_type(&mut self) -> Result<Type, ParseTypeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Type::Dict(fields));
+            }
+            let name = if matches!(self.peek(), Some(b'\'') | Some(b'"')) {
+                self.string_literal()?
+            } else {
+                let n = self.ident();
+                if n.is_empty() {
+                    return Err(self.err("expected field name"));
+                }
+                n
+            };
+            self.skip_ws();
+            // Optional-field marker is tolerated and ignored.
+            self.eat(b'?');
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let ty = self.union_type()?;
+            fields.push((name, ty));
+            self.skip_ws();
+            if !(self.eat(b',') || self.eat(b';')) {
+                self.skip_ws();
+                self.expect(b'}')?;
+                return Ok(Type::Dict(fields));
+            }
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<String, ParseTypeError> {
+        let quote = self.peek().ok_or_else(|| self.err("expected string literal"))?;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'\'' | b'"' | b'\\')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        _ => return Err(self.err("invalid escape in string literal")),
+                    }
+                }
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number_literal(&mut self) -> Result<Type, ParseTypeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+')) {
+            // '+' only valid right after e/E, but a trailing parse check catches abuse.
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let v = Json::parse(text).map_err(|_| self.err("invalid numeric literal"))?;
+        match v {
+            Json::Int(_) | Json::Float(_) => Ok(Type::Literal(v)),
+            _ => Err(self.err("invalid numeric literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::*;
+
+    fn p(s: &str) -> Type {
+        Type::parse(s).unwrap()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(p("number"), float());
+        assert_eq!(p("string"), string());
+        assert_eq!(p("boolean"), boolean());
+        assert_eq!(p("void"), void());
+        assert_eq!(p("any"), any());
+        assert_eq!(p("int"), int());
+        assert_eq!(p("bool"), boolean());
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(p("'yes'"), literal("yes"));
+        assert_eq!(p("\"no\""), literal("no"));
+        assert_eq!(p("123"), literal(123i64));
+        assert_eq!(p("-1.5"), literal(-1.5f64));
+        assert_eq!(p("true"), literal(true));
+        assert_eq!(p("false"), literal(false));
+    }
+
+    #[test]
+    fn arrays_and_generics() {
+        assert_eq!(p("number[]"), list(float()));
+        assert_eq!(p("number[][]"), list(list(float())));
+        assert_eq!(p("Array<string>"), list(string()));
+        assert_eq!(p("Array< Array<boolean> >"), list(list(boolean())));
+    }
+
+    #[test]
+    fn objects_with_both_separators() {
+        let want = dict([("x", float()), ("y", string())]);
+        assert_eq!(p("{ x: number, y: string }"), want);
+        assert_eq!(p("{ x: number; y: string }"), want);
+        assert_eq!(p("{x:number,y:string,}"), want);
+        assert_eq!(p("{}"), dict(Vec::<(String, Type)>::new()));
+    }
+
+    #[test]
+    fn quoted_and_optional_fields() {
+        assert_eq!(p("{ 'k-ey': number }"), dict([("k-ey", float())]));
+        assert_eq!(p("{ x?: number }"), dict([("x", float())]));
+    }
+
+    #[test]
+    fn unions_and_parens() {
+        assert_eq!(p("'a' | 'b'"), union([literal("a"), literal("b")]));
+        assert_eq!(p("('a' | 'b')[]"), list(union([literal("a"), literal("b")])));
+        assert_eq!(
+            p("number | string | boolean"),
+            union([float(), string(), boolean()])
+        );
+    }
+
+    #[test]
+    fn listing_2_type_roundtrip() {
+        let src = "{ reason: string, answer: { title: string, author: string, year: number }[] }";
+        let t = p(src);
+        assert_eq!(t.to_typescript(), src);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(p(r"'it\'s'"), literal("it's"));
+        assert_eq!(p(r#""a\\b""#), literal("a\\b"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Type::parse("{ x: }").unwrap_err();
+        assert!(err.offset() >= 5, "offset was {}", err.offset());
+        assert!(Type::parse("").is_err());
+        assert!(Type::parse("number]").is_err());
+        assert!(Type::parse("wibble").is_err());
+        assert!(Type::parse("{ x number }").is_err());
+        assert!(Type::parse("'unterminated").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Printing [`Type`]s in TypeScript syntax.
+//!
+//! The printed form is what the model sees inside the prompt (paper Listing 2,
+//! lines 5–8), so it must be exactly the TypeScript surface syntax GPT-class
+//! models know: `number`, `string`, `boolean`, `T[]`, `{ k: T, … }`,
+//! `'lit' | 'lit'`.
+
+use crate::ty::Type;
+use askit_json::Json;
+
+impl Type {
+    /// Renders this type in TypeScript syntax.
+    ///
+    /// `Int` and `Float` both print as `number` (TypeScript has no integer
+    /// type); unions parenthesize under `[]` so `('a' | 'b')[]` stays
+    /// unambiguous.
+    ///
+    /// ```
+    /// use askit_types::{int, list, literal, union};
+    /// let t = list(union([literal("a"), literal("b")]));
+    /// assert_eq!(t.to_typescript(), "('a' | 'b')[]");
+    /// assert_eq!(list(int()).to_typescript(), "number[]");
+    /// ```
+    pub fn to_typescript(&self) -> String {
+        let mut out = String::new();
+        write_type(&mut out, self, false);
+        out
+    }
+
+    /// Renders in the Python AskIt constructor syntax (Table I, column 3),
+    /// e.g. `list(dict({ 'x': int }))`. Used for documentation and the
+    /// Table I regeneration test.
+    ///
+    /// ```
+    /// use askit_types::{dict, int};
+    /// assert_eq!(
+    ///     dict([("x", int())]).to_python_api(),
+    ///     "dict({ 'x': int })"
+    /// );
+    /// ```
+    pub fn to_python_api(&self) -> String {
+        match self {
+            Type::Int => "int".into(),
+            Type::Float => "float".into(),
+            Type::Bool => "bool".into(),
+            Type::Str => "str".into(),
+            Type::Void => "none".into(),
+            Type::Any => "any".into(),
+            Type::Literal(v) => format!("literal({})", python_literal(v)),
+            Type::List(t) => format!("list({})", t.to_python_api()),
+            Type::Dict(fields) => {
+                if fields.is_empty() {
+                    return "dict({})".into();
+                }
+                let body = fields
+                    .iter()
+                    .map(|(k, t)| format!("'{k}': {}", t.to_python_api()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("dict({{ {body} }})")
+            }
+            Type::Union(vs) => {
+                let body = vs.iter().map(Type::to_python_api).collect::<Vec<_>>().join(", ");
+                format!("union({body})")
+            }
+        }
+    }
+}
+
+fn python_literal(v: &Json) -> String {
+    match v {
+        Json::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        Json::Bool(true) => "True".into(),
+        Json::Bool(false) => "False".into(),
+        other => other.to_compact_string(),
+    }
+}
+
+fn write_type(out: &mut String, ty: &Type, parenthesize_union: bool) {
+    match ty {
+        Type::Int | Type::Float => out.push_str("number"),
+        Type::Bool => out.push_str("boolean"),
+        Type::Str => out.push_str("string"),
+        Type::Void => out.push_str("void"),
+        Type::Any => out.push_str("any"),
+        Type::Literal(v) => out.push_str(&ts_literal(v)),
+        Type::List(elem) => {
+            write_type(out, elem, true);
+            out.push_str("[]");
+        }
+        Type::Dict(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{ ");
+            for (i, (name, field)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(name);
+                out.push_str(": ");
+                write_type(out, field, false);
+            }
+            out.push_str(" }");
+        }
+        Type::Union(variants) => {
+            let need_parens = parenthesize_union && variants.len() > 1;
+            if need_parens {
+                out.push('(');
+            }
+            for (i, v) in variants.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_type(out, v, false);
+            }
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Renders a literal value in TypeScript literal-type syntax.
+fn ts_literal(v: &Json) -> String {
+    match v {
+        Json::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        other => other.to_compact_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::*;
+
+    #[test]
+    fn primitives_match_table_i() {
+        assert_eq!(int().to_typescript(), "number");
+        assert_eq!(float().to_typescript(), "number");
+        assert_eq!(boolean().to_typescript(), "boolean");
+        assert_eq!(string().to_typescript(), "string");
+        assert_eq!(void().to_typescript(), "void");
+        assert_eq!(any().to_typescript(), "any");
+        assert_eq!(literal(123i64).to_typescript(), "123");
+        assert_eq!(list(int()).to_typescript(), "number[]");
+        assert_eq!(
+            dict([("x", int()), ("y", int())]).to_typescript(),
+            "{ x: number, y: number }"
+        );
+        assert_eq!(
+            union([literal("yes"), literal("no")]).to_typescript(),
+            "'yes' | 'no'"
+        );
+    }
+
+    #[test]
+    fn listing_2_answer_type() {
+        let book = dict([("title", string()), ("author", string()), ("year", int())]);
+        assert_eq!(
+            list(book).to_typescript(),
+            "{ title: string, author: string, year: number }[]"
+        );
+    }
+
+    #[test]
+    fn unions_parenthesize_inside_lists_only() {
+        let u = union([int(), string()]);
+        assert_eq!(u.to_typescript(), "number | string");
+        assert_eq!(list(u.clone()).to_typescript(), "(number | string)[]");
+        assert_eq!(
+            dict([("v", u)]).to_typescript(),
+            "{ v: number | string }"
+        );
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        assert_eq!(literal("it's").to_typescript(), r"'it\'s'");
+        assert_eq!(literal("a\\b").to_typescript(), r"'a\\b'");
+    }
+
+    #[test]
+    fn nested_lists() {
+        assert_eq!(list(list(int())).to_typescript(), "number[][]");
+    }
+
+    #[test]
+    fn empty_dict_prints_braces() {
+        assert_eq!(dict(Vec::<(String, Type)>::new()).to_typescript(), "{}");
+    }
+
+    #[test]
+    fn display_matches_to_typescript() {
+        let t = list(boolean());
+        assert_eq!(format!("{t}"), t.to_typescript());
+    }
+
+    #[test]
+    fn python_api_rendering() {
+        assert_eq!(int().to_python_api(), "int");
+        assert_eq!(list(int()).to_python_api(), "list(int)");
+        assert_eq!(
+            union([literal("yes"), literal("no")]).to_python_api(),
+            "union(literal('yes'), literal('no'))"
+        );
+        assert_eq!(
+            dict([("x", int()), ("y", float())]).to_python_api(),
+            "dict({ 'x': int, 'y': float })"
+        );
+        assert_eq!(literal(true).to_python_api(), "literal(True)");
+    }
+}

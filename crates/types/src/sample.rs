@@ -1,0 +1,157 @@
+//! Random generation of type-conforming JSON values.
+//!
+//! Two callers need this:
+//!
+//! * the **mock language model**, when asked a task it has no knowledge of:
+//!   it answers with an arbitrary value *of the right shape*. This mirrors
+//!   the paper's OpenAI-Evals experiment, where "most benchmarks were
+//!   unsolvable by GPT-3.5 and GPT-4" and the authors "solely ensured that
+//!   [the] prompt yielded an output format congruent with the expected
+//!   response" (§IV-B);
+//! * **property tests**, which assert `ty.validate(&sample(ty)) == Ok(())`.
+
+use askit_json::{Json, Map};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ty::Type;
+
+/// Words used when inventing string values; chosen to look like model output.
+const WORDS: &[&str] = &[
+    "alpha", "beacon", "cipher", "delta", "ember", "flux", "granite", "harbor", "iris",
+    "juncture", "kernel", "lattice", "meadow", "nimbus", "onyx", "prairie", "quartz", "ripple",
+    "summit", "thicket", "umbra", "vertex", "willow", "zephyr",
+];
+
+/// Maximum recursion depth; beyond it, containers come back empty.
+const MAX_DEPTH: usize = 8;
+
+/// Generates a random value conforming to `ty`.
+///
+/// The result always satisfies [`Type::validate`]; see the property tests.
+///
+/// ```
+/// use askit_types::{dict, int, list, sample::sample, string};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ty = list(dict([("name", string()), ("n", int())]));
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let v = sample(&ty, &mut rng);
+/// assert!(ty.validate(&v).is_ok());
+/// ```
+pub fn sample<R: Rng + ?Sized>(ty: &Type, rng: &mut R) -> Json {
+    sample_at(ty, rng, 0)
+}
+
+fn sample_at<R: Rng + ?Sized>(ty: &Type, rng: &mut R, depth: usize) -> Json {
+    match ty {
+        Type::Int => Json::Int(rng.gen_range(-100..1000)),
+        Type::Float => {
+            // One decimal place: looks like a model answer, avoids float noise.
+            Json::Float(f64::from(rng.gen_range(-1000..10000)) / 10.0)
+        }
+        Type::Bool => Json::Bool(rng.gen()),
+        Type::Str => Json::Str(sample_words(rng)),
+        Type::Void => Json::Null,
+        Type::Any => {
+            let choice = if depth >= MAX_DEPTH { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+            let surrogate = match choice {
+                0 => Type::Int,
+                1 => Type::Float,
+                2 => Type::Bool,
+                3 => Type::Str,
+                4 => Type::List(Box::new(Type::Int)),
+                _ => Type::Dict(vec![("value".into(), Type::Str)]),
+            };
+            sample_at(&surrogate, rng, depth + 1)
+        }
+        Type::Literal(v) => v.clone(),
+        Type::List(elem) => {
+            let len = if depth >= MAX_DEPTH { 0 } else { rng.gen_range(0..4) };
+            Json::Array((0..len).map(|_| sample_at(elem, rng, depth + 1)).collect())
+        }
+        Type::Dict(fields) => {
+            let mut map = Map::with_capacity(fields.len());
+            for (name, field_ty) in fields {
+                map.insert(name.clone(), sample_at(field_ty, rng, depth + 1));
+            }
+            Json::Object(map)
+        }
+        Type::Union(variants) => match variants.choose(rng) {
+            Some(v) => sample_at(v, rng, depth + 1),
+            None => Json::Null,
+        },
+    }
+}
+
+fn sample_words<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.gen_range(1..4);
+    (0..n)
+        .map(|_| *WORDS.choose(rng).expect("non-empty word list"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn samples_validate_for_every_primitive() {
+        let mut r = rng();
+        for ty in [int(), float(), boolean(), string(), void(), any()] {
+            for _ in 0..50 {
+                let v = sample(&ty, &mut r);
+                assert!(ty.validate(&v).is_ok(), "{ty}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn literal_samples_are_the_literal() {
+        let mut r = rng();
+        assert_eq!(sample(&literal("fixed"), &mut r), Json::from("fixed"));
+    }
+
+    #[test]
+    fn union_samples_cover_all_variants_eventually() {
+        let ty = union([literal("a"), literal("b"), literal("c")]);
+        let mut r = rng();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            if let Json::Str(s) = sample(&ty, &mut r) {
+                seen.insert(s);
+            }
+        }
+        assert_eq!(seen.len(), 3, "all union branches should be sampled: {seen:?}");
+    }
+
+    #[test]
+    fn deep_types_terminate() {
+        // A pathological self-similar type: list^20(int).
+        let mut ty = int();
+        for _ in 0..20 {
+            ty = list(ty);
+        }
+        let mut r = rng();
+        let v = sample(&ty, &mut r);
+        assert!(ty.validate(&v).is_ok());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let ty = list(dict([("w", string()), ("n", int())]));
+        let a = sample(&ty, &mut StdRng::seed_from_u64(7));
+        let b = sample(&ty, &mut StdRng::seed_from_u64(7));
+        let c = sample(&ty, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+}

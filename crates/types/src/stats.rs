@@ -1,0 +1,204 @@
+//! Type-usage statistics — the machinery behind the paper's Figure 7.
+//!
+//! Figure 7 counts, across the 50 OpenAI-Evals benchmarks, how often each
+//! type constructor appears (a) as the *top-level* answer type and (b)
+//! anywhere in the answer type. The x-axis buckets are: `boolean`, `object`,
+//! `Array`, `literal`, `number`, `string`, `union`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ty::Type;
+
+/// The buckets on Figure 7's x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeTag {
+    /// `boolean`
+    Boolean,
+    /// object types `{ … }`
+    Object,
+    /// array types `T[]`
+    Array,
+    /// literal types `'x'`, `123`, `true`
+    Literal,
+    /// `number` (int or float)
+    Number,
+    /// `string`
+    String,
+    /// union types `A | B`
+    Union,
+    /// `void` / `any` (not shown in the paper's figure; kept for completeness)
+    Other,
+}
+
+impl TypeTag {
+    /// The tag of a type's outermost constructor.
+    pub fn of(ty: &Type) -> TypeTag {
+        match ty {
+            Type::Bool => TypeTag::Boolean,
+            Type::Dict(_) => TypeTag::Object,
+            Type::List(_) => TypeTag::Array,
+            Type::Literal(_) => TypeTag::Literal,
+            Type::Int | Type::Float => TypeTag::Number,
+            Type::Str => TypeTag::String,
+            Type::Union(_) => TypeTag::Union,
+            Type::Void | Type::Any => TypeTag::Other,
+        }
+    }
+
+    /// All tags in the order Figure 7 lists them.
+    pub const ALL: [TypeTag; 8] = [
+        TypeTag::Boolean,
+        TypeTag::Object,
+        TypeTag::Array,
+        TypeTag::Literal,
+        TypeTag::Number,
+        TypeTag::String,
+        TypeTag::Union,
+        TypeTag::Other,
+    ];
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeTag::Boolean => "boolean",
+            TypeTag::Object => "object",
+            TypeTag::Array => "Array",
+            TypeTag::Literal => "literal",
+            TypeTag::Number => "number",
+            TypeTag::String => "string",
+            TypeTag::Union => "union",
+            TypeTag::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters for one population of types (Figure 7 draws two: top-level and
+/// all).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeStats {
+    /// Count of types whose *outermost* constructor is the tag.
+    pub top_level: BTreeMap<TypeTag, usize>,
+    /// Count of *every* constructor occurrence, at any depth.
+    pub all: BTreeMap<TypeTag, usize>,
+}
+
+impl TypeStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one benchmark's answer type.
+    pub fn record(&mut self, ty: &Type) {
+        *self.top_level.entry(TypeTag::of(ty)).or_insert(0) += 1;
+        record_all(&mut self.all, ty);
+    }
+
+    /// Builds statistics over an iterator of types.
+    ///
+    /// ```
+    /// use askit_types::{boolean, list, stats::{TypeStats, TypeTag}, string};
+    /// let stats = TypeStats::collect([string(), list(string()), boolean()].iter());
+    /// assert_eq!(stats.top_level[&TypeTag::String], 1);
+    /// assert_eq!(stats.all[&TypeTag::String], 2);
+    /// ```
+    pub fn collect<'a>(types: impl Iterator<Item = &'a Type>) -> Self {
+        let mut stats = TypeStats::new();
+        for ty in types {
+            stats.record(ty);
+        }
+        stats
+    }
+
+    /// Total number of recorded top-level types.
+    pub fn total_top_level(&self) -> usize {
+        self.top_level.values().sum()
+    }
+
+    /// Count for `tag` in the given population (0 when absent).
+    pub fn count(&self, tag: TypeTag, all: bool) -> usize {
+        let map = if all { &self.all } else { &self.top_level };
+        map.get(&tag).copied().unwrap_or(0)
+    }
+}
+
+fn record_all(map: &mut BTreeMap<TypeTag, usize>, ty: &Type) {
+    *map.entry(TypeTag::of(ty)).or_insert(0) += 1;
+    match ty {
+        Type::List(t) => record_all(map, t),
+        Type::Dict(fields) => {
+            for (_, t) in fields {
+                record_all(map, t);
+            }
+        }
+        Type::Union(vs) => {
+            for v in vs {
+                record_all(map, v);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::*;
+
+    #[test]
+    fn tags_of_every_constructor() {
+        assert_eq!(TypeTag::of(&boolean()), TypeTag::Boolean);
+        assert_eq!(TypeTag::of(&dict([("a", int())])), TypeTag::Object);
+        assert_eq!(TypeTag::of(&list(int())), TypeTag::Array);
+        assert_eq!(TypeTag::of(&literal(1i64)), TypeTag::Literal);
+        assert_eq!(TypeTag::of(&int()), TypeTag::Number);
+        assert_eq!(TypeTag::of(&float()), TypeTag::Number);
+        assert_eq!(TypeTag::of(&string()), TypeTag::String);
+        assert_eq!(TypeTag::of(&union([int(), string()])), TypeTag::Union);
+        assert_eq!(TypeTag::of(&void()), TypeTag::Other);
+    }
+
+    #[test]
+    fn nested_occurrences_are_all_counted() {
+        // ('a' | 'b')[] — 1 array, 1 union, 2 literals.
+        let ty = list(union([literal("a"), literal("b")]));
+        let mut stats = TypeStats::new();
+        stats.record(&ty);
+        assert_eq!(stats.count(TypeTag::Array, false), 1);
+        assert_eq!(stats.count(TypeTag::Array, true), 1);
+        assert_eq!(stats.count(TypeTag::Union, true), 1);
+        assert_eq!(stats.count(TypeTag::Literal, true), 2);
+        assert_eq!(stats.count(TypeTag::Literal, false), 0);
+    }
+
+    #[test]
+    fn dict_fields_count() {
+        let ty = dict([("x", int()), ("y", dict([("z", string())]))]);
+        let stats = TypeStats::collect(std::iter::once(&ty));
+        assert_eq!(stats.count(TypeTag::Object, true), 2);
+        assert_eq!(stats.count(TypeTag::Number, true), 1);
+        assert_eq!(stats.count(TypeTag::String, true), 1);
+        assert_eq!(stats.total_top_level(), 1);
+    }
+
+    #[test]
+    fn paper_figure_shape_invariant() {
+        // The "all types" count is always >= the top-level count per tag.
+        let types = [
+            string(),
+            list(string()),
+            union([literal("y"), literal("n")]),
+            dict([("a", boolean())]),
+        ];
+        let stats = TypeStats::collect(types.iter());
+        for tag in TypeTag::ALL {
+            assert!(
+                stats.count(tag, true) >= stats.count(tag, false),
+                "{tag}: all < top_level"
+            );
+        }
+    }
+}

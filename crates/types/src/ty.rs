@@ -1,0 +1,283 @@
+//! The [`Type`] enum and the Table I constructor API.
+
+use askit_json::Json;
+
+/// A type in the AskIt type language.
+///
+/// The variants correspond to the rows of the paper's Table I plus `void`
+/// (used by `define<void>` tasks such as the CSV-append example in §II) and
+/// `any` (used by Table II task #21, "Convert the JSON object `{{o}}` into a
+/// string").
+///
+/// Construct values with the free functions in this crate ([`int`],
+/// [`string`], [`list`], …) which mirror the Python API, e.g.
+/// `list(dict([("x", int())]))` ↔ `list(dict({'x': int}))`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// An integer (`int` in Python AskIt; prints as `number`).
+    Int,
+    /// A floating-point number (`float`; prints as `number`).
+    Float,
+    /// A boolean (`bool`; prints as `boolean`).
+    Bool,
+    /// A string (`str`; prints as `string`).
+    Str,
+    /// The unit type of side-effecting tasks (prints as `void`).
+    Void,
+    /// Any JSON value at all (prints as `any`).
+    Any,
+    /// A literal type: exactly one scalar value, e.g. `'yes'` or `123`.
+    Literal(Json),
+    /// A homogeneous list, e.g. `number[]`.
+    List(Box<Type>),
+    /// An object with the given fields, e.g. `{ x: number, y: number }`.
+    /// Field order is preserved for printing.
+    Dict(Vec<(String, Type)>),
+    /// A union of alternatives, e.g. `'yes' | 'no'`.
+    Union(Vec<Type>),
+}
+
+/// The `int` type. (Table I: `int` ↔ TypeScript `number`.)
+pub fn int() -> Type {
+    Type::Int
+}
+
+/// The `float` type. (Table I: `float` ↔ TypeScript `number`.)
+pub fn float() -> Type {
+    Type::Float
+}
+
+/// The `bool` type. (Table I: `bool` ↔ TypeScript `boolean`.)
+pub fn boolean() -> Type {
+    Type::Bool
+}
+
+/// The `str` type. (Table I: `str` ↔ TypeScript `string`.)
+pub fn string() -> Type {
+    Type::Str
+}
+
+/// The `void` type for side-effecting tasks (`define<void>(…)`).
+pub fn void() -> Type {
+    Type::Void
+}
+
+/// The `any` type: no constraint on the answer shape.
+pub fn any() -> Type {
+    Type::Any
+}
+
+/// A literal type holding exactly one scalar value.
+///
+/// (Table I: `literal(123)` ↔ TypeScript `123`.)
+///
+/// # Panics
+///
+/// Panics if given an array or object; literal types are scalar by
+/// construction, as in TypeScript.
+///
+/// ```
+/// use askit_types::literal;
+/// assert_eq!(literal("yes").to_typescript(), "'yes'");
+/// assert_eq!(literal(123i64).to_typescript(), "123");
+/// ```
+pub fn literal(value: impl Into<Json>) -> Type {
+    let value = value.into();
+    assert!(
+        !value.is_array() && !value.is_object(),
+        "literal types must be scalar, got {value}"
+    );
+    Type::Literal(value)
+}
+
+/// A list type. (Table I: `list(int)` ↔ TypeScript `number[]`.)
+pub fn list(elem: Type) -> Type {
+    Type::List(Box::new(elem))
+}
+
+/// A dictionary (object) type with named, typed fields.
+///
+/// (Table I: `dict({'x': int, 'y': int})` ↔ `{x: number, y: number}`.)
+///
+/// ```
+/// use askit_types::{dict, int};
+/// let t = dict([("x", int()), ("y", int())]);
+/// assert_eq!(t.to_typescript(), "{ x: number, y: number }");
+/// ```
+pub fn dict<K: Into<String>>(fields: impl IntoIterator<Item = (K, Type)>) -> Type {
+    Type::Dict(fields.into_iter().map(|(k, t)| (k.into(), t)).collect())
+}
+
+/// A union type.
+///
+/// (Table I: `union(literal('yes'), literal('no'))` ↔ `'yes' | 'no'`.)
+/// Nested unions are flattened; a single-variant union collapses to the
+/// variant.
+///
+/// ```
+/// use askit_types::{literal, union};
+/// let t = union([literal("yes"), literal("no")]);
+/// assert_eq!(t.to_typescript(), "'yes' | 'no'");
+/// ```
+pub fn union(variants: impl IntoIterator<Item = Type>) -> Type {
+    let mut flat = Vec::new();
+    for v in variants {
+        match v {
+            Type::Union(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    match flat.len() {
+        1 => flat.pop().expect("len checked"),
+        _ => Type::Union(flat),
+    }
+}
+
+impl Type {
+    /// `true` if the type is one of the scalar primitives (including
+    /// literals), i.e. prints without any bracket structure.
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Type::Int | Type::Float | Type::Bool | Type::Str | Type::Void | Type::Any
+                | Type::Literal(_)
+        )
+    }
+
+    /// Recursively replaces [`Type::Int`] with [`Type::Float`].
+    ///
+    /// TypeScript has a single `number` type, so printing erases the
+    /// int/float distinction; this is the corresponding operation on types.
+    /// `parse(t.to_typescript()) == t.erase_ints()` is a law (see the
+    /// property tests).
+    #[must_use]
+    pub fn erase_ints(&self) -> Type {
+        match self {
+            Type::Int => Type::Float,
+            Type::List(t) => Type::List(Box::new(t.erase_ints())),
+            Type::Dict(fields) => Type::Dict(
+                fields.iter().map(|(k, t)| (k.clone(), t.erase_ints())).collect(),
+            ),
+            Type::Union(vs) => Type::Union(vs.iter().map(Type::erase_ints).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Structural subsumption: does `self` accept every value that `other`
+    /// accepts?
+    ///
+    /// Used in tests and by the mock model when it re-reads the type out of a
+    /// prompt (where ints have widened to `number`).
+    ///
+    /// ```
+    /// use askit_types::{any, float, int, list};
+    /// assert!(float().accepts(&int()));
+    /// assert!(!int().accepts(&float()));
+    /// assert!(any().accepts(&list(int())));
+    /// ```
+    pub fn accepts(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Any, _) => true,
+            (Type::Float, Type::Int | Type::Float) => true,
+            (Type::Int, Type::Int) => true,
+            (Type::Bool, Type::Bool) => true,
+            (Type::Str, Type::Str) => true,
+            (Type::Void, Type::Void) => true,
+            (Type::Str, Type::Literal(Json::Str(_))) => true,
+            (Type::Int, Type::Literal(Json::Int(_))) => true,
+            (Type::Float, Type::Literal(Json::Int(_) | Json::Float(_))) => true,
+            (Type::Bool, Type::Literal(Json::Bool(_))) => true,
+            (Type::Literal(a), Type::Literal(b)) => a.loosely_equals(b),
+            (Type::List(a), Type::List(b)) => a.accepts(b),
+            (Type::Dict(fa), Type::Dict(fb)) => fa.iter().all(|(k, ta)| {
+                fb.iter().any(|(k2, tb)| k == k2 && ta.accepts(tb))
+            }),
+            // Distribute over the right-hand union first so that
+            // union-vs-union checks each right variant against the whole
+            // left union (otherwise `A | B accepts A | B` would fail).
+            (this, Type::Union(vs)) => vs.iter().all(|v| this.accepts(v)),
+            (Type::Union(vs), other) => vs.iter().any(|v| v.accepts(other)),
+            _ => false,
+        }
+    }
+
+    /// Number of type nodes (a `Dict` counts once plus its field types, etc.).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Type::List(t) => 1 + t.node_count(),
+            Type::Dict(fields) => 1 + fields.iter().map(|(_, t)| t.node_count()).sum::<usize>(),
+            Type::Union(vs) => 1 + vs.iter().map(Type::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    /// Formats in TypeScript syntax, identical to [`Type::to_typescript`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_typescript())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_mirror_table_i() {
+        assert_eq!(int(), Type::Int);
+        assert_eq!(float(), Type::Float);
+        assert_eq!(boolean(), Type::Bool);
+        assert_eq!(string(), Type::Str);
+        assert_eq!(list(int()), Type::List(Box::new(Type::Int)));
+        assert_eq!(
+            dict([("x", int())]),
+            Type::Dict(vec![("x".into(), Type::Int)])
+        );
+    }
+
+    #[test]
+    fn union_flattens_and_collapses() {
+        let t = union([literal("a"), union([literal("b"), literal("c")])]);
+        match t {
+            Type::Union(vs) => assert_eq!(vs.len(), 3),
+            other => panic!("expected union, got {other:?}"),
+        }
+        assert_eq!(union([int()]), Type::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "literal types must be scalar")]
+    fn literal_rejects_compounds() {
+        let _ = literal(Json::Array(vec![]));
+    }
+
+    #[test]
+    fn erase_ints_is_deep() {
+        let t = dict([("a", list(int())), ("b", union([int(), string()]))]);
+        let e = t.erase_ints();
+        assert_eq!(
+            e,
+            dict([("a", list(float())), ("b", union([float(), string()]))])
+        );
+    }
+
+    #[test]
+    fn accepts_covers_structure() {
+        let book = dict([("t", string()), ("y", int())]);
+        let loose = dict([("t", string()), ("y", float())]);
+        assert!(loose.accepts(&book));
+        assert!(!book.accepts(&loose));
+        assert!(list(float()).accepts(&list(int())));
+        assert!(string().accepts(&literal("x")));
+        assert!(union([int(), string()]).accepts(&string()));
+        assert!(!union([int(), string()]).accepts(&boolean()));
+    }
+
+    #[test]
+    fn node_count() {
+        let t = dict([("a", list(int())), ("b", string())]);
+        // dict + list + int + string
+        assert_eq!(t.node_count(), 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! Validation and coercion of JSON values against [`Type`]s.
+//!
+//! This is criterion 3 of the AskIt runtime's retry loop (paper §III-E):
+//! *"The `answer` field matches the expected type."* Failures carry the path
+//! to the offending node so the feedback prompt can point at it precisely.
+
+use std::error::Error;
+use std::fmt;
+
+use askit_json::{Json, Map};
+
+use crate::ty::Type;
+
+/// A structural mismatch between a JSON value and a [`Type`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    path: String,
+    expected: String,
+    found: String,
+}
+
+impl TypeError {
+    fn new(path: &str, expected: impl Into<String>, found: &Json) -> Self {
+        let found_repr = match found {
+            Json::Str(s) if s.len() <= 32 => format!("{} {found}", found.kind()),
+            Json::Array(_) | Json::Object(_) => found.kind().to_string(),
+            other => format!("{} {other}", other.kind()),
+        };
+        TypeError { path: path.to_owned(), expected: expected.into(), found: found_repr }
+    }
+
+    /// The path from the root of the value to the mismatch (empty = root),
+    /// e.g. `answer[2].year`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Human-readable description of what the type required.
+    pub fn expected(&self) -> &str {
+        &self.expected
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "expected {}, found {}", self.expected, self.found)
+        } else {
+            write!(f, "at {}: expected {}, found {}", self.path, self.expected, self.found)
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+impl Type {
+    /// Checks that `value` conforms to this type.
+    ///
+    /// Leniencies, chosen to match how AskIt treats model output:
+    /// * integral floats (`4.0`) satisfy `Int`;
+    /// * integers satisfy `Float`;
+    /// * objects may carry *extra* fields beyond those declared in a `Dict`
+    ///   (models love to volunteer information);
+    /// * `null` satisfies `Void`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] locating the first mismatch.
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// use askit_types::{dict, int, list};
+    ///
+    /// let ty = list(dict([("year", int())]));
+    /// let good = Json::parse(r#"[{"year": 1968}]"#).unwrap();
+    /// assert!(ty.validate(&good).is_ok());
+    ///
+    /// let bad = Json::parse(r#"[{"year": "old"}]"#).unwrap();
+    /// let err = ty.validate(&bad).unwrap_err();
+    /// assert_eq!(err.path(), "[0].year");
+    /// ```
+    pub fn validate(&self, value: &Json) -> Result<(), TypeError> {
+        self.validate_at(value, "")
+    }
+
+    fn validate_at(&self, value: &Json, path: &str) -> Result<(), TypeError> {
+        match self {
+            Type::Any => Ok(()),
+            Type::Void => match value {
+                Json::Null => Ok(()),
+                other => Err(TypeError::new(path, "null (void)", other)),
+            },
+            Type::Int => match value.as_i64() {
+                Some(_) => Ok(()),
+                None => Err(TypeError::new(path, "integer", value)),
+            },
+            Type::Float => match value.as_f64() {
+                Some(_) => Ok(()),
+                None => Err(TypeError::new(path, "number", value)),
+            },
+            Type::Bool => match value {
+                Json::Bool(_) => Ok(()),
+                other => Err(TypeError::new(path, "boolean", other)),
+            },
+            Type::Str => match value {
+                Json::Str(_) => Ok(()),
+                other => Err(TypeError::new(path, "string", other)),
+            },
+            Type::Literal(lit) => {
+                if lit.loosely_equals(value) {
+                    Ok(())
+                } else {
+                    Err(TypeError::new(path, format!("literal {lit}"), value))
+                }
+            }
+            Type::List(elem) => match value {
+                Json::Array(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        elem.validate_at(item, &format!("{path}[{i}]"))?;
+                    }
+                    Ok(())
+                }
+                other => Err(TypeError::new(path, "array", other)),
+            },
+            Type::Dict(fields) => match value {
+                Json::Object(map) => {
+                    for (name, field_ty) in fields {
+                        let sub_path = if path.is_empty() {
+                            name.clone()
+                        } else {
+                            format!("{path}.{name}")
+                        };
+                        match map.get(name) {
+                            Some(v) => field_ty.validate_at(v, &sub_path)?,
+                            None => {
+                                return Err(TypeError {
+                                    path: sub_path,
+                                    expected: field_ty.to_typescript(),
+                                    found: "missing field".to_owned(),
+                                })
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(TypeError::new(path, "object", other)),
+            },
+            Type::Union(variants) => {
+                for v in variants {
+                    if v.validate_at(value, path).is_ok() {
+                        return Ok(());
+                    }
+                }
+                Err(TypeError::new(path, self.to_typescript(), value))
+            }
+        }
+    }
+
+    /// Validates and *normalizes* `value` under this type:
+    ///
+    /// * `Float(n.0)` becomes `Int(n)` under `Int`;
+    /// * `Int(n)` becomes `Float(n as f64)` under `Float`;
+    /// * `Dict` coercion drops undeclared fields;
+    /// * `Union` coercion normalizes under the first matching variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`TypeError`]s as [`Type::validate`].
+    ///
+    /// ```
+    /// use askit_json::Json;
+    /// use askit_types::int;
+    /// assert_eq!(int().coerce(&Json::Float(4.0)).unwrap(), Json::Int(4));
+    /// ```
+    pub fn coerce(&self, value: &Json) -> Result<Json, TypeError> {
+        self.validate(value)?;
+        Ok(self.coerce_unchecked(value))
+    }
+
+    fn coerce_unchecked(&self, value: &Json) -> Json {
+        match self {
+            Type::Int => Json::Int(value.as_i64().expect("validated")),
+            Type::Float => Json::Float(value.as_f64().expect("validated")),
+            Type::List(elem) => Json::Array(
+                value
+                    .as_array()
+                    .expect("validated")
+                    .iter()
+                    .map(|v| elem.coerce_unchecked(v))
+                    .collect(),
+            ),
+            Type::Dict(fields) => {
+                let map = value.as_object().expect("validated");
+                let mut out = Map::with_capacity(fields.len());
+                for (name, field_ty) in fields {
+                    let v = map.get(name).expect("validated");
+                    out.insert(name.clone(), field_ty.coerce_unchecked(v));
+                }
+                Json::Object(out)
+            }
+            Type::Union(variants) => {
+                for v in variants {
+                    if v.validate(value).is_ok() {
+                        return v.coerce_unchecked(value);
+                    }
+                }
+                unreachable!("validated union had no matching variant")
+            }
+            _ => value.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::*;
+    use askit_json::Json;
+
+    fn j(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn primitives_validate() {
+        assert!(int().validate(&j("3")).is_ok());
+        assert!(int().validate(&j("3.0")).is_ok());
+        assert!(int().validate(&j("3.5")).is_err());
+        assert!(float().validate(&j("3")).is_ok());
+        assert!(boolean().validate(&j("true")).is_ok());
+        assert!(string().validate(&j("\"s\"")).is_ok());
+        assert!(string().validate(&j("3")).is_err());
+        assert!(void().validate(&Json::Null).is_ok());
+        assert!(void().validate(&j("0")).is_err());
+        assert!(any().validate(&j("[1, {\"a\": null}]")).is_ok());
+    }
+
+    #[test]
+    fn literal_validation_is_loose_on_numbers() {
+        assert!(literal(5i64).validate(&j("5.0")).is_ok());
+        assert!(literal("x").validate(&j("\"x\"")).is_ok());
+        assert!(literal("x").validate(&j("\"y\"")).is_err());
+    }
+
+    #[test]
+    fn lists_report_element_paths() {
+        let err = list(int()).validate(&j("[1, 2, \"x\"]")).unwrap_err();
+        assert_eq!(err.path(), "[2]");
+        assert!(list(int()).validate(&j("{}")).is_err());
+    }
+
+    #[test]
+    fn dicts_report_dotted_paths_and_allow_extras() {
+        let ty = dict([("a", dict([("b", int())]))]);
+        let err = ty.validate(&j(r#"{"a": {"b": "no"}}"#)).unwrap_err();
+        assert_eq!(err.path(), "a.b");
+        assert!(ty.validate(&j(r#"{"a": {"b": 1, "extra": true}, "more": 0}"#)).is_ok());
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let ty = dict([("x", int()), ("y", int())]);
+        let err = ty.validate(&j(r#"{"x": 1}"#)).unwrap_err();
+        assert_eq!(err.path(), "y");
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn union_tries_each_variant() {
+        let ty = union([int(), string()]);
+        assert!(ty.validate(&j("1")).is_ok());
+        assert!(ty.validate(&j("\"s\"")).is_ok());
+        let err = ty.validate(&j("true")).unwrap_err();
+        assert!(err.to_string().contains("number | string"), "{err}");
+    }
+
+    #[test]
+    fn coerce_normalizes_numbers() {
+        assert_eq!(int().coerce(&j("4.0")).unwrap(), Json::Int(4));
+        assert_eq!(float().coerce(&j("4")).unwrap(), Json::Float(4.0));
+    }
+
+    #[test]
+    fn coerce_drops_extra_dict_fields() {
+        let ty = dict([("x", int())]);
+        let out = ty.coerce(&j(r#"{"x": 1.0, "noise": "yes"}"#)).unwrap();
+        assert_eq!(out, j(r#"{"x": 1}"#));
+    }
+
+    #[test]
+    fn coerce_recurses_into_lists_and_unions() {
+        let ty = list(union([int(), string()]));
+        let out = ty.coerce(&j(r#"[1.0, "a"]"#)).unwrap();
+        assert_eq!(out, j(r#"[1, "a"]"#));
+    }
+
+    #[test]
+    fn coerce_fails_where_validate_fails() {
+        assert!(int().coerce(&j("\"4\"")).is_err());
+    }
+
+    #[test]
+    fn deep_paper_shape() {
+        // The Listing 2 shape: { reason: string, answer: Book[] }.
+        let book = dict([("title", string()), ("author", string()), ("year", int())]);
+        let ty = dict([("reason", string()), ("answer", list(book))]);
+        let ok = j(
+            r#"{"reason": "standard texts", "answer": [
+                {"title": "SICP", "author": "Abelson", "year": 1985}
+            ]}"#,
+        );
+        assert!(ty.validate(&ok).is_ok());
+        let bad = j(r#"{"reason": "r", "answer": [{"title": "T", "author": "A", "year": "Y"}]}"#);
+        assert_eq!(ty.validate(&bad).unwrap_err().path(), "answer[0].year");
+    }
+}

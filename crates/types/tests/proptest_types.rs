@@ -1,0 +1,118 @@
+//! Property tests tying together printing, parsing, validation and sampling.
+
+use askit_json::Json;
+use askit_types::{sample::sample, Type};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy over arbitrary AskIt types (field names kept identifier-like so
+/// the TypeScript printer/parser round-trips).
+fn arb_type() -> impl Strategy<Value = Type> {
+    let scalar_literal = prop_oneof![
+        "[a-z]{1,8}".prop_map(Json::Str),
+        (-1000i64..1000).prop_map(Json::Int),
+        any::<bool>().prop_map(Json::Bool),
+    ];
+    let leaf = prop_oneof![
+        Just(Type::Int),
+        Just(Type::Float),
+        Just(Type::Bool),
+        Just(Type::Str),
+        scalar_literal.prop_map(Type::Literal),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Type::List(Box::new(t))),
+            prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner.clone()), 1..4).prop_map(
+                |fields| {
+                    // Deduplicate field names, keeping the first occurrence.
+                    let mut seen = std::collections::BTreeSet::new();
+                    let fields: Vec<_> = fields
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect();
+                    Type::Dict(fields)
+                }
+            ),
+            prop::collection::vec(inner, 2..4).prop_map(Type::Union),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Printing in TypeScript syntax and parsing back loses exactly the
+    /// int/float distinction and nothing else.
+    #[test]
+    fn print_parse_roundtrip_modulo_ints(ty in arb_type()) {
+        let printed = ty.to_typescript();
+        let parsed = Type::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, flatten_unions(&ty.erase_ints()));
+    }
+
+    /// Sampled values always validate against their type.
+    #[test]
+    fn samples_validate(ty in arb_type(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = sample(&ty, &mut rng);
+        prop_assert!(ty.validate(&v).is_ok(), "{} rejected its own sample {}", ty, v);
+    }
+
+    /// Coercion of a sampled value succeeds and the result still validates.
+    #[test]
+    fn coerce_is_stable(ty in arb_type(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = sample(&ty, &mut rng);
+        let coerced = ty.coerce(&v).unwrap();
+        prop_assert!(ty.validate(&coerced).is_ok());
+        // Coercion is idempotent.
+        prop_assert_eq!(ty.coerce(&coerced).unwrap(), coerced);
+    }
+
+    /// `erase_ints` widens: the erased type accepts everything the original
+    /// accepts.
+    #[test]
+    fn erase_ints_widens(ty in arb_type()) {
+        prop_assert!(ty.erase_ints().accepts(&ty));
+    }
+
+    /// `accepts` is reflexive.
+    #[test]
+    fn accepts_reflexive(ty in arb_type()) {
+        prop_assert!(ty.accepts(&ty), "{} does not accept itself", ty);
+    }
+
+    /// The type parser never panics on arbitrary garbage.
+    #[test]
+    fn parser_total(s in "\\PC{0,48}") {
+        let _ = Type::parse(&s);
+    }
+}
+
+/// The printer flattens nested unions implicitly (they print as `A | B | C`);
+/// mirror that on the original type for comparison.
+fn flatten_unions(ty: &Type) -> Type {
+    match ty {
+        Type::List(t) => Type::List(Box::new(flatten_unions(t))),
+        Type::Dict(fields) => Type::Dict(
+            fields.iter().map(|(k, t)| (k.clone(), flatten_unions(t))).collect(),
+        ),
+        Type::Union(vs) => {
+            let mut flat = Vec::new();
+            for v in vs {
+                match flatten_unions(v) {
+                    Type::Union(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("len checked")
+            } else {
+                Type::Union(flat)
+            }
+        }
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's Listing 2 example: `define<Book[]>("List {{n}} classic books
+//! on {{subject}}.")` — structured answers extracted straight into typed
+//! Rust values.
+//!
+//! Run with `cargo run --example books_typed`.
+
+use askit::json::{Json, ToJson};
+use askit::llm::{AnswerOutcome, FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit::{args, json_struct, Askit};
+
+json_struct! {
+    /// A classic book (the paper's `type Book`).
+    pub struct Book {
+        title: String,
+        author: String,
+        year: i64,
+    }
+}
+
+fn main() -> Result<(), askit::AskItError> {
+    // Teach the oracle some bibliography — the mock's "pretraining".
+    let mut oracle = Oracle::standard();
+    oracle.add_answer_fn("books", |task| {
+        if !task.template.contains("classic books") {
+            return None;
+        }
+        let n = task.bindings.get("n")?.as_i64()? as usize;
+        let shelf = [
+            ("Structure and Interpretation of Computer Programs", "Abelson & Sussman", 1985i64),
+            ("The Art of Computer Programming", "Donald Knuth", 1968),
+            ("The C Programming Language", "Kernighan & Ritchie", 1978),
+            ("Introduction to Algorithms", "Cormen et al.", 1990),
+            ("The Mythical Man-Month", "Fred Brooks", 1975),
+        ];
+        let books: Vec<Json> = shelf
+            .iter()
+            .take(n)
+            .map(|(title, author, year)| {
+                Book { title: (*title).into(), author: (*author).into(), year: *year }.to_json()
+            })
+            .collect();
+        Some(AnswerOutcome::new(Json::Array(books), "Recalling the canonical texts."))
+    });
+
+    let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+    let askit = Askit::new(llm);
+
+    // The type parameter `Vec<Book>` prints into the prompt as
+    // `{ title: string, author: string, year: number }[]` — Listing 2 line 7.
+    let get_books = askit.define_as::<Vec<Book>>("List {{n}} classic books on {{subject}}.")?;
+    println!(
+        "prompt answer type: {}\n",
+        <Vec<Book> as askit::AskType>::askit_type().to_typescript()
+    );
+
+    let books: Vec<Book> = get_books.call_as(args! { n: 3, subject: "computer science" })?;
+    for book in &books {
+        println!("{} — {} ({})", book.title, book.author, book.year);
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: the two AskIt modes on one template.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit::{args, example, Askit, Syntax};
+
+fn main() -> Result<(), askit::AskItError> {
+    // 1. Stand up a (simulated) model. The standard oracle knows small
+    //    arithmetic and sentiment; give it one coding skill too, the way
+    //    datasets register their knowledge.
+    let mut oracle = Oracle::standard();
+    oracle.add_code_fn("multiply", |task| {
+        if !task.instruction.contains("times") {
+            return None;
+        }
+        use askit::minilang::build::{func, mul, ret, var};
+        let names: Vec<String> = task.params.iter().map(|p| p.name.clone()).collect();
+        Some(func(
+            "m",
+            [],
+            askit::types::int(),
+            vec![ret(mul(var(names[0].clone()), var(names[1].clone())))],
+        ))
+    });
+    let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+    let askit = Askit::new(llm);
+
+    // 2. A one-shot `ask`, typed by the Rust result type.
+    let product: i64 = askit.ask_as("What is {{x}} times {{y}}?", args! { x: 7, y: 8 })?;
+    println!("7 × 8 = {product}");
+
+    // 3. A reusable `define`d function: call it directly…
+    let multiply = askit
+        .define(askit::types::int(), "What is {{x}} times {{y}}?")?
+        .with_param_types([("x", askit::types::int()), ("y", askit::types::int())])
+        .with_tests([example(&[("x", 3i64), ("y", 4i64)], 12i64)]);
+    let direct = multiply.call(args! { x: 12, y: 12 })?;
+    println!("direct mode:   12 × 12 = {direct}");
+
+    // 4. …then compile the SAME template into generated code and call that.
+    let compiled = multiply.compile(Syntax::Ts)?;
+    let fast = compiled.call(args! { x: 12, y: 12 })?;
+    println!("compiled mode: 12 × 12 = {fast}");
+    println!("\ngenerated source ({} attempt(s)):\n{}", compiled.attempts(), compiled.source());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! The paper's §II motivating example: sentiment analysis of product
+//! reviews with type-guided output control — no hand-written parsing, no
+//! format instructions in the prompt.
+//!
+//! Run with `cargo run --example sentiment_pipeline`.
+
+use askit::llm::{MockLlm, MockLlmConfig, Oracle};
+use askit::{args, json_enum, Askit};
+
+json_enum! {
+    /// The TS version writes `ask<'positive' | 'negative'>`; this enum is
+    /// the Rust spelling of that literal union.
+    pub enum Sentiment {
+        Positive = "positive",
+        Negative = "negative",
+    }
+}
+
+fn main() -> Result<(), askit::AskItError> {
+    // Default fault rates: the model occasionally answers with malformed
+    // JSON and the runtime's retry loop quietly repairs the interaction.
+    let llm = MockLlm::new(MockLlmConfig::gpt4(), Oracle::standard());
+    let askit = Askit::new(llm);
+
+    let get_sentiment = askit.define_as::<Sentiment>("What is the sentiment of {{review}}?")?;
+
+    let reviews = [
+        "The product is fantastic. It exceeds all my expectations.",
+        "Terrible build quality, it broke after two days. Total waste.",
+        "Absolutely love it, best purchase this year!",
+        "Disappointing. The battery is defective and support was useless.",
+    ];
+
+    for review in reviews {
+        let outcome = get_sentiment.call_detailed(args! { review: review })?;
+        let sentiment: Sentiment = askit::json::FromJson::from_json(&outcome.value)?;
+        println!(
+            "[{sentiment:>8}] ({} attempt(s), {:.1}s simulated latency) {review}",
+            outcome.attempts,
+            outcome.latency.as_secs_f64(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # askit
+//!
+//! Facade crate for the AskIt workspace — a Rust reproduction of
+//! *"AskIt: Unified Programming Interface for Programming with Large
+//! Language Models"* (Okuda & Amarasinghe, CGO 2024).
+//!
+//! Everything re-exported here is documented in its home crate:
+//!
+//! * [`core`](askit_core) — the `ask`/`define` DSL (the paper's contribution);
+//! * [`types`](askit_types) — the type language driving prompts + validation;
+//! * [`template`](askit_template) — `{{var}}` prompt templates;
+//! * [`json`](askit_json) — the JSON substrate;
+//! * [`llm`](askit_llm) — the simulated language model;
+//! * [`minilang`] — the language generated code is written in;
+//! * [`datasets`](askit_datasets) — the paper's workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use askit::{args, Askit};
+//! use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+//!
+//! let llm = MockLlm::new(
+//!     MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+//!     Oracle::standard(),
+//! );
+//! let askit = Askit::new(llm);
+//! let n: i64 = askit.ask_as("What is {{x}} times {{y}}?", args! { x: 6, y: 7 })?;
+//! assert_eq!(n, 42);
+//! # Ok::<(), askit::AskItError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use askit_core::{
+    args, example, json_enum, json_struct, AskItError, AskType, Askit, AskitConfig,
+    CompiledFunction, DirectOutcome, Example, FunctionStore, GeneratedFunction, TaskFunction,
+};
+
+/// The JSON substrate.
+pub mod json {
+    pub use askit_json::*;
+}
+
+/// The AskIt type language.
+pub mod types {
+    pub use askit_types::*;
+}
+
+/// Prompt templates.
+pub mod template {
+    pub use askit_template::*;
+}
+
+/// The language-model substrate.
+pub mod llm {
+    pub use askit_llm::*;
+}
+
+/// The paper's workloads.
+pub mod datasets {
+    pub use askit_datasets::*;
+}
+
+pub use minilang;
+pub use minilang::Syntax;

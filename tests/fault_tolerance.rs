@@ -1,0 +1,133 @@
+//! Integration tests of the failure machinery: fault injection at the model
+//! boundary must surface as retries, never as wrong typed answers.
+
+use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit::{args, Askit, AskitConfig};
+
+fn faulty(direct_rate: f64, seed: u64) -> Askit<MockLlm> {
+    let cfg = MockLlmConfig::gpt4().with_seed(seed).with_faults(FaultConfig {
+        direct_fault_rate: direct_rate,
+        code_bug_rate: 0.0,
+        decay: 0.35,
+    });
+    Askit::new(MockLlm::new(cfg, Oracle::standard()))
+}
+
+/// Whatever the fault rate, an accepted answer is always type-correct and
+/// (for the arithmetic oracle) *value*-correct.
+#[test]
+fn accepted_answers_are_always_correct_under_faults() {
+    for &rate in &[0.0, 0.2, 0.5, 0.8] {
+        let askit = faulty(rate, 42);
+        for i in 0..15i64 {
+            let out = askit
+                .ask_detailed(
+                    askit::types::int(),
+                    "What is {{x}} plus {{y}}?",
+                    args! { x: i, y: 100 },
+                )
+                .unwrap_or_else(|e| panic!("rate {rate}, i {i}: {e}"));
+            assert_eq!(out.value, askit::json::Json::Int(i + 100));
+            assert!(out.attempts <= 10);
+        }
+    }
+}
+
+/// Higher fault rates must cost more attempts on average.
+#[test]
+fn attempts_grow_with_fault_rate() {
+    let mean_attempts = |rate: f64| -> f64 {
+        let askit = faulty(rate, 7);
+        let mut total = 0usize;
+        for i in 0..40i64 {
+            total += askit
+                .ask_detailed(
+                    askit::types::int(),
+                    "What is {{x}} times {{y}}?",
+                    args! { x: i, y: 3 },
+                )
+                .unwrap()
+                .attempts;
+        }
+        total as f64 / 40.0
+    };
+    let calm = mean_attempts(0.0);
+    let stormy = mean_attempts(0.8);
+    assert_eq!(calm, 1.0, "no faults, no retries");
+    assert!(stormy > 1.2, "80% fault rate must cost retries, got {stormy}");
+}
+
+/// Aggregate latency grows with each retry — retries are paid for in
+/// (simulated) wall-clock, as Table III's latency column would show.
+#[test]
+fn latency_accumulates_across_retries() {
+    let askit = faulty(1.0, 3); // always fail the first attempt
+    let out = askit
+        .ask_detailed(
+            askit::types::int(),
+            "What is {{x}} minus {{y}}?",
+            args! { x: 9, y: 4 },
+        )
+        .unwrap();
+    assert!(out.attempts >= 2);
+    let single = faulty(0.0, 3)
+        .ask_detailed(
+            askit::types::int(),
+            "What is {{x}} minus {{y}}?",
+            args! { x: 9, y: 4 },
+        )
+        .unwrap();
+    assert!(out.latency > single.latency);
+    assert!(out.usage.total() > single.usage.total());
+}
+
+/// Code-bug injection exercises the semantic check; the accepted function is
+/// still correct on fresh inputs.
+#[test]
+fn code_bugs_never_survive_validation() {
+    let cfg = MockLlmConfig::gpt35().with_seed(11).with_faults(FaultConfig {
+        direct_fault_rate: 0.0,
+        code_bug_rate: 0.6,
+        decay: 1.0,
+    });
+    let mut oracle = Oracle::standard();
+    askit::datasets::top50::register_oracle(&mut oracle);
+    let askit = Askit::new(MockLlm::new(cfg, oracle));
+    let catalogue = askit::datasets::top50::tasks();
+    let fact = &catalogue[1];
+    let task = askit
+        .define(fact.return_type.clone(), fact.template)
+        .unwrap()
+        .with_param_types(fact.param_types.clone())
+        .with_tests(fact.tests.clone());
+    let mut retried = false;
+    for _ in 0..5 {
+        let compiled = task.compile(askit::Syntax::Ts).unwrap();
+        retried |= compiled.attempts() > 1;
+        // Fresh input not among the validation examples.
+        assert_eq!(
+            compiled.call(args! { n: 7 }).unwrap(),
+            askit::json::Json::Int(5040)
+        );
+    }
+    assert!(retried, "a 60% bug rate must cause at least one retry in five compiles");
+}
+
+/// When the budget runs out, the error says what was wrong last.
+#[test]
+fn exhaustion_reports_the_final_criterion() {
+    let llm = askit::llm::ScriptedLlm::new(
+        (0..3).map(|_| "utter nonsense with no json").collect::<Vec<_>>(),
+    );
+    let askit = Askit::new(llm).with_config(AskitConfig::default().with_max_retries(2));
+    let err = askit
+        .ask(askit::types::int(), "Unanswerable {{q}}", args! { q: "?" })
+        .unwrap_err();
+    match err {
+        askit::AskItError::AnswerRetriesExhausted { attempts, last_problem } => {
+            assert_eq!(attempts, 3);
+            assert!(last_problem.contains("JSON"), "{last_problem}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}

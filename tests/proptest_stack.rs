@@ -1,0 +1,109 @@
+//! Cross-crate property tests: the full prompt→mock→extract→validate stack
+//! holds its invariants for arbitrary typed tasks.
+
+use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit::{Askit, AskitConfig};
+use askit_types::Type;
+use proptest::prelude::*;
+
+/// Arbitrary answer types the runtime must be able to constrain and
+/// validate (scalars, lists, objects, literal unions).
+fn arb_answer_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(askit::types::float()),
+        Just(askit::types::boolean()),
+        Just(askit::types::string()),
+        prop::collection::vec("[a-z]{1,6}", 2..4).prop_map(|words| {
+            askit::types::union(words.into_iter().map(askit::types::literal))
+        }),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(askit::types::list),
+            prop::collection::vec(("[a-z][a-z0-9]{0,5}", inner), 1..3).prop_map(|fields| {
+                let mut seen = std::collections::BTreeSet::new();
+                askit::types::dict(
+                    fields.into_iter().filter(|(k, _)| seen.insert(k.clone())),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For ANY answer type and ANY unknown task, the runtime returns a value
+    /// that validates against the requested type — the format-congruence
+    /// property behind the paper's OpenAI-Evals experiment.
+    #[test]
+    fn runtime_always_returns_typed_answers(
+        ty in arb_answer_type(),
+        subject in "[a-z]{3,10}",
+        seed in any::<u64>(),
+    ) {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_seed(seed).with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        );
+        let askit = Askit::new(llm);
+        let template = format!("Describe the {subject} of {{{{thing}}}}.");
+        let value = askit
+            .ask(ty.clone(), &template, askit::args! { thing: "anything" })
+            .expect("fault-free runtime always converges");
+        prop_assert!(ty.validate(&value).is_ok(), "{} rejected {}", ty, value);
+    }
+
+    /// Same property under fault injection: faults cost retries, never
+    /// mistyped results.
+    #[test]
+    fn faults_never_leak_mistyped_answers(
+        ty in arb_answer_type(),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.7,
+    ) {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_seed(seed).with_faults(FaultConfig {
+                direct_fault_rate: rate,
+                code_bug_rate: 0.0,
+                decay: 0.3,
+            }),
+            Oracle::standard(),
+        );
+        let askit = Askit::new(llm).with_config(AskitConfig::default());
+        if let Ok(value) = askit.ask(ty.clone(), "Produce a sample value.", askit::args! {}) {
+            prop_assert!(ty.validate(&value).is_ok(), "{} rejected {}", ty, value);
+        }
+    }
+
+    /// The arithmetic oracle is correct for arbitrary operands through the
+    /// whole stack (prompt rendering, binding parsing, answer extraction).
+    #[test]
+    fn arithmetic_end_to_end(x in -10_000i64..10_000, y in -10_000i64..10_000) {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        );
+        let askit = Askit::new(llm);
+        let sum: i64 = askit
+            .ask_as("What is {{x}} plus {{y}}?", askit::args! { x: x, y: y })
+            .expect("arithmetic oracle");
+        prop_assert_eq!(sum, x + y);
+    }
+
+    /// GSM8K solutions are reusable with fresh parameter values — the
+    /// paper's stated reason for templating the problems.
+    #[test]
+    fn gsm8k_solutions_reparametrize(
+        a in 1i64..50, b in 1i64..10, c in 1i64..12,
+    ) {
+        use askit::datasets::gsm8k;
+        let problems = gsm8k::problems(12, 4);
+        let p = &problems[0]; // shape 1: a + b*c
+        let mut args = askit::json::Map::new();
+        args.insert("a", askit::json::Json::Int(a));
+        args.insert("b", askit::json::Json::Int(b));
+        args.insert("c", askit::json::Json::Int(c));
+        prop_assert_eq!(p.evaluate(&args), Some(askit::json::Json::Int(a + b * c)));
+    }
+}
