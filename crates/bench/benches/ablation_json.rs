@@ -22,7 +22,11 @@ fn response_with(n_books: usize) -> (String, Type) {
         ("reason", string()),
         (
             "answer",
-            list(dict([("title", string()), ("author", string()), ("year", int())])),
+            list(dict([
+                ("title", string()),
+                ("author", string()),
+                ("year", int()),
+            ])),
         ),
     ]);
     (text, ty)

@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(30);
     for &rate in &[0.0f64, 0.15, 0.3, 0.5] {
         let askit = faulty_askit(
-            FaultConfig { direct_fault_rate: rate, code_bug_rate: 0.0, decay: 0.35 },
+            FaultConfig {
+                direct_fault_rate: rate,
+                code_bug_rate: 0.0,
+                decay: 0.35,
+            },
             |_| {},
         );
         group.bench_with_input(

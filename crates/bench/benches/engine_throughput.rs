@@ -1,0 +1,78 @@
+//! Serial vs batched GSM8K throughput through the execution engine,
+//! emitted as JSON (one object on stdout).
+//!
+//! The mock's `wall_clock_scale` turns its token-based latency model into
+//! real (scaled-down) sleeping, reproducing the regime the engine exists
+//! for: model round trips dominated by serving latency, not local compute.
+//! Serial submission pays each round trip back-to-back; the engine's worker
+//! pool overlaps them.
+//!
+//! Run with `cargo bench --bench engine_throughput`.
+
+use std::time::Instant;
+
+use askit_core::{Askit, AskitConfig};
+use askit_datasets::gsm8k;
+use askit_exec::EngineConfig;
+use askit_llm::{MockLlm, MockLlmConfig, Oracle};
+
+/// Scale simulated seconds down so the whole bench sleeps ~a second, not
+/// the paper's 13 s × N problems.
+const WALL_CLOCK_SCALE: f64 = 1.0 / 4096.0;
+
+const PROBLEMS: usize = 48;
+const SEED: u64 = 20240302;
+
+fn stack(threads: usize) -> (Askit<MockLlm>, Vec<gsm8k::Gsm8kProblem>) {
+    let problems = gsm8k::problems(PROBLEMS, SEED);
+    let mut oracle = Oracle::standard();
+    gsm8k::register_oracle(&mut oracle, &problems, SEED);
+    let config = MockLlmConfig::gpt4()
+        .with_seed(SEED)
+        .with_wall_clock_scale(WALL_CLOCK_SCALE);
+    let askit = Askit::new(MockLlm::new(config, oracle))
+        .with_config(AskitConfig::default())
+        .with_engine_config(EngineConfig::default().with_workers(threads));
+    (askit, problems)
+}
+
+/// Answers every problem directly; returns (solved count, wall-clock secs).
+fn run(threads: usize) -> (usize, f64) {
+    let (askit, problems) = stack(threads);
+    let started = Instant::now();
+    let outcomes = askit.engine().map(&problems, |_, problem| {
+        let task = askit.define(askit_types::int(), &problem.template).ok()?;
+        let outcome = task.call_detailed(problem.args.clone()).ok()?;
+        outcome.value.loosely_equals(&problem.answer).then_some(())
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    (outcomes.into_iter().flatten().count(), elapsed)
+}
+
+fn main() {
+    let batch_threads = 8;
+    let (serial_solved, serial_secs) = run(1);
+    let (batched_solved, batched_secs) = run(batch_threads);
+    assert_eq!(
+        serial_solved, batched_solved,
+        "thread count must not change results"
+    );
+    println!(
+        concat!(
+            "{{\"bench\": \"engine_throughput\", \"workload\": \"gsm8k-direct\", ",
+            "\"problems\": {}, \"solved\": {}, \"wall_clock_scale\": {}, ",
+            "\"serial\": {{\"threads\": 1, \"seconds\": {:.4}, \"problems_per_sec\": {:.2}}}, ",
+            "\"batched\": {{\"threads\": {}, \"seconds\": {:.4}, \"problems_per_sec\": {:.2}}}, ",
+            "\"speedup\": {:.2}}}"
+        ),
+        PROBLEMS,
+        serial_solved,
+        WALL_CLOCK_SCALE,
+        serial_secs,
+        PROBLEMS as f64 / serial_secs.max(1e-9),
+        batch_threads,
+        batched_secs,
+        PROBLEMS as f64 / batched_secs.max(1e-9),
+        serial_secs / batched_secs.max(1e-9),
+    );
+}

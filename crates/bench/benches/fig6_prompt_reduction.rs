@@ -27,12 +27,22 @@ fn bench(c: &mut Criterion) {
 
     // The measurement itself: reductions over the catalogue.
     group.bench_function("reductions_x50", |b| {
-        b.iter(|| benchmarks.iter().map(evals::EvalBenchmark::reduction).sum::<usize>());
+        b.iter(|| {
+            benchmarks
+                .iter()
+                .map(evals::EvalBenchmark::reduction)
+                .sum::<usize>()
+        });
     });
 
     // Baseline: assembling the hand-written prompt by string concatenation.
     group.bench_function("manual_prompt_x50", |b| {
-        b.iter(|| benchmarks.iter().map(|bm| bm.original_prompt().len()).sum::<usize>());
+        b.iter(|| {
+            benchmarks
+                .iter()
+                .map(|bm| bm.original_prompt().len())
+                .sum::<usize>()
+        });
     });
 
     group.finish();

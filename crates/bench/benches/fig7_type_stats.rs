@@ -16,7 +16,13 @@ fn bench(c: &mut Criterion) {
 
     let printed: Vec<String> = types.iter().map(Type::to_typescript).collect();
     group.bench_function("print_x50", |b| {
-        b.iter(|| types.iter().map(Type::to_typescript).map(|s| s.len()).sum::<usize>());
+        b.iter(|| {
+            types
+                .iter()
+                .map(Type::to_typescript)
+                .map(|s| s.len())
+                .sum::<usize>()
+        });
     });
 
     group.bench_function("parse_x50", |b| {

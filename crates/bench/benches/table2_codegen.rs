@@ -27,7 +27,9 @@ fn bench(c: &mut Criterion) {
                             .unwrap()
                             .with_param_types(task.param_types.clone())
                             .with_tests(task.tests.clone());
-                        defined.compile(syntax).expect("fault-free compile succeeds")
+                        defined
+                            .compile(syntax)
+                            .expect("fault-free compile succeeds")
                     });
                 },
             );

@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
     let task = askit
         .define(askit_types::int(), &problem.template)
         .unwrap()
-        .with_tests([Example { input: problem.args.clone(), output: problem.answer.clone() }]);
+        .with_tests([Example {
+            input: problem.args.clone(),
+            output: problem.answer.clone(),
+        }]);
 
     let mut group = c.benchmark_group("table3_gsm8k");
     group.sample_size(20);

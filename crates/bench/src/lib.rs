@@ -14,7 +14,10 @@ use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
 pub fn quiet_askit(register: impl FnOnce(&mut Oracle)) -> Askit<MockLlm> {
     let mut oracle = Oracle::standard();
     register(&mut oracle);
-    let llm = MockLlm::new(MockLlmConfig::gpt35().with_faults(FaultConfig::none()), oracle);
+    let llm = MockLlm::new(
+        MockLlmConfig::gpt35().with_faults(FaultConfig::none()),
+        oracle,
+    );
     Askit::new(llm).with_config(AskitConfig::default())
 }
 

@@ -73,12 +73,14 @@ pub fn generate<L: LanguageModel>(
 
     for attempt in 1..=config.max_retries + 1 {
         // The prompt is identical across retries; temperature-1.0 sampling
-        // makes each response unique (paper §III-D Step 2).
+        // makes each response unique (paper §III-D Step 2). The attempt
+        // ordinal rides along as the sample tag so caching layers never
+        // replay a rejected response into its own retry.
         let request = CompletionRequest {
             messages: vec![askit_llm::ChatMessage::user(prompt.clone())],
             temperature: config.temperature,
         };
-        let completion = llm.complete(&request)?;
+        let completion = llm.complete_tagged(&request, (attempt - 1) as u64)?;
         usage.prompt_tokens += completion.usage.prompt_tokens;
         usage.completion_tokens += completion.usage.completion_tokens;
         compile_time += completion.latency;
@@ -104,7 +106,10 @@ pub fn generate<L: LanguageModel>(
             Err(problem) => last_problem = problem,
         }
     }
-    Err(AskItError::CodegenFailed { attempts: config.max_retries + 1, last_problem })
+    Err(AskItError::CodegenFailed {
+        attempts: config.max_retries + 1,
+        last_problem,
+    })
 }
 
 /// Step 3: extract, parse, statically check, and example-test one reply.
@@ -167,7 +172,10 @@ mod tests {
     fn factorial_spec(syntax: Syntax) -> FunctionSpec {
         FunctionSpec {
             name: "calculateFactorial".into(),
-            params: vec![Param { name: "n".into(), ty: askit_types::int() }],
+            params: vec![Param {
+                name: "n".into(),
+                ty: askit_types::int(),
+            }],
             ret: askit_types::int(),
             instruction: "Calculate the factorial of 'n'".into(),
             syntax,
@@ -181,9 +189,17 @@ mod tests {
     #[test]
     fn accepts_a_correct_reply_first_try() {
         let llm = ScriptedLlm::new([good_ts_reply()]);
-        let tests = vec![example(&[("n", 5i64)], 120i64), example(&[("n", 0i64)], 1i64)];
-        let g = generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
-            .unwrap();
+        let tests = vec![
+            example(&[("n", 5i64)], 120i64),
+            example(&[("n", 0i64)], 1i64),
+        ];
+        let g = generate(
+            &llm,
+            &factorial_spec(Syntax::Ts),
+            &tests,
+            &AskitConfig::default(),
+        )
+        .unwrap();
         assert_eq!(g.attempts, 1);
         assert_eq!(g.loc, 7);
         let mut args = Map::new();
@@ -205,8 +221,13 @@ mod tests {
             good_ts_reply().to_owned(),
         ]);
         let tests = vec![example(&[("n", 5i64)], 120i64)];
-        let g = generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
-            .unwrap();
+        let g = generate(
+            &llm,
+            &factorial_spec(Syntax::Ts),
+            &tests,
+            &AskitConfig::default(),
+        )
+        .unwrap();
         assert_eq!(g.attempts, 5);
         assert_eq!(llm.served(), 5);
     }
@@ -230,10 +251,18 @@ mod tests {
     fn exhaustion_reports_last_problem() {
         let responses: Vec<String> = (0..10).map(|_| "no code, sorry".to_owned()).collect();
         let llm = ScriptedLlm::new(responses);
-        let err = generate(&llm, &factorial_spec(Syntax::Ts), &[], &AskitConfig::default())
-            .unwrap_err();
+        let err = generate(
+            &llm,
+            &factorial_spec(Syntax::Ts),
+            &[],
+            &AskitConfig::default(),
+        )
+        .unwrap_err();
         match err {
-            AskItError::CodegenFailed { attempts, last_problem } => {
+            AskItError::CodegenFailed {
+                attempts,
+                last_problem,
+            } => {
                 assert_eq!(attempts, 10);
                 assert!(last_problem.contains("no fenced code block"));
             }
@@ -249,18 +278,23 @@ mod tests {
                 return None;
             }
             use minilang::build::*;
-            let n = task.params.first().map(|p| p.name.clone()).unwrap_or_else(|| "n".into());
+            let n = task
+                .params
+                .first()
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|| "n".into());
             Some(func(
                 "f",
                 [],
                 askit_types::int(),
                 vec![
                     let_("acc", num(1.0)),
-                    for_range_incl("i", num(2.0), var(n), vec![assign_op(
-                        "acc",
-                        minilang::BinOp::Mul,
-                        var("i"),
-                    )]),
+                    for_range_incl(
+                        "i",
+                        num(2.0),
+                        var(n),
+                        vec![assign_op("acc", minilang::BinOp::Mul, var("i"))],
+                    ),
                     ret(var("acc")),
                 ],
             ))
@@ -270,9 +304,18 @@ mod tests {
             oracle,
         );
         let tests = vec![example(&[("n", 4i64)], 24i64)];
-        let g = generate(&llm, &factorial_spec(Syntax::Py), &tests, &AskitConfig::default())
-            .unwrap();
-        assert!(g.source.starts_with("def calculateFactorial(n):"), "{}", g.source);
+        let g = generate(
+            &llm,
+            &factorial_spec(Syntax::Py),
+            &tests,
+            &AskitConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            g.source.starts_with("def calculateFactorial(n):"),
+            "{}",
+            g.source
+        );
         let mut args = Map::new();
         args.insert("n", json!(5i64));
         assert_eq!(g.call(&args).unwrap(), Json::Int(120));
@@ -293,11 +336,12 @@ mod tests {
                 askit_types::int(),
                 vec![
                     let_("acc", num(1.0)),
-                    for_range_incl("i", num(2.0), var("n"), vec![assign_op(
-                        "acc",
-                        minilang::BinOp::Mul,
-                        var("i"),
-                    )]),
+                    for_range_incl(
+                        "i",
+                        num(2.0),
+                        var("n"),
+                        vec![assign_op("acc", minilang::BinOp::Mul, var("i"))],
+                    ),
                     ret(var("acc")),
                 ],
             ))
@@ -313,17 +357,27 @@ mod tests {
                 decay: 1.0,
             });
         let llm = askit_llm::MockLlm::new(cfg, oracle);
-        let tests = vec![example(&[("n", 5i64)], 120i64), example(&[("n", 3i64)], 6i64)];
+        let tests = vec![
+            example(&[("n", 5i64)], 120i64),
+            example(&[("n", 3i64)], 6i64),
+        ];
         let mut any_retry = false;
         for _ in 0..6 {
-            let g =
-                generate(&llm, &factorial_spec(Syntax::Ts), &tests, &AskitConfig::default())
-                    .unwrap();
+            let g = generate(
+                &llm,
+                &factorial_spec(Syntax::Ts),
+                &tests,
+                &AskitConfig::default(),
+            )
+            .unwrap();
             any_retry |= g.attempts > 1;
             let mut args = Map::new();
             args.insert("n", json!(5i64));
             assert_eq!(g.call(&args).unwrap(), Json::Int(120));
         }
-        assert!(any_retry, "70% bug rate must force at least one retry in six runs");
+        assert!(
+            any_retry,
+            "70% bug rate must force at least one retry in six runs"
+        );
     }
 }

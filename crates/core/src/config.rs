@@ -14,7 +14,10 @@ pub struct AskitConfig {
 
 impl Default for AskitConfig {
     fn default() -> Self {
-        AskitConfig { max_retries: 9, temperature: 1.0 }
+        AskitConfig {
+            max_retries: 9,
+            temperature: 1.0,
+        }
     }
 }
 
@@ -47,7 +50,9 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = AskitConfig::default().with_max_retries(2).with_temperature(0.0);
+        let c = AskitConfig::default()
+            .with_max_retries(2)
+            .with_temperature(0.0);
         assert_eq!(c.max_retries, 2);
         assert_eq!(c.temperature, 0.0);
     }

@@ -51,12 +51,21 @@ impl fmt::Display for AskItError {
         match self {
             AskItError::Template(e) => write!(f, "template error: {e}"),
             AskItError::Llm(e) => write!(f, "language model error: {e}"),
-            AskItError::AnswerRetriesExhausted { attempts, last_problem } => write!(
+            AskItError::AnswerRetriesExhausted {
+                attempts,
+                last_problem,
+            } => write!(
                 f,
                 "no acceptable answer after {attempts} attempt(s): {last_problem}"
             ),
-            AskItError::CodegenFailed { attempts, last_problem } => {
-                write!(f, "code generation failed after {attempts} attempt(s): {last_problem}")
+            AskItError::CodegenFailed {
+                attempts,
+                last_problem,
+            } => {
+                write!(
+                    f,
+                    "code generation failed after {attempts} attempt(s): {last_problem}"
+                )
             }
             AskItError::Extraction(e) => write!(f, "typed extraction failed: {e}"),
             AskItError::Type(e) => write!(f, "type error: {e}"),

@@ -19,7 +19,10 @@ pub struct Example {
 impl Example {
     /// Creates an example.
     pub fn new(input: Map, output: impl ToJson) -> Self {
-        Example { input, output: output.to_json() }
+        Example {
+            input,
+            output: output.to_json(),
+        }
     }
 
     /// Renders as a prompt line: `- input: {…} output: …`.
@@ -48,7 +51,10 @@ pub fn examples_section(examples: &[Example]) -> String {
 
 /// Builds an [`Example`] tersely: `example(&[("n", 5)], 120)`.
 pub fn example<V: ToJson>(input: &[(&str, V)], output: impl ToJson) -> Example {
-    let map: Map = input.iter().map(|(k, v)| ((*k).to_owned(), v.to_json())).collect();
+    let map: Map = input
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+        .collect();
     Example::new(map, output)
 }
 
@@ -73,7 +79,10 @@ mod tests {
 
     #[test]
     fn heterogeneous_inputs_via_json() {
-        let e = example(&[("a", Json::Int(1)), ("b", Json::from("s"))], Json::Bool(true));
+        let e = example(
+            &[("a", Json::Int(1)), ("b", Json::from("s"))],
+            Json::Bool(true),
+        );
         assert_eq!(e.input.get("b"), Some(&Json::from("s")));
     }
 }

@@ -5,6 +5,7 @@
 //! on a defined function to switch it from "call the LLM every time" to
 //! "run LLM-generated code", *without touching the prompt template*.
 
+use askit_exec::{CacheStats, Engine, EngineConfig};
 use askit_json::{Json, Map};
 use askit_llm::LanguageModel;
 use askit_template::Template;
@@ -21,7 +22,11 @@ use crate::runtime::{run_direct, DirectOutcome};
 use crate::store::FunctionStore;
 use crate::typed::AskType;
 
-/// The AskIt front object: owns the model handle and configuration.
+/// The AskIt front object: owns the execution engine (which owns the model
+/// handle) and the runtime configuration.
+///
+/// Every model submission — direct calls, codegen, batches — flows through
+/// the [`Engine`], gaining its completion cache and worker pool.
 ///
 /// # Examples
 ///
@@ -37,14 +42,17 @@ use crate::typed::AskType;
 /// ```
 #[derive(Debug)]
 pub struct Askit<L> {
-    llm: L,
+    engine: Engine<L>,
     config: AskitConfig,
 }
 
 impl<L: LanguageModel> Askit<L> {
     /// Creates an AskIt instance with default configuration.
     pub fn new(llm: L) -> Self {
-        Askit { llm, config: AskitConfig::default() }
+        Askit {
+            engine: Engine::new(llm),
+            config: AskitConfig::default(),
+        }
     }
 
     /// Overrides the configuration.
@@ -54,14 +62,42 @@ impl<L: LanguageModel> Askit<L> {
         self
     }
 
+    /// Rebuilds the execution engine with an explicit configuration.
+    #[must_use]
+    pub fn with_engine_config(self, engine_config: EngineConfig) -> Self {
+        let Askit { engine, config } = self;
+        Askit {
+            engine: Engine::with_config(engine.into_model(), engine_config),
+            config,
+        }
+    }
+
+    /// Convenience: rebuilds the engine with an explicit worker count
+    /// (`0` = auto), preserving its other settings.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        let config = self.engine.config().clone().with_workers(threads);
+        self.with_engine_config(config)
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &AskitConfig {
         &self.config
     }
 
+    /// The execution engine all submissions flow through.
+    pub fn engine(&self) -> &Engine<L> {
+        &self.engine
+    }
+
+    /// Completion-cache counters for this instance.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
     /// The underlying model handle.
     pub fn llm(&self) -> &L {
-        &self.llm
+        self.engine.model()
     }
 
     /// `ask`: performs a directly answerable task once (paper §III-A).
@@ -72,12 +108,7 @@ impl<L: LanguageModel> Askit<L> {
     /// # Errors
     ///
     /// See [`AskItError`].
-    pub fn ask(
-        &self,
-        answer_type: Type,
-        template: &str,
-        args: Map,
-    ) -> Result<Json, AskItError> {
+    pub fn ask(&self, answer_type: Type, template: &str, args: Map) -> Result<Json, AskItError> {
         self.define(answer_type, template)?.call(args)
     }
 
@@ -220,13 +251,22 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
     /// Like [`TaskFunction::call`] but returns attempts/usage/latency too.
     pub fn call_detailed(&self, args: Map) -> Result<DirectOutcome, AskItError> {
         run_direct(
-            &self.askit.llm,
+            self.askit.engine(),
             &self.template,
             &args,
             &self.answer_type,
             &self.few_shot,
             &self.askit.config,
         )
+    }
+
+    /// Calls the task directly for every argument binding, fanned out across
+    /// the engine's worker pool. Results come back in argument order; each
+    /// binding runs its own full §III-E retry conversation.
+    pub fn call_batch(&self, args_list: &[Map]) -> Vec<Result<DirectOutcome, AskItError>> {
+        self.askit
+            .engine()
+            .map(args_list, |_, args| self.call_detailed(args.clone()))
     }
 
     /// Calls directly and extracts a typed result.
@@ -269,8 +309,11 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
     /// [`AskItError::CodegenFailed`] when no attempt validates.
     pub fn compile(&self, syntax: Syntax) -> Result<CompiledFunction, AskItError> {
         let spec = self.spec(syntax);
-        let generated = generate(&self.askit.llm, &spec, &self.tests, &self.askit.config)?;
-        Ok(CompiledFunction { generated, answer_type: self.answer_type.clone() })
+        let generated = generate(self.askit.engine(), &spec, &self.tests, &self.askit.config)?;
+        Ok(CompiledFunction {
+            generated,
+            answer_type: self.answer_type.clone(),
+        })
     }
 
     /// Like [`TaskFunction::compile`], but consults/fills an on-disk cache
@@ -285,7 +328,10 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
         store: &FunctionStore,
     ) -> Result<CompiledFunction, AskItError> {
         if let Some(cached) = store.load(self.template.source(), &self.name, syntax)? {
-            return Ok(CompiledFunction { generated: cached, answer_type: self.answer_type.clone() });
+            return Ok(CompiledFunction {
+                generated: cached,
+                answer_type: self.answer_type.clone(),
+            });
         }
         let compiled = self.compile(syntax)?;
         store.save(self.template.source(), &compiled.generated)?;
@@ -372,18 +418,25 @@ macro_rules! args {
 mod tests {
     use super::*;
     use crate::examples::example;
-    use crate::{args, json_enum};
+    use crate::json_enum;
     use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle, ScriptedLlm};
 
     fn quiet_mock() -> MockLlm {
-        MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), Oracle::standard())
+        MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        )
     }
 
     #[test]
     fn ask_and_ask_as() {
         let askit = Askit::new(quiet_mock());
         let v = askit
-            .ask(askit_types::int(), "What is {{x}} plus {{y}}?", args! { x: 40, y: 2 })
+            .ask(
+                askit_types::int(),
+                "What is {{x}} plus {{y}}?",
+                args! { x: 40, y: 2 },
+            )
             .unwrap();
         assert_eq!(v, Json::Int(42));
         let typed: i64 = askit
@@ -441,7 +494,10 @@ mod tests {
                 vec![ret(mul(var(names[0].clone()), var(names[1].clone())))],
             ))
         });
-        let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            oracle,
+        );
         let askit = Askit::new(llm);
         let template = "What is {{x}} times {{y}}?";
         let task = askit
@@ -468,10 +524,18 @@ mod tests {
             task.instruction.contains("one more than").then(|| {
                 use minilang::build::*;
                 let n = task.params[0].name.clone();
-                func("i", [], askit_types::int(), vec![ret(add(var(n), num(1.0)))])
+                func(
+                    "i",
+                    [],
+                    askit_types::int(),
+                    vec![ret(add(var(n), num(1.0)))],
+                )
             })
         });
-        let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            oracle,
+        );
         let askit = Askit::new(llm);
         let dir = std::env::temp_dir().join(format!("askit-fn-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -493,7 +557,9 @@ mod tests {
     #[test]
     fn untyped_params_flow_to_spec_as_any() {
         let askit = Askit::new(quiet_mock());
-        let task = askit.define(askit_types::int(), "Combine {{a}} and {{b}}").unwrap();
+        let task = askit
+            .define(askit_types::int(), "Combine {{a}} and {{b}}")
+            .unwrap();
         let spec = task.spec(Syntax::Py);
         assert!(spec.params.iter().all(|p| p.ty == askit_types::any()));
         let typed = askit
@@ -502,7 +568,11 @@ mod tests {
             .with_param_types([("a", askit_types::int())]);
         let spec = typed.spec(Syntax::Ts);
         assert_eq!(spec.params[0].ty, askit_types::int());
-        assert_eq!(spec.params[1].ty, askit_types::any(), "undeclared param stays any");
+        assert_eq!(
+            spec.params[1].ty,
+            askit_types::any(),
+            "undeclared param stays any"
+        );
     }
 
     #[test]

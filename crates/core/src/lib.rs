@@ -74,7 +74,11 @@ mod lib_tests {
         );
         let askit = Askit::new(llm).with_config(AskitConfig::default().with_max_retries(3));
         let v = askit
-            .ask(askit_types::int(), "What is {{a}} minus {{b}}?", args! { a: 10, b: 4 })
+            .ask(
+                askit_types::int(),
+                "What is {{a}} minus {{b}}?",
+                args! { a: 10, b: 4 },
+            )
             .unwrap();
         assert_eq!(v, askit_json::Json::Int(6));
     }

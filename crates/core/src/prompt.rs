@@ -63,7 +63,9 @@ pub fn direct_prompt(
     let task = template.render_task(args)?;
     let mut prompt = String::with_capacity(512);
     prompt.push_str(DIRECT_HEADER);
-    prompt.push_str("The response in the JSON code block should match the type defined as follows:\n```ts\n");
+    prompt.push_str(
+        "The response in the JSON code block should match the type defined as follows:\n```ts\n",
+    );
     prompt.push_str(&envelope.to_typescript());
     prompt.push_str("\n```\nExplain your answer step-by-step in the 'reason' field.\n\n");
     prompt.push_str(&task);
@@ -142,10 +144,7 @@ pub fn codegen_prompt(spec: &FunctionSpec) -> String {
 /// 'y'`, shown empty and then implemented.
 fn one_shot_example(syntax: Syntax) -> (String, String) {
     use minilang::build::{add, func, ret, var};
-    let params = [
-        ("x", askit_types::float()),
-        ("y", askit_types::float()),
-    ];
+    let params = [("x", askit_types::float()), ("y", askit_types::float())];
     let mut empty = func("func", params.clone(), askit_types::float(), vec![]);
     empty.doc = vec!["add 'x' and 'y'".to_owned()];
     let mut full = func(
@@ -155,7 +154,10 @@ fn one_shot_example(syntax: Syntax) -> (String, String) {
         vec![ret(add(var("x"), var("y")))],
     );
     full.doc = vec!["add 'x' and 'y'".to_owned()];
-    (print_function(&empty, syntax), print_function(&full, syntax))
+    (
+        print_function(&empty, syntax),
+        print_function(&full, syntax),
+    )
 }
 
 /// Derives a readable camelCase function name from a template, mirroring
@@ -223,8 +225,14 @@ mod tests {
             p.contains("{ reason: string, answer: 'positive' | 'negative' }"),
             "{p}"
         );
-        assert!(p.contains("step-by-step"), "CoT instruction present (paper line 9)");
-        assert!(p.contains("What is the sentiment of 'review'?"), "quoted template");
+        assert!(
+            p.contains("step-by-step"),
+            "CoT instruction present (paper line 9)"
+        );
+        assert!(
+            p.contains("What is the sentiment of 'review'?"),
+            "quoted template"
+        );
         assert!(p.contains("where 'review' = \"Great product\""), "bindings");
     }
 
@@ -235,7 +243,10 @@ mod tests {
         args.insert("n", json!(4i64));
         let few = vec![crate::examples::example(&[("n", 2i64)], 4i64)];
         let p = direct_prompt(&t, &args, &askit_types::int(), &few).unwrap();
-        assert!(p.contains("\nExamples:\n- input: {\"n\":2} output: 4"), "{p}");
+        assert!(
+            p.contains("\nExamples:\n- input: {\"n\":2} output: 4"),
+            "{p}"
+        );
     }
 
     #[test]
@@ -243,7 +254,10 @@ mod tests {
         for syntax in [Syntax::Ts, Syntax::Py] {
             let spec = FunctionSpec {
                 name: "f".into(),
-                params: vec![Param { name: "n".into(), ty: askit_types::any() }],
+                params: vec![Param {
+                    name: "n".into(),
+                    ty: askit_types::any(),
+                }],
                 ret: askit_types::any(),
                 instruction: "Do the thing with 'n'".into(),
                 syntax,
@@ -281,7 +295,10 @@ mod tests {
 
     #[test]
     fn name_derivation() {
-        assert_eq!(derive_function_name("Reverse the string {{s}}."), "reverseTheStringS");
+        assert_eq!(
+            derive_function_name("Reverse the string {{s}}."),
+            "reverseTheStringS"
+        );
         assert_eq!(derive_function_name(""), "generatedFunction");
         assert_eq!(
             derive_function_name("Sort the numbers {{ns}} in ascending order."),

@@ -66,7 +66,13 @@ pub fn run_direct<L: LanguageModel>(
 
         match evaluate_response(&completion.text, answer_type) {
             Ok((value, reason)) => {
-                return Ok(DirectOutcome { value, reason, attempts: attempt, usage, latency });
+                return Ok(DirectOutcome {
+                    value,
+                    reason,
+                    attempts: attempt,
+                    usage,
+                    latency,
+                });
             }
             Err(problem) => {
                 // Criteria unmet: append the response and the corrective
@@ -86,17 +92,17 @@ pub fn run_direct<L: LanguageModel>(
 
 /// Checks one response against the three §III-E criteria. On success returns
 /// the coerced answer and the reason text.
-pub fn evaluate_response(
-    text: &str,
-    answer_type: &Type,
-) -> Result<(Json, Option<String>), String> {
+pub fn evaluate_response(text: &str, answer_type: &Type) -> Result<(Json, Option<String>), String> {
     // Criterion 1: the response contains a JSON object.
     let Some(json) = extract::extract_json(text) else {
         return Err("the response does not contain a JSON code block".to_owned());
     };
     // Criterion 2: the JSON object includes the `answer` field.
     let Some(obj) = json.as_object() else {
-        return Err(format!("the JSON value is a {}, not an object", json.kind()));
+        return Err(format!(
+            "the JSON value is a {}, not an object",
+            json.kind()
+        ));
     };
     let Some(answer) = obj.get("answer") else {
         return Err("the JSON object has no 'answer' field".to_owned());
@@ -125,9 +131,7 @@ mod tests {
 
     #[test]
     fn first_try_success() {
-        let llm = ScriptedLlm::new([
-            "```json\n{\"reason\": \"easy\", \"answer\": 56}\n```",
-        ]);
+        let llm = ScriptedLlm::new(["```json\n{\"reason\": \"easy\", \"answer\": 56}\n```"]);
         let out = run_direct(
             &llm,
             &template("What is {{x}} times {{y}}?"),
@@ -176,21 +180,21 @@ mod tests {
         assert!(evaluate_response("```json\n[1]\n```", &askit_types::int())
             .unwrap_err()
             .contains("not an object"));
-        assert!(evaluate_response("```json\n{\"a\": 1}\n```", &askit_types::int())
-            .unwrap_err()
-            .contains("no 'answer' field"));
-        assert!(evaluate_response(
-            "```json\n{\"answer\": \"x\"}\n```",
-            &askit_types::int()
-        )
-        .unwrap_err()
-        .contains("expected type"));
+        assert!(
+            evaluate_response("```json\n{\"a\": 1}\n```", &askit_types::int())
+                .unwrap_err()
+                .contains("no 'answer' field")
+        );
+        assert!(
+            evaluate_response("```json\n{\"answer\": \"x\"}\n```", &askit_types::int())
+                .unwrap_err()
+                .contains("expected type")
+        );
     }
 
     #[test]
     fn retries_exhaust_into_an_error() {
-        let responses: Vec<String> =
-            (0..10).map(|_| "still not json".to_owned()).collect();
+        let responses: Vec<String> = (0..10).map(|_| "still not json".to_owned()).collect();
         let llm = ScriptedLlm::new(responses);
         let err = run_direct(
             &llm,
@@ -202,7 +206,10 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            AskItError::AnswerRetriesExhausted { attempts, last_problem } => {
+            AskItError::AnswerRetriesExhausted {
+                attempts,
+                last_problem,
+            } => {
                 assert_eq!(attempts, 10);
                 assert!(last_problem.contains("JSON"));
             }
@@ -229,15 +236,19 @@ mod tests {
         .unwrap();
         let log = llm.exchanges();
         assert_eq!(log[0].request.messages.len(), 1);
-        assert_eq!(log[1].request.messages.len(), 3, "prompt + bad answer + feedback");
-        assert!(log[1].request.messages[2].content.contains("not acceptable"));
+        assert_eq!(
+            log[1].request.messages.len(),
+            3,
+            "prompt + bad answer + feedback"
+        );
+        assert!(log[1].request.messages[2]
+            .content
+            .contains("not acceptable"));
     }
 
     #[test]
     fn answers_are_coerced() {
-        let llm = ScriptedLlm::new([
-            "```json\n{\"reason\": \"r\", \"answer\": 42.0}\n```",
-        ]);
+        let llm = ScriptedLlm::new(["```json\n{\"reason\": \"r\", \"answer\": 42.0}\n```"]);
         let out = run_direct(
             &llm,
             &template("Answer?"),
@@ -247,7 +258,11 @@ mod tests {
             &AskitConfig::default(),
         )
         .unwrap();
-        assert_eq!(out.value, Json::Int(42), "float 42.0 coerces to int under Int");
+        assert_eq!(
+            out.value,
+            Json::Int(42),
+            "float 42.0 coerces to int under Int"
+        );
     }
 
     #[test]
@@ -283,7 +298,10 @@ mod tests {
             let out = run_direct(
                 &llm,
                 &template("What is {{x}} plus {{y}}?"),
-                &args(&[("x", json!(i))]).into_iter().chain(args(&[("y", json!(1i64))])).collect(),
+                &args(&[("x", json!(i))])
+                    .into_iter()
+                    .chain(args(&[("y", json!(1i64))]))
+                    .collect(),
                 &askit_types::int(),
                 &[],
                 &AskitConfig::default(),

@@ -80,7 +80,10 @@ impl FunctionStore {
             Ok(s) => s,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
-                return Err(AskItError::Store(format!("cannot read {}: {e}", path.display())))
+                return Err(AskItError::Store(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
             }
         };
         let program: Program = minilang::parse(&source, syntax)?;
@@ -143,10 +146,8 @@ mod tests {
     use super::*;
 
     fn tmp_store(tag: &str) -> FunctionStore {
-        let dir = std::env::temp_dir().join(format!(
-            "askit-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("askit-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         FunctionStore::open(dir).unwrap()
     }

@@ -204,6 +204,7 @@ macro_rules! json_enum {
             }
 
             /// All variants in declaration order.
+            #[allow(dead_code)]
             pub fn all() -> &'static [$name] {
                 &[ $( $name::$variant, )+ ]
             }
@@ -251,7 +252,7 @@ pub fn extract<T: AskType>(value: &Json) -> Result<T, FromJsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate as askit_core;
+
     use askit_json::ToJson;
 
     json_struct! {
@@ -282,12 +283,12 @@ mod tests {
         assert_eq!(i64::askit_type(), askit_types::int());
         assert_eq!(f64::askit_type(), askit_types::float());
         assert_eq!(String::askit_type(), askit_types::string());
-        assert_eq!(<Vec<bool>>::askit_type(), askit_types::list(askit_types::boolean()));
-        assert_eq!(Json::askit_type(), askit_types::any());
         assert_eq!(
-            <Option<i64>>::askit_type().to_typescript(),
-            "number | void"
+            <Vec<bool>>::askit_type(),
+            askit_types::list(askit_types::boolean())
         );
+        assert_eq!(Json::askit_type(), askit_types::any());
+        assert_eq!(<Option<i64>>::askit_type().to_typescript(), "number | void");
     }
 
     #[test]
@@ -296,7 +297,10 @@ mod tests {
         let v = p.to_json();
         assert_eq!(v.to_compact_string(), r#"{"x":1,"y":2.5}"#);
         assert_eq!(Point::from_json(&v).unwrap(), p);
-        assert_eq!(Point::askit_type().to_typescript(), "{ x: number, y: number }");
+        assert_eq!(
+            Point::askit_type().to_typescript(),
+            "{ x: number, y: number }"
+        );
     }
 
     #[test]

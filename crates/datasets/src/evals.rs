@@ -52,7 +52,12 @@ impl EvalBenchmark {
     /// The original (pre-AskIt) prompt: harness context, task text with
     /// values inlined, then the hand-written format directive.
     pub fn original_prompt(&self) -> String {
-        format!("{}\n\n{} {}", self.context(), self.rendered_task(), self.directive)
+        format!(
+            "{}\n\n{} {}",
+            self.context(),
+            self.rendered_task(),
+            self.directive
+        )
     }
 
     /// The AskIt prompt content the developer writes: context and task,
@@ -69,7 +74,9 @@ impl EvalBenchmark {
     fn rendered_task(&self) -> String {
         let template =
             askit_template::Template::parse(self.task).expect("catalogue templates are valid");
-        template.render_substituted(&self.args).expect("catalogue args are complete")
+        template
+            .render_substituted(&self.args)
+            .expect("catalogue args are complete")
     }
 }
 
@@ -481,7 +488,10 @@ mod tests {
         }
         let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
         // Paper: 16.14% mean reduction. Accept a sensible band around it.
-        assert!((0.08..0.30).contains(&mean), "mean reduction fraction {mean}");
+        assert!(
+            (0.08..0.30).contains(&mean),
+            "mean reduction fraction {mean}"
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl Gsm8kProblem {
     /// Evaluates the hidden arithmetic under a binding.
     pub fn evaluate(&self, args: &Map) -> Option<Json> {
         let decl = solution_decl(self, "solve");
-        let program = Program { functions: vec![decl] };
+        let program = Program {
+            functions: vec![decl],
+        };
         Interp::new(&program).call_json("solve", args).ok()
     }
 
@@ -67,7 +69,11 @@ impl Gsm8kProblem {
     /// run (conditional on direct solvability, see [`gate`]).
     pub fn is_codable(&self, run_seed: u64) -> bool {
         self.is_direct_solvable(run_seed)
-            && gate(&self.instruction_key(), run_seed.wrapping_add(1), CODE_SOLVE_RATE)
+            && gate(
+                &self.instruction_key(),
+                run_seed.wrapping_add(1),
+                CODE_SOLVE_RATE,
+            )
     }
 
     /// The oracle key: the template with quoted parameter names.
@@ -85,7 +91,10 @@ pub fn solution_decl(problem: &Gsm8kProblem, name: &str) -> FuncDecl {
         params: problem
             .params
             .iter()
-            .map(|p| Param { name: (*p).to_owned(), ty: int() })
+            .map(|p| Param {
+                name: (*p).to_owned(),
+                ty: int(),
+            })
             .collect(),
         ret: int(),
         body: vec![ret(problem.expr.clone())],
@@ -229,8 +238,8 @@ fn shapes() -> Vec<Shape> {
 }
 
 const NAMES: &[&str] = &[
-    "Natalia", "James", "Ken", "Weng", "Betty", "Julie", "Mark", "Sam", "Olivia", "Leah",
-    "Toula", "Carlos",
+    "Natalia", "James", "Ken", "Weng", "Betty", "Julie", "Mark", "Sam", "Olivia", "Leah", "Toula",
+    "Carlos",
 ];
 
 /// Generates `count` problems deterministically from `seed`.
@@ -262,7 +271,9 @@ pub fn problems(count: usize, seed: u64) -> Vec<Gsm8kProblem> {
                 params: shape.params.to_vec(),
                 expr,
             };
-            let answer = problem.evaluate(&args).expect("shapes are total on their samples");
+            let answer = problem
+                .evaluate(&args)
+                .expect("shapes are total on their samples");
             Gsm8kProblem { answer, ..problem }
         })
         .collect()
@@ -401,15 +412,15 @@ mod tests {
                 bindings: &p.args,
                 answer_type: &int(),
             };
-            match oracle.answer(&task) {
-                Some(out) => {
-                    assert_eq!(out.answer, p.answer, "problem {}", p.id);
-                    solved += 1;
-                }
-                None => {}
+            if let Some(out) = oracle.answer(&task) {
+                assert_eq!(out.answer, p.answer, "problem {}", p.id);
+                solved += 1;
             }
         }
-        assert!(solved >= 30, "most problems should be solvable, got {solved}/40");
+        assert!(
+            solved >= 30,
+            "most problems should be solvable, got {solved}/40"
+        );
         assert!(solved < 40, "some problems should fail the gate");
     }
 
@@ -424,7 +435,10 @@ mod tests {
             let params: Vec<Param> = p
                 .params
                 .iter()
-                .map(|n| Param { name: (*n).to_owned(), ty: int() })
+                .map(|n| Param {
+                    name: (*n).to_owned(),
+                    ty: int(),
+                })
                 .collect();
             let ret_ty = int();
             let task = askit_llm::CodeTask {
@@ -435,12 +449,17 @@ mod tests {
                 syntax: minilang::Syntax::Ts,
             };
             if let Some(decl) = oracle.implement(&task) {
-                let program = Program { functions: vec![decl] };
+                let program = Program {
+                    functions: vec![decl],
+                };
                 let out = Interp::new(&program).call_json("solve", &p.args).unwrap();
                 assert_eq!(out, p.answer, "problem {}", p.id);
                 served += 1;
             }
         }
-        assert!(served >= 8, "most problems should be codable, got {served}/12");
+        assert!(
+            served >= 8,
+            "most problems should be codable, got {served}/12"
+        );
     }
 }

@@ -58,8 +58,11 @@ impl HumanEvalTask {
     }
 }
 
+/// A parameter-name / type-constructor pair of a task family.
+type ParamSpec = (&'static str, fn() -> Type);
+
 struct Family {
-    params: &'static [(&'static str, fn() -> Type)],
+    params: &'static [ParamSpec],
     ret: fn() -> Type,
     prompt: fn(usize) -> String,
     reference: fn(usize) -> String,
@@ -67,7 +70,9 @@ struct Family {
     inputs: fn(usize) -> Vec<Map>,
 }
 
-const LETTERS: &[char] = &['a', 'e', 'o', 'r', 't', 'n', 's', 'l', 'c', 'd', 'm', 'u', 'g', 'b'];
+const LETTERS: &[char] = &[
+    'a', 'e', 'o', 'r', 't', 'n', 's', 'l', 'c', 'd', 'm', 'u', 'g', 'b',
+];
 
 fn ns_inputs(_k: usize) -> Vec<Map> {
     ["[1,5,12,7]", "[3]", "[]"]
@@ -82,14 +87,18 @@ fn ns_inputs(_k: usize) -> Vec<Map> {
 
 fn s_inputs(k: usize) -> Vec<Map> {
     let letter = LETTERS[k % LETTERS.len()];
-    [format!("banana {letter} cabbage {letter}"), "xyz".to_owned(), format!("{letter}")]
-        .iter()
-        .map(|s| {
-            let mut m = Map::new();
-            m.insert("s", Json::from(s.as_str()));
-            m
-        })
-        .collect()
+    [
+        format!("banana {letter} cabbage {letter}"),
+        "xyz".to_owned(),
+        format!("{letter}"),
+    ]
+    .iter()
+    .map(|s| {
+        let mut m = Map::new();
+        m.insert("s", Json::from(s.as_str()));
+        m
+    })
+    .collect()
 }
 
 fn n_inputs(k: usize) -> Vec<Map> {
@@ -109,31 +118,43 @@ fn families() -> Vec<Family> {
         Family {
             params: &[("n", int)],
             ret: int,
-            prompt: |k| format!("Compute the sum of all multiples of {k} from {k} up to {{{{n}}}}."),
-            reference: |k| format!(
+            prompt: |k| {
+                format!("Compute the sum of all multiples of {k} from {k} up to {{{{n}}}}.")
+            },
+            reference: |k| {
+                format!(
                 "export function f({{n}}: {{n: number}}): number {{\n  let total = 0;\n  let i = {k};\n  while (i <= n) {{\n    total += i;\n    i += {k};\n  }}\n  return total;\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{n}}: {{n: number}}): number {{\n  let m = Math.floor(n / {k});\n  return {k} * m * (m + 1) / 2;\n}}"
-            ),
+            )
+            },
             inputs: n_inputs,
         },
         // F2: count a letter — reference loops, model splits.
         Family {
             params: &[("s", string)],
             ret: int,
-            prompt: |k| format!(
-                "Count how many times the letter {} appears in {{{{s}}}}.",
-                LETTERS[k % LETTERS.len()]
-            ),
-            reference: |k| format!(
+            prompt: |k| {
+                format!(
+                    "Count how many times the letter {} appears in {{{{s}}}}.",
+                    LETTERS[k % LETTERS.len()]
+                )
+            },
+            reference: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): number {{\n  let c = 0;\n  for (const ch of s) {{\n    if (ch === '{}') {{\n      c += 1;\n    }}\n  }}\n  return c;\n}}",
                 LETTERS[k % LETTERS.len()]
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): number {{\n  return s.split('{}').length - 1;\n}}",
                 LETTERS[k % LETTERS.len()]
-            ),
+            )
+            },
             inputs: s_inputs,
         },
         // F3: add a constant — reference maps, model loops.
@@ -141,12 +162,16 @@ fn families() -> Vec<Family> {
             params: &[("ns", || list(int()))],
             ret: || list(int()),
             prompt: |k| format!("Add {k} to every element of {{{{ns}}}}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number[] {{\n  return ns.map(v => v + {k});\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number[] {{\n  let out = [];\n  for (const v of ns) {{\n    out.push(v + {k});\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: ns_inputs,
         },
         // F4: scale — reference maps, model loops.
@@ -154,12 +179,16 @@ fn families() -> Vec<Family> {
             params: &[("ns", || list(int()))],
             ret: || list(int()),
             prompt: |k| format!("Multiply every element of {{{{ns}}}} by {k}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number[] {{\n  return ns.map(v => v * {k});\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number[] {{\n  let out = [];\n  for (const v of ns) {{\n    out.push(v * {k});\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: ns_inputs,
         },
         // F5: fixed power — reference uses **, model multiplies in a loop.
@@ -167,12 +196,16 @@ fn families() -> Vec<Family> {
             params: &[("x", int)],
             ret: int,
             prompt: |k| format!("Raise {{{{x}}}} to the power {k}."),
-            reference: |k| format!(
-                "export function f({{x}}: {{x: number}}): number {{\n  return x ** {k};\n}}"
-            ),
-            model: |k| format!(
+            reference: |k| {
+                format!(
+                    "export function f({{x}}: {{x: number}}): number {{\n  return x ** {k};\n}}"
+                )
+            },
+            model: |k| {
+                format!(
                 "export function f({{x}}: {{x: number}}): number {{\n  let out = 1;\n  for (let i = 0; i < {k}; i++) {{\n    out *= x;\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: |_| {
                 [2i64, 3, 1]
                     .iter()
@@ -189,12 +222,16 @@ fn families() -> Vec<Family> {
             params: &[("xs", || list(int()))],
             ret: || list(int()),
             prompt: |k| format!("Remove the first {k} elements of {{{{xs}}}}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{xs}}: {{xs: number[]}}): number[] {{\n  return xs.slice({k});\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{xs}}: {{xs: number[]}}): number[] {{\n  let out = [];\n  for (let i = {k}; i < xs.length; i++) {{\n    out.push(xs[i]);\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: |_| {
                 ["[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]", "[1]"]
                     .iter()
@@ -211,12 +248,16 @@ fn families() -> Vec<Family> {
             params: &[("xs", || list(int()))],
             ret: || list(int()),
             prompt: |k| format!("Return the first {k} elements of {{{{xs}}}}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{xs}}: {{xs: number[]}}): number[] {{\n  return xs.slice(0, {k});\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{xs}}: {{xs: number[]}}): number[] {{\n  let out = [];\n  for (let i = 0; i < {k}; i++) {{\n    if (i < xs.length) {{\n      out.push(xs[i]);\n    }}\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: |_| {
                 ["[9,8,7,6,5,4,3,2,1,0,10,11,12,13,14,15]", "[2,4]"]
                     .iter()
@@ -233,12 +274,16 @@ fn families() -> Vec<Family> {
             params: &[("s", string)],
             ret: string,
             prompt: |k| format!("Pad {{{{s}}}} on the left with spaces to width {k}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): string {{\n  return s.padStart({k}, ' ');\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): string {{\n  let out = s;\n  while (out.length < {k}) {{\n    out = ' ' + out;\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: s_inputs,
         },
         // F9: count above threshold — reference loops, model filters.
@@ -246,12 +291,16 @@ fn families() -> Vec<Family> {
             params: &[("ns", || list(int()))],
             ret: int,
             prompt: |k| format!("Count the elements of {{{{ns}}}} greater than {k}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number {{\n  let c = 0;\n  for (const v of ns) {{\n    if (v > {k}) {{\n      c += 1;\n    }}\n  }}\n  return c;\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{ns}}: {{ns: number[]}}): number {{\n  return ns.filter(v => v > {k}).length;\n}}"
-            ),
+            )
+            },
             inputs: ns_inputs,
         },
         // F10: repeat with separator — two loop styles of similar size.
@@ -259,30 +308,40 @@ fn families() -> Vec<Family> {
             params: &[("s", string)],
             ret: string,
             prompt: |k| format!("Repeat the string {{{{s}}}} {k} times separated by dashes."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): string {{\n  let parts = [];\n  for (let i = 0; i < {k}; i++) {{\n    parts.push(s);\n  }}\n  return parts.join('-');\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): string {{\n  let out = s;\n  for (let i = 1; i < {k}; i++) {{\n    out += '-' + s;\n  }}\n  return out;\n}}"
-            ),
+            )
+            },
             inputs: s_inputs,
         },
         // F11: ends-with — reference slices and compares, model uses endsWith.
         Family {
             params: &[("s", string)],
             ret: boolean,
-            prompt: |k| format!(
-                "Check whether {{{{s}}}} ends with the letter {}.",
-                LETTERS[k % LETTERS.len()]
-            ),
-            reference: |k| format!(
+            prompt: |k| {
+                format!(
+                    "Check whether {{{{s}}}} ends with the letter {}.",
+                    LETTERS[k % LETTERS.len()]
+                )
+            },
+            reference: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): boolean {{\n  let tail = s.slice(s.length - 1);\n  return tail === '{}';\n}}",
                 LETTERS[k % LETTERS.len()]
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{s}}: {{s: string}}): boolean {{\n  return s.endsWith('{}');\n}}",
                 LETTERS[k % LETTERS.len()]
-            ),
+            )
+            },
             inputs: s_inputs,
         },
         // F12: divisibility — near-identical sizes.
@@ -290,12 +349,16 @@ fn families() -> Vec<Family> {
             params: &[("n", int)],
             ret: boolean,
             prompt: |k| format!("Check if {{{{n}}}} is divisible by {k}."),
-            reference: |k| format!(
+            reference: |k| {
+                format!(
                 "export function f({{n}}: {{n: number}}): boolean {{\n  let r = n % {k};\n  return r === 0;\n}}"
-            ),
-            model: |k| format!(
+            )
+            },
+            model: |k| {
+                format!(
                 "export function f({{n}}: {{n: number}}): boolean {{\n  let ok = n % {k} === 0;\n  return ok;\n}}"
-            ),
+            )
+            },
             inputs: n_inputs,
         },
     ]
@@ -316,10 +379,13 @@ pub fn tasks() -> Vec<HumanEvalTask> {
             }
             let reference_source = (family.reference)(k);
             let model_source = (family.model)(k);
-            let reference =
-                minilang::parse_ts(&reference_source).expect("reference parses").functions[0]
-                    .clone();
-            let program = Program { functions: vec![reference] };
+            let reference = minilang::parse_ts(&reference_source)
+                .expect("reference parses")
+                .functions[0]
+                .clone();
+            let program = Program {
+                functions: vec![reference],
+            };
             let tests: Vec<Example> = (family.inputs)(k)
                 .into_iter()
                 .map(|input| {
@@ -363,7 +429,10 @@ pub fn register_oracle(oracle: &mut Oracle) {
         .collect();
     oracle.add_code_fn("humaneval", move |task| {
         let key = task.instruction.to_lowercase();
-        entries.iter().find(|(k, _)| *k == key).map(|(_, d)| d.clone())
+        entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, d)| d.clone())
     });
 }
 
@@ -407,18 +476,19 @@ mod tests {
     fn loc_statistics_resemble_figure_5() {
         let all = tasks();
         let hand: Vec<usize> = all.iter().map(HumanEvalTask::reference_loc).collect();
-        let generated: Vec<usize> =
-            all.iter().map(|t| minilang::loc::count_loc(&t.model_source)).collect();
+        let generated: Vec<usize> = all
+            .iter()
+            .map(|t| minilang::loc::count_loc(&t.model_source))
+            .collect();
         let hand_avg = hand.iter().sum::<usize>() as f64 / hand.len() as f64;
         let gen_avg = generated.iter().sum::<usize>() as f64 / generated.len() as f64;
         // Paper: hand-written 7.57, generated 8.05 — generated slightly longer.
-        assert!(gen_avg > hand_avg, "generated ({gen_avg}) should exceed hand-written ({hand_avg})");
-        let shorter = hand
-            .iter()
-            .zip(&generated)
-            .filter(|(h, g)| g < h)
-            .count() as f64
-            / all.len() as f64;
+        assert!(
+            gen_avg > hand_avg,
+            "generated ({gen_avg}) should exceed hand-written ({hand_avg})"
+        );
+        let shorter =
+            hand.iter().zip(&generated).filter(|(h, g)| g < h).count() as f64 / all.len() as f64;
         assert!(
             (0.2..0.5).contains(&shorter),
             "fraction of shorter generated solutions should be near the paper's 35.3%, got {shorter}"
@@ -434,7 +504,10 @@ mod tests {
             let params: Vec<minilang::Param> = task
                 .param_types
                 .iter()
-                .map(|(n, t)| minilang::Param { name: (*n).to_owned(), ty: t.clone() })
+                .map(|(n, t)| minilang::Param {
+                    name: (*n).to_owned(),
+                    ty: t.clone(),
+                })
                 .collect();
             let found = oracle
                 .implement(&askit_llm::CodeTask {

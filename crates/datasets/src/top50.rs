@@ -50,15 +50,20 @@ impl CodingTask {
 
     /// The reference implementation parsed to an AST.
     pub fn reference_decl(&self) -> FuncDecl {
-        minilang::parse_ts(self.reference).expect("catalogue reference parses").functions
-            [0]
-        .clone()
+        minilang::parse_ts(self.reference)
+            .expect("catalogue reference parses")
+            .functions[0]
+            .clone()
     }
 
     /// The wrong-assumption implementation, if this task has one.
     pub fn wrong_decl(&self) -> Option<FuncDecl> {
-        self.wrong_when_untyped
-            .map(|src| minilang::parse_ts(src).expect("catalogue wrong variant parses").functions[0].clone())
+        self.wrong_when_untyped.map(|src| {
+            minilang::parse_ts(src)
+                .expect("catalogue wrong variant parses")
+                .functions[0]
+                .clone()
+        })
     }
 }
 
@@ -70,7 +75,13 @@ impl CodingTask {
 pub fn register_oracle(oracle: &mut Oracle) {
     let entries: Vec<(String, FuncDecl, Option<FuncDecl>)> = tasks()
         .iter()
-        .map(|t| (t.instruction_key().to_lowercase(), t.reference_decl(), t.wrong_decl()))
+        .map(|t| {
+            (
+                t.instruction_key().to_lowercase(),
+                t.reference_decl(),
+                t.wrong_decl(),
+            )
+        })
         .collect();
     oracle.add_code_fn("top50", move |task: &CodeTask<'_>| {
         let key = task.instruction.to_lowercase();
@@ -537,6 +548,8 @@ fn tasks_26_to_50() -> Vec<CodingTask> {
             template: "Round {{x}} to {{d}} decimal places.",
             return_type: float(),
             param_types: vec![("x", float()), ("d", int())],
+            // Not approximations of pi: the task is literally "round this".
+            #[allow(clippy::approx_constant)]
             tests: vec![example(&[("x", Json::Float(3.14159)), ("d", Json::Int(2))], Json::Float(3.14))],
             py_ambiguous: false,
             reference: "export function f({x, d}: {x: number, d: number}): number {\n  let factor = 10 ** d;\n  return round(x * factor) / factor;\n}",
@@ -714,8 +727,11 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 50, "instruction keys must be unique");
-        let ambiguous: Vec<usize> =
-            all.iter().filter(|t| t.py_ambiguous).map(|t| t.id).collect();
+        let ambiguous: Vec<usize> = all
+            .iter()
+            .filter(|t| t.py_ambiguous)
+            .map(|t| t.id)
+            .collect();
         assert_eq!(ambiguous, [11, 21, 22, 23, 24], "the paper's failing tasks");
     }
 
@@ -723,7 +739,9 @@ mod tests {
     fn every_reference_passes_its_own_tests() {
         for task in tasks() {
             let decl = task.reference_decl();
-            let program = minilang::ast::Program { functions: vec![decl] };
+            let program = minilang::ast::Program {
+                functions: vec![decl],
+            };
             for (i, t) in task.tests.iter().enumerate() {
                 let out = Interp::new(&program)
                     .call_json("f", &t.input)
@@ -745,8 +763,9 @@ mod tests {
         for task in tasks() {
             let decl = task.reference_decl();
             let py = minilang::print_function(&decl, Syntax::Py);
-            let program = minilang::parse_py(&py)
-                .unwrap_or_else(|e| panic!("task {}: printed Py does not parse: {e}\n{py}", task.id));
+            let program = minilang::parse_py(&py).unwrap_or_else(|e| {
+                panic!("task {}: printed Py does not parse: {e}\n{py}", task.id)
+            });
             for (i, t) in task.tests.iter().enumerate() {
                 let out = Interp::new(&program)
                     .call_json("f", &t.input)
@@ -764,15 +783,23 @@ mod tests {
     #[test]
     fn wrong_variants_fail_at_least_one_test() {
         for task in tasks().iter().filter(|t| t.py_ambiguous) {
-            let decl = task.wrong_decl().expect("ambiguous tasks carry a wrong variant");
-            let program = minilang::ast::Program { functions: vec![decl] };
+            let decl = task
+                .wrong_decl()
+                .expect("ambiguous tasks carry a wrong variant");
+            let program = minilang::ast::Program {
+                functions: vec![decl],
+            };
             let all_pass = task.tests.iter().all(|t| {
                 Interp::new(&program)
                     .call_json("f", &t.input)
                     .map(|out| out.loosely_equals(&t.output))
                     .unwrap_or(false)
             });
-            assert!(!all_pass, "task {}: wrong variant passes all tests", task.id);
+            assert!(
+                !all_pass,
+                "task {}: wrong variant passes all tests",
+                task.id
+            );
         }
     }
 
@@ -809,6 +836,9 @@ mod tests {
                 syntax: Syntax::Py,
             })
             .unwrap();
-        assert_ne!(typed.body, untyped.body, "typedness must select the variant");
+        assert_ne!(
+            typed.body, untyped.body,
+            "typedness must select the variant"
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use askit_core::{Askit, AskitConfig};
 use askit_datasets::humaneval::{self, HumanEvalTask};
+use askit_exec::EngineConfig;
 use askit_llm::{MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
@@ -47,32 +48,42 @@ fn askit_source_loc(task: &HumanEvalTask) -> usize {
     1 + task.few_shot.len() + task.tests.len()
 }
 
-/// Runs the Figure 5 experiment.
+/// Runs the Figure 5 experiment with the default (auto) worker count.
 pub fn run(seed: u64) -> Fig5Report {
+    run_with_threads(seed, 0)
+}
+
+/// Runs the experiment batching the 164 tasks across the engine's worker
+/// pool (`threads == 0` means auto).
+pub fn run_with_threads(seed: u64, threads: usize) -> Fig5Report {
     let mut oracle = Oracle::standard();
     humaneval::register_oracle(&mut oracle);
     let llm = MockLlm::new(MockLlmConfig::gpt35().with_seed(seed), oracle);
-    let askit = Askit::new(llm).with_config(AskitConfig::default());
+    let askit = Askit::new(llm)
+        .with_config(AskitConfig::default())
+        .with_engine_config(EngineConfig::default().with_workers(threads));
 
     let tasks = humaneval::tasks();
     let total = tasks.len();
-    let mut points = Vec::new();
-    for task in &tasks {
-        let defined = askit
-            .define(task.return_type.clone(), &task.prompt)
-            .expect("catalogue prompts parse")
-            .with_param_types(task.param_types.clone())
-            .with_examples(task.few_shot.clone())
-            .with_tests(task.tests.clone());
-        if let Ok(compiled) = defined.compile(Syntax::Ts) {
-            points.push(Fig5Point {
+    let points: Vec<Fig5Point> = askit
+        .engine()
+        .map(&tasks, |_, task| {
+            let defined = askit
+                .define(task.return_type.clone(), &task.prompt)
+                .expect("catalogue prompts parse")
+                .with_param_types(task.param_types.clone())
+                .with_examples(task.few_shot.clone())
+                .with_tests(task.tests.clone());
+            defined.compile(Syntax::Ts).ok().map(|compiled| Fig5Point {
                 id: task.id,
                 hand_loc: task.reference_loc(),
                 generated_loc: compiled.loc(),
                 askit_loc: askit_source_loc(task),
-            });
-        }
-    }
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let successes = points.len();
     let generated: Vec<f64> = points.iter().map(|p| p.generated_loc as f64).collect();
@@ -82,7 +93,10 @@ pub fn run(seed: u64) -> Fig5Report {
         .iter()
         .map(|p| p.generated_loc as f64 / p.hand_loc.max(1) as f64)
         .collect();
-    let shorter = points.iter().filter(|p| p.generated_loc < p.hand_loc).count();
+    let shorter = points
+        .iter()
+        .filter(|p| p.generated_loc < p.hand_loc)
+        .count();
     Fig5Report {
         total,
         successes,
@@ -90,7 +104,11 @@ pub fn run(seed: u64) -> Fig5Report {
         hand_avg: mean(&hand),
         askit_avg: mean(&askit_locs),
         ratio_avg: mean(&ratios),
-        shorter_fraction: if successes == 0 { 0.0 } else { shorter as f64 / successes as f64 },
+        shorter_fraction: if successes == 0 {
+            0.0
+        } else {
+            shorter as f64 / successes as f64
+        },
         points,
     }
 }
@@ -135,7 +153,10 @@ mod tests {
             "successes {}",
             report.successes
         );
-        assert!(report.generated_avg > report.hand_avg, "generated code is a bit longer");
+        assert!(
+            report.generated_avg > report.hand_avg,
+            "generated code is a bit longer"
+        );
         assert!(
             (0.2..0.5).contains(&report.shorter_fraction),
             "shorter fraction {}",

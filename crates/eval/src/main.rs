@@ -1,7 +1,7 @@
 //! The `askit-eval` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S]
+//! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -9,26 +9,42 @@
 
 use askit_eval::{fig5, fig6, fig7, report, table2, table3, DEFAULT_SEED};
 
+const USAGE: &str = "usage: askit-eval [table2|fig5|fig6|fig7|table3|all] [options]
+
+experiments:
+  table2   the 50 common coding tasks, compiled in both pipelines
+  fig5     HumanEval: generated vs hand-written LOC
+  fig6     prompt reduction on the evals benchmarks
+  fig7     type-usage statistics
+  table3   GSM8K: direct answering vs generated code
+  all      everything above (the default)
+
+options:
+  --count N    number of GSM8K problems for table3 (default: full 1319)
+  --seed S     base RNG seed (default: 20240302)
+  --threads T  engine worker threads for table2/fig5/table3 (default: auto;
+               results are identical for every T — only wall-clock changes)
+  --help       print this message
+
+environment:
+  ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_owned();
     let mut count = askit_datasets::gsm8k::TEST_SET_SIZE;
     let mut seed = DEFAULT_SEED;
+    let mut threads = 0usize;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--count" => {
-                count = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--count needs a number"));
-            }
-            "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
+            "--count" => count = parse_flag_value(arg, iter.next()),
+            "--seed" => seed = parse_flag_value(arg, iter.next()),
+            "--threads" => threads = parse_flag_value(arg, iter.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
             "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" => {
                 which = arg.clone();
@@ -37,13 +53,26 @@ fn main() {
         }
     }
 
-    let run_table2 = || emit("table2.txt", &table2::render(&table2::run(seed)));
-    let run_fig5 = || emit("fig5.txt", &fig5::render(&fig5::run(seed)));
+    let run_table2 = || {
+        emit(
+            "table2.txt",
+            &table2::render(&table2::run_with_threads(seed, threads)),
+        )
+    };
+    let run_fig5 = || {
+        emit(
+            "fig5.txt",
+            &fig5::render(&fig5::run_with_threads(seed, threads)),
+        )
+    };
     let run_fig6 = || emit("fig6.txt", &fig6::render(&fig6::run(seed)));
     let run_fig7 = || emit("fig7.txt", &fig7::render(&fig7::run()));
     let run_table3 = || {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
-        emit("table3.txt", &table3::render(&table3::run(count, seed)));
+        emit(
+            "table3.txt",
+            &table3::render(&table3::run_with_threads(count, seed, threads)),
+        );
     };
 
     match which.as_str() {
@@ -62,6 +91,18 @@ fn main() {
     }
 }
 
+/// Parses the value following a `--flag`, rejecting a missing or
+/// non-numeric one with a proper usage message instead of defaulting.
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(raw) = value else {
+        usage(&format!("{flag} needs a value"));
+    };
+    match raw.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => usage(&format!("{flag} got '{raw}', which is not a valid number")),
+    }
+}
+
 fn emit(name: &str, content: &str) {
     println!("{content}");
     match report::write_report(name, content) {
@@ -71,8 +112,6 @@ fn emit(name: &str, content: &str) {
 }
 
 fn usage(problem: &str) -> ! {
-    eprintln!(
-        "askit-eval: {problem}\nusage: askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S]"
-    );
+    eprintln!("askit-eval: {problem}\n{USAGE}");
     std::process::exit(2);
 }

@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with blanks).
@@ -102,7 +105,11 @@ pub fn histogram(values: &[f64], bucket: f64, max: f64, label: &str) -> String {
 /// Renders a labelled bar chart (for Figure 7's grouped counts).
 pub fn bar_chart(entries: &[(String, usize)], label: &str) -> String {
     let peak = entries.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
-    let name_width = entries.iter().map(|(n, _)| n.chars().count()).max().unwrap_or(4);
+    let name_width = entries
+        .iter()
+        .map(|(n, _)| n.chars().count())
+        .max()
+        .unwrap_or(4);
     let mut out = format!("{label}\n");
     for (name, count) in entries {
         let bar_len = (count * 40).div_ceil(peak);
@@ -176,7 +183,10 @@ mod tests {
     fn bar_chart_scales() {
         let c = bar_chart(&[("string".into(), 20), ("number".into(), 5)], "types");
         assert!(c.contains("string"));
-        assert!(c.lines().nth(1).unwrap().matches('#').count() > c.lines().nth(2).unwrap().matches('#').count());
+        assert!(
+            c.lines().nth(1).unwrap().matches('#').count()
+                > c.lines().nth(2).unwrap().matches('#').count()
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use askit_core::{Askit, AskitConfig};
 use askit_datasets::top50::{self, CodingTask};
+use askit_exec::EngineConfig;
 use askit_llm::{MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
@@ -72,24 +73,37 @@ fn compile_one(
             retries: compiled.attempts().saturating_sub(1),
             ok: true,
         },
-        Err(_) => PipelineResult { loc: 0, retries: 0, ok: false },
+        Err(_) => PipelineResult {
+            loc: 0,
+            retries: 0,
+            ok: false,
+        },
     }
 }
 
-/// Runs the Table II experiment with the gpt-3.5 profile (as the paper did).
+/// Runs the Table II experiment with the gpt-3.5 profile (as the paper did),
+/// using the default (auto) worker count.
 pub fn run(seed: u64) -> Table2Report {
+    run_with_threads(seed, 0)
+}
+
+/// Runs the experiment batching the 50 tasks across the engine's worker
+/// pool (`threads == 0` means auto).
+pub fn run_with_threads(seed: u64, threads: usize) -> Table2Report {
     let mut oracle = Oracle::standard();
     top50::register_oracle(&mut oracle);
     let llm = MockLlm::new(MockLlmConfig::gpt35().with_seed(seed), oracle);
-    let askit = Askit::new(llm).with_config(AskitConfig::default());
+    let askit = Askit::new(llm)
+        .with_config(AskitConfig::default())
+        .with_engine_config(EngineConfig::default().with_workers(threads));
 
-    let mut rows = Vec::new();
-    for task in top50::tasks() {
+    let tasks = top50::tasks();
+    let rows: Vec<Table2Row> = askit.engine().map(&tasks, |_, task| {
         // The paper: "We only use parameter types for TypeScript since
         // Python implementation does not use parameter types."
-        let ts = compile_one(&askit, &task, Syntax::Ts, true);
-        let py = compile_one(&askit, &task, Syntax::Py, false);
-        rows.push(Table2Row {
+        let ts = compile_one(&askit, task, Syntax::Ts, true);
+        let py = compile_one(&askit, task, Syntax::Py, false);
+        Table2Row {
             id: task.id,
             template: task.template.to_owned(),
             return_type: task.return_type.to_typescript(),
@@ -101,13 +115,19 @@ pub fn run(seed: u64) -> Table2Report {
                 .join("; "),
             ts,
             py,
-        });
-    }
+        }
+    });
 
-    let ts_locs: Vec<f64> =
-        rows.iter().filter(|r| r.ts.ok).map(|r| r.ts.loc as f64).collect();
-    let py_locs: Vec<f64> =
-        rows.iter().filter(|r| r.py.ok).map(|r| r.py.loc as f64).collect();
+    let ts_locs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.ts.ok)
+        .map(|r| r.ts.loc as f64)
+        .collect();
+    let py_locs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.py.ok)
+        .map(|r| r.py.loc as f64)
+        .collect();
     Table2Report {
         ts_avg_loc: mean(&ts_locs),
         py_avg_loc: mean(&py_locs),
@@ -120,8 +140,14 @@ pub fn run(seed: u64) -> Table2Report {
 /// Renders the report in the paper's table layout.
 pub fn render(report: &Table2Report) -> String {
     let mut table = Table::new([
-        "#", "Template Prompt", "Return Type", "Parameter Types", "TS LOC", "TS Retry",
-        "Py LOC", "Py Retry",
+        "#",
+        "Template Prompt",
+        "Return Type",
+        "Parameter Types",
+        "TS LOC",
+        "TS Retry",
+        "Py LOC",
+        "Py Retry",
     ]);
     for row in &report.rows {
         table.row([
@@ -129,9 +155,17 @@ pub fn render(report: &Table2Report) -> String {
             row.template.clone(),
             row.return_type.clone(),
             row.param_types.clone(),
-            if row.ts.ok { row.ts.loc.to_string() } else { "fail".into() },
+            if row.ts.ok {
+                row.ts.loc.to_string()
+            } else {
+                "fail".into()
+            },
             row.ts.retries.to_string(),
-            if row.py.ok { row.py.loc.to_string() } else { "fail".into() },
+            if row.py.ok {
+                row.py.loc.to_string()
+            } else {
+                "fail".into()
+            },
             row.py.retries.to_string(),
         ]);
     }
@@ -154,21 +188,39 @@ mod tests {
         let report = run(42);
         assert_eq!(report.rows.len(), 50);
         // TypeScript compiles everything.
-        assert_eq!(report.ts_failures, 0, "{:?}", report
-            .rows
-            .iter()
-            .filter(|r| !r.ts.ok)
-            .map(|r| r.id)
-            .collect::<Vec<_>>());
+        assert_eq!(
+            report.ts_failures,
+            0,
+            "{:?}",
+            report
+                .rows
+                .iter()
+                .filter(|r| !r.ts.ok)
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+        );
         // Python fails exactly the ambiguous tasks.
         assert_eq!(report.py_failures, vec![11, 21, 22, 23, 24]);
         // Average LOC lands near the paper's 7.56 / 6.52.
-        assert!((4.0..11.0).contains(&report.ts_avg_loc), "{}", report.ts_avg_loc);
-        assert!((3.5..10.0).contains(&report.py_avg_loc), "{}", report.py_avg_loc);
+        assert!(
+            (4.0..11.0).contains(&report.ts_avg_loc),
+            "{}",
+            report.ts_avg_loc
+        );
+        assert!(
+            (3.5..10.0).contains(&report.py_avg_loc),
+            "{}",
+            report.py_avg_loc
+        );
         // Python code is terser than TypeScript on average (no braces).
         assert!(report.py_avg_loc < report.ts_avg_loc);
         // Some retries happen across the catalogue, none beyond the budget.
-        let max_retry = report.rows.iter().map(|r| r.ts.retries.max(r.py.retries)).max().unwrap();
+        let max_retry = report
+            .rows
+            .iter()
+            .map(|r| r.ts.retries.max(r.py.retries))
+            .max()
+            .unwrap();
         assert!(max_retry <= 9);
         let render = render(&report);
         assert!(render.contains("Table II"));

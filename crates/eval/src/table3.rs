@@ -5,13 +5,18 @@
 //! the same template and measures the *real* execution time of the generated
 //! function plus its compilation time. The headline is the speedup ratio.
 //!
-//! Problems are independent, so the sweep fans out over worker threads with
-//! `crossbeam::scope` — full-scale runs touch 1,319 problems twice.
+//! Problems are independent, so the sweep fans out over the execution
+//! engine's worker pool — full-scale runs touch 1,319 problems twice. The
+//! mock model derives its randomness per conversation, so every thread
+//! count produces identical simulated numbers (solve counts, latency,
+//! compilation time); only the measured execution-time column varies with
+//! the machine.
 
 use std::time::{Duration, Instant};
 
 use askit_core::{Askit, AskitConfig, Example};
 use askit_datasets::gsm8k::{self, Gsm8kProblem};
+use askit_exec::EngineConfig;
 use askit_llm::{MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
@@ -54,38 +59,45 @@ struct Outcome {
     generated: Option<(Duration, Duration)>, // (compile, execution)
 }
 
-fn run_pipeline(problems: &[Gsm8kProblem], syntax: Syntax, run_seed: u64) -> Table3Column {
+fn run_pipeline(
+    problems: &[Gsm8kProblem],
+    syntax: Syntax,
+    run_seed: u64,
+    threads: usize,
+) -> Table3Column {
     let mut oracle = Oracle::standard();
     gsm8k::register_oracle(&mut oracle, problems, run_seed);
     let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(run_seed), oracle);
-    let askit = Askit::new(llm).with_config(AskitConfig::default());
+    let askit = Askit::new(llm)
+        .with_config(AskitConfig::default())
+        .with_engine_config(EngineConfig::default().with_workers(threads));
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    let chunk = problems.len().div_ceil(workers.max(1)).max(1);
-    let mut outcomes: Vec<Option<Outcome>> = Vec::new();
-    outcomes.resize_with(problems.len(), || None);
-
-    crossbeam::scope(|scope| {
-        for (slot_chunk, problem_chunk) in
-            outcomes.chunks_mut(chunk).zip(problems.chunks(chunk))
-        {
-            let askit = &askit;
-            scope.spawn(move |_| {
-                for (slot, problem) in slot_chunk.iter_mut().zip(problem_chunk) {
-                    *slot = Some(run_problem(askit, problem, syntax));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let outcomes: Vec<Outcome> = outcomes.into_iter().flatten().collect();
+    let outcomes: Vec<Outcome> = askit
+        .engine()
+        .map(problems, |_, problem| run_problem(&askit, problem, syntax));
     let solved: Vec<&Outcome> = outcomes.iter().filter(|o| o.solved).collect();
-    let generated: Vec<&(Duration, Duration)> =
-        outcomes.iter().filter_map(|o| o.generated.as_ref()).collect();
-    let latency_mean = mean(&solved.iter().map(|o| o.latency.as_secs_f64()).collect::<Vec<_>>());
-    let exec_mean = mean(&generated.iter().map(|g| g.1.as_secs_f64()).collect::<Vec<_>>());
-    let compile_mean = mean(&generated.iter().map(|g| g.0.as_secs_f64()).collect::<Vec<_>>());
+    let generated: Vec<&(Duration, Duration)> = outcomes
+        .iter()
+        .filter_map(|o| o.generated.as_ref())
+        .collect();
+    let latency_mean = mean(
+        &solved
+            .iter()
+            .map(|o| o.latency.as_secs_f64())
+            .collect::<Vec<_>>(),
+    );
+    let exec_mean = mean(
+        &generated
+            .iter()
+            .map(|g| g.1.as_secs_f64())
+            .collect::<Vec<_>>(),
+    );
+    let compile_mean = mean(
+        &generated
+            .iter()
+            .map(|g| g.0.as_secs_f64())
+            .collect::<Vec<_>>(),
+    );
     Table3Column {
         syntax,
         attempted: problems.len(),
@@ -104,17 +116,33 @@ fn run_problem(askit: &Askit<MockLlm>, problem: &Gsm8kProblem, syntax: Syntax) -
             input: problem.args.clone(),
             output: problem.answer.clone(),
         }]),
-        Err(_) => return Outcome { solved: false, latency: Duration::ZERO, generated: None },
+        Err(_) => {
+            return Outcome {
+                solved: false,
+                latency: Duration::ZERO,
+                generated: None,
+            }
+        }
     };
 
     // Direct mode (paper: "using GPT-4 as part of the application").
     let direct = match task.call_detailed(problem.args.clone()) {
         Ok(outcome) => outcome,
-        Err(_) => return Outcome { solved: false, latency: Duration::ZERO, generated: None },
+        Err(_) => {
+            return Outcome {
+                solved: false,
+                latency: Duration::ZERO,
+                generated: None,
+            }
+        }
     };
     let solved = direct.value.loosely_equals(&problem.answer);
     if !solved {
-        return Outcome { solved: false, latency: direct.latency, generated: None };
+        return Outcome {
+            solved: false,
+            latency: direct.latency,
+            generated: None,
+        };
     }
 
     // Compiled mode, only for directly-solved problems (as in the paper:
@@ -130,16 +158,29 @@ fn run_problem(askit: &Askit<MockLlm>, problem: &Gsm8kProblem, syntax: Syntax) -
         let execution = started.elapsed() / ITERS;
         (compiled.compile_time(), execution)
     });
-    Outcome { solved: true, latency: direct.latency, generated }
+    Outcome {
+        solved: true,
+        latency: direct.latency,
+        generated,
+    }
 }
 
-/// Runs the full Table III experiment over `count` problems.
+/// Runs the full Table III experiment over `count` problems with the
+/// default (auto) worker count.
 pub fn run(count: usize, seed: u64) -> Table3Report {
+    run_with_threads(count, seed, 0)
+}
+
+/// Runs the experiment with an explicit engine worker count (`0` = auto).
+///
+/// The simulated columns of the report are identical for every `threads`
+/// value; only wall-clock (and the measured execution column) change.
+pub fn run_with_threads(count: usize, seed: u64, threads: usize) -> Table3Report {
     let problems = gsm8k::problems(count, seed);
     // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
     // difference to response randomness.
-    let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1));
-    let py = run_pipeline(&problems, Syntax::Py, seed.wrapping_add(2));
+    let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1), threads);
+    let py = run_pipeline(&problems, Syntax::Py, seed.wrapping_add(2), threads);
     Table3Report { ts, py }
 }
 
@@ -189,7 +230,11 @@ mod tests {
             assert_eq!(col.attempted, 60);
             // Solve rate near the paper's ~87%.
             let rate = col.solved_direct as f64 / col.attempted as f64;
-            assert!((0.7..1.0).contains(&rate), "{:?} solve rate {rate}", col.syntax);
+            assert!(
+                (0.7..1.0).contains(&rate),
+                "{:?} solve rate {rate}",
+                col.syntax
+            );
             // Nearly all solved problems also generate code.
             assert!(col.generated as f64 >= 0.85 * col.solved_direct as f64);
             // Latency is seconds; execution is microseconds: that *is* the claim.

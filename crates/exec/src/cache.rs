@@ -1,0 +1,292 @@
+//! The sharded prompt→completion cache.
+//!
+//! Keys are full [`CompletionRequest`]s plus the sample ordinal (so resends
+//! of an identical prompt by a retry loop are distinct entries). Entries are
+//! spread across [`SHARD_COUNT`] mutex-guarded segments by an FNV-1a hash, so
+//! concurrent workers rarely contend on the same lock. Each shard evicts in
+//! FIFO order once it reaches its capacity share.
+//!
+//! Caveat for non-deterministic backends: the cache stores completions
+//! whether or not downstream validation accepts them. With the workspace's
+//! simulated models this is lossless (responses are pure per request), but a
+//! temperature-sampled network backend retried *across* separate
+//! `compile()` invocations would replay its earlier rejected samples. Cache
+//! invalidation on validation failure is tracked in ROADMAP.md.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use askit_llm::{Completion, CompletionRequest};
+
+/// Number of independent cache segments.
+pub const SHARD_COUNT: usize = 16;
+
+/// Counter snapshot of a [`CompletionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the model.
+    pub misses: u64,
+    /// Completions stored.
+    pub insertions: u64,
+    /// Entries dropped to respect capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached completion, keyed by the request that produced it.
+struct CacheEntry {
+    /// The exact request (kept to disambiguate 64-bit hash collisions).
+    request: CompletionRequest,
+    /// The sample ordinal the completion was produced under.
+    sample: u64,
+    /// The completion served on hits.
+    completion: Completion,
+}
+
+/// One mutex-guarded segment.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, CacheEntry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+/// A concurrency-friendly completion cache (see the [module docs](self)).
+pub struct CompletionCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CompletionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CompletionCache {
+    /// Creates a cache holding at most `capacity` completions (rounded up to
+    /// a multiple of [`SHARD_COUNT`]).
+    pub fn new(capacity: usize) -> Self {
+        CompletionCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard: capacity.div_ceil(SHARD_COUNT).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key: the request's canonical fingerprint salted with the
+    /// sample ordinal (see [`CompletionRequest::fingerprint`]).
+    fn key(request: &CompletionRequest, sample: u64) -> u64 {
+        request.fingerprint(sample)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Looks up a completion, counting the hit or miss.
+    pub fn get(&self, request: &CompletionRequest, sample: u64) -> Option<Completion> {
+        let key = Self::key(request, sample);
+        let shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let found = shard
+            .entries
+            .get(&key)
+            .filter(|entry| entry.sample == sample && entry.request == *request);
+        match found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.completion.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a completion, evicting the oldest entry of the target shard
+    /// when it is full.
+    pub fn put(&self, request: &CompletionRequest, sample: u64, completion: Completion) {
+        let key = Self::key(request, sample);
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match shard.entries.entry(key) {
+            Entry::Occupied(mut slot) => {
+                // Same key raced in twice (or a hash collision): keep the
+                // newest completion, no order change.
+                slot.insert(CacheEntry {
+                    request: request.clone(),
+                    sample,
+                    completion,
+                });
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(CacheEntry {
+                    request: request.clone(),
+                    sample,
+                    completion,
+                });
+                shard.order.push_back(key);
+                self.insertions.fetch_add(1, Ordering::Relaxed);
+                while shard.order.len() > self.capacity_per_shard {
+                    if let Some(oldest) = shard.order.pop_front() {
+                        shard.entries.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .entries
+                        .len()
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_llm::TokenUsage;
+    use std::time::Duration;
+
+    fn request(prompt: &str) -> CompletionRequest {
+        CompletionRequest::from_prompt(prompt)
+    }
+
+    fn completion(text: &str) -> Completion {
+        Completion {
+            text: text.to_owned(),
+            usage: TokenUsage {
+                prompt_tokens: 1,
+                completion_tokens: 1,
+            },
+            latency: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn hit_after_put_and_sample_isolation() {
+        let cache = CompletionCache::new(64);
+        let req = request("q");
+        assert!(cache.get(&req, 0).is_none());
+        cache.put(&req, 0, completion("a"));
+        assert_eq!(cache.get(&req, 0).unwrap().text, "a");
+        // The same prompt at a different sample ordinal is a different entry.
+        assert!(cache.get(&req, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn temperature_distinguishes_requests() {
+        let cache = CompletionCache::new(64);
+        let mut warm = request("q");
+        warm.temperature = 1.0;
+        let mut cold = request("q");
+        cold.temperature = 0.0;
+        cache.put(&warm, 0, completion("warm"));
+        assert!(cache.get(&cold, 0).is_none());
+        assert_eq!(cache.get(&warm, 0).unwrap().text, "warm");
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_and_counts() {
+        // Capacity 16 → one slot per shard; every extra insert into an
+        // occupied shard evicts that shard's oldest entry.
+        let cache = CompletionCache::new(SHARD_COUNT);
+        for i in 0..200 {
+            let req = request(&format!("prompt {i}"));
+            cache.put(&req, 0, completion("x"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 200);
+        assert!(stats.entries <= SHARD_COUNT, "entries {}", stats.entries);
+        assert_eq!(stats.evictions, stats.insertions - stats.entries as u64);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = std::sync::Arc::new(CompletionCache::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let req = request(&format!("shared {}", i % 25));
+                        if let Some(hit) = cache.get(&req, 0) {
+                            assert_eq!(hit.text, format!("answer {}", i % 25));
+                        } else {
+                            cache.put(&req, 0, completion(&format!("answer {}", i % 25)));
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert_eq!(stats.entries, 25);
+    }
+}

@@ -1,0 +1,297 @@
+//! The [`Engine`]: cache-fronted, pool-backed completion submission.
+
+use askit_llm::{Completion, CompletionRequest, LanguageModel, LlmError};
+
+use crate::cache::{CacheStats, CompletionCache};
+use crate::pool::parallel_map;
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for batched submission and [`Engine::map`]. `0` means
+    /// auto (the machine's available parallelism, capped at 8).
+    pub workers: usize,
+    /// Maximum cached completions. `0` disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Overrides the worker count (`0` = auto).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the cache capacity (`0` disables caching).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// Resolves `0` to the machine's available parallelism (capped at 8).
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    }
+}
+
+/// The execution engine: owns a model, a worker-pool width, and an optional
+/// completion cache. Implements [`LanguageModel`] so it slots anywhere a
+/// model does — the whole AskIt stack submits through it.
+pub struct Engine<L> {
+    model: L,
+    config: EngineConfig,
+    workers: usize,
+    cache: Option<CompletionCache>,
+}
+
+impl<L> std::fmt::Debug for Engine<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl<L: LanguageModel> Engine<L> {
+    /// Wraps a model with the default configuration.
+    pub fn new(model: L) -> Self {
+        Engine::with_config(model, EngineConfig::default())
+    }
+
+    /// Wraps a model with an explicit configuration.
+    pub fn with_config(model: L, config: EngineConfig) -> Self {
+        Engine {
+            model,
+            workers: resolve_workers(config.workers),
+            cache: (config.cache_capacity > 0).then(|| CompletionCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &L {
+        &self.model
+    }
+
+    /// Unwraps the engine, returning the model (the cache is dropped).
+    pub fn into_model(self) -> L {
+        self.model
+    }
+
+    /// The resolved worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cache counters (all zero when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(CompletionCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Runs `f` over every item on the worker pool, preserving item order in
+    /// the result. This is the task-level fan-out the eval drivers use:
+    /// each item typically performs a whole retry conversation through
+    /// [`Engine::complete_tagged`].
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        parallel_map(self.workers, items, f)
+    }
+}
+
+impl<L: LanguageModel> LanguageModel for Engine<L> {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        self.complete_tagged(request, 0)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let Some(cache) = &self.cache else {
+            return self.model.complete_tagged(request, sample);
+        };
+        if let Some(hit) = cache.get(request, sample) {
+            return Ok(hit);
+        }
+        let completion = self.model.complete_tagged(request, sample)?;
+        cache.put(request, sample, completion.clone());
+        Ok(completion)
+    }
+
+    /// Splits the batch across the worker pool. Each request still goes
+    /// through the cache individually, and results come back in request
+    /// order; chunks are handed to the model's own batched entry point.
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        // Probe the cache up front so only true misses reach the model.
+        let mut results: Vec<Option<Result<Completion, LlmError>>> = match &self.cache {
+            Some(cache) => requests.iter().map(|r| cache.get(r, 0).map(Ok)).collect(),
+            None => requests.iter().map(|_| None).collect(),
+        };
+        let miss_indices: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if !miss_indices.is_empty() {
+            let chunk_size = miss_indices.len().div_ceil(self.workers.max(1)).max(1);
+            let chunks: Vec<&[usize]> = miss_indices.chunks(chunk_size).collect();
+            let completed: Vec<Vec<Result<Completion, LlmError>>> =
+                parallel_map(self.workers, &chunks, |_, chunk| {
+                    let batch: Vec<CompletionRequest> =
+                        chunk.iter().map(|&i| requests[i].clone()).collect();
+                    self.model.complete_batch(&batch)
+                });
+            for (chunk, outcomes) in chunks.iter().zip(completed) {
+                for (&index, outcome) in chunk.iter().zip(outcomes) {
+                    if let (Some(cache), Ok(completion)) = (&self.cache, &outcome) {
+                        cache.put(&requests[index], 0, completion.clone());
+                    }
+                    results[index] = Some(outcome);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every request resolved"))
+            .collect()
+    }
+
+    fn model_name(&self) -> &str {
+        self.model.model_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_llm::{ChatMessage, MockLlm, ScriptedLlm};
+
+    fn request(prompt: &str) -> CompletionRequest {
+        CompletionRequest::from_prompt(prompt)
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_model_calls() {
+        let engine = Engine::new(MockLlm::gpt4());
+        let req = request("Hello there!");
+        let first = engine.complete(&req).unwrap();
+        let calls_after_first = engine.model().calls();
+        let second = engine.complete(&req).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            engine.model().calls(),
+            calls_after_first,
+            "hit skips the model"
+        );
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn sample_ordinals_bypass_stale_entries() {
+        let engine = Engine::new(MockLlm::gpt4());
+        let req = request("Hello there!");
+        let _ = engine.complete_tagged(&req, 0).unwrap();
+        let calls = engine.model().calls();
+        let _ = engine.complete_tagged(&req, 1).unwrap();
+        assert_eq!(
+            engine.model().calls(),
+            calls + 1,
+            "new ordinal reaches the model"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_always_submits() {
+        let engine = Engine::with_config(
+            MockLlm::gpt4(),
+            EngineConfig::default().with_cache_capacity(0),
+        );
+        let req = request("Hello there!");
+        let _ = engine.complete(&req).unwrap();
+        let _ = engine.complete(&req).unwrap();
+        assert_eq!(engine.model().calls(), 2);
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn batch_preserves_order_and_caches() {
+        let engine = Engine::with_config(MockLlm::gpt4(), EngineConfig::default().with_workers(4));
+        let requests: Vec<CompletionRequest> =
+            (0..12).map(|i| request(&format!("Prompt {i}"))).collect();
+        let serial: Vec<String> = requests
+            .iter()
+            .map(|r| engine.model().complete(r).unwrap().text)
+            .collect();
+        let batched = engine.complete_batch(&requests);
+        for (expected, got) in serial.iter().zip(&batched) {
+            assert_eq!(expected, &got.as_ref().unwrap().text);
+        }
+        // Everything is now resident: a second batch is pure hits.
+        let calls = engine.model().calls();
+        let again = engine.complete_batch(&requests);
+        assert_eq!(engine.model().calls(), calls);
+        assert_eq!(again.len(), 12);
+        assert!(engine.cache_stats().hits >= 12);
+    }
+
+    #[test]
+    fn batch_surfaces_per_request_errors_in_place() {
+        let engine = Engine::with_config(
+            ScriptedLlm::new(["only response"]),
+            EngineConfig::default().with_workers(1),
+        );
+        let results = engine.complete_batch(&[request("a"), request("b")]);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(LlmError::Exhausted));
+    }
+
+    #[test]
+    fn engine_is_a_language_model() {
+        let engine = Engine::new(MockLlm::gpt4());
+        assert_eq!(engine.model_name(), "sim-gpt-4");
+        // Conversations with history flow through unchanged.
+        let req = CompletionRequest {
+            messages: vec![
+                ChatMessage::user("Hello there!"),
+                ChatMessage::assistant("Hi."),
+                ChatMessage::user("And again!"),
+            ],
+            temperature: 1.0,
+        };
+        assert!(engine.complete(&req).is_ok());
+    }
+}

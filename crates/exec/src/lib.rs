@@ -1,0 +1,36 @@
+//! # askit-exec
+//!
+//! The execution engine between the AskIt DSL (`askit-core`) and the model
+//! substrate (`askit-llm`).
+//!
+//! LMQL and APPL both observe that a runtime layer between a prompt-program
+//! DSL and the model is the right home for scheduling and caching; this crate
+//! is that layer for AskIt. An [`Engine`] wraps any [`LanguageModel`] and
+//! adds:
+//!
+//! * a **worker pool** ([`Engine::map`]) that fans independent tasks out
+//!   across scoped threads with dynamic load balancing;
+//! * **batched submission** ([`LanguageModel::complete_batch`] on the
+//!   engine) that splits a request batch across the pool;
+//! * a **sharded completion cache** ([`CompletionCache`]) fronting the
+//!   model: FNV-sharded mutex segments, hit/miss/eviction counters exposed
+//!   as [`CacheStats`].
+//!
+//! The engine itself implements [`LanguageModel`], so the whole AskIt stack
+//! (the `run_direct` retry loop, the codegen pipeline, the eval drivers)
+//! runs through it unchanged — submissions just gain caching and
+//! concurrency.
+//!
+//! Results are deterministic in the thread count: the engine never reorders
+//! per-request semantics, and the workspace's simulated models derive their
+//! randomness per request rather than from shared state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod pool;
+
+pub use cache::{CacheStats, CompletionCache};
+pub use engine::{Engine, EngineConfig};

@@ -1,0 +1,89 @@
+//! The scoped worker pool: an order-preserving parallel map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item on up to `workers` scoped threads, returning
+/// results in item order.
+///
+/// Work is claimed item-by-item from a shared atomic counter, so uneven task
+/// costs (some problems retry, some do not) still balance across the pool.
+/// With `workers <= 1` the map runs inline on the caller's thread.
+pub fn parallel_map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(index, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let (sender, receiver) = mpsc::channel::<(usize, U)>();
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                if sender.send((index, f(index, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(sender);
+        for (index, value) in receiver {
+            slots[index] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_width() {
+        let items: Vec<usize> = (0..97).collect();
+        for workers in [0, 1, 2, 8] {
+            let out = parallel_map(workers, &items, |index, &item| {
+                assert_eq!(index, item);
+                item * 2
+            });
+            assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = parallel_map(4, &[] as &[u8], |_, &b| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_still_completes() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(4, &items, |_, &n| {
+            if n % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            n + 1
+        });
+        assert_eq!(out.len(), 40);
+        assert_eq!(out[39], 40);
+    }
+}

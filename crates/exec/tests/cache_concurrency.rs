@@ -1,0 +1,111 @@
+//! Concurrency tests for the engine's completion cache: correctness of
+//! hit/miss accounting and response stability under seeded fault injection
+//! and arbitrary thread interleavings.
+
+use askit_exec::{Engine, EngineConfig};
+use askit_llm::{CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle};
+
+/// A mock with aggressive first-attempt faults, so cached completions carry
+/// the whole spectrum of malformed responses too.
+fn faulty_mock(seed: u64) -> MockLlm {
+    let config = MockLlmConfig::gpt4()
+        .with_seed(seed)
+        .with_faults(FaultConfig {
+            direct_fault_rate: 0.5,
+            code_bug_rate: 0.5,
+            decay: 0.35,
+        });
+    MockLlm::new(config, Oracle::standard())
+}
+
+fn arithmetic_prompt(i: usize) -> CompletionRequest {
+    // The Listing-2 shape the mock recognizes as a direct task.
+    CompletionRequest::from_prompt(format!(
+        "You are a helpful assistant that generates responses in JSON format \
+         enclosed with ```json and ```.\nThe response in the JSON code block \
+         should match the type defined as follows:\n```ts\n{{ reason: string, \
+         answer: number }}\n```\nExplain your answer step-by-step in the \
+         'reason' field.\n\nWhat is 'x' plus 'y'?\nwhere 'x' = {i}, 'y' = 7"
+    ))
+}
+
+/// Every thread interleaving must observe the single-threaded reference
+/// responses, and the counters must account for every lookup.
+#[test]
+fn concurrent_hits_and_misses_match_the_serial_reference() {
+    const DISTINCT: usize = 23;
+    const TOTAL: usize = 161; // not a multiple of DISTINCT: uneven reuse
+
+    // Single-threaded reference over a fault-injecting model.
+    let reference: Vec<String> = (0..DISTINCT)
+        .map(|i| {
+            faulty_mock(99)
+                .complete(&arithmetic_prompt(i))
+                .unwrap()
+                .text
+        })
+        .collect();
+
+    let engine = Engine::with_config(
+        faulty_mock(99),
+        EngineConfig::default()
+            .with_workers(8)
+            .with_cache_capacity(1024),
+    );
+    let requests: Vec<CompletionRequest> = (0..TOTAL)
+        .map(|n| arithmetic_prompt(n % DISTINCT))
+        .collect();
+    let texts = engine.map(&requests, |_, request| {
+        engine.complete(request).unwrap().text
+    });
+
+    for (n, text) in texts.iter().enumerate() {
+        assert_eq!(text, &reference[n % DISTINCT], "request {n} diverged");
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        TOTAL as u64,
+        "every lookup counted"
+    );
+    assert_eq!(stats.entries, DISTINCT, "one entry per distinct request");
+    // Workers may race the same request into a duplicate model call before
+    // the first insert lands, but never more than once per worker.
+    assert!(
+        stats.hits >= (TOTAL - DISTINCT - 8) as u64,
+        "hits {}",
+        stats.hits
+    );
+    assert!(stats.evictions == 0);
+}
+
+/// A batched submission equals the serial submission, result for result,
+/// including error slots.
+#[test]
+fn complete_batch_equals_serial_under_faults() {
+    let requests: Vec<CompletionRequest> = (0..40).map(arithmetic_prompt).collect();
+    let serial: Vec<_> = {
+        let engine = Engine::with_config(faulty_mock(7), EngineConfig::default().with_workers(1));
+        requests.iter().map(|r| engine.complete(r)).collect()
+    };
+    let batched = Engine::with_config(faulty_mock(7), EngineConfig::default().with_workers(8))
+        .complete_batch(&requests);
+    assert_eq!(serial, batched);
+}
+
+/// The cache never bleeds responses across different seeds (i.e. different
+/// engines), and stats start at zero.
+#[test]
+fn engines_are_isolated() {
+    let a = Engine::new(faulty_mock(1));
+    let b = Engine::new(faulty_mock(2));
+    assert_eq!(a.cache_stats().hits + b.cache_stats().misses, 0);
+    let req = arithmetic_prompt(0);
+    let _ = a.complete(&req).unwrap();
+    assert_eq!(
+        b.cache_stats().misses,
+        0,
+        "b's cache untouched by a's traffic"
+    );
+}

@@ -51,7 +51,11 @@ pub struct FromJsonError {
 impl FromJsonError {
     /// Creates a mismatch error at the value root.
     pub fn mismatch(expected: impl Into<String>, found: &Json) -> Self {
-        FromJsonError { path: String::new(), expected: expected.into(), found: found.kind() }
+        FromJsonError {
+            path: String::new(),
+            expected: expected.into(),
+            found: found.kind(),
+        }
     }
 
     /// Returns this error re-rooted under `segment` (e.g. an array index or
@@ -77,7 +81,11 @@ impl fmt::Display for FromJsonError {
         if self.path.is_empty() {
             write!(f, "expected {}, found {}", self.expected, self.found)
         } else {
-            write!(f, "at {}: expected {}, found {}", self.path, self.expected, self.found)
+            write!(
+                f,
+                "at {}: expected {}, found {}",
+                self.path, self.expected, self.found
+            )
         }
     }
 }
@@ -104,7 +112,8 @@ impl ToJson for bool {
 
 impl FromJson for bool {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        v.as_bool().ok_or_else(|| FromJsonError::mismatch("boolean", v))
+        v.as_bool()
+            .ok_or_else(|| FromJsonError::mismatch("boolean", v))
     }
 }
 
@@ -136,7 +145,8 @@ impl ToJson for f64 {
 
 impl FromJson for f64 {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        v.as_f64().ok_or_else(|| FromJsonError::mismatch("number", v))
+        v.as_f64()
+            .ok_or_else(|| FromJsonError::mismatch("number", v))
     }
 }
 
@@ -166,7 +176,9 @@ impl ToJson for &str {
 
 impl FromJson for String {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        v.as_str().map(str::to_owned).ok_or_else(|| FromJsonError::mismatch("string", v))
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| FromJsonError::mismatch("string", v))
     }
 }
 
@@ -184,7 +196,9 @@ impl<T: ToJson> ToJson for [T] {
 
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("array", v))?;
+        let items = v
+            .as_array()
+            .ok_or_else(|| FromJsonError::mismatch("array", v))?;
         items
             .iter()
             .enumerate()
@@ -219,10 +233,14 @@ impl<T: ToJson> ToJson for BTreeMap<String, T> {
 
 impl<T: FromJson> FromJson for BTreeMap<String, T> {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        let obj = v.as_object().ok_or_else(|| FromJsonError::mismatch("object", v))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| FromJsonError::mismatch("object", v))?;
         obj.iter()
             .map(|(k, val)| {
-                T::from_json(val).map(|t| (k.to_owned(), t)).map_err(|e| e.nested(k))
+                T::from_json(val)
+                    .map(|t| (k.to_owned(), t))
+                    .map_err(|e| e.nested(k))
             })
             .collect()
     }
@@ -242,7 +260,9 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 
 impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("2-element array", v))?;
+        let items = v
+            .as_array()
+            .ok_or_else(|| FromJsonError::mismatch("2-element array", v))?;
         if items.len() != 2 {
             return Err(FromJsonError::mismatch("2-element array", v));
         }
@@ -261,7 +281,9 @@ impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
 
 impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
     fn from_json(v: &Json) -> Result<Self, FromJsonError> {
-        let items = v.as_array().ok_or_else(|| FromJsonError::mismatch("3-element array", v))?;
+        let items = v
+            .as_array()
+            .ok_or_else(|| FromJsonError::mismatch("3-element array", v))?;
         if items.len() != 3 {
             return Err(FromJsonError::mismatch("3-element array", v));
         }
@@ -279,7 +301,7 @@ mod tests {
 
     #[test]
     fn scalar_roundtrips() {
-        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+        assert!(bool::from_json(&true.to_json()).unwrap());
         assert_eq!(i64::from_json(&(-9i64).to_json()).unwrap(), -9);
         assert_eq!(u8::from_json(&Json::Int(200)).unwrap(), 200);
         assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);

@@ -68,7 +68,11 @@ impl ParseJsonError {
 
 impl fmt::Display for ParseJsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.detail, self.line, self.col)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.detail, self.line, self.col
+        )
     }
 }
 
@@ -95,7 +99,10 @@ impl Json {
     /// # Ok::<(), askit_json::ParseJsonError>(())
     /// ```
     pub fn parse(text: &str) -> Result<Json, ParseJsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value(0)?;
         p.skip_ws();
@@ -120,7 +127,10 @@ impl Json {
     /// # Ok::<(), askit_json::ParseJsonError>(())
     /// ```
     pub fn parse_prefix(text: &str) -> Result<(Json, usize), ParseJsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value(0)?;
         Ok((v, p.pos))
@@ -139,7 +149,12 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
-        ParseJsonError { kind, line, col, detail: detail.into() }
+        ParseJsonError {
+            kind,
+            line,
+            col,
+            detail: detail.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -231,8 +246,7 @@ impl<'a> Parser<'a> {
                     ));
                 }
                 None => {
-                    return Err(self
-                        .err(ParseJsonErrorKind::UnexpectedEof, "unterminated array"))
+                    return Err(self.err(ParseJsonErrorKind::UnexpectedEof, "unterminated array"))
                 }
             }
         }
@@ -266,8 +280,7 @@ impl<'a> Parser<'a> {
                     ));
                 }
                 None => {
-                    return Err(self
-                        .err(ParseJsonErrorKind::UnexpectedEof, "unterminated object"))
+                    return Err(self.err(ParseJsonErrorKind::UnexpectedEof, "unterminated object"))
                 }
             }
         }
@@ -443,9 +456,7 @@ impl<'a> Parser<'a> {
                 b'a'..=b'f' => u32::from(b - b'a') + 10,
                 b'A'..=b'F' => u32::from(b - b'A') + 10,
                 _ => {
-                    return Err(
-                        self.err(ParseJsonErrorKind::BadUnicodeEscape, "invalid hex digit")
-                    )
+                    return Err(self.err(ParseJsonErrorKind::BadUnicodeEscape, "invalid hex digit"))
                 }
             };
             v = v * 16 + d;
@@ -528,7 +539,10 @@ mod tests {
     fn unicode_escapes_and_surrogate_pairs() {
         assert_eq!(parse(r#""é""#), Json::Str("é".into()));
         assert_eq!(parse(r#""😀""#), Json::Str("😀".into()));
-        assert!(Json::parse(r#""\uD83D""#).is_err(), "unpaired high surrogate");
+        assert!(
+            Json::parse(r#""\uD83D""#).is_err(),
+            "unpaired high surrogate"
+        );
         assert!(Json::parse(r#""\uDE00""#).is_err(), "lone low surrogate");
         assert!(Json::parse(r#""\uZZZZ""#).is_err());
     }

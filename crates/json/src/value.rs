@@ -264,9 +264,8 @@ impl Json {
             }
             (Json::Object(a), Json::Object(b)) => {
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.get(k).is_some_and(|w| v.loosely_equals(w))
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.get(k).is_some_and(|w| v.loosely_equals(w)))
             }
             _ => self == other,
         }
@@ -376,12 +375,16 @@ pub struct Map {
 impl Map {
     /// Creates an empty map.
     pub fn new() -> Self {
-        Map { entries: Vec::new() }
+        Map {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty map with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Map { entries: Vec::with_capacity(cap) }
+        Map {
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of entries.
@@ -414,7 +417,10 @@ impl Map {
 
     /// Mutable lookup of `key`.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Whether `key` is present.
@@ -448,7 +454,9 @@ impl Map {
 impl PartialEq for Map {
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len()
-            && self.iter().all(|(k, v)| other.get(k).is_some_and(|w| w == v))
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|w| w == v))
     }
 }
 
@@ -523,9 +531,13 @@ mod tests {
 
     #[test]
     fn map_remove_preserves_order() {
-        let mut m: Map = [("x", Json::Int(1)), ("y", Json::Int(2)), ("z", Json::Int(3))]
-            .into_iter()
-            .collect();
+        let mut m: Map = [
+            ("x", Json::Int(1)),
+            ("y", Json::Int(2)),
+            ("z", Json::Int(3)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(m.remove("y"), Some(Json::Int(2)));
         assert_eq!(m.keys().collect::<Vec<_>>(), ["x", "z"]);
         assert_eq!(m.remove("y"), None);
@@ -533,8 +545,12 @@ mod tests {
 
     #[test]
     fn map_equality_is_order_insensitive() {
-        let a: Map = [("x", Json::Int(1)), ("y", Json::Int(2))].into_iter().collect();
-        let b: Map = [("y", Json::Int(2)), ("x", Json::Int(1))].into_iter().collect();
+        let a: Map = [("x", Json::Int(1)), ("y", Json::Int(2))]
+            .into_iter()
+            .collect();
+        let b: Map = [("y", Json::Int(2)), ("x", Json::Int(1))]
+            .into_iter()
+            .collect();
         assert_eq!(a, b);
         let c: Map = [("x", Json::Int(1))].into_iter().collect();
         assert_ne!(a, c);

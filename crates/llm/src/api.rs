@@ -41,17 +41,26 @@ pub struct ChatMessage {
 impl ChatMessage {
     /// A user message.
     pub fn user(content: impl Into<String>) -> Self {
-        ChatMessage { role: Role::User, content: content.into() }
+        ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        }
     }
 
     /// An assistant message.
     pub fn assistant(content: impl Into<String>) -> Self {
-        ChatMessage { role: Role::Assistant, content: content.into() }
+        ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        }
     }
 
     /// A system message.
     pub fn system(content: impl Into<String>) -> Self {
-        ChatMessage { role: Role::System, content: content.into() }
+        ChatMessage {
+            role: Role::System,
+            content: content.into(),
+        }
     }
 }
 
@@ -72,12 +81,41 @@ pub struct CompletionRequest {
 impl CompletionRequest {
     /// A single-turn request at the paper's default temperature (1.0).
     pub fn from_prompt(prompt: impl Into<String>) -> Self {
-        CompletionRequest { messages: vec![ChatMessage::user(prompt)], temperature: 1.0 }
+        CompletionRequest {
+            messages: vec![ChatMessage::user(prompt)],
+            temperature: 1.0,
+        }
     }
 
     /// Total characters of prompt content (for token accounting).
     pub fn prompt_chars(&self) -> usize {
         self.messages.iter().map(|m| m.content.len()).sum()
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of the request content
+    /// (temperature and the full conversation), mixed with `salt`.
+    ///
+    /// This is the single definition of request identity: the execution
+    /// engine's completion cache keys on it, and the simulated model derives
+    /// its per-request randomness from it (salting with its seed). Keeping
+    /// both behind one helper guarantees they stay in lockstep when the
+    /// request shape grows.
+    pub fn fingerprint(&self, salt: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(&salt.to_le_bytes());
+        mix(&self.temperature.to_bits().to_le_bytes());
+        for message in &self.messages {
+            mix(message.role.to_string().as_bytes());
+            mix(message.content.as_bytes());
+            mix(&[0xFF]); // message separator
+        }
+        h
     }
 
     /// The most recent user message, if any.
@@ -92,13 +130,19 @@ impl CompletionRequest {
     /// The first user message (the original task prompt in a feedback
     /// conversation).
     pub fn first_user(&self) -> Option<&str> {
-        self.messages.iter().find(|m| m.role == Role::User).map(|m| m.content.as_str())
+        self.messages
+            .iter()
+            .find(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
     }
 
     /// How many assistant turns are already in the conversation — i.e. how
     /// many failed attempts preceded this request.
     pub fn attempt(&self) -> usize {
-        self.messages.iter().filter(|m| m.role == Role::Assistant).count()
+        self.messages
+            .iter()
+            .filter(|m| m.role == Role::Assistant)
+            .count()
     }
 }
 
@@ -164,6 +208,40 @@ pub trait LanguageModel: Send + Sync {
     /// Backend-specific; see [`LlmError`].
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError>;
 
+    /// Produces a completion for the `sample`-th resend of an otherwise
+    /// identical conversation.
+    ///
+    /// Retry loops that resend a byte-identical prompt (the codegen pipeline,
+    /// §III-D) pass the attempt ordinal here so backends and caches can
+    /// distinguish "the same query again" (cacheable) from "a fresh sample of
+    /// the same prompt" (must re-draw). The default ignores the ordinal.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`LlmError`].
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let _ = sample;
+        self.complete(request)
+    }
+
+    /// Produces completions for a batch of independent requests, one result
+    /// per request, in order.
+    ///
+    /// The default implementation loops over [`LanguageModel::complete`];
+    /// backends with a cheaper batched path (or an execution engine fronting
+    /// one) override it. Implementations must behave as if each request were
+    /// completed individually — callers rely on per-request determinism.
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        requests
+            .iter()
+            .map(|request| self.complete(request))
+            .collect()
+    }
+
     /// The model identifier (e.g. `sim-gpt-4`).
     fn model_name(&self) -> &str;
 }
@@ -171,6 +249,18 @@ pub trait LanguageModel: Send + Sync {
 impl<L: LanguageModel + ?Sized> LanguageModel for &L {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
         (**self).complete(request)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        (**self).complete_tagged(request, sample)
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        (**self).complete_batch(requests)
     }
 
     fn model_name(&self) -> &str {
@@ -181,6 +271,18 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
 impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
         (**self).complete(request)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        (**self).complete_tagged(request, sample)
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        (**self).complete_batch(requests)
     }
 
     fn model_name(&self) -> &str {
@@ -202,12 +304,18 @@ mod tests {
         assert_eq!(req.attempt(), 1);
         assert_eq!(req.first_user(), Some("solve this"));
         assert_eq!(req.last_user(), Some("try again"));
-        assert_eq!(req.prompt_chars(), "solve this".len() + "bad answer".len() + "try again".len());
+        assert_eq!(
+            req.prompt_chars(),
+            "solve this".len() + "bad answer".len() + "try again".len()
+        );
     }
 
     #[test]
     fn usage_totals() {
-        let u = TokenUsage { prompt_tokens: 10, completion_tokens: 5 };
+        let u = TokenUsage {
+            prompt_tokens: 10,
+            completion_tokens: 5,
+        };
         assert_eq!(u.total(), 15);
     }
 }

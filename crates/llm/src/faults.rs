@@ -26,14 +26,22 @@ impl Default for FaultConfig {
     /// Rates calibrated to land retry counts in the paper's observed 0–7
     /// range with most tasks needing none.
     fn default() -> Self {
-        FaultConfig { direct_fault_rate: 0.08, code_bug_rate: 0.22, decay: 0.35 }
+        FaultConfig {
+            direct_fault_rate: 0.08,
+            code_bug_rate: 0.22,
+            decay: 0.35,
+        }
     }
 }
 
 impl FaultConfig {
     /// A configuration that never misbehaves (for focused tests).
     pub fn none() -> Self {
-        FaultConfig { direct_fault_rate: 0.0, code_bug_rate: 0.0, decay: 0.0 }
+        FaultConfig {
+            direct_fault_rate: 0.0,
+            code_bug_rate: 0.0,
+            decay: 0.0,
+        }
     }
 
     /// The direct-answer fault probability on the given attempt (0-based).
@@ -80,11 +88,7 @@ pub fn sample_direct_fault<R: Rng + ?Sized>(
 }
 
 /// Whether to plant a bug in generated code on the given attempt.
-pub fn sample_code_bug<R: Rng + ?Sized>(
-    cfg: &FaultConfig,
-    attempt: usize,
-    rng: &mut R,
-) -> bool {
+pub fn sample_code_bug<R: Rng + ?Sized>(cfg: &FaultConfig, attempt: usize, rng: &mut R) -> bool {
     rng.gen_bool(cfg.code_rate_at(attempt).clamp(0.0, 1.0))
 }
 
@@ -170,7 +174,11 @@ fn count_stmt(stmt: &Stmt, n: &mut usize) {
     match stmt {
         Stmt::Let { init, .. } => count_expr(init, n),
         Stmt::Assign { value, .. } => count_expr(value, n),
-        Stmt::If { cond, then_block, else_block } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             count_expr(cond, n);
             for s in then_block {
                 count_stmt(s, n);
@@ -185,7 +193,9 @@ fn count_stmt(stmt: &Stmt, n: &mut usize) {
                 count_stmt(s, n);
             }
         }
-        Stmt::ForRange { start, end, body, .. } => {
+        Stmt::ForRange {
+            start, end, body, ..
+        } => {
             *n += 1; // the inclusive/exclusive bound itself
             count_expr(start, n);
             count_expr(end, n);
@@ -263,12 +273,23 @@ fn mutate_stmt(stmt: &mut Stmt, target: usize, counter: &mut usize) -> Option<Co
     match stmt {
         Stmt::Let { init, .. } => mutate_expr(init, target, counter),
         Stmt::Assign { value, .. } => mutate_expr(value, target, counter),
-        Stmt::If { cond, then_block, else_block } => mutate_expr(cond, target, counter)
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => mutate_expr(cond, target, counter)
             .or_else(|| mutate_block(then_block, target, counter))
             .or_else(|| mutate_block(else_block, target, counter)),
-        Stmt::While { cond, body } => mutate_expr(cond, target, counter)
-            .or_else(|| mutate_block(body, target, counter)),
-        Stmt::ForRange { start, end, inclusive, body, .. } => {
+        Stmt::While { cond, body } => {
+            mutate_expr(cond, target, counter).or_else(|| mutate_block(body, target, counter))
+        }
+        Stmt::ForRange {
+            start,
+            end,
+            inclusive,
+            body,
+            ..
+        } => {
             if *counter == target {
                 *inclusive = !*inclusive;
                 *counter += 1;
@@ -279,8 +300,9 @@ fn mutate_stmt(stmt: &mut Stmt, target: usize, counter: &mut usize) -> Option<Co
                 .or_else(|| mutate_expr(end, target, counter))
                 .or_else(|| mutate_block(body, target, counter))
         }
-        Stmt::ForOf { iter, body, .. } => mutate_expr(iter, target, counter)
-            .or_else(|| mutate_block(body, target, counter)),
+        Stmt::ForOf { iter, body, .. } => {
+            mutate_expr(iter, target, counter).or_else(|| mutate_block(body, target, counter))
+        }
         Stmt::Return(Some(e)) => mutate_expr(e, target, counter),
         _ => None,
     }
@@ -300,10 +322,7 @@ fn mutate_expr(e: &mut Expr, target: usize, counter: &mut usize) -> Option<CodeB
         Expr::Binary(op, a, b) => {
             if let Some(swapped) = swap_op(*op) {
                 if *counter == target {
-                    let bug = if matches!(
-                        op,
-                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                    ) {
+                    let bug = if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
                         CodeBug::OffByOneBound
                     } else {
                         CodeBug::WrongOperator
@@ -356,8 +375,9 @@ fn mutate_expr(e: &mut Expr, target: usize, counter: &mut usize) -> Option<CodeB
             None
         }
         Expr::Prop(a, _) => mutate_expr(a, target, counter),
-        Expr::Index(a, b) => mutate_expr(a, target, counter)
-            .or_else(|| mutate_expr(b, target, counter)),
+        Expr::Index(a, b) => {
+            mutate_expr(a, target, counter).or_else(|| mutate_expr(b, target, counter))
+        }
         Expr::Lambda { body, .. } => mutate_expr(body, target, counter),
         _ => None,
     }
@@ -377,11 +397,12 @@ mod tests {
             askit_types::int(),
             vec![
                 build::let_("acc", num(1.0)),
-                build::for_range_incl("i", num(2.0), var("n"), vec![build::assign_op(
-                    "acc",
-                    minilang::BinOp::Mul,
-                    var("i"),
-                )]),
+                build::for_range_incl(
+                    "i",
+                    num(2.0),
+                    var("n"),
+                    vec![build::assign_op("acc", minilang::BinOp::Mul, var("i"))],
+                ),
                 build::ret(var("acc")),
             ],
         )
@@ -398,9 +419,16 @@ mod tests {
     #[test]
     fn sampling_respects_rates() {
         let mut rng = StdRng::seed_from_u64(9);
-        let cfg = FaultConfig { direct_fault_rate: 1.0, code_bug_rate: 1.0, decay: 0.0 };
+        let cfg = FaultConfig {
+            direct_fault_rate: 1.0,
+            code_bug_rate: 1.0,
+            decay: 0.0,
+        };
         assert!(sample_direct_fault(&cfg, 0, &mut rng).is_some());
-        assert!(sample_direct_fault(&cfg, 1, &mut rng).is_none(), "decayed to zero");
+        assert!(
+            sample_direct_fault(&cfg, 1, &mut rng).is_none(),
+            "decayed to zero"
+        );
         assert!(sample_code_bug(&cfg, 0, &mut rng));
         assert!(!sample_code_bug(&cfg, 2, &mut rng));
     }
@@ -409,7 +437,10 @@ mod tests {
     fn corruption_forms() {
         let clean = "```json\n{\"reason\": \"r\", \"answer\": 42}\n```";
         let broken = corrupt_response(clean, DirectFault::MalformedJson);
-        assert!(askit_json::extract::extract_json(&broken).is_none(), "{broken}");
+        assert!(
+            askit_json::extract::extract_json(&broken).is_none(),
+            "{broken}"
+        );
         let renamed = corrupt_response(clean, DirectFault::MissingAnswerField);
         assert!(renamed.contains("\"result\""));
         assert!(!renamed.contains("\"answer\""));
@@ -432,21 +463,30 @@ mod tests {
                 syntax += 1;
                 continue;
             }
-            let program = minilang::ast::Program { functions: vec![decl] };
+            let program = minilang::ast::Program {
+                functions: vec![decl],
+            };
             let mut args = askit_json::Map::new();
             args.insert("n", askit_json::Json::Int(5));
             let out = minilang::Interp::new(&program).call_json("fact", &args);
             match out {
-                Ok(v) if v == askit_json::Json::Int(120) => {
+                Ok(askit_json::Json::Int(120)) => {
                     // A bound flip on an already-tight loop can coincide; a
                     // literal drift cannot. Allow rare coincidences only for
                     // bound flips.
-                    assert_eq!(bug, CodeBug::OffByOneBound, "seed {seed}: bug {bug:?} was a no-op");
+                    assert_eq!(
+                        bug,
+                        CodeBug::OffByOneBound,
+                        "seed {seed}: bug {bug:?} was a no-op"
+                    );
                 }
                 _ => changed += 1,
             }
         }
-        assert!(changed >= 25, "only {changed} of 40 seeds changed behaviour");
+        assert!(
+            changed >= 25,
+            "only {changed} of 40 seeds changed behaviour"
+        );
         assert!(syntax >= 1, "syntax faults should occur sometimes");
     }
 

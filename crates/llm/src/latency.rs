@@ -80,7 +80,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn usage(p: usize, c: usize) -> TokenUsage {
-        TokenUsage { prompt_tokens: p, completion_tokens: c }
+        TokenUsage {
+            prompt_tokens: p,
+            completion_tokens: c,
+        }
     }
 
     #[test]

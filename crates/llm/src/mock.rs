@@ -24,7 +24,6 @@ use askit_json::{extract, Json, Map};
 use askit_types::{sample::sample, Type};
 use minilang::pretty::{print_function, Syntax};
 use minilang::{build, FuncDecl};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,9 +55,16 @@ pub struct MockLlmConfig {
     pub latency: LatencyModel,
     /// Misbehaviour rates.
     pub faults: FaultConfig,
-    /// RNG seed (all mock behaviour is deterministic given the seed and the
-    /// request sequence).
+    /// RNG seed. All mock behaviour is a pure function of the seed and the
+    /// individual request (conversation + sample ordinal) — never of the
+    /// order requests arrive in — so any interleaving of concurrent callers
+    /// observes identical responses.
     pub seed: u64,
+    /// When positive, each completion *really sleeps* for `latency × scale`,
+    /// turning the latency model into wall-clock time. Off (0.0) by default;
+    /// throughput benches enable it to reproduce the network-bound serving
+    /// regime where batching wins.
+    pub wall_clock_scale: f64,
 }
 
 impl MockLlmConfig {
@@ -67,8 +73,12 @@ impl MockLlmConfig {
         MockLlmConfig {
             model_name: "sim-gpt-4".to_owned(),
             latency: LatencyModel::gpt4(),
-            faults: FaultConfig { code_bug_rate: 0.12, ..FaultConfig::default() },
+            faults: FaultConfig {
+                code_bug_rate: 0.12,
+                ..FaultConfig::default()
+            },
             seed: 0xA5C1_0001,
+            wall_clock_scale: 0.0,
         }
     }
 
@@ -80,6 +90,7 @@ impl MockLlmConfig {
             latency: LatencyModel::gpt35(),
             faults: FaultConfig::default(),
             seed: 0xA5C1_0002,
+            wall_clock_scale: 0.0,
         }
     }
 
@@ -96,13 +107,20 @@ impl MockLlmConfig {
         self.faults = faults;
         self
     }
+
+    /// Enables real sleeping at `latency × scale` per completion (see
+    /// [`MockLlmConfig::wall_clock_scale`]).
+    #[must_use]
+    pub fn with_wall_clock_scale(mut self, scale: f64) -> Self {
+        self.wall_clock_scale = scale;
+        self
+    }
 }
 
 /// The simulated language model. See the [module docs](self).
 pub struct MockLlm {
     config: MockLlmConfig,
     oracle: Oracle,
-    rng: Mutex<StdRng>,
     calls: AtomicUsize,
 }
 
@@ -119,8 +137,11 @@ impl std::fmt::Debug for MockLlm {
 impl MockLlm {
     /// Creates a mock model over an oracle.
     pub fn new(config: MockLlmConfig, oracle: Oracle) -> Self {
-        let seed = config.seed;
-        MockLlm { config, oracle, rng: Mutex::new(StdRng::seed_from_u64(seed)), calls: AtomicUsize::new(0) }
+        MockLlm {
+            config,
+            oracle,
+            calls: AtomicUsize::new(0),
+        }
     }
 
     /// A GPT-4-like mock with the standard oracle.
@@ -143,16 +164,25 @@ impl MockLlm {
         &self.oracle
     }
 
-    fn respond(&self, request: &CompletionRequest) -> Result<String, LlmError> {
+    /// Derives the RNG for one request: a pure function of the configured
+    /// seed, the full conversation, and the sample ordinal. Identical
+    /// requests always draw the same stream, whatever order (or thread) they
+    /// arrive on — the property the execution engine's determinism rests on.
+    fn request_rng(&self, request: &CompletionRequest, sample: u64) -> StdRng {
+        let salt = self.config.seed ^ sample.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        StdRng::seed_from_u64(request.fingerprint(salt))
+    }
+
+    fn respond(&self, request: &CompletionRequest, rng: &mut StdRng) -> Result<String, LlmError> {
         let prompt = request
             .first_user()
             .ok_or_else(|| LlmError::InvalidRequest("no user message".to_owned()))?;
         let attempt = request.attempt();
         if prompt.contains(CODEGEN_MARKER) {
-            return Ok(self.respond_codegen(prompt, attempt));
+            return Ok(self.respond_codegen(prompt, attempt, rng));
         }
         if prompt.contains(DIRECT_MARKER) {
-            return Ok(self.respond_direct(prompt, attempt, request.temperature));
+            return Ok(self.respond_direct(prompt, attempt, request.temperature, rng));
         }
         Ok(format!(
             "I'm {}, a simulated assistant. You said: {}",
@@ -163,8 +193,13 @@ impl MockLlm {
 
     // --- directly answerable tasks (paper §III-E) -------------------------
 
-    fn respond_direct(&self, prompt: &str, attempt: usize, temperature: f64) -> String {
-        let mut rng = self.rng.lock();
+    fn respond_direct(
+        &self,
+        prompt: &str,
+        attempt: usize,
+        temperature: f64,
+        rng: &mut StdRng,
+    ) -> String {
         // The prompt constrains the response with a TypeScript type in a
         // ```ts fence (Listing 2 lines 5–8): read it like GPT would.
         let envelope = read_expected_type(prompt).unwrap_or_else(|| {
@@ -190,13 +225,13 @@ impl MockLlm {
         let (mut answer, reason) = match outcome {
             Some(o) => (o.answer, o.reason),
             None => (
-                sample(&answer_type, &mut *rng),
+                sample(&answer_type, rng),
                 "Answering from general knowledge.".to_owned(),
             ),
         };
 
         let fault = if temperature > 0.0 {
-            sample_direct_fault(&self.config.faults, attempt, &mut *rng)
+            sample_direct_fault(&self.config.faults, attempt, rng)
         } else {
             None
         };
@@ -215,8 +250,7 @@ impl MockLlm {
 
     // --- codable tasks (paper §III-D, Figure 4) ---------------------------
 
-    fn respond_codegen(&self, prompt: &str, attempt: usize) -> String {
-        let mut rng = self.rng.lock();
+    fn respond_codegen(&self, prompt: &str, attempt: usize, rng: &mut StdRng) -> String {
         let Some((skeleton_src, syntax)) = last_code_fence(prompt) else {
             return "I could not find a function to implement.".to_owned();
         };
@@ -244,18 +278,14 @@ impl MockLlm {
                 body_decl.ret = decl.ret.clone();
                 body_decl
             }
-            None => hallucinated_implementation(decl, &mut *rng),
+            None => hallucinated_implementation(decl, rng),
         };
         implementation.doc = vec![instruction.clone()];
         implementation.exported = true;
 
-        let mut broken_syntax = false;
-        if sample_code_bug(&self.config.faults, attempt, &mut *rng) {
-            match plant_bug(&mut implementation, &mut *rng) {
-                CodeBug::BrokenSyntax => broken_syntax = true,
-                _ => {}
-            }
-        }
+        let planted = sample_code_bug(&self.config.faults, attempt, rng)
+            .then(|| plant_bug(&mut implementation, rng));
+        let broken_syntax = planted == Some(CodeBug::BrokenSyntax);
         let mut code = print_function(&implementation, syntax);
         if broken_syntax {
             code = break_syntax(&code);
@@ -266,8 +296,17 @@ impl MockLlm {
 
 impl LanguageModel for MockLlm {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        self.complete_tagged(request, 0)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let text = self.respond(request)?;
+        let mut rng = self.request_rng(request, sample);
+        let text = self.respond(request, &mut rng)?;
         let usage = TokenUsage {
             prompt_tokens: request
                 .messages
@@ -279,9 +318,21 @@ impl LanguageModel for MockLlm {
                 // final JSON; charge for it like a real reasoning reply.
                 + if text.contains("```json") { 180 } else { 40 },
         };
-        let latency = self.config.latency.sample(usage, &mut *self.rng.lock());
-        Ok(Completion { text, usage, latency })
+        let latency = self.config.latency.sample(usage, &mut rng);
+        if self.config.wall_clock_scale > 0.0 {
+            std::thread::sleep(latency.mul_f64(self.config.wall_clock_scale));
+        }
+        Ok(Completion {
+            text,
+            usage,
+            latency,
+        })
     }
+
+    // The trait's default `complete_batch` (independent per-request
+    // completion) is already exact for this model: each request draws from
+    // its own derived stream, so any fan-out across engine workers yields
+    // identical responses.
 
     fn model_name(&self) -> &str {
         &self.config.model_name
@@ -295,8 +346,7 @@ impl LanguageModel for MockLlm {
 /// Reads the expected response type out of the prompt's `ts` fence.
 fn read_expected_type(prompt: &str) -> Option<Type> {
     for block in extract::code_blocks(prompt) {
-        if block.lang.eq_ignore_ascii_case("ts") || block.lang.eq_ignore_ascii_case("typescript")
-        {
+        if block.lang.eq_ignore_ascii_case("ts") || block.lang.eq_ignore_ascii_case("typescript") {
             if let Ok(t) = Type::parse(block.content.trim()) {
                 return Some(t);
             }
@@ -334,14 +384,19 @@ fn read_task_section(prompt: &str) -> (String, Map) {
 fn parse_bindings(text: &str) -> Map {
     let mut bindings = Map::new();
     let mut rest = text.trim();
-    loop {
-        let Some(after_quote) = rest.strip_prefix('\'') else { break };
-        let Some(name_end) = after_quote.find('\'') else { break };
+    while let Some(after_quote) = rest.strip_prefix('\'') {
+        let Some(name_end) = after_quote.find('\'') else {
+            break;
+        };
         let name = &after_quote[..name_end];
         let after_name = &after_quote[name_end + 1..];
-        let Some(after_eq) = after_name.trim_start().strip_prefix('=') else { break };
+        let Some(after_eq) = after_name.trim_start().strip_prefix('=') else {
+            break;
+        };
         let value_text = after_eq.trim_start();
-        let Ok((value, used)) = Json::parse_prefix(value_text) else { break };
+        let Ok((value, used)) = Json::parse_prefix(value_text) else {
+            break;
+        };
         bindings.insert(name, value);
         rest = value_text[used..].trim_start();
         rest = rest.strip_prefix(',').map(str::trim_start).unwrap_or("");
@@ -478,7 +533,9 @@ mod tests {
         let llm = MockLlm::new(cfg, Oracle::standard());
         let p = direct_prompt("number", "What is 2 plus 2?");
         // Attempt 0 always faulty (rate 1.0).
-        let first = llm.complete(&CompletionRequest::from_prompt(p.clone())).unwrap();
+        let first = llm
+            .complete(&CompletionRequest::from_prompt(p.clone()))
+            .unwrap();
         let parsed = extract::extract_json(&first.text);
         let is_clean = parsed
             .as_ref()
@@ -526,7 +583,11 @@ mod tests {
             if !task.instruction.to_lowercase().contains("factorial") {
                 return None;
             }
-            let n = task.params.first().map(|p| p.name.clone()).unwrap_or("n".into());
+            let n = task
+                .params
+                .first()
+                .map(|p| p.name.clone())
+                .unwrap_or("n".into());
             Some(build::func(
                 "fact",
                 [],
@@ -537,7 +598,11 @@ mod tests {
                         "i",
                         build::num(2.0),
                         build::var(n),
-                        vec![build::assign_op("acc", minilang::BinOp::Mul, build::var("i"))],
+                        vec![build::assign_op(
+                            "acc",
+                            minilang::BinOp::Mul,
+                            build::var("i"),
+                        )],
                     ),
                     build::ret(build::var("acc")),
                 ],
@@ -555,7 +620,9 @@ mod tests {
             let program = minilang::parse(code, syntax).unwrap();
             let mut args = Map::new();
             args.insert("n", json!(5i64));
-            let result = minilang::Interp::new(&program).call_json("calcFact", &args).unwrap();
+            let result = minilang::Interp::new(&program)
+                .call_json("calcFact", &args)
+                .unwrap();
             assert_eq!(result, Json::Int(120), "{syntax:?}");
         }
     }
@@ -580,11 +647,11 @@ mod tests {
 
     #[test]
     fn determinism_per_seed() {
-        let make = || {
-            MockLlm::new(MockLlmConfig::gpt4().with_seed(77), Oracle::standard())
-        };
+        let make = || MockLlm::new(MockLlmConfig::gpt4().with_seed(77), Oracle::standard());
         let p = direct_prompt("number", "What is 3 plus 4?");
-        let a = make().complete(&CompletionRequest::from_prompt(p.clone())).unwrap();
+        let a = make()
+            .complete(&CompletionRequest::from_prompt(p.clone()))
+            .unwrap();
         let b = make().complete(&CompletionRequest::from_prompt(p)).unwrap();
         assert_eq!(a.text, b.text);
         assert_eq!(a.latency, b.latency);

@@ -37,7 +37,10 @@ pub struct AnswerOutcome {
 impl AnswerOutcome {
     /// Convenience constructor.
     pub fn new(answer: Json, reason: impl Into<String>) -> Self {
-        AnswerOutcome { answer, reason: reason.into() }
+        AnswerOutcome {
+            answer,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -89,8 +92,14 @@ pub struct Oracle {
 impl std::fmt::Debug for Oracle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Oracle")
-            .field("answer_skills", &self.answers.iter().map(|s| s.name()).collect::<Vec<_>>())
-            .field("code_skills", &self.code.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field(
+                "answer_skills",
+                &self.answers.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field(
+                "code_skills",
+                &self.code.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -104,7 +113,10 @@ impl Default for Oracle {
 impl Oracle {
     /// An oracle with no knowledge at all.
     pub fn empty() -> Self {
-        Oracle { answers: Vec::new(), code: Vec::new() }
+        Oracle {
+            answers: Vec::new(),
+            code: Vec::new(),
+        }
     }
 
     /// An oracle with the generic skills: small arithmetic and sentiment.
@@ -131,7 +143,10 @@ impl Oracle {
     where
         F: Fn(&AnswerTask<'_>) -> Option<AnswerOutcome> + Send + Sync + 'static,
     {
-        self.add_answer(FnAnswerSkill { name: name.to_owned(), f });
+        self.add_answer(FnAnswerSkill {
+            name: name.to_owned(),
+            f,
+        });
     }
 
     /// Registers a code skill from a closure.
@@ -139,7 +154,10 @@ impl Oracle {
     where
         F: Fn(&CodeTask<'_>) -> Option<FuncDecl> + Send + Sync + 'static,
     {
-        self.add_code(FnCodeSkill { name: name.to_owned(), f });
+        self.add_code(FnCodeSkill {
+            name: name.to_owned(),
+            f,
+        });
     }
 
     /// Consults the answer skills in order.
@@ -202,6 +220,9 @@ where
 /// "What is 'x' plus 'y'?" with bound variables.
 struct ArithmeticSkill;
 
+/// A binary arithmetic operation over two operands.
+type BinaryOp = fn(f64, f64) -> f64;
+
 impl AnswerSkill for ArithmeticSkill {
     fn name(&self) -> &str {
         "arithmetic"
@@ -211,7 +232,7 @@ impl AnswerSkill for ArithmeticSkill {
         let text = task.template.to_lowercase();
         let rest = text.strip_prefix("what is ")?;
         let rest = rest.trim_end_matches(['?', '.', ' ']);
-        let ops: [(&str, fn(f64, f64) -> f64); 5] = [
+        let ops: [(&str, BinaryOp); 5] = [
             (" times ", |a, b| a * b),
             (" multiplied by ", |a, b| a * b),
             (" plus ", |a, b| a + b),
@@ -250,15 +271,49 @@ fn resolve_operand(text: &str, bindings: &Map) -> Option<f64> {
 struct SentimentSkill;
 
 const POSITIVE_WORDS: &[&str] = &[
-    "fantastic", "great", "good", "love", "loved", "excellent", "amazing", "exceeds",
-    "wonderful", "perfect", "happy", "best", "awesome", "nice", "enjoy", "delightful",
-    "impressive", "recommend", "reliable", "outstanding",
+    "fantastic",
+    "great",
+    "good",
+    "love",
+    "loved",
+    "excellent",
+    "amazing",
+    "exceeds",
+    "wonderful",
+    "perfect",
+    "happy",
+    "best",
+    "awesome",
+    "nice",
+    "enjoy",
+    "delightful",
+    "impressive",
+    "recommend",
+    "reliable",
+    "outstanding",
 ];
 
 const NEGATIVE_WORDS: &[&str] = &[
-    "bad", "terrible", "awful", "poor", "disappointing", "disappointed", "broke", "broken",
-    "hate", "hated", "worst", "refund", "waste", "defective", "useless", "slow", "cheap",
-    "regret", "fails", "failed",
+    "bad",
+    "terrible",
+    "awful",
+    "poor",
+    "disappointing",
+    "disappointed",
+    "broke",
+    "broken",
+    "hate",
+    "hated",
+    "worst",
+    "refund",
+    "waste",
+    "defective",
+    "useless",
+    "slow",
+    "cheap",
+    "regret",
+    "fails",
+    "failed",
 ];
 
 impl AnswerSkill for SentimentSkill {
@@ -296,7 +351,11 @@ mod tests {
     use askit_json::json;
 
     fn task<'a>(template: &'a str, bindings: &'a Map, ty: &'a Type) -> AnswerTask<'a> {
-        AnswerTask { template, bindings, answer_type: ty }
+        AnswerTask {
+            template,
+            bindings,
+            answer_type: ty,
+        }
     }
 
     #[test]
@@ -306,7 +365,9 @@ mod tests {
         let ty = askit_types::int();
         let out = o.answer(&task("What is 7 times 8?", &b, &ty)).unwrap();
         assert_eq!(out.answer, Json::Int(56));
-        let out = o.answer(&task("What is 10 divided by 4?", &b, &ty)).unwrap();
+        let out = o
+            .answer(&task("What is 10 divided by 4?", &b, &ty))
+            .unwrap();
         assert_eq!(out.answer, Json::Float(2.5));
     }
 
@@ -325,14 +386,27 @@ mod tests {
     fn sentiment_uses_bound_review() {
         let o = Oracle::standard();
         let mut b = Map::new();
-        b.insert("review", json!("The product is fantastic. It exceeds all my expectations."));
-        let ty = askit_types::union([askit_types::literal("positive"), askit_types::literal("negative")]);
-        let out = o.answer(&task("What is the sentiment of 'review'?", &b, &ty)).unwrap();
+        b.insert(
+            "review",
+            json!("The product is fantastic. It exceeds all my expectations."),
+        );
+        let ty = askit_types::union([
+            askit_types::literal("positive"),
+            askit_types::literal("negative"),
+        ]);
+        let out = o
+            .answer(&task("What is the sentiment of 'review'?", &b, &ty))
+            .unwrap();
         assert_eq!(out.answer, Json::from("positive"));
 
         let mut b2 = Map::new();
-        b2.insert("review", json!("Terrible. It broke after a day, total waste."));
-        let out = o.answer(&task("What is the sentiment of 'review'?", &b2, &ty)).unwrap();
+        b2.insert(
+            "review",
+            json!("Terrible. It broke after a day, total waste."),
+        );
+        let out = o
+            .answer(&task("What is the sentiment of 'review'?", &b2, &ty))
+            .unwrap();
         assert_eq!(out.answer, Json::from("negative"));
     }
 
@@ -341,14 +415,18 @@ mod tests {
         let o = Oracle::standard();
         let b = Map::new();
         let ty = askit_types::string();
-        assert!(o.answer(&task("Translate 'hello' to French.", &b, &ty)).is_none());
+        assert!(o
+            .answer(&task("Translate 'hello' to French.", &b, &ty))
+            .is_none());
     }
 
     #[test]
     fn registered_skills_take_priority() {
         let mut o = Oracle::standard();
         o.add_answer_fn("override", |t| {
-            t.template.contains("times").then(|| AnswerOutcome::new(Json::Int(0), "nope"))
+            t.template
+                .contains("times")
+                .then(|| AnswerOutcome::new(Json::Int(0), "nope"))
         });
         let b = Map::new();
         let ty = askit_types::int();
@@ -362,9 +440,12 @@ mod tests {
         let mut o = Oracle::empty();
         o.add_code_fn("fact", |t| {
             t.instruction.contains("factorial").then(|| {
-                minilang::build::func("f", [], askit_types::int(), vec![minilang::build::ret(
-                    minilang::build::num(1.0),
-                )])
+                minilang::build::func(
+                    "f",
+                    [],
+                    askit_types::int(),
+                    vec![minilang::build::ret(minilang::build::num(1.0))],
+                )
             })
         });
         let params: Vec<Param> = vec![];

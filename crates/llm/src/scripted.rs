@@ -61,17 +61,49 @@ impl ScriptedLlm {
 
 impl LanguageModel for ScriptedLlm {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
-        let text = self.responses.lock().pop_front().ok_or(LlmError::Exhausted)?;
+        let text = self
+            .responses
+            .lock()
+            .pop_front()
+            .ok_or(LlmError::Exhausted)?;
         self.served.fetch_add(1, Ordering::Relaxed);
-        let usage = TokenUsage {
-            prompt_tokens: request.messages.iter().map(|m| count_tokens(&m.content)).sum(),
-            completion_tokens: count_tokens(&text),
-        };
-        Ok(Completion { text, usage, latency: Duration::from_millis(1) })
+        Ok(build_completion(request, text))
+    }
+
+    /// Serves the whole batch under one lock acquisition, so a batch always
+    /// receives a contiguous run of scripted responses in request order even
+    /// when other batches complete concurrently.
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        let mut queue = self.responses.lock();
+        requests
+            .iter()
+            .map(|request| {
+                let text = queue.pop_front().ok_or(LlmError::Exhausted)?;
+                self.served.fetch_add(1, Ordering::Relaxed);
+                Ok(build_completion(request, text))
+            })
+            .collect()
     }
 
     fn model_name(&self) -> &str {
         "scripted"
+    }
+}
+
+/// Builds the canned [`Completion`] for a scripted response.
+fn build_completion(request: &CompletionRequest, text: String) -> Completion {
+    let usage = TokenUsage {
+        prompt_tokens: request
+            .messages
+            .iter()
+            .map(|m| count_tokens(&m.content))
+            .sum(),
+        completion_tokens: count_tokens(&text),
+    };
+    Completion {
+        text,
+        usage,
+        latency: Duration::from_millis(1),
     }
 }
 
@@ -93,7 +125,10 @@ pub struct RecordingLlm<L> {
 impl<L: LanguageModel> RecordingLlm<L> {
     /// Wraps a backend.
     pub fn new(inner: L) -> Self {
-        RecordingLlm { inner, log: Mutex::new(Vec::new()) }
+        RecordingLlm {
+            inner,
+            log: Mutex::new(Vec::new()),
+        }
     }
 
     /// Snapshot of the exchanges so far.
@@ -128,7 +163,15 @@ impl<L: LanguageModel> std::fmt::Debug for RecordingLlm<L> {
 
 impl<L: LanguageModel> LanguageModel for RecordingLlm<L> {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
-        let result = self.inner.complete(request);
+        self.complete_tagged(request, 0)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let result = self.inner.complete_tagged(request, sample);
         self.log.lock().push(Exchange {
             request: request.clone(),
             response: result

@@ -277,12 +277,19 @@ impl Expr {
 
     /// Convenience: a method call.
     pub fn method(recv: Expr, name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Method { recv: Box::new(recv), name: name.into(), args }
+        Expr::Method {
+            recv: Box::new(recv),
+            name: name.into(),
+            args,
+        }
     }
 
     /// Convenience: a free-function call.
     pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { callee: callee.into(), args }
+        Expr::Call {
+            callee: callee.into(),
+            args,
+        }
     }
 
     /// Convenience: a property read.
@@ -301,9 +308,7 @@ impl Expr {
         match self {
             Expr::Null | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) | Expr::Var(_) => 1,
             Expr::Array(items) => 1 + items.iter().map(Expr::node_count).sum::<usize>(),
-            Expr::Object(fields) => {
-                1 + fields.iter().map(|(_, e)| e.node_count()).sum::<usize>()
-            }
+            Expr::Object(fields) => 1 + fields.iter().map(|(_, e)| e.node_count()).sum::<usize>(),
             Expr::Unary(_, e) => 1 + e.node_count(),
             Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
             Expr::Cond(c, a, b) => 1 + c.node_count() + a.node_count() + b.node_count(),

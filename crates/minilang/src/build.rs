@@ -19,7 +19,10 @@ pub fn func(
         name: name.into(),
         params: params
             .into_iter()
-            .map(|(n, ty)| Param { name: n.to_owned(), ty })
+            .map(|(n, ty)| Param {
+                name: n.to_owned(),
+                ty,
+            })
             .collect(),
         ret,
         body,
@@ -35,22 +38,38 @@ pub fn program(f: FuncDecl) -> Program {
 
 /// `let name = init;`
 pub fn let_(name: impl Into<String>, init: Expr) -> Stmt {
-    Stmt::Let { name: name.into(), init, mutable: true }
+    Stmt::Let {
+        name: name.into(),
+        init,
+        mutable: true,
+    }
 }
 
 /// `const name = init;`
 pub fn const_(name: impl Into<String>, init: Expr) -> Stmt {
-    Stmt::Let { name: name.into(), init, mutable: false }
+    Stmt::Let {
+        name: name.into(),
+        init,
+        mutable: false,
+    }
 }
 
 /// `name = value;`
 pub fn assign(name: impl Into<String>, value: Expr) -> Stmt {
-    Stmt::Assign { target: LValue::Var(name.into()), op: None, value }
+    Stmt::Assign {
+        target: LValue::Var(name.into()),
+        op: None,
+        value,
+    }
 }
 
 /// `name <op>= value;`
 pub fn assign_op(name: impl Into<String>, op: BinOp, value: Expr) -> Stmt {
-    Stmt::Assign { target: LValue::Var(name.into()), op: Some(op), value }
+    Stmt::Assign {
+        target: LValue::Var(name.into()),
+        op: Some(op),
+        value,
+    }
 }
 
 /// `base[idx] = value;`
@@ -74,12 +93,20 @@ pub fn ret_void() -> Stmt {
 
 /// `if cond { then_block }`
 pub fn if_(cond: Expr, then_block: Block) -> Stmt {
-    Stmt::If { cond, then_block, else_block: vec![] }
+    Stmt::If {
+        cond,
+        then_block,
+        else_block: vec![],
+    }
 }
 
 /// `if cond { then_block } else { else_block }`
 pub fn if_else(cond: Expr, then_block: Block, else_block: Block) -> Stmt {
-    Stmt::If { cond, then_block, else_block }
+    Stmt::If {
+        cond,
+        then_block,
+        else_block,
+    }
 }
 
 /// `while cond { body }`
@@ -89,17 +116,33 @@ pub fn while_(cond: Expr, body: Block) -> Stmt {
 
 /// `for (let var = start; var < end; var++) { body }`
 pub fn for_range(var: impl Into<String>, start: Expr, end: Expr, body: Block) -> Stmt {
-    Stmt::ForRange { var: var.into(), start, end, inclusive: false, body }
+    Stmt::ForRange {
+        var: var.into(),
+        start,
+        end,
+        inclusive: false,
+        body,
+    }
 }
 
 /// `for (let var = start; var <= end; var++) { body }`
 pub fn for_range_incl(var: impl Into<String>, start: Expr, end: Expr, body: Block) -> Stmt {
-    Stmt::ForRange { var: var.into(), start, end, inclusive: true, body }
+    Stmt::ForRange {
+        var: var.into(),
+        start,
+        end,
+        inclusive: true,
+        body,
+    }
 }
 
 /// `for (const var of iter) { body }`
 pub fn for_of(var: impl Into<String>, iter: Expr, body: Block) -> Stmt {
-    Stmt::ForOf { var: var.into(), iter, body }
+    Stmt::ForOf {
+        var: var.into(),
+        iter,
+        body,
+    }
 }
 
 /// An expression statement.
@@ -209,12 +252,18 @@ pub fn len(x: Expr) -> Expr {
 
 /// A one-parameter lambda.
 pub fn lambda1(p: &str, body: Expr) -> Expr {
-    Expr::Lambda { params: vec![p.to_owned()], body: Box::new(body) }
+    Expr::Lambda {
+        params: vec![p.to_owned()],
+        body: Box::new(body),
+    }
 }
 
 /// A two-parameter lambda.
 pub fn lambda2(p1: &str, p2: &str, body: Expr) -> Expr {
-    Expr::Lambda { params: vec![p1.to_owned(), p2.to_owned()], body: Box::new(body) }
+    Expr::Lambda {
+        params: vec![p1.to_owned(), p2.to_owned()],
+        body: Box::new(body),
+    }
 }
 
 /// An array literal.
@@ -239,7 +288,9 @@ pub fn expr_of_json(value: &askit_json::Json) -> Expr {
         Json::Str(s) => Expr::Str(s.clone()),
         Json::Array(items) => Expr::Array(items.iter().map(expr_of_json).collect()),
         Json::Object(map) => Expr::Object(
-            map.iter().map(|(k, v)| (k.to_owned(), expr_of_json(v))).collect(),
+            map.iter()
+                .map(|(k, v)| (k.to_owned(), expr_of_json(v)))
+                .collect(),
         ),
     }
 }
@@ -261,11 +312,12 @@ mod tests {
             int(),
             vec![
                 let_("acc", num(1.0)),
-                for_range_incl("i", num(2.0), var("n"), vec![assign_op(
-                    "acc",
-                    BinOp::Mul,
-                    var("i"),
-                )]),
+                for_range_incl(
+                    "i",
+                    num(2.0),
+                    var("n"),
+                    vec![assign_op("acc", BinOp::Mul, var("i"))],
+                ),
                 ret(var("acc")),
             ],
         );
@@ -277,7 +329,9 @@ mod tests {
         let p = program(f);
         let mut args = Map::new();
         args.insert("n", Json::Int(5));
-        let out = Interp::new(&p).call_json("calculateFactorial", &args).unwrap();
+        let out = Interp::new(&p)
+            .call_json("calculateFactorial", &args)
+            .unwrap();
         assert_eq!(out, Json::Int(120));
     }
 
@@ -289,7 +343,11 @@ mod tests {
             float(),
             vec![
                 let_("total", num(0.0)),
-                for_of("v", var("ns"), vec![assign_op("total", BinOp::Add, var("v"))]),
+                for_of(
+                    "v",
+                    var("ns"),
+                    vec![assign_op("total", BinOp::Add, var("v"))],
+                ),
                 ret(var("total")),
             ],
         );

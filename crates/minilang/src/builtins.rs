@@ -188,7 +188,7 @@ pub fn py_free_surface(canonical: &str) -> Option<&'static str> {
 pub(crate) fn eval_free(
     interp: &mut Interp<'_>,
     name: &str,
-    args: &mut Vec<Value>,
+    args: &mut [Value],
 ) -> Option<Result<Value, RuntimeError>> {
     let result = match name {
         "abs" => num1(args, "abs", f64::abs),
@@ -312,10 +312,10 @@ pub(crate) fn eval_method(
         Value::Array(_) => array_method(interp, &recv, name, args),
         Value::Object(fields) => match name {
             "includes" | "has" => match args.as_slice() {
-                [Value::Str(k)] => {
-                    Ok(Value::Bool(fields.borrow().iter().any(|(key, _)| key == k)))
-                }
-                _ => Err(RuntimeError::TypeMismatch("object key must be a string".into())),
+                [Value::Str(k)] => Ok(Value::Bool(fields.borrow().iter().any(|(key, _)| key == k))),
+                _ => Err(RuntimeError::TypeMismatch(
+                    "object key must be a string".into(),
+                )),
             },
             "keys" => object_keys(&recv),
             "values" => object_values(&recv),
@@ -332,17 +332,27 @@ pub(crate) fn eval_method(
                     .find(|(key, _)| key == k)
                     .map(|(_, v)| v.clone())
                     .unwrap_or_else(|| default.clone())),
-                _ => Err(RuntimeError::TypeMismatch("object key must be a string".into())),
+                _ => Err(RuntimeError::TypeMismatch(
+                    "object key must be a string".into(),
+                )),
             },
-            other => Err(RuntimeError::UndefinedMethod { recv: "object", name: other.into() }),
+            other => Err(RuntimeError::UndefinedMethod {
+                recv: "object",
+                name: other.into(),
+            }),
         },
         Value::Num(n) => match name {
             "to_string" => Ok(Value::Str(recv.display_string())),
             "to_fixed" => match args.as_slice() {
                 [Value::Num(d)] => Ok(Value::Str(format!("{:.*}", *d as usize, n))),
-                _ => Err(RuntimeError::TypeMismatch("toFixed needs a digit count".into())),
+                _ => Err(RuntimeError::TypeMismatch(
+                    "toFixed needs a digit count".into(),
+                )),
             },
-            other => Err(RuntimeError::UndefinedMethod { recv: "number", name: other.into() }),
+            other => Err(RuntimeError::UndefinedMethod {
+                recv: "number",
+                name: other.into(),
+            }),
         },
         other => Err(RuntimeError::UndefinedMethod {
             recv: other.type_name(),
@@ -362,7 +372,9 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Result<Value, RuntimeEr
             let parts: Vec<Value> = if sep.is_empty() {
                 chars.iter().map(|c| Value::Str(c.to_string())).collect()
             } else {
-                s.split(sep.as_str()).map(|p| Value::Str(p.to_owned())).collect()
+                s.split(sep.as_str())
+                    .map(|p| Value::Str(p.to_owned()))
+                    .collect()
             };
             Ok(Value::array(parts))
         }
@@ -373,7 +385,9 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Result<Value, RuntimeEr
         })),
         ("char_at", [Value::Num(i)]) => {
             let idx = *i as usize;
-            Ok(Value::Str(chars.get(idx).map(|c| c.to_string()).unwrap_or_default()))
+            Ok(Value::Str(
+                chars.get(idx).map(|c| c.to_string()).unwrap_or_default(),
+            ))
         }
         ("slice", rest) => {
             let (start, end) = slice_bounds(rest, chars.len())?;
@@ -381,7 +395,9 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Result<Value, RuntimeEr
         }
         ("repeat", [Value::Num(n)]) => {
             if *n < 0.0 || n.fract() != 0.0 || *n > 100_000.0 {
-                return Err(RuntimeError::TypeMismatch(format!("invalid repeat count {n}")));
+                return Err(RuntimeError::TypeMismatch(format!(
+                    "invalid repeat count {n}"
+                )));
             }
             Ok(Value::Str(s.repeat(*n as usize)))
         }
@@ -398,7 +414,10 @@ fn string_method(s: &str, name: &str, args: &[Value]) -> Result<Value, RuntimeEr
             }
             Ok(Value::Num(s.matches(sub.as_str()).count() as f64))
         }
-        _ => Err(RuntimeError::UndefinedMethod { recv: "string", name: name.to_owned() }),
+        _ => Err(RuntimeError::UndefinedMethod {
+            recv: "string",
+            name: name.to_owned(),
+        }),
     }
 }
 
@@ -431,7 +450,9 @@ fn array_method(
     name: &str,
     args: Vec<Value>,
 ) -> Result<Value, RuntimeError> {
-    let Value::Array(cells) = recv else { unreachable!("caller checked") };
+    let Value::Array(cells) = recv else {
+        unreachable!("caller checked")
+    };
     match (name, args.as_slice()) {
         ("push", _) => {
             let mut items = cells.borrow_mut();
@@ -458,9 +479,9 @@ fn array_method(
                 .map(|i| i as f64)
                 .unwrap_or(-1.0),
         )),
-        ("count", [v]) => {
-            Ok(Value::Num(cells.borrow().iter().filter(|x| x.equals(v)).count() as f64))
-        }
+        ("count", [v]) => Ok(Value::Num(
+            cells.borrow().iter().filter(|x| x.equals(v)).count() as f64,
+        )),
         ("slice", rest) => {
             let items = cells.borrow();
             let (start, end) = slice_bounds(rest, items.len())?;
@@ -495,8 +516,8 @@ fn array_method(
             for i in 1..items.len() {
                 let mut j = i;
                 while j > 0 {
-                    let ord = interp
-                        .call_callable(cmp, vec![items[j - 1].clone(), items[j].clone()])?;
+                    let ord =
+                        interp.call_callable(cmp, vec![items[j - 1].clone(), items[j].clone()])?;
                     let Value::Num(n) = ord else {
                         return Err(RuntimeError::TypeMismatch(
                             "comparator must return a number".into(),
@@ -564,7 +585,10 @@ fn array_method(
             }
             Ok(Value::Bool(false))
         }
-        _ => Err(RuntimeError::UndefinedMethod { recv: "array", name: name.to_owned() }),
+        _ => Err(RuntimeError::UndefinedMethod {
+            recv: "array",
+            name: name.to_owned(),
+        }),
     }
 }
 
@@ -587,7 +611,11 @@ fn slice_bounds(args: &[Value], len: usize) -> Result<(usize, usize), RuntimeErr
         [] => (0, len),
         [s] => (clamp(resolve(s)?), len),
         [s, e] => (clamp(resolve(s)?), clamp(resolve(e)?)),
-        _ => return Err(RuntimeError::TypeMismatch("slice takes at most 2 bounds".into())),
+        _ => {
+            return Err(RuntimeError::TypeMismatch(
+                "slice takes at most 2 bounds".into(),
+            ))
+        }
     };
     Ok((start, end.max(start)))
 }
@@ -596,7 +624,7 @@ fn sort_values(items: &mut [Value]) -> Result<(), RuntimeError> {
     // Validate homogeneity first so sort_by can be total.
     let all_nums = items.iter().all(|v| matches!(v, Value::Num(_)));
     let all_strs = items.iter().all(|v| matches!(v, Value::Str(_)));
-    if !(all_nums || all_strs) && !items.is_empty() {
+    if !all_nums && !all_strs && !items.is_empty() {
         return Err(RuntimeError::TypeMismatch(
             "sort needs all numbers or all strings".into(),
         ));
@@ -609,11 +637,7 @@ fn sort_values(items: &mut [Value]) -> Result<(), RuntimeError> {
     Ok(())
 }
 
-fn num1(
-    args: &[Value],
-    name: &str,
-    f: impl Fn(f64) -> f64,
-) -> Result<Value, RuntimeError> {
+fn num1(args: &[Value], name: &str, f: impl Fn(f64) -> f64) -> Result<Value, RuntimeError> {
     match args {
         [Value::Num(n)] => Ok(Value::Num(f(*n))),
         [other] => Err(RuntimeError::TypeMismatch(format!(
@@ -624,14 +648,12 @@ fn num1(
     }
 }
 
-fn num2(
-    args: &[Value],
-    name: &str,
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<Value, RuntimeError> {
+fn num2(args: &[Value], name: &str, f: impl Fn(f64, f64) -> f64) -> Result<Value, RuntimeError> {
     match args {
         [Value::Num(a), Value::Num(b)] => Ok(Value::Num(f(*a, *b))),
-        [_, _] => Err(RuntimeError::TypeMismatch(format!("{name} needs two numbers"))),
+        [_, _] => Err(RuntimeError::TypeMismatch(format!(
+            "{name} needs two numbers"
+        ))),
         _ => Err(arity(name, 2, args.len())),
     }
 }
@@ -744,7 +766,9 @@ fn range(args: &[Value]) -> Result<Value, RuntimeError> {
 fn to_list(v: &Value) -> Result<Value, RuntimeError> {
     match v {
         Value::Array(cells) => Ok(Value::array(cells.borrow().clone())),
-        Value::Str(s) => Ok(Value::array(s.chars().map(|c| Value::Str(c.to_string())).collect())),
+        Value::Str(s) => Ok(Value::array(
+            s.chars().map(|c| Value::Str(c.to_string())).collect(),
+        )),
         other => Err(RuntimeError::TypeMismatch(format!(
             "list needs an array or string, got {}",
             other.type_name()
@@ -755,7 +779,11 @@ fn to_list(v: &Value) -> Result<Value, RuntimeError> {
 fn object_keys(v: &Value) -> Result<Value, RuntimeError> {
     match v {
         Value::Object(fields) => Ok(Value::array(
-            fields.borrow().iter().map(|(k, _)| Value::Str(k.clone())).collect(),
+            fields
+                .borrow()
+                .iter()
+                .map(|(k, _)| Value::Str(k.clone()))
+                .collect(),
         )),
         other => Err(RuntimeError::TypeMismatch(format!(
             "keys needs an object, got {}",
@@ -832,7 +860,11 @@ fn truthy(v: &Value) -> bool {
 }
 
 fn arity(name: &str, expected: usize, found: usize) -> RuntimeError {
-    RuntimeError::ArityMismatch { name: name.to_owned(), expected, found }
+    RuntimeError::ArityMismatch {
+        name: name.to_owned(),
+        expected,
+        found,
+    }
 }
 
 #[cfg(test)]
@@ -842,8 +874,18 @@ mod tests {
     #[test]
     fn canonicalization_is_inverse_per_surface() {
         for canonical in [
-            "to_upper", "to_lower", "trim", "index_of", "replace", "starts_with", "ends_with",
-            "push", "pop", "join", "sort", "map",
+            "to_upper",
+            "to_lower",
+            "trim",
+            "index_of",
+            "replace",
+            "starts_with",
+            "ends_with",
+            "push",
+            "pop",
+            "join",
+            "sort",
+            "map",
         ] {
             assert_eq!(canonical_method_ts(ts_method_surface(canonical)), canonical);
             assert_eq!(canonical_method_py(py_method_surface(canonical)), canonical);
@@ -854,8 +896,14 @@ mod tests {
     fn namespace_calls_resolve() {
         assert_eq!(canonical_namespace_call("Math", "floor"), Some("floor"));
         assert_eq!(canonical_namespace_call("math", "floor"), Some("floor"));
-        assert_eq!(canonical_namespace_call("JSON", "stringify"), Some("json_stringify"));
-        assert_eq!(canonical_namespace_call("json", "dumps"), Some("json_stringify"));
+        assert_eq!(
+            canonical_namespace_call("JSON", "stringify"),
+            Some("json_stringify")
+        );
+        assert_eq!(
+            canonical_namespace_call("json", "dumps"),
+            Some("json_stringify")
+        );
         assert_eq!(canonical_namespace_call("Foo", "bar"), None);
     }
 
@@ -905,8 +953,8 @@ mod tests {
 
     #[test]
     fn pad_start_cycles_fill() {
-        let v = string_method("7", "pad_start", &[Value::Num(3.0), Value::Str("0".into())])
-            .unwrap();
+        let v =
+            string_method("7", "pad_start", &[Value::Num(3.0), Value::Str("0".into())]).unwrap();
         assert!(matches!(v, Value::Str(s) if s == "007"));
     }
 
@@ -940,7 +988,9 @@ mod tests {
             })
             .collect();
         assert_eq!(nums, [2.0, 3.0, 4.0]);
-        assert!(range(&[Value::Num(1.0), Value::Num(0.0)]).unwrap().equals(&Value::array(vec![])));
+        assert!(range(&[Value::Num(1.0), Value::Num(0.0)])
+            .unwrap()
+            .equals(&Value::array(vec![])));
     }
 
     #[test]
@@ -956,7 +1006,13 @@ mod tests {
     fn slice_bounds_clamp_and_invert() {
         assert_eq!(slice_bounds(&[], 5).unwrap(), (0, 5));
         assert_eq!(slice_bounds(&[Value::Num(-2.0)], 5).unwrap(), (3, 5));
-        assert_eq!(slice_bounds(&[Value::Num(4.0), Value::Num(2.0)], 5).unwrap(), (4, 4));
-        assert_eq!(slice_bounds(&[Value::Num(0.0), Value::Num(99.0)], 5).unwrap(), (0, 5));
+        assert_eq!(
+            slice_bounds(&[Value::Num(4.0), Value::Num(2.0)], 5).unwrap(),
+            (4, 4)
+        );
+        assert_eq!(
+            slice_bounds(&[Value::Num(0.0), Value::Num(99.0)], 5).unwrap(),
+            (0, 5)
+        );
     }
 }

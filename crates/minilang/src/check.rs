@@ -31,17 +31,67 @@ impl fmt::Display for CheckError {
 
 /// Canonical free builtins the interpreter provides.
 const FREE_BUILTINS: &[&str] = &[
-    "abs", "floor", "ceil", "round", "sqrt", "trunc", "pow", "min", "max", "sum", "len",
-    "sorted", "range", "list", "keys", "values", "to_string", "to_int", "to_float", "to_bool",
-    "parse_int", "parse_float", "json_stringify", "json_parse", "print",
+    "abs",
+    "floor",
+    "ceil",
+    "round",
+    "sqrt",
+    "trunc",
+    "pow",
+    "min",
+    "max",
+    "sum",
+    "len",
+    "sorted",
+    "range",
+    "list",
+    "keys",
+    "values",
+    "to_string",
+    "to_int",
+    "to_float",
+    "to_bool",
+    "parse_int",
+    "parse_float",
+    "json_stringify",
+    "json_parse",
+    "print",
 ];
 
 /// Canonical method names the interpreter provides.
 const METHODS: &[&str] = &[
-    "to_upper", "to_lower", "trim", "split", "includes", "index_of", "char_at", "slice",
-    "repeat", "replace", "starts_with", "ends_with", "pad_start", "pad_end", "count", "push",
-    "pop", "join", "reverse", "sort", "concat", "map", "filter", "reduce", "every", "some",
-    "get", "has", "keys", "values", "to_fixed", "to_string",
+    "to_upper",
+    "to_lower",
+    "trim",
+    "split",
+    "includes",
+    "index_of",
+    "char_at",
+    "slice",
+    "repeat",
+    "replace",
+    "starts_with",
+    "ends_with",
+    "pad_start",
+    "pad_end",
+    "count",
+    "push",
+    "pop",
+    "join",
+    "reverse",
+    "sort",
+    "concat",
+    "map",
+    "filter",
+    "reduce",
+    "every",
+    "some",
+    "get",
+    "has",
+    "keys",
+    "values",
+    "to_fixed",
+    "to_string",
 ];
 
 /// Checks every function of a program. Empty result = no findings.
@@ -57,7 +107,11 @@ fn check_function(program: &Program, f: &FuncDecl, errors: &mut Vec<CheckError>)
     let mut cx = Cx {
         program,
         function: f.name.clone(),
-        scopes: vec![f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect()],
+        scopes: vec![f
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty.clone()))
+            .collect()],
         errors,
         saw_return_value: false,
         ret: f.ret.clone(),
@@ -83,7 +137,10 @@ struct Cx<'a> {
 
 impl Cx<'_> {
     fn error(&mut self, message: impl Into<String>) {
-        self.errors.push(CheckError { function: self.function.clone(), message: message.into() });
+        self.errors.push(CheckError {
+            function: self.function.clone(),
+            message: message.into(),
+        });
     }
 
     fn lookup(&self, name: &str) -> Option<&Type> {
@@ -102,7 +159,10 @@ impl Cx<'_> {
         match stmt {
             Stmt::Let { name, init, .. } => {
                 let ty = self.expr(init);
-                self.scopes.last_mut().expect("scope").insert(name.clone(), ty);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), ty);
             }
             Stmt::Assign { target, value, .. } => {
                 self.expr(value);
@@ -118,7 +178,11 @@ impl Cx<'_> {
                     }
                 }
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.require_bool(cond, "if condition");
                 self.block(then_block);
                 self.block(else_block);
@@ -127,7 +191,13 @@ impl Cx<'_> {
                 self.require_bool(cond, "while condition");
                 self.block(body);
             }
-            Stmt::ForRange { var, start, end, body, .. } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                body,
+                ..
+            } => {
                 self.require_num(start, "loop start");
                 self.require_num(end, "loop end");
                 self.scopes.push(HashMap::from([(var.clone(), Type::Int)]));
@@ -220,7 +290,10 @@ impl Cx<'_> {
                 Type::List(Box::new(elem.unwrap_or(Type::Any)))
             }
             Expr::Object(fields) => Type::Dict(
-                fields.iter().map(|(k, v)| (k.clone(), self.expr(v))).collect(),
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.expr(v)))
+                    .collect(),
             ),
             Expr::Unary(op, inner) => {
                 let t = self.expr(inner);
@@ -277,9 +350,8 @@ impl Cx<'_> {
                     }
                     Eq | Ne => Type::Bool,
                     Lt | Le | Gt | Ge => {
-                        let comparable = |t: &Type| {
-                            matches!(t, Type::Int | Type::Float | Type::Str | Type::Any)
-                        };
+                        let comparable =
+                            |t: &Type| matches!(t, Type::Int | Type::Float | Type::Str | Type::Any);
                         if !comparable(&l) || !comparable(&r) {
                             self.error(format!("cannot order {l} and {r}"));
                         }
@@ -341,10 +413,7 @@ impl Cx<'_> {
             Expr::Prop(recv, name) => {
                 let t = self.expr(recv);
                 if name == "len" {
-                    if !matches!(
-                        t,
-                        Type::Str | Type::List(_) | Type::Dict(_) | Type::Any
-                    ) {
+                    if !matches!(t, Type::Str | Type::List(_) | Type::Dict(_) | Type::Any) {
                         self.error(format!("{t} has no length"));
                     }
                     return Type::Int;
@@ -368,7 +437,8 @@ impl Cx<'_> {
                 }
             }
             Expr::Lambda { params, body } => {
-                self.scopes.push(params.iter().map(|p| (p.clone(), Type::Any)).collect());
+                self.scopes
+                    .push(params.iter().map(|p| (p.clone(), Type::Any)).collect());
                 self.expr(body);
                 self.scopes.pop();
                 Type::Any
@@ -402,9 +472,7 @@ fn compatible(a: &Type, b: &Type) -> bool {
 
 fn builtin_return_type(name: &str) -> Type {
     match name {
-        "abs" | "pow" | "sqrt" | "min" | "max" | "sum" | "to_float" | "parse_float" => {
-            Type::Float
-        }
+        "abs" | "pow" | "sqrt" | "min" | "max" | "sum" | "to_float" | "parse_float" => Type::Float,
         "floor" | "ceil" | "round" | "trunc" | "len" | "to_int" | "parse_int" => Type::Int,
         "to_string" | "json_stringify" => Type::Str,
         "to_bool" => Type::Bool,
@@ -455,37 +523,56 @@ function f({n}: {n: number}): number {
     #[test]
     fn undefined_variable_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): number { return y; }");
-        assert!(errs.iter().any(|m| m.contains("undefined variable 'y'")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("undefined variable 'y'")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn unknown_function_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): number { return mystery(x); }");
-        assert!(errs.iter().any(|m| m.contains("unknown function 'mystery'")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|m| m.contains("unknown function 'mystery'")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn wrong_return_kind_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): number { return 'nope'; }");
-        assert!(errs.iter().any(|m| m.contains("declared to return")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("declared to return")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn missing_return_value_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): number { let y = x; }");
-        assert!(errs.iter().any(|m| m.contains("never returns a value")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("never returns a value")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn assignment_to_undeclared_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): void { y = x; }");
-        assert!(errs.iter().any(|m| m.contains("undeclared variable 'y'")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("undeclared variable 'y'")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn non_boolean_condition_is_caught() {
         let errs = errors_of("function f({x}: {x: number}): void { if (x) { } }");
-        assert!(errs.iter().any(|m| m.contains("must be boolean")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("must be boolean")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -500,7 +587,10 @@ function f({n}: {n: number}): number {
 function helper({a}: {a: number}): number { return a; }
 function f({x}: {x: number}): number { return helper(x, x); }"#;
         let errs = errors_of(src);
-        assert!(errs.iter().any(|m| m.contains("expects 1 argument")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("expects 1 argument")),
+            "{errs:?}"
+        );
     }
 
     #[test]

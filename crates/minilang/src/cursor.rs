@@ -102,7 +102,10 @@ impl Cursor {
                 self.advance();
                 Ok(s)
             }
-            other => Err(SyntaxError::at(format!("expected identifier, found {other}"), self.peek())),
+            other => Err(SyntaxError::at(
+                format!("expected identifier, found {other}"),
+                self.peek(),
+            )),
         }
     }
 
@@ -122,8 +125,11 @@ mod tests {
     use super::*;
 
     fn cur(toks: Vec<Tok>) -> Cursor {
-        let mut tokens: Vec<Token> =
-            toks.into_iter().enumerate().map(|(i, t)| Token::new(t, 1, i + 1)).collect();
+        let mut tokens: Vec<Token> = toks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Token::new(t, 1, i + 1))
+            .collect();
         tokens.push(Token::new(Tok::Eof, 1, 99));
         Cursor::new(tokens)
     }
@@ -139,7 +145,11 @@ mod tests {
 
     #[test]
     fn eat_and_expect() {
-        let mut c = cur(vec![Tok::Ident("let".into()), Tok::Ident("x".into()), Tok::Assign]);
+        let mut c = cur(vec![
+            Tok::Ident("let".into()),
+            Tok::Ident("x".into()),
+            Tok::Assign,
+        ]);
         assert!(c.eat_kw("let"));
         assert_eq!(c.expect_ident().unwrap(), "x");
         assert!(c.expect(&Tok::Assign).is_ok());

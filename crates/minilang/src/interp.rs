@@ -90,7 +90,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DivideByZero => f.write_str("division by zero"),
             RuntimeError::OutOfFuel => f.write_str("execution budget exhausted"),
             RuntimeError::StackOverflow => f.write_str("call depth limit exceeded"),
-            RuntimeError::ArityMismatch { name, expected, found } => {
+            RuntimeError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
                 write!(f, "'{name}' expects {expected} argument(s), got {found}")
             }
             RuntimeError::Other(m) => f.write_str(m),
@@ -175,10 +179,9 @@ impl<'p> Interp<'p> {
             .ok_or_else(|| RuntimeError::UndefinedFunction(name.to_owned()))?;
         let mut positional = Vec::with_capacity(decl.params.len());
         for param in &decl.params {
-            let v = args.get(&param.name).ok_or_else(|| RuntimeError::Other(format!(
-                "missing argument '{}' for '{}'",
-                param.name, name
-            )))?;
+            let v = args.get(&param.name).ok_or_else(|| {
+                RuntimeError::Other(format!("missing argument '{}' for '{}'", param.name, name))
+            })?;
             positional.push(Value::from_json(v));
         }
         let out = self.call_decl(decl, positional)?;
@@ -188,11 +191,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Calls a declared function with positional values.
-    pub fn call_positional(
-        &mut self,
-        name: &str,
-        args: Vec<Value>,
-    ) -> Result<Value, RuntimeError> {
+    pub fn call_positional(&mut self, name: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
         let decl = self
             .program
             .function(name)
@@ -360,7 +359,11 @@ impl<'p> Interp<'p> {
                 self.write_lvalue(target, new_value)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 if self.eval_bool(cond)? {
                     self.exec_block(then_block)
                 } else {
@@ -378,13 +381,20 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ForRange { var, start, end, inclusive, body } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                inclusive,
+                body,
+            } => {
                 let start = self.eval_num(start)?;
                 let end = self.eval_num(end)?;
                 let mut i = start;
                 while (*inclusive && i <= end) || (!*inclusive && i < end) {
                     self.burn()?;
-                    self.scopes_mut().push(HashMap::from([(var.clone(), Value::Num(i))]));
+                    self.scopes_mut()
+                        .push(HashMap::from([(var.clone(), Value::Num(i))]));
                     let flow = self.exec_stmts(body);
                     self.scopes_mut().pop();
                     match flow? {
@@ -433,7 +443,11 @@ impl<'p> Interp<'p> {
             Value::Str(s) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
             Value::Object(fields) => {
                 // Iterating an object yields its keys (Python dict semantics).
-                Ok(fields.borrow().iter().map(|(k, _)| Value::Str(k.clone())).collect())
+                Ok(fields
+                    .borrow()
+                    .iter()
+                    .map(|(k, _)| Value::Str(k.clone()))
+                    .collect())
             }
             other => Err(RuntimeError::TypeMismatch(format!(
                 "cannot iterate over a {}",
@@ -662,9 +676,11 @@ impl<'p> Interp<'p> {
         match op {
             Add => match (&l, &r) {
                 (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
-                (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Ok(Value::Str(format!("{}{}", l.display_string(), r.display_string())))
-                }
+                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!(
+                    "{}{}",
+                    l.display_string(),
+                    r.display_string()
+                ))),
                 (Value::Array(a), Value::Array(b)) => {
                     let mut out = a.borrow().clone();
                     out.extend(b.borrow().iter().cloned());
@@ -740,7 +756,9 @@ impl<'p> Interp<'p> {
 
 fn repeat_str(s: &str, n: f64) -> Result<Value, RuntimeError> {
     if n < 0.0 || n.fract() != 0.0 || n > 100_000.0 {
-        return Err(RuntimeError::TypeMismatch(format!("invalid repeat count {n}")));
+        return Err(RuntimeError::TypeMismatch(format!(
+            "invalid repeat count {n}"
+        )));
     }
     Ok(Value::Str(s.repeat(n as usize)))
 }
@@ -776,7 +794,10 @@ fn type_mismatch(op: &str, l: &Value, r: &Value) -> RuntimeError {
 /// Converts an f64 index; `len` is the exclusive bound.
 fn to_index(n: f64, len: usize) -> Result<usize, RuntimeError> {
     if n.fract() != 0.0 || n < 0.0 || (n as usize) >= len {
-        Err(RuntimeError::IndexOutOfBounds { index: n as i64, len: len.saturating_sub(1) })
+        Err(RuntimeError::IndexOutOfBounds {
+            index: n as i64,
+            len: len.saturating_sub(1),
+        })
     } else {
         Ok(n as usize)
     }
@@ -785,7 +806,10 @@ fn to_index(n: f64, len: usize) -> Result<usize, RuntimeError> {
 /// Like [`to_index`] but supports Python-style negative indices.
 fn to_index_signed(n: f64, len: usize) -> Result<usize, RuntimeError> {
     if n.fract() != 0.0 {
-        return Err(RuntimeError::IndexOutOfBounds { index: n as i64, len });
+        return Err(RuntimeError::IndexOutOfBounds {
+            index: n as i64,
+            len,
+        });
     }
     let i = n as i64;
     let resolved = if i < 0 { i + len as i64 } else { i };

@@ -42,10 +42,8 @@ struct PyLexer {
 impl PyLexer {
     fn run(&mut self) -> Result<(), SyntaxError> {
         loop {
-            if self.at_line_start && self.bracket_depth == 0 {
-                if !self.handle_indentation()? {
-                    break; // EOF reached
-                }
+            if self.at_line_start && self.bracket_depth == 0 && !self.handle_indentation()? {
+                break; // EOF reached
             }
             self.skip_inline_space();
             let (line, col) = (self.line, self.col);
@@ -241,11 +239,7 @@ impl PyLexer {
                             self.push(Tok::Dedent, start_line, 1);
                         }
                         if *self.indents.last().expect("non-empty") != width {
-                            return Err(SyntaxError::new(
-                                "inconsistent dedent",
-                                start_line,
-                                1,
-                            ));
+                            return Err(SyntaxError::new("inconsistent dedent", start_line, 1));
                         }
                     }
                     self.at_line_start = false;
@@ -364,7 +358,11 @@ impl PyLexer {
                 text.push(self.bump().expect("sign"));
             }
             if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                return Err(SyntaxError::new("missing exponent digits", self.line, self.col));
+                return Err(SyntaxError::new(
+                    "missing exponent digits",
+                    self.line,
+                    self.col,
+                ));
             }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 text.push(self.bump().expect("digit"));
@@ -444,7 +442,7 @@ mod tests {
     #[test]
     fn eof_without_trailing_newline_still_closes() {
         let ts = toks("def f():\n    return 1");
-        assert_eq!(ts.last().map(|t| t.clone()), Some(Tok::Eof));
+        assert_eq!(ts.last().cloned(), Some(Tok::Eof));
         assert!(ts.contains(&Tok::Dedent));
         // Newline was synthesized before the dedent.
         let newline_idx = ts.iter().rposition(|t| *t == Tok::Newline).unwrap();

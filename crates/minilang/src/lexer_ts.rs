@@ -8,7 +8,12 @@ use crate::token::{SyntaxError, Tok, Token};
 ///
 /// Returns a [`SyntaxError`] on unterminated strings/comments or stray bytes.
 pub fn lex_ts(source: &str) -> Result<Vec<Token>, SyntaxError> {
-    let mut lexer = TsLexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut lexer = TsLexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     lexer.run()
 }
 
@@ -289,7 +294,11 @@ impl TsLexer {
                 text.push(self.bump().expect("sign"));
             }
             if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                return Err(SyntaxError::new("missing exponent digits", self.line, self.col));
+                return Err(SyntaxError::new(
+                    "missing exponent digits",
+                    self.line,
+                    self.col,
+                ));
             }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 text.push(self.bump().expect("digit"));
@@ -302,8 +311,7 @@ impl TsLexer {
 
     fn ident(&mut self) -> Tok {
         let mut s = String::new();
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '$')
-        {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '$') {
             s.push(self.bump().expect("ident char"));
         }
         Tok::Ident(s)
@@ -349,19 +357,25 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let got = toks("a // line\n/* block\nstill */ b");
-        assert_eq!(got, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            got,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn triple_equals_normalizes() {
-        assert_eq!(toks("a === b !== c"), vec![
-            Tok::Ident("a".into()),
-            Tok::EqEq,
-            Tok::Ident("b".into()),
-            Tok::NotEq,
-            Tok::Ident("c".into()),
-            Tok::Eof,
-        ]);
+        assert_eq!(
+            toks("a === b !== c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Eof,
+            ]
+        );
     }
 
     #[test]
@@ -419,7 +433,12 @@ mod tests {
         // `xs.length` must lex as ident dot ident, not a malformed number.
         assert_eq!(
             toks("xs.length"),
-            vec![Tok::Ident("xs".into()), Tok::Dot, Tok::Ident("length".into()), Tok::Eof]
+            vec![
+                Tok::Ident("xs".into()),
+                Tok::Dot,
+                Tok::Ident("length".into()),
+                Tok::Eof
+            ]
         );
     }
 

@@ -88,7 +88,10 @@ mod lib_tests {
     use askit_json::{Json, Map};
 
     fn call(program: &Program, name: &str, args: &[(&str, Json)]) -> Result<Json, RuntimeError> {
-        let map: Map = args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let map: Map = args
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         Interp::new(program).call_json(name, &map)
     }
 
@@ -98,9 +101,7 @@ mod lib_tests {
             "export function reverseString({s}: {s: string}): string {\n  return s.split('').reverse().join('');\n}",
         )
         .unwrap();
-        let py = parse_py(
-            "def reverseString(s):\n    return ''.join(list(reversed_chars(s)))\n",
-        );
+        let py = parse_py("def reverseString(s):\n    return ''.join(list(reversed_chars(s)))\n");
         // The Python variant above calls an unknown helper — it should parse
         // but fail at runtime; the realistic Python spelling uses slicing:
         assert!(py.is_ok());
@@ -141,10 +142,9 @@ mod lib_tests {
         let out = call(&p, "fib", &[("n", Json::Int(10))]).unwrap();
         assert_eq!(out, Json::Int(55));
 
-        let bomb = parse_ts(
-            "export function boom({n}: {n: number}): number { return boom(n + 1); }",
-        )
-        .unwrap();
+        let bomb =
+            parse_ts("export function boom({n}: {n: number}): number { return boom(n + 1); }")
+                .unwrap();
         let err = call(&bomb, "boom", &[("n", Json::Int(0))]).unwrap_err();
         assert_eq!(err, RuntimeError::StackOverflow);
     }
@@ -184,10 +184,8 @@ mod lib_tests {
 
     #[test]
     fn runtime_errors_surface() {
-        let p = parse_ts(
-            "export function bad({xs}: {xs: number[]}): number { return xs[99]; }",
-        )
-        .unwrap();
+        let p = parse_ts("export function bad({xs}: {xs: number[]}): number { return xs[99]; }")
+            .unwrap();
         let err = call(&p, "bad", &[("xs", Json::parse("[1]").unwrap())]).unwrap_err();
         assert!(matches!(err, RuntimeError::IndexOutOfBounds { .. }));
 

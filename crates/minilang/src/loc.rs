@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn line_comments_do_not_count() {
-        assert_eq!(count_loc("// only a comment\nx = 1;\n# python comment\n"), 1);
+        assert_eq!(
+            count_loc("// only a comment\nx = 1;\n# python comment\n"),
+            1
+        );
     }
 
     #[test]
@@ -91,7 +94,11 @@ mod tests {
     #[test]
     fn code_after_block_comment_close_counts() {
         assert_eq!(count_loc("/* c */ x = 1;\n"), 1);
-        assert_eq!(count_loc("/* a */ /* b */\n"), 0, "two comments are still only comments");
+        assert_eq!(
+            count_loc("/* a */ /* b */\n"),
+            0,
+            "two comments are still only comments"
+        );
         assert_eq!(count_loc("/* open\nstill comment */ y = 2;\n"), 1);
     }
 

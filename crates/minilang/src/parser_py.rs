@@ -69,7 +69,11 @@ fn function(c: &mut Cursor) -> Result<FuncDecl, SyntaxError> {
     if !c.eat(&Tok::RParen) {
         loop {
             let pname = c.expect_ident()?;
-            let ty = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+            let ty = if c.eat(&Tok::Colon) {
+                parse_type(c)?
+            } else {
+                askit_types::any()
+            };
             params.push(Param { name: pname, ty });
             if !c.eat(&Tok::Comma) {
                 break;
@@ -77,10 +81,21 @@ fn function(c: &mut Cursor) -> Result<FuncDecl, SyntaxError> {
         }
         c.expect(&Tok::RParen)?;
     }
-    let ret = if c.eat(&Tok::ThinArrow) { parse_type(c)? } else { askit_types::any() };
+    let ret = if c.eat(&Tok::ThinArrow) {
+        parse_type(c)?
+    } else {
+        askit_types::any()
+    };
     c.expect(&Tok::Colon)?;
     let body = suite(c)?;
-    Ok(FuncDecl { name, params, ret, body, exported: true, doc: vec![] })
+    Ok(FuncDecl {
+        name,
+        params,
+        ret,
+        body,
+        exported: true,
+        doc: vec![],
+    })
 }
 
 fn suite(c: &mut Cursor) -> Result<Block, SyntaxError> {
@@ -168,7 +183,11 @@ fn if_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
     } else {
         vec![]
     };
-    Ok(Stmt::If { cond, then_block, else_block })
+    Ok(Stmt::If {
+        cond,
+        then_block,
+        else_block,
+    })
 }
 
 fn simple_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
@@ -206,7 +225,11 @@ fn simple_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
         // scope semantics make re-assignment work through `Let` too — but to
         // keep ASTs canonical the parser emits Let only for plain `=` on a
         // bare name, like the TS frontend's `let`.
-        (None, Expr::Var(name)) => Ok(Stmt::Let { name, init: value, mutable: true }),
+        (None, Expr::Var(name)) => Ok(Stmt::Let {
+            name,
+            init: value,
+            mutable: true,
+        }),
         (op, target) => {
             let target = to_lvalue(c, target)?;
             Ok(Stmt::Assign { target, op, value })
@@ -237,7 +260,11 @@ pub(crate) fn expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
         let cond = or_expr(c)?;
         c.expect_kw("else")?;
         let else_e = expr(c)?;
-        return Ok(Expr::Cond(Box::new(cond), Box::new(value), Box::new(else_e)));
+        return Ok(Expr::Cond(
+            Box::new(cond),
+            Box::new(value),
+            Box::new(else_e),
+        ));
     }
     Ok(value)
 }
@@ -255,7 +282,10 @@ fn lambda(c: &mut Cursor) -> Result<Expr, SyntaxError> {
     }
     c.expect(&Tok::Colon)?;
     let body = expr(c)?;
-    Ok(Expr::Lambda { params, body: Box::new(body) })
+    Ok(Expr::Lambda {
+        params,
+        body: Box::new(body),
+    })
 }
 
 fn or_expr(c: &mut Cursor) -> Result<Expr, SyntaxError> {
@@ -402,7 +432,10 @@ fn make_call(c: &Cursor, callee: Expr, args: Vec<Expr>) -> Result<Expr, SyntaxEr
                 let mut args = args;
                 return Ok(Expr::prop(args.remove(0), "len"));
             }
-            Ok(Expr::Call { callee: builtins::canonical_free_py(&name).to_owned(), args })
+            Ok(Expr::Call {
+                callee: builtins::canonical_free_py(&name).to_owned(),
+                args,
+            })
         }
         Expr::Lambda { .. } => Err(c.error("immediately-invoked lambdas are not supported")),
         _ => Err(c.error("only named functions can be called")),
@@ -412,7 +445,10 @@ fn make_call(c: &Cursor, callee: Expr, args: Vec<Expr>) -> Result<Expr, SyntaxEr
 fn make_member_call(recv: Expr, member: &str, args: Vec<Expr>) -> Expr {
     if let Expr::Var(ns) = &recv {
         if let Some(canonical) = builtins::canonical_namespace_call(ns, member) {
-            return Expr::Call { callee: canonical.to_owned(), args };
+            return Expr::Call {
+                callee: canonical.to_owned(),
+                args,
+            };
         }
     }
     // Python's `sep.join(xs)` has the receiver and argument swapped relative
@@ -434,9 +470,17 @@ fn make_member_call(recv: Expr, member: &str, args: Vec<Expr>) -> Expr {
 
 fn index_or_slice(c: &mut Cursor, base: Expr) -> Result<Expr, SyntaxError> {
     // `[i]`, `[a:b]`, `[:b]`, `[a:]`, `[:]`
-    let start = if matches!(c.peek().tok, Tok::Colon) { None } else { Some(expr(c)?) };
+    let start = if matches!(c.peek().tok, Tok::Colon) {
+        None
+    } else {
+        Some(expr(c)?)
+    };
     if c.eat(&Tok::Colon) {
-        let end = if matches!(c.peek().tok, Tok::RBracket) { None } else { Some(expr(c)?) };
+        let end = if matches!(c.peek().tok, Tok::RBracket) {
+            None
+        } else {
+            Some(expr(c)?)
+        };
         c.expect(&Tok::RBracket)?;
         let mut args = Vec::new();
         match (start, end) {
@@ -535,9 +579,9 @@ fn primary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
                         k
                     }
                     other => {
-                        return Err(c.error(format!(
-                            "dict keys must be string literals, found {other}"
-                        )))
+                        return Err(
+                            c.error(format!("dict keys must be string literals, found {other}"))
+                        )
                     }
                 };
                 c.expect(&Tok::Colon)?;
@@ -568,7 +612,11 @@ mod tests {
         assert_eq!(f.params.len(), 2);
         assert_eq!(
             f.body,
-            vec![Stmt::Return(Some(Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y"))))]
+            vec![Stmt::Return(Some(Expr::bin(
+                BinOp::Add,
+                Expr::var("x"),
+                Expr::var("y")
+            )))]
         );
     }
 
@@ -585,7 +633,10 @@ mod tests {
             "def fact(n):\n    acc = 1\n    for i in range(2, n + 1):\n        acc *= i\n    return acc\n",
         )
         .unwrap();
-        let Stmt::ForRange { start, inclusive, .. } = &p.functions[0].body[1] else {
+        let Stmt::ForRange {
+            start, inclusive, ..
+        } = &p.functions[0].body[1]
+        else {
             panic!("expected ForRange, got {:?}", p.functions[0].body[1]);
         };
         assert_eq!(*start, Expr::Num(2.0));
@@ -595,7 +646,9 @@ mod tests {
     #[test]
     fn single_arg_range_starts_at_zero() {
         let p = parse_py("def f(n):\n    for i in range(n):\n        pass\n").unwrap();
-        let Stmt::ForRange { start, .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::ForRange { start, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(*start, Expr::Num(0.0));
     }
 
@@ -639,7 +692,11 @@ mod tests {
             parse_py_expr("x not in xs").unwrap(),
             Expr::Unary(
                 UnOp::Not,
-                Box::new(Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")]))
+                Box::new(Expr::method(
+                    Expr::var("xs"),
+                    "includes",
+                    vec![Expr::var("x")]
+                ))
             )
         );
     }
@@ -656,7 +713,11 @@ mod tests {
     fn method_spellings_canonicalize() {
         assert_eq!(
             parse_py_expr("s.upper().strip()").unwrap(),
-            Expr::method(Expr::method(Expr::var("s"), "to_upper", vec![]), "trim", vec![])
+            Expr::method(
+                Expr::method(Expr::var("s"), "to_upper", vec![]),
+                "trim",
+                vec![]
+            )
         );
         assert_eq!(
             parse_py_expr("xs.append(1)").unwrap(),
@@ -668,7 +729,11 @@ mod tests {
     fn slices_become_slice_method() {
         assert_eq!(
             parse_py_expr("s[1:3]").unwrap(),
-            Expr::method(Expr::var("s"), "slice", vec![Expr::Num(1.0), Expr::Num(3.0)])
+            Expr::method(
+                Expr::var("s"),
+                "slice",
+                vec![Expr::Num(1.0), Expr::Num(3.0)]
+            )
         );
         assert_eq!(
             parse_py_expr("s[2:]").unwrap(),
@@ -676,7 +741,11 @@ mod tests {
         );
         assert_eq!(
             parse_py_expr("s[:2]").unwrap(),
-            Expr::method(Expr::var("s"), "slice", vec![Expr::Num(0.0), Expr::Num(2.0)])
+            Expr::method(
+                Expr::var("s"),
+                "slice",
+                vec![Expr::Num(0.0), Expr::Num(2.0)]
+            )
         );
         assert_eq!(
             parse_py_expr("s[:]").unwrap(),
@@ -739,7 +808,9 @@ mod tests {
     fn elif_chains() {
         let src = "def sign(x):\n    if x > 0:\n        return 'pos'\n    elif x < 0:\n        return 'neg'\n    else:\n        return 'zero'\n";
         let p = parse_py(src).unwrap();
-        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(else_block[0], Stmt::If { .. }));
     }
 
@@ -749,11 +820,18 @@ mod tests {
         assert!(matches!(p.functions[0].body[0], Stmt::Let { .. }));
         assert!(matches!(
             p.functions[0].body[1],
-            Stmt::Assign { op: Some(BinOp::Add), .. }
+            Stmt::Assign {
+                op: Some(BinOp::Add),
+                ..
+            }
         ));
         assert!(matches!(
             p.functions[0].body[2],
-            Stmt::Assign { target: LValue::Index(..), op: None, .. }
+            Stmt::Assign {
+                target: LValue::Index(..),
+                op: None,
+                ..
+            }
         ));
     }
 
@@ -761,7 +839,10 @@ mod tests {
     fn dict_literals_and_membership_on_dicts() {
         let e = parse_py_expr("{'a': 1, 'b': 2}").unwrap();
         assert!(matches!(e, Expr::Object(ref fields) if fields.len() == 2));
-        assert!(parse_py_expr("{a: 1}").is_err(), "bare identifiers are not dict keys");
+        assert!(
+            parse_py_expr("{a: 1}").is_err(),
+            "bare identifiers are not dict keys"
+        );
     }
 
     #[test]

@@ -59,9 +59,20 @@ fn function(c: &mut Cursor) -> Result<FuncDecl, SyntaxError> {
     c.expect(&Tok::LParen)?;
     let params = params(c)?;
     c.expect(&Tok::RParen)?;
-    let ret = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+    let ret = if c.eat(&Tok::Colon) {
+        parse_type(c)?
+    } else {
+        askit_types::any()
+    };
     let body = block(c)?;
-    Ok(FuncDecl { name, params, ret, body, exported, doc: vec![] })
+    Ok(FuncDecl {
+        name,
+        params,
+        ret,
+        body,
+        exported,
+        doc: vec![],
+    })
 }
 
 fn params(c: &mut Cursor) -> Result<Vec<Param>, SyntaxError> {
@@ -90,9 +101,14 @@ fn params(c: &mut Cursor) -> Result<Vec<Param>, SyntaxError> {
         let mut out = Vec::with_capacity(names.len());
         for name in names {
             let field = fields.iter().find(|(k, _)| *k == name).ok_or_else(|| {
-                c.error(format!("parameter '{name}' missing from the parameter type"))
+                c.error(format!(
+                    "parameter '{name}' missing from the parameter type"
+                ))
             })?;
-            out.push(Param { name, ty: field.1.clone() });
+            out.push(Param {
+                name,
+                ty: field.1.clone(),
+            });
         }
         return Ok(out);
     }
@@ -100,7 +116,11 @@ fn params(c: &mut Cursor) -> Result<Vec<Param>, SyntaxError> {
     let mut out = Vec::new();
     loop {
         let name = c.expect_ident()?;
-        let ty = if c.eat(&Tok::Colon) { parse_type(c)? } else { askit_types::any() };
+        let ty = if c.eat(&Tok::Colon) {
+            parse_type(c)?
+        } else {
+            askit_types::any()
+        };
         out.push(Param { name, ty });
         if !c.eat(&Tok::Comma) {
             break;
@@ -132,7 +152,11 @@ fn stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
         c.expect(&Tok::Assign)?;
         let init = expr(c)?;
         c.eat(&Tok::Semi);
-        return Ok(Stmt::Let { name, init, mutable });
+        return Ok(Stmt::Let {
+            name,
+            init,
+            mutable,
+        });
     }
     if c.eat_kw("return") {
         let value = if matches!(c.peek().tok, Tok::Semi | Tok::RBrace) {
@@ -182,9 +206,15 @@ fn if_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
     } else {
         vec![]
     };
-    Ok(Stmt::If { cond, then_block, else_block })
+    Ok(Stmt::If {
+        cond,
+        then_block,
+        else_block,
+    })
 }
 
+// The `n == 1.0` guard below cannot be a float pattern (not legal Rust).
+#[allow(clippy::redundant_guards)]
 fn for_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
     c.expect(&Tok::LParen)?;
     if !(c.at_kw("let") || c.at_kw("const")) {
@@ -231,7 +261,13 @@ fn for_stmt(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
     }
     c.expect(&Tok::RParen)?;
     let body = block(c)?;
-    Ok(Stmt::ForRange { var, start, end, inclusive, body })
+    Ok(Stmt::ForRange {
+        var,
+        start,
+        end,
+        inclusive,
+        body,
+    })
 }
 
 fn expr_or_assign(c: &mut Cursor) -> Result<Stmt, SyntaxError> {
@@ -289,7 +325,11 @@ fn ternary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
         let then_e = expr(c)?;
         c.expect(&Tok::Colon)?;
         let else_e = expr(c)?;
-        return Ok(Expr::Cond(Box::new(cond), Box::new(then_e), Box::new(else_e)));
+        return Ok(Expr::Cond(
+            Box::new(cond),
+            Box::new(then_e),
+            Box::new(else_e),
+        ));
     }
     Ok(cond)
 }
@@ -352,9 +392,10 @@ fn postfix(c: &mut Cursor) -> Result<Expr, SyntaxError> {
                 c.advance();
                 let args = call_args(c)?;
                 e = match e {
-                    Expr::Var(name) => {
-                        Expr::Call { callee: builtins::canonical_free_ts(&name).to_owned(), args }
-                    }
+                    Expr::Var(name) => Expr::Call {
+                        callee: builtins::canonical_free_ts(&name).to_owned(),
+                        args,
+                    },
                     Expr::Lambda { .. } => {
                         return Err(c.error("immediately-invoked lambdas are not supported"))
                     }
@@ -391,12 +432,18 @@ fn postfix(c: &mut Cursor) -> Result<Expr, SyntaxError> {
 fn make_member_call(recv: Expr, member: &str, args: Vec<Expr>) -> Expr {
     if let Expr::Var(ns) = &recv {
         if let Some(canonical) = builtins::canonical_namespace_call(ns, member) {
-            return Expr::Call { callee: canonical.to_owned(), args };
+            return Expr::Call {
+                callee: canonical.to_owned(),
+                args,
+            };
         }
     }
     let canonical = builtins::canonical_method_ts(member);
     if canonical == "to_string" && args.is_empty() {
-        return Expr::Call { callee: "to_string".to_owned(), args: vec![recv] };
+        return Expr::Call {
+            callee: "to_string".to_owned(),
+            args: vec![recv],
+        };
     }
     Expr::method(recv, canonical, args)
 }
@@ -432,7 +479,10 @@ fn primary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
                 c.advance();
                 c.advance();
                 let body = expr(c)?;
-                return Ok(Expr::Lambda { params: vec![word], body: Box::new(body) });
+                return Ok(Expr::Lambda {
+                    params: vec![word],
+                    body: Box::new(body),
+                });
             }
             c.advance();
             match word.as_str() {
@@ -446,7 +496,10 @@ fn primary(c: &mut Cursor) -> Result<Expr, SyntaxError> {
             // Either a parenthesized expression or a multi-param arrow.
             if let Some(params) = try_arrow_params(c) {
                 let body = expr(c)?;
-                return Ok(Expr::Lambda { params, body: Box::new(body) });
+                return Ok(Expr::Lambda {
+                    params,
+                    body: Box::new(body),
+                });
             }
             c.advance();
             let e = expr(c)?;
@@ -561,11 +614,14 @@ mod tests {
         assert_eq!(f.params[0].name, "x");
         assert_eq!(f.params[0].ty, float());
         assert_eq!(f.ret, float());
-        assert_eq!(f.body, vec![Stmt::Return(Some(Expr::bin(
-            BinOp::Add,
-            Expr::var("x"),
-            Expr::var("y"),
-        )))]);
+        assert_eq!(
+            f.body,
+            vec![Stmt::Return(Some(Expr::bin(
+                BinOp::Add,
+                Expr::var("x"),
+                Expr::var("y"),
+            )))]
+        );
     }
 
     #[test]
@@ -580,10 +636,7 @@ mod tests {
 
     #[test]
     fn complex_param_types() {
-        let p = parse_ts(
-            "function f({xs}: {xs: {n: number}[]}): number[] { return []; }",
-        )
-        .unwrap();
+        let p = parse_ts("function f({xs}: {xs: {n: number}[]}): number[] { return []; }").unwrap();
         assert_eq!(p.functions[0].params[0].ty, list(dict([("n", float())])));
         assert_eq!(p.functions[0].ret, list(float()));
     }
@@ -607,7 +660,13 @@ function f({n}: {n: number}): number {
 }"#;
         let p = parse_ts(src).unwrap();
         let body = &p.functions[0].body;
-        assert!(matches!(body[2], Stmt::ForRange { inclusive: true, .. }));
+        assert!(matches!(
+            body[2],
+            Stmt::ForRange {
+                inclusive: true,
+                ..
+            }
+        ));
         assert!(matches!(body[4], Stmt::While { .. }));
     }
 
@@ -625,7 +684,9 @@ function f({ss}: {ss: string[]}): string {
         let Stmt::ForOf { body, .. } = &p.functions[0].body[1] else {
             panic!("expected for-of");
         };
-        let Stmt::Assign { value, .. } = &body[0] else { panic!("expected +=") };
+        let Stmt::Assign { value, .. } = &body[0] else {
+            panic!("expected +=")
+        };
         assert_eq!(*value, Expr::method(Expr::var("s"), "to_upper", vec![]));
     }
 
@@ -764,10 +825,7 @@ function f({ss}: {ss: string[]}): string {
         assert_eq!(
             p.functions[0].body[0],
             Stmt::Assign {
-                target: LValue::Index(
-                    Box::new(Expr::var("o")),
-                    Box::new(Expr::str("count"))
-                ),
+                target: LValue::Index(Box::new(Expr::var("o")), Box::new(Expr::str("count"))),
                 op: None,
                 value: Expr::Num(1.0)
             }
@@ -783,7 +841,9 @@ function sign({x}: {x: number}): string {
   else { return "zero"; }
 }"#;
         let p = parse_ts(src).unwrap();
-        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::If { else_block, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(else_block[0], Stmt::If { .. }));
     }
 

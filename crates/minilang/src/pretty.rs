@@ -55,14 +55,22 @@ pub fn print_program(program: &Program, syntax: Syntax) -> String {
 
 /// Prints one function declaration.
 pub fn print_function(f: &FuncDecl, syntax: Syntax) -> String {
-    let mut p = Printer { syntax, out: String::new(), indent: 0 };
+    let mut p = Printer {
+        syntax,
+        out: String::new(),
+        indent: 0,
+    };
     p.function(f);
     p.out
 }
 
 /// Prints a single expression (mostly for tests and error messages).
 pub fn print_expr(e: &Expr, syntax: Syntax) -> String {
-    let mut p = Printer { syntax, out: String::new(), indent: 0 };
+    let mut p = Printer {
+        syntax,
+        out: String::new(),
+        indent: 0,
+    };
     p.expr(e, 0);
     p.out
 }
@@ -104,7 +112,10 @@ impl Printer {
                     self.push(&names.join(", "));
                     self.push("}: ");
                     let dict = Type::Dict(
-                        f.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+                        f.params
+                            .iter()
+                            .map(|p| (p.name.clone(), p.ty.clone()))
+                            .collect(),
                     );
                     self.push(&dict.to_typescript());
                 }
@@ -182,7 +193,11 @@ impl Printer {
 
     fn stmt(&mut self, stmt: &Stmt) {
         match stmt {
-            Stmt::Let { name, init, mutable } => match self.syntax {
+            Stmt::Let {
+                name,
+                init,
+                mutable,
+            } => match self.syntax {
                 Syntax::Ts => {
                     self.push(if *mutable { "let " } else { "const " });
                     self.push(name);
@@ -218,10 +233,7 @@ impl Printer {
                         match target {
                             LValue::Var(name) => {
                                 let var = Expr::var(name.clone());
-                                self.expr(
-                                    &Expr::bin(*other, var, value.clone()),
-                                    0,
-                                );
+                                self.expr(&Expr::bin(*other, var, value.clone()), 0);
                                 if self.syntax == Syntax::Ts {
                                     self.push(";");
                                 }
@@ -236,7 +248,11 @@ impl Printer {
                     self.push(";");
                 }
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.if_chain(cond, then_block, else_block, true);
             }
             Stmt::While { cond, body } => {
@@ -253,7 +269,13 @@ impl Printer {
                 }
                 self.nested_block(body);
             }
-            Stmt::ForRange { var, start, end, inclusive, body } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                inclusive,
+                body,
+            } => {
                 match self.syntax {
                     Syntax::Ts => {
                         self.push("for (let ");
@@ -323,10 +345,18 @@ impl Printer {
                 }
             }
             Stmt::Break => {
-                self.push(if self.syntax == Syntax::Ts { "break;" } else { "break" });
+                self.push(if self.syntax == Syntax::Ts {
+                    "break;"
+                } else {
+                    "break"
+                });
             }
             Stmt::Continue => {
-                self.push(if self.syntax == Syntax::Ts { "continue;" } else { "continue" });
+                self.push(if self.syntax == Syntax::Ts {
+                    "continue;"
+                } else {
+                    "continue"
+                });
             }
         }
     }
@@ -341,7 +371,12 @@ impl Printer {
                 if else_block.is_empty() {
                     return;
                 }
-                if let [Stmt::If { cond, then_block, else_block }] = else_block.as_slice() {
+                if let [Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                }] = else_block.as_slice()
+                {
                     self.if_chain(cond, then_block, else_block, false);
                 } else {
                     self.push(" else");
@@ -355,7 +390,12 @@ impl Printer {
                 if else_block.is_empty() {
                     return;
                 }
-                if let [Stmt::If { cond, then_block, else_block }] = else_block.as_slice() {
+                if let [Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                }] = else_block.as_slice()
+                {
                     self.newline();
                     self.if_chain(cond, then_block, else_block, false);
                 } else {
@@ -389,9 +429,9 @@ impl Printer {
             Expr::Unary(UnOp::Not, _) if self.syntax == Syntax::Py => 2,
             Expr::Unary(..) => 8,
             Expr::Method { name, .. } if self.syntax == Syntax::Py => match name.as_str() {
-                "includes" => 3,         // printed as `x in recv`
-                "repeat" => 6,           // printed as `recv * n`
-                "concat" => 5,           // printed as `recv + other`
+                "includes" => 3, // printed as `x in recv`
+                "repeat" => 6,   // printed as `recv * n`
+                "concat" => 5,   // printed as `recv + other`
                 _ => 9,
             },
             Expr::Call { .. } | Expr::Method { .. } | Expr::Prop(..) | Expr::Index(..) => 9,
@@ -460,8 +500,11 @@ impl Printer {
             }
             Expr::Binary(op, lhs, rhs) => {
                 let prec = op.precedence();
-                let (mut lmin, mut rmin) =
-                    if op.right_assoc() { (prec + 1, prec) } else { (prec, prec + 1) };
+                let (mut lmin, mut rmin) = if op.right_assoc() {
+                    (prec + 1, prec)
+                } else {
+                    (prec, prec + 1)
+                };
                 if self.syntax == Syntax::Py {
                     // Python's `**` binds tighter than a prefix minus on its
                     // left (`-x ** y` is `-(x ** y)`), so a unary left
@@ -733,12 +776,22 @@ mod tests {
         FuncDecl {
             name: "addAll".into(),
             params: vec![
-                crate::ast::Param { name: "x".into(), ty: float() },
-                crate::ast::Param { name: "ys".into(), ty: askit_types::list(float()) },
+                crate::ast::Param {
+                    name: "x".into(),
+                    ty: float(),
+                },
+                crate::ast::Param {
+                    name: "ys".into(),
+                    ty: askit_types::list(float()),
+                },
             ],
             ret: float(),
             body: vec![
-                Stmt::Let { name: "total".into(), init: Expr::var("x"), mutable: true },
+                Stmt::Let {
+                    name: "total".into(),
+                    init: Expr::var("x"),
+                    mutable: true,
+                },
                 Stmt::ForOf {
                     var: "y".into(),
                     iter: Expr::var("ys"),
@@ -799,7 +852,11 @@ mod tests {
         assert_eq!(print_expr(&j, Syntax::Py), "', '.join(parts)");
         assert_eq!(print_expr(&j, Syntax::Ts), "parts.join(', ')");
 
-        let s = Expr::method(Expr::var("s"), "slice", vec![Expr::Num(1.0), Expr::Num(3.0)]);
+        let s = Expr::method(
+            Expr::var("s"),
+            "slice",
+            vec![Expr::Num(1.0), Expr::Num(3.0)],
+        );
         assert_eq!(print_expr(&s, Syntax::Py), "s[1:3]");
         assert_eq!(print_expr(&s, Syntax::Ts), "s.slice(1, 3)");
 
@@ -829,7 +886,11 @@ mod tests {
     fn not_in_python_gets_a_space() {
         let e = Expr::Unary(
             UnOp::Not,
-            Box::new(Expr::method(Expr::var("xs"), "includes", vec![Expr::var("x")])),
+            Box::new(Expr::method(
+                Expr::var("xs"),
+                "includes",
+                vec![Expr::var("x")],
+            )),
         );
         assert_eq!(print_expr(&e, Syntax::Py), "not (x in xs)");
         assert_eq!(print_expr(&e, Syntax::Ts), "!xs.includes(x)");

@@ -181,7 +181,11 @@ pub struct SyntaxError {
 impl SyntaxError {
     /// Creates an error at a position.
     pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
-        SyntaxError { message: message.into(), line, col }
+        SyntaxError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     /// Creates an error at a token.
@@ -192,7 +196,11 @@ impl SyntaxError {
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.message, self.line, self.col)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.line, self.col
+        )
     }
 }
 

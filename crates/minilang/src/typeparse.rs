@@ -158,7 +158,10 @@ mod tests {
         assert_eq!(p("'a' | 'b'"), union([literal("a"), literal("b")]));
         assert_eq!(p("-3"), literal(-3i64));
         assert_eq!(p("1.5"), literal(1.5f64));
-        assert_eq!(p("('a' | 'b')[]"), list(union([literal("a"), literal("b")])));
+        assert_eq!(
+            p("('a' | 'b')[]"),
+            list(union([literal("a"), literal("b")]))
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl Value {
                 let b = b.borrow();
                 a.len() == b.len()
                     && a.iter().all(|(k, v)| {
-                        b.iter().find(|(k2, _)| k2 == k).is_some_and(|(_, w)| v.equals(w))
+                        b.iter()
+                            .find(|(k2, _)| k2 == k)
+                            .is_some_and(|(_, w)| v.equals(w))
                     })
             }
             _ => false,
@@ -106,7 +108,9 @@ impl Value {
             Json::Str(s) => Value::Str(s.clone()),
             Json::Array(items) => Value::array(items.iter().map(Value::from_json).collect()),
             Json::Object(map) => Value::object(
-                map.iter().map(|(k, v)| (k.to_owned(), Value::from_json(v))).collect(),
+                map.iter()
+                    .map(|(k, v)| (k.to_owned(), Value::from_json(v)))
+                    .collect(),
             ),
         }
     }
@@ -241,16 +245,19 @@ mod tests {
         assert_eq!(Value::Str("hi".into()).display_string(), "hi");
         assert_eq!(Value::Bool(true).display_string(), "true");
         assert_eq!(Value::Null.display_string(), "null");
-        assert_eq!(
-            Value::array(vec![Value::Num(1.0)]).display_string(),
-            "[1]"
-        );
+        assert_eq!(Value::array(vec![Value::Num(1.0)]).display_string(), "[1]");
     }
 
     #[test]
     fn object_equality_is_order_insensitive() {
-        let a = Value::object(vec![("x".into(), Value::Num(1.0)), ("y".into(), Value::Num(2.0))]);
-        let b = Value::object(vec![("y".into(), Value::Num(2.0)), ("x".into(), Value::Num(1.0))]);
+        let a = Value::object(vec![
+            ("x".into(), Value::Num(1.0)),
+            ("y".into(), Value::Num(2.0)),
+        ]);
+        let b = Value::object(vec![
+            ("y".into(), Value::Num(2.0)),
+            ("x".into(), Value::Num(1.0)),
+        ]);
         assert!(a.equals(&b));
     }
 }

@@ -41,14 +41,34 @@ fn arb_binop() -> impl Strategy<Value = BinOp> {
 fn arb_method(inner: BoxedStrategy<Expr>) -> BoxedStrategy<Expr> {
     let arg = inner.clone();
     prop_oneof![
-        (inner.clone(), prop::sample::select(vec!["to_upper", "to_lower", "trim", "pop", "reverse", "sort"]))
+        (
+            inner.clone(),
+            prop::sample::select(vec![
+                "to_upper", "to_lower", "trim", "pop", "reverse", "sort"
+            ])
+        )
             .prop_map(|(r, m)| Expr::method(r, m, vec![])),
-        (inner.clone(), arg.clone(), prop::sample::select(vec!["includes", "split", "index_of", "push", "starts_with", "ends_with", "join", "count"]))
+        (
+            inner.clone(),
+            arg.clone(),
+            prop::sample::select(vec![
+                "includes",
+                "split",
+                "index_of",
+                "push",
+                "starts_with",
+                "ends_with",
+                "join",
+                "count"
+            ])
+        )
             .prop_map(|(r, a, m)| Expr::method(r, m, vec![a])),
-        (inner.clone(), arg.clone())
-            .prop_map(|(r, a)| Expr::method(r, "slice", vec![a])),
-        (inner.clone(), arg.clone(), arg)
-            .prop_map(|(r, a, b)| Expr::method(r, "slice", vec![a, b])),
+        (inner.clone(), arg.clone()).prop_map(|(r, a)| Expr::method(r, "slice", vec![a])),
+        (inner.clone(), arg.clone(), arg).prop_map(|(r, a, b)| Expr::method(
+            r,
+            "slice",
+            vec![a, b]
+        )),
         inner.prop_map(|r| Expr::prop(r, "len")),
     ]
     .boxed()
@@ -66,16 +86,25 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(4, 40, 4, |inner| {
         let boxed = inner.clone().boxed();
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Expr::Cond(Box::new(c), Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| Expr::Cond(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
             prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
             (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::index(b, i)),
             arb_method(boxed),
-            (prop::sample::select(vec!["abs", "floor", "sqrt", "to_string", "sum"]), inner)
+            (
+                prop::sample::select(vec!["abs", "floor", "sqrt", "to_string", "sum"]),
+                inner
+            )
                 .prop_map(|(f, a)| Expr::call(f, vec![a])),
         ]
     })
@@ -83,8 +112,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 
 fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let simple = prop_oneof![
-        (arb_var(), arb_expr()).prop_map(|(n, e)| Stmt::Let { name: n, init: e, mutable: true }),
-        (arb_var(), arb_expr(), prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]))
+        (arb_var(), arb_expr()).prop_map(|(n, e)| Stmt::Let {
+            name: n,
+            init: e,
+            mutable: true
+        }),
+        (
+            arb_var(),
+            arb_expr(),
+            prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul])
+        )
             .prop_map(|(n, e, op)| Stmt::Assign {
                 target: LValue::Var(n),
                 op: Some(op),
@@ -127,8 +164,14 @@ fn arb_func() -> impl Strategy<Value = FuncDecl> {
     prop::collection::vec(arb_stmt(2), 1..6).prop_map(|body: Block| FuncDecl {
         name: "generated".into(),
         params: vec![
-            Param { name: "p0".into(), ty: float() },
-            Param { name: "p1".into(), ty: float() },
+            Param {
+                name: "p0".into(),
+                ty: float(),
+            },
+            Param {
+                name: "p1".into(),
+                ty: float(),
+            },
         ],
         ret: Type::Any,
         body,

@@ -1,0 +1,193 @@
+//! A minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use. It times each benchmark closure over a bounded
+//! number of iterations and prints mean wall-clock per iteration — no
+//! statistical analysis, no reports. The bench *sources* stay compatible with
+//! upstream criterion, so swapping the real crate back in is a manifest edit.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget guard: a sample run stops early once it has
+/// consumed this much wall-clock.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Prevents the optimizer from eliding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_bench(&format!("{id}"), 10, &mut f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the throughput basis for subsequent benchmarks (recorded for
+    /// API compatibility; the shim does not report throughput).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+    }
+
+    /// Benchmarks a closure parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    // One warm-up pass, untimed.
+    f(&mut bencher);
+    bencher.iterations = 0;
+    bencher.elapsed = Duration::ZERO;
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if started.elapsed() > SAMPLE_BUDGET {
+            break;
+        }
+    }
+    let mean = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / u32::try_from(bencher.iterations.min(u64::from(u32::MAX))).unwrap_or(1)
+    };
+    println!(
+        "bench {label}: mean {mean:?} over {} iterations",
+        bencher.iterations
+    );
+}
+
+/// Times closures handed to it by a benchmark.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one closure invocation (called repeatedly by the harness).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let started = Instant::now();
+        let out = routine();
+        self.elapsed += started.elapsed();
+        self.iterations += 1;
+        drop(black_box(out));
+    }
+}
+
+/// A benchmark identifier: function name plus parameter value.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: format!("{function}"),
+            parameter: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput basis for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Collects benchmark functions into one runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,361 @@
+//! A minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! workspace vendors the subset of the proptest API its property suites are
+//! written against: the [`Strategy`] trait with `prop_map` / `prop_recursive`
+//! / `boxed`, `any`, `Just`, ranges and string-pattern strategies,
+//! `prop::collection::vec`, `prop::sample::select`, weighted `prop_oneof!`,
+//! and the `proptest!` test harness macro.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed, and failing cases are **not shrunk** — the failing case
+//! number and a `Debug` dump (when available) are reported instead.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration accepted by `proptest!`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies, seeded per (test, case).
+pub type TestRng = StdRng;
+
+/// Derives the deterministic RNG for one test case.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(h)
+}
+
+/// A uniformly random value of type `T` (the `any::<T>()` strategy).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical uniform strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` namespace (`collection`, `sample`, `num`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::strategy::Strategy;
+        use super::super::TestRng;
+        use rand::Rng;
+
+        /// A `Vec` strategy with uniformly drawn length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::strategy::Strategy;
+        use super::super::TestRng;
+        use rand::Rng;
+
+        /// Uniform selection from a fixed set of items.
+        pub fn select<S: Selectable>(items: S) -> Select<S::Item> {
+            Select {
+                items: items.into_items(),
+            }
+        }
+
+        /// Sources [`select`] accepts.
+        pub trait Selectable {
+            /// Element type yielded by the strategy.
+            type Item: Clone;
+            /// Converts the source into an owned item list.
+            fn into_items(self) -> Vec<Self::Item>;
+        }
+
+        impl<T: Clone> Selectable for Vec<T> {
+            type Item = T;
+            fn into_items(self) -> Vec<T> {
+                self
+            }
+        }
+
+        impl<T: Clone> Selectable for &[T] {
+            type Item = T;
+            fn into_items(self) -> Vec<T> {
+                self.to_vec()
+            }
+        }
+
+        impl<T: Clone, const N: usize> Selectable for &[T; N] {
+            type Item = T;
+            fn into_items(self) -> Vec<T> {
+                self.to_vec()
+            }
+        }
+
+        /// Strategy returned by [`select`].
+        #[derive(Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(!self.items.is_empty(), "select over an empty set");
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use super::super::super::strategy::Strategy;
+            use super::super::super::TestRng;
+            use rand::Rng;
+
+            /// Strategy over normal (non-zero, non-subnormal, finite) floats.
+            pub struct NormalF64;
+
+            /// Uniformly random normal `f64` bit patterns.
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    loop {
+                        let candidate = f64::from_bits(rng.next_u64());
+                        if candidate.is_normal() {
+                            return candidate;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The prelude the property suites import.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::{any, prop, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// One weighted branch of a [`prop_oneof!`] union.
+pub struct WeightedBranch<T> {
+    /// Relative selection weight.
+    pub weight: u32,
+    /// The branch strategy, boxed.
+    pub strategy: BoxedStrategy<T>,
+}
+
+/// Builds a weighted-union strategy (used by `prop_oneof!`).
+pub fn one_of<T: 'static>(branches: Vec<WeightedBranch<T>>) -> BoxedStrategy<T> {
+    assert!(
+        !branches.is_empty(),
+        "prop_oneof! needs at least one branch"
+    );
+    let total: u64 = branches.iter().map(|b| u64::from(b.weight)).sum();
+    let branches = Rc::new(branches);
+    BoxedStrategy::from_fn(move |rng| {
+        let mut draw = rng.gen_range(0..total.max(1));
+        for branch in branches.iter() {
+            let w = u64::from(branch.weight);
+            if draw < w {
+                return branch.strategy.generate(rng);
+            }
+            draw -= w;
+        }
+        branches[branches.len() - 1].strategy.generate(rng)
+    })
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![
+            $( $crate::WeightedBranch {
+                weight: $weight,
+                strategy: $crate::Strategy::boxed($strategy),
+            } ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![
+            $( $crate::WeightedBranch {
+                weight: 1,
+                strategy: $crate::Strategy::boxed($strategy),
+            } ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` generating `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $(let $arg = $crate::Strategy::boxed($strategy);)+
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed (no shrinking in the offline shim)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,261 @@
+//! Generation of strings matching the small regex subset the workspace's
+//! property suites use as string strategies.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]` with
+//! ranges and `\`-escapes, the printable-character class `\PC`, groups
+//! `( ... )`, and the quantifiers `{m,n}`, `{n}`, and `?` on any atom.
+
+use rand::Rng;
+
+use crate::TestRng;
+
+/// One parsed pattern element.
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// Any printable (non-control) character (`\PC`).
+    Printable,
+    /// A parenthesised sub-pattern.
+    Group(Vec<(Atom, Repeat)>),
+}
+
+/// Repetition bounds for an atom.
+struct Repeat {
+    min: u32,
+    max: u32,
+}
+
+impl Repeat {
+    fn once() -> Self {
+        Repeat { min: 1, max: 1 }
+    }
+}
+
+/// Characters `\PC` draws from: ASCII printable plus a few multibyte
+/// code points so Unicode handling is exercised.
+const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', '中', '😀'];
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset (a test-authoring error).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest = chars.as_slice();
+    let atoms = parse_sequence(&mut rest);
+    assert!(rest.is_empty(), "unbalanced ')' in pattern {pattern:?}");
+    let mut out = String::new();
+    for (atom, repeat) in &atoms {
+        emit(atom, repeat, rng, &mut out);
+    }
+    out
+}
+
+fn emit(atom: &Atom, repeat: &Repeat, rng: &mut TestRng, out: &mut String) {
+    let n = if repeat.min == repeat.max {
+        repeat.min
+    } else {
+        rng.gen_range(repeat.min..=repeat.max)
+    };
+    for _ in 0..n {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(set) => {
+                assert!(!set.is_empty(), "empty character class");
+                out.push(set[rng.gen_range(0..set.len())]);
+            }
+            Atom::Printable => {
+                // Mostly ASCII printable, occasionally a multibyte char.
+                if rng.gen_bool(0.9) {
+                    out.push(char::from(rng.gen_range(0x20u8..0x7f)));
+                } else {
+                    out.push(PRINTABLE_EXTRA[rng.gen_range(0..PRINTABLE_EXTRA.len())]);
+                }
+            }
+            Atom::Group(parts) => {
+                for (inner, inner_repeat) in parts {
+                    emit(inner, inner_repeat, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parses atoms until the input (or the enclosing group) ends.
+fn parse_sequence(input: &mut &[char]) -> Vec<(Atom, Repeat)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        *input = &input[1..];
+        let atom = match c {
+            '[' => parse_class(input),
+            '(' => {
+                let inner = parse_sequence(input);
+                assert_eq!(input.first(), Some(&')'), "unterminated group");
+                *input = &input[1..];
+                Atom::Group(inner)
+            }
+            '\\' => {
+                let next = take(input);
+                if next == 'P' {
+                    let category = take(input);
+                    assert_eq!(category, 'C', "only \\PC is supported");
+                    Atom::Printable
+                } else {
+                    Atom::Literal(unescape(next))
+                }
+            }
+            other => Atom::Literal(other),
+        };
+        atoms.push((atom, parse_repeat(input)));
+    }
+    atoms
+}
+
+/// Parses an optional `{m,n}` / `{n}` / `?` quantifier.
+fn parse_repeat(input: &mut &[char]) -> Repeat {
+    match input.first() {
+        Some('?') => {
+            *input = &input[1..];
+            Repeat { min: 0, max: 1 }
+        }
+        Some('{') => {
+            *input = &input[1..];
+            let mut spec = String::new();
+            loop {
+                let c = take(input);
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => Repeat {
+                    min: lo.trim().parse().expect("repeat lower bound"),
+                    max: hi.trim().parse().expect("repeat upper bound"),
+                },
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    Repeat { min: n, max: n }
+                }
+            }
+        }
+        _ => Repeat::once(),
+    }
+}
+
+/// Parses a `[...]` class body (the `[` is already consumed).
+fn parse_class(input: &mut &[char]) -> Atom {
+    let mut set = Vec::new();
+    loop {
+        let c = take(input);
+        match c {
+            ']' => break,
+            '\\' => set.push(unescape(take(input))),
+            _ => {
+                // A `-` between two chars forms a range (unless last-in-class).
+                if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+                    *input = &input[1..];
+                    let end = match take(input) {
+                        '\\' => unescape(take(input)),
+                        e => e,
+                    };
+                    let (lo, hi) = (c as u32, end as u32);
+                    assert!(lo <= hi, "inverted class range");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                } else {
+                    set.push(c);
+                }
+            }
+        }
+    }
+    Atom::Class(set)
+}
+
+fn take(input: &mut &[char]) -> char {
+    let c = *input.first().expect("unterminated pattern");
+    *input = &input[1..];
+    c
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    fn sample(pattern: &str, case: u32) -> String {
+        generate_matching(pattern, &mut case_rng("string-shim", case))
+    }
+
+    #[test]
+    fn classes_and_bounds() {
+        for case in 0..200 {
+            let s = sample("[a-z]{1,8}", case);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_shape() {
+        for case in 0..100 {
+            let s = sample("[a-z][a-z0-9_]{0,6}", case);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().count() <= 7);
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        for case in 0..100 {
+            let s = sample("\\PC{0,48}", case);
+            assert!(s.chars().count() <= 48);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        let mut saw_dash = false;
+        let mut saw_backslash = false;
+        for case in 0..400 {
+            let s = sample("[a\\-\\\\\n]{4}", case);
+            assert_eq!(s.chars().count(), 4);
+            saw_dash |= s.contains('-');
+            saw_backslash |= s.contains('\\');
+            assert!(
+                s.chars().all(|c| matches!(c, 'a' | '-' | '\\' | '\n')),
+                "{s:?}"
+            );
+        }
+        assert!(saw_dash && saw_backslash);
+    }
+
+    #[test]
+    fn optional_groups() {
+        let mut empty = 0;
+        for case in 0..200 {
+            let s = sample("( [a-z]{0,8})?", case);
+            if s.is_empty() {
+                empty += 1;
+            } else {
+                assert!(s.starts_with(' '), "{s:?}");
+            }
+        }
+        assert!(empty > 20, "optional group never empty");
+    }
+}

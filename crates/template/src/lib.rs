@@ -138,7 +138,9 @@ impl Template {
             let raw_name = &after_open[..close];
             let name = raw_name.trim();
             if !is_identifier(name) {
-                return Err(TemplateError::InvalidIdentifier { name: raw_name.to_owned() });
+                return Err(TemplateError::InvalidIdentifier {
+                    name: raw_name.to_owned(),
+                });
             }
             if !text.is_empty() {
                 segments.push(Segment::Text(std::mem::take(&mut text)));
@@ -154,7 +156,11 @@ impl Template {
         if !text.is_empty() {
             segments.push(Segment::Text(text));
         }
-        Ok(Template { source: source.to_owned(), segments, params })
+        Ok(Template {
+            source: source.to_owned(),
+            segments,
+            params,
+        })
     }
 
     /// The original template text.
@@ -261,7 +267,9 @@ impl Template {
         }
         for (key, _) in args.iter() {
             if !self.params.iter().any(|p| p == key) {
-                return Err(TemplateError::UnknownArgument { name: key.to_owned() });
+                return Err(TemplateError::UnknownArgument {
+                    name: key.to_owned(),
+                });
             }
         }
         Ok(())
@@ -362,7 +370,10 @@ mod tests {
     fn render_task_orders_bindings_by_first_appearance() {
         let t = Template::parse("{{y}} before {{x}}").unwrap();
         let a = args(&[("x", json!(1i64)), ("y", json!(2i64))]);
-        assert_eq!(t.render_task(&a).unwrap(), "'y' before 'x'\nwhere 'y' = 2, 'x' = 1");
+        assert_eq!(
+            t.render_task(&a).unwrap(),
+            "'y' before 'x'\nwhere 'y' = 2, 'x' = 1"
+        );
     }
 
     #[test]
@@ -388,7 +399,9 @@ mod tests {
         let a = args(&[("x", json!(1i64)), ("typo", json!(2i64))]);
         assert_eq!(
             t.render_task(&a).unwrap_err(),
-            TemplateError::UnknownArgument { name: "typo".into() }
+            TemplateError::UnknownArgument {
+                name: "typo".into()
+            }
         );
     }
 
@@ -396,7 +409,10 @@ mod tests {
     fn repeated_placeholder_binds_once() {
         let t = Template::parse("{{s}} and {{s}}").unwrap();
         let a = args(&[("s", json!("hi"))]);
-        assert_eq!(t.render_task(&a).unwrap(), "'s' and 's'\nwhere 's' = \"hi\"");
+        assert_eq!(
+            t.render_task(&a).unwrap(),
+            "'s' and 's'\nwhere 's' = \"hi\""
+        );
     }
 
     #[test]
@@ -408,7 +424,8 @@ mod tests {
 
     #[test]
     fn source_is_preserved_verbatim() {
-        let src = "Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}";
+        let src =
+            "Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}";
         let t = Template::parse(src).unwrap();
         assert_eq!(t.source(), src);
         assert_eq!(t.params(), ["review", "sentiment", "filename"]);

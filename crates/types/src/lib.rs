@@ -62,7 +62,10 @@ mod lib_tests {
         assert!(ty.validate(&Json::from("positive")).is_ok());
         assert!(ty.validate(&Json::from("meh")).is_err());
         // 3. coercer
-        assert_eq!(ty.coerce(&Json::from("negative")).unwrap(), Json::from("negative"));
+        assert_eq!(
+            ty.coerce(&Json::from("negative")).unwrap(),
+            Json::from("negative")
+        );
         // 4. signature printing is exercised in askit-core's codegen tests.
     }
 }

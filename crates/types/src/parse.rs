@@ -67,7 +67,10 @@ impl Type {
     /// # Ok::<(), askit_types::ParseTypeError>(())
     /// ```
     pub fn parse(text: &str) -> Result<Type, ParseTypeError> {
-        let mut p = TypeParser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = TypeParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let t = p.union_type()?;
         p.skip_ws();
@@ -85,7 +88,10 @@ struct TypeParser<'a> {
 
 impl<'a> TypeParser<'a> {
     fn err(&self, detail: impl Into<String>) -> ParseTypeError {
-        ParseTypeError { at: self.pos, detail: detail.into() }
+        ParseTypeError {
+            at: self.pos,
+            detail: detail.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -238,7 +244,9 @@ impl<'a> TypeParser<'a> {
     }
 
     fn string_literal(&mut self) -> Result<String, ParseTypeError> {
-        let quote = self.peek().ok_or_else(|| self.err("expected string literal"))?;
+        let quote = self
+            .peek()
+            .ok_or_else(|| self.err("expected string literal"))?;
         self.pos += 1;
         let mut out = String::new();
         loop {
@@ -352,7 +360,10 @@ mod tests {
     #[test]
     fn unions_and_parens() {
         assert_eq!(p("'a' | 'b'"), union([literal("a"), literal("b")]));
-        assert_eq!(p("('a' | 'b')[]"), list(union([literal("a"), literal("b")])));
+        assert_eq!(
+            p("('a' | 'b')[]"),
+            list(union([literal("a"), literal("b")]))
+        );
         assert_eq!(
             p("number | string | boolean"),
             union([float(), string(), boolean()])

@@ -60,7 +60,11 @@ impl Type {
                 format!("dict({{ {body} }})")
             }
             Type::Union(vs) => {
-                let body = vs.iter().map(Type::to_python_api).collect::<Vec<_>>().join(", ");
+                let body = vs
+                    .iter()
+                    .map(Type::to_python_api)
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 format!("union({body})")
             }
         }
@@ -168,10 +172,7 @@ mod tests {
         let u = union([int(), string()]);
         assert_eq!(u.to_typescript(), "number | string");
         assert_eq!(list(u.clone()).to_typescript(), "(number | string)[]");
-        assert_eq!(
-            dict([("v", u)]).to_typescript(),
-            "{ v: number | string }"
-        );
+        assert_eq!(dict([("v", u)]).to_typescript(), "{ v: number | string }");
     }
 
     #[test]

@@ -18,9 +18,9 @@ use crate::ty::Type;
 
 /// Words used when inventing string values; chosen to look like model output.
 const WORDS: &[&str] = &[
-    "alpha", "beacon", "cipher", "delta", "ember", "flux", "granite", "harbor", "iris",
-    "juncture", "kernel", "lattice", "meadow", "nimbus", "onyx", "prairie", "quartz", "ripple",
-    "summit", "thicket", "umbra", "vertex", "willow", "zephyr",
+    "alpha", "beacon", "cipher", "delta", "ember", "flux", "granite", "harbor", "iris", "juncture",
+    "kernel", "lattice", "meadow", "nimbus", "onyx", "prairie", "quartz", "ripple", "summit",
+    "thicket", "umbra", "vertex", "willow", "zephyr",
 ];
 
 /// Maximum recursion depth; beyond it, containers come back empty.
@@ -54,7 +54,11 @@ fn sample_at<R: Rng + ?Sized>(ty: &Type, rng: &mut R, depth: usize) -> Json {
         Type::Str => Json::Str(sample_words(rng)),
         Type::Void => Json::Null,
         Type::Any => {
-            let choice = if depth >= MAX_DEPTH { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+            let choice = if depth >= MAX_DEPTH {
+                rng.gen_range(0..4)
+            } else {
+                rng.gen_range(0..6)
+            };
             let surrogate = match choice {
                 0 => Type::Int,
                 1 => Type::Float,
@@ -67,7 +71,11 @@ fn sample_at<R: Rng + ?Sized>(ty: &Type, rng: &mut R, depth: usize) -> Json {
         }
         Type::Literal(v) => v.clone(),
         Type::List(elem) => {
-            let len = if depth >= MAX_DEPTH { 0 } else { rng.gen_range(0..4) };
+            let len = if depth >= MAX_DEPTH {
+                0
+            } else {
+                rng.gen_range(0..4)
+            };
             Json::Array((0..len).map(|_| sample_at(elem, rng, depth + 1)).collect())
         }
         Type::Dict(fields) => {
@@ -130,7 +138,11 @@ mod tests {
                 seen.insert(s);
             }
         }
-        assert_eq!(seen.len(), 3, "all union branches should be sampled: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            3,
+            "all union branches should be sampled: {seen:?}"
+        );
     }
 
     #[test]

@@ -139,7 +139,12 @@ impl Type {
     pub fn is_scalar(&self) -> bool {
         matches!(
             self,
-            Type::Int | Type::Float | Type::Bool | Type::Str | Type::Void | Type::Any
+            Type::Int
+                | Type::Float
+                | Type::Bool
+                | Type::Str
+                | Type::Void
+                | Type::Any
                 | Type::Literal(_)
         )
     }
@@ -156,7 +161,10 @@ impl Type {
             Type::Int => Type::Float,
             Type::List(t) => Type::List(Box::new(t.erase_ints())),
             Type::Dict(fields) => Type::Dict(
-                fields.iter().map(|(k, t)| (k.clone(), t.erase_ints())).collect(),
+                fields
+                    .iter()
+                    .map(|(k, t)| (k.clone(), t.erase_ints()))
+                    .collect(),
             ),
             Type::Union(vs) => Type::Union(vs.iter().map(Type::erase_ints).collect()),
             other => other.clone(),
@@ -189,9 +197,9 @@ impl Type {
             (Type::Bool, Type::Literal(Json::Bool(_))) => true,
             (Type::Literal(a), Type::Literal(b)) => a.loosely_equals(b),
             (Type::List(a), Type::List(b)) => a.accepts(b),
-            (Type::Dict(fa), Type::Dict(fb)) => fa.iter().all(|(k, ta)| {
-                fb.iter().any(|(k2, tb)| k == k2 && ta.accepts(tb))
-            }),
+            (Type::Dict(fa), Type::Dict(fb)) => fa
+                .iter()
+                .all(|(k, ta)| fb.iter().any(|(k2, tb)| k == k2 && ta.accepts(tb))),
             // Distribute over the right-hand union first so that
             // union-vs-union checks each right variant against the whole
             // left union (otherwise `A | B accepts A | B` would fail).

@@ -26,7 +26,11 @@ impl TypeError {
             Json::Array(_) | Json::Object(_) => found.kind().to_string(),
             other => format!("{} {other}", other.kind()),
         };
-        TypeError { path: path.to_owned(), expected: expected.into(), found: found_repr }
+        TypeError {
+            path: path.to_owned(),
+            expected: expected.into(),
+            found: found_repr,
+        }
     }
 
     /// The path from the root of the value to the mismatch (empty = root),
@@ -46,7 +50,11 @@ impl fmt::Display for TypeError {
         if self.path.is_empty() {
             write!(f, "expected {}, found {}", self.expected, self.found)
         } else {
-            write!(f, "at {}: expected {}, found {}", self.path, self.expected, self.found)
+            write!(
+                f,
+                "at {}: expected {}, found {}",
+                self.path, self.expected, self.found
+            )
         }
     }
 }
@@ -253,7 +261,9 @@ mod tests {
         let ty = dict([("a", dict([("b", int())]))]);
         let err = ty.validate(&j(r#"{"a": {"b": "no"}}"#)).unwrap_err();
         assert_eq!(err.path(), "a.b");
-        assert!(ty.validate(&j(r#"{"a": {"b": 1, "extra": true}, "more": 0}"#)).is_ok());
+        assert!(ty
+            .validate(&j(r#"{"a": {"b": 1, "extra": true}, "more": 0}"#))
+            .is_ok());
     }
 
     #[test]
@@ -303,11 +313,9 @@ mod tests {
         // The Listing 2 shape: { reason: string, answer: Book[] }.
         let book = dict([("title", string()), ("author", string()), ("year", int())]);
         let ty = dict([("reason", string()), ("answer", list(book))]);
-        let ok = j(
-            r#"{"reason": "standard texts", "answer": [
+        let ok = j(r#"{"reason": "standard texts", "answer": [
                 {"title": "SICP", "author": "Abelson", "year": 1985}
-            ]}"#,
-        );
+            ]}"#);
         assert!(ty.validate(&ok).is_ok());
         let bad = j(r#"{"reason": "r", "answer": [{"title": "T", "author": "A", "year": "Y"}]}"#);
         assert_eq!(ty.validate(&bad).unwrap_err().path(), "answer[0].year");

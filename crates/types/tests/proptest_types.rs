@@ -97,7 +97,10 @@ fn flatten_unions(ty: &Type) -> Type {
     match ty {
         Type::List(t) => Type::List(Box::new(flatten_unions(t))),
         Type::Dict(fields) => Type::Dict(
-            fields.iter().map(|(k, t)| (k.clone(), flatten_unions(t))).collect(),
+            fields
+                .iter()
+                .map(|(k, t)| (k.clone(), flatten_unions(t)))
+                .collect(),
         ),
         Type::Union(vs) => {
             let mut flat = Vec::new();

@@ -26,7 +26,11 @@ fn main() -> Result<(), askit::AskItError> {
         }
         let n = task.bindings.get("n")?.as_i64()? as usize;
         let shelf = [
-            ("Structure and Interpretation of Computer Programs", "Abelson & Sussman", 1985i64),
+            (
+                "Structure and Interpretation of Computer Programs",
+                "Abelson & Sussman",
+                1985i64,
+            ),
             ("The Art of Computer Programming", "Donald Knuth", 1968),
             ("The C Programming Language", "Kernighan & Ritchie", 1978),
             ("Introduction to Algorithms", "Cormen et al.", 1990),
@@ -36,13 +40,24 @@ fn main() -> Result<(), askit::AskItError> {
             .iter()
             .take(n)
             .map(|(title, author, year)| {
-                Book { title: (*title).into(), author: (*author).into(), year: *year }.to_json()
+                Book {
+                    title: (*title).into(),
+                    author: (*author).into(),
+                    year: *year,
+                }
+                .to_json()
             })
             .collect();
-        Some(AnswerOutcome::new(Json::Array(books), "Recalling the canonical texts."))
+        Some(AnswerOutcome::new(
+            Json::Array(books),
+            "Recalling the canonical texts.",
+        ))
     });
 
-    let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+    let llm = MockLlm::new(
+        MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+        oracle,
+    );
     let askit = Askit::new(llm);
 
     // The type parameter `Vec<Book>` prints into the prompt as

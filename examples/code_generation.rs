@@ -48,7 +48,10 @@ fn main() -> Result<(), askit::AskItError> {
     // The paper's §II file-access example is *codable but not directly
     // answerable*; here is its Table II cousin — a task whose Python
     // pipeline fails because the signature carries no types (#11).
-    let unique = catalogue.iter().find(|t| t.id == 11).expect("task 11 exists");
+    let unique = catalogue
+        .iter()
+        .find(|t| t.id == 11)
+        .expect("task 11 exists");
     let task = askit
         .define(unique.return_type.clone(), unique.template)?
         .with_tests(unique.tests.clone());
@@ -62,6 +65,9 @@ fn main() -> Result<(), askit::AskItError> {
         .with_param_types(unique.param_types.clone())
         .with_tests(unique.tests.clone());
     let ok = typed.compile(Syntax::Ts)?;
-    println!("task 11 with declared types compiles in {} attempt(s)", ok.attempts());
+    println!(
+        "task 11 with declared types compiles in {} attempt(s)",
+        ok.attempts()
+    );
     Ok(())
 }

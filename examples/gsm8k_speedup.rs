@@ -50,9 +50,15 @@ fn main() -> Result<(), askit::AskItError> {
         let speedup = direct.latency.as_secs_f64() / exec.as_secs_f64().max(1e-9);
         println!(
             "problem {:>2}: answer {:>5} | latency {:>6.2}s vs exec {:>9.2?} | speedup {:>12.0}x",
-            problem.id, fast, direct.latency.as_secs_f64(), exec, speedup
+            problem.id,
+            fast,
+            direct.latency.as_secs_f64(),
+            exec,
+            speedup
         );
     }
-    println!("\n(The paper's Table III reports ~275,092x for TypeScript and ~6,969,904x for Python.)");
+    println!(
+        "\n(The paper's Table III reports ~275,092x for TypeScript and ~6,969,904x for Python.)"
+    );
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), askit::AskItError> {
             vec![ret(mul(var(names[0].clone()), var(names[1].clone())))],
         ))
     });
-    let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+    let llm = MockLlm::new(
+        MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+        oracle,
+    );
     let askit = Askit::new(llm);
 
     // 2. A one-shot `ask`, typed by the Rust result type.
@@ -42,6 +45,10 @@ fn main() -> Result<(), askit::AskItError> {
     let compiled = multiply.compile(Syntax::Ts)?;
     let fast = compiled.call(args! { x: 12, y: 12 })?;
     println!("compiled mode: 12 × 12 = {fast}");
-    println!("\ngenerated source ({} attempt(s)):\n{}", compiled.attempts(), compiled.source());
+    println!(
+        "\ngenerated source ({} attempt(s)):\n{}",
+        compiled.attempts(),
+        compiled.source()
+    );
     Ok(())
 }

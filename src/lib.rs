@@ -7,6 +7,8 @@
 //! Everything re-exported here is documented in its home crate:
 //!
 //! * [`core`](askit_core) — the `ask`/`define` DSL (the paper's contribution);
+//! * [`exec`](askit_exec) — the execution engine: worker pool, batched
+//!   submission, sharded completion cache;
 //! * [`types`](askit_types) — the type language driving prompts + validation;
 //! * [`template`](askit_template) — `{{var}}` prompt templates;
 //! * [`json`](askit_json) — the JSON substrate;
@@ -50,6 +52,11 @@ pub mod types {
 /// Prompt templates.
 pub mod template {
     pub use askit_template::*;
+}
+
+/// The execution engine: worker pool, batching, completion cache.
+pub mod exec {
+    pub use askit_exec::*;
 }
 
 /// The language-model substrate.

@@ -7,7 +7,10 @@ use askit::{args, example, json_enum, json_struct, Askit, AskitConfig, FunctionS
 fn quiet(register: impl FnOnce(&mut Oracle)) -> Askit<MockLlm> {
     let mut oracle = Oracle::standard();
     register(&mut oracle);
-    let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+    let llm = MockLlm::new(
+        MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+        oracle,
+    );
     Askit::new(llm)
 }
 
@@ -57,7 +60,10 @@ fn paper_listing_2_books_flow() {
                     .to_json()
                 })
                 .collect();
-            Some(askit::llm::AnswerOutcome::new(Json::Array(books), "recalling"))
+            Some(askit::llm::AnswerOutcome::new(
+                Json::Array(books),
+                "recalling",
+            ))
         });
     });
     let get_books = askit
@@ -105,7 +111,7 @@ fn intersecting_task_mode_parity() {
 
 #[test]
 fn both_syntaxes_compile_the_same_template() {
-    let askit = quiet(|oracle| askit::datasets::top50::register_oracle(oracle));
+    let askit = quiet(askit::datasets::top50::register_oracle);
     let catalogue = askit::datasets::top50::tasks();
     let t = &catalogue[0]; // reverse string
     let task = askit
@@ -125,7 +131,7 @@ fn both_syntaxes_compile_the_same_template() {
 
 #[test]
 fn store_cache_round_trips_through_disk() {
-    let askit = quiet(|oracle| askit::datasets::top50::register_oracle(oracle));
+    let askit = quiet(askit::datasets::top50::register_oracle);
     let dir = std::env::temp_dir().join(format!("askit-e2e-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = FunctionStore::open(&dir).unwrap();
@@ -162,7 +168,10 @@ fn gsm8k_direct_and_compiled_agree_with_ground_truth() {
         let task = askit
             .define(askit::types::int(), &p.template)
             .unwrap()
-            .with_tests([askit::Example { input: p.args.clone(), output: p.answer.clone() }]);
+            .with_tests([askit::Example {
+                input: p.args.clone(),
+                output: p.answer.clone(),
+            }]);
         let direct = task.call(p.args.clone()).unwrap();
         let compiled = task.compile(Syntax::Ts).unwrap();
         let fast = compiled.call(p.args.clone()).unwrap();
@@ -170,20 +179,26 @@ fn gsm8k_direct_and_compiled_agree_with_ground_truth() {
         assert_eq!(fast, p.answer, "problem {}", p.id);
         checked += 1;
     }
-    assert!(checked >= 20, "most of the 30 problems should be fully solvable, got {checked}");
+    assert!(
+        checked >= 20,
+        "most of the 30 problems should be fully solvable, got {checked}"
+    );
 }
 
 #[test]
 fn typed_extraction_round_trips_via_option() {
     let askit = quiet(|oracle| {
         oracle.add_answer_fn("maybe", |task| {
-            task.template.contains("middle name").then(|| {
-                askit::llm::AnswerOutcome::new(askit::json::Json::Null, "no middle name")
-            })
+            task.template
+                .contains("middle name")
+                .then(|| askit::llm::AnswerOutcome::new(askit::json::Json::Null, "no middle name"))
         });
     });
     let missing: Option<String> = askit
-        .ask_as("What is the middle name of {{person}}?", args! { person: "Ada Lovelace" })
+        .ask_as(
+            "What is the middle name of {{person}}?",
+            args! { person: "Ada Lovelace" },
+        )
         .unwrap();
     assert_eq!(missing, None);
 }
@@ -195,7 +210,10 @@ fn retry_budget_is_respected_on_hopeless_tasks() {
     // code can never pass its test (hard HumanEval-style task).
     let askit = quiet(|_| {}).with_config(AskitConfig::default().with_max_retries(2));
     let task = askit
-        .define(askit::types::int(), "Compute the frobnication index of {{s}}.")
+        .define(
+            askit::types::int(),
+            "Compute the frobnication index of {{s}}.",
+        )
         .unwrap()
         .with_tests([example(&[("s", "x")], 123456i64)]);
     let err = task.compile(Syntax::Ts).unwrap_err();

@@ -5,11 +5,13 @@ use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
 use askit::{args, Askit, AskitConfig};
 
 fn faulty(direct_rate: f64, seed: u64) -> Askit<MockLlm> {
-    let cfg = MockLlmConfig::gpt4().with_seed(seed).with_faults(FaultConfig {
-        direct_fault_rate: direct_rate,
-        code_bug_rate: 0.0,
-        decay: 0.35,
-    });
+    let cfg = MockLlmConfig::gpt4()
+        .with_seed(seed)
+        .with_faults(FaultConfig {
+            direct_fault_rate: direct_rate,
+            code_bug_rate: 0.0,
+            decay: 0.35,
+        });
     Askit::new(MockLlm::new(cfg, Oracle::standard()))
 }
 
@@ -54,7 +56,10 @@ fn attempts_grow_with_fault_rate() {
     let calm = mean_attempts(0.0);
     let stormy = mean_attempts(0.8);
     assert_eq!(calm, 1.0, "no faults, no retries");
-    assert!(stormy > 1.2, "80% fault rate must cost retries, got {stormy}");
+    assert!(
+        stormy > 1.2,
+        "80% fault rate must cost retries, got {stormy}"
+    );
 }
 
 /// Aggregate latency grows with each retry — retries are paid for in
@@ -85,11 +90,13 @@ fn latency_accumulates_across_retries() {
 /// still correct on fresh inputs.
 #[test]
 fn code_bugs_never_survive_validation() {
-    let cfg = MockLlmConfig::gpt35().with_seed(11).with_faults(FaultConfig {
-        direct_fault_rate: 0.0,
-        code_bug_rate: 0.6,
-        decay: 1.0,
-    });
+    let cfg = MockLlmConfig::gpt35()
+        .with_seed(11)
+        .with_faults(FaultConfig {
+            direct_fault_rate: 0.0,
+            code_bug_rate: 0.6,
+            decay: 1.0,
+        });
     let mut oracle = Oracle::standard();
     askit::datasets::top50::register_oracle(&mut oracle);
     let askit = Askit::new(MockLlm::new(cfg, oracle));
@@ -110,21 +117,29 @@ fn code_bugs_never_survive_validation() {
             askit::json::Json::Int(5040)
         );
     }
-    assert!(retried, "a 60% bug rate must cause at least one retry in five compiles");
+    assert!(
+        retried,
+        "a 60% bug rate must cause at least one retry in five compiles"
+    );
 }
 
 /// When the budget runs out, the error says what was wrong last.
 #[test]
 fn exhaustion_reports_the_final_criterion() {
     let llm = askit::llm::ScriptedLlm::new(
-        (0..3).map(|_| "utter nonsense with no json").collect::<Vec<_>>(),
+        (0..3)
+            .map(|_| "utter nonsense with no json")
+            .collect::<Vec<_>>(),
     );
     let askit = Askit::new(llm).with_config(AskitConfig::default().with_max_retries(2));
     let err = askit
         .ask(askit::types::int(), "Unanswerable {{q}}", args! { q: "?" })
         .unwrap_err();
     match err {
-        askit::AskItError::AnswerRetriesExhausted { attempts, last_problem } => {
+        askit::AskItError::AnswerRetriesExhausted {
+            attempts,
+            last_problem,
+        } => {
             assert_eq!(attempts, 3);
             assert!(last_problem.contains("JSON"), "{last_problem}");
         }

@@ -22,9 +22,7 @@ fn arb_answer_type() -> impl Strategy<Value = Type> {
             inner.clone().prop_map(askit::types::list),
             prop::collection::vec(("[a-z][a-z0-9]{0,5}", inner), 1..3).prop_map(|fields| {
                 let mut seen = std::collections::BTreeSet::new();
-                askit::types::dict(
-                    fields.into_iter().filter(|(k, _)| seen.insert(k.clone())),
-                )
+                askit::types::dict(fields.into_iter().filter(|(k, _)| seen.insert(k.clone())))
             }),
         ]
     })
