@@ -79,6 +79,7 @@ pub fn generate<L: LanguageModel>(
         let request = CompletionRequest {
             messages: vec![askit_llm::ChatMessage::user(prompt.clone())],
             temperature: config.temperature,
+            options: config.request_options(),
         };
         let completion = llm.complete_tagged(&request, (attempt - 1) as u64)?;
         usage.prompt_tokens += completion.usage.prompt_tokens;
@@ -103,7 +104,13 @@ pub fn generate<L: LanguageModel>(
                     compile_time,
                 });
             }
-            Err(problem) => last_problem = problem,
+            Err(problem) => {
+                // Evict the rejected attempt from memoizing layers; the next
+                // generate() for this spec starts at sample ordinal 0 again
+                // and must not replay a completion that failed validation.
+                llm.reject_completion(&request, (attempt - 1) as u64);
+                last_problem = problem;
+            }
         }
     }
     Err(AskItError::CodegenFailed {

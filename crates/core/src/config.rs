@@ -1,6 +1,12 @@
 //! Runtime/compiler configuration.
 
+use askit_llm::{CachePolicy, ModelChoice, RequestOptions};
+
 /// Configuration shared by the direct runtime and the codegen pipeline.
+///
+/// These are the *instance-wide defaults*; every knob can be overridden per
+/// call through [`crate::QueryOptions`] (the `Query` builder's
+/// `.model(..)`/`.temperature(..)`/`.retries(..)`/`.cache(..)` methods).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AskitConfig {
     /// Maximum retries after the first attempt. The paper's experiments use
@@ -10,6 +16,11 @@ pub struct AskitConfig {
     /// Sampling temperature passed to the model. The paper uses the default
     /// 1.0 so retries resample fresh responses (§III-D).
     pub temperature: f64,
+    /// Which model serves requests by default ([`ModelChoice::Default`] =
+    /// whatever the backend was configured with).
+    pub model: ModelChoice,
+    /// How the engine's completion cache treats requests by default.
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for AskitConfig {
@@ -17,6 +28,8 @@ impl Default for AskitConfig {
         AskitConfig {
             max_retries: 9,
             temperature: 1.0,
+            model: ModelChoice::Default,
+            cache_policy: CachePolicy::Use,
         }
     }
 }
@@ -35,6 +48,28 @@ impl AskitConfig {
         self.temperature = temperature;
         self
     }
+
+    /// Overrides the default model choice.
+    #[must_use]
+    pub fn with_model(mut self, model: ModelChoice) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the default cache policy.
+    #[must_use]
+    pub fn with_cache_policy(mut self, cache_policy: CachePolicy) -> Self {
+        self.cache_policy = cache_policy;
+        self
+    }
+
+    /// The per-request options this configuration stamps on submissions.
+    pub fn request_options(&self) -> RequestOptions {
+        RequestOptions {
+            model: self.model,
+            cache: self.cache_policy,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -46,14 +81,27 @@ mod tests {
         let c = AskitConfig::default();
         assert_eq!(c.max_retries, 9);
         assert_eq!(c.temperature, 1.0);
+        assert_eq!(c.model, ModelChoice::Default);
+        assert_eq!(c.cache_policy, CachePolicy::Use);
     }
 
     #[test]
     fn builders_chain() {
         let c = AskitConfig::default()
             .with_max_retries(2)
-            .with_temperature(0.0);
+            .with_temperature(0.0)
+            .with_model(ModelChoice::Gpt35)
+            .with_cache_policy(CachePolicy::Bypass);
         assert_eq!(c.max_retries, 2);
         assert_eq!(c.temperature, 0.0);
+        assert_eq!(c.model, ModelChoice::Gpt35);
+        assert_eq!(c.cache_policy, CachePolicy::Bypass);
+        assert_eq!(
+            c.request_options(),
+            RequestOptions {
+                model: ModelChoice::Gpt35,
+                cache: CachePolicy::Bypass,
+            }
+        );
     }
 }

@@ -18,6 +18,7 @@ use crate::config::AskitConfig;
 use crate::error::AskItError;
 use crate::examples::Example;
 use crate::prompt::{derive_function_name, FunctionSpec};
+use crate::query::{Query, QueryBuilder, QueryOptions};
 use crate::runtime::{run_direct, DirectOutcome};
 use crate::store::FunctionStore;
 use crate::typed::AskType;
@@ -100,6 +101,39 @@ impl<L: LanguageModel> Askit<L> {
         self.engine.model()
     }
 
+    /// Opens a typed query builder — the request-first API.
+    ///
+    /// Collect arguments, examples, and per-call overrides (model,
+    /// temperature, retries, cache policy), [`build`](QueryBuilder::build)
+    /// the [`Query<T>`], then [`run`](Query::run) it singly or submit a
+    /// slice through [`Askit::run_batch`]. The classic
+    /// `ask`/`ask_as`/`define` entry points are shorthand over this
+    /// builder.
+    pub fn query<T: AskType>(&self, template: impl Into<String>) -> QueryBuilder<'_, T, L> {
+        QueryBuilder::new(self, template)
+    }
+
+    /// Executes a batch of typed queries, fanned out across the engine's
+    /// worker pool. Results come back **in query order**; each query runs
+    /// its own full §III-E retry conversation under its own resolved
+    /// options, so a single batch can mix models, temperatures, and cache
+    /// policies.
+    pub fn run_batch<T: AskType + Send>(
+        &self,
+        queries: &[Query<'_, T, L>],
+    ) -> Vec<Result<T, AskItError>> {
+        self.engine.map(queries, |_, query| query.run())
+    }
+
+    /// Like [`Askit::run_batch`] but returns full outcomes (raw value,
+    /// attempts, usage, latency) instead of extracted typed results.
+    pub fn run_batch_detailed<T: AskType>(
+        &self,
+        queries: &[Query<'_, T, L>],
+    ) -> Vec<Result<DirectOutcome, AskItError>> {
+        self.engine.map(queries, |_, query| query.run_detailed())
+    }
+
     /// `ask`: performs a directly answerable task once (paper §III-A).
     ///
     /// The `answer_type` plays the role of the TS type parameter
@@ -124,12 +158,13 @@ impl<L: LanguageModel> Askit<L> {
 
     /// Typed `ask`: the answer type comes from the Rust result type.
     ///
+    /// Shorthand for `self.query::<T>(template).args(args).build()?.run()`.
+    ///
     /// # Errors
     ///
     /// See [`AskItError`].
     pub fn ask_as<T: AskType>(&self, template: &str, args: Map) -> Result<T, AskItError> {
-        let value = self.ask(T::askit_type(), template, args)?;
-        Ok(T::from_json(&value)?)
+        self.query::<T>(template).args(args).build()?.run()
     }
 
     /// `define`: builds a reusable task function from a prompt template
@@ -152,6 +187,7 @@ impl<L: LanguageModel> Askit<L> {
             param_types: Vec::new(),
             few_shot: Vec::new(),
             tests: Vec::new(),
+            options: QueryOptions::default(),
             name,
         })
     }
@@ -179,6 +215,7 @@ pub struct TaskFunction<'a, L> {
     param_types: Vec<(String, Type)>,
     few_shot: Vec<Example>,
     tests: Vec<Example>,
+    options: QueryOptions,
     name: String,
 }
 
@@ -209,6 +246,21 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
     pub fn with_tests(mut self, tests: impl IntoIterator<Item = Example>) -> Self {
         self.tests.extend(tests);
         self
+    }
+
+    /// Attaches option overrides (model, temperature, retries, cache
+    /// policy) that every call and compile of this function runs under.
+    /// Per-invocation options passed to [`TaskFunction::call_with`] layer
+    /// on top of these.
+    #[must_use]
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The option overrides attached to this function.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
     }
 
     /// Overrides the generated function's name (defaults to a camelCase
@@ -248,15 +300,34 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
         Ok(self.call_detailed(args)?.value)
     }
 
+    /// Like [`TaskFunction::call`] but with per-invocation option
+    /// overrides, which layer over the function's own options (set via
+    /// [`TaskFunction::with_options`]) and then over the instance config.
+    pub fn call_with(&self, args: Map, options: &QueryOptions) -> Result<Json, AskItError> {
+        Ok(self.call_with_detailed(args, options)?.value)
+    }
+
     /// Like [`TaskFunction::call`] but returns attempts/usage/latency too.
     pub fn call_detailed(&self, args: Map) -> Result<DirectOutcome, AskItError> {
+        self.call_with_detailed(args, &QueryOptions::default())
+    }
+
+    /// The fully general direct call: per-invocation options, full outcome.
+    pub fn call_with_detailed(
+        &self,
+        args: Map,
+        options: &QueryOptions,
+    ) -> Result<DirectOutcome, AskItError> {
+        let config = options
+            .layered_over(&self.options)
+            .resolve(&self.askit.config);
         run_direct(
             self.askit.engine(),
             &self.template,
             &args,
             &self.answer_type,
             &self.few_shot,
-            &self.askit.config,
+            &config,
         )
     }
 
@@ -308,8 +379,22 @@ impl<'a, L: LanguageModel> TaskFunction<'a, L> {
     ///
     /// [`AskItError::CodegenFailed`] when no attempt validates.
     pub fn compile(&self, syntax: Syntax) -> Result<CompiledFunction, AskItError> {
+        self.compile_with(syntax, &QueryOptions::default())
+    }
+
+    /// Like [`TaskFunction::compile`] but with per-invocation option
+    /// overrides — e.g. route generation to a stronger model or raise the
+    /// retry budget for a hard task.
+    pub fn compile_with(
+        &self,
+        syntax: Syntax,
+        options: &QueryOptions,
+    ) -> Result<CompiledFunction, AskItError> {
+        let config = options
+            .layered_over(&self.options)
+            .resolve(&self.askit.config);
         let spec = self.spec(syntax);
-        let generated = generate(self.askit.engine(), &spec, &self.tests, &self.askit.config)?;
+        let generated = generate(self.askit.engine(), &spec, &self.tests, &config)?;
         Ok(CompiledFunction {
             generated,
             answer_type: self.answer_type.clone(),
@@ -358,6 +443,16 @@ impl CompiledFunction {
     pub fn call(&self, args: Map) -> Result<Json, AskItError> {
         let raw = self.generated.call(&args)?;
         Ok(self.answer_type.coerce(&raw)?)
+    }
+
+    /// Invokes with per-invocation options — the same signature
+    /// [`TaskFunction::call_with`] offers, so generic code can drive a
+    /// direct or compiled function through one interface. Generated code
+    /// runs locally and never reaches the model, so the options have
+    /// nothing to influence here; they are accepted and ignored.
+    pub fn call_with(&self, args: Map, options: &QueryOptions) -> Result<Json, AskItError> {
+        let _ = options;
+        self.call(args)
     }
 
     /// Invokes and extracts a typed result.
@@ -419,7 +514,9 @@ mod tests {
     use super::*;
     use crate::examples::example;
     use crate::json_enum;
-    use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle, ScriptedLlm};
+    use askit_llm::{
+        FaultConfig, MockLlm, MockLlmConfig, ModelChoice, Oracle, RecordingLlm, ScriptedLlm,
+    };
 
     fn quiet_mock() -> MockLlm {
         MockLlm::new(
@@ -591,6 +688,76 @@ mod tests {
         let compiled = task.compile(Syntax::Ts).unwrap();
         let err = compiled.call(args! { w: "please" }).unwrap_err();
         assert!(matches!(err, AskItError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn run_batch_preserves_order_across_mixed_models() {
+        let askit = Askit::new(quiet_mock());
+        let queries: Vec<_> = (0..10i64)
+            .map(|i| {
+                askit
+                    .query::<i64>("What is {{x}} plus {{y}}?")
+                    .args(args! { x: i, y: 100 })
+                    .model(if i % 2 == 0 {
+                        ModelChoice::Gpt35
+                    } else {
+                        ModelChoice::Gpt4
+                    })
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let results = askit.run_batch(&queries);
+        assert_eq!(results.len(), 10);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(*result.as_ref().unwrap(), i as i64 + 100);
+        }
+        // The detailed variant carries latency: the routed models differ.
+        let detailed = askit.run_batch_detailed(&queries);
+        let gpt35_latency = detailed[0].as_ref().unwrap().latency;
+        let gpt4_latency = detailed[1].as_ref().unwrap().latency;
+        assert!(gpt35_latency < gpt4_latency, "routing reached the mock");
+    }
+
+    #[test]
+    fn call_with_layers_per_invocation_over_function_options() {
+        let llm = RecordingLlm::new(ScriptedLlm::new([
+            "```json\n{\"answer\": 1}\n```",
+            "```json\n{\"answer\": 2}\n```",
+        ]));
+        let askit = Askit::new(llm);
+        let task = askit
+            .define(askit_types::int(), "Question?")
+            .unwrap()
+            .with_options(QueryOptions::new().with_model(ModelChoice::Gpt35));
+        // No per-invocation override: the function's own options apply.
+        let _ = task.call(args! {}).unwrap();
+        // Per-invocation override beats the function's options.
+        let _ = task
+            .call_with(args! {}, &QueryOptions::new().with_model(ModelChoice::Gpt4))
+            .unwrap();
+        let log = askit.llm().exchanges();
+        assert_eq!(log[0].request.options.model, ModelChoice::Gpt35);
+        assert_eq!(log[1].request.options.model, ModelChoice::Gpt4);
+    }
+
+    #[test]
+    fn compiled_functions_accept_call_with_uniformly() {
+        let llm = ScriptedLlm::new([
+            "```typescript\nexport function double({n}: {n: number}): number {\n  return n * 2;\n}\n```",
+        ]);
+        let askit = Askit::new(llm);
+        let compiled = askit
+            .define(askit_types::int(), "Double {{n}}")
+            .unwrap()
+            .named("double")
+            .compile(Syntax::Ts)
+            .unwrap();
+        let options = QueryOptions::new().with_model(ModelChoice::Gpt4);
+        assert_eq!(
+            compiled.call_with(args! { n: 21 }, &options).unwrap(),
+            Json::Int(42)
+        );
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! Switching between the modes changes one method call and zero prompts —
 //! the paper's central claim.
 //!
+//! Requests themselves are first-class values: [`Askit::query`] opens a
+//! typed builder over a template, every option (model routing,
+//! temperature, retry budget, cache policy) is a per-call override of the
+//! instance [`AskitConfig`], and built [`Query<T>`]s run singly or as an
+//! order-preserving batch via [`Askit::run_batch`]. `ask`/`ask_as`/`define`
+//! remain as shorthand over the builder.
+//!
 //! # Quick start
 //!
 //! ```
@@ -47,6 +54,7 @@ mod error;
 mod examples;
 mod function;
 pub mod prompt;
+mod query;
 pub mod runtime;
 mod store;
 mod typed;
@@ -57,9 +65,14 @@ pub use error::AskItError;
 pub use examples::{example, examples_section, Example};
 pub use function::{Askit, CompiledFunction, TaskFunction};
 pub use prompt::{codegen_prompt, derive_function_name, direct_prompt, FunctionSpec};
+pub use query::{Query, QueryBuilder, QueryOptions};
 pub use runtime::{evaluate_response, run_direct, DirectOutcome};
 pub use store::FunctionStore;
 pub use typed::{extract, AskType};
+
+// Re-exported so builder call sites (`.model(ModelChoice::Gpt4)`,
+// `.cache(CachePolicy::Bypass)`) need only this crate.
+pub use askit_llm::{CachePolicy, ModelChoice, RequestOptions};
 
 #[cfg(test)]
 mod lib_tests {

@@ -1,0 +1,456 @@
+//! The typed request object: [`Query<T>`], its builder, and
+//! [`QueryOptions`].
+//!
+//! The paper's interface is "one call, one task"; its cost/accuracy results
+//! (Table III) demand *per-call* control — which model, what retry budget,
+//! which examples, cached or not. Related systems make the request a
+//! first-class value (LMQL compiles each query into a decoding program;
+//! APPL threads per-prompt options through its runtime); this module is
+//! AskIt's equivalent: `askit.query::<T>(template)` opens a builder, every
+//! option is an override over the instance's [`AskitConfig`], and the built
+//! [`Query<T>`] can be [`run`](Query::run) singly or submitted as a slice
+//! through [`crate::Askit::run_batch`], which fans out across the execution
+//! engine's worker pool while preserving order.
+
+use std::marker::PhantomData;
+
+use askit_json::{Map, ToJson};
+use askit_llm::{CachePolicy, LanguageModel, ModelChoice};
+use askit_template::Template;
+use askit_types::Type;
+
+use crate::config::AskitConfig;
+use crate::error::AskItError;
+use crate::examples::Example;
+use crate::function::Askit;
+use crate::runtime::{run_direct, DirectOutcome};
+use crate::typed::AskType;
+
+/// Per-call overrides over an instance's [`AskitConfig`].
+///
+/// Every field is optional: `None` means "use the instance default". Filled
+/// by the [`QueryBuilder`] option methods, accepted per invocation by
+/// [`crate::TaskFunction::call_with`] and
+/// [`crate::CompiledFunction::call_with`], and resolved against the
+/// defaults by [`QueryOptions::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryOptions {
+    /// Overrides [`AskitConfig::model`].
+    pub model: Option<ModelChoice>,
+    /// Overrides [`AskitConfig::temperature`].
+    pub temperature: Option<f64>,
+    /// Overrides [`AskitConfig::max_retries`].
+    pub max_retries: Option<usize>,
+    /// Overrides [`AskitConfig::cache_policy`].
+    pub cache: Option<CachePolicy>,
+}
+
+impl QueryOptions {
+    /// No overrides: every knob falls through to the instance defaults.
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the model override.
+    #[must_use]
+    pub fn with_model(mut self, model: ModelChoice) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the temperature override.
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: f64) -> Self {
+        self.temperature = Some(temperature);
+        self
+    }
+
+    /// Sets the retry-budget override.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = Some(max_retries);
+        self
+    }
+
+    /// Sets the cache-policy override.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Layers `self` over `base`: fields set here win, unset fields fall
+    /// through to `base`. This is how a per-invocation `call_with` override
+    /// combines with options already attached to a function.
+    #[must_use]
+    pub fn layered_over(&self, base: &QueryOptions) -> QueryOptions {
+        QueryOptions {
+            model: self.model.or(base.model),
+            temperature: self.temperature.or(base.temperature),
+            max_retries: self.max_retries.or(base.max_retries),
+            cache: self.cache.or(base.cache),
+        }
+    }
+
+    /// Resolves the overrides against instance defaults into the full
+    /// configuration one submission runs under. Per-query values always
+    /// beat the defaults.
+    pub fn resolve(&self, defaults: &AskitConfig) -> AskitConfig {
+        AskitConfig {
+            max_retries: self.max_retries.unwrap_or(defaults.max_retries),
+            temperature: self.temperature.unwrap_or(defaults.temperature),
+            model: self.model.unwrap_or(defaults.model),
+            cache_policy: self.cache.unwrap_or(defaults.cache_policy),
+        }
+    }
+}
+
+/// Builder for a [`Query<T>`]; opened by [`Askit::query`].
+///
+/// Collects the argument binding, few-shot examples, and per-call option
+/// overrides, then [`build`](QueryBuilder::build)s the typed request
+/// (parsing the template).
+#[derive(Debug)]
+pub struct QueryBuilder<'a, T, L> {
+    askit: &'a Askit<L>,
+    template: String,
+    args: Map,
+    examples: Vec<Example>,
+    options: QueryOptions,
+    result: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: AskType, L: LanguageModel> QueryBuilder<'a, T, L> {
+    pub(crate) fn new(askit: &'a Askit<L>, template: impl Into<String>) -> Self {
+        QueryBuilder {
+            askit,
+            template: template.into(),
+            args: Map::new(),
+            examples: Vec::new(),
+            options: QueryOptions::default(),
+            result: PhantomData,
+        }
+    }
+
+    /// Sets the full argument binding (replacing any previous one).
+    #[must_use]
+    pub fn args(mut self, args: Map) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Binds one argument.
+    #[must_use]
+    pub fn arg(mut self, name: impl Into<String>, value: impl ToJson) -> Self {
+        self.args.insert(name, value.to_json());
+        self
+    }
+
+    /// Adds few-shot examples (the first example set of Listing 1).
+    #[must_use]
+    pub fn examples(mut self, examples: impl IntoIterator<Item = Example>) -> Self {
+        self.examples.extend(examples);
+        self
+    }
+
+    /// Routes this query to a specific model.
+    #[must_use]
+    pub fn model(mut self, model: ModelChoice) -> Self {
+        self.options.model = Some(model);
+        self
+    }
+
+    /// Overrides the sampling temperature for this query.
+    #[must_use]
+    pub fn temperature(mut self, temperature: f64) -> Self {
+        self.options.temperature = Some(temperature);
+        self
+    }
+
+    /// Overrides the retry budget for this query.
+    #[must_use]
+    pub fn retries(mut self, max_retries: usize) -> Self {
+        self.options.max_retries = Some(max_retries);
+        self
+    }
+
+    /// Overrides the cache policy for this query.
+    #[must_use]
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.options.cache = Some(cache);
+        self
+    }
+
+    /// Replaces all option overrides at once (e.g. with options reused
+    /// across a batch).
+    #[must_use]
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Finalizes the builder into a runnable [`Query<T>`].
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Template`] if the template is malformed.
+    pub fn build(self) -> Result<Query<'a, T, L>, AskItError> {
+        let template = Template::parse(&self.template)?;
+        Ok(Query {
+            askit: self.askit,
+            template,
+            answer_type: T::askit_type(),
+            args: self.args,
+            few_shot: self.examples,
+            options: self.options,
+            result: PhantomData,
+        })
+    }
+}
+
+/// A typed, fully described request: template, arguments, examples, and
+/// per-call options, bound to the [`Askit`] instance that will execute it.
+///
+/// Run it singly with [`Query::run`], or submit a slice through
+/// [`Askit::run_batch`] to fan a mixed batch out across the engine's worker
+/// pool with order preserved.
+///
+/// # Examples
+///
+/// The paper's Listing 2 task — `define<Book[]>("List {{n}} classic books
+/// on {{subject}}.")` — as a routed, retry-bounded query:
+///
+/// ```
+/// use askit_core::{args, json_struct, Askit, ModelChoice};
+/// use askit_json::{Json, ToJson};
+/// use askit_llm::{AnswerOutcome, FaultConfig, MockLlm, MockLlmConfig, Oracle};
+///
+/// json_struct! {
+///     /// A classic book (the paper's `type Book`).
+///     pub struct Book {
+///         title: String,
+///         author: String,
+///         year: i64,
+///     }
+/// }
+///
+/// // Teach the simulated model some bibliography.
+/// let mut oracle = Oracle::standard();
+/// oracle.add_answer_fn("books", |task| {
+///     task.template.contains("classic books").then(|| {
+///         let shelf = Book {
+///             title: "Structure and Interpretation of Computer Programs".into(),
+///             author: "Abelson & Sussman".into(),
+///             year: 1985,
+///         };
+///         AnswerOutcome::new(Json::Array(vec![shelf.to_json()]), "Recalling the canon.")
+///     })
+/// });
+/// let llm = MockLlm::new(MockLlmConfig::gpt4().with_faults(FaultConfig::none()), oracle);
+/// let askit = Askit::new(llm);
+///
+/// let query = askit
+///     .query::<Vec<Book>>("List {{n}} classic books on {{subject}}.")
+///     .args(args! { n: 1, subject: "computer science" })
+///     .model(ModelChoice::Gpt4)
+///     .temperature(0.3)
+///     .retries(5)
+///     .build()?;
+/// let books: Vec<Book> = query.run()?;
+/// assert_eq!(books[0].year, 1985);
+/// # Ok::<(), askit_core::AskItError>(())
+/// ```
+#[derive(Debug)]
+pub struct Query<'a, T, L> {
+    askit: &'a Askit<L>,
+    template: Template,
+    answer_type: Type,
+    args: Map,
+    few_shot: Vec<Example>,
+    options: QueryOptions,
+    result: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: AskType, L: LanguageModel> Query<'a, T, L> {
+    /// Executes the query through the §III-E direct runtime and extracts
+    /// the typed result.
+    ///
+    /// # Errors
+    ///
+    /// See [`AskItError`].
+    pub fn run(&self) -> Result<T, AskItError> {
+        let outcome = self.run_detailed()?;
+        Ok(T::from_json(&outcome.value)?)
+    }
+
+    /// Like [`Query::run`] but returns the full outcome (raw value,
+    /// attempts, usage, latency).
+    pub fn run_detailed(&self) -> Result<DirectOutcome, AskItError> {
+        let config = self.options.resolve(self.askit.config());
+        run_direct(
+            self.askit.engine(),
+            &self.template,
+            &self.args,
+            &self.answer_type,
+            &self.few_shot,
+            &config,
+        )
+    }
+
+    /// The per-call option overrides attached to this query.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// The configuration this query resolves to under its instance's
+    /// defaults.
+    pub fn resolved_config(&self) -> AskitConfig {
+        self.options.resolve(self.askit.config())
+    }
+
+    /// The parsed template.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The argument binding.
+    pub fn args(&self) -> &Map {
+        &self.args
+    }
+
+    /// The answer type the response is validated against.
+    pub fn answer_type(&self) -> &Type {
+        &self.answer_type
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+    use askit_llm::{RecordingLlm, ScriptedLlm};
+
+    fn good(answer: i64) -> String {
+        format!("```json\n{{\"reason\": \"r\", \"answer\": {answer}}}\n```")
+    }
+
+    fn recording(responses: &[String]) -> Askit<RecordingLlm<ScriptedLlm>> {
+        Askit::new(RecordingLlm::new(ScriptedLlm::new(responses.to_vec())))
+    }
+
+    #[test]
+    fn per_query_overrides_beat_config_defaults() {
+        let askit = recording(&[good(5)]).with_config(
+            AskitConfig::default()
+                .with_temperature(1.0)
+                .with_max_retries(9),
+        );
+        let q = askit
+            .query::<i64>("Question?")
+            .model(ModelChoice::Gpt35)
+            .temperature(0.3)
+            .retries(5)
+            .cache(CachePolicy::Bypass)
+            .build()
+            .unwrap();
+        assert_eq!(q.run().unwrap(), 5);
+        let request = &askit.llm().exchanges()[0].request;
+        assert_eq!(request.temperature, 0.3, "override beats the 1.0 default");
+        assert_eq!(request.options.model, ModelChoice::Gpt35);
+        assert_eq!(request.options.cache, CachePolicy::Bypass);
+        let config = q.resolved_config();
+        assert_eq!(config.max_retries, 5);
+    }
+
+    #[test]
+    fn unset_options_fall_through_to_config_defaults() {
+        let askit = recording(&[good(7)]).with_config(
+            AskitConfig::default()
+                .with_temperature(0.0)
+                .with_model(ModelChoice::Gpt4)
+                .with_cache_policy(CachePolicy::Bypass),
+        );
+        let q = askit.query::<i64>("Question?").build().unwrap();
+        assert_eq!(q.run().unwrap(), 7);
+        let request = &askit.llm().exchanges()[0].request;
+        assert_eq!(request.temperature, 0.0);
+        assert_eq!(request.options.model, ModelChoice::Gpt4);
+        assert_eq!(request.options.cache, CachePolicy::Bypass);
+    }
+
+    #[test]
+    fn retries_override_bounds_the_attempt_count() {
+        let bad: Vec<String> = (0..5).map(|_| "not json".to_owned()).collect();
+        let askit = recording(&bad);
+        let q = askit
+            .query::<i64>("Hard question")
+            .retries(2)
+            .build()
+            .unwrap();
+        let err = q.run().unwrap_err();
+        match err {
+            AskItError::AnswerRetriesExhausted { attempts, .. } => {
+                assert_eq!(attempts, 3, "retries(2) = 3 attempts, not the default 10");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(askit.llm().len(), 3);
+    }
+
+    #[test]
+    fn options_layering_and_resolution() {
+        let base = QueryOptions::new()
+            .with_model(ModelChoice::Gpt35)
+            .with_temperature(0.7);
+        let per_call = QueryOptions::new()
+            .with_model(ModelChoice::Gpt4)
+            .with_max_retries(1);
+        let layered = per_call.layered_over(&base);
+        assert_eq!(layered.model, Some(ModelChoice::Gpt4), "per-call wins");
+        assert_eq!(layered.temperature, Some(0.7), "unset falls to base");
+        assert_eq!(layered.max_retries, Some(1));
+        assert_eq!(layered.cache, None);
+        let resolved = layered.resolve(&AskitConfig::default());
+        assert_eq!(resolved.model, ModelChoice::Gpt4);
+        assert_eq!(resolved.temperature, 0.7);
+        assert_eq!(resolved.max_retries, 1);
+        assert_eq!(resolved.cache_policy, CachePolicy::Use, "config default");
+    }
+
+    #[test]
+    fn builder_collects_args_and_examples() {
+        let askit = recording(&[good(3)]);
+        let q = askit
+            .query::<i64>("What is {{x}} plus {{y}}?")
+            .arg("x", 1i64)
+            .arg("y", 2i64)
+            .examples([crate::example(&[("x", 2i64), ("y", 2i64)], 4i64)])
+            .build()
+            .unwrap();
+        assert_eq!(q.args().len(), 2);
+        assert_eq!(q.run().unwrap(), 3);
+        let prompt = askit.llm().exchanges()[0].request.messages[0]
+            .content
+            .clone();
+        assert!(prompt.contains("Examples:"), "few-shot section present");
+    }
+
+    #[test]
+    fn malformed_templates_fail_at_build() {
+        let askit = recording(&[]);
+        let err = askit.query::<i64>("Unclosed {{x").build();
+        assert!(matches!(err, Err(AskItError::Template(_))));
+    }
+
+    #[test]
+    fn args_macro_binding_matches_arg_calls() {
+        let askit = recording(&[good(1), good(1)]);
+        let via_macro = askit
+            .query::<i64>("{{a}}")
+            .args(args! { a: 9 })
+            .build()
+            .unwrap();
+        let via_arg = askit.query::<i64>("{{a}}").arg("a", 9i64).build().unwrap();
+        assert_eq!(via_macro.args(), via_arg.args());
+    }
+}

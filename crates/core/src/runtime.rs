@@ -58,6 +58,7 @@ pub fn run_direct<L: LanguageModel>(
         let request = CompletionRequest {
             messages: messages.clone(),
             temperature: config.temperature,
+            options: config.request_options(),
         };
         let completion = llm.complete(&request)?;
         usage.prompt_tokens += completion.usage.prompt_tokens;
@@ -75,6 +76,10 @@ pub fn run_direct<L: LanguageModel>(
                 });
             }
             Err(problem) => {
+                // The completion failed validation: tell memoizing layers to
+                // forget it so a sampled backend is re-asked on the next
+                // invocation instead of replaying this known-bad answer.
+                llm.reject_completion(&request, 0);
                 // Criteria unmet: append the response and the corrective
                 // instruction, then retry (paper: "adding the LLM's response
                 // and a new instruction to the original prompt").
@@ -244,6 +249,45 @@ mod tests {
         assert!(log[1].request.messages[2]
             .content
             .contains("not acceptable"));
+    }
+
+    #[test]
+    fn rejected_completions_are_evicted_from_the_engine_cache() {
+        // A scripted stand-in for a temperature-sampled backend: its three
+        // responses differ, so a replayed rejected completion is detectable.
+        let engine = askit_exec::Engine::new(ScriptedLlm::new([
+            "not json at all",
+            "```json\n{\"reason\": \"r\", \"answer\": 1}\n```",
+            "```json\n{\"reason\": \"r\", \"answer\": 2}\n```",
+        ]));
+        let t = template("Same question");
+        let config = AskitConfig::default();
+
+        let first =
+            run_direct(&engine, &t, &Map::new(), &askit_types::int(), &[], &config).unwrap();
+        assert_eq!(first.value, Json::Int(1));
+        assert_eq!(first.attempts, 2, "first response is rejected");
+
+        // Re-running the same task resends a byte-identical first request.
+        // The rejected completion must have been evicted, so this is a
+        // cache MISS that reaches the model — not a replay of "not json".
+        let second =
+            run_direct(&engine, &t, &Map::new(), &askit_types::int(), &[], &config).unwrap();
+        assert_eq!(
+            second.value,
+            Json::Int(2),
+            "retry re-asks the model instead of replaying the rejected completion"
+        );
+        assert_eq!(second.attempts, 1);
+        assert_eq!(engine.model().served(), 3);
+
+        let stats = engine.cache_stats();
+        assert_eq!(stats.invalidations, 1, "one rejected entry evicted");
+        assert_eq!(
+            stats.misses, 3,
+            "both first-attempt submissions missed (the second because of \
+             the eviction), plus the feedback turn"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use askit_types::Type;
 ///
 /// Implemented for the primitives, `Vec<T>`, `Option<T>`, [`Json`] (as
 /// `any`), `()` (as `void`), and everything declared through
-/// [`json_struct!`] / [`json_enum!`].
+/// [`json_struct!`](crate::json_struct) / [`json_enum!`](crate::json_enum).
 pub trait AskType: FromJson {
     /// The AskIt type that values of `Self` inhabit.
     fn askit_type() -> Type;
@@ -78,8 +78,9 @@ impl<T: AskType> AskType for Option<T> {
 
 /// Declares a struct that maps to an AskIt object type.
 ///
-/// Generates the struct (plus `Debug/Clone/PartialEq`), [`ToJson`],
-/// [`FromJson`] and [`AskType`] implementations.
+/// Generates the struct (plus `Debug/Clone/PartialEq`),
+/// [`ToJson`](askit_json::ToJson), [`FromJson`] and [`AskType`]
+/// implementations.
 ///
 /// # Examples
 ///

@@ -1,7 +1,9 @@
 //! Thread-count invariance: the engine fan-out must never change what the
 //! experiments measure, only how fast they run.
 
-use askit_core::{args, Askit, AskitConfig};
+use std::time::Duration;
+
+use askit_core::{args, Askit, AskitConfig, ModelChoice};
 use askit_eval::table3::{self, Table3Column};
 use askit_exec::EngineConfig;
 use askit_llm::{MockLlm, MockLlmConfig, Oracle};
@@ -40,6 +42,57 @@ fn table3_is_identical_across_thread_counts() {
     let again = table3::run_with_threads(36, 20240302, 8);
     assert_columns_agree(&wide.ts, &again.ts, "TypeScript (rerun)");
     assert_columns_agree(&wide.py, &again.py, "Python (rerun)");
+}
+
+/// A mixed-model `run_batch` must return order-preserved typed results that
+/// are bit-identical at `--threads 1` and `--threads 8`: the fan-out may
+/// change scheduling, never what any query computes.
+#[test]
+fn run_batch_is_identical_across_thread_counts() {
+    let run = |threads: usize| -> Vec<(i64, usize, Duration)> {
+        let askit = Askit::new(MockLlm::new(
+            MockLlmConfig::gpt4().with_seed(4242),
+            Oracle::standard(),
+        ))
+        .with_engine_config(EngineConfig::default().with_workers(threads));
+        // Twelve queries alternating between the routed models — the
+        // per-request options ride the whole stack down to the mock.
+        let queries: Vec<_> = (0..12i64)
+            .map(|i| {
+                askit
+                    .query::<i64>("What is {{x}} plus {{y}}?")
+                    .args(args! { x: i, y: 1000 })
+                    .model(if i % 2 == 0 {
+                        ModelChoice::Gpt35
+                    } else {
+                        ModelChoice::Gpt4
+                    })
+                    .build()
+                    .expect("template parses")
+            })
+            .collect();
+        askit
+            .run_batch_detailed(&queries)
+            .into_iter()
+            .map(|outcome| {
+                let outcome = outcome.expect("arithmetic oracle answers");
+                let value = outcome.value.as_i64().expect("typed int");
+                (value, outcome.attempts, outcome.latency)
+            })
+            .collect()
+    };
+
+    let serial = run(1);
+    let wide = run(8);
+    assert_eq!(serial.len(), 12);
+    // Order preserved: query i answers i + 1000.
+    for (i, (value, _, _)) in serial.iter().enumerate() {
+        assert_eq!(*value, i as i64 + 1000);
+    }
+    // Bit-identical outcomes (values, attempts, simulated latencies) at
+    // both widths, and again on a rerun.
+    assert_eq!(serial, wide, "thread count changed batch results");
+    assert_eq!(wide, run(8), "rerun diverged");
 }
 
 /// A workload that re-asks the same templates must hit the engine's

@@ -1,17 +1,19 @@
 //! The sharded prompt→completion cache.
 //!
 //! Keys are full [`CompletionRequest`]s plus the sample ordinal (so resends
-//! of an identical prompt by a retry loop are distinct entries). Entries are
-//! spread across [`SHARD_COUNT`] mutex-guarded segments by an FNV-1a hash, so
-//! concurrent workers rarely contend on the same lock. Each shard evicts in
-//! FIFO order once it reaches its capacity share.
+//! of an identical prompt by a retry loop are distinct entries). The request
+//! fingerprint covers the conversation, the temperature, *and* the routed
+//! model choice, so the same prompt served by different models occupies
+//! distinct entries. Entries are spread across [`SHARD_COUNT`] mutex-guarded
+//! segments by an FNV-1a hash, so concurrent workers rarely contend on the
+//! same lock. Each shard evicts its **least-recently-used** entry once it
+//! reaches its capacity share (hits refresh recency).
 //!
-//! Caveat for non-deterministic backends: the cache stores completions
-//! whether or not downstream validation accepts them. With the workspace's
-//! simulated models this is lossless (responses are pure per request), but a
-//! temperature-sampled network backend retried *across* separate
-//! `compile()` invocations would replay its earlier rejected samples. Cache
-//! invalidation on validation failure is tracked in ROADMAP.md.
+//! Completions the caller rejects (downstream validation failure) are
+//! evicted through [`CompletionCache::remove`] — the engine wires this to
+//! [`askit_llm::LanguageModel::reject_completion`] — so a
+//! temperature-sampled backend retried across invocations is re-asked
+//! instead of being replayed a known-bad answer.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -32,8 +34,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Completions stored.
     pub insertions: u64,
-    /// Entries dropped to respect capacity.
+    /// Entries dropped to respect capacity (LRU order).
     pub evictions: u64,
+    /// Entries evicted because the caller rejected the completion
+    /// (validation failure — see [`CompletionCache::remove`]).
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -58,17 +63,68 @@ struct CacheEntry {
     sample: u64,
     /// The completion served on hits.
     completion: Completion,
+    /// The shard-clock reading of the entry's most recent use. Only the
+    /// queue pair carrying this exact stamp is live; older pairs for the
+    /// same key are stale and skipped at eviction time.
+    stamp: u64,
 }
 
 /// One mutex-guarded segment.
+///
+/// Recency is tracked with a stamped queue so the hot paths stay O(1)
+/// amortized under the shard lock: a hit pushes a fresh `(key, stamp)` pair
+/// instead of scanning for the old one, eviction pops and discards pairs
+/// whose stamp no longer matches the entry, and the queue is compacted
+/// whenever stale pairs dominate.
 #[derive(Default)]
 struct Shard {
     entries: HashMap<u64, CacheEntry>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<u64>,
+    /// `(key, stamp)` pairs in use order: front = least recently used.
+    /// May contain stale pairs (superseded stamps, removed keys).
+    order: VecDeque<(u64, u64)>,
+    /// Monotonic use counter stamping every insert and touch.
+    clock: u64,
 }
 
-/// A concurrency-friendly completion cache (see the [module docs](self)).
+impl Shard {
+    /// Marks an existing entry most-recently-used.
+    fn touch(&mut self, key: u64) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.stamp = stamp;
+            self.order.push_back((key, stamp));
+        }
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity` remain;
+    /// returns how many were dropped. Compacts the queue when stale pairs
+    /// outnumber live ones (amortized O(1) per operation).
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let Some((key, stamp)) = self.order.pop_front() else {
+                break;
+            };
+            if self
+                .entries
+                .get(&key)
+                .is_some_and(|entry| entry.stamp == stamp)
+            {
+                self.entries.remove(&key);
+                evicted += 1;
+            }
+        }
+        if self.order.len() > self.entries.len().saturating_mul(2).max(capacity * 2) {
+            let entries = &self.entries;
+            self.order
+                .retain(|(key, stamp)| entries.get(key).is_some_and(|entry| entry.stamp == *stamp));
+        }
+        evicted
+    }
+}
+
+/// A concurrency-friendly completion cache (see the module docs above).
 pub struct CompletionCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
@@ -76,6 +132,7 @@ pub struct CompletionCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl std::fmt::Debug for CompletionCache {
@@ -101,6 +158,7 @@ impl CompletionCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -114,21 +172,24 @@ impl CompletionCache {
         &self.shards[(key as usize) % self.shards.len()]
     }
 
-    /// Looks up a completion, counting the hit or miss.
+    /// Looks up a completion, counting the hit or miss. A hit refreshes the
+    /// entry's recency (it becomes the last evicted in its shard).
     pub fn get(&self, request: &CompletionRequest, sample: u64) -> Option<Completion> {
         let key = Self::key(request, sample);
-        let shard = self
+        let mut shard = self
             .shard(key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let found = shard
             .entries
             .get(&key)
-            .filter(|entry| entry.sample == sample && entry.request == *request);
+            .filter(|entry| entry.sample == sample && entry.request == *request)
+            .map(|entry| entry.completion.clone());
         match found {
-            Some(entry) => {
+            Some(completion) => {
+                shard.touch(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.completion.clone())
+                Some(completion)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -137,40 +198,65 @@ impl CompletionCache {
         }
     }
 
-    /// Stores a completion, evicting the oldest entry of the target shard
-    /// when it is full.
+    /// Stores a completion, evicting the least-recently-used entry of the
+    /// target shard when it is full.
     pub fn put(&self, request: &CompletionRequest, sample: u64, completion: Completion) {
         let key = Self::key(request, sample);
         let mut shard = self
             .shard(key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.clock += 1;
+        let stamp = shard.clock;
         match shard.entries.entry(key) {
             Entry::Occupied(mut slot) => {
                 // Same key raced in twice (or a hash collision): keep the
-                // newest completion, no order change.
+                // newest completion and refresh its recency.
                 slot.insert(CacheEntry {
                     request: request.clone(),
                     sample,
                     completion,
+                    stamp,
                 });
+                shard.order.push_back((key, stamp));
             }
             Entry::Vacant(slot) => {
                 slot.insert(CacheEntry {
                     request: request.clone(),
                     sample,
                     completion,
+                    stamp,
                 });
-                shard.order.push_back(key);
+                shard.order.push_back((key, stamp));
                 self.insertions.fetch_add(1, Ordering::Relaxed);
-                while shard.order.len() > self.capacity_per_shard {
-                    if let Some(oldest) = shard.order.pop_front() {
-                        shard.entries.remove(&oldest);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
+                let evicted = shard.evict_to(self.capacity_per_shard);
+                if evicted > 0 {
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
                 }
             }
         }
+    }
+
+    /// Evicts the entry for `(request, sample)`, if resident, because the
+    /// caller rejected its completion. Returns whether an entry was dropped
+    /// (counted under [`CacheStats::invalidations`]). The recency queue's
+    /// pair goes stale and is discarded lazily at eviction time.
+    pub fn remove(&self, request: &CompletionRequest, sample: u64) -> bool {
+        let key = Self::key(request, sample);
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let resident = shard
+            .entries
+            .get(&key)
+            .is_some_and(|entry| entry.sample == sample && entry.request == *request);
+        if resident {
+            shard.entries.remove(&key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// A point-in-time counter snapshot.
@@ -180,6 +266,7 @@ impl CompletionCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -241,9 +328,9 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_fifo_and_counts() {
+    fn capacity_evicts_and_counts() {
         // Capacity 16 → one slot per shard; every extra insert into an
-        // occupied shard evicts that shard's oldest entry.
+        // occupied shard evicts that shard's least-recently-used entry.
         let cache = CompletionCache::new(SHARD_COUNT);
         for i in 0..200 {
             let req = request(&format!("prompt {i}"));
@@ -253,6 +340,79 @@ mod tests {
         assert_eq!(stats.insertions, 200);
         assert!(stats.entries <= SHARD_COUNT, "entries {}", stats.entries);
         assert_eq!(stats.evictions, stats.insertions - stats.entries as u64);
+    }
+
+    /// Finds three distinct requests whose keys land in the same shard (the
+    /// FNV fingerprint is deterministic, so the probe always converges).
+    fn shard_colocated_trio() -> [CompletionRequest; 3] {
+        let mut by_shard: HashMap<usize, Vec<CompletionRequest>> = HashMap::new();
+        for i in 0..10_000 {
+            let req = request(&format!("colocated {i}"));
+            let shard = (req.fingerprint(0) as usize) % SHARD_COUNT;
+            let list = by_shard.entry(shard).or_default();
+            list.push(req);
+            if list.len() == 3 {
+                let mut it = list.drain(..);
+                return [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()];
+            }
+        }
+        unreachable!("10k probes must fill some shard three times");
+    }
+
+    #[test]
+    fn eviction_is_lru_not_fifo() {
+        // Two slots per shard; a, b, c all land in one shard.
+        let cache = CompletionCache::new(SHARD_COUNT * 2);
+        let [a, b, c] = shard_colocated_trio();
+        cache.put(&a, 0, completion("a"));
+        cache.put(&b, 0, completion("b"));
+        // Touch `a`. Under FIFO it would still be evicted first; under LRU
+        // the hit makes `b` the oldest.
+        assert!(cache.get(&a, 0).is_some());
+        cache.put(&c, 0, completion("c"));
+        assert!(
+            cache.get(&b, 0).is_none(),
+            "LRU must evict the least recently used entry (b), not the oldest insert (a)"
+        );
+        assert!(cache.get(&a, 0).is_some());
+        assert!(cache.get(&c, 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn repeated_hits_pile_up_stale_pairs_but_evict_correctly() {
+        let cache = CompletionCache::new(SHARD_COUNT * 2);
+        let [a, b, c] = shard_colocated_trio();
+        cache.put(&a, 0, completion("a"));
+        cache.put(&b, 0, completion("b"));
+        // Hammer hits so the recency queue accumulates (and compacts) stale
+        // stamped pairs; the final round leaves `b` least recently used.
+        for _ in 0..100 {
+            assert!(cache.get(&b, 0).is_some());
+            assert!(cache.get(&a, 0).is_some());
+        }
+        cache.put(&c, 0, completion("c"));
+        assert!(cache.get(&b, 0).is_none(), "b was LRU after the last round");
+        assert!(cache.get(&a, 0).is_some());
+        assert!(cache.get(&c, 0).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn rejected_completions_are_evicted() {
+        let cache = CompletionCache::new(64);
+        let req = request("q");
+        assert!(!cache.remove(&req, 0), "nothing resident yet");
+        cache.put(&req, 0, completion("bad answer"));
+        assert!(cache.remove(&req, 0), "the rejected entry is dropped");
+        assert!(cache.get(&req, 0).is_none(), "the retry must miss");
+        // Other sample ordinals are untouched.
+        cache.put(&req, 1, completion("other sample"));
+        assert!(!cache.remove(&req, 0));
+        assert!(cache.get(&req, 1).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Engine`]: cache-fronted, pool-backed completion submission.
 
-use askit_llm::{Completion, CompletionRequest, LanguageModel, LlmError};
+use askit_llm::{CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError};
 
 use crate::cache::{CacheStats, CompletionCache};
 use crate::pool::parallel_map;
@@ -115,6 +115,15 @@ impl<L: LanguageModel> Engine<L> {
             .unwrap_or_default()
     }
 
+    /// The cache this request may use: `None` when caching is disabled or
+    /// the request asks to bypass it.
+    fn cache_for(&self, request: &CompletionRequest) -> Option<&CompletionCache> {
+        if request.options.cache == CachePolicy::Bypass {
+            return None;
+        }
+        self.cache.as_ref()
+    }
+
     /// Runs `f` over every item on the worker pool, preserving item order in
     /// the result. This is the task-level fan-out the eval drivers use:
     /// each item typically performs a whole retry conversation through
@@ -139,7 +148,7 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
         request: &CompletionRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
-        let Some(cache) = &self.cache else {
+        let Some(cache) = self.cache_for(request) else {
             return self.model.complete_tagged(request, sample);
         };
         if let Some(hit) = cache.get(request, sample) {
@@ -151,14 +160,16 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
     }
 
     /// Splits the batch across the worker pool. Each request still goes
-    /// through the cache individually, and results come back in request
-    /// order; chunks are handed to the model's own batched entry point.
+    /// through the cache individually (honoring its cache policy), and
+    /// results come back in request order; chunks are handed to the model's
+    /// own batched entry point.
     fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
-        // Probe the cache up front so only true misses reach the model.
-        let mut results: Vec<Option<Result<Completion, LlmError>>> = match &self.cache {
-            Some(cache) => requests.iter().map(|r| cache.get(r, 0).map(Ok)).collect(),
-            None => requests.iter().map(|_| None).collect(),
-        };
+        // Probe the cache up front so only true misses reach the model;
+        // bypass requests never probe (and never pollute the miss counter).
+        let mut results: Vec<Option<Result<Completion, LlmError>>> = requests
+            .iter()
+            .map(|r| self.cache_for(r).and_then(|cache| cache.get(r, 0).map(Ok)))
+            .collect();
         let miss_indices: Vec<usize> = results
             .iter()
             .enumerate()
@@ -176,7 +187,9 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
                 });
             for (chunk, outcomes) in chunks.iter().zip(completed) {
                 for (&index, outcome) in chunk.iter().zip(outcomes) {
-                    if let (Some(cache), Ok(completion)) = (&self.cache, &outcome) {
+                    if let (Some(cache), Ok(completion)) =
+                        (self.cache_for(&requests[index]), &outcome)
+                    {
                         cache.put(&requests[index], 0, completion.clone());
                     }
                     results[index] = Some(outcome);
@@ -187,6 +200,16 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
             .into_iter()
             .map(|slot| slot.expect("every request resolved"))
             .collect()
+    }
+
+    /// Evicts the rejected completion so a retry re-asks the model instead
+    /// of replaying a known-bad answer, then forwards the rejection to the
+    /// wrapped backend (in case it memoizes too).
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        if let Some(cache) = &self.cache {
+            cache.remove(request, sample);
+        }
+        self.model.reject_completion(request, sample);
     }
 
     fn model_name(&self) -> &str {
@@ -291,7 +314,52 @@ mod tests {
                 ChatMessage::user("And again!"),
             ],
             temperature: 1.0,
+            options: askit_llm::RequestOptions::default(),
         };
         assert!(engine.complete(&req).is_ok());
+    }
+
+    #[test]
+    fn bypass_policy_skips_the_cache_entirely() {
+        let engine = Engine::new(MockLlm::gpt4());
+        let cached = request("Hello there!");
+        let bypass = cached.clone().with_options(askit_llm::RequestOptions {
+            cache: CachePolicy::Bypass,
+            ..askit_llm::RequestOptions::default()
+        });
+        // A bypass request reaches the model and stores nothing...
+        let _ = engine.complete(&bypass).unwrap();
+        let _ = engine.complete(&bypass).unwrap();
+        assert_eq!(engine.model().calls(), 2, "bypass always reaches the model");
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, 0, 0),
+            "bypass neither probes nor populates: {stats:?}"
+        );
+        // ...and an identical cache-friendly request still misses afterward.
+        let _ = engine.complete(&cached).unwrap();
+        assert_eq!(engine.model().calls(), 3);
+        // Batched bypass requests behave the same way.
+        let results = engine.complete_batch(&[bypass.clone(), bypass]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(engine.model().calls(), 5);
+    }
+
+    #[test]
+    fn rejected_completions_are_evicted_and_refetched() {
+        let engine = Engine::new(MockLlm::gpt4());
+        let req = request("Hello there!");
+        let first = engine.complete(&req).unwrap();
+        // The caller rejects it (downstream validation failed).
+        engine.reject_completion(&req, 0);
+        assert_eq!(engine.cache_stats().invalidations, 1);
+        // The retry misses the cache and reaches the model again.
+        let calls = engine.model().calls();
+        let second = engine.complete(&req).unwrap();
+        assert_eq!(engine.model().calls(), calls + 1, "retry must re-ask");
+        // The deterministic mock redraws the same response; a sampled
+        // backend would now produce a fresh one.
+        assert_eq!(first, second);
     }
 }

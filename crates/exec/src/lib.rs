@@ -5,21 +5,24 @@
 //!
 //! LMQL and APPL both observe that a runtime layer between a prompt-program
 //! DSL and the model is the right home for scheduling and caching; this crate
-//! is that layer for AskIt. An [`Engine`] wraps any [`LanguageModel`] and
-//! adds:
+//! is that layer for AskIt. An [`Engine`] wraps any
+//! [`LanguageModel`](askit_llm::LanguageModel) and adds:
 //!
 //! * a **worker pool** ([`Engine::map`]) that fans independent tasks out
 //!   across scoped threads with dynamic load balancing;
-//! * **batched submission** ([`LanguageModel::complete_batch`] on the
+//! * **batched submission**
+//!   ([`complete_batch`](askit_llm::LanguageModel::complete_batch) on the
 //!   engine) that splits a request batch across the pool;
 //! * a **sharded completion cache** ([`CompletionCache`]) fronting the
-//!   model: FNV-sharded mutex segments, hit/miss/eviction counters exposed
-//!   as [`CacheStats`].
+//!   model: FNV-sharded mutex segments, LRU eviction, hit/miss/eviction
+//!   counters exposed as [`CacheStats`].
 //!
-//! The engine itself implements [`LanguageModel`], so the whole AskIt stack
-//! (the `run_direct` retry loop, the codegen pipeline, the eval drivers)
-//! runs through it unchanged — submissions just gain caching and
-//! concurrency.
+//! The engine itself implements [`LanguageModel`](askit_llm::LanguageModel),
+//! so the whole AskIt stack (the `run_direct` retry loop, the codegen
+//! pipeline, the eval drivers) runs through it unchanged — submissions just
+//! gain caching and concurrency. Per-request [`askit_llm::RequestOptions`]
+//! steer it: the routed model is part of the cache key, and
+//! [`askit_llm::CachePolicy::Bypass`] requests skip the cache entirely.
 //!
 //! Results are deterministic in the thread count: the engine never reorders
 //! per-request semantics, and the workspace's simulated models derive their
@@ -32,5 +35,5 @@ mod cache;
 mod engine;
 mod pool;
 
-pub use cache::{CacheStats, CompletionCache};
+pub use cache::{CacheStats, CompletionCache, SHARD_COUNT};
 pub use engine::{Engine, EngineConfig};

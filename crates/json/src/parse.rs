@@ -34,7 +34,7 @@ pub enum ParseJsonErrorKind {
     BadString,
     /// A `\uXXXX` escape that is not a valid scalar value / surrogate pair.
     BadUnicodeEscape,
-    /// Nesting exceeded [`MAX_DEPTH`].
+    /// Nesting exceeded the parser's `MAX_DEPTH`.
     TooDeep,
     /// `Json::parse` found bytes after the first complete value.
     TrailingData,

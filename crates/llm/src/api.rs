@@ -64,6 +64,81 @@ impl ChatMessage {
     }
 }
 
+/// Which model a request should be served by.
+///
+/// The unit of AskIt's cost/accuracy trade-off (paper Table III): route
+/// cheap tasks to a fast model and hard ones to a strong model, per request.
+/// Backends that serve only one model ignore the choice; [`crate::MockLlm`]
+/// serves the request under the routed model's latency/cost profile (fault
+/// rates stay as configured), which is the same hook a network backend uses
+/// to pick the wire model name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelChoice {
+    /// Whatever model the backend was configured with.
+    #[default]
+    Default,
+    /// A GPT-3.5-turbo-class model: fast, cheap, sloppier.
+    Gpt35,
+    /// A GPT-4-class model: slow, expensive, accurate.
+    Gpt4,
+}
+
+impl ModelChoice {
+    /// A stable tag naming the choice (used in cache keys and reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ModelChoice::Default => "default",
+            ModelChoice::Gpt35 => "gpt35",
+            ModelChoice::Gpt4 => "gpt4",
+        }
+    }
+}
+
+impl fmt::Display for ModelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// How caching layers may treat a request.
+///
+/// Advisory: plain backends ignore it; the execution engine's completion
+/// cache honors it. Not part of request identity — a `Bypass` request can
+/// still *populate* nothing, but it never changes what a `Use` request keys
+/// to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Serve from / store into completion caches (the default).
+    #[default]
+    Use,
+    /// Skip caches entirely: always reach the backend, store nothing.
+    Bypass,
+}
+
+/// Per-request options riding on a [`CompletionRequest`].
+///
+/// This is the carrier every layer shares: the `Query` builder in
+/// `askit-core` fills it, the execution engine reads `cache` and keys on
+/// `model`, and backends read `model` to route. New per-call knobs land here
+/// once and flow through the whole stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RequestOptions {
+    /// Which model should serve the request.
+    pub model: ModelChoice,
+    /// How caching layers may treat the request.
+    pub cache: CachePolicy,
+}
+
+impl RequestOptions {
+    /// Options selecting a model with default cache behaviour.
+    pub fn for_model(model: ModelChoice) -> Self {
+        RequestOptions {
+            model,
+            ..RequestOptions::default()
+        }
+    }
+}
+
 /// A completion request.
 ///
 /// `temperature` matters to the mock the way it matters to the paper's
@@ -76,6 +151,8 @@ pub struct CompletionRequest {
     pub messages: Vec<ChatMessage>,
     /// Sampling temperature in `[0.0, 2.0]`.
     pub temperature: f64,
+    /// Per-request options (model routing, cache policy).
+    pub options: RequestOptions,
 }
 
 impl CompletionRequest {
@@ -84,7 +161,15 @@ impl CompletionRequest {
         CompletionRequest {
             messages: vec![ChatMessage::user(prompt)],
             temperature: 1.0,
+            options: RequestOptions::default(),
         }
+    }
+
+    /// Replaces the per-request options.
+    #[must_use]
+    pub fn with_options(mut self, options: RequestOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Total characters of prompt content (for token accounting).
@@ -93,13 +178,15 @@ impl CompletionRequest {
     }
 
     /// A stable 64-bit FNV-1a fingerprint of the request content
-    /// (temperature and the full conversation), mixed with `salt`.
+    /// (temperature, model choice, and the full conversation), mixed with
+    /// `salt`.
     ///
     /// This is the single definition of request identity: the execution
     /// engine's completion cache keys on it, and the simulated model derives
     /// its per-request randomness from it (salting with its seed). Keeping
     /// both behind one helper guarantees they stay in lockstep when the
-    /// request shape grows.
+    /// request shape grows. The cache policy is deliberately *not* mixed in:
+    /// it changes how a request is served, not what it asks.
     pub fn fingerprint(&self, salt: u64) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |bytes: &[u8]| {
@@ -110,6 +197,12 @@ impl CompletionRequest {
         };
         mix(&salt.to_le_bytes());
         mix(&self.temperature.to_bits().to_le_bytes());
+        // `Default` contributes no bytes, so requests that predate routing
+        // keep their fingerprints (and the simulated responses derived from
+        // them) bit-for-bit.
+        if self.options.model != ModelChoice::Default {
+            mix(self.options.model.tag().as_bytes());
+        }
         for message in &self.messages {
             mix(message.role.to_string().as_bytes());
             mix(message.content.as_bytes());
@@ -242,6 +335,17 @@ pub trait LanguageModel: Send + Sync {
             .collect()
     }
 
+    /// Signals that the caller *rejected* the completion previously served
+    /// for `(request, sample)` — it failed downstream validation.
+    ///
+    /// Memoizing layers use this to evict the entry so a temperature-sampled
+    /// backend is re-asked instead of replaying a known-bad answer (the
+    /// execution engine's completion cache does exactly that). Plain
+    /// backends have nothing to forget; the default is a no-op.
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        let _ = (request, sample);
+    }
+
     /// The model identifier (e.g. `sim-gpt-4`).
     fn model_name(&self) -> &str;
 }
@@ -261,6 +365,10 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
 
     fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
         (**self).complete_batch(requests)
+    }
+
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        (**self).reject_completion(request, sample);
     }
 
     fn model_name(&self) -> &str {
@@ -285,6 +393,10 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
         (**self).complete_batch(requests)
     }
 
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        (**self).reject_completion(request, sample);
+    }
+
     fn model_name(&self) -> &str {
         (**self).model_name()
     }
@@ -293,6 +405,25 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_choice_keys_the_fingerprint() {
+        let base = CompletionRequest::from_prompt("q");
+        let gpt35 = base
+            .clone()
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt35));
+        let gpt4 = base
+            .clone()
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt4));
+        assert_ne!(base.fingerprint(0), gpt35.fingerprint(0));
+        assert_ne!(gpt35.fingerprint(0), gpt4.fingerprint(0));
+        // The cache policy is service advice, not identity.
+        let bypass = base.clone().with_options(RequestOptions {
+            cache: CachePolicy::Bypass,
+            ..RequestOptions::default()
+        });
+        assert_eq!(base.fingerprint(0), bypass.fingerprint(0));
+    }
 
     #[test]
     fn request_helpers() {

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use rand::Rng;
 
-use crate::api::TokenUsage;
+use crate::api::{ModelChoice, TokenUsage};
 
 /// A latency profile for a simulated model.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,16 @@ impl LatencyModel {
             per_prompt_token: Duration::from_micros(400),
             per_completion_token: Duration::from_millis(18),
             jitter: 0.25,
+        }
+    }
+
+    /// The profile a routed request should be served under: the named
+    /// model's profile, or `default` when the request doesn't pick one.
+    pub fn for_choice(choice: ModelChoice, default: &LatencyModel) -> LatencyModel {
+        match choice {
+            ModelChoice::Default => default.clone(),
+            ModelChoice::Gpt35 => LatencyModel::gpt35(),
+            ModelChoice::Gpt4 => LatencyModel::gpt4(),
         }
     }
 
@@ -123,5 +133,22 @@ mod tests {
     fn gpt35_is_faster_than_gpt4() {
         let u = usage(400, 200);
         assert!(LatencyModel::gpt35().expected(u) < LatencyModel::gpt4().expected(u));
+    }
+
+    #[test]
+    fn choice_routing_falls_back_to_the_default_profile() {
+        let configured = LatencyModel::gpt4();
+        assert_eq!(
+            LatencyModel::for_choice(ModelChoice::Default, &configured),
+            configured
+        );
+        assert_eq!(
+            LatencyModel::for_choice(ModelChoice::Gpt35, &configured),
+            LatencyModel::gpt35()
+        );
+        assert_eq!(
+            LatencyModel::for_choice(ModelChoice::Gpt4, &LatencyModel::gpt35()),
+            LatencyModel::gpt4()
+        );
     }
 }

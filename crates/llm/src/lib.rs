@@ -30,10 +30,14 @@ mod scripted;
 pub mod tokenizer;
 
 pub use api::{
-    ChatMessage, Completion, CompletionRequest, LanguageModel, LlmError, Role, TokenUsage,
+    CachePolicy, ChatMessage, Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice,
+    RequestOptions, Role, TokenUsage,
 };
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;
-pub use mock::{MockLlm, MockLlmConfig, CODEGEN_MARKER, DIRECT_MARKER, FEEDBACK_MARKER};
+pub use mock::{
+    MockLlm, MockLlmConfig, CODEGEN_MARKER, DIRECT_MARKER, FEEDBACK_MARKER, GPT35_MODEL_NAME,
+    GPT4_MODEL_NAME,
+};
 pub use oracle::{AnswerOutcome, AnswerSkill, AnswerTask, CodeSkill, CodeTask, Oracle};
 pub use scripted::{Exchange, RecordingLlm, ScriptedLlm};

@@ -27,7 +27,7 @@ use minilang::{build, FuncDecl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::api::{Completion, CompletionRequest, LanguageModel, LlmError, TokenUsage};
+use crate::api::{Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, TokenUsage};
 use crate::faults::{
     break_syntax, corrupt_response, plant_bug, sample_code_bug, sample_direct_fault, CodeBug,
     DirectFault, FaultConfig,
@@ -45,6 +45,13 @@ pub const DIRECT_MARKER: &str = "generates responses in JSON format";
 
 /// Marker introducing the §III-E feedback line on retries.
 pub const FEEDBACK_MARKER: &str = "Your previous response was not acceptable";
+
+/// The simulated GPT-4 model name (one source of truth for configs and
+/// per-request routing).
+pub const GPT4_MODEL_NAME: &str = "sim-gpt-4";
+
+/// The simulated GPT-3.5 model name.
+pub const GPT35_MODEL_NAME: &str = "sim-gpt-3.5-turbo-16k";
 
 /// Configuration of a [`MockLlm`].
 #[derive(Debug, Clone)]
@@ -71,7 +78,7 @@ impl MockLlmConfig {
     /// A GPT-4-like profile (slow, accurate): the model Table III uses.
     pub fn gpt4() -> Self {
         MockLlmConfig {
-            model_name: "sim-gpt-4".to_owned(),
+            model_name: GPT4_MODEL_NAME.to_owned(),
             latency: LatencyModel::gpt4(),
             faults: FaultConfig {
                 code_bug_rate: 0.12,
@@ -86,7 +93,7 @@ impl MockLlmConfig {
     /// Table II experiment uses.
     pub fn gpt35() -> Self {
         MockLlmConfig {
-            model_name: "sim-gpt-3.5-turbo-16k".to_owned(),
+            model_name: GPT35_MODEL_NAME.to_owned(),
             latency: LatencyModel::gpt35(),
             faults: FaultConfig::default(),
             seed: 0xA5C1_0002,
@@ -168,9 +175,22 @@ impl MockLlm {
     /// seed, the full conversation, and the sample ordinal. Identical
     /// requests always draw the same stream, whatever order (or thread) they
     /// arrive on — the property the execution engine's determinism rests on.
+    /// The fingerprint covers the routed model, so the same prompt served by
+    /// different models draws different streams.
     fn request_rng(&self, request: &CompletionRequest, sample: u64) -> StdRng {
         let salt = self.config.seed ^ sample.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         StdRng::seed_from_u64(request.fingerprint(salt))
+    }
+
+    /// The name the request is served under: the routed model's, or the
+    /// configured default. A network backend resolves the wire model name at
+    /// the same point.
+    fn served_model_name(&self, choice: ModelChoice) -> &str {
+        match choice {
+            ModelChoice::Default => &self.config.model_name,
+            ModelChoice::Gpt35 => GPT35_MODEL_NAME,
+            ModelChoice::Gpt4 => GPT4_MODEL_NAME,
+        }
     }
 
     fn respond(&self, request: &CompletionRequest, rng: &mut StdRng) -> Result<String, LlmError> {
@@ -186,7 +206,7 @@ impl MockLlm {
         }
         Ok(format!(
             "I'm {}, a simulated assistant. You said: {}",
-            self.config.model_name,
+            self.served_model_name(request.options.model),
             prompt.lines().next().unwrap_or("")
         ))
     }
@@ -318,7 +338,11 @@ impl LanguageModel for MockLlm {
                 // final JSON; charge for it like a real reasoning reply.
                 + if text.contains("```json") { 180 } else { 40 },
         };
-        let latency = self.config.latency.sample(usage, &mut rng);
+        // Per-request model routing: the routed model's latency/cost profile
+        // serves the request (the hook a network backend reuses to pick the
+        // wire model); `Default` keeps the configured profile.
+        let latency_model = LatencyModel::for_choice(request.options.model, &self.config.latency);
+        let latency = latency_model.sample(usage, &mut rng);
         if self.config.wall_clock_scale > 0.0 {
             std::thread::sleep(latency.mul_f64(self.config.wall_clock_scale));
         }
@@ -460,6 +484,7 @@ fn hallucinated_implementation<R: Rng + ?Sized>(decl: &FuncDecl, rng: &mut R) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::RequestOptions;
     use askit_json::json;
 
     fn direct_prompt(answer_ty: &str, task: &str) -> String {
@@ -559,6 +584,7 @@ mod tests {
                 crate::api::ChatMessage::user(format!("{FEEDBACK_MARKER}: fix it")),
             ],
             temperature: 1.0,
+            options: crate::api::RequestOptions::default(),
         };
         let second = llm.complete(&retry).unwrap();
         let v = extract::extract_json(&second.text).unwrap();
@@ -655,6 +681,39 @@ mod tests {
         let b = make().complete(&CompletionRequest::from_prompt(p)).unwrap();
         assert_eq!(a.text, b.text);
         assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn requests_route_to_per_model_profiles() {
+        let llm = MockLlm::gpt4();
+        let p = direct_prompt("number", "What is 'x' times 'y'?\nwhere 'x' = 6, 'y' = 7");
+        let base = CompletionRequest::from_prompt(p);
+        let fast = llm
+            .complete(
+                &base
+                    .clone()
+                    .with_options(RequestOptions::for_model(ModelChoice::Gpt35)),
+            )
+            .unwrap();
+        let slow = llm
+            .complete(&base.with_options(RequestOptions::for_model(ModelChoice::Gpt4)))
+            .unwrap();
+        // Same prompt, same usage band: the ~3x decode-speed gap between the
+        // profiles dwarfs the ±25% jitter.
+        assert!(
+            fast.latency < slow.latency,
+            "gpt35-routed {:?} vs gpt4-routed {:?}",
+            fast.latency,
+            slow.latency
+        );
+        // The generic fallback introduces itself as the routed model.
+        let hello = CompletionRequest::from_prompt("Hello!")
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt35));
+        assert!(llm
+            .complete(&hello)
+            .unwrap()
+            .text
+            .contains("sim-gpt-3.5-turbo-16k"));
     }
 
     #[test]

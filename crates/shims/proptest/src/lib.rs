@@ -123,7 +123,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -6,7 +6,7 @@
 //!   it answers with an arbitrary value *of the right shape*. This mirrors
 //!   the paper's OpenAI-Evals experiment, where "most benchmarks were
 //!   unsolvable by GPT-3.5 and GPT-4" and the authors "solely ensured that
-//!   [the] prompt yielded an output format congruent with the expected
+//!   \[the\] prompt yielded an output format congruent with the expected
 //!   response" (§IV-B);
 //! * **property tests**, which assert `ty.validate(&sample(ty)) == Ok(())`.
 

@@ -1,12 +1,12 @@
 //! The paper's Listing 2 example: `define<Book[]>("List {{n}} classic books
 //! on {{subject}}.")` — structured answers extracted straight into typed
-//! Rust values.
+//! Rust values, requested through the `Query` builder.
 //!
 //! Run with `cargo run --example books_typed`.
 
 use askit::json::{Json, ToJson};
 use askit::llm::{AnswerOutcome, FaultConfig, MockLlm, MockLlmConfig, Oracle};
-use askit::{args, json_struct, Askit};
+use askit::{args, json_struct, Askit, ModelChoice};
 
 json_struct! {
     /// A classic book (the paper's `type Book`).
@@ -62,13 +62,20 @@ fn main() -> Result<(), askit::AskItError> {
 
     // The type parameter `Vec<Book>` prints into the prompt as
     // `{ title: string, author: string, year: number }[]` — Listing 2 line 7.
-    let get_books = askit.define_as::<Vec<Book>>("List {{n}} classic books on {{subject}}.")?;
     println!(
         "prompt answer type: {}\n",
         <Vec<Book> as askit::AskType>::askit_type().to_typescript()
     );
 
-    let books: Vec<Book> = get_books.call_as(args! { n: 3, subject: "computer science" })?;
+    // The request is a first-class value: arguments, model routing, and a
+    // retry budget all ride on the typed query.
+    let query = askit
+        .query::<Vec<Book>>("List {{n}} classic books on {{subject}}.")
+        .args(args! { n: 3, subject: "computer science" })
+        .model(ModelChoice::Gpt4)
+        .retries(5)
+        .build()?;
+    let books: Vec<Book> = query.run()?;
     for book in &books {
         println!("{} — {} ({})", book.title, book.author, book.year);
     }

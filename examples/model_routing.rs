@@ -1,0 +1,98 @@
+//! Per-request model routing over a mixed GSM8K batch: cheap one-step
+//! problems go to the GPT-3.5-class profile, multi-parameter ones to the
+//! GPT-4-class profile — one engine, one cache, one order-preserving batch.
+//!
+//! Run with `cargo run --example model_routing`.
+
+use std::time::Duration;
+
+use askit::datasets::gsm8k::{self, Gsm8kProblem};
+use askit::exec::CacheStats;
+use askit::llm::{MockLlm, MockLlmConfig, Oracle};
+use askit::{Askit, ModelChoice};
+
+/// Routing heuristic: problems over ≥3 parameters are "hard" (multi-step
+/// arithmetic) and earn the strong model; the rest ride the cheap one.
+fn route(problem: &Gsm8kProblem) -> ModelChoice {
+    if problem.params.len() >= 3 {
+        ModelChoice::Gpt4
+    } else {
+        ModelChoice::Gpt35
+    }
+}
+
+/// The counters a phase added on top of `before`.
+fn delta(before: &CacheStats, after: &CacheStats) -> (u64, u64, u64) {
+    (
+        after.hits - before.hits,
+        after.misses - before.misses,
+        after.insertions - before.insertions,
+    )
+}
+
+fn main() -> Result<(), askit::AskItError> {
+    let problems = gsm8k::problems(16, 7);
+    let mut oracle = Oracle::standard();
+    gsm8k::register_oracle(&mut oracle, &problems, 1);
+    let askit = Askit::new(MockLlm::new(MockLlmConfig::gpt4(), oracle));
+
+    let build_queries = |subset: &dyn Fn(&Gsm8kProblem) -> bool| {
+        problems
+            .iter()
+            .filter(|p| subset(p))
+            .map(|p| {
+                askit
+                    .query::<i64>(&p.template)
+                    .args(p.args.clone())
+                    .model(route(p))
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()
+    };
+
+    // Phase 1+2: each model's share of the batch, with its own CacheStats
+    // window (one shared engine cache — the model choice is part of the key,
+    // so the two models never collide on identical prompts).
+    for (label, choice) in [("gpt35", ModelChoice::Gpt35), ("gpt4", ModelChoice::Gpt4)] {
+        let queries = build_queries(&|p| route(p) == choice)?;
+        let before = askit.cache_stats();
+        let outcomes = askit.run_batch_detailed(&queries);
+        let after = askit.cache_stats();
+
+        let mut solved = 0usize;
+        let mut latency = Duration::ZERO;
+        for (problem, outcome) in problems
+            .iter()
+            .filter(|p| route(p) == choice)
+            .zip(&outcomes)
+        {
+            let outcome = outcome.as_ref().expect("typed GSM8K answer");
+            if outcome.value.loosely_equals(&problem.answer) {
+                solved += 1;
+            }
+            latency += outcome.latency;
+        }
+        let (hits, misses, insertions) = delta(&before, &after);
+        println!(
+            "{label:>5}: {count} problems, {solved} solved, mean latency {mean:.2}s | \
+             cache hits {hits}, misses {misses}, insertions {insertions}",
+            count = outcomes.len(),
+            mean = latency.as_secs_f64() / outcomes.len().max(1) as f64,
+        );
+    }
+
+    // Phase 3: the full mixed batch again — every conversation is resident,
+    // so the rerun is answered from cache without touching the model.
+    let mixed = build_queries(&|_| true)?;
+    let calls_before = askit.llm().calls();
+    let before = askit.cache_stats();
+    let results = askit.run_batch(&mixed);
+    let (hits, misses, _) = delta(&before, &askit.cache_stats());
+    println!(
+        "mixed rerun: {} results in problem order | cache hits {hits}, misses {misses}, \
+         model calls added: {}",
+        results.len(),
+        askit.llm().calls() - calls_before,
+    );
+    Ok(())
+}

@@ -1,9 +1,10 @@
-//! Quickstart: the two AskIt modes on one template.
+//! Quickstart: the two AskIt modes on one template, driven through the
+//! typed `Query` builder.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
-use askit::{args, example, Askit, Syntax};
+use askit::{args, example, Askit, ModelChoice, QueryOptions, Syntax};
 
 fn main() -> Result<(), askit::AskItError> {
     // 1. Stand up a (simulated) model. The standard oracle knows small
@@ -29,19 +30,45 @@ fn main() -> Result<(), askit::AskItError> {
     );
     let askit = Askit::new(llm);
 
-    // 2. A one-shot `ask`, typed by the Rust result type.
-    let product: i64 = askit.ask_as("What is {{x}} times {{y}}?", args! { x: 7, y: 8 })?;
+    // 2. A one-shot typed query: the request is a value. Every option —
+    //    model, temperature, retries, cache policy — is a per-call override.
+    let product: i64 = askit
+        .query::<i64>("What is {{x}} times {{y}}?")
+        .args(args! { x: 7, y: 8 })
+        .model(ModelChoice::Gpt4)
+        .retries(3)
+        .build()?
+        .run()?;
     println!("7 × 8 = {product}");
 
-    // 3. A reusable `define`d function: call it directly…
+    // 3. A batch of queries fans out across the engine's worker pool,
+    //    order preserved.
+    let queries = (2..=5i64)
+        .map(|n| {
+            askit
+                .query::<i64>("What is {{x}} times {{y}}?")
+                .args(args! { x: n, y: n })
+                .build()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let squares = askit.run_batch(&queries);
+    for (n, square) in (2..=5i64).zip(&squares) {
+        println!("{n}² = {}", square.as_ref().expect("oracle answers"));
+    }
+
+    // 4. A reusable `define`d function: call it directly, with an
+    //    optional per-invocation override…
     let multiply = askit
         .define(askit::types::int(), "What is {{x}} times {{y}}?")?
         .with_param_types([("x", askit::types::int()), ("y", askit::types::int())])
         .with_tests([example(&[("x", 3i64), ("y", 4i64)], 12i64)]);
-    let direct = multiply.call(args! { x: 12, y: 12 })?;
+    let direct = multiply.call_with(
+        args! { x: 12, y: 12 },
+        &QueryOptions::new().with_model(ModelChoice::Gpt35),
+    )?;
     println!("direct mode:   12 × 12 = {direct}");
 
-    // 4. …then compile the SAME template into generated code and call that.
+    // 5. …then compile the SAME template into generated code and call that.
     let compiled = multiply.compile(Syntax::Ts)?;
     let fast = compiled.call(args! { x: 12, y: 12 })?;
     println!("compiled mode: 12 × 12 = {fast}");

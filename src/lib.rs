@@ -6,7 +6,9 @@
 //!
 //! Everything re-exported here is documented in its home crate:
 //!
-//! * [`core`](askit_core) — the `ask`/`define` DSL (the paper's contribution);
+//! * [`core`](askit_core) — the `ask`/`define` DSL (the paper's
+//!   contribution) and the typed [`Query`] builder with per-call model
+//!   routing, retry budgets, and cache policies;
 //! * [`exec`](askit_exec) — the execution engine: worker pool, batched
 //!   submission, sharded completion cache;
 //! * [`types`](askit_types) — the type language driving prompts + validation;
@@ -35,8 +37,9 @@
 #![forbid(unsafe_code)]
 
 pub use askit_core::{
-    args, example, json_enum, json_struct, AskItError, AskType, Askit, AskitConfig,
-    CompiledFunction, DirectOutcome, Example, FunctionStore, GeneratedFunction, TaskFunction,
+    args, example, json_enum, json_struct, AskItError, AskType, Askit, AskitConfig, CachePolicy,
+    CompiledFunction, DirectOutcome, Example, FunctionStore, GeneratedFunction, ModelChoice, Query,
+    QueryBuilder, QueryOptions, TaskFunction,
 };
 
 /// The JSON substrate.
