@@ -1,5 +1,8 @@
 //! Runtime/compiler configuration.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use askit_llm::{CachePolicy, ModelChoice, RequestOptions};
 
 /// Configuration shared by the direct runtime and the codegen pipeline.
@@ -21,6 +24,17 @@ pub struct AskitConfig {
     pub model: ModelChoice,
     /// How the engine's completion cache treats requests by default.
     pub cache_policy: CachePolicy,
+    /// Directory the completion cache persists to. `None` (the default)
+    /// means "no opinion": the engine keeps whatever its own configuration
+    /// says (in-memory unless the engine was built with a directory).
+    /// Applied by [`crate::Askit::with_config`], which rebuilds the engine's
+    /// cache when this is set.
+    pub cache_dir: Option<PathBuf>,
+    /// Default time-to-live for cached completions. `None` = no opinion
+    /// (engine default, i.e. entries never expire). Per-call overrides via
+    /// [`crate::QueryOptions::cache_ttl`] beat this, and the resolved value
+    /// is stamped on every request as [`RequestOptions::ttl`].
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for AskitConfig {
@@ -30,6 +44,8 @@ impl Default for AskitConfig {
             temperature: 1.0,
             model: ModelChoice::Default,
             cache_policy: CachePolicy::Use,
+            cache_dir: None,
+            cache_ttl: None,
         }
     }
 }
@@ -63,11 +79,26 @@ impl AskitConfig {
         self
     }
 
+    /// Persists the completion cache under `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the default TTL for cached completions.
+    #[must_use]
+    pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache_ttl = Some(ttl);
+        self
+    }
+
     /// The per-request options this configuration stamps on submissions.
     pub fn request_options(&self) -> RequestOptions {
         RequestOptions {
             model: self.model,
             cache: self.cache_policy,
+            ttl: self.cache_ttl,
         }
     }
 }
@@ -91,16 +122,23 @@ mod tests {
             .with_max_retries(2)
             .with_temperature(0.0)
             .with_model(ModelChoice::Gpt35)
-            .with_cache_policy(CachePolicy::Bypass);
+            .with_cache_policy(CachePolicy::Bypass)
+            .with_cache_dir("/tmp/askit-cache")
+            .with_cache_ttl(Duration::from_secs(60));
         assert_eq!(c.max_retries, 2);
         assert_eq!(c.temperature, 0.0);
         assert_eq!(c.model, ModelChoice::Gpt35);
         assert_eq!(c.cache_policy, CachePolicy::Bypass);
         assert_eq!(
+            c.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/askit-cache"))
+        );
+        assert_eq!(
             c.request_options(),
             RequestOptions {
                 model: ModelChoice::Gpt35,
                 cache: CachePolicy::Bypass,
+                ttl: Some(Duration::from_secs(60)),
             }
         );
     }

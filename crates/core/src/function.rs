@@ -57,10 +57,28 @@ impl<L: LanguageModel> Askit<L> {
     }
 
     /// Overrides the configuration.
+    ///
+    /// When the configuration carries cache-persistence knobs
+    /// ([`AskitConfig::cache_dir`] / [`AskitConfig::cache_ttl`]), the
+    /// execution engine is rebuilt so its completion cache honors them —
+    /// opening (and warm-starting from) the directory immediately. `None`
+    /// values are "no opinion" and leave the engine's own settings alone.
     #[must_use]
     pub fn with_config(mut self, config: AskitConfig) -> Self {
+        let mut engine_config = self.engine.config().clone();
+        if config.cache_dir.is_some() {
+            engine_config.cache_dir = config.cache_dir.clone();
+        }
+        if config.cache_ttl.is_some() {
+            engine_config.cache_ttl = config.cache_ttl;
+        }
+        let rebuild = engine_config != *self.engine.config();
         self.config = config;
-        self
+        if rebuild {
+            self.with_engine_config(engine_config)
+        } else {
+            self
+        }
     }
 
     /// Rebuilds the execution engine with an explicit configuration.
@@ -94,6 +112,17 @@ impl<L: LanguageModel> Askit<L> {
     /// Completion-cache counters for this instance.
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Flushes the completion cache to disk (a no-op without a cache
+    /// directory); see [`Engine::persist`]. The flush also runs when the
+    /// instance is dropped.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying filesystem.
+    pub fn persist_cache(&self) -> std::io::Result<u64> {
+        self.engine.persist()
     }
 
     /// The underlying model handle.

@@ -13,6 +13,7 @@
 //! engine's worker pool while preserving order.
 
 use std::marker::PhantomData;
+use std::time::Duration;
 
 use askit_json::{Map, ToJson};
 use askit_llm::{CachePolicy, LanguageModel, ModelChoice};
@@ -43,6 +44,9 @@ pub struct QueryOptions {
     pub max_retries: Option<usize>,
     /// Overrides [`AskitConfig::cache_policy`].
     pub cache: Option<CachePolicy>,
+    /// Overrides [`AskitConfig::cache_ttl`]: how long completions this call
+    /// stores stay servable from the persistent cache.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl QueryOptions {
@@ -79,6 +83,13 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the cache-TTL override.
+    #[must_use]
+    pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache_ttl = Some(ttl);
+        self
+    }
+
     /// Layers `self` over `base`: fields set here win, unset fields fall
     /// through to `base`. This is how a per-invocation `call_with` override
     /// combines with options already attached to a function.
@@ -89,18 +100,22 @@ impl QueryOptions {
             temperature: self.temperature.or(base.temperature),
             max_retries: self.max_retries.or(base.max_retries),
             cache: self.cache.or(base.cache),
+            cache_ttl: self.cache_ttl.or(base.cache_ttl),
         }
     }
 
     /// Resolves the overrides against instance defaults into the full
     /// configuration one submission runs under. Per-query values always
-    /// beat the defaults.
+    /// beat the defaults. (`cache_dir` has no per-query override — one
+    /// process persists to one directory — so it passes through unchanged.)
     pub fn resolve(&self, defaults: &AskitConfig) -> AskitConfig {
         AskitConfig {
             max_retries: self.max_retries.unwrap_or(defaults.max_retries),
             temperature: self.temperature.unwrap_or(defaults.temperature),
             model: self.model.unwrap_or(defaults.model),
             cache_policy: self.cache.unwrap_or(defaults.cache_policy),
+            cache_dir: defaults.cache_dir.clone(),
+            cache_ttl: self.cache_ttl.or(defaults.cache_ttl),
         }
     }
 }
@@ -178,6 +193,14 @@ impl<'a, T: AskType, L: LanguageModel> QueryBuilder<'a, T, L> {
     #[must_use]
     pub fn cache(mut self, cache: CachePolicy) -> Self {
         self.options.cache = Some(cache);
+        self
+    }
+
+    /// Overrides how long completions this query stores stay servable from
+    /// the persistent cache.
+    #[must_use]
+    pub fn cache_ttl(mut self, ttl: Duration) -> Self {
+        self.options.cache_ttl = Some(ttl);
         self
     }
 
@@ -401,7 +424,8 @@ mod tests {
     fn options_layering_and_resolution() {
         let base = QueryOptions::new()
             .with_model(ModelChoice::Gpt35)
-            .with_temperature(0.7);
+            .with_temperature(0.7)
+            .with_cache_ttl(Duration::from_secs(30));
         let per_call = QueryOptions::new()
             .with_model(ModelChoice::Gpt4)
             .with_max_retries(1);
@@ -410,11 +434,32 @@ mod tests {
         assert_eq!(layered.temperature, Some(0.7), "unset falls to base");
         assert_eq!(layered.max_retries, Some(1));
         assert_eq!(layered.cache, None);
+        assert_eq!(layered.cache_ttl, Some(Duration::from_secs(30)));
         let resolved = layered.resolve(&AskitConfig::default());
         assert_eq!(resolved.model, ModelChoice::Gpt4);
         assert_eq!(resolved.temperature, 0.7);
         assert_eq!(resolved.max_retries, 1);
         assert_eq!(resolved.cache_policy, CachePolicy::Use, "config default");
+        assert_eq!(resolved.cache_ttl, Some(Duration::from_secs(30)));
+        assert_eq!(resolved.cache_dir, None, "no per-query cache_dir");
+    }
+
+    #[test]
+    fn cache_ttl_override_is_stamped_on_requests() {
+        let askit = recording(&[good(4)])
+            .with_config(AskitConfig::default().with_cache_ttl(Duration::from_secs(600)));
+        let q = askit
+            .query::<i64>("Question?")
+            .cache_ttl(Duration::from_secs(5))
+            .build()
+            .unwrap();
+        assert_eq!(q.run().unwrap(), 4);
+        let request = &askit.llm().exchanges()[0].request;
+        assert_eq!(
+            request.options.ttl,
+            Some(Duration::from_secs(5)),
+            "per-query TTL beats the instance default"
+        );
     }
 
     #[test]

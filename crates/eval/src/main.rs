@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
+//!            [--cache-dir DIR] [--cache-ttl SECS]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -20,11 +21,17 @@ experiments:
   all      everything above (the default)
 
 options:
-  --count N    number of GSM8K problems for table3 (default: full 1319)
-  --seed S     base RNG seed (default: 20240302)
-  --threads T  engine worker threads for table2/fig5/table3 (default: auto;
-               results are identical for every T — only wall-clock changes)
-  --help       print this message
+  --count N         number of GSM8K problems for table3 (default: full 1319)
+  --seed S          base RNG seed (default: 20240302)
+  --threads T       engine worker threads for table2/fig5/table3 (default:
+                    auto; results are identical for every T — only
+                    wall-clock changes)
+  --cache-dir DIR   persist the table3 completion cache under DIR; a rerun
+                    with the same DIR and seed warm-starts from it (results
+                    are bit-identical to the cold run, just faster)
+  --cache-ttl SECS  how long persisted completions stay servable (default:
+                    forever); lapsed entries are re-queried and re-cached
+  --help            print this message
 
 environment:
   ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)";
@@ -35,6 +42,7 @@ fn main() {
     let mut count = askit_datasets::gsm8k::TEST_SET_SIZE;
     let mut seed = DEFAULT_SEED;
     let mut threads = 0usize;
+    let mut cache = table3::CacheSetup::default();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -42,6 +50,16 @@ fn main() {
             "--count" => count = parse_flag_value(arg, iter.next()),
             "--seed" => seed = parse_flag_value(arg, iter.next()),
             "--threads" => threads = parse_flag_value(arg, iter.next()),
+            "--cache-dir" => {
+                let Some(dir) = iter.next() else {
+                    usage("--cache-dir needs a value");
+                };
+                cache.dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--cache-ttl" => {
+                let secs: u64 = parse_flag_value(arg, iter.next());
+                cache.ttl = Some(std::time::Duration::from_secs(secs));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -71,7 +89,7 @@ fn main() {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
         emit(
             "table3.txt",
-            &table3::render(&table3::run_with_threads(count, seed, threads)),
+            &table3::render(&table3::run_with_cache(count, seed, threads, &cache)),
         );
     };
 

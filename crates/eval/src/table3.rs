@@ -12,6 +12,7 @@
 //! compilation time); only the measured execution-time column varies with
 //! the machine.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use askit_core::{Askit, AskitConfig, Example};
@@ -59,22 +60,57 @@ struct Outcome {
     generated: Option<(Duration, Duration)>, // (compile, execution)
 }
 
+/// Cache-persistence knobs for a sweep: where the completion cache spills
+/// to, and how long its entries stay servable. With a directory set, a
+/// rerun of the same experiment warm-starts from the previous process's
+/// completions instead of re-deriving them.
+#[derive(Debug, Clone, Default)]
+pub struct CacheSetup {
+    /// Root directory; each pipeline persists under its own subdirectory
+    /// (see [`run_with_cache`]). `None` = in-memory only.
+    pub dir: Option<PathBuf>,
+    /// Default entry TTL (`None` = entries never expire).
+    pub ttl: Option<Duration>,
+}
+
+fn syntax_tag(syntax: Syntax) -> &'static str {
+    match syntax {
+        Syntax::Ts => "ts",
+        Syntax::Py => "py",
+    }
+}
+
 fn run_pipeline(
     problems: &[Gsm8kProblem],
     syntax: Syntax,
     run_seed: u64,
     threads: usize,
+    cache: &CacheSetup,
 ) -> Table3Column {
     let mut oracle = Oracle::standard();
     gsm8k::register_oracle(&mut oracle, problems, run_seed);
     let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(run_seed), oracle);
+    let mut engine_config = EngineConfig::default().with_workers(threads);
+    if let Some(dir) = &cache.dir {
+        // One cache universe per (pipeline, run seed): the mock's responses
+        // depend on its seed, so pipelines must never share entries — a TS
+        // completion replayed into the Python sweep would silently change
+        // its numbers.
+        engine_config.cache_dir = Some(dir.join(format!("{}-{run_seed}", syntax_tag(syntax))));
+        engine_config.cache_ttl = cache.ttl;
+    }
     let askit = Askit::new(llm)
         .with_config(AskitConfig::default())
-        .with_engine_config(EngineConfig::default().with_workers(threads));
+        .with_engine_config(engine_config);
 
     let outcomes: Vec<Outcome> = askit
         .engine()
         .map(problems, |_, problem| run_problem(&askit, problem, syntax));
+    // Dropping `askit` would flush too; flushing explicitly lets us surface
+    // I/O problems instead of swallowing them in the destructor.
+    if let Err(e) = askit.persist_cache() {
+        eprintln!("table3: could not persist the completion cache: {e}");
+    }
     let solved: Vec<&Outcome> = outcomes.iter().filter(|o| o.solved).collect();
     let generated: Vec<&(Duration, Duration)> = outcomes
         .iter()
@@ -176,11 +212,22 @@ pub fn run(count: usize, seed: u64) -> Table3Report {
 /// The simulated columns of the report are identical for every `threads`
 /// value; only wall-clock (and the measured execution column) change.
 pub fn run_with_threads(count: usize, seed: u64, threads: usize) -> Table3Report {
+    run_with_cache(count, seed, threads, &CacheSetup::default())
+}
+
+/// Runs the experiment with an explicit worker count and cache persistence.
+///
+/// With [`CacheSetup::dir`] set, completions spill to disk per pipeline and
+/// a rerun against the same directory **warm-starts**: cached conversations
+/// are served without touching the model, and the report is bit-identical
+/// to the cold run that populated the cache (the determinism suite enforces
+/// this at several thread widths).
+pub fn run_with_cache(count: usize, seed: u64, threads: usize, cache: &CacheSetup) -> Table3Report {
     let problems = gsm8k::problems(count, seed);
     // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
     // difference to response randomness.
-    let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1), threads);
-    let py = run_pipeline(&problems, Syntax::Py, seed.wrapping_add(2), threads);
+    let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1), threads, cache);
+    let py = run_pipeline(&problems, Syntax::Py, seed.wrapping_add(2), threads, cache);
     Table3Report { ts, py }
 }
 

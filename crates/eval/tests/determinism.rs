@@ -31,6 +31,38 @@ fn assert_columns_agree(a: &Table3Column, b: &Table3Column, label: &str) {
     );
 }
 
+/// The persistence acceptance check: a **warm** table3 run (served from the
+/// disk cache a previous run populated) must be bit-identical to the cold
+/// run, at any thread width. Caching may only change wall-clock, never what
+/// the experiment measures — solve counts, attempts, and the simulated
+/// latency column all ride on cached completions being byte-exact replays.
+#[test]
+fn table3_warm_start_is_bit_identical_to_cold() {
+    let dir = std::env::temp_dir().join(format!(
+        "askit-table3-warm-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = table3::CacheSetup {
+        dir: Some(dir.clone()),
+        ttl: None,
+    };
+
+    let cold = table3::run_with_cache(24, 20240302, 1, &cache);
+    let warm_wide = table3::run_with_cache(24, 20240302, 8, &cache);
+    assert_columns_agree(&cold.ts, &warm_wide.ts, "TypeScript (warm, 8 threads)");
+    assert_columns_agree(&cold.py, &warm_wide.py, "Python (warm, 8 threads)");
+    let warm_again = table3::run_with_cache(24, 20240302, 4, &cache);
+    assert_columns_agree(&warm_wide.ts, &warm_again.ts, "TypeScript (warm rerun)");
+    assert_columns_agree(&warm_wide.py, &warm_again.py, "Python (warm rerun)");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `--threads 1` and `--threads 8` must produce identical table3 numbers.
 #[test]
 fn table3_is_identical_across_thread_counts() {

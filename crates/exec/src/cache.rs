@@ -14,13 +14,41 @@
 //! [`askit_llm::LanguageModel::reject_completion`] — so a
 //! temperature-sampled backend retried across invocations is re-asked
 //! instead of being replayed a known-bad answer.
+//!
+//! # Durability
+//!
+//! A cache opened with [`CompletionCache::open`] is **persistent**: each
+//! shard mirrors itself to a snapshot + write-ahead-log pair under the cache
+//! directory (format in [`crate::persist`](self)), so a later process
+//! warm-starts from the same entries, in the same recency order, with
+//! rejected completions still gone. Durability is *batched*, not per-write:
+//! mutations accumulate in memory and reach disk on
+//! [`CompletionCache::persist`] (which the engine exposes and also runs on
+//! drop). Entries may carry a TTL — lapsed entries are dropped lazily on
+//! [`get`](CompletionCache::get), swept when a snapshot is written, and
+//! filtered out at load.
+//!
+//! # Locking discipline
+//!
+//! Every public operation takes its target shard's lock **exactly once** and
+//! performs all of its work — entry map, recency stamp queue, and the
+//! pending WAL buffer — under that one acquisition. The stamp queue and the
+//! WAL buffer must never be mutated outside the shard lock: a touch that
+//! raced a remove across two acquisitions could stamp a dead key or log a
+//! put after its invalidation record, resurrecting a rejected completion on
+//! reload. The 16-thread single-shard stress test in
+//! `tests/cache_concurrency.rs` exercises exactly that interleaving.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use askit_llm::{Completion, CompletionRequest};
+
+use crate::persist::{self, now_ms, LoadedOp, WalRecord};
 
 /// Number of independent cache segments.
 pub const SHARD_COUNT: usize = 16;
@@ -39,6 +67,14 @@ pub struct CacheStats {
     /// Entries evicted because the caller rejected the completion
     /// (validation failure — see [`CompletionCache::remove`]).
     pub invalidations: u64,
+    /// Entries restored from disk when the cache was opened.
+    pub loaded: u64,
+    /// Entries dropped because their TTL lapsed (on lookup, at snapshot
+    /// sweep, or at load).
+    pub expired: u64,
+    /// Records written to disk by [`CompletionCache::persist`] (WAL appends
+    /// plus snapshot entries at compaction).
+    pub flushed: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -67,6 +103,32 @@ struct CacheEntry {
     /// queue pair carrying this exact stamp is live; older pairs for the
     /// same key are stale and skipped at eviction time.
     stamp: u64,
+    /// Absolute expiry in milliseconds since the UNIX epoch; `0` = never.
+    expires_at_ms: u64,
+}
+
+impl CacheEntry {
+    fn is_expired(&self, now: u64) -> bool {
+        self.expires_at_ms != 0 && now >= self.expires_at_ms
+    }
+}
+
+/// A mutation waiting to be written to the shard's WAL. Puts store only the
+/// key: the entry body is serialized from the live map at flush time, so an
+/// entry that was meanwhile evicted or invalidated is never flushed (its
+/// invalidation record is).
+enum PendingOp {
+    Put(u64),
+    Touch(u64),
+    Invalidate(u64),
+}
+
+impl PendingOp {
+    fn key(&self) -> u64 {
+        match self {
+            PendingOp::Put(key) | PendingOp::Touch(key) | PendingOp::Invalidate(key) => *key,
+        }
+    }
 }
 
 /// One mutex-guarded segment.
@@ -75,7 +137,9 @@ struct CacheEntry {
 /// amortized under the shard lock: a hit pushes a fresh `(key, stamp)` pair
 /// instead of scanning for the old one, eviction pops and discards pairs
 /// whose stamp no longer matches the entry, and the queue is compacted
-/// whenever stale pairs dominate.
+/// whenever stale pairs dominate. The queue, the entry map, and the pending
+/// WAL buffer are only ever mutated together, under one lock acquisition
+/// (see the module docs).
 #[derive(Default)]
 struct Shard {
     entries: HashMap<u64, CacheEntry>,
@@ -84,9 +148,69 @@ struct Shard {
     order: VecDeque<(u64, u64)>,
     /// Monotonic use counter stamping every insert and touch.
     clock: u64,
+    /// Whether mutations should be buffered for the WAL.
+    persistent: bool,
+    /// Mutations since the last flush (persistent shards only).
+    pending: Vec<PendingOp>,
+    /// Records resident in the on-disk WAL (compaction accounting).
+    wal_records: u64,
 }
 
 impl Shard {
+    /// Buffers one mutation for the WAL (persistent shards only), keeping
+    /// the buffer bounded: hit-heavy workloads push one touch per lookup,
+    /// so once the buffer dwarfs the live entry set it is compressed down
+    /// to one record per key (an exact rewrite — see
+    /// [`Shard::compress_pending`]).
+    fn note(&mut self, op: PendingOp) {
+        if !self.persistent {
+            return;
+        }
+        self.pending.push(op);
+        if self.pending.len() >= 1024 && self.pending.len() >= 4 * self.entries.len() {
+            self.compress_pending();
+        }
+    }
+
+    /// Rewrites the pending buffer to at most one record per key without
+    /// changing what a replay reconstructs. Correctness argument: replayed
+    /// state is (a) which keys are live, (b) each live key's body, and
+    /// (c) recency order. Puts serialize from the live map at flush time,
+    /// so only each key's *last* pending op matters for (b) and (c); keys
+    /// live now need a Put (if one was buffered — the body may have
+    /// changed) or a Touch (recency only), and keys no longer live need an
+    /// Invalidate so earlier on-disk records never resurrect them.
+    fn compress_pending(&mut self) {
+        // key → (index of last op for the key, whether any op was a put)
+        let mut last: HashMap<u64, (usize, bool)> = HashMap::new();
+        for (i, op) in self.pending.iter().enumerate() {
+            let put = matches!(op, PendingOp::Put(_));
+            let slot = last.entry(op.key()).or_insert((i, false));
+            slot.0 = i;
+            slot.1 |= put;
+        }
+        let old = std::mem::take(&mut self.pending);
+        let entries = &self.entries;
+        self.pending = old
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, op)| {
+                let key = op.key();
+                let (last_index, ever_put) = last[&key];
+                if i != last_index {
+                    return None;
+                }
+                Some(if !entries.contains_key(&key) {
+                    PendingOp::Invalidate(key)
+                } else if ever_put {
+                    PendingOp::Put(key)
+                } else {
+                    PendingOp::Touch(key)
+                })
+            })
+            .collect();
+    }
+
     /// Marks an existing entry most-recently-used.
     fn touch(&mut self, key: u64) {
         self.clock += 1;
@@ -94,12 +218,14 @@ impl Shard {
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.stamp = stamp;
             self.order.push_back((key, stamp));
+            self.note(PendingOp::Touch(key));
         }
     }
 
     /// Evicts least-recently-used entries until at most `capacity` remain;
     /// returns how many were dropped. Compacts the queue when stale pairs
-    /// outnumber live ones (amortized O(1) per operation).
+    /// outnumber live ones (amortized O(1) per operation). Evictions are
+    /// logged as invalidation records so a reload never resurrects them.
     fn evict_to(&mut self, capacity: usize) -> u64 {
         let mut evicted = 0;
         while self.entries.len() > capacity {
@@ -112,6 +238,7 @@ impl Shard {
                 .is_some_and(|entry| entry.stamp == stamp)
             {
                 self.entries.remove(&key);
+                self.note(PendingOp::Invalidate(key));
                 evicted += 1;
             }
         }
@@ -122,17 +249,75 @@ impl Shard {
         }
         evicted
     }
+
+    /// Replays one durable operation at load time. `expired_keys` collects
+    /// the keys whose *final* durable state lapsed its TTL — a set, not a
+    /// counter, so several stale put records for one key (or a lapsed put
+    /// later superseded by a live one) count as at most one expiry.
+    fn replay(&mut self, op: LoadedOp, now: u64, expired_keys: &mut HashSet<u64>) {
+        match op {
+            LoadedOp::Put(entry) => {
+                // Verify the stored key against the live fingerprint
+                // algorithm; a mismatch means the record predates a format
+                // change and must not be served.
+                if entry.request.fingerprint(entry.sample) != entry.key {
+                    return;
+                }
+                // An expired put still supersedes earlier state for its key.
+                if entry.expires_at_ms != 0 && now >= entry.expires_at_ms {
+                    self.entries.remove(&entry.key);
+                    expired_keys.insert(entry.key);
+                    return;
+                }
+                self.clock += 1;
+                let stamp = self.clock;
+                self.order.push_back((entry.key, stamp));
+                self.entries.insert(
+                    entry.key,
+                    CacheEntry {
+                        request: entry.request,
+                        sample: entry.sample,
+                        completion: entry.completion,
+                        stamp,
+                        expires_at_ms: entry.expires_at_ms,
+                    },
+                );
+                expired_keys.remove(&entry.key);
+            }
+            LoadedOp::Touch(key) => {
+                // Recency only: must not create a pending record during load.
+                self.clock += 1;
+                let stamp = self.clock;
+                if let Some(entry) = self.entries.get_mut(&key) {
+                    entry.stamp = stamp;
+                    self.order.push_back((key, stamp));
+                }
+            }
+            LoadedOp::Invalidate(key) => {
+                self.entries.remove(&key);
+                // Dropped for rejection (or eviction), not for its TTL.
+                expired_keys.remove(&key);
+            }
+        }
+    }
 }
 
 /// A concurrency-friendly completion cache (see the module docs above).
 pub struct CompletionCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    /// Persistence root; `None` = in-memory only.
+    dir: Option<PathBuf>,
+    /// TTL applied to entries whose request carries none.
+    default_ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    loaded: AtomicU64,
+    expired: AtomicU64,
+    flushed: AtomicU64,
 }
 
 impl std::fmt::Debug for CompletionCache {
@@ -140,26 +325,99 @@ impl std::fmt::Debug for CompletionCache {
         f.debug_struct("CompletionCache")
             .field("shards", &self.shards.len())
             .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("dir", &self.dir)
+            .field("default_ttl", &self.default_ttl)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl CompletionCache {
-    /// Creates a cache holding at most `capacity` completions (rounded up to
-    /// a multiple of [`SHARD_COUNT`]).
+    /// Creates an in-memory cache holding at most `capacity` completions
+    /// (rounded up to a multiple of [`SHARD_COUNT`]).
     pub fn new(capacity: usize) -> Self {
         CompletionCache {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             capacity_per_shard: capacity.div_ceil(SHARD_COUNT).max(1),
+            dir: None,
+            default_ttl: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            flushed: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the TTL stamped on entries whose request does not carry its own
+    /// ([`askit_llm::RequestOptions::ttl`] wins per entry). `None` = entries
+    /// never expire. A zero TTL expires entries immediately — effectively a
+    /// write-only cache, useful for tests.
+    #[must_use]
+    pub fn with_default_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.default_ttl = ttl;
+        self
+    }
+
+    /// Opens a **persistent** cache rooted at `dir`, restoring whatever a
+    /// previous process [`persist`](CompletionCache::persist)ed there.
+    ///
+    /// Content problems never fail the open: a corrupt snapshot is
+    /// discarded, a torn WAL tail is dropped (and truncated away so future
+    /// appends stay readable), and entries whose TTL lapsed while the cache
+    /// was cold are skipped — all visible in [`CacheStats::loaded`] /
+    /// [`CacheStats::expired`].
+    ///
+    /// No cross-process locking is performed: two live processes sharing one
+    /// directory will race each other's flushes (last write wins per shard).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only (the directory cannot be created, a shard file cannot
+    /// be read or truncated).
+    pub fn open(
+        capacity: usize,
+        dir: impl Into<PathBuf>,
+        default_ttl: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = CompletionCache::new(capacity).with_default_ttl(default_ttl);
+        let now = now_ms();
+        let mut loaded = 0u64;
+        let mut expired = 0u64;
+        let mut evicted = 0u64;
+        for (index, slot) in cache.shards.iter().enumerate() {
+            let recovered = persist::load_shard(&dir, index)?;
+            let mut shard = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.persistent = true;
+            shard.wal_records = recovered.wal_records;
+            let mut expired_keys = HashSet::new();
+            for op in recovered.ops {
+                shard.replay(op, now, &mut expired_keys);
+            }
+            expired += expired_keys.len() as u64;
+            // Respect a capacity smaller than what the directory holds.
+            evicted += shard.evict_to(cache.capacity_per_shard);
+            loaded += shard.entries.len() as u64;
+        }
+        cache.loaded.store(loaded, Ordering::Relaxed);
+        cache.expired.store(expired, Ordering::Relaxed);
+        cache.evictions.store(evicted, Ordering::Relaxed);
+        cache.dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// The persistence root, when this cache is durable.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
     }
 
     /// The cache key: the request's canonical fingerprint salted with the
@@ -173,25 +431,49 @@ impl CompletionCache {
     }
 
     /// Looks up a completion, counting the hit or miss. A hit refreshes the
-    /// entry's recency (it becomes the last evicted in its shard).
+    /// entry's recency (it becomes the last evicted in its shard); an entry
+    /// whose TTL lapsed is dropped and reported as a miss (counted under
+    /// [`CacheStats::expired`]).
     pub fn get(&self, request: &CompletionRequest, sample: u64) -> Option<Completion> {
         let key = Self::key(request, sample);
         let mut shard = self
             .shard(key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let found = shard
-            .entries
-            .get(&key)
-            .filter(|entry| entry.sample == sample && entry.request == *request)
-            .map(|entry| entry.completion.clone());
-        match found {
-            Some(completion) => {
+        // Resolve the lookup to an owned verdict first so the borrow of the
+        // entry map ends before the queue/pending mutations below. The
+        // clock is only read for entries that actually carry a TTL — the
+        // common no-TTL hot path takes no syscall under the shard lock.
+        enum Verdict {
+            Hit(Completion),
+            Expired,
+            Miss,
+        }
+        let verdict = match shard.entries.get(&key) {
+            Some(entry) if entry.sample == sample && entry.request.same_identity(request) => {
+                if entry.expires_at_ms != 0 && entry.is_expired(now_ms()) {
+                    Verdict::Expired
+                } else {
+                    Verdict::Hit(entry.completion.clone())
+                }
+            }
+            _ => Verdict::Miss,
+        };
+        match verdict {
+            Verdict::Hit(completion) => {
                 shard.touch(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(completion)
             }
-            None => {
+            Verdict::Expired => {
+                // Lazy expiry: drop the body now; no WAL record is needed
+                // because loading re-checks expiry against the stored stamp.
+                shard.entries.remove(&key);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Verdict::Miss => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -199,15 +481,24 @@ impl CompletionCache {
     }
 
     /// Stores a completion, evicting the least-recently-used entry of the
-    /// target shard when it is full.
+    /// target shard when it is full. The entry's TTL is the request's own
+    /// ([`askit_llm::RequestOptions::ttl`]) or, absent that, the cache's
+    /// default.
     pub fn put(&self, request: &CompletionRequest, sample: u64, completion: Completion) {
         let key = Self::key(request, sample);
+        let expires_at_ms = request
+            .options
+            .ttl
+            .or(self.default_ttl)
+            .map(|ttl| now_ms().saturating_add(ttl.as_millis() as u64))
+            .unwrap_or(0);
         let mut shard = self
             .shard(key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.clock += 1;
         let stamp = shard.clock;
+        let fresh = !shard.entries.contains_key(&key);
         match shard.entries.entry(key) {
             Entry::Occupied(mut slot) => {
                 // Same key raced in twice (or a hash collision): keep the
@@ -217,8 +508,8 @@ impl CompletionCache {
                     sample,
                     completion,
                     stamp,
+                    expires_at_ms,
                 });
-                shard.order.push_back((key, stamp));
             }
             Entry::Vacant(slot) => {
                 slot.insert(CacheEntry {
@@ -226,13 +517,17 @@ impl CompletionCache {
                     sample,
                     completion,
                     stamp,
+                    expires_at_ms,
                 });
-                shard.order.push_back((key, stamp));
-                self.insertions.fetch_add(1, Ordering::Relaxed);
-                let evicted = shard.evict_to(self.capacity_per_shard);
-                if evicted > 0 {
-                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
-                }
+            }
+        }
+        shard.order.push_back((key, stamp));
+        shard.note(PendingOp::Put(key));
+        if fresh {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            let evicted = shard.evict_to(self.capacity_per_shard);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
     }
@@ -240,7 +535,9 @@ impl CompletionCache {
     /// Evicts the entry for `(request, sample)`, if resident, because the
     /// caller rejected its completion. Returns whether an entry was dropped
     /// (counted under [`CacheStats::invalidations`]). The recency queue's
-    /// pair goes stale and is discarded lazily at eviction time.
+    /// pair goes stale and is discarded lazily at eviction time; on a
+    /// persistent cache an invalidation record is logged, so the rejected
+    /// completion never resurrects on reload.
     pub fn remove(&self, request: &CompletionRequest, sample: u64) -> bool {
         let key = Self::key(request, sample);
         let mut shard = self
@@ -250,13 +547,113 @@ impl CompletionCache {
         let resident = shard
             .entries
             .get(&key)
-            .is_some_and(|entry| entry.sample == sample && entry.request == *request);
+            .is_some_and(|entry| entry.sample == sample && entry.request.same_identity(request));
         if resident {
             shard.entries.remove(&key);
+            shard.note(PendingOp::Invalidate(key));
             self.invalidations.fetch_add(1, Ordering::Relaxed);
             return true;
         }
         false
+    }
+
+    /// Flushes buffered mutations to disk; a no-op (returning 0) on
+    /// in-memory caches. Runs automatically when the cache is dropped.
+    ///
+    /// Per shard, pending records are appended to the WAL — unless the log
+    /// would outgrow the live entry set, in which case the shard is
+    /// **compacted**: lapsed entries are swept, the live set is rewritten as
+    /// a fresh snapshot (atomic rename), and the WAL is truncated. Returns
+    /// the number of records written (also accumulated in
+    /// [`CacheStats::flushed`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying filesystem.
+    pub fn persist(&self) -> std::io::Result<u64> {
+        let Some(dir) = &self.dir else {
+            return Ok(0);
+        };
+        let mut flushed = 0u64;
+        let mut expired_total = 0u64;
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mut shard = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if shard.pending.is_empty() {
+                continue;
+            }
+            // One record per key is all a replay needs; dedupe before
+            // deciding between an append and a compaction.
+            shard.compress_pending();
+            let pending = std::mem::take(&mut shard.pending);
+            let would_hold = shard.wal_records + pending.len() as u64;
+            let compact = would_hold > 64.max(2 * shard.entries.len() as u64);
+            if compact {
+                // Sweep lapsed entries so the snapshot only carries live ones.
+                let now = now_ms();
+                let lapsed: Vec<u64> = shard
+                    .entries
+                    .iter()
+                    .filter(|(_, entry)| entry.is_expired(now))
+                    .map(|(key, _)| *key)
+                    .collect();
+                expired_total += lapsed.len() as u64;
+                for key in lapsed {
+                    shard.entries.remove(&key);
+                }
+                // Live entries in LRU order: walk the stamp queue, taking
+                // each entry at its live (newest) pair only.
+                let records: Vec<WalRecord<'_>> = shard
+                    .order
+                    .iter()
+                    .filter_map(|(key, stamp)| {
+                        let entry = shard.entries.get(key)?;
+                        if entry.stamp != *stamp {
+                            return None;
+                        }
+                        Some(WalRecord::Put {
+                            key: *key,
+                            sample: entry.sample,
+                            expires_at_ms: entry.expires_at_ms,
+                            request: &entry.request,
+                            completion: &entry.completion,
+                        })
+                    })
+                    .collect();
+                let written = persist::write_snapshot(dir, index, &records)?;
+                drop(records);
+                shard.wal_records = 0;
+                flushed += written;
+            } else {
+                let records: Vec<WalRecord<'_>> = pending
+                    .iter()
+                    .filter_map(|op| match op {
+                        // Serialize the entry as it stands now; a put whose
+                        // entry has since been evicted or replaced flushes
+                        // the current truth (or nothing), never a stale body.
+                        PendingOp::Put(key) => shard.entries.get(key).map(|entry| WalRecord::Put {
+                            key: *key,
+                            sample: entry.sample,
+                            expires_at_ms: entry.expires_at_ms,
+                            request: &entry.request,
+                            completion: &entry.completion,
+                        }),
+                        PendingOp::Touch(key) => Some(WalRecord::Touch(*key)),
+                        PendingOp::Invalidate(key) => Some(WalRecord::Invalidate(*key)),
+                    })
+                    .collect();
+                let written = persist::append_wal(dir, index, &records)?;
+                drop(records);
+                shard.wal_records += written;
+                flushed += written;
+            }
+        }
+        self.flushed.fetch_add(flushed, Ordering::Relaxed);
+        if expired_total > 0 {
+            self.expired.fetch_add(expired_total, Ordering::Relaxed);
+        }
+        Ok(flushed)
     }
 
     /// A point-in-time counter snapshot.
@@ -267,6 +664,9 @@ impl CompletionCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            flushed: self.flushed.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -277,6 +677,18 @@ impl CompletionCache {
                         .len()
                 })
                 .sum(),
+        }
+    }
+}
+
+impl Drop for CompletionCache {
+    /// Best-effort flush: a persistent cache writes its pending mutations
+    /// out when it goes out of scope, so plain program exit is durable
+    /// without an explicit [`CompletionCache::persist`] call. I/O errors are
+    /// swallowed (there is no one to report them to in a destructor).
+    fn drop(&mut self) {
+        if self.dir.is_some() {
+            let _ = self.persist();
         }
     }
 }
@@ -424,6 +836,50 @@ mod tests {
         };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn default_ttl_expires_entries_lazily() {
+        let cache = CompletionCache::new(64).with_default_ttl(Some(Duration::from_millis(30)));
+        let req = request("perishable");
+        cache.put(&req, 0, completion("fresh"));
+        assert_eq!(cache.get(&req, 0).unwrap().text, "fresh");
+        std::thread::sleep(Duration::from_millis(45));
+        assert!(cache.get(&req, 0).is_none(), "TTL lapsed");
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.entries, 0, "the lapsed body is dropped");
+        // A fresh put revives the key with a fresh deadline.
+        cache.put(&req, 0, completion("again"));
+        assert_eq!(cache.get(&req, 0).unwrap().text, "again");
+    }
+
+    #[test]
+    fn per_request_ttl_beats_the_default() {
+        let cache = CompletionCache::new(64).with_default_ttl(Some(Duration::from_millis(5)));
+        let mut durable = request("long-lived");
+        durable.options.ttl = Some(Duration::from_secs(3600));
+        cache.put(&durable, 0, completion("stays"));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(
+            cache.get(&durable, 0).unwrap().text,
+            "stays",
+            "the request's own TTL overrides the cache default"
+        );
+        assert_eq!(cache.stats().expired, 0);
+    }
+
+    #[test]
+    fn ttl_mismatch_does_not_defeat_identity() {
+        // The TTL is service advice, like the cache policy: a request that
+        // asks for a different TTL must still *find* the entry.
+        let cache = CompletionCache::new(64);
+        let mut stamped = request("q");
+        stamped.options.ttl = Some(Duration::from_secs(3600));
+        cache.put(&stamped, 0, completion("a"));
+        let plain = request("q");
+        assert_eq!(cache.get(&plain, 0).unwrap().text, "a");
+        assert!(cache.remove(&plain, 0));
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The [`Engine`]: cache-fronted, pool-backed completion submission.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use askit_llm::{CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError};
 
 use crate::cache::{CacheStats, CompletionCache};
@@ -13,6 +16,14 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Maximum cached completions. `0` disables the cache.
     pub cache_capacity: usize,
+    /// Directory the completion cache persists to. `None` (the default)
+    /// keeps the cache in memory only; with a directory, the engine
+    /// warm-starts from whatever a previous process flushed there and spills
+    /// back on [`Engine::persist`] / drop. No cross-process locking is done.
+    pub cache_dir: Option<PathBuf>,
+    /// Default time-to-live for cached completions. `None` = never expire.
+    /// Per-request TTLs ([`askit_llm::RequestOptions::ttl`]) win per entry.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -20,6 +31,8 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 0,
             cache_capacity: 4096,
+            cache_dir: None,
+            cache_ttl: None,
         }
     }
 }
@@ -36,6 +49,20 @@ impl EngineConfig {
     #[must_use]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Makes the cache durable under `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the default TTL for cached completions.
+    #[must_use]
+    pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache_ttl = Some(ttl);
         self
     }
 }
@@ -78,11 +105,27 @@ impl<L: LanguageModel> Engine<L> {
     }
 
     /// Wraps a model with an explicit configuration.
+    ///
+    /// With a `cache_dir`, the completion cache is opened persistently and
+    /// warm-starts from disk. An unusable directory is reported on stderr
+    /// and degrades to an in-memory cache rather than failing construction —
+    /// caching is an accelerator, not a correctness requirement.
     pub fn with_config(model: L, config: EngineConfig) -> Self {
+        let cache = (config.cache_capacity > 0).then(|| match &config.cache_dir {
+            Some(dir) => CompletionCache::open(config.cache_capacity, dir, config.cache_ttl)
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "askit-exec: cache dir {} unusable ({e}); using an in-memory cache",
+                        dir.display()
+                    );
+                    CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl)
+                }),
+            None => CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl),
+        });
         Engine {
             model,
             workers: resolve_workers(config.workers),
-            cache: (config.cache_capacity > 0).then(|| CompletionCache::new(config.cache_capacity)),
+            cache,
             config,
         }
     }
@@ -113,6 +156,19 @@ impl<L: LanguageModel> Engine<L> {
             .as_ref()
             .map(CompletionCache::stats)
             .unwrap_or_default()
+    }
+
+    /// Flushes the completion cache's buffered mutations to disk, returning
+    /// the number of records written. A no-op (0) when the cache is disabled
+    /// or in-memory. The flush also happens automatically when the engine is
+    /// dropped, so plain program exit is durable; call this explicitly at
+    /// checkpoints that must survive a later crash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying filesystem.
+    pub fn persist(&self) -> std::io::Result<u64> {
+        self.cache.as_ref().map_or(Ok(0), CompletionCache::persist)
     }
 
     /// The cache this request may use: `None` when caching is disabled or

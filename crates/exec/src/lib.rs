@@ -14,8 +14,12 @@
 //!   ([`complete_batch`](askit_llm::LanguageModel::complete_batch) on the
 //!   engine) that splits a request batch across the pool;
 //! * a **sharded completion cache** ([`CompletionCache`]) fronting the
-//!   model: FNV-sharded mutex segments, LRU eviction, hit/miss/eviction
-//!   counters exposed as [`CacheStats`].
+//!   model: FNV-sharded mutex segments, LRU eviction, entry TTLs, and
+//!   hit/miss/eviction counters exposed as [`CacheStats`];
+//! * **cache persistence**: with [`EngineConfig::with_cache_dir`] the cache
+//!   spills to a versioned per-shard snapshot + write-ahead-log layout and a
+//!   later process warm-starts from it ([`Engine::persist`] flushes, so does
+//!   drop; corruption costs at most the torn tail of a log, never a panic).
 //!
 //! The engine itself implements [`LanguageModel`](askit_llm::LanguageModel),
 //! so the whole AskIt stack (the `run_direct` retry loop, the codegen
@@ -33,6 +37,7 @@
 
 mod cache;
 mod engine;
+mod persist;
 mod pool;
 
 pub use cache::{CacheStats, CompletionCache, SHARD_COUNT};

@@ -1,0 +1,529 @@
+//! The on-disk format behind [`crate::CompletionCache`] persistence.
+//!
+//! Each of the cache's [`crate::SHARD_COUNT`] shards owns two files in the
+//! cache directory:
+//!
+//! * `shard-NN.snap` — a **snapshot**: the shard's live entries in
+//!   least-recently-used-first order, rewritten wholesale at compaction time;
+//! * `shard-NN.wal` — an **append-only write-ahead log** of put / touch /
+//!   invalidate records accumulated since the snapshot.
+//!
+//! Loading replays the snapshot and then the WAL in order, which *is* the
+//! compaction: the in-memory state that results is the minimal live view.
+//! When the WAL outgrows the live entry set, [`write_snapshot`] folds it
+//! back into a fresh snapshot and truncates the log.
+//!
+//! Both files share one framing: a 6-byte header (4-byte magic + `u16`
+//! format version), then records of `len: u32 | body | fnv64(body): u64`.
+//! Every read is checksummed and bounds-checked; the first frame that fails
+//! ends the file — a torn tail (the process died mid-append) costs exactly
+//! the records it tore, never a panic, and the loader truncates the WAL back
+//! to its valid prefix so later appends stay readable. A file whose header
+//! is foreign or from another format version is discarded entirely.
+//!
+//! Entry bodies carry the full [`CompletionRequest`] (so 64-bit key
+//! collisions stay disambiguated after a reload) and the key is *recomputed
+//! and verified* against the stored one at load time, which silently retires
+//! entries written under an older fingerprint algorithm.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use askit_llm::{
+    CachePolicy, ChatMessage, Completion, CompletionRequest, ModelChoice, RequestOptions, Role,
+    TokenUsage,
+};
+
+/// Magic prefix of snapshot files.
+const SNAP_MAGIC: [u8; 4] = *b"ACSN";
+/// Magic prefix of write-ahead-log files.
+const WAL_MAGIC: [u8; 4] = *b"ACWL";
+/// On-disk format version; bump on any incompatible layout change.
+const FORMAT_VERSION: u16 = 1;
+/// Sanity bound on a single record body (a larger length is corruption).
+const MAX_RECORD_LEN: usize = 1 << 26;
+/// Header length: magic + little-endian version.
+const HEADER_LEN: usize = 6;
+
+/// WAL operation tags.
+const OP_PUT: u8 = 1;
+const OP_TOUCH: u8 = 2;
+const OP_INVALIDATE: u8 = 3;
+
+/// Milliseconds since the UNIX epoch — the wall clock TTLs are measured
+/// against (it must survive process restarts, so `Instant` cannot serve).
+pub(crate) fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One durable cache entry, as stored in snapshots and WAL put records.
+pub(crate) struct DiskEntry {
+    /// The request fingerprint the entry is keyed by (verified on load).
+    pub key: u64,
+    /// The sample ordinal of the completion.
+    pub sample: u64,
+    /// Absolute expiry in ms since the epoch; `0` = never expires.
+    pub expires_at_ms: u64,
+    /// The full request (collision disambiguation).
+    pub request: CompletionRequest,
+    /// The completion served on hits.
+    pub completion: Completion,
+}
+
+/// One replayable operation decoded from a shard's files.
+pub(crate) enum LoadedOp {
+    /// Insert (or overwrite) an entry, making it most recently used.
+    Put(DiskEntry),
+    /// Refresh an entry's recency.
+    Touch(u64),
+    /// Drop an entry (validation rejection or LRU eviction).
+    Invalidate(u64),
+}
+
+/// One operation to be written out, borrowing the live entry data.
+pub(crate) enum WalRecord<'a> {
+    /// Store `(key, sample)` → completion with the given expiry.
+    Put {
+        /// The entry's cache key.
+        key: u64,
+        /// The sample ordinal.
+        sample: u64,
+        /// Absolute expiry (ms since epoch, `0` = never).
+        expires_at_ms: u64,
+        /// The request stored for collision disambiguation.
+        request: &'a CompletionRequest,
+        /// The cached completion.
+        completion: &'a Completion,
+    },
+    /// Mark `key` most recently used.
+    Touch(u64),
+    /// Drop `key`.
+    Invalidate(u64),
+}
+
+/// What [`load_shard`] recovered from disk.
+pub(crate) struct LoadedShard {
+    /// Snapshot entries (as leading puts) followed by WAL ops, in replay
+    /// order.
+    pub ops: Vec<LoadedOp>,
+    /// Records currently resident in the WAL file (compaction accounting).
+    pub wal_records: u64,
+}
+
+/// The snapshot path for shard `index`.
+pub(crate) fn snapshot_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:02}.snap"))
+}
+
+/// The WAL path for shard `index`.
+pub(crate) fn wal_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:02}.wal"))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte slice — the record checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over a record body; every getter returns `None`
+/// past the end instead of panicking.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec
+// ---------------------------------------------------------------------------
+
+fn role_tag(role: Role) -> u8 {
+    match role {
+        Role::System => 0,
+        Role::User => 1,
+        Role::Assistant => 2,
+    }
+}
+
+fn role_from(tag: u8) -> Option<Role> {
+    match tag {
+        0 => Some(Role::System),
+        1 => Some(Role::User),
+        2 => Some(Role::Assistant),
+        _ => None,
+    }
+}
+
+fn model_tag(model: ModelChoice) -> u8 {
+    match model {
+        ModelChoice::Default => 0,
+        ModelChoice::Gpt35 => 1,
+        ModelChoice::Gpt4 => 2,
+    }
+}
+
+fn model_from(tag: u8) -> Option<ModelChoice> {
+    match tag {
+        0 => Some(ModelChoice::Default),
+        1 => Some(ModelChoice::Gpt35),
+        2 => Some(ModelChoice::Gpt4),
+        _ => None,
+    }
+}
+
+/// `None` TTLs are stored as this sentinel (an entry cannot meaningfully
+/// live 2^64−1 ms anyway).
+const TTL_NONE: u64 = u64::MAX;
+
+fn encode_entry(out: &mut Vec<u8>, record: &WalRecord<'_>) {
+    let WalRecord::Put {
+        key,
+        sample,
+        expires_at_ms,
+        request,
+        completion,
+    } = record
+    else {
+        unreachable!("encode_entry takes put records only");
+    };
+    put_u64(out, *key);
+    put_u64(out, *sample);
+    put_u64(out, *expires_at_ms);
+    put_u64(out, request.temperature.to_bits());
+    out.push(model_tag(request.options.model));
+    out.push(match request.options.cache {
+        CachePolicy::Use => 0,
+        CachePolicy::Bypass => 1,
+    });
+    put_u64(
+        out,
+        request
+            .options
+            .ttl
+            .map(|t| t.as_millis() as u64)
+            .unwrap_or(TTL_NONE),
+    );
+    put_u32(out, request.messages.len() as u32);
+    for message in &request.messages {
+        out.push(role_tag(message.role));
+        put_str(out, &message.content);
+    }
+    put_str(out, &completion.text);
+    put_u64(out, completion.usage.prompt_tokens as u64);
+    put_u64(out, completion.usage.completion_tokens as u64);
+    put_u64(out, completion.latency.as_nanos() as u64);
+}
+
+fn decode_entry(dec: &mut Dec<'_>) -> Option<DiskEntry> {
+    let key = dec.u64()?;
+    let sample = dec.u64()?;
+    let expires_at_ms = dec.u64()?;
+    let temperature = f64::from_bits(dec.u64()?);
+    let model = model_from(dec.u8()?)?;
+    let cache = match dec.u8()? {
+        0 => CachePolicy::Use,
+        1 => CachePolicy::Bypass,
+        _ => return None,
+    };
+    let ttl = match dec.u64()? {
+        TTL_NONE => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let message_count = dec.u32()? as usize;
+    if message_count > MAX_RECORD_LEN {
+        return None;
+    }
+    let mut messages = Vec::with_capacity(message_count.min(64));
+    for _ in 0..message_count {
+        let role = role_from(dec.u8()?)?;
+        let content = dec.str()?;
+        messages.push(ChatMessage { role, content });
+    }
+    let text = dec.str()?;
+    let prompt_tokens = dec.u64()? as usize;
+    let completion_tokens = dec.u64()? as usize;
+    let latency = std::time::Duration::from_nanos(dec.u64()?);
+    Some(DiskEntry {
+        key,
+        sample,
+        expires_at_ms,
+        request: CompletionRequest {
+            messages,
+            temperature,
+            options: RequestOptions { model, cache, ttl },
+        },
+        completion: Completion {
+            text,
+            usage: TokenUsage {
+                prompt_tokens,
+                completion_tokens,
+            },
+            latency,
+        },
+    })
+}
+
+fn encode_wal_record(out: &mut Vec<u8>, record: &WalRecord<'_>) {
+    match record {
+        WalRecord::Put { .. } => {
+            out.push(OP_PUT);
+            encode_entry(out, record);
+        }
+        WalRecord::Touch(key) => {
+            out.push(OP_TOUCH);
+            put_u64(out, *key);
+        }
+        WalRecord::Invalidate(key) => {
+            out.push(OP_INVALIDATE);
+            put_u64(out, *key);
+        }
+    }
+}
+
+fn decode_wal_record(body: &[u8]) -> Option<LoadedOp> {
+    let mut dec = Dec::new(body);
+    let op = match dec.u8()? {
+        OP_PUT => LoadedOp::Put(decode_entry(&mut dec)?),
+        OP_TOUCH => LoadedOp::Touch(dec.u64()?),
+        OP_INVALIDATE => LoadedOp::Invalidate(dec.u64()?),
+        _ => return None,
+    };
+    dec.exhausted().then_some(op)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn header(magic: [u8; 4]) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&magic);
+    h[4..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h
+}
+
+fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+    put_u64(out, fnv64(body));
+}
+
+/// Splits a file's bytes into verified record bodies.
+///
+/// Returns `None` when the header is missing or foreign (callers treat the
+/// whole file as "rewrite from scratch"); otherwise each body is paired
+/// with the byte offset *after* its frame, so a caller that fails to decode
+/// a body can truncate the file right before it. The first
+/// missing/oversized/corrupt frame ends the scan: a torn append costs the
+/// records it tore and nothing before them.
+#[allow(clippy::type_complexity)]
+fn scan_frames(bytes: &[u8], magic: [u8; 4]) -> Option<Vec<(&[u8], usize)>> {
+    if bytes.len() < HEADER_LEN || bytes[..HEADER_LEN] != header(magic) {
+        return None;
+    }
+    let mut bodies = Vec::new();
+    let mut at = HEADER_LEN;
+    while let Some(len_bytes) = bytes.get(at..at + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let body_start = at + 4;
+        let Some(body) = bytes.get(body_start..body_start + len) else {
+            break;
+        };
+        let check_start = body_start + len;
+        let Some(check) = bytes.get(check_start..check_start + 8) else {
+            break;
+        };
+        if u64::from_le_bytes(check.try_into().unwrap()) != fnv64(body) {
+            break;
+        }
+        at = check_start + 8;
+        bodies.push((body, at));
+    }
+    Some(bodies)
+}
+
+// ---------------------------------------------------------------------------
+// File operations
+// ---------------------------------------------------------------------------
+
+fn read_file(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match File::open(path) {
+        Ok(mut file) => {
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            Ok(Some(bytes))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Recovers one shard's durable state.
+///
+/// Never fails on *content*: unreadable snapshots are discarded, and the
+/// WAL is truncated back to its last fully *decodable* record — whether the
+/// tail failed its checksum (torn append) or checksummed but no longer
+/// decodes (format drift, a byte flip that survived FNV) — so future
+/// appends always land where a later load will replay them. I/O errors
+/// (permissions, a directory in the way) do surface, so the caller can fall
+/// back to an in-memory cache.
+pub(crate) fn load_shard(dir: &Path, index: usize) -> io::Result<LoadedShard> {
+    let mut ops = Vec::new();
+
+    if let Some(bytes) = read_file(&snapshot_path(dir, index))? {
+        for (body, _) in scan_frames(&bytes, SNAP_MAGIC).unwrap_or_default() {
+            let mut dec = Dec::new(body);
+            match decode_entry(&mut dec) {
+                Some(entry) if dec.exhausted() => ops.push(LoadedOp::Put(entry)),
+                // A frame that checksums but no longer decodes is a format
+                // drift inside one record: stop trusting the rest. (The
+                // stale tail is rewritten away at the next compaction.)
+                _ => break,
+            }
+        }
+    }
+
+    let mut wal_records = 0u64;
+    let path = wal_path(dir, index);
+    if let Some(bytes) = read_file(&path)? {
+        // Everything past the last decodable record must be cut away:
+        // appends land at the end of the file, and replay stops at the
+        // first bad frame — a poison frame left in place would orphan every
+        // record written after it (including invalidations).
+        let mut keep_len = 0usize; // foreign/missing header: rewrite whole file
+        if let Some(frames) = scan_frames(&bytes, WAL_MAGIC) {
+            keep_len = HEADER_LEN;
+            for (body, frame_end) in frames {
+                match decode_wal_record(body) {
+                    Some(op) => {
+                        ops.push(op);
+                        wal_records += 1;
+                        keep_len = frame_end;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if keep_len < bytes.len() {
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(keep_len as u64)?;
+        }
+    }
+
+    Ok(LoadedShard { ops, wal_records })
+}
+
+/// Appends records to a shard's WAL, creating the file (with its header)
+/// when absent. Returns the number of records written.
+pub(crate) fn append_wal(dir: &Path, index: usize, records: &[WalRecord<'_>]) -> io::Result<u64> {
+    if records.is_empty() {
+        return Ok(0);
+    }
+    let path = wal_path(dir, index);
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let mut out = Vec::new();
+    if file.metadata()?.len() == 0 {
+        out.extend_from_slice(&header(WAL_MAGIC));
+    }
+    let mut body = Vec::new();
+    for record in records {
+        body.clear();
+        encode_wal_record(&mut body, record);
+        write_frame(&mut out, &body);
+    }
+    file.write_all(&out)?;
+    file.flush()?;
+    Ok(records.len() as u64)
+}
+
+/// Atomically replaces a shard's snapshot with `entries` (LRU-first put
+/// records) and truncates its WAL back to a bare header. Returns the number
+/// of entries written.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    index: usize,
+    entries: &[WalRecord<'_>],
+) -> io::Result<u64> {
+    let path = snapshot_path(dir, index);
+    let tmp = dir.join(format!("shard-{index:02}.snap.tmp"));
+    let mut out = Vec::new();
+    out.extend_from_slice(&header(SNAP_MAGIC));
+    let mut body = Vec::new();
+    for entry in entries {
+        body.clear();
+        encode_entry(&mut body, entry);
+        write_frame(&mut out, &body);
+    }
+    std::fs::write(&tmp, &out)?;
+    std::fs::rename(&tmp, &path)?;
+    std::fs::write(wal_path(dir, index), header(WAL_MAGIC))?;
+    Ok(entries.len() as u64)
+}

@@ -1,9 +1,15 @@
 //! Concurrency tests for the engine's completion cache: correctness of
 //! hit/miss accounting and response stability under seeded fault injection
-//! and arbitrary thread interleavings.
+//! and arbitrary thread interleavings — including a 16-thread stress test
+//! that funnels get/put/remove through a *single* shard, the interleaving
+//! that would corrupt the LRU stamp queue if any operation touched it
+//! outside its one shard-lock acquisition.
 
-use askit_exec::{Engine, EngineConfig};
-use askit_llm::{CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle};
+use askit_exec::{CompletionCache, Engine, EngineConfig, SHARD_COUNT};
+use askit_llm::{
+    Completion, CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle,
+    TokenUsage,
+};
 
 /// A mock with aggressive first-attempt faults, so cached completions carry
 /// the whole spectrum of malformed responses too.
@@ -92,6 +98,109 @@ fn complete_batch_equals_serial_under_faults() {
     let batched = Engine::with_config(faulty_mock(7), EngineConfig::default().with_workers(8))
         .complete_batch(&requests);
     assert_eq!(serial, batched);
+}
+
+/// 16 threads hammering get/put/remove on eight keys that all live in ONE
+/// shard, with a capacity of four slots in that shard so LRU eviction runs
+/// constantly. Every operation must take the shard lock exactly once and do
+/// *all* its work (entry map, stamp queue, pending buffer) under it; a
+/// touch or remove that raced across two acquisitions would serve another
+/// key's completion, resurrect a removed entry, or desync the stamp queue
+/// until eviction walks off a dead pair. The assertions catch all three.
+#[test]
+fn single_shard_get_put_remove_stress() {
+    const THREADS: usize = 16;
+    const OPS_PER_THREAD: usize = 4_000;
+    const KEYS: usize = 8;
+
+    // Find eight requests colocated in one shard (fingerprints are stable,
+    // so the probe is deterministic).
+    let mut colocated: Vec<CompletionRequest> = Vec::new();
+    let mut target = None;
+    for i in 0..100_000 {
+        let req = CompletionRequest::from_prompt(format!("stress key {i}"));
+        let shard = (req.fingerprint(0) as usize) % SHARD_COUNT;
+        match target {
+            None => {
+                target = Some(shard);
+                colocated.push(req);
+            }
+            Some(t) if t == shard => colocated.push(req),
+            _ => {}
+        }
+        if colocated.len() == KEYS {
+            break;
+        }
+    }
+    assert_eq!(colocated.len(), KEYS, "probe must converge");
+    let expected: Vec<String> = (0..KEYS).map(|k| format!("stress answer {k}")).collect();
+    let completion = |k: usize| Completion {
+        text: expected[k].clone(),
+        usage: TokenUsage {
+            prompt_tokens: 1,
+            completion_tokens: 1,
+        },
+        latency: std::time::Duration::from_millis(1),
+    };
+
+    // Four slots in the hot shard (capacity is divided across all shards).
+    let cache = CompletionCache::new(SHARD_COUNT * 4);
+    let gets = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let colocated = &colocated;
+            let expected = &expected;
+            let gets = &gets;
+            scope.spawn(move || {
+                // Thread-local mixing so the interleavings differ per run.
+                let mut x = t as u64 + 1;
+                for i in 0..OPS_PER_THREAD {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let k = (x >> 33) as usize % KEYS;
+                    match (i + t) % 4 {
+                        0 | 1 => {
+                            if let Some(hit) = cache.get(&colocated[k], 0) {
+                                assert_eq!(
+                                    hit.text, expected[k],
+                                    "a hit served another key's completion"
+                                );
+                            }
+                            gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        2 => cache.put(&colocated[k], 0, completion(k)),
+                        _ => {
+                            let _ = cache.remove(&colocated[k], 0);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        gets.load(std::sync::atomic::Ordering::Relaxed),
+        "every lookup counted exactly once"
+    );
+    assert!(
+        stats.entries <= 4,
+        "the hot shard must respect its capacity share: {stats:?}"
+    );
+    // The final residents are exactly the keys still servable, and they
+    // serve their own completions.
+    let before = cache.stats();
+    let mut servable = 0;
+    for (k, req) in colocated.iter().enumerate() {
+        if let Some(hit) = cache.get(req, 0) {
+            assert_eq!(hit.text, expected[k]);
+            servable += 1;
+        }
+    }
+    assert_eq!(servable, before.entries, "stamp queue and entry map agree");
 }
 
 /// The cache never bleeds responses across different seeds (i.e. different

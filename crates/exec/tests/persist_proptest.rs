@@ -1,0 +1,253 @@
+//! Property tests (via the proptest shim) for the snapshot/WAL codec:
+//! arbitrary entries survive serialize → corrupt-tail → load with only the
+//! torn tail dropped, and TTL expiry is honored across a reload.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use askit_exec::{CompletionCache, SHARD_COUNT};
+use askit_llm::{
+    ChatMessage, Completion, CompletionRequest, ModelChoice, RequestOptions, TokenUsage,
+};
+use proptest::prelude::*;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "askit-pcodec-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One generated cache entry: an arbitrary multi-turn conversation, routed
+/// model, sample ordinal, and completion payload.
+#[derive(Debug, Clone)]
+struct ArbEntry {
+    request: CompletionRequest,
+    sample: u64,
+    text: String,
+}
+
+fn arb_entry() -> impl Strategy<Value = ArbEntry> {
+    (
+        (
+            prop::collection::vec("[a-zA-Z0-9 .,{}\"\n\t]{0,60}", 1..4),
+            prop::sample::select(&[ModelChoice::Default, ModelChoice::Gpt35, ModelChoice::Gpt4]),
+        ),
+        (prop::sample::select(&[0.0f64, 0.7, 1.0]), 0u64..3),
+        "[ -~]{0,80}",
+    )
+        .prop_map(|((turns, model), (temperature, sample), text)| {
+            let mut messages = Vec::new();
+            for (i, turn) in turns.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    messages.push(ChatMessage::user(turn));
+                } else {
+                    messages.push(ChatMessage::assistant(turn));
+                }
+            }
+            ArbEntry {
+                request: CompletionRequest {
+                    messages,
+                    temperature,
+                    options: RequestOptions::for_model(model),
+                },
+                sample,
+                text,
+            }
+        })
+}
+
+fn completion(text: &str, latency_ms: u64) -> Completion {
+    Completion {
+        text: text.to_owned(),
+        usage: TokenUsage {
+            prompt_tokens: text.len(),
+            completion_tokens: latency_ms as usize,
+        },
+        latency: Duration::from_millis(latency_ms),
+    }
+}
+
+/// Deduplicates generated entries by cache key (later entries win, matching
+/// put semantics) and returns them in insertion order.
+fn dedupe(entries: Vec<ArbEntry>) -> Vec<ArbEntry> {
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    for (i, entry) in entries.iter().enumerate() {
+        last.insert(entry.request.fingerprint(entry.sample), i);
+    }
+    entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, entry)| last[&entry.request.fingerprint(entry.sample)] == *i)
+        .map(|(_, entry)| entry)
+        .collect()
+}
+
+proptest! {
+    // Each case does real file I/O; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary entries round-trip through persist → reload bit-exactly.
+    #[test]
+    fn entries_round_trip_through_disk(raw in prop::collection::vec(arb_entry(), 1..20)) {
+        let entries = dedupe(raw);
+        let dir = fresh_dir("roundtrip");
+        let cache = CompletionCache::open(4096, &dir, None).unwrap();
+        for (i, entry) in entries.iter().enumerate() {
+            cache.put(&entry.request, entry.sample, completion(&entry.text, i as u64 + 1));
+        }
+        cache.persist().unwrap();
+        std::mem::forget(cache); // simulate kill -9 after the flush
+
+        let warm = CompletionCache::open(4096, &dir, None).unwrap();
+        prop_assert_eq!(warm.stats().loaded as usize, entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let hit = warm.get(&entry.request, entry.sample);
+            prop_assert!(hit.is_some(), "entry {i} lost in the round trip");
+            let hit = hit.unwrap();
+            prop_assert_eq!(&hit.text, &entry.text);
+            prop_assert_eq!(hit.latency, Duration::from_millis(i as u64 + 1));
+            prop_assert_eq!(hit.usage.prompt_tokens, entry.text.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tearing 1–7 bytes off a WAL costs exactly that shard's most recent
+    /// record — everything before the tear survives bit-exactly.
+    #[test]
+    fn corrupt_tail_drops_only_the_torn_records(
+        raw in prop::collection::vec(arb_entry(), 2..20),
+        tear in 1u64..8,
+    ) {
+        let entries = dedupe(raw);
+        let dir = fresh_dir("tail");
+        let cache = CompletionCache::open(4096, &dir, None).unwrap();
+        for (i, entry) in entries.iter().enumerate() {
+            cache.put(&entry.request, entry.sample, completion(&entry.text, i as u64 + 1));
+        }
+        cache.persist().unwrap();
+        std::mem::forget(cache);
+
+        // The expected casualty of each shard: its last-put entry (puts are
+        // the only records here — nothing was touched or invalidated).
+        let mut last_per_shard: HashMap<usize, u64> = HashMap::new();
+        for entry in &entries {
+            let key = entry.request.fingerprint(entry.sample);
+            last_per_shard.insert((key as usize) % SHARD_COUNT, key);
+        }
+        let torn: Vec<u64> = (0..SHARD_COUNT)
+            .filter_map(|index| {
+                let path = dir.join(format!("shard-{index:02}.wal"));
+                let len = std::fs::metadata(&path).ok()?.len();
+                if len <= 6 {
+                    return None;
+                }
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .unwrap()
+                    .set_len(len - tear)
+                    .unwrap();
+                Some(last_per_shard[&index])
+            })
+            .collect();
+        prop_assert!(!torn.is_empty());
+
+        let warm = CompletionCache::open(4096, &dir, None).unwrap();
+        prop_assert_eq!(warm.stats().loaded as usize, entries.len() - torn.len());
+        for entry in &entries {
+            let key = entry.request.fingerprint(entry.sample);
+            match warm.get(&entry.request, entry.sample) {
+                Some(hit) => {
+                    prop_assert!(!torn.contains(&key), "a torn record was served");
+                    prop_assert_eq!(&hit.text, &entry.text);
+                }
+                None => prop_assert!(
+                    torn.contains(&key),
+                    "an entry before the tear was dropped"
+                ),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping an arbitrary byte anywhere in a shard file never panics the
+    /// loader and never produces a wrong completion: every lookup either
+    /// misses or serves the exact original text.
+    #[test]
+    fn random_corruption_never_serves_garbage(
+        raw in prop::collection::vec(arb_entry(), 2..16),
+        victim_pick in any::<u32>(),
+        offset_pick in any::<u32>(),
+        flip in 1u8..255,
+    ) {
+        let entries = dedupe(raw);
+        let dir = fresh_dir("flip");
+        let cache = CompletionCache::open(4096, &dir, None).unwrap();
+        for (i, entry) in entries.iter().enumerate() {
+            cache.put(&entry.request, entry.sample, completion(&entry.text, i as u64 + 1));
+        }
+        cache.persist().unwrap();
+        std::mem::forget(cache);
+
+        let files: Vec<PathBuf> = (0..SHARD_COUNT)
+            .map(|index| dir.join(format!("shard-{index:02}.wal")))
+            .filter(|path| std::fs::metadata(path).map(|m| m.len() > 6).unwrap_or(false))
+            .collect();
+        prop_assert!(!files.is_empty());
+        let victim = &files[victim_pick as usize % files.len()];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let offset = offset_pick as usize % bytes.len();
+        bytes[offset] ^= flip;
+        std::fs::write(victim, &bytes).unwrap();
+
+        let warm = CompletionCache::open(4096, &dir, None).unwrap();
+        for entry in &entries {
+            if let Some(hit) = warm.get(&entry.request, entry.sample) {
+                prop_assert_eq!(&hit.text, &entry.text, "served text must be exact");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// TTL expiry is honored across a reload: short-lived entries are
+    /// filtered out at load (and counted), unlimited ones survive.
+    #[test]
+    fn ttl_expiry_is_honored_across_reload(raw in prop::collection::vec(arb_entry(), 2..12)) {
+        let entries = dedupe(raw);
+        let dir = fresh_dir("ttl");
+        let cache = CompletionCache::open(4096, &dir, None).unwrap();
+        let mut perishable = 0u64;
+        for (i, entry) in entries.iter().enumerate() {
+            let mut request = entry.request.clone();
+            if i % 2 == 0 {
+                request.options.ttl = Some(Duration::from_millis(1));
+                perishable += 1;
+            }
+            cache.put(&request, entry.sample, completion(&entry.text, 1));
+        }
+        cache.persist().unwrap();
+        std::mem::forget(cache);
+
+        std::thread::sleep(Duration::from_millis(10));
+        let warm = CompletionCache::open(4096, &dir, None).unwrap();
+        let stats = warm.stats();
+        prop_assert_eq!(stats.expired, perishable);
+        prop_assert_eq!(stats.loaded, entries.len() as u64 - perishable);
+        for (i, entry) in entries.iter().enumerate() {
+            let hit = warm.get(&entry.request, entry.sample);
+            if i % 2 == 0 {
+                prop_assert!(hit.is_none(), "a lapsed entry was served");
+            } else {
+                prop_assert!(hit.is_some(), "an unlimited entry was dropped");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

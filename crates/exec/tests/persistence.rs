@@ -1,0 +1,481 @@
+//! Durability tests for the persistent completion cache: kill-after-persist
+//! replay, flush-on-drop, torn WAL tails, corrupt shard files, TTL expiry
+//! across reloads, and warm-starting a whole engine from disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use askit_exec::{CompletionCache, Engine, EngineConfig, SHARD_COUNT};
+use askit_llm::{Completion, CompletionRequest, LanguageModel, MockLlm, TokenUsage};
+
+/// A fresh, unique directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "askit-persist-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(prompt: &str) -> CompletionRequest {
+    CompletionRequest::from_prompt(prompt)
+}
+
+fn completion(text: &str) -> Completion {
+    Completion {
+        text: text.to_owned(),
+        usage: TokenUsage {
+            prompt_tokens: 3,
+            completion_tokens: 7,
+        },
+        latency: Duration::from_millis(1234),
+    }
+}
+
+/// Simulates `kill -9` right after a flush: the cache is leaked (its `Drop`
+/// never runs) so only what `persist()` already wrote reaches the next
+/// process.
+fn kill_process(cache: CompletionCache) {
+    std::mem::forget(cache);
+}
+
+#[test]
+fn kill_after_persist_replays_to_an_identical_cache() {
+    let dir = fresh_dir("replay");
+    let reqs: Vec<CompletionRequest> = (0..40).map(|i| request(&format!("prompt {i}"))).collect();
+
+    let cache = CompletionCache::open(1024, &dir, None).unwrap();
+    for (i, req) in reqs.iter().enumerate() {
+        cache.put(req, 0, completion(&format!("answer {i}")));
+    }
+    // Touch a few (recency records), reject one (invalidation record).
+    assert!(cache.get(&reqs[3], 0).is_some());
+    assert!(cache.get(&reqs[5], 0).is_some());
+    assert!(cache.remove(&reqs[7], 0));
+    let flushed = cache.persist().unwrap();
+    assert!(
+        flushed >= 40,
+        "all puts plus bookkeeping flushed: {flushed}"
+    );
+    kill_process(cache);
+
+    let warm = CompletionCache::open(1024, &dir, None).unwrap();
+    let stats = warm.stats();
+    assert_eq!(stats.loaded, 39, "all entries but the rejected one");
+    assert_eq!((stats.hits, stats.misses), (0, 0), "load counts no lookups");
+    // The exact hit/miss sequence of a replayed workload: every surviving
+    // conversation hits with its original completion (latency included),
+    // the rejected one misses.
+    for (i, req) in reqs.iter().enumerate() {
+        match warm.get(req, 0) {
+            Some(hit) => {
+                assert_ne!(i, 7, "the rejected completion must not resurrect");
+                assert_eq!(hit.text, format!("answer {i}"));
+                assert_eq!(hit.latency, Duration::from_millis(1234));
+                assert_eq!(hit.usage.total(), 10);
+            }
+            None => assert_eq!(i, 7, "only the rejected entry may miss"),
+        }
+    }
+    let stats = warm.stats();
+    assert_eq!((stats.hits, stats.misses), (39, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_order_survives_a_reload() {
+    let dir = fresh_dir("lru");
+    // Find three requests colocated in one shard so capacity 2-per-shard
+    // forces an eviction decision after the reload.
+    let mut colocated: Vec<CompletionRequest> = Vec::new();
+    let mut target = None;
+    for i in 0..10_000 {
+        let req = request(&format!("colocated {i}"));
+        let shard = (req.fingerprint(0) as usize) % SHARD_COUNT;
+        match target {
+            None => {
+                target = Some(shard);
+                colocated.push(req);
+            }
+            Some(t) if shard == t => colocated.push(req),
+            _ => {}
+        }
+        if colocated.len() == 3 {
+            break;
+        }
+    }
+    let [a, b, c]: [CompletionRequest; 3] = colocated.try_into().unwrap();
+
+    let cache = CompletionCache::open(SHARD_COUNT * 2, &dir, None).unwrap();
+    cache.put(&a, 0, completion("a"));
+    cache.put(&b, 0, completion("b"));
+    // Touch `a`, making `b` the LRU entry — the reload must remember that.
+    assert!(cache.get(&a, 0).is_some());
+    cache.persist().unwrap();
+    kill_process(cache);
+
+    let warm = CompletionCache::open(SHARD_COUNT * 2, &dir, None).unwrap();
+    warm.put(&c, 0, completion("c"));
+    assert!(
+        warm.get(&b, 0).is_none(),
+        "b was least recently used before the restart"
+    );
+    assert!(warm.get(&a, 0).is_some());
+    assert!(warm.get(&c, 0).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drop_flushes_without_an_explicit_persist() {
+    let dir = fresh_dir("drop");
+    {
+        let cache = CompletionCache::open(64, &dir, None).unwrap();
+        cache.put(&request("q"), 0, completion("kept"));
+        // No persist(): the destructor must flush.
+    }
+    let warm = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(warm.stats().loaded, 1);
+    assert_eq!(warm.get(&request("q"), 0).unwrap().text, "kept");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unflushed_writes_die_with_the_process() {
+    let dir = fresh_dir("unflushed");
+    let cache = CompletionCache::open(64, &dir, None).unwrap();
+    cache.put(&request("early"), 0, completion("durable"));
+    cache.persist().unwrap();
+    cache.put(&request("late"), 0, completion("lost"));
+    kill_process(cache); // killed before the second flush
+
+    let warm = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(warm.stats().loaded, 1);
+    assert!(warm.get(&request("early"), 0).is_some());
+    assert!(
+        warm.get(&request("late"), 0).is_none(),
+        "durability is batched: unflushed writes are gone"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_eviction_does_not_resurrect_on_reload() {
+    let dir = fresh_dir("evict");
+    // One slot per shard: the second colocated put evicts the first.
+    let mut first = None;
+    let mut second = None;
+    for i in 0..10_000 {
+        let req = request(&format!("evictable {i}"));
+        let shard = (req.fingerprint(0) as usize) % SHARD_COUNT;
+        match &first {
+            None => {
+                first = Some((shard, req));
+            }
+            Some((t, _)) if shard == *t && second.is_none() => {
+                second = Some(req);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (_, a) = first.unwrap();
+    let b = second.unwrap();
+
+    let cache = CompletionCache::open(SHARD_COUNT, &dir, None).unwrap();
+    cache.put(&a, 0, completion("a"));
+    cache.put(&b, 0, completion("b")); // evicts a
+    assert_eq!(cache.stats().evictions, 1);
+    cache.persist().unwrap();
+    kill_process(cache);
+
+    // Reopen with room to spare: the evicted entry must still be gone,
+    // because the eviction was logged as an invalidation record.
+    let warm = CompletionCache::open(SHARD_COUNT * 8, &dir, None).unwrap();
+    assert!(warm.get(&a, 0).is_none(), "evicted entries stay evicted");
+    assert!(warm.get(&b, 0).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ttl_expiry_is_honored_across_a_reload() {
+    let dir = fresh_dir("ttl");
+    let cache = CompletionCache::open(64, &dir, Some(Duration::from_millis(40))).unwrap();
+    let mut long_lived = request("long");
+    long_lived.options.ttl = Some(Duration::from_secs(3600));
+    cache.put(&request("short"), 0, completion("perishable"));
+    cache.put(&long_lived, 0, completion("stays"));
+    cache.persist().unwrap();
+    kill_process(cache);
+
+    std::thread::sleep(Duration::from_millis(60));
+    let warm = CompletionCache::open(64, &dir, Some(Duration::from_millis(40))).unwrap();
+    let stats = warm.stats();
+    assert_eq!(stats.loaded, 1, "the lapsed entry is filtered at load");
+    assert_eq!(stats.expired, 1);
+    assert!(warm.get(&request("short"), 0).is_none());
+    assert_eq!(
+        warm.get(&long_lived, 0).unwrap().text,
+        "stays",
+        "the per-request TTL kept this one alive"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_dropped_and_the_log_stays_appendable() {
+    let dir = fresh_dir("torn");
+    let reqs: Vec<CompletionRequest> = (0..12).map(|i| request(&format!("torn {i}"))).collect();
+    let cache = CompletionCache::open(1024, &dir, None).unwrap();
+    for (i, req) in reqs.iter().enumerate() {
+        cache.put(req, 0, completion(&format!("v{i}")));
+    }
+    cache.persist().unwrap();
+    kill_process(cache);
+
+    // Tear the tail off every WAL file — as if the machine died mid-append.
+    // Each non-empty shard loses exactly its most recent record.
+    let mut torn_shards = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "wal") {
+            let len = std::fs::metadata(&path).unwrap().len();
+            if len > 6 {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .unwrap()
+                    .set_len(len - 3)
+                    .unwrap();
+                torn_shards += 1;
+            }
+        }
+    }
+    assert!(torn_shards > 0, "some shard held records");
+
+    let warm = CompletionCache::open(1024, &dir, None).unwrap();
+    let loaded = warm.stats().loaded;
+    assert_eq!(
+        loaded as usize,
+        reqs.len() - torn_shards,
+        "each torn shard loses exactly its final record"
+    );
+    // Survivors serve their exact completions.
+    let mut served = 0;
+    for (i, req) in reqs.iter().enumerate() {
+        if let Some(hit) = warm.get(req, 0) {
+            assert_eq!(hit.text, format!("v{i}"));
+            served += 1;
+        }
+    }
+    assert_eq!(served, loaded);
+
+    // The loader truncated the torn tails, so new appends stay readable.
+    warm.put(&request("after the tear"), 0, completion("fresh"));
+    warm.persist().unwrap();
+    kill_process(warm);
+    let again = CompletionCache::open(1024, &dir, None).unwrap();
+    assert_eq!(again.stats().loaded, loaded + 1);
+    assert_eq!(
+        again.get(&request("after the tear"), 0).unwrap().text,
+        "fresh"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// FNV-1a, mirroring the record checksum, so the test can forge a frame
+/// that checksums correctly but does not decode.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn checksummed_but_undecodable_record_is_truncated_away() {
+    let dir = fresh_dir("poison");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A WAL whose single record carries a valid checksum over an unknown op
+    // tag — e.g. written by a newer format that forgot to bump the version.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ACWL");
+    bytes.extend_from_slice(&1u16.to_le_bytes());
+    let body = [0xEEu8, 1, 2, 3];
+    bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&body);
+    bytes.extend_from_slice(&fnv64(&body).to_le_bytes());
+    std::fs::write(dir.join("shard-00.wal"), &bytes).unwrap();
+
+    let cache = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(cache.stats().loaded, 0, "the poison record is not served");
+    // The open must have truncated the poison frame away: a record
+    // appended to that same shard afterwards would otherwise sit behind it
+    // and be silently ignored by every future load.
+    let req = (0..)
+        .map(|i| request(&format!("poison probe {i}")))
+        .find(|r| (r.fingerprint(0) as usize).is_multiple_of(SHARD_COUNT))
+        .unwrap();
+    cache.put(&req, 0, completion("revived"));
+    cache.persist().unwrap();
+    kill_process(cache);
+
+    let warm = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(warm.stats().loaded, 1);
+    assert_eq!(
+        warm.get(&req, 0).unwrap().text,
+        "revived",
+        "appends after the truncation replay on the next load"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_shard_files_are_discarded_not_a_panic() {
+    let dir = fresh_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Garbage with a foreign header — and one file that is pure noise.
+    std::fs::write(dir.join("shard-00.snap"), b"NOPE\x01\x00garbagegarbage").unwrap();
+    std::fs::write(dir.join("shard-01.wal"), vec![0xAB; 512]).unwrap();
+    std::fs::write(dir.join("shard-02.snap"), b"").unwrap();
+
+    let cache = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(cache.stats().loaded, 0, "bad files load as empty shards");
+    // The cache is fully usable afterwards.
+    cache.put(&request("q"), 0, completion("works"));
+    cache.persist().unwrap();
+    kill_process(cache);
+    let warm = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(warm.get(&request("q"), 0).unwrap().text, "works");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_folds_the_wal_into_a_snapshot() {
+    let dir = fresh_dir("compact");
+    let req = request("hot entry");
+    let cache = CompletionCache::open(64, &dir, None).unwrap();
+    cache.put(&req, 0, completion("v"));
+    // Hammer hits across many flushes. Each flush dedupes the buffer to one
+    // touch record, so after >64 flushes the one-entry shard crosses the
+    // compaction threshold (WAL records > max(64, 2 × entries)) and folds
+    // its log into a snapshot.
+    for _ in 0..70 {
+        assert!(cache.get(&req, 0).is_some());
+        cache.persist().unwrap();
+    }
+    kill_process(cache);
+
+    // The snapshot now carries the entry, and the WAL was truncated at
+    // compaction (only the handful of post-compaction touches remain).
+    let snapshots_with_data = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            let path = e.as_ref().unwrap().path();
+            path.extension().is_some_and(|x| x == "snap")
+                && std::fs::metadata(&path).unwrap().len() > 6
+        })
+        .count();
+    assert_eq!(snapshots_with_data, 1, "the hot shard was compacted");
+    let biggest_wal = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension().is_some_and(|x| x == "wal"))
+                .then(|| std::fs::metadata(&path).unwrap().len())
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(
+        biggest_wal < 200,
+        "the log was truncated at compaction (len {biggest_wal})"
+    );
+    let warm = CompletionCache::open(64, &dir, None).unwrap();
+    assert_eq!(warm.stats().loaded, 1);
+    assert_eq!(warm.get(&req, 0).unwrap().text, "v");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_warm_starts_from_disk_without_model_calls() {
+    let dir = fresh_dir("engine");
+    let req = request("Hello there!");
+    {
+        let engine = Engine::with_config(
+            MockLlm::gpt4(),
+            EngineConfig::default().with_cache_dir(&dir),
+        );
+        let _ = engine.complete(&req).unwrap();
+        assert_eq!(engine.model().calls(), 1);
+        assert!(engine.persist().unwrap() > 0);
+    }
+    let warm = Engine::with_config(
+        MockLlm::gpt4(),
+        EngineConfig::default().with_cache_dir(&dir),
+    );
+    assert!(warm.cache_stats().loaded >= 1);
+    let served = warm.complete(&req).unwrap();
+    assert_eq!(
+        warm.model().calls(),
+        0,
+        "the warm start serves cached conversations with zero re-queries"
+    );
+    assert!(!served.text.is_empty());
+    assert_eq!(warm.cache_stats().hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejected_completions_never_resurrect_across_processes() {
+    let dir = fresh_dir("reject");
+    let req = request("Hello there!");
+    {
+        let engine = Engine::with_config(
+            MockLlm::gpt4(),
+            EngineConfig::default().with_cache_dir(&dir),
+        );
+        let _ = engine.complete(&req).unwrap();
+        // Downstream validation failed: the entry must not outlive us.
+        engine.reject_completion(&req, 0);
+        engine.persist().unwrap();
+    }
+    let warm = Engine::with_config(
+        MockLlm::gpt4(),
+        EngineConfig::default().with_cache_dir(&dir),
+    );
+    assert_eq!(warm.cache_stats().loaded, 0);
+    let _ = warm.complete(&req).unwrap();
+    assert_eq!(warm.model().calls(), 1, "the poisoned entry was re-asked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_cache_ttl_flows_from_config() {
+    let dir = fresh_dir("engine-ttl");
+    {
+        let engine = Engine::with_config(
+            MockLlm::gpt4(),
+            EngineConfig::default()
+                .with_cache_dir(&dir)
+                .with_cache_ttl(Duration::from_millis(30)),
+        );
+        let _ = engine.complete(&request("fleeting")).unwrap();
+        engine.persist().unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let warm = Engine::with_config(
+        MockLlm::gpt4(),
+        EngineConfig::default()
+            .with_cache_dir(&dir)
+            .with_cache_ttl(Duration::from_millis(30)),
+    );
+    let stats = warm.cache_stats();
+    assert_eq!(stats.loaded, 0, "the entry lapsed while we were down");
+    assert_eq!(stats.expired, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -127,6 +127,11 @@ pub struct RequestOptions {
     pub model: ModelChoice,
     /// How caching layers may treat the request.
     pub cache: CachePolicy,
+    /// Time-to-live for any cache entry this request creates. `None` defers
+    /// to the caching layer's default. Like `cache`, this is service advice,
+    /// not request identity: it never changes what the request keys to (see
+    /// [`CompletionRequest::same_identity`]).
+    pub ttl: Option<Duration>,
 }
 
 impl RequestOptions {
@@ -209,6 +214,20 @@ impl CompletionRequest {
             mix(&[0xFF]); // message separator
         }
         h
+    }
+
+    /// Whether `other` names the same cacheable task as `self`.
+    ///
+    /// This is the collision-disambiguation counterpart of
+    /// [`CompletionRequest::fingerprint`]: it compares exactly what the
+    /// fingerprint hashes (conversation, temperature, routed model) and
+    /// deliberately ignores the service-advice options (cache policy, TTL).
+    /// Caches use it instead of `==` so that, e.g., a warm-start lookup made
+    /// with a different TTL setting still finds the persisted entry.
+    pub fn same_identity(&self, other: &CompletionRequest) -> bool {
+        self.temperature == other.temperature
+            && self.options.model == other.options.model
+            && self.messages == other.messages
     }
 
     /// The most recent user message, if any.
@@ -423,6 +442,28 @@ mod tests {
             ..RequestOptions::default()
         });
         assert_eq!(base.fingerprint(0), bypass.fingerprint(0));
+    }
+
+    #[test]
+    fn identity_ignores_service_advice_but_not_routing() {
+        let base = CompletionRequest::from_prompt("q");
+        let advised = base.clone().with_options(RequestOptions {
+            cache: CachePolicy::Bypass,
+            ttl: Some(Duration::from_secs(60)),
+            ..RequestOptions::default()
+        });
+        // TTL and cache policy change neither the fingerprint nor identity.
+        assert_eq!(base.fingerprint(7), advised.fingerprint(7));
+        assert!(base.same_identity(&advised));
+        assert_ne!(base, advised, "full equality does see the options");
+        // Routing and temperature *are* identity.
+        let routed = base
+            .clone()
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt4));
+        assert!(!base.same_identity(&routed));
+        let mut cooled = base.clone();
+        cooled.temperature = 0.0;
+        assert!(!base.same_identity(&cooled));
     }
 
     #[test]
