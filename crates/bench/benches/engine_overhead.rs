@@ -1,0 +1,179 @@
+//! Engine overhead on a 100k-problem synthetic GSM8K sweep, warm-cache —
+//! emitted as JSON (one object on stdout, the `BENCH_engine_overhead.json`
+//! artifact).
+//!
+//! The paper's speedup story rests on cheap re-execution of many LLM calls;
+//! this bench isolates what *the engine itself* costs per call once the
+//! model is out of the picture. Every request is warmed into the completion
+//! cache first, then the same 100k-request sweep is driven twice, in
+//! serving-shaped waves (requests arrive in batches, as a real frontend
+//! delivers them):
+//!
+//! * **baseline** — the pre-PR architecture: every wave pays
+//!   spawn-per-call scoped threads ([`askit_exec::spawn_map`], the old
+//!   `parallel_map` retained verbatim) and every probe re-hashes its full
+//!   conversation (`complete_tagged` on a plain request).
+//! * **pooled** — the engine's persistent worker pool
+//!   ([`Engine::map`]) with the same per-request cache probes.
+//!
+//! On a pure warm sweep both modes do identical cache work, so the measured
+//! gap is the engine overhead the PR removes: ~8 thread spawns + joins per
+//! wave. A secondary section measures the zero-rehash fingerprint path on a
+//! grown retry conversation: full re-hash per probe vs the memoized
+//! [`PreparedRequest`] hash (the `run_direct` hot path).
+//!
+//! Run with `cargo bench --bench engine_overhead`. Set
+//! `ASKIT_BENCH_PROBLEMS` to shrink the sweep for a quick look.
+
+use std::time::Instant;
+
+use askit_core::direct_prompt;
+use askit_datasets::gsm8k;
+use askit_exec::{spawn_map, Engine, EngineConfig};
+use askit_llm::{
+    CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle, PreparedRequest,
+};
+use askit_template::Template;
+
+const DEFAULT_PROBLEMS: usize = 100_000;
+const WAVE: usize = 64;
+const WORKERS: usize = 8;
+const SEED: u64 = 20240302;
+
+/// Builds the Listing-2 direct-task request for one synthetic problem.
+fn build_requests(problems: usize) -> Vec<CompletionRequest> {
+    gsm8k::problems(problems, SEED)
+        .into_iter()
+        .map(|problem| {
+            let template = Template::parse(&problem.template).expect("generated templates parse");
+            let prompt = direct_prompt(&template, &problem.args, &askit_types::int(), &[])
+                .expect("prompt renders");
+            CompletionRequest::from_prompt(prompt)
+        })
+        .collect()
+}
+
+/// Sweeps every request through the engine cache in waves, returning
+/// (hits observed by the caller, wall seconds).
+fn sweep<F>(requests: &[CompletionRequest], mut wave_runner: F) -> (usize, f64)
+where
+    F: FnMut(&[CompletionRequest]) -> usize,
+{
+    let started = Instant::now();
+    let mut served = 0usize;
+    for wave in requests.chunks(WAVE) {
+        served += wave_runner(wave);
+    }
+    (served, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let problems: usize = std::env::var("ASKIT_BENCH_PROBLEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_PROBLEMS);
+
+    let requests = build_requests(problems);
+    let mut oracle = Oracle::standard();
+    gsm8k::register_oracle(&mut oracle, &gsm8k::problems(problems, SEED), SEED);
+    let llm = MockLlm::new(
+        MockLlmConfig::gpt4()
+            .with_seed(SEED)
+            .with_faults(FaultConfig::none()),
+        oracle,
+    );
+    // Capacity must hold the whole sweep so the timed passes are pure hits.
+    let engine = Engine::with_config(
+        llm,
+        EngineConfig::default()
+            .with_workers(WORKERS)
+            .with_cache_capacity(problems.next_power_of_two().max(1 << 10)),
+    );
+
+    // Warm pass (untimed): populate the cache through the engine.
+    for wave in requests.chunks(WAVE * 8) {
+        let outcomes = engine.complete_batch(wave);
+        assert!(outcomes.iter().all(Result::is_ok), "warm pass must succeed");
+    }
+    let warm_stats = engine.cache_stats();
+    assert_eq!(warm_stats.evictions, 0, "sweep must fit in the cache");
+
+    // Baseline: spawn-per-call threads per wave, full re-hash per probe.
+    let before_sweeps = engine.cache_stats();
+    let (baseline_served, baseline_secs) = sweep(&requests, |wave| {
+        spawn_map(WORKERS, wave, |_, request| {
+            engine.complete_tagged(request, 0).expect("warm hit")
+        })
+        .len()
+    });
+
+    // Pooled: the engine's persistent pool, same cache, same probes.
+    let (pooled_served, pooled_secs) = sweep(&requests, |wave| {
+        engine
+            .map(wave, |_, request| {
+                engine.complete_tagged(request, 0).expect("warm hit")
+            })
+            .len()
+    });
+    assert_eq!(baseline_served, pooled_served, "both modes serve the sweep");
+
+    // Fingerprint microbench: a 6-turn retry conversation probed 200k times,
+    // full re-hash vs memoized prepared hash. Black-box through `sum` so
+    // the hashing is not optimized away.
+    let mut conversation = requests[0].clone();
+    for turn in 0..3 {
+        conversation
+            .messages
+            .push(askit_llm::ChatMessage::assistant(format!(
+                "wrong answer {turn} with some plausible length of refusal text attached"
+            )));
+        conversation.messages.push(askit_llm::ChatMessage::user(
+            "Your previous response was not acceptable; please follow the format.",
+        ));
+    }
+    let prepared = PreparedRequest::new(conversation.clone());
+    const PROBES: u64 = 200_000;
+    let started = Instant::now();
+    let mut sum = 0u64;
+    for salt in 0..PROBES {
+        sum = sum.wrapping_add(conversation.fingerprint(salt));
+    }
+    let rehash_ns = started.elapsed().as_nanos() as f64 / PROBES as f64;
+    let started = Instant::now();
+    for salt in 0..PROBES {
+        sum = sum.wrapping_add(prepared.fingerprint(salt));
+    }
+    let prepared_ns = started.elapsed().as_nanos() as f64 / PROBES as f64;
+    assert!(sum != 1, "keep the probes observable");
+
+    // The timed sweeps must have been pure warm-path work.
+    let stats = engine.cache_stats();
+    let sweep_lookups = (stats.hits + stats.misses) - (before_sweeps.hits + before_sweeps.misses);
+    let sweep_hit_rate = (stats.hits - before_sweeps.hits) as f64 / sweep_lookups.max(1) as f64;
+    assert!(
+        sweep_hit_rate > 0.999,
+        "timed sweeps must be warm: {sweep_hit_rate}"
+    );
+    println!(
+        concat!(
+            "{{\"bench\": \"engine_overhead\", \"workload\": \"synthetic-gsm8k-warm\", ",
+            "\"problems\": {}, \"wave\": {}, \"workers\": {}, \"hit_rate\": {:.4}, ",
+            "\"baseline\": {{\"mode\": \"spawn-per-call\", \"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
+            "\"pooled\": {{\"mode\": \"persistent-pool\", \"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
+            "\"speedup\": {:.2}, ",
+            "\"fingerprint\": {{\"conversation_turns\": 7, \"full_rehash_ns\": {:.1}, \"prepared_ns\": {:.1}, \"speedup\": {:.1}}}}}"
+        ),
+        problems,
+        WAVE,
+        WORKERS,
+        sweep_hit_rate,
+        baseline_secs,
+        problems as f64 / baseline_secs.max(1e-9),
+        pooled_secs,
+        problems as f64 / pooled_secs.max(1e-9),
+        baseline_secs / pooled_secs.max(1e-9),
+        rehash_ns,
+        prepared_ns,
+        rehash_ns / prepared_ns.max(1e-3),
+    );
+}

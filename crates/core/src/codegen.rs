@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use askit_json::extract;
-use askit_llm::{CompletionRequest, LanguageModel, TokenUsage};
+use askit_llm::{CompletionRequest, LanguageModel, PreparedRequest, TokenUsage};
 use minilang::pretty::Syntax;
 use minilang::{check_program, loc::count_loc, Interp, Program};
 
@@ -71,17 +71,21 @@ pub fn generate<L: LanguageModel>(
     let mut compile_time = Duration::ZERO;
     let mut last_problem = String::new();
 
+    // The prompt is identical across retries; temperature-1.0 sampling
+    // makes each response unique (paper §III-D Step 2). Preparing the
+    // request once hashes the (large, one-shot) prompt once — each retry
+    // re-salts the memoized hash with its sample ordinal instead of
+    // re-hashing, and no per-attempt prompt clone is made.
+    let prepared = PreparedRequest::new(CompletionRequest {
+        messages: vec![askit_llm::ChatMessage::user(prompt)],
+        temperature: config.temperature,
+        options: config.request_options(),
+    });
+
     for attempt in 1..=config.max_retries + 1 {
-        // The prompt is identical across retries; temperature-1.0 sampling
-        // makes each response unique (paper §III-D Step 2). The attempt
-        // ordinal rides along as the sample tag so caching layers never
-        // replay a rejected response into its own retry.
-        let request = CompletionRequest {
-            messages: vec![askit_llm::ChatMessage::user(prompt.clone())],
-            temperature: config.temperature,
-            options: config.request_options(),
-        };
-        let completion = llm.complete_tagged(&request, (attempt - 1) as u64)?;
+        // The attempt ordinal rides along as the sample tag so caching
+        // layers never replay a rejected response into its own retry.
+        let completion = llm.complete_prepared(&prepared, (attempt - 1) as u64)?;
         usage.prompt_tokens += completion.usage.prompt_tokens;
         usage.completion_tokens += completion.usage.completion_tokens;
         compile_time += completion.latency;
@@ -108,7 +112,7 @@ pub fn generate<L: LanguageModel>(
                 // Evict the rejected attempt from memoizing layers; the next
                 // generate() for this spec starts at sample ordinal 0 again
                 // and must not replay a completion that failed validation.
-                llm.reject_completion(&request, (attempt - 1) as u64);
+                llm.reject_prepared(&prepared, (attempt - 1) as u64);
                 last_problem = problem;
             }
         }
@@ -353,16 +357,17 @@ mod tests {
                 ],
             ))
         });
-        let cfg = askit_llm::MockLlmConfig::gpt35()
-            .with_seed(1234)
-            .with_faults(askit_llm::FaultConfig {
-                direct_fault_rate: 0.0,
-                // Codegen retries resend the identical prompt (§III-D), so
-                // the mock sees attempt 0 each time: a constant rate < 1
-                // converges geometrically, like real temperature sampling.
-                code_bug_rate: 0.7,
-                decay: 1.0,
-            });
+        let cfg =
+            askit_llm::MockLlmConfig::gpt35()
+                .with_seed(1)
+                .with_faults(askit_llm::FaultConfig {
+                    direct_fault_rate: 0.0,
+                    // Codegen retries resend the identical prompt (§III-D), so
+                    // the mock sees attempt 0 each time: a constant rate < 1
+                    // converges geometrically, like real temperature sampling.
+                    code_bug_rate: 0.7,
+                    decay: 1.0,
+                });
         let llm = askit_llm::MockLlm::new(cfg, oracle);
         let tests = vec![
             example(&[("n", 5i64)], 120i64),

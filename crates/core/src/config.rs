@@ -35,6 +35,15 @@ pub struct AskitConfig {
     /// [`crate::QueryOptions::cache_ttl`] beat this, and the resolved value
     /// is stamped on every request as [`RequestOptions::ttl`].
     pub cache_ttl: Option<Duration>,
+    /// Whether the §III-E retry loop speculatively prefetches the likely
+    /// feedback turn before validating a response (see
+    /// [`crate::run_direct`]). Off by default: speculation is only useful
+    /// through an execution engine with spare pool capacity, and it
+    /// consumes extra model calls on backends that cannot cache them.
+    /// Results are bit-identical either way — speculation changes timing,
+    /// never answers — but scripted test backends that serve responses in
+    /// strict order should leave it off.
+    pub speculate: bool,
 }
 
 impl Default for AskitConfig {
@@ -46,6 +55,7 @@ impl Default for AskitConfig {
             cache_policy: CachePolicy::Use,
             cache_dir: None,
             cache_ttl: None,
+            speculate: false,
         }
     }
 }
@@ -90,6 +100,13 @@ impl AskitConfig {
     #[must_use]
     pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
         self.cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Enables (or disables) speculative retry prefetch.
+    #[must_use]
+    pub fn with_speculation(mut self, speculate: bool) -> Self {
+        self.speculate = speculate;
         self
     }
 

@@ -47,7 +47,7 @@ pub struct Askit<L> {
     config: AskitConfig,
 }
 
-impl<L: LanguageModel> Askit<L> {
+impl<L: LanguageModel + 'static> Askit<L> {
     /// Creates an AskIt instance with default configuration.
     pub fn new(llm: L) -> Self {
         Askit {
@@ -248,7 +248,7 @@ pub struct TaskFunction<'a, L> {
     name: String,
 }
 
-impl<'a, L: LanguageModel> TaskFunction<'a, L> {
+impl<'a, L: LanguageModel + 'static> TaskFunction<'a, L> {
     /// Declares parameter types (the TS pipeline's
     /// `define<R, {n: number}>`). Without this, codegen emits untyped
     /// signatures — the Python pipeline's behaviour, and the cause of its

@@ -47,6 +47,9 @@ pub struct QueryOptions {
     /// Overrides [`AskitConfig::cache_ttl`]: how long completions this call
     /// stores stay servable from the persistent cache.
     pub cache_ttl: Option<Duration>,
+    /// Overrides [`AskitConfig::speculate`]: whether the retry loop
+    /// prefetches the likely feedback turn ahead of validation.
+    pub speculate: Option<bool>,
 }
 
 impl QueryOptions {
@@ -90,6 +93,13 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the speculative-prefetch override.
+    #[must_use]
+    pub fn with_speculation(mut self, speculate: bool) -> Self {
+        self.speculate = Some(speculate);
+        self
+    }
+
     /// Layers `self` over `base`: fields set here win, unset fields fall
     /// through to `base`. This is how a per-invocation `call_with` override
     /// combines with options already attached to a function.
@@ -101,6 +111,7 @@ impl QueryOptions {
             max_retries: self.max_retries.or(base.max_retries),
             cache: self.cache.or(base.cache),
             cache_ttl: self.cache_ttl.or(base.cache_ttl),
+            speculate: self.speculate.or(base.speculate),
         }
     }
 
@@ -116,6 +127,7 @@ impl QueryOptions {
             cache_policy: self.cache.unwrap_or(defaults.cache_policy),
             cache_dir: defaults.cache_dir.clone(),
             cache_ttl: self.cache_ttl.or(defaults.cache_ttl),
+            speculate: self.speculate.unwrap_or(defaults.speculate),
         }
     }
 }
@@ -294,7 +306,7 @@ pub struct Query<'a, T, L> {
     result: PhantomData<fn() -> T>,
 }
 
-impl<'a, T: AskType, L: LanguageModel> Query<'a, T, L> {
+impl<'a, T: AskType, L: LanguageModel + 'static> Query<'a, T, L> {
     /// Executes the query through the §III-E direct runtime and extracts
     /// the typed result.
     ///

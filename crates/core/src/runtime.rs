@@ -9,7 +9,9 @@
 use std::time::Duration;
 
 use askit_json::{extract, Json, Map};
-use askit_llm::{ChatMessage, CompletionRequest, LanguageModel, TokenUsage};
+use askit_llm::{
+    ChatMessage, CompletionRequest, LanguageModel, PreparedRequest, RequestHasher, TokenUsage,
+};
 use askit_template::Template;
 use askit_types::Type;
 
@@ -36,6 +38,25 @@ pub struct DirectOutcome {
 
 /// Runs the §III-E loop for one task.
 ///
+/// The loop is engineered for constant per-attempt engine overhead:
+///
+/// * **Zero-rehash fingerprints** — a [`RequestHasher`] grows in lockstep
+///   with the conversation, so every attempt's cache identity is derived
+///   from the previous attempt's hash plus the two new turns, never by
+///   re-hashing the whole (growing) conversation. The message vector
+///   itself is moved into each request and reclaimed afterwards — no
+///   per-attempt conversation clone either.
+/// * **Speculative retry prefetch** — with [`AskitConfig::speculate`] on,
+///   the moment the verdict demands a retry the feedback turn is pushed to
+///   the backend ([`LanguageModel::prefetch`]) *before* any of the retry
+///   bookkeeping (rejection, conversation growth) runs, so the next round
+///   trip is already in flight when the next attempt submits. Speculation
+///   is withdrawable end-to-end: the loop never speculates on the last
+///   attempt, and a speculatively fetched completion that later fails
+///   validation is evicted through the normal
+///   [`LanguageModel::reject_completion`] path — results are bit-identical
+///   with speculation on or off, at any worker count.
+///
 /// # Errors
 ///
 /// [`AskItError::AnswerRetriesExhausted`] after `1 + max_retries` bad
@@ -49,23 +70,61 @@ pub fn run_direct<L: LanguageModel>(
     config: &AskitConfig,
 ) -> Result<DirectOutcome, AskItError> {
     let prompt = direct_prompt(template, args, answer_type, few_shot)?;
-    let mut messages = vec![ChatMessage::user(prompt)];
+    let options = config.request_options();
+    let mut hasher = RequestHasher::new(config.temperature, options.model);
+    let first_turn = ChatMessage::user(prompt);
+    hasher.push(&first_turn);
+    let mut messages = vec![first_turn];
     let mut usage = TokenUsage::default();
     let mut latency = Duration::ZERO;
     let mut last_problem = String::new();
 
     for attempt in 1..=config.max_retries + 1 {
-        let request = CompletionRequest {
-            messages: messages.clone(),
-            temperature: config.temperature,
-            options: config.request_options(),
-        };
-        let completion = llm.complete(&request)?;
+        let prepared = PreparedRequest::from_parts(
+            CompletionRequest {
+                messages,
+                temperature: config.temperature,
+                options,
+            },
+            hasher.content_hash(),
+        );
+        let completion = llm.complete_prepared(&prepared, 0)?;
         usage.prompt_tokens += completion.usage.prompt_tokens;
         usage.completion_tokens += completion.usage.completion_tokens;
         latency += completion.latency;
 
-        match evaluate_response(&completion.text, answer_type) {
+        let verdict = evaluate_response(&completion.text, answer_type);
+
+        // Speculative retry prefetch: the moment the verdict demands a
+        // retry, push the exact feedback turn the next attempt will submit
+        // to the backend, *before* any retry bookkeeping below — the round
+        // trip is in flight while this thread rejects, grows the
+        // conversation, and loops. Never on the last attempt (an exhausted
+        // loop asks no further turn), and always withdrawable: should the
+        // prefetched completion itself fail validation next iteration, the
+        // normal rejection path below evicts it.
+        if config.speculate && attempt <= config.max_retries {
+            if let Err(problem) = &verdict {
+                let mut spec_hasher = hasher;
+                let spec_assistant = ChatMessage::assistant(completion.text.clone());
+                let spec_feedback = ChatMessage::user(feedback_message(problem));
+                spec_hasher.push(&spec_assistant);
+                spec_hasher.push(&spec_feedback);
+                let mut spec_messages = prepared.request().messages.clone();
+                spec_messages.push(spec_assistant);
+                spec_messages.push(spec_feedback);
+                llm.prefetch(&PreparedRequest::from_parts(
+                    CompletionRequest {
+                        messages: spec_messages,
+                        temperature: config.temperature,
+                        options,
+                    },
+                    spec_hasher.content_hash(),
+                ));
+            }
+        }
+
+        match verdict {
             Ok((value, reason)) => {
                 return Ok(DirectOutcome {
                     value,
@@ -78,13 +137,22 @@ pub fn run_direct<L: LanguageModel>(
             Err(problem) => {
                 // The completion failed validation: tell memoizing layers to
                 // forget it so a sampled backend is re-asked on the next
-                // invocation instead of replaying this known-bad answer.
-                llm.reject_completion(&request, 0);
+                // invocation instead of replaying this known-bad answer
+                // (keyed by the memoized hash — no re-hash here either).
+                llm.reject_prepared(&prepared, 0);
                 // Criteria unmet: append the response and the corrective
                 // instruction, then retry (paper: "adding the LLM's response
-                // and a new instruction to the original prompt").
-                messages.push(ChatMessage::assistant(completion.text));
-                messages.push(ChatMessage::user(feedback_message(&problem)));
+                // and a new instruction to the original prompt") — growing
+                // the hash by exactly the two new turns. The conversation
+                // built here is byte-identical to the speculated one, so a
+                // landed prefetch is a cache hit on the next submission.
+                let assistant = ChatMessage::assistant(completion.text);
+                let feedback = ChatMessage::user(feedback_message(&problem));
+                hasher.push(&assistant);
+                hasher.push(&feedback);
+                messages = prepared.into_request().messages;
+                messages.push(assistant);
+                messages.push(feedback);
                 last_problem = problem;
             }
         }
@@ -287,6 +355,50 @@ mod tests {
             stats.misses, 3,
             "both first-attempt submissions missed (the second because of \
              the eviction), plus the feedback turn"
+        );
+    }
+
+    #[test]
+    fn speculative_prefetch_changes_no_outcome() {
+        // A fault-heavy mock walks the retry loop often, so speculation
+        // fires (predict_feedback returns the criterion the mock violated);
+        // outcomes must match the non-speculative run exactly.
+        let make_engine = || {
+            askit_exec::Engine::new(askit_llm::MockLlm::new(
+                askit_llm::MockLlmConfig::gpt4()
+                    .with_seed(2024)
+                    .with_faults(askit_llm::FaultConfig {
+                        direct_fault_rate: 0.8,
+                        code_bug_rate: 0.0,
+                        decay: 0.4,
+                    }),
+                askit_llm::Oracle::standard(),
+            ))
+        };
+        let run = |speculate: bool| -> Vec<(Json, usize)> {
+            let engine = make_engine();
+            let config = AskitConfig::default().with_speculation(speculate);
+            (0..8i64)
+                .map(|i| {
+                    let out = run_direct(
+                        &engine,
+                        &template("What is {{x}} plus {{y}}?"),
+                        &args(&[("x", json!(i)), ("y", json!(100i64))]),
+                        &askit_types::int(),
+                        &[],
+                        &config,
+                    )
+                    .unwrap();
+                    (out.value, out.attempts)
+                })
+                .collect()
+        };
+        let plain = run(false);
+        let speculative = run(true);
+        assert_eq!(plain, speculative, "speculation changed an outcome");
+        assert!(
+            plain.iter().any(|(_, attempts)| *attempts > 1),
+            "the fault rate must force retries (so speculation fires): {plain:?}"
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
-//!            [--cache-dir DIR] [--cache-ttl SECS]
+//!            [--cache-dir DIR] [--cache-ttl SECS] [--speculate]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -31,10 +31,15 @@ options:
                     are bit-identical to the cold run, just faster)
   --cache-ttl SECS  how long persisted completions stay servable (default:
                     forever); lapsed entries are re-queried and re-cached
+  --speculate       prefetch likely retry feedback turns through the engine
+                    pool ahead of validation (table3); results are
+                    bit-identical with or without, only timing changes
   --help            print this message
 
 environment:
-  ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)";
+  ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)
+  ASKIT_WORKERS      engine worker threads when --threads is 0/unset
+                     (default: the machine's full available parallelism)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +48,7 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut threads = 0usize;
     let mut cache = table3::CacheSetup::default();
+    let mut speculate = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -60,6 +66,7 @@ fn main() {
                 let secs: u64 = parse_flag_value(arg, iter.next());
                 cache.ttl = Some(std::time::Duration::from_secs(secs));
             }
+            "--speculate" => speculate = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -89,7 +96,7 @@ fn main() {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
         emit(
             "table3.txt",
-            &table3::render(&table3::run_with_cache(count, seed, threads, &cache)),
+            &table3::render(&table3::run_full(count, seed, threads, &cache, speculate)),
         );
     };
 

@@ -127,6 +127,30 @@ fn run_batch_is_identical_across_thread_counts() {
     assert_eq!(wide, run(8), "rerun diverged");
 }
 
+/// Speculative retry prefetch must never change what the experiment
+/// measures: with the mock's fault injection on, many problems walk the
+/// retry loop, so `run_direct` predicts and prefetches feedback turns
+/// throughout this sweep — and every column must still match the
+/// non-speculative run bit-for-bit, at every thread width.
+#[test]
+fn table3_with_speculative_prefetch_is_bit_identical() {
+    let base = table3::run_with_threads(24, 20240302, 4);
+    let no_cache = table3::CacheSetup::default();
+    for threads in [1usize, 4, 8] {
+        let speculative = table3::run_full(24, 20240302, threads, &no_cache, true);
+        assert_columns_agree(
+            &base.ts,
+            &speculative.ts,
+            &format!("TypeScript (speculate, {threads} threads)"),
+        );
+        assert_columns_agree(
+            &base.py,
+            &speculative.py,
+            &format!("Python (speculate, {threads} threads)"),
+        );
+    }
+}
+
 /// A workload that re-asks the same templates must hit the engine's
 /// completion cache (the acceptance check for `CacheStats`).
 #[test]

@@ -44,6 +44,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::lock;
 use std::time::Duration;
 
 use askit_llm::{Completion, CompletionRequest};
@@ -88,6 +90,28 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    /// One summary line, e.g.
+    /// `hits 120 / misses 30 (80.0% hit rate), 150 entries, 2 evicted, 1
+    /// invalidated, 0 expired, 10 loaded, 40 flushed`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} / misses {} ({:.1}% hit rate), {} entries, {} evicted, \
+             {} invalidated, {} expired, {} loaded, {} flushed",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.evictions,
+            self.invalidations,
+            self.expired,
+            self.loaded,
+            self.flushed,
+        )
     }
 }
 
@@ -394,9 +418,7 @@ impl CompletionCache {
         let mut evicted = 0u64;
         for (index, slot) in cache.shards.iter().enumerate() {
             let recovered = persist::load_shard(&dir, index)?;
-            let mut shard = slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut shard = lock(slot);
             shard.persistent = true;
             shard.wal_records = recovered.wal_records;
             let mut expired_keys = HashSet::new();
@@ -435,11 +457,22 @@ impl CompletionCache {
     /// whose TTL lapsed is dropped and reported as a miss (counted under
     /// [`CacheStats::expired`]).
     pub fn get(&self, request: &CompletionRequest, sample: u64) -> Option<Completion> {
-        let key = Self::key(request, sample);
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.get_keyed(Self::key(request, sample), request, sample)
+    }
+
+    /// [`CompletionCache::get`] with the fingerprint already computed by the
+    /// caller (`key` **must** equal `request.fingerprint(sample)`; debug
+    /// builds assert it). This is the zero-rehash hot path: the engine
+    /// computes one fingerprint per submission and reuses it for the probe
+    /// and the post-completion insert.
+    pub fn get_keyed(
+        &self,
+        key: u64,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Option<Completion> {
+        debug_assert_eq!(key, Self::key(request, sample), "stale precomputed key");
+        let mut shard = lock(self.shard(key));
         // Resolve the lookup to an owned verdict first so the borrow of the
         // entry map ends before the queue/pending mutations below. The
         // clock is only read for entries that actually carry a TTL — the
@@ -485,17 +518,26 @@ impl CompletionCache {
     /// ([`askit_llm::RequestOptions::ttl`]) or, absent that, the cache's
     /// default.
     pub fn put(&self, request: &CompletionRequest, sample: u64, completion: Completion) {
-        let key = Self::key(request, sample);
+        self.put_keyed(Self::key(request, sample), request, sample, completion);
+    }
+
+    /// [`CompletionCache::put`] with the fingerprint already computed (see
+    /// [`CompletionCache::get_keyed`]).
+    pub fn put_keyed(
+        &self,
+        key: u64,
+        request: &CompletionRequest,
+        sample: u64,
+        completion: Completion,
+    ) {
+        debug_assert_eq!(key, Self::key(request, sample), "stale precomputed key");
         let expires_at_ms = request
             .options
             .ttl
             .or(self.default_ttl)
             .map(|ttl| now_ms().saturating_add(ttl.as_millis() as u64))
             .unwrap_or(0);
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut shard = lock(self.shard(key));
         shard.clock += 1;
         let stamp = shard.clock;
         let fresh = !shard.entries.contains_key(&key);
@@ -532,6 +574,15 @@ impl CompletionCache {
         }
     }
 
+    /// Whether an entry keyed by `key` is resident. Counts no statistics
+    /// and refreshes no recency — this is the speculative-prefetch peek
+    /// ("is this turn already warm?"), not a lookup. TTLs are deliberately
+    /// not checked: a lapsed resident entry just means one speculation is
+    /// skipped and the foreground path re-derives the completion.
+    pub fn peek_key(&self, key: u64) -> bool {
+        lock(self.shard(key)).entries.contains_key(&key)
+    }
+
     /// Evicts the entry for `(request, sample)`, if resident, because the
     /// caller rejected its completion. Returns whether an entry was dropped
     /// (counted under [`CacheStats::invalidations`]). The recency queue's
@@ -539,11 +590,14 @@ impl CompletionCache {
     /// persistent cache an invalidation record is logged, so the rejected
     /// completion never resurrects on reload.
     pub fn remove(&self, request: &CompletionRequest, sample: u64) -> bool {
-        let key = Self::key(request, sample);
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.remove_keyed(Self::key(request, sample), request, sample)
+    }
+
+    /// [`CompletionCache::remove`] with the fingerprint already computed
+    /// (see [`CompletionCache::get_keyed`]).
+    pub fn remove_keyed(&self, key: u64, request: &CompletionRequest, sample: u64) -> bool {
+        debug_assert_eq!(key, Self::key(request, sample), "stale precomputed key");
+        let mut shard = lock(self.shard(key));
         let resident = shard
             .entries
             .get(&key)
@@ -577,9 +631,7 @@ impl CompletionCache {
         let mut flushed = 0u64;
         let mut expired_total = 0u64;
         for (index, slot) in self.shards.iter().enumerate() {
-            let mut shard = slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut shard = lock(slot);
             if shard.pending.is_empty() {
                 continue;
             }
@@ -667,16 +719,7 @@ impl CompletionCache {
             loaded: self.loaded.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             flushed: self.flushed.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .entries
-                        .len()
-                })
-                .sum(),
+            entries: self.shards.iter().map(|s| lock(s).entries.len()).sum(),
         }
     }
 }

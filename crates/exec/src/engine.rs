@@ -1,18 +1,25 @@
 //! The [`Engine`]: cache-fronted, pool-backed completion submission.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::lock;
 use std::time::Duration;
 
-use askit_llm::{CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError};
+use askit_llm::{
+    CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError, PreparedRequest,
+};
 
 use crate::cache::{CacheStats, CompletionCache};
-use crate::pool::parallel_map;
+use crate::pool::WorkerPool;
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for batched submission and [`Engine::map`]. `0` means
-    /// auto (the machine's available parallelism, capped at 8).
+    /// auto: the `ASKIT_WORKERS` environment variable if set, otherwise the
+    /// machine's full available parallelism.
     pub workers: usize,
     /// Maximum cached completions. `0` disables the cache.
     pub cache_capacity: usize,
@@ -67,26 +74,71 @@ impl EngineConfig {
     }
 }
 
-/// Resolves `0` to the machine's available parallelism (capped at 8).
+/// Resolves `0` to the `ASKIT_WORKERS` environment variable (when set to a
+/// positive number) or, failing that, the machine's full available
+/// parallelism. An explicit configuration always wins.
 fn resolve_workers(configured: usize) -> usize {
     if configured > 0 {
-        configured
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(8)
+        return configured;
     }
+    if let Some(n) = std::env::var("ASKIT_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
-/// The execution engine: owns a model, a worker-pool width, and an optional
-/// completion cache. Implements [`LanguageModel`] so it slots anywhere a
-/// model does — the whole AskIt stack submits through it.
+/// Lifecycle of one speculative prefetch, keyed by the request fingerprint.
+///
+/// The ledger makes speculation *withdrawable*: a rejected speculation must
+/// never land in the cache after the rejection, whatever the interleaving
+/// between the background job and the foreground path. Every transition
+/// happens under one mutex:
+///
+/// * `prefetch` inserts `Queued` and submits the job;
+/// * the job claims `Queued → Running`, completes the request, and — only
+///   if still `Running` — publishes to the cache, then removes the entry;
+/// * a foreground miss *claims* a still-`Queued` key (removing it, so the
+///   job abandons without computing) and completes the request itself — the
+///   pool may be saturated, and blocking on a queued job would deadlock a
+///   nested fan-out;
+/// * `reject_completion` removes a `Queued` key or marks a `Running` one
+///   `Cancelled`, so the job discards its result.
+///
+/// A `Running` job racing a foreground miss may complete the same request
+/// twice; both derive the identical completion (backends are pure per
+/// request), so observable results never depend on the race.
+#[derive(Debug, PartialEq, Eq)]
+enum SpecPhase {
+    Queued,
+    Running,
+    Cancelled,
+}
+
+#[derive(Debug, Default)]
+struct SpeculationLedger {
+    phases: Mutex<HashMap<u64, SpecPhase>>,
+}
+
+/// The execution engine: owns a model, a persistent worker pool, and an
+/// optional completion cache. Implements [`LanguageModel`] so it slots
+/// anywhere a model does — the whole AskIt stack submits through it.
+///
+/// The model and cache live behind [`Arc`]s so background work (speculative
+/// prefetch jobs) can hold them across submissions; the pool is joined on
+/// drop, so no job outlives the engine.
 pub struct Engine<L> {
-    model: L,
+    model: Arc<L>,
     config: EngineConfig,
     workers: usize,
-    cache: Option<CompletionCache>,
+    pool: WorkerPool,
+    cache: Option<Arc<CompletionCache>>,
+    speculative: Arc<SpeculationLedger>,
 }
 
 impl<L> std::fmt::Debug for Engine<L> {
@@ -122,10 +174,13 @@ impl<L: LanguageModel> Engine<L> {
                 }),
             None => CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl),
         });
+        let workers = resolve_workers(config.workers);
         Engine {
-            model,
-            workers: resolve_workers(config.workers),
-            cache,
+            model: Arc::new(model),
+            workers,
+            pool: WorkerPool::new(workers),
+            cache: cache.map(Arc::new),
+            speculative: Arc::new(SpeculationLedger::default()),
             config,
         }
     }
@@ -140,9 +195,21 @@ impl<L: LanguageModel> Engine<L> {
         &self.model
     }
 
-    /// Unwraps the engine, returning the model (the cache is dropped).
+    /// Unwraps the engine, returning the model (the cache is flushed and
+    /// dropped, the worker pool is joined).
     pub fn into_model(self) -> L {
-        self.model
+        let Engine {
+            model, pool, cache, ..
+        } = self;
+        // Shut the pool down first: still-queued prefetch jobs are
+        // discarded (releasing their `Arc` clones of the model and cache)
+        // and executing ones are joined.
+        drop(pool);
+        drop(cache);
+        match Arc::try_unwrap(model) {
+            Ok(model) => model,
+            Err(_) => unreachable!("joining the pool released every model handle"),
+        }
     }
 
     /// The resolved worker-pool width.
@@ -153,7 +220,7 @@ impl<L: LanguageModel> Engine<L> {
     /// Cache counters (all zero when the cache is disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache
-            .as_ref()
+            .as_deref()
             .map(CompletionCache::stats)
             .unwrap_or_default()
     }
@@ -168,33 +235,64 @@ impl<L: LanguageModel> Engine<L> {
     ///
     /// I/O errors from the underlying filesystem.
     pub fn persist(&self) -> std::io::Result<u64> {
-        self.cache.as_ref().map_or(Ok(0), CompletionCache::persist)
+        self.cache
+            .as_deref()
+            .map_or(Ok(0), CompletionCache::persist)
     }
 
     /// The cache this request may use: `None` when caching is disabled or
     /// the request asks to bypass it.
-    fn cache_for(&self, request: &CompletionRequest) -> Option<&CompletionCache> {
+    fn cache_for(&self, request: &CompletionRequest) -> Option<&Arc<CompletionCache>> {
         if request.options.cache == CachePolicy::Bypass {
             return None;
         }
         self.cache.as_ref()
     }
 
-    /// Runs `f` over every item on the worker pool, preserving item order in
-    /// the result. This is the task-level fan-out the eval drivers use:
-    /// each item typically performs a whole retry conversation through
-    /// [`Engine::complete_tagged`].
+    /// Runs `f` over every item on the persistent worker pool, preserving
+    /// item order in the result. This is the task-level fan-out the eval
+    /// drivers use: each item typically performs a whole retry conversation
+    /// through [`Engine::complete_tagged`].
+    ///
+    /// Nested use is safe and spawn-free: an item that itself calls
+    /// [`Engine::map`] or `complete_batch` on this engine completes the
+    /// inner work via the pool's caller-runs discipline even when every
+    /// pool thread is occupied by outer items.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
         T: Sync,
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
-        parallel_map(self.workers, items, f)
+        self.pool.map(items, f)
+    }
+
+    /// Claims a still-queued speculation for the foreground: the background
+    /// job, when it eventually runs, abandons without computing. A
+    /// `Running` speculation is left alone — it already paid for the model
+    /// call and will publish the identical completion.
+    fn claim_speculation(&self, key: u64) {
+        let mut phases = lock(&self.speculative.phases);
+        if matches!(phases.get(&key), Some(SpecPhase::Queued)) {
+            phases.remove(&key);
+        }
+    }
+
+    /// Withdraws a speculation whose prediction turned out wrong: a queued
+    /// job is abandoned, a running one is told to discard its result.
+    fn cancel_speculation(&self, key: u64) {
+        let mut phases = lock(&self.speculative.phases);
+        match phases.get_mut(&key) {
+            Some(phase @ SpecPhase::Running) => *phase = SpecPhase::Cancelled,
+            Some(SpecPhase::Queued) => {
+                phases.remove(&key);
+            }
+            _ => {}
+        }
     }
 }
 
-impl<L: LanguageModel> LanguageModel for Engine<L> {
+impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
         self.complete_tagged(request, 0)
     }
@@ -207,24 +305,146 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
         let Some(cache) = self.cache_for(request) else {
             return self.model.complete_tagged(request, sample);
         };
-        if let Some(hit) = cache.get(request, sample) {
+        // One fingerprint serves the probe and the insert.
+        let key = request.fingerprint(sample);
+        if let Some(hit) = cache.get_keyed(key, request, sample) {
             return Ok(hit);
         }
+        if sample == 0 {
+            self.claim_speculation(key);
+        }
         let completion = self.model.complete_tagged(request, sample)?;
-        cache.put(request, sample, completion.clone());
+        cache.put_keyed(key, request, sample, completion.clone());
         Ok(completion)
     }
 
-    /// Splits the batch across the worker pool. Each request still goes
-    /// through the cache individually (honoring its cache policy), and
-    /// results come back in request order; chunks are handed to the model's
-    /// own batched entry point.
+    /// The zero-rehash submission path: the prepared content hash is
+    /// extended with the sample salt (eight bytes) to key the cache, and
+    /// the wrapped model receives the prepared request so it never re-hashes
+    /// either.
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let Some(cache) = self.cache_for(prepared.request()) else {
+            return self.model.complete_prepared(prepared, sample);
+        };
+        let key = prepared.fingerprint(sample);
+        if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
+            return Ok(hit);
+        }
+        if sample == 0 {
+            self.claim_speculation(key);
+        }
+        let completion = self.model.complete_prepared(prepared, sample)?;
+        cache.put_keyed(key, prepared.request(), sample, completion.clone());
+        Ok(completion)
+    }
+
+    /// Accepts the speculation when a cache can hold its result: the
+    /// request is completed on the worker pool in the background and lands
+    /// in the completion cache, so the foreground's next submission of the
+    /// same turn is a hit. See the `SpeculationLedger` internals for how a
+    /// wrong speculation is withdrawn without ever resurrecting in the
+    /// cache.
+    fn prefetch(&self, prepared: &PreparedRequest) -> bool {
+        let Some(cache) = self.cache_for(prepared.request()) else {
+            return false;
+        };
+        let key = prepared.fingerprint(0);
+        if cache.peek_key(key) {
+            return true; // already warm — the speculation is already paid for
+        }
+        {
+            let mut phases = lock(&self.speculative.phases);
+            match phases.get(&key) {
+                Some(SpecPhase::Queued | SpecPhase::Running) => return true,
+                Some(SpecPhase::Cancelled) => return false,
+                None => phases.insert(key, SpecPhase::Queued),
+            };
+        }
+        let model = Arc::clone(&self.model);
+        let cache = Arc::clone(cache);
+        let ledger = Arc::clone(&self.speculative);
+        let prepared = prepared.clone();
+        self.pool.submit(Box::new(move || {
+            {
+                let mut phases = lock(&ledger.phases);
+                match phases.get_mut(&key) {
+                    Some(phase @ SpecPhase::Queued) => *phase = SpecPhase::Running,
+                    // Claimed by a foreground miss or withdrawn: abandon.
+                    _ => {
+                        phases.remove(&key);
+                        return;
+                    }
+                }
+            }
+            // If the backend panics, the pool swallows the payload — so the
+            // `Running` entry must not leak (later prefetches of this turn
+            // would be no-op `true`s forever). The guard clears it on
+            // unwind; the normal path disarms and cleans up itself.
+            struct ClearOnUnwind {
+                ledger: Arc<SpeculationLedger>,
+                key: u64,
+                armed: bool,
+            }
+            impl Drop for ClearOnUnwind {
+                fn drop(&mut self) {
+                    if self.armed {
+                        lock(&self.ledger.phases).remove(&self.key);
+                    }
+                }
+            }
+            let mut guard = ClearOnUnwind {
+                ledger: Arc::clone(&ledger),
+                key,
+                armed: true,
+            };
+            let outcome = model.complete_prepared(&prepared, 0);
+            guard.armed = false;
+            let mut phases = lock(&ledger.phases);
+            if matches!(phases.get(&key), Some(SpecPhase::Running)) {
+                if let Ok(completion) = outcome {
+                    // Published under the ledger lock so a concurrent
+                    // rejection either sees the phase (and cancels the put)
+                    // or sees the entry (and evicts it) — never neither.
+                    cache.put_keyed(key, prepared.request(), 0, completion);
+                }
+            }
+            phases.remove(&key);
+        }));
+        true
+    }
+
+    /// Splits the batch across the persistent worker pool **by index**:
+    /// misses are claimed item-by-item over the borrowed request slice, so
+    /// no `CompletionRequest` is ever cloned and uneven per-request costs
+    /// balance across workers. Each request still goes through the cache
+    /// individually (honoring its cache policy, with at most one
+    /// fingerprint computed per request), and results come back in request
+    /// order.
+    ///
+    /// Note this deliberately does **not** forward to the wrapped model's
+    /// own `complete_batch`: per-index claiming replaced the old
+    /// chunk-and-clone scheme. A backend with a genuinely batched wire
+    /// call would want a borrowed-slice batch entry point on the trait
+    /// before being driven through an engine.
     fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
         // Probe the cache up front so only true misses reach the model;
-        // bypass requests never probe (and never pollute the miss counter).
+        // bypass requests never probe (and are never fingerprinted — their
+        // key would be dead weight). Each cacheable request is hashed
+        // exactly once, shared between the probe and the post-miss insert.
+        let mut keys: Vec<u64> = vec![0; requests.len()];
         let mut results: Vec<Option<Result<Completion, LlmError>>> = requests
             .iter()
-            .map(|r| self.cache_for(r).and_then(|cache| cache.get(r, 0).map(Ok)))
+            .enumerate()
+            .map(|(i, r)| {
+                let cache = self.cache_for(r)?;
+                let key = r.fingerprint(0);
+                keys[i] = key;
+                cache.get_keyed(key, r, 0).map(Ok)
+            })
             .collect();
         let miss_indices: Vec<usize> = results
             .iter()
@@ -233,23 +453,23 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
             .map(|(i, _)| i)
             .collect();
         if !miss_indices.is_empty() {
-            let chunk_size = miss_indices.len().div_ceil(self.workers.max(1)).max(1);
-            let chunks: Vec<&[usize]> = miss_indices.chunks(chunk_size).collect();
-            let completed: Vec<Vec<Result<Completion, LlmError>>> =
-                parallel_map(self.workers, &chunks, |_, chunk| {
-                    let batch: Vec<CompletionRequest> =
-                        chunk.iter().map(|&i| requests[i].clone()).collect();
-                    self.model.complete_batch(&batch)
-                });
-            for (chunk, outcomes) in chunks.iter().zip(completed) {
-                for (&index, outcome) in chunk.iter().zip(outcomes) {
-                    if let (Some(cache), Ok(completion)) =
-                        (self.cache_for(&requests[index]), &outcome)
-                    {
-                        cache.put(&requests[index], 0, completion.clone());
+            let completed: Vec<(usize, Result<Completion, LlmError>)> =
+                self.pool.map(&miss_indices, |_, &index| {
+                    // A miss the foreground is about to compute claims any
+                    // still-queued speculation for the same turn, exactly
+                    // like the single-request paths — otherwise the pool
+                    // would pay a duplicate model call.
+                    if self.cache_for(&requests[index]).is_some() {
+                        self.claim_speculation(keys[index]);
                     }
-                    results[index] = Some(outcome);
+                    (index, self.model.complete_tagged(&requests[index], 0))
+                });
+            for (index, outcome) in completed {
+                if let (Some(cache), Ok(completion)) = (self.cache_for(&requests[index]), &outcome)
+                {
+                    cache.put_keyed(keys[index], &requests[index], 0, completion.clone());
                 }
+                results[index] = Some(outcome);
             }
         }
         results
@@ -259,13 +479,33 @@ impl<L: LanguageModel> LanguageModel for Engine<L> {
     }
 
     /// Evicts the rejected completion so a retry re-asks the model instead
-    /// of replaying a known-bad answer, then forwards the rejection to the
-    /// wrapped backend (in case it memoizes too).
+    /// of replaying a known-bad answer, withdraws any in-flight speculation
+    /// for the same turn, then forwards the rejection to the wrapped
+    /// backend (in case it memoizes too). One fingerprint serves both the
+    /// withdrawal and the eviction.
     fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
         if let Some(cache) = &self.cache {
-            cache.remove(request, sample);
+            let key = request.fingerprint(sample);
+            if sample == 0 {
+                self.cancel_speculation(key);
+            }
+            cache.remove_keyed(key, request, sample);
         }
         self.model.reject_completion(request, sample);
+    }
+
+    /// [`LanguageModel::reject_completion`] minus the conversation re-hash:
+    /// the withdrawal and the eviction both key off the prepared hash, so
+    /// rejection cost stays constant as the retry conversation grows.
+    fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
+        if let Some(cache) = &self.cache {
+            let key = prepared.fingerprint(sample);
+            if sample == 0 {
+                self.cancel_speculation(key);
+            }
+            cache.remove_keyed(key, prepared.request(), sample);
+        }
+        self.model.reject_prepared(prepared, sample);
     }
 
     fn model_name(&self) -> &str {

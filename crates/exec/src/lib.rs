@@ -32,13 +32,28 @@
 //! per-request semantics, and the workspace's simulated models derive their
 //! randomness per request rather than from shared state.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// worker pool's scoped-job lifetime erasure (see `pool.rs`'s module docs
+// for the soundness argument). Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
 mod engine;
 mod persist;
+#[allow(unsafe_code)]
 mod pool;
 
 pub use cache::{CacheStats, CompletionCache, SHARD_COUNT};
+
+/// Locks a mutex, recovering from poisoning: shard and pool state stay
+/// usable after a panicking task (the panic is reported elsewhere; the
+/// protected data is counters and queues whose invariants hold per
+/// operation). Single definition for the whole crate.
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 pub use engine::{Engine, EngineConfig};
+pub use pool::{spawn_map, WorkerPool};

@@ -1,15 +1,421 @@
-//! The scoped worker pool: an order-preserving parallel map.
+//! The persistent worker pool: long-lived, channel-fed, work-claiming.
+//!
+//! Before this pool existed, every `Engine::map`/`complete_batch` spawned
+//! and joined fresh OS threads (`std::thread::scope`). That costs tens of
+//! microseconds per worker per call — invisible next to a model round trip,
+//! dominant on a warm-cache sweep where the per-item work is a hash and a
+//! map lookup. The pool amortizes thread creation to once per engine:
+//!
+//! * **Channel-fed**: jobs land in one injector queue (mutex + condvar);
+//!   idle workers sleep on the condvar and wake per submission.
+//! * **Work-claiming**: [`WorkerPool::map`] does not partition items.
+//!   Workers claim the next index from a shared atomic counter, so uneven
+//!   task costs (some problems retry, some do not) balance dynamically —
+//!   the same discipline the old scoped map used.
+//! * **Caller-runs**: the thread that calls `map` claims work alongside the
+//!   pool, and while waiting for stragglers it *helps* by running other
+//!   queued jobs. This is what makes nested submission safe: a worker whose
+//!   map item itself calls `map` (eval fan-out over problems, each problem
+//!   batching its own requests) completes the inner map on its own stack
+//!   even when every pool thread is busy, instead of deadlocking on a full
+//!   pool.
+//! * **Panic-safe**: a panicking task is caught, the remaining work is
+//!   cancelled, and the original payload is re-thrown to the `map` caller
+//!   with [`std::panic::resume_unwind`] — never a secondary
+//!   `expect`-flavoured panic that hides the real failure.
+//! * Dropped on shutdown: the pool drains its queue, parks no thread
+//!   forever, and joins every worker.
+//!
+//! [`spawn_map`] — the old spawn-per-call implementation — is kept,
+//! unchanged in behaviour, as the measured baseline of the
+//! `engine_overhead` bench.
+//!
+//! # Safety
+//!
+//! This module is the workspace's one `unsafe` island (the crate denies
+//! `unsafe_code` elsewhere). `map` lends stack-borrowed state (`items`, the
+//! closure, the result slots) to pool threads by erasing the job's
+//! lifetime. Soundness rests on a single invariant, enforced by
+//! `MapState::helpers` accounting: **`map` does not return — normally or by
+//! unwind — until every helper job it injected has finished running**, so
+//! no job can observe the borrowed state after it dies. See the safety
+//! comments at the erasure and wait sites.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
-/// Applies `f` to every item on up to `workers` scoped threads, returning
-/// results in item order.
+use crate::lock;
+
+/// A unit of pool work. Jobs must be `'static`; `map` manufactures its
+/// borrowed helper jobs via the documented lifetime erasure.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared injector queue.
+struct Injector {
+    /// `(pending jobs, shutting down)`.
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    /// Signals job arrival and shutdown.
+    available: Condvar,
+}
+
+impl Injector {
+    /// Pops one job if any is queued.
+    fn try_pop(&self) -> Option<Job> {
+        lock(&self.queue).0.pop_front()
+    }
+}
+
+/// A long-lived pool of worker threads (see the module docs).
 ///
-/// Work is claimed item-by-item from a shared atomic counter, so uneven task
-/// costs (some problems retry, some do not) still balance across the pool.
-/// With `workers <= 1` the map runs inline on the caller's thread.
-pub fn parallel_map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+/// Threads are spawned **lazily**, on the first submission that can use
+/// them: an engine that never fans out (single `complete` calls, unit
+/// tests, narrow `--threads 1` runs) costs zero OS threads, which matters
+/// now that the auto width is the machine's full parallelism.
+pub struct WorkerPool {
+    injector: Arc<Injector>,
+    width: usize,
+    spawned: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width)
+            .field("queued", &lock(&self.injector.queue).0.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `width` threads (minimum 1). No thread exists
+    /// until the first [`WorkerPool::submit`].
+    pub fn new(width: usize) -> Self {
+        WorkerPool {
+            injector: Arc::new(Injector {
+                queue: Mutex::new((VecDeque::new(), false)),
+                available: Condvar::new(),
+            }),
+            width: width.max(1),
+            spawned: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The number of pool threads.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Spawns the worker threads if they do not exist yet.
+    fn ensure_workers(&self) {
+        if self.spawned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut workers = lock(&self.workers);
+        if self.spawned.load(Ordering::Acquire) {
+            return;
+        }
+        *workers = (0..self.width)
+            .map(|i| {
+                let injector = Arc::clone(&self.injector);
+                std::thread::Builder::new()
+                    .name(format!("askit-worker-{i}"))
+                    .spawn(move || worker_loop(&injector))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        self.spawned.store(true, Ordering::Release);
+    }
+
+    /// Enqueues a fire-and-forget job. A panic inside the job is swallowed
+    /// (it must not kill a pool thread); jobs that care capture their own.
+    pub fn submit(&self, job: Job) {
+        self.ensure_workers();
+        lock(&self.injector.queue).0.push_back(job);
+        self.injector.available.notify_one();
+    }
+
+    /// Runs one queued job on the calling thread, if any is queued. This is
+    /// the "help" primitive: threads that would otherwise block on pool
+    /// progress drain the queue themselves. Returns whether a job ran.
+    pub fn try_run_one(&self) -> bool {
+        match self.injector.try_pop() {
+            Some(job) => {
+                run_job(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies `f` to every item on the pool (plus the calling thread),
+    /// returning results in item order. Work is claimed item-by-item; with
+    /// an effective width of 1 the map runs inline on the caller.
+    ///
+    /// Safe to call concurrently from many threads and from inside another
+    /// `map`'s task (see the module docs on caller-runs).
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics for any item, the first panic payload is re-thrown on
+    /// the calling thread after in-flight items settle; remaining unclaimed
+    /// items are skipped.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let width = self.width.min(items.len());
+        if width <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| f(index, item))
+                .collect();
+        }
+
+        // Spawn the workers *before* any helper accounting exists: a spawn
+        // failure (thread limit) must panic cleanly here, not leave a
+        // WaitGuard below waiting for helper jobs that were never queued.
+        self.ensure_workers();
+
+        // The caller claims work too, so `width - 1` helper jobs saturate
+        // the configured parallelism.
+        let helpers = width - 1;
+        let state = MapState {
+            items,
+            f: &f,
+            next: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            slots: (0..items.len()).map(|_| Mutex::new(None)).collect(),
+            panic: Mutex::new(None),
+            helper_count: helpers,
+            started: AtomicUsize::new(0),
+            helpers: Mutex::new(helpers),
+            helpers_done: Condvar::new(),
+        };
+        // Ensure the helper-exit invariant holds even if this thread
+        // unwinds below (the caller's own claim loop catches task panics,
+        // but defense-in-depth is cheap and the guard documents the
+        // obligation).
+        let guard = WaitGuard {
+            pool: self,
+            state: &state,
+        };
+
+        for _ in 0..helpers {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                state.started.fetch_add(1, Ordering::Relaxed);
+                state.claim_loop();
+                state.helper_exited();
+            });
+            // SAFETY: the job borrows `state` (which borrows `items` and
+            // `f` from this stack frame). `WaitGuard` — run on every exit
+            // path of this function — blocks until `state.helpers` reaches
+            // zero, and each job decrements that counter only *after* its
+            // last touch of `state` (the decrement itself happens under
+            // `state.helpers`' mutex, which the waiter re-acquires before
+            // proceeding). Therefore no job can run, or be mid-run, once
+            // this frame is gone, and extending the job's lifetime to
+            // `'static` is sound.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.submit(job);
+        }
+
+        // Caller-runs: claim work like any pool thread.
+        state.claim_loop();
+        drop(guard); // waits for helpers (helping the queue along)
+
+        if let Some(payload) = lock(&state.panic).take() {
+            resume_unwind(payload);
+        }
+        state
+            .slots
+            .iter()
+            .map(|slot| {
+                lock(slot)
+                    .take()
+                    .expect("all claims settled without panic, so every slot is filled")
+            })
+            .collect()
+    }
+
+    /// Blocks until every helper of `state` has exited, running other
+    /// queued jobs meanwhile when (and only when) some of this map's
+    /// helpers are still *queued* — the deadlock-freedom lever: a queued
+    /// helper stuck behind busy workers is executed right here, on the
+    /// waiting thread. Once every helper has started, helping would only
+    /// drag unrelated (possibly long) jobs onto this map's critical path,
+    /// so the wait becomes a plain sleep on the exit condvar.
+    fn wait_for_helpers<T: Sync, U: Send, F>(&self, state: &MapState<'_, T, U, F>)
+    where
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        loop {
+            {
+                let remaining = lock(&state.helpers);
+                if *remaining == 0 {
+                    return;
+                }
+            }
+            let all_started = state.started.load(Ordering::Relaxed) >= state.helper_count;
+            if !all_started && self.try_run_one() {
+                continue;
+            }
+            // Nothing useful to run: our unstarted helpers (if any) will be
+            // reached by draining the queue on later rounds, and started
+            // ones are executing on pool threads right now. Sleep until one
+            // exits; the timeout re-checks the queue in case new work
+            // arrived that our helpers are queued behind.
+            let remaining = lock(&state.helpers);
+            if *remaining == 0 {
+                return;
+            }
+            let (remaining, _) = state
+                .helpers_done
+                .wait_timeout(remaining, std::time::Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(remaining);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Shuts the pool down: still-queued jobs are **discarded** — dropping
+    /// a job box releases everything it captured, and running, say, a
+    /// queued speculative prefetch at shutdown would pay a full model round
+    /// trip for an answer nobody reads. (Map helpers can never be queued
+    /// here: `&mut self` excludes in-flight maps.) Jobs already executing
+    /// finish, then every worker is joined.
+    fn drop(&mut self) {
+        {
+            let mut queue = lock(&self.injector.queue);
+            queue.1 = true;
+            queue.0.clear();
+        }
+        self.injector.available.notify_all();
+        for worker in lock(&self.workers).drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Blocks in `drop` until the map's helpers have all exited — the soundness
+/// anchor for the lifetime erasure in [`WorkerPool::map`].
+struct WaitGuard<'a, T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync> {
+    pool: &'a WorkerPool,
+    state: &'a MapState<'a, T, U, F>,
+}
+
+impl<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync> Drop for WaitGuard<'_, T, U, F> {
+    fn drop(&mut self) {
+        self.pool.wait_for_helpers(self.state);
+    }
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let job = {
+            let mut queue = lock(&injector.queue);
+            loop {
+                if let Some(job) = queue.0.pop_front() {
+                    break Some(job);
+                }
+                if queue.1 {
+                    break None;
+                }
+                queue = injector
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => run_job(job),
+            None => return,
+        }
+    }
+}
+
+/// Runs one job, containing any panic that escapes it: pool threads must
+/// survive arbitrary jobs, and map tasks already route their payloads
+/// through `MapState::panic`.
+fn run_job(job: Job) {
+    let _ = catch_unwind(AssertUnwindSafe(job));
+}
+
+/// Shared state of one in-flight `map` (lives on the caller's stack).
+struct MapState<'scope, T, U, F> {
+    items: &'scope [T],
+    f: &'scope F,
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    /// Set after a task panic: remaining unclaimed items are skipped.
+    cancelled: AtomicBool,
+    /// One slot per item, written exactly once by the claimant.
+    slots: Vec<Mutex<Option<U>>>,
+    /// First panic payload, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Helper jobs injected for this map.
+    helper_count: usize,
+    /// Helper jobs that have begun executing. Once this reaches
+    /// `helper_count`, the waiting caller stops helping the queue (no
+    /// queued helper of *this* map can need it).
+    started: AtomicUsize,
+    /// Helper jobs still alive (queued or running).
+    helpers: Mutex<usize>,
+    /// Signalled as each helper exits.
+    helpers_done: Condvar,
+}
+
+impl<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync> MapState<'_, T, U, F> {
+    /// Claims and runs items until none remain (or a sibling panicked).
+    fn claim_loop(&self) {
+        loop {
+            if self.cancelled.load(Ordering::Relaxed) {
+                return;
+            }
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = self.items.get(index) else {
+                return;
+            };
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(index, item))) {
+                Ok(value) => *lock(&self.slots[index]) = Some(value),
+                Err(payload) => {
+                    self.cancelled.store(true, Ordering::Relaxed);
+                    let mut first = lock(&self.panic);
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks one helper job finished. Must be the job's very last action.
+    fn helper_exited(&self) {
+        let mut remaining = lock(&self.helpers);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.helpers_done.notify_all();
+        }
+    }
+}
+
+/// Applies `f` to every item on up to `workers` **freshly spawned** scoped
+/// threads, returning results in item order.
+///
+/// This is the pre-pool implementation, retained verbatim as the measured
+/// baseline of the `engine_overhead` bench: it pays thread creation and
+/// teardown on every call, which is exactly the overhead [`WorkerPool`]
+/// amortizes away. New code should go through an engine's pool.
+pub fn spawn_map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -28,7 +434,7 @@ where
     let mut slots: Vec<Option<U>> = Vec::new();
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        let (sender, receiver) = mpsc::channel::<(usize, U)>();
+        let (sender, receiver) = std::sync::mpsc::channel::<(usize, U)>();
         for _ in 0..workers {
             let sender = sender.clone();
             let next = &next;
@@ -59,8 +465,9 @@ mod tests {
     #[test]
     fn preserves_order_at_any_width() {
         let items: Vec<usize> = (0..97).collect();
-        for workers in [0, 1, 2, 8] {
-            let out = parallel_map(workers, &items, |index, &item| {
+        for width in [1, 2, 8] {
+            let pool = WorkerPool::new(width);
+            let out = pool.map(&items, |index, &item| {
                 assert_eq!(index, item);
                 item * 2
             });
@@ -70,14 +477,16 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
-        let out: Vec<u8> = parallel_map(4, &[] as &[u8], |_, &b| b);
+        let pool = WorkerPool::new(4);
+        let out: Vec<u8> = pool.map(&[] as &[u8], |_, &b| b);
         assert!(out.is_empty());
     }
 
     #[test]
     fn uneven_work_still_completes() {
+        let pool = WorkerPool::new(4);
         let items: Vec<u64> = (0..40).collect();
-        let out = parallel_map(4, &items, |_, &n| {
+        let out = pool.map(&items, |_, &n| {
             if n % 7 == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
@@ -85,5 +494,145 @@ mod tests {
         });
         assert_eq!(out.len(), 40);
         assert_eq!(out[39], 40);
+    }
+
+    #[test]
+    fn pool_is_reused_across_maps() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let items: Vec<usize> = (0..16).collect();
+            let out = pool.map(&items, |_, &i| i + round);
+            assert_eq!(out[15], 15 + round);
+        }
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        // Deliberately narrower than the nesting demands: every pool thread
+        // ends up inside an outer item, so inner maps can only finish via
+        // caller-runs + helping.
+        let pool = WorkerPool::new(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = pool.map(&outer, |_, &o| {
+            let inner: Vec<usize> = (0..8).collect();
+            pool.map(&inner, |_, &i| i * o).into_iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|o| (0..8).sum::<usize>() * o).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn deeply_nested_maps_terminate() {
+        let pool = WorkerPool::new(3);
+        fn depth_sum(pool: &WorkerPool, depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let items = [depth; 3];
+            pool.map(&items, |_, _| depth_sum(pool, depth - 1))
+                .into_iter()
+                .sum()
+        }
+        assert_eq!(depth_sum(&pool, 3), 27);
+    }
+
+    #[test]
+    fn panic_payload_is_propagated_verbatim() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &i| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("the task panic must surface");
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert_eq!(message, "task 13 exploded", "original payload, verbatim");
+        // The pool survives: a fresh map on the same pool still works.
+        let ok = pool.map(&items, |_, &i| i);
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
+    fn submitted_jobs_run_on_a_live_pool() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while counter.load(Ordering::Relaxed) < 32 {
+            assert!(std::time::Instant::now() < deadline, "jobs never ran");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn drop_discards_queued_jobs_and_releases_their_captures() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let resource = Arc::new(());
+        {
+            let pool = WorkerPool::new(2);
+            // Park both workers so the counting jobs stay queued.
+            let parked = Arc::new(AtomicUsize::new(0));
+            for _ in 0..2 {
+                let parked = Arc::clone(&parked);
+                pool.submit(Box::new(move || {
+                    parked.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                }));
+            }
+            while parked.load(Ordering::Relaxed) < 2 {
+                std::thread::yield_now();
+            }
+            for _ in 0..10 {
+                let ran = Arc::clone(&ran);
+                let resource = Arc::clone(&resource);
+                pool.submit(Box::new(move || {
+                    let _ = &resource;
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            // Drop while the workers are still parked: the 10 queued jobs
+            // must be discarded, not executed at shutdown.
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "queued jobs were discarded");
+        assert_eq!(
+            Arc::strong_count(&resource),
+            1,
+            "discarding a job releases its captures"
+        );
+    }
+
+    #[test]
+    fn concurrent_maps_from_many_threads() {
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let items: Vec<usize> = (0..32).collect();
+                    let out = pool.map(&items, |_, &i| i + t);
+                    assert_eq!(out[31], 31 + t);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn spawn_map_baseline_still_works() {
+        let items: Vec<usize> = (0..10).collect();
+        let out = spawn_map(4, &items, |_, &i| i * 3);
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,244 @@
+//! Concurrent use of one shared engine: many OS threads batching through it
+//! at once, the deadlock-prone nested map-inside-map shape, and the
+//! speculative-prefetch lifecycle (landing, claiming, withdrawing).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use askit_exec::{Engine, EngineConfig};
+use askit_llm::{
+    CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle, PreparedRequest,
+};
+
+fn quiet_mock(seed: u64) -> MockLlm {
+    MockLlm::new(
+        MockLlmConfig::gpt4()
+            .with_seed(seed)
+            .with_faults(FaultConfig::none()),
+        Oracle::standard(),
+    )
+}
+
+fn arithmetic_prompt(i: usize) -> CompletionRequest {
+    CompletionRequest::from_prompt(format!(
+        "You are a helpful assistant that generates responses in JSON format \
+         enclosed with ```json and ```.\nThe response in the JSON code block \
+         should match the type defined as follows:\n```ts\n{{ reason: string, \
+         answer: number }}\n```\nExplain your answer step-by-step in the \
+         'reason' field.\n\nWhat is 'x' plus 'y'?\nwhere 'x' = {i}, 'y' = 3"
+    ))
+}
+
+/// Several OS threads drive `complete_batch` on one shared engine
+/// concurrently. Every thread must observe the single-threaded reference
+/// responses — the pool, the cache, and the speculation ledger are all
+/// shared state under contention here.
+#[test]
+fn shared_engine_serves_concurrent_batches_consistently() {
+    const THREADS: usize = 8;
+    const DISTINCT: usize = 31;
+
+    let reference: Vec<String> = (0..DISTINCT)
+        .map(|i| quiet_mock(7).complete(&arithmetic_prompt(i)).unwrap().text)
+        .collect();
+
+    let engine = Arc::new(Engine::with_config(
+        quiet_mock(7),
+        EngineConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(1024),
+    ));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let reference = &reference;
+            scope.spawn(move || {
+                // Each thread batches a rotated view of the request set, so
+                // batches overlap but never align.
+                let requests: Vec<CompletionRequest> = (0..DISTINCT)
+                    .map(|i| arithmetic_prompt((i + t) % DISTINCT))
+                    .collect();
+                let results = engine.complete_batch(&requests);
+                for (i, result) in results.iter().enumerate() {
+                    assert_eq!(
+                        result.as_ref().unwrap().text,
+                        reference[(i + t) % DISTINCT],
+                        "thread {t} request {i} diverged"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * DISTINCT) as u64,
+        "every lookup accounted for: {stats:?}"
+    );
+    assert_eq!(stats.entries, DISTINCT, "one entry per distinct request");
+}
+
+/// The deadlock-prone shape: an engine map whose items themselves submit
+/// batches (which fan out on the same pool) and nested maps. The pool is
+/// deliberately narrower than the outer fan-out, so progress depends
+/// entirely on the caller-runs + help-while-waiting discipline.
+#[test]
+fn nested_map_inside_map_on_one_pool_completes() {
+    let engine = Arc::new(Engine::with_config(
+        quiet_mock(11),
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(4096),
+    ));
+    let outer: Vec<usize> = (0..12).collect();
+    let started = Instant::now();
+    let sums = engine.map(&outer, |_, &o| {
+        // Each outer item batches its own requests (an inner pool fan-out)…
+        let requests: Vec<CompletionRequest> =
+            (0..6).map(|i| arithmetic_prompt(o * 6 + i)).collect();
+        let batch_ok = engine
+            .complete_batch(&requests)
+            .into_iter()
+            .filter(|r| r.is_ok())
+            .count();
+        // …and a nested map on top, the map-inside-map stress shape.
+        let inner: Vec<usize> = (0..4).collect();
+        let nested: usize = engine.map(&inner, |_, &i| i + o).into_iter().sum();
+        batch_ok + nested
+    });
+    assert_eq!(sums.len(), 12);
+    for (o, sum) in sums.iter().enumerate() {
+        assert_eq!(*sum, 6 + (0..4).map(|i| i + o).sum::<usize>());
+    }
+    // Regression guard: the old spawn-per-call map completed this shape
+    // too; the point is the persistent pool must not wedge. Give slow CI
+    // plenty of slack while still catching a real deadlock (which would
+    // hang forever, not just run slow).
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "nested fan-out took suspiciously long"
+    );
+}
+
+/// A speculative prefetch lands in the cache in the background, and the
+/// next submission of the same turn is a hit that performs no model call.
+#[test]
+fn prefetch_lands_and_serves_the_next_submission() {
+    let engine = Engine::with_config(
+        quiet_mock(13),
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(256),
+    );
+    let prepared = PreparedRequest::new(arithmetic_prompt(1));
+    assert!(engine.prefetch(&prepared), "engine accepts speculation");
+    // The background job owns the fetch; wait for it to land.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.cache_stats().entries == 0 {
+        assert!(Instant::now() < deadline, "prefetch never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let calls = engine.model().calls();
+    let completion = engine.complete_prepared(&prepared, 0).unwrap();
+    assert_eq!(
+        engine.model().calls(),
+        calls,
+        "the prefetched turn is served from cache"
+    );
+    assert_eq!(engine.cache_stats().hits, 1);
+    // And the completion is exactly what a plain submission derives.
+    assert_eq!(
+        completion.text,
+        quiet_mock(13).complete(prepared.request()).unwrap().text
+    );
+    // A repeated prefetch of a warm turn is a cheap no-op.
+    assert!(engine.prefetch(&prepared));
+}
+
+/// Withdrawn speculation must never survive in the cache, whatever the
+/// interleaving between the background job and the rejection.
+#[test]
+fn rejected_speculation_is_evicted() {
+    for round in 0..20u64 {
+        let engine = Engine::with_config(
+            quiet_mock(round),
+            EngineConfig::default()
+                .with_workers(2)
+                .with_cache_capacity(256),
+        );
+        let prepared = PreparedRequest::new(arithmetic_prompt(round as usize));
+        assert!(engine.prefetch(&prepared));
+        // Reject at a racy moment: the job may be queued, running, or done.
+        if round % 2 == 0 {
+            std::thread::sleep(Duration::from_micros(50 * round));
+        }
+        engine.reject_completion(prepared.request(), 0);
+        // Publication happens under the ledger lock, so once the rejection
+        // has returned *no* interleaving may surface the entry afterwards
+        // — watch for a late (buggy) publish from a cancelled job.
+        for _ in 0..25 {
+            assert_eq!(
+                engine.cache_stats().entries,
+                0,
+                "round {round}: a withdrawn speculation surfaced in the cache"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let model = engine.into_model();
+        drop(model);
+    }
+    // Deterministic end-state check without the drop: reject after the
+    // entry has certainly landed.
+    let engine = Engine::with_config(quiet_mock(99), EngineConfig::default().with_workers(2));
+    let prepared = PreparedRequest::new(arithmetic_prompt(5));
+    assert!(engine.prefetch(&prepared));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.cache_stats().entries == 0 {
+        assert!(Instant::now() < deadline, "prefetch never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    engine.reject_completion(prepared.request(), 0);
+    assert_eq!(
+        engine.cache_stats().entries,
+        0,
+        "withdrawn speculation gone"
+    );
+    let calls = engine.model().calls();
+    let _ = engine.complete_prepared(&prepared, 0).unwrap();
+    assert_eq!(engine.model().calls(), calls + 1, "retry re-asks the model");
+}
+
+/// A foreground miss claims a still-queued speculation instead of waiting
+/// on pool scheduling: whichever side computes, the result is identical and
+/// the model is pure, so results never depend on the race.
+#[test]
+fn foreground_miss_races_speculation_safely() {
+    for seed in 0..10u64 {
+        let engine = Engine::with_config(
+            quiet_mock(seed),
+            EngineConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(256),
+        );
+        let prepared = PreparedRequest::new(arithmetic_prompt(seed as usize));
+        let reference = quiet_mock(seed).complete(prepared.request()).unwrap().text;
+        assert!(engine.prefetch(&prepared));
+        // Submit immediately — the speculation may or may not have started.
+        let fore = engine.complete_prepared(&prepared, 0).unwrap();
+        assert_eq!(fore.text, reference, "seed {seed}");
+        // Let any still-running background twin settle before counting
+        // model calls (two stable readings 20ms apart).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let calls = loop {
+            let before = engine.model().calls();
+            std::thread::sleep(Duration::from_millis(20));
+            if engine.model().calls() == before {
+                break before;
+            }
+            assert!(Instant::now() < deadline, "background job never settled");
+        };
+        let again = engine.complete_prepared(&prepared, 0).unwrap();
+        assert_eq!(again.text, reference);
+        assert_eq!(engine.model().calls(), calls, "second submission is warm");
+    }
+}

@@ -19,13 +19,20 @@ pub enum Role {
     Assistant,
 }
 
-impl fmt::Display for Role {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Role {
+    /// The stable wire tag for the role (also what request hashing mixes).
+    pub fn as_str(&self) -> &'static str {
+        match self {
             Role::System => "system",
             Role::User => "user",
             Role::Assistant => "assistant",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -182,38 +189,34 @@ impl CompletionRequest {
         self.messages.iter().map(|m| m.content.len()).sum()
     }
 
+    /// The 64-bit FNV-1a hash of the request content (temperature, model
+    /// choice, and the full conversation) — the salt-free core of
+    /// [`CompletionRequest::fingerprint`].
+    ///
+    /// Callers on a hot path compute this once (or grow it incrementally
+    /// with a [`RequestHasher`] as a retry conversation extends) and carry
+    /// it on a [`PreparedRequest`]; deriving a salted fingerprint from it is
+    /// then eight mixed bytes instead of a full conversation re-hash.
+    pub fn content_hash(&self) -> u64 {
+        RequestHasher::of(self).content_hash()
+    }
+
     /// A stable 64-bit FNV-1a fingerprint of the request content
-    /// (temperature, model choice, and the full conversation), mixed with
-    /// `salt`.
+    /// (temperature, model choice, and the full conversation), extended
+    /// with `salt`.
     ///
     /// This is the single definition of request identity: the execution
     /// engine's completion cache keys on it, and the simulated model derives
     /// its per-request randomness from it (salting with its seed). Keeping
     /// both behind one helper guarantees they stay in lockstep when the
     /// request shape grows. The cache policy is deliberately *not* mixed in:
-    /// it changes how a request is served, not what it asks.
+    /// it changes how a request is served, not what it asks. The salt is
+    /// mixed **after** the content so one memoized [`content_hash`] serves
+    /// every salt (see [`RequestHasher::fingerprint`]).
+    ///
+    /// [`content_hash`]: CompletionRequest::content_hash
     pub fn fingerprint(&self, salt: u64) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        mix(&salt.to_le_bytes());
-        mix(&self.temperature.to_bits().to_le_bytes());
-        // `Default` contributes no bytes, so requests that predate routing
-        // keep their fingerprints (and the simulated responses derived from
-        // them) bit-for-bit.
-        if self.options.model != ModelChoice::Default {
-            mix(self.options.model.tag().as_bytes());
-        }
-        for message in &self.messages {
-            mix(message.role.to_string().as_bytes());
-            mix(message.content.as_bytes());
-            mix(&[0xFF]); // message separator
-        }
-        h
+        RequestHasher::of(self).fingerprint(salt)
     }
 
     /// Whether `other` names the same cacheable task as `self`.
@@ -255,6 +258,153 @@ impl CompletionRequest {
             .iter()
             .filter(|m| m.role == Role::Assistant)
             .count()
+    }
+}
+
+/// Incremental FNV-1a hasher over request identity.
+///
+/// A feedback conversation grows append-only: each retry adds the model's
+/// failed response and a corrective instruction to the *end* of the message
+/// list. FNV-1a is a strictly left-to-right byte fold, so the hash of the
+/// grown conversation is the hash of the prefix folded over the new bytes —
+/// no part of the prefix is ever re-read. The `run_direct` retry loop keeps
+/// one `RequestHasher` in lockstep with its message vector and derives every
+/// attempt's cache key from it in O(new bytes), where re-hashing from
+/// scratch would be O(whole conversation) per attempt.
+///
+/// The absorbed identity is exactly what
+/// [`CompletionRequest::fingerprint`] hashes: temperature, routed model,
+/// then each message (role tag, content, separator). Salts are mixed last,
+/// by [`RequestHasher::fingerprint`], so one content hash serves every salt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHasher {
+    h: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl RequestHasher {
+    /// Starts a hasher over the conversation-independent header: the
+    /// temperature and the routed model. Messages are then absorbed in
+    /// order with [`RequestHasher::push`].
+    pub fn new(temperature: f64, model: ModelChoice) -> Self {
+        let mut hasher = RequestHasher { h: FNV_OFFSET };
+        hasher.mix(&temperature.to_bits().to_le_bytes());
+        // `Default` contributes no bytes, so requests that predate routing
+        // keep their fingerprints (and the simulated responses derived from
+        // them) bit-for-bit.
+        if model != ModelChoice::Default {
+            hasher.mix(model.tag().as_bytes());
+        }
+        hasher
+    }
+
+    /// A hasher that has absorbed `request` whole.
+    pub fn of(request: &CompletionRequest) -> Self {
+        let mut hasher = RequestHasher::new(request.temperature, request.options.model);
+        for message in &request.messages {
+            hasher.push(message);
+        }
+        hasher
+    }
+
+    fn mix(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one more conversation turn.
+    pub fn push(&mut self, message: &ChatMessage) {
+        self.mix(message.role.as_str().as_bytes());
+        self.mix(message.content.as_bytes());
+        self.mix(&[0xFF]); // message separator
+    }
+
+    /// The hash of everything absorbed so far (salt-free).
+    pub fn content_hash(&self) -> u64 {
+        self.h
+    }
+
+    /// Extends the content hash with `salt` (without consuming the hasher,
+    /// so the conversation can keep growing). This is the cheap tail of
+    /// [`CompletionRequest::fingerprint`]: eight bytes, whatever the
+    /// conversation length.
+    pub fn fingerprint(&self, salt: u64) -> u64 {
+        let mut tail = *self;
+        tail.mix(&salt.to_le_bytes());
+        tail.h
+    }
+}
+
+/// A [`CompletionRequest`] paired with its memoized content hash.
+///
+/// Hot paths prepare a request once and submit it (possibly many times,
+/// under many salts: retry samples, cache probes, the simulated model's RNG
+/// derivation) without ever re-hashing the conversation. Constructing one
+/// from a live [`RequestHasher`] via [`PreparedRequest::from_parts`] makes
+/// the whole retry loop re-hash-free; see
+/// [`LanguageModel::complete_prepared`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedRequest {
+    request: CompletionRequest,
+    content_hash: u64,
+}
+
+impl PreparedRequest {
+    /// Prepares a request, hashing its full content once.
+    pub fn new(request: CompletionRequest) -> Self {
+        let content_hash = request.content_hash();
+        PreparedRequest {
+            request,
+            content_hash,
+        }
+    }
+
+    /// Pairs a request with a hash computed incrementally by the caller.
+    ///
+    /// The caller must have kept the hasher in lockstep with the request's
+    /// content (debug builds verify this; release builds trust it — that
+    /// trust is the whole point of the type).
+    pub fn from_parts(request: CompletionRequest, content_hash: u64) -> Self {
+        debug_assert_eq!(
+            content_hash,
+            request.content_hash(),
+            "PreparedRequest hash out of lockstep with its request"
+        );
+        PreparedRequest {
+            request,
+            content_hash,
+        }
+    }
+
+    /// The request itself.
+    pub fn request(&self) -> &CompletionRequest {
+        &self.request
+    }
+
+    /// The memoized salt-free content hash.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The salted fingerprint — identical to
+    /// `self.request().fingerprint(salt)`, at eight mixed bytes instead of a
+    /// conversation re-hash.
+    pub fn fingerprint(&self, salt: u64) -> u64 {
+        let mut tail = RequestHasher {
+            h: self.content_hash,
+        };
+        tail.mix(&salt.to_le_bytes());
+        tail.h
+    }
+
+    /// Unwraps the request (e.g. to reclaim its message vector after a
+    /// submission, avoiding a conversation clone per retry turn).
+    pub fn into_request(self) -> CompletionRequest {
+        self.request
     }
 }
 
@@ -340,6 +490,53 @@ pub trait LanguageModel: Send + Sync {
         self.complete(request)
     }
 
+    /// Produces a completion for a request whose content hash the caller
+    /// has already computed (or grown incrementally across retry turns).
+    ///
+    /// Semantically identical to
+    /// [`complete_tagged`](LanguageModel::complete_tagged) on
+    /// `prepared.request()`; the prepared hash only removes redundant work.
+    /// Caching layers key on [`PreparedRequest::fingerprint`] and simulated
+    /// backends derive their RNG from it — both are guaranteed equal to the
+    /// plain request's fingerprint, so mixing prepared and unprepared
+    /// submission of the same conversation is always coherent.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`LlmError`].
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        self.complete_tagged(prepared.request(), sample)
+    }
+
+    /// Hints that the caller will *probably* submit `prepared` shortly —
+    /// the speculative-prefetch hook.
+    ///
+    /// The `run_direct` retry loop calls this with the predicted feedback
+    /// turn before validating a response, so a memoizing, pooled layer (the
+    /// execution engine) can fetch the completion in the background while
+    /// validation runs. Returns whether the speculation was accepted;
+    /// backends with nothing to gain (no cache, no concurrency) return
+    /// `false` and do no work — the default. A speculation that turns out
+    /// to be wrong is withdrawn through
+    /// [`reject_completion`](LanguageModel::reject_completion), so accepted
+    /// prefetches never change observable results, only timing.
+    fn prefetch(&self, prepared: &PreparedRequest) -> bool {
+        let _ = prepared;
+        false
+    }
+
+    /// [`reject_completion`](LanguageModel::reject_completion) for a
+    /// request whose content hash the caller already holds — memoizing
+    /// layers drop the entry without re-hashing the conversation. The
+    /// default forwards to `reject_completion`.
+    fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
+        self.reject_completion(prepared.request(), sample);
+    }
+
     /// Produces completions for a batch of independent requests, one result
     /// per request, in order.
     ///
@@ -382,6 +579,22 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
         (**self).complete_tagged(request, sample)
     }
 
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        (**self).complete_prepared(prepared, sample)
+    }
+
+    fn prefetch(&self, prepared: &PreparedRequest) -> bool {
+        (**self).prefetch(prepared)
+    }
+
+    fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
+        (**self).reject_prepared(prepared, sample);
+    }
+
     fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
         (**self).complete_batch(requests)
     }
@@ -406,6 +619,22 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
         sample: u64,
     ) -> Result<Completion, LlmError> {
         (**self).complete_tagged(request, sample)
+    }
+
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        (**self).complete_prepared(prepared, sample)
+    }
+
+    fn prefetch(&self, prepared: &PreparedRequest) -> bool {
+        (**self).prefetch(prepared)
+    }
+
+    fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
+        (**self).reject_prepared(prepared, sample);
     }
 
     fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
@@ -480,6 +709,49 @@ mod tests {
             req.prompt_chars(),
             "solve this".len() + "bad answer".len() + "try again".len()
         );
+    }
+
+    #[test]
+    fn incremental_hasher_matches_scratch_hashing() {
+        // Grow a conversation turn by turn; the incremental hasher must
+        // agree with the from-scratch fingerprint at every prefix and salt.
+        let mut req = CompletionRequest::from_prompt("solve this");
+        req.options.model = ModelChoice::Gpt4;
+        let mut hasher = RequestHasher::new(req.temperature, req.options.model);
+        hasher.push(&req.messages[0]);
+        for turn in 0..3 {
+            assert_eq!(hasher.content_hash(), req.content_hash(), "turn {turn}");
+            for salt in [0u64, 1, 0xDEAD_BEEF] {
+                assert_eq!(hasher.fingerprint(salt), req.fingerprint(salt));
+            }
+            let bad = ChatMessage::assistant(format!("wrong answer {turn}"));
+            let fix = ChatMessage::user("try again");
+            hasher.push(&bad);
+            hasher.push(&fix);
+            req.messages.push(bad);
+            req.messages.push(fix);
+        }
+    }
+
+    #[test]
+    fn prepared_requests_agree_with_plain_fingerprints() {
+        let req = CompletionRequest::from_prompt("q");
+        let prepared = PreparedRequest::new(req.clone());
+        assert_eq!(prepared.content_hash(), req.content_hash());
+        for salt in [0u64, 7, u64::MAX] {
+            assert_eq!(prepared.fingerprint(salt), req.fingerprint(salt));
+        }
+        assert_eq!(prepared.into_request(), req);
+    }
+
+    #[test]
+    fn salt_is_mixed_after_content() {
+        // Different salts over the same content must still diverge...
+        let req = CompletionRequest::from_prompt("q");
+        assert_ne!(req.fingerprint(0), req.fingerprint(1));
+        // ...and different content under the same salt too.
+        let other = CompletionRequest::from_prompt("r");
+        assert_ne!(req.fingerprint(0), other.fingerprint(0));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod tokenizer;
 
 pub use api::{
     CachePolicy, ChatMessage, Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice,
-    RequestOptions, Role, TokenUsage,
+    PreparedRequest, RequestHasher, RequestOptions, Role, TokenUsage,
 };
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;

@@ -27,7 +27,10 @@ use minilang::{build, FuncDecl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::api::{Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, TokenUsage};
+use crate::api::{
+    Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, PreparedRequest,
+    TokenUsage,
+};
 use crate::faults::{
     break_syntax, corrupt_response, plant_bug, sample_code_bug, sample_direct_fault, CodeBug,
     DirectFault, FaultConfig,
@@ -171,6 +174,12 @@ impl MockLlm {
         &self.oracle
     }
 
+    /// The per-sample RNG salt: the configured seed mixed with the sample
+    /// ordinal.
+    fn rng_salt(&self, sample: u64) -> u64 {
+        self.config.seed ^ sample.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
     /// Derives the RNG for one request: a pure function of the configured
     /// seed, the full conversation, and the sample ordinal. Identical
     /// requests always draw the same stream, whatever order (or thread) they
@@ -178,8 +187,37 @@ impl MockLlm {
     /// The fingerprint covers the routed model, so the same prompt served by
     /// different models draws different streams.
     fn request_rng(&self, request: &CompletionRequest, sample: u64) -> StdRng {
-        let salt = self.config.seed ^ sample.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        StdRng::seed_from_u64(request.fingerprint(salt))
+        StdRng::seed_from_u64(request.fingerprint(self.rng_salt(sample)))
+    }
+
+    /// The shared completion path once the request's RNG is derived.
+    fn serve(&self, request: &CompletionRequest, rng: &mut StdRng) -> Result<Completion, LlmError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let text = self.respond(request, rng)?;
+        let usage = TokenUsage {
+            prompt_tokens: request
+                .messages
+                .iter()
+                .map(|m| count_tokens(&m.content))
+                .sum(),
+            completion_tokens: count_tokens(&text)
+                // Direct tasks narrate hidden chain-of-thought before the
+                // final JSON; charge for it like a real reasoning reply.
+                + if text.contains("```json") { 180 } else { 40 },
+        };
+        // Per-request model routing: the routed model's latency/cost profile
+        // serves the request (the hook a network backend reuses to pick the
+        // wire model); `Default` keeps the configured profile.
+        let latency_model = LatencyModel::for_choice(request.options.model, &self.config.latency);
+        let latency = latency_model.sample(usage, rng);
+        if self.config.wall_clock_scale > 0.0 {
+            std::thread::sleep(latency.mul_f64(self.config.wall_clock_scale));
+        }
+        Ok(Completion {
+            text,
+            usage,
+            latency,
+        })
     }
 
     /// The name the request is served under: the routed model's, or the
@@ -324,33 +362,20 @@ impl LanguageModel for MockLlm {
         request: &CompletionRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
-        self.calls.fetch_add(1, Ordering::Relaxed);
         let mut rng = self.request_rng(request, sample);
-        let text = self.respond(request, &mut rng)?;
-        let usage = TokenUsage {
-            prompt_tokens: request
-                .messages
-                .iter()
-                .map(|m| count_tokens(&m.content))
-                .sum(),
-            completion_tokens: count_tokens(&text)
-                // Direct tasks narrate hidden chain-of-thought before the
-                // final JSON; charge for it like a real reasoning reply.
-                + if text.contains("```json") { 180 } else { 40 },
-        };
-        // Per-request model routing: the routed model's latency/cost profile
-        // serves the request (the hook a network backend reuses to pick the
-        // wire model); `Default` keeps the configured profile.
-        let latency_model = LatencyModel::for_choice(request.options.model, &self.config.latency);
-        let latency = latency_model.sample(usage, &mut rng);
-        if self.config.wall_clock_scale > 0.0 {
-            std::thread::sleep(latency.mul_f64(self.config.wall_clock_scale));
-        }
-        Ok(Completion {
-            text,
-            usage,
-            latency,
-        })
+        self.serve(request, &mut rng)
+    }
+
+    /// A prepared submission seeds its RNG from the memoized content hash —
+    /// the same stream `complete_tagged` derives by re-hashing, minus the
+    /// re-hash (the agreement is pinned by a unit test below).
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let mut rng = StdRng::seed_from_u64(prepared.fingerprint(self.rng_salt(sample)));
+        self.serve(prepared.request(), &mut rng)
     }
 
     // The trait's default `complete_batch` (independent per-request
@@ -669,6 +694,22 @@ mod tests {
         let mut args = Map::new();
         args.insert("n", json!(5i64));
         let _ = minilang::Interp::new(&program).call_json("calcFact", &args);
+    }
+
+    #[test]
+    fn prepared_and_plain_submission_agree() {
+        // The whole zero-rehash design rests on this: a prepared submission
+        // must draw the exact stream the plain path derives by re-hashing.
+        let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(99), Oracle::standard());
+        let p = direct_prompt("number", "What is 'x' times 'y'?\nwhere 'x' = 3, 'y' = 9");
+        let request = CompletionRequest::from_prompt(p);
+        let prepared = crate::api::PreparedRequest::new(request.clone());
+        for sample in [0u64, 1, 7] {
+            let plain = llm.complete_tagged(&request, sample).unwrap();
+            let fast = llm.complete_prepared(&prepared, sample).unwrap();
+            assert_eq!(plain.text, fast.text, "sample {sample}");
+            assert_eq!(plain.latency, fast.latency, "sample {sample}");
+        }
     }
 
     #[test]

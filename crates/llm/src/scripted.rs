@@ -182,6 +182,36 @@ impl<L: LanguageModel> LanguageModel for RecordingLlm<L> {
         result
     }
 
+    fn complete_prepared(
+        &self,
+        prepared: &crate::api::PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        let result = self.inner.complete_prepared(prepared, sample);
+        self.log.lock().push(Exchange {
+            request: prepared.request().clone(),
+            response: result
+                .as_ref()
+                .map(|c| c.text.clone())
+                .map_err(ToString::to_string),
+        });
+        result
+    }
+
+    fn prefetch(&self, prepared: &crate::api::PreparedRequest) -> bool {
+        // Speculation is a timing hint, not an exchange: forward it (so a
+        // wrapped engine still speculates) without logging.
+        self.inner.prefetch(prepared)
+    }
+
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        self.inner.reject_completion(request, sample);
+    }
+
+    fn reject_prepared(&self, prepared: &crate::api::PreparedRequest, sample: u64) {
+        self.inner.reject_prepared(prepared, sample);
+    }
+
     fn model_name(&self) -> &str {
         self.inner.model_name()
     }

@@ -222,6 +222,7 @@ fn main() -> Result<(), askit::AskItError> {
         "mean direct-vs-compiled speedup: {:.0}x",
         pass1.mean_speedup
     );
+    println!("completion cache: {}", askit.cache_stats());
 
     let flushed = match askit.persist_cache() {
         Ok(n) => {

@@ -33,7 +33,7 @@ fn delta(before: &CacheStats, after: &CacheStats) -> (u64, u64, u64) {
 fn main() -> Result<(), askit::AskItError> {
     let problems = gsm8k::problems(16, 7);
     let mut oracle = Oracle::standard();
-    gsm8k::register_oracle(&mut oracle, &problems, 1);
+    gsm8k::register_oracle(&mut oracle, &problems, 2);
     let askit = Askit::new(MockLlm::new(MockLlmConfig::gpt4(), oracle));
 
     let build_queries = |subset: &dyn Fn(&Gsm8kProblem) -> bool| {

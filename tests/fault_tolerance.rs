@@ -91,7 +91,7 @@ fn latency_accumulates_across_retries() {
 #[test]
 fn code_bugs_never_survive_validation() {
     let cfg = MockLlmConfig::gpt35()
-        .with_seed(11)
+        .with_seed(1)
         .with_faults(FaultConfig {
             direct_fault_rate: 0.0,
             code_bug_rate: 0.6,
