@@ -35,6 +35,13 @@ pub struct AskitConfig {
     /// [`crate::QueryOptions::cache_ttl`] beat this, and the resolved value
     /// is stamped on every request as [`RequestOptions::ttl`].
     pub cache_ttl: Option<Duration>,
+    /// How long a network backend may spend on one completion round trip
+    /// before failing with a transport error. `None` = no opinion (the
+    /// backend's own configured default applies); in-process backends
+    /// ignore it. Overridable per call via [`crate::QueryOptions::timeout`];
+    /// the resolved value is stamped on every request as
+    /// [`RequestOptions::timeout`]. Service advice, not cache identity.
+    pub request_timeout: Option<Duration>,
     /// Whether the §III-E retry loop speculatively prefetches the likely
     /// feedback turn before validating a response (see
     /// [`crate::run_direct`]). Off by default: speculation is only useful
@@ -55,6 +62,7 @@ impl Default for AskitConfig {
             cache_policy: CachePolicy::Use,
             cache_dir: None,
             cache_ttl: None,
+            request_timeout: None,
             speculate: false,
         }
     }
@@ -103,6 +111,13 @@ impl AskitConfig {
         self
     }
 
+    /// Bounds every completion round trip on network backends.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = Some(timeout);
+        self
+    }
+
     /// Enables (or disables) speculative retry prefetch.
     #[must_use]
     pub fn with_speculation(mut self, speculate: bool) -> Self {
@@ -116,6 +131,7 @@ impl AskitConfig {
             model: self.model,
             cache: self.cache_policy,
             ttl: self.cache_ttl,
+            timeout: self.request_timeout,
         }
     }
 }
@@ -141,7 +157,8 @@ mod tests {
             .with_model(ModelChoice::Gpt35)
             .with_cache_policy(CachePolicy::Bypass)
             .with_cache_dir("/tmp/askit-cache")
-            .with_cache_ttl(Duration::from_secs(60));
+            .with_cache_ttl(Duration::from_secs(60))
+            .with_request_timeout(Duration::from_secs(30));
         assert_eq!(c.max_retries, 2);
         assert_eq!(c.temperature, 0.0);
         assert_eq!(c.model, ModelChoice::Gpt35);
@@ -156,6 +173,7 @@ mod tests {
                 model: ModelChoice::Gpt35,
                 cache: CachePolicy::Bypass,
                 ttl: Some(Duration::from_secs(60)),
+                timeout: Some(Duration::from_secs(30)),
             }
         );
     }

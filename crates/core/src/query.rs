@@ -47,6 +47,9 @@ pub struct QueryOptions {
     /// Overrides [`AskitConfig::cache_ttl`]: how long completions this call
     /// stores stay servable from the persistent cache.
     pub cache_ttl: Option<Duration>,
+    /// Overrides [`AskitConfig::request_timeout`]: how long a network
+    /// backend may spend on one round trip for this call.
+    pub timeout: Option<Duration>,
     /// Overrides [`AskitConfig::speculate`]: whether the retry loop
     /// prefetches the likely feedback turn ahead of validation.
     pub speculate: Option<bool>,
@@ -93,6 +96,13 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the request-timeout override (network backends).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
     /// Sets the speculative-prefetch override.
     #[must_use]
     pub fn with_speculation(mut self, speculate: bool) -> Self {
@@ -111,6 +121,7 @@ impl QueryOptions {
             max_retries: self.max_retries.or(base.max_retries),
             cache: self.cache.or(base.cache),
             cache_ttl: self.cache_ttl.or(base.cache_ttl),
+            timeout: self.timeout.or(base.timeout),
             speculate: self.speculate.or(base.speculate),
         }
     }
@@ -127,6 +138,7 @@ impl QueryOptions {
             cache_policy: self.cache.unwrap_or(defaults.cache_policy),
             cache_dir: defaults.cache_dir.clone(),
             cache_ttl: self.cache_ttl.or(defaults.cache_ttl),
+            request_timeout: self.timeout.or(defaults.request_timeout),
             speculate: self.speculate.unwrap_or(defaults.speculate),
         }
     }
@@ -213,6 +225,14 @@ impl<'a, T: AskType, L: LanguageModel> QueryBuilder<'a, T, L> {
     #[must_use]
     pub fn cache_ttl(mut self, ttl: Duration) -> Self {
         self.options.cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Bounds each completion round trip of this query on network backends
+    /// (in-process backends ignore it).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.options.timeout = Some(timeout);
         self
     }
 

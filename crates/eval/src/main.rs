@@ -3,6 +3,7 @@
 //! ```text
 //! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
 //!            [--cache-dir DIR] [--cache-ttl SECS] [--speculate]
+//!            [--backend mock|http] [--api-base URL]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -34,12 +35,21 @@ options:
   --speculate       prefetch likely retry feedback turns through the engine
                     pool ahead of validation (table3); results are
                     bit-identical with or without, only timing changes
+  --backend B       which model serves table3: 'mock' (default, the
+                    deterministic simulated GPT) or 'http' (an
+                    OpenAI-compatible service; needs a build with
+                    --features http and an api base)
+  --api-base URL    the http backend's base URL, e.g.
+                    http://127.0.0.1:8080/v1 (default: $ASKIT_API_BASE)
   --help            print this message
 
 environment:
   ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)
   ASKIT_WORKERS      engine worker threads when --threads is 0/unset
-                     (default: the machine's full available parallelism)";
+                     (default: the machine's full available parallelism)
+  ASKIT_API_BASE     default --api-base for the http backend
+  ASKIT_API_KEY      bearer credential for the http backend (sent as
+                     'Authorization: Bearer …'; never logged)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,10 +59,24 @@ fn main() {
     let mut threads = 0usize;
     let mut cache = table3::CacheSetup::default();
     let mut speculate = false;
+    let mut backend_name = "mock".to_owned();
+    let mut api_base: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--backend" => {
+                let Some(name) = iter.next() else {
+                    usage("--backend needs a value ('mock' or 'http')");
+                };
+                backend_name = name.clone();
+            }
+            "--api-base" => {
+                let Some(url) = iter.next() else {
+                    usage("--api-base needs a value");
+                };
+                api_base = Some(url.clone());
+            }
             "--count" => count = parse_flag_value(arg, iter.next()),
             "--seed" => seed = parse_flag_value(arg, iter.next()),
             "--threads" => threads = parse_flag_value(arg, iter.next()),
@@ -78,6 +102,8 @@ fn main() {
         }
     }
 
+    let backend = resolve_backend(&backend_name, api_base.as_deref());
+
     let run_table2 = || {
         emit(
             "table2.txt",
@@ -96,7 +122,9 @@ fn main() {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
         emit(
             "table3.txt",
-            &table3::render(&table3::run_full(count, seed, threads, &cache, speculate)),
+            &table3::render(&table3::run_full_with_backend(
+                count, seed, threads, &cache, speculate, &backend,
+            )),
         );
     };
 
@@ -113,6 +141,51 @@ fn main() {
             run_fig7();
             run_table3();
         }
+    }
+}
+
+/// Resolves `--backend`/`--api-base` into a [`table3::Backend`],
+/// validating everything the flags can get wrong *before* any experiment
+/// starts: an unknown backend name, a build without the `http` feature, a
+/// missing or malformed base URL.
+fn resolve_backend(name: &str, api_base: Option<&str>) -> table3::Backend {
+    // Only the feature-gated arm consumes the base URL.
+    #[cfg(not(feature = "http"))]
+    let _ = api_base;
+    match name {
+        "mock" => table3::Backend::Mock,
+        #[cfg(feature = "http")]
+        "http" => {
+            let mut config = match api_base {
+                Some(base) => askit_llm_http::HttpLlmConfig::new(base),
+                None => match askit_llm_http::HttpLlmConfig::from_env() {
+                    Some(config) => config,
+                    None => usage(&format!(
+                        "--backend http needs --api-base or ${}",
+                        askit_llm_http::API_BASE_ENV
+                    )),
+                },
+            };
+            if config.api_key.is_none() {
+                if let Ok(key) = std::env::var(askit_llm_http::API_KEY_ENV) {
+                    if !key.trim().is_empty() {
+                        config = config.with_api_key(key);
+                    }
+                }
+            }
+            // Validate the base URL now, with a usage message, instead of
+            // panicking mid-sweep.
+            if let Err(e) = askit_llm_http::HttpLlm::new(config.clone()) {
+                usage(&format!("bad http backend configuration: {e}"));
+            }
+            table3::Backend::Http(Box::new(config))
+        }
+        #[cfg(not(feature = "http"))]
+        "http" => usage(
+            "this binary was built without the network backend; rebuild with \
+             `cargo build --features http`",
+        ),
+        other => usage(&format!("unknown backend '{other}' (use 'mock' or 'http')")),
     }
 }
 

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use askit_core::{Askit, AskitConfig, Example};
 use askit_datasets::gsm8k::{self, Gsm8kProblem};
 use askit_exec::{CacheStats, EngineConfig};
-use askit_llm::{MockLlm, MockLlmConfig, Oracle};
+use askit_llm::{LanguageModel, MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
 use crate::report::{mean, Table};
@@ -76,6 +76,25 @@ pub struct CacheSetup {
     pub ttl: Option<Duration>,
 }
 
+/// Which language-model backend serves a sweep.
+///
+/// The reproduction's default is the simulated GPT ([`Backend::Mock`]),
+/// whose answers are derived from the dataset oracle — deterministic at
+/// any thread count. With the `http` cargo feature, `Backend::Http`
+/// points the *same* harness (engine, cache, retry loop, grading) at an
+/// OpenAI-compatible service instead; solve counts then measure the real
+/// model behind that endpoint.
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// The deterministic simulated GPT (the default).
+    #[default]
+    Mock,
+    /// An OpenAI-compatible HTTP service (boxed: the configuration is an
+    /// order of magnitude larger than the unit `Mock` variant).
+    #[cfg(feature = "http")]
+    Http(Box<askit_llm_http::HttpLlmConfig>),
+}
+
 fn syntax_tag(syntax: Syntax) -> &'static str {
     match syntax {
         Syntax::Ts => "ts",
@@ -90,10 +109,35 @@ fn run_pipeline(
     threads: usize,
     cache: &CacheSetup,
     speculate: bool,
+    backend: &Backend,
 ) -> Table3Column {
-    let mut oracle = Oracle::standard();
-    gsm8k::register_oracle(&mut oracle, problems, run_seed);
-    let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(run_seed), oracle);
+    match backend {
+        Backend::Mock => {
+            let mut oracle = Oracle::standard();
+            gsm8k::register_oracle(&mut oracle, problems, run_seed);
+            let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(run_seed), oracle);
+            run_pipeline_with(llm, problems, syntax, run_seed, threads, cache, speculate)
+        }
+        #[cfg(feature = "http")]
+        Backend::Http(config) => {
+            // Construction only fails on a malformed base URL (the eval
+            // CLI validates up front; library callers hit this directly).
+            let llm = askit_llm_http::HttpLlm::new((**config).clone())
+                .unwrap_or_else(|e| panic!("invalid http backend configuration: {e}"));
+            run_pipeline_with(llm, problems, syntax, run_seed, threads, cache, speculate)
+        }
+    }
+}
+
+fn run_pipeline_with<L: LanguageModel + 'static>(
+    llm: L,
+    problems: &[Gsm8kProblem],
+    syntax: Syntax,
+    run_seed: u64,
+    threads: usize,
+    cache: &CacheSetup,
+    speculate: bool,
+) -> Table3Column {
     let mut engine_config = EngineConfig::default().with_workers(threads);
     if let Some(dir) = &cache.dir {
         // One cache universe per (pipeline, run seed): the mock's responses
@@ -151,7 +195,11 @@ fn run_pipeline(
     }
 }
 
-fn run_problem(askit: &Askit<MockLlm>, problem: &Gsm8kProblem, syntax: Syntax) -> Outcome {
+fn run_problem<L: LanguageModel + 'static>(
+    askit: &Askit<L>,
+    problem: &Gsm8kProblem,
+    syntax: Syntax,
+) -> Outcome {
     let task = match askit.define(askit_types::int(), &problem.template) {
         Ok(t) => t.with_tests([Example {
             input: problem.args.clone(),
@@ -246,6 +294,28 @@ pub fn run_full(
     cache: &CacheSetup,
     speculate: bool,
 ) -> Table3Report {
+    run_full_with_backend(count, seed, threads, cache, speculate, &Backend::Mock)
+}
+
+/// [`run_full`] with an explicit model backend: the mock (default) or,
+/// behind the `http` feature, an OpenAI-compatible HTTP service — the
+/// whole harness (engine, cache, persistence, speculation, grading) is
+/// identical either way.
+///
+/// # Panics
+///
+/// With an HTTP backend whose base URL does not parse (e.g. an `https://`
+/// endpoint — the offline build has no TLS). Validate configurations up
+/// front with `askit_llm_http::HttpLlm::new` where a panic is
+/// unacceptable; the eval CLI does exactly that.
+pub fn run_full_with_backend(
+    count: usize,
+    seed: u64,
+    threads: usize,
+    cache: &CacheSetup,
+    speculate: bool,
+    backend: &Backend,
+) -> Table3Report {
     let problems = gsm8k::problems(count, seed);
     // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
     // difference to response randomness.
@@ -256,6 +326,7 @@ pub fn run_full(
         threads,
         cache,
         speculate,
+        backend,
     );
     let py = run_pipeline(
         &problems,
@@ -264,6 +335,7 @@ pub fn run_full(
         threads,
         cache,
         speculate,
+        backend,
     );
     Table3Report { ts, py }
 }
@@ -308,6 +380,44 @@ pub fn render(report: &Table3Report) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The same harness, pointed at an OpenAI-compatible HTTP service (the
+    /// loopback server): the sweep runs to completion over the wire, every
+    /// problem is attempted, and grading happens against the dataset's own
+    /// answers — the server needs no oracle.
+    #[cfg(feature = "http")]
+    #[test]
+    fn table3_runs_against_an_http_backend() {
+        use askit_llm_http::{HttpLlmConfig, LoopbackServer, Reply};
+        let server = LoopbackServer::start().unwrap();
+        // A minimal "model": answer every direct prompt with a well-formed
+        // JSON answer (sum of the prompt's integers — usually wrong, which
+        // also exercises the retry loop over the wire).
+        server.set_default_handler(|request| {
+            let prompt = request.last_user.as_deref().unwrap_or("");
+            let mut sum: i64 = 0;
+            let mut digits = String::new();
+            for c in prompt.chars().chain([' ']) {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                } else if !digits.is_empty() {
+                    sum += digits.parse::<i64>().unwrap_or(0);
+                    digits.clear();
+                }
+            }
+            Reply::Text(format!(
+                "```json\n{{\"reason\": \"r\", \"answer\": {sum}}}\n```"
+            ))
+        });
+        let backend = Backend::Http(Box::new(HttpLlmConfig::new(server.api_base())));
+        let report = run_full_with_backend(3, 99, 2, &CacheSetup::default(), false, &backend);
+        assert_eq!(report.ts.attempted, 3);
+        assert_eq!(report.py.attempted, 3);
+        assert!(server.hits() >= 6, "every problem reached the wire");
+        // Grading is against the dataset's answers; a sum-of-integers
+        // stand-in may or may not solve any, but the counts must be sane.
+        assert!(report.ts.solved_direct <= 3 && report.py.solved_direct <= 3);
+    }
 
     #[test]
     fn table3_small_run_matches_the_paper_shape() {

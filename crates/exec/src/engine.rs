@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::lock;
 use std::time::Duration;
@@ -102,17 +102,22 @@ fn resolve_workers(configured: usize) -> usize {
 ///
 /// * `prefetch` inserts `Queued` and submits the job;
 /// * the job claims `Queued → Running`, completes the request, and — only
-///   if still `Running` — publishes to the cache, then removes the entry;
+///   if still `Running` — publishes to the cache, then removes the entry
+///   (notifying `settled`);
 /// * a foreground miss *claims* a still-`Queued` key (removing it, so the
 ///   job abandons without computing) and completes the request itself — the
 ///   pool may be saturated, and blocking on a queued job would deadlock a
 ///   nested fan-out;
+/// * a foreground miss that finds the key **`Running` joins it**: it waits
+///   on `settled` until the job's entry is gone, then re-probes the cache.
+///   Waiting on `Running` is deadlock-free — `Running` means a worker
+///   thread is already executing the model call and needs no further pool
+///   capacity to finish — and it is what keeps a network backend from
+///   paying the same round trip twice when validation loses the race
+///   against its own prefetch;
 /// * `reject_completion` removes a `Queued` key or marks a `Running` one
-///   `Cancelled`, so the job discards its result.
-///
-/// A `Running` job racing a foreground miss may complete the same request
-/// twice; both derive the identical completion (backends are pure per
-/// request), so observable results never depend on the race.
+///   `Cancelled`, so the job discards its result (joiners see the
+///   `Cancelled` phase and fall back to completing in the foreground).
 #[derive(Debug, PartialEq, Eq)]
 enum SpecPhase {
     Queued,
@@ -123,6 +128,9 @@ enum SpecPhase {
 #[derive(Debug, Default)]
 struct SpeculationLedger {
     phases: Mutex<HashMap<u64, SpecPhase>>,
+    /// Notified whenever a `Running` entry is removed (published, failed,
+    /// or cancelled-and-finished) so foreground joiners can re-probe.
+    settled: Condvar,
 }
 
 /// The execution engine: owns a model, a persistent worker pool, and an
@@ -267,19 +275,52 @@ impl<L: LanguageModel> Engine<L> {
         self.pool.map(items, f)
     }
 
-    /// Claims a still-queued speculation for the foreground: the background
-    /// job, when it eventually runs, abandons without computing. A
-    /// `Running` speculation is left alone — it already paid for the model
-    /// call and will publish the identical completion.
-    fn claim_speculation(&self, key: u64) {
+    /// Resolves a foreground miss against any speculation in flight for
+    /// the same turn. Returns whether an in-flight speculation was
+    /// **joined**: `true` means a `Running` job was waited out and the
+    /// caller should re-probe the cache (the job published there on
+    /// success) before paying for a completion of its own.
+    ///
+    /// A still-`Queued` speculation is *claimed* instead (removed, so the
+    /// job abandons without computing, and the foreground completes it) —
+    /// the pool may be saturated, and waiting on a job no worker has
+    /// started would deadlock a nested fan-out. `Running` is safe to wait
+    /// on: the executing worker needs no additional pool capacity to
+    /// finish. This join is what the ROADMAP's speculation gap called for:
+    /// on a network backend, "complete it again ourselves" costs a real
+    /// duplicate round trip, so the foreground must wait for the in-flight
+    /// request rather than double-complete.
+    fn join_or_claim_speculation(&self, key: u64) -> bool {
         let mut phases = lock(&self.speculative.phases);
-        if matches!(phases.get(&key), Some(SpecPhase::Queued)) {
-            phases.remove(&key);
+        loop {
+            match phases.get(&key) {
+                Some(SpecPhase::Queued) => {
+                    phases.remove(&key);
+                    return false;
+                }
+                Some(SpecPhase::Running) => {
+                    phases = self
+                        .speculative
+                        .settled
+                        .wait(phases)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if !phases.contains_key(&key) {
+                        return true; // the job settled: re-probe the cache
+                    }
+                    // Spurious wake, another key settled, or this one was
+                    // cancelled meanwhile: loop and re-inspect.
+                }
+                // No speculation, or one the caller's own rejection already
+                // cancelled: the foreground completes it.
+                Some(SpecPhase::Cancelled) | None => return false,
+            }
         }
     }
 
     /// Withdraws a speculation whose prediction turned out wrong: a queued
-    /// job is abandoned, a running one is told to discard its result.
+    /// job is abandoned, a running one is told to discard its result. Any
+    /// foreground joiner is woken so it sees the cancellation promptly
+    /// instead of waiting out the doomed job.
     fn cancel_speculation(&self, key: u64) {
         let mut phases = lock(&self.speculative.phases);
         match phases.get_mut(&key) {
@@ -289,6 +330,7 @@ impl<L: LanguageModel> Engine<L> {
             }
             _ => {}
         }
+        self.speculative.settled.notify_all();
     }
 }
 
@@ -310,8 +352,12 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         if let Some(hit) = cache.get_keyed(key, request, sample) {
             return Ok(hit);
         }
-        if sample == 0 {
-            self.claim_speculation(key);
+        if sample == 0 && self.join_or_claim_speculation(key) {
+            // Joined an in-flight speculation: its completion (if it
+            // succeeded) is in the cache now — no second model call.
+            if let Some(hit) = cache.get_keyed(key, request, sample) {
+                return Ok(hit);
+            }
         }
         let completion = self.model.complete_tagged(request, sample)?;
         cache.put_keyed(key, request, sample, completion.clone());
@@ -334,8 +380,10 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
             return Ok(hit);
         }
-        if sample == 0 {
-            self.claim_speculation(key);
+        if sample == 0 && self.join_or_claim_speculation(key) {
+            if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
+                return Ok(hit);
+            }
         }
         let completion = self.model.complete_prepared(prepared, sample)?;
         cache.put_keyed(key, prepared.request(), sample, completion.clone());
@@ -376,6 +424,7 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                     // Claimed by a foreground miss or withdrawn: abandon.
                     _ => {
                         phases.remove(&key);
+                        ledger.settled.notify_all();
                         return;
                     }
                 }
@@ -393,6 +442,9 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 fn drop(&mut self) {
                     if self.armed {
                         lock(&self.ledger.phases).remove(&self.key);
+                        // Wake joiners: they re-probe, miss, and complete
+                        // in the foreground instead of waiting forever.
+                        self.ledger.settled.notify_all();
                     }
                 }
             }
@@ -413,6 +465,9 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 }
             }
             phases.remove(&key);
+            // The entry is gone *and* the publish (if any) is visible:
+            // joined foreground misses can re-probe now.
+            ledger.settled.notify_all();
         }));
         true
     }
@@ -456,11 +511,16 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
             let completed: Vec<(usize, Result<Completion, LlmError>)> =
                 self.pool.map(&miss_indices, |_, &index| {
                     // A miss the foreground is about to compute claims any
-                    // still-queued speculation for the same turn, exactly
-                    // like the single-request paths — otherwise the pool
-                    // would pay a duplicate model call.
-                    if self.cache_for(&requests[index]).is_some() {
-                        self.claim_speculation(keys[index]);
+                    // still-queued speculation for the same turn (or joins
+                    // a running one), exactly like the single-request
+                    // paths — otherwise the pool would pay a duplicate
+                    // model call.
+                    if let Some(cache) = self.cache_for(&requests[index]) {
+                        if self.join_or_claim_speculation(keys[index]) {
+                            if let Some(hit) = cache.get_keyed(keys[index], &requests[index], 0) {
+                                return (index, Ok(hit));
+                            }
+                        }
                     }
                     (index, self.model.complete_tagged(&requests[index], 0))
                 });

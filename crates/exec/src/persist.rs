@@ -313,7 +313,15 @@ fn decode_entry(dec: &mut Dec<'_>) -> Option<DiskEntry> {
         request: CompletionRequest {
             messages,
             temperature,
-            options: RequestOptions { model, cache, ttl },
+            // The request timeout is per-process service advice (how long a
+            // network backend may spend); it is neither identity nor worth
+            // persisting, so reloaded entries carry none.
+            options: RequestOptions {
+                model,
+                cache,
+                ttl,
+                timeout: None,
+            },
         },
         completion: Completion {
             text,

@@ -1,13 +1,16 @@
 //! Concurrent use of one shared engine: many OS threads batching through it
 //! at once, the deadlock-prone nested map-inside-map shape, and the
-//! speculative-prefetch lifecycle (landing, claiming, withdrawing).
+//! speculative-prefetch lifecycle (landing, claiming, joining,
+//! withdrawing).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use askit_exec::{Engine, EngineConfig};
 use askit_llm::{
-    CompletionRequest, FaultConfig, LanguageModel, MockLlm, MockLlmConfig, Oracle, PreparedRequest,
+    Completion, CompletionRequest, FaultConfig, LanguageModel, LlmError, MockLlm, MockLlmConfig,
+    Oracle, PreparedRequest, TokenUsage,
 };
 
 fn quiet_mock(seed: u64) -> MockLlm {
@@ -206,6 +209,147 @@ fn rejected_speculation_is_evicted() {
     let calls = engine.model().calls();
     let _ = engine.complete_prepared(&prepared, 0).unwrap();
     assert_eq!(engine.model().calls(), calls + 1, "retry re-asks the model");
+}
+
+/// A backend whose completions block until the test opens a gate: the
+/// `Running` window of a speculation becomes arbitrarily wide, so the
+/// join path is exercised deterministically instead of racily. Counts
+/// every model call; optionally fails the first one.
+struct GatedLlm {
+    calls: AtomicUsize,
+    gate: Mutex<bool>,
+    opened: Condvar,
+    fail_first: bool,
+}
+
+impl GatedLlm {
+    fn closed(fail_first: bool) -> Self {
+        GatedLlm {
+            calls: AtomicUsize::new(0),
+            gate: Mutex::new(false),
+            opened: Condvar::new(),
+            fail_first,
+        }
+    }
+
+    fn open(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+
+    fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl LanguageModel for GatedLlm {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        let ordinal = self.calls.fetch_add(1, Ordering::SeqCst);
+        let mut gate = self.gate.lock().unwrap();
+        while !*gate {
+            gate = self.opened.wait(gate).unwrap();
+        }
+        drop(gate);
+        if self.fail_first && ordinal == 0 {
+            return Err(LlmError::Transport("injected first-call failure".into()));
+        }
+        Ok(Completion {
+            text: format!("gated answer to {:?}", request.last_user()),
+            usage: TokenUsage {
+                prompt_tokens: 1,
+                completion_tokens: 1,
+            },
+            latency: Duration::from_millis(1),
+        })
+    }
+
+    fn model_name(&self) -> &str {
+        "gated"
+    }
+}
+
+/// The speculation **join**: a foreground miss that finds its turn already
+/// `Running` in the background must wait for that round trip and take its
+/// published result — exactly one model call total, where the old claim
+/// semantics would have paid a duplicate (fatal against a real network
+/// backend).
+#[test]
+fn foreground_miss_joins_running_speculation_without_double_completing() {
+    let engine = Arc::new(Engine::with_config(
+        GatedLlm::closed(false),
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(256),
+    ));
+    let prepared = PreparedRequest::new(arithmetic_prompt(3));
+    assert!(engine.prefetch(&prepared));
+    // Wait until the background job is *inside* the model call (Running).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.model().calls() == 0 {
+        assert!(Instant::now() < deadline, "speculation never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Foreground submission of the same turn: must join, not re-complete.
+    let foreground = {
+        let engine = Arc::clone(&engine);
+        let prepared = prepared.clone();
+        std::thread::spawn(move || engine.complete_prepared(&prepared, 0))
+    };
+    // Give the foreground ample time to (wrongly) start a duplicate call.
+    std::thread::sleep(Duration::from_millis(100));
+    let calls_while_gated = engine.model().calls();
+    let finished_while_gated = foreground.is_finished();
+    // Open the gate *before* asserting: a failed assertion must not strand
+    // the gated threads (the process would hang instead of failing).
+    engine.model().open();
+    assert_eq!(
+        calls_while_gated, 1,
+        "the foreground miss must wait on the running speculation, not re-ask"
+    );
+    assert!(!finished_while_gated, "nothing to return before the gate");
+    let completion = foreground.join().unwrap().unwrap();
+    assert!(completion.text.starts_with("gated answer"));
+    assert_eq!(
+        engine.model().calls(),
+        1,
+        "exactly one model call end-to-end"
+    );
+    let stats = engine.cache_stats();
+    assert!(stats.hits >= 1, "the join re-probe was a hit: {stats:?}");
+}
+
+/// When the joined speculation *fails*, the foreground falls back to its
+/// own completion instead of inheriting the error or hanging.
+#[test]
+fn joined_speculation_failure_falls_back_to_foreground_completion() {
+    let engine = Arc::new(Engine::with_config(
+        GatedLlm::closed(true),
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(256),
+    ));
+    let prepared = PreparedRequest::new(arithmetic_prompt(4));
+    assert!(engine.prefetch(&prepared));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.model().calls() == 0 {
+        assert!(Instant::now() < deadline, "speculation never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let foreground = {
+        let engine = Arc::clone(&engine);
+        let prepared = prepared.clone();
+        std::thread::spawn(move || engine.complete_prepared(&prepared, 0))
+    };
+    engine.model().open();
+    // The speculation errors (first call fails), publishes nothing; the
+    // joiner re-probes, misses, and completes in the foreground.
+    let completion = foreground.join().unwrap().unwrap();
+    assert!(completion.text.starts_with("gated answer"));
+    assert_eq!(
+        engine.model().calls(),
+        2,
+        "failed speculation + foreground fallback"
+    );
 }
 
 /// A foreground miss claims a still-queued speculation instead of waiting

@@ -1,0 +1,107 @@
+//! Jittered exponential backoff for retried requests.
+
+use std::time::Duration;
+
+use crate::config::RetryConfig;
+
+/// Computes the delay before retry attempt `attempt` (0-based: the delay
+/// taken *after* the first failure is `delay(0, …)`).
+///
+/// The envelope doubles from [`RetryConfig::base_delay`] up to
+/// [`RetryConfig::max_delay`]; the actual delay is drawn from the upper
+/// half of the envelope (`[envelope/2, envelope]`, "equal jitter") so
+/// retries neither stampede in lockstep nor collapse to zero. The draw is
+/// **deterministic** in `(seed, attempt)` — callers seed it with the
+/// request fingerprint — which keeps test runs reproducible while still
+/// de-correlating distinct requests.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    retry: RetryConfig,
+}
+
+impl BackoffPolicy {
+    /// A policy following `retry`.
+    pub fn new(retry: RetryConfig) -> Self {
+        BackoffPolicy { retry }
+    }
+
+    /// Retries allowed after the first attempt.
+    pub fn max_retries(&self) -> u32 {
+        self.retry.max_retries
+    }
+
+    /// The jittered delay before retry `attempt` for request `seed`.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.retry.base_delay.as_nanos() as u64;
+        let cap = self.retry.max_delay.as_nanos() as u64;
+        let envelope = base
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(cap)
+            .max(1);
+        // FNV-1a over (seed, attempt) → a uniform fraction of the envelope's
+        // upper half.
+        let mut bytes = [0u8; 12];
+        bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        bytes[8..].copy_from_slice(&attempt.to_le_bytes());
+        let h = crate::fnv1a(&bytes);
+        let fraction = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = envelope / 2 + ((envelope / 2) as f64 * fraction) as u64;
+        Duration::from_nanos(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy::new(RetryConfig {
+            max_retries: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        })
+    }
+
+    #[test]
+    fn envelope_doubles_and_caps() {
+        let p = policy();
+        for seed in [0u64, 7, 0xDEAD] {
+            let mut previous = Duration::ZERO;
+            for attempt in 0..6 {
+                let d = p.delay(attempt, seed);
+                let envelope_ms = (100u64 << attempt).min(2000);
+                assert!(
+                    d >= Duration::from_millis(envelope_ms / 2)
+                        && d <= Duration::from_millis(envelope_ms),
+                    "attempt {attempt}: {d:?} outside [{}/2, {}]ms",
+                    envelope_ms,
+                    envelope_ms
+                );
+                assert!(d >= previous / 2, "delays should trend upward");
+                previous = d;
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_decorrelated() {
+        let p = policy();
+        assert_eq!(
+            p.delay(1, 42),
+            p.delay(1, 42),
+            "same seed+attempt: same delay"
+        );
+        assert_ne!(
+            p.delay(1, 42),
+            p.delay(1, 43),
+            "distinct requests draw distinct jitter"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = policy();
+        let d = p.delay(u32::MAX, 1);
+        assert!(d <= Duration::from_secs(2));
+    }
+}

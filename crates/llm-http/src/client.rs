@@ -1,0 +1,813 @@
+//! [`HttpLlm`]: the OpenAI-compatible network backend.
+//!
+//! One client owns a keep-alive connection pool, a per-model token-bucket
+//! [`RateLimiter`], a jittered-backoff retry loop, and an **in-flight
+//! coalescing** table: concurrent submissions of the same `(request,
+//! sample)` identity share one wire round trip, and a speculative
+//! [`prefetch`](askit_llm::LanguageModel::prefetch) becomes a flight the
+//! next foreground submission *joins* instead of re-paying. The client
+//! implements [`LanguageModel`], so it slots under the execution engine
+//! unchanged — cache, worker pool, and speculation ledger all front it
+//! exactly as they front the mock.
+//!
+//! # Credential hygiene
+//!
+//! The API key reaches exactly one sink: the `Authorization` header bytes
+//! written by [`write_post`]. Every error constructed here is built from
+//! the *response* (status line, truncated body snippet) or from socket
+//! error text — never from request headers — so `ASKIT_API_KEY` cannot
+//! appear in `Debug` output, error messages, or anything a caller
+//! persists. A unit test greps every formatted surface for the key.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use askit_llm::{
+    Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, PreparedRequest,
+};
+
+use crate::backoff::BackoffPolicy;
+use crate::config::HttpLlmConfig;
+use crate::lock;
+use crate::protocol::{decode_response, encode_request, StreamAccumulator};
+use crate::ratelimit::RateLimiter;
+use crate::wire::{write_post, BodyFraming, ConnectionPool, ParsedBase, WireReader};
+
+/// How many *landed* (completed but unclaimed) speculative flights are
+/// retained before the oldest is forgotten.
+const LANDED_SPECULATION_CAP: usize = 64;
+
+/// Longest response-body snippet embedded in an [`LlmError::Http`].
+const BODY_SNIPPET_LIMIT: usize = 200;
+
+/// Wire-level counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HttpStats {
+    /// HTTP requests actually written to a socket (each retry counts).
+    pub wire_requests: u64,
+    /// Attempts retried after a 429/5xx or transport failure.
+    pub retries: u64,
+    /// 429 responses absorbed (each drains the model's token bucket).
+    pub throttles: u64,
+    /// Submissions served by joining an already-in-flight identical
+    /// request instead of issuing their own.
+    pub coalesced: u64,
+    /// Speculative prefetch flights launched.
+    pub prefetches: u64,
+    /// Round trips that started on a parked keep-alive connection.
+    pub reused_connections: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    wire_requests: AtomicU64,
+    retries: AtomicU64,
+    throttles: AtomicU64,
+    coalesced: AtomicU64,
+    prefetches: AtomicU64,
+    reused_connections: AtomicU64,
+}
+
+/// One in-flight (or landed-speculative) wire round trip.
+struct Flight {
+    state: Mutex<Option<Result<Completion, LlmError>>>,
+    done: Condvar,
+    /// Speculative flights stay registered after completion so a later
+    /// foreground submission can claim the result; foreground flights
+    /// unregister the moment they land.
+    speculative: bool,
+    /// Set by `reject_completion`: the landed result must not be served.
+    rejected: AtomicBool,
+    /// The leader's request. The table keys on the 64-bit fingerprint,
+    /// which is not collision-free; a would-be follower whose request
+    /// does not [`CompletionRequest::same_identity`]-match this one flies
+    /// its own round trip instead of inheriting a stranger's completion —
+    /// the same disambiguation every cache layer in the workspace does.
+    request: CompletionRequest,
+}
+
+impl Flight {
+    fn new(speculative: bool, request: CompletionRequest) -> Self {
+        Flight {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            speculative,
+            rejected: AtomicBool::new(false),
+            request,
+        }
+    }
+
+    fn settle(&self, result: Result<Completion, LlmError>) {
+        let mut state = lock(&self.state);
+        *state = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Completion, LlmError> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn is_settled(&self) -> bool {
+        lock(&self.state).is_some()
+    }
+}
+
+/// Outcome of one wire attempt, classified for the retry loop.
+enum AttemptError {
+    /// 429: retry after `Retry-After` (or backoff); the model's bucket is
+    /// drained so the rest of the pool paces itself too.
+    Throttled {
+        retry_after: Option<Duration>,
+        error: LlmError,
+    },
+    /// 5xx or a transport failure: retry after backoff.
+    Retryable(LlmError),
+    /// Anything else (other 4xx, malformed request): fail now.
+    Fatal(LlmError),
+}
+
+impl AttemptError {
+    fn into_error(self) -> LlmError {
+        match self {
+            AttemptError::Throttled { error, .. } => error,
+            AttemptError::Retryable(error) | AttemptError::Fatal(error) => error,
+        }
+    }
+}
+
+/// A socket-level failure, tagged with whether any response byte had
+/// arrived (a failure on an untouched reused connection is a stale
+/// keep-alive, retried once on a fresh socket without counting as an
+/// attempt).
+struct IoFail {
+    error: std::io::Error,
+    virgin: bool,
+}
+
+struct Inner {
+    config: HttpLlmConfig,
+    base: ParsedBase,
+    pool: ConnectionPool,
+    limiter: RateLimiter,
+    backoff: BackoffPolicy,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    /// Landed speculative flights (key + the exact flight that landed),
+    /// oldest first, bounded by [`LANDED_SPECULATION_CAP`]. The weak
+    /// handle pins eviction to the flight that created the entry; stale
+    /// entries for claimed flights pop harmlessly.
+    landed: Mutex<VecDeque<(u64, std::sync::Weak<Flight>)>>,
+    counters: Counters,
+    display_name: String,
+}
+
+/// The OpenAI-compatible HTTP backend. See the module docs.
+pub struct HttpLlm {
+    inner: Arc<Inner>,
+    /// Speculative-prefetch workers, reaped opportunistically and joined
+    /// on drop.
+    spec_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for HttpLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpLlm")
+            .field("base", &self.inner.base)
+            .field("config", &self.inner.config)
+            .field("stats", &self.inner.stats())
+            .finish()
+    }
+}
+
+impl HttpLlm {
+    /// Builds a client for `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`LlmError::InvalidRequest`] when the base URL does not parse (or
+    /// uses a scheme the offline build cannot serve, i.e. `https`).
+    pub fn new(config: HttpLlmConfig) -> Result<Self, LlmError> {
+        let base = ParsedBase::parse(&config.api_base).map_err(LlmError::InvalidRequest)?;
+        let display_name = format!("http:{}", config.default_model);
+        Ok(HttpLlm {
+            inner: Arc::new(Inner {
+                pool: ConnectionPool::new(config.max_idle_connections),
+                limiter: RateLimiter::new(&config.rate_limits),
+                backoff: BackoffPolicy::new(config.retry),
+                inflight: Mutex::new(HashMap::new()),
+                landed: Mutex::new(VecDeque::new()),
+                counters: Counters::default(),
+                display_name,
+                base,
+                config,
+            }),
+            spec_threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A client configured from `ASKIT_API_BASE`/`ASKIT_API_KEY`.
+    ///
+    /// # Errors
+    ///
+    /// [`LlmError::InvalidRequest`] when the base variable is unset or
+    /// does not parse.
+    pub fn from_env() -> Result<Self, LlmError> {
+        let config = HttpLlmConfig::from_env().ok_or_else(|| {
+            LlmError::InvalidRequest(format!(
+                "{} is not set (export it or pass --api-base)",
+                crate::config::API_BASE_ENV
+            ))
+        })?;
+        HttpLlm::new(config)
+    }
+
+    /// The configuration this client was built with.
+    pub fn config(&self) -> &HttpLlmConfig {
+        &self.inner.config
+    }
+
+    /// A snapshot of the wire-level counters.
+    pub fn stats(&self) -> HttpStats {
+        self.inner.stats()
+    }
+
+    /// Joins every finished speculative worker so the handle list stays
+    /// bounded in long-lived processes.
+    fn reap_spec_threads(&self) {
+        let mut threads = lock(&self.spec_threads);
+        let (finished, running): (Vec<_>, Vec<_>) =
+            threads.drain(..).partition(|handle| handle.is_finished());
+        *threads = running;
+        drop(threads);
+        for handle in finished {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpLlm {
+    /// Joins outstanding speculative workers: their sockets carry read
+    /// timeouts, so the wait is bounded, and joining guarantees no worker
+    /// outlives the client (mirroring the engine pool's drop discipline).
+    fn drop(&mut self) {
+        for handle in lock(&self.spec_threads).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> HttpStats {
+        HttpStats {
+            wire_requests: self.counters.wire_requests.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            throttles: self.counters.throttles.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            prefetches: self.counters.prefetches.load(Ordering::Relaxed),
+            reused_connections: self.counters.reused_connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes `flight` from the in-flight table — but only if it is still
+    /// the registered occupant of `key` (a fresh flight may have replaced
+    /// it meanwhile).
+    fn unregister(&self, key: u64, flight: &Arc<Flight>) {
+        let mut map = lock(&self.inflight);
+        if map.get(&key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+            map.remove(&key);
+        }
+    }
+
+    /// Submits through the coalescing table: the first caller for a key
+    /// becomes the leader and performs the wire work; concurrent callers
+    /// with the same identity wait for the leader's result instead of
+    /// issuing their own. A landed speculative flight is *claimed*: its
+    /// result is consumed and the key freed, so later submissions (e.g.
+    /// after a rejection) re-ask the service.
+    fn submit(&self, key: u64, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
+        }
+        let role = {
+            let mut map = lock(&self.inflight);
+            match map.get(&key) {
+                // A fingerprint collision with a different conversation
+                // must not inherit the stranger's completion: fly solo.
+                Some(flight) if !flight.request.same_identity(request) => {
+                    drop(map);
+                    return self.execute(key, request);
+                }
+                Some(flight) => Role::Follower(Arc::clone(flight)),
+                None => {
+                    let flight = Arc::new(Flight::new(false, request.clone()));
+                    map.insert(key, Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            }
+        };
+        match role {
+            Role::Leader(flight) => {
+                let result = self.execute(key, request);
+                // Unregister before settling: a caller arriving after the
+                // removal starts a fresh flight instead of reading a stale
+                // result — this table coalesces *concurrency*; memoizing
+                // is the completion cache's job, above the client.
+                self.unregister(key, &flight);
+                flight.settle(result.clone());
+                result
+            }
+            Role::Follower(flight) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                let result = flight.wait();
+                if flight.speculative {
+                    // Claim the speculation.
+                    self.unregister(key, &flight);
+                    let usable = !flight.rejected.load(Ordering::Relaxed);
+                    match result {
+                        Ok(completion) if usable => Ok(completion),
+                        // A failed or rejected speculation must not infect
+                        // the foreground: pay the round trip ourselves —
+                        // back through the coalescing table, so several
+                        // followers of one doomed speculation elect a
+                        // single retry leader instead of stampeding a
+                        // service that is already failing. (The recursion
+                        // is depth-1: the speculative flight was just
+                        // unregistered, and the replacement flight is
+                        // non-speculative, whose followers return its
+                        // result directly.)
+                        _ => self.submit(key, request),
+                    }
+                } else {
+                    result
+                }
+            }
+        }
+    }
+
+    /// The retry loop around one logical completion.
+    fn execute(&self, key: u64, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        if request.messages.is_empty() {
+            return Err(LlmError::InvalidRequest("empty conversation".to_owned()));
+        }
+        let model = request.options.model;
+        let timeout = request
+            .options
+            .timeout
+            .unwrap_or(self.config.request_timeout);
+        let mut attempt: u32 = 0;
+        loop {
+            self.limiter.acquire(model);
+            match self.round_trip(request, model, timeout) {
+                Ok(completion) => return Ok(completion),
+                Err(error) => {
+                    if matches!(error, AttemptError::Throttled { .. }) {
+                        self.counters.throttles.fetch_add(1, Ordering::Relaxed);
+                        // Drain the bucket: every worker headed for this
+                        // model now paces itself instead of discovering
+                        // the limit with its own 429.
+                        self.limiter.penalize(model);
+                    }
+                    if matches!(error, AttemptError::Fatal(_))
+                        || attempt >= self.backoff.max_retries()
+                    {
+                        return Err(error.into_error());
+                    }
+                    let delay = match &error {
+                        // Honor Retry-After, but never beyond the
+                        // configured ceiling: a misconfigured (or hostile)
+                        // server must not park a pool worker — and any
+                        // engine-ledger joiner waiting on it — for hours.
+                        AttemptError::Throttled {
+                            retry_after: Some(after),
+                            ..
+                        } => (*after).min(self.config.retry.max_delay),
+                        _ => self.backoff.delay(attempt, key),
+                    };
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn connect(&self, timeout: Duration) -> std::io::Result<TcpStream> {
+        use std::net::ToSocketAddrs;
+        let mut last_error = None;
+        let addrs = (self.base.host.as_str(), self.base.port).to_socket_addrs()?;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "host resolved to no addresses",
+            )
+        }))
+    }
+
+    /// One wire attempt: write the request, read and classify the
+    /// response. A stale keep-alive connection (closed by the server while
+    /// parked) is replaced with a fresh socket once, transparently.
+    fn round_trip(
+        &self,
+        request: &CompletionRequest,
+        model: ModelChoice,
+        timeout: Duration,
+    ) -> Result<Completion, AttemptError> {
+        let body = encode_request(request, self.config.wire_model(model), self.config.stream);
+        let mut reused = true;
+        let mut stream = match self.pool.checkout() {
+            Some(stream) => {
+                // Parked sockets keep their previous deadlines; refresh.
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = stream.set_write_timeout(Some(timeout));
+                stream
+            }
+            None => {
+                reused = false;
+                self.connect(timeout).map_err(|e| {
+                    AttemptError::Retryable(LlmError::Transport(format!(
+                        "connect to {}:{} failed: {e}",
+                        self.base.host, self.base.port
+                    )))
+                })?
+            }
+        };
+        if reused {
+            self.counters
+                .reused_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            self.counters.wire_requests.fetch_add(1, Ordering::Relaxed);
+            match self.attempt_on(&mut stream, &body, request, timeout) {
+                Ok((outcome, reusable)) => {
+                    if reusable {
+                        self.pool.checkin(stream);
+                    }
+                    return outcome;
+                }
+                Err(fail) => {
+                    let stale_candidate = fail.virgin
+                        && matches!(
+                            fail.error.kind(),
+                            std::io::ErrorKind::UnexpectedEof
+                                | std::io::ErrorKind::BrokenPipe
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::WriteZero
+                        );
+                    if reused && stale_candidate {
+                        reused = false;
+                        stream = self.connect(timeout).map_err(|e| {
+                            AttemptError::Retryable(LlmError::Transport(format!(
+                                "reconnect failed: {e}"
+                            )))
+                        })?;
+                        continue;
+                    }
+                    let message = match fail.error.kind() {
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                            format!("request timed out after {timeout:?}")
+                        }
+                        _ => fail.error.to_string(),
+                    };
+                    return Err(AttemptError::Retryable(LlmError::Transport(message)));
+                }
+            }
+        }
+    }
+
+    /// Writes one request on `stream` and reads one response, classifying
+    /// HTTP-level outcomes. Returns `(outcome, reusable)` where `reusable`
+    /// says the connection was left in a clean framed state and may be
+    /// parked; `Err` is a socket-level failure only.
+    #[allow(clippy::type_complexity)]
+    fn attempt_on(
+        &self,
+        stream: &mut TcpStream,
+        body: &str,
+        request: &CompletionRequest,
+        timeout: Duration,
+    ) -> Result<(Result<Completion, AttemptError>, bool), IoFail> {
+        let started = Instant::now();
+        let path = self.base.path("/chat/completions");
+        let bearer = self.config.api_key.as_ref().map(|k| k.expose());
+        write_post(stream, &self.base.host, &path, bearer, body).map_err(|error| IoFail {
+            error,
+            virgin: true,
+        })?;
+        // The deadline bounds the whole response, not each read: a server
+        // dripping one byte per almost-timeout cannot stretch the round
+        // trip past `timeout`.
+        let mut reader = WireReader::with_deadline(started + timeout);
+        let head = reader.read_head(stream).map_err(|error| IoFail {
+            error,
+            virgin: reader.received() == 0,
+        })?;
+        let framing = BodyFraming::of(&head);
+        let mid_body = |error| IoFail {
+            error,
+            virgin: false,
+        };
+        let is_sse = head
+            .header("content-type")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("text/event-stream"));
+        if head.status == 200 && is_sse {
+            let mut accumulator = StreamAccumulator::new();
+            match framing {
+                BodyFraming::Chunked => reader
+                    .read_chunked_body(stream, |bytes| accumulator.feed(bytes))
+                    .map_err(mid_body)?,
+                BodyFraming::Length(n) => {
+                    let bytes = reader.read_exact_body(stream, n).map_err(mid_body)?;
+                    accumulator.feed(&bytes);
+                }
+                BodyFraming::UntilClose => {
+                    let bytes = reader.read_to_close(stream).map_err(mid_body)?;
+                    accumulator.feed(&bytes);
+                }
+            }
+            let reusable =
+                !head.wants_close() && framing != BodyFraming::UntilClose && !reader.has_surplus();
+            let outcome = accumulator
+                .finish(request, started.elapsed())
+                .map_err(|e| AttemptError::Retryable(LlmError::Transport(e)));
+            return Ok((outcome, reusable));
+        }
+        // Non-SSE: collect the whole body (success and failure statuses
+        // both carry JSON or text bodies).
+        let bytes = match framing {
+            BodyFraming::Length(n) => reader.read_exact_body(stream, n).map_err(mid_body)?,
+            BodyFraming::Chunked => {
+                let mut collected = Vec::new();
+                reader
+                    .read_chunked_body(stream, |bytes| collected.extend_from_slice(bytes))
+                    .map_err(mid_body)?;
+                collected
+            }
+            BodyFraming::UntilClose => reader.read_to_close(stream).map_err(mid_body)?,
+        };
+        let reusable =
+            !head.wants_close() && framing != BodyFraming::UntilClose && !reader.has_surplus();
+        let text = String::from_utf8_lossy(&bytes);
+        let outcome = match head.status {
+            200 => decode_response(request, &text, started.elapsed()).map_err(|e| {
+                AttemptError::Retryable(LlmError::Transport(format!("malformed response: {e}")))
+            }),
+            status => {
+                let error = LlmError::Http {
+                    status,
+                    message: snippet(&text),
+                };
+                Err(match status {
+                    429 => AttemptError::Throttled {
+                        retry_after: head.retry_after(),
+                        error,
+                    },
+                    500..=599 => AttemptError::Retryable(error),
+                    _ => AttemptError::Fatal(error),
+                })
+            }
+        };
+        Ok((outcome, reusable))
+    }
+
+    /// Lands a speculative flight: the result stays registered (bounded)
+    /// until a foreground submission claims it — unless the speculation
+    /// was rejected meanwhile, in which case it is dropped on the floor.
+    fn land_speculation(
+        &self,
+        key: u64,
+        flight: &Arc<Flight>,
+        result: Result<Completion, LlmError>,
+    ) {
+        flight.settle(result);
+        if flight.rejected.load(Ordering::Relaxed) {
+            self.unregister(key, flight);
+            return;
+        }
+        let mut landed = lock(&self.landed);
+        landed.push_back((key, Arc::downgrade(flight)));
+        while landed.len() > LANDED_SPECULATION_CAP {
+            let Some((old_key, old_flight)) = landed.pop_front() else {
+                break;
+            };
+            drop(landed);
+            let mut map = lock(&self.inflight);
+            // Evict only the *exact* flight this deque entry landed: a
+            // stale entry (its flight long claimed, the key since re-flown
+            // by a fresh speculation) must not cost the fresh result.
+            let evictable = match (map.get(&old_key), old_flight.upgrade()) {
+                (Some(current), Some(old)) => {
+                    Arc::ptr_eq(current, &old) && current.speculative && current.is_settled()
+                }
+                _ => false,
+            };
+            if evictable {
+                map.remove(&old_key);
+            }
+            drop(map);
+            landed = lock(&self.landed);
+        }
+    }
+
+    /// Drops the speculative flight registered for `key` (when its
+    /// identity matches `request` — a fingerprint-colliding stranger is
+    /// left alone): a settled one is unregistered immediately, a
+    /// still-flying one is marked rejected so it lands on the floor.
+    /// Foreground flights are also left alone — they are momentary (their
+    /// leader unregisters on completion) and their waiters asked for
+    /// exactly that result.
+    fn reject_key(&self, key: u64, request: &CompletionRequest) {
+        let map = lock(&self.inflight);
+        let Some(flight) = map.get(&key) else {
+            return;
+        };
+        if !flight.speculative || !flight.request.same_identity(request) {
+            return;
+        }
+        let flight = Arc::clone(flight);
+        drop(map);
+        flight.rejected.store(true, Ordering::Relaxed);
+        if flight.is_settled() {
+            self.unregister(key, &flight);
+        }
+    }
+}
+
+impl HttpLlm {
+    fn key_of(request: &CompletionRequest, sample: u64) -> u64 {
+        request.fingerprint(sample)
+    }
+}
+
+impl LanguageModel for HttpLlm {
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, LlmError> {
+        self.complete_tagged(request, 0)
+    }
+
+    fn complete_tagged(
+        &self,
+        request: &CompletionRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        self.inner.submit(Self::key_of(request, sample), request)
+    }
+
+    fn complete_prepared(
+        &self,
+        prepared: &PreparedRequest,
+        sample: u64,
+    ) -> Result<Completion, LlmError> {
+        self.inner
+            .submit(prepared.fingerprint(sample), prepared.request())
+    }
+
+    /// Accepts the speculation by launching the wire round trip on a
+    /// background thread. The flight stays registered until a foreground
+    /// submission of the same turn claims it (in-flight join or landed
+    /// pickup) or [`reject_completion`](LanguageModel::reject_completion)
+    /// withdraws it.
+    fn prefetch(&self, prepared: &PreparedRequest) -> bool {
+        let key = prepared.fingerprint(0);
+        let flight = {
+            let mut map = lock(&self.inner.inflight);
+            if map.contains_key(&key) {
+                return true; // already in flight (or landed): paid for
+            }
+            let flight = Arc::new(Flight::new(true, prepared.request().clone()));
+            map.insert(key, Arc::clone(&flight));
+            flight
+        };
+        let inner = Arc::clone(&self.inner);
+        let prepared = prepared.clone();
+        let worker_flight = Arc::clone(&flight);
+        let spawned = std::thread::Builder::new()
+            .name("askit-http-prefetch".to_owned())
+            .spawn(move || {
+                let result = inner.execute(key, prepared.request());
+                inner.land_speculation(key, &worker_flight, result);
+            });
+        match spawned {
+            Ok(handle) => {
+                self.inner
+                    .counters
+                    .prefetches
+                    .fetch_add(1, Ordering::Relaxed);
+                lock(&self.spec_threads).push(handle);
+                self.reap_spec_threads();
+                true
+            }
+            Err(_) => {
+                // Could not spawn: withdraw the registration so foreground
+                // submissions do not wait on a flight nobody is flying.
+                let mut map = lock(&self.inner.inflight);
+                if map.get(&key).is_some_and(|f| Arc::ptr_eq(f, &flight)) {
+                    map.remove(&key);
+                }
+                false
+            }
+        }
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> Vec<Result<Completion, LlmError>> {
+        // Fan the batch out in bounded waves of scoped threads: a network
+        // round trip is latency-bound, so even a modest overlap beats
+        // serial submission; the token bucket still paces admission.
+        const WAVE: usize = 16;
+        let mut results = Vec::with_capacity(requests.len());
+        for wave in requests.chunks(WAVE) {
+            let wave_results: Vec<Result<Completion, LlmError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|request| scope.spawn(move || self.complete_tagged(request, 0)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| match handle.join() {
+                        Ok(result) => result,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+            results.extend(wave_results);
+        }
+        results
+    }
+
+    fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
+        self.inner
+            .reject_key(Self::key_of(request, sample), request);
+    }
+
+    fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
+        self.inner
+            .reject_key(prepared.fingerprint(sample), prepared.request());
+    }
+
+    fn model_name(&self) -> &str {
+        &self.inner.display_name
+    }
+}
+
+/// Truncates a response body for inclusion in an error message.
+fn snippet(text: &str) -> String {
+    let trimmed = text.trim();
+    if trimmed.len() <= BODY_SNIPPET_LIMIT {
+        return trimmed.to_owned();
+    }
+    let mut cut = BODY_SNIPPET_LIMIT;
+    while !trimmed.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &trimmed[..cut])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_base_urls_fail_construction() {
+        let err = HttpLlm::new(HttpLlmConfig::new("https://api.openai.com/v1")).unwrap_err();
+        assert!(matches!(err, LlmError::InvalidRequest(_)), "{err}");
+        assert!(HttpLlm::new(HttpLlmConfig::new("not a url")).is_err());
+    }
+
+    #[test]
+    fn snippets_truncate_on_char_boundaries() {
+        assert_eq!(snippet("short"), "short");
+        let long = "é".repeat(300);
+        let cut = snippet(&long);
+        assert!(cut.len() <= BODY_SNIPPET_LIMIT + '…'.len_utf8());
+        assert!(cut.ends_with('…'));
+    }
+
+    #[test]
+    fn model_name_names_the_wire_model() {
+        let llm = HttpLlm::new(HttpLlmConfig::new("http://127.0.0.1:9/v1")).unwrap();
+        assert_eq!(llm.model_name(), "http:gpt-4");
+    }
+}

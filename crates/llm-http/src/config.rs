@@ -1,0 +1,210 @@
+//! Configuration for the HTTP backend.
+
+use std::time::Duration;
+
+use askit_llm::ModelChoice;
+
+use crate::secret::ApiKey;
+
+/// Environment variable naming the service base URL (e.g.
+/// `http://127.0.0.1:8080/v1`).
+pub const API_BASE_ENV: &str = "ASKIT_API_BASE";
+/// Environment variable holding the bearer credential. Read once at
+/// configuration time into an [`ApiKey`], which redacts itself everywhere.
+pub const API_KEY_ENV: &str = "ASKIT_API_KEY";
+
+/// Retry discipline for 429/5xx statuses and transport failures.
+///
+/// Delays grow exponentially from [`RetryConfig::base_delay`] and are
+/// *jittered* deterministically per (request, attempt) — see
+/// [`crate::backoff::BackoffPolicy`] — so a burst of throttled workers
+/// fans back in spread out instead of stampeding the service in lockstep.
+/// A `Retry-After` header on a 429 overrides the computed delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Retries after the first attempt (0 = fail on the first bad status).
+    pub max_retries: u32,
+    /// First backoff delay; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub max_delay: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 4,
+            base_delay: Duration::from_millis(200),
+            max_delay: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A token-bucket budget for one routed model: at most `capacity` requests
+/// in a burst, refilled continuously at `per_second`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity (burst size), in requests.
+    pub capacity: f64,
+    /// Sustained refill rate, in requests per second.
+    pub per_second: f64,
+}
+
+/// Configuration of an [`crate::HttpLlm`].
+///
+/// `Debug` is safe to log: the only secret lives in an [`ApiKey`], which
+/// prints redacted.
+#[derive(Debug, Clone)]
+pub struct HttpLlmConfig {
+    /// Service root, e.g. `http://api.example.com:8080/v1`. Only plain
+    /// `http://` is supported (the workspace builds offline, with no TLS
+    /// implementation); the client appends `/chat/completions`.
+    pub api_base: String,
+    /// Bearer credential sent as `Authorization: Bearer …`, if any.
+    pub api_key: Option<ApiKey>,
+    /// Wire model name used for [`ModelChoice::Default`].
+    pub default_model: String,
+    /// Wire model name used for [`ModelChoice::Gpt35`].
+    pub gpt35_model: String,
+    /// Wire model name used for [`ModelChoice::Gpt4`].
+    pub gpt4_model: String,
+    /// Whether to request streamed (SSE) responses. Both framings are fully
+    /// supported; streaming exercises the chunked/SSE decode path and gives
+    /// a real service the chance to fail fast mid-generation.
+    pub stream: bool,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Default per-round-trip deadline; a request's own
+    /// [`askit_llm::RequestOptions::timeout`] wins per call.
+    pub request_timeout: Duration,
+    /// Retry/backoff discipline for 429/5xx and transport failures.
+    pub retry: RetryConfig,
+    /// Per-model request budgets, consulted *before* each wire attempt.
+    /// Models without an entry are unthrottled. A 429 from the service
+    /// additionally drains the model's bucket, so the whole worker pool
+    /// backs off together instead of each thread discovering the limit.
+    pub rate_limits: Vec<(ModelChoice, RateLimit)>,
+    /// Keep-alive connections retained per client (0 disables reuse).
+    pub max_idle_connections: usize,
+}
+
+impl HttpLlmConfig {
+    /// A configuration for `api_base` with OpenAI-ish defaults everywhere
+    /// else (no credential, no rate limits, streaming off).
+    pub fn new(api_base: impl Into<String>) -> Self {
+        HttpLlmConfig {
+            api_base: api_base.into(),
+            api_key: None,
+            default_model: "gpt-4".to_owned(),
+            gpt35_model: "gpt-3.5-turbo".to_owned(),
+            gpt4_model: "gpt-4".to_owned(),
+            stream: false,
+            connect_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(120),
+            retry: RetryConfig::default(),
+            rate_limits: Vec::new(),
+            max_idle_connections: 8,
+        }
+    }
+
+    /// Builds a configuration from the environment: [`API_BASE_ENV`] is
+    /// required, [`API_KEY_ENV`] optional. Returns `None` when no base URL
+    /// is set.
+    pub fn from_env() -> Option<Self> {
+        let base = std::env::var(API_BASE_ENV).ok()?;
+        let mut config = HttpLlmConfig::new(base);
+        if let Ok(key) = std::env::var(API_KEY_ENV) {
+            let key = ApiKey::new(key);
+            if !key.is_empty() {
+                config.api_key = Some(key);
+            }
+        }
+        Some(config)
+    }
+
+    /// Sets the bearer credential.
+    #[must_use]
+    pub fn with_api_key(mut self, key: impl Into<String>) -> Self {
+        self.api_key = Some(ApiKey::new(key));
+        self
+    }
+
+    /// Requests streamed (SSE) responses.
+    #[must_use]
+    pub fn with_stream(mut self, stream: bool) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Overrides the retry discipline.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets (or replaces) the budget for one routed model.
+    #[must_use]
+    pub fn with_rate_limit(mut self, model: ModelChoice, limit: RateLimit) -> Self {
+        self.rate_limits.retain(|(m, _)| *m != model);
+        self.rate_limits.push((model, limit));
+        self
+    }
+
+    /// Overrides the default per-round-trip deadline.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// The wire model name serving a routed choice.
+    pub fn wire_model(&self, choice: ModelChoice) -> &str {
+        match choice {
+            ModelChoice::Default => &self.default_model,
+            ModelChoice::Gpt35 => &self.gpt35_model,
+            ModelChoice::Gpt4 => &self.gpt4_model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_models_route() {
+        let config = HttpLlmConfig::new("http://127.0.0.1:1/v1");
+        assert_eq!(config.wire_model(ModelChoice::Default), "gpt-4");
+        assert_eq!(config.wire_model(ModelChoice::Gpt35), "gpt-3.5-turbo");
+        assert_eq!(config.wire_model(ModelChoice::Gpt4), "gpt-4");
+    }
+
+    #[test]
+    fn rate_limit_replaces_per_model() {
+        let config = HttpLlmConfig::new("http://h:1/v1")
+            .with_rate_limit(
+                ModelChoice::Gpt4,
+                RateLimit {
+                    capacity: 1.0,
+                    per_second: 1.0,
+                },
+            )
+            .with_rate_limit(
+                ModelChoice::Gpt4,
+                RateLimit {
+                    capacity: 9.0,
+                    per_second: 2.0,
+                },
+            );
+        assert_eq!(config.rate_limits.len(), 1);
+        assert_eq!(config.rate_limits[0].1.capacity, 9.0);
+    }
+
+    #[test]
+    fn debug_output_redacts_the_credential() {
+        let config = HttpLlmConfig::new("http://h:1/v1").with_api_key("sk-very-secret");
+        let shown = format!("{config:?}");
+        assert!(!shown.contains("very-secret"), "leaked: {shown}");
+    }
+}

@@ -1,0 +1,80 @@
+//! # askit-llm-http
+//!
+//! The **network backend** for the AskIt reproduction: an
+//! OpenAI-compatible chat-completions client implementing
+//! [`askit_llm::LanguageModel`], plus the loopback test server that makes
+//! the whole subsystem CI-testable offline.
+//!
+//! The paper runs its experiments against OpenAI's HTTP API; LMQL and APPL
+//! likewise treat the model endpoint as a pluggable, rate-limited service
+//! behind their runtimes. This crate is that endpoint layer for AskIt. The
+//! build container has no crates.io access, so the entire protocol stack is
+//! hand-rolled on `std`:
+//!
+//! * [`HttpLlm`] — the client: HTTP/1.1 over [`std::net::TcpStream`] with
+//!   keep-alive connection pooling, `Content-Length`/chunked/SSE response
+//!   decoding, retry with jittered exponential backoff on 429/5xx and
+//!   transport faults, a per-model token-bucket [`RateLimiter`], and
+//!   in-flight request coalescing (concurrent identical submissions share
+//!   one round trip; speculative prefetches are *joined*, not re-paid);
+//! * [`LoopbackServer`] — a scripted `127.0.0.1` server with fault
+//!   injection (429 bursts, torn frames, mid-stream disconnects) for tests
+//!   and examples;
+//! * [`ApiKey`] — credential handling that redacts itself in every
+//!   `Debug`/error surface.
+//!
+//! The client is just another [`askit_llm::LanguageModel`], so the
+//! execution engine (`askit-exec`) fronts it unchanged: completion cache,
+//! worker pool, speculation ledger, persistence — all identical to the
+//! mock-backed stack. Cache identity remains the request fingerprint; the
+//! API base and key are service configuration, **not** part of the
+//! fingerprint, so switching endpoints serves the same cache (point
+//! different services at different `cache_dir`s when their answers must
+//! not mix).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+mod client;
+mod config;
+pub mod loopback;
+pub mod protocol;
+pub mod ratelimit;
+mod secret;
+pub mod sse;
+pub mod wire;
+
+pub use client::{HttpLlm, HttpStats};
+pub use config::{HttpLlmConfig, RateLimit, RetryConfig, API_BASE_ENV, API_KEY_ENV};
+pub use loopback::{LoopbackServer, RecordedRequest, Reply};
+pub use ratelimit::RateLimiter;
+pub use secret::ApiKey;
+
+/// Locks a mutex, recovering from poisoning (the protected state is
+/// counters, queues, and connection lists whose invariants hold per
+/// operation).
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// First occurrence of `needle` in `haystack` (shared by the client-side
+/// and loopback-side header scanners).
+pub(crate) fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// FNV-1a over `bytes` — the crate's one definition, used for backoff
+/// jitter and the loopback server's deterministic echo payloads.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

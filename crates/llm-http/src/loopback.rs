@@ -1,0 +1,478 @@
+//! [`LoopbackServer`]: an in-process OpenAI-compatible test server.
+//!
+//! Binds `127.0.0.1:0` with a plain [`std::net::TcpListener`], so the
+//! whole HTTP subsystem is CI-testable with zero external dependencies and
+//! zero real network egress. Responses are **scripted**: the test enqueues
+//! [`Reply`] values consumed in request-arrival order, with a configurable
+//! default handler for everything past the script. Fault injection —
+//! 429 bursts, torn frames, mid-stream disconnects — is just another kind
+//! of scripted reply.
+//!
+//! The server records every request it parses ([`RecordedRequest`]), which
+//! is how tests assert things like "the warm run issued **zero** HTTP
+//! requests" or "the Authorization header carried the key".
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use askit_json::Json;
+use askit_llm::tokenizer;
+
+use crate::{find_subsequence, fnv1a, lock};
+
+/// One scripted server behavior.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// 200 with a well-formed chat completion carrying this content
+    /// (Content-Length framing, usage included).
+    Text(String),
+    /// 200 streamed as Server-Sent Events over chunked transfer encoding,
+    /// the content split into several `delta` events and the chunk
+    /// boundaries deliberately torn mid-frame (and mid-UTF-8 where the
+    /// text allows it).
+    Sse(String),
+    /// An error status with an optional `Retry-After` (seconds) and body.
+    Status {
+        /// HTTP status code to send.
+        status: u16,
+        /// `Retry-After` header value, in seconds.
+        retry_after: Option<u64>,
+        /// Response body.
+        body: String,
+    },
+    /// 200 that *promises* a longer body than it sends, then closes: a
+    /// torn frame mid-body.
+    TornBody(String),
+    /// Reads the request, then closes the connection without answering.
+    Disconnect,
+    /// SSE stream cut after the first delta, before `data: [DONE]`.
+    SseTruncated(String),
+    /// 200 whose body *drips*: one byte per `delay_ms`, each write inside
+    /// any plausible per-read socket timeout — the fault a per-round-trip
+    /// deadline exists to catch.
+    Drip {
+        /// Completion content (served with correct Content-Length).
+        content: String,
+        /// Pause between single-byte writes, in milliseconds.
+        delay_ms: u64,
+    },
+}
+
+/// One request as the server parsed it.
+#[derive(Debug, Clone)]
+pub struct RecordedRequest {
+    /// Request path (e.g. `/v1/chat/completions`).
+    pub path: String,
+    /// The `Authorization` header, verbatim, when present.
+    pub authorization: Option<String>,
+    /// The `model` field of the JSON body, when it parsed.
+    pub model: Option<String>,
+    /// The last `user` message content, when the body parsed.
+    pub last_user: Option<String>,
+    /// Whether the body asked for a streamed response.
+    pub stream: bool,
+    /// The raw request body.
+    pub body: String,
+}
+
+type Handler = dyn Fn(&RecordedRequest) -> Reply + Send + Sync;
+
+struct ServerState {
+    script: Mutex<VecDeque<Reply>>,
+    default_handler: Mutex<Arc<Handler>>,
+    requests: Mutex<Vec<RecordedRequest>>,
+    connections: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// The loopback test server. Dropping it shuts the listener down and joins
+/// every connection thread.
+pub struct LoopbackServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl LoopbackServer {
+    /// Binds `127.0.0.1:0` and starts serving. The default handler echoes
+    /// a deterministic completion derived from the request's last user
+    /// message (`echo:<fnv of prompt>`), which makes cache-identity tests
+    /// independent of scripting order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the loopback listener.
+    pub fn start() -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            script: Mutex::new(VecDeque::new()),
+            default_handler: Mutex::new(Arc::new(|request: &RecordedRequest| {
+                let prompt = request.last_user.as_deref().unwrap_or("");
+                Reply::Text(format!("echo:{:016x}", fnv1a(prompt.as_bytes())))
+            })),
+            requests: Mutex::new(Vec::new()),
+            connections: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("askit-loopback-accept".to_owned())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                for incoming in listener.incoming() {
+                    if accept_state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = incoming else { continue };
+                    accept_state.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_state = Arc::clone(&accept_state);
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("askit-loopback-conn".to_owned())
+                        .spawn(move || serve_connection(conn, &conn_state))
+                    {
+                        workers.push(handle);
+                    }
+                    workers.retain(|w| !w.is_finished());
+                }
+                for worker in workers {
+                    let _ = worker.join();
+                }
+            })?;
+        Ok(LoopbackServer {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The `http://…/v1` base URL clients should use.
+    pub fn api_base(&self) -> String {
+        format!("http://{}/v1", self.addr)
+    }
+
+    /// Enqueues one scripted reply (consumed in request-arrival order,
+    /// across all connections).
+    pub fn script(&self, reply: Reply) {
+        lock(&self.state.script).push_back(reply);
+    }
+
+    /// Enqueues several scripted replies.
+    pub fn script_all(&self, replies: impl IntoIterator<Item = Reply>) {
+        let mut script = lock(&self.state.script);
+        script.extend(replies);
+    }
+
+    /// Replaces the default handler used when the script is empty.
+    pub fn set_default_handler(
+        &self,
+        handler: impl Fn(&RecordedRequest) -> Reply + Send + Sync + 'static,
+    ) {
+        *lock(&self.state.default_handler) = Arc::new(handler);
+    }
+
+    /// Every request served so far, in arrival order.
+    pub fn requests(&self) -> Vec<RecordedRequest> {
+        lock(&self.state.requests).clone()
+    }
+
+    /// Number of requests served so far.
+    pub fn hits(&self) -> usize {
+        lock(&self.state.requests).len()
+    }
+
+    /// Number of TCP connections accepted so far (vs [`hits`] shows
+    /// keep-alive reuse).
+    ///
+    /// [`hits`]: LoopbackServer::hits
+    pub fn connections(&self) -> usize {
+        self.state.connections.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for LoopbackServer {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop of parse → record → reply,
+/// ending on EOF, parse failure, or a connection-closing reply.
+fn serve_connection(mut conn: TcpStream, state: &Arc<ServerState>) {
+    // A generous read timeout so a shutdown can't strand the thread.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(request) = read_request(&mut conn, &mut pending) else {
+            return;
+        };
+        let reply = {
+            let scripted = lock(&state.script).pop_front();
+            match scripted {
+                Some(reply) => reply,
+                None => {
+                    let handler = Arc::clone(&lock(&state.default_handler));
+                    handler(&request)
+                }
+            }
+        };
+        lock(&state.requests).push(request);
+        if !write_reply(&mut conn, &reply) {
+            return; // the reply closes the connection (by design or error)
+        }
+    }
+}
+
+/// Reads one HTTP request (head + `Content-Length` body) from `conn`.
+/// `pending` carries surplus bytes between keep-alive requests.
+fn read_request(conn: &mut TcpStream, pending: &mut Vec<u8>) -> Option<RecordedRequest> {
+    let head_end = loop {
+        if let Some(pos) = find_subsequence(pending, b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head_bytes: Vec<u8> = pending.drain(..head_end + 4).collect();
+    let head = String::from_utf8_lossy(&head_bytes);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let path = request_line.split(' ').nth(1).unwrap_or("/").to_owned();
+    let mut authorization = None;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("authorization") {
+                authorization = Some(value.to_owned());
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+        }
+    }
+    while pending.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let body_bytes: Vec<u8> = pending.drain(..content_length).collect();
+    let body = String::from_utf8_lossy(&body_bytes).into_owned();
+    let parsed = Json::parse(&body).ok();
+    let model = parsed
+        .as_ref()
+        .and_then(|j| j.get_key("model"))
+        .and_then(Json::as_str)
+        .map(str::to_owned);
+    let stream = parsed
+        .as_ref()
+        .and_then(|j| j.get_key("stream"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let last_user = parsed
+        .as_ref()
+        .and_then(|j| j.get_key("messages"))
+        .and_then(Json::as_array)
+        .and_then(|messages| {
+            messages
+                .iter()
+                .rev()
+                .find(|m| m.get_key("role").and_then(Json::as_str) == Some("user"))
+        })
+        .and_then(|m| m.get_key("content"))
+        .and_then(Json::as_str)
+        .map(str::to_owned);
+    Some(RecordedRequest {
+        path,
+        authorization,
+        model,
+        last_user,
+        stream,
+        body,
+    })
+}
+
+/// A well-formed chat-completion body for `content`.
+fn completion_body(content: &str) -> String {
+    let completion_tokens = tokenizer::count_tokens(content);
+    format!(
+        r#"{{"id":"cmpl-loopback","object":"chat.completion","choices":[{{"index":0,"message":{{"role":"assistant","content":{}}},"finish_reason":"stop"}}],"usage":{{"prompt_tokens":7,"completion_tokens":{completion_tokens},"total_tokens":{}}}}}"#,
+        Json::Str(content.to_owned()).to_compact_string(),
+        7 + completion_tokens,
+    )
+}
+
+/// Writes `reply`; returns whether the connection may serve another
+/// request afterwards.
+fn write_reply(conn: &mut TcpStream, reply: &Reply) -> bool {
+    match reply {
+        Reply::Text(content) => {
+            let body = completion_body(content);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            conn.write_all(head.as_bytes()).is_ok() && conn.write_all(body.as_bytes()).is_ok()
+        }
+        Reply::Status {
+            status,
+            retry_after,
+            body,
+        } => {
+            let reason = match status {
+                429 => "Too Many Requests",
+                500 => "Internal Server Error",
+                503 => "Service Unavailable",
+                401 => "Unauthorized",
+                404 => "Not Found",
+                _ => "Error",
+            };
+            let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+            if let Some(seconds) = retry_after {
+                head.push_str(&format!("Retry-After: {seconds}\r\n"));
+            }
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            ));
+            conn.write_all(head.as_bytes()).is_ok() && conn.write_all(body.as_bytes()).is_ok()
+        }
+        Reply::TornBody(content) => {
+            let body = completion_body(content);
+            // Promise the full body, deliver half, close: a torn frame.
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            let half = &body.as_bytes()[..body.len() / 2];
+            let _ = conn.write_all(head.as_bytes());
+            let _ = conn.write_all(half);
+            let _ = conn.flush();
+            false
+        }
+        Reply::Disconnect => false,
+        Reply::Drip { content, delay_ms } => {
+            let body = completion_body(content);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            if conn.write_all(head.as_bytes()).is_err() {
+                return false;
+            }
+            for &byte in body.as_bytes() {
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+                if conn.write_all(&[byte]).is_err() || conn.flush().is_err() {
+                    // The client gave up (deadline): stop dripping.
+                    return false;
+                }
+            }
+            true
+        }
+        Reply::Sse(content) => write_sse(conn, content, true),
+        Reply::SseTruncated(content) => {
+            write_sse(conn, content, false);
+            false
+        }
+    }
+}
+
+/// Streams `content` as SSE deltas over chunked transfer encoding. The
+/// event frames are deliberately split at awkward byte positions (every
+/// HTTP chunk is at most 7 bytes, so frames tear mid-line and multi-byte
+/// UTF-8 scalars tear mid-sequence). With `complete`, ends with
+/// `data: [DONE]` and the terminal chunk; without, cuts off mid-stream.
+fn write_sse(conn: &mut TcpStream, content: &str, complete: bool) -> bool {
+    let head =
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nTransfer-Encoding: chunked\r\n\r\n";
+    if conn.write_all(head.as_bytes()).is_err() {
+        return false;
+    }
+    // Split the content into a few deltas on char boundaries.
+    let chars: Vec<char> = content.chars().collect();
+    let step = (chars.len() / 3).max(1);
+    let mut events: Vec<String> = chars
+        .chunks(step)
+        .map(|piece| {
+            let delta: String = piece.iter().collect();
+            format!(
+                "data: {{\"choices\":[{{\"index\":0,\"delta\":{{\"content\":{}}}}}]}}\n\n",
+                Json::Str(delta).to_compact_string()
+            )
+        })
+        .collect();
+    if complete {
+        events.push("data: [DONE]\n\n".to_owned());
+    }
+    let payload: Vec<u8> = events.concat().into_bytes();
+    // Torn chunking: at most 7 payload bytes per HTTP chunk.
+    for piece in payload.chunks(7) {
+        let frame = format!("{:x}\r\n", piece.len());
+        if conn.write_all(frame.as_bytes()).is_err()
+            || conn.write_all(piece).is_err()
+            || conn.write_all(b"\r\n").is_err()
+        {
+            return false;
+        }
+    }
+    if !complete {
+        // Mid-stream disconnect: no terminal chunk, no [DONE].
+        let _ = conn.flush();
+        return false;
+    }
+    conn.write_all(b"0\r\n\r\n").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handler_is_deterministic_per_prompt() {
+        let request = RecordedRequest {
+            path: "/v1/chat/completions".into(),
+            authorization: None,
+            model: Some("gpt-4".into()),
+            last_user: Some("What is 6 times 7?".into()),
+            stream: false,
+            body: String::new(),
+        };
+        let server = LoopbackServer::start().unwrap();
+        let handler = Arc::clone(&lock(&server.state.default_handler));
+        let (Reply::Text(a), Reply::Text(b)) = (handler(&request), handler(&request)) else {
+            panic!("default handler must answer with text");
+        };
+        assert_eq!(a, b);
+        assert!(a.starts_with("echo:"));
+    }
+
+    #[test]
+    fn completion_bodies_parse() {
+        let body = completion_body("hello \"world\"");
+        let json = Json::parse(&body).unwrap();
+        assert_eq!(
+            json.pointer("/choices/0/message/content")
+                .and_then(Json::as_str),
+            Some("hello \"world\"")
+        );
+        assert!(json.pointer("/usage/completion_tokens").is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! The OpenAI chat-completions wire protocol: request-body encoding and
+//! response decoding (both whole-JSON and streamed SSE deltas), built on
+//! the workspace's own `askit-json` substrate.
+
+use std::time::Duration;
+
+use askit_json::{Json, Map};
+use askit_llm::{tokenizer, ChatMessage, Completion, CompletionRequest, TokenUsage};
+
+use crate::sse::{SseEvent, SseParser};
+
+/// Encodes one [`CompletionRequest`] as a chat-completions JSON body.
+pub fn encode_request(request: &CompletionRequest, wire_model: &str, stream: bool) -> String {
+    let mut body = Map::new();
+    body.insert("model", Json::Str(wire_model.to_owned()));
+    body.insert("temperature", Json::Float(request.temperature));
+    body.insert(
+        "messages",
+        Json::Array(
+            request
+                .messages
+                .iter()
+                .map(|message| {
+                    let mut m = Map::new();
+                    m.insert("role", Json::Str(message.role.as_str().to_owned()));
+                    m.insert("content", Json::Str(message.content.clone()));
+                    Json::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    if stream {
+        body.insert("stream", Json::Bool(true));
+    }
+    Json::Object(body).to_compact_string()
+}
+
+/// Extracts `usage.{prompt_tokens,completion_tokens}` when the server
+/// reported them.
+fn decode_usage(json: &Json) -> Option<TokenUsage> {
+    let usage = json.get_key("usage")?;
+    Some(TokenUsage {
+        prompt_tokens: usage.get_key("prompt_tokens")?.as_i64()? as usize,
+        completion_tokens: usage.get_key("completion_tokens")?.as_i64()? as usize,
+    })
+}
+
+/// Estimates usage with the workspace tokenizer when the server reported
+/// none (streamed responses usually omit it).
+fn estimate_usage(request: &CompletionRequest, text: &str) -> TokenUsage {
+    TokenUsage {
+        prompt_tokens: request
+            .messages
+            .iter()
+            .map(|m: &ChatMessage| tokenizer::count_tokens(&m.content))
+            .sum(),
+        completion_tokens: tokenizer::count_tokens(text),
+    }
+}
+
+/// Decodes a non-streamed chat-completion response body.
+///
+/// # Errors
+///
+/// A description of what was malformed (not JSON, no choices, no message
+/// content).
+pub fn decode_response(
+    request: &CompletionRequest,
+    body: &str,
+    latency: Duration,
+) -> Result<Completion, String> {
+    let json = Json::parse(body).map_err(|e| format!("response body is not JSON: {e}"))?;
+    let content = json
+        .pointer("/choices/0/message/content")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "response has no choices[0].message.content".to_owned())?;
+    let usage = decode_usage(&json).unwrap_or_else(|| estimate_usage(request, content));
+    Ok(Completion {
+        text: content.to_owned(),
+        usage,
+        latency,
+    })
+}
+
+/// Accumulates a streamed (SSE) chat completion: deltas are appended as
+/// events arrive, and the stream is complete only when `data: [DONE]` has
+/// been seen — a connection that closes earlier is a torn stream and must
+/// be treated as a transport failure, not a short answer.
+#[derive(Debug, Default)]
+pub struct StreamAccumulator {
+    parser: SseParser,
+    text: String,
+    usage: Option<TokenUsage>,
+    done: bool,
+    malformed: Option<String>,
+}
+
+impl StreamAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamAccumulator::default()
+    }
+
+    /// Feeds decoded body bytes (post chunked-decoding).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        for event in self.parser.feed(bytes) {
+            match event {
+                SseEvent::Done => self.done = true,
+                SseEvent::Data(payload) => match Json::parse(&payload) {
+                    Ok(json) => {
+                        if let Some(delta) = json
+                            .pointer("/choices/0/delta/content")
+                            .and_then(Json::as_str)
+                        {
+                            self.text.push_str(delta);
+                        }
+                        // OpenAI sends usage on the final chunk when asked;
+                        // accept it wherever it appears.
+                        if let Some(usage) = decode_usage(&json) {
+                            self.usage = Some(usage);
+                        }
+                    }
+                    Err(e) => {
+                        self.malformed
+                            .get_or_insert_with(|| format!("bad SSE payload: {e}"));
+                    }
+                },
+            }
+        }
+    }
+
+    /// Whether `data: [DONE]` has arrived.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Finalizes the stream into a [`Completion`].
+    ///
+    /// # Errors
+    ///
+    /// When the stream was cut before `[DONE]` or an event was malformed.
+    pub fn finish(
+        self,
+        request: &CompletionRequest,
+        latency: Duration,
+    ) -> Result<Completion, String> {
+        if let Some(problem) = self.malformed {
+            return Err(problem);
+        }
+        if !self.done {
+            return Err("stream ended before data: [DONE]".to_owned());
+        }
+        let usage = self
+            .usage
+            .unwrap_or_else(|| estimate_usage(request, &self.text));
+        Ok(Completion {
+            text: self.text,
+            usage,
+            latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> CompletionRequest {
+        CompletionRequest::from_prompt("What is 6 times 7?")
+    }
+
+    #[test]
+    fn request_encoding_is_openai_shaped() {
+        let mut req = request();
+        req.messages.push(ChatMessage::assistant("43"));
+        req.messages.push(ChatMessage::user("try again"));
+        let body = encode_request(&req, "gpt-4", true);
+        let json = Json::parse(&body).unwrap();
+        assert_eq!(json.pointer("/model").and_then(Json::as_str), Some("gpt-4"));
+        assert_eq!(json.pointer("/stream"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.pointer("/messages/1/role").and_then(Json::as_str),
+            Some("assistant")
+        );
+        assert_eq!(
+            json.pointer("/messages/2/content").and_then(Json::as_str),
+            Some("try again")
+        );
+        let unstreamed = encode_request(&request(), "gpt-4", false);
+        assert!(Json::parse(&unstreamed)
+            .unwrap()
+            .pointer("/stream")
+            .is_none());
+    }
+
+    #[test]
+    fn response_decoding_takes_reported_usage() {
+        let body = r#"{"choices":[{"message":{"role":"assistant","content":"42"}}],
+                       "usage":{"prompt_tokens":9,"completion_tokens":1}}"#;
+        let completion = decode_response(&request(), body, Duration::from_millis(5)).unwrap();
+        assert_eq!(completion.text, "42");
+        assert_eq!(completion.usage.prompt_tokens, 9);
+        assert_eq!(completion.latency, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn response_decoding_estimates_missing_usage() {
+        let body = r#"{"choices":[{"message":{"content":"forty two"}}]}"#;
+        let completion = decode_response(&request(), body, Duration::ZERO).unwrap();
+        assert!(completion.usage.prompt_tokens > 0);
+        assert!(completion.usage.completion_tokens > 0);
+    }
+
+    #[test]
+    fn response_decoding_rejects_malformed_bodies() {
+        assert!(decode_response(&request(), "not json", Duration::ZERO).is_err());
+        assert!(decode_response(&request(), r#"{"choices":[]}"#, Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn stream_accumulates_deltas_until_done() {
+        let mut acc = StreamAccumulator::new();
+        acc.feed(b"data: {\"choices\":[{\"delta\":{\"content\":\"4\"}}]}\n\n");
+        acc.feed(b"data: {\"choices\":[{\"delta\":{\"content\":\"2\"}}]}\n\n");
+        assert!(!acc.is_done());
+        acc.feed(b"data: [DONE]\n\n");
+        assert!(acc.is_done());
+        let completion = acc.finish(&request(), Duration::ZERO).unwrap();
+        assert_eq!(completion.text, "42");
+    }
+
+    #[test]
+    fn torn_stream_is_an_error_not_a_short_answer() {
+        let mut acc = StreamAccumulator::new();
+        acc.feed(b"data: {\"choices\":[{\"delta\":{\"content\":\"partial\"}}]}\n\n");
+        let err = acc.finish(&request(), Duration::ZERO).unwrap_err();
+        assert!(err.contains("[DONE]"), "{err}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-model token-bucket rate limiting.
+//!
+//! This is the backend half of the ROADMAP's "per-model widths/rate
+//! limits" item: the engine's worker pool decides *parallelism*, and this
+//! limiter decides *admission* — how fast requests for each routed model
+//! may reach the wire, whatever the pool width. Buckets refill
+//! continuously; an empty bucket blocks the submitting worker (sleeping,
+//! not spinning) until a token accrues, and a 429 from the service drains
+//! the model's bucket so every worker backs off together rather than each
+//! one discovering the limit with its own failed request.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use askit_llm::ModelChoice;
+
+use crate::config::RateLimit;
+use crate::lock;
+
+#[derive(Debug)]
+struct Bucket {
+    limit: RateLimit,
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+impl Bucket {
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.duration_since(self.refilled_at).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.limit.per_second).min(self.limit.capacity);
+        self.refilled_at = now;
+    }
+}
+
+/// A set of token buckets keyed by routed model.
+#[derive(Debug, Default)]
+pub struct RateLimiter {
+    buckets: Mutex<HashMap<ModelChoice, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter with one bucket per configured `(model, limit)` pair;
+    /// models without an entry pass through unthrottled.
+    pub fn new(limits: &[(ModelChoice, RateLimit)]) -> Self {
+        let now = Instant::now();
+        RateLimiter {
+            buckets: Mutex::new(
+                limits
+                    .iter()
+                    .map(|&(model, limit)| {
+                        (
+                            model,
+                            Bucket {
+                                limit,
+                                tokens: limit.capacity,
+                                refilled_at: now,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Blocks until `model` may issue one request. Unlimited models return
+    /// immediately. The wait sleeps in bounded slices outside the lock, so
+    /// concurrent acquisitions for other models are never held up.
+    pub fn acquire(&self, model: ModelChoice) {
+        loop {
+            let wait = {
+                let mut buckets = lock(&self.buckets);
+                let Some(bucket) = buckets.get_mut(&model) else {
+                    return;
+                };
+                bucket.refill(Instant::now());
+                if bucket.tokens >= 1.0 {
+                    bucket.tokens -= 1.0;
+                    return;
+                }
+                let deficit = 1.0 - bucket.tokens;
+                Duration::from_secs_f64(deficit / bucket.limit.per_second.max(1e-9))
+            };
+            std::thread::sleep(wait.min(Duration::from_millis(50)));
+        }
+    }
+
+    /// Empties `model`'s bucket (the service said 429): the next request
+    /// for that model waits a full token's worth of refill, and the whole
+    /// pool paces itself instead of hammering the limit.
+    pub fn penalize(&self, model: ModelChoice) {
+        let mut buckets = lock(&self.buckets);
+        if let Some(bucket) = buckets.get_mut(&model) {
+            bucket.refill(Instant::now());
+            bucket.tokens = 0.0;
+        }
+    }
+
+    /// Tokens currently available for `model` (`None` = unlimited).
+    pub fn available(&self, model: ModelChoice) -> Option<f64> {
+        let mut buckets = lock(&self.buckets);
+        buckets.get_mut(&model).map(|bucket| {
+            bucket.refill(Instant::now());
+            bucket.tokens
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limiter(capacity: f64, per_second: f64) -> RateLimiter {
+        RateLimiter::new(&[(
+            ModelChoice::Gpt4,
+            RateLimit {
+                capacity,
+                per_second,
+            },
+        )])
+    }
+
+    #[test]
+    fn unlimited_models_never_block() {
+        let limiter = limiter(1.0, 0.5);
+        let started = Instant::now();
+        for _ in 0..100 {
+            limiter.acquire(ModelChoice::Gpt35);
+        }
+        assert!(started.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn burst_capacity_then_paced() {
+        // 3-token burst, then 50/s refill: the 4th acquire must wait ~20ms.
+        let limiter = limiter(3.0, 50.0);
+        let started = Instant::now();
+        for _ in 0..3 {
+            limiter.acquire(ModelChoice::Gpt4);
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(15),
+            "burst should not block: {:?}",
+            started.elapsed()
+        );
+        let before_fourth = Instant::now();
+        limiter.acquire(ModelChoice::Gpt4);
+        assert!(
+            before_fourth.elapsed() >= Duration::from_millis(10),
+            "4th token must be paced: {:?}",
+            before_fourth.elapsed()
+        );
+    }
+
+    #[test]
+    fn penalize_drains_the_bucket() {
+        let limiter = limiter(5.0, 1000.0);
+        limiter.acquire(ModelChoice::Gpt4);
+        assert!(limiter.available(ModelChoice::Gpt4).unwrap() > 3.0);
+        limiter.penalize(ModelChoice::Gpt4);
+        assert!(limiter.available(ModelChoice::Gpt4).unwrap() < 1.0);
+        // Refill restores service.
+        limiter.acquire(ModelChoice::Gpt4);
+    }
+}

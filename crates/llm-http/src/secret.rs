@@ -1,0 +1,61 @@
+//! Credential handling that cannot leak by accident.
+
+use std::fmt;
+
+/// An API key that never appears in diagnostics.
+///
+/// The wrapped secret reaches exactly one place: the `Authorization` header
+/// written to the wire by the HTTP client. Every formatting path —
+/// [`fmt::Debug`], error construction, request recording — sees only the
+/// placeholder, so a key can sit inside an otherwise-`derive(Debug)`
+/// configuration without poisoning logs, panics, or persisted reports.
+/// There is deliberately no [`std::fmt::Display`] implementation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ApiKey(String);
+
+impl ApiKey {
+    /// Wraps a secret, trimming surrounding whitespace (a trailing newline
+    /// from `$(cat key-file)` would otherwise corrupt the header).
+    pub fn new(secret: impl Into<String>) -> Self {
+        ApiKey(secret.into().trim().to_owned())
+    }
+
+    /// The secret itself — crate-private, used only to write the
+    /// `Authorization` header.
+    pub(crate) fn expose(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the key is empty (treated as "no credential").
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for ApiKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ApiKey(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_never_shows_the_secret() {
+        let key = ApiKey::new("sk-super-secret-123");
+        let shown = format!("{key:?}");
+        assert!(!shown.contains("super-secret"), "leaked: {shown}");
+        assert!(shown.contains("redacted"));
+        assert_eq!(key.expose(), "sk-super-secret-123");
+    }
+
+    #[test]
+    fn keys_are_trimmed() {
+        let key = ApiKey::new("  sk-abc\n");
+        assert_eq!(key.expose(), "sk-abc");
+        assert!(!key.is_empty());
+        assert!(ApiKey::new("  \n").is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Incremental decoders for streamed response bodies: HTTP/1.1 chunked
+//! transfer framing and Server-Sent Events.
+//!
+//! Both decoders are **push-based byte-stream state machines**: the reader
+//! feeds whatever the socket produced — a torn frame, half a chunk-size
+//! line, a UTF-8 sequence split across reads — and complete units come out
+//! as soon as their last byte arrives. Nothing is ever re-scanned, and no
+//! feed boundary is ever observable in the output (the proptest suite
+//! round-trips arbitrary payloads under arbitrary split points).
+
+use std::fmt;
+
+/// A decode failure (malformed framing from the peer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramingError(pub String);
+
+impl fmt::Display for FramingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+#[derive(Debug)]
+enum ChunkState {
+    /// Accumulating the hex size line (until CRLF).
+    Size(Vec<u8>),
+    /// Consuming `remaining` payload bytes of the current chunk.
+    Data { remaining: usize },
+    /// Consuming the CRLF that terminates a chunk's payload.
+    DataEnd { seen_cr: bool },
+    /// After the zero-size chunk: consuming (and discarding) trailers up to
+    /// the final empty line.
+    Trailer(Vec<u8>),
+    /// Stream complete.
+    Done,
+}
+
+/// Incremental decoder for `Transfer-Encoding: chunked` bodies.
+///
+/// Feed raw socket bytes with [`ChunkedDecoder::feed`]; decoded payload
+/// accumulates and is drained with [`ChunkedDecoder::take_payload`].
+/// [`ChunkedDecoder::is_done`] turns true once the terminal zero-length
+/// chunk (and its trailer section) has been consumed. Bytes fed after the
+/// terminal chunk are reported as excess so a keep-alive reader can detect
+/// pipelined garbage.
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkState,
+    payload: Vec<u8>,
+    /// Chunk-extension and size-line bytes are bounded so a malicious peer
+    /// cannot grow the size buffer without ever sending CRLF.
+    size_line_limit: usize,
+}
+
+impl Default for ChunkedDecoder {
+    fn default() -> Self {
+        ChunkedDecoder::new()
+    }
+}
+
+impl ChunkedDecoder {
+    /// A decoder at the start of a chunked body.
+    pub fn new() -> Self {
+        ChunkedDecoder {
+            state: ChunkState::Size(Vec::new()),
+            payload: Vec::new(),
+            size_line_limit: 256,
+        }
+    }
+
+    /// Decodes one read's worth of bytes, returning how many were
+    /// consumed. Consumption stops at the terminal chunk: surplus bytes —
+    /// e.g. the head of a pipelined next response sharing the read — are
+    /// left to the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`FramingError`] on malformed chunk framing (bad hex size, missing
+    /// CRLF after a payload).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<usize, FramingError> {
+        let total = bytes.len();
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            if matches!(self.state, ChunkState::Done) {
+                break;
+            }
+            match &mut self.state {
+                ChunkState::Size(line) => {
+                    // Accumulate until LF; tolerate a bare LF (no CR).
+                    if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                        line.extend_from_slice(&bytes[..pos]);
+                        bytes = &bytes[pos + 1..];
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        // A chunk may carry ";extension" after the size.
+                        let digits: &[u8] = line.split(|&b| b == b';').next().unwrap_or_default();
+                        let text = std::str::from_utf8(digits)
+                            .map_err(|_| FramingError("non-UTF-8 chunk size".into()))?
+                            .trim();
+                        let size = usize::from_str_radix(text, 16)
+                            .map_err(|_| FramingError(format!("bad chunk size {text:?}")))?;
+                        self.state = if size == 0 {
+                            ChunkState::Trailer(Vec::new())
+                        } else {
+                            ChunkState::Data { remaining: size }
+                        };
+                    } else {
+                        line.extend_from_slice(bytes);
+                        if line.len() > self.size_line_limit {
+                            return Err(FramingError("unterminated chunk-size line".into()));
+                        }
+                        bytes = &[];
+                    }
+                }
+                ChunkState::Data { remaining } => {
+                    let take = (*remaining).min(bytes.len());
+                    self.payload.extend_from_slice(&bytes[..take]);
+                    *remaining -= take;
+                    bytes = &bytes[take..];
+                    if *remaining == 0 {
+                        self.state = ChunkState::DataEnd { seen_cr: false };
+                    }
+                }
+                ChunkState::DataEnd { seen_cr } => {
+                    let b = bytes[0];
+                    bytes = &bytes[1..];
+                    match (b, *seen_cr) {
+                        (b'\r', false) => *seen_cr = true,
+                        (b'\n', _) => self.state = ChunkState::Size(Vec::new()),
+                        _ => {
+                            return Err(FramingError("chunk payload not terminated by CRLF".into()))
+                        }
+                    }
+                }
+                ChunkState::Trailer(line) => {
+                    if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                        line.extend_from_slice(&bytes[..pos]);
+                        bytes = &bytes[pos + 1..];
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        if line.is_empty() {
+                            self.state = ChunkState::Done;
+                        } else {
+                            line.clear();
+                        }
+                    } else {
+                        line.extend_from_slice(bytes);
+                        if line.len() > self.size_line_limit {
+                            return Err(FramingError("unterminated trailer line".into()));
+                        }
+                        bytes = &[];
+                    }
+                }
+                ChunkState::Done => unreachable!("handled before the match"),
+            }
+        }
+        Ok(total - bytes.len())
+    }
+
+    /// Drains the payload decoded so far.
+    pub fn take_payload(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.payload)
+    }
+
+    /// Whether the terminal chunk (and trailers) have been consumed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ChunkState::Done)
+    }
+}
+
+/// One decoded server-sent event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SseEvent {
+    /// A `data:` payload (multiple `data:` lines joined with `\n`, per the
+    /// SSE specification).
+    Data(String),
+    /// The OpenAI stream terminator `data: [DONE]`.
+    Done,
+}
+
+/// Incremental Server-Sent-Events parser.
+///
+/// Feed decoded body bytes with [`SseParser::feed`]; complete events come
+/// out as soon as their terminating blank line arrives. The parser buffers
+/// *bytes*, not text, and only converts whole lines — line terminators are
+/// ASCII, so a multi-byte UTF-8 scalar split across two socket reads is
+/// reassembled before any text decoding happens (a targeted test and the
+/// proptest suite both cover this).
+#[derive(Debug, Default)]
+pub struct SseParser {
+    /// Unterminated tail of the byte stream.
+    buffer: Vec<u8>,
+    /// `data:` payloads of the event currently being accumulated. Per the
+    /// SSE specification, an event whose data buffer is empty dispatches
+    /// *nothing* — so heartbeat blocks carrying only `retry:`/`id:`
+    /// fields or comments pass through silently instead of surfacing as
+    /// empty (unparsable) payloads.
+    data_lines: Vec<String>,
+}
+
+impl SseParser {
+    /// A parser at the start of an event stream.
+    pub fn new() -> Self {
+        SseParser::default()
+    }
+
+    /// Decodes one read's worth of bytes, returning every event completed
+    /// by them, in order.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<SseEvent> {
+        self.buffer.extend_from_slice(bytes);
+        let mut events = Vec::new();
+        // Process complete lines; keep the unterminated tail buffered.
+        while let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.buffer.drain(..=pos).collect();
+            line.pop(); // the LF
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let line = String::from_utf8_lossy(&line).into_owned();
+            if line.is_empty() {
+                // Blank line: dispatch the accumulated event. An event
+                // with no `data:` line dispatches nothing (a lone
+                // `data:` still dispatches `Data("")` — its buffer holds
+                // one empty payload).
+                if !self.data_lines.is_empty() {
+                    let data = self.data_lines.join("\n");
+                    self.data_lines.clear();
+                    if data == "[DONE]" {
+                        events.push(SseEvent::Done);
+                    } else {
+                        events.push(SseEvent::Data(data));
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("data:") {
+                self.data_lines
+                    .push(rest.strip_prefix(' ').unwrap_or(rest).to_owned());
+            } else {
+                // Comments (`: …`) and non-data fields (event:, id:,
+                // retry:) are tolerated and ignored — OpenAI streams are
+                // data-only.
+            }
+        }
+        events
+    }
+
+    /// Whether a partially accumulated event (or unterminated line) is
+    /// still buffered — true when the stream was cut mid-event.
+    pub fn has_partial(&self) -> bool {
+        !self.buffer.is_empty() || !self.data_lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(parser: &mut SseParser, text: &str) -> Vec<SseEvent> {
+        parser.feed(text.as_bytes())
+    }
+
+    #[test]
+    fn single_event_roundtrip() {
+        let mut p = SseParser::new();
+        let events = feed_all(&mut p, "data: hello\n\n");
+        assert_eq!(events, vec![SseEvent::Data("hello".into())]);
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn multi_data_lines_join_with_newline() {
+        let mut p = SseParser::new();
+        let events = feed_all(&mut p, "data: a\ndata: b\n\n");
+        assert_eq!(events, vec![SseEvent::Data("a\nb".into())]);
+    }
+
+    #[test]
+    fn done_marker_is_recognized() {
+        let mut p = SseParser::new();
+        let events = feed_all(&mut p, "data: x\n\ndata: [DONE]\n\n");
+        assert_eq!(events, vec![SseEvent::Data("x".into()), SseEvent::Done]);
+    }
+
+    #[test]
+    fn torn_frames_reassemble() {
+        let mut p = SseParser::new();
+        assert!(p.feed(b"da").is_empty());
+        assert!(p.feed(b"ta: hel").is_empty());
+        assert!(p.has_partial());
+        assert!(p.feed(b"lo\n").is_empty());
+        let events = p.feed(b"\n");
+        assert_eq!(events, vec![SseEvent::Data("hello".into())]);
+    }
+
+    #[test]
+    fn split_multibyte_utf8_across_reads() {
+        // "é" is 0xC3 0xA9; split between the two bytes.
+        let mut p = SseParser::new();
+        assert!(p.feed(b"data: caf\xC3").is_empty());
+        let events = p.feed(b"\xA9\n\n");
+        assert_eq!(events, vec![SseEvent::Data("café".into())]);
+    }
+
+    #[test]
+    fn comments_and_crlf_lines() {
+        let mut p = SseParser::new();
+        let events = feed_all(&mut p, ": keepalive\r\ndata: ok\r\n\r\n");
+        assert_eq!(events, vec![SseEvent::Data("ok".into())]);
+    }
+
+    #[test]
+    fn dataless_heartbeat_events_dispatch_nothing() {
+        // Legal SSE blocks carrying only non-data fields or comments must
+        // pass through silently — not surface as empty Data payloads that
+        // a JSON-expecting consumer would choke on.
+        let mut p = SseParser::new();
+        let events = feed_all(&mut p, "retry: 3000\n\nid: 1\n\n: ping\n\ndata: real\n\n");
+        assert_eq!(events, vec![SseEvent::Data("real".into())]);
+        assert!(!p.has_partial());
+        // A lone `data:` line is an event with one empty payload: it does
+        // dispatch.
+        assert_eq!(
+            feed_all(&mut p, "data:\n\n"),
+            vec![SseEvent::Data(String::new())]
+        );
+    }
+
+    #[test]
+    fn chunked_roundtrip_with_extension_and_trailer() {
+        let mut d = ChunkedDecoder::new();
+        d.feed(b"5;ext=1\r\nhello\r\n6\r\n world\r\n0\r\nX-T: v\r\n\r\n")
+            .unwrap();
+        assert!(d.is_done());
+        assert_eq!(d.take_payload(), b"hello world");
+    }
+
+    #[test]
+    fn chunked_survives_byte_by_byte_feeding() {
+        let wire = b"3\r\nabc\r\nA\r\n0123456789\r\n0\r\n\r\n";
+        let mut d = ChunkedDecoder::new();
+        for &b in wire.iter() {
+            d.feed(&[b]).unwrap();
+        }
+        assert!(d.is_done());
+        assert_eq!(d.take_payload(), b"abc0123456789");
+    }
+
+    #[test]
+    fn chunked_rejects_garbage() {
+        let mut d = ChunkedDecoder::new();
+        assert!(d.feed(b"zz\r\n").is_err());
+        let mut d = ChunkedDecoder::new();
+        d.feed(b"1\r\na").unwrap();
+        assert!(d.feed(b"XX").is_err(), "missing CRLF after payload");
+    }
+
+    #[test]
+    fn chunked_leaves_surplus_unconsumed() {
+        let mut d = ChunkedDecoder::new();
+        let consumed = d.feed(b"2\r\nok\r\n0\r\n\r\nHTTP/1.1 200").unwrap();
+        assert!(d.is_done());
+        assert_eq!(consumed, b"2\r\nok\r\n0\r\n\r\n".len());
+        assert_eq!(d.take_payload(), b"ok");
+        assert_eq!(d.feed(b"more").unwrap(), 0, "done decoder consumes nothing");
+    }
+}

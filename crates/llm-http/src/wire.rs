@@ -1,0 +1,497 @@
+//! Hand-rolled HTTP/1.1 plumbing over [`std::net::TcpStream`].
+//!
+//! The build container has no crates.io access, so there is no hyper or
+//! reqwest to lean on; this module implements the narrow slice of HTTP/1.1
+//! the OpenAI chat-completions protocol needs — `POST` with a JSON body,
+//! status-line + header parsing, `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, and keep-alive connection reuse —
+//! and nothing more. TLS is out of scope (offline build); only `http://`
+//! bases are accepted.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::sse::ChunkedDecoder;
+use crate::{find_subsequence, lock};
+
+/// A parsed `http://host:port/prefix` service base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedBase {
+    /// Host name or address (no scheme, no port).
+    pub host: String,
+    /// TCP port (defaults to 80).
+    pub port: u16,
+    /// Path prefix (no trailing slash), e.g. `/v1`.
+    pub prefix: String,
+}
+
+impl ParsedBase {
+    /// Parses an `http://` base URL.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the scheme is not plain `http` or
+    /// the authority does not parse.
+    pub fn parse(api_base: &str) -> Result<ParsedBase, String> {
+        let base = api_base.trim().trim_end_matches('/');
+        if let Some(rest) = base.strip_prefix("https://") {
+            let _ = rest;
+            return Err(
+                "https is not supported by the offline build (no TLS implementation); \
+                 use a plain http:// endpoint or a local proxy"
+                    .to_owned(),
+            );
+        }
+        let Some(rest) = base.strip_prefix("http://") else {
+            return Err(format!("api base {base:?} must start with http://"));
+        };
+        let (authority, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, ""),
+        };
+        if authority.is_empty() {
+            return Err("api base has an empty host".to_owned());
+        }
+        // Bracketed IPv6 literals ([::1], [::1]:8080) carry colons inside
+        // the host; split on the closing bracket, not the last colon.
+        let (host, port) = if let Some(inside) = authority.strip_prefix('[') {
+            let (host, after) = inside
+                .split_once(']')
+                .ok_or_else(|| format!("unclosed '[' in api base authority {authority:?}"))?;
+            let port = match after.strip_prefix(':') {
+                Some(port_text) => port_text
+                    .parse()
+                    .map_err(|_| format!("bad port {port_text:?} in api base"))?,
+                None if after.is_empty() => 80,
+                None => return Err(format!("garbage after ']' in api base {authority:?}")),
+            };
+            (host, port)
+        } else {
+            match authority.rsplit_once(':') {
+                Some((host, port_text)) => {
+                    let port: u16 = port_text
+                        .parse()
+                        .map_err(|_| format!("bad port {port_text:?} in api base"))?;
+                    (host, port)
+                }
+                None => (authority, 80),
+            }
+        };
+        if host.is_empty() {
+            return Err("api base has an empty host".to_owned());
+        }
+        Ok(ParsedBase {
+            host: host.to_owned(),
+            port,
+            prefix: path.trim_end_matches('/').to_owned(),
+        })
+    }
+
+    /// The full request path for an endpoint, e.g. `/v1/chat/completions`.
+    pub fn path(&self, endpoint: &str) -> String {
+        format!("{}{endpoint}", self.prefix)
+    }
+}
+
+/// A parsed response status line + headers.
+#[derive(Debug, Clone)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ResponseHead {
+    /// The first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server asked to close the connection after this
+    /// response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// `Retry-After` in seconds, when present and numeric.
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+    }
+}
+
+/// How a response body is framed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// `Content-Length: n`.
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// Neither header: body runs until the connection closes.
+    UntilClose,
+}
+
+impl BodyFraming {
+    /// Determines the framing from a response head.
+    pub fn of(head: &ResponseHead) -> BodyFraming {
+        if head
+            .header("transfer-encoding")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+        {
+            return BodyFraming::Chunked;
+        }
+        match head
+            .header("content-length")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => BodyFraming::Length(n),
+            None => BodyFraming::UntilClose,
+        }
+    }
+}
+
+/// Serializes a `POST` request with a JSON body. The credential is the only
+/// caller-provided header content; everything else is fixed protocol
+/// boilerplate.
+pub fn write_post(
+    stream: &mut TcpStream,
+    host: &str,
+    path: &str,
+    bearer: Option<&str>,
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = String::with_capacity(256);
+    head.push_str(&format!("POST {path} HTTP/1.1\r\n"));
+    head.push_str(&format!("Host: {host}\r\n"));
+    head.push_str("Content-Type: application/json\r\n");
+    head.push_str("Accept: application/json, text/event-stream\r\n");
+    head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    if let Some(secret) = bearer {
+        head.push_str(&format!("Authorization: Bearer {secret}\r\n"));
+    }
+    head.push_str("Connection: keep-alive\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A buffered reader over a [`TcpStream`] that parses response heads and
+/// bodies incrementally, leaving any pipelined surplus buffered for the
+/// next response on the same connection.
+///
+/// With a **deadline** set, every socket read is bounded by the time
+/// remaining until it: the per-read timeout is re-armed with the shrinking
+/// remainder, so the *whole* response — however many reads it takes — is
+/// done by the deadline. Without it, a server dripping one byte per
+/// (read-timeout − ε) could stretch a "bounded" round trip indefinitely.
+#[derive(Debug)]
+pub struct WireReader {
+    buffer: Vec<u8>,
+    received: usize,
+    deadline: Option<Instant>,
+}
+
+/// Parses one header line `name: value`.
+fn parse_header_line(line: &str) -> Option<(String, String)> {
+    let (name, value) = line.split_once(':')?;
+    Some((name.trim().to_owned(), value.trim().to_owned()))
+}
+
+impl Default for WireReader {
+    fn default() -> Self {
+        WireReader::new()
+    }
+}
+
+impl WireReader {
+    /// An empty reader with no deadline.
+    pub fn new() -> Self {
+        WireReader {
+            buffer: Vec::new(),
+            received: 0,
+            deadline: None,
+        }
+    }
+
+    /// An empty reader whose reads must all complete by `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        WireReader {
+            buffer: Vec::new(),
+            received: 0,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Total bytes received from the socket so far. Zero means the peer
+    /// never answered — the signature of a stale parked keep-alive
+    /// connection, which the client retries on a fresh socket.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    fn fill(&mut self, stream: &mut TcpStream) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            // Re-arm the socket timeout with the shrinking remainder so
+            // the deadline bounds the sum of all reads, not each one.
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "round-trip deadline exceeded",
+                    )
+                })?;
+            stream.set_read_timeout(Some(remaining))?;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        self.received += n;
+        self.buffer.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Reads until a full response head (`…\r\n\r\n`) is buffered, then
+    /// parses it. The head bytes are consumed from the buffer; body bytes
+    /// that arrived in the same reads stay buffered.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, EOF before a complete head, or an unparsable status
+    /// line.
+    pub fn read_head(&mut self, stream: &mut TcpStream) -> std::io::Result<ResponseHead> {
+        let head_end = loop {
+            if let Some(pos) = find_subsequence(&self.buffer, b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buffer.len() > 64 * 1024 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "response head exceeds 64KiB",
+                ));
+            }
+            if self.fill(stream)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a complete response head",
+                ));
+            }
+        };
+        let head_bytes: Vec<u8> = self.buffer.drain(..head_end + 4).collect();
+        let text = String::from_utf8_lossy(&head_bytes[..head_end]);
+        let mut lines = text.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or_default();
+        if !version.starts_with("HTTP/1.") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("not an HTTP/1.x status line: {status_line:?}"),
+            ));
+        }
+        let status: u16 = parts.next().unwrap_or_default().parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status in {status_line:?}"),
+            )
+        })?;
+        let headers = lines.filter_map(parse_header_line).collect();
+        Ok(ResponseHead { status, headers })
+    }
+
+    /// Reads a `Content-Length` body of exactly `length` bytes.
+    pub fn read_exact_body(
+        &mut self,
+        stream: &mut TcpStream,
+        length: usize,
+    ) -> std::io::Result<Vec<u8>> {
+        while self.buffer.len() < length {
+            if self.fill(stream)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "connection closed mid-body ({} of {length} bytes)",
+                        self.buffer.len()
+                    ),
+                ));
+            }
+        }
+        Ok(self.buffer.drain(..length).collect())
+    }
+
+    /// Reads a chunked body to completion, invoking `on_bytes` with each
+    /// decoded slice as it arrives (this is what lets the SSE parser see
+    /// deltas the moment the server flushes them).
+    pub fn read_chunked_body(
+        &mut self,
+        stream: &mut TcpStream,
+        mut on_bytes: impl FnMut(&[u8]),
+    ) -> std::io::Result<()> {
+        let mut decoder = ChunkedDecoder::new();
+        loop {
+            if !self.buffer.is_empty() {
+                // Feed only until the decoder completes; surplus stays
+                // buffered (it belongs to the next response, if any).
+                let consumed = decoder.feed(&self.buffer).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                self.buffer.drain(..consumed);
+                let decoded = decoder.take_payload();
+                if !decoded.is_empty() {
+                    on_bytes(&decoded);
+                }
+            }
+            if decoder.is_done() {
+                return Ok(());
+            }
+            if self.fill(stream)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-chunked-body",
+                ));
+            }
+        }
+    }
+
+    /// Reads until EOF (bodies with neither length nor chunked framing).
+    pub fn read_to_close(&mut self, stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+        loop {
+            if self.fill(stream)? == 0 {
+                return Ok(std::mem::take(&mut self.buffer));
+            }
+        }
+    }
+
+    /// Whether surplus bytes are buffered (pipelined next response, or
+    /// framing slop that makes the connection unsafe to reuse).
+    pub fn has_surplus(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+}
+
+/// A small pool of idle keep-alive connections to one host.
+#[derive(Debug, Default)]
+pub struct ConnectionPool {
+    idle: Mutex<Vec<TcpStream>>,
+    max_idle: usize,
+}
+
+impl ConnectionPool {
+    /// A pool retaining at most `max_idle` parked connections.
+    pub fn new(max_idle: usize) -> Self {
+        ConnectionPool {
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// Takes a parked connection, if any.
+    pub fn checkout(&self) -> Option<TcpStream> {
+        lock(&self.idle).pop()
+    }
+
+    /// Parks a connection for reuse (dropped when the pool is full).
+    pub fn checkin(&self, stream: TcpStream) {
+        let mut idle = lock(&self.idle);
+        if idle.len() < self.max_idle {
+            idle.push(stream);
+        }
+    }
+
+    /// Parked connections right now (tests).
+    pub fn idle_count(&self) -> usize {
+        lock(&self.idle).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_parsing_accepts_http_and_rejects_https() {
+        let base = ParsedBase::parse("http://127.0.0.1:8080/v1/").unwrap();
+        assert_eq!(
+            base,
+            ParsedBase {
+                host: "127.0.0.1".into(),
+                port: 8080,
+                prefix: "/v1".into()
+            }
+        );
+        assert_eq!(base.path("/chat/completions"), "/v1/chat/completions");
+        let bare = ParsedBase::parse("http://example.com").unwrap();
+        assert_eq!((bare.port, bare.prefix.as_str()), (80, ""));
+        // IPv6 literals: brackets delimit the host, stripped for connect.
+        let v6 = ParsedBase::parse("http://[::1]:8080/v1").unwrap();
+        assert_eq!(
+            (v6.host.as_str(), v6.port, v6.prefix.as_str()),
+            ("::1", 8080, "/v1")
+        );
+        let v6_default = ParsedBase::parse("http://[2001:db8::2]/v1").unwrap();
+        assert_eq!(
+            (v6_default.host.as_str(), v6_default.port),
+            ("2001:db8::2", 80)
+        );
+        assert!(
+            ParsedBase::parse("http://[::1/v1").is_err(),
+            "unclosed bracket"
+        );
+        assert!(ParsedBase::parse("http://[::1]x:1/v1").is_err());
+        assert!(ParsedBase::parse("https://api.openai.com/v1")
+            .unwrap_err()
+            .contains("TLS"));
+        assert!(ParsedBase::parse("ftp://x").is_err());
+        assert!(ParsedBase::parse("http://:80").is_err());
+        assert!(ParsedBase::parse("http://h:notaport/v1").is_err());
+    }
+
+    #[test]
+    fn head_helpers() {
+        let head = ResponseHead {
+            status: 429,
+            headers: vec![
+                ("Retry-After".into(), "2".into()),
+                ("Connection".into(), "close".into()),
+                ("Content-Length".into(), "10".into()),
+            ],
+        };
+        assert_eq!(head.retry_after(), Some(Duration::from_secs(2)));
+        assert!(head.wants_close());
+        assert_eq!(BodyFraming::of(&head), BodyFraming::Length(10));
+        let chunked = ResponseHead {
+            status: 200,
+            headers: vec![("Transfer-Encoding".into(), "Chunked".into())],
+        };
+        assert_eq!(BodyFraming::of(&chunked), BodyFraming::Chunked);
+        let bare = ResponseHead {
+            status: 200,
+            headers: vec![],
+        };
+        assert_eq!(BodyFraming::of(&bare), BodyFraming::UntilClose);
+    }
+
+    #[test]
+    fn pool_respects_capacity() {
+        let pool = ConnectionPool::new(1);
+        assert!(pool.checkout().is_none());
+        // Real streams need a listener; use a loopback pair.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        pool.checkin(a);
+        pool.checkin(b); // over capacity: dropped
+        assert_eq!(pool.idle_count(), 1);
+        assert!(pool.checkout().is_some());
+        assert!(pool.checkout().is_none());
+    }
+}

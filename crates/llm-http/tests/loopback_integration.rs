@@ -1,0 +1,497 @@
+//! End-to-end tests of the HTTP backend against the in-process
+//! [`LoopbackServer`]: protocol round trips, keep-alive reuse, retry and
+//! rate-limit behavior under scripted faults (429 bursts, torn frames,
+//! mid-stream disconnects), in-flight coalescing, and — fronted by the
+//! execution engine — the acceptance bar that a warm second run over the
+//! same prompts is 100% cache hits with **zero** HTTP requests issued.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use askit_exec::{Engine, EngineConfig};
+use askit_llm::{CompletionRequest, LanguageModel, LlmError, ModelChoice, PreparedRequest};
+use askit_llm_http::{HttpLlm, HttpLlmConfig, LoopbackServer, RateLimit, Reply, RetryConfig};
+
+/// A retry discipline fast enough for tests while still exercising real
+/// backoff sleeps.
+fn fast_retry() -> RetryConfig {
+    RetryConfig {
+        max_retries: 5,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(40),
+    }
+}
+
+fn client_for(server: &LoopbackServer) -> HttpLlm {
+    HttpLlm::new(HttpLlmConfig::new(server.api_base()).with_retry(fast_retry())).unwrap()
+}
+
+fn prompt(text: &str) -> CompletionRequest {
+    CompletionRequest::from_prompt(text)
+}
+
+#[test]
+fn basic_roundtrip_sends_auth_and_model_and_parses_usage() {
+    let server = LoopbackServer::start().unwrap();
+    server.script(Reply::Text("the answer is 42".into()));
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_api_key("sk-test-key-123")
+            .with_retry(fast_retry()),
+    )
+    .unwrap();
+    let completion = llm.complete(&prompt("What is 6 times 7?")).unwrap();
+    assert_eq!(completion.text, "the answer is 42");
+    assert!(completion.usage.completion_tokens > 0);
+    assert!(completion.latency > Duration::ZERO);
+    let requests = server.requests();
+    assert_eq!(requests.len(), 1);
+    assert_eq!(requests[0].path, "/v1/chat/completions");
+    assert_eq!(
+        requests[0].authorization.as_deref(),
+        Some("Bearer sk-test-key-123")
+    );
+    assert_eq!(requests[0].model.as_deref(), Some("gpt-4"));
+    assert_eq!(requests[0].last_user.as_deref(), Some("What is 6 times 7?"));
+}
+
+#[test]
+fn model_routing_picks_the_wire_name() {
+    let server = LoopbackServer::start().unwrap();
+    let llm = client_for(&server);
+    let mut request = prompt("route me");
+    request.options.model = ModelChoice::Gpt35;
+    llm.complete(&request).unwrap();
+    assert_eq!(
+        server.requests()[0].model.as_deref(),
+        Some("gpt-3.5-turbo"),
+        "ModelChoice::Gpt35 must route to the configured wire name"
+    );
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_requests() {
+    let server = LoopbackServer::start().unwrap();
+    let llm = client_for(&server);
+    for i in 0..5 {
+        llm.complete(&prompt(&format!("prompt {i}"))).unwrap();
+    }
+    assert_eq!(server.hits(), 5);
+    assert_eq!(
+        server.connections(),
+        1,
+        "sequential requests share one keep-alive connection"
+    );
+    assert_eq!(llm.stats().reused_connections, 4);
+}
+
+#[test]
+fn sse_streaming_reassembles_torn_unicode_deltas() {
+    let server = LoopbackServer::start().unwrap();
+    // The loopback server streams SSE over deliberately torn 7-byte
+    // chunks, so multi-byte scalars tear mid-sequence on the wire.
+    let text = "émoji 🦀 und 漢字 — forty-two";
+    server.script(Reply::Sse(text.into()));
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_stream(true)
+            .with_retry(fast_retry()),
+    )
+    .unwrap();
+    let completion = llm.complete(&prompt("stream it")).unwrap();
+    assert_eq!(completion.text, text);
+    assert!(server.requests()[0].stream, "the request asked for SSE");
+}
+
+#[test]
+fn scripted_429_burst_is_absorbed_by_backoff_and_token_bucket() {
+    let server = LoopbackServer::start().unwrap();
+    // Three throttles, then success — the client must absorb all of it
+    // without surfacing an error.
+    server.script_all([
+        Reply::Status {
+            status: 429,
+            retry_after: None,
+            body: r#"{"error":{"message":"rate limited"}}"#.into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: Some(0),
+            body: r#"{"error":{"message":"rate limited"}}"#.into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: None,
+            body: r#"{"error":{"message":"rate limited"}}"#.into(),
+        },
+        Reply::Text("finally".into()),
+    ]);
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_retry(fast_retry())
+            .with_rate_limit(
+                ModelChoice::Default,
+                RateLimit {
+                    capacity: 2.0,
+                    per_second: 200.0,
+                },
+            ),
+    )
+    .unwrap();
+    let completion = llm.complete(&prompt("under pressure")).unwrap();
+    assert_eq!(completion.text, "finally");
+    assert_eq!(server.hits(), 4, "three 429s + the success");
+    let stats = llm.stats();
+    assert_eq!(stats.throttles, 3);
+    assert_eq!(stats.retries, 3);
+    // Each 429 drained the bucket, so at most ~2 tokens remain afterward.
+    // (The refill rate is high to keep the test fast; the drain itself is
+    // what the unit suite pins down.)
+}
+
+#[test]
+fn exhausted_429_budget_surfaces_the_http_error() {
+    let server = LoopbackServer::start().unwrap();
+    let burst = || Reply::Status {
+        status: 429,
+        retry_after: None,
+        body: "slow down".into(),
+    };
+    server.script_all((0..10).map(|_| burst()));
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base()).with_retry(RetryConfig {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+        }),
+    )
+    .unwrap();
+    let err = llm.complete(&prompt("doomed")).unwrap_err();
+    match err {
+        LlmError::Http { status, message } => {
+            assert_eq!(status, 429);
+            assert!(message.contains("slow down"), "{message}");
+        }
+        other => panic!("expected Http 429, got {other:?}"),
+    }
+    assert_eq!(server.hits(), 3, "initial attempt + two retries");
+}
+
+#[test]
+fn transient_5xx_and_torn_frames_are_retried() {
+    let server = LoopbackServer::start().unwrap();
+    server.script_all([
+        Reply::Status {
+            status: 503,
+            retry_after: None,
+            body: "warming up".into(),
+        },
+        Reply::TornBody("you will never read all of this".into()),
+        Reply::Text("recovered".into()),
+    ]);
+    let llm = client_for(&server);
+    let completion = llm.complete(&prompt("persist!")).unwrap();
+    assert_eq!(completion.text, "recovered");
+    assert_eq!(server.hits(), 3);
+    assert_eq!(llm.stats().retries, 2);
+}
+
+#[test]
+fn mid_stream_disconnect_is_retried_not_truncated() {
+    let server = LoopbackServer::start().unwrap();
+    server.script_all([
+        Reply::SseTruncated("half an ans".into()),
+        Reply::Sse("the whole answer".into()),
+    ]);
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_stream(true)
+            .with_retry(fast_retry()),
+    )
+    .unwrap();
+    let completion = llm.complete(&prompt("stream me")).unwrap();
+    assert_eq!(
+        completion.text, "the whole answer",
+        "a cut stream must never be served as a short answer"
+    );
+    assert_eq!(server.hits(), 2);
+}
+
+#[test]
+fn server_disconnect_before_reply_is_retried() {
+    let server = LoopbackServer::start().unwrap();
+    server.script_all([Reply::Disconnect, Reply::Text("second try".into())]);
+    let llm = client_for(&server);
+    assert_eq!(llm.complete(&prompt("hello?")).unwrap().text, "second try");
+}
+
+#[test]
+fn client_4xx_is_fatal_and_not_retried() {
+    let server = LoopbackServer::start().unwrap();
+    server.script(Reply::Status {
+        status: 401,
+        retry_after: None,
+        body: r#"{"error":{"message":"bad credential"}}"#.into(),
+    });
+    let llm = client_for(&server);
+    let err = llm.complete(&prompt("let me in")).unwrap_err();
+    assert!(matches!(err, LlmError::Http { status: 401, .. }), "{err:?}");
+    assert_eq!(server.hits(), 1, "401 must not burn the retry budget");
+}
+
+#[test]
+fn request_timeout_is_honored() {
+    let server = LoopbackServer::start().unwrap();
+    // The handler sleeps past the client's deadline before answering.
+    server.set_default_handler(|_| {
+        std::thread::sleep(Duration::from_millis(400));
+        Reply::Text("too late".into())
+    });
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_retry(RetryConfig {
+                max_retries: 0,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(1),
+            })
+            .with_request_timeout(Duration::from_millis(80)),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let err = llm.complete(&prompt("quick, please")).unwrap_err();
+    assert!(matches!(err, LlmError::Transport(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_millis(350),
+        "the deadline must cut the wait short: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn deadline_bounds_a_dripping_response_not_just_each_read() {
+    let server = LoopbackServer::start().unwrap();
+    // Every single-byte write lands well inside a naive per-read timeout;
+    // only a whole-round-trip deadline can cut this off.
+    server.set_default_handler(|_| Reply::Drip {
+        content: "slow".into(),
+        delay_ms: 30,
+    });
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_retry(RetryConfig {
+                max_retries: 0,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(1),
+            })
+            .with_request_timeout(Duration::from_millis(150)),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let err = llm.complete(&prompt("hurry up")).unwrap_err();
+    assert!(matches!(err, LlmError::Transport(_)), "{err:?}");
+    // The body is >100 bytes at 30ms each (~3s+ to drip fully); the
+    // deadline must fire around 150ms.
+    assert!(
+        started.elapsed() < Duration::from_millis(1000),
+        "deadline did not bound the dripping response: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn per_request_timeout_overrides_the_default() {
+    let server = LoopbackServer::start().unwrap();
+    server.set_default_handler(|_| {
+        std::thread::sleep(Duration::from_millis(150));
+        Reply::Text("slow but fine".into())
+    });
+    // Default deadline far too tight; the per-request override rescues it.
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_retry(RetryConfig {
+                max_retries: 0,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(1),
+            })
+            .with_request_timeout(Duration::from_millis(30)),
+    )
+    .unwrap();
+    let mut request = prompt("take your time");
+    request.options.timeout = Some(Duration::from_secs(5));
+    assert_eq!(llm.complete(&request).unwrap().text, "slow but fine");
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_round_trip() {
+    let server = LoopbackServer::start().unwrap();
+    // A slow handler keeps the flight open long enough for every thread
+    // to join it.
+    server.set_default_handler(|request| {
+        std::thread::sleep(Duration::from_millis(150));
+        Reply::Text(format!(
+            "slow echo of {:?}",
+            request.last_user.as_deref().unwrap_or("")
+        ))
+    });
+    let llm = Arc::new(client_for(&server));
+    let texts: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let llm = Arc::clone(&llm);
+                scope.spawn(move || llm.complete(&prompt("same question")).unwrap().text)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(texts.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(
+        server.hits(),
+        1,
+        "four concurrent identical submissions share one wire request"
+    );
+    assert_eq!(llm.stats().coalesced, 3);
+    // Distinct sample ordinals are distinct draws: they must NOT coalesce.
+    let a = llm.complete_tagged(&prompt("same question"), 1).unwrap();
+    assert_eq!(server.hits(), 2);
+    let _ = a;
+}
+
+#[test]
+fn prefetch_joins_and_claims_instead_of_double_fetching() {
+    let server = LoopbackServer::start().unwrap();
+    server.set_default_handler(|request| {
+        std::thread::sleep(Duration::from_millis(100));
+        Reply::Text(format!(
+            "answer:{}",
+            request.last_user.as_deref().unwrap_or("").len()
+        ))
+    });
+    let llm = client_for(&server);
+    let prepared = PreparedRequest::new(prompt("speculate on this"));
+    assert!(llm.prefetch(&prepared), "client accepts speculation");
+    // Submit while the speculation is (very likely) still in flight: the
+    // foreground must join it, not issue a second request.
+    let completion = llm.complete_prepared(&prepared, 0).unwrap();
+    assert_eq!(completion.text, "answer:17");
+    assert_eq!(server.hits(), 1, "speculation joined, not duplicated");
+    let stats = llm.stats();
+    assert_eq!(stats.prefetches, 1);
+    assert_eq!(stats.coalesced, 1);
+    // The claim freed the key: the next submission is a fresh round trip.
+    let again = llm.complete_prepared(&prepared, 0).unwrap();
+    assert_eq!(again.text, completion.text);
+    assert_eq!(server.hits(), 2);
+}
+
+#[test]
+fn rejected_landed_speculation_is_never_served() {
+    let server = LoopbackServer::start().unwrap();
+    let llm = client_for(&server);
+    let prepared = PreparedRequest::new(prompt("reject me"));
+    assert!(llm.prefetch(&prepared));
+    // Wait for the speculation to land (fast: default handler is instant).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.hits() == 0 {
+        assert!(Instant::now() < deadline, "speculation never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(20)); // let the flight settle
+    llm.reject_prepared(&prepared, 0);
+    // The submission after the rejection must re-ask the service.
+    llm.complete_prepared(&prepared, 0).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.hits() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "rejected speculation was served instead of re-fetched"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The acceptance bar: engine-fronted, a second pass over the same
+/// prompts is pure cache hits — the server sees not one more request.
+#[test]
+fn warm_second_run_issues_zero_http_requests() {
+    let server = LoopbackServer::start().unwrap();
+    let engine = Engine::with_config(
+        client_for(&server),
+        EngineConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(4096),
+    );
+    let prompts: Vec<CompletionRequest> =
+        (0..20).map(|i| prompt(&format!("problem #{i}"))).collect();
+
+    let cold: Vec<String> = engine
+        .complete_batch(&prompts)
+        .into_iter()
+        .map(|r| r.unwrap().text)
+        .collect();
+    let hits_after_cold = server.hits();
+    assert_eq!(hits_after_cold, 20, "cold run reaches the wire once each");
+
+    let warm: Vec<String> = engine
+        .complete_batch(&prompts)
+        .into_iter()
+        .map(|r| r.unwrap().text)
+        .collect();
+    assert_eq!(cold, warm, "warm answers identical to cold");
+    assert_eq!(
+        server.hits(),
+        hits_after_cold,
+        "warm run issued zero HTTP requests"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 20, "warm pass is 100% cache hits: {stats:?}");
+    assert_eq!(stats.misses, 20);
+}
+
+/// Same acceptance bar across *processes* (simulated): a fresh engine over
+/// the same persistent cache directory warm-starts and issues zero
+/// requests even against a fresh server.
+#[test]
+fn persistent_cache_warm_starts_with_zero_requests() {
+    let dir = std::env::temp_dir().join(format!(
+        "askit-http-warmstart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let prompts: Vec<CompletionRequest> =
+        (0..10).map(|i| prompt(&format!("durable #{i}"))).collect();
+
+    let cold_texts: Vec<String> = {
+        let server = LoopbackServer::start().unwrap();
+        let engine = Engine::with_config(
+            client_for(&server),
+            EngineConfig::default().with_cache_dir(&dir),
+        );
+        let texts = engine
+            .complete_batch(&prompts)
+            .into_iter()
+            .map(|r| r.unwrap().text)
+            .collect();
+        engine.persist().unwrap();
+        assert_eq!(server.hits(), 10);
+        texts
+    };
+
+    let server = LoopbackServer::start().unwrap();
+    let engine = Engine::with_config(
+        client_for(&server),
+        EngineConfig::default().with_cache_dir(&dir),
+    );
+    let warm_texts: Vec<String> = engine
+        .complete_batch(&prompts)
+        .into_iter()
+        .map(|r| r.unwrap().text)
+        .collect();
+    assert_eq!(cold_texts, warm_texts);
+    assert_eq!(server.hits(), 0, "warm start never touched the network");
+    assert_eq!(engine.cache_stats().loaded, 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,137 @@
+//! The credential-hygiene contract: `ASKIT_API_KEY` must never appear in
+//! `Debug` output, error messages, or persisted cache/WAL records. The key
+//! reaches exactly one sink — the `Authorization` header bytes on the wire
+//! — and these tests grep every other surface for it.
+
+use std::time::Duration;
+
+use askit_exec::{Engine, EngineConfig};
+use askit_llm::{CompletionRequest, LanguageModel, LlmError};
+use askit_llm_http::{ApiKey, HttpLlm, HttpLlmConfig, LoopbackServer, Reply, RetryConfig};
+
+const SECRET: &str = "sk-grep-me-if-you-can-XYZZY";
+
+fn keyed_client(server: &LoopbackServer) -> HttpLlm {
+    HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_api_key(SECRET)
+            .with_retry(RetryConfig {
+                max_retries: 1,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            }),
+    )
+    .unwrap()
+}
+
+#[test]
+fn debug_surfaces_never_contain_the_key() {
+    let server = LoopbackServer::start().unwrap();
+    let llm = keyed_client(&server);
+    for surface in [
+        format!("{:?}", llm.config()),
+        format!("{llm:?}"),
+        format!("{:?}", ApiKey::new(SECRET)),
+        format!("{:?}", Engine::new(llm)),
+    ] {
+        assert!(!surface.contains(SECRET), "key leaked into: {surface}");
+        assert!(
+            !surface.contains("XYZZY"),
+            "key fragment leaked into: {surface}"
+        );
+    }
+}
+
+#[test]
+fn formatted_errors_never_contain_the_key() {
+    let server = LoopbackServer::start().unwrap();
+    // Exercise every error constructor: an HTTP status error (whose body
+    // the server controls), a retries-exhausted 429, and transport
+    // failures from disconnects.
+    server.script_all([
+        Reply::Status {
+            status: 401,
+            retry_after: None,
+            body: r#"{"error":{"message":"bad token"}}"#.into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: None,
+            body: "too fast".into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: None,
+            body: "too fast".into(),
+        },
+        Reply::Disconnect,
+        Reply::Disconnect,
+        Reply::TornBody("torn".into()),
+        Reply::TornBody("torn".into()),
+    ]);
+    let llm = keyed_client(&server);
+    let mut errors: Vec<LlmError> = Vec::new();
+    for i in 0..4 {
+        if let Err(e) = llm.complete(&CompletionRequest::from_prompt(format!("try {i}"))) {
+            errors.push(e);
+        }
+    }
+    assert!(!errors.is_empty(), "the script must produce errors");
+    for error in &errors {
+        for formatted in [format!("{error}"), format!("{error:?}")] {
+            assert!(
+                !formatted.contains(SECRET) && !formatted.contains("XYZZY"),
+                "key leaked into error: {formatted}"
+            );
+        }
+    }
+    // The wire *did* carry the credential — that one sink is the point.
+    assert!(server
+        .requests()
+        .iter()
+        .all(|r| r.authorization.as_deref() == Some(&format!("Bearer {SECRET}"))));
+}
+
+#[test]
+fn persisted_cache_records_never_contain_the_key() {
+    let dir = std::env::temp_dir().join(format!(
+        "askit-http-redaction-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let server = LoopbackServer::start().unwrap();
+        let engine = Engine::with_config(
+            keyed_client(&server),
+            EngineConfig::default().with_cache_dir(&dir),
+        );
+        for i in 0..8 {
+            engine
+                .complete(&CompletionRequest::from_prompt(format!("persist {i}")))
+                .unwrap();
+        }
+        engine.persist().unwrap();
+    }
+    // Grep every byte the cache wrote (snapshots + WALs) for the secret.
+    let needle = SECRET.as_bytes();
+    let mut files = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        files += 1;
+        assert!(
+            !bytes.windows(needle.len()).any(|window| window == needle),
+            "key leaked into persisted record {}",
+            path.display()
+        );
+    }
+    assert!(
+        files > 0,
+        "the cache must actually have persisted something"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,138 @@
+//! Property tests for the streaming decoders: arbitrary payloads survive
+//! SSE encoding → chunked framing → arbitrary read-boundary splits →
+//! decode, bit-exactly. Splits land *everywhere* — mid chunk-size line,
+//! mid event frame, and inside multi-byte UTF-8 scalars — which is exactly
+//! what a real socket does to a parser.
+
+use askit_llm_http::sse::{ChunkedDecoder, SseEvent, SseParser};
+use proptest::prelude::*;
+
+/// Splits `bytes` into reads: each split size is drawn from `cuts`
+/// (cycled), so the proptest engine controls where the tears land.
+fn split_feeds(bytes: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut feeds = Vec::new();
+    let mut rest = bytes;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let n = cuts
+            .get(i % cuts.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, rest.len());
+        feeds.push(rest[..n].to_vec());
+        rest = &rest[n..];
+        i += 1;
+    }
+    feeds
+}
+
+/// Encodes `payload` as chunked transfer frames, chunk sizes drawn from
+/// `chunk_sizes` (cycled).
+fn chunked_encode(payload: &[u8], chunk_sizes: &[usize]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    let mut rest = payload;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let n = chunk_sizes
+            .get(i % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, rest.len());
+        wire.extend_from_slice(format!("{n:x}\r\n").as_bytes());
+        wire.extend_from_slice(&rest[..n]);
+        wire.extend_from_slice(b"\r\n");
+        rest = &rest[n..];
+        i += 1;
+    }
+    wire.extend_from_slice(b"0\r\n\r\n");
+    wire
+}
+
+/// Encodes events as an SSE stream (one `data:` line each, then `[DONE]`).
+fn sse_encode(events: &[String]) -> Vec<u8> {
+    let mut stream = String::new();
+    for event in events {
+        stream.push_str("data: ");
+        stream.push_str(event);
+        stream.push_str("\n\n");
+    }
+    stream.push_str("data: [DONE]\n\n");
+    stream.into_bytes()
+}
+
+/// Event payload text: printable ASCII plus multi-byte scalars (accented
+/// latin, CJK, an emoji) so split points can land inside UTF-8 sequences.
+/// No newlines — a single `data:` line each (multi-line joining has its
+/// own unit test).
+fn arb_event_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 .,éü漢字🦀]{0,40}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunked framing round-trips arbitrary binary payloads under
+    /// arbitrary chunk sizes and read splits.
+    #[test]
+    fn chunked_roundtrip_under_arbitrary_splits(
+        payload in prop::collection::vec(0u8..255, 0..300),
+        chunk_sizes in prop::collection::vec(1usize..40, 1..6),
+        cuts in prop::collection::vec(1usize..23, 1..6),
+    ) {
+        let wire = chunked_encode(&payload, &chunk_sizes);
+        let mut decoder = ChunkedDecoder::new();
+        let mut decoded = Vec::new();
+        for feed in split_feeds(&wire, &cuts) {
+            let consumed = decoder.feed(&feed).expect("well-formed framing");
+            prop_assert_eq!(consumed, feed.len(), "no surplus before the terminal chunk");
+            decoded.extend_from_slice(&decoder.take_payload());
+        }
+        prop_assert!(decoder.is_done(), "terminal chunk must be recognized");
+        prop_assert_eq!(decoded, payload);
+    }
+
+    /// SSE events round-trip under arbitrary read splits, ending in
+    /// `[DONE]` — even when the splits tear multi-byte UTF-8 scalars.
+    #[test]
+    fn sse_roundtrip_under_arbitrary_splits(
+        events in prop::collection::vec(arb_event_text(), 0..8),
+        cuts in prop::collection::vec(1usize..17, 1..6),
+    ) {
+        let wire = sse_encode(&events);
+        let mut parser = SseParser::new();
+        let mut decoded = Vec::new();
+        for feed in split_feeds(&wire, &cuts) {
+            decoded.extend(parser.feed(&feed));
+        }
+        prop_assert_eq!(decoded.len(), events.len() + 1, "every event plus [DONE]");
+        prop_assert_eq!(decoded.last(), Some(&SseEvent::Done));
+        for (expected, got) in events.iter().zip(&decoded) {
+            prop_assert_eq!(got, &SseEvent::Data(expected.clone()));
+        }
+        prop_assert!(!parser.has_partial(), "stream fully consumed");
+    }
+
+    /// The full streaming pipeline — SSE inside chunked framing, split at
+    /// arbitrary boundaries twice over — still reconstructs every event.
+    #[test]
+    fn sse_inside_chunked_roundtrip(
+        events in prop::collection::vec(arb_event_text(), 1..6),
+        chunk_sizes in prop::collection::vec(1usize..11, 1..4),
+        cuts in prop::collection::vec(1usize..7, 1..4),
+    ) {
+        let wire = chunked_encode(&sse_encode(&events), &chunk_sizes);
+        let mut decoder = ChunkedDecoder::new();
+        let mut parser = SseParser::new();
+        let mut decoded = Vec::new();
+        for feed in split_feeds(&wire, &cuts) {
+            decoder.feed(&feed).expect("well-formed framing");
+            decoded.extend(parser.feed(&decoder.take_payload()));
+        }
+        prop_assert!(decoder.is_done());
+        prop_assert_eq!(decoded.len(), events.len() + 1);
+        prop_assert_eq!(decoded.last(), Some(&SseEvent::Done));
+        for (expected, got) in events.iter().zip(&decoded) {
+            prop_assert_eq!(got, &SseEvent::Data(expected.clone()));
+        }
+    }
+}

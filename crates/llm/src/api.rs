@@ -139,6 +139,13 @@ pub struct RequestOptions {
     /// not request identity: it never changes what the request keys to (see
     /// [`CompletionRequest::same_identity`]).
     pub ttl: Option<Duration>,
+    /// How long a network backend may spend on this request's round trip
+    /// before giving up with [`LlmError::Transport`]. `None` defers to the
+    /// backend's configured default; in-process backends ignore it. Service
+    /// advice, not identity — it is excluded from fingerprints and
+    /// [`CompletionRequest::same_identity`], so changing the timeout still
+    /// warm-starts from cached completions.
+    pub timeout: Option<Duration>,
 }
 
 impl RequestOptions {
@@ -437,6 +444,12 @@ pub struct Completion {
 }
 
 /// An error from a language-model backend.
+///
+/// Network backends (`askit-llm-http`) must never embed credentials in the
+/// `message` payloads here: these strings surface in logs, reports, and
+/// test output. The HTTP client builds them exclusively from response
+/// status lines and (truncated) response bodies, never from request
+/// headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum LlmError {
@@ -444,6 +457,20 @@ pub enum LlmError {
     Exhausted,
     /// The request was malformed (e.g. empty conversation).
     InvalidRequest(String),
+    /// The remote service answered with a non-success HTTP status that
+    /// retrying did not (or could not) clear — e.g. a 401, a 404, or a
+    /// 429/5xx that outlived the retry budget.
+    Http {
+        /// The HTTP status code of the final attempt.
+        status: u16,
+        /// A short, credential-free description (status text plus a
+        /// truncated response-body snippet).
+        message: String,
+    },
+    /// The request never produced a well-formed response: connect/read
+    /// failures, timeouts, torn frames, mid-stream disconnects, or a body
+    /// that did not parse as a chat completion.
+    Transport(String),
 }
 
 impl fmt::Display for LlmError {
@@ -451,6 +478,8 @@ impl fmt::Display for LlmError {
         match self {
             LlmError::Exhausted => f.write_str("no scripted response left"),
             LlmError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            LlmError::Http { status, message } => write!(f, "http status {status}: {message}"),
+            LlmError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

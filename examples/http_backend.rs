@@ -1,0 +1,124 @@
+//! The network backend end-to-end: the full AskIt stack (typed queries,
+//! retry loop, execution engine, completion cache) served by the
+//! OpenAI-compatible HTTP client — against the in-process loopback server,
+//! so it runs offline and in CI.
+//!
+//! Run with `cargo run --features http --example http_backend`.
+
+use std::time::Duration;
+
+use askit::http::{HttpLlm, HttpLlmConfig, LoopbackServer, RateLimit, Reply, RetryConfig};
+use askit::llm::{CompletionRequest, LanguageModel, ModelChoice};
+use askit::{args, Askit};
+
+/// The loopback "model": sums every integer in the prompt and answers in
+/// the §III-E JSON shape, so the real AskIt validation loop accepts it.
+fn arithmetic_handler(request: &askit::http::RecordedRequest) -> Reply {
+    let prompt = request.last_user.as_deref().unwrap_or("");
+    let mut sum: i64 = 0;
+    let mut digits = String::new();
+    for c in prompt.chars().chain([' ']) {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else if !digits.is_empty() {
+            sum += digits.parse::<i64>().unwrap_or(0);
+            digits.clear();
+        }
+    }
+    Reply::Text(format!(
+        "```json\n{{\"reason\": \"summed the operands\", \"answer\": {sum}}}\n```"
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A loopback server stands in for api.openai.com — scripted,
+    //    fault-injectable, and entirely in-process.
+    let server = LoopbackServer::start()?;
+    server.set_default_handler(arithmetic_handler);
+    println!("loopback server listening at {}", server.api_base());
+
+    // 2. The HTTP client is just another LanguageModel: the engine, cache,
+    //    and retry loop front it exactly as they front the simulated GPT.
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_api_key("sk-example-not-a-real-key")
+            .with_retry(RetryConfig {
+                max_retries: 4,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(100),
+            })
+            .with_rate_limit(
+                ModelChoice::Default,
+                RateLimit {
+                    capacity: 8.0,
+                    per_second: 500.0,
+                },
+            ),
+    )?;
+    let askit = Askit::new(llm);
+
+    // 3. The full DSL over the wire: prompt synthesis, JSON extraction,
+    //    type validation — answered by the loopback handler.
+    let total: i64 = askit.ask_as("What is {{x}} plus {{y}}?", args! { x: 19, y: 23 })?;
+    println!("19 + 23 = {total} (served over HTTP)");
+    assert_eq!(total, 42);
+
+    // 4. Warm pass: the same questions again are pure cache hits — the
+    //    server sees zero additional requests.
+    let questions: Vec<(i64, i64)> = (1..=8).map(|i| (i, i * 10)).collect();
+    for &(x, y) in &questions {
+        let _: i64 = askit.ask_as("What is {{x}} plus {{y}}?", args! { x: x, y: y })?;
+    }
+    let hits_after_cold = server.hits();
+    for &(x, y) in &questions {
+        let answer: i64 = askit.ask_as("What is {{x}} plus {{y}}?", args! { x: x, y: y })?;
+        assert_eq!(answer, x + y);
+    }
+    assert_eq!(
+        server.hits(),
+        hits_after_cold,
+        "warm pass must issue zero HTTP requests"
+    );
+    println!(
+        "warm pass: 8/8 answers from cache, {} total HTTP requests, engine {}",
+        server.hits(),
+        askit.cache_stats()
+    );
+
+    // 5. Fault injection: a 429 burst followed by recovery. Backoff plus
+    //    the drained token bucket absorb all of it — no user-visible error.
+    server.script_all([
+        Reply::Status {
+            status: 429,
+            retry_after: None,
+            body: r#"{"error":{"message":"rate limited"}}"#.into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: Some(0),
+            body: r#"{"error":{"message":"rate limited"}}"#.into(),
+        },
+    ]);
+    let under_pressure: i64 = askit.ask_as("What is {{x}} plus {{y}}?", args! { x: 400, y: 29 })?;
+    assert_eq!(under_pressure, 429);
+    let stats = askit.llm().stats();
+    println!(
+        "429 burst absorbed: {} throttles, {} retries, answer still {under_pressure}",
+        stats.throttles, stats.retries
+    );
+
+    // 6. Streaming: the same protocol over SSE, the response torn into
+    //    7-byte chunks on the wire and reassembled by the client.
+    let streaming = HttpLlm::new(HttpLlmConfig::new(server.api_base()).with_stream(true))?;
+    server.script(Reply::Sse("streamed čhúnked ánswer 🦀".into()));
+    let completion = streaming.complete(&CompletionRequest::from_prompt("stream one"))?;
+    println!("SSE round trip: {:?}", completion.text);
+    assert_eq!(completion.text, "streamed čhúnked ánswer 🦀");
+
+    println!(
+        "keep-alive: {} requests over {} TCP connection(s)",
+        server.hits(),
+        server.connections()
+    );
+    Ok(())
+}

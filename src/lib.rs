@@ -67,6 +67,17 @@ pub mod llm {
     pub use askit_llm::*;
 }
 
+/// The OpenAI-compatible network backend (behind the `http` feature):
+/// [`HttpLlm`](askit_llm_http::HttpLlm) implements
+/// [`LanguageModel`](askit_llm::LanguageModel) over hand-rolled HTTP/1.1
+/// with keep-alive pooling, retry/backoff, per-model rate limiting, and
+/// in-flight coalescing, plus the
+/// [`LoopbackServer`](askit_llm_http::LoopbackServer) test fixture.
+#[cfg(feature = "http")]
+pub mod http {
+    pub use askit_llm_http::*;
+}
+
 /// The paper's workloads.
 pub mod datasets {
     pub use askit_datasets::*;
