@@ -1,0 +1,264 @@
+//! Mixed-model routing under provider-side load — emitted as JSON (one
+//! object on stdout, the `BENCH_mixed_model_routing.json` artifact).
+//!
+//! Two claims of the routing-aware scheduler are measured here, offline,
+//! against the mock provider's scriptable load model:
+//!
+//! * **AIMD beats every static width.** A workload that mixes gpt35- and
+//!   gpt4-routed tasks runs against a provider that caps gpt4 concurrency;
+//!   admissions over the cap pay a large simulated throttle penalty (the
+//!   429 + backoff round trip of a real provider). A single global width
+//!   cannot win: sized for gpt4's cap it starves the uncapped cheap model,
+//!   sized for the pool it slams gpt4 into the penalty. The adaptive
+//!   scheduler's per-model gates cut only gpt4's width on throttle signals
+//!   and leave gpt35 at full fan-out, so its throughput must beat the best
+//!   static width in the sweep (CI gates on it, with tolerance).
+//!
+//! * **Escalation cuts expensive-model calls at equal accuracy.** With the
+//!   mock's `cheap_miss` knob, a fraction of tasks is beyond the cheap
+//!   model. Routing everything to gpt4 solves them all but pays the
+//!   expensive model for every task; the `gpt35 -> gpt4` escalation ladder
+//!   solves exactly as many while only the drawn misses ever reach gpt4.
+//!   CI gates gpt4 call count strictly below the expensive-only run at
+//!   equal solve counts.
+//!
+//! Throttling and width adaptation change timing and signals, never
+//! response content, so every routing configuration must produce
+//! bit-identical values (asserted below).
+//!
+//! Run with `cargo bench --bench mixed_model_routing`.
+
+use std::time::{Duration, Instant};
+
+use askit_core::{args, Askit, AskitConfig, ModelChoice};
+use askit_exec::EngineConfig;
+use askit_llm::{Escalation, FaultConfig, LoadProfile, MockLlm, MockLlmConfig, Oracle};
+
+const SEED: u64 = 20240302;
+
+// --- throughput section ----------------------------------------------------
+
+/// Mixed workload: every fourth task routes to gpt4, the rest to gpt35.
+const TASKS: usize = 192;
+/// The engine's pool width (and the adaptive run's per-model ceiling).
+const WORKERS: usize = 12;
+/// Provider-side gpt4 concurrency cap; gpt35 is uncapped.
+const GPT4_CAP: usize = 3;
+/// Simulated cost per slot of oversubscription (the 429 + backoff round
+/// trip; queueing makes hammering superlinear), scaled like latency.
+const PENALTY: Duration = Duration::from_secs(20);
+/// Scale simulated seconds down so the whole bench runs in under a second.
+const WALL_CLOCK_SCALE: f64 = 1.0 / 4096.0;
+/// The static global widths the adaptive run competes against.
+const STATIC_WIDTHS: [usize; 3] = [GPT4_CAP, 6, WORKERS];
+
+fn routed_model(task: usize) -> ModelChoice {
+    if task.is_multiple_of(4) {
+        ModelChoice::Gpt4
+    } else {
+        ModelChoice::Gpt35
+    }
+}
+
+struct RoutingRun {
+    values: Vec<i64>,
+    seconds: f64,
+    widths: String,
+}
+
+/// Runs the mixed workload at one width configuration and returns the
+/// answers, wall-clock seconds, and the scheduler's final width line.
+fn run_routing(workers: usize, adaptive: bool) -> RoutingRun {
+    let config = MockLlmConfig::gpt4()
+        .with_seed(SEED)
+        .with_faults(FaultConfig::none())
+        .with_wall_clock_scale(WALL_CLOCK_SCALE)
+        .with_load(
+            LoadProfile::default()
+                .cap(ModelChoice::Gpt4, GPT4_CAP)
+                .with_penalty(PENALTY),
+        );
+    let askit = Askit::new(MockLlm::new(config, Oracle::standard()))
+        .with_config(AskitConfig::default())
+        .with_engine_config(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_adaptive(adaptive),
+        );
+    let queries: Vec<_> = (0..TASKS)
+        .map(|i| {
+            askit
+                .query::<i64>("What is {{x}} plus {{y}}?")
+                .args(args! { x: i as i64, y: 1000 })
+                .model(routed_model(i))
+                .build()
+                .expect("template parses")
+        })
+        .collect();
+    let started = Instant::now();
+    let values: Vec<i64> = askit
+        .run_batch_detailed(&queries)
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .expect("arithmetic oracle answers")
+                .value
+                .as_i64()
+                .expect("typed int")
+        })
+        .collect();
+    let seconds = started.elapsed().as_secs_f64();
+    let engine = askit.engine();
+    RoutingRun {
+        values,
+        seconds,
+        widths: engine.scheduler().describe_widths(engine.workers()),
+    }
+}
+
+// --- escalation section ----------------------------------------------------
+
+/// Escalation workload size and the share of tasks beyond the cheap model.
+const ESC_TASKS: usize = 48;
+const CHEAP_MISS_RATE: f64 = 0.5;
+
+struct EscalationRun {
+    solved: usize,
+    gpt4_calls: usize,
+    gpt35_calls: usize,
+}
+
+impl EscalationRun {
+    /// Cost-weighted model spend: a gpt4 call bills 10x a gpt35 call
+    /// (order-of-magnitude provider pricing gap).
+    fn cost(&self) -> usize {
+        self.gpt4_calls * 10 + self.gpt35_calls
+    }
+}
+
+/// Runs the escalation workload either through the `gpt35 -> gpt4` ladder
+/// or routed straight to gpt4 (the expensive-only baseline).
+fn run_escalation(escalate: bool) -> EscalationRun {
+    let config = MockLlmConfig::gpt4()
+        .with_seed(SEED)
+        .with_faults(FaultConfig::none())
+        .with_cheap_miss_rate(CHEAP_MISS_RATE);
+    let askit_config = if escalate {
+        AskitConfig::default().with_escalation(Escalation::cheap_first())
+    } else {
+        AskitConfig::default().with_model(ModelChoice::Gpt4)
+    };
+    let askit = Askit::new(MockLlm::new(config, Oracle::standard()))
+        .with_config(askit_config)
+        .with_engine_config(EngineConfig::default().with_workers(4));
+    let task = askit
+        .define(askit_types::int(), "What is {{x}} plus {{y}}?")
+        .expect("template parses");
+    let bindings: Vec<_> = (0..ESC_TASKS as i64)
+        .map(|i| args! { x: i, y: 9000 })
+        .collect();
+    let solved = task
+        .call_batch(&bindings)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, outcome)| match outcome {
+            Ok(outcome) => outcome.value == askit_json::Json::Int(*i as i64 + 9000),
+            Err(_) => false,
+        })
+        .count();
+    let model = askit.engine().model();
+    EscalationRun {
+        solved,
+        gpt4_calls: model.calls_routed(ModelChoice::Gpt4),
+        gpt35_calls: model.calls_routed(ModelChoice::Gpt35),
+    }
+}
+
+fn main() {
+    // Throughput sweep: static widths, then the adaptive scheduler at the
+    // full pool width.
+    let statics: Vec<(usize, RoutingRun)> = STATIC_WIDTHS
+        .iter()
+        .map(|&w| (w, run_routing(w, false)))
+        .collect();
+    let adaptive = run_routing(WORKERS, true);
+    for (width, run) in &statics {
+        assert_eq!(
+            run.values, adaptive.values,
+            "static width {width} changed results — throttling must only move time"
+        );
+    }
+    let (best_width, best_static) = statics
+        .iter()
+        .max_by(|a, b| {
+            (a.1.seconds)
+                .partial_cmp(&b.1.seconds)
+                .expect("finite")
+                .reverse()
+        })
+        .expect("non-empty sweep");
+
+    // Escalation: the ladder vs routing everything to the strong model.
+    let ladder = run_escalation(true);
+    let expensive = run_escalation(false);
+    assert_eq!(
+        ladder.solved, expensive.solved,
+        "escalation must not lose accuracy"
+    );
+    assert!(
+        ladder.gpt4_calls < expensive.gpt4_calls,
+        "escalation must reduce expensive-model calls: {} vs {}",
+        ladder.gpt4_calls,
+        expensive.gpt4_calls
+    );
+
+    let static_json: Vec<String> = statics
+        .iter()
+        .map(|(width, run)| {
+            format!(
+                "{{\"width\": {width}, \"seconds\": {:.4}, \"tasks_per_sec\": {:.1}}}",
+                run.seconds,
+                TASKS as f64 / run.seconds.max(1e-9),
+            )
+        })
+        .collect();
+    println!(
+        concat!(
+            "{{\"bench\": \"mixed_model_routing\", \"workload\": \"mixed-direct\", ",
+            "\"tasks\": {}, \"workers\": {}, \"gpt4_cap\": {}, ",
+            "\"penalty_secs\": {}, \"wall_clock_scale\": {}, ",
+            "\"static\": [{}], ",
+            "\"best_static\": {{\"width\": {}, \"seconds\": {:.4}, \"tasks_per_sec\": {:.1}}}, ",
+            "\"adaptive\": {{\"seconds\": {:.4}, \"tasks_per_sec\": {:.1}, \"widths\": \"{}\"}}, ",
+            "\"adaptive_vs_best_static\": {:.3}, ",
+            "\"escalation\": {{\"tasks\": {}, \"cheap_miss_rate\": {}, ",
+            "\"ladder\": {{\"solved\": {}, \"gpt4_calls\": {}, \"gpt35_calls\": {}, \"cost\": {}}}, ",
+            "\"expensive_only\": {{\"solved\": {}, \"gpt4_calls\": {}, \"gpt35_calls\": {}, \"cost\": {}}}, ",
+            "\"cost_ratio\": {:.3}}}}}"
+        ),
+        TASKS,
+        WORKERS,
+        GPT4_CAP,
+        PENALTY.as_secs(),
+        WALL_CLOCK_SCALE,
+        static_json.join(", "),
+        best_width,
+        best_static.seconds,
+        TASKS as f64 / best_static.seconds.max(1e-9),
+        adaptive.seconds,
+        TASKS as f64 / adaptive.seconds.max(1e-9),
+        adaptive.widths,
+        best_static.seconds / adaptive.seconds.max(1e-9),
+        ESC_TASKS,
+        CHEAP_MISS_RATE,
+        ladder.solved,
+        ladder.gpt4_calls,
+        ladder.gpt35_calls,
+        ladder.cost(),
+        expensive.solved,
+        expensive.gpt4_calls,
+        expensive.gpt35_calls,
+        expensive.cost(),
+        ladder.cost() as f64 / expensive.cost().max(1) as f64,
+    );
+}

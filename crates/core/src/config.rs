@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use askit_llm::{CachePolicy, ModelChoice, RequestOptions};
+use askit_llm::{CachePolicy, Escalation, ModelChoice, RequestOptions};
 
 /// Configuration shared by the direct runtime and the codegen pipeline.
 ///
@@ -51,6 +51,19 @@ pub struct AskitConfig {
     /// never answers — but scripted test backends that serve responses in
     /// strict order should leave it off.
     pub speculate: bool,
+    /// Tiered model escalation for the §III-E retry loop
+    /// ([`Escalation::OFF`] by default). With a ladder configured, the
+    /// first attempt runs on the ladder's cheapest tier and each validation
+    /// failure *escalates* to the next tier — re-preparing the request
+    /// against the stronger model — instead of re-asking the model that
+    /// just failed; on the last tier the remaining budget retries as usual.
+    /// The routed tier is part of every request's cache fingerprint, so
+    /// tiers never collide in the completion cache. A non-[`Default`][m]
+    /// [`AskitConfig::model`] (or a per-query model override) expresses an
+    /// explicit routing decision and disables the ladder for that call.
+    ///
+    /// [m]: askit_llm::ModelChoice::Default
+    pub escalation: Escalation,
 }
 
 impl Default for AskitConfig {
@@ -64,6 +77,7 @@ impl Default for AskitConfig {
             cache_ttl: None,
             request_timeout: None,
             speculate: false,
+            escalation: Escalation::OFF,
         }
     }
 }
@@ -122,6 +136,14 @@ impl AskitConfig {
     #[must_use]
     pub fn with_speculation(mut self, speculate: bool) -> Self {
         self.speculate = speculate;
+        self
+    }
+
+    /// Installs a tiered-escalation ladder (see
+    /// [`AskitConfig::escalation`]).
+    #[must_use]
+    pub fn with_escalation(mut self, escalation: Escalation) -> Self {
+        self.escalation = escalation;
         self
     }
 

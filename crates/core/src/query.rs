@@ -16,7 +16,7 @@ use std::marker::PhantomData;
 use std::time::Duration;
 
 use askit_json::{Map, ToJson};
-use askit_llm::{CachePolicy, LanguageModel, ModelChoice};
+use askit_llm::{CachePolicy, Escalation, LanguageModel, ModelChoice};
 use askit_template::Template;
 use askit_types::Type;
 
@@ -53,6 +53,10 @@ pub struct QueryOptions {
     /// Overrides [`AskitConfig::speculate`]: whether the retry loop
     /// prefetches the likely feedback turn ahead of validation.
     pub speculate: Option<bool>,
+    /// Overrides [`AskitConfig::escalation`]: the tiered ladder the retry
+    /// loop climbs on validation failures ([`Escalation::OFF`] disables it
+    /// for this call even when the instance has a ladder).
+    pub escalation: Option<Escalation>,
 }
 
 impl QueryOptions {
@@ -110,6 +114,13 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the tiered-escalation override.
+    #[must_use]
+    pub fn with_escalation(mut self, escalation: Escalation) -> Self {
+        self.escalation = Some(escalation);
+        self
+    }
+
     /// Layers `self` over `base`: fields set here win, unset fields fall
     /// through to `base`. This is how a per-invocation `call_with` override
     /// combines with options already attached to a function.
@@ -123,6 +134,7 @@ impl QueryOptions {
             cache_ttl: self.cache_ttl.or(base.cache_ttl),
             timeout: self.timeout.or(base.timeout),
             speculate: self.speculate.or(base.speculate),
+            escalation: self.escalation.or(base.escalation),
         }
     }
 
@@ -140,6 +152,7 @@ impl QueryOptions {
             cache_ttl: self.cache_ttl.or(defaults.cache_ttl),
             request_timeout: self.timeout.or(defaults.request_timeout),
             speculate: self.speculate.unwrap_or(defaults.speculate),
+            escalation: self.escalation.unwrap_or(defaults.escalation),
         }
     }
 }
@@ -233,6 +246,14 @@ impl<'a, T: AskType, L: LanguageModel> QueryBuilder<'a, T, L> {
     #[must_use]
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.options.timeout = Some(timeout);
+        self
+    }
+
+    /// Climbs `ladder` on validation failures instead of re-asking the
+    /// failing model (see [`AskitConfig::escalation`]).
+    #[must_use]
+    pub fn escalate(mut self, ladder: Escalation) -> Self {
+        self.options.escalation = Some(ladder);
         self
     }
 

@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use askit_json::{extract, Json, Map};
 use askit_llm::{
-    ChatMessage, CompletionRequest, LanguageModel, PreparedRequest, RequestHasher, TokenUsage,
+    ChatMessage, CompletionRequest, LanguageModel, ModelChoice, PreparedRequest, RequestHasher,
+    RequestOptions, TokenUsage,
 };
 use askit_template::Template;
 use askit_types::Type;
@@ -34,6 +35,13 @@ pub struct DirectOutcome {
     /// Aggregate (simulated) model latency across attempts. This is the
     /// number Table III calls "Latency".
     pub latency: Duration,
+    /// The model tier that produced the accepted answer (equals the
+    /// configured model unless an [`AskitConfig::escalation`] ladder
+    /// escalated past its first tier).
+    pub model: ModelChoice,
+    /// How many tier escalations the retry loop performed (0 with
+    /// escalation off or when the first tier answered acceptably).
+    pub escalations: usize,
 }
 
 /// Runs the §III-E loop for one task.
@@ -56,6 +64,14 @@ pub struct DirectOutcome {
 ///   validation is evicted through the normal
 ///   [`LanguageModel::reject_completion`] path — results are bit-identical
 ///   with speculation on or off, at any worker count.
+/// * **Tiered escalation** — with an [`AskitConfig::escalation`] ladder (and
+///   the model left at [`ModelChoice::Default`]), the first attempt runs on
+///   the cheapest tier and each validation failure *escalates* to the next
+///   tier instead of re-asking the model that just failed; the top tier
+///   spends whatever retry budget remains. The routed tier leads every
+///   request hash, so tiers never share cache entries, and the speculative
+///   prefetch predicts the escalated request. Unlike speculation, escalation
+///   intentionally changes results: a stronger tier answers differently.
 ///
 /// # Errors
 ///
@@ -70,7 +86,23 @@ pub fn run_direct<L: LanguageModel>(
     config: &AskitConfig,
 ) -> Result<DirectOutcome, AskItError> {
     let prompt = direct_prompt(template, args, answer_type, few_shot)?;
-    let options = config.request_options();
+    // Tiered escalation: with a ladder configured (and no explicit model
+    // pinning the route), the first attempt runs on the cheapest tier and
+    // each validation failure climbs one rung — re-preparing against the
+    // stronger model — until the top tier spends the remaining budget. The
+    // routed tier is mixed into every request hash, so tiers never collide
+    // in any cache layer.
+    let tiers: &[ModelChoice] = if config.model == ModelChoice::Default {
+        config.escalation.tiers()
+    } else {
+        &[]
+    };
+    let model_for = |tier: usize| tiers.get(tier).copied().unwrap_or(config.model);
+    let mut tier = 0usize;
+    let mut options = RequestOptions {
+        model: model_for(tier),
+        ..config.request_options()
+    };
     let mut hasher = RequestHasher::new(config.temperature, options.model);
     let first_turn = ChatMessage::user(prompt);
     hasher.push(&first_turn);
@@ -78,6 +110,7 @@ pub fn run_direct<L: LanguageModel>(
     let mut usage = TokenUsage::default();
     let mut latency = Duration::ZERO;
     let mut last_problem = String::new();
+    let mut escalations = 0usize;
 
     for attempt in 1..=config.max_retries + 1 {
         let prepared = PreparedRequest::from_parts(
@@ -105,21 +138,38 @@ pub fn run_direct<L: LanguageModel>(
         // normal rejection path below evicts it.
         if config.speculate && attempt <= config.max_retries {
             if let Err(problem) = &verdict {
-                let mut spec_hasher = hasher;
-                let spec_assistant = ChatMessage::assistant(completion.text.clone());
-                let spec_feedback = ChatMessage::user(feedback_message(problem));
-                spec_hasher.push(&spec_assistant);
-                spec_hasher.push(&spec_feedback);
                 let mut spec_messages = prepared.request().messages.clone();
-                spec_messages.push(spec_assistant);
-                spec_messages.push(spec_feedback);
+                spec_messages.push(ChatMessage::assistant(completion.text.clone()));
+                spec_messages.push(ChatMessage::user(feedback_message(problem)));
+                // The next attempt may run one tier up the ladder: the
+                // speculation must predict *that* request — same messages,
+                // escalated model, and a hash built for the new tier (a
+                // full re-hash, paid only on the rare escalating turns; the
+                // common path still extends the running hash by two turns).
+                let next_model = model_for((tier + 1).min(tiers.len().saturating_sub(1)));
+                let content_hash = if next_model == options.model {
+                    let mut spec_hasher = hasher;
+                    for turn in &spec_messages[spec_messages.len() - 2..] {
+                        spec_hasher.push(turn);
+                    }
+                    spec_hasher.content_hash()
+                } else {
+                    let mut spec_hasher = RequestHasher::new(config.temperature, next_model);
+                    for turn in &spec_messages {
+                        spec_hasher.push(turn);
+                    }
+                    spec_hasher.content_hash()
+                };
                 llm.prefetch(&PreparedRequest::from_parts(
                     CompletionRequest {
                         messages: spec_messages,
                         temperature: config.temperature,
-                        options,
+                        options: RequestOptions {
+                            model: next_model,
+                            ..options
+                        },
                     },
-                    spec_hasher.content_hash(),
+                    content_hash,
                 ));
             }
         }
@@ -132,6 +182,8 @@ pub fn run_direct<L: LanguageModel>(
                     attempts: attempt,
                     usage,
                     latency,
+                    model: options.model,
+                    escalations,
                 });
             }
             Err(problem) => {
@@ -148,11 +200,27 @@ pub fn run_direct<L: LanguageModel>(
                 // landed prefetch is a cache hit on the next submission.
                 let assistant = ChatMessage::assistant(completion.text);
                 let feedback = ChatMessage::user(feedback_message(&problem));
-                hasher.push(&assistant);
-                hasher.push(&feedback);
                 messages = prepared.into_request().messages;
                 messages.push(assistant);
                 messages.push(feedback);
+                if tier + 1 < tiers.len() {
+                    // Escalate: the next attempt re-prepares the grown
+                    // conversation against the next tier. The hash restarts
+                    // from the new model tag (model is the hasher's leading
+                    // ingredient), so the rebuild walks the conversation
+                    // once — matching the speculated request exactly.
+                    tier += 1;
+                    escalations += 1;
+                    options.model = model_for(tier);
+                    hasher = RequestHasher::new(config.temperature, options.model);
+                    for turn in &messages {
+                        hasher.push(turn);
+                    }
+                } else {
+                    for turn in &messages[messages.len() - 2..] {
+                        hasher.push(turn);
+                    }
+                }
                 last_problem = problem;
             }
         }
@@ -399,6 +467,178 @@ mod tests {
         assert!(
             plain.iter().any(|(_, attempts)| *attempts > 1),
             "the fault rate must force retries (so speculation fires): {plain:?}"
+        );
+    }
+
+    #[test]
+    fn escalation_climbs_the_ladder_on_validation_failure() {
+        use askit_llm::{Escalation, RecordingLlm};
+        let llm = RecordingLlm::new(ScriptedLlm::new([
+            // The cheap tier answers prose: validation fails.
+            "That is beyond me.",
+            // The strong tier answers properly.
+            "```json\n{\"reason\": \"r\", \"answer\": 56}\n```",
+        ]));
+        let config = AskitConfig::default().with_escalation(Escalation::cheap_first());
+        let out = run_direct(
+            &llm,
+            &template("What is 7 times 8?"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(56));
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.escalations, 1);
+        assert_eq!(out.model, askit_llm::ModelChoice::Gpt4);
+        let log = llm.exchanges();
+        assert_eq!(log[0].request.options.model, askit_llm::ModelChoice::Gpt35);
+        assert_eq!(
+            log[1].request.options.model,
+            askit_llm::ModelChoice::Gpt4,
+            "the retry re-prepares against the next tier"
+        );
+        assert_eq!(
+            log[1].request.messages.len(),
+            3,
+            "the escalated request keeps the grown conversation"
+        );
+    }
+
+    #[test]
+    fn explicit_model_pins_routing_and_disables_the_ladder() {
+        use askit_llm::{Escalation, ModelChoice, RecordingLlm};
+        let llm = RecordingLlm::new(ScriptedLlm::new([
+            "not json",
+            "```json\n{\"reason\": \"r\", \"answer\": 1}\n```",
+        ]));
+        let config = AskitConfig::default()
+            .with_model(ModelChoice::Gpt35)
+            .with_escalation(Escalation::cheap_first());
+        let out = run_direct(
+            &llm,
+            &template("Question?"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.escalations, 0);
+        assert_eq!(out.model, ModelChoice::Gpt35);
+        for exchange in llm.exchanges() {
+            assert_eq!(exchange.request.options.model, ModelChoice::Gpt35);
+        }
+    }
+
+    #[test]
+    fn top_tier_spends_the_remaining_retry_budget() {
+        use askit_llm::{Escalation, ModelChoice, RecordingLlm};
+        let llm = RecordingLlm::new(ScriptedLlm::new([
+            "bad", "bad", "bad", "bad", // four attempts, all unusable
+        ]));
+        let config = AskitConfig::default()
+            .with_max_retries(3)
+            .with_escalation(Escalation::cheap_first());
+        let err = run_direct(
+            &llm,
+            &template("Hopeless"),
+            &Map::new(),
+            &askit_types::int(),
+            &[],
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AskItError::AnswerRetriesExhausted { .. }));
+        let models: Vec<ModelChoice> = llm
+            .exchanges()
+            .iter()
+            .map(|e| e.request.options.model)
+            .collect();
+        assert_eq!(
+            models,
+            vec![
+                ModelChoice::Gpt35,
+                ModelChoice::Gpt4,
+                ModelChoice::Gpt4,
+                ModelChoice::Gpt4
+            ],
+            "one rung per failure, then the top tier retries"
+        );
+    }
+
+    #[test]
+    fn cheap_misses_escalate_to_the_strong_tier_end_to_end() {
+        use askit_llm::{Escalation, ModelChoice};
+        // Every gpt35-routed task is "beyond the cheap model" (rate 1.0):
+        // without escalation the whole retry budget would burn on prose.
+        let llm = askit_llm::MockLlm::new(
+            askit_llm::MockLlmConfig::gpt4()
+                .with_faults(askit_llm::FaultConfig::none())
+                .with_cheap_miss_rate(1.0),
+            askit_llm::Oracle::standard(),
+        );
+        let config = AskitConfig::default().with_escalation(Escalation::cheap_first());
+        let out = run_direct(
+            &llm,
+            &template("What is {{x}} times {{y}}?"),
+            &args(&[("x", json!(6i64)), ("y", json!(7i64))]),
+            &askit_types::int(),
+            &[],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.value, Json::Int(42));
+        assert_eq!(out.attempts, 2, "one cheap miss, one strong answer");
+        assert_eq!(out.escalations, 1);
+        assert_eq!(llm.calls_routed(ModelChoice::Gpt35), 1);
+        assert_eq!(llm.calls_routed(ModelChoice::Gpt4), 1);
+    }
+
+    #[test]
+    fn speculative_prefetch_predicts_the_escalated_request() {
+        use askit_llm::{Escalation, MockLlmConfig};
+        // Through an engine (so prefetches land in the completion cache),
+        // escalating runs must produce identical outcomes with speculation
+        // on or off — the prediction covers the tier switch.
+        let run = |speculate: bool| -> Vec<(Json, usize, usize)> {
+            let engine = askit_exec::Engine::new(askit_llm::MockLlm::new(
+                MockLlmConfig::gpt4()
+                    .with_seed(5)
+                    .with_faults(askit_llm::FaultConfig::none())
+                    .with_cheap_miss_rate(0.6),
+                askit_llm::Oracle::standard(),
+            ));
+            let config = AskitConfig::default()
+                .with_escalation(Escalation::cheap_first())
+                .with_speculation(speculate);
+            (0..10i64)
+                .map(|i| {
+                    let out = run_direct(
+                        &engine,
+                        &template("What is {{x}} plus {{y}}?"),
+                        &args(&[("x", json!(i)), ("y", json!(50i64))]),
+                        &askit_types::int(),
+                        &[],
+                        &config,
+                    )
+                    .unwrap();
+                    (out.value, out.attempts, out.escalations)
+                })
+                .collect()
+        };
+        let plain = run(false);
+        let speculative = run(true);
+        assert_eq!(plain, speculative, "speculation changed an outcome");
+        assert!(
+            plain.iter().any(|(_, _, escalations)| *escalations > 0),
+            "the cheap-miss rate must force some escalations: {plain:?}"
+        );
+        assert!(
+            plain.iter().any(|(_, _, escalations)| *escalations == 0),
+            "some tasks must stay on the cheap tier: {plain:?}"
         );
     }
 

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
-//!            [--cache-dir DIR] [--cache-ttl SECS] [--speculate]
-//!            [--backend mock|http] [--api-base URL]
+//!            [--cache-dir DIR] [--cache-ttl SECS] [--speculate] [--adaptive]
+//!            [--escalate] [--backend mock|http] [--api-base URL]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -35,6 +35,14 @@ options:
   --speculate       prefetch likely retry feedback turns through the engine
                     pool ahead of validation (table3); results are
                     bit-identical with or without, only timing changes
+  --adaptive        adapt per-model admission widths with AIMD (table3):
+                    each model's width grows on success and is cut on
+                    throttles/timeouts; results are bit-identical with or
+                    without, only timing changes
+  --escalate        route first attempts to the cheap model tier and
+                    escalate to the strong tier on validation failure
+                    (table3); changes routing, so the latency column
+                    reflects the ladder
   --backend B       which model serves table3: 'mock' (default, the
                     deterministic simulated GPT) or 'http' (an
                     OpenAI-compatible service; needs a build with
@@ -47,6 +55,10 @@ environment:
   ASKIT_REPORTS_DIR  directory report files are written to (default: reports/)
   ASKIT_WORKERS      engine worker threads when --threads is 0/unset
                      (default: the machine's full available parallelism)
+  ASKIT_WORKERS_DEFAULT / ASKIT_WORKERS_GPT35 / ASKIT_WORKERS_GPT4
+                     per-model width ceilings; each beats the global
+                     ASKIT_WORKERS for its model (resolved widths are
+                     printed at startup)
   ASKIT_API_BASE     default --api-base for the http backend
   ASKIT_API_KEY      bearer credential for the http backend (sent as
                      'Authorization: Bearer …'; never logged)";
@@ -59,6 +71,8 @@ fn main() {
     let mut threads = 0usize;
     let mut cache = table3::CacheSetup::default();
     let mut speculate = false;
+    let mut adaptive = false;
+    let mut escalate = false;
     let mut backend_name = "mock".to_owned();
     let mut api_base: Option<String> = None;
 
@@ -91,6 +105,8 @@ fn main() {
                 cache.ttl = Some(std::time::Duration::from_secs(secs));
             }
             "--speculate" => speculate = true,
+            "--adaptive" => adaptive = true,
+            "--escalate" => escalate = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -103,6 +119,16 @@ fn main() {
     }
 
     let backend = resolve_backend(&backend_name, api_base.as_deref());
+
+    // Per-model widths, resolved exactly the way an engine would resolve
+    // them (explicit --threads beats ASKIT_WORKERS beats the machine), so
+    // the line always matches what the sweeps below actually run with.
+    let global_width = askit_exec::resolve_workers(threads);
+    let widths = askit_exec::Scheduler::new(adaptive, global_width, &[]);
+    eprintln!(
+        "askit-eval: engine workers: {}",
+        widths.describe_widths(global_width)
+    );
 
     let run_table2 = || {
         emit(
@@ -120,11 +146,15 @@ fn main() {
     let run_fig7 = || emit("fig7.txt", &fig7::render(&fig7::run()));
     let run_table3 = || {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
+        let policy = table3::SweepPolicy::default()
+            .with_threads(threads)
+            .with_cache(cache.clone())
+            .with_speculation(speculate)
+            .with_adaptive(adaptive)
+            .with_escalation(escalate);
         emit(
             "table3.txt",
-            &table3::render(&table3::run_full_with_backend(
-                count, seed, threads, &cache, speculate, &backend,
-            )),
+            &table3::render(&table3::run_policy(count, seed, &policy, &backend)),
         );
     };
 

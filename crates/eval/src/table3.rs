@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use askit_core::{Askit, AskitConfig, Example};
 use askit_datasets::gsm8k::{self, Gsm8kProblem};
 use askit_exec::{CacheStats, EngineConfig};
-use askit_llm::{LanguageModel, MockLlm, MockLlmConfig, Oracle};
+use askit_llm::{Escalation, LanguageModel, MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
 use crate::report::{mean, Table};
@@ -76,6 +76,71 @@ pub struct CacheSetup {
     pub ttl: Option<Duration>,
 }
 
+/// Every execution-policy knob of a sweep in one place: how wide the
+/// engine fans out, where completions persist, and which of the optional
+/// scheduling features are on.
+///
+/// `threads`, `cache`, `speculate`, and `adaptive` may only change *how*
+/// the sweep runs — the report is bit-identical with any combination (the
+/// determinism suite holds thread counts 1/4/8 with adaptation on to the
+/// same columns). `escalate` is the exception: it deliberately changes
+/// routing (first attempts go to the cheap tier), so its latency column
+/// reflects the ladder, not the strong model alone.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPolicy {
+    /// Engine worker threads (`0` = auto: `ASKIT_WORKERS`, then the
+    /// machine's available parallelism).
+    pub threads: usize,
+    /// Completion-cache persistence (see [`CacheSetup`]).
+    pub cache: CacheSetup,
+    /// Speculative retry prefetch (see [`run_full`]).
+    pub speculate: bool,
+    /// Per-model AIMD width adaptation: the engine grows each model's
+    /// admission width on success and cuts it on throttles/timeouts
+    /// (`askit_exec::Scheduler`). Timing-only; results never change.
+    pub adaptive: bool,
+    /// Tiered model escalation: route first attempts to the cheap tier and
+    /// climb the [`Escalation::cheap_first`] ladder on validation failure.
+    pub escalate: bool,
+}
+
+impl SweepPolicy {
+    /// Overrides the engine worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides cache persistence.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheSetup) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Enables speculative retry prefetch.
+    #[must_use]
+    pub fn with_speculation(mut self, speculate: bool) -> Self {
+        self.speculate = speculate;
+        self
+    }
+
+    /// Enables AIMD width adaptation.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Enables tiered model escalation.
+    #[must_use]
+    pub fn with_escalation(mut self, escalate: bool) -> Self {
+        self.escalate = escalate;
+        self
+    }
+}
+
 /// Which language-model backend serves a sweep.
 ///
 /// The reproduction's default is the simulated GPT ([`Backend::Mock`]),
@@ -106,9 +171,7 @@ fn run_pipeline(
     problems: &[Gsm8kProblem],
     syntax: Syntax,
     run_seed: u64,
-    threads: usize,
-    cache: &CacheSetup,
-    speculate: bool,
+    policy: &SweepPolicy,
     backend: &Backend,
 ) -> Table3Column {
     match backend {
@@ -116,7 +179,7 @@ fn run_pipeline(
             let mut oracle = Oracle::standard();
             gsm8k::register_oracle(&mut oracle, problems, run_seed);
             let llm = MockLlm::new(MockLlmConfig::gpt4().with_seed(run_seed), oracle);
-            run_pipeline_with(llm, problems, syntax, run_seed, threads, cache, speculate)
+            run_pipeline_with(llm, problems, syntax, run_seed, policy)
         }
         #[cfg(feature = "http")]
         Backend::Http(config) => {
@@ -124,7 +187,7 @@ fn run_pipeline(
             // CLI validates up front; library callers hit this directly).
             let llm = askit_llm_http::HttpLlm::new((**config).clone())
                 .unwrap_or_else(|e| panic!("invalid http backend configuration: {e}"));
-            run_pipeline_with(llm, problems, syntax, run_seed, threads, cache, speculate)
+            run_pipeline_with(llm, problems, syntax, run_seed, policy)
         }
     }
 }
@@ -134,22 +197,39 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
     problems: &[Gsm8kProblem],
     syntax: Syntax,
     run_seed: u64,
-    threads: usize,
-    cache: &CacheSetup,
-    speculate: bool,
+    policy: &SweepPolicy,
 ) -> Table3Column {
-    let mut engine_config = EngineConfig::default().with_workers(threads);
-    if let Some(dir) = &cache.dir {
+    let mut engine_config = EngineConfig::default()
+        .with_workers(policy.threads)
+        .with_adaptive(policy.adaptive);
+    if let Some(dir) = &policy.cache.dir {
         // One cache universe per (pipeline, run seed): the mock's responses
         // depend on its seed, so pipelines must never share entries — a TS
         // completion replayed into the Python sweep would silently change
         // its numbers.
         engine_config.cache_dir = Some(dir.join(format!("{}-{run_seed}", syntax_tag(syntax))));
-        engine_config.cache_ttl = cache.ttl;
+        engine_config.cache_ttl = policy.cache.ttl;
+    }
+    let mut askit_config = AskitConfig::default().with_speculation(policy.speculate);
+    if policy.escalate {
+        askit_config = askit_config.with_escalation(Escalation::cheap_first());
     }
     let askit = Askit::new(llm)
-        .with_config(AskitConfig::default().with_speculation(speculate))
+        .with_config(askit_config)
         .with_engine_config(engine_config);
+    if policy.adaptive || policy.escalate {
+        let engine = askit.engine();
+        eprintln!(
+            "table3[{}]: scheduler widths: {}{}",
+            syntax_tag(syntax),
+            engine.scheduler().describe_widths(engine.workers()),
+            if policy.escalate {
+                "  escalation: gpt35 -> gpt4"
+            } else {
+                ""
+            },
+        );
+    }
 
     let outcomes: Vec<Outcome> = askit
         .engine()
@@ -297,6 +377,22 @@ pub fn run_full(
     run_full_with_backend(count, seed, threads, cache, speculate, &Backend::Mock)
 }
 
+/// Runs the experiment under an explicit [`SweepPolicy`] — the most
+/// general entry point; everything else here is a shorthand for it.
+pub fn run_policy(
+    count: usize,
+    seed: u64,
+    policy: &SweepPolicy,
+    backend: &Backend,
+) -> Table3Report {
+    let problems = gsm8k::problems(count, seed);
+    // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
+    // difference to response randomness.
+    let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1), policy, backend);
+    let py = run_pipeline(&problems, Syntax::Py, seed.wrapping_add(2), policy, backend);
+    Table3Report { ts, py }
+}
+
 /// [`run_full`] with an explicit model backend: the mock (default) or,
 /// behind the `http` feature, an OpenAI-compatible HTTP service — the
 /// whole harness (engine, cache, persistence, speculation, grading) is
@@ -316,28 +412,11 @@ pub fn run_full_with_backend(
     speculate: bool,
     backend: &Backend,
 ) -> Table3Report {
-    let problems = gsm8k::problems(count, seed);
-    // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
-    // difference to response randomness.
-    let ts = run_pipeline(
-        &problems,
-        Syntax::Ts,
-        seed.wrapping_add(1),
-        threads,
-        cache,
-        speculate,
-        backend,
-    );
-    let py = run_pipeline(
-        &problems,
-        Syntax::Py,
-        seed.wrapping_add(2),
-        threads,
-        cache,
-        speculate,
-        backend,
-    );
-    Table3Report { ts, py }
+    let policy = SweepPolicy::default()
+        .with_threads(threads)
+        .with_cache(cache.clone())
+        .with_speculation(speculate);
+    run_policy(count, seed, &policy, backend)
 }
 
 /// Renders the paper's table plus the solve counts.

@@ -151,6 +151,31 @@ fn table3_with_speculative_prefetch_is_bit_identical() {
     }
 }
 
+/// AIMD width adaptation must never change what the experiment measures:
+/// the scheduler's per-model gates throttle *admission*, not content, so a
+/// table3 sweep with `--adaptive` must be bit-identical to the plain run at
+/// every thread width — adaptation may only move wall-clock time.
+#[test]
+fn table3_with_adaptive_widths_is_bit_identical() {
+    let base = table3::run_with_threads(24, 20240302, 4);
+    for threads in [1usize, 4, 8] {
+        let policy = table3::SweepPolicy::default()
+            .with_threads(threads)
+            .with_adaptive(true);
+        let adaptive = table3::run_policy(24, 20240302, &policy, &table3::Backend::Mock);
+        assert_columns_agree(
+            &base.ts,
+            &adaptive.ts,
+            &format!("TypeScript (adaptive, {threads} threads)"),
+        );
+        assert_columns_agree(
+            &base.py,
+            &adaptive.py,
+            &format!("Python (adaptive, {threads} threads)"),
+        );
+    }
+}
+
 /// A workload that re-asks the same templates must hit the engine's
 /// completion cache (the acceptance check for `CacheStats`).
 #[test]

@@ -8,11 +8,13 @@ use crate::lock;
 use std::time::Duration;
 
 use askit_llm::{
-    CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError, PreparedRequest,
+    CachePolicy, Completion, CompletionRequest, LanguageModel, LlmError, LoadObserver, ModelChoice,
+    PreparedRequest,
 };
 
 use crate::cache::{CacheStats, CompletionCache};
 use crate::pool::WorkerPool;
+use crate::sched::{Scheduler, WidthBounds};
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +33,17 @@ pub struct EngineConfig {
     /// Default time-to-live for cached completions. `None` = never expire.
     /// Per-request TTLs ([`askit_llm::RequestOptions::ttl`]) win per entry.
     pub cache_ttl: Option<Duration>,
+    /// Turns on AIMD width adaptation for the per-model sub-pools: every
+    /// model gets an admission gate whose width grows additively on
+    /// successful completions and is cut multiplicatively on observed
+    /// 429s/timeouts. Off by default — widths stay static.
+    pub adaptive: bool,
+    /// Explicit per-model sub-pool width bounds. A listed model is
+    /// admission-gated even without [`EngineConfig::adaptive`] (a static
+    /// cap at its ceiling); ceilings of `0` resolve from
+    /// `ASKIT_WORKERS_<MODEL>` or the global width. Unlisted models are
+    /// gated only when adaptive is on or their environment override is set.
+    pub model_widths: Vec<(ModelChoice, WidthBounds)>,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +53,8 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             cache_dir: None,
             cache_ttl: None,
+            adaptive: false,
+            model_widths: Vec::new(),
         }
     }
 }
@@ -72,12 +87,29 @@ impl EngineConfig {
         self.cache_ttl = Some(ttl);
         self
     }
+
+    /// Turns AIMD width adaptation on or off.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Bounds one model's sub-pool width (repeatable; the last setting for
+    /// a model wins).
+    #[must_use]
+    pub fn with_model_width(mut self, model: ModelChoice, bounds: WidthBounds) -> Self {
+        self.model_widths.push((model, bounds));
+        self
+    }
 }
 
 /// Resolves `0` to the `ASKIT_WORKERS` environment variable (when set to a
 /// positive number) or, failing that, the machine's full available
-/// parallelism. An explicit configuration always wins.
-fn resolve_workers(configured: usize) -> usize {
+/// parallelism. An explicit configuration always wins. Public so CLIs can
+/// report the width an engine *would* get (e.g. the eval harness prints
+/// resolved per-model widths at startup) without building one.
+pub fn resolve_workers(configured: usize) -> usize {
     if configured > 0 {
         return configured;
     }
@@ -147,6 +179,10 @@ pub struct Engine<L> {
     pool: WorkerPool,
     cache: Option<Arc<CompletionCache>>,
     speculative: Arc<SpeculationLedger>,
+    /// Per-model admission gates between the pool and the backend. Every
+    /// backend call — foreground, batched, or speculative — funnels through
+    /// [`Scheduler::run_completion`]; ungated models pass through untouched.
+    scheduler: Arc<Scheduler>,
 }
 
 impl<L> std::fmt::Debug for Engine<L> {
@@ -183,12 +219,24 @@ impl<L: LanguageModel> Engine<L> {
             None => CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl),
         });
         let workers = resolve_workers(config.workers);
+        let scheduler = Arc::new(Scheduler::new(
+            config.adaptive,
+            workers,
+            &config.model_widths,
+        ));
+        // Backends that can report wire-level load (throttles their own
+        // retry loop absorbs, timeouts) push signals straight into the
+        // scheduler; for the rest the scheduler classifies returned results
+        // itself. `subscribe_load`'s answer decides which, never both.
+        let external = model.subscribe_load(Arc::clone(&scheduler) as Arc<dyn LoadObserver>);
+        scheduler.set_external_signals(external);
         Engine {
             model: Arc::new(model),
             workers,
             pool: WorkerPool::new(workers),
             cache: cache.map(Arc::new),
             speculative: Arc::new(SpeculationLedger::default()),
+            scheduler,
             config,
         }
     }
@@ -223,6 +271,11 @@ impl<L: LanguageModel> Engine<L> {
     /// The resolved worker-pool width.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The per-model scheduling layer (admission gates, AIMD widths).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
     }
 
     /// Cache counters (all zero when the cache is disabled).
@@ -345,7 +398,9 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         sample: u64,
     ) -> Result<Completion, LlmError> {
         let Some(cache) = self.cache_for(request) else {
-            return self.model.complete_tagged(request, sample);
+            return self.scheduler.run_completion(request.options.model, || {
+                self.model.complete_tagged(request, sample)
+            });
         };
         // One fingerprint serves the probe and the insert.
         let key = request.fingerprint(sample);
@@ -359,7 +414,9 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 return Ok(hit);
             }
         }
-        let completion = self.model.complete_tagged(request, sample)?;
+        let completion = self.scheduler.run_completion(request.options.model, || {
+            self.model.complete_tagged(request, sample)
+        })?;
         cache.put_keyed(key, request, sample, completion.clone());
         Ok(completion)
     }
@@ -374,7 +431,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         sample: u64,
     ) -> Result<Completion, LlmError> {
         let Some(cache) = self.cache_for(prepared.request()) else {
-            return self.model.complete_prepared(prepared, sample);
+            return self
+                .scheduler
+                .run_completion(prepared.request().options.model, || {
+                    self.model.complete_prepared(prepared, sample)
+                });
         };
         let key = prepared.fingerprint(sample);
         if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
@@ -385,7 +446,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 return Ok(hit);
             }
         }
-        let completion = self.model.complete_prepared(prepared, sample)?;
+        let completion = self
+            .scheduler
+            .run_completion(prepared.request().options.model, || {
+                self.model.complete_prepared(prepared, sample)
+            })?;
         cache.put_keyed(key, prepared.request(), sample, completion.clone());
         Ok(completion)
     }
@@ -415,6 +480,7 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         let model = Arc::clone(&self.model);
         let cache = Arc::clone(cache);
         let ledger = Arc::clone(&self.speculative);
+        let scheduler = Arc::clone(&self.scheduler);
         let prepared = prepared.clone();
         self.pool.submit(Box::new(move || {
             {
@@ -453,7 +519,12 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 key,
                 armed: true,
             };
-            let outcome = model.complete_prepared(&prepared, 0);
+            // Speculative work obeys the same admission gates as foreground
+            // submissions — a prefetch burst must not let the pool stampede
+            // a model whose width AIMD just cut.
+            let outcome = scheduler.run_completion(prepared.request().options.model, || {
+                model.complete_prepared(&prepared, 0)
+            });
             guard.armed = false;
             let mut phases = lock(&ledger.phases);
             if matches!(phases.get(&key), Some(SpecPhase::Running)) {
@@ -522,7 +593,12 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                             }
                         }
                     }
-                    (index, self.model.complete_tagged(&requests[index], 0))
+                    let outcome = self
+                        .scheduler
+                        .run_completion(requests[index].options.model, || {
+                            self.model.complete_tagged(&requests[index], 0)
+                        });
+                    (index, outcome)
                 });
             for (index, outcome) in completed {
                 if let (Some(cache), Ok(completion)) = (self.cache_for(&requests[index]), &outcome)
@@ -700,6 +776,50 @@ mod tests {
         let results = engine.complete_batch(&[bypass.clone(), bypass]);
         assert!(results.iter().all(Result::is_ok));
         assert_eq!(engine.model().calls(), 5);
+    }
+
+    #[test]
+    fn adaptive_engine_cuts_width_from_backend_throttle_signals() {
+        use askit_llm::{mock::LoadProfile, ModelChoice, RequestOptions};
+        // A zero-wide gpt4 capacity: every admission reports a throttle at
+        // the wire (the mock still answers, like a backend whose own retry
+        // loop absorbs the 429).
+        let mock = MockLlm::new(
+            askit_llm::MockLlmConfig::gpt4()
+                .with_load(LoadProfile::default().cap(ModelChoice::Gpt4, 0)),
+            askit_llm::Oracle::standard(),
+        );
+        let engine = Engine::with_config(
+            mock,
+            EngineConfig::default().with_workers(4).with_adaptive(true),
+        );
+        assert!(engine.scheduler().is_gated(ModelChoice::Gpt4));
+        let width_of = |engine: &Engine<MockLlm>, model| {
+            engine
+                .scheduler()
+                .widths()
+                .into_iter()
+                .find(|(m, _)| *m == model)
+                .map(|(_, w)| w)
+                .unwrap()
+        };
+        assert_eq!(width_of(&engine, ModelChoice::Gpt4), 4);
+        for i in 0..4 {
+            let req = request(&format!("Hello there! #{i}")).with_options(RequestOptions {
+                model: ModelChoice::Gpt4,
+                ..RequestOptions::default()
+            });
+            engine.complete(&req).unwrap();
+        }
+        assert_eq!(
+            width_of(&engine, ModelChoice::Gpt4),
+            1,
+            "four throttled calls cut 4 → 1"
+        );
+        // The default-routed gate saw only successes and stays wide open.
+        let req = request("Hello there!");
+        engine.complete(&req).unwrap();
+        assert_eq!(width_of(&engine, ModelChoice::Default), 4);
     }
 
     #[test]

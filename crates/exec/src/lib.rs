@@ -19,7 +19,11 @@
 //! * **cache persistence**: with [`EngineConfig::with_cache_dir`] the cache
 //!   spills to a versioned per-shard snapshot + write-ahead-log layout and a
 //!   later process warm-starts from it ([`Engine::persist`] flushes, so does
-//!   drop; corruption costs at most the torn tail of a log, never a panic).
+//!   drop; corruption costs at most the torn tail of a log, never a panic);
+//! * a **routing-aware scheduler** ([`Scheduler`]): per-model admission
+//!   gates over the shared pool, with optional AIMD width adaptation
+//!   ([`AimdController`]) fed by backend load signals
+//!   ([`askit_llm::LoadObserver`]) — grow on success, cut on 429/timeout.
 //!
 //! The engine itself implements [`LanguageModel`](askit_llm::LanguageModel),
 //! so the whole AskIt stack (the `run_direct` retry loop, the codegen
@@ -43,6 +47,7 @@ mod engine;
 mod persist;
 #[allow(unsafe_code)]
 mod pool;
+mod sched;
 
 pub use cache::{CacheStats, CompletionCache, SHARD_COUNT};
 
@@ -55,5 +60,8 @@ pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, 
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
-pub use engine::{Engine, EngineConfig};
+pub use engine::{resolve_workers, Engine, EngineConfig};
 pub use pool::{spawn_map, WorkerPool};
+pub use sched::{
+    env_width_override, resolve_model_workers, AimdConfig, AimdController, Scheduler, WidthBounds,
+};

@@ -1,0 +1,638 @@
+//! Routing-aware scheduling: per-model sub-pools with AIMD width adaptation.
+//!
+//! The worker pool fans tasks out; this module decides *how many of them may
+//! be inside each model at once*. Under mixed-model traffic a single static
+//! width is always wrong for someone: sized for the fast model it slams the
+//! slow model into 429s, sized for the slow model it starves the fast one.
+//! The scheduler gives every resolved [`ModelChoice`] its own admission gate
+//! — a logical sub-pool over the shared thread substrate — whose width an
+//! [`AimdController`] adapts from observed backend signals: additive
+//! increase on successful completions, multiplicative decrease on throttles
+//! and timeouts (the TCP congestion-control discipline, applied to model
+//! concurrency).
+//!
+//! Signals arrive two ways, never both (see
+//! [`askit_llm::LanguageModel::subscribe_load`]): backends that report
+//! wire-level events push them through the [`LoadObserver`] impl — including
+//! throttles their own retry loop absorbs — while for backends that report
+//! nothing the scheduler classifies the results it can see itself.
+//!
+//! # Deadlock freedom
+//!
+//! Gate slots are held only across a *backend call* — the leaf of every
+//! submission path. A backend call never submits pool work, never takes a
+//! gate, and always terminates, so slot-holders make progress regardless of
+//! pool capacity, and any thread waiting for a slot (pool worker or caller)
+//! is eventually admitted. The pool's caller-runs/help-while-waiting
+//! discipline for *map* work is untouched: gates sit strictly below it.
+//! Deliberately, a thread waiting on a gate does **not** help-run queued
+//! pool jobs: a queued job may block on the same gate, which would stack
+//! unbounded re-entrant waits on one thread for no extra throughput (the
+//! gate, not the thread supply, is the binding constraint).
+//!
+//! # Determinism
+//!
+//! Widths shape *when* requests run, never their content: every simulated
+//! response is a pure function of the request, so adaptive scheduling keeps
+//! results bit-identical at any thread count — exactly the invariant the
+//! determinism suite pins for `--adaptive` sweeps.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use askit_llm::{Completion, LlmError, LoadObserver, LoadSignal, ModelChoice};
+
+use crate::lock;
+
+/// Configuration of one sub-pool's [`AimdController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AimdConfig {
+    /// The width the controller may never cut below (≥ 1).
+    pub floor: usize,
+    /// The width the controller may never grow beyond.
+    pub ceiling: usize,
+    /// Additive width gain per successful completion.
+    pub increase: f64,
+    /// Multiplicative factor applied per throttle/timeout (in `(0, 1)`).
+    pub cut: f64,
+}
+
+impl AimdConfig {
+    /// A controller bounded to `[floor, ceiling]` with the default gains
+    /// (+0.25 width per success, ×0.5 per throttle).
+    pub fn new(floor: usize, ceiling: usize) -> Self {
+        let floor = floor.max(1);
+        AimdConfig {
+            floor,
+            ceiling: ceiling.max(floor),
+            increase: 0.25,
+            cut: 0.5,
+        }
+    }
+}
+
+/// The pure AIMD width controller for one model's sub-pool.
+///
+/// A deterministic fold over a signal sequence: starting at the ceiling
+/// (optimistic — indistinguishable from static scheduling until the first
+/// throttle), each [`on_success`](AimdController::on_success) adds
+/// `increase` and each [`on_throttle`](AimdController::on_throttle)
+/// multiplies by `cut`, clamped to `[floor, ceiling]`. No clocks, no
+/// randomness — the unit tests drive exact width trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AimdController {
+    config: AimdConfig,
+    width: f64,
+}
+
+impl AimdController {
+    /// A controller starting at its ceiling.
+    pub fn new(config: AimdConfig) -> Self {
+        let width = config.ceiling as f64;
+        AimdController { config, width }
+    }
+
+    /// The integer width currently granted: `⌊width⌋`, clamped.
+    pub fn width(&self) -> usize {
+        (self.width as usize).clamp(self.config.floor, self.config.ceiling)
+    }
+
+    /// Records a successful completion (additive increase). Returns the new
+    /// width.
+    pub fn on_success(&mut self) -> usize {
+        self.width = (self.width + self.config.increase).min(self.config.ceiling as f64);
+        self.width()
+    }
+
+    /// Records a throttle or timeout (multiplicative decrease). Returns the
+    /// new width.
+    pub fn on_throttle(&mut self) -> usize {
+        self.width = (self.width * self.config.cut).max(self.config.floor as f64);
+        self.width()
+    }
+
+    /// The configured bounds and gains.
+    pub fn config(&self) -> &AimdConfig {
+        &self.config
+    }
+}
+
+/// Width bounds for one model's sub-pool, as carried by
+/// [`crate::EngineConfig::model_widths`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthBounds {
+    /// Minimum width AIMD may cut to (≥ 1).
+    pub floor: usize,
+    /// Maximum width; `0` resolves from `ASKIT_WORKERS_<MODEL>` or the
+    /// engine's global width.
+    pub ceiling: usize,
+}
+
+impl WidthBounds {
+    /// Bounds with an explicit ceiling and the default floor of 1.
+    pub fn up_to(ceiling: usize) -> Self {
+        WidthBounds { floor: 1, ceiling }
+    }
+}
+
+impl Default for WidthBounds {
+    /// Floor 1, ceiling resolved from the environment or the global width.
+    fn default() -> Self {
+        WidthBounds {
+            floor: 1,
+            ceiling: 0,
+        }
+    }
+}
+
+/// The `ASKIT_WORKERS_<MODEL>` width override for one model, if set to a
+/// positive number (`ASKIT_WORKERS_GPT35`, `ASKIT_WORKERS_GPT4`,
+/// `ASKIT_WORKERS_DEFAULT`).
+pub fn env_width_override(model: ModelChoice) -> Option<usize> {
+    let var = match model {
+        ModelChoice::Default => "ASKIT_WORKERS_DEFAULT",
+        ModelChoice::Gpt35 => "ASKIT_WORKERS_GPT35",
+        ModelChoice::Gpt4 => "ASKIT_WORKERS_GPT4",
+    };
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Resolves the sub-pool width ceiling for one model: an explicit
+/// configuration wins, then the model's `ASKIT_WORKERS_<MODEL>` environment
+/// override (which beats the global `ASKIT_WORKERS`-derived width), then the
+/// engine's resolved global width.
+pub fn resolve_model_workers(model: ModelChoice, configured: usize, global: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    env_width_override(model).unwrap_or(global)
+}
+
+/// One model's admission gate.
+struct Gate {
+    state: Mutex<GateState>,
+    /// Signalled when a slot frees or the width grows.
+    freed: Condvar,
+}
+
+struct GateState {
+    controller: AimdController,
+    in_flight: usize,
+}
+
+/// The per-model scheduling layer between the engine and its backend.
+///
+/// Holds up to one admission gate per [`ModelChoice`]; models without a
+/// gate pass through untouched (zero overhead — the pre-scheduler
+/// behaviour). See the module docs in `sched.rs` for the admission
+/// discipline and its deadlock-freedom argument.
+pub struct Scheduler {
+    gates: [Option<Gate>; 3],
+    adaptive: bool,
+    /// Whether the backend pushes wire-level signals (see
+    /// [`askit_llm::LanguageModel::subscribe_load`]). When it does, local
+    /// result classification is disabled so events are never double-counted.
+    external_signals: AtomicBool,
+}
+
+/// Dense index for per-model gates.
+fn model_index(choice: ModelChoice) -> usize {
+    match choice {
+        ModelChoice::Default => 0,
+        ModelChoice::Gpt35 => 1,
+        ModelChoice::Gpt4 => 2,
+    }
+}
+
+const ALL_MODELS: [ModelChoice; 3] = [ModelChoice::Default, ModelChoice::Gpt35, ModelChoice::Gpt4];
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("adaptive", &self.adaptive)
+            .field("widths", &self.widths())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Builds the scheduler for an engine of `global_width` threads.
+    ///
+    /// A model gets a gate when adaptation is on, when `bounds` configures
+    /// it explicitly, or when its `ASKIT_WORKERS_<MODEL>` override is set;
+    /// otherwise it passes through ungated. Ceilings resolve per
+    /// [`resolve_model_workers`]; with adaptation off a gate is a *static*
+    /// cap at its ceiling.
+    pub fn new(adaptive: bool, global_width: usize, bounds: &[(ModelChoice, WidthBounds)]) -> Self {
+        let global_width = global_width.max(1);
+        let gates = ALL_MODELS.map(|model| {
+            let explicit = bounds
+                .iter()
+                .rev() // the most recent configuration of a model wins
+                .find(|(m, _)| *m == model)
+                .map(|(_, b)| *b);
+            let gated = adaptive || explicit.is_some() || env_width_override(model).is_some();
+            if !gated {
+                return None;
+            }
+            let bounds = explicit.unwrap_or_default();
+            let ceiling = resolve_model_workers(model, bounds.ceiling, global_width);
+            let mut config = AimdConfig::new(bounds.floor, ceiling);
+            if !adaptive {
+                // Static gate: the controller never moves off the ceiling.
+                config.floor = ceiling;
+            }
+            Some(Gate {
+                state: Mutex::new(GateState {
+                    controller: AimdController::new(config),
+                    in_flight: 0,
+                }),
+                freed: Condvar::new(),
+            })
+        });
+        Scheduler {
+            gates,
+            adaptive,
+            external_signals: AtomicBool::new(false),
+        }
+    }
+
+    /// A scheduler with no gates at all (every model passes through).
+    pub fn passthrough() -> Self {
+        Scheduler {
+            gates: [None, None, None],
+            adaptive: false,
+            external_signals: AtomicBool::new(false),
+        }
+    }
+
+    /// Records whether the backend pushes wire-level signals. With external
+    /// signals the scheduler stops classifying returned results itself.
+    pub fn set_external_signals(&self, external: bool) {
+        self.external_signals.store(external, Ordering::Release);
+    }
+
+    /// Whether AIMD adaptation is on.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Whether `model` is admission-gated.
+    pub fn is_gated(&self, model: ModelChoice) -> bool {
+        self.gates[model_index(model)].is_some()
+    }
+
+    /// The current width of every gated model.
+    pub fn widths(&self) -> Vec<(ModelChoice, usize)> {
+        ALL_MODELS
+            .iter()
+            .filter_map(|&model| {
+                self.gates[model_index(model)]
+                    .as_ref()
+                    .map(|gate| (model, lock(&gate.state).controller.width()))
+            })
+            .collect()
+    }
+
+    /// One line naming every model's resolved width, for startup diagnostics
+    /// (e.g. `default=8 gpt35=8 gpt4=2(ASKIT_WORKERS_GPT4)[aimd 1..2]`).
+    pub fn describe_widths(&self, global_width: usize) -> String {
+        let mut parts = Vec::new();
+        for model in ALL_MODELS {
+            let mut part = match &self.gates[model_index(model)] {
+                Some(gate) => {
+                    let state = lock(&gate.state);
+                    let config = state.controller.config();
+                    let mut s = format!("{}={}", model.tag(), config.ceiling);
+                    if env_width_override(model).is_some() {
+                        s.push_str(&format!("(ASKIT_WORKERS_{})", model.tag().to_uppercase()));
+                    }
+                    if self.adaptive {
+                        s.push_str(&format!("[aimd {}..{}]", config.floor, config.ceiling));
+                    }
+                    s
+                }
+                None => format!("{}={}", model.tag(), global_width),
+            };
+            part.push(' ');
+            parts.push(part);
+        }
+        let mut out: String = parts.concat();
+        out.pop();
+        out
+    }
+
+    /// Runs one backend completion under `model`'s admission gate (if any),
+    /// feeding the gate's controller from the result when the backend does
+    /// not push its own signals.
+    pub fn run_completion(
+        &self,
+        model: ModelChoice,
+        f: impl FnOnce() -> Result<Completion, LlmError>,
+    ) -> Result<Completion, LlmError> {
+        let Some(gate) = &self.gates[model_index(model)] else {
+            return f();
+        };
+        // Admission: wait for in-flight to drop under the current width.
+        // The timeout is defensive only (a lost wakeup costs 10 ms, not a
+        // hang); every release and every width increase notifies.
+        let mut state = lock(&gate.state);
+        while state.in_flight >= state.controller.width() {
+            state = gate
+                .freed
+                .wait_timeout(state, Duration::from_millis(10))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        state.in_flight += 1;
+        drop(state);
+
+        let result = f();
+
+        let external = self.external_signals.load(Ordering::Acquire);
+        let mut state = lock(&gate.state);
+        if self.adaptive && !external {
+            match &result {
+                Ok(_) => {
+                    state.controller.on_success();
+                }
+                Err(LlmError::Http { status: 429, .. }) => {
+                    state.controller.on_throttle();
+                }
+                Err(LlmError::Transport(message)) if message.contains("timed out") => {
+                    state.controller.on_throttle();
+                }
+                Err(_) => {}
+            }
+        }
+        state.in_flight -= 1;
+        drop(state);
+        gate.freed.notify_all();
+        result
+    }
+}
+
+impl LoadObserver for Scheduler {
+    /// Wire-level signals from a subscribed backend drive the AIMD
+    /// controllers directly — including throttles the backend's own retry
+    /// loop absorbs before any caller sees them.
+    fn observed(&self, model: ModelChoice, signal: LoadSignal) {
+        if !self.adaptive {
+            return;
+        }
+        let Some(gate) = &self.gates[model_index(model)] else {
+            return;
+        };
+        let grew = {
+            let mut state = lock(&gate.state);
+            let before = state.controller.width();
+            let after = match signal {
+                LoadSignal::Completed { .. } => state.controller.on_success(),
+                LoadSignal::Throttled | LoadSignal::TimedOut => state.controller.on_throttle(),
+            };
+            after > before
+        };
+        if grew {
+            // Waiting admissions may fit under the new width.
+            gate.freed.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration as StdDuration;
+
+    fn completion() -> Completion {
+        Completion {
+            text: "ok".to_owned(),
+            usage: Default::default(),
+            latency: StdDuration::from_millis(1),
+        }
+    }
+
+    fn width_of(sched: &Scheduler, model: ModelChoice) -> usize {
+        sched
+            .widths()
+            .into_iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, w)| w)
+            .expect("model is gated")
+    }
+
+    // --- AIMD controller: pure, deterministic trajectories ----------------
+
+    #[test]
+    fn aimd_starts_at_the_ceiling() {
+        let c = AimdController::new(AimdConfig::new(1, 8));
+        assert_eq!(c.width(), 8);
+    }
+
+    #[test]
+    fn aimd_growth_is_additive_and_ceiling_clamped() {
+        let mut c = AimdController::new(AimdConfig::new(1, 8));
+        c.on_throttle(); // 4.0
+        assert_eq!(c.width(), 4);
+        // +0.25 per success: exactly 4 successes per integer step.
+        for expected in [4, 4, 4, 5] {
+            assert_eq!(c.on_success(), expected);
+        }
+        // 16 more successes saturate at the ceiling and stay there.
+        for _ in 0..16 {
+            c.on_success();
+        }
+        assert_eq!(c.width(), 8);
+        c.on_success();
+        assert_eq!(c.width(), 8, "ceiling clamps growth");
+    }
+
+    #[test]
+    fn aimd_cut_is_multiplicative_and_floor_clamped() {
+        let mut c = AimdController::new(AimdConfig::new(2, 16));
+        assert_eq!(c.on_throttle(), 8);
+        assert_eq!(c.on_throttle(), 4);
+        assert_eq!(c.on_throttle(), 2);
+        assert_eq!(c.on_throttle(), 2, "floor clamps the cut");
+        assert_eq!(c.on_throttle(), 2);
+    }
+
+    #[test]
+    fn aimd_recovers_after_a_burst() {
+        let mut c = AimdController::new(AimdConfig::new(1, 8));
+        for _ in 0..3 {
+            c.on_throttle();
+        }
+        assert_eq!(c.width(), 1);
+        // Recovery: 28 successes climb 1.0 → 8.0.
+        for _ in 0..28 {
+            c.on_success();
+        }
+        assert_eq!(c.width(), 8);
+    }
+
+    #[test]
+    fn aimd_trajectory_is_deterministic() {
+        let run = || {
+            let mut c = AimdController::new(AimdConfig::new(1, 10));
+            let mut widths = Vec::new();
+            for step in 0..50 {
+                if step % 7 == 3 {
+                    c.on_throttle();
+                } else {
+                    c.on_success();
+                }
+                widths.push(c.width());
+            }
+            widths
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn aimd_config_sanitizes_degenerate_bounds() {
+        let c = AimdConfig::new(0, 0);
+        assert_eq!((c.floor, c.ceiling), (1, 1));
+        let c = AimdConfig::new(5, 2);
+        assert_eq!((c.floor, c.ceiling), (5, 5));
+    }
+
+    // --- Scheduler gates --------------------------------------------------
+
+    #[test]
+    fn ungated_models_pass_through() {
+        let sched = Scheduler::new(false, 4, &[]);
+        assert!(!sched.is_gated(ModelChoice::Gpt4));
+        assert!(sched.widths().is_empty());
+        let out = sched.run_completion(ModelChoice::Gpt4, || Ok(completion()));
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn static_gate_caps_concurrent_admissions() {
+        let sched = Arc::new(Scheduler::new(
+            false,
+            8,
+            &[(ModelChoice::Gpt4, WidthBounds::up_to(2))],
+        ));
+        assert!(sched.is_gated(ModelChoice::Gpt4));
+        assert!(!sched.is_gated(ModelChoice::Gpt35));
+        let current = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let sched = Arc::clone(&sched);
+                let current = Arc::clone(&current);
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    sched
+                        .run_completion(ModelChoice::Gpt4, || {
+                            let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::sleep(StdDuration::from_millis(20));
+                            current.fetch_sub(1, Ordering::SeqCst);
+                            Ok(completion())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "cap 2 admitted {} at once",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn adaptive_gate_cuts_width_on_throttled_results() {
+        let sched = Scheduler::new(true, 8, &[(ModelChoice::Gpt4, WidthBounds::up_to(8))]);
+        let throttled = || {
+            Err(LlmError::Http {
+                status: 429,
+                message: "too many requests".to_owned(),
+            })
+        };
+        assert!(sched.run_completion(ModelChoice::Gpt4, throttled).is_err());
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 4);
+        assert!(sched.run_completion(ModelChoice::Gpt4, throttled).is_err());
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 2);
+        // Successes grow it back, a quarter step at a time.
+        for _ in 0..8 {
+            sched
+                .run_completion(ModelChoice::Gpt4, || Ok(completion()))
+                .unwrap();
+        }
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 4);
+    }
+
+    #[test]
+    fn timeouts_also_cut_the_width() {
+        let sched = Scheduler::new(true, 8, &[(ModelChoice::Gpt35, WidthBounds::up_to(8))]);
+        let timed_out = || Err(LlmError::Transport("read timed out after 30s".to_owned()));
+        assert!(sched.run_completion(ModelChoice::Gpt35, timed_out).is_err());
+        assert_eq!(width_of(&sched, ModelChoice::Gpt35), 4);
+        // Non-timeout transport errors leave the width alone.
+        let torn = || Err(LlmError::Transport("connection reset".to_owned()));
+        assert!(sched.run_completion(ModelChoice::Gpt35, torn).is_err());
+        assert_eq!(width_of(&sched, ModelChoice::Gpt35), 4);
+    }
+
+    #[test]
+    fn external_signals_replace_local_classification() {
+        let sched = Scheduler::new(true, 8, &[(ModelChoice::Gpt4, WidthBounds::up_to(8))]);
+        sched.set_external_signals(true);
+        let throttled = || {
+            Err(LlmError::Http {
+                status: 429,
+                message: "too many requests".to_owned(),
+            })
+        };
+        // The returned error is no longer classified (the backend reported
+        // the throttle itself, at the wire)...
+        assert!(sched.run_completion(ModelChoice::Gpt4, throttled).is_err());
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 8);
+        // ...and the pushed signal is what cuts the width.
+        sched.observed(ModelChoice::Gpt4, LoadSignal::Throttled);
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 4);
+        sched.observed(
+            ModelChoice::Gpt4,
+            LoadSignal::Completed {
+                latency: StdDuration::from_millis(5),
+            },
+        );
+        assert_eq!(width_of(&sched, ModelChoice::Gpt4), 4);
+    }
+
+    #[test]
+    fn adaptive_gates_cover_every_model() {
+        let sched = Scheduler::new(true, 4, &[]);
+        for model in ALL_MODELS {
+            assert!(sched.is_gated(model));
+        }
+        assert_eq!(sched.widths().len(), 3);
+    }
+
+    #[test]
+    fn describe_widths_names_every_model() {
+        let sched = Scheduler::new(false, 4, &[(ModelChoice::Gpt4, WidthBounds::up_to(2))]);
+        let line = sched.describe_widths(4);
+        assert!(line.contains("default=4"), "{line}");
+        assert!(line.contains("gpt35=4"), "{line}");
+        assert!(line.contains("gpt4=2"), "{line}");
+    }
+
+    #[test]
+    fn resolve_model_workers_precedence() {
+        // Explicit configuration wins over everything.
+        assert_eq!(resolve_model_workers(ModelChoice::Gpt35, 3, 8), 3);
+        // No explicit config, no env: the global width.
+        assert_eq!(resolve_model_workers(ModelChoice::Gpt35, 0, 8), 8);
+    }
+}

@@ -26,7 +26,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use askit_llm::{
-    Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, PreparedRequest,
+    Completion, CompletionRequest, LanguageModel, LlmError, LoadObserver, LoadSignal, ModelChoice,
+    PreparedRequest,
 };
 
 use crate::backoff::BackoffPolicy;
@@ -170,6 +171,11 @@ struct Inner {
     landed: Mutex<VecDeque<(u64, std::sync::Weak<Flight>)>>,
     counters: Counters,
     display_name: String,
+    /// Load observers (see [`LanguageModel::subscribe_load`]): every wire
+    /// attempt reports here — 429s and timeouts the retry loop absorbs
+    /// included — so a scheduler above sees the provider's true pushback,
+    /// not just the errors that survive retries.
+    observers: Mutex<Vec<Arc<dyn LoadObserver>>>,
 }
 
 /// The OpenAI-compatible HTTP backend. See the module docs.
@@ -208,6 +214,7 @@ impl HttpLlm {
                 inflight: Mutex::new(HashMap::new()),
                 landed: Mutex::new(VecDeque::new()),
                 counters: Counters::default(),
+                observers: Mutex::new(Vec::new()),
                 display_name,
                 base,
                 config,
@@ -268,6 +275,13 @@ impl Drop for HttpLlm {
 }
 
 impl Inner {
+    /// Reports one wire-level signal to every subscribed observer.
+    fn notify(&self, model: ModelChoice, signal: LoadSignal) {
+        for observer in lock(&self.observers).iter() {
+            observer.observed(model, signal);
+        }
+    }
+
     fn stats(&self) -> HttpStats {
         HttpStats {
             wire_requests: self.counters.wire_requests.load(Ordering::Relaxed),
@@ -370,7 +384,15 @@ impl Inner {
         loop {
             self.limiter.acquire(model);
             match self.round_trip(request, model, timeout) {
-                Ok(completion) => return Ok(completion),
+                Ok(completion) => {
+                    self.notify(
+                        model,
+                        LoadSignal::Completed {
+                            latency: completion.latency,
+                        },
+                    );
+                    return Ok(completion);
+                }
                 Err(error) => {
                     if matches!(error, AttemptError::Throttled { .. }) {
                         self.counters.throttles.fetch_add(1, Ordering::Relaxed);
@@ -378,6 +400,16 @@ impl Inner {
                         // model now paces itself instead of discovering
                         // the limit with its own 429.
                         self.limiter.penalize(model);
+                        // Report the throttle even though the retry loop
+                        // will absorb it: width adaptation needs the
+                        // wire-level truth, not the post-retry fiction.
+                        self.notify(model, LoadSignal::Throttled);
+                    } else if matches!(
+                        &error,
+                        AttemptError::Retryable(LlmError::Transport(message))
+                            if message.contains("timed out")
+                    ) {
+                        self.notify(model, LoadSignal::TimedOut);
                     }
                     if matches!(error, AttemptError::Fatal(_))
                         || attempt >= self.backoff.max_retries()
@@ -765,6 +797,15 @@ impl LanguageModel for HttpLlm {
     fn reject_prepared(&self, prepared: &PreparedRequest, sample: u64) {
         self.inner
             .reject_key(prepared.fingerprint(sample), prepared.request());
+    }
+
+    /// The HTTP backend pushes wire-level load signals: every attempt's
+    /// outcome is reported, including 429s and timeouts the retry loop
+    /// absorbs before any caller sees them. Subscribers must therefore not
+    /// also classify returned errors (they would double-count).
+    fn subscribe_load(&self, observer: Arc<dyn LoadObserver>) -> bool {
+        lock(&self.inner.observers).push(observer);
+        true
     }
 
     fn model_name(&self) -> &str {

@@ -8,6 +8,13 @@
 //! not spinning) until a token accrues, and a 429 from the service drains
 //! the model's bucket so every worker backs off together rather than each
 //! one discovering the limit with its own failed request.
+//!
+//! The drain is **scoped to the offending model**: each bucket sits behind
+//! its own lock (the key set is fixed at construction, so the map itself
+//! needs none), and unlimited models touch no lock at all. A 429 burst on
+//! one model — with its workers cycling through drain/penalty re-checks —
+//! therefore cannot pace or even contend traffic headed for any other
+//! model.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -33,10 +40,12 @@ impl Bucket {
     }
 }
 
-/// A set of token buckets keyed by routed model.
+/// A set of token buckets keyed by routed model, each behind its own lock.
 #[derive(Debug, Default)]
 pub struct RateLimiter {
-    buckets: Mutex<HashMap<ModelChoice, Bucket>>,
+    /// The key set is immutable after construction; only the per-bucket
+    /// mutexes guard mutable state, so models never contend each other.
+    buckets: HashMap<ModelChoice, Mutex<Bucket>>,
 }
 
 impl RateLimiter {
@@ -45,34 +54,34 @@ impl RateLimiter {
     pub fn new(limits: &[(ModelChoice, RateLimit)]) -> Self {
         let now = Instant::now();
         RateLimiter {
-            buckets: Mutex::new(
-                limits
-                    .iter()
-                    .map(|&(model, limit)| {
-                        (
-                            model,
-                            Bucket {
-                                limit,
-                                tokens: limit.capacity,
-                                refilled_at: now,
-                            },
-                        )
-                    })
-                    .collect(),
-            ),
+            buckets: limits
+                .iter()
+                .map(|&(model, limit)| {
+                    (
+                        model,
+                        Mutex::new(Bucket {
+                            limit,
+                            tokens: limit.capacity,
+                            refilled_at: now,
+                        }),
+                    )
+                })
+                .collect(),
         }
     }
 
     /// Blocks until `model` may issue one request. Unlimited models return
-    /// immediately. The wait sleeps in bounded slices outside the lock, so
-    /// concurrent acquisitions for other models are never held up.
+    /// immediately, touching no lock. The wait sleeps in bounded slices
+    /// outside the bucket's lock, and only *this model's* lock is ever
+    /// taken — acquisitions for other models proceed untouched however
+    /// drained (or contended) this bucket is.
     pub fn acquire(&self, model: ModelChoice) {
+        let Some(cell) = self.buckets.get(&model) else {
+            return;
+        };
         loop {
             let wait = {
-                let mut buckets = lock(&self.buckets);
-                let Some(bucket) = buckets.get_mut(&model) else {
-                    return;
-                };
+                let mut bucket = lock(cell);
                 bucket.refill(Instant::now());
                 if bucket.tokens >= 1.0 {
                     bucket.tokens -= 1.0;
@@ -86,11 +95,12 @@ impl RateLimiter {
     }
 
     /// Empties `model`'s bucket (the service said 429): the next request
-    /// for that model waits a full token's worth of refill, and the whole
-    /// pool paces itself instead of hammering the limit.
+    /// for that model waits a full token's worth of refill, and every
+    /// worker headed for *that model* paces itself instead of hammering
+    /// the limit. Other models' buckets — and their locks — are untouched.
     pub fn penalize(&self, model: ModelChoice) {
-        let mut buckets = lock(&self.buckets);
-        if let Some(bucket) = buckets.get_mut(&model) {
+        if let Some(cell) = self.buckets.get(&model) {
+            let mut bucket = lock(cell);
             bucket.refill(Instant::now());
             bucket.tokens = 0.0;
         }
@@ -98,8 +108,8 @@ impl RateLimiter {
 
     /// Tokens currently available for `model` (`None` = unlimited).
     pub fn available(&self, model: ModelChoice) -> Option<f64> {
-        let mut buckets = lock(&self.buckets);
-        buckets.get_mut(&model).map(|bucket| {
+        self.buckets.get(&model).map(|cell| {
+            let mut bucket = lock(cell);
             bucket.refill(Instant::now());
             bucket.tokens
         })
@@ -161,5 +171,48 @@ mod tests {
         assert!(limiter.available(ModelChoice::Gpt4).unwrap() < 1.0);
         // Refill restores service.
         limiter.acquire(ModelChoice::Gpt4);
+    }
+
+    #[test]
+    fn penalize_is_scoped_to_the_offending_model() {
+        // Both models limited; gpt4's refill is slow, gpt35's generous.
+        let limiter = RateLimiter::new(&[
+            (
+                ModelChoice::Gpt4,
+                RateLimit {
+                    capacity: 1.0,
+                    per_second: 10.0,
+                },
+            ),
+            (
+                ModelChoice::Gpt35,
+                RateLimit {
+                    capacity: 1000.0,
+                    per_second: 1000.0,
+                },
+            ),
+        ]);
+        // A sustained 429 burst on gpt4: drain it and park workers in its
+        // acquire loop (each would wait ~2s for a token).
+        limiter.penalize(ModelChoice::Gpt4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    // Parked in gpt4's drained bucket (10/s refill: the
+                    // four of them queue for ~400ms between them).
+                    limiter.acquire(ModelChoice::Gpt4);
+                });
+            }
+            // Meanwhile the unrelated model keeps flowing at full speed.
+            let started = Instant::now();
+            for _ in 0..200 {
+                limiter.acquire(ModelChoice::Gpt35);
+            }
+            assert!(
+                started.elapsed() < Duration::from_millis(500),
+                "gpt35 stalled behind gpt4's drain: {:?}",
+                started.elapsed()
+            );
+        });
     }
 }

@@ -150,6 +150,96 @@ fn scripted_429_burst_is_absorbed_by_backoff_and_token_bucket() {
 }
 
 #[test]
+fn burst_on_one_model_leaves_the_other_flowing_and_pushes_signals() {
+    use askit_llm::{LoadObserver, LoadSignal};
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct SignalLog(Mutex<Vec<(ModelChoice, LoadSignal)>>);
+    impl LoadObserver for SignalLog {
+        fn observed(&self, model: ModelChoice, signal: LoadSignal) {
+            self.0.lock().unwrap().push((model, signal));
+        }
+    }
+
+    let server = LoopbackServer::start().unwrap();
+    // The server throttles every gpt-4 request and serves everything else:
+    // a sustained 429 burst scoped to one wire model.
+    server.set_default_handler(|request| match request.model.as_deref() {
+        Some("gpt-4") => Reply::Status {
+            status: 429,
+            retry_after: Some(0),
+            body: "gpt-4 is rate limited".into(),
+        },
+        _ => Reply::Text("fast lane".into()),
+    });
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(server.api_base())
+            .with_retry(RetryConfig {
+                max_retries: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(4),
+            })
+            // Both models are bucketed, so the drain has somewhere to land.
+            .with_rate_limit(
+                ModelChoice::Gpt4,
+                RateLimit {
+                    capacity: 2.0,
+                    per_second: 100.0,
+                },
+            )
+            .with_rate_limit(
+                ModelChoice::Gpt35,
+                RateLimit {
+                    capacity: 1000.0,
+                    per_second: 1000.0,
+                },
+            ),
+    )
+    .unwrap();
+    let log = Arc::new(SignalLog::default());
+    assert!(
+        llm.subscribe_load(Arc::clone(&log) as Arc<dyn LoadObserver>),
+        "the HTTP backend pushes wire-level signals"
+    );
+    // Exhaust gpt-4's retry budget (draining its bucket on every 429)...
+    let mut doomed = prompt("hard question");
+    doomed.options.model = ModelChoice::Gpt4;
+    assert!(matches!(
+        llm.complete(&doomed),
+        Err(LlmError::Http { status: 429, .. })
+    ));
+    // ...while gpt-3.5 traffic flows at full speed throughout.
+    let started = Instant::now();
+    for i in 0..10 {
+        let mut request = prompt(&format!("easy question {i}"));
+        request.options.model = ModelChoice::Gpt35;
+        assert_eq!(llm.complete(&request).unwrap().text, "fast lane");
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "gpt35 stalled behind gpt4's drained bucket: {:?}",
+        started.elapsed()
+    );
+    // The observer saw the wire truth: every absorbed 429 (three attempts),
+    // and only successes for the unrelated model.
+    let signals = log.0.lock().unwrap().clone();
+    let gpt4_throttles = signals
+        .iter()
+        .filter(|(m, s)| *m == ModelChoice::Gpt4 && *s == LoadSignal::Throttled)
+        .count();
+    assert_eq!(gpt4_throttles, 3, "all absorbed 429s reported: {signals:?}");
+    let gpt35_completions = signals
+        .iter()
+        .filter(|(m, s)| *m == ModelChoice::Gpt35 && matches!(s, LoadSignal::Completed { .. }))
+        .count();
+    assert_eq!(gpt35_completions, 10);
+    assert!(signals
+        .iter()
+        .all(|(m, s)| *m != ModelChoice::Gpt35 || matches!(s, LoadSignal::Completed { .. })));
+}
+
+#[test]
 fn exhausted_429_budget_surfaces_the_http_error() {
     let server = LoopbackServer::start().unwrap();
     let burst = || Reply::Status {

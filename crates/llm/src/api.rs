@@ -107,6 +107,107 @@ impl fmt::Display for ModelChoice {
     }
 }
 
+/// An ordered model-escalation ladder (cheap → expensive).
+///
+/// The retry loop already knows each attempt's validation verdict; an
+/// escalation ladder turns that verdict into a routing decision — a failed
+/// attempt re-prepares the conversation against the *next* tier instead of
+/// re-asking the model that just failed. Because the routed model is part of
+/// request identity (see [`CompletionRequest::fingerprint`]), every tier
+/// keys its own cache entries and draws its own simulated response stream by
+/// construction.
+///
+/// `Copy` on purpose: the ladder rides inside per-call option structs. It
+/// holds at most one tier per [`ModelChoice`] variant, which is exactly as
+/// long as a ladder over this model set can usefully be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Escalation {
+    tiers: [ModelChoice; 3],
+    len: u8,
+}
+
+impl Escalation {
+    /// No escalation: every attempt stays on the originally routed model.
+    pub const OFF: Escalation = Escalation {
+        tiers: [ModelChoice::Default; 3],
+        len: 0,
+    };
+
+    /// A ladder over the given tiers, in escalation order (index 0 is tried
+    /// first). Truncates past one tier per model variant; an empty slice is
+    /// [`Escalation::OFF`].
+    pub fn ladder(tiers: &[ModelChoice]) -> Self {
+        let mut out = Escalation::OFF;
+        for &tier in tiers.iter().take(out.tiers.len()) {
+            out.tiers[out.len as usize] = tier;
+            out.len += 1;
+        }
+        out
+    }
+
+    /// The canonical cost ladder: try the cheap model first, escalate to the
+    /// strong one when validation rejects the cheap answer.
+    pub fn cheap_first() -> Self {
+        Escalation::ladder(&[ModelChoice::Gpt35, ModelChoice::Gpt4])
+    }
+
+    /// The tiers in escalation order (empty when off).
+    pub fn tiers(&self) -> &[ModelChoice] {
+        &self.tiers[..self.len as usize]
+    }
+
+    /// Whether the ladder is empty (no escalation).
+    pub fn is_off(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Display for Escalation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_off() {
+            return f.write_str("off");
+        }
+        for (i, tier) in self.tiers().iter().enumerate() {
+            if i > 0 {
+                f.write_str("→")?;
+            }
+            f.write_str(tier.tag())?;
+        }
+        Ok(())
+    }
+}
+
+/// One backend load observation, as seen at the wire (or simulated-wire)
+/// level.
+///
+/// These are *scheduling* signals, not results: they tell an admission
+/// controller how the provider is coping, including events a retrying
+/// backend absorbs before any caller sees them (a 429 that a later attempt
+/// clears still cost a round trip and signals provider pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSignal {
+    /// A request completed; `latency` is the backend-reported round trip.
+    Completed {
+        /// The (possibly simulated) round-trip latency.
+        latency: Duration,
+    },
+    /// The provider shed load (HTTP 429 or an equivalent throttle).
+    Throttled,
+    /// A round trip timed out.
+    TimedOut,
+}
+
+/// An observer of per-model [`LoadSignal`]s.
+///
+/// Implemented by scheduling layers (the execution engine's per-model
+/// sub-pools) and fed by backends via
+/// [`LanguageModel::subscribe_load`]. Callbacks run on the backend's request
+/// threads and must be cheap and non-blocking.
+pub trait LoadObserver: Send + Sync {
+    /// Reports one observation for the given routed model.
+    fn observed(&self, model: ModelChoice, signal: LoadSignal);
+}
+
 /// How caching layers may treat a request.
 ///
 /// Advisory: plain backends ignore it; the execution engine's completion
@@ -591,6 +692,20 @@ pub trait LanguageModel: Send + Sync {
         let _ = (request, sample);
     }
 
+    /// Registers an observer for backend load signals (completions,
+    /// throttles, timeouts), keyed by routed model.
+    ///
+    /// Returns whether the backend will push signals. Backends that answer
+    /// `false` (the default) report nothing at the wire level; a scheduling
+    /// layer sitting above such a backend should classify the results it
+    /// sees itself. Backends that answer `true` report *every* wire-level
+    /// event, including throttles their own retry loop absorbs — the
+    /// observer must not double-count by also classifying returned errors.
+    fn subscribe_load(&self, observer: std::sync::Arc<dyn LoadObserver>) -> bool {
+        let _ = observer;
+        false
+    }
+
     /// The model identifier (e.g. `sim-gpt-4`).
     fn model_name(&self) -> &str;
 }
@@ -630,6 +745,10 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
 
     fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
         (**self).reject_completion(request, sample);
+    }
+
+    fn subscribe_load(&self, observer: std::sync::Arc<dyn LoadObserver>) -> bool {
+        (**self).subscribe_load(observer)
     }
 
     fn model_name(&self) -> &str {
@@ -672,6 +791,10 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
 
     fn reject_completion(&self, request: &CompletionRequest, sample: u64) {
         (**self).reject_completion(request, sample);
+    }
+
+    fn subscribe_load(&self, observer: std::sync::Arc<dyn LoadObserver>) -> bool {
+        (**self).subscribe_load(observer)
     }
 
     fn model_name(&self) -> &str {
@@ -781,6 +904,28 @@ mod tests {
         // ...and different content under the same salt too.
         let other = CompletionRequest::from_prompt("r");
         assert_ne!(req.fingerprint(0), other.fingerprint(0));
+    }
+
+    #[test]
+    fn escalation_ladders() {
+        assert!(Escalation::OFF.is_off());
+        assert_eq!(Escalation::default(), Escalation::OFF);
+        assert_eq!(Escalation::OFF.tiers(), &[] as &[ModelChoice]);
+        assert_eq!(format!("{}", Escalation::OFF), "off");
+
+        let ladder = Escalation::cheap_first();
+        assert!(!ladder.is_off());
+        assert_eq!(ladder.tiers(), &[ModelChoice::Gpt35, ModelChoice::Gpt4]);
+        assert_eq!(format!("{ladder}"), "gpt35→gpt4");
+
+        // Over-long input truncates at one tier per variant.
+        let long = Escalation::ladder(&[
+            ModelChoice::Default,
+            ModelChoice::Gpt35,
+            ModelChoice::Gpt4,
+            ModelChoice::Gpt4,
+        ]);
+        assert_eq!(long.tiers().len(), 3);
     }
 
     #[test]

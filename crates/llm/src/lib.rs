@@ -30,14 +30,15 @@ mod scripted;
 pub mod tokenizer;
 
 pub use api::{
-    CachePolicy, ChatMessage, Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice,
-    PreparedRequest, RequestHasher, RequestOptions, Role, TokenUsage,
+    CachePolicy, ChatMessage, Completion, CompletionRequest, Escalation, LanguageModel, LlmError,
+    LoadObserver, LoadSignal, ModelChoice, PreparedRequest, RequestHasher, RequestOptions, Role,
+    TokenUsage,
 };
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;
 pub use mock::{
-    MockLlm, MockLlmConfig, CODEGEN_MARKER, DIRECT_MARKER, FEEDBACK_MARKER, GPT35_MODEL_NAME,
-    GPT4_MODEL_NAME,
+    cheap_miss, LoadProfile, MockLlm, MockLlmConfig, CODEGEN_MARKER, DIRECT_MARKER,
+    FEEDBACK_MARKER, GPT35_MODEL_NAME, GPT4_MODEL_NAME,
 };
 pub use oracle::{AnswerOutcome, AnswerSkill, AnswerTask, CodeSkill, CodeTask, Oracle};
 pub use scripted::{Exchange, RecordingLlm, ScriptedLlm};

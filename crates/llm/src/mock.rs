@@ -19,6 +19,8 @@
 //!   across retries like temperature-1.0 resampling does.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use askit_json::{extract, Json, Map};
 use askit_types::{sample::sample, Type};
@@ -28,8 +30,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::api::{
-    Completion, CompletionRequest, LanguageModel, LlmError, ModelChoice, PreparedRequest,
-    TokenUsage,
+    Completion, CompletionRequest, LanguageModel, LlmError, LoadObserver, LoadSignal, ModelChoice,
+    PreparedRequest, TokenUsage,
 };
 use crate::faults::{
     break_syntax, corrupt_response, plant_bug, sample_code_bug, sample_direct_fault, CodeBug,
@@ -56,6 +58,94 @@ pub const GPT4_MODEL_NAME: &str = "sim-gpt-4";
 /// The simulated GPT-3.5 model name.
 pub const GPT35_MODEL_NAME: &str = "sim-gpt-3.5-turbo-16k";
 
+/// A scriptable provider-side load model: per-model concurrency caps and
+/// the cost of tripping them.
+///
+/// Real providers enforce per-model rate limits; a request arriving while
+/// the model is already saturated eats a 429 + backoff round trip before it
+/// completes. The mock reproduces exactly that shape so adaptive scheduling
+/// can be exercised (and gated in CI) offline: when more than
+/// `max_concurrent` requests for a model are in flight, the excess requests
+/// observe a [`LoadSignal::Throttled`] and pay `penalty` of simulated wall
+/// clock (scaled by [`MockLlmConfig::wall_clock_scale`], like latency) per
+/// slot of oversubscription before being served — probing one slot past
+/// the cap costs one penalty, hammering a saturated model queues
+/// superlinearly, like a real provider's backoff ladder.
+///
+/// Response *content* is untouched — throttling changes timing and signals,
+/// never answers — so everything the determinism suite pins stays
+/// bit-identical with a load profile active.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadProfile {
+    /// Per-model concurrency the simulated provider serves without
+    /// throttling. Models absent from the list are uncapped.
+    pub caps: Vec<(ModelChoice, usize)>,
+    /// Simulated extra round-trip cost of a throttled request.
+    pub penalty: Duration,
+}
+
+impl LoadProfile {
+    /// Caps `model` at `max_concurrent` in-flight requests.
+    #[must_use]
+    pub fn cap(mut self, model: ModelChoice, max_concurrent: usize) -> Self {
+        self.caps.retain(|(m, _)| *m != model);
+        self.caps.push((model, max_concurrent));
+        self
+    }
+
+    /// Sets the simulated cost of a throttled request.
+    #[must_use]
+    pub fn with_penalty(mut self, penalty: Duration) -> Self {
+        self.penalty = penalty;
+        self
+    }
+
+    /// The configured cap for `model`, if any.
+    pub fn cap_for(&self, model: ModelChoice) -> Option<usize> {
+        self.caps
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, cap)| *cap)
+    }
+}
+
+/// Whether the scripted "beyond the cheap model" predicate fires for a task
+/// prompt at the given rate.
+///
+/// A pure function of the seed and the task's *first* user message, so every
+/// retry of the same task under the cheap model keeps failing (the miss is a
+/// capability gap, not a transient fault) while an escalated tier — which
+/// this predicate never gates — succeeds. Benches and tests use the same
+/// function to know, ahead of time, which tasks need the strong model.
+pub fn cheap_miss(seed: u64, task_prompt: &str, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    // Local FNV-1a over (seed, prompt): independent of request fingerprints
+    // so enabling the knob never perturbs response RNG streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in seed
+        .to_le_bytes()
+        .iter()
+        .chain(task_prompt.as_bytes().iter())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // FNV's high bits avalanche poorly on short inputs; finalize with a
+    // 64-bit mix (murmur3 fmix64) before drawing the uniform.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    // 53 high bits → a uniform draw in [0, 1).
+    (h >> 11) as f64 / ((1u64 << 53) as f64) < rate
+}
+
 /// Configuration of a [`MockLlm`].
 #[derive(Debug, Clone)]
 pub struct MockLlmConfig {
@@ -75,6 +165,14 @@ pub struct MockLlmConfig {
     /// throughput benches enable it to reproduce the network-bound serving
     /// regime where batching wins.
     pub wall_clock_scale: f64,
+    /// The simulated provider's load model (per-model concurrency caps).
+    /// Empty by default: no caps, no throttles.
+    pub load: LoadProfile,
+    /// The rate at which directly answerable tasks are *beyond* the cheap
+    /// model: a gpt35-routed request whose task draws a miss (see
+    /// [`cheap_miss`]) answers with prose instead of the required JSON, on
+    /// every retry, until a stronger tier is asked. 0.0 (off) by default.
+    pub cheap_miss_rate: f64,
 }
 
 impl MockLlmConfig {
@@ -89,6 +187,8 @@ impl MockLlmConfig {
             },
             seed: 0xA5C1_0001,
             wall_clock_scale: 0.0,
+            load: LoadProfile::default(),
+            cheap_miss_rate: 0.0,
         }
     }
 
@@ -101,6 +201,8 @@ impl MockLlmConfig {
             faults: FaultConfig::default(),
             seed: 0xA5C1_0002,
             wall_clock_scale: 0.0,
+            load: LoadProfile::default(),
+            cheap_miss_rate: 0.0,
         }
     }
 
@@ -125,6 +227,21 @@ impl MockLlmConfig {
         self.wall_clock_scale = scale;
         self
     }
+
+    /// Installs a provider-side load model (see [`LoadProfile`]).
+    #[must_use]
+    pub fn with_load(mut self, load: LoadProfile) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the rate at which tasks are beyond the cheap model (see
+    /// [`MockLlmConfig::cheap_miss_rate`]).
+    #[must_use]
+    pub fn with_cheap_miss_rate(mut self, rate: f64) -> Self {
+        self.cheap_miss_rate = rate;
+        self
+    }
 }
 
 /// The simulated language model. See the [module docs](self).
@@ -132,6 +249,31 @@ pub struct MockLlm {
     config: MockLlmConfig,
     oracle: Oracle,
     calls: AtomicUsize,
+    /// Completions served per routed model, indexed by [`model_index`].
+    routed_calls: [AtomicUsize; 3],
+    /// Requests currently inside `serve`, per routed model — the quantity
+    /// the [`LoadProfile`] caps.
+    in_flight: [AtomicUsize; 3],
+    observers: Mutex<Vec<Arc<dyn LoadObserver>>>,
+}
+
+/// Releases an in-flight slot on every exit path (including the `?` error
+/// return inside `serve`).
+struct DecrementOnDrop<'a>(&'a AtomicUsize);
+
+impl Drop for DecrementOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Dense index for per-model counters.
+fn model_index(choice: ModelChoice) -> usize {
+    match choice {
+        ModelChoice::Default => 0,
+        ModelChoice::Gpt35 => 1,
+        ModelChoice::Gpt4 => 2,
+    }
 }
 
 impl std::fmt::Debug for MockLlm {
@@ -151,6 +293,9 @@ impl MockLlm {
             config,
             oracle,
             calls: AtomicUsize::new(0),
+            routed_calls: Default::default(),
+            in_flight: Default::default(),
+            observers: Mutex::new(Vec::new()),
         }
     }
 
@@ -167,6 +312,24 @@ impl MockLlm {
     /// Number of completions served so far.
     pub fn calls(&self) -> usize {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of completions served so far under the given routed model
+    /// (`Default` counts requests that didn't pick one). The unit of
+    /// cost-weighted accounting in routing benches.
+    pub fn calls_routed(&self, choice: ModelChoice) -> usize {
+        self.routed_calls[model_index(choice)].load(Ordering::Relaxed)
+    }
+
+    /// Reports a load signal to every subscribed observer.
+    fn notify(&self, model: ModelChoice, signal: LoadSignal) {
+        let observers = self
+            .observers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for observer in observers.iter() {
+            observer.observed(model, signal);
+        }
     }
 
     /// Read access to the oracle (diagnostics).
@@ -193,6 +356,35 @@ impl MockLlm {
     /// The shared completion path once the request's RNG is derived.
     fn serve(&self, request: &CompletionRequest, rng: &mut StdRng) -> Result<Completion, LlmError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        let choice = request.options.model;
+        self.routed_calls[model_index(choice)].fetch_add(1, Ordering::Relaxed);
+
+        // Provider-side load model: admission over the routed model's cap
+        // costs a throttled round trip (signal + simulated penalty) before
+        // the request is served. Content is never affected.
+        let slot = &self.in_flight[model_index(choice)];
+        let concurrent = slot.fetch_add(1, Ordering::SeqCst) + 1;
+        let in_flight_guard = DecrementOnDrop(slot);
+        if let Some(cap) = self.config.load.cap_for(choice) {
+            if concurrent > cap {
+                self.notify(choice, LoadSignal::Throttled);
+                if self.config.wall_clock_scale > 0.0 {
+                    // Queueing: the deeper the oversubscription, the longer
+                    // the excess request waits — hammering a saturated model
+                    // costs superlinearly, probing one slot past the cap
+                    // costs one penalty.
+                    let depth = (concurrent - cap) as f64;
+                    std::thread::sleep(
+                        self.config
+                            .load
+                            .penalty
+                            .mul_f64(depth)
+                            .mul_f64(self.config.wall_clock_scale),
+                    );
+                }
+            }
+        }
+
         let text = self.respond(request, rng)?;
         let usage = TokenUsage {
             prompt_tokens: request
@@ -213,6 +405,8 @@ impl MockLlm {
         if self.config.wall_clock_scale > 0.0 {
             std::thread::sleep(latency.mul_f64(self.config.wall_clock_scale));
         }
+        drop(in_flight_guard);
+        self.notify(choice, LoadSignal::Completed { latency });
         Ok(Completion {
             text,
             usage,
@@ -240,7 +434,13 @@ impl MockLlm {
             return Ok(self.respond_codegen(prompt, attempt, rng));
         }
         if prompt.contains(DIRECT_MARKER) {
-            return Ok(self.respond_direct(prompt, attempt, request.temperature, rng));
+            return Ok(self.respond_direct(
+                prompt,
+                attempt,
+                request.temperature,
+                request.options.model,
+                rng,
+            ));
         }
         Ok(format!(
             "I'm {}, a simulated assistant. You said: {}",
@@ -256,8 +456,22 @@ impl MockLlm {
         prompt: &str,
         attempt: usize,
         temperature: f64,
+        model: ModelChoice,
         rng: &mut StdRng,
     ) -> String {
+        // Tasks beyond the cheap model: gpt35-routed requests whose task
+        // draws a miss answer in prose — no JSON block, so extraction fails
+        // validation — on this and every retry. Stronger tiers are never
+        // gated, which is what makes escalation (not retrying) the fix.
+        if model == ModelChoice::Gpt35
+            && cheap_miss(self.config.seed, prompt, self.config.cheap_miss_rate)
+        {
+            return format!(
+                "I'm {}, and this one is beyond me: I cannot work out a \
+                 reliable answer, so I won't guess at a structured response.",
+                self.served_model_name(model)
+            );
+        }
         // The prompt constrains the response with a TypeScript type in a
         // ```ts fence (Listing 2 lines 5–8): read it like GPT would.
         let envelope = read_expected_type(prompt).unwrap_or_else(|| {
@@ -382,6 +596,16 @@ impl LanguageModel for MockLlm {
     // completion) is already exact for this model: each request draws from
     // its own derived stream, so any fan-out across engine workers yields
     // identical responses.
+
+    /// The mock reports wire-level load signals: a `Completed` per served
+    /// request and a `Throttled` per admission over a [`LoadProfile`] cap.
+    fn subscribe_load(&self, observer: Arc<dyn LoadObserver>) -> bool {
+        self.observers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(observer);
+        true
+    }
 
     fn model_name(&self) -> &str {
         &self.config.model_name
@@ -755,6 +979,110 @@ mod tests {
             .unwrap()
             .text
             .contains("sim-gpt-3.5-turbo-16k"));
+    }
+
+    #[derive(Default)]
+    struct SignalLog(Mutex<Vec<(ModelChoice, LoadSignal)>>);
+
+    impl LoadObserver for SignalLog {
+        fn observed(&self, model: ModelChoice, signal: LoadSignal) {
+            self.0.lock().unwrap().push((model, signal));
+        }
+    }
+
+    #[test]
+    fn cheap_miss_predicate_is_deterministic_and_rate_shaped() {
+        assert!(!cheap_miss(1, "task", 0.0));
+        assert!(cheap_miss(1, "task", 1.0));
+        let hits = (0..1000)
+            .filter(|i| cheap_miss(42, &format!("task {i}"), 0.35))
+            .count();
+        assert!((250..450).contains(&hits), "rate 0.35 drew {hits}/1000");
+        // Pure function of (seed, prompt): stable across calls, seeded.
+        assert_eq!(
+            cheap_miss(7, "same task", 0.5),
+            cheap_miss(7, "same task", 0.5)
+        );
+        assert_ne!(
+            (0..100)
+                .filter(|i| cheap_miss(1, &format!("t{i}"), 0.5))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn cheap_misses_fail_validation_until_escalated() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4()
+                .with_faults(FaultConfig::none())
+                .with_cheap_miss_rate(1.0),
+            Oracle::standard(),
+        );
+        let p = direct_prompt("number", "What is 'x' times 'y'?\nwhere 'x' = 6, 'y' = 7");
+        let base = CompletionRequest::from_prompt(p.clone());
+
+        // gpt35-routed: prose, no JSON — and a retry conversation fails the
+        // same way (the miss is per task, not per attempt).
+        let cheap = base
+            .clone()
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt35));
+        let out = llm.complete(&cheap).unwrap();
+        assert!(extract::extract_json(&out.text).is_none(), "{}", out.text);
+        let mut retry = cheap.clone();
+        retry
+            .messages
+            .push(crate::api::ChatMessage::assistant(out.text));
+        retry.messages.push(crate::api::ChatMessage::user(format!(
+            "{FEEDBACK_MARKER}: fix it"
+        )));
+        let again = llm.complete(&retry).unwrap();
+        assert!(extract::extract_json(&again.text).is_none());
+
+        // The strong tier answers the very same task correctly.
+        let strong = base.with_options(RequestOptions::for_model(ModelChoice::Gpt4));
+        let solved = llm.complete(&strong).unwrap();
+        let v = extract::extract_json(&solved.text).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Int(42)));
+    }
+
+    #[test]
+    fn load_profile_throttles_over_cap_and_reports_signals() {
+        let llm = MockLlm::new(
+            MockLlmConfig::gpt4()
+                .with_faults(FaultConfig::none())
+                .with_load(LoadProfile::default().cap(ModelChoice::Gpt4, 0)),
+            Oracle::standard(),
+        );
+        let log = Arc::new(SignalLog::default());
+        assert!(llm.subscribe_load(log.clone()));
+
+        let p = direct_prompt("number", "What is 'x' plus 'y'?\nwhere 'x' = 1, 'y' = 2");
+        let capped = CompletionRequest::from_prompt(p.clone())
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt4));
+        let out = llm.complete(&capped).unwrap();
+        // Cap 0: every gpt4 admission throttles — but content is untouched.
+        let v = extract::extract_json(&out.text).unwrap();
+        assert_eq!(v.get_key("answer"), Some(&Json::Int(3)));
+
+        // An uncapped model never throttles.
+        let free = CompletionRequest::from_prompt(p)
+            .with_options(RequestOptions::for_model(ModelChoice::Gpt35));
+        llm.complete(&free).unwrap();
+
+        let signals = log.0.lock().unwrap().clone();
+        assert_eq!(signals[0], (ModelChoice::Gpt4, LoadSignal::Throttled));
+        assert!(matches!(
+            signals[1],
+            (ModelChoice::Gpt4, LoadSignal::Completed { .. })
+        ));
+        assert!(matches!(
+            signals[2],
+            (ModelChoice::Gpt35, LoadSignal::Completed { .. })
+        ));
+        assert_eq!(llm.calls_routed(ModelChoice::Gpt4), 1);
+        assert_eq!(llm.calls_routed(ModelChoice::Gpt35), 1);
+        assert_eq!(llm.calls_routed(ModelChoice::Default), 0);
     }
 
     #[test]

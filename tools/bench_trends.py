@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Collect BENCH_*.json artifacts into a single BENCH_TRENDS.md.
+
+Every bench job in CI emits one JSON object as a ``BENCH_<name>.json``
+artifact. This script scans a directory tree for those files (artifact
+downloads unpack each one into its own subdirectory), flattens each object
+into dotted key/value rows, and renders one markdown section per bench so a
+whole run's numbers can be read — and diffed against a previous run — in one
+place.
+
+Usage:
+    python3 tools/bench_trends.py [--dir DIR] [--out BENCH_TRENDS.md]
+
+The script is deliberately generic: new benches need no changes here, they
+just have to emit a single JSON object and follow the naming convention.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(value, prefix=""):
+    """Yields (dotted_key, scalar) rows for one JSON value, depth-first.
+
+    Lists of objects become ``key[i].field`` rows so static-width sweeps and
+    similar arrays stay readable; scalar lists render inline.
+    """
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from flatten(child, f"{prefix}{key}." if prefix or key else "")
+    elif isinstance(value, list):
+        if all(not isinstance(item, (dict, list)) for item in value):
+            yield prefix.rstrip("."), ", ".join(str(item) for item in value)
+        else:
+            for i, item in enumerate(value):
+                yield from flatten(item, f"{prefix.rstrip('.')}[{i}].")
+    else:
+        yield prefix.rstrip("."), value
+
+
+def render_section(name, data):
+    lines = [f"## {name}", "", "| metric | value |", "|---|---|"]
+    for key, value in flatten(data):
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"| `{key}` | {value} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory tree to scan for BENCH_*.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_TRENDS.md",
+        help="markdown file to write (default: BENCH_TRENDS.md)",
+    )
+    args = parser.parse_args()
+
+    found = sorted(Path(args.dir).rglob("BENCH_*.json"), key=lambda p: p.name)
+    sections = []
+    seen = set()
+    for path in found:
+        if path.name in seen:
+            continue  # artifact directories can duplicate a file
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+            continue
+        seen.add(path.name)
+        name = path.stem.removeprefix("BENCH_")
+        sections.append(render_section(name, data))
+
+    if not sections:
+        sys.exit(f"no readable BENCH_*.json files under {args.dir}")
+
+    body = "\n".join(
+        [
+            "# Bench trends",
+            "",
+            "One section per `BENCH_*.json` artifact emitted by this run's",
+            "bench jobs. Compare against the previous run's artifact to spot",
+            "regressions the hard gates are too tolerant to catch.",
+            "",
+            *sections,
+        ]
+    )
+    Path(args.out).write_text(body)
+    print(f"wrote {args.out} ({len(seen)} benches)")
+
+
+if __name__ == "__main__":
+    main()
