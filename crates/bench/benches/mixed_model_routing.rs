@@ -112,7 +112,7 @@ fn run_routing(workers: usize, adaptive: bool) -> RoutingRun {
     RoutingRun {
         values,
         seconds,
-        widths: engine.scheduler().describe_widths(engine.workers()),
+        widths: engine.describe_widths(),
     }
 }
 

@@ -55,6 +55,7 @@ mod examples;
 mod function;
 pub mod prompt;
 mod query;
+pub mod registry;
 pub mod runtime;
 mod store;
 mod typed;
@@ -66,6 +67,9 @@ pub use examples::{example, examples_section, Example};
 pub use function::{Askit, CompiledFunction, TaskFunction};
 pub use prompt::{codegen_prompt, derive_function_name, direct_prompt, FunctionSpec};
 pub use query::{Query, QueryBuilder, QueryOptions};
+pub use registry::{
+    FunctionRegistry, FunctionSignature, ServableFunction, ServedCompiled, ServedTask,
+};
 pub use runtime::{evaluate_response, run_direct, DirectOutcome};
 pub use store::FunctionStore;
 pub use typed::{extract, AskType};

@@ -1,0 +1,499 @@
+//! The function registry: named, type-erased AskIt functions callable by
+//! other processes.
+//!
+//! [`crate::TaskFunction`] borrows its [`Askit`] instance and is generic
+//! over the backend — perfect for in-process use, unusable as a route
+//! table. This module is the serving bridge: a [`ServedTask`] owns its
+//! `Arc<Askit<L>>` plus everything a direct call needs (template, answer
+//! type, examples, options), a [`ServedCompiled`] wraps a
+//! [`CompiledFunction`], and both erase to `dyn` [`ServableFunction`]
+//! entries in a [`FunctionRegistry`] — the route table `askit-serve`
+//! dispatches HTTP requests against.
+//!
+//! Every entry carries a [`FunctionSignature`], so the registry can
+//! validate an untrusted JSON argument object against the declared
+//! parameter types *before* any prompt is rendered — the same
+//! type-language contract the paper's §III-E applies to model **outputs**,
+//! applied at the service boundary to caller **inputs**.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use askit_json::{Json, Map};
+use askit_llm::LanguageModel;
+use askit_template::Template;
+use askit_types::Type;
+
+use crate::error::AskItError;
+use crate::examples::Example;
+use crate::function::{Askit, CompiledFunction};
+use crate::query::QueryOptions;
+use crate::runtime::{run_direct, DirectOutcome};
+
+/// The callable contract of one registered function: what it is named,
+/// what it takes, what it returns.
+#[derive(Debug, Clone)]
+pub struct FunctionSignature {
+    /// The route name callers invoke.
+    pub name: String,
+    /// Parameter names and their declared types, in template order.
+    /// Undeclared parameters are `any`.
+    pub params: Vec<(String, Type)>,
+    /// The declared answer type.
+    pub answer_type: Type,
+    /// Human-readable description (the prompt template source for task
+    /// functions).
+    pub description: String,
+}
+
+impl FunctionSignature {
+    /// Validates an untrusted argument object against the declared
+    /// parameters: every declared parameter must be present, no undeclared
+    /// key is accepted, and each value must coerce into its declared type.
+    /// Returns the coerced argument map ready for a call.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation, suitable for a
+    /// `400` response body.
+    pub fn validate_args(&self, args: &Map) -> Result<Map, String> {
+        for key in args.keys() {
+            if !self.params.iter().any(|(name, _)| name == key) {
+                return Err(format!(
+                    "unknown argument {key:?} (expected: {})",
+                    self.param_names().join(", ")
+                ));
+            }
+        }
+        let mut coerced = Map::with_capacity(self.params.len());
+        for (name, ty) in &self.params {
+            let Some(value) = args.get(name) else {
+                return Err(format!(
+                    "missing argument {name:?} (expected type {})",
+                    ty.to_typescript()
+                ));
+            };
+            match ty.coerce(value) {
+                Ok(value) => {
+                    coerced.insert(name.clone(), value);
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "argument {name:?} does not inhabit {}: {e}",
+                        ty.to_typescript()
+                    ))
+                }
+            }
+        }
+        Ok(coerced)
+    }
+
+    /// The declared parameter names, in order.
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// The signature as a JSON object (what a service's function listing
+    /// returns): `{"name", "params": {name: ts_type, …}, "returns",
+    /// "description"}`.
+    pub fn to_json(&self) -> Json {
+        let mut params = Map::with_capacity(self.params.len());
+        for (name, ty) in &self.params {
+            params.insert(name.clone(), Json::Str(ty.to_typescript()));
+        }
+        let mut object = Map::new();
+        object.insert("name", Json::Str(self.name.clone()));
+        object.insert("params", Json::Object(params));
+        object.insert("returns", Json::Str(self.answer_type.to_typescript()));
+        object.insert("description", Json::Str(self.description.clone()));
+        Json::Object(object)
+    }
+}
+
+/// A named function a service can dispatch to: validated typed arguments
+/// in, a full [`DirectOutcome`] out. Implementations are `Send + Sync`
+/// because a server invokes them concurrently from its accept threads.
+pub trait ServableFunction: Send + Sync {
+    /// The function's callable contract.
+    fn signature(&self) -> &FunctionSignature;
+
+    /// Invokes the function with already-validated arguments and
+    /// per-invocation option overrides.
+    ///
+    /// # Errors
+    ///
+    /// See [`AskItError`].
+    fn call_with(&self, args: Map, options: &QueryOptions) -> Result<DirectOutcome, AskItError>;
+}
+
+/// A direct-mode task function registered for serving: owns its runtime
+/// (`Arc<Askit<L>>`) and pre-parsed template, so calls go straight into
+/// [`run_direct`] — the full §III-E loop under the engine's cache,
+/// scheduler, and speculation, shared with every other caller of the same
+/// instance.
+pub struct ServedTask<L> {
+    askit: Arc<Askit<L>>,
+    template: Template,
+    signature: FunctionSignature,
+    few_shot: Vec<Example>,
+    options: QueryOptions,
+}
+
+impl<L: LanguageModel + 'static> ServedTask<L> {
+    /// Defines a servable task from a prompt template. Parameters default
+    /// to `any` until [`ServedTask::with_param_types`] declares them.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Template`] if the template is malformed.
+    pub fn new(
+        askit: Arc<Askit<L>>,
+        name: impl Into<String>,
+        answer_type: Type,
+        template: &str,
+    ) -> Result<Self, AskItError> {
+        let parsed = Template::parse(template)?;
+        let params = parsed
+            .params()
+            .into_iter()
+            .map(|p| (p.to_owned(), askit_types::any()))
+            .collect();
+        Ok(ServedTask {
+            askit,
+            signature: FunctionSignature {
+                name: name.into(),
+                params,
+                answer_type,
+                description: template.to_owned(),
+            },
+            template: parsed,
+            few_shot: Vec::new(),
+            options: QueryOptions::default(),
+        })
+    }
+
+    /// Declares parameter types; undeclared parameters stay `any`. With a
+    /// declared type, the service boundary rejects non-inhabiting
+    /// arguments with a client error instead of rendering them into a
+    /// prompt.
+    #[must_use]
+    pub fn with_param_types<K: Into<String>>(
+        mut self,
+        types: impl IntoIterator<Item = (K, Type)>,
+    ) -> Self {
+        for (name, ty) in types {
+            let name = name.into();
+            if let Some(slot) = self.signature.params.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = ty;
+            }
+        }
+        self
+    }
+
+    /// Adds few-shot examples included in every call's prompt.
+    #[must_use]
+    pub fn with_examples(mut self, examples: impl IntoIterator<Item = Example>) -> Self {
+        self.few_shot.extend(examples);
+        self
+    }
+
+    /// Attaches option overrides (model, temperature, retries, cache
+    /// policy) every call of this function runs under; per-invocation
+    /// options layer on top.
+    #[must_use]
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the description exposed in the signature (defaults to the
+    /// template source).
+    #[must_use]
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.signature.description = description.into();
+        self
+    }
+}
+
+impl<L> std::fmt::Debug for ServedTask<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedTask")
+            .field("name", &self.signature.name)
+            .field("template", &self.template.source())
+            .finish()
+    }
+}
+
+impl<L: LanguageModel + 'static> ServableFunction for ServedTask<L> {
+    fn signature(&self) -> &FunctionSignature {
+        &self.signature
+    }
+
+    fn call_with(&self, args: Map, options: &QueryOptions) -> Result<DirectOutcome, AskItError> {
+        let config = options
+            .layered_over(&self.options)
+            .resolve(self.askit.config());
+        run_direct(
+            self.askit.engine(),
+            &self.template,
+            &args,
+            &self.signature.answer_type,
+            &self.few_shot,
+            &config,
+        )
+    }
+}
+
+/// A compiled function registered for serving: calls run the generated
+/// code locally — no model round trip — but present the same
+/// [`ServableFunction`] face, so a route can be flipped from direct to
+/// compiled without clients noticing anything but latency.
+#[derive(Debug, Clone)]
+pub struct ServedCompiled {
+    compiled: CompiledFunction,
+    signature: FunctionSignature,
+}
+
+impl ServedCompiled {
+    /// Wraps a compiled function under `name`. Parameter types default to
+    /// `any` (generated code coerces its own inputs);
+    /// [`ServedCompiled::with_param_types`] tightens them.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = impl Into<String>>,
+        answer_type: Type,
+        compiled: CompiledFunction,
+    ) -> Self {
+        let signature = FunctionSignature {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|p| (p.into(), askit_types::any()))
+                .collect(),
+            answer_type,
+            description: format!("compiled ({} LoC)", compiled.loc()),
+        };
+        ServedCompiled {
+            compiled,
+            signature,
+        }
+    }
+
+    /// Declares parameter types; see [`ServedTask::with_param_types`].
+    #[must_use]
+    pub fn with_param_types<K: Into<String>>(
+        mut self,
+        types: impl IntoIterator<Item = (K, Type)>,
+    ) -> Self {
+        for (name, ty) in types {
+            let name = name.into();
+            if let Some(slot) = self.signature.params.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = ty;
+            }
+        }
+        self
+    }
+}
+
+impl ServableFunction for ServedCompiled {
+    fn signature(&self) -> &FunctionSignature {
+        &self.signature
+    }
+
+    fn call_with(&self, args: Map, options: &QueryOptions) -> Result<DirectOutcome, AskItError> {
+        let started = Instant::now();
+        let value = self.compiled.call_with(args, options)?;
+        Ok(DirectOutcome {
+            value,
+            reason: None,
+            attempts: 0,
+            usage: Default::default(),
+            latency: started.elapsed(),
+            model: Default::default(),
+            escalations: 0,
+        })
+    }
+}
+
+/// A thread-safe name → function route table.
+///
+/// Registration usually happens once at startup, but the table tolerates
+/// live mutation (swap a direct route for its compiled twin while
+/// serving); lookups clone the `Arc`, so an in-flight call keeps the entry
+/// it resolved even if the route is replaced mid-call.
+#[derive(Default)]
+pub struct FunctionRegistry {
+    entries: RwLock<HashMap<String, Arc<dyn ServableFunction>>>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Registers a function under its signature's name, replacing any
+    /// previous entry with that name. Returns the name registered under.
+    pub fn register(&self, function: impl ServableFunction + 'static) -> String {
+        self.register_arc(Arc::new(function))
+    }
+
+    /// [`FunctionRegistry::register`] for an already-shared function.
+    pub fn register_arc(&self, function: Arc<dyn ServableFunction>) -> String {
+        let name = function.signature().name.clone();
+        self.write().insert(name.clone(), function);
+        name
+    }
+
+    /// Removes a route; returns whether it existed.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.write().remove(name).is_some()
+    }
+
+    /// Resolves a route.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ServableFunction>> {
+        self.read().get(name).cloned()
+    }
+
+    /// Registered route names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Every registered signature, sorted by name.
+    pub fn signatures(&self) -> Vec<FunctionSignature> {
+        let entries = self.read();
+        let mut signatures: Vec<FunctionSignature> = entries
+            .values()
+            .map(|function| function.signature().clone())
+            .collect();
+        signatures.sort_by(|a, b| a.name.cmp(&b.name));
+        signatures
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<dyn ServableFunction>>> {
+        self.entries
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<dyn ServableFunction>>> {
+        self.entries
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("routes", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+    use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+
+    fn shared_askit() -> Arc<Askit<MockLlm>> {
+        Arc::new(Askit::new(MockLlm::new(
+            MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+            Oracle::standard(),
+        )))
+    }
+
+    fn add_task(askit: &Arc<Askit<MockLlm>>) -> ServedTask<MockLlm> {
+        ServedTask::new(
+            Arc::clone(askit),
+            "add",
+            askit_types::int(),
+            "What is {{x}} plus {{y}}?",
+        )
+        .unwrap()
+        .with_param_types([("x", askit_types::int()), ("y", askit_types::int())])
+    }
+
+    #[test]
+    fn registered_task_serves_typed_calls() {
+        let askit = shared_askit();
+        let registry = FunctionRegistry::new();
+        assert!(registry.is_empty());
+        let name = registry.register(add_task(&askit));
+        assert_eq!(name, "add");
+        assert_eq!(registry.names(), vec!["add"]);
+        let function = registry.get("add").unwrap();
+        let outcome = function
+            .call_with(args! { x: 19, y: 23 }, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(outcome.value, Json::Int(42));
+        assert!(outcome.attempts >= 1);
+        assert!(registry.get("missing").is_none());
+    }
+
+    #[test]
+    fn signature_validation_rejects_bad_arguments() {
+        let askit = shared_askit();
+        let task = add_task(&askit);
+        let signature = task.signature();
+        // The happy path coerces and keeps declared order.
+        let ok = signature.validate_args(&args! { y: 2, x: 1 }).unwrap();
+        assert_eq!(ok.keys().collect::<Vec<_>>(), vec!["x", "y"]);
+        // Missing, unknown, and mistyped arguments all fail with a
+        // description naming the problem.
+        let missing = signature.validate_args(&args! { x: 1 }).unwrap_err();
+        assert!(missing.contains("missing argument \"y\""), "{missing}");
+        let unknown = signature
+            .validate_args(&args! { x: 1, y: 2, z: 3 })
+            .unwrap_err();
+        assert!(unknown.contains("unknown argument \"z\""), "{unknown}");
+        let mistyped = signature
+            .validate_args(&args! { x: "one", y: 2 })
+            .unwrap_err();
+        assert!(mistyped.contains("\"x\""), "{mistyped}");
+        // The JSON rendering names the contract.
+        let json = signature.to_json();
+        assert_eq!(json.pointer("/name").and_then(Json::as_str), Some("add"));
+        assert_eq!(
+            json.pointer("/params/x").and_then(Json::as_str),
+            Some("number")
+        );
+        assert_eq!(
+            json.pointer("/returns").and_then(Json::as_str),
+            Some("number")
+        );
+    }
+
+    #[test]
+    fn replacing_a_route_keeps_in_flight_handles_valid() {
+        let askit = shared_askit();
+        let registry = FunctionRegistry::new();
+        registry.register(add_task(&askit));
+        let held = registry.get("add").unwrap();
+        // Re-register under the same name (e.g. the compiled twin).
+        registry.register(add_task(&askit));
+        assert_eq!(registry.len(), 1);
+        // The held entry still answers.
+        let outcome = held
+            .call_with(args! { x: 1, y: 2 }, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(outcome.value, Json::Int(3));
+        assert!(registry.deregister("add"));
+        assert!(!registry.deregister("add"));
+    }
+}

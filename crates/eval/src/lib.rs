@@ -20,6 +20,8 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod report;
+#[cfg(feature = "serve")]
+pub mod serve_cmd;
 pub mod table2;
 pub mod table3;
 

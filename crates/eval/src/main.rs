@@ -1,9 +1,10 @@
 //! The `askit-eval` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! askit-eval [table2|fig5|fig6|fig7|table3|all] [--count N] [--seed S] [--threads T]
-//!            [--cache-dir DIR] [--cache-ttl SECS] [--speculate] [--adaptive]
-//!            [--escalate] [--backend mock|http] [--api-base URL]
+//! askit-eval [table2|fig5|fig6|fig7|table3|all|serve] [--count N] [--seed S]
+//!            [--threads T] [--cache-dir DIR] [--cache-ttl SECS] [--speculate]
+//!            [--adaptive] [--escalate] [--backend mock|http] [--api-base URL]
+//!            [--bind ADDR] [--max-connections N] [--requests N]
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -11,7 +12,7 @@
 
 use askit_eval::{fig5, fig6, fig7, report, table2, table3, DEFAULT_SEED};
 
-const USAGE: &str = "usage: askit-eval [table2|fig5|fig6|fig7|table3|all] [options]
+const USAGE: &str = "usage: askit-eval [table2|fig5|fig6|fig7|table3|all|serve] [options]
 
 experiments:
   table2   the 50 common coding tasks, compiled in both pipelines
@@ -20,6 +21,9 @@ experiments:
   fig7     type-usage statistics
   table3   GSM8K: direct answering vs generated code
   all      everything above (the default)
+  serve    stand up the HTTP/SSE front-end over the simulated model
+           (needs a build with --features serve); serves the demo
+           arithmetic functions until interrupted
 
 options:
   --count N         number of GSM8K problems for table3 (default: full 1319)
@@ -49,6 +53,13 @@ options:
                     --features http and an api base)
   --api-base URL    the http backend's base URL, e.g.
                     http://127.0.0.1:8080/v1 (default: $ASKIT_API_BASE)
+  --bind ADDR       address the serve front-end listens on (default:
+                    127.0.0.1:0 — ephemeral, printed at startup)
+  --max-connections N
+                    serve front-end live-connection budget; arrivals past
+                    it get 503 + Retry-After (default: 64)
+  --requests N      serve exits after N answered requests (default: run
+                    until interrupted)
   --help            print this message
 
 environment:
@@ -75,6 +86,9 @@ fn main() {
     let mut escalate = false;
     let mut backend_name = "mock".to_owned();
     let mut api_base: Option<String> = None;
+    let mut bind = "127.0.0.1:0".to_owned();
+    let mut max_connections = 64usize;
+    let mut serve_requests = 0u64;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -104,6 +118,14 @@ fn main() {
                 let secs: u64 = parse_flag_value(arg, iter.next());
                 cache.ttl = Some(std::time::Duration::from_secs(secs));
             }
+            "--bind" => {
+                let Some(addr) = iter.next() else {
+                    usage("--bind needs a value");
+                };
+                bind = addr.clone();
+            }
+            "--max-connections" => max_connections = parse_flag_value(arg, iter.next()),
+            "--requests" => serve_requests = parse_flag_value(arg, iter.next()),
             "--speculate" => speculate = true,
             "--adaptive" => adaptive = true,
             "--escalate" => escalate = true,
@@ -111,12 +133,18 @@ fn main() {
                 println!("{USAGE}");
                 return;
             }
-            "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" => {
+            "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" | "serve" => {
                 which = arg.clone();
             }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
+
+    if which == "serve" {
+        run_serve(&bind, threads, max_connections, serve_requests);
+    }
+    // The serve knobs only matter to the serve subcommand.
+    let _ = (&bind, max_connections, serve_requests);
 
     let backend = resolve_backend(&backend_name, api_base.as_deref());
 
@@ -172,6 +200,32 @@ fn main() {
             run_table3();
         }
     }
+}
+
+/// Runs the `serve` subcommand and exits the process with its status.
+#[cfg(feature = "serve")]
+fn run_serve(bind: &str, threads: usize, max_connections: usize, requests: u64) -> ! {
+    let options = askit_eval::serve_cmd::ServeOptions {
+        bind: bind.to_owned(),
+        threads,
+        max_connections,
+        requests,
+    };
+    match askit_eval::serve_cmd::run(&options) {
+        Ok(_served) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("askit-eval: serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(not(feature = "serve"))]
+fn run_serve(_bind: &str, _threads: usize, _max_connections: usize, _requests: u64) -> ! {
+    usage(
+        "this binary was built without the serving front-end; rebuild with \
+         `cargo build --features serve`",
+    );
 }
 
 /// Resolves `--backend`/`--api-base` into a [`table3::Backend`],

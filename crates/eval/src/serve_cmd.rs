@@ -1,0 +1,109 @@
+//! The `serve` subcommand: stand up an `askit-serve` front-end over the
+//! simulated model, so the service can be poked with `curl` (or load-tested)
+//! without any real API credentials.
+//!
+//! Registers the arithmetic demo functions, prints the routes, and blocks
+//! until the process is interrupted or `--requests N` answers have been
+//! served (the bounded form CI smoke tests use).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use askit_core::{Askit, FunctionRegistry, ServedTask};
+use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit_serve::{ServeConfig, Server};
+
+/// Options for [`run`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (default `127.0.0.1:0` — ephemeral, printed at start).
+    pub bind: String,
+    /// Engine-call workers (0 = auto).
+    pub threads: usize,
+    /// Live-connection budget.
+    pub max_connections: usize,
+    /// Exit after this many served requests (0 = run until interrupted).
+    pub requests: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            bind: "127.0.0.1:0".to_owned(),
+            threads: 0,
+            max_connections: 64,
+            requests: 0,
+        }
+    }
+}
+
+/// Builds the demo registry: typed arithmetic tasks the simulated model
+/// answers deterministically.
+fn demo_registry(askit: &Arc<Askit<MockLlm>>) -> Arc<FunctionRegistry> {
+    let registry = Arc::new(FunctionRegistry::new());
+    registry.register(
+        ServedTask::new(
+            Arc::clone(askit),
+            "add",
+            askit_types::int(),
+            "What is {{x}} plus {{y}}?",
+        )
+        .expect("static template")
+        .with_param_types([("x", askit_types::int()), ("y", askit_types::int())]),
+    );
+    registry.register(
+        ServedTask::new(
+            Arc::clone(askit),
+            "mul",
+            askit_types::int(),
+            "What is {{x}} times {{y}}?",
+        )
+        .expect("static template")
+        .with_param_types([("x", askit_types::int()), ("y", askit_types::int())]),
+    );
+    registry
+}
+
+/// Starts the server and blocks. Returns the number of requests served.
+///
+/// # Errors
+///
+/// I/O errors binding the listener.
+pub fn run(options: &ServeOptions) -> std::io::Result<u64> {
+    let askit = Arc::new(Askit::new(MockLlm::new(
+        MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+        Oracle::standard(),
+    )));
+    let registry = demo_registry(&askit);
+    let names = registry.names();
+    let server = Server::start(
+        registry,
+        Arc::clone(&askit) as _,
+        ServeConfig::default()
+            .with_bind(options.bind.clone())
+            .with_workers(options.threads)
+            .with_max_connections(options.max_connections),
+    )?;
+    eprintln!("askit-eval serve: listening on {}", server.base_url());
+    eprintln!(
+        "askit-eval serve: routes: {} (POST /call/{{name}}, GET /functions, /healthz, /stats)",
+        names.join(", ")
+    );
+    if options.requests == 0 {
+        eprintln!("askit-eval serve: serving until interrupted");
+    } else {
+        eprintln!(
+            "askit-eval serve: serving until {} request(s) answered",
+            options.requests
+        );
+    }
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let served = server.requests_served();
+        if options.requests > 0 && served >= options.requests {
+            eprintln!("askit-eval serve: {served} request(s) served, draining");
+            server.join();
+            return Ok(served);
+        }
+    }
+}

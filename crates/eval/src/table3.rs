@@ -222,7 +222,7 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
         eprintln!(
             "table3[{}]: scheduler widths: {}{}",
             syntax_tag(syntax),
-            engine.scheduler().describe_widths(engine.workers()),
+            engine.describe_widths(),
             if policy.escalate {
                 "  escalation: gpt35 -> gpt4"
             } else {

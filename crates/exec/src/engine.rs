@@ -278,6 +278,15 @@ impl<L: LanguageModel> Engine<L> {
         &self.scheduler
     }
 
+    /// One-line description of the per-model admission widths against this
+    /// engine's own global width — shorthand for
+    /// `engine.scheduler().describe_widths(engine.workers())`, which every
+    /// stats surface (eval reports, benches, `askit-serve /stats`) was
+    /// spelling out by hand.
+    pub fn describe_widths(&self) -> String {
+        self.scheduler.describe_widths(self.workers)
+    }
+
     /// Cache counters (all zero when the cache is disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache

@@ -23,6 +23,11 @@ use std::time::Duration;
 use askit_json::Json;
 use askit_llm::tokenizer;
 
+use crate::sse::encode_data;
+use crate::wire::{
+    write_chunk, write_json_response, write_last_chunk, write_response_head,
+    write_sse_response_head,
+};
 use crate::{find_subsequence, fnv1a, lock};
 
 /// One scripted server behavior.
@@ -321,49 +326,36 @@ fn completion_body(content: &str) -> String {
 }
 
 /// Writes `reply`; returns whether the connection may serve another
-/// request afterwards.
+/// request afterwards. All well-formed responses go through the shared
+/// [`crate::wire`] response writers — the same implementation `askit-serve`
+/// answers with — so the wire format the client parses in tests is exactly
+/// the format the serving path produces. Only the deliberately *torn*
+/// replies format by hand, since tearing a frame is the point.
 fn write_reply(conn: &mut TcpStream, reply: &Reply) -> bool {
     match reply {
         Reply::Text(content) => {
-            let body = completion_body(content);
-            let head = format!(
-                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            );
-            conn.write_all(head.as_bytes()).is_ok() && conn.write_all(body.as_bytes()).is_ok()
+            write_json_response(conn, 200, &completion_body(content), &[]).is_ok()
         }
         Reply::Status {
             status,
             retry_after,
             body,
         } => {
-            let reason = match status {
-                429 => "Too Many Requests",
-                500 => "Internal Server Error",
-                503 => "Service Unavailable",
-                401 => "Unauthorized",
-                404 => "Not Found",
-                _ => "Error",
-            };
-            let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
-            if let Some(seconds) = retry_after {
-                head.push_str(&format!("Retry-After: {seconds}\r\n"));
-            }
-            head.push_str(&format!(
-                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            ));
-            conn.write_all(head.as_bytes()).is_ok() && conn.write_all(body.as_bytes()).is_ok()
+            let extra: Vec<(&str, String)> = retry_after
+                .iter()
+                .map(|seconds| ("Retry-After", seconds.to_string()))
+                .collect();
+            write_json_response(conn, *status, body, &extra).is_ok()
         }
         Reply::TornBody(content) => {
             let body = completion_body(content);
             // Promise the full body, deliver half, close: a torn frame.
-            let head = format!(
-                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            );
+            let headers = [
+                ("Content-Type", "application/json".to_owned()),
+                ("Content-Length", body.len().to_string()),
+            ];
             let half = &body.as_bytes()[..body.len() / 2];
-            let _ = conn.write_all(head.as_bytes());
+            let _ = write_response_head(conn, 200, &headers);
             let _ = conn.write_all(half);
             let _ = conn.flush();
             false
@@ -371,11 +363,11 @@ fn write_reply(conn: &mut TcpStream, reply: &Reply) -> bool {
         Reply::Disconnect => false,
         Reply::Drip { content, delay_ms } => {
             let body = completion_body(content);
-            let head = format!(
-                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            );
-            if conn.write_all(head.as_bytes()).is_err() {
+            let headers = [
+                ("Content-Type", "application/json".to_owned()),
+                ("Content-Length", body.len().to_string()),
+            ];
+            if write_response_head(conn, 200, &headers).is_err() {
                 return false;
             }
             for &byte in body.as_bytes() {
@@ -401,35 +393,26 @@ fn write_reply(conn: &mut TcpStream, reply: &Reply) -> bool {
 /// UTF-8 scalars tear mid-sequence). With `complete`, ends with
 /// `data: [DONE]` and the terminal chunk; without, cuts off mid-stream.
 fn write_sse(conn: &mut TcpStream, content: &str, complete: bool) -> bool {
-    let head =
-        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nTransfer-Encoding: chunked\r\n\r\n";
-    if conn.write_all(head.as_bytes()).is_err() {
+    if write_sse_response_head(conn, &[]).is_err() {
         return false;
     }
     // Split the content into a few deltas on char boundaries.
     let chars: Vec<char> = content.chars().collect();
     let step = (chars.len() / 3).max(1);
-    let mut events: Vec<String> = chars
-        .chunks(step)
-        .map(|piece| {
-            let delta: String = piece.iter().collect();
-            format!(
-                "data: {{\"choices\":[{{\"index\":0,\"delta\":{{\"content\":{}}}}}]}}\n\n",
-                Json::Str(delta).to_compact_string()
-            )
-        })
-        .collect();
-    if complete {
-        events.push("data: [DONE]\n\n".to_owned());
+    let mut payload: Vec<u8> = Vec::new();
+    for piece in chars.chunks(step) {
+        let delta: String = piece.iter().collect();
+        payload.extend_from_slice(&encode_data(&format!(
+            "{{\"choices\":[{{\"index\":0,\"delta\":{{\"content\":{}}}}}]}}",
+            Json::Str(delta).to_compact_string()
+        )));
     }
-    let payload: Vec<u8> = events.concat().into_bytes();
+    if complete {
+        payload.extend_from_slice(&encode_data("[DONE]"));
+    }
     // Torn chunking: at most 7 payload bytes per HTTP chunk.
     for piece in payload.chunks(7) {
-        let frame = format!("{:x}\r\n", piece.len());
-        if conn.write_all(frame.as_bytes()).is_err()
-            || conn.write_all(piece).is_err()
-            || conn.write_all(b"\r\n").is_err()
-        {
+        if write_chunk(conn, piece).is_err() {
             return false;
         }
     }
@@ -438,7 +421,7 @@ fn write_sse(conn: &mut TcpStream, content: &str, complete: bool) -> bool {
         let _ = conn.flush();
         return false;
     }
-    conn.write_all(b"0\r\n\r\n").is_ok()
+    write_last_chunk(conn).is_ok()
 }
 
 #[cfg(test)]

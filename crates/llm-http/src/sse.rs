@@ -182,6 +182,51 @@ pub enum SseEvent {
     Done,
 }
 
+impl SseEvent {
+    /// Encodes the event as SSE frame bytes — the exact inverse of what
+    /// [`SseParser`] decodes, so `parser.feed(&event.encode())` yields the
+    /// event back under any write-split points (the proptest suite proves
+    /// it). [`SseEvent::Data`] payloads are split on `\n` into one `data:`
+    /// line each (the parser re-joins them); [`SseEvent::Done`] becomes the
+    /// OpenAI terminator `data: [DONE]`.
+    ///
+    /// Carriage returns are not representable: the decode side strips a
+    /// trailing `\r` from every line (CRLF tolerance), so a payload line
+    /// ending in `\r` would not round-trip. Payloads here are JSON or
+    /// `[DONE]` in practice, neither of which carries raw CR bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            SseEvent::Data(payload) => encode_data(payload),
+            SseEvent::Done => b"data: [DONE]\n\n".to_vec(),
+        }
+    }
+}
+
+/// Encodes one data payload as an SSE event frame (shared by
+/// [`SseEvent::encode`]; also the serving path's per-event encoder). A
+/// payload that *is* the literal `[DONE]` marker decodes back as
+/// [`SseEvent::Done`] — by OpenAI convention that string is reserved for
+/// the terminator.
+pub fn encode_data(payload: &str) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    for line in payload.split('\n') {
+        frame.extend_from_slice(b"data: ");
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
+    }
+    frame.push(b'\n');
+    frame
+}
+
+/// Encodes a whole event sequence as one SSE byte stream.
+pub fn encode_stream<'a>(events: impl IntoIterator<Item = &'a SseEvent>) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for event in events {
+        stream.extend_from_slice(&event.encode());
+    }
+    stream
+}
+
 /// Incremental Server-Sent-Events parser.
 ///
 /// Feed decoded body bytes with [`SseParser::feed`]; complete events come
@@ -326,6 +371,21 @@ mod tests {
             feed_all(&mut p, "data:\n\n"),
             vec![SseEvent::Data(String::new())]
         );
+    }
+
+    #[test]
+    fn encode_is_the_parsers_inverse() {
+        let events = vec![
+            SseEvent::Data("hello".into()),
+            SseEvent::Data("multi\nline".into()),
+            SseEvent::Data(String::new()),
+            SseEvent::Done,
+        ];
+        let mut p = SseParser::new();
+        assert_eq!(p.feed(&encode_stream(&events)), events);
+        assert!(!p.has_partial());
+        // The reserved terminator payload encodes to the Done marker.
+        assert_eq!(encode_data("[DONE]"), SseEvent::Done.encode());
     }
 
     #[test]

@@ -183,6 +183,97 @@ pub fn write_post(
     stream.flush()
 }
 
+/// The standard reason phrase for a status code (the codes this workspace
+/// actually sends; anything else renders as `Status`).
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Writes a response status line plus headers (and the blank line ending
+/// the head). Body framing is the caller's business — pair with a
+/// `Content-Length` header and a body write, or with [`write_chunk`]
+/// frames after a `Transfer-Encoding: chunked` header.
+///
+/// This is the **server-side** counterpart of [`write_post`]: one
+/// implementation shared by the loopback test server and the `askit-serve`
+/// front-end, so response formatting cannot drift between them.
+pub fn write_response_head(
+    out: &mut impl Write,
+    status: u16,
+    headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str(&format!("HTTP/1.1 {status} {}\r\n", status_reason(status)));
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())
+}
+
+/// Writes a complete JSON response: head (with `Content-Type` and
+/// `Content-Length` added after `extra_headers`) and body, then flushes.
+pub fn write_json_response(
+    out: &mut impl Write,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut headers: Vec<(&str, String)> = extra_headers.to_vec();
+    headers.push(("Content-Type", "application/json".to_owned()));
+    headers.push(("Content-Length", body.len().to_string()));
+    write_response_head(out, status, &headers)?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
+/// Writes the head of a streamed SSE response: 200, `text/event-stream`,
+/// chunked transfer framing. Follow with [`write_chunk`] per encoded event
+/// and [`write_last_chunk`] to finish (after which a keep-alive connection
+/// may serve another request).
+pub fn write_sse_response_head(
+    out: &mut impl Write,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut headers: Vec<(&str, String)> = extra_headers.to_vec();
+    headers.push(("Content-Type", "text/event-stream".to_owned()));
+    headers.push(("Transfer-Encoding", "chunked".to_owned()));
+    write_response_head(out, 200, &headers)
+}
+
+/// Writes one chunked-transfer frame and flushes it — flushing per chunk is
+/// what makes SSE events visible to the client the moment they happen. An
+/// empty payload is skipped entirely (a zero-size frame would terminate the
+/// body).
+pub fn write_chunk(out: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    out.write_all(format!("{:x}\r\n", payload.len()).as_bytes())?;
+    out.write_all(payload)?;
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+/// Writes the terminal zero-length chunk ending a chunked body.
+pub fn write_last_chunk(out: &mut impl Write) -> std::io::Result<()> {
+    out.write_all(b"0\r\n\r\n")?;
+    out.flush()
+}
+
 /// A buffered reader over a [`TcpStream`] that parses response heads and
 /// bodies incrementally, leaving any pipelined surplus buffered for the
 /// next response on the same connection.

@@ -68,6 +68,21 @@ fn arb_event_text() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9 .,éü漢字🦀]{0,40}"
 }
 
+/// Payloads for the *encoder* round-trip: like [`arb_event_text`] but with
+/// embedded newlines allowed, so `encode_data` has to split them into
+/// multiple `data:` lines the parser re-joins. `[DONE]` is reserved for
+/// the terminator (it decodes as [`SseEvent::Done`] by design), so a drawn
+/// payload that happens to collide is suffixed out of the way.
+fn arb_encoder_payload() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 .,éü漢字🦀\n]{0,40}".prop_map(|text| {
+        if text == "[DONE]" {
+            format!("{text}.")
+        } else {
+            text
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -109,6 +124,30 @@ proptest! {
         for (expected, got) in events.iter().zip(&decoded) {
             prop_assert_eq!(got, &SseEvent::Data(expected.clone()));
         }
+        prop_assert!(!parser.has_partial(), "stream fully consumed");
+    }
+
+    /// The **server-side encoder** is the parser's exact inverse:
+    /// `encode(events)` fed back through [`SseParser`] under arbitrary
+    /// write-split points reproduces the events bit-exactly — the
+    /// encode-direction mirror of the torn-frame decode suite, covering
+    /// what `askit-serve` streams out. Multi-line payloads exercise the
+    /// multi-`data:`-line split/re-join path.
+    #[test]
+    fn encoded_events_roundtrip_under_arbitrary_splits(
+        payloads in prop::collection::vec(arb_encoder_payload(), 0..8),
+        cuts in prop::collection::vec(1usize..17, 1..6),
+    ) {
+        let mut events: Vec<SseEvent> =
+            payloads.into_iter().map(SseEvent::Data).collect();
+        events.push(SseEvent::Done);
+        let wire = askit_llm_http::sse::encode_stream(&events);
+        let mut parser = SseParser::new();
+        let mut decoded = Vec::new();
+        for feed in split_feeds(&wire, &cuts) {
+            decoded.extend(parser.feed(&feed));
+        }
+        prop_assert_eq!(decoded, events);
         prop_assert!(!parser.has_partial(), "stream fully consumed");
     }
 

@@ -1,0 +1,219 @@
+//! A minimal blocking client for an `askit-serve` endpoint.
+//!
+//! Built from the same wire pieces the backend client uses —
+//! `askit-llm-http`'s [`WireReader`] for response framing and
+//! [`SseParser`] for event streams — so the integration tests and the
+//! load test exercise the served wire format with the workspace's own
+//! battle-tested parsers rather than a second ad-hoc reader.
+//!
+//! One [`ServeClient`] holds one keep-alive connection (reconnecting
+//! transparently when the server closed it between requests) — a
+//! load-test thread maps onto exactly one client.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+use std::time::Duration;
+
+use askit_json::Json;
+use askit_llm_http::sse::{SseEvent, SseParser};
+use askit_llm_http::wire::{BodyFraming, ResponseHead, WireReader};
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body, parsed as JSON.
+    pub body: Json,
+    /// The `Retry-After` header, when the server sent one (budget
+    /// rejections do).
+    pub retry_after: Option<Duration>,
+}
+
+impl ClientResponse {
+    /// The body's `key` field as a string, when present.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.body.get_key(key).and_then(Json::as_str)
+    }
+}
+
+/// A blocking HTTP client pinned to one server address, holding one
+/// keep-alive connection.
+#[derive(Debug)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl ServeClient {
+    /// A client for the server at `addr` (connects lazily).
+    pub fn new(addr: SocketAddr) -> Self {
+        ServeClient { addr, stream: None }
+    }
+
+    /// `GET path` → status + JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a body that is not JSON.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        let (status, retry_after, body) = self.roundtrip("GET", path, None, false)?;
+        parse_response(status, retry_after, &body)
+    }
+
+    /// `POST path` with a JSON body → status + JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a response body that is not JSON.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        let (status, retry_after, reply) = self.roundtrip("POST", path, Some(body), false)?;
+        parse_response(status, retry_after, &reply)
+    }
+
+    /// `POST path` asking for SSE → status + the decoded event stream
+    /// (empty when the server answered with a plain body, e.g. an error).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an SSE payload that is not JSON where one is
+    /// expected.
+    pub fn post_sse(&mut self, path: &str, body: &str) -> std::io::Result<(u16, Vec<SseEvent>)> {
+        let (status, _retry_after, reply) = self.roundtrip("POST", path, Some(body), true)?;
+        let mut parser = SseParser::new();
+        let events = parser.feed(&reply);
+        Ok((status, events))
+    }
+
+    /// One request/response over the held connection, reconnecting once if
+    /// a previously-kept-alive connection turns out to be dead.
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        sse: bool,
+    ) -> std::io::Result<(u16, Option<Duration>, Vec<u8>)> {
+        let reused = self.stream.is_some();
+        match self.try_roundtrip(method, path, body, sse) {
+            Ok(done) => Ok(done),
+            Err(e) if reused => {
+                // The server may have closed the idle connection (drain,
+                // budget, timeout). One fresh connection, one retry.
+                self.stream = None;
+                let _ = e;
+                self.try_roundtrip(method, path, body, sse)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        sse: bool,
+    ) -> std::io::Result<(u16, Option<Duration>, Vec<u8>)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            // Requests are written head-then-body; without nodelay the
+            // second write can stall behind Nagle + delayed ACK.
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        let mut head = String::with_capacity(160);
+        head.push_str(&format!("{method} {path} HTTP/1.1\r\n"));
+        head.push_str(&format!("Host: {}\r\n", self.addr));
+        if sse {
+            head.push_str("Accept: text/event-stream\r\n");
+        } else {
+            head.push_str("Accept: application/json\r\n");
+        }
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("Connection: keep-alive\r\n\r\n");
+        match exchange(stream, &head, body) {
+            Ok((response_head, payload, close)) => {
+                if close {
+                    self.stream = None;
+                }
+                Ok((response_head.status, response_head.retry_after(), payload))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Writes one request and reads one complete response; the `bool` is
+/// whether the connection must not be reused.
+fn exchange(
+    stream: &mut TcpStream,
+    head: &str,
+    body: Option<&str>,
+) -> std::io::Result<(ResponseHead, Vec<u8>, bool)> {
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()?;
+    let mut reader = WireReader::new();
+    let response_head = reader.read_head(stream)?;
+    let framing = BodyFraming::of(&response_head);
+    let payload = match framing {
+        BodyFraming::Length(n) => reader.read_exact_body(stream, n)?,
+        BodyFraming::Chunked => {
+            let mut decoded = Vec::new();
+            reader.read_chunked_body(stream, |bytes| decoded.extend_from_slice(bytes))?;
+            decoded
+        }
+        BodyFraming::UntilClose => reader.read_to_close(stream)?,
+    };
+    let close = response_head.wants_close() || matches!(framing, BodyFraming::UntilClose);
+    Ok((response_head, payload, close))
+}
+
+fn parse_response(
+    status: u16,
+    retry_after: Option<Duration>,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let body = Json::parse(text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+/// Decodes the JSON payloads of an SSE stream's `Data` events, checking
+/// the stream is `[DONE]`-terminated. Test helper used by the integration
+/// suite and the load test.
+///
+/// # Errors
+///
+/// A description of the malformation, when the stream is not a well-formed
+/// serve stream.
+pub fn decode_stream(events: &[SseEvent]) -> Result<Vec<Json>, String> {
+    let Some((SseEvent::Done, data)) = events.split_last() else {
+        return Err("stream must end with [DONE]".to_owned());
+    };
+    data.iter()
+        .map(|event| match event {
+            SseEvent::Data(payload) => {
+                Json::parse(payload).map_err(|e| format!("non-JSON event payload: {e}"))
+            }
+            SseEvent::Done => Err("[DONE] before the end of the stream".to_owned()),
+        })
+        .collect()
+}

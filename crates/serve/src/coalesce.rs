@@ -1,0 +1,284 @@
+//! Server-side request coalescing.
+//!
+//! The HTTP backend already coalesces identical in-flight *completions* on
+//! the client side; this is the same leader/follower pattern one layer up,
+//! at the service boundary. When two users POST the same function with the
+//! same arguments (and the same option overrides) concurrently, the first
+//! becomes the **leader** and submits one engine call; everyone else is a
+//! **follower** parked on the leader's [`Flight`] until the outcome is
+//! published. One prompt, one cache entry, one scheduler admission — no
+//! matter how many clients pile onto a hot query at once.
+//!
+//! Flights are keyed by an FNV-1a hash over route name, canonical argument
+//! JSON (post-coercion, declared parameter order — so client key order
+//! does not split flights) and the option overrides. Only *concurrent*
+//! duplicates share: the leader removes its flight before waking
+//! followers, so a later identical request starts a fresh flight (which
+//! the completion cache then answers without a model round trip).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use askit_core::runtime::DirectOutcome;
+
+use crate::lock;
+
+/// An error outcome a flight can publish: the HTTP status the leader would
+/// answer with, plus a message for the body.
+#[derive(Debug, Clone)]
+pub struct CallError {
+    /// HTTP status code (e.g. 500 for an engine failure).
+    pub status: u16,
+    /// Human-readable description for the `{"error": …}` body.
+    pub message: String,
+}
+
+/// What a flight resolves to: one shared outcome or one shared error.
+pub type FlightResult = Result<Arc<DirectOutcome>, CallError>;
+
+/// One in-flight engine submission, shared between its leader and any
+/// followers that arrived while it was still running.
+pub struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: FlightResult) {
+        *lock(&self.slot) = Some(result);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the outcome is published.
+    pub fn wait(&self) -> FlightResult {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Waits up to `timeout` for the outcome; `None` means still running
+    /// (the SSE path emits a heartbeat and waits again).
+    pub fn wait_for(&self, timeout: Duration) -> Option<FlightResult> {
+        let slot = lock(&self.slot);
+        if let Some(result) = slot.as_ref() {
+            return Some(result.clone());
+        }
+        let (slot, _timed_out) = self
+            .ready
+            .wait_timeout(slot, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.as_ref().cloned()
+    }
+
+    /// Whether the outcome has been published (non-blocking).
+    pub fn is_done(&self) -> bool {
+        lock(&self.slot).is_some()
+    }
+}
+
+/// How [`FlightTable::admit`] classified a request.
+pub enum Admission {
+    /// First with this key: caller must run the call and
+    /// [`FlightTable::publish`] the outcome (see [`PublishGuard`]).
+    Leader(Arc<Flight>),
+    /// Identical request already in flight: caller just waits on it.
+    Follower(Arc<Flight>),
+}
+
+/// The table of in-flight submissions, plus the counters `/stats` exposes.
+#[derive(Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+}
+
+impl FlightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlightTable::default()
+    }
+
+    /// Joins or starts the flight for `key`.
+    pub fn admit(&self, key: u64) -> Admission {
+        let mut flights = lock(&self.flights);
+        if let Some(flight) = flights.get(&key) {
+            self.followers.fetch_add(1, Ordering::Relaxed);
+            return Admission::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key, Arc::clone(&flight));
+        self.leaders.fetch_add(1, Ordering::Relaxed);
+        Admission::Leader(flight)
+    }
+
+    /// Publishes the leader's result: removes the key (so later identical
+    /// requests start fresh flights) *then* wakes every waiter.
+    pub fn publish(&self, key: u64, flight: &Flight, result: FlightResult) {
+        lock(&self.flights).remove(&key);
+        flight.publish(result);
+    }
+
+    /// Engine submissions started (leaders admitted).
+    pub fn leaders(&self) -> u64 {
+        self.leaders.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by piggybacking on another's flight.
+    pub fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Flights currently in the table (running submissions).
+    pub fn in_flight(&self) -> usize {
+        lock(&self.flights).len()
+    }
+}
+
+/// Drop guard ensuring a leader always publishes. The worker job holds one
+/// while the engine call runs; if the job is discarded without running
+/// (pool teardown) or unwinds, the guard's `Drop` publishes an error so
+/// followers wake with a `500` instead of hanging forever.
+pub struct PublishGuard {
+    table: Arc<FlightTable>,
+    flight: Arc<Flight>,
+    key: u64,
+    done: bool,
+}
+
+impl PublishGuard {
+    /// Arms a guard for the flight the caller just became leader of.
+    pub fn new(table: Arc<FlightTable>, flight: Arc<Flight>, key: u64) -> Self {
+        PublishGuard {
+            table,
+            flight,
+            key,
+            done: false,
+        }
+    }
+
+    /// Publishes the real result and disarms the guard.
+    pub fn publish(mut self, result: FlightResult) {
+        self.table.publish(self.key, &self.flight, result);
+        self.done = true;
+    }
+}
+
+impl Drop for PublishGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.table.publish(
+                self.key,
+                &self.flight,
+                Err(CallError {
+                    status: 500,
+                    message: "request aborted before completion".to_owned(),
+                }),
+            );
+        }
+    }
+}
+
+/// FNV-1a over `bytes` — the same deterministic fingerprint the rest of
+/// the workspace keys caches with.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askit_json::Json;
+
+    fn outcome(n: i64) -> Arc<DirectOutcome> {
+        Arc::new(DirectOutcome {
+            value: Json::Int(n),
+            reason: None,
+            attempts: 1,
+            usage: Default::default(),
+            latency: Duration::ZERO,
+            model: Default::default(),
+            escalations: 0,
+        })
+    }
+
+    #[test]
+    fn concurrent_duplicates_share_one_flight() {
+        let table = Arc::new(FlightTable::new());
+        let Admission::Leader(leader) = table.admit(7) else {
+            panic!("first admit must lead");
+        };
+        let Admission::Follower(follower) = table.admit(7) else {
+            panic!("second admit must follow");
+        };
+        assert!(Arc::ptr_eq(&leader, &follower));
+        assert_eq!(table.in_flight(), 1);
+
+        let waiter = {
+            let follower = Arc::clone(&follower);
+            std::thread::spawn(move || follower.wait())
+        };
+        table.publish(7, &leader, Ok(outcome(42)));
+        assert_eq!(waiter.join().unwrap().unwrap().value, Json::Int(42));
+        assert_eq!((table.leaders(), table.followers()), (1, 1));
+
+        // The key was retired: the next identical request leads anew.
+        assert!(matches!(table.admit(7), Admission::Leader(_)));
+        assert_eq!(table.leaders(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out_then_delivers() {
+        let table = Arc::new(FlightTable::new());
+        let Admission::Leader(flight) = table.admit(1) else {
+            panic!("must lead");
+        };
+        assert!(flight.wait_for(Duration::from_millis(5)).is_none());
+        assert!(!flight.is_done());
+        table.publish(1, &flight, Ok(outcome(6)));
+        let delivered = flight.wait_for(Duration::from_millis(5)).unwrap();
+        assert_eq!(delivered.unwrap().value, Json::Int(6));
+        assert!(flight.is_done());
+    }
+
+    #[test]
+    fn dropped_guard_publishes_an_error() {
+        let table = Arc::new(FlightTable::new());
+        let Admission::Leader(flight) = table.admit(3) else {
+            panic!("must lead");
+        };
+        let guard = PublishGuard::new(Arc::clone(&table), Arc::clone(&flight), 3);
+        drop(guard); // job discarded without running
+        let error = flight.wait().unwrap_err();
+        assert_eq!(error.status, 500);
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn fnv_distinguishes_routes_and_args() {
+        assert_ne!(fnv1a(b"add\0{\"x\":1}"), fnv1a(b"add\0{\"x\":2}"));
+        assert_ne!(fnv1a(b"add\0{\"x\":1}"), fnv1a(b"mul\0{\"x\":1}"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,308 @@
+//! Server-side HTTP/1.1 request parsing.
+//!
+//! The mirror image of `askit-llm-http`'s client-side `WireReader`: a
+//! keep-alive loop of head + `Content-Length` body reads over a plain
+//! [`TcpStream`], with two serving-specific twists. Reads are **polled**
+//! against a short socket timeout so an idle connection notices server
+//! drain within one quantum instead of holding a thread until its client
+//! goes away, and body size is **capped** so an abusive `Content-Length`
+//! answers `413` instead of ballooning memory.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Largest request head (request line + headers) accepted.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// How many consecutive empty read quanta a *partially received* request
+/// survives once drain starts before the connection is abandoned — a
+/// client that stalls mid-request cannot hold shutdown hostage.
+const DRAIN_GRACE_POLLS: u32 = 100;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// HTTP method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string included.
+    pub path: String,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close after this response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Whether the client asked for a streamed (SSE) response.
+    pub fn accepts_sse(&self) -> bool {
+        self.header("accept")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("text/event-stream"))
+    }
+
+    /// The path without its query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// What one request-read attempt produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The connection is over: client EOF/reset, or server drain caught it
+    /// idle. Nothing to answer.
+    Closed,
+    /// The head parsed but the declared body exceeds the cap — answer
+    /// `413` and close.
+    TooLarge,
+    /// Bytes arrived that do not parse as an HTTP request — answer `400`
+    /// and close.
+    Malformed(&'static str),
+}
+
+/// Reads one request from `conn`. `pending` carries surplus bytes between
+/// keep-alive requests; the socket's read timeout is the poll quantum (the
+/// caller sets it once per connection).
+///
+/// While `shutdown` is clear, an idle connection waits indefinitely (that
+/// is what keep-alive means). Once `shutdown` is set: an idle connection
+/// closes at the next quantum, while a request already partially received
+/// is still read to completion (bounded by `DRAIN_GRACE_POLLS`) — drain
+/// finishes accepted work, it does not drop it.
+pub fn read_request(
+    conn: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+    max_body_bytes: usize,
+) -> ReadOutcome {
+    let mut started = !pending.is_empty();
+    let mut drain_polls: u32 = 0;
+
+    // Accumulate until the head terminator.
+    let head_end = loop {
+        if let Some(pos) = find_subsequence(pending, b"\r\n\r\n") {
+            break pos;
+        }
+        if pending.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed("request head too large");
+        }
+        match poll_read(conn, pending) {
+            Poll::Bytes => started = true,
+            Poll::Eof => return ReadOutcome::Closed,
+            Poll::Empty => {
+                if shutdown.load(Ordering::SeqCst) {
+                    if !started {
+                        return ReadOutcome::Closed;
+                    }
+                    drain_polls += 1;
+                    if drain_polls > DRAIN_GRACE_POLLS {
+                        return ReadOutcome::Closed;
+                    }
+                }
+            }
+        }
+    };
+
+    let head_bytes: Vec<u8> = pending.drain(..head_end + 4).collect();
+    let Ok(head) = std::str::from_utf8(&head_bytes) else {
+        return ReadOutcome::Malformed("request head is not UTF-8");
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported HTTP version");
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Malformed("malformed header line");
+        };
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .map_or(Some(0), |(_, v)| v.parse::<usize>().ok());
+    let Some(content_length) = content_length else {
+        return ReadOutcome::Malformed("unparseable Content-Length");
+    };
+    if content_length > max_body_bytes {
+        return ReadOutcome::TooLarge;
+    }
+
+    // Accumulate the body. The request is necessarily `started` now, so
+    // drain only abandons it after the grace budget.
+    while pending.len() < content_length {
+        match poll_read(conn, pending) {
+            Poll::Bytes => {}
+            Poll::Eof => return ReadOutcome::Closed,
+            Poll::Empty => {
+                if shutdown.load(Ordering::SeqCst) {
+                    drain_polls += 1;
+                    if drain_polls > DRAIN_GRACE_POLLS {
+                        return ReadOutcome::Closed;
+                    }
+                }
+            }
+        }
+    }
+    let body: Vec<u8> = pending.drain(..content_length).collect();
+
+    ReadOutcome::Request(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+enum Poll {
+    /// Bytes were appended to the buffer.
+    Bytes,
+    /// Clean EOF or hard error: the connection is finished.
+    Eof,
+    /// The poll quantum elapsed without data.
+    Empty,
+}
+
+fn poll_read(conn: &mut TcpStream, pending: &mut Vec<u8>) -> Poll {
+    let mut chunk = [0u8; 4096];
+    match conn.read(&mut chunk) {
+        Ok(0) => Poll::Eof,
+        Ok(n) => {
+            pending.extend_from_slice(&chunk[..n]);
+            Poll::Bytes
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Poll::Empty
+        }
+        Err(_) => Poll::Eof,
+    }
+}
+
+/// First offset of `needle` in `haystack`.
+pub(crate) fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// The poll quantum connections arm their socket with (also how quickly an
+/// idle connection notices drain).
+pub(crate) fn poll_quantum() -> Duration {
+    Duration::from_millis(50)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_read_timeout(Some(poll_quantum())).unwrap();
+        let shutdown = AtomicBool::new(false);
+        read_request(&mut server_side, &mut Vec::new(), &shutdown, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /call/add?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 7\r\nAccept: text/event-stream\r\n\r\n{\"x\":1}";
+        let ReadOutcome::Request(request) = roundtrip(raw) else {
+            panic!("must parse");
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.route(), "/call/add");
+        assert_eq!(request.body, b"{\"x\":1}");
+        assert!(request.accepts_sse());
+        assert!(!request.wants_close());
+        assert_eq!(request.header("HOST"), Some("h"));
+    }
+
+    #[test]
+    fn oversized_bodies_and_garbage_are_rejected() {
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            ReadOutcome::TooLarge
+        ));
+        assert!(matches!(
+            roundtrip(b"not an http request at all\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_closes_idle_but_finishes_partial() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let shutdown = AtomicBool::new(true);
+
+        // Idle at shutdown: closes without waiting for the client.
+        assert!(matches!(
+            read_request(&mut server_side, &mut Vec::new(), &shutdown, 1024),
+            ReadOutcome::Closed
+        ));
+
+        // Half a request already on the wire at shutdown: the rest is
+        // still read and the request served.
+        client.write_all(b"GET /healthz HT").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            client.write_all(b"TP/1.1\r\n\r\n").unwrap();
+            client
+        });
+        let outcome = read_request(&mut server_side, &mut Vec::new(), &shutdown, 1024);
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("partial request must complete during drain, got {outcome:?}");
+        };
+        assert_eq!(request.route(), "/healthz");
+        drop(writer.join().unwrap());
+    }
+}

@@ -1,0 +1,82 @@
+//! # askit-serve
+//!
+//! An HTTP/SSE front-end that serves registered AskIt functions as a
+//! typed network service — the paper's `define`d task functions, reachable
+//! by anything that can speak HTTP, with the whole engine (completion
+//! cache, scheduler admission gates, tiered escalation) shared behind one
+//! process.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net::TcpListener`], like the rest of
+//! the workspace: zero new dependencies, and both wire directions reuse
+//! `askit-llm-http`'s shared implementations (response writers, SSE
+//! framing, client-side readers), so the serving format and the consuming
+//! parser cannot drift apart.
+//!
+//! ## Routes
+//!
+//! | Route | Answers |
+//! |---|---|
+//! | `POST /call/{name}` | run the function; JSON result, or SSE progress stream with `Accept: text/event-stream` |
+//! | `GET /functions` | registered signatures (name, typed params, return type) |
+//! | `GET /healthz` | liveness + drain state |
+//! | `GET /stats` | server counters, coalescing, and engine cache/scheduler stats |
+//!
+//! Call bodies are the bare argument object (`{"x": 1, "y": 2}`), or an
+//! envelope `{"args": {…}, "options": {"model": "gpt4", "cache":
+//! "bypass"}}` layering per-call overrides — exactly [`QueryBuilder`]'s
+//! knobs, over the wire. Arguments are validated against the function's
+//! declared parameter types *before* any prompt is rendered: a `422`
+//! names the offending argument, the same type-language contract the
+//! engine applies to model outputs, applied to callers.
+//!
+//! Identical concurrent requests **coalesce** server-side: one engine
+//! submission, one cache entry, every caller answered from the shared
+//! outcome (see [`coalesce`]). Connections are budgeted — past
+//! [`ServeConfig::max_connections`], arrivals get `503` + `Retry-After`,
+//! which the `askit-llm-http` client backoff already honors. Shutdown
+//! drains: accepted requests finish, idle keep-alive connections close.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use askit_core::{Askit, FunctionRegistry, ServedTask};
+//! use askit_llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+//! use askit_serve::{ServeConfig, Server};
+//!
+//! let askit = Arc::new(Askit::new(MockLlm::new(
+//!     MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+//!     Oracle::standard(),
+//! )));
+//! let registry = Arc::new(FunctionRegistry::new());
+//! registry.register(ServedTask::new(
+//!     Arc::clone(&askit),
+//!     "add",
+//!     askit_types::int(),
+//!     "What is {{x}} plus {{y}}?",
+//! )?);
+//! let server = Server::start(registry, askit, ServeConfig::default())?;
+//! println!("serving on {}", server.base_url());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`QueryBuilder`]: askit_core::QueryBuilder
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod server;
+
+pub use client::{decode_stream, ClientResponse, ServeClient};
+pub use coalesce::{CallError, FlightTable};
+pub use http::Request;
+pub use server::{EngineStatus, ServeConfig, Server};
+
+/// Locks a mutex, riding through poisoning: a panicking holder is a bug in
+/// *that* request's path, not a reason to wedge every other connection.
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

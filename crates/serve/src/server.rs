@@ -1,0 +1,754 @@
+//! The serving front-end: accept loop, routing, and the call path.
+//!
+//! Architecture: one OS thread per live connection does the socket I/O
+//! (parse requests, write responses — cheap, mostly blocked), while the
+//! **engine calls** run on a bounded [`WorkerPool`] — the same pool type
+//! the engine fans batches out on — so the number of concurrent model
+//! submissions is a server knob independent of how many sockets are open.
+//! Between the two sits the [`FlightTable`]: identical concurrent calls
+//! collapse into one pool job whose outcome every waiter shares.
+//!
+//! The connection budget is enforced at accept time: past
+//! [`ServeConfig::max_connections`] live connections, new arrivals get an
+//! immediate `503` with `Retry-After` and are closed — the client backoff
+//! in `askit-llm-http` already honors exactly that header. Shutdown is a
+//! **drain**: the listener stops accepting, idle keep-alive connections
+//! close at the next poll quantum, in-flight requests (including
+//! half-received ones) complete and are answered before their threads
+//! exit, and only then are the workers joined.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use askit_core::registry::{FunctionRegistry, ServableFunction};
+use askit_core::{Askit, CachePolicy, ModelChoice, QueryOptions};
+use askit_exec::{resolve_workers, WorkerPool};
+use askit_json::{Json, Map};
+use askit_llm::LanguageModel;
+use askit_llm_http::sse::{encode_data, SseEvent};
+use askit_llm_http::wire::{
+    write_chunk, write_json_response, write_last_chunk, write_sse_response_head,
+};
+
+use crate::coalesce::{Admission, CallError, FlightResult, FlightTable, PublishGuard};
+use crate::http::{poll_quantum, read_request, ReadOutcome, Request};
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` by default — loopback, ephemeral
+    /// port, read back via [`Server::addr`]).
+    pub bind: String,
+    /// Worker threads executing engine calls; `0` resolves like the
+    /// engine's own width (`ASKIT_WORKERS`, then available parallelism).
+    pub workers: usize,
+    /// Live-connection budget; arrivals past it are answered `503` and
+    /// closed immediately.
+    pub max_connections: usize,
+    /// The `Retry-After` hint (seconds) on budget rejections.
+    pub retry_after_secs: u64,
+    /// Largest accepted request body; larger declared bodies answer `413`.
+    pub max_body_bytes: usize,
+    /// Cadence of `running` heartbeat events on SSE streams.
+    pub heartbeat: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            max_connections: 64,
+            retry_after_secs: 1,
+            max_body_bytes: 1024 * 1024,
+            heartbeat: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    #[must_use]
+    pub fn with_bind(mut self, bind: impl Into<String>) -> Self {
+        self.bind = bind.into();
+        self
+    }
+
+    /// Sets the engine-call worker width.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the live-connection budget.
+    #[must_use]
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Sets the SSE heartbeat cadence.
+    #[must_use]
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+}
+
+/// What `/stats` reports about the engine behind the functions. Local
+/// trait so the server can stay generic over the backend: [`Askit`]
+/// implements it by exposing its completion-cache counters and scheduler
+/// widths.
+pub trait EngineStatus: Send + Sync {
+    /// Engine-side counters as a JSON object.
+    fn status_json(&self) -> Json;
+}
+
+impl<L: LanguageModel + 'static> EngineStatus for Askit<L> {
+    fn status_json(&self) -> Json {
+        let engine = self.engine();
+        let stats = engine.cache_stats();
+        let mut cache = Map::new();
+        cache.insert("hits", Json::Int(int(stats.hits)));
+        cache.insert("misses", Json::Int(int(stats.misses)));
+        cache.insert("insertions", Json::Int(int(stats.insertions)));
+        cache.insert("evictions", Json::Int(int(stats.evictions)));
+        cache.insert("invalidations", Json::Int(int(stats.invalidations)));
+        cache.insert("expired", Json::Int(int(stats.expired)));
+        cache.insert("entries", Json::Int(int(stats.entries as u64)));
+        cache.insert("hit_rate", Json::Float(stats.hit_rate()));
+        let mut widths = Map::new();
+        for (model, width) in engine.scheduler().widths() {
+            widths.insert(model.tag(), Json::Int(int(width as u64)));
+        }
+        let mut scheduler = Map::new();
+        scheduler.insert("adaptive", Json::Bool(engine.scheduler().adaptive()));
+        scheduler.insert("widths", Json::Object(widths));
+        scheduler.insert("description", Json::Str(engine.describe_widths()));
+        let mut object = Map::new();
+        object.insert("model", Json::Str(engine.model().model_name().to_owned()));
+        object.insert("workers", Json::Int(int(engine.workers() as u64)));
+        object.insert("cache", Json::Object(cache));
+        object.insert("scheduler", Json::Object(scheduler));
+        Json::Object(object)
+    }
+}
+
+fn int(n: u64) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    sse_streams: AtomicU64,
+}
+
+struct ServerState {
+    registry: Arc<FunctionRegistry>,
+    status: Arc<dyn EngineStatus>,
+    flights: Arc<FlightTable>,
+    pool: WorkerPool,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    counters: Counters,
+    started: Instant,
+}
+
+/// A running AskIt function service. Dropping it drains: stops accepting,
+/// finishes in-flight requests, joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `registry` with `status` answering
+    /// `/stats`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener or spawning the accept thread.
+    pub fn start(
+        registry: Arc<FunctionRegistry>,
+        status: Arc<dyn EngineStatus>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(config.bind.as_str())?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            registry,
+            status,
+            flights: Arc::new(FlightTable::new()),
+            pool: WorkerPool::new(resolve_workers(config.workers)),
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            counters: Counters::default(),
+            started: Instant::now(),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("askit-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port` for clients.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Requests answered so far (all routes, including errors; excludes
+    /// budget rejections, which never reach routing).
+    pub fn requests_served(&self) -> u64 {
+        self.state.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected over budget with a `503`.
+    pub fn rejected_connections(&self) -> u64 {
+        self.state.counters.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Engine submissions started / requests that piggybacked on another's
+    /// in-flight submission.
+    pub fn coalescing(&self) -> (u64, u64) {
+        (self.state.flights.leaders(), self.state.flights.followers())
+    }
+
+    /// Begins the drain: stop accepting, let idle connections close and
+    /// in-flight requests finish. Returns immediately; dropping the server
+    /// (or [`Server::join`]) waits for the drain to complete.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Drains and waits until every connection thread has exited.
+    pub fn join(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("routes", &self.state.registry.names())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for incoming in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut conn) = incoming else { continue };
+        // Small JSON exchanges lose badly to Nagle + delayed ACK; every
+        // response should hit the wire the moment it is written.
+        let _ = conn.set_nodelay(true);
+        if state.active.load(Ordering::SeqCst) >= state.config.max_connections {
+            // Over budget: immediate 503 + Retry-After, written from the
+            // accept thread (cheap — no routing, no body read) so a spike
+            // cannot pile up threads.
+            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let headers = [
+                ("Retry-After", state.config.retry_after_secs.to_string()),
+                ("Connection", "close".to_owned()),
+            ];
+            let _ = write_json_response(
+                &mut conn,
+                503,
+                &error_body("connection budget exhausted, retry shortly"),
+                &headers,
+            );
+            continue;
+        }
+        state.active.fetch_add(1, Ordering::SeqCst);
+        state.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(state);
+        match std::thread::Builder::new()
+            .name("askit-serve-conn".to_owned())
+            .spawn(move || {
+                serve_connection(conn, &conn_state);
+                conn_state.active.fetch_sub(1, Ordering::SeqCst);
+            }) {
+            Ok(handle) => workers.push(handle),
+            Err(_) => {
+                state.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Keep-alive loop over one connection: read → route → answer, until the
+/// peer leaves, an answer requires closing, or drain catches the
+/// connection idle.
+fn serve_connection(mut conn: TcpStream, state: &Arc<ServerState>) {
+    let _ = conn.set_read_timeout(Some(poll_quantum()));
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let request = match read_request(
+            &mut conn,
+            &mut pending,
+            &state.shutdown,
+            state.config.max_body_bytes,
+        ) {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => {
+                let _ = write_json_response(
+                    &mut conn,
+                    413,
+                    &error_body("request body exceeds the configured limit"),
+                    &close_header(),
+                );
+                return;
+            }
+            ReadOutcome::Malformed(reason) => {
+                let _ = write_json_response(&mut conn, 400, &error_body(reason), &close_header());
+                return;
+            }
+        };
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_going = dispatch(&mut conn, state, &request);
+        if !keep_going || request.wants_close() || state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn close_header() -> [(&'static str, String); 1] {
+    [("Connection", "close".to_owned())]
+}
+
+/// Routes one request; returns whether the connection may serve another.
+fn dispatch(conn: &mut TcpStream, state: &Arc<ServerState>, request: &Request) -> bool {
+    let route = request.route();
+    match (request.method.as_str(), route) {
+        ("GET", "/healthz") => respond(conn, 200, &health_json(state)),
+        ("GET", "/stats") => respond(conn, 200, &stats_json(state)),
+        ("GET", "/functions") => respond(conn, 200, &functions_json(state)),
+        ("POST", _) if route.starts_with("/call/") => {
+            let name = &route["/call/".len()..];
+            handle_call(conn, state, request, name)
+        }
+        (_, "/healthz" | "/stats" | "/functions") => {
+            respond(conn, 405, &error_body("method not allowed"))
+        }
+        (_, _) if route.starts_with("/call/") => {
+            respond(conn, 405, &error_body("use POST to call a function"))
+        }
+        _ => respond(conn, 404, &error_body("no such route")),
+    }
+}
+
+fn respond(conn: &mut TcpStream, status: u16, body: &str) -> bool {
+    write_json_response(conn, status, body, &[]).is_ok()
+}
+
+fn health_json(state: &ServerState) -> String {
+    let mut object = Map::new();
+    object.insert(
+        "status",
+        Json::Str(
+            if state.shutdown.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            }
+            .to_owned(),
+        ),
+    );
+    object.insert("functions", Json::Int(int(state.registry.len() as u64)));
+    object.insert(
+        "uptime_ms",
+        Json::Int(int(state
+            .started
+            .elapsed()
+            .as_millis()
+            .min(u128::from(u64::MAX)) as u64)),
+    );
+    Json::Object(object).to_compact_string()
+}
+
+fn stats_json(state: &ServerState) -> String {
+    let counters = &state.counters;
+    let mut server = Map::new();
+    server.insert(
+        "active_connections",
+        Json::Int(int(state.active.load(Ordering::SeqCst) as u64)),
+    );
+    server.insert(
+        "accepted_connections",
+        Json::Int(int(counters.accepted.load(Ordering::Relaxed))),
+    );
+    server.insert(
+        "rejected_connections",
+        Json::Int(int(counters.rejected.load(Ordering::Relaxed))),
+    );
+    server.insert(
+        "requests",
+        Json::Int(int(counters.requests.load(Ordering::Relaxed))),
+    );
+    server.insert(
+        "sse_streams",
+        Json::Int(int(counters.sse_streams.load(Ordering::Relaxed))),
+    );
+    server.insert("workers", Json::Int(int(state.pool.width() as u64)));
+    server.insert(
+        "draining",
+        Json::Bool(state.shutdown.load(Ordering::SeqCst)),
+    );
+    let mut coalescing = Map::new();
+    coalescing.insert(
+        "engine_submissions",
+        Json::Int(int(state.flights.leaders())),
+    );
+    coalescing.insert("coalesced", Json::Int(int(state.flights.followers())));
+    coalescing.insert(
+        "in_flight",
+        Json::Int(int(state.flights.in_flight() as u64)),
+    );
+    let mut object = Map::new();
+    object.insert("server", Json::Object(server));
+    object.insert("coalescing", Json::Object(coalescing));
+    object.insert("engine", state.status.status_json());
+    Json::Object(object).to_compact_string()
+}
+
+fn functions_json(state: &ServerState) -> String {
+    let signatures: Vec<Json> = state
+        .registry
+        .signatures()
+        .iter()
+        .map(|signature| signature.to_json())
+        .collect();
+    let mut object = Map::new();
+    object.insert("functions", Json::Array(signatures));
+    Json::Object(object).to_compact_string()
+}
+
+/// The call path: resolve → parse body → validate args → coalesce →
+/// execute on the pool → answer (JSON or SSE).
+fn handle_call(
+    conn: &mut TcpStream,
+    state: &Arc<ServerState>,
+    request: &Request,
+    name: &str,
+) -> bool {
+    let Some(function) = state.registry.get(name) else {
+        return respond(
+            conn,
+            404,
+            &error_body(&format!("no function named {name:?}")),
+        );
+    };
+    let parsed = match parse_call_body(&request.body, function.as_ref()) {
+        Ok(parsed) => parsed,
+        Err((status, message)) => return respond(conn, status, &error_body(&message)),
+    };
+    let (args, options) = parsed;
+
+    // Canonical flight identity: route, coerced args (declared parameter
+    // order — client key order cannot split a flight), option overrides.
+    let canonical = format!(
+        "{name}\0{}\0{options:?}",
+        Json::Object(args.clone()).to_compact_string()
+    );
+    let key = crate::coalesce::fnv1a(canonical.as_bytes());
+
+    let flight = match state.flights.admit(key) {
+        Admission::Leader(flight) => {
+            let guard = PublishGuard::new(Arc::clone(&state.flights), Arc::clone(&flight), key);
+            let job_function: Arc<dyn ServableFunction> = Arc::clone(&function);
+            state.pool.submit(Box::new(move || {
+                let result = job_function
+                    .call_with(args, &options)
+                    .map(Arc::new)
+                    .map_err(|e| CallError {
+                        status: 500,
+                        message: e.to_string(),
+                    });
+                guard.publish(result);
+            }));
+            flight
+        }
+        Admission::Follower(flight) => flight,
+    };
+
+    if request.accepts_sse() {
+        state.counters.sse_streams.fetch_add(1, Ordering::Relaxed);
+        stream_call(conn, state, name, &flight)
+    } else {
+        match flight.wait() {
+            Ok(outcome) => respond(conn, 200, &outcome_json(name, &outcome).to_compact_string()),
+            Err(error) => respond(conn, error.status, &error_body(&error.message)),
+        }
+    }
+}
+
+/// Streams one call's lifecycle as SSE: `accepted`, `running` heartbeats
+/// at the configured cadence while the engine works, then `result` (or
+/// `error`), then `[DONE]`. Every frame goes through the shared encoder
+/// that the workspace's own `SseParser` is property-tested against.
+fn stream_call(
+    conn: &mut TcpStream,
+    state: &Arc<ServerState>,
+    name: &str,
+    flight: &crate::coalesce::Flight,
+) -> bool {
+    if write_sse_response_head(conn, &[]).is_err() {
+        return false;
+    }
+    let mut accepted = Map::new();
+    accepted.insert("event", Json::Str("accepted".to_owned()));
+    accepted.insert("function", Json::Str(name.to_owned()));
+    if emit(conn, &Json::Object(accepted)).is_err() {
+        return false;
+    }
+    let started = Instant::now();
+    let result: FlightResult = loop {
+        match flight.wait_for(state.config.heartbeat) {
+            Some(result) => break result,
+            None => {
+                let mut running = Map::new();
+                running.insert("event", Json::Str("running".to_owned()));
+                running.insert(
+                    "waited_ms",
+                    Json::Int(int(
+                        started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+                    )),
+                );
+                if emit(conn, &Json::Object(running)).is_err() {
+                    // Client went away; the flight still completes for any
+                    // coalesced followers.
+                    return false;
+                }
+            }
+        }
+    };
+    let terminal = match result {
+        Ok(outcome) => {
+            let mut event = outcome_json(name, &outcome);
+            if let Some(object) = event.as_object_mut() {
+                object.insert("event", Json::Str("result".to_owned()));
+            }
+            event
+        }
+        Err(error) => {
+            let mut event = Map::new();
+            event.insert("event", Json::Str("error".to_owned()));
+            event.insert("status", Json::Int(i64::from(error.status)));
+            event.insert("error", Json::Str(error.message));
+            Json::Object(event)
+        }
+    };
+    if emit(conn, &terminal).is_err() {
+        return false;
+    }
+    if write_chunk(conn, &SseEvent::Done.encode()).is_err() {
+        return false;
+    }
+    write_last_chunk(conn).is_ok()
+}
+
+fn emit(conn: &mut TcpStream, event: &Json) -> std::io::Result<()> {
+    write_chunk(conn, &encode_data(&event.to_compact_string()))
+}
+
+type ParsedCall = (Map, QueryOptions);
+
+/// Parses a call body: either the bare argument object, or the
+/// `{"args": {…}, "options": {…}}` envelope (recognized only when the
+/// function does not itself declare a parameter named `args`). Arguments
+/// are validated and coerced against the declared signature.
+fn parse_call_body(body: &[u8], function: &dyn ServableFunction) -> Result<ParsedCall, Problem> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Err((400, "request body is not UTF-8".to_owned()));
+    };
+    let parsed = Json::parse(text).map_err(|e| (400, format!("request body is not JSON: {e}")))?;
+    let Some(object) = parsed.as_object() else {
+        return Err((400, "request body must be a JSON object".to_owned()));
+    };
+    let signature = function.signature();
+    let takes_args_param = signature.params.iter().any(|(name, _)| name == "args");
+    let (raw_args, options) = match object.get("args").and_then(Json::as_object) {
+        Some(inner) if !takes_args_param => {
+            for key in object.keys() {
+                if key != "args" && key != "options" {
+                    return Err((
+                        400,
+                        format!("unknown envelope key {key:?} (expected \"args\", \"options\")"),
+                    ));
+                }
+            }
+            (inner, parse_options(object.get("options"))?)
+        }
+        _ => (object, QueryOptions::default()),
+    };
+    let args = signature
+        .validate_args(raw_args)
+        .map_err(|message| (422, message))?;
+    Ok((args, options))
+}
+
+type Problem = (u16, String);
+
+/// Parses the per-call option overrides from the envelope.
+fn parse_options(options: Option<&Json>) -> Result<QueryOptions, Problem> {
+    let Some(options) = options else {
+        return Ok(QueryOptions::default());
+    };
+    let Some(object) = options.as_object() else {
+        return Err((400, "\"options\" must be a JSON object".to_owned()));
+    };
+    let mut parsed = QueryOptions::default();
+    for (key, value) in object.iter() {
+        match key {
+            "model" => {
+                parsed.model = Some(match value.as_str() {
+                    Some("default") => ModelChoice::Default,
+                    Some("gpt35") => ModelChoice::Gpt35,
+                    Some("gpt4") => ModelChoice::Gpt4,
+                    _ => {
+                        return Err((
+                            400,
+                            "option \"model\" must be \"default\", \"gpt35\" or \"gpt4\""
+                                .to_owned(),
+                        ))
+                    }
+                });
+            }
+            "cache" => {
+                parsed.cache = Some(match value.as_str() {
+                    Some("use") => CachePolicy::Use,
+                    Some("bypass") => CachePolicy::Bypass,
+                    _ => {
+                        return Err((
+                            400,
+                            "option \"cache\" must be \"use\" or \"bypass\"".to_owned(),
+                        ))
+                    }
+                });
+            }
+            "temperature" => {
+                let Some(t) = value.as_f64() else {
+                    return Err((400, "option \"temperature\" must be a number".to_owned()));
+                };
+                parsed.temperature = Some(t);
+            }
+            "max_retries" => {
+                let Some(n) = value.as_i64().filter(|&n| n >= 0) else {
+                    return Err((
+                        400,
+                        "option \"max_retries\" must be a non-negative integer".to_owned(),
+                    ));
+                };
+                parsed.max_retries = Some(n as usize);
+            }
+            "timeout_ms" => {
+                let Some(ms) = value.as_i64().filter(|&n| n > 0) else {
+                    return Err((
+                        400,
+                        "option \"timeout_ms\" must be a positive integer".to_owned(),
+                    ));
+                };
+                parsed.timeout = Some(Duration::from_millis(ms as u64));
+            }
+            "speculate" => {
+                let Some(flag) = value.as_bool() else {
+                    return Err((400, "option \"speculate\" must be a boolean".to_owned()));
+                };
+                parsed.speculate = Some(flag);
+            }
+            _ => {
+                return Err((
+                    400,
+                    format!(
+                        "unknown option {key:?} (expected model, cache, temperature, \
+                         max_retries, timeout_ms, speculate)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// The success body for a call: the typed result plus the execution
+/// metadata [`DirectOutcome`] carries.
+fn outcome_json(name: &str, outcome: &askit_core::runtime::DirectOutcome) -> Json {
+    let mut usage = Map::new();
+    usage.insert(
+        "prompt_tokens",
+        Json::Int(int(outcome.usage.prompt_tokens as u64)),
+    );
+    usage.insert(
+        "completion_tokens",
+        Json::Int(int(outcome.usage.completion_tokens as u64)),
+    );
+    let mut object = Map::new();
+    object.insert("function", Json::Str(name.to_owned()));
+    object.insert("result", outcome.value.clone());
+    object.insert(
+        "reason",
+        outcome
+            .reason
+            .as_ref()
+            .map_or(Json::Null, |r| Json::Str(r.clone())),
+    );
+    object.insert("attempts", Json::Int(int(outcome.attempts as u64)));
+    object.insert("escalations", Json::Int(int(outcome.escalations as u64)));
+    object.insert("model", Json::Str(outcome.model.tag().to_owned()));
+    object.insert(
+        "latency_ms",
+        Json::Float(outcome.latency.as_secs_f64() * 1000.0),
+    );
+    object.insert("usage", Json::Object(usage));
+    Json::Object(object)
+}
+
+/// A `{"error": …}` body with proper JSON escaping.
+pub(crate) fn error_body(message: &str) -> String {
+    let mut object = Map::new();
+    object.insert("error", Json::Str(message.to_owned()));
+    Json::Object(object).to_compact_string()
+}

@@ -1,0 +1,108 @@
+//! Serving AskIt functions over HTTP: register typed tasks in a
+//! [`FunctionRegistry`], stand up [`askit::serve::Server`], and call them
+//! with JSON bodies — plain request/response or an SSE progress stream —
+//! all over the simulated model, so it runs offline and in CI.
+//!
+//! Run with `cargo run --features serve --example serve`.
+
+use std::sync::Arc;
+
+use askit::llm::{FaultConfig, MockLlm, MockLlmConfig, Oracle};
+use askit::serve::{decode_stream, ServeClient, ServeConfig, Server};
+use askit::{Askit, FunctionRegistry, ServedTask};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The usual engine: simulated GPT-4 behind the full AskIt stack
+    //    (typed validation, retry loop, completion cache, scheduler).
+    let askit = Arc::new(Askit::new(MockLlm::new(
+        MockLlmConfig::gpt4().with_faults(FaultConfig::none()),
+        Oracle::standard(),
+    )));
+
+    // 2. A registry of servable functions: each is a named, typed prompt
+    //    template — the same shape `define` produces.
+    let registry = Arc::new(FunctionRegistry::new());
+    registry.register(
+        ServedTask::new(
+            Arc::clone(&askit),
+            "add",
+            askit::types::int(),
+            "What is {{x}} plus {{y}}?",
+        )?
+        .with_param_types([("x", askit::types::int()), ("y", askit::types::int())])
+        .describe("Adds two integers."),
+    );
+    registry.register(
+        ServedTask::new(
+            Arc::clone(&askit),
+            "mul",
+            askit::types::int(),
+            "What is {{x}} times {{y}}?",
+        )?
+        .with_param_types([("x", askit::types::int()), ("y", askit::types::int())])
+        .describe("Multiplies two integers."),
+    );
+
+    // 3. Serve them. Ephemeral port, so the example never collides.
+    let server = Server::start(
+        Arc::clone(&registry),
+        Arc::clone(&askit) as _,
+        ServeConfig::default().with_max_connections(16),
+    )?;
+    println!("serving at {}", server.base_url());
+
+    let mut client = ServeClient::new(server.addr());
+
+    // 4. Discovery: the service describes its own routes and signatures.
+    let health = client.get("/healthz")?;
+    println!("/healthz -> {}", health.body.to_compact_string());
+    let functions = client.get("/functions")?;
+    println!("/functions -> {}", functions.body.to_compact_string());
+
+    // 5. A typed call: JSON args in, JSON result + engine metadata out.
+    let response = client.post("/call/add", r#"{"x": 19, "y": 23}"#)?;
+    println!("add(19, 23) -> {}", response.body.to_compact_string());
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.body.get_key("result").and_then(|j| j.as_i64()),
+        Some(42)
+    );
+
+    // 6. Per-call options ride in an envelope: route this one to GPT-4
+    //    explicitly and skip the cache.
+    let routed = client.post(
+        "/call/mul",
+        r#"{"args": {"x": 6, "y": 7}, "options": {"model": "gpt4", "cache": "bypass"}}"#,
+    )?;
+    assert_eq!(routed.str_field("model"), Some("gpt4"));
+    println!("mul(6, 7) via gpt4 -> {}", routed.body.to_compact_string());
+
+    // 7. Validation errors are typed too: wrong argument name -> 422 with
+    //    the expected signature, before anything reaches the engine.
+    let rejected = client.post("/call/add", r#"{"x": 1, "z": 2}"#)?;
+    assert_eq!(rejected.status, 422);
+    println!(
+        "add(x, z) -> 422: {}",
+        rejected.str_field("error").unwrap_or("")
+    );
+
+    // 8. The same call as an SSE stream: accepted, running heartbeats,
+    //    then the result — parseable by the workspace's own SSE parser.
+    let (status, events) = client.post_sse("/call/add", r#"{"x": 19, "y": 23}"#)?;
+    assert_eq!(status, 200);
+    let frames = decode_stream(&events).expect("well-formed stream");
+    for frame in &frames {
+        println!("sse <- {}", frame.to_compact_string());
+    }
+    let result = frames.last().expect("at least one frame");
+    assert_eq!(result.get_key("result").and_then(|j| j.as_i64()), Some(42));
+
+    // 9. /stats: the repeated add(19,23) inside the stream was a pure
+    //    completion-cache hit — visible from the outside.
+    let stats = client.get("/stats")?;
+    println!("/stats -> {}", stats.body.to_compact_string());
+
+    server.join();
+    println!("drained cleanly");
+    Ok(())
+}

@@ -1,0 +1,260 @@
+//! Self-contained load test for the serving front-end, end to end through
+//! every layer this workspace owns:
+//!
+//! ```text
+//! 8 client threads -> askit-serve Server -> FunctionRegistry
+//!     -> Askit<HttpLlm> engine (cache, scheduler, retries)
+//!     -> LoopbackServer (the in-process OpenAI-compatible fixture)
+//! ```
+//!
+//! Three passes, each with hard assertions CI gates on:
+//!
+//! * **cold** — 8 threads x 40 requests over 10 distinct bodies. The
+//!   barrier-aligned first round all ask the same question while the
+//!   loopback server drip-feeds the answer, so several requests are
+//!   provably in flight together and must coalesce into one engine
+//!   submission. Only 10 distinct prompts exist, so the loopback server
+//!   must see far fewer wire requests than users sent.
+//! * **warm** — the same 320 requests again: every answer comes from the
+//!   completion cache, zero new wire requests, measurably faster.
+//! * **drain** — a cache-bypassing call is in flight (dripped slowly)
+//!   when shutdown begins; the drain must answer it before exiting.
+//!
+//! Prints one `SERVE_LOADTEST {json}` line for the CI gate and the bench
+//! trend log.
+//!
+//! Run with `cargo run --release --features serve --example serve_loadtest`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use askit::http::{HttpLlm, HttpLlmConfig, LoopbackServer, RateLimit, Reply, RetryConfig};
+use askit::llm::ModelChoice;
+use askit::serve::{decode_stream, ServeClient, ServeConfig, Server};
+use askit::{Askit, FunctionRegistry, ServedTask};
+
+const THREADS: usize = 8;
+const ITERS: usize = 40;
+const DISTINCT_BODIES: usize = 10;
+
+/// The loopback "model": sums every integer in the prompt and answers in
+/// the §III-E JSON shape, so the real AskIt validation loop accepts it.
+fn arithmetic_handler(request: &askit::http::RecordedRequest) -> Reply {
+    let prompt = request.last_user.as_deref().unwrap_or("");
+    let mut sum: i64 = 0;
+    let mut digits = String::new();
+    for c in prompt.chars().chain([' ']) {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else if !digits.is_empty() {
+            sum += digits.parse::<i64>().unwrap_or(0);
+            digits.clear();
+        }
+    }
+    Reply::Text(completion_for(sum))
+}
+
+fn completion_for(answer: i64) -> String {
+    format!("```json\n{{\"reason\": \"summed the operands\", \"answer\": {answer}}}\n```")
+}
+
+/// `add(k, 100)` request bodies — body `k` must come back as `k + 100`.
+fn body(k: usize) -> String {
+    format!("{{\"x\": {k}, \"y\": 100}}")
+}
+
+/// One client thread's share of a pass. SSE threads exercise the stream
+/// path and validate it with the workspace's own parser; the rest use
+/// plain request/response. Returns this thread's failure count.
+fn run_pass(addr: std::net::SocketAddr, thread: usize, barrier: &Barrier) -> u64 {
+    let mut client = ServeClient::new(addr);
+    let use_sse = thread >= THREADS - 2;
+    let mut failures = 0u64;
+    barrier.wait();
+    for i in 0..ITERS {
+        // The aligned first round all ask the same (dripped) question so
+        // coalescing provably happens; later rounds cycle the bodies.
+        let k = if i == 0 { 0 } else { i % DISTINCT_BODIES };
+        let expected = (k + 100) as i64;
+        let request = body(k);
+        let got = if use_sse {
+            client
+                .post_sse("/call/add", &request)
+                .ok()
+                .and_then(|(status, events)| {
+                    if status != 200 {
+                        return None;
+                    }
+                    let frames = decode_stream(&events).ok()?;
+                    frames.last()?.get_key("result")?.as_i64()
+                })
+        } else {
+            client
+                .post("/call/add", &request)
+                .ok()
+                .and_then(|response| {
+                    if response.status != 200 {
+                        return None;
+                    }
+                    response.body.get_key("result")?.as_i64()
+                })
+        };
+        if got != Some(expected) {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The stack under test.
+    let loopback = LoopbackServer::start()?;
+    loopback.set_default_handler(arithmetic_handler);
+    let llm = HttpLlm::new(
+        HttpLlmConfig::new(loopback.api_base())
+            .with_api_key("sk-loadtest-not-a-real-key")
+            .with_retry(RetryConfig {
+                max_retries: 4,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(100),
+            })
+            .with_rate_limit(
+                ModelChoice::Default,
+                RateLimit {
+                    capacity: 16.0,
+                    per_second: 1000.0,
+                },
+            ),
+    )?;
+    let askit = Arc::new(Askit::new(llm));
+    let registry = Arc::new(FunctionRegistry::new());
+    registry.register(
+        ServedTask::new(
+            Arc::clone(&askit),
+            "add",
+            askit::types::int(),
+            "What is {{x}} plus {{y}}?",
+        )?
+        .with_param_types([("x", askit::types::int()), ("y", askit::types::int())]),
+    );
+    let server = Server::start(
+        registry,
+        Arc::clone(&askit) as _,
+        ServeConfig::default().with_max_connections(32),
+    )?;
+    let addr = server.addr();
+    eprintln!("serve_loadtest: serving at {}", server.base_url());
+
+    let failures = Arc::new(AtomicU64::new(0));
+    let hammer = |label: &str| -> u64 {
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let pass_start = Instant::now();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let barrier = Arc::clone(&barrier);
+                let failures = Arc::clone(&failures);
+                std::thread::spawn(move || {
+                    let failed = run_pass(addr, thread, &barrier);
+                    failures.fetch_add(failed, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let elapsed = pass_start.elapsed().as_millis() as u64;
+        eprintln!(
+            "serve_loadtest: {label} pass: {} requests in {elapsed}ms",
+            THREADS * ITERS
+        );
+        elapsed
+    };
+
+    // Cold pass: drip the first answer one byte per millisecond, so the
+    // barrier-aligned identical requests overlap long enough to coalesce.
+    loopback.script(Reply::Drip {
+        content: completion_for(100),
+        delay_ms: 1,
+    });
+    let cold_ms = hammer("cold");
+    let cold_wire = loopback.hits() as u64;
+    let (cold_leaders, cold_followers) = server.coalescing();
+
+    // Warm pass: every body repeats, so the completion cache answers all
+    // of it — the loopback server must see nothing new.
+    let warm_ms = hammer("warm");
+    let warm_wire_delta = loopback.hits() as u64 - cold_wire;
+
+    // Snapshot /stats while the server is still up (for sse_streams).
+    let mut stats_client = ServeClient::new(addr);
+    let stats = stats_client.get("/stats")?;
+    let sse_streams = stats
+        .body
+        .get_key("server")
+        .and_then(|s| s.get_key("sse_streams"))
+        .and_then(|j| j.as_i64())
+        .unwrap_or(-1);
+    drop(stats_client);
+
+    // Drain pass: put a slow, cache-bypassing call in flight, then shut
+    // down. The drain must answer it (not drop it) before the process can
+    // observe the listener gone.
+    loopback.script(Reply::Drip {
+        content: completion_for(100),
+        delay_ms: 2,
+    });
+    let in_flight = std::thread::spawn(move || {
+        let mut client = ServeClient::new(addr);
+        client
+            .post(
+                "/call/add",
+                "{\"args\": {\"x\": 0, \"y\": 100}, \"options\": {\"cache\": \"bypass\"}}",
+            )
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| r.body.get_key("result").and_then(|j| j.as_i64()))
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    server.join();
+    let drained_answer = in_flight.join().unwrap_or(None);
+    let drain_completed = drained_answer == Some(100);
+    let listener_gone = std::net::TcpStream::connect(addr).is_err();
+
+    let user_requests = (THREADS * ITERS * 2) as u64 + 1;
+    let total_failures =
+        failures.load(Ordering::Relaxed) + u64::from(!drain_completed) + u64::from(!listener_gone);
+
+    // One machine-readable line for the CI gate and the bench trend log.
+    println!(
+        "SERVE_LOADTEST {{\"user_requests\": {user_requests}, \
+         \"cold\": {{\"requests\": {}, \"elapsed_ms\": {cold_ms}, \
+         \"wire_requests\": {cold_wire}, \"engine_submissions\": {cold_leaders}, \
+         \"coalesced\": {cold_followers}}}, \
+         \"warm\": {{\"requests\": {}, \"elapsed_ms\": {warm_ms}, \
+         \"wire_requests_delta\": {warm_wire_delta}}}, \
+         \"drain\": {{\"completed\": {drain_completed}, \"listener_gone\": {listener_gone}}}, \
+         \"sse_streams\": {sse_streams}, \"failures\": {total_failures}}}",
+        THREADS * ITERS,
+        THREADS * ITERS,
+    );
+
+    assert_eq!(total_failures, 0, "every request must succeed");
+    assert!(
+        cold_wire < (THREADS * ITERS) as u64,
+        "coalescing + caching must compress {} user requests into fewer wire requests (saw {})",
+        THREADS * ITERS,
+        cold_wire
+    );
+    assert!(cold_followers >= 1, "the aligned first round must coalesce");
+    assert_eq!(
+        warm_wire_delta, 0,
+        "warm pass must be served entirely from cache"
+    );
+    assert!(
+        warm_ms < cold_ms.max(1),
+        "warm pass ({warm_ms}ms) must beat the cold pass ({cold_ms}ms)"
+    );
+    eprintln!("serve_loadtest: all assertions passed");
+    Ok(())
+}

@@ -38,8 +38,9 @@
 
 pub use askit_core::{
     args, example, json_enum, json_struct, AskItError, AskType, Askit, AskitConfig, CachePolicy,
-    CompiledFunction, DirectOutcome, Example, FunctionStore, GeneratedFunction, ModelChoice, Query,
-    QueryBuilder, QueryOptions, TaskFunction,
+    CompiledFunction, DirectOutcome, Example, FunctionRegistry, FunctionStore, GeneratedFunction,
+    ModelChoice, Query, QueryBuilder, QueryOptions, ServableFunction, ServedCompiled, ServedTask,
+    TaskFunction,
 };
 
 /// The JSON substrate.
@@ -76,6 +77,17 @@ pub mod llm {
 #[cfg(feature = "http")]
 pub mod http {
     pub use askit_llm_http::*;
+}
+
+/// The HTTP/SSE serving front-end (behind the `serve` feature):
+/// [`Server`](askit_serve::Server) exposes the functions in a
+/// [`FunctionRegistry`] as typed `POST /call/{name}` routes with
+/// server-side request coalescing, a bounded connection budget
+/// (`503` + `Retry-After`), SSE progress streams, and `/stats` over the
+/// engine's cache and scheduler.
+#[cfg(feature = "serve")]
+pub mod serve {
+    pub use askit_serve::*;
 }
 
 /// The paper's workloads.
