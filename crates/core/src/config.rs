@@ -30,6 +30,12 @@ pub struct AskitConfig {
     /// Applied by [`crate::Askit::with_config`], which rebuilds the engine's
     /// cache when this is set.
     pub cache_dir: Option<PathBuf>,
+    /// Opens [`AskitConfig::cache_dir`] in *shared* mode: the completion
+    /// cache goes through the content-addressed object store with
+    /// per-shard file locks, so any number of concurrent processes can
+    /// point at one directory and flushes merge instead of overwriting
+    /// (see `askit_exec::ObjectStore`). Ignored without a cache directory.
+    pub shared_cache: bool,
     /// Default time-to-live for cached completions. `None` = no opinion
     /// (engine default, i.e. entries never expire). Per-call overrides via
     /// [`crate::QueryOptions::cache_ttl`] beat this, and the resolved value
@@ -74,6 +80,7 @@ impl Default for AskitConfig {
             model: ModelChoice::Default,
             cache_policy: CachePolicy::Use,
             cache_dir: None,
+            shared_cache: false,
             cache_ttl: None,
             request_timeout: None,
             speculate: false,
@@ -115,6 +122,14 @@ impl AskitConfig {
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Opens the cache directory in multi-process shared mode (see
+    /// [`AskitConfig::shared_cache`]).
+    #[must_use]
+    pub fn with_shared_cache(mut self, shared: bool) -> Self {
+        self.shared_cache = shared;
         self
     }
 
@@ -179,6 +194,7 @@ mod tests {
             .with_model(ModelChoice::Gpt35)
             .with_cache_policy(CachePolicy::Bypass)
             .with_cache_dir("/tmp/askit-cache")
+            .with_shared_cache(true)
             .with_cache_ttl(Duration::from_secs(60))
             .with_request_timeout(Duration::from_secs(30));
         assert_eq!(c.max_retries, 2);
@@ -189,6 +205,7 @@ mod tests {
             c.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/askit-cache"))
         );
+        assert!(c.shared_cache);
         assert_eq!(
             c.request_options(),
             RequestOptions {

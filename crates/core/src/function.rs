@@ -59,10 +59,11 @@ impl<L: LanguageModel + 'static> Askit<L> {
     /// Overrides the configuration.
     ///
     /// When the configuration carries cache-persistence knobs
-    /// ([`AskitConfig::cache_dir`] / [`AskitConfig::cache_ttl`]), the
-    /// execution engine is rebuilt so its completion cache honors them —
-    /// opening (and warm-starting from) the directory immediately. `None`
-    /// values are "no opinion" and leave the engine's own settings alone.
+    /// ([`AskitConfig::cache_dir`] / [`AskitConfig::cache_ttl`] /
+    /// [`AskitConfig::shared_cache`]), the execution engine is rebuilt so
+    /// its completion cache honors them — opening (and warm-starting from)
+    /// the directory immediately. `None` values are "no opinion" and leave
+    /// the engine's own settings alone.
     #[must_use]
     pub fn with_config(mut self, config: AskitConfig) -> Self {
         let mut engine_config = self.engine.config().clone();
@@ -71,6 +72,9 @@ impl<L: LanguageModel + 'static> Askit<L> {
         }
         if config.cache_ttl.is_some() {
             engine_config.cache_ttl = config.cache_ttl;
+        }
+        if config.shared_cache {
+            engine_config.shared_cache = true;
         }
         let rebuild = engine_config != *self.engine.config();
         self.config = config;

@@ -149,6 +149,7 @@ impl QueryOptions {
             model: self.model.unwrap_or(defaults.model),
             cache_policy: self.cache.unwrap_or(defaults.cache_policy),
             cache_dir: defaults.cache_dir.clone(),
+            shared_cache: defaults.shared_cache,
             cache_ttl: self.cache_ttl.or(defaults.cache_ttl),
             request_timeout: self.timeout.or(defaults.request_timeout),
             speculate: self.speculate.unwrap_or(defaults.speculate),

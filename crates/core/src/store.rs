@@ -2,9 +2,22 @@
 //! a file within the directory named `askit` … named after the template
 //! prompt"; §III-F: "The generated code is cached in a file upon its initial
 //! creation, ensuring that code generation happens only once").
+//!
+//! Two layouts are supported:
+//!
+//! * **private** ([`FunctionStore::open`]) — one flat file per template,
+//!   named after the prompt. Human-readable, single-process.
+//! * **shared** ([`FunctionStore::open_shared`]) — the generated source is
+//!   published into the content-addressed [`ObjectStore`] and a
+//!   `code_cache` link maps the *task CID* (canonical encoding of template
+//!   source, function name, and syntax) to the object. Any number of
+//!   processes can share the directory: objects are write-once, and two
+//!   workers that generate the same code for the same task collapse to a
+//!   single object.
 
 use std::path::{Path, PathBuf};
 
+use askit_exec::{CanonicalEncoder, Cid, ObjectStore};
 use minilang::loc::count_loc;
 use minilang::pretty::Syntax;
 use minilang::Program;
@@ -12,10 +25,17 @@ use minilang::Program;
 use crate::codegen::GeneratedFunction;
 use crate::error::AskItError;
 
+/// Schema tag namespacing task CIDs in the shared `code_cache`.
+const CODE_CACHE_SCHEMA: &str = "askit.code_cache.v1";
+
+/// The link namespace mapping task CIDs to compiled-object CIDs.
+const CODE_CACHE_NS: &str = "code_cache";
+
 /// A directory of cached generated functions.
 #[derive(Debug, Clone)]
 pub struct FunctionStore {
     dir: PathBuf,
+    shared: Option<ObjectStore>,
 }
 
 impl FunctionStore {
@@ -28,12 +48,50 @@ impl FunctionStore {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| AskItError::Store(format!("cannot create {}: {e}", dir.display())))?;
-        Ok(FunctionStore { dir })
+        Ok(FunctionStore { dir, shared: None })
+    }
+
+    /// Opens a store backed by the content-addressed [`ObjectStore`] at
+    /// `dir`, safe to share with concurrent processes.
+    ///
+    /// The directory may simultaneously host a shared completion cache —
+    /// the two use disjoint namespaces of the same store.
+    ///
+    /// # Errors
+    ///
+    /// [`AskItError::Store`] if the store layout cannot be created.
+    pub fn open_shared(dir: impl Into<PathBuf>) -> Result<Self, AskItError> {
+        let dir = dir.into();
+        let store = ObjectStore::open(&dir)
+            .map_err(|e| AskItError::Store(format!("cannot open {}: {e}", dir.display())))?;
+        Ok(FunctionStore {
+            dir,
+            shared: Some(store),
+        })
+    }
+
+    /// Whether this store uses the shared content-addressed layout.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The content identity of a codegen task: template source, function
+    /// name, and target syntax, canonically encoded. Everything that
+    /// changes the generated artifact is in; nothing else is.
+    pub fn task_cid(template_source: &str, name: &str, syntax: Syntax) -> Cid {
+        let mut enc = CanonicalEncoder::new(CODE_CACHE_SCHEMA);
+        enc.str(template_source);
+        enc.str(name);
+        enc.str(match syntax {
+            Syntax::Ts => "ts",
+            Syntax::Py => "py",
+        });
+        enc.cid()
     }
 
     /// The cache file path for a template prompt and syntax.
@@ -49,6 +107,11 @@ impl FunctionStore {
 
     /// Saves a generated function under its template prompt.
     ///
+    /// In shared mode the source becomes a write-once object and a
+    /// `code_cache` link points the task CID at it; the returned path is
+    /// the link file. Publishing is atomic, so concurrent savers are safe
+    /// — last link wins, but both objects are retained.
+    ///
     /// # Errors
     ///
     /// [`AskItError::Store`] on I/O failure.
@@ -57,6 +120,20 @@ impl FunctionStore {
         template_source: &str,
         generated: &GeneratedFunction,
     ) -> Result<PathBuf, AskItError> {
+        if let Some(store) = &self.shared {
+            let task = Self::task_cid(template_source, &generated.name, generated.syntax);
+            let object = store
+                .put_bytes(generated.source.as_bytes())
+                .map_err(|e| AskItError::Store(format!("cannot publish object: {e}")))?;
+            store
+                .link(CODE_CACHE_NS, task, object)
+                .map_err(|e| AskItError::Store(format!("cannot link {task}: {e}")))?;
+            return Ok(self
+                .dir
+                .join("refs")
+                .join(CODE_CACHE_NS)
+                .join(task.to_hex()));
+        }
         let path = self.path_for(template_source, generated.syntax);
         std::fs::write(&path, &generated.source)
             .map_err(|e| AskItError::Store(format!("cannot write {}: {e}", path.display())))?;
@@ -75,22 +152,37 @@ impl FunctionStore {
         name: &str,
         syntax: Syntax,
     ) -> Result<Option<GeneratedFunction>, AskItError> {
-        let path = self.path_for(template_source, syntax);
-        let source = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => {
-                return Err(AskItError::Store(format!(
-                    "cannot read {}: {e}",
-                    path.display()
-                )))
+        let (source, origin) = if let Some(store) = &self.shared {
+            let task = Self::task_cid(template_source, name, syntax);
+            let bytes = match store.resolve_bytes(CODE_CACHE_NS, task) {
+                Ok(Some(bytes)) => bytes,
+                Ok(None) => return Ok(None),
+                Err(e) => return Err(AskItError::Store(format!("cannot resolve {task}: {e}"))),
+            };
+            // A CID-verified object that is not UTF-8 was never valid
+            // source; treat it as a miss so the caller regenerates.
+            match String::from_utf8(bytes) {
+                Ok(source) => (source, format!("object {task}")),
+                Err(_) => return Ok(None),
             }
+        } else {
+            let path = self.path_for(template_source, syntax);
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => {
+                    return Err(AskItError::Store(format!(
+                        "cannot read {}: {e}",
+                        path.display()
+                    )))
+                }
+            };
+            (source, path.display().to_string())
         };
         let program: Program = minilang::parse(&source, syntax)?;
         if program.function(name).is_none() {
             return Err(AskItError::Store(format!(
-                "cached file {} does not define '{name}'",
-                path.display()
+                "cached {origin} does not define '{name}'"
             )));
         }
         let loc = count_loc(&source);
@@ -227,5 +319,63 @@ mod tests {
         assert_eq!(slugify(""), "prompt");
         assert_eq!(slugify("???"), "prompt");
         assert_eq!(slugify("Reverse the string {{s}}."), "reverse-the-string-s");
+    }
+
+    fn tmp_shared(tag: &str) -> FunctionStore {
+        let dir =
+            std::env::temp_dir().join(format!("askit-store-shared-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        FunctionStore::open_shared(dir).unwrap()
+    }
+
+    #[test]
+    fn shared_roundtrip_and_cross_instance_visibility() {
+        let store = tmp_shared("roundtrip");
+        assert!(store.is_shared());
+        let template = "Increment {{n}}.";
+        assert!(store.load(template, "f", Syntax::Ts).unwrap().is_none());
+        let link = store.save(template, &generated()).unwrap();
+        assert!(link.exists(), "link file at {}", link.display());
+
+        // A second instance on the same directory (another process, in
+        // effect) sees the artifact immediately.
+        let other = FunctionStore::open_shared(store.dir()).unwrap();
+        let loaded = other.load(template, "f", Syntax::Ts).unwrap().unwrap();
+        assert_eq!(loaded.source, generated().source);
+        assert_eq!(loaded.attempts, 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn task_cid_separates_template_name_and_syntax() {
+        let a = FunctionStore::task_cid("Sort {{xs}}", "f", Syntax::Ts);
+        assert_ne!(a, FunctionStore::task_cid("Sort {{ys}}", "f", Syntax::Ts));
+        assert_ne!(a, FunctionStore::task_cid("Sort {{xs}}", "g", Syntax::Ts));
+        assert_ne!(a, FunctionStore::task_cid("Sort {{xs}}", "f", Syntax::Py));
+        assert_eq!(a, FunctionStore::task_cid("Sort {{xs}}", "f", Syntax::Ts));
+    }
+
+    #[test]
+    fn shared_wrong_name_is_reported_not_a_panic() {
+        let store = tmp_shared("wrongname");
+        let template = "Another {{x}}";
+        store.save(template, &generated()).unwrap();
+        // Different function name → different task CID → clean miss.
+        assert!(store.load(template, "other", Syntax::Ts).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn shared_and_completion_cache_namespaces_coexist() {
+        let store = tmp_shared("coexist");
+        store.save("Coexist {{x}}", &generated()).unwrap();
+        // The same directory can host a shared completion cache.
+        let cache = askit_exec::CompletionCache::open_shared(64, store.dir(), None).unwrap();
+        cache.persist().unwrap();
+        assert!(store
+            .load("Coexist {{x}}", "f", Syntax::Ts)
+            .unwrap()
+            .is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -4,7 +4,9 @@
 //! askit-eval [table2|fig5|fig6|fig7|table3|all|serve] [--count N] [--seed S]
 //!            [--threads T] [--cache-dir DIR] [--cache-ttl SECS] [--speculate]
 //!            [--adaptive] [--escalate] [--backend mock|http] [--api-base URL]
+//!            [--shared-cache] [--shard I/N] [--fragment PATH]
 //!            [--bind ADDR] [--max-connections N] [--requests N]
+//! askit-eval merge-table3 FRAGMENT...
 //! ```
 //!
 //! Reports are printed and also written under `reports/` (override with
@@ -20,6 +22,11 @@ experiments:
   fig6     prompt reduction on the evals benchmarks
   fig7     type-usage statistics
   table3   GSM8K: direct answering vs generated code
+  merge-table3
+           union per-shard table3 fragments (from --shard/--fragment runs)
+           into the full report; the simulated columns are bit-identical
+           to a single full run's. Prints a 'TABLE3_MERGE {json}' digest
+           line for scripted comparison.
   all      everything above (the default)
   serve    stand up the HTTP/SSE front-end over the simulated model
            (needs a build with --features serve); serves the demo
@@ -36,6 +43,20 @@ options:
                     are bit-identical to the cold run, just faster)
   --cache-ttl SECS  how long persisted completions stay servable (default:
                     forever); lapsed entries are re-queried and re-cached
+  --shared-cache    open --cache-dir in multi-process shared mode: the
+                    content-addressed object store with per-shard file
+                    locks, so concurrent eval processes can point at one
+                    directory and their flushes merge instead of
+                    overwriting each other
+  --shard I/N       run only problems at positions p with p % N == I of
+                    the table3 problem list (0 <= I < N); a shard's
+                    completions are byte-identical to the full run's, so
+                    N concurrent shards can share one --shared-cache dir,
+                    and fragments from all N shards merge-table3 into
+                    exactly the full report
+  --fragment PATH   write this run's table3 aggregates as a JSON fragment
+                    to PATH (for merge-table3) instead of the table3.txt
+                    report
   --speculate       prefetch likely retry feedback turns through the engine
                     pool ahead of validation (table3); results are
                     bit-identical with or without, only timing changes
@@ -86,6 +107,9 @@ fn main() {
     let mut escalate = false;
     let mut backend_name = "mock".to_owned();
     let mut api_base: Option<String> = None;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut fragment_path: Option<std::path::PathBuf> = None;
+    let mut fragment_inputs: Vec<String> = Vec::new();
     let mut bind = "127.0.0.1:0".to_owned();
     let mut max_connections = 64usize;
     let mut serve_requests = 0u64;
@@ -118,6 +142,19 @@ fn main() {
                 let secs: u64 = parse_flag_value(arg, iter.next());
                 cache.ttl = Some(std::time::Duration::from_secs(secs));
             }
+            "--shared-cache" => cache.shared = true,
+            "--shard" => {
+                let Some(spec) = iter.next() else {
+                    usage("--shard needs a value like 0/4");
+                };
+                shard = Some(parse_shard(spec));
+            }
+            "--fragment" => {
+                let Some(path) = iter.next() else {
+                    usage("--fragment needs a file path");
+                };
+                fragment_path = Some(std::path::PathBuf::from(path));
+            }
             "--bind" => {
                 let Some(addr) = iter.next() else {
                     usage("--bind needs a value");
@@ -133,13 +170,20 @@ fn main() {
                 println!("{USAGE}");
                 return;
             }
-            "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" | "serve" => {
+            "table2" | "fig5" | "fig6" | "fig7" | "table3" | "all" | "serve" | "merge-table3" => {
                 which = arg.clone();
+            }
+            other if which == "merge-table3" && !other.starts_with('-') => {
+                fragment_inputs.push(other.to_owned());
             }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
 
+    if which == "merge-table3" {
+        run_merge_table3(&fragment_inputs);
+        return;
+    }
     if which == "serve" {
         run_serve(&bind, threads, max_connections, serve_requests);
     }
@@ -174,16 +218,35 @@ fn main() {
     let run_fig7 = || emit("fig7.txt", &fig7::render(&fig7::run()));
     let run_table3 = || {
         eprintln!("running table3 over {count} problems (use --count to shrink)...");
-        let policy = table3::SweepPolicy::default()
+        let mut policy = table3::SweepPolicy::default()
             .with_threads(threads)
             .with_cache(cache.clone())
             .with_speculation(speculate)
             .with_adaptive(adaptive)
             .with_escalation(escalate);
-        emit(
-            "table3.txt",
-            &table3::render(&table3::run_policy(count, seed, &policy, &backend)),
-        );
+        if let Some((index, total)) = shard {
+            policy = policy.with_shard(index, total);
+            eprintln!("table3: running shard {index}/{total} of the problem list");
+        }
+        let report = table3::run_policy(count, seed, &policy, &backend);
+        // One machine-readable line per run; scripts compare these across
+        // runs (and against merge-table3's TABLE3_MERGE line).
+        println!("TABLE3_DIGEST {}", table3::digest(&report));
+        if let Some(path) = &fragment_path {
+            // A shard's table3.txt would overwrite the full report (and
+            // concurrent shards would race on it) — the fragment *is* this
+            // run's artifact; merge-table3 renders the report.
+            let frag = table3::fragment(&report, shard.unwrap_or((0, 1)), count, seed);
+            match std::fs::write(path, frag.to_json()) {
+                Ok(()) => eprintln!("[wrote fragment {}]", path.display()),
+                Err(e) => {
+                    eprintln!("askit-eval: cannot write fragment {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            emit("table3.txt", &table3::render(&report));
+        }
     };
 
     match which.as_str() {
@@ -198,6 +261,56 @@ fn main() {
             run_fig6();
             run_fig7();
             run_table3();
+        }
+    }
+}
+
+/// Parses a `--shard I/N` specification.
+fn parse_shard(spec: &str) -> (usize, usize) {
+    let parsed = spec.split_once('/').and_then(|(i, n)| {
+        let index: usize = i.trim().parse().ok()?;
+        let total: usize = n.trim().parse().ok()?;
+        (total > 0 && index < total).then_some((index, total))
+    });
+    match parsed {
+        Some(shard) => shard,
+        None => usage(&format!(
+            "--shard got '{spec}'; expected I/N with 0 <= I < N (e.g. 0/4)"
+        )),
+    }
+}
+
+/// The `merge-table3` subcommand: parse fragments, union them, render the
+/// full report, and print the machine-readable digest line.
+fn run_merge_table3(paths: &[String]) {
+    if paths.is_empty() {
+        usage("merge-table3 needs at least one fragment file");
+    }
+    let mut fragments = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("askit-eval: cannot read fragment {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match table3::Table3Fragment::from_json(&text) {
+            Ok(fragment) => fragments.push(fragment),
+            Err(e) => {
+                eprintln!("askit-eval: bad fragment {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match table3::merge_fragments(&fragments) {
+        Ok(report) => {
+            emit("table3.txt", &table3::render(&report));
+            println!("TABLE3_MERGE {}", table3::digest(&report));
+        }
+        Err(e) => {
+            eprintln!("askit-eval: cannot merge: {e}");
+            std::process::exit(1);
         }
     }
 }

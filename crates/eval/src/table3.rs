@@ -18,10 +18,40 @@ use std::time::{Duration, Instant};
 use askit_core::{Askit, AskitConfig, Example};
 use askit_datasets::gsm8k::{self, Gsm8kProblem};
 use askit_exec::{CacheStats, EngineConfig};
+use askit_json::Json;
 use askit_llm::{Escalation, LanguageModel, MockLlm, MockLlmConfig, Oracle};
 use minilang::Syntax;
 
-use crate::report::{mean, Table};
+use crate::report::Table;
+
+/// Exact integer aggregates for one pipeline, in nanoseconds.
+///
+/// The report's mean columns are *derived* from these sums by integer
+/// division, so fragments produced by disjoint shards of one sweep add up
+/// to exactly the whole: `merge`d means are bit-identical to the means a
+/// single full run computes. (Floating-point accumulation would make the
+/// merged report depend on summation order.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Table3Sums {
+    /// Total simulated model latency over directly-solved problems.
+    pub latency_ns: u64,
+    /// Total compilation time over generated programs. Mostly simulated
+    /// model latency, but it includes the *measured* test-validation
+    /// share, so it jitters by sub-millisecond amounts across runs and is
+    /// excluded from determinism digests.
+    pub compile_ns: u64,
+    /// Total measured execution time over generated programs
+    /// (machine-dependent; excluded from determinism digests).
+    pub execution_ns: u64,
+}
+
+impl Table3Sums {
+    fn add(&mut self, other: &Table3Sums) {
+        self.latency_ns += other.latency_ns;
+        self.compile_ns += other.compile_ns;
+        self.execution_ns += other.execution_ns;
+    }
+}
 
 /// Aggregates for one pipeline (one column of Table III).
 #[derive(Debug, Clone)]
@@ -45,6 +75,10 @@ pub struct Table3Column {
     /// Completion-cache counters at the end of the sweep (hit rate,
     /// invalidations from rejected attempts, entries loaded from disk).
     pub cache: CacheStats,
+    /// The exact integer aggregates the mean columns derive from (see
+    /// [`Table3Sums`]); these are what shard fragments carry and what
+    /// [`merge_fragments`] adds up.
+    pub sums: Table3Sums,
 }
 
 /// The full experiment output.
@@ -74,6 +108,12 @@ pub struct CacheSetup {
     pub dir: Option<PathBuf>,
     /// Default entry TTL (`None` = entries never expire).
     pub ttl: Option<Duration>,
+    /// Open the directory in *shared* mode: completions go through the
+    /// content-addressed object store with per-shard file locks, so any
+    /// number of concurrent eval processes (e.g. disjoint [`SweepPolicy`]
+    /// shards) can point at one directory and their flushes merge instead
+    /// of overwriting. Ignored without a directory.
+    pub shared: bool,
 }
 
 /// Every execution-policy knob of a sweep in one place: how wide the
@@ -102,6 +142,14 @@ pub struct SweepPolicy {
     /// Tiered model escalation: route first attempts to the cheap tier and
     /// climb the [`Escalation::cheap_first`] ladder on validation failure.
     pub escalate: bool,
+    /// Run only the `(index, total)` slice of the problem list (problems
+    /// whose position satisfies `pos % total == index`). The full list is
+    /// generated first, so every shard sees the same problems a full run
+    /// would — a shard's completions are byte-identical to the full run's,
+    /// which is what lets concurrent shards share one cache directory.
+    /// Fragments from all `total` shards [`merge_fragments`] into exactly
+    /// the full run's report. `None` = the whole list.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl SweepPolicy {
@@ -137,6 +185,14 @@ impl SweepPolicy {
     #[must_use]
     pub fn with_escalation(mut self, escalate: bool) -> Self {
         self.escalate = escalate;
+        self
+    }
+
+    /// Restricts the sweep to one `(index, total)` shard of the problem
+    /// list (see [`SweepPolicy::shard`]).
+    #[must_use]
+    pub fn with_shard(mut self, index: usize, total: usize) -> Self {
+        self.shard = Some((index, total));
         self
     }
 }
@@ -209,6 +265,7 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
         // its numbers.
         engine_config.cache_dir = Some(dir.join(format!("{}-{run_seed}", syntax_tag(syntax))));
         engine_config.cache_ttl = policy.cache.ttl;
+        engine_config.shared_cache = policy.cache.shared;
     }
     let mut askit_config = AskitConfig::default().with_speculation(policy.speculate);
     if policy.escalate {
@@ -244,34 +301,60 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
         .iter()
         .filter_map(|o| o.generated.as_ref())
         .collect();
-    let latency_mean = mean(
-        &solved
-            .iter()
-            .map(|o| o.latency.as_secs_f64())
-            .collect::<Vec<_>>(),
-    );
-    let exec_mean = mean(
-        &generated
-            .iter()
-            .map(|g| g.1.as_secs_f64())
-            .collect::<Vec<_>>(),
-    );
-    let compile_mean = mean(
-        &generated
-            .iter()
-            .map(|g| g.0.as_secs_f64())
-            .collect::<Vec<_>>(),
-    );
+    // Exact integer sums: fragments of a sharded sweep add up to precisely
+    // what a single full run computes (see `Table3Sums`).
+    let sums = Table3Sums {
+        latency_ns: solved.iter().map(|o| duration_ns(o.latency)).sum(),
+        compile_ns: generated.iter().map(|g| duration_ns(g.0)).sum(),
+        execution_ns: generated.iter().map(|g| duration_ns(g.1)).sum(),
+    };
+    column_from_sums(
+        syntax,
+        problems.len(),
+        solved.len(),
+        generated.len(),
+        sums,
+        askit.cache_stats(),
+    )
+}
+
+/// A duration as whole nanoseconds (saturating far beyond any real sweep).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Derives the mean columns from exact counts and sums — the single place
+/// both a direct run and [`merge_fragments`] compute report numbers, so
+/// the two cannot drift.
+fn column_from_sums(
+    syntax: Syntax,
+    attempted: usize,
+    solved: usize,
+    generated: usize,
+    sums: Table3Sums,
+    cache: CacheStats,
+) -> Table3Column {
+    let int_mean = |total_ns: u64, n: usize| {
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(total_ns / n as u64)
+        }
+    };
+    let latency = int_mean(sums.latency_ns, solved);
+    let execution = int_mean(sums.execution_ns, generated).max(Duration::from_nanos(1));
+    let compilation = int_mean(sums.compile_ns, generated);
     Table3Column {
         syntax,
-        attempted: problems.len(),
-        solved_direct: solved.len(),
-        generated: generated.len(),
-        latency: Duration::from_secs_f64(latency_mean),
-        execution: Duration::from_secs_f64(exec_mean.max(1e-9)),
-        compilation: Duration::from_secs_f64(compile_mean),
-        speedup: latency_mean / exec_mean.max(1e-9),
-        cache: askit.cache_stats(),
+        attempted,
+        solved_direct: solved,
+        generated,
+        latency,
+        execution,
+        compilation,
+        speedup: latency.as_secs_f64() / execution.as_secs_f64(),
+        cache,
+        sums,
     }
 }
 
@@ -385,7 +468,18 @@ pub fn run_policy(
     policy: &SweepPolicy,
     backend: &Backend,
 ) -> Table3Report {
-    let problems = gsm8k::problems(count, seed);
+    let mut problems = gsm8k::problems(count, seed);
+    if let Some((index, total)) = policy.shard {
+        assert!(total > 0 && index < total, "shard {index}/{total}");
+        // Slice *after* generating the full list: problem i is the same
+        // object in every shard and in the full run, so per-problem
+        // outcomes (and cached completions) are identical everywhere.
+        problems = problems
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| (i % total == index).then_some(p))
+            .collect();
+    }
     // Distinct run seeds per pipeline: the paper attributes the TS/Py solve
     // difference to response randomness.
     let ts = run_pipeline(&problems, Syntax::Ts, seed.wrapping_add(1), policy, backend);
@@ -417,6 +511,265 @@ pub fn run_full_with_backend(
         .with_cache(cache.clone())
         .with_speculation(speculate);
     run_policy(count, seed, &policy, backend)
+}
+
+/// The schema tag stamped on fragment files.
+const FRAGMENT_SCHEMA: &str = "askit.table3_fragment.v1";
+
+/// One shard's contribution to a sharded Table III sweep: the shard
+/// coordinates, the sweep parameters (so merging can refuse mismatched
+/// fragments), and the per-pipeline counts and exact sums.
+///
+/// Written as JSON by `askit-eval table3 --shard I/N --fragment PATH`,
+/// merged by `askit-eval merge-table3`.
+#[derive(Debug, Clone)]
+pub struct Table3Fragment {
+    /// This shard's index in `0..shard_total`.
+    pub shard_index: usize,
+    /// How many shards the sweep was split into.
+    pub shard_total: usize,
+    /// The `--count` of the *full* sweep (not this shard's slice).
+    pub count: usize,
+    /// The base RNG seed of the sweep.
+    pub seed: u64,
+    /// This shard's report (means derived over the shard's slice only —
+    /// the sums are what merging consumes).
+    pub report: Table3Report,
+}
+
+impl Table3Fragment {
+    /// Serializes the fragment as JSON.
+    pub fn to_json(&self) -> String {
+        let column = |c: &Table3Column| {
+            let mut m = askit_json::Map::new();
+            m.insert("syntax", Json::Str(syntax_tag(c.syntax).to_owned()));
+            m.insert("attempted", int(c.attempted as u64));
+            m.insert("solved", int(c.solved_direct as u64));
+            m.insert("generated", int(c.generated as u64));
+            m.insert("latency_ns", int(c.sums.latency_ns));
+            m.insert("compile_ns", int(c.sums.compile_ns));
+            m.insert("execution_ns", int(c.sums.execution_ns));
+            let mut cache = askit_json::Map::new();
+            for (key, value) in [
+                ("hits", c.cache.hits),
+                ("misses", c.cache.misses),
+                ("insertions", c.cache.insertions),
+                ("evictions", c.cache.evictions),
+                ("invalidations", c.cache.invalidations),
+                ("loaded", c.cache.loaded),
+                ("expired", c.cache.expired),
+                ("flushed", c.cache.flushed),
+                ("entries", c.cache.entries as u64),
+            ] {
+                cache.insert(key, int(value));
+            }
+            m.insert("cache", Json::Object(cache));
+            Json::Object(m)
+        };
+        let mut root = askit_json::Map::new();
+        root.insert("schema", Json::Str(FRAGMENT_SCHEMA.to_owned()));
+        root.insert("shard_index", int(self.shard_index as u64));
+        root.insert("shard_total", int(self.shard_total as u64));
+        root.insert("count", int(self.count as u64));
+        root.insert("seed", int(self.seed));
+        root.insert(
+            "columns",
+            Json::Array(vec![column(&self.report.ts), column(&self.report.py)]),
+        );
+        Json::Object(root).to_pretty_string()
+    }
+
+    /// Parses a fragment back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first problem found: malformed JSON, a wrong
+    /// or missing schema tag, or missing/mistyped fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text).map_err(|e| format!("malformed fragment: {e}"))?;
+        let field = |obj: &Json, key: &str| -> Result<u64, String> {
+            obj.get_key(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("fragment field '{key}' missing or not a count"))
+        };
+        match root.get_key("schema").and_then(Json::as_str) {
+            Some(FRAGMENT_SCHEMA) => {}
+            Some(other) => return Err(format!("unknown fragment schema '{other}'")),
+            None => return Err("fragment has no schema tag".to_owned()),
+        }
+        let columns = root
+            .get_key("columns")
+            .and_then(Json::as_array)
+            .ok_or("fragment has no columns array")?;
+        let [ts, py] = columns else {
+            return Err(format!("expected 2 columns, found {}", columns.len()));
+        };
+        let parse_column = |obj: &Json, expect: Syntax| -> Result<Table3Column, String> {
+            let tag = obj
+                .get_key("syntax")
+                .and_then(Json::as_str)
+                .ok_or("column has no syntax tag")?;
+            if tag != syntax_tag(expect) {
+                return Err(format!(
+                    "column order mismatch: expected {expect:?}, found '{tag}'"
+                ));
+            }
+            let cache_obj = obj.get_key("cache").ok_or("column has no cache object")?;
+            let cache = CacheStats {
+                hits: field(cache_obj, "hits")?,
+                misses: field(cache_obj, "misses")?,
+                insertions: field(cache_obj, "insertions")?,
+                evictions: field(cache_obj, "evictions")?,
+                invalidations: field(cache_obj, "invalidations")?,
+                loaded: field(cache_obj, "loaded")?,
+                expired: field(cache_obj, "expired")?,
+                flushed: field(cache_obj, "flushed")?,
+                entries: field(cache_obj, "entries")? as usize,
+            };
+            let sums = Table3Sums {
+                latency_ns: field(obj, "latency_ns")?,
+                compile_ns: field(obj, "compile_ns")?,
+                execution_ns: field(obj, "execution_ns")?,
+            };
+            Ok(column_from_sums(
+                expect,
+                field(obj, "attempted")? as usize,
+                field(obj, "solved")? as usize,
+                field(obj, "generated")? as usize,
+                sums,
+                cache,
+            ))
+        };
+        Ok(Table3Fragment {
+            shard_index: field(&root, "shard_index")? as usize,
+            shard_total: field(&root, "shard_total")? as usize,
+            count: field(&root, "count")? as usize,
+            seed: field(&root, "seed")?,
+            report: Table3Report {
+                ts: parse_column(ts, Syntax::Ts)?,
+                py: parse_column(py, Syntax::Py)?,
+            },
+        })
+    }
+}
+
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Builds a fragment from one shard's report.
+pub fn fragment(
+    report: &Table3Report,
+    shard: (usize, usize),
+    count: usize,
+    seed: u64,
+) -> Table3Fragment {
+    Table3Fragment {
+        shard_index: shard.0,
+        shard_total: shard.1,
+        count,
+        seed,
+        report: report.clone(),
+    }
+}
+
+/// Unions per-shard fragments back into the full sweep's report.
+///
+/// Counts and nanosecond sums add; the mean columns are re-derived from
+/// the merged sums by the same integer arithmetic a single full run uses,
+/// so the simulated columns of the merged report are **bit-identical** to
+/// that run's. Cache counters add too (their merged hit rate is the
+/// aggregate across all workers).
+///
+/// # Errors
+///
+/// When the fragments do not form exactly one complete sweep: mixed
+/// seeds/counts/shard totals, a missing shard, or a shard present twice.
+pub fn merge_fragments(fragments: &[Table3Fragment]) -> Result<Table3Report, String> {
+    let first = fragments.first().ok_or("no fragments to merge")?;
+    let total = first.shard_total;
+    if fragments.len() != total {
+        return Err(format!(
+            "expected {total} fragments (one per shard), got {}",
+            fragments.len()
+        ));
+    }
+    let mut seen = vec![false; total];
+    for f in fragments {
+        if (f.seed, f.count, f.shard_total) != (first.seed, first.count, first.shard_total) {
+            return Err(format!(
+                "fragment {}/{} (seed {}, count {}) belongs to a different sweep \
+                 than {}/{} (seed {}, count {})",
+                f.shard_index,
+                f.shard_total,
+                f.seed,
+                f.count,
+                first.shard_index,
+                first.shard_total,
+                first.seed,
+                first.count,
+            ));
+        }
+        let slot = seen
+            .get_mut(f.shard_index)
+            .ok_or_else(|| format!("shard index {} out of range 0..{total}", f.shard_index))?;
+        if std::mem::replace(slot, true) {
+            return Err(format!("shard {} appears more than once", f.shard_index));
+        }
+    }
+    let merge_column = |pick: fn(&Table3Report) -> &Table3Column| {
+        let mut attempted = 0;
+        let mut solved = 0;
+        let mut generated = 0;
+        let mut sums = Table3Sums::default();
+        let mut cache = CacheStats::default();
+        for f in fragments {
+            let c = pick(&f.report);
+            attempted += c.attempted;
+            solved += c.solved_direct;
+            generated += c.generated;
+            sums.add(&c.sums);
+            cache.hits += c.cache.hits;
+            cache.misses += c.cache.misses;
+            cache.insertions += c.cache.insertions;
+            cache.evictions += c.cache.evictions;
+            cache.invalidations += c.cache.invalidations;
+            cache.loaded += c.cache.loaded;
+            cache.expired += c.cache.expired;
+            cache.flushed += c.cache.flushed;
+            cache.entries += c.cache.entries;
+        }
+        let syntax = pick(&first.report).syntax;
+        column_from_sums(syntax, attempted, solved, generated, sums, cache)
+    };
+    Ok(Table3Report {
+        ts: merge_column(|r| &r.ts),
+        py: merge_column(|r| &r.py),
+    })
+}
+
+/// The determinism digest of a report: exactly the simulated fields, as
+/// one line of compact JSON with a fixed key order.
+///
+/// Two digests are equal iff the runs agree on every deterministic number
+/// — solve counts, generation counts, and the exact simulated-latency
+/// sum. Measured time (execution, and the real-validation share inside
+/// compilation) and cache counters are excluded: they legitimately vary
+/// by machine and by how work was split. CI compares the digest of a
+/// merged multi-process sweep against a single-process reference run.
+pub fn digest(report: &Table3Report) -> String {
+    let column = |c: &Table3Column| {
+        format!(
+            "{{\"attempted\":{},\"solved\":{},\"generated\":{},\"latency_ns\":{}}}",
+            c.attempted, c.solved_direct, c.generated, c.sums.latency_ns,
+        )
+    };
+    format!(
+        "{{\"ts\":{},\"py\":{}}}",
+        column(&report.ts),
+        column(&report.py)
+    )
 }
 
 /// Renders the paper's table plus the solve counts.
@@ -496,6 +849,54 @@ mod tests {
         // Grading is against the dataset's answers; a sum-of-integers
         // stand-in may or may not solve any, but the counts must be sane.
         assert!(report.ts.solved_direct <= 3 && report.py.solved_direct <= 3);
+    }
+
+    #[test]
+    fn sharded_fragments_merge_to_the_full_run() {
+        let policy = SweepPolicy::default().with_threads(2);
+        let full = run_policy(24, 7, &policy, &Backend::Mock);
+        let fragments: Vec<Table3Fragment> = (0..3)
+            .map(|i| {
+                let shard = policy.clone().with_shard(i, 3);
+                fragment(&run_policy(24, 7, &shard, &Backend::Mock), (i, 3), 24, 7)
+            })
+            .collect();
+        let merged = merge_fragments(&fragments).unwrap();
+        assert_eq!(digest(&merged), digest(&full), "merge must be exact");
+        // JSON roundtrip preserves everything the merge consumes.
+        let reparsed: Vec<Table3Fragment> = fragments
+            .iter()
+            .map(|f| Table3Fragment::from_json(&f.to_json()).unwrap())
+            .collect();
+        assert_eq!(digest(&merge_fragments(&reparsed).unwrap()), digest(&full));
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_sweeps() {
+        let policy = SweepPolicy::default().with_threads(2).with_shard(0, 2);
+        let report = run_policy(8, 7, &policy, &Backend::Mock);
+        let f0 = fragment(&report, (0, 2), 8, 7);
+        assert!(merge_fragments(std::slice::from_ref(&f0))
+            .unwrap_err()
+            .contains("expected 2"));
+        let mut dup = f0.clone();
+        dup.shard_index = 0;
+        assert!(merge_fragments(&[f0.clone(), dup])
+            .unwrap_err()
+            .contains("more than once"));
+        let mut other_sweep = f0.clone();
+        other_sweep.shard_index = 1;
+        other_sweep.seed = 99;
+        assert!(merge_fragments(&[f0, other_sweep])
+            .unwrap_err()
+            .contains("different sweep"));
+    }
+
+    #[test]
+    fn fragment_parser_rejects_garbage() {
+        assert!(Table3Fragment::from_json("not json").is_err());
+        assert!(Table3Fragment::from_json("{\"schema\":\"nope\"}").is_err());
+        assert!(Table3Fragment::from_json("{}").is_err());
     }
 
     #[test]

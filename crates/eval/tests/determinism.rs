@@ -50,6 +50,7 @@ fn table3_warm_start_is_bit_identical_to_cold() {
     let cache = table3::CacheSetup {
         dir: Some(dir.clone()),
         ttl: None,
+        shared: false,
     };
 
     let cold = table3::run_with_cache(24, 20240302, 1, &cache);
@@ -60,6 +61,65 @@ fn table3_warm_start_is_bit_identical_to_cold() {
     assert_columns_agree(&warm_wide.ts, &warm_again.ts, "TypeScript (warm rerun)");
     assert_columns_agree(&warm_wide.py, &warm_again.py, "Python (warm rerun)");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The multi-process acceptance check, in-process: a table3 sweep split
+/// into shards that share one `--shared-cache` directory must merge to the
+/// bit-exact digest of a single full run — cold *and* warm — and the warm
+/// pass must be served almost entirely from the shared store.
+#[test]
+fn sharded_shared_cache_sweep_merges_to_the_full_run() {
+    let dir = std::env::temp_dir().join(format!(
+        "askit-table3-sharded-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = table3::CacheSetup {
+        dir: Some(dir.clone()),
+        ttl: None,
+        shared: true,
+    };
+    let full = table3::run_with_threads(24, 20240302, 2);
+    let sweep = || {
+        let fragments: Vec<_> = (0..2)
+            .map(|i| {
+                let policy = table3::SweepPolicy::default()
+                    .with_threads(2)
+                    .with_cache(cache.clone())
+                    .with_shard(i, 2);
+                let report = table3::run_policy(24, 20240302, &policy, &table3::Backend::Mock);
+                table3::fragment(&report, (i, 2), 24, 20240302)
+            })
+            .collect();
+        table3::merge_fragments(&fragments).unwrap()
+    };
+
+    let cold = sweep();
+    assert_eq!(
+        table3::digest(&cold),
+        table3::digest(&full),
+        "merged shards must reproduce the full run exactly (cold)"
+    );
+    let warm = sweep();
+    assert_eq!(
+        table3::digest(&warm),
+        table3::digest(&full),
+        "merged shards must reproduce the full run exactly (warm)"
+    );
+    let (hits, misses) = (
+        warm.ts.cache.hits + warm.py.cache.hits,
+        warm.ts.cache.misses + warm.py.cache.misses,
+    );
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    assert!(
+        rate >= 0.9,
+        "warm sharded sweep must serve from the shared store: {hits} hits / {misses} misses"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

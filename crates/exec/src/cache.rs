@@ -50,10 +50,140 @@ use std::time::Duration;
 
 use askit_llm::{Completion, CompletionRequest};
 
+use crate::cas::Cid;
 use crate::persist::{self, now_ms, LoadedOp, WalRecord};
+use crate::store::{write_atomic, ObjectStore};
 
 /// Number of independent cache segments.
 pub const SHARD_COUNT: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Shared-mode index files
+// ---------------------------------------------------------------------------
+//
+// A cache opened with [`CompletionCache::open_shared`] keeps entry *bodies*
+// in the directory's content-addressed [`ObjectStore`] (write-once, named
+// by CID, so concurrent writers dedupe) and per shard one small **index**
+// file listing the live entries in LRU order:
+//
+// ```text
+// refs/completions/shard-NN.idx
+//   header: magic "ACIX" + format version
+//   frames: len | body | fnv64(body)      (persist.rs framing)
+//   body:   key u64 | sample u64 | expires_at_ms u64
+//           | request_cid u128 | object_cid u128
+// ```
+//
+// The index is the only mutable file, and it is only ever rewritten whole
+// (unique tempfile + rename) while holding the shard's advisory file lock —
+// so persistence is a read-merge-write, never a blind overwrite.
+
+/// Magic prefix of shared-mode index files.
+const INDEX_MAGIC: [u8; 4] = *b"ACIX";
+
+/// One line of a shared shard index: where one live entry's body lives and
+/// when it lapses. Expiry is index-side state (not part of the object), so
+/// identical completions cached under different TTL configurations still
+/// collapse to one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexRecord {
+    /// The 64-bit cache fingerprint (shard routing + fast lookup).
+    key: u64,
+    /// The sample ordinal.
+    sample: u64,
+    /// Absolute expiry in ms since the epoch; `0` = never.
+    expires_at_ms: u64,
+    /// CID of the request's identity bytes — the 128-bit disambiguation of
+    /// `key`, checkable without fetching the object.
+    request_cid: Cid,
+    /// CID of the entry body in the object store.
+    object_cid: Cid,
+}
+
+fn encode_index_record(out: &mut Vec<u8>, record: &IndexRecord) {
+    out.extend_from_slice(&record.key.to_le_bytes());
+    out.extend_from_slice(&record.sample.to_le_bytes());
+    out.extend_from_slice(&record.expires_at_ms.to_le_bytes());
+    out.extend_from_slice(&record.request_cid.as_u128().to_le_bytes());
+    out.extend_from_slice(&record.object_cid.as_u128().to_le_bytes());
+}
+
+fn decode_index_record(body: &[u8]) -> Option<IndexRecord> {
+    if body.len() != 8 * 3 + 16 * 2 {
+        return None;
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+    let u128_at = |at: usize| u128::from_le_bytes(body[at..at + 16].try_into().unwrap());
+    Some(IndexRecord {
+        key: u64_at(0),
+        sample: u64_at(8),
+        expires_at_ms: u64_at(16),
+        request_cid: Cid::from_u128(u128_at(24)),
+        object_cid: Cid::from_u128(u128_at(40)),
+    })
+}
+
+/// The shared index path for shard `index`.
+fn index_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join("refs")
+        .join("completions")
+        .join(format!("shard-{index:02}.idx"))
+}
+
+/// The advisory-lock name guarding shard `index`'s index file.
+fn shard_lock_name(index: usize) -> String {
+    format!("completions-shard-{index:02}")
+}
+
+/// Reads a shared shard index: absent file = empty, corrupt frames end the
+/// scan (the records before them survive), a foreign header discards the
+/// file.
+fn read_index(path: &Path) -> std::io::Result<Vec<IndexRecord>> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    for (body, _) in persist::scan_frames(&bytes, INDEX_MAGIC).unwrap_or_default() {
+        match decode_index_record(body) {
+            Some(record) => records.push(record),
+            None => break,
+        }
+    }
+    Ok(records)
+}
+
+/// Atomically replaces a shared shard index (callers hold the shard lock).
+fn write_index(path: &Path, records: &[IndexRecord]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(6 + records.len() * 68);
+    out.extend_from_slice(&persist::header(INDEX_MAGIC));
+    let mut body = Vec::with_capacity(56);
+    for record in records {
+        body.clear();
+        encode_index_record(&mut body, record);
+        persist::write_frame(&mut out, &body);
+    }
+    write_atomic(path, &out)
+}
+
+/// Encodes a live entry as a shared-store object body: the snapshot entry
+/// layout with the expiry zeroed (expiry lives in the index record), so the
+/// same completion under any TTL configuration is one object.
+fn encode_object_body(key: u64, entry: &CacheEntry) -> Vec<u8> {
+    let mut body = Vec::new();
+    persist::encode_entry(
+        &mut body,
+        &WalRecord::Put {
+            key,
+            sample: entry.sample,
+            expires_at_ms: 0,
+            request: &entry.request,
+            completion: &entry.completion,
+        },
+    );
+    body
+}
 
 /// Counter snapshot of a [`CompletionCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,6 +259,13 @@ struct CacheEntry {
     stamp: u64,
     /// Absolute expiry in milliseconds since the UNIX epoch; `0` = never.
     expires_at_ms: u64,
+    /// The caller rejected this completion (validation failure) *this
+    /// session*: lookups miss so a retry re-asks a sampled backend, but the
+    /// body still persists — rejection is session advice, not cache
+    /// identity, and on a warm start the deterministic replay walks the
+    /// same (fully cached) retry conversation instead of re-querying the
+    /// model. Never serialized; a loaded entry always starts unrejected.
+    rejected: bool,
 }
 
 impl CacheEntry {
@@ -304,6 +441,7 @@ impl Shard {
                         completion: entry.completion,
                         stamp,
                         expires_at_ms: entry.expires_at_ms,
+                        rejected: false,
                     },
                 );
                 expired_keys.remove(&entry.key);
@@ -332,6 +470,10 @@ pub struct CompletionCache {
     capacity_per_shard: usize,
     /// Persistence root; `None` = in-memory only.
     dir: Option<PathBuf>,
+    /// The directory's content-addressed store; `Some` = shared mode (the
+    /// durable state is a per-shard index into the store, merged under an
+    /// advisory file lock, instead of this process's private snapshot+WAL).
+    store: Option<ObjectStore>,
     /// TTL applied to entries whose request carries none.
     default_ttl: Option<Duration>,
     hits: AtomicU64,
@@ -366,6 +508,7 @@ impl CompletionCache {
                 .collect(),
             capacity_per_shard: capacity.div_ceil(SHARD_COUNT).max(1),
             dir: None,
+            store: None,
             default_ttl: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -398,7 +541,11 @@ impl CompletionCache {
     /// [`CacheStats::expired`].
     ///
     /// No cross-process locking is performed: two live processes sharing one
-    /// directory will race each other's flushes (last write wins per shard).
+    /// directory will race each other's flushes (each flush lands whole —
+    /// snapshot replacement is atomic — but the last writer's view wins per
+    /// shard). For a directory that is *meant* to be shared by concurrent
+    /// processes, use [`CompletionCache::open_shared`], whose flushes merge
+    /// under per-shard advisory file locks instead.
     ///
     /// # Errors
     ///
@@ -437,9 +584,94 @@ impl CompletionCache {
         Ok(cache)
     }
 
+    /// Opens a **shared** persistent cache rooted at `dir`: any number of
+    /// concurrent processes may open the same directory and their flushes
+    /// *merge* instead of overwriting each other.
+    ///
+    /// Entry bodies live in the directory's content-addressed
+    /// [`ObjectStore`] (write-once, so equal completions from different
+    /// workers dedupe to one object) and each shard's live set is a small
+    /// index file updated only under that shard's advisory file lock — see
+    /// [`CompletionCache::persist`] for the merge protocol. Loading takes
+    /// each shard's lock briefly, so an open concurrent with another
+    /// process's flush sees a complete index, never a torn one.
+    ///
+    /// Everything [`CompletionCache::open`] tolerates, this mode tolerates
+    /// too: a damaged object or index record degrades to a miss (the entry
+    /// is simply not loaded), lapsed TTLs are filtered, and every loaded
+    /// entry's key is re-verified against the live fingerprint algorithm
+    /// *and* its 128-bit identity CID.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only (directories cannot be created, a lock cannot be
+    /// taken, an index cannot be read).
+    pub fn open_shared(
+        capacity: usize,
+        dir: impl Into<PathBuf>,
+        default_ttl: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        let store = ObjectStore::open(&dir)?;
+        std::fs::create_dir_all(dir.join("refs").join("completions"))?;
+        let mut cache = CompletionCache::new(capacity).with_default_ttl(default_ttl);
+        let now = now_ms();
+        let mut loaded = 0u64;
+        let mut expired = 0u64;
+        let mut evicted = 0u64;
+        for (index, slot) in cache.shards.iter().enumerate() {
+            let _guard = store.lock(&shard_lock_name(index))?;
+            let records = read_index(&index_path(&dir, index))?;
+            let mut shard = lock(slot);
+            shard.persistent = true;
+            let mut expired_keys = HashSet::new();
+            for record in records {
+                if record.expires_at_ms != 0 && now >= record.expires_at_ms {
+                    expired_keys.insert(record.key);
+                    continue;
+                }
+                // A missing or damaged object is a miss, not an error.
+                let Some(bytes) = store.get(record.object_cid)? else {
+                    continue;
+                };
+                let Some(mut entry) = persist::decode_entry_bytes(&bytes) else {
+                    continue;
+                };
+                // The object stores expiry as 0; the index record is the
+                // truth for this directory's TTL configuration.
+                entry.expires_at_ms = record.expires_at_ms;
+                if entry.key != record.key || entry.sample != record.sample {
+                    continue;
+                }
+                // 128-bit identity check: the index record must name the
+                // same request the object decodes to (fast-rejects foreign
+                // records without trusting 64 bits alone). `replay` then
+                // re-verifies the 64-bit fingerprint algorithm itself.
+                if Cid::of(&entry.request.identity_bytes(entry.sample)) != record.request_cid {
+                    continue;
+                }
+                shard.replay(LoadedOp::Put(entry), now, &mut expired_keys);
+            }
+            expired += expired_keys.len() as u64;
+            evicted += shard.evict_to(cache.capacity_per_shard);
+            loaded += shard.entries.len() as u64;
+        }
+        cache.loaded.store(loaded, Ordering::Relaxed);
+        cache.expired.store(expired, Ordering::Relaxed);
+        cache.evictions.store(evicted, Ordering::Relaxed);
+        cache.dir = Some(dir);
+        cache.store = Some(store);
+        Ok(cache)
+    }
+
     /// The persistence root, when this cache is durable.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// Whether this cache is in shared (multi-process) mode.
+    pub fn is_shared(&self) -> bool {
+        self.store.is_some()
     }
 
     /// The cache key: the request's canonical fingerprint salted with the
@@ -483,6 +715,7 @@ impl CompletionCache {
             Miss,
         }
         let verdict = match shard.entries.get(&key) {
+            Some(entry) if entry.rejected => Verdict::Miss,
             Some(entry) if entry.sample == sample && entry.request.same_identity(request) => {
                 if entry.expires_at_ms != 0 && entry.is_expired(now_ms()) {
                     Verdict::Expired
@@ -544,13 +777,16 @@ impl CompletionCache {
         match shard.entries.entry(key) {
             Entry::Occupied(mut slot) => {
                 // Same key raced in twice (or a hash collision): keep the
-                // newest completion and refresh its recency.
+                // newest completion and refresh its recency. A rejected
+                // entry is superseded the same way — the fresh completion
+                // starts unrejected.
                 slot.insert(CacheEntry {
                     request: request.clone(),
                     sample,
                     completion,
                     stamp,
                     expires_at_ms,
+                    rejected: false,
                 });
             }
             Entry::Vacant(slot) => {
@@ -560,6 +796,7 @@ impl CompletionCache {
                     completion,
                     stamp,
                     expires_at_ms,
+                    rejected: false,
                 });
             }
         }
@@ -611,6 +848,37 @@ impl CompletionCache {
         false
     }
 
+    /// Marks the entry for `(request, sample)` rejected *for this session*
+    /// — the advice-flavored sibling of [`CompletionCache::remove`].
+    /// Subsequent same-session lookups miss (so a sampled backend is
+    /// re-asked instead of replaying the known-bad answer), and the
+    /// rejection is counted under [`CacheStats::invalidations`]; but unlike
+    /// `remove`, the completion body still persists. The backend really did
+    /// answer this for this request — rejection is a *session* judgement,
+    /// not part of the entry's identity — so a later warm start replays the
+    /// conversation from disk: the rejected turn hits, fails validation
+    /// again, and the (also cached) retry turns follow, all without a
+    /// model round trip. A fresh [`CompletionCache::put`] for the key
+    /// supersedes the rejection.
+    pub fn reject(&self, request: &CompletionRequest, sample: u64) -> bool {
+        self.reject_keyed(Self::key(request, sample), request, sample)
+    }
+
+    /// [`CompletionCache::reject`] with the fingerprint already computed
+    /// (see [`CompletionCache::get_keyed`]).
+    pub fn reject_keyed(&self, key: u64, request: &CompletionRequest, sample: u64) -> bool {
+        debug_assert_eq!(key, Self::key(request, sample), "stale precomputed key");
+        let mut shard = lock(self.shard(key));
+        if let Some(entry) = shard.entries.get_mut(&key) {
+            if entry.sample == sample && entry.request.same_identity(request) && !entry.rejected {
+                entry.rejected = true;
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Flushes buffered mutations to disk; a no-op (returning 0) on
     /// in-memory caches. Runs automatically when the cache is dropped.
     ///
@@ -621,6 +889,16 @@ impl CompletionCache {
     /// the number of records written (also accumulated in
     /// [`CacheStats::flushed`]).
     ///
+    /// In **shared** mode ([`CompletionCache::open_shared`]) a flush is a
+    /// per-shard *merge* instead: under the shard's advisory file lock it
+    /// re-reads the on-disk index (which other processes may have advanced),
+    /// applies this process's buffered operations — puts publish their
+    /// bodies to the object store and upsert, touches refresh recency,
+    /// invalidations delete — sweeps lapsed records, trims the union to the
+    /// shard's capacity (LRU-first), and atomically republishes the index.
+    /// Other processes' entries are preserved; a rejected completion stays
+    /// dead because its invalidation is applied to the *merged* view.
+    ///
     /// # Errors
     ///
     /// I/O errors from the underlying filesystem.
@@ -628,6 +906,9 @@ impl CompletionCache {
         let Some(dir) = &self.dir else {
             return Ok(0);
         };
+        if let Some(store) = &self.store {
+            return self.persist_shared(dir, store);
+        }
         let mut flushed = 0u64;
         let mut expired_total = 0u64;
         for (index, slot) in self.shards.iter().enumerate() {
@@ -704,6 +985,109 @@ impl CompletionCache {
         self.flushed.fetch_add(flushed, Ordering::Relaxed);
         if expired_total > 0 {
             self.expired.fetch_add(expired_total, Ordering::Relaxed);
+        }
+        Ok(flushed)
+    }
+
+    /// The shared-mode flush: read-merge-write per shard, under that
+    /// shard's advisory file lock (see [`CompletionCache::persist`]).
+    fn persist_shared(&self, dir: &Path, store: &ObjectStore) -> std::io::Result<u64> {
+        let now = now_ms();
+        let mut flushed = 0u64;
+        let mut expired_total = 0u64;
+        let mut evicted_total = 0u64;
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mut shard = lock(slot);
+            if shard.pending.is_empty() {
+                continue;
+            }
+            // At most one op per key, in last-op order — the merge below
+            // then applies each key's final verdict exactly once.
+            shard.compress_pending();
+            let pending = std::mem::take(&mut shard.pending);
+
+            // The critical section: everything from re-reading the index to
+            // renaming its replacement happens with the shard lock held, so
+            // concurrent processes serialize their read-merge-write cycles.
+            let _guard = store.lock(&shard_lock_name(index))?;
+            let disk = read_index(&index_path(dir, index))?;
+            // `slots` keeps the merged index in recency order (front = LRU);
+            // `pos` maps a key to its current slot for O(1) upsert/delete.
+            let mut slots: Vec<Option<IndexRecord>> = disk.into_iter().map(Some).collect();
+            let mut pos: HashMap<u64, usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| Some((slot.as_ref()?.key, i)))
+                .collect();
+            for op in &pending {
+                match op {
+                    PendingOp::Put(key) => match shard.entries.get(key) {
+                        Some(entry) => {
+                            let object_cid = store.put_bytes(&encode_object_body(*key, entry))?;
+                            let request_cid = Cid::of(&entry.request.identity_bytes(entry.sample));
+                            if let Some(i) = pos.remove(key) {
+                                slots[i] = None;
+                            }
+                            pos.insert(*key, slots.len());
+                            slots.push(Some(IndexRecord {
+                                key: *key,
+                                sample: entry.sample,
+                                expires_at_ms: entry.expires_at_ms,
+                                request_cid,
+                                object_cid,
+                            }));
+                        }
+                        // The entry vanished between buffering and flushing
+                        // (evicted/invalidated after the last compression):
+                        // its absence is the durable truth.
+                        None => {
+                            if let Some(i) = pos.remove(key) {
+                                slots[i] = None;
+                            }
+                        }
+                    },
+                    PendingOp::Touch(key) => {
+                        if let Some(i) = pos.remove(key) {
+                            let record = slots[i].take();
+                            if let Some(record) = record {
+                                pos.insert(*key, slots.len());
+                                slots.push(Some(record));
+                            }
+                        }
+                    }
+                    PendingOp::Invalidate(key) => {
+                        if let Some(i) = pos.remove(key) {
+                            slots[i] = None;
+                        }
+                    }
+                }
+            }
+            // Sweep lapsed records and close the holes.
+            let mut merged: Vec<IndexRecord> = Vec::with_capacity(pos.len());
+            for record in slots.into_iter().flatten() {
+                if record.expires_at_ms != 0 && now >= record.expires_at_ms {
+                    expired_total += 1;
+                } else {
+                    merged.push(record);
+                }
+            }
+            // The union of several processes' views can exceed the shard's
+            // capacity; trim least-recently-used records (their objects
+            // stay — only the index forgets them).
+            if merged.len() > self.capacity_per_shard {
+                let excess = merged.len() - self.capacity_per_shard;
+                merged.drain(..excess);
+                evicted_total += excess as u64;
+            }
+            write_index(&index_path(dir, index), &merged)?;
+            flushed += pending.len() as u64;
+        }
+        self.flushed.fetch_add(flushed, Ordering::Relaxed);
+        if expired_total > 0 {
+            self.expired.fetch_add(expired_total, Ordering::Relaxed);
+        }
+        if evicted_total > 0 {
+            self.evictions.fetch_add(evicted_total, Ordering::Relaxed);
         }
         Ok(flushed)
     }

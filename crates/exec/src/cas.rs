@@ -1,0 +1,268 @@
+//! Content identifiers and the canonical encoding they are computed over.
+//!
+//! A [`Cid`] names a byte string by its content: the 128-bit FNV-1a hash of
+//! the bytes. Two processes (or machines) that serialize the same value the
+//! same way derive the same CID without coordinating — which is the whole
+//! trick behind the shared store in [`crate::ObjectStore`]: concurrent
+//! workers *dedupe* instead of conflicting, because equal content collapses
+//! to one object file.
+//!
+//! That only works if serialization is **canonical**: one value, one byte
+//! string, forever. [`CanonicalEncoder`] provides the deterministic
+//! encoding — a small CBOR-inspired tagged format with fixed-width integers
+//! and length-prefixed strings, no floats-as-text, no map-order ambiguity
+//! (callers emit map keys in sorted order; the encoder has no unordered
+//! container type to get it wrong with). The encoding is *versioned by
+//! convention*: every top-level value starts with a caller-chosen schema
+//! string (e.g. `"askit.code_cache.v1"`), so a layout change produces new
+//! CIDs instead of misdecodes.
+//!
+//! Request identity reuses `askit-llm`'s single definition: the byte stream
+//! [`askit_llm::RequestHasher`] folds into the 64-bit cache fingerprint is
+//! exposed as [`askit_llm::RequestHasher::identity_bytes`] and hashed here
+//! with the wider CID hash — the CID and the cache key can never drift,
+//! because they read the same bytes.
+
+/// FNV-1a offset basis, 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime, 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// A content identifier: the 128-bit FNV-1a hash of a canonical byte
+/// string, printed as 32 lowercase hex digits.
+///
+/// CIDs are *names*, not proofs: FNV is not collision-resistant against an
+/// adversary, so readers that care verify fetched bytes re-hash to the CID
+/// (see [`crate::ObjectStore::get`]) and, where 64-bit keys already exist,
+/// keep the full value around for disambiguation — the same discipline the
+/// completion cache applies to its fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cid(u128);
+
+impl Cid {
+    /// The CID of a byte string.
+    pub fn of(bytes: &[u8]) -> Cid {
+        let mut h = FNV128_OFFSET;
+        for &b in bytes {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+        Cid(h)
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds a CID from its raw value (e.g. read back from an index
+    /// record).
+    pub fn from_u128(raw: u128) -> Cid {
+        Cid(raw)
+    }
+
+    /// The 32-hex-digit rendering used in file names and link files.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`Cid::to_hex`] rendering; `None` on anything that is not
+    /// exactly 32 hex digits.
+    pub fn parse_hex(text: &str) -> Option<Cid> {
+        let text = text.trim();
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Cid)
+    }
+}
+
+impl std::fmt::Display for Cid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Type tags of the canonical encoding. One byte each, chosen disjoint so a
+/// decoder (or a human with `xxd`) can tell values apart; the format is
+/// append-only — new tags may be added, existing ones never change meaning.
+mod tag {
+    pub const U64: u8 = 0x01;
+    pub const F64: u8 = 0x02;
+    pub const STR: u8 = 0x03;
+    pub const BYTES: u8 = 0x04;
+    pub const ARRAY: u8 = 0x05;
+    pub const BOOL: u8 = 0x06;
+}
+
+/// A deterministic, self-delimiting value encoder (see the module docs).
+///
+/// Every method appends one tagged value. Composite values declare their
+/// length up front ([`CanonicalEncoder::array`]), so the encoding of a value
+/// never depends on what follows it — a prefix property the incremental
+/// hashing in `askit-llm` relies on, preserved here.
+///
+/// ```
+/// use askit_exec::{CanonicalEncoder, Cid};
+/// let mut enc = CanonicalEncoder::new("example.v1");
+/// enc.str("hello");
+/// enc.u64(42);
+/// let cid = enc.cid();
+/// // The same value encodes to the same bytes, hence the same CID.
+/// let mut again = CanonicalEncoder::new("example.v1");
+/// again.str("hello");
+/// again.u64(42);
+/// assert_eq!(cid, again.cid());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CanonicalEncoder {
+    buf: Vec<u8>,
+}
+
+impl CanonicalEncoder {
+    /// Starts an encoding under `schema` — a caller-chosen version string
+    /// that namespaces the resulting CIDs (change the layout ⇒ change the
+    /// schema ⇒ disjoint CIDs, never a misdecode).
+    pub fn new(schema: &str) -> Self {
+        let mut enc = CanonicalEncoder { buf: Vec::new() };
+        enc.str(schema);
+        enc
+    }
+
+    /// Appends an unsigned integer (fixed 8-byte little-endian: one value,
+    /// one encoding — no varint ambiguity).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.push(tag::U64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a float by its exact bit pattern (`-0.0` and `0.0` encode
+    /// differently, NaN payloads are preserved: bitwise identity is the
+    /// only equality canonical encodings can promise).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.push(tag::F64);
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a boolean.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(tag::BOOL);
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a UTF-8 string (length-prefixed; no terminator to collide
+    /// with content).
+    pub fn str(&mut self, v: &str) {
+        self.buf.push(tag::STR);
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a raw byte string (length-prefixed).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.push(tag::BYTES);
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Declares an array of `len` values; the caller appends exactly that
+    /// many values next. (The encoder is write-only — it trusts the caller's
+    /// count the way a hasher trusts its input — so the count is part of the
+    /// hashed bytes and a miscount changes the CID rather than aliasing.)
+    pub fn array(&mut self, len: usize) {
+        self.buf.push(tag::ARRAY);
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+
+    /// The canonical bytes accumulated so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Finishes the encoding, returning the canonical bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The CID of the bytes accumulated so far.
+    pub fn cid(&self) -> Cid {
+        Cid::of(&self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cid_is_stable_and_content_sensitive() {
+        let a = Cid::of(b"hello");
+        assert_eq!(a, Cid::of(b"hello"));
+        assert_ne!(a, Cid::of(b"hello!"));
+        assert_ne!(a, Cid::of(b""));
+        // Pinned value: the on-disk object names depend on this hash never
+        // changing.
+        assert_eq!(
+            Cid::of(b"hello").to_hex(),
+            format!("{:032x}", {
+                let mut h = FNV128_OFFSET;
+                for &b in b"hello" {
+                    h ^= u128::from(b);
+                    h = h.wrapping_mul(FNV128_PRIME);
+                }
+                h
+            })
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let cid = Cid::of(b"roundtrip");
+        assert_eq!(Cid::parse_hex(&cid.to_hex()), Some(cid));
+        assert_eq!(Cid::parse_hex("nope"), None);
+        assert_eq!(Cid::parse_hex(""), None);
+        // Wrong length, even if valid hex.
+        assert_eq!(Cid::parse_hex("abcd"), None);
+        // Whitespace tolerated (link files end with a newline).
+        assert_eq!(Cid::parse_hex(&format!("{}\n", cid.to_hex())), Some(cid));
+    }
+
+    #[test]
+    fn canonical_encoding_is_deterministic_and_unambiguous() {
+        let encode = |s: &str, n: u64| {
+            let mut enc = CanonicalEncoder::new("test.v1");
+            enc.str(s);
+            enc.u64(n);
+            enc.into_bytes()
+        };
+        assert_eq!(encode("a", 1), encode("a", 1));
+        assert_ne!(encode("a", 1), encode("a", 2));
+        // Field-boundary ambiguity check: ("ab", "c") and ("a", "bc") must
+        // not encode alike — length prefixes keep them apart.
+        let two = |x: &str, y: &str| {
+            let mut enc = CanonicalEncoder::new("test.v1");
+            enc.array(2);
+            enc.str(x);
+            enc.str(y);
+            enc.into_bytes()
+        };
+        assert_ne!(two("ab", "c"), two("a", "bc"));
+        // Schema strings namespace CIDs.
+        let mut v1 = CanonicalEncoder::new("test.v1");
+        v1.u64(7);
+        let mut v2 = CanonicalEncoder::new("test.v2");
+        v2.u64(7);
+        assert_ne!(v1.cid(), v2.cid());
+    }
+
+    #[test]
+    fn floats_encode_by_bit_pattern() {
+        let bits = |v: f64| {
+            let mut enc = CanonicalEncoder::new("f.v1");
+            enc.f64(v);
+            enc.cid()
+        };
+        assert_ne!(bits(0.0), bits(-0.0));
+        assert_eq!(bits(1.5), bits(1.5));
+    }
+}

@@ -28,8 +28,15 @@ pub struct EngineConfig {
     /// Directory the completion cache persists to. `None` (the default)
     /// keeps the cache in memory only; with a directory, the engine
     /// warm-starts from whatever a previous process flushed there and spills
-    /// back on [`Engine::persist`] / drop. No cross-process locking is done.
+    /// back on [`Engine::persist`] / drop. No cross-process locking is done
+    /// unless [`EngineConfig::shared_cache`] is also set.
     pub cache_dir: Option<PathBuf>,
+    /// Opens the cache directory in **shared** mode
+    /// ([`CompletionCache::open_shared`]): completion bodies live in a
+    /// content-addressed object store and flushes merge per shard under
+    /// advisory file locks, so any number of concurrent processes can point
+    /// at one directory safely. Ignored without a `cache_dir`.
+    pub shared_cache: bool,
     /// Default time-to-live for cached completions. `None` = never expire.
     /// Per-request TTLs ([`askit_llm::RequestOptions::ttl`]) win per entry.
     pub cache_ttl: Option<Duration>,
@@ -52,6 +59,7 @@ impl Default for EngineConfig {
             workers: 0,
             cache_capacity: 4096,
             cache_dir: None,
+            shared_cache: false,
             cache_ttl: None,
             adaptive: false,
             model_widths: Vec::new(),
@@ -78,6 +86,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Selects shared (multi-process) mode for the cache directory.
+    #[must_use]
+    pub fn with_shared_cache(mut self, shared: bool) -> Self {
+        self.shared_cache = shared;
         self
     }
 
@@ -208,14 +223,20 @@ impl<L: LanguageModel> Engine<L> {
     /// caching is an accelerator, not a correctness requirement.
     pub fn with_config(model: L, config: EngineConfig) -> Self {
         let cache = (config.cache_capacity > 0).then(|| match &config.cache_dir {
-            Some(dir) => CompletionCache::open(config.cache_capacity, dir, config.cache_ttl)
-                .unwrap_or_else(|e| {
+            Some(dir) => {
+                let opened = if config.shared_cache {
+                    CompletionCache::open_shared(config.cache_capacity, dir, config.cache_ttl)
+                } else {
+                    CompletionCache::open(config.cache_capacity, dir, config.cache_ttl)
+                };
+                opened.unwrap_or_else(|e| {
                     eprintln!(
                         "askit-exec: cache dir {} unusable ({e}); using an in-memory cache",
                         dir.display()
                     );
                     CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl)
-                }),
+                })
+            }
             None => CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl),
         });
         let workers = resolve_workers(config.workers);
@@ -634,7 +655,10 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
             if sample == 0 {
                 self.cancel_speculation(key);
             }
-            cache.remove_keyed(key, request, sample);
+            // Session-scoped rejection: later submissions this session
+            // re-ask the model, but the body stays persisted so a warm
+            // restart replays the whole retry conversation from cache.
+            cache.reject_keyed(key, request, sample);
         }
         self.model.reject_completion(request, sample);
     }
@@ -648,7 +672,7 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
             if sample == 0 {
                 self.cancel_speculation(key);
             }
-            cache.remove_keyed(key, prepared.request(), sample);
+            cache.reject_keyed(key, prepared.request(), sample);
         }
         self.model.reject_prepared(prepared, sample);
     }

@@ -20,6 +20,12 @@
 //!   spills to a versioned per-shard snapshot + write-ahead-log layout and a
 //!   later process warm-starts from it ([`Engine::persist`] flushes, so does
 //!   drop; corruption costs at most the torn tail of a log, never a panic);
+//! * a **content-addressed shared store** ([`ObjectStore`] + [`Cid`]): with
+//!   [`EngineConfig::with_shared_cache`] any number of *processes* share one
+//!   cache directory safely — completion bodies are write-once objects named
+//!   by the 128-bit hash of a canonical encoding ([`CanonicalEncoder`]), and
+//!   each shard's index is merged (not overwritten) under a per-shard
+//!   advisory file lock ([`LockGuard`], plain `std` file locking);
 //! * a **routing-aware scheduler** ([`Scheduler`]): per-model admission
 //!   gates over the shared pool, with optional AIMD width adaptation
 //!   ([`AimdController`]) fed by backend load signals
@@ -43,13 +49,17 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod cas;
 mod engine;
 mod persist;
 #[allow(unsafe_code)]
 mod pool;
 mod sched;
+mod store;
 
 pub use cache::{CacheStats, CompletionCache, SHARD_COUNT};
+pub use cas::{CanonicalEncoder, Cid};
+pub use store::{LockGuard, ObjectStore};
 
 /// Locks a mutex, recovering from poisoning: shard and pool state stay
 /// usable after a panicking task (the panic is reported elsewhere; the

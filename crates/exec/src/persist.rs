@@ -129,8 +129,10 @@ pub(crate) fn wal_path(dir: &Path, index: usize) -> PathBuf {
 // Primitive encoding
 // ---------------------------------------------------------------------------
 
-/// FNV-1a over a byte slice — the record checksum.
-fn fnv64(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice — the record checksum. (Also reused by the
+/// shared-mode index files in `cache.rs`, which frame with
+/// [`write_frame`]/[`scan_frames`] under their own magic.)
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -238,7 +240,7 @@ fn model_from(tag: u8) -> Option<ModelChoice> {
 /// live 2^64−1 ms anyway).
 const TTL_NONE: u64 = u64::MAX;
 
-fn encode_entry(out: &mut Vec<u8>, record: &WalRecord<'_>) {
+pub(crate) fn encode_entry(out: &mut Vec<u8>, record: &WalRecord<'_>) {
     let WalRecord::Put {
         key,
         sample,
@@ -334,6 +336,14 @@ fn decode_entry(dec: &mut Dec<'_>) -> Option<DiskEntry> {
     })
 }
 
+/// Decodes one standalone entry body (a shared-store object): the
+/// [`encode_entry`] layout, required to consume the whole buffer.
+pub(crate) fn decode_entry_bytes(bytes: &[u8]) -> Option<DiskEntry> {
+    let mut dec = Dec::new(bytes);
+    let entry = decode_entry(&mut dec)?;
+    dec.exhausted().then_some(entry)
+}
+
 fn encode_wal_record(out: &mut Vec<u8>, record: &WalRecord<'_>) {
     match record {
         WalRecord::Put { .. } => {
@@ -366,14 +376,14 @@ fn decode_wal_record(body: &[u8]) -> Option<LoadedOp> {
 // Framing
 // ---------------------------------------------------------------------------
 
-fn header(magic: [u8; 4]) -> [u8; HEADER_LEN] {
+pub(crate) fn header(magic: [u8; 4]) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..4].copy_from_slice(&magic);
     h[4..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     h
 }
 
-fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
+pub(crate) fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
     put_u32(out, body.len() as u32);
     out.extend_from_slice(body);
     put_u64(out, fnv64(body));
@@ -388,7 +398,7 @@ fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
 /// missing/oversized/corrupt frame ends the scan: a torn append costs the
 /// records it tore and nothing before them.
 #[allow(clippy::type_complexity)]
-fn scan_frames(bytes: &[u8], magic: [u8; 4]) -> Option<Vec<(&[u8], usize)>> {
+pub(crate) fn scan_frames(bytes: &[u8], magic: [u8; 4]) -> Option<Vec<(&[u8], usize)>> {
     if bytes.len() < HEADER_LEN || bytes[..HEADER_LEN] != header(magic) {
         return None;
     }
@@ -515,13 +525,18 @@ pub(crate) fn append_wal(dir: &Path, index: usize, records: &[WalRecord<'_>]) ->
 /// Atomically replaces a shard's snapshot with `entries` (LRU-first put
 /// records) and truncates its WAL back to a bare header. Returns the number
 /// of entries written.
+///
+/// Both replacements go through [`crate::store::write_atomic`], which
+/// renames a *uniquely named* temporary into place: two caches flushing the
+/// same directory (e.g. a drop-time flush racing another process's
+/// compaction) each publish a complete file and the last rename wins whole
+/// — the old fixed `shard-NN.snap.tmp` name let one writer truncate the
+/// other's in-flight temporary and then rename garbage into place.
 pub(crate) fn write_snapshot(
     dir: &Path,
     index: usize,
     entries: &[WalRecord<'_>],
 ) -> io::Result<u64> {
-    let path = snapshot_path(dir, index);
-    let tmp = dir.join(format!("shard-{index:02}.snap.tmp"));
     let mut out = Vec::new();
     out.extend_from_slice(&header(SNAP_MAGIC));
     let mut body = Vec::new();
@@ -530,8 +545,7 @@ pub(crate) fn write_snapshot(
         encode_entry(&mut body, entry);
         write_frame(&mut out, &body);
     }
-    std::fs::write(&tmp, &out)?;
-    std::fs::rename(&tmp, &path)?;
-    std::fs::write(wal_path(dir, index), header(WAL_MAGIC))?;
+    crate::store::write_atomic(&snapshot_path(dir, index), &out)?;
+    crate::store::write_atomic(&wal_path(dir, index), &header(WAL_MAGIC))?;
     Ok(entries.len() as u64)
 }

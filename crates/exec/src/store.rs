@@ -1,0 +1,413 @@
+//! A content-addressed object store shared safely between processes.
+//!
+//! [`ObjectStore`] is the durability substrate behind the *shared* cache
+//! mode ([`crate::CompletionCache::open_shared`]) and `askit-core`'s shared
+//! `FunctionStore`: any number of processes point at one `--cache-dir` and
+//! cooperate instead of clobbering. Three ideas make that safe without a
+//! daemon:
+//!
+//! 1. **Content addressing.** Object files are named by the [`Cid`] of
+//!    their bytes (`objects/ab/cdef….obj`), so they are *write-once*: two
+//!    processes writing "the same" completion race toward an identical
+//!    file, and the loser's rename is a no-op, not corruption. Reads verify
+//!    the CID, so a damaged object degrades to a miss, never a wrong
+//!    answer.
+//! 2. **Atomic publication.** Every visible file — objects, namespace
+//!    links, index files written by callers — is produced by writing a
+//!    uniquely-named temporary ([`unique_tmp_name`] embeds the pid and a
+//!    process-local counter) and `rename`ing it into place. Readers
+//!    therefore see old-or-new bytes, never a half-written file.
+//! 3. **Advisory locks for read-modify-write.** Mutable state that *must*
+//!    be merged (the completion cache's per-shard index) is updated under
+//!    an exclusive [`LockGuard`] — a `std`-only RAII wrapper over the
+//!    OS advisory file lock (`flock`-style, via [`std::fs::File::lock`]).
+//!    Locks live in `locks/`, one file per resource, so independent shards
+//!    never contend.
+//!
+//! Mutable *pointers* into the immutable object space live under `refs/`:
+//! a **namespace** (e.g. `code_cache`) maps a key CID to a target CID via a
+//! one-line link file, replaced atomically. That is the whole
+//! task-CID → compiled-object-CID table compiled-function persistence
+//! needs.
+//!
+//! The store never deletes objects; garbage is bounded because callers'
+//! indexes are LRU-capped and object bodies dedupe. `rm -r` of the root is
+//! the compaction story, exactly like a build cache.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cas::Cid;
+
+/// Process-local sequence number for temporary file names.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary file name that no other process (pid) and no other call in
+/// this process (counter) will pick. Concurrent writers publishing to the
+/// same final path via `rename` then never truncate each other's
+/// in-flight temporaries — the fix for the snapshot-rename race in
+/// `persist::write_snapshot`.
+pub(crate) fn unique_tmp_name(stem: &str) -> String {
+    format!(
+        "{stem}.{}.{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Writes `bytes` to `path` atomically: a uniquely-named temporary in the
+/// same directory, then `rename`. Readers observe the old file or the new
+/// one, never a prefix.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("atomic");
+    let tmp = dir.join(unique_tmp_name(stem));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no droppings on failure (cross-device, permissions…).
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// An exclusive advisory file lock, released on drop.
+///
+/// Built entirely on [`std::fs::File::lock`] / [`File::unlock`] (stable
+/// `flock` semantics, no `unsafe`, no libc). The lock is **advisory**:
+/// it serializes cooperating `LockGuard` users, which is every writer in
+/// this crate; it does not stop a rogue `cat > file`. It is held per open
+/// file description, so two guards on one path exclude each other even
+/// inside a single process — which is what lets the multi-instance tests
+/// exercise the cross-process protocol in-process.
+///
+/// On process death (even `kill -9`) the OS drops the lock with the file
+/// descriptor, so a crashed worker never wedges the fleet.
+#[derive(Debug)]
+pub struct LockGuard {
+    file: File,
+}
+
+impl LockGuard {
+    /// Blocks until the exclusive lock on `path` is held, creating the
+    /// (empty) lock file as needed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or locking the file.
+    pub fn acquire(path: impl Into<PathBuf>) -> io::Result<LockGuard> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        file.lock()?;
+        Ok(LockGuard { file })
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = self.file.unlock();
+    }
+}
+
+/// A content-addressed object store rooted at a directory (see the module
+/// docs for the layout and the concurrency argument).
+///
+/// The handle is cheap to clone — it is a path; all state is on disk.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    root: PathBuf,
+}
+
+impl ObjectStore {
+    /// Opens (creating as needed) a store rooted at `root`. The layout —
+    /// `objects/`, `refs/`, `locks/` — is created eagerly so later
+    /// operations only ever touch leaf files.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directories.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ObjectStore> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("refs"))?;
+        std::fs::create_dir_all(root.join("locks"))?;
+        Ok(ObjectStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where the object named `cid` lives: two hex digits of fan-out, then
+    /// the rest of the name (kept short enough for any filesystem).
+    fn object_path(&self, cid: Cid) -> PathBuf {
+        let hex = cid.to_hex();
+        self.root
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{}.obj", &hex[2..]))
+    }
+
+    /// Stores `bytes`, returning their [`Cid`]. Idempotent and
+    /// race-free: if the object already exists the write is skipped, and
+    /// two concurrent writers of equal content publish byte-identical
+    /// files, so whichever rename lands last changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only; "already stored" is success.
+    pub fn put_bytes(&self, bytes: &[u8]) -> io::Result<Cid> {
+        let cid = Cid::of(bytes);
+        let path = self.object_path(cid);
+        if path.exists() {
+            return Ok(cid);
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        write_atomic(&path, bytes)?;
+        Ok(cid)
+    }
+
+    /// Fetches the object named `cid`, verifying the bytes still hash to
+    /// it. A missing object *and* a damaged one both read as `Ok(None)` —
+    /// to a cache, either is simply a miss.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than the object not existing.
+    pub fn get(&self, cid: Cid) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.object_path(cid)) {
+            Ok(bytes) => {
+                if Cid::of(&bytes) == cid {
+                    Ok(Some(bytes))
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether the object named `cid` is present (no content verification —
+    /// use [`ObjectStore::get`] when the bytes matter).
+    pub fn contains(&self, cid: Cid) -> bool {
+        self.object_path(cid).exists()
+    }
+
+    /// The directory of `namespace`'s link files.
+    fn namespace_dir(&self, namespace: &str) -> PathBuf {
+        debug_assert!(
+            namespace
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "namespace '{namespace}' must stay a single path component"
+        );
+        self.root.join("refs").join(namespace)
+    }
+
+    /// Points `namespace`/`key` at `target`, atomically replacing any
+    /// previous target (last writer wins — for deterministic producers both
+    /// writers wrote the same CID anyway).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the namespace or publishing the link.
+    pub fn link(&self, namespace: &str, key: Cid, target: Cid) -> io::Result<()> {
+        let dir = self.namespace_dir(namespace);
+        std::fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join(key.to_hex()), format!("{target}\n").as_bytes())
+    }
+
+    /// Follows `namespace`/`key` to its target CID; `None` when the link
+    /// does not exist or its content does not parse as a CID (treat as a
+    /// miss, same as a damaged object).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than the link not existing.
+    pub fn resolve(&self, namespace: &str, key: Cid) -> io::Result<Option<Cid>> {
+        match std::fs::read_to_string(self.namespace_dir(namespace).join(key.to_hex())) {
+            Ok(text) => Ok(Cid::parse_hex(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolves `namespace`/`key` and fetches the object it points at, in
+    /// one verified step (`None` on a missing link, dangling target, or
+    /// damaged object).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than not-found conditions.
+    pub fn resolve_bytes(&self, namespace: &str, key: Cid) -> io::Result<Option<Vec<u8>>> {
+        match self.resolve(namespace, key)? {
+            Some(target) => self.get(target),
+            None => Ok(None),
+        }
+    }
+
+    /// Acquires the exclusive advisory lock named `name` (blocking), e.g.
+    /// one per cache shard. Independent names never contend.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or locking the lock file.
+    pub fn lock(&self, name: &str) -> io::Result<LockGuard> {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "lock name '{name}' must stay a single path component"
+        );
+        LockGuard::acquire(self.root.join("locks").join(format!("{name}.lock")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "askit-store-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedupe() {
+        let dir = temp_dir("roundtrip");
+        let store = ObjectStore::open(&dir).unwrap();
+        let cid = store.put_bytes(b"the completion body").unwrap();
+        assert_eq!(
+            store.get(cid).unwrap().as_deref(),
+            Some(&b"the completion body"[..])
+        );
+        // Writing the same content again lands on the same object.
+        assert_eq!(store.put_bytes(b"the completion body").unwrap(), cid);
+        assert!(store.contains(cid));
+        // Different content, different object.
+        let other = store.put_bytes(b"something else").unwrap();
+        assert_ne!(other, cid);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_object_reads_as_miss() {
+        let dir = temp_dir("damage");
+        let store = ObjectStore::open(&dir).unwrap();
+        let cid = store.put_bytes(b"pristine").unwrap();
+        // Corrupt the object in place.
+        std::fs::write(store.object_path(cid), b"tampered").unwrap();
+        assert_eq!(store.get(cid).unwrap(), None, "hash mismatch is a miss");
+        // An absent object is also a miss, not an error.
+        assert_eq!(store.get(Cid::of(b"never stored")).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn links_resolve_and_replace_atomically() {
+        let dir = temp_dir("links");
+        let store = ObjectStore::open(&dir).unwrap();
+        let key = Cid::of(b"task identity");
+        let v1 = store.put_bytes(b"compiled v1").unwrap();
+        let v2 = store.put_bytes(b"compiled v2").unwrap();
+        assert_eq!(store.resolve("code_cache", key).unwrap(), None);
+        store.link("code_cache", key, v1).unwrap();
+        assert_eq!(store.resolve("code_cache", key).unwrap(), Some(v1));
+        assert_eq!(
+            store.resolve_bytes("code_cache", key).unwrap().as_deref(),
+            Some(&b"compiled v1"[..])
+        );
+        store.link("code_cache", key, v2).unwrap();
+        assert_eq!(store.resolve("code_cache", key).unwrap(), Some(v2));
+        // A garbage link file reads as a miss.
+        std::fs::write(
+            store.namespace_dir("code_cache").join(key.to_hex()),
+            b"not a cid",
+        )
+        .unwrap();
+        assert_eq!(store.resolve("code_cache", key).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_guards_exclude_each_other() {
+        // flock is held per open file description, so two guards in one
+        // process model two processes faithfully.
+        let dir = temp_dir("locks");
+        let store = Arc::new(ObjectStore::open(&dir).unwrap());
+        let inside = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                let inside = Arc::clone(&inside);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let _guard = store.lock("shard-00").unwrap();
+                        assert!(
+                            !inside.swap(true, Ordering::SeqCst),
+                            "two guards held the same lock at once"
+                        );
+                        std::thread::sleep(Duration::from_micros(50));
+                        inside.store(false, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_lock_names_do_not_contend() {
+        let dir = temp_dir("locknames");
+        let store = ObjectStore::open(&dir).unwrap();
+        let _a = store.lock("shard-00").unwrap();
+        // Must not block: a different resource is a different lock file.
+        let _b = store.lock("shard-01").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("index.idx");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second, longer than first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer than first");
+        // No temporaries left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temporaries: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -158,8 +158,11 @@ fn prefetch_lands_and_serves_the_next_submission() {
     assert!(engine.prefetch(&prepared));
 }
 
-/// Withdrawn speculation must never survive in the cache, whatever the
-/// interleaving between the background job and the rejection.
+/// Withdrawn speculation must never be *served*, whatever the interleaving
+/// between the background job and the rejection. (The entry may stay
+/// resident — rejection is session-scoped and the body persists for warm
+/// restarts — but every later submission this session must reach the
+/// model.)
 #[test]
 fn rejected_speculation_is_evicted() {
     for round in 0..20u64 {
@@ -176,17 +179,16 @@ fn rejected_speculation_is_evicted() {
             std::thread::sleep(Duration::from_micros(50 * round));
         }
         engine.reject_completion(prepared.request(), 0);
-        // Publication happens under the ledger lock, so once the rejection
-        // has returned *no* interleaving may surface the entry afterwards
-        // — watch for a late (buggy) publish from a cancelled job.
-        for _ in 0..25 {
-            assert_eq!(
-                engine.cache_stats().entries,
-                0,
-                "round {round}: a withdrawn speculation surfaced in the cache"
-            );
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        // Once the rejection has returned, *no* interleaving may serve the
+        // withdrawn completion: a served completion would be a cache hit,
+        // so the hit counter must not move across the re-submission.
+        let hits = engine.cache_stats().hits;
+        let _ = engine.complete_prepared(&prepared, 0).unwrap();
+        assert_eq!(
+            engine.cache_stats().hits,
+            hits,
+            "round {round}: a withdrawn speculation was served from the cache"
+        );
         let model = engine.into_model();
         drop(model);
     }
@@ -202,9 +204,9 @@ fn rejected_speculation_is_evicted() {
     }
     engine.reject_completion(prepared.request(), 0);
     assert_eq!(
-        engine.cache_stats().entries,
-        0,
-        "withdrawn speculation gone"
+        engine.cache_stats().invalidations,
+        1,
+        "the landed speculation was rejected in place"
     );
     let calls = engine.model().calls();
     let _ = engine.complete_prepared(&prepared, 0).unwrap();

@@ -431,7 +431,7 @@ fn engine_warm_starts_from_disk_without_model_calls() {
 }
 
 #[test]
-fn rejected_completions_never_resurrect_across_processes() {
+fn rejections_are_session_advice_not_cache_identity() {
     let dir = fresh_dir("reject");
     let req = request("Hello there!");
     {
@@ -440,17 +440,25 @@ fn rejected_completions_never_resurrect_across_processes() {
             EngineConfig::default().with_cache_dir(&dir),
         );
         let _ = engine.complete(&req).unwrap();
-        // Downstream validation failed: the entry must not outlive us.
+        // Downstream validation failed: this session must re-ask…
         engine.reject_completion(&req, 0);
+        let _ = engine.complete(&req).unwrap();
+        assert_eq!(
+            engine.model().calls(),
+            2,
+            "rejection forces an in-session re-ask"
+        );
         engine.persist().unwrap();
     }
+    // …but the retry's answer persists under the same key, so a warm
+    // restart replays the whole exchange from cache with zero re-queries.
     let warm = Engine::with_config(
         MockLlm::gpt4(),
         EngineConfig::default().with_cache_dir(&dir),
     );
-    assert_eq!(warm.cache_stats().loaded, 0);
+    assert!(warm.cache_stats().loaded >= 1);
     let _ = warm.complete(&req).unwrap();
-    assert_eq!(warm.model().calls(), 1, "the poisoned entry was re-asked");
+    assert_eq!(warm.model().calls(), 0, "warm replay is fully cache-served");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

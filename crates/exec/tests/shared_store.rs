@@ -1,0 +1,332 @@
+//! Cross-process shared-cache behaviour, exercised in-process: advisory
+//! file locks are held per open file description, so two `CompletionCache`
+//! instances on one directory interleave exactly like two processes would.
+//!
+//! Covers: merge-on-persist (unions survive, last-writer does not win),
+//! content dedupe through the object store, invalidations staying dead
+//! across merges, warm-start hit behaviour, and the snapshot-tempfile race
+//! regression in the *non*-shared layout.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use askit_exec::{CompletionCache, Engine, EngineConfig};
+use askit_llm::{Completion, CompletionRequest, LanguageModel, MockLlm, TokenUsage};
+
+/// A fresh, unique directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "askit-shared-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(prompt: &str) -> CompletionRequest {
+    CompletionRequest::from_prompt(prompt)
+}
+
+fn completion(text: &str) -> Completion {
+    Completion {
+        text: text.to_owned(),
+        usage: TokenUsage {
+            prompt_tokens: 3,
+            completion_tokens: 7,
+        },
+        latency: Duration::from_millis(250),
+    }
+}
+
+/// Every object file currently in the store (recursive).
+fn object_count(dir: &std::path::Path) -> usize {
+    fn walk(dir: &std::path::Path, count: &mut usize) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, count);
+            } else if path.extension().is_some_and(|e| e == "obj") {
+                *count += 1;
+            }
+        }
+    }
+    let mut count = 0;
+    walk(&dir.join("objects"), &mut count);
+    count
+}
+
+#[test]
+fn shared_roundtrip_warm_starts_a_fresh_instance() {
+    let dir = fresh_dir("roundtrip");
+    let reqs: Vec<CompletionRequest> = (0..30).map(|i| request(&format!("prompt {i}"))).collect();
+
+    let cache = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    assert!(cache.is_shared());
+    for (i, req) in reqs.iter().enumerate() {
+        cache.put(req, 0, completion(&format!("answer {i}")));
+    }
+    assert!(cache.remove(&reqs[4], 0), "reject one completion");
+    cache.persist().unwrap();
+
+    let warm = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    assert_eq!(warm.stats().loaded, 29, "all entries but the rejected one");
+    for (i, req) in reqs.iter().enumerate() {
+        match warm.get(req, 0) {
+            Some(hit) => {
+                assert_ne!(i, 4, "the rejected completion must not resurrect");
+                assert_eq!(hit.text, format!("answer {i}"));
+                assert_eq!(hit.latency, Duration::from_millis(250));
+            }
+            None => assert_eq!(i, 4),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_instances_union_instead_of_overwriting() {
+    let dir = fresh_dir("union");
+    // Both instances are open at once — under the old single-process
+    // layout, whichever flushed last would wipe the other's entries.
+    let a = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    let b = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    for i in 0..10 {
+        a.put(&request(&format!("from-a {i}")), 0, completion("a"));
+        b.put(&request(&format!("from-b {i}")), 0, completion("b"));
+    }
+    a.persist().unwrap();
+    b.persist().unwrap();
+    drop(a);
+    drop(b);
+
+    let merged = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    assert_eq!(merged.stats().loaded, 20, "both processes' entries survive");
+    for i in 0..10 {
+        assert_eq!(
+            merged
+                .get(&request(&format!("from-a {i}")), 0)
+                .unwrap()
+                .text,
+            "a"
+        );
+        assert_eq!(
+            merged
+                .get(&request(&format!("from-b {i}")), 0)
+                .unwrap()
+                .text,
+            "b"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_completions_dedupe_to_one_object() {
+    let dir = fresh_dir("dedupe");
+    let a = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    let b = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    // Two workers derive the same completion for the same request — the
+    // deterministic-backend case the eval sweep exercises at scale.
+    let req = request("the shared prompt");
+    a.put(&req, 0, completion("the shared answer"));
+    b.put(&req, 0, completion("the shared answer"));
+    a.persist().unwrap();
+    b.persist().unwrap();
+    assert_eq!(
+        object_count(&dir),
+        1,
+        "equal content must collapse to one write-once object"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalidations_survive_merges_from_other_instances() {
+    let dir = fresh_dir("invalidate");
+    let req = request("eventually rejected");
+
+    let a = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    a.put(&req, 0, completion("bad answer"));
+    a.persist().unwrap();
+
+    // A second instance warm-starts, rejects the completion, and flushes.
+    let b = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    assert!(b.get(&req, 0).is_some());
+    assert!(b.remove(&req, 0));
+    b.persist().unwrap();
+
+    // The first instance still holds the entry in memory; its later
+    // recency-only flush must not resurrect the rejected completion in the
+    // merged index (a touch of a deleted record is a no-op).
+    assert!(a.get(&req, 0).is_some(), "a's private view is untouched");
+    a.persist().unwrap();
+
+    let fresh = CompletionCache::open_shared(1024, &dir, None).unwrap();
+    assert!(
+        fresh.get(&req, 0).is_none(),
+        "the rejected completion must stay dead after every merge"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejections_are_session_scoped_but_removals_are_permanent() {
+    let dir = fresh_dir("reject");
+    let req = request("fails validation");
+
+    let cache = CompletionCache::open_shared(64, &dir, None).unwrap();
+    cache.put(&req, 0, completion("bad but real"));
+    // Rejection: this session must re-ask on the next lookup…
+    assert!(cache.reject(&req, 0));
+    assert!(
+        cache.get(&req, 0).is_none(),
+        "rejected entries miss in-session"
+    );
+    assert_eq!(cache.stats().invalidations, 1);
+    cache.persist().unwrap();
+
+    // …but the body persists: a warm start replays the conversation
+    // without a model call (validation re-fails deterministically and the
+    // cached retry turns follow).
+    let warm = CompletionCache::open_shared(64, &dir, None).unwrap();
+    assert_eq!(
+        warm.get(&req, 0).unwrap().text,
+        "bad but real",
+        "rejection is session advice, not cache identity"
+    );
+    // A hard remove, by contrast, stays dead everywhere.
+    assert!(warm.remove(&req, 0));
+    warm.persist().unwrap();
+    let fresh = CompletionCache::open_shared(64, &dir, None).unwrap();
+    assert!(fresh.get(&req, 0).is_none(), "removals are permanent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_persist_stress_keeps_the_directory_consistent() {
+    let dir = fresh_dir("stress");
+    // Four instances, overlapping key ranges, interleaved persists — the
+    // in-process equivalent of a small worker fleet on one cache dir.
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let dir = dir.clone();
+            scope.spawn(move || {
+                let cache = CompletionCache::open_shared(4096, &dir, None).unwrap();
+                for round in 0..5 {
+                    for i in 0..20 {
+                        // Half the keys are shared across every instance,
+                        // half are private to this one.
+                        let req = if i % 2 == 0 {
+                            request(&format!("common {i}"))
+                        } else {
+                            request(&format!("private {t} {i}"))
+                        };
+                        if cache.get(&req, 0).is_none() {
+                            cache.put(&req, 0, completion(&format!("answer {i}")));
+                        }
+                    }
+                    cache
+                        .persist()
+                        .unwrap_or_else(|e| panic!("round {round}: {e}"));
+                }
+            });
+        }
+    });
+    let merged = CompletionCache::open_shared(4096, &dir, None).unwrap();
+    let stats = merged.stats();
+    // 10 common keys + 4 × 10 private keys, every body loadable.
+    assert_eq!(stats.loaded, 50, "union of all instances: {stats}");
+    for i in (0..20).step_by(2) {
+        assert_eq!(
+            merged
+                .get(&request(&format!("common {i}")), 0)
+                .unwrap()
+                .text,
+            format!("answer {i}")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engines_share_a_cache_dir_through_the_config_knob() {
+    let dir = fresh_dir("engine");
+    let config = || {
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_dir(&dir)
+            .with_shared_cache(true)
+    };
+    // First engine populates; both engines are alive at once.
+    let first = Engine::with_config(MockLlm::gpt4(), config());
+    let second = Engine::with_config(MockLlm::gpt4(), config());
+    let req = request("Hello there!");
+    let answer = first.complete(&req).unwrap();
+    first.persist().unwrap();
+    drop(first);
+
+    // The second engine opened before the flush, so it misses in memory —
+    // but a third engine warm-starts from the merged directory.
+    drop(second);
+    let third = Engine::with_config(MockLlm::gpt4(), config());
+    assert_eq!(third.complete(&req).unwrap(), answer);
+    assert_eq!(
+        third.model().calls(),
+        0,
+        "warm start serves from the shared store without a model call"
+    );
+    assert_eq!(third.cache_stats().hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_tempfile_race_regression() {
+    // Regression: `write_snapshot` used one *fixed* temporary name per
+    // shard, so two caches compacting the same directory could truncate
+    // each other's in-flight temporary and rename garbage (or fail the
+    // rename) — the drop-time-flush race. Unique tempfile names make every
+    // compaction land whole. This drives the non-shared layout, where the
+    // bug lived.
+    let dir = fresh_dir("tmp-race");
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let dir = dir.clone();
+            scope.spawn(move || {
+                let cache = CompletionCache::open(256, &dir, None).unwrap();
+                let reqs: Vec<CompletionRequest> =
+                    (0..96).map(|i| request(&format!("prompt {i}"))).collect();
+                for req in &reqs {
+                    cache.put(req, 0, completion("answer"));
+                }
+                // Touch-heavy persist cycles force WAL growth past the
+                // compaction threshold, so snapshot rewrites happen under
+                // contention.
+                for round in 0..12 {
+                    for req in &reqs {
+                        let _ = cache.get(req, 0);
+                    }
+                    cache
+                        .persist()
+                        .unwrap_or_else(|e| panic!("persist round {round} failed: {e}"));
+                }
+            });
+        }
+    });
+    // Whatever interleaving happened, the directory must load cleanly and
+    // no temporary may be left behind.
+    let reloaded = CompletionCache::open(256, &dir, None).unwrap();
+    assert!(reloaded.stats().loaded > 0, "snapshots stayed readable");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked temporaries: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

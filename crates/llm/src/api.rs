@@ -341,6 +341,34 @@ impl CompletionRequest {
             && self.messages == other.messages
     }
 
+    /// The exact byte stream [`CompletionRequest::fingerprint`] folds into
+    /// its 64-bit hash: temperature bits, routed model (when not
+    /// [`ModelChoice::Default`]), each message as role tag + content +
+    /// separator, and finally `salt`.
+    ///
+    /// This is the bridge to *wider* identities: content-addressed storage
+    /// (`askit-exec`'s shared store) hashes these same bytes with a 128-bit
+    /// function, so a store CID and a cache fingerprint are two hashes of
+    /// one preimage and can never disagree about what a request *is*. The
+    /// unit test `identity_bytes_are_the_fingerprint_preimage` pins the
+    /// equivalence: FNV-1a-64 over this buffer equals
+    /// [`CompletionRequest::fingerprint`] for every request and salt.
+    pub fn identity_bytes(&self, salt: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.prompt_chars() + 16 * self.messages.len() + 32);
+        out.extend_from_slice(&self.temperature.to_bits().to_le_bytes());
+        // `Default` contributes no bytes; see `RequestHasher::new`.
+        if self.options.model != ModelChoice::Default {
+            out.extend_from_slice(self.options.model.tag().as_bytes());
+        }
+        for message in &self.messages {
+            out.extend_from_slice(message.role.as_str().as_bytes());
+            out.extend_from_slice(message.content.as_bytes());
+            out.push(0xFF); // message separator, as in `RequestHasher::push`
+        }
+        out.extend_from_slice(&salt.to_le_bytes());
+        out
+    }
+
     /// The most recent user message, if any.
     pub fn last_user(&self) -> Option<&str> {
         self.messages
@@ -894,6 +922,40 @@ mod tests {
             assert_eq!(prepared.fingerprint(salt), req.fingerprint(salt));
         }
         assert_eq!(prepared.into_request(), req);
+    }
+
+    #[test]
+    fn identity_bytes_are_the_fingerprint_preimage() {
+        // FNV-1a-64 over `identity_bytes` must equal `fingerprint` for any
+        // request shape and salt — the contract that lets wider hashes
+        // (content-addressed store CIDs) share the 64-bit key's preimage.
+        let fnv64 = |bytes: &[u8]| {
+            let mut h = FNV_OFFSET;
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        };
+        let mut req = CompletionRequest::from_prompt("solve this");
+        for salt in [0u64, 1, 0xDEAD_BEEF] {
+            assert_eq!(fnv64(&req.identity_bytes(salt)), req.fingerprint(salt));
+        }
+        req.options.model = ModelChoice::Gpt4;
+        req.temperature = 0.25;
+        req.messages.push(ChatMessage::assistant("bad answer"));
+        req.messages.push(ChatMessage::user("try again"));
+        for salt in [0u64, 42] {
+            assert_eq!(fnv64(&req.identity_bytes(salt)), req.fingerprint(salt));
+        }
+        // Service advice (cache policy, TTL) stays out of the preimage.
+        let advised = req.clone().with_options(RequestOptions {
+            model: ModelChoice::Gpt4,
+            cache: CachePolicy::Bypass,
+            ttl: Some(Duration::from_secs(60)),
+            timeout: Some(Duration::from_secs(5)),
+        });
+        assert_eq!(req.identity_bytes(3), advised.identity_bytes(3));
     }
 
     #[test]

@@ -1,24 +1,77 @@
 #!/usr/bin/env python3
-"""Collect BENCH_*.json artifacts into a single BENCH_TRENDS.md.
+"""Render BENCH_*.json artifacts into a BENCH_TRENDS.md dashboard.
 
 Every bench job in CI emits one JSON object as a ``BENCH_<name>.json``
 artifact. This script scans a directory tree for those files (artifact
-downloads unpack each one into its own subdirectory), flattens each object
-into dotted key/value rows, and renders one markdown section per bench so a
-whole run's numbers can be read — and diffed against a previous run — in one
-place.
+downloads unpack each one into its own subdirectory) and renders one
+markdown section per bench. When several snapshots of the *same* bench are
+present — e.g. artifacts downloaded from a run plus one or more previous
+runs — each metric row grows a history: the raw values oldest→newest and a
+sparkline (``▁▂▃▄▅▆▇█``) so a drifting metric is visible at a glance
+without diffing JSON by hand.
+
+Snapshots of one bench are ordered by file modification time (artifact
+extraction preserves the run order when older runs are downloaded first);
+with a single snapshot per bench the dashboard degrades to plain
+latest-value tables.
+
+The dashboard header documents what each CI gate measures and where its
+threshold lives, so a red gate can be read without opening the workflow.
 
 Usage:
     python3 tools/bench_trends.py [--dir DIR] [--out BENCH_TRENDS.md]
 
-The script is deliberately generic: new benches need no changes here, they
-just have to emit a single JSON object and follow the naming convention.
+New benches need no changes here: emit a single JSON object, follow the
+``BENCH_<name>.json`` naming convention, and (optionally) add a gate
+description to ``GATES`` below.
 """
 
 import argparse
 import json
 import sys
 from pathlib import Path
+
+# How to read each gate: bench name -> (what the number is, what failing
+# means). Kept here, next to the renderer, so the dashboard and the gate
+# travel together; thresholds live in .github/workflows/ci.yml.
+GATES = {
+    "engine_throughput": (
+        "serial vs batched GSM8K submission through the engine pool",
+        "no hard gate — a trends-only artifact; watch problems/sec",
+    ),
+    "engine_overhead": (
+        "100k-problem warm-cache sweep: pooled vs spawn-per-call, plus the "
+        "prepared-fingerprint fast path",
+        "fails when pooled speedup < 1.5x or the fingerprint path < 10x — "
+        "the engine's bookkeeping started to cost more than it saves",
+    ),
+    "cache_warmstart": (
+        "gsm8k_speedup example cold then warm against one --cache-dir",
+        "fails when the warm run hits < 90% or is not faster — persistence "
+        "stopped replaying the cold run",
+    ),
+    "mixed_model_routing": (
+        "AIMD width adaptation vs the best static width; escalation ladder "
+        "vs expensive-only routing",
+        "fails when adaptive < 0.95x best-static, escalation loses solved "
+        "problems, or stops reducing expensive-model calls",
+    ),
+    "serve_loadtest": (
+        "8 client threads through the HTTP/SSE front-end to the loopback "
+        "server, cold then warm",
+        "fails on any dropped request, no coalescing, warm-pass wire "
+        "requests, or a misbehaving drain",
+    ),
+    "shared_cache": (
+        "N concurrent table3 shard processes over one --shared-cache dir, "
+        "merged and compared against a single-process run",
+        "fails when the merged digest is not bit-identical to the "
+        "reference or the warm sweep's aggregate hit rate < 90% — the "
+        "store corrupted, dropped, or stopped serving entries",
+    ),
+}
+
+SPARKS = "▁▂▃▄▅▆▇█"
 
 
 def flatten(value, prefix=""):
@@ -40,12 +93,54 @@ def flatten(value, prefix=""):
         yield prefix.rstrip("."), value
 
 
-def render_section(name, data):
-    lines = [f"## {name}", "", "| metric | value |", "|---|---|"]
-    for key, value in flatten(data):
-        if isinstance(value, float):
-            value = f"{value:.4g}"
-        lines.append(f"| `{key}` | {value} |")
+def sparkline(values):
+    """One spark character per numeric snapshot, min..max scaled."""
+    numeric = [v for v in values if isinstance(v, (int, float))]
+    if len(numeric) != len(values) or len(values) < 2:
+        return ""
+    low, high = min(numeric), max(numeric)
+    if high == low:
+        return SPARKS[3] * len(numeric)
+    scale = (len(SPARKS) - 1) / (high - low)
+    return "".join(SPARKS[round((v - low) * scale)] for v in numeric)
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_section(name, snapshots):
+    """One bench's markdown: gate doc + metric table over its snapshots."""
+    lines = [f"## {name}", ""]
+    if name in GATES:
+        measures, failing = GATES[name]
+        lines += [f"*Measures:* {measures}.", "", f"*Gate:* {failing}.", ""]
+    history = len(snapshots) > 1
+    if history:
+        lines += [
+            f"{len(snapshots)} snapshots, oldest → newest.",
+            "",
+            "| metric | history | trend | latest |",
+            "|---|---|---|---|",
+        ]
+    else:
+        lines += ["| metric | value |", "|---|---|"]
+
+    # Row order follows the latest snapshot; older snapshots may lack keys.
+    keys = [key for key, _ in flatten(snapshots[-1])]
+    per_snapshot = [dict(flatten(snap)) for snap in snapshots]
+    for key in keys:
+        if history:
+            values = [snap.get(key) for snap in per_snapshot if key in snap]
+            shown = ", ".join(fmt(v) for v in values[:-1]) or "—"
+            lines.append(
+                f"| `{key}` | {shown} | {sparkline(values)} "
+                f"| {fmt(values[-1])} |"
+            )
+        else:
+            lines.append(f"| `{key}` | {fmt(per_snapshot[-1][key])} |")
     lines.append("")
     return "\n".join(lines)
 
@@ -64,37 +159,46 @@ def main():
     )
     args = parser.parse_args()
 
-    found = sorted(Path(args.dir).rglob("BENCH_*.json"), key=lambda p: p.name)
-    sections = []
-    seen = set()
-    for path in found:
-        if path.name in seen:
-            continue  # artifact directories can duplicate a file
+    # Group every copy of each bench name; order copies oldest-first.
+    benches = {}
+    for path in sorted(
+        Path(args.dir).rglob("BENCH_*.json"),
+        key=lambda p: (p.stat().st_mtime, str(p)),
+    ):
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
             print(f"skipping {path}: {error}", file=sys.stderr)
             continue
-        seen.add(path.name)
         name = path.stem.removeprefix("BENCH_")
-        sections.append(render_section(name, data))
+        snapshots = benches.setdefault(name, [])
+        # Identical re-downloads of one artifact are not history.
+        if not any(data == seen for seen in snapshots):
+            snapshots.append(data)
 
-    if not sections:
+    if not benches:
         sys.exit(f"no readable BENCH_*.json files under {args.dir}")
 
+    sections = [
+        render_section(name, snaps) for name, snaps in sorted(benches.items())
+    ]
     body = "\n".join(
         [
             "# Bench trends",
             "",
-            "One section per `BENCH_*.json` artifact emitted by this run's",
-            "bench jobs. Compare against the previous run's artifact to spot",
-            "regressions the hard gates are too tolerant to catch.",
+            "One section per `BENCH_*.json` artifact emitted by the bench",
+            "jobs. Each section states what the bench measures and what its",
+            "CI gate catches (thresholds live in `.github/workflows/ci.yml`).",
+            "Drop previous runs' artifacts into the same scan directory to",
+            "grow per-metric histories with sparklines — a slow drift shows",
+            "up there long before it trips a hard gate.",
             "",
             *sections,
         ]
     )
     Path(args.out).write_text(body)
-    print(f"wrote {args.out} ({len(seen)} benches)")
+    total = sum(len(s) for s in benches.values())
+    print(f"wrote {args.out} ({len(benches)} benches, {total} snapshots)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Multi-process shared-cache gate for the table3 sweep.
+
+Drives the scenario the content-addressed store exists for: several eval
+processes pointing at ONE ``--cache-dir`` in ``--shared-cache`` mode, each
+running a disjoint ``--shard`` of the problem list, with their flushes
+merging through per-shard file locks instead of overwriting each other.
+
+Three phases, all against the same binary:
+
+1. **Reference** — one full single-process run, no cache. Its
+   ``TABLE3_DIGEST`` line is the ground truth the shards must reproduce.
+2. **Cold** — N concurrent shard processes share a fresh cache directory
+   and each write a JSON fragment; ``merge-table3`` unions the fragments.
+   The merged ``TABLE3_MERGE`` digest must equal the reference digest
+   bit-for-bit.
+3. **Warm** — the same N shards rerun against the now-populated directory.
+   The merge must again be bit-identical, and the aggregate hit rate
+   across every fragment's cache counters must reach the threshold
+   (default 0.90): a warm sweep is supposed to be served from the store,
+   not re-derived.
+
+Any nonzero exit, missing digest line, or load error fails the gate — a
+corrupted index or object would surface as one of those. The observed
+numbers land in ``BENCH_shared_cache.json`` for the trends dashboard.
+
+Usage:
+    python3 tools/shared_cache_gate.py [--bin PATH] [--shards N]
+                                       [--count N] [--seed S]
+                                       [--min-hit-rate R] [--out PATH]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def digest_line(tag, output, context):
+    """The JSON payload of the single ``tag`` line in ``output``."""
+    found = [line for line in output.splitlines() if line.startswith(tag + " ")]
+    if len(found) != 1:
+        sys.exit(f"{context}: expected exactly one {tag} line, got {len(found)}")
+    return found[0].split(" ", 1)[1]
+
+
+def run(cmd, context, **kwargs):
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, check=False, **kwargs
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"{context} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def sweep(args, workdir, phase):
+    """One N-process concurrent shard sweep + merge; returns (digest, frags)."""
+    procs = []
+    for shard in range(args.shards):
+        fragment = workdir / f"{phase}{shard}.json"
+        procs.append(
+            (
+                shard,
+                fragment,
+                subprocess.Popen(
+                    [
+                        args.bin,
+                        "table3",
+                        "--count", str(args.count),
+                        "--seed", str(args.seed),
+                        "--threads", "2",
+                        "--cache-dir", str(workdir / "cache"),
+                        "--shared-cache",
+                        "--shard", f"{shard}/{args.shards}",
+                        "--fragment", str(fragment),
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    cwd=workdir,
+                ),
+            )
+        )
+    fragments = []
+    for shard, fragment, proc in procs:
+        stdout, stderr = proc.communicate()
+        context = f"{phase} shard {shard}/{args.shards}"
+        if proc.returncode != 0:
+            sys.exit(
+                f"{context} exited {proc.returncode}\n"
+                f"stdout:\n{stdout}\nstderr:\n{stderr}"
+            )
+        # Every run prints its own digest even in fragment mode; its absence
+        # (or duplication) means the run did not finish cleanly.
+        digest_line("TABLE3_DIGEST", stdout, context)
+        fragments.append(json.loads(fragment.read_text()))
+    merge = run(
+        [args.bin, "merge-table3"]
+        + [str(workdir / f"{phase}{s}.json") for s in range(args.shards)],
+        f"{phase} merge",
+        cwd=workdir,
+    )
+    return digest_line("TABLE3_MERGE", merge.stdout, f"{phase} merge"), fragments
+
+
+def hit_stats(fragments):
+    hits = sum(c["cache"]["hits"] for f in fragments for c in f["columns"])
+    misses = sum(c["cache"]["misses"] for f in fragments for c in f["columns"])
+    return hits, misses, hits / max(hits + misses, 1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bin",
+        default="target/release/askit-eval",
+        help="askit-eval binary (default: target/release/askit-eval)",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--count", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=20240302)
+    parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    parser.add_argument("--out", default="BENCH_shared_cache.json")
+    args = parser.parse_args()
+    # The shard processes run inside a temp dir; the binary path must
+    # survive that cwd change.
+    args.bin = str(Path(args.bin).resolve())
+    if args.shards < 2:
+        sys.exit("--shards must be >= 2: the gate exists to test concurrency")
+
+    with tempfile.TemporaryDirectory(prefix="askit-shared-gate-") as tmp:
+        workdir = Path(tmp)
+        started = time.monotonic()
+        reference = run(
+            [
+                args.bin, "table3",
+                "--count", str(args.count),
+                "--seed", str(args.seed),
+                "--threads", "2",
+            ],
+            "reference run",
+            cwd=workdir,
+        )
+        ref_digest = digest_line("TABLE3_DIGEST", reference.stdout, "reference")
+        ref_secs = time.monotonic() - started
+
+        started = time.monotonic()
+        cold_digest, cold_frags = sweep(args, workdir, "cold")
+        cold_secs = time.monotonic() - started
+        started = time.monotonic()
+        warm_digest, warm_frags = sweep(args, workdir, "warm")
+        warm_secs = time.monotonic() - started
+
+    cold_hits, cold_misses, cold_rate = hit_stats(cold_frags)
+    warm_hits, warm_misses, warm_rate = hit_stats(warm_frags)
+    digests_identical = cold_digest == ref_digest and warm_digest == ref_digest
+    failures = []
+    if cold_digest != ref_digest:
+        failures.append(
+            f"cold merged digest diverged from the single-process run:\n"
+            f"  reference: {ref_digest}\n  merged:    {cold_digest}"
+        )
+    if warm_digest != ref_digest:
+        failures.append(
+            f"warm merged digest diverged from the single-process run:\n"
+            f"  reference: {ref_digest}\n  merged:    {warm_digest}"
+        )
+    if warm_rate < args.min_hit_rate:
+        failures.append(
+            f"warm sweep was re-derived, not served: aggregate hit rate "
+            f"{warm_rate:.4f} ({warm_hits} hits / {warm_misses} misses) "
+            f"< {args.min_hit_rate}"
+        )
+
+    stats = {
+        "shards": args.shards,
+        "count": args.count,
+        "seed": args.seed,
+        "digest": json.loads(ref_digest),
+        "digests_identical": digests_identical,
+        "reference_secs": round(ref_secs, 3),
+        "cold": {
+            "secs": round(cold_secs, 3),
+            "hits": cold_hits,
+            "misses": cold_misses,
+            "hit_rate": round(cold_rate, 4),
+        },
+        "warm": {
+            "secs": round(warm_secs, 3),
+            "hits": warm_hits,
+            "misses": warm_misses,
+            "hit_rate": round(warm_rate, 4),
+        },
+    }
+    Path(args.out).write_text(json.dumps(stats, indent=2) + "\n")
+    print(
+        f"{args.shards} concurrent shards over one cache dir: digests "
+        f"{'identical' if stats['digests_identical'] else 'DIVERGED'}; "
+        f"cold {cold_secs:.1f}s ({cold_rate:.0%} hits) -> warm "
+        f"{warm_secs:.1f}s ({warm_rate:.1%} hits)"
+    )
+    if failures:
+        sys.exit("\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()
