@@ -70,6 +70,14 @@ pub struct AskitConfig {
     ///
     /// [m]: askit_llm::ModelChoice::Default
     pub escalation: Escalation,
+    /// Opt-in request hedging on multi-endpoint network backends: after a
+    /// latency-percentile delay, a second attempt races on the next healthy
+    /// endpoint and the first success wins. Off by default (it can spend an
+    /// extra round trip per request); in-process and single-endpoint
+    /// backends ignore it. Overridable per call via
+    /// [`crate::QueryOptions::hedge`]; stamped on every request as
+    /// [`RequestOptions::hedge`]. Service advice, not cache identity.
+    pub hedge: bool,
 }
 
 impl Default for AskitConfig {
@@ -85,6 +93,7 @@ impl Default for AskitConfig {
             request_timeout: None,
             speculate: false,
             escalation: Escalation::OFF,
+            hedge: false,
         }
     }
 }
@@ -154,6 +163,13 @@ impl AskitConfig {
         self
     }
 
+    /// Enables (or disables) request hedging (see [`AskitConfig::hedge`]).
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: bool) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
     /// Installs a tiered-escalation ladder (see
     /// [`AskitConfig::escalation`]).
     #[must_use]
@@ -163,12 +179,18 @@ impl AskitConfig {
     }
 
     /// The per-request options this configuration stamps on submissions.
+    ///
+    /// The deadline is left unstamped here: `run_direct` stamps it once at
+    /// admission (see [`RequestOptions::stamp_deadline`]) so the whole retry
+    /// loop — not each attempt — shares one budget.
     pub fn request_options(&self) -> RequestOptions {
         RequestOptions {
             model: self.model,
             cache: self.cache_policy,
             ttl: self.cache_ttl,
             timeout: self.request_timeout,
+            deadline: None,
+            hedge: self.hedge,
         }
     }
 }
@@ -213,6 +235,8 @@ mod tests {
                 cache: CachePolicy::Bypass,
                 ttl: Some(Duration::from_secs(60)),
                 timeout: Some(Duration::from_secs(30)),
+                deadline: None,
+                hedge: false,
             }
         );
     }

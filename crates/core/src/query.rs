@@ -57,6 +57,10 @@ pub struct QueryOptions {
     /// loop climbs on validation failures ([`Escalation::OFF`] disables it
     /// for this call even when the instance has a ladder).
     pub escalation: Option<Escalation>,
+    /// Overrides [`AskitConfig::hedge`]: whether a multi-endpoint network
+    /// backend may race a hedged second attempt on its next healthy
+    /// endpoint (first success wins; costs up to one extra round trip).
+    pub hedge: Option<bool>,
 }
 
 impl QueryOptions {
@@ -121,6 +125,13 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the request-hedging override (multi-endpoint network backends).
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: bool) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
     /// Layers `self` over `base`: fields set here win, unset fields fall
     /// through to `base`. This is how a per-invocation `call_with` override
     /// combines with options already attached to a function.
@@ -135,6 +146,7 @@ impl QueryOptions {
             timeout: self.timeout.or(base.timeout),
             speculate: self.speculate.or(base.speculate),
             escalation: self.escalation.or(base.escalation),
+            hedge: self.hedge.or(base.hedge),
         }
     }
 
@@ -154,6 +166,7 @@ impl QueryOptions {
             request_timeout: self.timeout.or(defaults.request_timeout),
             speculate: self.speculate.unwrap_or(defaults.speculate),
             escalation: self.escalation.unwrap_or(defaults.escalation),
+            hedge: self.hedge.unwrap_or(defaults.hedge),
         }
     }
 }
@@ -255,6 +268,14 @@ impl<'a, T: AskType, L: LanguageModel> QueryBuilder<'a, T, L> {
     #[must_use]
     pub fn escalate(mut self, ladder: Escalation) -> Self {
         self.options.escalation = Some(ladder);
+        self
+    }
+
+    /// Lets a multi-endpoint network backend hedge this query's attempts
+    /// (see [`AskitConfig::hedge`]). In-process backends ignore it.
+    #[must_use]
+    pub fn hedge(mut self, hedge: bool) -> Self {
+        self.options.hedge = Some(hedge);
         self
     }
 

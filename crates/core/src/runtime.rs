@@ -6,7 +6,7 @@
 //! Each iteration appends the model's failed response plus an instruction
 //! naming the violated criterion — the paper's "feedback mechanism".
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use askit_json::{extract, Json, Map};
 use askit_llm::{
@@ -99,10 +99,15 @@ pub fn run_direct<L: LanguageModel>(
     };
     let model_for = |tier: usize| tiers.get(tier).copied().unwrap_or(config.model);
     let mut tier = 0usize;
+    // Admission is *here*: the configured timeout becomes one monotonic
+    // deadline for the whole §III-E loop — every attempt, escalation, and
+    // backoff sleep below shares this single budget (downstream layers only
+    // ever clip to it, never re-arm it).
     let mut options = RequestOptions {
         model: model_for(tier),
         ..config.request_options()
-    };
+    }
+    .stamp_deadline(Instant::now());
     let mut hasher = RequestHasher::new(config.temperature, options.model);
     let first_turn = ChatMessage::user(prompt);
     hasher.push(&first_turn);

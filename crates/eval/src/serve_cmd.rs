@@ -86,7 +86,7 @@ pub fn run(options: &ServeOptions) -> std::io::Result<u64> {
     )?;
     eprintln!("askit-eval serve: listening on {}", server.base_url());
     eprintln!(
-        "askit-eval serve: routes: {} (POST /call/{{name}}, GET /functions, /healthz, /stats)",
+        "askit-eval serve: routes: {} (POST /call/{{name}}, GET /functions, /healthz, /readyz, /stats)",
         names.join(", ")
     );
     if options.requests == 0 {

@@ -428,9 +428,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         sample: u64,
     ) -> Result<Completion, LlmError> {
         let Some(cache) = self.cache_for(request) else {
-            return self.scheduler.run_completion(request.options.model, || {
-                self.model.complete_tagged(request, sample)
-            });
+            return self.scheduler.run_completion_before(
+                request.options.model,
+                request.options.deadline,
+                || self.model.complete_tagged(request, sample),
+            );
         };
         // One fingerprint serves the probe and the insert.
         let key = request.fingerprint(sample);
@@ -444,9 +446,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 return Ok(hit);
             }
         }
-        let completion = self.scheduler.run_completion(request.options.model, || {
-            self.model.complete_tagged(request, sample)
-        })?;
+        let completion = self.scheduler.run_completion_before(
+            request.options.model,
+            request.options.deadline,
+            || self.model.complete_tagged(request, sample),
+        )?;
         cache.put_keyed(key, request, sample, completion.clone());
         Ok(completion)
     }
@@ -461,11 +465,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         sample: u64,
     ) -> Result<Completion, LlmError> {
         let Some(cache) = self.cache_for(prepared.request()) else {
-            return self
-                .scheduler
-                .run_completion(prepared.request().options.model, || {
-                    self.model.complete_prepared(prepared, sample)
-                });
+            return self.scheduler.run_completion_before(
+                prepared.request().options.model,
+                prepared.request().options.deadline,
+                || self.model.complete_prepared(prepared, sample),
+            );
         };
         let key = prepared.fingerprint(sample);
         if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
@@ -476,11 +480,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                 return Ok(hit);
             }
         }
-        let completion = self
-            .scheduler
-            .run_completion(prepared.request().options.model, || {
-                self.model.complete_prepared(prepared, sample)
-            })?;
+        let completion = self.scheduler.run_completion_before(
+            prepared.request().options.model,
+            prepared.request().options.deadline,
+            || self.model.complete_prepared(prepared, sample),
+        )?;
         cache.put_keyed(key, prepared.request(), sample, completion.clone());
         Ok(completion)
     }
@@ -552,9 +556,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
             // Speculative work obeys the same admission gates as foreground
             // submissions — a prefetch burst must not let the pool stampede
             // a model whose width AIMD just cut.
-            let outcome = scheduler.run_completion(prepared.request().options.model, || {
-                model.complete_prepared(&prepared, 0)
-            });
+            let outcome = scheduler.run_completion_before(
+                prepared.request().options.model,
+                prepared.request().options.deadline,
+                || model.complete_prepared(&prepared, 0),
+            );
             guard.armed = false;
             let mut phases = lock(&ledger.phases);
             if matches!(phases.get(&key), Some(SpecPhase::Running)) {
@@ -623,11 +629,11 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                             }
                         }
                     }
-                    let outcome = self
-                        .scheduler
-                        .run_completion(requests[index].options.model, || {
-                            self.model.complete_tagged(&requests[index], 0)
-                        });
+                    let outcome = self.scheduler.run_completion_before(
+                        requests[index].options.model,
+                        requests[index].options.deadline,
+                        || self.model.complete_tagged(&requests[index], 0),
+                    );
                     (index, outcome)
                 });
             for (index, outcome) in completed {

@@ -315,14 +315,17 @@ fn decode_entry(dec: &mut Dec<'_>) -> Option<DiskEntry> {
         request: CompletionRequest {
             messages,
             temperature,
-            // The request timeout is per-process service advice (how long a
-            // network backend may spend); it is neither identity nor worth
-            // persisting, so reloaded entries carry none.
+            // The request timeout and deadline are per-process service
+            // advice (how long a network backend may spend); they are
+            // neither identity nor worth persisting, so reloaded entries
+            // carry none.
             options: RequestOptions {
                 model,
                 cache,
                 ttl,
                 timeout: None,
+                deadline: None,
+                hedge: false,
             },
         },
         completion: Completion {

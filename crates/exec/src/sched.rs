@@ -39,9 +39,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use askit_llm::{Completion, LlmError, LoadObserver, LoadSignal, ModelChoice};
+use askit_llm::{BreakerState, Completion, LlmError, LoadObserver, LoadSignal, ModelChoice};
 
 use crate::lock;
 
@@ -197,6 +197,10 @@ pub struct Scheduler {
     /// [`askit_llm::LanguageModel::subscribe_load`]). When it does, local
     /// result classification is disabled so events are never double-counted.
     external_signals: AtomicBool,
+    /// Last-known circuit-breaker state per backend endpoint (index =
+    /// failover order, 0 = primary), fed by [`LoadSignal::Breaker`] events.
+    /// Empty until a breaker-reporting backend subscribes the scheduler.
+    breakers: Mutex<Vec<BreakerState>>,
 }
 
 /// Dense index for per-model gates.
@@ -258,6 +262,7 @@ impl Scheduler {
             gates,
             adaptive,
             external_signals: AtomicBool::new(false),
+            breakers: Mutex::new(Vec::new()),
         }
     }
 
@@ -267,6 +272,7 @@ impl Scheduler {
             gates: [None, None, None],
             adaptive: false,
             external_signals: AtomicBool::new(false),
+            breakers: Mutex::new(Vec::new()),
         }
     }
 
@@ -284,6 +290,20 @@ impl Scheduler {
     /// Whether `model` is admission-gated.
     pub fn is_gated(&self, model: ModelChoice) -> bool {
         self.gates[model_index(model)].is_some()
+    }
+
+    /// Last-known circuit-breaker state per backend endpoint (index 0 is
+    /// the primary). Empty when no breaker-reporting backend is subscribed.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        lock(&self.breakers).clone()
+    }
+
+    /// Whether every known backend endpoint's breaker is open — i.e. no
+    /// endpoint is currently accepting traffic. `false` when no breakers
+    /// are reported (an in-process backend is always "ready").
+    pub fn all_endpoints_open(&self) -> bool {
+        let table = lock(&self.breakers);
+        !table.is_empty() && table.iter().all(|s| *s == BreakerState::Open)
     }
 
     /// The current width of every gated model.
@@ -334,6 +354,25 @@ impl Scheduler {
         model: ModelChoice,
         f: impl FnOnce() -> Result<Completion, LlmError>,
     ) -> Result<Completion, LlmError> {
+        self.run_completion_before(model, None, f)
+    }
+
+    /// [`run_completion`](Scheduler::run_completion) with an end-to-end
+    /// deadline: work whose deadline has already passed — on arrival, or
+    /// while queued behind the admission gate — is *shed* with
+    /// [`LlmError::DeadlineExceeded`] instead of dispatched. Shedding while
+    /// queued is re-checked every gate poll (10 ms), so no request starts
+    /// more than one poll quantum past its deadline.
+    pub fn run_completion_before(
+        &self,
+        model: ModelChoice,
+        deadline: Option<Instant>,
+        f: impl FnOnce() -> Result<Completion, LlmError>,
+    ) -> Result<Completion, LlmError> {
+        let expired = || matches!(deadline, Some(d) if d <= Instant::now());
+        if expired() {
+            return Err(LlmError::DeadlineExceeded);
+        }
         let Some(gate) = &self.gates[model_index(model)] else {
             return f();
         };
@@ -347,6 +386,12 @@ impl Scheduler {
                 .wait_timeout(state, Duration::from_millis(10))
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .0;
+            if expired() {
+                // The budget ran out while this request sat in the queue:
+                // dispatching it now could only waste a backend round trip
+                // on an answer nobody is waiting for.
+                return Err(LlmError::DeadlineExceeded);
+            }
         }
         state.in_flight += 1;
         drop(state);
@@ -360,11 +405,18 @@ impl Scheduler {
                 Ok(_) => {
                     state.controller.on_success();
                 }
-                Err(LlmError::Http { status: 429, .. }) => {
-                    state.controller.on_throttle();
-                }
-                Err(LlmError::Transport(message)) if message.contains("timed out") => {
-                    state.controller.on_throttle();
+                // Of the retryable failure classes, throttles and timeouts
+                // are *backpressure* (the provider is telling us to slow
+                // down) and cut the width; other retryable faults (torn
+                // connections, 5xx) are the retry loop's business, not a
+                // concurrency signal. Non-retryable errors say nothing
+                // about load.
+                Err(error) if error.is_retryable() => {
+                    let backpressure = matches!(error, LlmError::Http { status: 429, .. })
+                        || matches!(error, LlmError::Transport(m) if m.contains("timed out"));
+                    if backpressure {
+                        state.controller.on_throttle();
+                    }
                 }
                 Err(_) => {}
             }
@@ -381,6 +433,24 @@ impl LoadObserver for Scheduler {
     /// controllers directly — including throttles the backend's own retry
     /// loop absorbs before any caller sees them.
     fn observed(&self, model: ModelChoice, signal: LoadSignal) {
+        if let LoadSignal::Breaker { endpoint, state } = signal {
+            // Breaker transitions are recorded unconditionally (readiness
+            // probes need them even on non-adaptive schedulers)...
+            {
+                let mut table = lock(&self.breakers);
+                if table.len() <= endpoint {
+                    table.resize(endpoint + 1, BreakerState::Closed);
+                }
+                table[endpoint] = state;
+            }
+            // ...and only an *opening* breaker doubles as a load signal: an
+            // endpoint just got declared down, so the width should back off
+            // too. (The failures that tripped it may have been silent
+            // classes — 5xx, connect refusals — that never sent Throttled.)
+            if state != BreakerState::Open {
+                return;
+            }
+        }
         if !self.adaptive {
             return;
         }
@@ -392,7 +462,9 @@ impl LoadObserver for Scheduler {
             let before = state.controller.width();
             let after = match signal {
                 LoadSignal::Completed { .. } => state.controller.on_success(),
-                LoadSignal::Throttled | LoadSignal::TimedOut => state.controller.on_throttle(),
+                LoadSignal::Throttled | LoadSignal::TimedOut | LoadSignal::Breaker { .. } => {
+                    state.controller.on_throttle()
+                }
             };
             after > before
         };
@@ -626,6 +698,93 @@ mod tests {
         assert!(line.contains("default=4"), "{line}");
         assert!(line.contains("gpt35=4"), "{line}");
         assert!(line.contains("gpt4=2"), "{line}");
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_not_dispatched() {
+        let sched = Scheduler::new(false, 4, &[(ModelChoice::Gpt4, WidthBounds::up_to(2))]);
+        let called = AtomicUsize::new(0);
+        // A deadline at (or before) "now" sheds without running the closure,
+        // on gated...
+        let err = sched
+            .run_completion_before(ModelChoice::Gpt4, Some(Instant::now()), || {
+                called.fetch_add(1, Ordering::SeqCst);
+                Ok(completion())
+            })
+            .unwrap_err();
+        assert_eq!(err, LlmError::DeadlineExceeded);
+        // ...and ungated models alike.
+        let err = sched
+            .run_completion_before(ModelChoice::Gpt35, Some(Instant::now()), || {
+                called.fetch_add(1, Ordering::SeqCst);
+                Ok(completion())
+            })
+            .unwrap_err();
+        assert_eq!(err, LlmError::DeadlineExceeded);
+        assert_eq!(called.load(Ordering::SeqCst), 0, "shed work never runs");
+        // A live deadline dispatches normally.
+        let deadline = Instant::now() + StdDuration::from_secs(60);
+        sched
+            .run_completion_before(ModelChoice::Gpt4, Some(deadline), || {
+                called.fetch_add(1, Ordering::SeqCst);
+                Ok(completion())
+            })
+            .unwrap();
+        assert_eq!(called.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn breaker_signals_populate_the_state_table() {
+        let sched = Scheduler::new(true, 4, &[]);
+        assert!(sched.breaker_states().is_empty());
+        assert!(!sched.all_endpoints_open(), "no breakers = always ready");
+        // An initial-state report for endpoint 1 sizes the table, defaulting
+        // unreported slots to closed.
+        sched.observed(
+            ModelChoice::Default,
+            LoadSignal::Breaker {
+                endpoint: 1,
+                state: BreakerState::Closed,
+            },
+        );
+        assert_eq!(
+            sched.breaker_states(),
+            vec![BreakerState::Closed, BreakerState::Closed]
+        );
+        sched.observed(
+            ModelChoice::Default,
+            LoadSignal::Breaker {
+                endpoint: 0,
+                state: BreakerState::Open,
+            },
+        );
+        assert!(!sched.all_endpoints_open(), "one endpoint still closed");
+        sched.observed(
+            ModelChoice::Default,
+            LoadSignal::Breaker {
+                endpoint: 1,
+                state: BreakerState::Open,
+            },
+        );
+        assert!(sched.all_endpoints_open());
+        // Each opening doubled as a throttle on the signalling model's gate:
+        // 4 → 2 → 1.
+        assert_eq!(width_of(&sched, ModelChoice::Default), 1);
+        // A half-open probe is recorded (and ends the all-open condition)
+        // without cutting anything further.
+        sched.observed(
+            ModelChoice::Default,
+            LoadSignal::Breaker {
+                endpoint: 0,
+                state: BreakerState::HalfOpen,
+            },
+        );
+        assert!(!sched.all_endpoints_open());
+        assert_eq!(
+            sched.breaker_states(),
+            vec![BreakerState::HalfOpen, BreakerState::Open]
+        );
+        assert_eq!(width_of(&sched, ModelChoice::Default), 1);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Per-endpoint circuit breaker: **closed → open → half-open → closed**.
+//!
+//! Each service endpoint (primary or fallback) gets one [`CircuitBreaker`].
+//! Consecutive endpoint-health failures (5xx, transport faults — *not*
+//! 429s, which prove the endpoint alive) trip the breaker **open**; while
+//! open, [`CircuitBreaker::admit`] rejects traffic so the retry loop fails
+//! over instead of hammering a dead endpoint. After
+//! [`BreakerConfig::cooldown`] the breaker turns **half-open** and admits
+//! exactly one *trial probe*; the probe's outcome either closes the breaker
+//! (service recovered) or re-opens it for another cooldown.
+//!
+//! Every method that can change the state returns the new [`BreakerState`]
+//! when a transition happened, so the client can export transitions as
+//! [`askit_llm::LoadSignal::Breaker`] signals without diffing. All timing
+//! flows through explicit `now: Instant` parameters — tests drive the
+//! clock; nothing here reads it.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use askit_llm::BreakerState;
+
+use crate::lock;
+
+/// Thresholds for one endpoint's [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive endpoint-health failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses traffic before granting a single
+    /// half-open trial probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the breaker says about one prospective request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: proceed normally.
+    Allowed,
+    /// Half-open: proceed as the *single* trial probe. The caller must
+    /// follow through with [`CircuitBreaker::record_success`] or
+    /// [`CircuitBreaker::record_failure`] — the probe slot stays taken
+    /// until one of them lands.
+    Probe,
+    /// Open (cooling down), or half-open with the probe already in flight:
+    /// do not dispatch here.
+    Rejected,
+}
+
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen { probing: bool },
+}
+
+/// One endpoint's failure-detection state machine. See the module docs.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("state", &self.state())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// The externally visible state right now. An open breaker whose
+    /// cooldown has lapsed still reports [`BreakerState::Open`] — the
+    /// half-open transition happens when [`admit`](Self::admit) grants the
+    /// probe, not silently on a clock read.
+    pub fn state(&self) -> BreakerState {
+        match *lock(&self.state) {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks to dispatch one request. Returns the admission plus the new
+    /// state when this call itself transitioned the machine (open breaker
+    /// past its cooldown → half-open, probe granted).
+    pub fn admit(&self, now: Instant) -> (Admission, Option<BreakerState>) {
+        let mut state = lock(&self.state);
+        match &mut *state {
+            State::Closed { .. } => (Admission::Allowed, None),
+            State::Open { since } => {
+                if now.saturating_duration_since(*since) < self.config.cooldown {
+                    (Admission::Rejected, None)
+                } else {
+                    *state = State::HalfOpen { probing: true };
+                    (Admission::Probe, Some(BreakerState::HalfOpen))
+                }
+            }
+            State::HalfOpen { probing } => {
+                if *probing {
+                    (Admission::Rejected, None)
+                } else {
+                    *probing = true;
+                    (Admission::Probe, None)
+                }
+            }
+        }
+    }
+
+    /// Whether an [`admit`](Self::admit) call at `now` would dispatch —
+    /// without mutating anything (no probe slot is consumed). Used to
+    /// decide failover targets before committing to one.
+    pub fn would_admit(&self, now: Instant) -> bool {
+        match &*lock(&self.state) {
+            State::Closed { .. } => true,
+            State::Open { since } => now.saturating_duration_since(*since) >= self.config.cooldown,
+            State::HalfOpen { probing } => !*probing,
+        }
+    }
+
+    /// Records a healthy response from the endpoint. Any success — probe
+    /// or straggler from before the trip — closes the breaker: good news
+    /// is good news. Returns the new state on transition.
+    pub fn record_success(&self) -> Option<BreakerState> {
+        let mut state = lock(&self.state);
+        let was_closed = matches!(*state, State::Closed { .. });
+        *state = State::Closed {
+            consecutive_failures: 0,
+        };
+        (!was_closed).then_some(BreakerState::Closed)
+    }
+
+    /// Records an endpoint-health failure (5xx or transport fault).
+    /// Reaching the consecutive-failure threshold — or failing the
+    /// half-open probe — opens the breaker for a fresh cooldown from
+    /// `now`. Returns the new state on transition.
+    pub fn record_failure(&self, now: Instant) -> Option<BreakerState> {
+        let mut state = lock(&self.state);
+        match &mut *state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    *state = State::Open { since: now };
+                    Some(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            // A failure while already open (a straggler attempt dispatched
+            // before the trip) changes nothing — the cooldown keeps running
+            // from the original trip, so probes are never starved by
+            // long-tail failures.
+            State::Open { .. } => None,
+            State::HalfOpen { .. } => {
+                *state = State::Open { since: now };
+                Some(BreakerState::Open)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn full_lifecycle_closed_open_half_open_closed() {
+        let b = breaker(3, Duration::from_secs(5));
+        let t0 = Instant::now();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(t0), (Admission::Allowed, None));
+
+        // Two failures: still closed (threshold is 3).
+        assert_eq!(b.record_failure(t0), None);
+        assert_eq!(b.record_failure(t0), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Third trips it open.
+        assert_eq!(b.record_failure(t0), Some(BreakerState::Open));
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Open rejects until the cooldown lapses.
+        assert_eq!(
+            b.admit(t0 + Duration::from_secs(4)),
+            (Admission::Rejected, None)
+        );
+        assert!(!b.would_admit(t0 + Duration::from_secs(4)));
+        assert!(b.would_admit(t0 + Duration::from_secs(5)));
+        // state() alone never transitions.
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Cooldown over: a single probe is granted.
+        let (admission, transition) = b.admit(t0 + Duration::from_secs(5));
+        assert_eq!(admission, Admission::Probe);
+        assert_eq!(transition, Some(BreakerState::HalfOpen));
+        // Probe succeeds: closed again, failure count reset.
+        assert_eq!(b.record_success(), Some(BreakerState::Closed));
+        assert_eq!(b.record_failure(t0 + Duration::from_secs(6)), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let b = breaker(1, Duration::from_secs(10));
+        let t0 = Instant::now();
+        assert_eq!(b.record_failure(t0), Some(BreakerState::Open));
+        let t1 = t0 + Duration::from_secs(10);
+        assert_eq!(b.admit(t1).0, Admission::Probe);
+        // Probe fails: open again, cooldown restarts from the probe, not
+        // the original trip.
+        assert_eq!(b.record_failure(t1), Some(BreakerState::Open));
+        assert_eq!(b.admit(t1 + Duration::from_secs(9)).0, Admission::Rejected);
+        assert_eq!(b.admit(t1 + Duration::from_secs(10)).0, Admission::Probe);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = breaker(1, Duration::from_millis(0));
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        // Zero cooldown: immediately probe-able.
+        assert_eq!(b.admit(t0).0, Admission::Probe);
+        // Second and third askers are rejected while the probe flies.
+        assert_eq!(b.admit(t0), (Admission::Rejected, None));
+        assert_eq!(b.admit(t0), (Admission::Rejected, None));
+        assert!(!b.would_admit(t0));
+        // Probe lands: the next asker is a plain closed-state admit.
+        assert_eq!(b.record_success(), Some(BreakerState::Closed));
+        assert_eq!(b.admit(t0), (Admission::Allowed, None));
+    }
+
+    #[test]
+    fn straggler_failures_while_open_do_not_extend_the_cooldown() {
+        let b = breaker(1, Duration::from_secs(5));
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        // A late failure from a request dispatched before the trip.
+        assert_eq!(b.record_failure(t0 + Duration::from_secs(4)), None);
+        // Probe still lands on the original schedule.
+        assert_eq!(b.admit(t0 + Duration::from_secs(5)).0, Admission::Probe);
+    }
+
+    #[test]
+    fn straggler_success_closes_an_open_breaker() {
+        let b = breaker(1, Duration::from_secs(60));
+        b.record_failure(Instant::now());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.record_success(), Some(BreakerState::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let b = breaker(2, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert_eq!(b.record_failure(t0), None);
+        assert_eq!(b.record_success(), None); // closed → closed: no signal
+        assert_eq!(b.record_failure(t0), None); // count restarted at zero
+        assert_eq!(b.record_failure(t0), Some(BreakerState::Open));
+    }
+}

@@ -10,6 +10,25 @@
 //! unchanged — cache, worker pool, and speculation ledger all front it
 //! exactly as they front the mock.
 //!
+//! # Resilience
+//!
+//! The client serves an ordered **endpoint list** (primary plus
+//! [`fallbacks`](crate::HttpLlmConfig::fallback_api_bases)), each with its
+//! own connection pool and [`CircuitBreaker`]. Endpoint-health failures
+//! (5xx, transport faults) trip a breaker open; the retry loop then **fails
+//! over** to the next admissible endpoint *without* a backoff sleep, and
+//! the broken endpoint is re-tried only by half-open probes. Requests
+//! carrying a [`deadline`](askit_llm::RequestOptions::deadline) never
+//! out-live it: per-attempt socket budgets and backoff sleeps are clipped
+//! to the remaining budget, and an expired deadline returns
+//! [`LlmError::DeadlineExceeded`] instead of dispatching. Requests that
+//! opt in to [`hedging`](askit_llm::RequestOptions::hedge) race a second
+//! attempt on a different endpoint once the first has been in flight
+//! longer than a recent-latency percentile — first result wins, the loser
+//! is dropped on the floor. Breaker transitions are exported as
+//! [`LoadSignal::Breaker`] so schedulers and health endpoints above see
+//! endpoint state without polling.
+//!
 //! # Credential hygiene
 //!
 //! The API key reaches exactly one sink: the `Authorization` header bytes
@@ -22,7 +41,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use askit_llm::{
@@ -31,6 +50,7 @@ use askit_llm::{
 };
 
 use crate::backoff::BackoffPolicy;
+use crate::breaker::{Admission, CircuitBreaker};
 use crate::config::HttpLlmConfig;
 use crate::lock;
 use crate::protocol::{decode_response, encode_request, StreamAccumulator};
@@ -43,6 +63,9 @@ const LANDED_SPECULATION_CAP: usize = 64;
 
 /// Longest response-body snippet embedded in an [`LlmError::Http`].
 const BODY_SNIPPET_LIMIT: usize = 200;
+
+/// Recent round-trip latencies retained for the hedge-delay percentile.
+const LATENCY_WINDOW_CAP: usize = 64;
 
 /// Wire-level counters (cumulative since construction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +83,17 @@ pub struct HttpStats {
     pub prefetches: u64,
     /// Round trips that started on a parked keep-alive connection.
     pub reused_connections: u64,
+    /// Consecutive attempts of one request that switched endpoints.
+    pub failovers: u64,
+    /// Hedged second attempts actually launched (the hedge delay elapsed
+    /// before the first attempt finished).
+    pub hedges: u64,
+    /// Hedged requests won by the second attempt.
+    pub hedge_wins: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Requests (or attempts) shed because their deadline had expired.
+    pub deadline_sheds: u64,
 }
 
 #[derive(Default)]
@@ -70,6 +104,11 @@ struct Counters {
     coalesced: AtomicU64,
     prefetches: AtomicU64,
     reused_connections: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    breaker_trips: AtomicU64,
+    deadline_sheds: AtomicU64,
 }
 
 /// One in-flight (or landed-speculative) wire round trip.
@@ -157,10 +196,60 @@ struct IoFail {
     virgin: bool,
 }
 
-struct Inner {
-    config: HttpLlmConfig,
+/// One service endpoint: its parsed base, its own keep-alive pool (sockets
+/// to different hosts must not mix), and its own circuit breaker.
+struct Endpoint {
     base: ParsedBase,
     pool: ConnectionPool,
+    breaker: CircuitBreaker,
+}
+
+/// A bounded window of recent round-trip latencies, consulted for the
+/// hedge delay (see [`crate::HedgeConfig`]).
+struct LatencyWindow {
+    samples: Mutex<VecDeque<Duration>>,
+    cap: usize,
+}
+
+impl LatencyWindow {
+    fn new(cap: usize) -> Self {
+        LatencyWindow {
+            samples: Mutex::new(VecDeque::new()),
+            cap,
+        }
+    }
+
+    fn record(&self, latency: Duration) {
+        let mut samples = lock(&self.samples);
+        samples.push_back(latency);
+        while samples.len() > self.cap {
+            samples.pop_front();
+        }
+    }
+
+    /// The `p`-th percentile of the window, or `None` with fewer than
+    /// `min_samples` observations.
+    fn percentile(&self, p: f64, min_samples: usize) -> Option<Duration> {
+        let samples = lock(&self.samples);
+        if samples.len() < min_samples.max(1) {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = samples.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = (sorted.len() - 1) as f64 * p.clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let index = (rank.round() as usize).min(sorted.len() - 1);
+        Some(sorted[index])
+    }
+}
+
+struct Inner {
+    config: HttpLlmConfig,
+    /// Ordered endpoints: primary first, then fallbacks. Never empty.
+    endpoints: Vec<Endpoint>,
+    /// Recent completed-round-trip latencies (all endpoints pooled) for
+    /// the hedge-delay percentile.
+    latencies: LatencyWindow,
     limiter: RateLimiter,
     backoff: BackoffPolicy,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
@@ -188,8 +277,9 @@ pub struct HttpLlm {
 
 impl std::fmt::Debug for HttpLlm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bases: Vec<&ParsedBase> = self.inner.endpoints.iter().map(|e| &e.base).collect();
         f.debug_struct("HttpLlm")
-            .field("base", &self.inner.base)
+            .field("endpoints", &bases)
             .field("config", &self.inner.config)
             .field("stats", &self.inner.stats())
             .finish()
@@ -201,14 +291,23 @@ impl HttpLlm {
     ///
     /// # Errors
     ///
-    /// [`LlmError::InvalidRequest`] when the base URL does not parse (or
-    /// uses a scheme the offline build cannot serve, i.e. `https`).
+    /// [`LlmError::InvalidRequest`] when any base URL — primary or
+    /// fallback — does not parse (or uses a scheme the offline build
+    /// cannot serve, i.e. `https`).
     pub fn new(config: HttpLlmConfig) -> Result<Self, LlmError> {
-        let base = ParsedBase::parse(&config.api_base).map_err(LlmError::InvalidRequest)?;
+        let mut endpoints = Vec::with_capacity(1 + config.fallback_api_bases.len());
+        for api_base in std::iter::once(&config.api_base).chain(config.fallback_api_bases.iter()) {
+            endpoints.push(Endpoint {
+                base: ParsedBase::parse(api_base).map_err(LlmError::InvalidRequest)?,
+                pool: ConnectionPool::new(config.max_idle_connections),
+                breaker: CircuitBreaker::new(config.breaker),
+            });
+        }
         let display_name = format!("http:{}", config.default_model);
         Ok(HttpLlm {
             inner: Arc::new(Inner {
-                pool: ConnectionPool::new(config.max_idle_connections),
+                endpoints,
+                latencies: LatencyWindow::new(LATENCY_WINDOW_CAP),
                 limiter: RateLimiter::new(&config.rate_limits),
                 backoff: BackoffPolicy::new(config.retry),
                 inflight: Mutex::new(HashMap::new()),
@@ -216,7 +315,6 @@ impl HttpLlm {
                 counters: Counters::default(),
                 observers: Mutex::new(Vec::new()),
                 display_name,
-                base,
                 config,
             }),
             spec_threads: Mutex::new(Vec::new()),
@@ -290,6 +388,11 @@ impl Inner {
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             prefetches: self.counters.prefetches.load(Ordering::Relaxed),
             reused_connections: self.counters.reused_connections.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            hedges: self.counters.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.counters.hedge_wins.load(Ordering::Relaxed),
+            breaker_trips: self.counters.breaker_trips.load(Ordering::Relaxed),
+            deadline_sheds: self.counters.deadline_sheds.load(Ordering::Relaxed),
         }
     }
 
@@ -309,19 +412,25 @@ impl Inner {
     /// issuing their own. A landed speculative flight is *claimed*: its
     /// result is consumed and the key freed, so later submissions (e.g.
     /// after a rejection) re-ask the service.
-    fn submit(&self, key: u64, request: &CompletionRequest) -> Result<Completion, LlmError> {
+    /// (Associated rather than a method: the hedged path spawns legs that
+    /// must own an `Arc<Inner>`, and `&Arc<Self>` is not a valid receiver.)
+    fn submit(
+        inner: &Arc<Inner>,
+        key: u64,
+        request: &CompletionRequest,
+    ) -> Result<Completion, LlmError> {
         enum Role {
             Leader(Arc<Flight>),
             Follower(Arc<Flight>),
         }
         let role = {
-            let mut map = lock(&self.inflight);
+            let mut map = lock(&inner.inflight);
             match map.get(&key) {
                 // A fingerprint collision with a different conversation
                 // must not inherit the stranger's completion: fly solo.
                 Some(flight) if !flight.request.same_identity(request) => {
                     drop(map);
-                    return self.execute(key, request);
+                    return Inner::execute(inner, key, request);
                 }
                 Some(flight) => Role::Follower(Arc::clone(flight)),
                 None => {
@@ -333,21 +442,21 @@ impl Inner {
         };
         match role {
             Role::Leader(flight) => {
-                let result = self.execute(key, request);
+                let result = Inner::execute(inner, key, request);
                 // Unregister before settling: a caller arriving after the
                 // removal starts a fresh flight instead of reading a stale
                 // result — this table coalesces *concurrency*; memoizing
                 // is the completion cache's job, above the client.
-                self.unregister(key, &flight);
+                inner.unregister(key, &flight);
                 flight.settle(result.clone());
                 result
             }
             Role::Follower(flight) => {
-                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
                 let result = flight.wait();
                 if flight.speculative {
                     // Claim the speculation.
-                    self.unregister(key, &flight);
+                    inner.unregister(key, &flight);
                     let usable = !flight.rejected.load(Ordering::Relaxed);
                     match result {
                         Ok(completion) if usable => Ok(completion),
@@ -361,7 +470,7 @@ impl Inner {
                         // unregistered, and the replacement flight is
                         // non-speculative, whose followers return its
                         // result directly.)
-                        _ => self.submit(key, request),
+                        _ => Inner::submit(inner, key, request),
                     }
                 } else {
                     result
@@ -370,8 +479,180 @@ impl Inner {
         }
     }
 
-    /// The retry loop around one logical completion.
-    fn execute(&self, key: u64, request: &CompletionRequest) -> Result<Completion, LlmError> {
+    /// One logical completion: the hedged race when the request opts in
+    /// and a second endpoint exists, the plain retry loop otherwise.
+    fn execute(
+        inner: &Arc<Inner>,
+        key: u64,
+        request: &CompletionRequest,
+    ) -> Result<Completion, LlmError> {
+        if request.messages.is_empty() {
+            return Err(LlmError::InvalidRequest("empty conversation".to_owned()));
+        }
+        if request.options.hedge && inner.endpoints.len() > 1 {
+            Inner::execute_hedged(inner, key, request)
+        } else {
+            inner.execute_single(key, request, None)
+        }
+    }
+
+    /// The hedge delay: a recent-latency percentile once enough round
+    /// trips have completed, the configured initial delay before that.
+    fn hedge_delay(&self) -> Duration {
+        self.latencies
+            .percentile(self.config.hedge.percentile, self.config.hedge.min_samples)
+            .unwrap_or(self.config.hedge.initial_delay)
+    }
+
+    /// Races two attempt chains: the primary leg starts immediately with
+    /// normal endpoint preference; if it has not finished within the
+    /// hedge delay, a second leg starts with the primary endpoint
+    /// *deprioritized*. First result wins; the loser keeps running until
+    /// its own (deadline-clipped) retry loop ends and its result is
+    /// dropped. Both legs share the coalescing flight above this call, so
+    /// followers see exactly one winner.
+    fn execute_hedged(
+        inner: &Arc<Inner>,
+        key: u64,
+        request: &CompletionRequest,
+    ) -> Result<Completion, LlmError> {
+        let (sender, receiver) = mpsc::channel::<(bool, Result<Completion, LlmError>)>();
+        let spawn_leg = |hedged: bool| -> std::io::Result<()> {
+            let inner = Arc::clone(inner);
+            let request = request.clone();
+            let sender = sender.clone();
+            std::thread::Builder::new()
+                .name("askit-http-hedge".to_owned())
+                .spawn(move || {
+                    let avoid = hedged.then_some(0);
+                    let result = inner.execute_single(key, &request, avoid);
+                    let _ = sender.send((hedged, result));
+                })
+                .map(drop)
+        };
+        if spawn_leg(false).is_err() {
+            // Could not spawn: degrade to an unhedged inline attempt.
+            return inner.execute_single(key, request, None);
+        }
+        let delay = request
+            .options
+            .clip_to_deadline(inner.hedge_delay(), Instant::now());
+        match receiver.recv_timeout(delay) {
+            Ok((_, result)) => return result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(LlmError::Transport("hedge leg vanished".to_owned()));
+            }
+        }
+        // The primary is slow: launch the hedge on the next endpoint.
+        let hedge_flying = spawn_leg(true).is_ok();
+        if hedge_flying {
+            inner.counters.hedges.fetch_add(1, Ordering::Relaxed);
+        }
+        // Our own sender clone must die so `recv` can observe both legs
+        // finishing (each leg sends exactly once, then drops its sender).
+        drop(sender);
+        let first = match receiver.recv() {
+            Ok(first) => first,
+            Err(_) => return Err(LlmError::Transport("hedge legs vanished".to_owned())),
+        };
+        let winner = match first {
+            (hedged, Ok(completion)) => (hedged, Ok(completion)),
+            (_, Err(first_error)) if hedge_flying => match receiver.recv() {
+                // The slower leg only gets to answer when the faster one
+                // failed; prefer its success, else surface the first error.
+                Ok((hedged, Ok(completion))) => (hedged, Ok(completion)),
+                _ => (false, Err(first_error)),
+            },
+            (hedged, Err(error)) => (hedged, Err(error)),
+        };
+        if winner.0 && winner.1.is_ok() {
+            inner.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        winner.1
+    }
+
+    /// Picks the first endpoint whose breaker admits a request at `now`,
+    /// scanning in priority order (primary first) with `deprioritized`
+    /// moved to the back of the line. Reports any breaker transition the
+    /// admission itself caused (open → half-open probe grants). `None`
+    /// means every breaker rejected.
+    fn pick_endpoint(
+        &self,
+        now: Instant,
+        deprioritized: Option<usize>,
+        model: ModelChoice,
+    ) -> Option<(usize, Admission)> {
+        let order = (0..self.endpoints.len())
+            .filter(|i| Some(*i) != deprioritized)
+            .chain(
+                deprioritized
+                    .into_iter()
+                    .filter(|i| *i < self.endpoints.len()),
+            );
+        for index in order {
+            let (admission, transition) = self.endpoints[index].breaker.admit(now);
+            if let Some(state) = transition {
+                self.notify(
+                    model,
+                    LoadSignal::Breaker {
+                        endpoint: index,
+                        state,
+                    },
+                );
+            }
+            if admission != Admission::Rejected {
+                return Some((index, admission));
+            }
+        }
+        None
+    }
+
+    /// Whether any endpoint *other than* `except` would admit a request
+    /// right now (without consuming a probe slot) — the failover test that
+    /// decides whether a retry sleeps or switches immediately.
+    fn other_candidate_exists(&self, except: usize, now: Instant) -> bool {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .any(|(i, e)| i != except && e.breaker.would_admit(now))
+    }
+
+    /// Records one attempt's outcome on the endpoint's breaker and exports
+    /// any transition. 5xx and transport faults count against the
+    /// endpoint; any parsed response — 429, 4xx, 200 — proves it alive.
+    fn record_endpoint_outcome(&self, index: usize, healthy: bool, model: ModelChoice) {
+        let breaker = &self.endpoints[index].breaker;
+        let transition = if healthy {
+            breaker.record_success()
+        } else {
+            let transition = breaker.record_failure(Instant::now());
+            if transition == Some(askit_llm::BreakerState::Open) {
+                self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            transition
+        };
+        if let Some(state) = transition {
+            self.notify(
+                model,
+                LoadSignal::Breaker {
+                    endpoint: index,
+                    state,
+                },
+            );
+        }
+    }
+
+    /// The retry loop around one attempt chain. Walks the endpoint list
+    /// (skipping open breakers), clips every sleep and socket budget to
+    /// the request's remaining deadline, and fails over to another
+    /// endpoint *without sleeping* when one is admissible.
+    fn execute_single(
+        &self,
+        key: u64,
+        request: &CompletionRequest,
+        avoid: Option<usize>,
+    ) -> Result<Completion, LlmError> {
         if request.messages.is_empty() {
             return Err(LlmError::InvalidRequest("empty conversation".to_owned()));
         }
@@ -381,10 +662,47 @@ impl Inner {
             .timeout
             .unwrap_or(self.config.request_timeout);
         let mut attempt: u32 = 0;
+        // Which endpoint to scan *last* on the next pick: a hedge leg
+        // starts by deprioritizing the primary; a failed attempt
+        // deprioritizes the endpoint that just failed.
+        let mut deprioritized = avoid;
+        let mut last_index: Option<usize> = None;
         loop {
+            // The limiter can block; take the clock after it.
             self.limiter.acquire(model);
-            match self.round_trip(request, model, timeout) {
+            let now = Instant::now();
+            if request.options.deadline_expired(now) {
+                self.counters.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(LlmError::DeadlineExceeded);
+            }
+            let Some((index, _admission)) = self.pick_endpoint(now, deprioritized, model) else {
+                // Every breaker is open and cooling down. Wait out a
+                // backoff slice (clipped to the deadline) and re-scan —
+                // a cooldown lapsing turns a breaker probe-able.
+                if attempt >= self.backoff.max_retries() {
+                    return Err(LlmError::Transport(
+                        "all endpoints have open circuit breakers".to_owned(),
+                    ));
+                }
+                let delay = request
+                    .options
+                    .clip_to_deadline(self.backoff.delay(attempt, key), now);
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+                attempt += 1;
+                continue;
+            };
+            if last_index.is_some_and(|last| last != index) {
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            last_index = Some(index);
+            // Per-attempt socket budget: the configured round-trip timeout,
+            // never more than what remains of the end-to-end deadline.
+            let attempt_timeout = request.options.clip_to_deadline(timeout, now);
+            match self.round_trip(index, request, model, attempt_timeout) {
                 Ok(completion) => {
+                    self.record_endpoint_outcome(index, true, model);
+                    self.latencies.record(completion.latency);
                     self.notify(
                         model,
                         LoadSignal::Completed {
@@ -394,6 +712,13 @@ impl Inner {
                     return Ok(completion);
                 }
                 Err(error) => {
+                    // Endpoint health: only 5xx/transport faults count
+                    // against the breaker — a 429 or 4xx is a live answer.
+                    self.record_endpoint_outcome(
+                        index,
+                        !matches!(error, AttemptError::Retryable(_)),
+                        model,
+                    );
                     if matches!(error, AttemptError::Throttled { .. }) {
                         self.counters.throttles.fetch_add(1, Ordering::Relaxed);
                         // Drain the bucket: every worker headed for this
@@ -416,29 +741,46 @@ impl Inner {
                     {
                         return Err(error.into_error());
                     }
-                    let delay = match &error {
-                        // Honor Retry-After, but never beyond the
-                        // configured ceiling: a misconfigured (or hostile)
-                        // server must not park a pool worker — and any
-                        // engine-ledger joiner waiting on it — for hours.
-                        AttemptError::Throttled {
-                            retry_after: Some(after),
-                            ..
-                        } => (*after).min(self.config.retry.max_delay),
-                        _ => self.backoff.delay(attempt, key),
+                    let now = Instant::now();
+                    if request.options.deadline_expired(now) {
+                        self.counters.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                        return Err(LlmError::DeadlineExceeded);
+                    }
+                    // Prefer a different endpoint next time; when one is
+                    // admissible right now, fail over immediately instead
+                    // of sleeping out a backoff against a broken host.
+                    deprioritized = Some(index);
+                    let delay = if self.other_candidate_exists(index, now) {
+                        Duration::ZERO
+                    } else {
+                        let computed = match &error {
+                            // Honor Retry-After, but never beyond the
+                            // configured ceiling: a misconfigured (or
+                            // hostile) server must not park a pool worker —
+                            // and any engine-ledger joiner waiting on it —
+                            // for hours.
+                            AttemptError::Throttled {
+                                retry_after: Some(after),
+                                ..
+                            } => (*after).min(self.config.retry.max_delay),
+                            _ => self.backoff.delay(attempt, key),
+                        };
+                        request.options.clip_to_deadline(computed, now)
                     };
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(delay);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                     attempt += 1;
                 }
             }
         }
     }
 
-    fn connect(&self, timeout: Duration) -> std::io::Result<TcpStream> {
+    fn connect(&self, base: &ParsedBase, timeout: Duration) -> std::io::Result<TcpStream> {
         use std::net::ToSocketAddrs;
         let mut last_error = None;
-        let addrs = (self.base.host.as_str(), self.base.port).to_socket_addrs()?;
+        let addrs = (base.host.as_str(), base.port).to_socket_addrs()?;
         for addr in addrs {
             match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
                 Ok(stream) => {
@@ -463,13 +805,15 @@ impl Inner {
     /// parked) is replaced with a fresh socket once, transparently.
     fn round_trip(
         &self,
+        endpoint_index: usize,
         request: &CompletionRequest,
         model: ModelChoice,
         timeout: Duration,
     ) -> Result<Completion, AttemptError> {
+        let endpoint = &self.endpoints[endpoint_index];
         let body = encode_request(request, self.config.wire_model(model), self.config.stream);
         let mut reused = true;
-        let mut stream = match self.pool.checkout() {
+        let mut stream = match endpoint.pool.checkout() {
             Some(stream) => {
                 // Parked sockets keep their previous deadlines; refresh.
                 let _ = stream.set_read_timeout(Some(timeout));
@@ -478,10 +822,10 @@ impl Inner {
             }
             None => {
                 reused = false;
-                self.connect(timeout).map_err(|e| {
+                self.connect(&endpoint.base, timeout).map_err(|e| {
                     AttemptError::Retryable(LlmError::Transport(format!(
                         "connect to {}:{} failed: {e}",
-                        self.base.host, self.base.port
+                        endpoint.base.host, endpoint.base.port
                     )))
                 })?
             }
@@ -493,10 +837,10 @@ impl Inner {
         }
         loop {
             self.counters.wire_requests.fetch_add(1, Ordering::Relaxed);
-            match self.attempt_on(&mut stream, &body, request, timeout) {
+            match self.attempt_on(endpoint, &mut stream, &body, request, timeout) {
                 Ok((outcome, reusable)) => {
                     if reusable {
-                        self.pool.checkin(stream);
+                        endpoint.pool.checkin(stream);
                     }
                     return outcome;
                 }
@@ -512,7 +856,7 @@ impl Inner {
                         );
                     if reused && stale_candidate {
                         reused = false;
-                        stream = self.connect(timeout).map_err(|e| {
+                        stream = self.connect(&endpoint.base, timeout).map_err(|e| {
                             AttemptError::Retryable(LlmError::Transport(format!(
                                 "reconnect failed: {e}"
                             )))
@@ -538,15 +882,16 @@ impl Inner {
     #[allow(clippy::type_complexity)]
     fn attempt_on(
         &self,
+        endpoint: &Endpoint,
         stream: &mut TcpStream,
         body: &str,
         request: &CompletionRequest,
         timeout: Duration,
     ) -> Result<(Result<Completion, AttemptError>, bool), IoFail> {
         let started = Instant::now();
-        let path = self.base.path("/chat/completions");
+        let path = endpoint.base.path("/chat/completions");
         let bearer = self.config.api_key.as_ref().map(|k| k.expose());
-        write_post(stream, &self.base.host, &path, bearer, body).map_err(|error| IoFail {
+        write_post(stream, &endpoint.base.host, &path, bearer, body).map_err(|error| IoFail {
             error,
             virgin: true,
         })?;
@@ -613,12 +958,16 @@ impl Inner {
                     status,
                     message: snippet(&text),
                 };
+                // 429 is special-cased for its Retry-After pacing; every
+                // other status defers to the shared [`LlmError::is_retryable`]
+                // classification, so the client and the engine's retry
+                // paths can never disagree about what is worth retrying.
                 Err(match status {
                     429 => AttemptError::Throttled {
                         retry_after: head.retry_after(),
                         error,
                     },
-                    500..=599 => AttemptError::Retryable(error),
+                    _ if error.is_retryable() => AttemptError::Retryable(error),
                     _ => AttemptError::Fatal(error),
                 })
             }
@@ -705,7 +1054,7 @@ impl LanguageModel for HttpLlm {
         request: &CompletionRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
-        self.inner.submit(Self::key_of(request, sample), request)
+        Inner::submit(&self.inner, Self::key_of(request, sample), request)
     }
 
     fn complete_prepared(
@@ -713,8 +1062,11 @@ impl LanguageModel for HttpLlm {
         prepared: &PreparedRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
-        self.inner
-            .submit(prepared.fingerprint(sample), prepared.request())
+        Inner::submit(
+            &self.inner,
+            prepared.fingerprint(sample),
+            prepared.request(),
+        )
     }
 
     /// Accepts the speculation by launching the wire round trip on a
@@ -739,7 +1091,7 @@ impl LanguageModel for HttpLlm {
         let spawned = std::thread::Builder::new()
             .name("askit-http-prefetch".to_owned())
             .spawn(move || {
-                let result = inner.execute(key, prepared.request());
+                let result = Inner::execute(&inner, key, prepared.request());
                 inner.land_speculation(key, &worker_flight, result);
             });
         match spawned {
@@ -803,7 +1155,21 @@ impl LanguageModel for HttpLlm {
     /// outcome is reported, including 429s and timeouts the retry loop
     /// absorbs before any caller sees them. Subscribers must therefore not
     /// also classify returned errors (they would double-count).
+    ///
+    /// On subscription the observer immediately receives one
+    /// [`LoadSignal::Breaker`] per configured endpoint with its current
+    /// state, so it knows the full endpoint set without waiting for a
+    /// transition (the contract [`LoadSignal::Breaker`] documents).
     fn subscribe_load(&self, observer: Arc<dyn LoadObserver>) -> bool {
+        for (index, endpoint) in self.inner.endpoints.iter().enumerate() {
+            observer.observed(
+                ModelChoice::Default,
+                LoadSignal::Breaker {
+                    endpoint: index,
+                    state: endpoint.breaker.state(),
+                },
+            );
+        }
         lock(&self.inner.observers).push(observer);
         true
     }

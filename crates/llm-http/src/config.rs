@@ -4,11 +4,16 @@ use std::time::Duration;
 
 use askit_llm::ModelChoice;
 
+use crate::breaker::BreakerConfig;
 use crate::secret::ApiKey;
 
 /// Environment variable naming the service base URL (e.g.
 /// `http://127.0.0.1:8080/v1`).
 pub const API_BASE_ENV: &str = "ASKIT_API_BASE";
+/// Environment variable listing fallback base URLs, comma-separated, tried
+/// in order when the primary endpoint's circuit breaker is open (or a
+/// hedged request needs a second endpoint).
+pub const API_FALLBACKS_ENV: &str = "ASKIT_API_FALLBACKS";
 /// Environment variable holding the bearer credential. Read once at
 /// configuration time into an [`ApiKey`], which redacts itself everywhere.
 pub const API_KEY_ENV: &str = "ASKIT_API_KEY";
@@ -40,6 +45,36 @@ impl Default for RetryConfig {
     }
 }
 
+/// When and how a hedged request launches its second attempt.
+///
+/// Hedging races a duplicate attempt on a *different* endpoint once the
+/// first has been in flight longer than a recent-latency percentile — the
+/// first result wins, the loser is dropped. It trades up to one extra wire
+/// round trip for a bounded tail: a request stuck behind a slow or dying
+/// endpoint completes in roughly `percentile`-latency plus one healthy
+/// round trip instead of waiting out a full timeout-and-retry cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency percentile (0..=1) of recent completed round trips after
+    /// which the hedge launches.
+    pub percentile: f64,
+    /// Hedge delay used until [`HedgeConfig::min_samples`] latencies have
+    /// been observed.
+    pub initial_delay: Duration,
+    /// Completed round trips required before the percentile is trusted.
+    pub min_samples: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            percentile: 0.9,
+            initial_delay: Duration::from_millis(150),
+            min_samples: 8,
+        }
+    }
+}
+
 /// A token-bucket budget for one routed model: at most `capacity` requests
 /// in a burst, refilled continuously at `per_second`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,7 +95,13 @@ pub struct HttpLlmConfig {
     /// `http://` is supported (the workspace builds offline, with no TLS
     /// implementation); the client appends `/chat/completions`.
     pub api_base: String,
-    /// Bearer credential sent as `Authorization: Bearer …`, if any.
+    /// Fallback service roots, tried in order when an earlier endpoint's
+    /// circuit breaker is open (and raced against by hedged requests).
+    /// Endpoints are **service advice**: they are not part of the request
+    /// fingerprint, so every endpoint serves the same completion cache.
+    pub fallback_api_bases: Vec<String>,
+    /// Bearer credential sent as `Authorization: Bearer …`, if any (shared
+    /// by every endpoint).
     pub api_key: Option<ApiKey>,
     /// Wire model name used for [`ModelChoice::Default`].
     pub default_model: String,
@@ -84,8 +125,14 @@ pub struct HttpLlmConfig {
     /// additionally drains the model's bucket, so the whole worker pool
     /// backs off together instead of each thread discovering the limit.
     pub rate_limits: Vec<(ModelChoice, RateLimit)>,
-    /// Keep-alive connections retained per client (0 disables reuse).
+    /// Keep-alive connections retained per endpoint (0 disables reuse).
     pub max_idle_connections: usize,
+    /// Per-endpoint circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Hedged-request discipline (consulted only for requests that opt in
+    /// via [`askit_llm::RequestOptions::hedge`] *and* only when at least
+    /// one fallback endpoint is configured).
+    pub hedge: HedgeConfig,
 }
 
 impl HttpLlmConfig {
@@ -94,6 +141,7 @@ impl HttpLlmConfig {
     pub fn new(api_base: impl Into<String>) -> Self {
         HttpLlmConfig {
             api_base: api_base.into(),
+            fallback_api_bases: Vec::new(),
             api_key: None,
             default_model: "gpt-4".to_owned(),
             gpt35_model: "gpt-3.5-turbo".to_owned(),
@@ -104,11 +152,14 @@ impl HttpLlmConfig {
             retry: RetryConfig::default(),
             rate_limits: Vec::new(),
             max_idle_connections: 8,
+            breaker: BreakerConfig::default(),
+            hedge: HedgeConfig::default(),
         }
     }
 
     /// Builds a configuration from the environment: [`API_BASE_ENV`] is
-    /// required, [`API_KEY_ENV`] optional. Returns `None` when no base URL
+    /// required; [`API_KEY_ENV`] and [`API_FALLBACKS_ENV`] (comma-separated
+    /// fallback base URLs) are optional. Returns `None` when no base URL
     /// is set.
     pub fn from_env() -> Option<Self> {
         let base = std::env::var(API_BASE_ENV).ok()?;
@@ -118,6 +169,14 @@ impl HttpLlmConfig {
             if !key.is_empty() {
                 config.api_key = Some(key);
             }
+        }
+        if let Ok(fallbacks) = std::env::var(API_FALLBACKS_ENV) {
+            config.fallback_api_bases = fallbacks
+                .split(',')
+                .map(str::trim)
+                .filter(|base| !base.is_empty())
+                .map(str::to_owned)
+                .collect();
         }
         Some(config)
     }
@@ -155,6 +214,28 @@ impl HttpLlmConfig {
     #[must_use]
     pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
         self.request_timeout = timeout;
+        self
+    }
+
+    /// Appends a fallback endpoint (tried after the primary and any
+    /// earlier fallbacks).
+    #[must_use]
+    pub fn with_fallback(mut self, api_base: impl Into<String>) -> Self {
+        self.fallback_api_bases.push(api_base.into());
+        self
+    }
+
+    /// Overrides the per-endpoint circuit-breaker thresholds.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Overrides the hedged-request discipline.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = hedge;
         self
     }
 

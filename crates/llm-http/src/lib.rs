@@ -16,10 +16,15 @@
 //!   decoding, retry with jittered exponential backoff on 429/5xx and
 //!   transport faults, a per-model token-bucket [`RateLimiter`], and
 //!   in-flight request coalescing (concurrent identical submissions share
-//!   one round trip; speculative prefetches are *joined*, not re-paid);
+//!   one round trip; speculative prefetches are *joined*, not re-paid) —
+//!   plus the resilience layer: per-endpoint [`CircuitBreaker`]s,
+//!   multi-endpoint failover, opt-in hedged requests, and deadline
+//!   propagation (sleeps and socket timeouts clipped to the request's
+//!   remaining budget, expired work shed before wire traffic);
 //! * [`LoopbackServer`] — a scripted `127.0.0.1` server with fault
-//!   injection (429 bursts, torn frames, mid-stream disconnects) for tests
-//!   and examples;
+//!   injection (429 bursts, torn frames, mid-stream disconnects, and
+//!   ordinal-keyed deterministic [`FaultWindow`] schedules) for tests,
+//!   examples, and the chaos gate;
 //! * [`ApiKey`] — credential handling that redacts itself in every
 //!   `Debug`/error surface.
 //!
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod breaker;
 mod client;
 mod config;
 pub mod loopback;
@@ -45,9 +51,13 @@ mod secret;
 pub mod sse;
 pub mod wire;
 
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use client::{HttpLlm, HttpStats};
-pub use config::{HttpLlmConfig, RateLimit, RetryConfig, API_BASE_ENV, API_KEY_ENV};
-pub use loopback::{LoopbackServer, RecordedRequest, Reply};
+pub use config::{
+    HedgeConfig, HttpLlmConfig, RateLimit, RetryConfig, API_BASE_ENV, API_FALLBACKS_ENV,
+    API_KEY_ENV,
+};
+pub use loopback::{Fault, FaultWindow, LoopbackServer, RecordedRequest, Reply};
 pub use ratelimit::RateLimiter;
 pub use secret::ApiKey;
 

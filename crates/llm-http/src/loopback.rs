@@ -11,6 +11,16 @@
 //! The server records every request it parses ([`RecordedRequest`]), which
 //! is how tests assert things like "the warm run issued **zero** HTTP
 //! requests" or "the Authorization header carried the key".
+//!
+//! # Fault schedules
+//!
+//! Beyond the FIFO script, a server carries **fault windows**
+//! ([`FaultWindow`]): deterministic rules keyed on the request *ordinal*
+//! (the how-many-th request this server has parsed), so a chaos run can
+//! declare "requests 10–19 hit a blackout, 30–39 hit a 429 storm" and
+//! replay it bit-identically on every CI run — no clocks, no randomness.
+//! Resolution order per request: explicit script entries first, then the
+//! first matching fault window, then the default handler.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -66,6 +76,90 @@ pub enum Reply {
         /// Pause between single-byte writes, in milliseconds.
         delay_ms: u64,
     },
+    /// Like [`Reply::Drip`], but the dripped content is whatever the
+    /// default handler would have answered — the *correct* completion,
+    /// served maliciously slowly (used by [`Fault::SlowLoris`]).
+    DripDefault {
+        /// Pause between single-byte writes, in milliseconds.
+        delay_ms: u64,
+    },
+    /// The default handler's answer, cut mid-stream: truncated SSE for
+    /// streamed requests, a torn Content-Length body otherwise (used by
+    /// [`Fault::MidStreamCut`]).
+    CutDefault,
+}
+
+/// One deterministic fault class a [`FaultWindow`] can inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Endpoint blackout: read the request, close without a byte of
+    /// response (the client sees a torn connection — the closest a bound
+    /// listener can get to a dead host).
+    Blackout,
+    /// 429 storm, with an optional `Retry-After` (seconds).
+    RateLimitStorm {
+        /// `Retry-After` header value, in seconds, when present.
+        retry_after: Option<u64>,
+    },
+    /// 5xx burst with the given status.
+    ServerError {
+        /// Status code to answer with (e.g. 500, 503).
+        status: u16,
+    },
+    /// Slow-loris: a correct response dripped one byte per `delay_ms` —
+    /// each write inside any plausible per-read timeout, so only a whole
+    /// round-trip deadline catches it.
+    SlowLoris {
+        /// Pause between single-byte writes, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Mid-stream disconnect: an SSE response cut before `data: [DONE]`
+    /// (non-streamed requests get a torn Content-Length body instead).
+    MidStreamCut,
+    /// Flapping: odd ordinals inside the window black out, even ordinals
+    /// answer normally — the up-down-up endpoint that defeats naive
+    /// "mark dead forever" failover.
+    Flapping,
+}
+
+/// Requests whose ordinal falls in `[from_hit, to_hit)` suffer `fault`.
+/// Ordinals count every request this server parses, starting at 0.
+#[derive(Debug, Clone)]
+pub struct FaultWindow {
+    /// First affected ordinal.
+    pub from_hit: usize,
+    /// First ordinal *past* the window.
+    pub to_hit: usize,
+    /// What happens inside the window.
+    pub fault: Fault,
+}
+
+impl FaultWindow {
+    /// Resolves this window for ordinal `hit`: `None` when the ordinal is
+    /// outside the window or the fault spares it (flapping, even hits).
+    fn reply_for(&self, hit: usize) -> Option<Reply> {
+        if hit < self.from_hit || hit >= self.to_hit {
+            return None;
+        }
+        match &self.fault {
+            Fault::Blackout => Some(Reply::Disconnect),
+            Fault::RateLimitStorm { retry_after } => Some(Reply::Status {
+                status: 429,
+                retry_after: *retry_after,
+                body: r#"{"error":{"message":"scripted rate-limit storm"}}"#.to_owned(),
+            }),
+            Fault::ServerError { status } => Some(Reply::Status {
+                status: *status,
+                retry_after: None,
+                body: r#"{"error":{"message":"scripted server error"}}"#.to_owned(),
+            }),
+            Fault::SlowLoris { delay_ms } => Some(Reply::DripDefault {
+                delay_ms: *delay_ms,
+            }),
+            Fault::MidStreamCut => Some(Reply::CutDefault),
+            Fault::Flapping => (hit % 2 == 1).then_some(Reply::Disconnect),
+        }
+    }
 }
 
 /// One request as the server parsed it.
@@ -89,8 +183,13 @@ type Handler = dyn Fn(&RecordedRequest) -> Reply + Send + Sync;
 
 struct ServerState {
     script: Mutex<VecDeque<Reply>>,
+    schedule: Mutex<Vec<FaultWindow>>,
     default_handler: Mutex<Arc<Handler>>,
     requests: Mutex<Vec<RecordedRequest>>,
+    /// Requests admitted to reply resolution so far — the ordinal fault
+    /// windows key on. Separate from `requests` so the ordinal is taken
+    /// atomically even when connections race.
+    ordinal: AtomicUsize,
     connections: AtomicUsize,
     shutdown: AtomicBool,
 }
@@ -117,11 +216,13 @@ impl LoopbackServer {
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             script: Mutex::new(VecDeque::new()),
+            schedule: Mutex::new(Vec::new()),
             default_handler: Mutex::new(Arc::new(|request: &RecordedRequest| {
                 let prompt = request.last_user.as_deref().unwrap_or("");
                 Reply::Text(format!("echo:{:016x}", fnv1a(prompt.as_bytes())))
             })),
             requests: Mutex::new(Vec::new()),
+            ordinal: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -171,6 +272,18 @@ impl LoopbackServer {
     pub fn script_all(&self, replies: impl IntoIterator<Item = Reply>) {
         let mut script = lock(&self.state.script);
         script.extend(replies);
+    }
+
+    /// Adds one fault window to the schedule (consulted, in insertion
+    /// order, for requests the FIFO script does not cover; the first
+    /// window claiming the ordinal wins).
+    pub fn schedule_fault(&self, window: FaultWindow) {
+        lock(&self.state.schedule).push(window);
+    }
+
+    /// Removes every scheduled fault window.
+    pub fn clear_fault_schedule(&self) {
+        lock(&self.state.schedule).clear();
     }
 
     /// Replaces the default handler used when the script is empty.
@@ -224,15 +337,36 @@ fn serve_connection(mut conn: TcpStream, state: &Arc<ServerState>) {
         let Some(request) = read_request(&mut conn, &mut pending) else {
             return;
         };
-        let reply = {
-            let scripted = lock(&state.script).pop_front();
-            match scripted {
-                Some(reply) => reply,
-                None => {
-                    let handler = Arc::clone(&lock(&state.default_handler));
-                    handler(&request)
+        let hit = state.ordinal.fetch_add(1, Ordering::SeqCst);
+        // Resolution order: explicit script, then the fault schedule,
+        // then the default handler.
+        let reply = lock(&state.script)
+            .pop_front()
+            .or_else(|| {
+                lock(&state.schedule)
+                    .iter()
+                    .find_map(|window| window.reply_for(hit))
+            })
+            .unwrap_or_else(|| {
+                let handler = Arc::clone(&lock(&state.default_handler));
+                handler(&request)
+            });
+        // The *Default replies borrow their payload from the default
+        // handler: the correct answer, delivered pathologically.
+        let reply = match reply {
+            Reply::DripDefault { delay_ms } => Reply::Drip {
+                content: default_content(state, &request),
+                delay_ms,
+            },
+            Reply::CutDefault => {
+                let content = default_content(state, &request);
+                if request.stream {
+                    Reply::SseTruncated(content)
+                } else {
+                    Reply::TornBody(content)
                 }
             }
+            other => other,
         };
         lock(&state.requests).push(request);
         if !write_reply(&mut conn, &reply) {
@@ -315,6 +449,17 @@ fn read_request(conn: &mut TcpStream, pending: &mut Vec<u8>) -> Option<RecordedR
     })
 }
 
+/// The text content the default handler would answer `request` with (used
+/// by the `*Default` replies; a non-text default handler contributes an
+/// empty payload — the fault is the point, not the content).
+fn default_content(state: &Arc<ServerState>, request: &RecordedRequest) -> String {
+    let handler = Arc::clone(&lock(&state.default_handler));
+    match handler(request) {
+        Reply::Text(content) | Reply::Sse(content) => content,
+        _ => String::new(),
+    }
+}
+
 /// A well-formed chat-completion body for `content`.
 fn completion_body(content: &str) -> String {
     let completion_tokens = tokenizer::count_tokens(content);
@@ -384,6 +529,9 @@ fn write_reply(conn: &mut TcpStream, reply: &Reply) -> bool {
             write_sse(conn, content, false);
             false
         }
+        // Resolved into concrete replies by `serve_connection` before this
+        // point; a raw occurrence fails closed as a disconnect.
+        Reply::DripDefault { .. } | Reply::CutDefault => false,
     }
 }
 
@@ -445,6 +593,59 @@ mod tests {
         };
         assert_eq!(a, b);
         assert!(a.starts_with("echo:"));
+    }
+
+    #[test]
+    fn fault_windows_claim_only_their_ordinals() {
+        let storm = FaultWindow {
+            from_hit: 2,
+            to_hit: 4,
+            fault: Fault::RateLimitStorm {
+                retry_after: Some(1),
+            },
+        };
+        assert!(storm.reply_for(1).is_none());
+        assert!(matches!(
+            storm.reply_for(2),
+            Some(Reply::Status { status: 429, .. })
+        ));
+        assert!(matches!(
+            storm.reply_for(3),
+            Some(Reply::Status { status: 429, .. })
+        ));
+        assert!(storm.reply_for(4).is_none());
+
+        let flapping = FaultWindow {
+            from_hit: 0,
+            to_hit: 10,
+            fault: Fault::Flapping,
+        };
+        assert!(flapping.reply_for(0).is_none(), "even ordinals answer");
+        assert!(matches!(flapping.reply_for(1), Some(Reply::Disconnect)));
+        assert!(flapping.reply_for(8).is_none());
+        assert!(matches!(flapping.reply_for(9), Some(Reply::Disconnect)));
+
+        let blackout = FaultWindow {
+            from_hit: 0,
+            to_hit: 1,
+            fault: Fault::Blackout,
+        };
+        assert!(matches!(blackout.reply_for(0), Some(Reply::Disconnect)));
+        let loris = FaultWindow {
+            from_hit: 0,
+            to_hit: 1,
+            fault: Fault::SlowLoris { delay_ms: 5 },
+        };
+        assert!(matches!(
+            loris.reply_for(0),
+            Some(Reply::DripDefault { delay_ms: 5 })
+        ));
+        let cut = FaultWindow {
+            from_hit: 0,
+            to_hit: 1,
+            fault: Fault::MidStreamCut,
+        };
+        assert!(matches!(cut.reply_for(0), Some(Reply::CutDefault)));
     }
 
     #[test]

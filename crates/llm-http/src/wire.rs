@@ -120,12 +120,85 @@ impl ResponseHead {
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 
-    /// `Retry-After` in seconds, when present and numeric.
+    /// `Retry-After`, when present and parsable: either the delta-seconds
+    /// form (`Retry-After: 2`) or the RFC 9110 HTTP-date form
+    /// (`Retry-After: Sun, 06 Nov 1994 08:49:37 GMT`). A date in the past
+    /// yields a zero delay, not `None` — the server *did* say when to
+    /// retry; that moment has simply arrived.
     pub fn retry_after(&self) -> Option<Duration> {
-        self.header("retry-after")
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .map(Duration::from_secs)
+        let value = self.header("retry-after")?.trim();
+        if let Ok(seconds) = value.parse::<u64>() {
+            return Some(Duration::from_secs(seconds));
+        }
+        let when = parse_http_date(value)?;
+        Some(
+            when.duration_since(std::time::SystemTime::now())
+                .unwrap_or(Duration::ZERO),
+        )
     }
+}
+
+/// Parses an RFC 9110 IMF-fixdate (`Sun, 06 Nov 1994 08:49:37 GMT`) into a
+/// [`std::time::SystemTime`]. Dates before the Unix epoch clamp to the
+/// epoch (they are only ever compared against *now*, so "long past" is all
+/// that matters). Returns `None` for anything that does not match the
+/// fixdate shape — including the obsolete RFC 850 and asctime forms, which
+/// no contemporary server emits.
+fn parse_http_date(text: &str) -> Option<std::time::SystemTime> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT" — day-name is decorative; validate
+    // the comma and ignore the name.
+    let (_day_name, rest) = text.split_once(',')?;
+    let mut parts = rest.split_ascii_whitespace();
+    let day: u64 = parts.next()?.parse().ok()?;
+    let month: u64 = match parts.next()? {
+        "Jan" => 1,
+        "Feb" => 2,
+        "Mar" => 3,
+        "Apr" => 4,
+        "May" => 5,
+        "Jun" => 6,
+        "Jul" => 7,
+        "Aug" => 8,
+        "Sep" => 9,
+        "Oct" => 10,
+        "Nov" => 11,
+        "Dec" => 12,
+        _ => return None,
+    };
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut clock = parts.next()?.split(':');
+    let hour: u64 = clock.next()?.parse().ok()?;
+    let minute: u64 = clock.next()?.parse().ok()?;
+    let second: u64 = clock.next()?.parse().ok()?;
+    if clock.next().is_some() || parts.next()? != "GMT" || parts.next().is_some() {
+        return None;
+    }
+    if !(1..=31).contains(&day) || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return Some(std::time::UNIX_EPOCH);
+    }
+    #[allow(clippy::cast_sign_loss)]
+    let seconds = days as u64 * 86_400 + hour * 3_600 + minute * 60 + second;
+    Some(std::time::UNIX_EPOCH + Duration::from_secs(seconds))
+}
+
+/// Days from 1970-01-01 to `year`-`month`-`day` in the proleptic Gregorian
+/// calendar (Howard Hinnant's `days_from_civil` algorithm — the standard
+/// branch-free civil-date conversion).
+fn days_from_civil(year: i64, month: u64, day: u64) -> i64 {
+    let year = year - i64::from(month <= 2);
+    let era = year.div_euclid(400);
+    #[allow(clippy::cast_sign_loss)]
+    let year_of_era = (year - era * 400) as u64; // [0, 399]
+    let month_shifted = if month > 2 { month - 3 } else { month + 9 };
+    let day_of_year = (153 * month_shifted + 2) / 5 + day - 1; // [0, 365]
+    let day_of_era = year_of_era * 365 + year_of_era / 4 - year_of_era / 100 + day_of_year;
+    #[allow(clippy::cast_possible_wrap)]
+    let day_of_era = day_of_era as i64; // [0, 146096]
+    era * 146_097 + day_of_era - 719_468
 }
 
 /// How a response body is framed.
@@ -568,6 +641,58 @@ mod tests {
             headers: vec![],
         };
         assert_eq!(BodyFraming::of(&bare), BodyFraming::UntilClose);
+    }
+
+    #[test]
+    fn retry_after_parses_both_rfc_9110_forms() {
+        let head = |value: &str| ResponseHead {
+            status: 429,
+            headers: vec![("Retry-After".into(), value.into())],
+        };
+        // Delta-seconds form.
+        assert_eq!(head("7").retry_after(), Some(Duration::from_secs(7)));
+        assert_eq!(head(" 7 ").retry_after(), Some(Duration::from_secs(7)));
+        // HTTP-date form, far future: a large positive delay.
+        let future = head("Fri, 31 Dec 2100 23:59:59 GMT").retry_after().unwrap();
+        assert!(future > Duration::from_secs(60), "{future:?}");
+        // HTTP-date form, past date: the retry moment has arrived — zero
+        // delay, not a parse failure.
+        assert_eq!(
+            head("Sun, 06 Nov 1994 08:49:37 GMT").retry_after(),
+            Some(Duration::ZERO)
+        );
+        // Pre-epoch dates clamp to the epoch (still "long past": zero).
+        assert_eq!(
+            head("Mon, 01 Jan 1900 00:00:00 GMT").retry_after(),
+            Some(Duration::ZERO)
+        );
+        // Garbage stays None.
+        assert_eq!(head("soon").retry_after(), None);
+        assert_eq!(head("Sun, 06 Nov 1994 08:49:37 PST").retry_after(), None);
+        assert_eq!(head("Sun, 06 Nope 1994 08:49:37 GMT").retry_after(), None);
+        assert_eq!(head("Sun, 46 Nov 1994 08:49:37 GMT").retry_after(), None);
+    }
+
+    #[test]
+    fn civil_date_conversion_matches_known_epochs() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        // 2000-03-01: leap-century day accounted for.
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        // 2024-02-29 exists (leap year divisible by 4, not by 100).
+        assert_eq!(
+            days_from_civil(2024, 3, 1) - days_from_civil(2024, 2, 28),
+            2
+        );
+        // 1900-02-29 does not (divisible by 100, not 400) — the algorithm
+        // maps the civil triple linearly; parse_http_date's range check
+        // cannot catch it, but no server emits impossible dates and the
+        // result is still a sane nearby day.
+        assert_eq!(
+            days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28),
+            1
+        );
     }
 
     #[test]

@@ -585,3 +585,245 @@ fn persistent_cache_warm_starts_with_zero_requests() {
     assert_eq!(engine.cache_stats().loaded, 10);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Resilience: breakers, failover, hedging, deadlines.
+// ---------------------------------------------------------------------------
+
+use std::sync::Mutex;
+
+use askit_llm::{BreakerState, LoadObserver, LoadSignal};
+use askit_llm_http::{BreakerConfig, Fault, FaultWindow, HedgeConfig};
+
+/// Collects every load signal for later assertions.
+#[derive(Default)]
+struct SignalLog(Mutex<Vec<LoadSignal>>);
+
+impl LoadObserver for SignalLog {
+    fn observed(&self, _model: ModelChoice, signal: LoadSignal) {
+        self.0.lock().unwrap().push(signal);
+    }
+}
+
+impl SignalLog {
+    fn breaker_states(&self) -> Vec<(usize, BreakerState)> {
+        self.0
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|signal| match signal {
+                LoadSignal::Breaker { endpoint, state } => Some((*endpoint, *state)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn two_endpoint_config(
+    primary: &LoopbackServer,
+    fallback: &LoopbackServer,
+    breaker: BreakerConfig,
+) -> HttpLlmConfig {
+    HttpLlmConfig::new(primary.api_base())
+        .with_fallback(fallback.api_base())
+        .with_retry(fast_retry())
+        .with_breaker(breaker)
+}
+
+#[test]
+fn blackout_on_the_primary_fails_over_without_a_user_visible_error() {
+    let primary = LoopbackServer::start().unwrap();
+    let fallback = LoopbackServer::start().unwrap();
+    primary.schedule_fault(FaultWindow {
+        from_hit: 0,
+        to_hit: usize::MAX,
+        fault: Fault::Blackout,
+    });
+    let llm = HttpLlm::new(two_endpoint_config(
+        &primary,
+        &fallback,
+        BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(30),
+        },
+    ))
+    .unwrap();
+
+    let a = llm.complete(&prompt("through the storm")).unwrap();
+    let b = llm.complete(&prompt("and again")).unwrap();
+    assert!(a.text.starts_with("echo:") && b.text.starts_with("echo:"));
+
+    let stats = llm.stats();
+    assert!(stats.failovers >= 1, "{stats:?}");
+    assert_eq!(stats.breaker_trips, 1, "{stats:?}");
+    // The second request never touched the dead primary: its breaker was
+    // open and the endpoint scan skipped straight to the fallback.
+    assert_eq!(primary.hits(), 1, "open breaker must shed the primary");
+    assert_eq!(fallback.hits(), 2);
+}
+
+#[test]
+fn half_open_probe_recovers_a_healed_primary() {
+    let primary = LoopbackServer::start().unwrap();
+    let fallback = LoopbackServer::start().unwrap();
+    // Only the first request blacks out; the endpoint then heals.
+    primary.schedule_fault(FaultWindow {
+        from_hit: 0,
+        to_hit: 1,
+        fault: Fault::Blackout,
+    });
+    let llm = HttpLlm::new(two_endpoint_config(
+        &primary,
+        &fallback,
+        BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(50),
+        },
+    ))
+    .unwrap();
+    let log = Arc::new(SignalLog::default());
+    llm.subscribe_load(log.clone());
+
+    llm.complete(&prompt("first")).unwrap(); // trips primary, lands on fallback
+    std::thread::sleep(Duration::from_millis(60)); // cooldown lapses
+    llm.complete(&prompt("second")).unwrap(); // half-open probe succeeds
+    llm.complete(&prompt("third")).unwrap(); // primary fully back
+
+    assert_eq!(primary.hits(), 3, "probe + recovered traffic hit primary");
+    assert_eq!(fallback.hits(), 1, "only the blackout request failed over");
+    let states: Vec<BreakerState> = log
+        .breaker_states()
+        .into_iter()
+        .filter(|(endpoint, _)| *endpoint == 0)
+        .map(|(_, state)| state)
+        .collect();
+    assert_eq!(
+        states,
+        vec![
+            BreakerState::Closed, // initial emission at subscribe time
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+            BreakerState::Closed,
+        ],
+        "full lifecycle exported as load signals"
+    );
+}
+
+#[test]
+fn subscription_emits_one_initial_breaker_state_per_endpoint() {
+    let primary = LoopbackServer::start().unwrap();
+    let fallback = LoopbackServer::start().unwrap();
+    let llm = HttpLlm::new(two_endpoint_config(
+        &primary,
+        &fallback,
+        BreakerConfig::default(),
+    ))
+    .unwrap();
+    let log = Arc::new(SignalLog::default());
+    llm.subscribe_load(log.clone());
+    assert_eq!(
+        log.breaker_states(),
+        vec![(0, BreakerState::Closed), (1, BreakerState::Closed)],
+        "observers learn the endpoint set at subscribe time"
+    );
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_any_wire_traffic() {
+    let server = LoopbackServer::start().unwrap();
+    let llm = client_for(&server);
+    let mut request = prompt("too late");
+    request.options.deadline = Some(Instant::now());
+    let error = llm.complete(&request).unwrap_err();
+    assert!(matches!(error, LlmError::DeadlineExceeded), "{error}");
+    assert_eq!(server.hits(), 0, "shed requests never reach the wire");
+    assert_eq!(llm.stats().deadline_sheds, 1);
+    assert_eq!(llm.stats().wire_requests, 0);
+}
+
+#[test]
+fn deadline_bounds_a_slow_loris_response() {
+    let server = LoopbackServer::start().unwrap();
+    // Every response drips one byte per 50ms — a ~230-byte completion body
+    // would take ~11s; the deadline must cut it off.
+    server.schedule_fault(FaultWindow {
+        from_hit: 0,
+        to_hit: usize::MAX,
+        fault: Fault::SlowLoris { delay_ms: 50 },
+    });
+    let llm = client_for(&server);
+    let mut request = prompt("drip drip");
+    request.options.deadline = Some(Instant::now() + Duration::from_millis(300));
+    let started = Instant::now();
+    let error = llm.complete(&request).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(error, LlmError::DeadlineExceeded), "{error}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline must bound the round trip, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn hedged_request_wins_on_the_fallback_while_the_primary_drips() {
+    let primary = LoopbackServer::start().unwrap();
+    let fallback = LoopbackServer::start().unwrap();
+    primary.schedule_fault(FaultWindow {
+        from_hit: 0,
+        to_hit: usize::MAX,
+        fault: Fault::SlowLoris { delay_ms: 25 },
+    });
+    let config = two_endpoint_config(&primary, &fallback, BreakerConfig::default())
+        .with_request_timeout(Duration::from_millis(500))
+        .with_hedge(HedgeConfig {
+            percentile: 0.9,
+            initial_delay: Duration::from_millis(20),
+            // Never enough samples: the initial delay always applies, so
+            // the test does not depend on warm-up latencies.
+            min_samples: usize::MAX,
+        });
+    let llm = HttpLlm::new(config).unwrap();
+    let mut request = prompt("race the endpoints");
+    request.options.hedge = true;
+    let started = Instant::now();
+    let completion = llm.complete(&request).unwrap();
+    let elapsed = started.elapsed();
+    // Both servers answer `echo:<fnv of prompt>` — the hedge winning on
+    // the fallback is bit-identical to the primary's (eventual) answer.
+    assert!(completion.text.starts_with("echo:"));
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "hedge must beat the drip, took {elapsed:?}"
+    );
+    let stats = llm.stats();
+    assert_eq!(stats.hedges, 1, "{stats:?}");
+    assert_eq!(stats.hedge_wins, 1, "{stats:?}");
+    // Give the losing leg a beat to finish its retry loop before the
+    // servers shut down (it is detached by design).
+    std::thread::sleep(Duration::from_millis(700));
+}
+
+#[test]
+fn flapping_primary_is_absorbed_by_retry_and_failover() {
+    let primary = LoopbackServer::start().unwrap();
+    let fallback = LoopbackServer::start().unwrap();
+    primary.schedule_fault(FaultWindow {
+        from_hit: 0,
+        to_hit: usize::MAX,
+        fault: Fault::Flapping,
+    });
+    let llm = HttpLlm::new(two_endpoint_config(
+        &primary,
+        &fallback,
+        // Tolerant breaker: flapping should ride on retries, not trips.
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(100),
+        },
+    ))
+    .unwrap();
+    for i in 0..8 {
+        let completion = llm.complete(&prompt(&format!("flap {i}"))).unwrap();
+        assert!(completion.text.starts_with("echo:"), "request {i}");
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Who authored a chat message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,6 +177,41 @@ impl fmt::Display for Escalation {
     }
 }
 
+/// The observable state of a circuit breaker guarding one backend endpoint.
+///
+/// The breaker machine itself lives in the network backend
+/// (`askit-llm-http`); this enum is the shared vocabulary it exports through
+/// [`LoadSignal::Breaker`] so schedulers and health endpoints can reason
+/// about endpoint availability without depending on the backend crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Requests flow normally; failures are being counted.
+    Closed,
+    /// The endpoint is presumed down: requests are refused without a round
+    /// trip until a cooldown elapses.
+    Open,
+    /// The cooldown elapsed: exactly one trial request probes the endpoint;
+    /// everyone else is still refused until the probe settles.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// A stable lowercase tag naming the state (used in health reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
 /// One backend load observation, as seen at the wire (or simulated-wire)
 /// level.
 ///
@@ -195,6 +230,16 @@ pub enum LoadSignal {
     Throttled,
     /// A round trip timed out.
     TimedOut,
+    /// A circuit breaker guarding one backend endpoint changed state (also
+    /// emitted once per endpoint, in its initial state, when an observer
+    /// subscribes — so observers always know the full endpoint set).
+    Breaker {
+        /// The endpoint's index in the backend's failover order (0 is the
+        /// primary).
+        endpoint: usize,
+        /// The breaker's new state.
+        state: BreakerState,
+    },
 }
 
 /// An observer of per-model [`LoadSignal`]s.
@@ -247,6 +292,25 @@ pub struct RequestOptions {
     /// [`CompletionRequest::same_identity`], so changing the timeout still
     /// warm-starts from cached completions.
     pub timeout: Option<Duration>,
+    /// The monotonic instant by which the *whole* request — every retry,
+    /// every backoff sleep, every failover attempt — must have settled.
+    ///
+    /// Stamped once at admission (the serve route or the `Query` run) from
+    /// `timeout`, then threaded unchanged through every layer: schedulers
+    /// refuse to dispatch work whose deadline already passed (shedding with
+    /// [`LlmError::DeadlineExceeded`]), retry loops clip their sleeps to the
+    /// remaining budget, and network backends derive per-attempt socket
+    /// timeouts from what's left. Unlike `timeout` (a per-hop advisory
+    /// duration), the deadline is an absolute point in time, so it cannot
+    /// silently re-arm across hops. Service advice, not identity — excluded
+    /// from fingerprints and [`CompletionRequest::same_identity`].
+    pub deadline: Option<Instant>,
+    /// Opt-in request hedging: a multi-endpoint network backend may race a
+    /// second attempt on its next healthy endpoint after a latency-
+    /// percentile delay, first success wins. Costs up to one extra round
+    /// trip per hedged attempt; pointless (and ignored) on single-endpoint
+    /// or in-process backends. Service advice, not identity.
+    pub hedge: bool,
 }
 
 impl RequestOptions {
@@ -255,6 +319,43 @@ impl RequestOptions {
         RequestOptions {
             model,
             ..RequestOptions::default()
+        }
+    }
+
+    /// Stamps `deadline` as `now + timeout`, when a timeout is set and no
+    /// deadline was stamped yet (re-stamping at an inner layer would extend
+    /// the budget, which is exactly what deadline propagation forbids).
+    #[must_use]
+    pub fn stamp_deadline(mut self, now: Instant) -> Self {
+        if self.deadline.is_none() {
+            if let Some(timeout) = self.timeout {
+                self.deadline = Some(now + timeout);
+            }
+        }
+        self
+    }
+
+    /// The budget remaining until the deadline, saturating at zero once the
+    /// deadline has passed. `None` when no deadline is stamped (the request
+    /// may take as long as per-hop timeouts allow).
+    pub fn remaining_budget(&self, now: Instant) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(now))
+    }
+
+    /// Whether the stamped deadline has passed. Requests without a deadline
+    /// never expire.
+    pub fn deadline_expired(&self, now: Instant) -> bool {
+        matches!(self.deadline, Some(d) if d <= now)
+    }
+
+    /// Clips a candidate sleep or per-attempt timeout to the remaining
+    /// deadline budget: the result never exceeds `candidate` and reaches
+    /// zero exactly when the deadline has passed. Without a deadline the
+    /// candidate passes through untouched.
+    pub fn clip_to_deadline(&self, candidate: Duration, now: Instant) -> Duration {
+        match self.remaining_budget(now) {
+            Some(remaining) => candidate.min(remaining),
+            None => candidate,
         }
     }
 }
@@ -600,6 +701,36 @@ pub enum LlmError {
     /// failures, timeouts, torn frames, mid-stream disconnects, or a body
     /// that did not parse as a chat completion.
     Transport(String),
+    /// The request's end-to-end deadline (see [`RequestOptions::deadline`])
+    /// passed before a result was available. Distinct from
+    /// [`LlmError::Transport`] timeouts: a deadline miss is the *caller's*
+    /// budget running out, so retrying on the same budget cannot help —
+    /// schedulers shed such work instead of dispatching it.
+    DeadlineExceeded,
+}
+
+impl LlmError {
+    /// Whether another attempt at the same request could plausibly succeed.
+    ///
+    /// This is the single home of retry classification: backends' retry
+    /// loops, the scheduler's load accounting, and callers deciding whether
+    /// to fail over all consult it instead of matching status classes
+    /// themselves.
+    ///
+    /// * Throttles (HTTP 429) and server-side failures (5xx) are retryable —
+    ///   the provider may recover.
+    /// * Transport faults (connect/read failures, timeouts, torn frames) are
+    ///   retryable — another attempt may take a healthier path.
+    /// * Client-side errors (other 4xx, malformed requests), exhausted
+    ///   scripts, and deadline misses are not: resending the same bytes (or
+    ///   spending a budget that is already gone) cannot change the answer.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            LlmError::Http { status, .. } => *status == 429 || (500..=599).contains(status),
+            LlmError::Transport(_) => true,
+            LlmError::Exhausted | LlmError::InvalidRequest(_) | LlmError::DeadlineExceeded => false,
+        }
+    }
 }
 
 impl fmt::Display for LlmError {
@@ -609,6 +740,7 @@ impl fmt::Display for LlmError {
             LlmError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             LlmError::Http { status, message } => write!(f, "http status {status}: {message}"),
             LlmError::Transport(m) => write!(f, "transport error: {m}"),
+            LlmError::DeadlineExceeded => f.write_str("request deadline exceeded"),
         }
     }
 }
@@ -948,14 +1080,111 @@ mod tests {
         for salt in [0u64, 42] {
             assert_eq!(fnv64(&req.identity_bytes(salt)), req.fingerprint(salt));
         }
-        // Service advice (cache policy, TTL) stays out of the preimage.
+        // Service advice (cache policy, TTL, timeout, deadline) stays out
+        // of the preimage.
         let advised = req.clone().with_options(RequestOptions {
             model: ModelChoice::Gpt4,
             cache: CachePolicy::Bypass,
             ttl: Some(Duration::from_secs(60)),
             timeout: Some(Duration::from_secs(5)),
+            deadline: Some(Instant::now()),
+            hedge: true,
         });
         assert_eq!(req.identity_bytes(3), advised.identity_bytes(3));
+    }
+
+    #[test]
+    fn deadline_is_service_advice_not_identity() {
+        let base = CompletionRequest::from_prompt("q");
+        let mut dated = base.clone();
+        dated.options.timeout = Some(Duration::from_secs(3));
+        dated.options = dated.options.stamp_deadline(Instant::now());
+        assert!(dated.options.deadline.is_some());
+        assert_eq!(base.fingerprint(11), dated.fingerprint(11));
+        assert!(base.same_identity(&dated));
+    }
+
+    #[test]
+    fn deadline_stamping_and_budget_arithmetic() {
+        let now = Instant::now();
+        // No timeout → no deadline, no expiry, clipping passes through.
+        let bare = RequestOptions::default().stamp_deadline(now);
+        assert_eq!(bare.deadline, None);
+        assert!(!bare.deadline_expired(now));
+        assert_eq!(bare.remaining_budget(now), None);
+        let candidate = Duration::from_millis(250);
+        assert_eq!(bare.clip_to_deadline(candidate, now), candidate);
+
+        // A timeout stamps now + timeout, once.
+        let mut timed = RequestOptions {
+            timeout: Some(Duration::from_secs(2)),
+            ..RequestOptions::default()
+        }
+        .stamp_deadline(now);
+        assert_eq!(timed.deadline, Some(now + Duration::from_secs(2)));
+        // Re-stamping later must NOT extend the budget.
+        let restamped = timed.stamp_deadline(now + Duration::from_secs(1));
+        assert_eq!(restamped.deadline, timed.deadline);
+
+        // Mid-budget: remaining shrinks, clipping caps at the remainder.
+        let mid = now + Duration::from_millis(1500);
+        assert_eq!(
+            timed.remaining_budget(mid),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            timed.clip_to_deadline(Duration::from_secs(10), mid),
+            Duration::from_millis(500)
+        );
+        assert_eq!(
+            timed.clip_to_deadline(Duration::from_millis(100), mid),
+            Duration::from_millis(100),
+            "clipping never lengthens a short candidate"
+        );
+
+        // Past the deadline: expired, zero budget, zero clip — never an
+        // underflow panic.
+        let late = now + Duration::from_secs(5);
+        assert!(timed.deadline_expired(late));
+        assert_eq!(timed.remaining_budget(late), Some(Duration::ZERO));
+        assert_eq!(timed.clip_to_deadline(candidate, late), Duration::ZERO);
+
+        // The exact deadline instant counts as expired (a zero budget is no
+        // budget).
+        timed.deadline = Some(mid);
+        assert!(timed.deadline_expired(mid));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(LlmError::Http {
+            status: 429,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(LlmError::Http {
+            status: 503,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(LlmError::Transport("connection reset".into()).is_retryable());
+        assert!(!LlmError::Http {
+            status: 401,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(!LlmError::Http {
+            status: 404,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(!LlmError::InvalidRequest("empty".into()).is_retryable());
+        assert!(!LlmError::Exhausted.is_retryable());
+        assert!(!LlmError::DeadlineExceeded.is_retryable());
+        assert_eq!(
+            LlmError::DeadlineExceeded.to_string(),
+            "request deadline exceeded"
+        );
     }
 
     #[test]

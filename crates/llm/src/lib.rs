@@ -30,9 +30,9 @@ mod scripted;
 pub mod tokenizer;
 
 pub use api::{
-    CachePolicy, ChatMessage, Completion, CompletionRequest, Escalation, LanguageModel, LlmError,
-    LoadObserver, LoadSignal, ModelChoice, PreparedRequest, RequestHasher, RequestOptions, Role,
-    TokenUsage,
+    BreakerState, CachePolicy, ChatMessage, Completion, CompletionRequest, Escalation,
+    LanguageModel, LlmError, LoadObserver, LoadSignal, ModelChoice, PreparedRequest, RequestHasher,
+    RequestOptions, Role, TokenUsage,
 };
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;

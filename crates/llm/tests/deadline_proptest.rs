@@ -1,0 +1,94 @@
+//! Property tests for the deadline arithmetic on [`RequestOptions`]: the
+//! invariants every layer of the stack leans on when it clips sleeps and
+//! per-attempt timeouts to a request's remaining budget. Clipping must
+//! never *extend* a wait (no sleep past the deadline), never underflow
+//! (saturate at zero, not panic), and never manufacture budget a
+//! re-stamp didn't have.
+
+use std::time::{Duration, Instant};
+
+use askit_llm::RequestOptions;
+use proptest::prelude::*;
+
+/// Millisecond ranges wide enough to cover sub-quantum sleeps, realistic
+/// request timeouts, and absurdly long candidates in one sweep.
+fn arb_ms() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..50, 0u64..5_000, 0u64..10_000_000]
+}
+
+fn with_timeout(timeout_ms: u64) -> RequestOptions {
+    RequestOptions {
+        timeout: Some(Duration::from_millis(timeout_ms)),
+        ..RequestOptions::default()
+    }
+}
+
+proptest! {
+    /// The clipped value never exceeds the candidate, never exceeds the
+    /// original timeout budget, and reaches zero exactly when the
+    /// deadline has passed — regardless of how far into the budget the
+    /// clip happens.
+    #[test]
+    fn clipping_never_underflows_or_exceeds_the_original_budget(
+        timeout_ms in arb_ms(),
+        candidate_ms in arb_ms(),
+        elapsed_ms in arb_ms(),
+    ) {
+        let stamped_at = Instant::now();
+        let options = with_timeout(timeout_ms).stamp_deadline(stamped_at);
+        let later = stamped_at + Duration::from_millis(elapsed_ms);
+        let candidate = Duration::from_millis(candidate_ms);
+
+        let clipped = options.clip_to_deadline(candidate, later);
+        prop_assert!(clipped <= candidate, "clip must never extend a wait");
+        prop_assert!(
+            clipped <= Duration::from_millis(timeout_ms),
+            "clip must never exceed the original timeout budget"
+        );
+        if elapsed_ms >= timeout_ms {
+            prop_assert_eq!(clipped, Duration::ZERO);
+            prop_assert!(options.deadline_expired(later));
+            prop_assert_eq!(options.remaining_budget(later), Some(Duration::ZERO));
+        } else {
+            // Inside the budget the clip is exactly min(candidate, rest).
+            let rest = Duration::from_millis(timeout_ms - elapsed_ms);
+            prop_assert_eq!(clipped, candidate.min(rest));
+        }
+    }
+
+    /// Re-stamping at an inner layer is a no-op: the deadline an outer
+    /// layer stamped survives, so budgets shrink monotonically down the
+    /// stack instead of resetting at every hop.
+    #[test]
+    fn restamping_never_extends_the_deadline(
+        timeout_ms in arb_ms(),
+        inner_delay_ms in arb_ms(),
+    ) {
+        let stamped_at = Instant::now();
+        let options = with_timeout(timeout_ms).stamp_deadline(stamped_at);
+        let original = options.deadline;
+        prop_assert!(original.is_some());
+
+        // An inner layer re-stamps later, as if it owned the request.
+        let inner_now = stamped_at + Duration::from_millis(inner_delay_ms);
+        let restamped = options.stamp_deadline(inner_now);
+        prop_assert_eq!(restamped.deadline, original);
+    }
+
+    /// Without a timeout there is no deadline: nothing expires, nothing
+    /// clips, the candidate passes through untouched.
+    #[test]
+    fn no_timeout_means_no_deadline(
+        candidate_ms in arb_ms(),
+        elapsed_ms in arb_ms(),
+    ) {
+        let now = Instant::now();
+        let options = RequestOptions::default().stamp_deadline(now);
+        prop_assert!(options.deadline.is_none());
+        let later = now + Duration::from_millis(elapsed_ms);
+        let candidate = Duration::from_millis(candidate_ms);
+        prop_assert!(!options.deadline_expired(later));
+        prop_assert_eq!(options.remaining_budget(later), None);
+        prop_assert_eq!(options.clip_to_deadline(candidate, later), candidate);
+    }
+}

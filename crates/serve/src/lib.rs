@@ -18,7 +18,8 @@
 //! |---|---|
 //! | `POST /call/{name}` | run the function; JSON result, or SSE progress stream with `Accept: text/event-stream` |
 //! | `GET /functions` | registered signatures (name, typed params, return type) |
-//! | `GET /healthz` | liveness + drain state |
+//! | `GET /healthz` | liveness: `200` while the process serves, even mid-drain |
+//! | `GET /readyz` | readiness: `503` + reasons when draining or every backend endpoint's circuit breaker is open |
 //! | `GET /stats` | server counters, coalescing, and engine cache/scheduler stats |
 //!
 //! Call bodies are the bare argument object (`{"x": 1, "y": 2}`), or an

@@ -106,6 +106,16 @@ impl ServeConfig {
 pub trait EngineStatus: Send + Sync {
     /// Engine-side counters as a JSON object.
     fn status_json(&self) -> Json;
+
+    /// Whether the engine can currently make progress, plus a JSON object
+    /// explaining why (per-endpoint circuit-breaker states, scheduler
+    /// widths). `false` means every known backend endpoint's breaker is
+    /// open — no wire attempt can be admitted — and `/readyz` answers
+    /// `503`. The default is unconditionally ready, for backends without a
+    /// breaker table.
+    fn readiness_json(&self) -> (bool, Json) {
+        (true, Json::Object(Map::new()))
+    }
 }
 
 impl<L: LanguageModel + 'static> EngineStatus for Askit<L> {
@@ -135,6 +145,26 @@ impl<L: LanguageModel + 'static> EngineStatus for Askit<L> {
         object.insert("cache", Json::Object(cache));
         object.insert("scheduler", Json::Object(scheduler));
         Json::Object(object)
+    }
+
+    fn readiness_json(&self) -> (bool, Json) {
+        let engine = self.engine();
+        let scheduler = engine.scheduler();
+        let breakers: Vec<Json> = scheduler
+            .breaker_states()
+            .iter()
+            .map(|state| Json::Str(state.tag().to_owned()))
+            .collect();
+        let all_open = scheduler.all_endpoints_open();
+        let mut widths = Map::new();
+        for (model, width) in scheduler.widths() {
+            widths.insert(model.tag(), Json::Int(int(width as u64)));
+        }
+        let mut object = Map::new();
+        object.insert("endpoint_breakers", Json::Array(breakers));
+        object.insert("all_endpoints_open", Json::Bool(all_open));
+        object.insert("widths", Json::Object(widths));
+        (!all_open, Json::Object(object))
     }
 }
 
@@ -364,13 +394,17 @@ fn dispatch(conn: &mut TcpStream, state: &Arc<ServerState>, request: &Request) -
     let route = request.route();
     match (request.method.as_str(), route) {
         ("GET", "/healthz") => respond(conn, 200, &health_json(state)),
+        ("GET", "/readyz") => {
+            let (status, body) = readiness_json(state);
+            respond(conn, status, &body)
+        }
         ("GET", "/stats") => respond(conn, 200, &stats_json(state)),
         ("GET", "/functions") => respond(conn, 200, &functions_json(state)),
         ("POST", _) if route.starts_with("/call/") => {
             let name = &route["/call/".len()..];
             handle_call(conn, state, request, name)
         }
-        (_, "/healthz" | "/stats" | "/functions") => {
+        (_, "/healthz" | "/readyz" | "/stats" | "/functions") => {
             respond(conn, 405, &error_body("method not allowed"))
         }
         (_, _) if route.starts_with("/call/") => {
@@ -384,6 +418,9 @@ fn respond(conn: &mut TcpStream, status: u16, body: &str) -> bool {
     write_json_response(conn, status, body, &[]).is_ok()
 }
 
+/// Liveness: `200` as long as the process is serving, even mid-drain (a
+/// draining server is alive — it just should not receive new traffic,
+/// which is readiness's call).
 fn health_json(state: &ServerState) -> String {
     let mut object = Map::new();
     object.insert(
@@ -407,6 +444,36 @@ fn health_json(state: &ServerState) -> String {
             .min(u128::from(u64::MAX)) as u64)),
     );
     Json::Object(object).to_compact_string()
+}
+
+/// Readiness: `200` only when the server should receive new traffic.
+/// Draining, or every backend endpoint's circuit breaker open, answers
+/// `503` with a body explaining which condition tripped — load balancers
+/// route around the instance while liveness keeps reporting the process
+/// healthy.
+fn readiness_json(state: &ServerState) -> (u16, String) {
+    let draining = state.shutdown.load(Ordering::SeqCst);
+    let (engine_ready, engine) = state.status.readiness_json();
+    let ready = engine_ready && !draining;
+    let mut object = Map::new();
+    object.insert("ready", Json::Bool(ready));
+    object.insert(
+        "status",
+        Json::Str(
+            if draining {
+                "draining"
+            } else if engine_ready {
+                "ok"
+            } else {
+                "all endpoints open"
+            }
+            .to_owned(),
+        ),
+    );
+    object.insert("draining", Json::Bool(draining));
+    object.insert("engine", engine);
+    let status = if ready { 200 } else { 503 };
+    (status, Json::Object(object).to_compact_string())
 }
 
 fn stats_json(state: &ServerState) -> String {
@@ -699,12 +766,18 @@ fn parse_options(options: Option<&Json>) -> Result<QueryOptions, Problem> {
                 };
                 parsed.speculate = Some(flag);
             }
+            "hedge" => {
+                let Some(flag) = value.as_bool() else {
+                    return Err((400, "option \"hedge\" must be a boolean".to_owned()));
+                };
+                parsed.hedge = Some(flag);
+            }
             _ => {
                 return Err((
                     400,
                     format!(
                         "unknown option {key:?} (expected model, cache, temperature, \
-                         max_retries, timeout_ms, speculate)"
+                         max_retries, timeout_ms, speculate, hedge)"
                     ),
                 ));
             }

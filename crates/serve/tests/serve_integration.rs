@@ -96,6 +96,28 @@ fn typed_calls_roundtrip_with_metadata() {
     let health = client.get("/healthz").expect("healthz");
     assert_eq!(health.status, 200);
     assert_eq!(health.str_field("status"), Some("ok"));
+
+    // Readiness is the routing signal: ready while no breaker table says
+    // otherwise, with the scheduler widths attached for dashboards.
+    let ready = client.get("/readyz").expect("readyz");
+    assert_eq!(ready.status, 200, "{:?}", ready.body);
+    assert_eq!(ready.body.get_key("ready"), Some(&Json::Bool(true)));
+    assert_eq!(ready.str_field("status"), Some("ok"));
+    assert!(
+        ready.body.pointer("/engine/widths").is_some(),
+        "{:?}",
+        ready.body
+    );
+
+    // The hedge override parses; an in-process backend simply ignores it.
+    let hedged = client
+        .post(
+            "/call/add",
+            r#"{"args": {"x": 20, "y": 22}, "options": {"hedge": true}}"#,
+        )
+        .expect("hedged call");
+    assert_eq!(hedged.status, 200, "{:?}", hedged.body);
+    assert_eq!(hedged.body.get_key("result"), Some(&Json::Int(42)));
 }
 
 #[test]
@@ -132,6 +154,12 @@ fn client_errors_name_the_problem() {
             r#"{"args": {"x": 1, "y": 2}, "options": {"bogus": true}}"#,
             400,
             "unknown option",
+        ),
+        (
+            "/call/add",
+            r#"{"args": {"x": 1, "y": 2}, "options": {"hedge": "yes"}}"#,
+            400,
+            "\"hedge\" must be a boolean",
         ),
         (
             "/call/add",

@@ -1,0 +1,359 @@
+//! Deterministic chaos sweep for the resilience layer, end to end through
+//! the HTTP backend:
+//!
+//! ```text
+//! HttpLlm (retry, breakers, failover, hedging, deadlines)
+//!     -> primary LoopbackServer   (scripted fault windows)
+//!     -> fallback LoopbackServer  (healthy)
+//! ```
+//!
+//! Each scenario runs the same prompt set twice — once against a healthy
+//! two-endpoint pair (the baseline) and once with a fault schedule
+//! installed on the primary — and gates on three properties:
+//!
+//! * **zero user-visible errors** for retryable fault classes (blackout,
+//!   429 storm, slow-loris, mid-stream disconnect, flapping);
+//! * **bit-identical results**: the faulted run must return exactly the
+//!   baseline's bytes, because endpoints are service advice, not part of
+//!   the request identity;
+//! * **bounded recovery**: no request may take longer than the per-request
+//!   latency ceiling, even when it has to fail over or hedge.
+//!
+//! Fault windows key on the primary's request *ordinal*, not on clocks, so
+//! every CI run replays the exact same fault timeline. A final pass checks
+//! that an already-expired deadline is shed before any wire traffic.
+//!
+//! Prints one `CHAOS_SWEEP {json}` line for `tools/chaos_gate.py` and the
+//! bench trend log.
+//!
+//! Run with `cargo run --release --features http --example chaos_sweep`.
+
+use std::time::{Duration, Instant};
+
+use askit::http::{
+    BreakerConfig, Fault, FaultWindow, HedgeConfig, HttpLlm, HttpLlmConfig, HttpStats,
+    LoopbackServer, RetryConfig,
+};
+use askit::json::{Json, Map};
+use askit::llm::{CompletionRequest, LanguageModel, LlmError};
+
+/// Per-request latency ceiling: even a request that has to trip a breaker,
+/// fail over, and retry must settle inside this.
+const LATENCY_CEILING: Duration = Duration::from_secs(5);
+
+struct Scenario {
+    name: &'static str,
+    /// Prompts issued (each distinct, so nothing is served from coalescing).
+    requests: usize,
+    /// Whether requests opt into hedging.
+    hedge: bool,
+    /// Fault windows installed on the primary endpoint.
+    windows: &'static [FaultWindow],
+    /// Settling time after the run (lets detached hedge losers finish
+    /// before the loopback servers drop).
+    settle: Duration,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        // Dead primary for the whole run: the breaker must trip and every
+        // request must be answered by the fallback.
+        name: "blackout",
+        requests: 6,
+        hedge: false,
+        windows: &[FaultWindow {
+            from_hit: 0,
+            to_hit: usize::MAX,
+            fault: Fault::Blackout,
+        }],
+        settle: Duration::ZERO,
+    },
+    Scenario {
+        // A burst of 429s: absorbed by backoff + failover, and — because a
+        // parsed 429 proves the endpoint is alive — without a breaker trip.
+        name: "storm_429",
+        requests: 6,
+        hedge: false,
+        windows: &[FaultWindow {
+            from_hit: 0,
+            to_hit: 4,
+            fault: Fault::RateLimitStorm {
+                retry_after: Some(0),
+            },
+        }],
+        settle: Duration::ZERO,
+    },
+    Scenario {
+        // The primary drips the first (correct!) answer one byte at a time;
+        // the hedge must race the fallback and win long before the drip
+        // finishes.
+        name: "slow_loris",
+        requests: 3,
+        hedge: true,
+        windows: &[FaultWindow {
+            from_hit: 0,
+            to_hit: 1,
+            fault: Fault::SlowLoris { delay_ms: 20 },
+        }],
+        settle: Duration::from_millis(800),
+    },
+    Scenario {
+        // Responses torn mid-body: a transport fault after bytes have
+        // flowed, absorbed by retry + failover.
+        name: "midstream_cut",
+        requests: 5,
+        hedge: false,
+        windows: &[FaultWindow {
+            from_hit: 0,
+            to_hit: 2,
+            fault: Fault::MidStreamCut,
+        }],
+        settle: Duration::ZERO,
+    },
+    Scenario {
+        // Every other primary request disconnects. Failures never run
+        // consecutively on the endpoint, so the breaker must NOT trip: the
+        // stale keep-alive re-send (a zero-byte reply on a reused
+        // connection is retried on a fresh socket) and the retry loop
+        // absorb the flapping without abandoning the primary.
+        name: "flapping",
+        requests: 6,
+        hedge: false,
+        windows: &[FaultWindow {
+            from_hit: 0,
+            to_hit: 8,
+            fault: Fault::Flapping,
+        }],
+        settle: Duration::ZERO,
+    },
+];
+
+fn client_for(primary: &LoopbackServer, fallback: &LoopbackServer) -> HttpLlm {
+    HttpLlm::new(
+        HttpLlmConfig::new(primary.api_base())
+            .with_fallback(fallback.api_base())
+            .with_retry(RetryConfig {
+                max_retries: 5,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(40),
+            })
+            .with_request_timeout(Duration::from_secs(2))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(30),
+            })
+            .with_hedge(HedgeConfig {
+                percentile: 0.9,
+                initial_delay: Duration::from_millis(20),
+                // Never trust the percentile in this short run: the hedge
+                // delay stays deterministic.
+                min_samples: usize::MAX,
+            }),
+    )
+    .expect("valid loopback config")
+}
+
+/// Runs one scenario's prompt set; returns (answers, errors, max latency).
+fn run_prompts(llm: &HttpLlm, scenario: &Scenario) -> (Vec<Option<String>>, u64, Duration) {
+    let mut answers = Vec::with_capacity(scenario.requests);
+    let mut errors = 0u64;
+    let mut max_latency = Duration::ZERO;
+    for i in 0..scenario.requests {
+        let mut request =
+            CompletionRequest::from_prompt(format!("chaos {} prompt {i}", scenario.name));
+        request.options.hedge = scenario.hedge;
+        let started = Instant::now();
+        let outcome = llm.complete(&request);
+        max_latency = max_latency.max(started.elapsed());
+        match outcome {
+            Ok(completion) => answers.push(Some(completion.text)),
+            Err(error) => {
+                eprintln!("chaos_sweep: {} request {i} failed: {error}", scenario.name);
+                errors += 1;
+                answers.push(None);
+            }
+        }
+    }
+    (answers, errors, max_latency)
+}
+
+fn stats_json(stats: &HttpStats) -> Json {
+    let mut object = Map::new();
+    object.insert("wire_requests", Json::Int(stats.wire_requests as i64));
+    object.insert("retries", Json::Int(stats.retries as i64));
+    object.insert("throttles", Json::Int(stats.throttles as i64));
+    object.insert("failovers", Json::Int(stats.failovers as i64));
+    object.insert("hedges", Json::Int(stats.hedges as i64));
+    object.insert("hedge_wins", Json::Int(stats.hedge_wins as i64));
+    object.insert("breaker_trips", Json::Int(stats.breaker_trips as i64));
+    object.insert("deadline_sheds", Json::Int(stats.deadline_sheds as i64));
+    Json::Object(object)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario_reports = Vec::new();
+    let mut total_requests = 0u64;
+    let mut total_errors = 0u64;
+    let mut all_identical = true;
+    let mut failover_latency_ms = 0u64;
+    let mut total_hedges = 0u64;
+    let mut total_hedge_wins = 0u64;
+    let mut total_breaker_trips = 0u64;
+    let mut total_failovers = 0u64;
+
+    for scenario in SCENARIOS {
+        // Baseline: the same prompts against a healthy pair. The loopback
+        // default handler answers `echo:<hash of the prompt>`, so a fresh
+        // server pair reproduces it bit for bit.
+        let baseline_primary = LoopbackServer::start()?;
+        let baseline_fallback = LoopbackServer::start()?;
+        let baseline_llm = client_for(&baseline_primary, &baseline_fallback);
+        let (baseline, baseline_errors, _) = run_prompts(&baseline_llm, scenario);
+        assert_eq!(
+            baseline_errors, 0,
+            "{}: the no-fault baseline must be clean",
+            scenario.name
+        );
+
+        // Faulted run: identical prompts, fault schedule on the primary.
+        let primary = LoopbackServer::start()?;
+        let fallback = LoopbackServer::start()?;
+        for window in scenario.windows {
+            primary.schedule_fault(FaultWindow {
+                from_hit: window.from_hit,
+                to_hit: window.to_hit,
+                fault: window.fault.clone(),
+            });
+        }
+        let llm = client_for(&primary, &fallback);
+        let (answers, errors, max_latency) = run_prompts(&llm, scenario);
+        let stats = llm.stats();
+        let identical = answers == baseline;
+        let max_latency_ms = max_latency.as_millis() as u64;
+
+        eprintln!(
+            "chaos_sweep: {}: {} requests, {} errors, identical={identical}, \
+             max {}ms, failovers {}, hedges {}/{}, trips {}",
+            scenario.name,
+            scenario.requests,
+            errors,
+            max_latency_ms,
+            stats.failovers,
+            stats.hedge_wins,
+            stats.hedges,
+            stats.breaker_trips
+        );
+
+        let mut report = Map::new();
+        report.insert("name", Json::Str(scenario.name.to_owned()));
+        report.insert("requests", Json::Int(scenario.requests as i64));
+        report.insert("errors", Json::Int(errors as i64));
+        report.insert("bit_identical", Json::Bool(identical));
+        report.insert("max_latency_ms", Json::Int(max_latency_ms as i64));
+        report.insert("primary_hits", Json::Int(primary.hits() as i64));
+        report.insert("fallback_hits", Json::Int(fallback.hits() as i64));
+        report.insert("stats", stats_json(&stats));
+        scenario_reports.push(Json::Object(report));
+
+        total_requests += scenario.requests as u64;
+        total_errors += errors;
+        all_identical &= identical;
+        total_hedges += stats.hedges;
+        total_hedge_wins += stats.hedge_wins;
+        total_breaker_trips += stats.breaker_trips;
+        total_failovers += stats.failovers;
+
+        // Per-scenario shape assertions (the gate re-checks the totals).
+        assert!(
+            max_latency <= LATENCY_CEILING,
+            "{}: a request took {max_latency_ms}ms (ceiling {}ms)",
+            scenario.name,
+            LATENCY_CEILING.as_millis()
+        );
+        match scenario.name {
+            "blackout" => {
+                assert!(stats.failovers >= 1, "blackout must fail over");
+                assert!(stats.breaker_trips >= 1, "blackout must trip the breaker");
+                failover_latency_ms = max_latency_ms;
+            }
+            "storm_429" => {
+                assert!(stats.throttles >= 1, "the 429 storm must be observed");
+                assert_eq!(
+                    stats.breaker_trips, 0,
+                    "429s prove liveness and must not trip the breaker"
+                );
+            }
+            "slow_loris" => {
+                assert!(stats.hedges >= 1, "the dripped answer must trigger a hedge");
+                assert!(stats.hedge_wins >= 1, "the hedge must win on the fallback");
+            }
+            "flapping" => {
+                assert_eq!(
+                    stats.breaker_trips, 0,
+                    "alternating faults never run consecutively; the breaker must hold"
+                );
+                assert!(
+                    primary.hits() >= scenario.requests,
+                    "the flapping primary must stay in rotation (saw {} hits)",
+                    primary.hits()
+                );
+            }
+            _ => {}
+        }
+        if !scenario.settle.is_zero() {
+            std::thread::sleep(scenario.settle);
+        }
+    }
+
+    // Deadline pass: an already-expired deadline must be shed before a
+    // single byte reaches either endpoint.
+    let primary = LoopbackServer::start()?;
+    let fallback = LoopbackServer::start()?;
+    let llm = client_for(&primary, &fallback);
+    let mut expired = CompletionRequest::from_prompt("chaos deadline probe");
+    expired.options.deadline = Some(Instant::now());
+    let shed = matches!(llm.complete(&expired), Err(LlmError::DeadlineExceeded));
+    let shed_before_wire = shed && primary.hits() == 0 && fallback.hits() == 0;
+    let deadline_stats = llm.stats();
+    assert!(
+        shed_before_wire,
+        "an expired deadline must be shed without wire traffic \
+         (shed={shed}, primary={}, fallback={})",
+        primary.hits(),
+        fallback.hits()
+    );
+
+    let mut deadline = Map::new();
+    deadline.insert("shed_before_wire", Json::Bool(shed_before_wire));
+    deadline.insert(
+        "deadline_sheds",
+        Json::Int(deadline_stats.deadline_sheds as i64),
+    );
+
+    let hedge_win_rate = if total_hedges == 0 {
+        0.0
+    } else {
+        total_hedge_wins as f64 / total_hedges as f64
+    };
+    let mut totals = Map::new();
+    totals.insert("requests", Json::Int(total_requests as i64));
+    totals.insert("user_visible_errors", Json::Int(total_errors as i64));
+    totals.insert("bit_identical", Json::Bool(all_identical));
+    totals.insert("failover_latency_ms", Json::Int(failover_latency_ms as i64));
+    totals.insert("failovers", Json::Int(total_failovers as i64));
+    totals.insert("hedges", Json::Int(total_hedges as i64));
+    totals.insert("hedge_wins", Json::Int(total_hedge_wins as i64));
+    totals.insert("hedge_win_rate", Json::Float(hedge_win_rate));
+    totals.insert("breaker_trips", Json::Int(total_breaker_trips as i64));
+
+    let mut report = Map::new();
+    report.insert("scenarios", Json::Array(scenario_reports));
+    report.insert("deadline", Json::Object(deadline));
+    report.insert("totals", Json::Object(totals));
+    println!("CHAOS_SWEEP {}", Json::Object(report).to_compact_string());
+
+    assert_eq!(total_errors, 0, "retryable faults must stay invisible");
+    assert!(all_identical, "faulted runs must match the baseline bytes");
+    eprintln!("chaos_sweep: all assertions passed");
+    Ok(())
+}

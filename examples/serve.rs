@@ -56,6 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Discovery: the service describes its own routes and signatures.
     let health = client.get("/healthz")?;
     println!("/healthz -> {}", health.body.to_compact_string());
+    let ready = client.get("/readyz")?;
+    println!("/readyz -> {}", ready.body.to_compact_string());
     let functions = client.get("/functions")?;
     println!("/functions -> {}", functions.body.to_compact_string());
 

@@ -69,6 +69,15 @@ GATES = {
         "reference or the warm sweep's aggregate hit rate < 90% — the "
         "store corrupted, dropped, or stopped serving entries",
     ),
+    "chaos_resilience": (
+        "two-endpoint chaos sweep: scripted blackout/429/slow-loris/"
+        "cut/flapping windows on the primary, plus an expired-deadline "
+        "probe",
+        "fails on any user-visible error under a retryable fault, a "
+        "result diverging from the no-fault baseline, unbounded failover "
+        "latency, or a sweep that never exercised failover, breakers, "
+        "hedging, and deadline shedding",
+    ),
 }
 
 SPARKS = "▁▂▃▄▅▆▇█"

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Deterministic chaos gate for the resilience layer.
+
+Runs the ``chaos_sweep`` example — two loopback endpoints, a scripted
+fault timeline on the primary (blackout, 429 storm, slow-loris,
+mid-stream disconnect, flapping), and an expired-deadline probe — and
+gates on its ``CHAOS_SWEEP`` JSON line:
+
+* **zero user-visible errors**: every retryable fault class must be
+  absorbed by retry, circuit-breaker failover, or hedging;
+* **bit-identical results**: each faulted run must return exactly the
+  bytes of its no-fault baseline (endpoints are service advice, not part
+  of the request identity);
+* **bounded failover**: the worst request in the dead-primary scenario
+  must settle inside ``--max-failover-ms``;
+* **fault coverage**: the sweep must actually have failed over, tripped a
+  breaker, won a hedge, and shed an expired deadline — a sweep that
+  observed none of those tested nothing.
+
+Fault windows key on request ordinals, not clocks, so reruns replay the
+exact same timeline. The observed numbers land in
+``BENCH_chaos_resilience.json`` for the trends dashboard.
+
+Usage:
+    python3 tools/chaos_gate.py [--bin PATH] [--max-failover-ms MS]
+                                [--out PATH]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from shared_cache_gate import digest_line, run
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bin",
+        default="target/release/examples/chaos_sweep",
+        help="chaos_sweep example binary "
+        "(default: target/release/examples/chaos_sweep)",
+    )
+    parser.add_argument(
+        "--max-failover-ms",
+        type=int,
+        default=2000,
+        help="ceiling on the slowest request in the blackout scenario",
+    )
+    parser.add_argument("--out", default="BENCH_chaos_resilience.json")
+    args = parser.parse_args()
+
+    started = time.monotonic()
+    sweep = run([str(Path(args.bin).resolve())], "chaos sweep")
+    elapsed = time.monotonic() - started
+    report = json.loads(digest_line("CHAOS_SWEEP", sweep.stdout, "chaos sweep"))
+    totals = report["totals"]
+    deadline = report["deadline"]
+
+    failures = []
+    if totals["user_visible_errors"] != 0:
+        failures.append(
+            f"{totals['user_visible_errors']} request(s) surfaced an error "
+            f"under retryable faults"
+        )
+    if not totals["bit_identical"]:
+        diverged = [
+            s["name"] for s in report["scenarios"] if not s["bit_identical"]
+        ]
+        failures.append(
+            f"faulted runs diverged from their no-fault baselines: {diverged}"
+        )
+    if totals["failover_latency_ms"] > args.max_failover_ms:
+        failures.append(
+            f"blackout failover took {totals['failover_latency_ms']}ms "
+            f"(ceiling {args.max_failover_ms}ms)"
+        )
+    coverage = {
+        "failovers": totals["failovers"],
+        "breaker_trips": totals["breaker_trips"],
+        "hedge_wins": totals["hedge_wins"],
+        "deadline_sheds": deadline["deadline_sheds"],
+    }
+    for event, count in coverage.items():
+        if count < 1:
+            failures.append(f"the sweep never exercised {event} — it tested nothing")
+    if not deadline["shed_before_wire"]:
+        failures.append("an expired deadline reached the wire")
+
+    stats = {
+        "elapsed_secs": round(elapsed, 3),
+        "requests": totals["requests"],
+        "user_visible_errors": totals["user_visible_errors"],
+        "bit_identical": totals["bit_identical"],
+        "failover_latency_ms": totals["failover_latency_ms"],
+        "failovers": totals["failovers"],
+        "breaker_trips": totals["breaker_trips"],
+        "hedges": totals["hedges"],
+        "hedge_wins": totals["hedge_wins"],
+        "hedge_win_rate": totals["hedge_win_rate"],
+        "deadline_shed_before_wire": deadline["shed_before_wire"],
+        "scenarios": report["scenarios"],
+    }
+    Path(args.out).write_text(json.dumps(stats, indent=2) + "\n")
+    print(
+        f"{totals['requests']} requests under 5 fault classes: "
+        f"{totals['user_visible_errors']} user-visible errors, results "
+        f"{'bit-identical' if totals['bit_identical'] else 'DIVERGED'}; "
+        f"failover worst-case {totals['failover_latency_ms']}ms, "
+        f"{totals['failovers']} failovers, {totals['breaker_trips']} breaker "
+        f"trips, {totals['hedge_wins']}/{totals['hedges']} hedges won"
+    )
+    if failures:
+        sys.exit("\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()
