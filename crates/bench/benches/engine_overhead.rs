@@ -24,6 +24,14 @@
 //!
 //! Run with `cargo bench --bench engine_overhead`. Set
 //! `ASKIT_BENCH_PROBLEMS` to shrink the sweep for a quick look.
+//!
+//! `ASKIT_OBS=on` appends an **obs comparison**: the warm probe loop is
+//! rerun serially in alternating rounds — obs-off (no sink, untraced
+//! requests) vs obs-on (a sampled [`askit_obs::TraceSink`] installed and
+//! a trace id on every request) — and the JSON gains an `obs_overhead`
+//! section with the best round of each mode. The `obs-gate` CI job gates
+//! on its `overhead_pct`. `ASKIT_OBS_SAMPLE` and `ASKIT_OBS_ROUNDS` tune
+//! the sampling rate (default 64) and round count (default 5).
 
 use std::time::Instant;
 
@@ -72,6 +80,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_PROBLEMS);
+    let obs_on = matches!(
+        std::env::var("ASKIT_OBS").as_deref(),
+        Ok("on") | Ok("1") | Ok("true")
+    );
 
     let requests = build_requests(problems);
     let mut oracle = Oracle::standard();
@@ -154,15 +166,94 @@ fn main() {
         sweep_hit_rate > 0.999,
         "timed sweeps must be warm: {sweep_hit_rate}"
     );
+
+    // Obs comparison (ASKIT_OBS=on): serial warm probes obs-off (no sink,
+    // untraced requests) vs obs-on (sampled sink installed, a trace id on
+    // every request, so each probe pays the span fast path end to end).
+    // The rounds alternate in-process over the same warm cache — machine
+    // drift hits both sides — and the best round of each mode wins.
+    // Separate processes proved far too noisy for a percent-level gate.
+    let obs_overhead = obs_on.then(|| {
+        let sample_one_in: u64 = std::env::var("ASKIT_OBS_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let rounds: usize = std::env::var("ASKIT_OBS_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5)
+            .max(1);
+        // Both sides probe equally fresh clones, so heap locality cannot
+        // masquerade as instrumentation cost.
+        let untraced = requests.clone();
+        let mut traced = requests.clone();
+        for request in &mut traced {
+            request.options = request.options.stamp_trace(askit_obs::TraceId::generate());
+        }
+        // Serial probes: the pooled sweep's thread-scheduling jitter is
+        // ±10% in CI containers, which would drown a percent-level gate.
+        // Observability cost is per-call, so a tight single-thread probe
+        // loop measures exactly the quantity under test.
+        let serial_sweep = |reqs: &[CompletionRequest]| {
+            let started = Instant::now();
+            for request in reqs {
+                engine.complete_tagged(request, 0).expect("warm hit");
+            }
+            started.elapsed().as_secs_f64()
+        };
+        let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+        for round in 0..rounds {
+            // Alternate which mode goes first so per-round warmup (page
+            // faults, branch history) is shared evenly.
+            let order: [bool; 2] = if round % 2 == 0 {
+                [false, true]
+            } else {
+                [true, false]
+            };
+            for on in order {
+                if on {
+                    let _sink = askit_obs::TraceSink::new()
+                        .with_sample_one_in(sample_one_in)
+                        .install();
+                    on_secs = on_secs.min(serial_sweep(&traced));
+                    askit_obs::trace::uninstall();
+                } else {
+                    off_secs = off_secs.min(serial_sweep(&untraced));
+                }
+            }
+        }
+        (off_secs, on_secs, sample_one_in, rounds)
+    });
+    let obs_json = match obs_overhead {
+        Some((off_secs, on_secs, sample_one_in, rounds)) => format!(
+            concat!(
+                "{{\"rounds\": {}, \"sample_one_in\": {}, ",
+                "\"off\": {{\"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
+                "\"on\": {{\"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
+                "\"overhead_pct\": {:.2}}}"
+            ),
+            rounds,
+            sample_one_in,
+            off_secs,
+            problems as f64 / off_secs.max(1e-9),
+            on_secs,
+            problems as f64 / on_secs.max(1e-9),
+            (on_secs / off_secs.max(1e-9) - 1.0) * 100.0,
+        ),
+        None => "null".to_owned(),
+    };
     println!(
         concat!(
             "{{\"bench\": \"engine_overhead\", \"workload\": \"synthetic-gsm8k-warm\", ",
+            "\"obs\": \"{}\", \"obs_overhead\": {}, ",
             "\"problems\": {}, \"wave\": {}, \"workers\": {}, \"hit_rate\": {:.4}, ",
             "\"baseline\": {{\"mode\": \"spawn-per-call\", \"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
             "\"pooled\": {{\"mode\": \"persistent-pool\", \"seconds\": {:.4}, \"problems_per_sec\": {:.0}}}, ",
             "\"speedup\": {:.2}, ",
             "\"fingerprint\": {{\"conversation_turns\": 7, \"full_rehash_ns\": {:.1}, \"prepared_ns\": {:.1}, \"speedup\": {:.1}}}}}"
         ),
+        if obs_on { "on" } else { "off" },
+        obs_json,
         problems,
         WAVE,
         WORKERS,

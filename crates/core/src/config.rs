@@ -78,6 +78,14 @@ pub struct AskitConfig {
     /// [`crate::QueryOptions::hedge`]; stamped on every request as
     /// [`RequestOptions::hedge`]. Service advice, not cache identity.
     pub hedge: bool,
+    /// Whether [`crate::run_direct`] stamps a fresh
+    /// [`askit_obs::TraceId`] on each admitted request. On by default —
+    /// stamping is a counter increment, and spans stay free until a
+    /// [`askit_obs::TraceSink`] is installed (that install, plus its
+    /// sampling rate, is what actually turns collection on). Turn this
+    /// off to exclude a workload from tracing entirely even while a sink
+    /// is up. Service advice, not cache identity.
+    pub trace: bool,
 }
 
 impl Default for AskitConfig {
@@ -94,6 +102,7 @@ impl Default for AskitConfig {
             speculate: false,
             escalation: Escalation::OFF,
             hedge: false,
+            trace: true,
         }
     }
 }
@@ -170,6 +179,14 @@ impl AskitConfig {
         self
     }
 
+    /// Enables or disables per-request trace stamping (see
+    /// [`AskitConfig::trace`]).
+    #[must_use]
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Installs a tiered-escalation ladder (see
     /// [`AskitConfig::escalation`]).
     #[must_use]
@@ -191,6 +208,7 @@ impl AskitConfig {
             timeout: self.request_timeout,
             deadline: None,
             hedge: self.hedge,
+            trace: None,
         }
     }
 }
@@ -237,6 +255,7 @@ mod tests {
                 timeout: Some(Duration::from_secs(30)),
                 deadline: None,
                 hedge: false,
+                trace: None,
             }
         );
     }

@@ -167,6 +167,7 @@ impl QueryOptions {
             speculate: self.speculate.unwrap_or(defaults.speculate),
             escalation: self.escalation.unwrap_or(defaults.escalation),
             hedge: self.hedge.unwrap_or(defaults.hedge),
+            trace: defaults.trace,
         }
     }
 }

@@ -102,12 +102,22 @@ pub fn run_direct<L: LanguageModel>(
     // Admission is *here*: the configured timeout becomes one monotonic
     // deadline for the whole §III-E loop — every attempt, escalation, and
     // backoff sleep below shares this single budget (downstream layers only
-    // ever clip to it, never re-arm it).
+    // ever clip to it, never re-arm it). The trace id follows the same
+    // discipline: stamped once, idempotent, so an id propagated from an
+    // upstream front door (serve's `X-Askit-Trace-Id`) survives.
     let mut options = RequestOptions {
         model: model_for(tier),
         ..config.request_options()
     }
     .stamp_deadline(Instant::now());
+    if config.trace {
+        // An id handed down by an upstream front door (serve propagating
+        // an inbound `X-Askit-Trace-Id`) beats generating a fresh one.
+        let id = askit_obs::trace::propagated().unwrap_or_else(askit_obs::TraceId::generate);
+        options = options.stamp_trace(id);
+    }
+    let mut admission = askit_obs::span(options.trace, "run_direct");
+    admission.set_arg("model", options.model.tag());
     let mut hasher = RequestHasher::new(config.temperature, options.model);
     let first_turn = ChatMessage::user(prompt);
     hasher.push(&first_turn);
@@ -131,7 +141,13 @@ pub fn run_direct<L: LanguageModel>(
         usage.completion_tokens += completion.usage.completion_tokens;
         latency += completion.latency;
 
-        let verdict = evaluate_response(&completion.text, answer_type);
+        let verdict = {
+            let mut validation = askit_obs::span(options.trace, "validate");
+            validation.set_arg("attempt", attempt);
+            let verdict = evaluate_response(&completion.text, answer_type);
+            validation.set_arg("ok", verdict.is_ok());
+            verdict
+        };
 
         // Speculative retry prefetch: the moment the verdict demands a
         // retry, push the exact feedback turn the next attempt will submit
@@ -181,6 +197,7 @@ pub fn run_direct<L: LanguageModel>(
 
         match verdict {
             Ok((value, reason)) => {
+                admission.set_arg("attempts", attempt);
                 return Ok(DirectOutcome {
                     value,
                     reason,
@@ -217,6 +234,9 @@ pub fn run_direct<L: LanguageModel>(
                     tier += 1;
                     escalations += 1;
                     options.model = model_for(tier);
+                    askit_obs::event(options.trace, "escalation")
+                        .arg("to", options.model.tag())
+                        .arg("attempt", attempt);
                     hasher = RequestHasher::new(config.temperature, options.model);
                     for turn in &messages {
                         hasher.push(turn);

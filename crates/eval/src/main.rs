@@ -96,6 +96,9 @@ environment:
                      'Authorization: Bearer …'; never logged)";
 
 fn main() {
+    // Progress diagnostics default to visible (the pre-logger behavior);
+    // ASKIT_LOG still wins when set.
+    askit_obs::log::set_default_filter("info");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_owned();
     let mut count = askit_datasets::gsm8k::TEST_SET_SIZE;
@@ -197,8 +200,9 @@ fn main() {
     // the line always matches what the sweeps below actually run with.
     let global_width = askit_exec::resolve_workers(threads);
     let widths = askit_exec::Scheduler::new(adaptive, global_width, &[]);
-    eprintln!(
-        "askit-eval: engine workers: {}",
+    askit_obs::info!(
+        "askit_eval",
+        "engine workers: {}",
         widths.describe_widths(global_width)
     );
 
@@ -217,7 +221,10 @@ fn main() {
     let run_fig6 = || emit("fig6.txt", &fig6::render(&fig6::run(seed)));
     let run_fig7 = || emit("fig7.txt", &fig7::render(&fig7::run()));
     let run_table3 = || {
-        eprintln!("running table3 over {count} problems (use --count to shrink)...");
+        askit_obs::info!(
+            "askit_eval",
+            "running table3 over {count} problems (use --count to shrink)..."
+        );
         let mut policy = table3::SweepPolicy::default()
             .with_threads(threads)
             .with_cache(cache.clone())
@@ -226,7 +233,10 @@ fn main() {
             .with_escalation(escalate);
         if let Some((index, total)) = shard {
             policy = policy.with_shard(index, total);
-            eprintln!("table3: running shard {index}/{total} of the problem list");
+            askit_obs::info!(
+                "askit_eval",
+                "table3: running shard {index}/{total} of the problem list"
+            );
         }
         let report = table3::run_policy(count, seed, &policy, &backend);
         // One machine-readable line per run; scripts compare these across
@@ -238,9 +248,13 @@ fn main() {
             // run's artifact; merge-table3 renders the report.
             let frag = table3::fragment(&report, shard.unwrap_or((0, 1)), count, seed);
             match std::fs::write(path, frag.to_json()) {
-                Ok(()) => eprintln!("[wrote fragment {}]", path.display()),
+                Ok(()) => askit_obs::info!("askit_eval", "wrote fragment {}", path.display()),
                 Err(e) => {
-                    eprintln!("askit-eval: cannot write fragment {}: {e}", path.display());
+                    askit_obs::error!(
+                        "askit_eval",
+                        "cannot write fragment {}: {e}",
+                        path.display()
+                    );
                     std::process::exit(1);
                 }
             }
@@ -291,14 +305,14 @@ fn run_merge_table3(paths: &[String]) {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
-                eprintln!("askit-eval: cannot read fragment {path}: {e}");
+                askit_obs::error!("askit_eval", "cannot read fragment {path}: {e}");
                 std::process::exit(1);
             }
         };
         match table3::Table3Fragment::from_json(&text) {
             Ok(fragment) => fragments.push(fragment),
             Err(e) => {
-                eprintln!("askit-eval: bad fragment {path}: {e}");
+                askit_obs::error!("askit_eval", "bad fragment {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -309,7 +323,7 @@ fn run_merge_table3(paths: &[String]) {
             println!("TABLE3_MERGE {}", table3::digest(&report));
         }
         Err(e) => {
-            eprintln!("askit-eval: cannot merge: {e}");
+            askit_obs::error!("askit_eval", "cannot merge: {e}");
             std::process::exit(1);
         }
     }
@@ -327,7 +341,7 @@ fn run_serve(bind: &str, threads: usize, max_connections: usize, requests: u64) 
     match askit_eval::serve_cmd::run(&options) {
         Ok(_served) => std::process::exit(0),
         Err(e) => {
-            eprintln!("askit-eval: serve failed: {e}");
+            askit_obs::error!("askit_eval", "serve failed: {e}");
             std::process::exit(1);
         }
     }
@@ -401,8 +415,8 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) ->
 fn emit(name: &str, content: &str) {
     println!("{content}");
     match report::write_report(name, content) {
-        Ok(path) => eprintln!("[wrote {}]", path.display()),
-        Err(e) => eprintln!("[could not write report: {e}]"),
+        Ok(path) => askit_obs::info!("askit_eval", "wrote {}", path.display()),
+        Err(e) => askit_obs::error!("askit_eval", "could not write report: {e}"),
     }
 }
 

@@ -84,16 +84,21 @@ pub fn run(options: &ServeOptions) -> std::io::Result<u64> {
             .with_workers(options.threads)
             .with_max_connections(options.max_connections),
     )?;
-    eprintln!("askit-eval serve: listening on {}", server.base_url());
-    eprintln!(
-        "askit-eval serve: routes: {} (POST /call/{{name}}, GET /functions, /healthz, /readyz, /stats)",
+    // Startup lines default to visible even without ASKIT_LOG — the bind
+    // address below is how callers discover the ephemeral port.
+    askit_obs::log::set_default_filter("info");
+    askit_obs::info!("askit_eval", "serve: listening on {}", server.base_url());
+    askit_obs::info!(
+        "askit_eval",
+        "serve: routes: {} (POST /call/{{name}}, GET /functions, /healthz, /readyz, /stats, /metrics)",
         names.join(", ")
     );
     if options.requests == 0 {
-        eprintln!("askit-eval serve: serving until interrupted");
+        askit_obs::info!("askit_eval", "serve: serving until interrupted");
     } else {
-        eprintln!(
-            "askit-eval serve: serving until {} request(s) answered",
+        askit_obs::info!(
+            "askit_eval",
+            "serve: serving until {} request(s) answered",
             options.requests
         );
     }
@@ -101,7 +106,7 @@ pub fn run(options: &ServeOptions) -> std::io::Result<u64> {
         std::thread::sleep(Duration::from_millis(100));
         let served = server.requests_served();
         if options.requests > 0 && served >= options.requests {
-            eprintln!("askit-eval serve: {served} request(s) served, draining");
+            askit_obs::info!("askit_eval", "serve: {served} request(s) served, draining");
             server.join();
             return Ok(served);
         }

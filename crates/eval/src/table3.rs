@@ -276,7 +276,8 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
         .with_engine_config(engine_config);
     if policy.adaptive || policy.escalate {
         let engine = askit.engine();
-        eprintln!(
+        askit_obs::info!(
+            "askit_eval",
             "table3[{}]: scheduler widths: {}{}",
             syntax_tag(syntax),
             engine.describe_widths(),
@@ -294,7 +295,10 @@ fn run_pipeline_with<L: LanguageModel + 'static>(
     // Dropping `askit` would flush too; flushing explicitly lets us surface
     // I/O problems instead of swallowing them in the destructor.
     if let Err(e) = askit.persist_cache() {
-        eprintln!("table3: could not persist the completion cache: {e}");
+        askit_obs::warn!(
+            "askit_eval",
+            "table3: could not persist the completion cache: {e}"
+        );
     }
     let solved: Vec<&Outcome> = outcomes.iter().filter(|o| o.solved).collect();
     let generated: Vec<&(Duration, Duration)> = outcomes

@@ -57,6 +57,33 @@ use crate::store::{write_atomic, ObjectStore};
 /// Number of independent cache segments.
 pub const SHARD_COUNT: usize = 16;
 
+/// Process-wide hit/miss counters mirrored into the global metrics
+/// registry (`askit_cache_{hits,misses}_total`), alongside the cache's own
+/// per-instance atomics. Registered lazily on first cache traffic.
+struct CacheMetrics {
+    hits: std::sync::Arc<askit_obs::Counter>,
+    misses: std::sync::Arc<askit_obs::Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = askit_obs::metrics::global();
+        CacheMetrics {
+            hits: registry.counter(
+                "askit_cache_hits_total",
+                "Completion-cache probes answered from the cache",
+                &[],
+            ),
+            misses: registry.counter(
+                "askit_cache_misses_total",
+                "Completion-cache probes that fell through to the backend",
+                &[],
+            ),
+        }
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Shared-mode index files
 // ---------------------------------------------------------------------------
@@ -729,6 +756,7 @@ impl CompletionCache {
             Verdict::Hit(completion) => {
                 shard.touch(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().hits.inc();
                 Some(completion)
             }
             Verdict::Expired => {
@@ -737,10 +765,12 @@ impl CompletionCache {
                 shard.entries.remove(&key);
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().misses.inc();
                 None
             }
             Verdict::Miss => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().misses.inc();
                 None
             }
         }

@@ -230,8 +230,9 @@ impl<L: LanguageModel> Engine<L> {
                     CompletionCache::open(config.cache_capacity, dir, config.cache_ttl)
                 };
                 opened.unwrap_or_else(|e| {
-                    eprintln!(
-                        "askit-exec: cache dir {} unusable ({e}); using an in-memory cache",
+                    askit_obs::warn!(
+                        "askit_exec",
+                        "cache dir {} unusable ({e}); using an in-memory cache",
                         dir.display()
                     );
                     CompletionCache::new(config.cache_capacity).with_default_ttl(config.cache_ttl)
@@ -427,28 +428,39 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         request: &CompletionRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
+        let trace = request.options.trace;
         let Some(cache) = self.cache_for(request) else {
-            return self.scheduler.run_completion_before(
+            return self.scheduler.run_completion_traced(
                 request.options.model,
                 request.options.deadline,
+                trace,
                 || self.model.complete_tagged(request, sample),
             );
         };
         // One fingerprint serves the probe and the insert.
         let key = request.fingerprint(sample);
-        if let Some(hit) = cache.get_keyed(key, request, sample) {
+        let probed = {
+            let mut probe = askit_obs::span(trace, "cache_probe");
+            let probed = cache.get_keyed(key, request, sample);
+            probe.set_arg("hit", probed.is_some());
+            probed
+        };
+        if let Some(hit) = probed {
             return Ok(hit);
         }
         if sample == 0 && self.join_or_claim_speculation(key) {
             // Joined an in-flight speculation: its completion (if it
             // succeeded) is in the cache now — no second model call.
-            if let Some(hit) = cache.get_keyed(key, request, sample) {
+            let warm = cache.get_keyed(key, request, sample);
+            askit_obs::event(trace, "speculation_join").arg("hit", warm.is_some());
+            if let Some(hit) = warm {
                 return Ok(hit);
             }
         }
-        let completion = self.scheduler.run_completion_before(
+        let completion = self.scheduler.run_completion_traced(
             request.options.model,
             request.options.deadline,
+            trace,
             || self.model.complete_tagged(request, sample),
         )?;
         cache.put_keyed(key, request, sample, completion.clone());
@@ -464,25 +476,36 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
         prepared: &PreparedRequest,
         sample: u64,
     ) -> Result<Completion, LlmError> {
+        let trace = prepared.request().options.trace;
         let Some(cache) = self.cache_for(prepared.request()) else {
-            return self.scheduler.run_completion_before(
+            return self.scheduler.run_completion_traced(
                 prepared.request().options.model,
                 prepared.request().options.deadline,
+                trace,
                 || self.model.complete_prepared(prepared, sample),
             );
         };
         let key = prepared.fingerprint(sample);
-        if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
+        let probed = {
+            let mut probe = askit_obs::span(trace, "cache_probe");
+            let probed = cache.get_keyed(key, prepared.request(), sample);
+            probe.set_arg("hit", probed.is_some());
+            probed
+        };
+        if let Some(hit) = probed {
             return Ok(hit);
         }
         if sample == 0 && self.join_or_claim_speculation(key) {
-            if let Some(hit) = cache.get_keyed(key, prepared.request(), sample) {
+            let warm = cache.get_keyed(key, prepared.request(), sample);
+            askit_obs::event(trace, "speculation_join").arg("hit", warm.is_some());
+            if let Some(hit) = warm {
                 return Ok(hit);
             }
         }
-        let completion = self.scheduler.run_completion_before(
+        let completion = self.scheduler.run_completion_traced(
             prepared.request().options.model,
             prepared.request().options.deadline,
+            trace,
             || self.model.complete_prepared(prepared, sample),
         )?;
         cache.put_keyed(key, prepared.request(), sample, completion.clone());
@@ -556,9 +579,10 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
             // Speculative work obeys the same admission gates as foreground
             // submissions — a prefetch burst must not let the pool stampede
             // a model whose width AIMD just cut.
-            let outcome = scheduler.run_completion_before(
+            let outcome = scheduler.run_completion_traced(
                 prepared.request().options.model,
                 prepared.request().options.deadline,
+                prepared.request().options.trace,
                 || model.complete_prepared(&prepared, 0),
             );
             guard.armed = false;
@@ -629,9 +653,10 @@ impl<L: LanguageModel + 'static> LanguageModel for Engine<L> {
                             }
                         }
                     }
-                    let outcome = self.scheduler.run_completion_before(
+                    let outcome = self.scheduler.run_completion_traced(
                         requests[index].options.model,
                         requests[index].options.deadline,
+                        requests[index].options.trace,
                         || self.model.complete_tagged(&requests[index], 0),
                     );
                     (index, outcome)

@@ -326,6 +326,7 @@ fn decode_entry(dec: &mut Dec<'_>) -> Option<DiskEntry> {
                 timeout: None,
                 deadline: None,
                 hedge: false,
+                trace: None,
             },
         },
         completion: Completion {

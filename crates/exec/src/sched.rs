@@ -38,12 +38,55 @@
 //! determinism suite pins for `--adaptive` sweeps.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use askit_llm::{BreakerState, Completion, LlmError, LoadObserver, LoadSignal, ModelChoice};
+use askit_obs::TraceId;
 
 use crate::lock;
+
+/// Cached global-registry handles for the scheduler's metrics, one slot
+/// per [`ModelChoice`], so the hot path never re-registers a series.
+struct SchedMetrics {
+    /// Backend call latency per model (`askit_request_latency_us`),
+    /// observed around the gated completion — the per-model p50/p90/p99
+    /// that `GET /metrics` exports.
+    latency: [Arc<askit_obs::Histogram>; 3],
+    /// Current admission width per model (`askit_sched_width`).
+    width: [Arc<askit_obs::Gauge>; 3],
+    /// Requests shed because their deadline expired before dispatch
+    /// (`askit_sched_deadline_sheds_total`).
+    sheds: Arc<askit_obs::Counter>,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static METRICS: OnceLock<SchedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = askit_obs::metrics::global();
+        SchedMetrics {
+            latency: ALL_MODELS.map(|model| {
+                registry.histogram(
+                    "askit_request_latency_us",
+                    "Backend completion latency per model, microseconds",
+                    &[("model", model.tag())],
+                )
+            }),
+            width: ALL_MODELS.map(|model| {
+                registry.gauge(
+                    "askit_sched_width",
+                    "Current admission width per model sub-pool",
+                    &[("model", model.tag())],
+                )
+            }),
+            sheds: registry.counter(
+                "askit_sched_deadline_sheds_total",
+                "Requests shed at the scheduler because their deadline expired",
+                &[],
+            ),
+        }
+    })
+}
 
 /// Configuration of one sub-pool's [`AimdController`].
 #[derive(Debug, Clone, PartialEq)]
@@ -258,6 +301,14 @@ impl Scheduler {
                 freed: Condvar::new(),
             })
         });
+        // Seed the width gauges so /metrics shows the resolved starting
+        // widths before any adaptation has fired.
+        for model in ALL_MODELS {
+            if let Some(gate) = &gates[model_index(model)] {
+                let width = lock(&gate.state).controller.width();
+                sched_metrics().width[model_index(model)].set(width as i64);
+            }
+        }
         Scheduler {
             gates,
             adaptive,
@@ -369,38 +420,83 @@ impl Scheduler {
         deadline: Option<Instant>,
         f: impl FnOnce() -> Result<Completion, LlmError>,
     ) -> Result<Completion, LlmError> {
+        self.run_completion_traced(model, deadline, None, f)
+    }
+
+    /// [`run_completion_before`](Scheduler::run_completion_before) with the
+    /// request's trace identity: the gate wait and the backend call get
+    /// spans, sheds get instant events. This is the engine's entry point —
+    /// it is also the one choke point every gated completion passes, so the
+    /// per-model latency histograms are fed here.
+    pub fn run_completion_traced(
+        &self,
+        model: ModelChoice,
+        deadline: Option<Instant>,
+        trace: Option<TraceId>,
+        f: impl FnOnce() -> Result<Completion, LlmError>,
+    ) -> Result<Completion, LlmError> {
         let expired = || matches!(deadline, Some(d) if d <= Instant::now());
+        let shed = || {
+            sched_metrics().sheds.inc();
+            askit_obs::event(trace, "deadline_shed").arg("model", model.tag());
+            Err(LlmError::DeadlineExceeded)
+        };
         if expired() {
-            return Err(LlmError::DeadlineExceeded);
+            return shed();
         }
         let Some(gate) = &self.gates[model_index(model)] else {
-            return f();
+            // Ungated models still make a backend call — the span (and the
+            // latency observation) must not depend on admission control.
+            let call_span = askit_obs::span(trace, "backend_call").arg("model", model.tag());
+            let started = Instant::now();
+            let result = f();
+            drop(call_span);
+            if result.is_ok() {
+                sched_metrics().latency[model_index(model)]
+                    .observe(started.elapsed().as_micros() as u64);
+            }
+            return result;
         };
         // Admission: wait for in-flight to drop under the current width.
         // The timeout is defensive only (a lost wakeup costs 10 ms, not a
         // hang); every release and every width increase notifies.
-        let mut state = lock(&gate.state);
-        while state.in_flight >= state.controller.width() {
-            state = gate
-                .freed
-                .wait_timeout(state, Duration::from_millis(10))
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .0;
-            if expired() {
-                // The budget ran out while this request sat in the queue:
-                // dispatching it now could only waste a backend round trip
-                // on an answer nobody is waiting for.
-                return Err(LlmError::DeadlineExceeded);
+        let state = {
+            let mut wait_span = askit_obs::span(trace, "gate_wait");
+            wait_span.set_arg("model", model.tag());
+            let mut state = lock(&gate.state);
+            while state.in_flight >= state.controller.width() {
+                state = gate
+                    .freed
+                    .wait_timeout(state, Duration::from_millis(10))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+                if expired() {
+                    // The budget ran out while this request sat in the
+                    // queue: dispatching it now could only waste a backend
+                    // round trip on an answer nobody is waiting for.
+                    drop(state);
+                    return shed();
+                }
             }
-        }
+            state
+        };
+        let mut state = state;
         state.in_flight += 1;
         drop(state);
 
+        let call_span = askit_obs::span(trace, "backend_call").arg("model", model.tag());
+        let started = Instant::now();
         let result = f();
+        drop(call_span);
+        if result.is_ok() {
+            sched_metrics().latency[model_index(model)]
+                .observe(started.elapsed().as_micros() as u64);
+        }
 
         let external = self.external_signals.load(Ordering::Acquire);
         let mut state = lock(&gate.state);
         if self.adaptive && !external {
+            let before = state.controller.width();
             match &result {
                 Ok(_) => {
                     state.controller.on_success();
@@ -420,12 +516,26 @@ impl Scheduler {
                 }
                 Err(_) => {}
             }
+            record_width_change(model, before, state.controller.width());
         }
         state.in_flight -= 1;
         drop(state);
         gate.freed.notify_all();
         result
     }
+}
+
+/// Publishes an AIMD width move: gauge update plus a process-scope
+/// instant event (width is shared state — no single request owns it).
+fn record_width_change(model: ModelChoice, before: usize, after: usize) {
+    if before == after {
+        return;
+    }
+    sched_metrics().width[model_index(model)].set(after as i64);
+    askit_obs::event(None, "aimd_width")
+        .arg("model", model.tag())
+        .arg("from", before)
+        .arg("to", after);
 }
 
 impl LoadObserver for Scheduler {
@@ -466,6 +576,7 @@ impl LoadObserver for Scheduler {
                     state.controller.on_throttle()
                 }
             };
+            record_width_change(model, before, after);
             after > before
         };
         if grew {

@@ -202,6 +202,78 @@ struct Endpoint {
     base: ParsedBase,
     pool: ConnectionPool,
     breaker: CircuitBreaker,
+    /// `askit_wire_attempts_total{endpoint=...}` in the global registry.
+    attempts_metric: Arc<askit_obs::Counter>,
+    /// `askit_wire_latency_us{endpoint=...}` in the global registry.
+    latency_metric: Arc<askit_obs::Histogram>,
+    /// `askit_breaker_state{endpoint=...}`: 0 closed, 1 half-open, 2 open.
+    breaker_metric: Arc<askit_obs::Gauge>,
+}
+
+/// Encodes a breaker state for the `askit_breaker_state` gauge.
+fn breaker_gauge_value(state: askit_llm::BreakerState) -> i64 {
+    match state {
+        askit_llm::BreakerState::Closed => 0,
+        askit_llm::BreakerState::HalfOpen => 1,
+        askit_llm::BreakerState::Open => 2,
+    }
+}
+
+/// Process-wide mirrors of the [`Counters`] that matter for dashboards,
+/// registered once in the global metrics registry. Per-instance exactness
+/// stays with [`HttpStats`]; these sum across every client in the process.
+struct HttpMetrics {
+    retries: Arc<askit_obs::Counter>,
+    throttles: Arc<askit_obs::Counter>,
+    failovers: Arc<askit_obs::Counter>,
+    hedges: Arc<askit_obs::Counter>,
+    hedge_wins: Arc<askit_obs::Counter>,
+    breaker_trips: Arc<askit_obs::Counter>,
+    deadline_sheds: Arc<askit_obs::Counter>,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: std::sync::OnceLock<HttpMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = askit_obs::metrics::global();
+        HttpMetrics {
+            retries: r.counter(
+                "askit_http_retries_total",
+                "Wire attempts retried after a 429/5xx or transport failure",
+                &[],
+            ),
+            throttles: r.counter(
+                "askit_http_throttles_total",
+                "429 responses absorbed by the retry loop",
+                &[],
+            ),
+            failovers: r.counter(
+                "askit_http_failovers_total",
+                "Consecutive attempts of one request that switched endpoints",
+                &[],
+            ),
+            hedges: r.counter(
+                "askit_http_hedges_total",
+                "Hedged second attempts actually launched",
+                &[],
+            ),
+            hedge_wins: r.counter(
+                "askit_http_hedge_wins_total",
+                "Hedged requests won by the second attempt",
+                &[],
+            ),
+            breaker_trips: r.counter(
+                "askit_http_breaker_trips_total",
+                "Circuit-breaker trips (closed/half-open to open)",
+                &[],
+            ),
+            deadline_sheds: r.counter(
+                "askit_http_deadline_sheds_total",
+                "Requests or attempts shed because their deadline had expired",
+                &[],
+            ),
+        }
+    })
 }
 
 /// A bounded window of recent round-trip latencies, consulted for the
@@ -296,11 +368,35 @@ impl HttpLlm {
     /// cannot serve, i.e. `https`).
     pub fn new(config: HttpLlmConfig) -> Result<Self, LlmError> {
         let mut endpoints = Vec::with_capacity(1 + config.fallback_api_bases.len());
+        let registry = askit_obs::metrics::global();
+        // Register the process-wide counters up front so a fault-free run
+        // still exposes them (at zero) in the Prometheus exposition.
+        let _ = http_metrics();
         for api_base in std::iter::once(&config.api_base).chain(config.fallback_api_bases.iter()) {
+            let base = ParsedBase::parse(api_base).map_err(LlmError::InvalidRequest)?;
+            let label = format!("{}:{}", base.host, base.port);
+            let labels: &[(&str, &str)] = &[("endpoint", &label)];
+            let breaker_metric = registry.gauge(
+                "askit_breaker_state",
+                "Circuit-breaker state per endpoint (0 closed, 1 half-open, 2 open)",
+                labels,
+            );
+            breaker_metric.set(0);
             endpoints.push(Endpoint {
-                base: ParsedBase::parse(api_base).map_err(LlmError::InvalidRequest)?,
+                base,
                 pool: ConnectionPool::new(config.max_idle_connections),
                 breaker: CircuitBreaker::new(config.breaker),
+                attempts_metric: registry.counter(
+                    "askit_wire_attempts_total",
+                    "HTTP round trips attempted per endpoint",
+                    labels,
+                ),
+                latency_metric: registry.histogram(
+                    "askit_wire_latency_us",
+                    "Completed round-trip latency per endpoint, microseconds",
+                    labels,
+                ),
+                breaker_metric,
             });
         }
         let display_name = format!("http:{}", config.default_model);
@@ -378,6 +474,26 @@ impl Inner {
         for observer in lock(&self.observers).iter() {
             observer.observed(model, signal);
         }
+    }
+
+    /// Publishes a breaker transition everywhere it is consumed: the
+    /// per-endpoint gauge, a process-scope trace event (breaker state is
+    /// shared — no single request owns the transition), and the load
+    /// observers.
+    fn breaker_transition(&self, index: usize, state: askit_llm::BreakerState, model: ModelChoice) {
+        self.endpoints[index]
+            .breaker_metric
+            .set(breaker_gauge_value(state));
+        askit_obs::event(None, "breaker")
+            .arg("endpoint", index)
+            .arg("state", state.tag());
+        self.notify(
+            model,
+            LoadSignal::Breaker {
+                endpoint: index,
+                state,
+            },
+        );
     }
 
     fn stats(&self) -> HttpStats {
@@ -548,6 +664,9 @@ impl Inner {
         let hedge_flying = spawn_leg(true).is_ok();
         if hedge_flying {
             inner.counters.hedges.fetch_add(1, Ordering::Relaxed);
+            http_metrics().hedges.inc();
+            askit_obs::event(request.options.trace, "hedge_launch")
+                .arg("delay_us", delay.as_micros());
         }
         // Our own sender clone must die so `recv` can observe both legs
         // finishing (each leg sends exactly once, then drops its sender).
@@ -568,6 +687,8 @@ impl Inner {
         };
         if winner.0 && winner.1.is_ok() {
             inner.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            http_metrics().hedge_wins.inc();
+            askit_obs::event(request.options.trace, "hedge_win");
         }
         winner.1
     }
@@ -593,13 +714,7 @@ impl Inner {
         for index in order {
             let (admission, transition) = self.endpoints[index].breaker.admit(now);
             if let Some(state) = transition {
-                self.notify(
-                    model,
-                    LoadSignal::Breaker {
-                        endpoint: index,
-                        state,
-                    },
-                );
+                self.breaker_transition(index, state, model);
             }
             if admission != Admission::Rejected {
                 return Some((index, admission));
@@ -629,17 +744,12 @@ impl Inner {
             let transition = breaker.record_failure(Instant::now());
             if transition == Some(askit_llm::BreakerState::Open) {
                 self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                http_metrics().breaker_trips.inc();
             }
             transition
         };
         if let Some(state) = transition {
-            self.notify(
-                model,
-                LoadSignal::Breaker {
-                    endpoint: index,
-                    state,
-                },
-            );
+            self.breaker_transition(index, state, model);
         }
     }
 
@@ -657,11 +767,21 @@ impl Inner {
             return Err(LlmError::InvalidRequest("empty conversation".to_owned()));
         }
         let model = request.options.model;
+        let trace = request.options.trace;
+        // A hedge leg is born deprioritizing the primary; that flag is
+        // worth carrying onto its wire-attempt spans.
+        let hedged = avoid.is_some();
         let timeout = request
             .options
             .timeout
             .unwrap_or(self.config.request_timeout);
         let mut attempt: u32 = 0;
+        let shed = || {
+            self.counters.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+            http_metrics().deadline_sheds.inc();
+            askit_obs::event(trace, "deadline_shed").arg("layer", "http");
+            Err(LlmError::DeadlineExceeded)
+        };
         // Which endpoint to scan *last* on the next pick: a hedge leg
         // starts by deprioritizing the primary; a failed attempt
         // deprioritizes the endpoint that just failed.
@@ -672,8 +792,7 @@ impl Inner {
             self.limiter.acquire(model);
             let now = Instant::now();
             if request.options.deadline_expired(now) {
-                self.counters.deadline_sheds.fetch_add(1, Ordering::Relaxed);
-                return Err(LlmError::DeadlineExceeded);
+                return shed();
             }
             let Some((index, _admission)) = self.pick_endpoint(now, deprioritized, model) else {
                 // Every breaker is open and cooling down. Wait out a
@@ -688,21 +807,39 @@ impl Inner {
                     .options
                     .clip_to_deadline(self.backoff.delay(attempt, key), now);
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                http_metrics().retries.inc();
                 std::thread::sleep(delay);
                 attempt += 1;
                 continue;
             };
-            if last_index.is_some_and(|last| last != index) {
+            if let Some(last) = last_index.filter(|last| *last != index) {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                http_metrics().failovers.inc();
+                askit_obs::event(trace, "failover")
+                    .arg("from", last)
+                    .arg("to", index);
             }
             last_index = Some(index);
             // Per-attempt socket budget: the configured round-trip timeout,
             // never more than what remains of the end-to-end deadline.
             let attempt_timeout = request.options.clip_to_deadline(timeout, now);
-            match self.round_trip(index, request, model, attempt_timeout) {
+            self.endpoints[index].attempts_metric.inc();
+            let outcome = {
+                let mut span = askit_obs::span(trace, "wire_attempt");
+                span.set_arg("endpoint", index);
+                span.set_arg("attempt", attempt);
+                span.set_arg("hedged", hedged);
+                let outcome = self.round_trip(index, request, model, attempt_timeout);
+                span.set_arg("ok", outcome.is_ok());
+                outcome
+            };
+            match outcome {
                 Ok(completion) => {
                     self.record_endpoint_outcome(index, true, model);
                     self.latencies.record(completion.latency);
+                    self.endpoints[index]
+                        .latency_metric
+                        .observe(completion.latency.as_micros() as u64);
                     self.notify(
                         model,
                         LoadSignal::Completed {
@@ -721,6 +858,7 @@ impl Inner {
                     );
                     if matches!(error, AttemptError::Throttled { .. }) {
                         self.counters.throttles.fetch_add(1, Ordering::Relaxed);
+                        http_metrics().throttles.inc();
                         // Drain the bucket: every worker headed for this
                         // model now paces itself instead of discovering
                         // the limit with its own 429.
@@ -743,8 +881,7 @@ impl Inner {
                     }
                     let now = Instant::now();
                     if request.options.deadline_expired(now) {
-                        self.counters.deadline_sheds.fetch_add(1, Ordering::Relaxed);
-                        return Err(LlmError::DeadlineExceeded);
+                        return shed();
                     }
                     // Prefer a different endpoint next time; when one is
                     // admissible right now, fail over immediately instead
@@ -768,6 +905,7 @@ impl Inner {
                         request.options.clip_to_deadline(computed, now)
                     };
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    http_metrics().retries.inc();
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -912,6 +1050,7 @@ impl Inner {
             .header("content-type")
             .is_some_and(|v| v.to_ascii_lowercase().contains("text/event-stream"));
         if head.status == 200 && is_sse {
+            let mut decode_span = askit_obs::span(request.options.trace, "sse_decode");
             let mut accumulator = StreamAccumulator::new();
             match framing {
                 BodyFraming::Chunked => reader
@@ -931,6 +1070,7 @@ impl Inner {
             let outcome = accumulator
                 .finish(request, started.elapsed())
                 .map_err(|e| AttemptError::Retryable(LlmError::Transport(e)));
+            decode_span.set_arg("ok", outcome.is_ok());
             return Ok((outcome, reusable));
         }
         // Non-SSE: collect the whole body (success and failure statuses

@@ -1,0 +1,137 @@
+//! End-to-end trace assertions: a request driven through the engine and
+//! the HTTP backend against the loopback server leaves a span tree on the
+//! installed [`TraceSink`] — one `backend_call` parenting every
+//! `wire_attempt` (with retry ordinals), plus a `cache_probe` and an SSE
+//! decode where applicable — and the Chrome-trace JSON export carries it.
+//!
+//! One test function: the sink is process-global, and a single scenario
+//! keeps the event stream deterministic. Isolation between *requests*
+//! inside the scenario comes from filtering by trace id, which is exactly
+//! how the export is meant to be consumed.
+
+use std::time::Duration;
+
+use askit_exec::{Engine, EngineConfig};
+use askit_llm::{CompletionRequest, LanguageModel};
+use askit_llm_http::{HttpLlm, HttpLlmConfig, LoopbackServer, Reply, RetryConfig};
+use askit_obs::{TraceEvent, TraceId, TraceSink};
+
+#[test]
+fn retried_request_leaves_a_parented_span_tree() {
+    let sink = TraceSink::new().install();
+
+    let server = LoopbackServer::start().unwrap();
+    // Two throttles, then success: the surviving trace must show all
+    // three wire attempts under one backend call.
+    server.script_all([
+        Reply::Status {
+            status: 429,
+            retry_after: Some(0),
+            body: "slow down".into(),
+        },
+        Reply::Status {
+            status: 429,
+            retry_after: Some(0),
+            body: "slow down".into(),
+        },
+        Reply::Text("third time lucky".into()),
+    ]);
+    let engine = Engine::with_config(
+        HttpLlm::new(
+            HttpLlmConfig::new(server.api_base()).with_retry(RetryConfig {
+                max_retries: 5,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(20),
+            }),
+        )
+        .unwrap(),
+        EngineConfig::default().with_workers(2),
+    );
+
+    let trace = TraceId::from_raw(0xabc123).unwrap();
+    let mut request = CompletionRequest::from_prompt("what is 6 times 7?");
+    request.options = request.options.stamp_trace(trace);
+    let completion = engine.complete(&request).unwrap();
+    assert_eq!(completion.text, "third time lucky");
+
+    let events: Vec<TraceEvent> = sink
+        .events()
+        .into_iter()
+        .filter(|event| event.trace() == Some(trace))
+        .collect();
+    assert!(!events.is_empty(), "traced request must leave events");
+
+    let spans =
+        |name: &str| -> Vec<&TraceEvent> { events.iter().filter(|e| e.name() == name).collect() };
+
+    // The cache was probed (and missed) before any wire traffic.
+    let probes = spans("cache_probe");
+    assert_eq!(probes.len(), 1, "{events:#?}");
+    assert_eq!(probes[0].arg("hit"), Some("false"));
+
+    // One backend call wraps the whole retry loop…
+    let backend = spans("backend_call");
+    assert_eq!(backend.len(), 1, "{events:#?}");
+    let TraceEvent::Span {
+        span_id: backend_id,
+        dur_us: backend_dur,
+        ..
+    } = backend[0]
+    else {
+        panic!("backend_call must be a span");
+    };
+
+    // …parenting exactly three wire attempts with consecutive ordinals,
+    // the first two failed, the last one ok.
+    let attempts = spans("wire_attempt");
+    assert_eq!(attempts.len(), 3, "{events:#?}");
+    for (ordinal, attempt) in attempts.iter().enumerate() {
+        assert_eq!(attempt.arg("attempt"), Some(ordinal.to_string().as_str()));
+        assert_eq!(attempt.arg("endpoint"), Some("0"));
+        assert_eq!(attempt.arg("hedged"), Some("false"));
+        let expected_ok = if ordinal == 2 { "true" } else { "false" };
+        assert_eq!(attempt.arg("ok"), Some(expected_ok), "attempt {ordinal}");
+        let TraceEvent::Span {
+            parent_id, dur_us, ..
+        } = attempt
+        else {
+            panic!("wire_attempt must be a span");
+        };
+        assert_eq!(
+            parent_id, backend_id,
+            "wire attempts nest under the backend call"
+        );
+        assert!(
+            dur_us <= backend_dur,
+            "a child span cannot outlast its parent"
+        );
+    }
+
+    // The export renders the same tree as Chrome trace JSON: complete
+    // events (`"ph":"X"`) named per span, viewable in Perfetto.
+    let json = sink.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"wire_attempt\""), "{json}");
+    assert!(json.contains("\"backend_call\""), "{json}");
+    assert!(
+        json.contains(&format!("{trace}")),
+        "trace id labels the events"
+    );
+
+    // An *untraced* request records nothing new for any trace.
+    let before = sink.len();
+    let untraced = CompletionRequest::from_prompt("no trace here");
+    engine.complete(&untraced).unwrap();
+    let added: Vec<TraceEvent> = sink
+        .events()
+        .split_off(before.min(sink.len()))
+        .into_iter()
+        .filter(|e| e.trace().is_some())
+        .collect();
+    assert!(
+        added.is_empty(),
+        "untraced requests must not emit trace-scoped events: {added:#?}"
+    );
+
+    askit_obs::trace::uninstall();
+}

@@ -311,6 +311,15 @@ pub struct RequestOptions {
     /// trip per hedged attempt; pointless (and ignored) on single-endpoint
     /// or in-process backends. Service advice, not identity.
     pub hedge: bool,
+    /// The request's trace identity for the observability layer, stamped
+    /// once at admission (`run_direct`, or the serve front door when the
+    /// caller propagated an `X-Askit-Trace-Id`) via
+    /// [`RequestOptions::stamp_trace`]. Every layer annotates its spans
+    /// and events with it. Service advice, not identity: two requests
+    /// differing only in trace id share fingerprints, cache entries, and
+    /// coalesced flights — tracing a request must never change how it is
+    /// served.
+    pub trace: Option<askit_obs::TraceId>,
 }
 
 impl RequestOptions {
@@ -331,6 +340,18 @@ impl RequestOptions {
             if let Some(timeout) = self.timeout {
                 self.deadline = Some(now + timeout);
             }
+        }
+        self
+    }
+
+    /// Stamps the trace identity, when none was stamped yet. Idempotent
+    /// like [`RequestOptions::stamp_deadline`]: an id propagated from an
+    /// upstream caller (the serve front door) survives re-admission at
+    /// inner layers, so one trace follows the request end to end.
+    #[must_use]
+    pub fn stamp_trace(mut self, id: askit_obs::TraceId) -> Self {
+        if self.trace.is_none() {
+            self.trace = Some(id);
         }
         self
     }
@@ -991,9 +1012,11 @@ mod tests {
         let advised = base.clone().with_options(RequestOptions {
             cache: CachePolicy::Bypass,
             ttl: Some(Duration::from_secs(60)),
+            trace: askit_obs::TraceId::from_raw(0xfeed),
             ..RequestOptions::default()
         });
-        // TTL and cache policy change neither the fingerprint nor identity.
+        // TTL, cache policy, and trace id change neither the fingerprint
+        // nor identity.
         assert_eq!(base.fingerprint(7), advised.fingerprint(7));
         assert!(base.same_identity(&advised));
         assert_ne!(base, advised, "full equality does see the options");
@@ -1080,8 +1103,8 @@ mod tests {
         for salt in [0u64, 42] {
             assert_eq!(fnv64(&req.identity_bytes(salt)), req.fingerprint(salt));
         }
-        // Service advice (cache policy, TTL, timeout, deadline) stays out
-        // of the preimage.
+        // Service advice (cache policy, TTL, timeout, deadline, trace)
+        // stays out of the preimage.
         let advised = req.clone().with_options(RequestOptions {
             model: ModelChoice::Gpt4,
             cache: CachePolicy::Bypass,
@@ -1089,6 +1112,7 @@ mod tests {
             timeout: Some(Duration::from_secs(5)),
             deadline: Some(Instant::now()),
             hedge: true,
+            trace: askit_obs::TraceId::from_raw(9),
         });
         assert_eq!(req.identity_bytes(3), advised.identity_bytes(3));
     }

@@ -1,0 +1,82 @@
+//! Injectable time source.
+//!
+//! Span durations and event timestamps come from an [`ObsClock`] rather
+//! than raw `Instant::now()` calls, so tests can drive a [`ManualClock`]
+//! and assert exact microsecond values in exported traces. Production
+//! code never constructs a clock explicitly — [`SystemClock`] is the
+//! default everywhere.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source for the observability layer.
+///
+/// Implementations must be monotonic (never move backwards); the trace
+/// sink subtracts its construction-time `now()` from every later reading
+/// to produce the microsecond offsets Chrome trace events carry.
+pub trait ObsClock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real clock: `Instant::now()`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl ObsClock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time stands still until
+/// [`ManualClock::advance`] moves it.
+#[derive(Debug)]
+pub struct ManualClock {
+    base: Instant,
+    offset: Mutex<Duration>,
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManualClock {
+    /// A clock frozen at its moment of construction.
+    pub fn new() -> Self {
+        ManualClock {
+            base: Instant::now(),
+            offset: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// Moves the clock forward by `by`. (It can only move forward —
+    /// monotonicity is part of the [`ObsClock`] contract.)
+    pub fn advance(&self, by: Duration) {
+        *crate::lock(&self.offset) += by;
+    }
+}
+
+impl ObsClock for ManualClock {
+    fn now(&self) -> Instant {
+        self.base + *crate::lock(&self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let clock = ManualClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0, "frozen until advanced");
+        clock.advance(Duration::from_micros(250));
+        assert_eq!(clock.now() - t0, Duration::from_micros(250));
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(clock.now() - t0, Duration::from_micros(3250));
+    }
+}

@@ -1,0 +1,84 @@
+//! # askit-obs
+//!
+//! The **observability layer** for the AskIt reproduction: structured
+//! per-request tracing, a process-wide metrics registry, and an
+//! env-filtered leveled logger — all hand-rolled on `std`, because the
+//! build container has no crates.io access.
+//!
+//! The stack batches, caches, schedules, fails over, and hedges; the
+//! aggregate counters that grew alongside those layers (`CacheStats`,
+//! `HttpStats`, `/stats`) can say *how often* something happened but not
+//! *to which request* or *in what order*. This crate closes that gap:
+//!
+//! * [`trace`](mod@trace) — a request-scoped [`TraceId`] stamped once at
+//!   admission
+//!   (the same idempotent-stamp discipline as deadlines), RAII span
+//!   guards kept on a thread-local stack so parentage falls out of
+//!   scoping, instant events for state transitions (breaker trips, AIMD
+//!   width moves, failovers, hedge wins, deadline sheds), and a
+//!   [`TraceSink`] that renders everything as Chrome-trace-event JSON
+//!   viewable in Perfetto (`ui.perfetto.dev`). Tracing is **off until a
+//!   sink is installed**: the disabled fast path is one relaxed atomic
+//!   load, so instrumented code costs nothing in production-off mode.
+//! * [`metrics`] — atomic counters and gauges plus log-linear-bucket
+//!   histograms (p50/p90/p99 with ≤12.5% bucket error), registered by
+//!   name + labels in a sharded registry. Call sites cache their
+//!   [`Counter`]/[`Histogram`] handles, so the hot path is a few relaxed
+//!   atomic ops; the registry renders Prometheus text exposition for
+//!   `GET /metrics` and parses it back for round-trip tests.
+//! * [`log`] — leveled diagnostics filtered by `ASKIT_LOG`
+//!   (`ASKIT_LOG=debug,askit_http=trace`), replacing the scattered
+//!   `eprintln!` calls that previously ignored any verbosity setting.
+//! * [`clock`] — an injectable clock ([`ObsClock`]) so span durations
+//!   and timestamps are deterministic under test ([`ManualClock`]).
+//!
+//! The crate is a pure leaf: it depends on nothing in the workspace, so
+//! every other crate (including `askit-llm`, which carries the
+//! [`TraceId`] on `RequestOptions`) can depend on it without cycles.
+//! Trace identity is **service advice**: it never enters a request
+//! fingerprint, so traced and untraced runs share the same cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{ManualClock, ObsClock, SystemClock};
+pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram, Registry, Sample};
+pub use trace::{EventBuilder, PropagationGuard, SpanGuard, TraceEvent, TraceId, TraceSink};
+
+/// Opens a span on the installed [`TraceSink`] (no-op when none is
+/// installed or `trace` is `None`). Shorthand for [`trace::span`].
+pub fn span(trace: Option<TraceId>, name: &'static str) -> SpanGuard {
+    trace::span(trace, name)
+}
+
+/// Records an instant event (no-op when no sink is installed). Events
+/// with `trace: None` are process-scope — state transitions such as
+/// breaker trips that no single request owns. Shorthand for
+/// [`trace::event`].
+pub fn event(trace: Option<TraceId>, name: &'static str) -> EventBuilder {
+    trace::event(trace, name)
+}
+
+/// Locks a mutex, recovering from poisoning (the protected state is
+/// event buffers and metric tables whose invariants hold per operation).
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// FNV-1a over `bytes` — shard selection and trace-id seeding.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

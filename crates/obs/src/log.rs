@@ -1,0 +1,282 @@
+//! `ASKIT_LOG`-filtered leveled logging.
+//!
+//! Diagnostic output across the workspace goes through
+//! [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info), [`debug!`](crate::debug), and
+//! [`trace!`](crate::trace!) with a *target*
+//! string (`"askit_exec"`, `"askit_http"`, …), and a single environment
+//! variable governs all of it:
+//!
+//! ```text
+//! ASKIT_LOG=debug                  # everything at debug and above
+//! ASKIT_LOG=warn,askit_http=trace  # default warn, but the HTTP layer at trace
+//! ASKIT_LOG=off                    # silence
+//! ```
+//!
+//! Unset means `warn`: errors and warnings still reach stderr, the
+//! chatter does not. The filter parses once; [`set_filter`] overrides it
+//! for tests. The disabled fast path is one relaxed atomic load of the
+//! process-wide maximum level, so `debug!` in a hot loop costs nothing
+//! when nobody asked for debug output.
+//!
+//! Lines render as `[ 12.345s LEVEL target] message` on stderr, the
+//! timestamp being seconds since the first log call — enough to
+//! correlate with trace timelines without dragging in wall-clock
+//! formatting.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed and the caller will see it.
+    Error = 1,
+    /// Something unexpected was absorbed (fallbacks, degraded modes).
+    Warn = 2,
+    /// Lifecycle milestones (listening, shutting down).
+    Info = 3,
+    /// Per-operation diagnostics.
+    Debug = 4,
+    /// Per-step diagnostics (wire attempts, cache probes).
+    Trace = 5,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(text: &str) -> Option<u8> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(0),
+            "error" => Some(Level::Error as u8),
+            "warn" | "warning" => Some(Level::Warn as u8),
+            "info" => Some(Level::Info as u8),
+            "debug" => Some(Level::Debug as u8),
+            "trace" => Some(Level::Trace as u8),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Filter {
+    /// Max level for targets without an override; 0 = off.
+    default: u8,
+    /// `(target, max level)` overrides, exact match on target.
+    overrides: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default: Level::Warn as u8,
+            overrides: Vec::new(),
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if let Some(level) = Level::parse(part) {
+                        filter.default = level;
+                    }
+                }
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        filter.overrides.push((target.to_owned(), level));
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    fn max_level(&self) -> u8 {
+        self.overrides
+            .iter()
+            .map(|(_, level)| *level)
+            .chain([self.default])
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn level_for(&self, target: &str) -> u8 {
+        self.overrides
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, level)| *level)
+            .unwrap_or(self.default)
+    }
+}
+
+/// Process-wide max enabled level (0 = everything off): the one-load
+/// fast path that makes disabled log calls free.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // MAX = "not initialized yet"
+
+fn filter() -> &'static RwLock<Filter> {
+    static FILTER: OnceLock<RwLock<Filter>> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        let spec = std::env::var("ASKIT_LOG").unwrap_or_default();
+        let parsed = if spec.trim().is_empty() {
+            Filter {
+                default: Level::Warn as u8,
+                overrides: Vec::new(),
+            }
+        } else {
+            Filter::parse(&spec)
+        };
+        MAX_LEVEL.store(parsed.max_level(), Ordering::Relaxed);
+        RwLock::new(parsed)
+    })
+}
+
+/// Replaces the active filter with `spec` (same grammar as `ASKIT_LOG`).
+/// Used by tests and by binaries that want a non-`warn` default when the
+/// environment is silent (e.g. `askit-eval serve` defaults to `info`).
+pub fn set_filter(spec: &str) {
+    let parsed = Filter::parse(spec);
+    // Take the lock before publishing the max level: `filter()`'s lazy
+    // init also stores MAX_LEVEL, and must not clobber ours afterwards.
+    let mut active = filter().write().unwrap_or_else(|e| e.into_inner());
+    MAX_LEVEL.store(parsed.max_level(), Ordering::Relaxed);
+    *active = parsed;
+}
+
+/// Applies `spec` only when `ASKIT_LOG` is unset or empty — lets a
+/// binary raise its default verbosity without overriding the operator.
+pub fn set_default_filter(spec: &str) {
+    if std::env::var("ASKIT_LOG").map(|v| !v.trim().is_empty()) != Ok(true) {
+        set_filter(spec);
+    }
+}
+
+/// Whether a `level` record for `target` would be emitted.
+pub fn enabled(level: Level, target: &str) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max == u8::MAX {
+        // First call: force filter construction, then re-check.
+        let _ = filter();
+        return enabled(level, target);
+    }
+    if level as u8 > max {
+        return false;
+    }
+    level as u8
+        <= filter()
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .level_for(target)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Emits one record (macro plumbing — call through the level macros).
+pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level, target) {
+        return;
+    }
+    let elapsed = epoch().elapsed();
+    let stderr = std::io::stderr();
+    let mut locked = stderr.lock();
+    let _ = writeln!(
+        locked,
+        "[{:>8.3}s {:5} {target}] {args}",
+        elapsed.as_secs_f64(),
+        level.tag(),
+    );
+}
+
+/// Logs at [`Level::Error`]: `error!("askit_http", "gave up: {err}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Trace, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_grammar_parses_defaults_and_overrides() {
+        let filter = Filter::parse("debug,askit_http=trace,askit_eval=off");
+        assert_eq!(filter.default, Level::Debug as u8);
+        assert_eq!(filter.level_for("askit_http"), Level::Trace as u8);
+        assert_eq!(filter.level_for("askit_eval"), 0);
+        assert_eq!(filter.level_for("askit_exec"), Level::Debug as u8);
+        assert_eq!(filter.max_level(), Level::Trace as u8);
+
+        let off = Filter::parse("off");
+        assert_eq!(off.default, 0);
+        assert_eq!(off.max_level(), 0);
+
+        let noise = Filter::parse("bogus,=,x=");
+        assert_eq!(
+            noise.default,
+            Level::Warn as u8,
+            "garbage keeps the default"
+        );
+    }
+
+    #[test]
+    fn set_filter_governs_enabled() {
+        set_filter("warn,askit_http=debug");
+        assert!(enabled(Level::Warn, "askit_exec"));
+        assert!(!enabled(Level::Info, "askit_exec"));
+        assert!(enabled(Level::Debug, "askit_http"));
+        assert!(!enabled(Level::Trace, "askit_http"));
+        set_filter("off");
+        assert!(!enabled(Level::Error, "askit_exec"));
+        set_filter("warn");
+    }
+}

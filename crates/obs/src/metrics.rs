@@ -1,0 +1,722 @@
+//! Metrics: atomic counters/gauges, log-linear histograms, Prometheus
+//! text exposition.
+//!
+//! A [`Registry`] maps `(name, labels)` to a metric handle. Registration
+//! (first call per series) takes a shard lock; after that, call sites
+//! hold the returned `Arc` handle and the hot path is a few relaxed
+//! atomic operations — no locks, no allocation. Series lookup is sharded
+//! by FNV-1a of the canonical series key, so even un-cached lookups from
+//! many threads spread across eight locks.
+//!
+//! Histograms use log-linear buckets (four linear sub-buckets per
+//! power-of-two octave): 252 fixed buckets cover the full `u64` range
+//! with ≤25% worst-case quantile error, values 0–7 exact. They render in
+//! Prometheus exposition as `summary` series — precomputed
+//! p50/p90/p99 quantile samples plus `_sum`/`_count` — which keeps the
+//! text format compact while still carrying the latency story.
+//!
+//! [`Registry::render_prometheus`] produces the text exposition served at
+//! `GET /metrics`; [`parse_exposition`] parses it back (the round-trip
+//! property test and the CI gate's validator are built on it).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Four linear sub-buckets per power-of-two octave.
+const SUB_BITS: u32 = 2;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Groups 0..=62 cover the u64 range; 63rd group would overflow bounds.
+const GROUPS: usize = 63;
+const BUCKETS: usize = GROUPS * SUBS as usize;
+
+/// Bucket index for `value`: exact below [`SUBS`], log-linear above.
+fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as usize;
+    let offset = ((value >> (group - 1)) - SUBS) as usize;
+    (group * SUBS as usize + offset).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    let group = index / SUBS as usize;
+    let sub = (index % SUBS as usize) as u64;
+    if group == 0 {
+        sub
+    } else {
+        (SUBS + sub) << (group - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `index` (saturating at the top).
+fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(index + 1)
+    }
+}
+
+/// A log-linear histogram of `u64` observations (latencies in
+/// microseconds, sizes in bytes, …).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Three relaxed atomic adds.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated inside
+    /// the winning bucket. The rank-`r` element's bucket is found
+    /// exactly; the interpolation error is bounded by the bucket width
+    /// (≤25% of the value). Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for index in 0..BUCKETS {
+            let in_bucket = self.buckets[index].load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if cumulative + in_bucket >= rank {
+                let lower = bucket_lower(index) as f64;
+                let upper = bucket_upper(index).min(u64::MAX / 2) as f64;
+                let into = (rank - cumulative) as f64 / in_bucket as f64;
+                return lower + (upper - lower) * into;
+            }
+            cumulative += in_bucket;
+        }
+        bucket_upper(BUCKETS - 1) as f64
+    }
+}
+
+/// What kind of metric a series is (drives the `# TYPE` line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    name: &'static str,
+    help: &'static str,
+    kind: Kind,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+const SHARDS: usize = 8;
+
+/// A sharded metrics registry.
+///
+/// Most code uses the process-wide [`global`] registry; tests construct
+/// their own to stay isolated.
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Series>>; SHARDS],
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let series: usize = self.shards.iter().map(|s| crate::lock(s).len()).sum();
+        f.debug_struct("Registry").field("series", &series).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide registry (what `GET /metrics` renders).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Registers (or retrieves) a counter series. Panics if the series
+    /// exists under a different kind — that is a programming error, not
+    /// a runtime condition.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        match self.series(name, help, labels, Kind::Counter, || {
+            Handle::Counter(Arc::new(Counter::default()))
+        }) {
+            Handle::Counter(counter) => counter,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        match self.series(name, help, labels, Kind::Gauge, || {
+            Handle::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Handle::Gauge(gauge) => gauge,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series (rendered as a
+    /// Prometheus `summary` with p50/p90/p99).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, labels, Kind::Histogram, || {
+            Handle::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Handle::Histogram(histogram) => histogram,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        debug_assert!(valid_metric_name(name), "invalid metric name: {name}");
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        sorted.sort();
+        let key = series_key(name, &sorted);
+        let shard = &self.shards[(crate::fnv1a(key.as_bytes()) as usize) % SHARDS];
+        let mut shard = crate::lock(shard);
+        let series = shard.entry(key).or_insert_with(|| Series {
+            name,
+            help,
+            kind,
+            labels: sorted,
+            handle: make(),
+        });
+        assert!(
+            series.kind == kind,
+            "metric {name} registered as {:?} and {kind:?}",
+            series.kind
+        );
+        series.handle.clone()
+    }
+
+    /// Renders Prometheus text exposition (format version 0.0.4): one
+    /// `# HELP`/`# TYPE` pair per family, samples sorted by name then
+    /// labels, histograms as summaries with p50/p90/p99.
+    pub fn render_prometheus(&self) -> String {
+        let mut families: Vec<(String, Vec<String>, Kind, &'static str)> = Vec::new();
+        let mut by_name: HashMap<&'static str, usize> = HashMap::new();
+        for shard in &self.shards {
+            let shard = crate::lock(shard);
+            let mut entries: Vec<&Series> = shard.values().collect();
+            entries.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+            for series in entries {
+                let index = *by_name.entry(series.name).or_insert_with(|| {
+                    families.push((series.name.to_owned(), Vec::new(), series.kind, series.help));
+                    families.len() - 1
+                });
+                render_samples(&mut families[index].1, series);
+            }
+        }
+        families.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, mut samples, kind, help) in families {
+            let kind = match kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "summary",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            samples.sort();
+            for sample in samples {
+                out.push_str(&sample);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Every sample the exposition would contain, as structured values
+    /// (what `/stats` merges into its JSON view).
+    pub fn snapshot(&self) -> Vec<Sample> {
+        parse_exposition(&self.render_prometheus()).expect("own exposition parses")
+    }
+
+    /// The current value of a counter series, zero if never registered.
+    /// (Read-only: does **not** create the series.)
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        sorted.sort();
+        let key = series_key(name, &sorted);
+        let shard = &self.shards[(crate::fnv1a(key.as_bytes()) as usize) % SHARDS];
+        let shard = crate::lock(shard);
+        match shard.get(&key).map(|series| &series.handle) {
+            Some(Handle::Counter(counter)) => counter.get(),
+            _ => 0,
+        }
+    }
+}
+
+fn series_key(name: &str, sorted_labels: &[(String, String)]) -> String {
+    let mut key = String::with_capacity(name.len() + sorted_labels.len() * 16);
+    key.push_str(name);
+    for (k, v) in sorted_labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+fn render_samples(out: &mut Vec<String>, series: &Series) {
+    let labels = |extra: &[(&str, &str)]| -> String {
+        let mut all: Vec<(String, String)> = series.labels.clone();
+        for (k, v) in extra {
+            all.push(((*k).to_owned(), (*v).to_owned()));
+        }
+        if all.is_empty() {
+            return String::new();
+        }
+        all.sort();
+        let mut rendered = String::from("{");
+        for (i, (k, v)) in all.iter().enumerate() {
+            if i > 0 {
+                rendered.push(',');
+            }
+            let _ = write!(rendered, "{k}=\"{}\"", escape_label(v));
+        }
+        rendered.push('}');
+        rendered
+    };
+    match &series.handle {
+        Handle::Counter(counter) => {
+            out.push(format!("{}{} {}", series.name, labels(&[]), counter.get()));
+        }
+        Handle::Gauge(gauge) => {
+            out.push(format!("{}{} {}", series.name, labels(&[]), gauge.get()));
+        }
+        Handle::Histogram(histogram) => {
+            for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push(format!(
+                    "{}{} {}",
+                    series.name,
+                    labels(&[("quantile", tag)]),
+                    format_value(histogram.quantile(q)),
+                ));
+            }
+            out.push(format!(
+                "{}_sum{} {}",
+                series.name,
+                labels(&[]),
+                histogram.sum()
+            ));
+            out.push(format!(
+                "{}_count{} {}",
+                series.name,
+                labels(&[]),
+                histogram.count()
+            ));
+        }
+    }
+}
+
+/// Renders a float without trailing noise (integers print as integers).
+fn format_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for summaries, includes the `_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Looks up a label value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition into samples. Comment and blank
+/// lines are skipped; any malformed sample line is an error. The
+/// round-trip property `parse(render(r)) == r`'s samples is tested in
+/// this crate and enforced again by the CI gate on a live `/metrics`
+/// scrape.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or("missing value")?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = &line[name_end..];
+    let rest = if let Some(inner) = rest.strip_prefix('{') {
+        let close = inner.rfind('}').ok_or("unterminated label set")?;
+        parse_labels(&inner[..close], &mut labels)?;
+        &inner[close + 1..]
+    } else {
+        rest
+    };
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err("missing value".to_owned());
+    }
+    let value: f64 = value_text
+        .split_ascii_whitespace()
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| format!("bad value {value_text:?}"))?;
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(text: &str, labels: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut chars = text.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(());
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim().to_owned();
+        if key.is_empty() {
+            return Err("empty label name".to_owned());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated value for label {key}")),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_maths_are_exact_at_boundaries() {
+        for value in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 1023, 1024, u64::MAX] {
+            let index = bucket_index(value);
+            let (lower, upper) = (bucket_lower(index), bucket_upper(index));
+            assert!(
+                lower <= value && (value < upper || upper == u64::MAX),
+                "value {value} maps to bucket {index} [{lower}, {upper})",
+            );
+        }
+        // Values below SUBS*2 are exact.
+        for value in 0..8u64 {
+            let index = bucket_index(value);
+            assert_eq!(bucket_lower(index), value);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_order_statistics() {
+        let histogram = Histogram::new();
+        for value in 1..=1000u64 {
+            histogram.observe(value);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = histogram.quantile(q);
+            let error = (got - exact).abs() / exact;
+            assert!(error <= 0.25, "q{q}: got {got}, exact {exact}");
+        }
+        assert_eq!(histogram.count(), 1000);
+        assert_eq!(histogram.sum(), 500_500);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0, "empty histogram");
+    }
+
+    #[test]
+    fn registry_returns_the_same_series_for_the_same_key() {
+        let registry = Registry::new();
+        let a = registry.counter("askit_test_total", "help", &[("model", "gpt4")]);
+        let b = registry.counter("askit_test_total", "help", &[("model", "gpt4")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "one series behind both handles");
+        let other = registry.counter("askit_test_total", "help", &[("model", "gpt35")]);
+        assert_eq!(other.get(), 0, "different labels, different series");
+        assert_eq!(
+            registry.counter_value("askit_test_total", &[("model", "gpt4")]),
+            3
+        );
+        assert_eq!(
+            registry.counter_value("askit_never_registered", &[]),
+            0,
+            "reads never create series"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflicts_panic() {
+        let registry = Registry::new();
+        let _counter = registry.counter("askit_conflict", "help", &[]);
+        let _gauge = registry.gauge("askit_conflict", "help", &[]);
+    }
+
+    #[test]
+    fn exposition_renders_and_parses_round_trip() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "askit_wire_requests_total",
+                "Wire requests",
+                &[("endpoint", "http://a")],
+            )
+            .add(7);
+        registry
+            .gauge("askit_sched_width", "Admission width", &[("model", "gpt4")])
+            .set(12);
+        let histogram =
+            registry.histogram("askit_request_latency_us", "Latency", &[("model", "gpt4")]);
+        for v in [100u64, 200, 300] {
+            histogram.observe(v);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE askit_wire_requests_total counter"));
+        assert!(text.contains("# TYPE askit_sched_width gauge"));
+        assert!(text.contains("# TYPE askit_request_latency_us summary"));
+        let samples = parse_exposition(&text).expect("own exposition parses");
+        let find = |name: &str, label: (&str, &str)| -> f64 {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label(label.0) == Some(label.1))
+                .unwrap_or_else(|| panic!("missing {name} {label:?} in:\n{text}"))
+                .value
+        };
+        assert_eq!(
+            find("askit_wire_requests_total", ("endpoint", "http://a")),
+            7.0
+        );
+        assert_eq!(find("askit_sched_width", ("model", "gpt4")), 12.0);
+        assert_eq!(
+            find("askit_request_latency_us_count", ("model", "gpt4")),
+            3.0
+        );
+        assert_eq!(
+            find("askit_request_latency_us_sum", ("model", "gpt4")),
+            600.0
+        );
+        let p50 = find("askit_request_latency_us", ("quantile", "0.5"));
+        assert!(
+            (150.0..=250.0).contains(&p50),
+            "p50 of 100/200/300 ≈ 200, got {p50}"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("ok 1\n").is_ok());
+        assert!(parse_exposition("no_value\n").is_err());
+        assert!(parse_exposition("bad{unquoted=x} 1\n").is_err());
+        assert!(parse_exposition("bad{k=\"v\"} notanumber\n").is_err());
+        assert!(parse_exposition("1leading_digit 5\n").is_err());
+        let escaped = parse_exposition("m{k=\"a\\\"b\\\\c\\nd\"} 1\n").expect("escapes parse");
+        assert_eq!(escaped[0].label("k"), Some("a\"b\\c\nd"));
+    }
+}

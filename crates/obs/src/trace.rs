@@ -1,0 +1,782 @@
+//! Request-scoped structured tracing with a Chrome-trace-event exporter.
+//!
+//! A [`TraceId`] is stamped once at admission (`run_direct`, or the serve
+//! front door when the caller supplied `X-Askit-Trace-Id`) and rides the
+//! request's *service advice* — never its identity — through every layer.
+//! Instrumented code opens [`SpanGuard`]s around phases (gate wait, cache
+//! probe, wire attempt, …) and fires [`EventBuilder`] instants at state
+//! transitions (breaker trips, AIMD width moves, hedge wins).
+//!
+//! Parentage is structural: each thread keeps a stack of open span ids,
+//! so a span's parent is simply whatever span was open on that thread
+//! when it began. Spans that hop threads (pool workers, hedge racers)
+//! start a fresh stack there — the trace id still ties them together,
+//! and Chrome's timeline groups them by thread track.
+//!
+//! Everything is **off until a sink is installed**: the disabled fast
+//! path is a single relaxed atomic load, so leaving instrumentation in
+//! production code is free. [`TraceSink::install`] turns collection on;
+//! sampling (`sample_one_in`) keeps high-throughput runs cheap by
+//! recording every Nth trace (trace ids are sequential from a random
+//! seed, so modulo sampling is exact).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::clock::{ObsClock, SystemClock};
+
+/// A request-scoped trace identity.
+///
+/// Stamped once at admission and carried as service advice: two requests
+/// that differ only in trace id are the *same request* to the cache, the
+/// coalescer, and the speculation ledger. Displayed as 16 lowercase hex
+/// digits (the wire form of `X-Askit-Trace-Id`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// Sequential id allocator, seeded once per process from wall-clock and
+/// process entropy so concurrent processes do not collide in merged
+/// trace files.
+static NEXT_TRACE: OnceLock<AtomicU64> = OnceLock::new();
+
+impl TraceId {
+    /// Allocates a fresh process-unique id. Ids are sequential from a
+    /// random per-process seed — uniqueness within the process is
+    /// guaranteed, and `id % n` sampling selects exactly one in `n`.
+    pub fn generate() -> TraceId {
+        let next = NEXT_TRACE.get_or_init(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0);
+            let seed = crate::fnv1a(&nanos.to_le_bytes()) ^ (u64::from(std::process::id()) << 32);
+            AtomicU64::new(seed)
+        });
+        let raw = next.fetch_add(1, Ordering::Relaxed);
+        TraceId(if raw == 0 { 1 } else { raw })
+    }
+
+    /// Wraps a raw id (tests; propagation from a parsed header).
+    pub fn from_raw(raw: u64) -> Option<TraceId> {
+        (raw != 0).then_some(TraceId(raw))
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Parses the 16-hex-digit wire form (as sent in
+    /// `X-Askit-Trace-Id`). Rejects empty, oversized, non-hex, and
+    /// all-zero inputs.
+    pub fn parse(text: &str) -> Option<TraceId> {
+        let text = text.trim();
+        if text.is_empty() || text.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(text, 16)
+            .ok()
+            .and_then(TraceId::from_raw)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One recorded trace event: a completed span or an instant.
+///
+/// Timestamps are microseconds since the sink's epoch (its moment of
+/// construction), which is exactly the `ts` Chrome trace events want.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A completed duration span.
+    Span {
+        /// Owning trace (`None` never occurs for spans — untraced spans
+        /// are simply not recorded — but the field keeps the two
+        /// variants symmetric for consumers).
+        trace: Option<TraceId>,
+        /// Span name (`wire_attempt`, `gate_wait`, …).
+        name: &'static str,
+        /// Sink-relative start, microseconds.
+        start_us: u64,
+        /// Duration, microseconds.
+        dur_us: u64,
+        /// Small per-process thread ordinal (Chrome `tid`).
+        tid: u64,
+        /// This span's id (process-unique, for parent links).
+        span_id: u64,
+        /// The span open on this thread when this one began; 0 = root.
+        parent_id: u64,
+        /// Key/value annotations (endpoint, retry ordinal, hit/miss…).
+        args: Vec<(&'static str, String)>,
+    },
+    /// An instant event (state transition).
+    Instant {
+        /// Owning trace; `None` marks a process-scope transition such as
+        /// a breaker trip or an AIMD width move.
+        trace: Option<TraceId>,
+        /// Event name (`breaker_open`, `hedge_win`, …).
+        name: &'static str,
+        /// Sink-relative timestamp, microseconds.
+        ts_us: u64,
+        /// Small per-process thread ordinal.
+        tid: u64,
+        /// Key/value annotations.
+        args: Vec<(&'static str, String)>,
+    },
+}
+
+impl TraceEvent {
+    /// The event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Span { name, .. } | TraceEvent::Instant { name, .. } => name,
+        }
+    }
+
+    /// The owning trace, if any.
+    pub fn trace(&self) -> Option<TraceId> {
+        match self {
+            TraceEvent::Span { trace, .. } | TraceEvent::Instant { trace, .. } => *trace,
+        }
+    }
+
+    /// Looks up an annotation by key.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        let args = match self {
+            TraceEvent::Span { args, .. } | TraceEvent::Instant { args, .. } => args,
+        };
+        args.iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Collects trace events and renders them as Chrome trace JSON.
+///
+/// Install one globally with [`TraceSink::install`]; until then every
+/// span/event call is a no-op costing one atomic load. The sink buffers
+/// in memory — traces here are bounded CI runs and operator debugging
+/// sessions, not an unbounded firehose (sampling caps the rate for the
+/// latter).
+pub struct TraceSink {
+    clock: Arc<dyn ObsClock>,
+    epoch: Instant,
+    sample_one_in: u64,
+    events: Mutex<Vec<TraceEvent>>,
+    next_span: AtomicU64,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("sample_one_in", &self.sample_one_in)
+            .field("events", &crate::lock(&self.events).len())
+            .finish()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink on the system clock recording every trace.
+    pub fn new() -> TraceSink {
+        TraceSink::with_clock(Arc::new(SystemClock))
+    }
+
+    /// A sink on an injected clock (deterministic tests).
+    pub fn with_clock(clock: Arc<dyn ObsClock>) -> TraceSink {
+        let epoch = clock.now();
+        TraceSink {
+            clock,
+            epoch,
+            sample_one_in: 1,
+            events: Mutex::new(Vec::new()),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// Records only traces whose id is divisible by `n` (exactly one in
+    /// `n`, since ids are sequential). Process-scope instants are always
+    /// recorded. `n == 0` is treated as 1.
+    pub fn with_sample_one_in(mut self, n: u64) -> TraceSink {
+        self.sample_one_in = n.max(1);
+        self
+    }
+
+    /// Whether this sink records events for `trace`.
+    pub fn samples(&self, trace: TraceId) -> bool {
+        trace.0.is_multiple_of(self.sample_one_in)
+    }
+
+    /// Installs the sink as the process-global collector, replacing any
+    /// previous one. Returns the installed handle for later inspection.
+    pub fn install(self) -> Arc<TraceSink> {
+        let sink = Arc::new(self);
+        *global_slot().write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&sink));
+        SAMPLE_REJECT_MASK.store(sample_reject_mask(sink.sample_one_in), Ordering::Release);
+        ENABLED.store(true, Ordering::Release);
+        sink
+    }
+
+    /// Microseconds since the sink's epoch, by its own clock.
+    fn now_us(&self) -> u64 {
+        self.clock
+            .now()
+            .saturating_duration_since(self.epoch)
+            .as_micros() as u64
+    }
+
+    fn push(&self, event: TraceEvent) {
+        crate::lock(&self.events).push(event);
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        crate::lock(&self.events).clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        crate::lock(&self.events).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the buffer as Chrome trace JSON (the
+    /// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+    /// `chrome://tracing`. Spans become `ph: "X"` complete events;
+    /// instants become `ph: "i"`.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 128 + 64);
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_event(&mut out, event);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+fn render_event(out: &mut String, event: &TraceEvent) {
+    use std::fmt::Write as _;
+    match event {
+        TraceEvent::Span {
+            trace,
+            name,
+            start_us,
+            dur_us,
+            tid,
+            span_id,
+            parent_id,
+            args,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"askit\", \"ph\": \"X\", \
+                 \"ts\": {start_us}, \"dur\": {dur_us}, \"pid\": 1, \"tid\": {tid}, \"args\": {{",
+                escape_json(name)
+            );
+            let _ = write!(out, "\"span\": \"{span_id}\", \"parent\": \"{parent_id}\"");
+            if let Some(trace) = trace {
+                let _ = write!(out, ", \"trace\": \"{trace}\"");
+            }
+            for (key, value) in args {
+                let _ = write!(
+                    out,
+                    ", \"{}\": \"{}\"",
+                    escape_json(key),
+                    escape_json(value)
+                );
+            }
+            out.push_str("}}");
+        }
+        TraceEvent::Instant {
+            trace,
+            name,
+            ts_us,
+            tid,
+            args,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"askit\", \"ph\": \"i\", \"s\": \"p\", \
+                 \"ts\": {ts_us}, \"pid\": 1, \"tid\": {tid}, \"args\": {{",
+                escape_json(name)
+            );
+            let mut first = true;
+            if let Some(trace) = trace {
+                let _ = write!(out, "\"trace\": \"{trace}\"");
+                first = false;
+            }
+            for (key, value) in args {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "\"{}\": \"{}\"", escape_json(key), escape_json(value));
+            }
+            out.push_str("}}");
+        }
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fast-path switch: false ⇒ span()/event() return disabled guards after
+/// one relaxed load, touching no locks.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Fast-reject mask derived from the installed sink's `sample_one_in`:
+/// the largest `2^k - 1` such that `2^k` divides it. `id % n == 0`
+/// requires `id & mask == 0`, so a nonzero AND rejects a sampled-out
+/// trace with two atomic loads — no division, no slot lock. Traces that
+/// pass still go through [`TraceSink::samples`] for the exact check
+/// (the mask is the whole story only when `n` is a power of two).
+static SAMPLE_REJECT_MASK: AtomicU64 = AtomicU64::new(0);
+
+fn sample_reject_mask(sample_one_in: u64) -> u64 {
+    (1u64 << sample_one_in.max(1).trailing_zeros()) - 1
+}
+
+fn global_slot() -> &'static RwLock<Option<Arc<TraceSink>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<TraceSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// The installed sink, if any.
+pub fn installed() -> Option<Arc<TraceSink>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    global_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Removes the global sink; collection stops immediately. (Primarily for
+/// tests — production sinks live for the process.)
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    SAMPLE_REJECT_MASK.store(0, Ordering::Release);
+    *global_slot().write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Small stable per-thread ordinal for Chrome `tid` fields.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|tid| *tid)
+}
+
+thread_local! {
+    /// Open span ids on this thread, innermost last. RAII guards keep it
+    /// strictly LIFO.
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+
+    /// A trace id handed down from an outer layer (e.g. the serve front
+    /// door propagating an inbound `X-Askit-Trace-Id`) for admission
+    /// points on this thread to adopt instead of generating fresh.
+    static PROPAGATED: std::cell::Cell<Option<TraceId>> = const { std::cell::Cell::new(None) };
+}
+
+/// Installs `id` as the thread's propagated trace id for the guard's
+/// lifetime (the previous value is restored on drop). An admission point
+/// that stamps trace ids (`run_direct` is the one in this workspace)
+/// adopts [`propagated()`] when present, so a front end can thread an
+/// inbound id through code it does not own.
+pub fn propagate(id: Option<TraceId>) -> PropagationGuard {
+    let previous = PROPAGATED.with(|cell| cell.replace(id));
+    PropagationGuard { previous }
+}
+
+/// The thread's propagated trace id, if an enclosing [`propagate`] guard
+/// installed one.
+pub fn propagated() -> Option<TraceId> {
+    PROPAGATED.with(std::cell::Cell::get)
+}
+
+/// Restores the previously propagated trace id on drop. See [`propagate`].
+#[must_use = "dropping the guard immediately un-propagates the id"]
+pub struct PropagationGuard {
+    previous: Option<TraceId>,
+}
+
+impl Drop for PropagationGuard {
+    fn drop(&mut self) {
+        PROPAGATED.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Opens a span. Disabled (a free no-op) unless a sink is installed,
+/// `trace` is `Some`, and the sink samples that trace. The span records
+/// itself when the guard drops; annotate it with [`SpanGuard::arg`] /
+/// [`SpanGuard::set_arg`].
+pub fn span(trace: Option<TraceId>, name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { active: None };
+    }
+    let Some(trace) = trace else {
+        return SpanGuard { active: None };
+    };
+    if trace.0 & SAMPLE_REJECT_MASK.load(Ordering::Relaxed) != 0 {
+        return SpanGuard { active: None };
+    }
+    let Some(sink) = installed() else {
+        return SpanGuard { active: None };
+    };
+    if !sink.samples(trace) {
+        return SpanGuard { active: None };
+    }
+    let span_id = sink.next_span.fetch_add(1, Ordering::Relaxed);
+    let parent_id = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(span_id);
+        parent
+    });
+    let start_us = sink.now_us();
+    SpanGuard {
+        active: Some(Box::new(ActiveSpan {
+            sink,
+            trace,
+            name,
+            start_us,
+            span_id,
+            parent_id,
+            args: Vec::new(),
+        })),
+    }
+}
+
+struct ActiveSpan {
+    sink: Arc<TraceSink>,
+    trace: TraceId,
+    name: &'static str,
+    start_us: u64,
+    span_id: u64,
+    parent_id: u64,
+    args: Vec<(&'static str, String)>,
+}
+
+/// RAII span handle: the span covers the guard's lifetime and records on
+/// drop. A disabled guard (tracing off / unsampled) is a no-op whose
+/// annotation methods discard their input.
+#[must_use = "a span covers the guard's lifetime; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    active: Option<Box<ActiveSpan>>,
+}
+
+impl SpanGuard {
+    /// Builder-style annotation: `span(...).arg("endpoint", base)`.
+    pub fn arg(mut self, key: &'static str, value: impl fmt::Display) -> SpanGuard {
+        self.set_arg(key, value);
+        self
+    }
+
+    /// Annotates after creation (e.g. recording hit/miss once known).
+    pub fn set_arg(&mut self, key: &'static str, value: impl fmt::Display) {
+        if let Some(active) = self.active.as_mut() {
+            active.args.push((key, value.to_string()));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last() == Some(&active.span_id) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (moved guard): excise rather than
+                // corrupt the stack for sibling spans.
+                stack.retain(|id| *id != active.span_id);
+            }
+        });
+        let end_us = active.sink.now_us();
+        let event = TraceEvent::Span {
+            trace: Some(active.trace),
+            name: active.name,
+            start_us: active.start_us,
+            dur_us: end_us.saturating_sub(active.start_us),
+            tid: current_tid(),
+            span_id: active.span_id,
+            parent_id: active.parent_id,
+            args: active.args,
+        };
+        active.sink.push(event);
+    }
+}
+
+/// Builds an instant event; records on drop. Disabled when no sink is
+/// installed, or when `trace` is `Some` but unsampled. `trace: None`
+/// events are process-scope and always recorded while a sink is up.
+pub fn event(trace: Option<TraceId>, name: &'static str) -> EventBuilder {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return EventBuilder { active: None };
+    }
+    if let Some(trace) = trace {
+        if trace.0 & SAMPLE_REJECT_MASK.load(Ordering::Relaxed) != 0 {
+            return EventBuilder { active: None };
+        }
+    }
+    let Some(sink) = installed() else {
+        return EventBuilder { active: None };
+    };
+    if let Some(trace) = trace {
+        if !sink.samples(trace) {
+            return EventBuilder { active: None };
+        }
+    }
+    EventBuilder {
+        active: Some(Box::new(ActiveEvent {
+            sink,
+            trace,
+            name,
+            args: Vec::new(),
+        })),
+    }
+}
+
+struct ActiveEvent {
+    sink: Arc<TraceSink>,
+    trace: Option<TraceId>,
+    name: &'static str,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Pending instant event; annotate with [`EventBuilder::arg`] and let it
+/// drop to record.
+pub struct EventBuilder {
+    active: Option<Box<ActiveEvent>>,
+}
+
+impl EventBuilder {
+    /// Builder-style annotation.
+    pub fn arg(mut self, key: &'static str, value: impl fmt::Display) -> EventBuilder {
+        if let Some(active) = self.active.as_mut() {
+            active.args.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let event = TraceEvent::Instant {
+            trace: active.trace,
+            name: active.name,
+            ts_us: active.sink.now_us(),
+            tid: current_tid(),
+            args: active.args,
+        };
+        active.sink.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::time::Duration;
+
+    /// Global-sink tests share process state; serialize them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_wire_form() {
+        let id = TraceId::generate();
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        assert_eq!(
+            TraceId::parse("00000000deadbeef"),
+            TraceId::from_raw(0xdead_beef)
+        );
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("0000000000000000"), None, "zero is reserved");
+        assert_eq!(TraceId::parse("not-hex"), None);
+        assert_eq!(TraceId::parse("11112222333344445"), None, "over 16 digits");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_sequential() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spans_nest_by_scope_and_time_deterministically() {
+        let _guard = test_lock();
+        let clock = Arc::new(ManualClock::new());
+        let sink = TraceSink::with_clock(Arc::<ManualClock>::clone(&clock)).install();
+        let trace = TraceId::generate();
+        {
+            let _outer = span(Some(trace), "outer").arg("model", "gpt4");
+            clock.advance(Duration::from_micros(100));
+            {
+                let mut inner = span(Some(trace), "inner");
+                inner.set_arg("hit", true);
+                clock.advance(Duration::from_micros(40));
+            }
+            clock.advance(Duration::from_micros(10));
+        }
+        event(None, "breaker_open").arg("endpoint", "http://primary");
+        uninstall();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        // Inner drops first.
+        let TraceEvent::Span {
+            name: inner_name,
+            start_us,
+            dur_us,
+            parent_id,
+            ..
+        } = &events[0]
+        else {
+            panic!("expected span, got {:?}", events[0]);
+        };
+        assert_eq!(*inner_name, "inner");
+        assert_eq!((*start_us, *dur_us), (100, 40));
+        let TraceEvent::Span {
+            name: outer_name,
+            dur_us: outer_dur,
+            span_id: outer_id,
+            parent_id: outer_parent,
+            ..
+        } = &events[1]
+        else {
+            panic!("expected span, got {:?}", events[1]);
+        };
+        assert_eq!(*outer_name, "outer");
+        assert_eq!(*outer_dur, 150);
+        assert_eq!(*outer_parent, 0, "outer is a root span");
+        assert_eq!(parent_id, outer_id, "inner's parent is outer");
+        assert_eq!(events[0].arg("hit"), Some("true"));
+        assert_eq!(events[1].arg("model"), Some("gpt4"));
+        assert_eq!(events[2].name(), "breaker_open");
+        assert_eq!(events[2].trace(), None, "process-scope instant");
+    }
+
+    #[test]
+    fn disabled_paths_record_nothing() {
+        let _guard = test_lock();
+        uninstall();
+        let trace = TraceId::generate();
+        {
+            let span = span(Some(trace), "ghost");
+            assert!(!span.is_recording());
+        }
+        event(Some(trace), "ghost_event").arg("k", "v");
+        // Sink installed but the request is untraced:
+        let sink = TraceSink::new().install();
+        {
+            let span = span(None, "untraced");
+            assert!(!span.is_recording());
+        }
+        uninstall();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn sampling_records_exactly_divisible_traces() {
+        let _guard = test_lock();
+        let sink = TraceSink::new().with_sample_one_in(4);
+        let sampled = TraceId::from_raw(8).unwrap();
+        let skipped = TraceId::from_raw(9).unwrap();
+        assert!(sink.samples(sampled));
+        assert!(!sink.samples(skipped));
+        let sink = sink.install();
+        drop(span(Some(sampled), "kept"));
+        drop(span(Some(skipped), "dropped"));
+        uninstall();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name(), "kept");
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let _guard = test_lock();
+        let clock = Arc::new(ManualClock::new());
+        let sink = TraceSink::with_clock(Arc::<ManualClock>::clone(&clock)).install();
+        let trace = TraceId::from_raw(0xabc).unwrap();
+        {
+            let _span = span(Some(trace), "wire_attempt")
+                .arg("endpoint", "http://127.0.0.1:1")
+                .arg("quote", "say \"hi\"\n");
+            clock.advance(Duration::from_micros(7));
+        }
+        event(Some(trace), "hedge_win").arg("endpoint", "http://127.0.0.1:2");
+        uninstall();
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 7"));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"trace\": \"0000000000000abc\""));
+        assert!(
+            json.contains("say \\\"hi\\\"\\n"),
+            "strings are escaped: {json}"
+        );
+        // No raw control characters survive.
+        assert!(!json.bytes().any(|b| b < 0x20));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the metrics layer.
+//!
+//! * **Histogram quantiles vs. exact order statistics**: for arbitrary
+//!   observation sets, every reported quantile must land in the same
+//!   log-linear bucket as the exact sort-based quantile — i.e. within
+//!   one bucket width (≤25% relative error, exact below 8).
+//! * **Exposition round-trip**: arbitrary counter/gauge/histogram
+//!   registrations render to Prometheus text that parses back to the
+//!   same sample values, including hostile label values (quotes,
+//!   backslashes, newlines).
+
+use askit_obs::metrics::{parse_exposition, Registry};
+use askit_obs::Histogram;
+use proptest::prelude::*;
+
+/// The exact `q`-quantile under the histogram's rank convention:
+/// rank `ceil(q · n)` (1-based) of the sorted observations.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_exact_sort_within_bucket_error(
+        values in prop::collection::vec(0u64..2_000_000, 1..400),
+        q_millis in 1u64..1000,
+    ) {
+        let histogram = Histogram::new();
+        for &v in &values {
+            histogram.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = q_millis as f64 / 1000.0;
+        let exact = exact_quantile(&sorted, q);
+        let got = histogram.quantile(q);
+        // The reported value lies inside (or touches) the bucket holding
+        // the exact value: ≤25% relative error, +1 absolute for the
+        // small exact buckets.
+        let tolerance = exact as f64 * 0.25 + 1.0;
+        prop_assert!(
+            (got - exact as f64).abs() <= tolerance,
+            "q={q}: histogram {got}, exact {exact} (n={})",
+            sorted.len()
+        );
+        prop_assert_eq!(histogram.count(), values.len() as u64);
+        prop_assert_eq!(histogram.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn exposition_round_trips_arbitrary_series(
+        count_value in 0u64..1_000_000,
+        gauge_value in -500_000i64..500_000,
+        observations in prop::collection::vec(0u64..100_000, 0..50),
+        label in prop::collection::vec(0u8..255, 0..12),
+    ) {
+        // Hostile label value: arbitrary bytes coerced to a string
+        // (lossy), covering quotes, backslashes, and newlines.
+        let label = String::from_utf8_lossy(&label).into_owned();
+        let registry = Registry::new();
+        registry
+            .counter("askit_prop_total", "prop counter", &[("tag", &label)])
+            .add(count_value);
+        registry
+            .gauge("askit_prop_gauge", "prop gauge", &[("tag", &label)])
+            .set(gauge_value);
+        let histogram = registry.histogram("askit_prop_us", "prop histogram", &[("tag", &label)]);
+        for &v in &observations {
+            histogram.observe(v);
+        }
+
+        let text = registry.render_prometheus();
+        let parsed = parse_exposition(&text);
+        prop_assert!(parsed.is_ok(), "render did not parse: {:?}\n{text}", parsed.err());
+        let samples = parsed.unwrap();
+        let find = |name: &str| -> Option<f64> {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label("tag") == Some(label.as_str()))
+                .map(|s| s.value)
+        };
+        prop_assert_eq!(find("askit_prop_total"), Some(count_value as f64));
+        prop_assert_eq!(find("askit_prop_gauge"), Some(gauge_value as f64));
+        prop_assert_eq!(find("askit_prop_us_count"), Some(observations.len() as f64));
+        prop_assert_eq!(
+            find("askit_prop_us_sum"),
+            Some(observations.iter().sum::<u64>() as f64)
+        );
+    }
+}

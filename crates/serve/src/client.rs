@@ -29,6 +29,9 @@ pub struct ClientResponse {
     /// The `Retry-After` header, when the server sent one (budget
     /// rejections do).
     pub retry_after: Option<Duration>,
+    /// The echoed `X-Askit-Trace-Id` header (the server stamps one on
+    /// every response it routes).
+    pub trace_id: Option<String>,
 }
 
 impl ClientResponse {
@@ -44,12 +47,24 @@ impl ClientResponse {
 pub struct ServeClient {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    trace: Option<String>,
 }
 
 impl ServeClient {
     /// A client for the server at `addr` (connects lazily).
     pub fn new(addr: SocketAddr) -> Self {
-        ServeClient { addr, stream: None }
+        ServeClient {
+            addr,
+            stream: None,
+            trace: None,
+        }
+    }
+
+    /// Sets an `X-Askit-Trace-Id` header sent on every subsequent request
+    /// (`None` clears it). The server adopts a valid inbound id instead of
+    /// generating one, so a caller can follow its own id end to end.
+    pub fn set_trace(&mut self, trace: Option<String>) {
+        self.trace = trace;
     }
 
     /// `GET path` → status + JSON body.
@@ -58,8 +73,21 @@ impl ServeClient {
     ///
     /// Transport failures, or a body that is not JSON.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        let (status, retry_after, body) = self.roundtrip("GET", path, None, false)?;
-        parse_response(status, retry_after, &body)
+        let (head, body) = self.roundtrip("GET", path, None, false)?;
+        parse_response(&head, &body)
+    }
+
+    /// `GET path` → status + the raw body as text (for non-JSON routes:
+    /// the Prometheus exposition at `/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a body that is not UTF-8.
+    pub fn get_text(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let (head, body) = self.roundtrip("GET", path, None, false)?;
+        let text = String::from_utf8(body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((head.status, text))
     }
 
     /// `POST path` with a JSON body → status + JSON body.
@@ -68,8 +96,8 @@ impl ServeClient {
     ///
     /// Transport failures, or a response body that is not JSON.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        let (status, retry_after, reply) = self.roundtrip("POST", path, Some(body), false)?;
-        parse_response(status, retry_after, &reply)
+        let (head, reply) = self.roundtrip("POST", path, Some(body), false)?;
+        parse_response(&head, &reply)
     }
 
     /// `POST path` asking for SSE → status + the decoded event stream
@@ -80,10 +108,10 @@ impl ServeClient {
     /// Transport failures, or an SSE payload that is not JSON where one is
     /// expected.
     pub fn post_sse(&mut self, path: &str, body: &str) -> std::io::Result<(u16, Vec<SseEvent>)> {
-        let (status, _retry_after, reply) = self.roundtrip("POST", path, Some(body), true)?;
+        let (head, reply) = self.roundtrip("POST", path, Some(body), true)?;
         let mut parser = SseParser::new();
         let events = parser.feed(&reply);
-        Ok((status, events))
+        Ok((head.status, events))
     }
 
     /// One request/response over the held connection, reconnecting once if
@@ -94,7 +122,7 @@ impl ServeClient {
         path: &str,
         body: Option<&str>,
         sse: bool,
-    ) -> std::io::Result<(u16, Option<Duration>, Vec<u8>)> {
+    ) -> std::io::Result<(ResponseHead, Vec<u8>)> {
         let reused = self.stream.is_some();
         match self.try_roundtrip(method, path, body, sse) {
             Ok(done) => Ok(done),
@@ -115,7 +143,7 @@ impl ServeClient {
         path: &str,
         body: Option<&str>,
         sse: bool,
-    ) -> std::io::Result<(u16, Option<Duration>, Vec<u8>)> {
+    ) -> std::io::Result<(ResponseHead, Vec<u8>)> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             // Requests are written head-then-body; without nodelay the
@@ -132,6 +160,9 @@ impl ServeClient {
         } else {
             head.push_str("Accept: application/json\r\n");
         }
+        if let Some(trace) = &self.trace {
+            head.push_str(&format!("X-Askit-Trace-Id: {trace}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("Content-Type: application/json\r\n");
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));
@@ -142,7 +173,7 @@ impl ServeClient {
                 if close {
                     self.stream = None;
                 }
-                Ok((response_head.status, response_head.retry_after(), payload))
+                Ok((response_head, payload))
             }
             Err(e) => {
                 self.stream = None;
@@ -180,19 +211,16 @@ fn exchange(
     Ok((response_head, payload, close))
 }
 
-fn parse_response(
-    status: u16,
-    retry_after: Option<Duration>,
-    body: &[u8],
-) -> std::io::Result<ClientResponse> {
+fn parse_response(head: &ResponseHead, body: &[u8]) -> std::io::Result<ClientResponse> {
     let text = std::str::from_utf8(body)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let body = Json::parse(text)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     Ok(ClientResponse {
-        status,
+        status: head.status,
         body,
-        retry_after,
+        retry_after: head.retry_after(),
+        trace_id: head.header("x-askit-trace-id").map(str::to_owned),
     })
 }
 

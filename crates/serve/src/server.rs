@@ -30,8 +30,10 @@ use askit_json::{Json, Map};
 use askit_llm::LanguageModel;
 use askit_llm_http::sse::{encode_data, SseEvent};
 use askit_llm_http::wire::{
-    write_chunk, write_json_response, write_last_chunk, write_sse_response_head,
+    write_chunk, write_json_response, write_last_chunk, write_response_head,
+    write_sse_response_head,
 };
+use askit_obs::TraceId;
 
 use crate::coalesce::{Admission, CallError, FlightResult, FlightTable, PublishGuard};
 use crate::http::{poll_quantum, read_request, ReadOutcome, Request};
@@ -135,9 +137,16 @@ impl<L: LanguageModel + 'static> EngineStatus for Askit<L> {
         for (model, width) in engine.scheduler().widths() {
             widths.insert(model.tag(), Json::Int(int(width as u64)));
         }
+        let breakers: Vec<Json> = engine
+            .scheduler()
+            .breaker_states()
+            .iter()
+            .map(|state| Json::Str(state.tag().to_owned()))
+            .collect();
         let mut scheduler = Map::new();
         scheduler.insert("adaptive", Json::Bool(engine.scheduler().adaptive()));
         scheduler.insert("widths", Json::Object(widths));
+        scheduler.insert("endpoint_breakers", Json::Array(breakers));
         scheduler.insert("description", Json::Str(engine.describe_widths()));
         let mut object = Map::new();
         object.insert("model", Json::Str(engine.model().model_name().to_owned()));
@@ -315,14 +324,18 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             // accept thread (cheap — no routing, no body read) so a spike
             // cannot pile up threads.
             state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            // No request was read, so there is no inbound id to honor;
+            // generate one so even rejections are quotable.
+            let trace = TraceId::generate();
             let headers = [
                 ("Retry-After", state.config.retry_after_secs.to_string()),
                 ("Connection", "close".to_owned()),
+                ("X-Askit-Trace-Id", trace.to_string()),
             ];
             let _ = write_json_response(
                 &mut conn,
                 503,
-                &error_body("connection budget exhausted, retry shortly"),
+                &error_body_traced("connection budget exhausted, retry shortly", trace),
                 &headers,
             );
             continue;
@@ -364,16 +377,23 @@ fn serve_connection(mut conn: TcpStream, state: &Arc<ServerState>) {
             ReadOutcome::Request(request) => request,
             ReadOutcome::Closed => return,
             ReadOutcome::TooLarge => {
+                let trace = TraceId::generate();
                 let _ = write_json_response(
                     &mut conn,
                     413,
-                    &error_body("request body exceeds the configured limit"),
-                    &close_header(),
+                    &error_body_traced("request body exceeds the configured limit", trace),
+                    &close_headers(trace),
                 );
                 return;
             }
             ReadOutcome::Malformed(reason) => {
-                let _ = write_json_response(&mut conn, 400, &error_body(reason), &close_header());
+                let trace = TraceId::generate();
+                let _ = write_json_response(
+                    &mut conn,
+                    400,
+                    &error_body_traced(reason, trace),
+                    &close_headers(trace),
+                );
                 return;
             }
         };
@@ -385,37 +405,82 @@ fn serve_connection(mut conn: TcpStream, state: &Arc<ServerState>) {
     }
 }
 
-fn close_header() -> [(&'static str, String); 1] {
-    [("Connection", "close".to_owned())]
+fn close_headers(trace: TraceId) -> [(&'static str, String); 2] {
+    [
+        ("Connection", "close".to_owned()),
+        ("X-Askit-Trace-Id", trace.to_string()),
+    ]
 }
 
 /// Routes one request; returns whether the connection may serve another.
+/// Every route runs under a request-scoped trace id — inbound
+/// `X-Askit-Trace-Id` when the client sent a valid one (so one id follows
+/// a request across service hops), freshly generated otherwise — and every
+/// response echoes it back in the same header.
 fn dispatch(conn: &mut TcpStream, state: &Arc<ServerState>, request: &Request) -> bool {
+    let trace = request
+        .header("x-askit-trace-id")
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::generate);
     let route = request.route();
+    let mut span = askit_obs::span(Some(trace), "serve_request");
+    span.set_arg("method", &request.method);
+    span.set_arg("route", route);
     match (request.method.as_str(), route) {
-        ("GET", "/healthz") => respond(conn, 200, &health_json(state)),
+        ("GET", "/healthz") => respond(conn, 200, &health_json(state), trace),
         ("GET", "/readyz") => {
             let (status, body) = readiness_json(state);
-            respond(conn, status, &body)
+            respond(conn, status, &body, trace)
         }
-        ("GET", "/stats") => respond(conn, 200, &stats_json(state)),
-        ("GET", "/functions") => respond(conn, 200, &functions_json(state)),
+        ("GET", "/stats") => respond(conn, 200, &stats_json(state), trace),
+        ("GET", "/metrics") => respond_metrics(conn, trace),
+        ("GET", "/functions") => respond(conn, 200, &functions_json(state), trace),
         ("POST", _) if route.starts_with("/call/") => {
             let name = &route["/call/".len()..];
-            handle_call(conn, state, request, name)
+            handle_call(conn, state, request, name, trace)
         }
-        (_, "/healthz" | "/readyz" | "/stats" | "/functions") => {
-            respond(conn, 405, &error_body("method not allowed"))
-        }
-        (_, _) if route.starts_with("/call/") => {
-            respond(conn, 405, &error_body("use POST to call a function"))
-        }
-        _ => respond(conn, 404, &error_body("no such route")),
+        (_, "/healthz" | "/readyz" | "/stats" | "/metrics" | "/functions") => respond(
+            conn,
+            405,
+            &error_body_traced("method not allowed", trace),
+            trace,
+        ),
+        (_, _) if route.starts_with("/call/") => respond(
+            conn,
+            405,
+            &error_body_traced("use POST to call a function", trace),
+            trace,
+        ),
+        _ => respond(conn, 404, &error_body_traced("no such route", trace), trace),
     }
 }
 
-fn respond(conn: &mut TcpStream, status: u16, body: &str) -> bool {
-    write_json_response(conn, status, body, &[]).is_ok()
+fn trace_header(trace: TraceId) -> [(&'static str, String); 1] {
+    [("X-Askit-Trace-Id", trace.to_string())]
+}
+
+fn respond(conn: &mut TcpStream, status: u16, body: &str, trace: TraceId) -> bool {
+    write_json_response(conn, status, body, &trace_header(trace)).is_ok()
+}
+
+/// `GET /metrics`: the process-wide registry rendered as Prometheus text
+/// exposition (format version 0.0.4), the one route on this server that
+/// does not answer JSON.
+fn respond_metrics(conn: &mut TcpStream, trace: TraceId) -> bool {
+    use std::io::Write as _;
+    let body = askit_obs::metrics::global().render_prometheus();
+    let headers = [
+        ("X-Askit-Trace-Id", trace.to_string()),
+        (
+            "Content-Type",
+            "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+        ),
+        ("Content-Length", body.len().to_string()),
+    ];
+    let written = write_response_head(conn, 200, &headers)
+        .and_then(|()| conn.write_all(body.as_bytes()))
+        .and_then(|()| conn.flush());
+    written.is_ok()
 }
 
 /// Liveness: `200` as long as the process is serving, even mid-drain (a
@@ -514,9 +579,27 @@ fn stats_json(state: &ServerState) -> String {
         "in_flight",
         Json::Int(int(state.flights.in_flight() as u64)),
     );
+    // The HTTP client's resilience counters live in the global metrics
+    // registry (the server is generic over the backend, so it cannot reach
+    // `HttpStats` directly); read-only lookups never create series, so a
+    // non-HTTP backend simply reports zeros.
+    let registry = askit_obs::metrics::global();
+    let mut http = Map::new();
+    for (key, series) in [
+        ("retries", "askit_http_retries_total"),
+        ("throttles", "askit_http_throttles_total"),
+        ("failovers", "askit_http_failovers_total"),
+        ("hedges", "askit_http_hedges_total"),
+        ("hedge_wins", "askit_http_hedge_wins_total"),
+        ("breaker_trips", "askit_http_breaker_trips_total"),
+        ("deadline_sheds", "askit_http_deadline_sheds_total"),
+    ] {
+        http.insert(key, Json::Int(int(registry.counter_value(series, &[]))));
+    }
     let mut object = Map::new();
     object.insert("server", Json::Object(server));
     object.insert("coalescing", Json::Object(coalescing));
+    object.insert("http", Json::Object(http));
     object.insert("engine", state.status.status_json());
     Json::Object(object).to_compact_string()
 }
@@ -540,17 +623,21 @@ fn handle_call(
     state: &Arc<ServerState>,
     request: &Request,
     name: &str,
+    trace: TraceId,
 ) -> bool {
     let Some(function) = state.registry.get(name) else {
         return respond(
             conn,
             404,
-            &error_body(&format!("no function named {name:?}")),
+            &error_body_traced(&format!("no function named {name:?}"), trace),
+            trace,
         );
     };
     let parsed = match parse_call_body(&request.body, function.as_ref()) {
         Ok(parsed) => parsed,
-        Err((status, message)) => return respond(conn, status, &error_body(&message)),
+        Err((status, message)) => {
+            return respond(conn, status, &error_body_traced(&message, trace), trace)
+        }
     };
     let (args, options) = parsed;
 
@@ -567,6 +654,10 @@ fn handle_call(
             let guard = PublishGuard::new(Arc::clone(&state.flights), Arc::clone(&flight), key);
             let job_function: Arc<dyn ServableFunction> = Arc::clone(&function);
             state.pool.submit(Box::new(move || {
+                // Hand the request's trace id to the engine: `run_direct`
+                // adopts a propagated id instead of generating its own, so
+                // the wire-attempt spans land under this request's trace.
+                let _propagated = askit_obs::trace::propagate(Some(trace));
                 let result = job_function
                     .call_with(args, &options)
                     .map(Arc::new)
@@ -583,11 +674,21 @@ fn handle_call(
 
     if request.accepts_sse() {
         state.counters.sse_streams.fetch_add(1, Ordering::Relaxed);
-        stream_call(conn, state, name, &flight)
+        stream_call(conn, state, name, &flight, trace)
     } else {
         match flight.wait() {
-            Ok(outcome) => respond(conn, 200, &outcome_json(name, &outcome).to_compact_string()),
-            Err(error) => respond(conn, error.status, &error_body(&error.message)),
+            Ok(outcome) => respond(
+                conn,
+                200,
+                &outcome_json(name, &outcome).to_compact_string(),
+                trace,
+            ),
+            Err(error) => respond(
+                conn,
+                error.status,
+                &error_body_traced(&error.message, trace),
+                trace,
+            ),
         }
     }
 }
@@ -601,13 +702,15 @@ fn stream_call(
     state: &Arc<ServerState>,
     name: &str,
     flight: &crate::coalesce::Flight,
+    trace: TraceId,
 ) -> bool {
-    if write_sse_response_head(conn, &[]).is_err() {
+    if write_sse_response_head(conn, &trace_header(trace)).is_err() {
         return false;
     }
     let mut accepted = Map::new();
     accepted.insert("event", Json::Str("accepted".to_owned()));
     accepted.insert("function", Json::Str(name.to_owned()));
+    accepted.insert("trace_id", Json::Str(trace.to_string()));
     if emit(conn, &Json::Object(accepted)).is_err() {
         return false;
     }
@@ -645,6 +748,7 @@ fn stream_call(
             event.insert("event", Json::Str("error".to_owned()));
             event.insert("status", Json::Int(i64::from(error.status)));
             event.insert("error", Json::Str(error.message));
+            event.insert("trace_id", Json::Str(trace.to_string()));
             Json::Object(event)
         }
     };
@@ -819,9 +923,12 @@ fn outcome_json(name: &str, outcome: &askit_core::runtime::DirectOutcome) -> Jso
     Json::Object(object)
 }
 
-/// A `{"error": …}` body with proper JSON escaping.
-pub(crate) fn error_body(message: &str) -> String {
+/// An `{"error": …, "trace_id": …}` body with proper JSON escaping: every
+/// 4xx/5xx names the trace id it ran under, so a client reporting a
+/// failure can quote the id the server's trace export is indexed by.
+pub(crate) fn error_body_traced(message: &str, trace: TraceId) -> String {
     let mut object = Map::new();
     object.insert("error", Json::Str(message.to_owned()));
+    object.insert("trace_id", Json::Str(trace.to_string()));
     Json::Object(object).to_compact_string()
 }

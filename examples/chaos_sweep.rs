@@ -27,6 +27,11 @@
 //! bench trend log.
 //!
 //! Run with `cargo run --release --features http --example chaos_sweep`.
+//! Pass `-- --trace-out PATH` to install a [`TraceSink`] for the whole
+//! sweep and write the Chrome-trace-event JSON (Perfetto-viewable) when
+//! the run completes — every request is stamped with a trace id, so the
+//! export shows each scenario's wire attempts, failovers, hedge races,
+//! and breaker transitions on a common timeline.
 
 use std::time::{Duration, Instant};
 
@@ -36,6 +41,7 @@ use askit::http::{
 };
 use askit::json::{Json, Map};
 use askit::llm::{CompletionRequest, LanguageModel, LlmError};
+use askit::obs::{TraceId, TraceSink};
 
 /// Per-request latency ceiling: even a request that has to trip a breaker,
 /// fail over, and retry must settle inside this.
@@ -162,6 +168,10 @@ fn run_prompts(llm: &HttpLlm, scenario: &Scenario) -> (Vec<Option<String>>, u64,
         let mut request =
             CompletionRequest::from_prompt(format!("chaos {} prompt {i}", scenario.name));
         request.options.hedge = scenario.hedge;
+        // Trace identity is service advice (never part of the request
+        // fingerprint), so stamping it cannot perturb the bit-identity
+        // check; spans only record when `--trace-out` installed a sink.
+        request.options = request.options.stamp_trace(TraceId::generate());
         let started = Instant::now();
         let outcome = llm.complete(&request);
         max_latency = max_latency.max(started.elapsed());
@@ -190,7 +200,23 @@ fn stats_json(stats: &HttpStats) -> Json {
     Json::Object(object)
 }
 
+/// Parses `--trace-out PATH` from the example's arguments.
+fn trace_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            return Some(std::path::PathBuf::from(
+                args.next().expect("--trace-out takes a path"),
+            ));
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_out = trace_out_path();
+    let sink = trace_out.is_some().then(|| TraceSink::new().install());
+
     let mut scenario_reports = Vec::new();
     let mut total_requests = 0u64;
     let mut total_errors = 0u64;
@@ -354,6 +380,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert_eq!(total_errors, 0, "retryable faults must stay invisible");
     assert!(all_identical, "faulted runs must match the baseline bytes");
+
+    if let (Some(path), Some(sink)) = (trace_out, sink) {
+        // The sweep exercised failover, so the trace must show wire
+        // attempts on both endpoint ordinals before it is worth keeping.
+        let endpoint_seen = |ordinal: &str| {
+            sink.events()
+                .iter()
+                .any(|e| e.name() == "wire_attempt" && e.arg("endpoint") == Some(ordinal))
+        };
+        assert!(
+            endpoint_seen("0") && endpoint_seen("1"),
+            "trace must carry wire_attempt spans on both endpoints"
+        );
+        sink.write_chrome_json(&path)?;
+        eprintln!(
+            "chaos_sweep: wrote {} trace events to {} (open in ui.perfetto.dev)",
+            sink.len(),
+            path.display()
+        );
+    }
     eprintln!("chaos_sweep: all assertions passed");
     Ok(())
 }

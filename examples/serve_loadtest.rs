@@ -195,6 +195,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.get_key("sse_streams"))
         .and_then(|j| j.as_i64())
         .unwrap_or(-1);
+
+    // Scrape /metrics under load-test traffic: the exposition must parse
+    // with the workspace's own parser and carry the per-model latency
+    // quantiles plus the breaker/failover series the wire layer registers.
+    let (metrics_status, exposition) = stats_client.get_text("/metrics")?;
+    assert_eq!(metrics_status, 200, "metrics route must answer");
+    let samples = askit::obs::metrics::parse_exposition(&exposition)
+        .expect("/metrics must serve valid Prometheus exposition");
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+    assert!(
+        samples.iter().any(|s| s.name == "askit_request_latency_us"
+            && s.label("quantile").is_some()
+            && s.label("model").is_some()),
+        "per-model latency quantiles missing from:\n{exposition}"
+    );
+    assert!(
+        has("askit_breaker_state") && has("askit_http_failovers_total"),
+        "breaker/failover series missing from:\n{exposition}"
+    );
+    assert!(
+        has("askit_cache_hits_total") && has("askit_wire_attempts_total"),
+        "cache/wire series missing from:\n{exposition}"
+    );
+    let metrics_series = samples.len() as u64;
+    if let Ok(out) = std::env::var("ASKIT_METRICS_OUT") {
+        std::fs::write(&out, &exposition)?;
+        eprintln!("serve_loadtest: wrote {metrics_series}-sample exposition to {out}");
+    }
     drop(stats_client);
 
     // Drain pass: put a slow, cache-bypassing call in flight, then shut
@@ -234,7 +262,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"warm\": {{\"requests\": {}, \"elapsed_ms\": {warm_ms}, \
          \"wire_requests_delta\": {warm_wire_delta}}}, \
          \"drain\": {{\"completed\": {drain_completed}, \"listener_gone\": {listener_gone}}}, \
-         \"sse_streams\": {sse_streams}, \"failures\": {total_failures}}}",
+         \"sse_streams\": {sse_streams}, \"metrics_series\": {metrics_series}, \
+         \"failures\": {total_failures}}}",
         THREADS * ITERS,
         THREADS * ITERS,
     );

@@ -16,6 +16,8 @@
 //! * [`json`](askit_json) — the JSON substrate;
 //! * [`llm`](askit_llm) — the simulated language model;
 //! * [`minilang`] — the language generated code is written in;
+//! * [`obs`](askit_obs) — request tracing, the metrics registry, leveled
+//!   logging;
 //! * [`datasets`](askit_datasets) — the paper's workloads.
 //!
 //! # Example
@@ -88,6 +90,14 @@ pub mod http {
 #[cfg(feature = "serve")]
 pub mod serve {
     pub use askit_serve::*;
+}
+
+/// The observability layer: request-scoped tracing with a
+/// Chrome-trace-event exporter ([`TraceSink`](askit_obs::TraceSink)), the
+/// process-wide metrics registry rendered at `GET /metrics`, and the
+/// `ASKIT_LOG`-filtered leveled logger.
+pub mod obs {
+    pub use askit_obs::*;
 }
 
 /// The paper's workloads.

@@ -78,6 +78,15 @@ GATES = {
         "latency, or a sweep that never exercised failover, breakers, "
         "hedging, and deadline shedding",
     ),
+    "obs_overhead": (
+        "observability layer end to end: serve_loadtest's mid-run "
+        "/metrics scrape, a chaos_sweep --trace-out Chrome-trace export, "
+        "and in-process alternating obs-off/obs-on warm probe rounds",
+        "fails when a required metric series or trace span is missing, "
+        "the trace never crosses endpoints, or obs-on probes run more "
+        "than 5% behind obs-off — instrumentation started to cost more "
+        "than it observes",
+    ),
 }
 
 SPARKS = "▁▂▃▄▅▆▇█"

@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Observability gate: the obs layer must observe, export, and cost ~nothing.
+
+Three phases, all against binaries the workspace already builds:
+
+1. **Metrics exposition** — reruns ``serve_loadtest`` with
+   ``ASKIT_METRICS_OUT`` set, so the example writes the exact ``/metrics``
+   body it scraped mid-run. The gate re-parses that exposition here (an
+   independent parser from the workspace's own) and requires the
+   per-model latency quantiles plus the cache, wire, breaker, and
+   failover series.
+2. **Trace export** — reruns ``chaos_sweep`` with ``--trace-out``: the
+   emitted Chrome-trace JSON must load, carry complete events
+   (``"ph": "X"``), and include ``wire_attempt`` spans on *both*
+   endpoints — proof the trace followed a request across a failover.
+3. **Overhead** — runs ``engine_overhead`` with ``ASKIT_OBS=on``, which
+   makes the bench itself time alternating in-process rounds of the warm
+   probe loop: obs-off (no sink, untraced requests) vs obs-on (a sampled
+   TraceSink installed and a trace id on every request, so each probe
+   pays the full span fast path). The bench reports the best round of
+   each mode as ``obs_overhead``; its ``overhead_pct`` must stay under
+   ``--max-overhead-pct`` (default 5%). The comparison is in-process
+   because separate cargo invocations jitter by ±10% on shared runners —
+   more than the effect being gated.
+
+The observed numbers land in ``BENCH_obs_overhead.json`` for the trends
+dashboard.
+
+Usage:
+    python3 tools/obs_gate.py [--problems N] [--runs N]
+                              [--max-overhead-pct PCT] [--out PATH]
+                              [--skip-loadtest] [--skip-trace]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from shared_cache_gate import run
+
+REQUIRED_SERIES = [
+    "askit_request_latency_us",
+    "askit_cache_hits_total",
+    "askit_cache_misses_total",
+    "askit_wire_attempts_total",
+    "askit_breaker_state",
+    "askit_http_failovers_total",
+    "askit_http_retries_total",
+]
+
+
+def parse_exposition(text):
+    """Prometheus text exposition -> list of (name, labels_dict, value).
+
+    Deliberately a second implementation: the serve_loadtest example
+    already validates the body with ``askit_obs``'s parser, so parsing it
+    again here catches the case where exposition and parser share a bug.
+    """
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            sys.exit(f"exposition line {lineno} has no value: {line!r}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            sys.exit(f"exposition line {lineno} value not a float: {line!r}")
+        labels = {}
+        name = name_part
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                sys.exit(f"exposition line {lineno} has unclosed labels: {line!r}")
+            name, _, label_body = name_part[:-1].partition("{")
+            for pair in filter(None, label_body.split(",")):
+                key, eq, raw = pair.partition("=")
+                if eq != "=" or not (raw.startswith('"') and raw.endswith('"')):
+                    sys.exit(f"exposition line {lineno} has a bad label: {line!r}")
+                labels[key] = raw[1:-1]
+        samples.append((name, labels, value))
+    return samples
+
+
+def gate_exposition(workdir, failures):
+    """Phase 1: serve_loadtest's mid-run /metrics scrape must be complete."""
+    metrics_path = workdir / "metrics.prom"
+    env = dict(os.environ, ASKIT_METRICS_OUT=str(metrics_path))
+    run(
+        [
+            "cargo", "run", "--release", "--features", "serve",
+            "--example", "serve_loadtest",
+        ],
+        "serve_loadtest (metrics scrape)",
+        env=env,
+    )
+    if not metrics_path.exists():
+        sys.exit("serve_loadtest did not write ASKIT_METRICS_OUT")
+    samples = parse_exposition(metrics_path.read_text())
+    names = {name for name, _, _ in samples}
+    for series in REQUIRED_SERIES:
+        if series not in names:
+            failures.append(f"/metrics is missing the {series} series")
+    quantiles = {
+        labels.get("quantile")
+        for name, labels, _ in samples
+        if name == "askit_request_latency_us" and "model" in labels
+    }
+    for q in ("0.5", "0.9", "0.99"):
+        if q not in quantiles:
+            failures.append(f"per-model latency quantile {q} missing from /metrics")
+    return {"series": len(samples), "names": len(names)}
+
+
+def gate_trace_export(workdir, failures):
+    """Phase 2: chaos_sweep --trace-out must yield a cross-endpoint trace."""
+    trace_path = workdir / "chaos_trace.json"
+    run(
+        [
+            "cargo", "run", "--release", "--features", "http",
+            "--example", "chaos_sweep", "--", "--trace-out", str(trace_path),
+        ],
+        "chaos_sweep (trace export)",
+    )
+    if not trace_path.exists():
+        sys.exit("chaos_sweep did not write --trace-out")
+    trace = json.loads(trace_path.read_text())
+    events = trace.get("traceEvents", [])
+    if not events:
+        failures.append("trace export has no traceEvents")
+    attempts = [
+        e for e in events
+        if e.get("name") == "wire_attempt" and e.get("ph") == "X"
+    ]
+    endpoints = {e.get("args", {}).get("endpoint") for e in attempts}
+    if not {"0", "1"} <= endpoints:
+        failures.append(
+            f"wire_attempt spans cover endpoints {sorted(endpoints)}, "
+            f"not both 0 and 1 — the trace lost the failover"
+        )
+    instants = {e["name"] for e in events if e.get("ph") == "i"}
+    for expected in ("failover", "breaker", "hedge_win", "deadline_shed"):
+        if expected not in instants:
+            failures.append(f"trace export has no {expected} instant event")
+    return {
+        "events": len(events),
+        "wire_attempts": len(attempts),
+        "endpoints": sorted(e for e in endpoints if e is not None),
+    }
+
+
+def gate_overhead(args, failures):
+    """Phase 3: obs-on must stay within --max-overhead-pct of obs-off."""
+    env = dict(
+        os.environ,
+        ASKIT_BENCH_PROBLEMS=str(args.problems),
+        ASKIT_OBS="on",
+        ASKIT_OBS_ROUNDS=str(args.runs),
+    )
+    proc = run(
+        ["cargo", "bench", "--bench", "engine_overhead"],
+        "engine_overhead (obs comparison)",
+        env=env,
+    )
+    bench = None
+    for line in proc.stdout.splitlines():
+        if line.startswith('{"bench": "engine_overhead"'):
+            bench = json.loads(line)
+    if bench is None:
+        sys.exit("engine_overhead printed no JSON line")
+    overhead = bench.get("obs_overhead")
+    if not isinstance(overhead, dict):
+        sys.exit(f"engine_overhead reported no obs_overhead section: {bench}")
+    pct = overhead["overhead_pct"]
+    if pct > args.max_overhead_pct:
+        failures.append(
+            f"obs-on warm probes are {pct:.1f}% slower than obs-off "
+            f"({overhead['off']['problems_per_sec']:.0f}/s -> "
+            f"{overhead['on']['problems_per_sec']:.0f}/s; "
+            f"ceiling {args.max_overhead_pct}%)"
+        )
+    return {
+        "problems": args.problems,
+        "rounds": overhead["rounds"],
+        "sample_one_in": overhead["sample_one_in"],
+        "off_problems_per_sec": round(overhead["off"]["problems_per_sec"]),
+        "on_problems_per_sec": round(overhead["on"]["problems_per_sec"]),
+        "overhead_pct": pct,
+        "ceiling_pct": args.max_overhead_pct,
+        "bench": bench,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--problems",
+        type=int,
+        default=100_000,
+        help="sweep size for the overhead comparison (default 100000)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=5,
+        help="alternating off/on rounds inside the bench; best-of wins "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=5.0,
+        help="ceiling on obs-on vs obs-off pooled throughput loss",
+    )
+    parser.add_argument("--out", default="BENCH_obs_overhead.json")
+    parser.add_argument(
+        "--skip-loadtest",
+        action="store_true",
+        help="skip the serve_loadtest exposition phase",
+    )
+    parser.add_argument(
+        "--skip-trace",
+        action="store_true",
+        help="skip the chaos_sweep trace-export phase",
+    )
+    args = parser.parse_args()
+
+    started = time.monotonic()
+    failures = []
+    stats = {}
+    with tempfile.TemporaryDirectory(prefix="obs-gate-") as tmp:
+        workdir = Path(tmp)
+        if not args.skip_loadtest:
+            stats["exposition"] = gate_exposition(workdir, failures)
+        if not args.skip_trace:
+            stats["trace_export"] = gate_trace_export(workdir, failures)
+        stats["overhead"] = gate_overhead(args, failures)
+    stats["elapsed_secs"] = round(time.monotonic() - started, 3)
+
+    Path(args.out).write_text(json.dumps(stats, indent=2) + "\n")
+    overhead = stats["overhead"]
+    exposition = stats.get("exposition", {})
+    trace = stats.get("trace_export", {})
+    print(
+        f"exposition: {exposition.get('series', 'skipped')} samples; "
+        f"trace export: {trace.get('wire_attempts', 'skipped')} wire attempts "
+        f"over endpoints {trace.get('endpoints', '-')}; "
+        f"overhead: obs-off {overhead['off_problems_per_sec']}/s vs obs-on "
+        f"{overhead['on_problems_per_sec']}/s "
+        f"({overhead['overhead_pct']:+.1f}%, ceiling {overhead['ceiling_pct']}%)"
+    )
+    if failures:
+        sys.exit("\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()
